@@ -1,0 +1,81 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! The Chapter 5 headline claim: belief-propagation inference cost is
+//! *linear* in the number of SNPs, while direct marginalization (Eq. 5.1)
+//! is exponential. Also ablates the BP damping factor (DESIGN.md ablation
+//! #3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::genomic::{
+    exhaustive_marginals, BpConfig, Evidence, FactorGraph, Genotype, GwasCatalog, SnpId,
+};
+
+/// Chain catalog: `n` SNPs strung across traits of 4 SNPs each, each trait
+/// sharing one SNP with its predecessor (a long tree).
+fn chain_catalog(n_snps: usize) -> GwasCatalog {
+    let mut c = GwasCatalog::new(n_snps);
+    let mut s = 0usize;
+    let mut t_idx = 0usize;
+    while s + 4 <= n_snps {
+        let t = c.add_trait(format!("t{t_idx}"), 0.05 + 0.01 * ((t_idx % 10) as f64));
+        let start = s.saturating_sub(1); // share one SNP with the previous trait
+        for i in start..s + 3 {
+            c.associate(SnpId(i), t, 1.2 + 0.1 * ((i % 5) as f64), 0.2 + 0.05 * ((i % 7) as f64));
+        }
+        s += 3;
+        t_idx += 1;
+    }
+    c
+}
+
+fn evidence_half(n_snps: usize) -> Evidence {
+    let mut ev = Evidence::none();
+    for s in (0..n_snps).step_by(2) {
+        ev.snps.insert(SnpId(s), Genotype::HomRisk);
+    }
+    ev
+}
+
+fn bench_bp_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_linear_in_snps");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let cat = chain_catalog(n);
+        let g = FactorGraph::build(&cat, &evidence_half(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| BpConfig::default().run(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_exponential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_exponential_in_snps");
+    group.sample_size(10);
+    for &n in &[6usize, 9, 12] {
+        let cat = chain_catalog(n + 1);
+        // Leave `n` SNPs unknown by releasing none.
+        let g = FactorGraph::build(&cat, &Evidence::none());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| exhaustive_marginals(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_damping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_damping_ablation");
+    let cat = chain_catalog(512);
+    let g = FactorGraph::build(&cat, &evidence_half(512));
+    for &damping in &[0.0, 0.25, 0.5] {
+        let cfg = BpConfig { damping, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{damping}")),
+            &cfg,
+            |b, cfg| b.iter(|| cfg.run(std::hint::black_box(&g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp_linear, bench_exhaustive_exponential, bench_damping_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! DP synthesis throughput and the network-degree ablation (DESIGN.md #5):
+//! fitting cost grows with the marginal dimensionality `k`, which is the
+//! utility/noise tradeoff the dissertation's high-dimensional publishing
+//! recipe navigates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::dp::{BayesNet, NoisyCdf, SynthesisConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fit_by_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayesnet_fit_by_degree");
+    group.sample_size(20);
+    let table = correlated_microdata(5_000, 10, 4, 0.85, 3);
+    for &degree in &[0usize, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &k| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(4);
+                BayesNet::fit(
+                    &mut rng,
+                    std::hint::black_box(&table),
+                    SynthesisConfig { degree: k, epsilon: 1.0 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayesnet_sample");
+    let table = correlated_microdata(5_000, 10, 4, 0.85, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let net = BayesNet::fit(&mut rng, &table, SynthesisConfig { degree: 2, epsilon: 1.0 });
+    for &n in &[1_000usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                net.sample(&mut rng, std::hint::black_box(n))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_aggregation");
+    let table = correlated_microdata(100_000, 3, 16, 0.5, 6);
+    group.bench_function("noisy_cdf_build_100k", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            NoisyCdf::build(&mut rng, std::hint::black_box(&table), 0, 1.0)
+        })
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cdf = NoisyCdf::build(&mut rng, &table, 0, 1.0);
+    group.bench_function("range_query_postprocessing", |b| {
+        b.iter(|| std::hint::black_box(&cdf).range_count(2, 11))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_by_degree, bench_sampling_throughput, bench_dp_aggregation);
+criterion_main!(benches);

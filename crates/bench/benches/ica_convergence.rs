@@ -1,0 +1,60 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! Collective-inference (ICA) cost per dataset and local classifier —
+//! ablation #1 of DESIGN.md (the local-classifier choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
+use ppdp::datagen::social::{caltech_like, snap_like};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn known(n: usize) -> Vec<bool> {
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    (0..n).map(|_| rng.gen_bool(0.7)).collect()
+}
+
+fn bench_ica(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ica_attack");
+    group.sample_size(10);
+    for data in [snap_like(42), caltech_like(42)] {
+        let mask = known(data.graph.user_count());
+        for kind in [LocalKind::Bayes, LocalKind::Knn(7), LocalKind::Rst] {
+            let id = format!("{}_{}", data.name, kind.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &data, |b, d| {
+                let lg = LabeledGraph::new(&d.graph, d.privacy_cat, mask.clone());
+                b.iter(|| {
+                    run_attack(
+                        std::hint::black_box(&lg),
+                        kind,
+                        AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+                    )
+                    .accuracy
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_attack_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_model_cost");
+    group.sample_size(10);
+    let data = caltech_like(42);
+    let mask = known(data.graph.user_count());
+    let lg = LabeledGraph::new(&data.graph, data.privacy_cat, mask);
+    for (name, model) in [
+        ("attr_only", AttackModel::AttrOnly),
+        ("link_only", AttackModel::LinkOnly),
+        ("collective", AttackModel::Collective { alpha: 0.5, beta: 0.5 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_attack(std::hint::black_box(&lg), LocalKind::Bayes, model).accuracy)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ica, bench_attack_models);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! Rough-Set reduct search cost: scaling in the number of condition
+//! attributes and rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::roughset::{find_reduct, AttrId, InformationSystem};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A table whose decision equals attribute 0 XOR attribute 1, with noisy
+/// filler columns — so the reduct search has real work to do.
+fn table(rows: usize, attrs: usize, seed: u64) -> InformationSystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<Vec<Option<u16>>> = (0..rows)
+        .map(|_| {
+            let a: u16 = rng.gen_range(0..2);
+            let b: u16 = rng.gen_range(0..2);
+            let mut row: Vec<Option<u16>> = vec![Some(a), Some(b)];
+            for _ in 2..attrs {
+                row.push(Some(rng.gen_range(0..4)));
+            }
+            row.push(Some(a ^ b)); // decision
+            row
+        })
+        .collect();
+    InformationSystem::from_rows(&data)
+}
+
+fn bench_reduct_vs_attrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduct_vs_attrs");
+    for &attrs in &[5usize, 10, 20, 40] {
+        let sys = table(500, attrs, 1);
+        let cond: Vec<AttrId> = (0..attrs).map(AttrId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &sys, |b, sys| {
+            b.iter(|| find_reduct(std::hint::black_box(sys), &cond, &[AttrId(attrs)]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduct_vs_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduct_vs_rows");
+    for &rows in &[200usize, 1_000, 5_000, 20_000] {
+        let sys = table(rows, 10, 2);
+        let cond: Vec<AttrId> = (0..10).map(AttrId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &sys, |b, sys| {
+            b.iter(|| find_reduct(std::hint::black_box(sys), &cond, &[AttrId(10)]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduct_vs_attrs, bench_reduct_vs_rows);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! Greedy-solver ablation (DESIGN.md #4): lazy vs naive cost-benefit greedy
+//! on the vulnerable-link selection workload, plus the genomic GPUT greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::datagen::genomes::amd_like;
+use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
+use ppdp::genomic::{BpConfig, TraitId};
+use ppdp::opt::{lazy_greedy_knapsack, naive_greedy_knapsack};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Synthetic coverage instance of the shape the link selector produces.
+fn coverage_instance(n: usize, seed: u64) -> (Vec<Vec<usize>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let items: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..6);
+            (0..k).map(|_| rng.gen_range(0..n)).collect()
+        })
+        .collect();
+    let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.0)).collect();
+    (items, costs)
+}
+
+fn bench_lazy_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_lazy_vs_naive");
+    group.sample_size(10);
+    for &n in &[50usize, 150, 400] {
+        let (items, costs) = coverage_instance(n, 7);
+        let cover = |sel: &[usize]| -> f64 {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for &i in sel {
+                seen.extend(items[i].iter().copied());
+            }
+            seen.len() as f64
+        };
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive_greedy_knapsack(&costs, n as f64 / 16.0, cover))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, _| {
+            b.iter(|| lazy_greedy_knapsack(&costs, n as f64 / 16.0, cover))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gput_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gput_greedy");
+    group.sample_size(10);
+    for &(snps, assoc) in &[(60usize, 4usize), (120, 6)] {
+        let catalog = synthetic_catalog(snps, assoc, 2, 5);
+        let panel = amd_like(&catalog, TraitId(0), 4, 4, 5);
+        let ev = panel.full_evidence(0);
+        let targets: Vec<Target> =
+            (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
+        let id = format!("{snps}snps_{assoc}assoc");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &catalog, |b, cat| {
+            b.iter(|| {
+                greedy_sanitize(
+                    std::hint::black_box(cat),
+                    &ev,
+                    &targets,
+                    0.95,
+                    6,
+                    Predictor::BeliefPropagation(BpConfig::default()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_vs_naive, bench_gput_greedy);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+#![allow(missing_docs)] // criterion macros expand undocumented functions
+
+//! Chapter 4 strategy-search cost: coordinate-ascent over the discretized
+//! simplex as a function of the grid denominator `d` and the variant count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppdp::tradeoff::{
+    hamming_disparity, optimize_attribute_strategy, AttributeStrategy, OptimizeConfig, Profile,
+};
+
+fn setup(n_variants: usize) -> (Profile, Vec<Vec<f64>>) {
+    let variants: Vec<Vec<Option<u16>>> =
+        (0..n_variants).map(|i| vec![Some((i % 4) as u16), Some((i / 4) as u16)]).collect();
+    let profile = Profile::new(
+        variants.clone(),
+        (1..=n_variants).map(|i| i as f64).collect(),
+    );
+    let predictions: Vec<Vec<f64>> = (0..n_variants)
+        .map(|i| {
+            let p = (i as f64 + 0.5) / n_variants as f64;
+            vec![p, 1.0 - p]
+        })
+        .collect();
+    (profile, predictions)
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_search_by_grid");
+    group.sample_size(10);
+    let (profile, predictions) = setup(6);
+    for &grid in &[2usize, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
+            b.iter(|| {
+                let initial = AttributeStrategy::removal(profile.variants().to_vec(), &[0]);
+                optimize_attribute_strategy(
+                    std::hint::black_box(&profile),
+                    &initial,
+                    &predictions,
+                    hamming_disparity,
+                    OptimizeConfig { grid, sweeps: 2, delta: 2.0 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_search_by_variants");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 12] {
+        let (profile, predictions) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let initial = AttributeStrategy::removal(profile.variants().to_vec(), &[0]);
+                optimize_attribute_strategy(
+                    std::hint::black_box(&profile),
+                    &initial,
+                    &predictions,
+                    hamming_disparity,
+                    OptimizeConfig { grid: 3, sweeps: 1, delta: 2.0 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Regenerates every table and figure of the dissertation's evaluation
+//! sections on the synthetic stand-in datasets.
+//!
+//! Usage:
+//!   cargo run -p ppdp-bench --release --bin experiments -- <id> [<id> …]
+//!   cargo run -p ppdp-bench --release --bin experiments -- all
+//!   cargo run -p ppdp-bench --release --bin experiments -- quick   # skip MIT-scale sweeps
+//!
+//! Ids: table3.3 table3.4 table3.5 table3.6 table3.7 table3.8 table3.9
+//!      table3.10 table3.11 table3.12 fig3.2 fig3.3 fig3.4 fig3.5
+//!      table4.2 fig4.1 fig4.2 fig4.3 fig4.4
+//!      table5.1 table5.2 table5.3 fig5.1 fig5.2
+
+use ppdp_bench::util::SEED;
+use ppdp_bench::{ch3, ch4, ch5};
+
+fn run(id: &str) {
+    match id {
+        "table3.3" => ch3::table3_3(),
+        "table3.4" => ch3::table3_4(),
+        "table3.5" => ch3::table3_5(),
+        "table3.6" => ch3::table3_6(),
+        "table3.7" => ch3::table_max_ratio("Table 3.7", (0.5, 0.5)),
+        "table3.8" => {
+            ch3::table_sweep("Table 3.8", &ppdp::datagen::social::snap_like(SEED), &[0, 200, 400, 600])
+        }
+        "table3.9" => ch3::table_sweep(
+            "Table 3.9",
+            &ppdp::datagen::social::caltech_like(SEED),
+            &[0, 400, 800, 1200],
+        ),
+        "table3.10" => ch3::table_sweep(
+            "Table 3.10",
+            &ppdp::datagen::social::mit_like(SEED),
+            &[300, 600, 900, 1200],
+        ),
+        "table3.11" => ch3::table_max_ratio("Table 3.11", (0.1, 0.9)),
+        "table3.12" => ch3::table_max_ratio("Table 3.12", (0.9, 0.1)),
+        "fig3.2" => ch3::fig_accuracy_sweeps(
+            "Fig 3.2",
+            &ppdp::datagen::social::snap_like(SEED),
+            9,
+            &[0, 200, 400, 600, 800, 1000],
+        ),
+        "fig3.3" => ch3::fig_accuracy_sweeps(
+            "Fig 3.3",
+            &ppdp::datagen::social::caltech_like(SEED),
+            4,
+            &[0, 500, 1000, 1500, 2000],
+        ),
+        "fig3.4" => ch3::fig_accuracy_sweeps(
+            "Fig 3.4",
+            &ppdp::datagen::social::mit_like(SEED),
+            4,
+            &[0, 1000, 2000, 3000, 4000, 5000],
+        ),
+        "fig3.5" => ch3::fig3_5(&ppdp::datagen::social::mit_like(SEED)),
+        "table4.2" => ch4::table4_2(),
+        "fig4.1" => ch4::fig4_1(),
+        "fig4.2" => ch4::fig4_2(),
+        "fig4.3" => ch4::fig4_3(),
+        "fig4.4" => ch4::fig4_4(),
+        "table5.1" => ch5::table5_1(),
+        "table5.2" => ch5::table5_2(),
+        "table5.3" => ch5::table5_3(),
+        "fig5.1" => ch5::fig5_1(),
+        "fig5.2" => ch5::fig5_2(),
+        "ext.kin" => ppdp_bench::ext::ext_kin(),
+        "ext.ld" => ppdp_bench::ext::ext_ld(),
+        "ext.deanon" => ppdp_bench::ext::ext_deanon(),
+        "ext.dpgenomes" => ppdp_bench::ext::ext_dp_genomes(),
+        other => eprintln!("unknown experiment id: {other}"),
+    }
+}
+
+const ALL: &[&str] = &[
+    "table3.3", "table3.4", "table3.5", "table3.6", "table3.7", "table3.8", "table3.9",
+    "table3.10", "table3.11", "table3.12", "fig3.2", "fig3.3", "fig3.4", "fig3.5", "table4.2",
+    "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table5.1", "table5.2", "table5.3", "fig5.1",
+    "fig5.2", "ext.kin", "ext.ld", "ext.deanon", "ext.dpgenomes",
+];
+
+/// `quick` skips the MIT-scale sweeps (fig3.4, fig3.5, table3.10).
+const QUICK: &[&str] = &[
+    "table3.3", "table3.4", "table3.5", "table3.6", "table3.7", "table3.8", "table3.9",
+    "table3.11", "table3.12", "fig3.2", "fig3.3", "table4.2", "fig4.1", "fig4.2", "fig4.3",
+    "fig4.4", "table5.1", "table5.2", "table5.3", "fig5.1", "fig5.2", "ext.kin", "ext.ld",
+    "ext.deanon", "ext.dpgenomes",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id>|all|quick [<id> …]   (ids: {})", ALL.join(" "));
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => ALL.iter().for_each(|id| run(id)),
+            "quick" => QUICK.iter().for_each(|id| run(id)),
+            id => run(id),
+        }
+    }
+}

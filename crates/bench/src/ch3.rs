@@ -1,0 +1,280 @@
+//! Chapter 3 experiment regenerators: Tables 3.3-3.12 and Figures 3.2-3.5.
+
+use crate::util::{cols, datasets, header, known_mask, row, SEED};
+use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
+use ppdp::datagen::social::SocialDataset;
+use ppdp::graph::stats::graph_stats;
+use ppdp::sanitize::depend::{dependency_report, graph_system, most_dependent_attributes};
+use ppdp::sanitize::links::indistinguishable_links;
+use ppdp::sanitize::metrics::utility_privacy_ratio;
+use ppdp::sanitize::{collective_sanitize, generalize::numeric_generalization};
+use ppdp::graph::SocialGraph;
+use ppdp::roughset::{find_reduct, AttrId};
+
+const KINDS: [LocalKind; 3] = [LocalKind::Bayes, LocalKind::Knn(7), LocalKind::Rst];
+const MODELS: [(&str, AttackModel); 3] = [
+    ("AttrOnly", AttackModel::AttrOnly),
+    ("LinkOnly", AttackModel::LinkOnly),
+    ("CC", AttackModel::Collective { alpha: 0.5, beta: 0.5 }),
+];
+
+/// Table 3.3: general statistics about the three datasets.
+pub fn table3_3() {
+    header("Table 3.3", "general statistics about the three datasets");
+    cols(&["SNAP", "Caltech", "MIT"]);
+    let stats: Vec<_> = datasets()
+        .iter()
+        .map(|d| (graph_stats(&d.graph, 1_000), d.graph.schema().len(), d.graph.schema().arity(d.privacy_cat)))
+        .collect();
+    let pick = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..3).map(f).collect() };
+    row("nodes", &pick(&|i| stats[i].0.nodes as f64));
+    row("friendship links", &pick(&|i| stats[i].0.edges as f64));
+    row("attributes per user", &pick(&|i| stats[i].1 as f64));
+    row("decision attr values", &pick(&|i| stats[i].2 as f64));
+    row("components", &pick(&|i| stats[i].0.components as f64));
+    row("largest component nodes", &pick(&|i| stats[i].0.largest_component_nodes as f64));
+    row("largest component edges", &pick(&|i| stats[i].0.largest_component_edges as f64));
+    row("diameter (lower bound)", &pick(&|i| stats[i].0.diameter as f64));
+}
+
+/// Table 3.4: reduct sizes for the three datasets.
+pub fn table3_4() {
+    header("Table 3.4", "reduct systems (condition attrs -> reduct size)");
+    for d in datasets() {
+        let sys = graph_system(&d.graph);
+        let cond: Vec<AttrId> = d
+            .graph
+            .schema()
+            .ids()
+            .filter(|&c| c != d.privacy_cat)
+            .map(|c| AttrId(c.0))
+            .collect();
+        let reduct = find_reduct(&sys, &cond, &[AttrId(d.privacy_cat.0)]);
+        println!(
+            "{:<10} sensitive attr: {} condition attrs -> reduct of {}",
+            d.name,
+            cond.len(),
+            reduct.len()
+        );
+    }
+}
+
+/// Table 3.5: the utility/privacy attribute designation.
+pub fn table3_5() {
+    header("Table 3.5", "utility and privacy attribute settings");
+    for d in datasets() {
+        println!(
+            "{:<10} privacy attr = {} ({}), utility attr = {} ({})",
+            d.name,
+            d.graph.schema().category(d.privacy_cat).name,
+            d.privacy_cat,
+            d.graph.schema().category(d.utility_cat).name,
+            d.utility_cat,
+        );
+    }
+}
+
+/// Table 3.6: PDA/UDA/Core sizes per dataset.
+pub fn table3_6() {
+    header("Table 3.6", "PDAs, UDAs and Core");
+    cols(&["UDAs", "PDA-Core", "Core"]);
+    for d in datasets() {
+        let rep = dependency_report(&d.graph, d.privacy_cat, d.utility_cat);
+        row(
+            d.name,
+            &[
+                rep.udas.len() as f64,
+                rep.pdas_minus_core().len() as f64,
+                rep.core.len() as f64,
+            ],
+        );
+    }
+}
+
+fn ratio_for(
+    g: &SocialGraph,
+    d: &SocialDataset,
+    known: &[bool],
+    mix: (f64, f64),
+) -> f64 {
+    utility_privacy_ratio(g, d.privacy_cat, d.utility_cat, known, LocalKind::Bayes, mix).ratio
+}
+
+/// Tables 3.7 / 3.11 / 3.12: maximum utility/privacy ratio under the
+/// collective, attribute-removal and link-removal methods at a given α/β.
+pub fn table_max_ratio(id: &str, mix: (f64, f64)) {
+    header(id, &format!("max utility/privacy, alpha={}, beta={}", mix.0, mix.1));
+    cols(&["Collective", "AttrRemove", "LinkRemove"]);
+    for d in datasets() {
+        let known = known_mask(d.graph.user_count(), SEED + 1);
+
+        // Collective: best ratio over generalization levels 5..8.
+        let collective = (5..=8)
+            .map(|level| {
+                let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level);
+                ratio_for(&san, &d, &known, mix)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Attribute removal: best ratio over removing 0..=3 top PDAs.
+        let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
+        let attr_removal = (0..=order.len())
+            .map(|k| {
+                let mut g = d.graph.clone();
+                for &cat in &order[..k] {
+                    g.clear_category(cat);
+                }
+                ratio_for(&g, &d, &known, mix)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Link removal: best ratio over 0/300/600 removed links (prefix of
+        // one global indistinguishability ranking).
+        let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+        let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+        let scores = indistinguishable_links(&lg, &boot.dists);
+        let link_removal = [0usize, 300, 600]
+            .iter()
+            .map(|&k| {
+                let mut g = d.graph.clone();
+                for s in scores.iter().take(k) {
+                    g.remove_edge(s.user, s.neighbor);
+                }
+                ratio_for(&g, &d, &known, mix)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        row(d.name, &[collective, attr_removal, link_removal]);
+    }
+}
+
+/// Tables 3.8-3.10: utility/privacy vs generalization level L, #removed
+/// attributes and #removed links, for one dataset.
+pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) {
+    header(id, &format!("utility/privacy sweeps on {} (alpha=beta=0.5)", d.name));
+    let known = known_mask(d.graph.user_count(), SEED + 1);
+    let mix = (0.5, 0.5);
+
+    println!("-- generalization level L (collective perturbation of the Core) --");
+    cols(&["L", "uti/pri"]);
+    for level in 5..=8 {
+        let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level);
+        row("", &[level as f64, ratio_for(&san, d, &known, mix)]);
+    }
+
+    println!("-- number of removed privacy-dependent attributes --");
+    cols(&["#attrs", "uti/pri"]);
+    let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
+    for k in 0..=order.len() {
+        let mut g = d.graph.clone();
+        for &cat in &order[..k] {
+            g.clear_category(cat);
+        }
+        row("", &[k as f64, ratio_for(&g, d, &known, mix)]);
+    }
+
+    println!("-- number of removed indistinguishable links --");
+    cols(&["#links", "uti/pri"]);
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+    let scores = indistinguishable_links(&lg, &boot.dists);
+    for &k in link_steps {
+        let mut g = d.graph.clone();
+        for s in scores.iter().take(k) {
+            g.remove_edge(s.user, s.neighbor);
+        }
+        row("", &[k as f64, ratio_for(&g, d, &known, mix)]);
+    }
+}
+
+/// Figures 3.2-3.4: sensitive-attribute prediction accuracy vs the number
+/// of removed PDAs (panel a-c) and removed indistinguishable links (panel
+/// d-f), for the three local classifiers × three attack models.
+pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_steps: &[usize]) {
+    header(id, &format!("accuracy sweeps on {}", d.name));
+    let known = known_mask(d.graph.user_count(), SEED + 1);
+
+    let order = most_dependent_attributes(&d.graph, d.privacy_cat, attr_steps);
+    for kind in KINDS {
+        println!("-- panel: {} as attribute-based classifier, attribute removal --", kind.name());
+        cols(&["#attrs", "AttrOnly", "LinkOnly", "CC"]);
+        for k in 0..=order.len() {
+            let mut g = d.graph.clone();
+            for &cat in &order[..k] {
+                g.clear_category(cat);
+            }
+            let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
+            let accs: Vec<f64> = MODELS
+                .iter()
+                .map(|(_, m)| run_attack(&lg, kind, *m).accuracy)
+                .collect();
+            row("", &[&[k as f64], accs.as_slice()].concat());
+        }
+    }
+
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+    let scores = indistinguishable_links(&lg, &boot.dists);
+    for kind in KINDS {
+        println!("-- panel: {} as attribute-based classifier, link removal --", kind.name());
+        cols(&["#links", "AttrOnly", "LinkOnly", "CC"]);
+        for &k in link_steps {
+            let mut g = d.graph.clone();
+            for s in scores.iter().take(k) {
+                g.remove_edge(s.user, s.neighbor);
+            }
+            let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
+            let accs: Vec<f64> = MODELS
+                .iter()
+                .map(|(_, m)| run_attack(&lg, kind, *m).accuracy)
+                .collect();
+            row("", &[&[k as f64], accs.as_slice()].concat());
+        }
+    }
+}
+
+/// Figure 3.5: 2-D sweep (removed attributes × removed links) on MIT with
+/// ICA-KNN and ICA-Bayes.
+pub fn fig3_5(d: &SocialDataset) {
+    header("Fig 3.5", "2-D attr x link removal sweep on MIT (ICA-KNN / ICA-Bayes)");
+    let known = known_mask(d.graph.user_count(), SEED + 1);
+    let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
+    let lg0 = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+    let boot = run_attack(&lg0, LocalKind::Bayes, AttackModel::AttrOnly);
+    let scores = indistinguishable_links(&lg0, &boot.dists);
+    let link_grid = [0usize, 1_000, 2_500, 5_000];
+    for kind in [LocalKind::Knn(7), LocalKind::Bayes] {
+        println!("-- ICA-{} accuracy grid --", kind.name());
+        cols(&["#attrs\\#links", "0", "1000", "2500", "5000"]);
+        for a in 0..=order.len() {
+            let mut base = d.graph.clone();
+            for &cat in &order[..a] {
+                base.clear_category(cat);
+            }
+            let accs: Vec<f64> = link_grid
+                .iter()
+                .map(|&k| {
+                    let mut g = base.clone();
+                    for s in scores.iter().take(k) {
+                        g.remove_edge(s.user, s.neighbor);
+                    }
+                    let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
+                    run_attack(&lg, kind, AttackModel::Collective { alpha: 0.5, beta: 0.5 })
+                        .accuracy
+                })
+                .collect();
+            row(&format!("{a}"), &accs);
+        }
+    }
+}
+
+/// Convenience: run one generalization-perturbation on a clone (exposed for
+/// the ablation bench).
+pub fn perturb_clone(d: &SocialDataset, level: usize) -> SocialGraph {
+    let mut g = d.graph.clone();
+    let rep = dependency_report(&g, d.privacy_cat, d.utility_cat);
+    for &cat in &rep.core {
+        numeric_generalization(&mut g, cat, level);
+    }
+    g
+}

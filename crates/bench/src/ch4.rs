@@ -1,0 +1,324 @@
+//! Chapter 4 experiment regenerators: Table 4.2 and Figures 4.1-4.4.
+//!
+//! The chapter's machinery is per-user; the figures average latent-data
+//! privacy over a fixed sample of target users of the Caltech dataset.
+//! Composite privacy combines the attribute channel (Eq. 4.5) with the link
+//! channel (1 − relational confidence in the true SLA label) at equal
+//! weight — the implementation detail DESIGN.md documents, since a common
+//! relational term cancels inside the pure Eq. (4.5) disparity.
+
+use crate::util::{cols, header, known_mask, row, SEED};
+use ppdp::classify::{LabeledGraph, LocalKind, RelationalState};
+use ppdp::datagen::social::{caltech_like, SocialDataset};
+use ppdp::graph::UserId;
+use ppdp::tradeoff::adversary::{Knowledge, ALL_KNOWLEDGE};
+use ppdp::tradeoff::optimize::optimize_attribute_strategy_under;
+use ppdp::tradeoff::privacy::latent_privacy_vs_powerful;
+use ppdp::tradeoff::utility::structure_value;
+use ppdp::tradeoff::{
+    hamming_disparity, prediction_utility_loss, AttributeStrategy, OptimizeConfig, Profile,
+};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Number of sampled target users the figures average over.
+const SAMPLE: usize = 25;
+/// Public attribute columns used for the per-user variant space (keeping
+/// the discretized strategy search tractable).
+const PUBLIC_COLS: [usize; 2] = [2, 3];
+/// Empirical profiles are truncated to this many top-probability variants
+/// before the §4.5.2 discretized search (the search cost is exponential in
+/// the output-variant count).
+const MAX_VARIANTS: usize = 8;
+
+/// The per-user optimization context shared by all Chapter 4 experiments.
+pub struct UserCtx {
+    /// Adversary prior over the user's possible (restricted) attribute sets.
+    pub profile: Profile,
+    /// SLA prediction `Z_X` induced by each variant.
+    pub predictions: Vec<Vec<f64>>,
+    /// The user's neighbour list with structure-utility costs, plus each
+    /// neighbour's one-hot-or-uniform SLA distribution and the user's true
+    /// label — the link channel's inputs.
+    pub link_costs: Vec<f64>,
+    /// Mass each neighbour's current SLA distribution puts on the user's
+    /// true label (the link channel's "how much this link helps the
+    /// attacker" signal).
+    pub neighbor_true_mass: Vec<f64>,
+}
+
+/// Builds the Chapter 4 evaluation contexts: one per sampled user.
+pub fn build_contexts(d: &SocialDataset) -> Vec<UserCtx> {
+    let known = known_mask(d.graph.user_count(), SEED + 1);
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known);
+    let local = LocalKind::Bayes.fit(&lg);
+    let state = RelationalState::new(&lg);
+
+    // Global empirical profile over the restricted variant space.
+    let observed: Vec<Vec<Option<u16>>> = d
+        .graph
+        .users()
+        .map(|u| PUBLIC_COLS.iter().map(|&c| d.graph.attr_row(u)[c]).collect())
+        .collect();
+    let profile = Profile::empirical(&observed).truncated(MAX_VARIANTS);
+
+    // Z_X per variant: the Bayes SLA prediction from the restricted
+    // attribute set (padded to full width with missing values).
+    let width = d.graph.schema().len();
+    let predictions: Vec<Vec<f64>> = profile
+        .variants()
+        .iter()
+        .map(|v| {
+            let mut full = vec![None; width];
+            for (slot, &c) in PUBLIC_COLS.iter().enumerate() {
+                full[c] = v[slot];
+            }
+            local.predict_dist(&full)
+        })
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED + 2);
+    let mut users: Vec<UserId> = lg.unknown_users();
+    users.shuffle(&mut rng);
+    users.truncate(SAMPLE);
+
+    users
+        .into_iter()
+        .map(|u| {
+            let true_label = lg.true_label(u).expect("unknown users are labelled") as usize;
+            let (link_costs, neighbor_true_mass) = d
+                .graph
+                .neighbors(u)
+                .iter()
+                .map(|&j| (structure_value(&d.graph, u, j), state.dist[j.0][true_label]))
+                .unzip();
+            UserCtx {
+                profile: profile.clone(),
+                predictions: predictions.clone(),
+                link_costs,
+                neighbor_true_mass,
+            }
+        })
+        .collect()
+}
+
+/// Link-channel privacy after removing the `removed` most helpful links:
+/// 1 − mean true-label mass over the remaining neighbours.
+fn link_privacy(ctx: &UserCtx, removed: usize) -> f64 {
+    let mut mass: Vec<f64> = ctx.neighbor_true_mass.clone();
+    // Remove the links whose far ends lean hardest toward the true label.
+    mass.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let kept = &mass[removed.min(mass.len())..];
+    if kept.is_empty() {
+        return 1.0;
+    }
+    1.0 - kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Structure-utility cost of removing the `removed` most helpful links.
+fn link_cost(ctx: &UserCtx, removed: usize) -> f64 {
+    let mut paired: Vec<(f64, f64)> = ctx
+        .neighbor_true_mass
+        .iter()
+        .zip(&ctx.link_costs)
+        .map(|(&m, &c)| (m, c))
+        .collect();
+    paired.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    paired.iter().take(removed).map(|&(_, c)| c).sum()
+}
+
+/// Composite latent privacy: equal-weight attribute and link channels.
+fn composite(attr: f64, link: f64) -> f64 {
+    0.5 * attr + 0.5 * link
+}
+
+/// Attribute-channel privacy of a named strategy with `k` columns
+/// sanitized.
+fn attr_privacy(ctx: &UserCtx, strategy: &str, k: usize) -> f64 {
+    let variants = ctx.profile.variants().to_vec();
+    let cols: Vec<usize> = (0..k.min(PUBLIC_COLS.len())).collect();
+    let s = match strategy {
+        "removal" => AttributeStrategy::removal(variants, &cols),
+        "perturb" => {
+            let buckets: Vec<(usize, u16)> = cols.iter().map(|&c| (c, 4)).collect();
+            AttributeStrategy::perturbing(variants, &buckets)
+        }
+        _ => AttributeStrategy::identity(variants),
+    };
+    latent_privacy_vs_powerful(&ctx.profile, &s, &ctx.predictions)
+}
+
+/// Table 4.2: general information about the Chapter 4 dataset.
+pub fn table4_2() {
+    header("Table 4.2", "general information about Caltech (Chapter 4 view)");
+    let d = caltech_like(SEED);
+    println!("users                      : {}", d.graph.user_count());
+    println!("social links               : {}", d.graph.edge_count());
+    println!("attributes per user        : {}", d.graph.schema().len());
+    println!("SLA (flag) attribute values: {}", d.graph.schema().arity(d.privacy_cat));
+    println!("NSLA (gender) attr values  : {}", d.graph.schema().arity(d.utility_cat));
+}
+
+/// Figure 4.1: latent-data privacy vs (a) #attributes sanitized under four
+/// strategies and (b) #links sanitized under three strategies.
+pub fn fig4_1() {
+    header("Fig 4.1", "latent-data privacy vs sanitization effort (eps=180, delta=0.4)");
+    let d = caltech_like(SEED);
+    let ctxs = build_contexts(&d);
+    let mean = |f: &dyn Fn(&UserCtx) -> f64| -> f64 {
+        ctxs.iter().map(f).sum::<f64>() / ctxs.len() as f64
+    };
+
+    println!("-- (a) attributes sanitized --");
+    cols(&["#attrs", "AttrRemove", "AttrPerturb", "LinkRemove", "Collective"]);
+    for k in 0..=PUBLIC_COLS.len() {
+        let removal = mean(&|c| composite(attr_privacy(c, "removal", k), link_privacy(c, 0)));
+        let perturb = mean(&|c| composite(attr_privacy(c, "perturb", k), link_privacy(c, 0)));
+        let linkrm = mean(&|c| composite(attr_privacy(c, "identity", 0), link_privacy(c, k * 2)));
+        let collective =
+            mean(&|c| composite(attr_privacy(c, "removal", k), link_privacy(c, k * 2)));
+        row("", &[k as f64, removal, perturb, linkrm, collective]);
+    }
+
+    println!("-- (b) links sanitized --");
+    cols(&["#links", "LinkRemove", "Collective", "RandomLink"]);
+    for k in (0..=8).step_by(2) {
+        let linkrm = mean(&|c| composite(attr_privacy(c, "identity", 0), link_privacy(c, k)));
+        let collective = mean(&|c| composite(attr_privacy(c, "removal", 1), link_privacy(c, k)));
+        // Random removal: expected true-mass unchanged → privacy from the
+        // unsorted mean over a random subset ≈ baseline with fewer kept.
+        let random = mean(&|c| {
+            let n = c.neighbor_true_mass.len();
+            if n == 0 {
+                return composite(attr_privacy(c, "identity", 0), 1.0);
+            }
+            let kept = n.saturating_sub(k).max(1);
+            let mean_mass = c.neighbor_true_mass.iter().sum::<f64>() / n as f64;
+            let _ = kept;
+            composite(attr_privacy(c, "identity", 0), 1.0 - mean_mass)
+        });
+        row("", &[k as f64, linkrm, collective, random]);
+    }
+}
+
+/// Figure 4.2: utility loss vs latent-data privacy level.
+pub fn fig4_2() {
+    header("Fig 4.2", "utility loss under different latent-privacy levels");
+    let d = caltech_like(SEED);
+    let ctxs = build_contexts(&d);
+
+    println!("-- (a) structure utility loss vs privacy (1 vs 2 attrs sanitized) --");
+    cols(&["SUL", "priv@1attr", "priv@2attr"]);
+    for k in 0..=6 {
+        let sul = ctxs.iter().map(|c| link_cost(c, k)).sum::<f64>() / ctxs.len() as f64;
+        let priv_at = |attrs: usize| -> f64 {
+            ctxs.iter()
+                .map(|c| composite(attr_privacy(c, "removal", attrs), link_privacy(c, k)))
+                .sum::<f64>()
+                / ctxs.len() as f64
+        };
+        row("", &[sul, priv_at(1), priv_at(2)]);
+    }
+
+    println!("-- (b) prediction utility loss vs privacy (2 vs 4 links removed) --");
+    cols(&["PUL", "priv@2links", "priv@4links"]);
+    for k in 0..=PUBLIC_COLS.len() {
+        let pul = ctxs
+            .iter()
+            .map(|c| {
+                let colsv: Vec<usize> = (0..k).collect();
+                let s = AttributeStrategy::removal(c.profile.variants().to_vec(), &colsv);
+                prediction_utility_loss(&c.profile, &s, hamming_disparity)
+            })
+            .sum::<f64>()
+            / ctxs.len() as f64;
+        let priv_at = |links: usize| -> f64 {
+            ctxs.iter()
+                .map(|c| composite(attr_privacy(c, "removal", k), link_privacy(c, links)))
+                .sum::<f64>()
+                / ctxs.len() as f64
+        };
+        row("", &[pul, priv_at(2), priv_at(4)]);
+    }
+}
+
+/// Figure 4.3: privacy-utility tradeoff with different adversary prior
+/// knowledge: strategies *designed* under each knowledge case, evaluated
+/// against the powerful adversary.
+pub fn fig4_3() {
+    header("Fig 4.3", "latent privacy under four adversary-knowledge cases");
+    let d = caltech_like(SEED);
+    let ctxs = build_contexts(&d);
+
+    let designed_privacy = |k: Knowledge, delta: f64| -> f64 {
+        ctxs.iter()
+            .map(|c| {
+                let initial = AttributeStrategy::removal(c.profile.variants().to_vec(), &[0]);
+                let pul0 = prediction_utility_loss(&c.profile, &initial, hamming_disparity);
+                let cfg = OptimizeConfig { grid: 3, sweeps: 1, delta: delta.max(pul0) };
+                let (s, _) = optimize_attribute_strategy_under(
+                    &c.profile,
+                    &initial,
+                    &c.predictions,
+                    hamming_disparity,
+                    cfg,
+                    k,
+                );
+                composite(
+                    latent_privacy_vs_powerful(&c.profile, &s, &c.predictions),
+                    link_privacy(c, 2),
+                )
+            })
+            .sum::<f64>()
+            / ctxs.len() as f64
+    };
+
+    println!("-- (c) privacy vs prediction-utility threshold delta --");
+    cols(&["delta", "Collective", "Profile", "Strategy", "Unknown"]);
+    for delta in [0.8, 1.2, 1.6, 2.0] {
+        let vals: Vec<f64> =
+            ALL_KNOWLEDGE.iter().map(|&k| designed_privacy(k, delta)).collect();
+        row("", &[&[delta], vals.as_slice()].concat());
+    }
+}
+
+/// Figure 4.4: latent-data privacy surface over (ε, δ).
+pub fn fig4_4() {
+    header("Fig 4.4", "latent privacy over the (eps, delta) grid");
+    let d = caltech_like(SEED);
+    let ctxs = build_contexts(&d);
+    cols(&["eps\\delta", "0.5", "1.0", "1.5", "2.0"]);
+    for eps in [0.0, 2.0, 4.0, 8.0] {
+        let vals: Vec<f64> = [0.5, 1.0, 1.5, 2.0]
+            .iter()
+            .map(|&delta| {
+                ctxs.iter()
+                    .map(|c| {
+                        // ε buys link removals greedily until the structure
+                        // budget is exhausted.
+                        let mut removed = 0;
+                        while link_cost(c, removed + 1) <= eps
+                            && removed < c.link_costs.len()
+                        {
+                            removed += 1;
+                        }
+                        let initial =
+                            AttributeStrategy::identity(c.profile.variants().to_vec());
+                        let (_, attr) = optimize_attribute_strategy_under(
+                            &c.profile,
+                            &initial,
+                            &c.predictions,
+                            hamming_disparity,
+                            OptimizeConfig { grid: 2, sweeps: 1, delta },
+                            Knowledge::Full,
+                        );
+                        composite(attr, link_privacy(c, removed))
+                    })
+                    .sum::<f64>()
+                    / ctxs.len() as f64
+            })
+            .collect();
+        row(&format!("{eps}"), &vals);
+    }
+}

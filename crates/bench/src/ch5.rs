@@ -1,0 +1,109 @@
+//! Chapter 5 experiment regenerators: Tables 5.1-5.3, Figure 5.1 (the
+//! example factor graph) and Figure 5.2 (privacy level vs sanitized SNPs).
+
+use crate::util::{cols, header, row, SEED};
+use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::genomic::catalog::TABLE_5_3;
+use ppdp::genomic::factor_graph::figure_5_1_catalog;
+use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
+use ppdp::genomic::tables::{allele_given_trait, genotype_given_trait};
+use ppdp::genomic::{Association, BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
+
+/// Table 5.1: conditional probability of the risk / non-risk allele given
+/// trait status, for a representative association.
+pub fn table5_1() {
+    header("Table 5.1", "P(allele | trait) for OR=1.8, f^o=0.25");
+    let a = Association {
+        snp: SnpId(0),
+        trait_id: TraitId(0),
+        odds_ratio: 1.8,
+        raf_control: 0.25,
+    };
+    cols(&["t_j", "not t_j"]);
+    row(
+        "risk allele r",
+        &[allele_given_trait(&a, true, true), allele_given_trait(&a, true, false)],
+    );
+    row(
+        "non-risk allele p",
+        &[allele_given_trait(&a, false, true), allele_given_trait(&a, false, false)],
+    );
+    println!("(f^a derived from f^o and OR: {:.4})", a.raf_case());
+}
+
+/// Table 5.2: genotype probabilities given trait status (Hardy-Weinberg
+/// form; see the substitution note in `ppdp-genomic::tables`).
+pub fn table5_2() {
+    header("Table 5.2", "P(genotype | trait) for OR=1.8, f^o=0.25 (HWE)");
+    let a = Association {
+        snp: SnpId(0),
+        trait_id: TraitId(0),
+        odds_ratio: 1.8,
+        raf_control: 0.25,
+    };
+    cols(&["t_j", "not t_j"]);
+    for g in Genotype::ALL {
+        row(
+            &format!("genotype {g}"),
+            &[genotype_given_trait(&a, g, true), genotype_given_trait(&a, g, false)],
+        );
+    }
+}
+
+/// Table 5.3: the seven diseases and their prevalence rates.
+pub fn table5_3() {
+    header("Table 5.3", "seven popular diseases and prevalence rates");
+    for (name, p) in TABLE_5_3 {
+        println!("{name:<24} {p}");
+    }
+}
+
+/// Figure 5.1: the 3-trait / 5-SNP example factor graph, rendered as an
+/// adjacency listing.
+pub fn fig5_1() {
+    header("Fig 5.1", "example factor graph (3 traits, 5 SNPs)");
+    let cat = figure_5_1_catalog();
+    let g = FactorGraph::build(&cat, &Evidence::none());
+    println!(
+        "{} SNP variables, {} trait variables, {} factors; forest = {}",
+        g.n_snps(),
+        g.n_traits(),
+        g.factors.len(),
+        g.is_forest()
+    );
+    for (t, _) in cat.traits() {
+        let snps: Vec<String> =
+            cat.associations_of_trait(t).map(|a| a.snp.to_string()).collect();
+        println!("  {t} <- {{{}}}", snps.join(", "));
+    }
+}
+
+/// Figure 5.2: privacy level (and attacker estimation error) with an
+/// increasing number of sanitized SNPs, under (a) belief propagation and
+/// (b) Naive Bayes as the prediction method.
+pub fn fig5_2() {
+    header("Fig 5.2", "privacy level vs number of sanitized SNPs");
+    let catalog = synthetic_catalog(120, 6, 2, SEED);
+    let panel = amd_like(&catalog, TraitId(0), 96, 50, SEED);
+    // Victim: the first case individual; protect every disease status.
+    let evidence = panel.full_evidence(0);
+    let targets: Vec<Target> =
+        (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
+
+    for (label, predictor, budget) in [
+        ("(a) belief propagation", Predictor::BeliefPropagation(BpConfig::default()), 8usize),
+        ("(b) Naive Bayes", Predictor::NaiveBayes, 5usize),
+    ] {
+        println!("-- {label} --");
+        cols(&["#removed", "privacy", "inf.error"]);
+        let out = greedy_sanitize(&catalog, &evidence, &targets, 1.1, budget, predictor);
+        for (k, (p, e)) in out.history.iter().zip(&out.error_history).enumerate() {
+            row("", &[k as f64, *p, *e]);
+        }
+        println!(
+            "removed: {:?}",
+            out.removed.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Extension experiments — systems beyond the dissertation's evaluation
+//! chapters that its text motivates: kin genomic inference, linkage-
+//! disequilibrium reconstruction (the Watson ApoE scenario), structural
+//! de-anonymization, and differentially-private synthetic genomes.
+
+use crate::util::{cols, header, row, SEED};
+use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::datagen::social::caltech_like;
+use ppdp::dp::mondrian_anonymize;
+use ppdp::genomic::kinship::{kin_attack, Family};
+use ppdp::genomic::ld::{add_ld_factors, LdPair};
+use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, GwasCatalog, SnpId, TraitId};
+use ppdp::publish::DpPublisher;
+use ppdp::sanitize::deanon::demo_attack;
+
+/// Kin inference: how much of a silent child's genome/phenome leaks per
+/// relative released.
+pub fn ext_kin() {
+    header("Ext: kin", "information leaked about a silent child per released relative");
+    let catalog = synthetic_catalog(80, 6, 2, SEED);
+    let panel = amd_like(&catalog, TraitId(0), 20, 20, SEED);
+    cols(&["relatives", "mean dP(trait)", "max dP(geno)"]);
+    for relatives in 0..=3usize {
+        let mut family = Family::new();
+        let child = family.member(Evidence::none());
+        for r in 0..relatives {
+            let m = family.member(panel.full_evidence(r));
+            family.relate(m, child);
+        }
+        let (res, idx) = kin_attack(&catalog, &family, BpConfig::default());
+        // Baseline: the same child alone.
+        let mut lone = Family::new();
+        let solo = lone.member(Evidence::none());
+        let (base, idx0) = kin_attack(&catalog, &lone, BpConfig::default());
+        let mut trait_shift = 0.0;
+        let mut n_traits = 0usize;
+        for t in 0..catalog.n_traits() {
+            if let (Some(i), Some(j)) =
+                (idx.trait_(child, TraitId(t)), idx0.trait_(solo, TraitId(t)))
+            {
+                trait_shift += (res.trait_marginals[i][1] - base.trait_marginals[j][1]).abs();
+                n_traits += 1;
+            }
+        }
+        let mut geno_shift = 0.0f64;
+        for s in 0..catalog.n_snps() {
+            if let (Some(i), Some(j)) = (idx.snp(child, SnpId(s)), idx0.snp(solo, SnpId(s))) {
+                for k in 0..3 {
+                    geno_shift =
+                        geno_shift.max((res.snp_marginals[i][k] - base.snp_marginals[j][k]).abs());
+                }
+            }
+        }
+        row(
+            &format!("{relatives}"),
+            &[relatives as f64, trait_shift / n_traits.max(1) as f64, geno_shift],
+        );
+    }
+}
+
+/// The Watson scenario: reconstruct a withheld sensitive locus through LD
+/// of increasing strength.
+pub fn ext_ld() {
+    header("Ext: LD", "withheld-locus reconstruction vs LD strength (Watson/ApoE)");
+    let mut cat = GwasCatalog::new(2);
+    let t0 = cat.add_trait("alzheimers-like", 0.02);
+    cat.associate(SnpId(0), t0, 1.2, 0.3);
+    cat.associate(SnpId(1), t0, 2.5, 0.3);
+    let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+    cols(&["r", "P(rr at hidden locus)"]);
+    for &r in &[0.0, 0.3, 0.6, 0.9, 0.99] {
+        let mut g = FactorGraph::build(&cat, &ev);
+        add_ld_factors(
+            &mut g,
+            &[LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r }],
+        );
+        let res = BpConfig::default().run(&g);
+        let s1 = g.snp_local(SnpId(1)).expect("materialized");
+        row("", &[r, res.snp_marginals[s1][0]]);
+    }
+}
+
+/// Structural de-anonymization of a pseudonymized Caltech-like graph.
+pub fn ext_deanon() {
+    header("Ext: deanon", "seed-and-propagate re-identification of pseudonymized Caltech");
+    let d = caltech_like(SEED);
+    cols(&["edge noise", "seeds", "precision", "recall"]);
+    for &(noise, seeds) in &[(0.0, 16usize), (0.05, 16), (0.15, 16), (0.0, 4)] {
+        let r = demo_attack(&d.graph, noise, seeds, SEED + 9);
+        row("", &[noise, seeds as f64, r.precision, r.recall]);
+    }
+}
+
+/// DP synthetic genomes vs Mondrian k-anonymity: utility at matched
+/// protection effort.
+pub fn ext_dp_genomes() {
+    header("Ext: dp-genomes", "DP synthesis vs k-anonymity on a genotype panel");
+    let catalog = synthetic_catalog(28, 4, 1, SEED);
+    let panel = amd_like(&catalog, TraitId(0), 300, 300, SEED);
+    let table = panel.to_table();
+
+    println!("-- DP synthesis (degree-1 network) --");
+    cols(&["epsilon", "worst locus tvd"]);
+    for &eps in &[0.1, 1.0, 10.0, 100.0] {
+        let synth = DpPublisher::new(eps, 1).publish(&table, table.n_rows(), SEED + 3);
+        let worst = (0..table.n_cols())
+            .map(|s| table.marginal_tvd(&synth, &[s]))
+            .fold(0.0f64, f64::max);
+        row("", &[eps, worst]);
+    }
+
+    println!("-- Mondrian k-anonymity on the first four loci --");
+    cols(&["k", "generalization cost", "worst locus tvd"]);
+    for &k in &[2usize, 10, 50] {
+        let anon = mondrian_anonymize(&table, &[0, 1, 2, 3], k);
+        let worst = (0..4)
+            .map(|s| table.marginal_tvd(&anon.table, &[s]))
+            .fold(0.0f64, f64::max);
+        row("", &[k as f64, anon.generalization_cost, worst]);
+    }
+}

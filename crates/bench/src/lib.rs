@@ -1,0 +1,13 @@
+//! Experiment regenerators and benchmark helpers for the `ppdp` workspace.
+//!
+//! The `experiments` binary (`cargo run -p ppdp-bench --release --bin
+//! experiments -- <id>|all`) regenerates every table and figure of the
+//! dissertation's evaluation sections; the Criterion benches under
+//! `benches/` measure the performance claims (most importantly the
+//! linear-vs-exponential inference-cost headline of Chapter 5).
+
+pub mod ch3;
+pub mod ch4;
+pub mod ch5;
+pub mod ext;
+pub mod util;

@@ -1,0 +1,54 @@
+//! Shared helpers for the experiment regenerators: row printing and the
+//! standard dataset/split setup.
+
+use ppdp::datagen::social::{caltech_like, mit_like, snap_like, SocialDataset};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The workspace-wide experiment seed (all regenerated numbers are
+/// deterministic functions of this).
+pub const SEED: u64 = 42;
+
+/// Fraction of users whose sensitive label the attacker already knows.
+pub const KNOWN_FRAC: f64 = 0.7;
+
+/// The three Chapter 3 datasets in the paper's order.
+pub fn datasets() -> Vec<SocialDataset> {
+    vec![snap_like(SEED), caltech_like(SEED), mit_like(SEED)]
+}
+
+/// The two small Chapter 3 datasets (for sweeps where the MIT-scale runs
+/// are split into their own experiment ids).
+pub fn small_datasets() -> Vec<SocialDataset> {
+    vec![snap_like(SEED), caltech_like(SEED)]
+}
+
+/// Deterministic known-label mask for a dataset.
+pub fn known_mask(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_bool(KNOWN_FRAC)).collect()
+}
+
+/// Prints a header line for an experiment block.
+pub fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Prints one row of named f64 cells with 4-decimal formatting.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<28}");
+    for v in values {
+        print!(" {v:>9.4}");
+    }
+    println!();
+}
+
+/// Prints a column-header row aligned with [`row`].
+pub fn cols(labels: &[&str]) {
+    print!("{:<28}", "");
+    for l in labels {
+        print!(" {l:>9}");
+    }
+    println!();
+}

@@ -1,0 +1,163 @@
+//! Labelled-graph views: a [`ppdp_graph::SocialGraph`] plus a designated
+//! sensitive (label) category and a known/unknown split `V = V^K ∪ V^U`
+//! (Problem statement §3.2.3).
+
+use ppdp_graph::{CategoryId, SocialGraph, UserId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A training set for attribute-based classifiers: per-object attribute rows
+/// (the label column is blanked) with labels drawn from `0..n_classes`.
+#[derive(Debug, Clone)]
+pub struct TrainSet {
+    /// Attribute rows; the label column is always `None` so classifiers
+    /// cannot peek at the decision attribute.
+    pub rows: Vec<Vec<Option<u16>>>,
+    /// Ground-truth labels, aligned with `rows`.
+    pub labels: Vec<u16>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+/// A social graph with a designated sensitive category acting as the class
+/// label and a known/unknown label split.
+#[derive(Debug, Clone)]
+pub struct LabeledGraph<'g> {
+    /// The underlying social graph (attacker's view; the label column holds
+    /// ground truth and is masked by the accessors below).
+    pub graph: &'g SocialGraph,
+    /// Sensitive category `h_r ∈ H_s` whose values are the class labels.
+    pub label_cat: CategoryId,
+    /// `known[u]` ⇔ `u ∈ V^K` (label visible to the attacker).
+    pub known: Vec<bool>,
+}
+
+impl<'g> LabeledGraph<'g> {
+    /// Builds a labelled view.
+    ///
+    /// # Panics
+    /// Panics if `known` does not match the user count.
+    pub fn new(graph: &'g SocialGraph, label_cat: CategoryId, known: Vec<bool>) -> Self {
+        assert_eq!(known.len(), graph.user_count(), "known mask size mismatch");
+        Self { graph, label_cat, known }
+    }
+
+    /// Builds a view where a random fraction `frac_known` of *labelled*
+    /// users form `V^K` (deterministic for a given `seed`).
+    pub fn with_random_split(
+        graph: &'g SocialGraph,
+        label_cat: CategoryId,
+        frac_known: f64,
+        seed: u64,
+    ) -> Self {
+        let labelled: Vec<UserId> = graph
+            .users()
+            .filter(|&u| graph.value(u, label_cat).is_some())
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut shuffled = labelled;
+        shuffled.shuffle(&mut rng);
+        let take = ((shuffled.len() as f64) * frac_known).round() as usize;
+        let mut known = vec![false; graph.user_count()];
+        for &u in &shuffled[..take.min(shuffled.len())] {
+            known[u.0] = true;
+        }
+        Self::new(graph, label_cat, known)
+    }
+
+    /// Number of classes = arity of the label category.
+    pub fn n_classes(&self) -> usize {
+        self.graph.schema().arity(self.label_cat) as usize
+    }
+
+    /// Ground-truth label of `u`, if published.
+    pub fn true_label(&self, u: UserId) -> Option<u16> {
+        self.graph.value(u, self.label_cat)
+    }
+
+    /// The attribute row of `u` with the label column masked out — what an
+    /// attribute-based classifier is allowed to see.
+    pub fn masked_row(&self, u: UserId) -> Vec<Option<u16>> {
+        let mut row = self.graph.attr_row(u).to_vec();
+        row[self.label_cat.0] = None;
+        row
+    }
+
+    /// Users in `V^K` (labels known to the attacker).
+    pub fn known_users(&self) -> Vec<UserId> {
+        self.graph.users().filter(|u| self.known[u.0]).collect()
+    }
+
+    /// Users in `V^U` that do have ground truth (evaluation targets).
+    pub fn unknown_users(&self) -> Vec<UserId> {
+        self.graph
+            .users()
+            .filter(|&u| !self.known[u.0] && self.true_label(u).is_some())
+            .collect()
+    }
+
+    /// Builds the training set from `V^K`.
+    pub fn train_set(&self) -> TrainSet {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for u in self.known_users() {
+            if let Some(y) = self.true_label(u) {
+                rows.push(self.masked_row(u));
+                labels.push(y);
+            }
+        }
+        TrainSet { rows, labels, n_classes: self.n_classes() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema};
+
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(3, 2));
+        for i in 0..6u16 {
+            b.user_with(&[i % 2, (i / 2) % 2, i % 2]); // col 2 = label, corr. with col 0
+        }
+        b.build()
+    }
+
+    #[test]
+    fn masked_row_hides_label() {
+        let g = graph();
+        let lg = LabeledGraph::new(&g, CategoryId(2), vec![true; 6]);
+        let row = lg.masked_row(UserId(1));
+        assert_eq!(row[2], None);
+        assert_eq!(row[0], Some(1));
+    }
+
+    #[test]
+    fn random_split_is_deterministic_and_sized() {
+        let g = graph();
+        let a = LabeledGraph::with_random_split(&g, CategoryId(2), 0.5, 7);
+        let b = LabeledGraph::with_random_split(&g, CategoryId(2), 0.5, 7);
+        assert_eq!(a.known, b.known);
+        assert_eq!(a.known_users().len(), 3);
+        assert_eq!(a.unknown_users().len(), 3);
+    }
+
+    #[test]
+    fn train_set_matches_known_users() {
+        let g = graph();
+        let lg = LabeledGraph::with_random_split(&g, CategoryId(2), 0.5, 7);
+        let ts = lg.train_set();
+        assert_eq!(ts.rows.len(), 3);
+        assert_eq!(ts.n_classes, 2);
+        assert!(ts.rows.iter().all(|r| r[2].is_none()));
+    }
+
+    #[test]
+    fn unlabeled_users_excluded_from_eval() {
+        let mut g = graph();
+        g.clear_value(UserId(5), CategoryId(2));
+        let lg = LabeledGraph::new(&g, CategoryId(2), vec![false; 6]);
+        assert_eq!(lg.unknown_users().len(), 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Gibbs-sampling collective classification — the second collective
+//! algorithm §3.4 names alongside ICA ("such as the Iterative
+//! Classification Algorithm (ICA) [73] and Gibbs sampling (Gibbs) [74]").
+//!
+//! Each unknown user's label is resampled from the combined
+//! attribute+relational conditional `α·P_A + β·P_L` given the current hard
+//! labels of everyone else; after a burn-in period, per-user label
+//! frequencies across the retained samples estimate the marginal
+//! distributions. Seeded and fully deterministic.
+
+use crate::dataset::LabeledGraph;
+use crate::relational::{masked_weight, one_hot};
+use crate::LocalClassifier;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Gibbs-sampler parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GibbsConfig {
+    /// Weight of the attribute-based conditional.
+    pub alpha: f64,
+    /// Weight of the link-based conditional.
+    pub beta: f64,
+    /// Samples discarded before counting.
+    pub burn_in: usize,
+    /// Samples retained for the frequency estimate.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.5, burn_in: 50, samples: 200, seed: 7 }
+    }
+}
+
+/// Runs Gibbs-sampling collective classification and returns per-user
+/// label distributions (known users stay pinned one-hot).
+pub fn gibbs_predict(
+    lg: &LabeledGraph<'_>,
+    local: &dyn LocalClassifier,
+    cfg: GibbsConfig,
+) -> Vec<Vec<f64>> {
+    assert!(cfg.samples > 0, "need at least one retained sample");
+    let n_classes = lg.n_classes();
+    let unknown = lg.unknown_users();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Cache the attribute conditionals (they never change).
+    let pa: Vec<Vec<f64>> =
+        unknown.iter().map(|&u| local.predict_dist(&lg.masked_row(u))).collect();
+
+    // Hard label state: known users fixed, unknowns bootstrapped from P_A.
+    let mut label: Vec<u16> = lg
+        .graph
+        .users()
+        .map(|u| lg.true_label(u).filter(|_| lg.known[u.0]).unwrap_or(0))
+        .collect();
+    for (&u, d) in unknown.iter().zip(&pa) {
+        label[u.0] = sample_from(&mut rng, d);
+    }
+
+    let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
+    for round in 0..(cfg.burn_in + cfg.samples) {
+        for (&u, a_dist) in unknown.iter().zip(&pa) {
+            // Relational conditional from the *current hard labels* of the
+            // neighbours (the Gibbs flavour of Eq. 4.3).
+            let ns = lg.graph.neighbors(u);
+            let mut cond = vec![0.0f64; n_classes];
+            if ns.is_empty() {
+                cond.clone_from(a_dist);
+            } else {
+                let mut total_w = 0.0;
+                for &j in ns {
+                    let w = masked_weight(lg, u, j);
+                    cond[label[j.0] as usize] += w;
+                    total_w += w;
+                }
+                if total_w <= 0.0 {
+                    cond = vec![0.0; n_classes];
+                    for &j in ns {
+                        cond[label[j.0] as usize] += 1.0;
+                    }
+                    total_w = ns.len() as f64;
+                }
+                for (c, a) in cond.iter_mut().zip(a_dist) {
+                    *c = cfg.alpha * a + cfg.beta * (*c / total_w);
+                }
+            }
+            let z: f64 = cond.iter().sum();
+            if z > 0.0 {
+                for c in &mut cond {
+                    *c /= z;
+                }
+            } else {
+                cond = vec![1.0 / n_classes as f64; n_classes];
+            }
+            label[u.0] = sample_from(&mut rng, &cond);
+        }
+        if round >= cfg.burn_in {
+            for &u in &unknown {
+                counts[u.0][label[u.0] as usize] += 1;
+            }
+        }
+    }
+
+    lg.graph
+        .users()
+        .map(|u| {
+            if lg.known[u.0] {
+                if let Some(y) = lg.true_label(u) {
+                    return one_hot(y, n_classes);
+                }
+            }
+            let total: usize = counts[u.0].iter().sum();
+            if total == 0 {
+                vec![1.0 / n_classes as f64; n_classes]
+            } else {
+                counts[u.0].iter().map(|&c| c as f64 / total as f64).collect()
+            }
+        })
+        .collect()
+}
+
+fn sample_from<R: Rng>(rng: &mut R, dist: &[f64]) -> u16 {
+    let mut pick = rng.gen::<f64>() * dist.iter().sum::<f64>();
+    for (i, &p) in dist.iter().enumerate() {
+        pick -= p;
+        if pick <= 0.0 {
+            return i as u16;
+        }
+    }
+    (dist.len() - 1) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_bayes::NaiveBayes;
+    use ppdp_graph::{CategoryId, GraphBuilder, Schema, SocialGraph};
+
+    fn two_cliques() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(3, 2));
+        let a: Vec<_> = (0..4).map(|i| b.user_with(&[0, i % 2, 0])).collect();
+        let c: Vec<_> = (0..4).map(|i| b.user_with(&[1, i % 2, 1])).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.edge(a[i], a[j]);
+                b.edge(c[i], c[j]);
+            }
+        }
+        b.edge(a[0], c[0]);
+        b.build()
+    }
+
+    #[test]
+    fn gibbs_recovers_clique_labels() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        assert!(dists[3][0] > 0.8, "{:?}", dists[3]);
+        assert!(dists[7][1] > 0.8, "{:?}", dists[7]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let a = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        let b = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        assert_eq!(a, b);
+        let c = gibbs_predict(&lg, &nb, GibbsConfig { seed: 8, ..Default::default() });
+        assert_ne!(a, c, "different chains differ in finite samples");
+    }
+
+    #[test]
+    fn known_users_pinned_and_distributions_normalized() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        assert_eq!(dists[0], vec![1.0, 0.0]);
+        for d in &dists {
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gibbs_close_to_ica_on_easy_graph() {
+        use crate::ica::{ica_predict, IcaConfig};
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let gibbs = gibbs_predict(
+            &lg,
+            &nb,
+            GibbsConfig { burn_in: 100, samples: 1_000, ..Default::default() },
+        );
+        let ica = ica_predict(&lg, &nb, IcaConfig::default());
+        for u in [3usize, 7] {
+            for k in 0..2 {
+                assert!(
+                    (gibbs[u][k] - ica[u][k]).abs() < 0.2,
+                    "u{u}: gibbs {:?} vs ica {:?}",
+                    gibbs[u],
+                    ica[u]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_unknown_user_uses_attributes() {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        let _known = b.user_with(&[0, 0]);
+        let known2 = b.user_with(&[1, 1]);
+        let lone = b.user_with(&[1, 0]); // isolated, attr says class 1
+        let _ = (known2, lone);
+        let g = b.build();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![true, true, false]);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        assert!(dists[2][1] > 0.5, "{:?}", dists[2]);
+    }
+}

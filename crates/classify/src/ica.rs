@@ -1,0 +1,174 @@
+//! The Iterative Classification Algorithm (ICA, Algorithm 1): bootstrap
+//! unknown labels with an attribute-based classifier `M_A`, then repeatedly
+//! re-classify with the combined attribute+link model `M_AR` of Eq. (3.5),
+//! `α·P_A{y} + β·P_L{y}`, until the label distributions converge.
+
+use crate::dataset::LabeledGraph;
+use crate::relational::{relational_dist, RelationalState};
+use crate::LocalClassifier;
+
+/// ICA parameters: the α/β evidence mix of Eq. (3.5) plus iteration control.
+#[derive(Debug, Clone, Copy)]
+pub struct IcaConfig {
+    /// Weight of the attribute-based distribution `P_A`.
+    pub alpha: f64,
+    /// Weight of the link-based distribution `P_L`.
+    pub beta: f64,
+    /// Maximum refinement iterations (step 4 of Algorithm 1).
+    pub max_iters: usize,
+    /// Convergence tolerance on the max per-class probability change.
+    pub tol: f64,
+}
+
+impl Default for IcaConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.5, max_iters: 10, tol: 1e-6 }
+    }
+}
+
+impl IcaConfig {
+    /// Config with a given α/β mix and default iteration control.
+    ///
+    /// # Panics
+    /// Panics unless `alpha, beta ≥ 0` and `alpha + beta > 0`.
+    pub fn with_mix(alpha: f64, beta: f64) -> Self {
+        assert!(alpha >= 0.0 && beta >= 0.0 && alpha + beta > 0.0, "bad α/β mix");
+        Self { alpha, beta, ..Self::default() }
+    }
+}
+
+/// Runs ICA and returns the final class distribution of every user (known
+/// users stay pinned one-hot). Updates are synchronous per iteration so the
+/// result is deterministic.
+pub fn ica_predict(
+    lg: &LabeledGraph<'_>,
+    local: &dyn LocalClassifier,
+    cfg: IcaConfig,
+) -> Vec<Vec<f64>> {
+    let unknown = lg.unknown_users();
+    let mut state = RelationalState::new(lg);
+
+    // Bootstrap (steps 1-3): attribute-only distributions for V^U.
+    let pa: Vec<Vec<f64>> = unknown.iter().map(|&u| local.predict_dist(&lg.masked_row(u))).collect();
+    for (&u, d) in unknown.iter().zip(&pa) {
+        state.set(u, d.clone());
+    }
+
+    // Refinement (steps 4-10): combine P_A with the relational P_L.
+    for _ in 0..cfg.max_iters {
+        let mut next = Vec::with_capacity(unknown.len());
+        for (&u, a_dist) in unknown.iter().zip(&pa) {
+            let combined = match relational_dist(lg, &state, u) {
+                Some(l_dist) => mix(a_dist, &l_dist, cfg.alpha, cfg.beta),
+                None => a_dist.clone(),
+            };
+            next.push(combined);
+        }
+        let mut delta = 0.0f64;
+        for (&u, d) in unknown.iter().zip(next) {
+            for (old, new) in state.dist[u.0].iter().zip(&d) {
+                delta = delta.max((old - new).abs());
+            }
+            state.set(u, d);
+        }
+        if delta < cfg.tol {
+            break;
+        }
+    }
+    state.dist
+}
+
+fn mix(a: &[f64], l: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
+    let raw: Vec<f64> = a.iter().zip(l).map(|(x, y)| alpha * x + beta * y).collect();
+    let z: f64 = raw.iter().sum();
+    if z > 0.0 {
+        raw.iter().map(|&r| r / z).collect()
+    } else {
+        vec![1.0 / a.len() as f64; a.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_bayes::NaiveBayes;
+    use ppdp_graph::{CategoryId, GraphBuilder, Schema, SocialGraph, UserId};
+
+    /// Two homophilous cliques with an informative attribute; one unknown
+    /// user per clique.
+    fn two_cliques() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(3, 2));
+        // clique A: label 0, attr0 = 0
+        let a: Vec<_> = (0..4).map(|i| b.user_with(&[0, i % 2, 0])).collect();
+        // clique B: label 1, attr0 = 1
+        let c: Vec<_> = (0..4).map(|i| b.user_with(&[1, i % 2, 1])).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.edge(a[i], a[j]);
+                b.edge(c[i], c[j]);
+            }
+        }
+        b.edge(a[0], c[0]); // one bridge
+        b.build()
+    }
+
+    #[test]
+    fn ica_recovers_clique_labels() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false; // one unknown in clique A
+        known[7] = false; // one unknown in clique B
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = ica_predict(&lg, &nb, IcaConfig::default());
+        assert!(dists[3][0] > 0.85, "clique-A member: {:?}", dists[3]);
+        assert!(dists[7][1] > 0.85, "clique-B member: {:?}", dists[7]);
+    }
+
+    #[test]
+    fn known_users_stay_pinned() {
+        let g = two_cliques();
+        let lg = LabeledGraph::new(&g, CategoryId(2), vec![true; 8]);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = ica_predict(&lg, &nb, IcaConfig::default());
+        assert_eq!(dists[0], vec![1.0, 0.0]);
+        assert_eq!(dists[4], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn pure_attribute_mix_matches_bootstrap() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let ica = ica_predict(&lg, &nb, IcaConfig::with_mix(1.0, 0.0));
+        let direct = nb.predict_dist(&lg.masked_row(UserId(3)));
+        for (a, b) in ica[3].iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_within_iteration_cap() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let short = ica_predict(&lg, &nb, IcaConfig { max_iters: 50, ..Default::default() });
+        let long = ica_predict(&lg, &nb, IcaConfig { max_iters: 500, ..Default::default() });
+        for (a, b) in short.iter().zip(&long) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-4, "fixed point reached early");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad α/β mix")]
+    fn degenerate_mix_rejected() {
+        IcaConfig::with_mix(0.0, 0.0);
+    }
+}

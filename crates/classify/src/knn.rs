@@ -1,0 +1,136 @@
+//! K-nearest-neighbour classifier with overlap (matching-categories)
+//! distance — the third attribute-based classifier of §3.7.2.
+
+use crate::dataset::TrainSet;
+use crate::LocalClassifier;
+
+/// Trained KNN model over categorical rows. Distance between two rows is
+/// the number of columns that do **not** match, where a match requires both
+/// values published and equal — so hiding attributes genuinely increases
+/// distance, which is what the sanitization experiments rely on.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    rows: Vec<Vec<Option<u16>>>,
+    labels: Vec<u16>,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// Stores the training set for lazy classification.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn train(ts: &TrainSet, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            rows: ts.rows.clone(),
+            labels: ts.labels.clone(),
+            n_classes: ts.n_classes,
+        }
+    }
+
+    /// Overlap distance: columns where the two rows fail to match.
+    pub fn distance(a: &[Option<u16>], b: &[Option<u16>]) -> usize {
+        a.iter()
+            .zip(b)
+            .filter(|(x, y)| !(x.is_some() && x == y))
+            .count()
+    }
+}
+
+impl LocalClassifier for Knn {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_dist(&self, row: &[Option<u16>]) -> Vec<f64> {
+        if self.rows.is_empty() {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        // Select the k smallest distances without a full sort: selection via
+        // partial sort of (distance, index) pairs keeps ties deterministic.
+        let mut scored: Vec<(usize, usize)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Self::distance(row, r), i))
+            .collect();
+        let k = self.k.min(scored.len());
+        scored.select_nth_unstable(k - 1);
+        scored.truncate(k);
+        scored.sort_unstable();
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, i) in &scored {
+            votes[self.labels[i] as usize] += 1;
+        }
+        let total: usize = votes.iter().sum();
+        votes.iter().map(|&v| v as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TrainSet {
+        TrainSet {
+            rows: vec![
+                vec![Some(0), Some(0)],
+                vec![Some(0), Some(1)],
+                vec![Some(1), Some(1)],
+                vec![Some(1), Some(0)],
+            ],
+            labels: vec![0, 0, 1, 1],
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn distance_counts_mismatches_and_missing() {
+        assert_eq!(Knn::distance(&[Some(1), Some(2)], &[Some(1), Some(2)]), 0);
+        assert_eq!(Knn::distance(&[Some(1), Some(2)], &[Some(1), Some(3)]), 1);
+        // Missing never matches, even against missing.
+        assert_eq!(Knn::distance(&[None, Some(2)], &[None, Some(2)]), 1);
+        assert_eq!(Knn::distance(&[None, None], &[Some(0), None]), 2);
+    }
+
+    #[test]
+    fn nearest_neighbour_wins() {
+        let knn = Knn::train(&ts(), 1);
+        assert_eq!(knn.predict(&[Some(0), Some(0)]), 0);
+        assert_eq!(knn.predict(&[Some(1), Some(1)]), 1);
+    }
+
+    #[test]
+    fn k3_majority_vote() {
+        let knn = Knn::train(&ts(), 3);
+        let d = knn.predict_dist(&[Some(0), Some(0)]);
+        // Neighbours at distance 0,1,1: rows 0 (y=0), 1 (y=0), 3 (y=1).
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_uses_all() {
+        let knn = Knn::train(&ts(), 99);
+        let d = knn.predict_dist(&[Some(0), Some(0)]);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_train_set_is_uniform() {
+        let knn = Knn::train(
+            &TrainSet { rows: vec![], labels: vec![], n_classes: 4 },
+            3,
+        );
+        let d = knn.predict_dist(&[Some(0)]);
+        assert!(d.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        Knn::train(&ts(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Extended evaluation metrics: confusion matrices, per-class accuracy,
+//! macro-F1 and k-fold cross-validation for the local classifiers. §3.7
+//! reports plain accuracy; these finer metrics explain the volatility the
+//! chapter observes on skewed datasets (a majority-collapsed classifier
+//! has high accuracy but zero minority recall).
+
+use crate::dataset::{LabeledGraph, TrainSet};
+use crate::{argmax, LocalClassifier, LocalKind};
+
+/// A confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned truth/prediction label slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a label exceeds `n_classes`.
+    pub fn from_labels(truth: &[u16], predicted: &[u16], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            assert!((t as usize) < n_classes && (p as usize) < n_classes, "label range");
+            counts[t as usize][p as usize] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Builds the matrix from an attack's per-user distributions, scored on
+    /// the unknown users of `lg`.
+    pub fn from_attack(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Self {
+        let (mut truth, mut predicted) = (Vec::new(), Vec::new());
+        for u in lg.unknown_users() {
+            if let Some(y) = lg.true_label(u) {
+                truth.push(y);
+                predicted.push(argmax(&dists[u.0]));
+            }
+        }
+        Self::from_labels(&truth, &predicted, lg.n_classes())
+    }
+
+    /// `counts[truth][predicted]`.
+    pub fn count(&self, truth: u16, predicted: u16) -> usize {
+        self.counts[truth as usize][predicted as usize]
+    }
+
+    /// Total evaluated objects.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (1.0 on an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let diag: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of class `y` (`None` when the class never occurs).
+    pub fn recall(&self, y: u16) -> Option<f64> {
+        let row: usize = self.counts[y as usize].iter().sum();
+        (row > 0).then(|| self.counts[y as usize][y as usize] as f64 / row as f64)
+    }
+
+    /// Precision of class `y` (`None` when it is never predicted).
+    pub fn precision(&self, y: u16) -> Option<f64> {
+        let col: usize = self.counts.iter().map(|r| r[y as usize]).sum();
+        (col > 0).then(|| self.counts[y as usize][y as usize] as f64 / col as f64)
+    }
+
+    /// Macro-averaged F1 over classes that occur in the truth.
+    pub fn macro_f1(&self) -> f64 {
+        let mut total = 0.0;
+        let mut classes = 0usize;
+        for y in 0..self.counts.len() {
+            let Some(r) = self.recall(y as u16) else { continue };
+            let p = self.precision(y as u16).unwrap_or(0.0);
+            classes += 1;
+            if p + r > 0.0 {
+                total += 2.0 * p * r / (p + r);
+            }
+        }
+        if classes == 0 {
+            0.0
+        } else {
+            total / classes as f64
+        }
+    }
+}
+
+/// Deterministic k-fold cross-validation accuracy of a local classifier
+/// over a training set (folds are contiguous index stripes, so shuffle the
+/// set beforehand if order matters).
+///
+/// # Panics
+/// Panics unless `2 ≤ k ≤ ts.rows.len()`.
+pub fn cross_validate(ts: &TrainSet, kind: LocalKind, k: usize) -> f64 {
+    let n = ts.rows.len();
+    assert!(k >= 2 && k <= n, "need 2 ≤ k ≤ n folds");
+    let mut correct = 0usize;
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let train = TrainSet {
+            rows: ts.rows[..lo].iter().chain(&ts.rows[hi..]).cloned().collect(),
+            labels: ts.labels[..lo].iter().chain(&ts.labels[hi..]).copied().collect(),
+            n_classes: ts.n_classes,
+        };
+        let clf: Box<dyn LocalClassifier> = match kind {
+            LocalKind::Bayes => Box::new(crate::naive_bayes::NaiveBayes::train(&train)),
+            LocalKind::Knn(kk) => Box::new(crate::knn::Knn::train(&train, kk)),
+            LocalKind::Rst => Box::new(crate::eval::RstLocal::train(&train)),
+        };
+        for i in lo..hi {
+            if clf.predict(&ts.rows[i]) == ts.labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ConfusionMatrix {
+        // truth:     0 0 0 1 1 2
+        // predicted: 0 0 1 1 1 0
+        ConfusionMatrix::from_labels(&[0, 0, 0, 1, 1, 2], &[0, 0, 1, 1, 1, 0], 3)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = matrix();
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.total(), 6);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_metrics() {
+        let m = matrix();
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), Some(1.0));
+        assert_eq!(m.recall(2), Some(0.0));
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.precision(2), None, "class 2 never predicted");
+    }
+
+    #[test]
+    fn macro_f1_averages_over_present_classes() {
+        let m = matrix();
+        let f0 = 2.0 * (2.0 / 3.0) * (2.0 / 3.0) / (4.0 / 3.0);
+        let f1 = 2.0 * (2.0 / 3.0) * 1.0 / (5.0 / 3.0);
+        let expected = (f0 + f1 + 0.0) / 3.0;
+        assert!((m.macro_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_vacuously_perfect() {
+        let m = ConfusionMatrix::from_labels(&[], &[], 2);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn cross_validation_learns_clean_signal() {
+        // 40 rows, feature 0 determines the label perfectly.
+        let ts = TrainSet {
+            rows: (0..40).map(|i| vec![Some((i % 2) as u16), Some((i % 5) as u16)]).collect(),
+            labels: (0..40).map(|i| (i % 2) as u16).collect(),
+            n_classes: 2,
+        };
+        for kind in [LocalKind::Bayes, LocalKind::Knn(3), LocalKind::Rst] {
+            let acc = cross_validate(&ts, kind, 4);
+            assert!(acc > 0.9, "{kind:?} should learn the copy feature: {acc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn silly_fold_count_rejected() {
+        let ts = TrainSet { rows: vec![vec![Some(0)]], labels: vec![0], n_classes: 1 };
+        cross_validate(&ts, LocalKind::Bayes, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Categorical Naive Bayes with Laplace smoothing — the classical local
+//! classifier the dissertation's prior work used in each ICA iteration
+//! (§3.1) and one of the three attribute-based classifiers of §3.7.2.
+
+use crate::dataset::TrainSet;
+use crate::LocalClassifier;
+use std::collections::HashMap;
+
+/// Trained categorical Naive Bayes model. Missing attribute values are
+/// skipped at both training and prediction time (standard treatment for
+/// incomplete social data).
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    n_classes: usize,
+    /// `class_counts[y]` = training objects with label `y`.
+    class_counts: Vec<usize>,
+    /// `value_counts[c][(v, y)]` = objects with value `v` in column `c` and
+    /// label `y`.
+    value_counts: Vec<HashMap<(u16, u16), usize>>,
+    /// `seen_values[c]` = number of distinct observed values in column `c`
+    /// (the Laplace smoothing denominator term).
+    seen_values: Vec<usize>,
+    /// Smoothing pseudo-count (Laplace α; default 1).
+    alpha: f64,
+}
+
+impl NaiveBayes {
+    /// Trains on `ts` with Laplace smoothing `alpha = 1`.
+    pub fn train(ts: &TrainSet) -> Self {
+        Self::train_with_alpha(ts, 1.0)
+    }
+
+    /// Trains with an explicit smoothing pseudo-count.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 0` or the training set is malformed.
+    pub fn train_with_alpha(ts: &TrainSet, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing must be positive");
+        let width = ts.rows.first().map_or(0, Vec::len);
+        let mut class_counts = vec![0usize; ts.n_classes];
+        let mut value_counts = vec![HashMap::new(); width];
+        let mut distinct: Vec<std::collections::HashSet<u16>> =
+            vec![std::collections::HashSet::new(); width];
+        for (row, &y) in ts.rows.iter().zip(&ts.labels) {
+            assert!((y as usize) < ts.n_classes, "label out of range");
+            class_counts[y as usize] += 1;
+            for (c, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    *value_counts[c].entry((*v, y)).or_insert(0) += 1;
+                    distinct[c].insert(*v);
+                }
+            }
+        }
+        Self {
+            n_classes: ts.n_classes,
+            class_counts,
+            value_counts,
+            seen_values: distinct.iter().map(|s| s.len().max(1)).collect(),
+            alpha,
+        }
+    }
+
+    fn log_likelihood(&self, row: &[Option<u16>], y: u16) -> f64 {
+        let n_y = self.class_counts[y as usize] as f64;
+        let total: usize = self.class_counts.iter().sum();
+        // log prior with smoothing.
+        let mut ll = ((n_y + self.alpha) / (total as f64 + self.alpha * self.n_classes as f64))
+            .ln();
+        for (c, v) in row.iter().enumerate() {
+            if c >= self.value_counts.len() {
+                break;
+            }
+            if let Some(v) = v {
+                let cnt = *self.value_counts[c].get(&(*v, y)).unwrap_or(&0) as f64;
+                let denom = n_y + self.alpha * self.seen_values[c] as f64;
+                ll += ((cnt + self.alpha) / denom).ln();
+            }
+        }
+        ll
+    }
+}
+
+impl LocalClassifier for NaiveBayes {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_dist(&self, row: &[Option<u16>]) -> Vec<f64> {
+        let lls: Vec<f64> =
+            (0..self.n_classes).map(|y| self.log_likelihood(row, y as u16)).collect();
+        softmax_from_log(&lls)
+    }
+}
+
+/// Converts log-scores into a normalized distribution, guarding overflow by
+/// subtracting the maximum.
+pub(crate) fn softmax_from_log(lls: &[f64]) -> Vec<f64> {
+    let max = lls.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = lls.iter().map(|&l| (l - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TrainSet {
+        // Column 0 predicts the label perfectly; column 1 is noise.
+        TrainSet {
+            rows: vec![
+                vec![Some(0), Some(0)],
+                vec![Some(0), Some(1)],
+                vec![Some(1), Some(0)],
+                vec![Some(1), Some(1)],
+            ],
+            labels: vec![0, 0, 1, 1],
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn learns_perfect_feature() {
+        let nb = NaiveBayes::train(&ts());
+        assert_eq!(nb.predict(&[Some(0), None]), 0);
+        assert_eq!(nb.predict(&[Some(1), None]), 1);
+        let d = nb.predict_dist(&[Some(0), None]);
+        assert!(d[0] > 0.7, "confident on the informative feature: {d:?}");
+    }
+
+    #[test]
+    fn missing_everything_returns_prior() {
+        let mut t = ts();
+        t.labels = vec![0, 0, 0, 1]; // skewed prior
+        let nb = NaiveBayes::train(&t);
+        let d = nb.predict_dist(&[None, None]);
+        assert!(d[0] > d[1]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_value_smoothed_not_zero() {
+        let nb = NaiveBayes::train(&ts());
+        let d = nb.predict_dist(&[Some(7), Some(7)]);
+        assert!(d.iter().all(|&p| p > 0.0));
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_normalized() {
+        let nb = NaiveBayes::train(&ts());
+        for row in [[Some(0), Some(1)], [Some(1), Some(0)], [None, Some(0)]] {
+            let d = nb.predict_dist(&row);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing")]
+    fn zero_alpha_rejected() {
+        NaiveBayes::train_with_alpha(&ts(), 0.0);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logs() {
+        let d = softmax_from_log(&[-1000.0, -1001.0]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d[0] > d[1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ppdp — Privacy Preserving Data Publishing
+//!
+//! A Rust implementation of the systems in *Privacy Preserving Data
+//! Publishing* (Zaobo He, Georgia State University, 2018): inference
+//! attacks on social and genomic data, and the sanitization machinery that
+//! defends against them while preserving data utility.
+//!
+//! This facade crate re-exports every subsystem and offers four high-level
+//! pipelines in [`publish`]:
+//!
+//! * [`publish::SocialPublisher`] — Chapter 3: collective data-sanitization
+//!   against attribute/link inference attacks (Rough-Set dependency
+//!   analysis, PDA/UDA/Core, generalization, indistinguishable links).
+//! * [`publish::LatentPublisher`] — Chapter 4: per-user latent-data privacy
+//!   optimization under customized `(ε, δ)` utility constraints.
+//! * [`publish::GenomePublisher`] — Chapter 5: belief-propagation inference
+//!   attacks on SNPs/traits and greedy `δ-privacy` SNP sanitization.
+//! * [`publish::DpPublisher`] — the differential-privacy track: PrivBayes-
+//!   style synthetic publishing of high-dimensional categorical data.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppdp::publish::SocialPublisher;
+//! use ppdp::datagen::social::caltech_like;
+//!
+//! let data = caltech_like(42);
+//! let report = SocialPublisher::new(&data)
+//!     .generalization_level(3)
+//!     .known_fraction(0.7)
+//!     .publish(7);
+//! // Sanitization must not make the sensitive attribute easier to infer.
+//! assert!(report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9);
+//! ```
+
+pub use ppdp_classify as classify;
+pub use ppdp_datagen as datagen;
+pub use ppdp_dp as dp;
+pub use ppdp_genomic as genomic;
+pub use ppdp_graph as graph;
+pub use ppdp_opt as opt;
+pub use ppdp_roughset as roughset;
+pub use ppdp_sanitize as sanitize;
+pub use ppdp_tradeoff as tradeoff;
+
+pub mod publish;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use crate::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
+    pub use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
+    pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
+    pub use ppdp_genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
+    pub use ppdp_graph::{CategoryId, SocialGraph, UserId};
+}

@@ -1,0 +1,287 @@
+//! High-level publishing pipelines, one per dissertation chapter.
+
+use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
+use ppdp_datagen::social::SocialDataset;
+use ppdp_genomic::sanitize::{greedy_sanitize, Predictor, SanitizeOutcome, Target};
+use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
+use ppdp_graph::SocialGraph;
+use ppdp_sanitize::{collective_sanitize, remove_indistinguishable_links, CollectivePlan};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Chapter 3 pipeline: collective sanitization of a social dataset plus a
+/// before/after attack evaluation.
+#[derive(Debug, Clone)]
+pub struct SocialPublisher<'d> {
+    data: &'d SocialDataset,
+    level: usize,
+    links_to_remove: usize,
+    known_fraction: f64,
+    kind: LocalKind,
+    mix: (f64, f64),
+}
+
+/// Outcome of a [`SocialPublisher`] run.
+#[derive(Debug, Clone)]
+pub struct SocialReport {
+    /// The sanitized graph.
+    pub sanitized: SocialGraph,
+    /// What Algorithm 2 decided (removed / perturbed categories).
+    pub plan: CollectivePlan,
+    /// Attack accuracy on the sensitive attribute before sanitization.
+    pub privacy_accuracy_before: f64,
+    /// Attack accuracy on the sensitive attribute after sanitization.
+    pub privacy_accuracy_after: f64,
+    /// Attack accuracy on the utility attribute after sanitization.
+    pub utility_accuracy_after: f64,
+}
+
+impl<'d> SocialPublisher<'d> {
+    /// Starts a pipeline over `data` with the defaults of §3.7 (ICA-Bayes
+    /// at α = β = 0.5, 70 % known labels, generalization level 5, no link
+    /// removal).
+    pub fn new(data: &'d SocialDataset) -> Self {
+        Self {
+            data,
+            level: 5,
+            links_to_remove: 0,
+            known_fraction: 0.7,
+            kind: LocalKind::Bayes,
+            mix: (0.5, 0.5),
+        }
+    }
+
+    /// Sets the generalization level `L` used on the Core.
+    pub fn generalization_level(mut self, level: usize) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Additionally removes this many indistinguishable links.
+    pub fn remove_links(mut self, n: usize) -> Self {
+        self.links_to_remove = n;
+        self
+    }
+
+    /// Sets the fraction of users whose sensitive label the attacker knows.
+    pub fn known_fraction(mut self, f: f64) -> Self {
+        self.known_fraction = f;
+        self
+    }
+
+    /// Sets the attacker's local classifier.
+    pub fn local_classifier(mut self, kind: LocalKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the α/β evidence mix of Eq. (3.5).
+    pub fn evidence_mix(mut self, alpha: f64, beta: f64) -> Self {
+        self.mix = (alpha, beta);
+        self
+    }
+
+    /// Runs sanitization + evaluation (deterministic for a given seed).
+    pub fn publish(&self, seed: u64) -> SocialReport {
+        let d = self.data;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let known: Vec<bool> =
+            (0..d.graph.user_count()).map(|_| rng.gen_bool(self.known_fraction)).collect();
+        let model = AttackModel::Collective { alpha: self.mix.0, beta: self.mix.1 };
+
+        let before = ppdp_classify::run_attack(
+            &LabeledGraph::new(&d.graph, d.privacy_cat, known.clone()),
+            self.kind,
+            model,
+        )
+        .accuracy;
+
+        let (mut sanitized, plan) =
+            collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level);
+        if self.links_to_remove > 0 {
+            sanitized = remove_indistinguishable_links(
+                &sanitized,
+                d.privacy_cat,
+                &known,
+                self.kind,
+                self.links_to_remove,
+            );
+        }
+
+        let after = ppdp_classify::run_attack(
+            &LabeledGraph::new(&sanitized, d.privacy_cat, known.clone()),
+            self.kind,
+            model,
+        )
+        .accuracy;
+        let utility = ppdp_classify::run_attack(
+            &LabeledGraph::new(&sanitized, d.utility_cat, known),
+            self.kind,
+            model,
+        )
+        .accuracy;
+
+        SocialReport {
+            sanitized,
+            plan,
+            privacy_accuracy_before: before,
+            privacy_accuracy_after: after,
+            utility_accuracy_after: utility,
+        }
+    }
+}
+
+/// Chapter 4 pipeline: per-user latent-privacy optimization. Thin wrapper
+/// over [`ppdp_tradeoff`] kept here so the examples read top-down; see that
+/// crate for the full API.
+pub use ppdp_tradeoff::optimize::{optimize_attribute_strategy, select_vulnerable_links};
+
+/// Chapter 4 pipeline entry point: re-exported optimizer plus profile and
+/// strategy builders.
+pub struct LatentPublisher;
+
+impl LatentPublisher {
+    /// Optimizes an attribute strategy for one user; see
+    /// [`ppdp_tradeoff::optimize::optimize_attribute_strategy`].
+    pub fn optimize(
+        profile: &ppdp_tradeoff::Profile,
+        initial: &ppdp_tradeoff::AttributeStrategy,
+        predictions: &[Vec<f64>],
+        delta: f64,
+    ) -> (ppdp_tradeoff::AttributeStrategy, f64) {
+        ppdp_tradeoff::optimize_attribute_strategy(
+            profile,
+            initial,
+            predictions,
+            ppdp_tradeoff::hamming_disparity,
+            ppdp_tradeoff::OptimizeConfig { delta, ..Default::default() },
+        )
+    }
+}
+
+/// Chapter 5 pipeline: genome publishing with `δ-privacy` against a
+/// belief-propagation attacker.
+#[derive(Debug, Clone)]
+pub struct GenomePublisher<'c> {
+    catalog: &'c GwasCatalog,
+    delta: f64,
+    max_removals: usize,
+    predictor: Predictor,
+}
+
+impl<'c> GenomePublisher<'c> {
+    /// Pipeline over `catalog` defending at privacy threshold `delta`.
+    pub fn new(catalog: &'c GwasCatalog, delta: f64) -> Self {
+        Self {
+            catalog,
+            delta,
+            max_removals: usize::MAX,
+            predictor: Predictor::BeliefPropagation(BpConfig::default()),
+        }
+    }
+
+    /// Caps the number of SNPs the sanitizer may hide.
+    pub fn max_removals(mut self, n: usize) -> Self {
+        self.max_removals = n;
+        self
+    }
+
+    /// Defends against the Naive Bayes attacker instead of BP.
+    pub fn against_naive_bayes(mut self) -> Self {
+        self.predictor = Predictor::NaiveBayes;
+        self
+    }
+
+    /// Sanitizes `evidence` so that every `target` reaches `δ`-privacy;
+    /// returns the greedy outcome plus the evidence actually safe to
+    /// release.
+    pub fn publish(&self, evidence: &Evidence, targets: &[Target]) -> (Evidence, SanitizeOutcome) {
+        let outcome = greedy_sanitize(
+            self.catalog,
+            evidence,
+            targets,
+            self.delta,
+            self.max_removals,
+            self.predictor,
+        );
+        let mut released = evidence.clone();
+        for s in &outcome.removed {
+            released.snps.remove(s);
+        }
+        (released, outcome)
+    }
+}
+
+/// Differential-privacy pipeline: synthetic publishing of categorical
+/// microdata via a noisy low-dimensional (Bayesian-network) approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct DpPublisher {
+    /// Total ε for the release.
+    pub epsilon: f64,
+    /// Bayesian-network degree (marginal dimensionality − 1).
+    pub degree: usize,
+}
+
+impl DpPublisher {
+    /// Pipeline with the given budget and network degree.
+    pub fn new(epsilon: f64, degree: usize) -> Self {
+        Self { epsilon, degree }
+    }
+
+    /// Fits the noisy network and samples `n` synthetic records.
+    pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> ppdp_dp::Table {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = ppdp_dp::BayesNet::fit(
+            &mut rng,
+            table,
+            ppdp_dp::SynthesisConfig { degree: self.degree, epsilon: self.epsilon },
+        );
+        net.sample(&mut rng, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_datagen::genomes::amd_like;
+    use ppdp_datagen::gwas::synthetic_catalog;
+    use ppdp_datagen::microdata::correlated_microdata;
+    use ppdp_datagen::social::caltech_like;
+    use ppdp_genomic::TraitId;
+
+    #[test]
+    fn social_pipeline_reduces_privacy_accuracy() {
+        let data = caltech_like(42);
+        let report = SocialPublisher::new(&data).generalization_level(2).publish(7);
+        assert!(
+            report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9,
+            "{} → {}",
+            report.privacy_accuracy_before,
+            report.privacy_accuracy_after
+        );
+        assert!(report.utility_accuracy_after > 0.0);
+    }
+
+    #[test]
+    fn genome_pipeline_releases_sanitized_evidence() {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
+        let evidence = panel.full_evidence(0);
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let (released, outcome) = GenomePublisher::new(&catalog, 0.6).publish(&evidence, &targets);
+        assert_eq!(evidence.snps.len(), released.snps.len() + outcome.removed.len());
+        for s in &outcome.removed {
+            assert!(!released.snps.contains_key(s), "removed SNP still released");
+        }
+    }
+
+    #[test]
+    fn dp_pipeline_produces_same_schema() {
+        let t = correlated_microdata(500, 4, 3, 0.8, 5);
+        let synth = DpPublisher::new(5.0, 1).publish(&t, 300, 6);
+        assert_eq!(synth.n_cols(), 4);
+        assert_eq!(synth.n_rows(), 300);
+        assert_eq!(synth.arities(), t.arities());
+    }
+}

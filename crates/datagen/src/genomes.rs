@@ -1,0 +1,215 @@
+//! AMD-like case/control genotype panels (§5.6.1): genotypes sampled from
+//! the catalog's case/control allele frequencies under Hardy-Weinberg
+//! equilibrium — the real AMD dataset's 90 449 SNPs × (96 cases + 50
+//! controls) shape at any configurable scale.
+
+use ppdp_genomic::factor_graph::Evidence;
+use ppdp_genomic::tables::genotype_given_trait;
+use ppdp_genomic::{Genotype, GwasCatalog, SnpId, TraitId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A genotype panel: one genotype per (individual, SNP), plus case/control
+/// status with respect to the panel's focal trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenomePanel {
+    /// The focal trait (AMD in the dissertation's evaluation).
+    pub focal_trait: TraitId,
+    /// `genotypes[i][s]` = genotype of individual `i` at SNP `s`.
+    pub genotypes: Vec<Vec<Genotype>>,
+    /// `case[i]` — whether individual `i` presents the focal trait.
+    pub case: Vec<bool>,
+}
+
+impl GenomePanel {
+    /// Number of individuals.
+    pub fn n_individuals(&self) -> usize {
+        self.genotypes.len()
+    }
+
+    /// Number of SNP loci.
+    pub fn n_snps(&self) -> usize {
+        self.genotypes.first().map_or(0, Vec::len)
+    }
+
+    /// The attacker's evidence for individual `i` if the listed SNPs are
+    /// released (the rest withheld). Trait status is *not* released.
+    pub fn evidence(&self, i: usize, released: &[SnpId]) -> Evidence {
+        let mut ev = Evidence::none();
+        for &s in released {
+            ev.snps.insert(s, self.genotypes[i][s.0]);
+        }
+        ev
+    }
+
+    /// Evidence releasing *every* SNP of individual `i`.
+    pub fn full_evidence(&self, i: usize) -> Evidence {
+        let all: Vec<SnpId> = (0..self.n_snps()).map(SnpId).collect();
+        self.evidence(i, &all)
+    }
+
+    /// Encodes the panel as a categorical [`ppdp_dp::Table`] (one column per
+    /// SNP, values = genotype index 0/1/2) — the input format for the
+    /// differentially-private synthetic-genome pipeline the dissertation's
+    /// introduction proposes ("synthetic genomes are sampled from the
+    /// approximate distribution").
+    pub fn to_table(&self) -> ppdp_dp::Table {
+        let rows: Vec<Vec<u16>> = self
+            .genotypes
+            .iter()
+            .map(|row| row.iter().map(|g| g.index() as u16).collect())
+            .collect();
+        ppdp_dp::Table::new(vec![3u16; self.n_snps()], rows)
+    }
+}
+
+/// Samples a case/control panel like the AMD dataset: `n_cases`
+/// individuals with the focal trait and `n_controls` without. Genotypes at
+/// SNPs associated with the focal trait follow the case/control HWE
+/// frequencies from the catalog; all other SNPs follow their control
+/// frequencies (or uniform HWE at RAF 0.5 when unassociated with
+/// anything).
+pub fn amd_like(
+    catalog: &GwasCatalog,
+    focal_trait: TraitId,
+    n_cases: usize,
+    n_controls: usize,
+    seed: u64,
+) -> GenomePanel {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_snps = catalog.n_snps();
+
+    // Per-SNP genotype distributions for cases and controls, derived from
+    // the SNP's first association (with the focal trait when present).
+    let dist_for = |s: SnpId, is_case: bool| -> [f64; 3] {
+        let focal = catalog
+            .associations_of_snp(s)
+            .find(|a| a.trait_id == focal_trait);
+        let any = catalog.associations_of_snp(s).next();
+        match (focal, any) {
+            (Some(a), _) => {
+                let mut d = [0.0; 3];
+                for g in Genotype::ALL {
+                    d[g.index()] = genotype_given_trait(a, g, is_case);
+                }
+                d
+            }
+            (None, Some(a)) => {
+                // Associated with some other trait: population ≈ control.
+                let mut d = [0.0; 3];
+                for g in Genotype::ALL {
+                    d[g.index()] = genotype_given_trait(a, g, false);
+                }
+                d
+            }
+            (None, None) => [0.25, 0.5, 0.25], // HWE at RAF 0.5
+        }
+    };
+
+    let mut genotypes = Vec::with_capacity(n_cases + n_controls);
+    let mut case = Vec::with_capacity(n_cases + n_controls);
+    for i in 0..(n_cases + n_controls) {
+        let is_case = i < n_cases;
+        let row: Vec<Genotype> = (0..n_snps)
+            .map(|s| {
+                let d = dist_for(SnpId(s), is_case);
+                let mut pick = rng.gen::<f64>();
+                for g in Genotype::ALL {
+                    pick -= d[g.index()];
+                    if pick <= 0.0 {
+                        return g;
+                    }
+                }
+                Genotype::HomNonRisk
+            })
+            .collect();
+        genotypes.push(row);
+        case.push(is_case);
+    }
+    GenomePanel { focal_trait, genotypes, case }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gwas::synthetic_catalog;
+
+    fn panel() -> (GwasCatalog, GenomePanel) {
+        let cat = synthetic_catalog(60, 5, 2, 11);
+        let p = amd_like(&cat, TraitId(0), 96, 50, 11);
+        (cat, p)
+    }
+
+    #[test]
+    fn panel_has_amd_shape() {
+        let (cat, p) = panel();
+        assert_eq!(p.n_individuals(), 146);
+        assert_eq!(p.n_snps(), cat.n_snps());
+        assert_eq!(p.case.iter().filter(|&&c| c).count(), 96);
+    }
+
+    #[test]
+    fn cases_enriched_in_risk_alleles_at_focal_snps() {
+        let (cat, p) = panel();
+        // Average risk copies at focal-trait SNPs with OR > 1.3, cases vs
+        // controls.
+        let focal_snps: Vec<SnpId> = cat
+            .associations_of_trait(TraitId(0))
+            .filter(|a| a.odds_ratio > 1.3)
+            .map(|a| a.snp)
+            .collect();
+        assert!(!focal_snps.is_empty());
+        let mean = |is_case: bool| -> f64 {
+            let idx: Vec<usize> =
+                (0..p.n_individuals()).filter(|&i| p.case[i] == is_case).collect();
+            let mut total = 0u32;
+            for &i in &idx {
+                for &s in &focal_snps {
+                    total += p.genotypes[i][s.0].risk_copies() as u32;
+                }
+            }
+            total as f64 / (idx.len() * focal_snps.len()) as f64
+        };
+        assert!(
+            mean(true) > mean(false),
+            "cases must carry more risk alleles: {} vs {}",
+            mean(true),
+            mean(false)
+        );
+    }
+
+    #[test]
+    fn evidence_projection() {
+        let (_, p) = panel();
+        let ev = p.evidence(0, &[SnpId(0), SnpId(3)]);
+        assert_eq!(ev.snps.len(), 2);
+        assert_eq!(ev.snps[&SnpId(0)], p.genotypes[0][0]);
+        assert!(ev.traits.is_empty(), "trait status never released");
+        assert_eq!(p.full_evidence(0).snps.len(), p.n_snps());
+    }
+
+    #[test]
+    fn to_table_preserves_genotype_frequencies() {
+        let (_, p) = panel();
+        let t = p.to_table();
+        assert_eq!(t.n_rows(), p.n_individuals());
+        assert_eq!(t.n_cols(), p.n_snps());
+        // Column histogram must match the genotype counts.
+        let h = t.histogram(&[0]);
+        for g in ppdp_genomic::Genotype::ALL {
+            let direct =
+                (0..p.n_individuals()).filter(|&i| p.genotypes[i][0] == g).count() as f64;
+            assert_eq!(h[g.index()], direct);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cat = synthetic_catalog(40, 4, 1, 5);
+        assert_eq!(
+            amd_like(&cat, TraitId(1), 10, 10, 9),
+            amd_like(&cat, TraitId(1), 10, 10, 9)
+        );
+    }
+}

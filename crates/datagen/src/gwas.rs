@@ -1,0 +1,105 @@
+//! Synthetic GWAS catalogs: SNP-trait associations with realistic odds
+//! ratios and control-group risk-allele frequencies, using the Table 5.3
+//! disease list by default.
+
+use ppdp_genomic::{GwasCatalog, SnpId, TraitId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a synthetic catalog over the Table 5.3 diseases.
+///
+/// * `n_snps` — total SNP loci (most unassociated, as in real panels);
+/// * `assoc_per_trait` — associations per trait;
+/// * `shared_per_trait` — how many of each trait's SNPs are *shared* with
+///   the previous trait, creating the cross-trait paths belief propagation
+///   exploits (Fig. 5.1's `s2` pattern);
+/// * odds ratios are drawn from `[1.05, 2.5]` and control RAFs from
+///   `[0.05, 0.95]`, the ranges typical of GWAS-Catalog entries.
+///
+/// # Panics
+/// Panics if the SNP pool is too small for the requested associations.
+pub fn synthetic_catalog(
+    n_snps: usize,
+    assoc_per_trait: usize,
+    shared_per_trait: usize,
+    seed: u64,
+) -> GwasCatalog {
+    assert!(shared_per_trait < assoc_per_trait, "need at least one exclusive SNP per trait");
+    let mut catalog = GwasCatalog::with_table_5_3_traits(n_snps);
+    let n_traits = catalog.n_traits();
+    assert!(
+        n_traits * assoc_per_trait <= n_snps,
+        "SNP pool too small: need ≤ {n_snps} loci, traits want {}",
+        n_traits * assoc_per_trait
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let mut next_free = 0usize;
+    let mut prev_snps: Vec<SnpId> = Vec::new();
+    for t in 0..n_traits {
+        let trait_id = TraitId(t);
+        let mut snps: Vec<SnpId> = Vec::with_capacity(assoc_per_trait);
+        // Share a prefix with the previous trait (none for the first).
+        snps.extend_from_slice(&prev_snps[..shared_per_trait.min(prev_snps.len())]);
+        while snps.len() < assoc_per_trait {
+            snps.push(SnpId(next_free));
+            next_free += 1;
+        }
+        for &s in &snps {
+            let or = rng.gen_range(1.05..2.5);
+            let raf = rng.gen_range(0.05..0.95);
+            catalog.associate(s, trait_id, or, raf);
+        }
+        prev_snps = snps;
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_expected_shape() {
+        let c = synthetic_catalog(100, 5, 2, 42);
+        assert_eq!(c.n_traits(), 7);
+        assert_eq!(c.associations().len(), 7 * 5);
+        for t in 0..7 {
+            assert_eq!(c.associations_of_trait(TraitId(t)).count(), 5);
+        }
+    }
+
+    #[test]
+    fn consecutive_traits_share_snps() {
+        let c = synthetic_catalog(100, 5, 2, 42);
+        for t in 1..7 {
+            let a: std::collections::BTreeSet<_> =
+                c.associations_of_trait(TraitId(t - 1)).map(|x| x.snp).collect();
+            let b: std::collections::BTreeSet<_> =
+                c.associations_of_trait(TraitId(t)).map(|x| x.snp).collect();
+            assert_eq!(a.intersection(&b).count(), 2, "traits {t}-1 and {t} share 2 SNPs");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(synthetic_catalog(60, 4, 1, 7), synthetic_catalog(60, 4, 1, 7));
+        assert_ne!(synthetic_catalog(60, 4, 1, 7), synthetic_catalog(60, 4, 1, 8));
+    }
+
+    #[test]
+    fn parameters_within_gwas_ranges() {
+        let c = synthetic_catalog(100, 5, 2, 3);
+        for a in c.associations() {
+            assert!((1.05..2.5).contains(&a.odds_ratio));
+            assert!((0.05..0.95).contains(&a.raf_control));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn pool_size_checked() {
+        synthetic_catalog(10, 5, 1, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded synthetic datasets for the `ppdp` experiments.
+//!
+//! The dissertation evaluates on real datasets this repository cannot ship
+//! (SNAP Facebook ego-nets, the Facebook100 Caltech/MIT snapshots, the AMD
+//! case/control genotype panel, the GWAS Catalog). Each generator here
+//! produces a deterministic synthetic stand-in that matches the statistics
+//! the paper's analysis actually depends on — node/edge/attribute counts
+//! and class skew (Table 3.3), SNP-trait association structure with odds
+//! ratios and allele frequencies (§5.2.3), case/control genotype sampling
+//! (§5.6.1) — so every experiment exercises the identical code paths.
+//! See DESIGN.md's substitution table for the fidelity argument.
+
+pub mod genomes;
+pub mod gwas;
+pub mod microdata;
+pub mod social;
+
+pub use genomes::{amd_like, GenomePanel};
+pub use gwas::synthetic_catalog;
+pub use microdata::correlated_microdata;
+pub use social::{caltech_like, mit_like, snap_like, SocialConfig, SocialDataset};

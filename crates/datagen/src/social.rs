@@ -1,0 +1,398 @@
+//! Synthetic social graphs matching the Table 3.3 statistics of the three
+//! evaluation datasets (SNAP, Caltech, MIT).
+//!
+//! The generator plants exactly the structure Chapter 3's analysis reads
+//! off the real data:
+//! * exact node/edge/attribute counts and label arity;
+//! * the majority-class skew §3.7.3 blames for accuracy volatility
+//!   (≈65 % / 72 % / 67 %);
+//! * attribute↔label dependency for a designated subset of categories (the
+//!   future PDAs/UDAs), with one *shared* informative category so the
+//!   PDA/UDA Core of Algorithm 2 is non-empty;
+//! * link homophily (friends share labels more often than chance);
+//! * the paper's component structure (a giant component plus small
+//!   fragments).
+
+use ppdp_graph::{Category, CategoryId, GraphBuilder, Schema, SocialGraph, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generator parameters. The three dataset constructors fill these from
+/// Table 3.3; custom configurations are useful for tests and benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialConfig {
+    /// Dataset name (reporting only).
+    pub name: &'static str,
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|` (exact).
+    pub edges: usize,
+    /// Total attribute categories, *including* the privacy and utility
+    /// attributes.
+    pub n_attrs: usize,
+    /// Arity of the privacy (sensitive) attribute = number of class labels.
+    pub label_arity: u16,
+    /// Arity of the utility attribute.
+    pub utility_arity: u16,
+    /// Arity of every other category.
+    pub other_arity: u16,
+    /// Fraction of users carrying the majority label.
+    pub majority_frac: f64,
+    /// Number of connected components (1 giant + `components − 1` small).
+    pub components: usize,
+    /// Probability that an informative attribute reflects the label.
+    pub attr_corr: f64,
+    /// Probability that a random edge's second endpoint is drawn from the
+    /// same class bucket (on top of the chance same-label rate), i.e. the
+    /// *excess* homophily. Effective same-label edge fraction is
+    /// `h + (1 − h) · Σ p_y²`.
+    pub homophily: f64,
+    /// Fraction of non-label attribute cells left unpublished.
+    pub missing_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated dataset: the graph plus the category roles the experiments
+/// need (Table 3.5's utility/privacy attribute designation).
+#[derive(Debug, Clone)]
+pub struct SocialDataset {
+    /// The social graph.
+    pub graph: SocialGraph,
+    /// The sensitive category (gender for SNAP, status flag for
+    /// Caltech/MIT).
+    pub privacy_cat: CategoryId,
+    /// The utility category (education type for SNAP, gender for
+    /// Caltech/MIT).
+    pub utility_cat: CategoryId,
+    /// Dataset name.
+    pub name: &'static str,
+}
+
+/// SNAP-like dataset: 792 nodes, 14 024 links, 20 attributes, binary
+/// sensitive attribute (gender), 10 components, ≈65 % majority class.
+pub fn snap_like(seed: u64) -> SocialDataset {
+    generate(&SocialConfig {
+        name: "SNAP",
+        nodes: 792,
+        edges: 14_024,
+        n_attrs: 20,
+        label_arity: 2,
+        utility_arity: 3,
+        other_arity: 6,
+        majority_frac: 0.65,
+        components: 10,
+        attr_corr: 0.42,
+        homophily: 0.25,
+        missing_frac: 0.15,
+        seed,
+    })
+}
+
+/// Caltech-like dataset: 769 nodes, 16 656 links, 7 attributes, 4-ary
+/// status flag, 4 components, ≈72 % majority class.
+pub fn caltech_like(seed: u64) -> SocialDataset {
+    generate(&SocialConfig {
+        name: "Caltech",
+        nodes: 769,
+        edges: 16_656,
+        n_attrs: 7,
+        label_arity: 4,
+        utility_arity: 2,
+        other_arity: 8,
+        majority_frac: 0.72,
+        components: 4,
+        attr_corr: 0.52,
+        homophily: 0.3,
+        missing_frac: 0.1,
+        seed,
+    })
+}
+
+/// MIT-like dataset: 6 440 nodes, 251 252 links, 7 attributes, 7-ary status
+/// flag, 18 components, ≈67 % majority class.
+pub fn mit_like(seed: u64) -> SocialDataset {
+    generate(&SocialConfig {
+        name: "MIT",
+        nodes: 6_440,
+        edges: 251_252,
+        n_attrs: 7,
+        label_arity: 7,
+        utility_arity: 2,
+        other_arity: 8,
+        majority_frac: 0.67,
+        components: 18,
+        attr_corr: 0.52,
+        homophily: 0.3,
+        missing_frac: 0.1,
+        seed,
+    })
+}
+
+/// Generates a dataset from an explicit configuration.
+///
+/// # Panics
+/// Panics on infeasible configurations (too few nodes for the component
+/// count, too many edges for the node count, fewer than 3 attributes).
+pub fn generate(cfg: &SocialConfig) -> SocialDataset {
+    assert!(cfg.n_attrs >= 3, "need privacy, utility and at least one public attribute");
+    assert!(cfg.nodes >= cfg.components * 2, "components need at least 2 nodes each");
+    let max_edges = cfg.nodes * (cfg.nodes - 1) / 2;
+    assert!(cfg.edges <= max_edges, "edge count exceeds simple-graph capacity");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Category layout: [0] privacy, [1] utility, [2..] public categories.
+    // Public categories 2..2+k are privacy-informative, the next k are
+    // utility-informative, and category 2 is *additionally* correlated with
+    // the utility attribute so it lands in both reducts (the Core).
+    let privacy_cat = CategoryId(0);
+    let utility_cat = CategoryId(1);
+    let mut cats = vec![
+        Category::new("sensitive", cfg.label_arity),
+        Category::new("utility", cfg.utility_arity),
+    ];
+    for i in 2..cfg.n_attrs {
+        cats.push(Category::new(format!("a{i}"), cfg.other_arity));
+    }
+    let schema = Schema::new(cats);
+    let n_public = cfg.n_attrs - 2;
+    // Attribute roles (§3.5.2's premise is that privacy- and utility-
+    // dependent attributes *intersect*): the first few public categories
+    // are informative for BOTH targets (the future Core), the next few for
+    // privacy only, then utility only; the rest is noise. Counts are capped
+    // so the paper's accuracy band (0.5-0.85) is preserved.
+    let n_joint = (n_public / 4).clamp(1, 4);
+    let n_priv_only = (n_public / 6).clamp(1, 3);
+    let n_util_only = (n_public / 6).clamp(1, 3);
+
+    // Labels with the configured majority skew; remaining mass uniform over
+    // the other classes.
+    let labels: Vec<u16> = (0..cfg.nodes)
+        .map(|_| {
+            if rng.gen_bool(cfg.majority_frac) || cfg.label_arity == 1 {
+                0
+            } else {
+                rng.gen_range(1..cfg.label_arity)
+            }
+        })
+        .collect();
+    let utilities: Vec<u16> = (0..cfg.nodes).map(|_| rng.gen_range(0..cfg.utility_arity)).collect();
+
+    let mut b = GraphBuilder::new(schema);
+    for i in 0..cfg.nodes {
+        let mut row: Vec<Option<u16>> = vec![None; cfg.n_attrs];
+        row[0] = Some(labels[i]);
+        row[1] = Some(utilities[i]);
+        #[allow(clippy::needless_range_loop)] // `c` is also arithmetic input
+        for c in 2..cfg.n_attrs {
+            if rng.gen_bool(cfg.missing_frac) {
+                continue; // unpublished
+            }
+            let pos = c - 2;
+            let informative = rng.gen_bool(cfg.attr_corr);
+            let v = if pos < n_joint {
+                // Core candidates: encode label and utility jointly.
+                if informative {
+                    let joint =
+                        labels[i] as u32 * cfg.utility_arity as u32 + utilities[i] as u32;
+                    ((joint + c as u32) % cfg.other_arity as u32) as u16
+                } else {
+                    rng.gen_range(0..cfg.other_arity)
+                }
+            } else if pos < n_joint + n_priv_only {
+                if informative {
+                    ((labels[i] as u32 + c as u32) % cfg.other_arity as u32) as u16
+                } else {
+                    rng.gen_range(0..cfg.other_arity)
+                }
+            } else if pos < n_joint + n_priv_only + n_util_only {
+                if informative {
+                    ((utilities[i] as u32 + c as u32) % cfg.other_arity as u32) as u16
+                } else {
+                    rng.gen_range(0..cfg.other_arity)
+                }
+            } else {
+                rng.gen_range(0..cfg.other_arity)
+            };
+            row[c] = Some(v);
+        }
+        b.user_with_partial(&row);
+    }
+
+    // Component layout: small components take 2 nodes each (path), the
+    // giant component gets the rest.
+    let n_small = cfg.components - 1;
+    let small_nodes = 2 * n_small;
+    let giant: Vec<usize> = (0..cfg.nodes - small_nodes).collect();
+    let mut edges_left = cfg.edges;
+
+    // Small components: a single edge each.
+    for k in 0..n_small {
+        let a = cfg.nodes - small_nodes + 2 * k;
+        b.edge(UserId(a), UserId(a + 1));
+        edges_left -= 1;
+    }
+
+    // Giant component: spanning tree (connectivity) then homophilous
+    // random edges up to the exact budget.
+    let mut order = giant.clone();
+    order.shuffle(&mut rng);
+    let mut edge_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for (k, &v) in order.iter().enumerate() {
+        if k > 0 {
+            let u = order[rng.gen_range(0..k)];
+            edge_set.insert((u.min(v), u.max(v)));
+            b.edge(UserId(u), UserId(v));
+            edges_left -= 1;
+        }
+    }
+
+    // Bucket giant-component nodes by label for homophilous sampling.
+    let mut by_label: Vec<Vec<usize>> = vec![Vec::new(); cfg.label_arity as usize];
+    for &v in &giant {
+        by_label[labels[v] as usize].push(v);
+    }
+    while edges_left > 0 {
+        let u = giant[rng.gen_range(0..giant.len())];
+        let v = if rng.gen_bool(cfg.homophily) {
+            let bucket = &by_label[labels[u] as usize];
+            bucket[rng.gen_range(0..bucket.len())]
+        } else {
+            giant[rng.gen_range(0..giant.len())]
+        };
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if edge_set.insert(key) {
+            b.edge(UserId(u), UserId(v));
+            edges_left -= 1;
+        }
+    }
+
+    SocialDataset { graph: b.build(), privacy_cat, utility_cat, name: cfg.name }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::stats::{components, graph_stats};
+
+    #[test]
+    fn snap_matches_table_3_3_counts() {
+        let d = snap_like(42);
+        let s = graph_stats(&d.graph, 0); // approximate diameter is fine
+        assert_eq!(s.nodes, 792);
+        assert_eq!(s.edges, 14_024);
+        assert_eq!(s.components, 10);
+        assert_eq!(s.largest_component_nodes, 792 - 18);
+        assert_eq!(d.graph.schema().len(), 20);
+        assert_eq!(d.graph.schema().arity(d.privacy_cat), 2);
+    }
+
+    #[test]
+    fn caltech_matches_table_3_3_counts() {
+        let d = caltech_like(42);
+        let s = graph_stats(&d.graph, 0);
+        assert_eq!((s.nodes, s.edges, s.components), (769, 16_656, 4));
+        assert_eq!(d.graph.schema().len(), 7);
+        assert_eq!(d.graph.schema().arity(d.privacy_cat), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = caltech_like(7).graph;
+        let b = caltech_like(7).graph;
+        assert_eq!(a, b);
+        let c = caltech_like(8).graph;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn majority_skew_planted() {
+        let d = caltech_like(42);
+        let majority = d
+            .graph
+            .users()
+            .filter(|&u| d.graph.value(u, d.privacy_cat) == Some(0))
+            .count() as f64
+            / d.graph.user_count() as f64;
+        assert!((majority - 0.72).abs() < 0.05, "majority {majority}");
+    }
+
+    #[test]
+    fn homophily_planted() {
+        let d = snap_like(42);
+        let same = d
+            .graph
+            .edges()
+            .filter(|&(a, b)| {
+                d.graph.value(a, d.privacy_cat) == d.graph.value(b, d.privacy_cat)
+            })
+            .count() as f64
+            / d.graph.edge_count() as f64;
+        // Chance level for 65/35 split would be ≈ 0.545.
+        assert!(same > 0.6, "same-label edge fraction {same}"); // 0.25 + 0.75*0.545
+    }
+
+    #[test]
+    fn attribute_label_correlation_planted() {
+        // Category 3 is privacy-informative: knowing it should make the
+        // label guessable above the majority rate.
+        let d = caltech_like(42);
+        let g = &d.graph;
+        let mut joint = std::collections::HashMap::new();
+        for u in g.users() {
+            if let (Some(a), Some(y)) = (g.value(u, CategoryId(3)), g.value(u, d.privacy_cat)) {
+                *joint.entry((a, y)).or_insert(0usize) += 1;
+            }
+        }
+        // Accuracy of the a→argmax_y rule:
+        let mut best_per_a = std::collections::HashMap::new();
+        for (&(a, y), &c) in &joint {
+            let e = best_per_a.entry(a).or_insert((y, c));
+            if c > e.1 {
+                *e = (y, c);
+            }
+        }
+        let correct: usize = best_per_a
+            .iter()
+            .map(|(&a, &(y, _))| joint.get(&(a, y)).copied().unwrap_or(0))
+            .sum();
+        let total: usize = joint.values().sum();
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.7, "informative attribute should predict the label: {acc}");
+    }
+
+    #[test]
+    fn small_components_are_pairs() {
+        let d = caltech_like(42);
+        let comps = components(&d.graph);
+        let mut sizes: Vec<_> = comps.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(&sizes[..3], &[2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn infeasible_edge_count_rejected() {
+        generate(&SocialConfig {
+            name: "bad",
+            nodes: 10,
+            edges: 100,
+            n_attrs: 3,
+            label_arity: 2,
+            utility_arity: 2,
+            other_arity: 2,
+            majority_frac: 0.5,
+            components: 1,
+            attr_corr: 0.5,
+            homophily: 0.5,
+            missing_frac: 0.0,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! Differentially-private aggregation primitives (§6.2): range counting and
+//! quantiles over an ordered categorical domain, built on one noisy
+//! histogram (so any number of range/quantile queries are post-processing
+//! of a single ε spend).
+
+use crate::histogram::noisy_histogram;
+use crate::table::Table;
+use rand::Rng;
+
+/// A noisy cumulative distribution over one ordered column; supports
+/// arbitrarily many range-count and quantile queries as post-processing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyCdf {
+    /// Noisy per-value counts.
+    counts: Vec<f64>,
+    /// Prefix sums of `counts`.
+    cum: Vec<f64>,
+}
+
+impl NoisyCdf {
+    /// Builds the ε-DP noisy CDF of `col`.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, table: &Table, col: usize, epsilon: f64) -> Self {
+        let counts = noisy_histogram(rng, table, &[col], epsilon);
+        let mut cum = Vec::with_capacity(counts.len());
+        let mut acc = 0.0;
+        for &c in &counts {
+            acc += c;
+            cum.push(acc);
+        }
+        Self { counts, cum }
+    }
+
+    /// Noisy total count.
+    pub fn total(&self) -> f64 {
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// Noisy count of records with value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of the domain.
+    pub fn range_count(&self, lo: u16, hi: u16) -> f64 {
+        assert!(lo <= hi && (hi as usize) < self.counts.len(), "bad range [{lo}, {hi}]");
+        let below = if lo == 0 { 0.0 } else { self.cum[lo as usize - 1] };
+        self.cum[hi as usize] - below
+    }
+
+    /// Noisy `q`-quantile: the smallest value whose cumulative share is at
+    /// least `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> u16 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0,1]");
+        let target = q * self.total();
+        self.cum
+            .iter()
+            .position(|&c| c >= target)
+            .unwrap_or(self.cum.len().saturating_sub(1)) as u16
+    }
+}
+
+/// One-shot ε-DP range count (builds a fresh CDF; prefer [`NoisyCdf`] when
+/// issuing several queries against the same column).
+pub fn dp_range_count<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    col: usize,
+    (lo, hi): (u16, u16),
+    epsilon: f64,
+) -> f64 {
+    NoisyCdf::build(rng, table, col, epsilon).range_count(lo, hi)
+}
+
+/// One-shot ε-DP quantile.
+pub fn dp_quantile<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    col: usize,
+    q: f64,
+    epsilon: f64,
+) -> u16 {
+    NoisyCdf::build(rng, table, col, epsilon).quantile(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn table() -> Table {
+        // Values 0..10, value v appearing (v+1) × 10 times → 550 records.
+        let mut rows = Vec::new();
+        for v in 0..10u16 {
+            for _ in 0..(v as usize + 1) * 10 {
+                rows.push(vec![v]);
+            }
+        }
+        Table::new(vec![10], rows)
+    }
+
+    #[test]
+    fn range_count_accurate_at_high_epsilon() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cdf = NoisyCdf::build(&mut rng, &t, 0, 50.0);
+        // Exact count of [0, 4] = 10+20+30+40+50 = 150.
+        assert!((cdf.range_count(0, 4) - 150.0).abs() < 5.0);
+        assert!((cdf.total() - 550.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn quantiles_land_in_right_region() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cdf = NoisyCdf::build(&mut rng, &t, 0, 50.0);
+        // Exact median sits at value 6 (cum through 6 is 280/550 ≈ 0.51).
+        let med = cdf.quantile(0.5);
+        assert!((5..=7).contains(&med), "median ≈ 6, got {med}");
+        assert_eq!(cdf.quantile(0.0), 0);
+        assert_eq!(cdf.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn one_shot_helpers_agree_with_cdf_statistics() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let c = dp_range_count(&mut rng, &t, 0, (3, 5), 50.0);
+        assert!((c - 150.0).abs() < 10.0); // 40+50+60
+        let q = dp_quantile(&mut rng, &t, 0, 0.9, 50.0);
+        assert!((8..=9).contains(&q));
+    }
+
+    #[test]
+    fn monotone_cdf_even_under_noise() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cdf = NoisyCdf::build(&mut rng, &t, 0, 0.1);
+        for w in cdf.cum.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "clamped counts keep the CDF monotone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn out_of_domain_range_rejected() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        NoisyCdf::build(&mut rng, &t, 0, 1.0).range_count(3, 99);
+    }
+}

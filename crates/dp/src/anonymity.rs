@@ -1,0 +1,103 @@
+//! k-anonymity and l-diversity checkers — the pre-DP privacy baselines the
+//! dissertation repeatedly contrasts with (§3.5: "k-anonymity guarantees
+//! that third party users cannot distinguish real data from at least their
+//! nearest k−1 neighbors"; l-diversity additionally requires diverse
+//! sensitive values inside each equivalence class).
+
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Groups rows by their quasi-identifier projection.
+fn equivalence_classes(table: &Table, quasi: &[usize]) -> HashMap<usize, Vec<usize>> {
+    let mut classes: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (r, row) in table.rows().iter().enumerate() {
+        classes.entry(table.cell_index(row, quasi)).or_default().push(r);
+    }
+    classes
+}
+
+/// Whether every quasi-identifier equivalence class has at least `k`
+/// members. An empty table is vacuously k-anonymous.
+pub fn is_k_anonymous(table: &Table, quasi: &[usize], k: usize) -> bool {
+    assert!(k >= 1, "k must be at least 1");
+    equivalence_classes(table, quasi).values().all(|c| c.len() >= k)
+}
+
+/// Whether every quasi-identifier equivalence class contains at least `l`
+/// *distinct* values of the sensitive column (distinct l-diversity).
+pub fn is_l_diverse(table: &Table, quasi: &[usize], sensitive: usize, l: usize) -> bool {
+    assert!(l >= 1, "l must be at least 1");
+    equivalence_classes(table, quasi).values().all(|class| {
+        let mut vals: Vec<u16> =
+            class.iter().map(|&r| table.rows()[r][sensitive]).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len() >= l
+    })
+}
+
+/// Size of the smallest quasi-identifier equivalence class — the table's
+/// effective `k`. Returns 0 for an empty table.
+pub fn effective_k(table: &Table, quasi: &[usize]) -> usize {
+    equivalence_classes(table, quasi).values().map(Vec::len).min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Columns: quasi (age-band), quasi (zip-band), sensitive (diagnosis).
+    fn t() -> Table {
+        Table::new(
+            vec![3, 2, 4],
+            vec![
+                vec![0, 0, 0],
+                vec![0, 0, 1],
+                vec![0, 0, 2],
+                vec![1, 1, 3],
+                vec![1, 1, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn k_anonymity_threshold() {
+        let t = t();
+        let quasi = [0, 1];
+        assert!(is_k_anonymous(&t, &quasi, 2));
+        assert!(!is_k_anonymous(&t, &quasi, 3), "class (1,1) has only 2 members");
+        assert_eq!(effective_k(&t, &quasi), 2);
+    }
+
+    #[test]
+    fn l_diversity_requires_distinct_sensitive_values() {
+        let t = t();
+        let quasi = [0, 1];
+        // Class (0,0) has {0,1,2}; class (1,1) has only {3}.
+        assert!(is_l_diverse(&t, &quasi, 2, 1));
+        assert!(!is_l_diverse(&t, &quasi, 2, 2), "homogeneous class breaks 2-diversity");
+    }
+
+    #[test]
+    fn k_anonymity_is_not_l_diversity() {
+        // The classical homogeneity attack: 2-anonymous but the class leaks
+        // the diagnosis because every member shares it.
+        let t = Table::new(vec![2, 2], vec![vec![0, 1], vec![0, 1]]);
+        assert!(is_k_anonymous(&t, &[0], 2));
+        assert!(!is_l_diverse(&t, &[0], 1, 2));
+    }
+
+    #[test]
+    fn empty_table_vacuously_private() {
+        let t = Table::new(vec![2, 2], vec![]);
+        assert!(is_k_anonymous(&t, &[0], 5));
+        assert!(is_l_diverse(&t, &[0], 1, 5));
+        assert_eq!(effective_k(&t, &[0]), 0);
+    }
+
+    #[test]
+    fn full_quasi_set_usually_breaks_anonymity() {
+        let t = t();
+        assert!(!is_k_anonymous(&t, &[0, 1, 2], 2), "unique sensitive values singleton-ize");
+    }
+}

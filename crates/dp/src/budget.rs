@@ -1,0 +1,125 @@
+//! ε-budget accounting: sequential composition (budgets add) with support
+//! for parallel composition over disjoint partitions (budgets max).
+
+/// Error returned when a spend would exceed the remaining budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// Amount requested.
+    pub requested: f64,
+    /// Amount remaining at the time of the request.
+    pub remaining: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested ε={}, remaining ε={}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A mutable ε budget for one release. Every mechanism invocation must be
+/// paid for through [`PrivacyBudget::spend`]; the total spent is the ε of
+/// the overall release by sequential composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// A fresh budget of `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
+        Self { total: epsilon, spent: 0.0 }
+    }
+
+    /// Total ε of this budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Records a sequential spend of `epsilon`.
+    pub fn spend(&mut self, epsilon: f64) -> Result<(), BudgetExceeded> {
+        assert!(epsilon >= 0.0, "cannot spend negative ε");
+        if epsilon > self.remaining() + 1e-12 {
+            return Err(BudgetExceeded { requested: epsilon, remaining: self.remaining() });
+        }
+        self.spent += epsilon;
+        Ok(())
+    }
+
+    /// Records a *parallel* spend: `k` mechanisms each using `epsilon` on
+    /// disjoint partitions of the data cost only `max = epsilon` total.
+    pub fn spend_parallel(&mut self, epsilon: f64, k: usize) -> Result<(), BudgetExceeded> {
+        assert!(k > 0, "parallel composition over zero mechanisms");
+        self.spend(epsilon)
+    }
+
+    /// Splits the remaining budget into `k` equal sequential shares.
+    pub fn equal_shares(&self, k: usize) -> f64 {
+        assert!(k > 0, "cannot split into zero shares");
+        self.remaining() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_spends_accumulate() {
+        let mut b = PrivacyBudget::new(1.0);
+        b.spend(0.4).unwrap();
+        b.spend(0.4).unwrap();
+        assert!((b.remaining() - 0.2).abs() < 1e-12);
+        assert!(b.spend(0.3).is_err());
+        assert!((b.spent() - 0.8).abs() < 1e-12, "failed spend must not charge");
+    }
+
+    #[test]
+    fn parallel_spend_costs_one_share() {
+        let mut b = PrivacyBudget::new(1.0);
+        b.spend_parallel(0.6, 10).unwrap();
+        assert!((b.remaining() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_shares_divide_remaining() {
+        let mut b = PrivacyBudget::new(2.0);
+        b.spend(0.5).unwrap();
+        assert!((b.equal_shares(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeded_error_reports_amounts() {
+        let mut b = PrivacyBudget::new(0.1);
+        let err = b.spend(0.5).unwrap_err();
+        assert_eq!(err.requested, 0.5);
+        assert!((err.remaining - 0.1).abs() < 1e-12);
+        assert!(err.to_string().contains("exceeded"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_budget_rejected() {
+        PrivacyBudget::new(0.0);
+    }
+}

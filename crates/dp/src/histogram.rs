@@ -1,0 +1,110 @@
+//! Noisy histograms and contingency marginals: the Laplace mechanism
+//! applied to count vectors (sensitivity 1 under add/remove-one-record
+//! neighbouring, since each record lives in exactly one cell).
+
+use crate::mechanism::laplace_noise;
+use crate::table::Table;
+use rand::Rng;
+
+/// ε-DP histogram over the joint cells of `cols`: exact counts plus
+/// `Laplace(1/ε)` per cell, clamped at zero (post-processing preserves DP).
+pub fn noisy_histogram<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    cols: &[usize],
+    epsilon: f64,
+) -> Vec<f64> {
+    assert!(epsilon > 0.0, "ε must be positive");
+    table
+        .histogram(cols)
+        .into_iter()
+        .map(|c| (c + laplace_noise(rng, 1.0 / epsilon)).max(0.0))
+        .collect()
+}
+
+/// ε-DP *normalized* marginal over `cols`: noisy histogram renormalized to
+/// a probability distribution (uniform fallback if all cells clamp to 0).
+pub fn noisy_marginal<R: Rng + ?Sized>(
+    rng: &mut R,
+    table: &Table,
+    cols: &[usize],
+    epsilon: f64,
+) -> Vec<f64> {
+    let mut h = noisy_histogram(rng, table, cols, epsilon);
+    let z: f64 = h.iter().sum();
+    if z > 0.0 {
+        for x in &mut h {
+            *x /= z;
+        }
+    } else {
+        let n = h.len().max(1);
+        h = vec![1.0 / n as f64; n];
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn table() -> Table {
+        Table::new(
+            vec![2, 2],
+            (0..400).map(|i| vec![(i % 2) as u16, ((i / 2) % 2) as u16]).collect(),
+        )
+    }
+
+    #[test]
+    fn high_epsilon_close_to_exact() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let noisy = noisy_histogram(&mut rng, &t, &[0, 1], 100.0);
+        let exact = t.histogram(&[0, 1]);
+        for (n, e) in noisy.iter().zip(&exact) {
+            assert!((n - e).abs() < 1.0, "ε=100 noise must be tiny: {n} vs {e}");
+        }
+    }
+
+    #[test]
+    fn low_epsilon_is_noisier() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let exact = t.histogram(&[0]);
+        let dev = |eps: f64, rng: &mut ChaCha8Rng| -> f64 {
+            (0..200)
+                .map(|_| {
+                    noisy_histogram(rng, &t, &[0], eps)
+                        .iter()
+                        .zip(&exact)
+                        .map(|(n, e)| (n - e).abs())
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let tight = dev(10.0, &mut rng);
+        let loose = dev(0.1, &mut rng);
+        assert!(loose > tight * 5.0, "ε=0.1 ({loose}) ≫ ε=10 ({tight})");
+    }
+
+    #[test]
+    fn counts_never_negative() {
+        let t = Table::new(vec![4], vec![vec![0]]); // cells 1..3 are empty
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let h = noisy_histogram(&mut rng, &t, &[0], 0.5);
+            assert!(h.iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn marginal_normalizes() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = noisy_marginal(&mut rng, &t, &[0, 1], 1.0);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m.iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Differential-privacy substrate for `ppdp`.
+//!
+//! The dissertation's introduction and Chapter 6 describe publishing
+//! high-dimensional (genomic/IoT) data under differential privacy by
+//! "approximating the high-dimensional distribution of the original data
+//! with a set of well-chosen low-dimensional distributions", injecting
+//! calibrated noise into those marginals, and sampling synthetic records —
+//! the PrivBayes-style recipe implemented in [`bayes_net`].
+//!
+//! The crate also provides:
+//! * [`mechanism`] — Laplace and geometric mechanisms plus the exponential
+//!   mechanism for selection;
+//! * [`budget`] — ε-budget accounting under sequential/parallel composition;
+//! * [`table`] — the categorical microdata table the mechanisms operate on;
+//! * [`histogram`] — noisy histograms and contingency marginals;
+//! * [`aggregate`] — DP range counting and quantiles (the "big data
+//!   aggregation" primitives of §6.2);
+//! * [`anonymity`] — k-anonymity and l-diversity checkers, the baseline
+//!   notions the dissertation contrasts DP with (§3.5);
+//! * [`mondrian`] — a greedy Mondrian-style k-anonymizer, so the
+//!   anonymization-vs-DP comparison can be executed rather than cited.
+
+pub mod aggregate;
+pub mod anonymity;
+pub mod bayes_net;
+pub mod budget;
+pub mod histogram;
+pub mod mechanism;
+pub mod mondrian;
+pub mod table;
+
+pub use aggregate::{dp_quantile, dp_range_count, NoisyCdf};
+pub use anonymity::{is_k_anonymous, is_l_diverse};
+pub use bayes_net::{BayesNet, SynthesisConfig};
+pub use budget::PrivacyBudget;
+pub use histogram::{noisy_histogram, noisy_marginal};
+pub use mechanism::{exponential_mechanism, geometric_noise, laplace_noise};
+pub use mondrian::{mondrian_anonymize, AnonymizedTable};
+pub use table::Table;

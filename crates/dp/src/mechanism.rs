@@ -1,0 +1,129 @@
+//! Core DP mechanisms: Laplace, two-sided geometric, and the exponential
+//! mechanism for private selection.
+
+use rand::Rng;
+
+/// A sample from `Laplace(0, scale)` — add to a query answer with
+/// `scale = sensitivity / ε` for ε-DP.
+///
+/// # Panics
+/// Panics if `scale` is not strictly positive and finite.
+pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale > 0.0 && scale.is_finite(), "Laplace scale must be positive");
+    // Inverse-CDF sampling: u ∈ (−1/2, 1/2), x = −b·sgn(u)·ln(1 − 2|u|).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// A sample from the two-sided geometric distribution with parameter
+/// `alpha = exp(−ε / sensitivity)` — the integer analogue of Laplace,
+/// suitable for count queries that must stay integral.
+///
+/// # Panics
+/// Panics unless `0 < alpha < 1`.
+pub fn geometric_noise<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> i64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    // Difference of two geometric variables.
+    let g = |rng: &mut R| -> i64 {
+        // P(X = k) = (1 − α)·α^k, k ≥ 0 — inverse CDF.
+        let u: f64 = rng.gen::<f64>();
+        (u.ln() / alpha.ln()).floor() as i64
+    };
+    g(rng) - g(rng)
+}
+
+/// The exponential mechanism: privately selects an index with probability
+/// proportional to `exp(ε · score / (2 · sensitivity))`.
+///
+/// # Panics
+/// Panics if `scores` is empty or `sensitivity ≤ 0`.
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    scores: &[f64],
+    epsilon: f64,
+    sensitivity: f64,
+) -> usize {
+    assert!(!scores.is_empty(), "need at least one candidate");
+    assert!(sensitivity > 0.0, "sensitivity must be positive");
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores
+        .iter()
+        .map(|&s| (epsilon * (s - max) / (2.0 * sensitivity)).exp())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        pick -= w;
+        if pick <= 0.0 {
+            return i;
+        }
+    }
+    scores.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn laplace_mean_and_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 50_000;
+        let scale = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "Laplace is centred, got mean {mean}");
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        // E|X| = b for Laplace(0, b).
+        assert!((mad - scale).abs() < 0.1, "E|X| ≈ {scale}, got {mad}");
+    }
+
+    #[test]
+    fn laplace_scale_orders_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let spread = |scale: f64, rng: &mut ChaCha8Rng| -> f64 {
+            (0..10_000).map(|_| laplace_noise(rng, scale).abs()).sum::<f64>() / 10_000.0
+        };
+        let tight = spread(0.5, &mut rng);
+        let wide = spread(5.0, &mut rng);
+        assert!(wide > tight * 4.0);
+    }
+
+    #[test]
+    fn geometric_is_integer_and_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 50_000;
+        let sum: i64 = (0..n).map(|_| geometric_noise(&mut rng, 0.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.05, "two-sided geometric is centred, got {mean}");
+    }
+
+    #[test]
+    fn exponential_mechanism_prefers_high_scores() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let scores = [0.0, 0.0, 10.0];
+        let picks = (0..2_000)
+            .filter(|_| exponential_mechanism(&mut rng, &scores, 2.0, 1.0) == 2)
+            .count();
+        assert!(picks > 1_800, "high score should dominate, got {picks}/2000");
+    }
+
+    #[test]
+    fn exponential_mechanism_near_uniform_at_zero_epsilon() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let scores = [0.0, 100.0];
+        let picks = (0..10_000)
+            .filter(|_| exponential_mechanism(&mut rng, &scores, 0.0, 1.0) == 1)
+            .count();
+        assert!((4_000..6_000).contains(&picks), "ε=0 ⇒ uniform, got {picks}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        laplace_noise(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Sum-product belief propagation on the SNP-trait factor graph — the
+//! linear-complexity inference attack of §5.4 (Eqs. 5.3-5.6).
+//!
+//! Messages are exchanged between variable nodes and factor nodes until the
+//! marginals converge; every message is normalized, so long chains stay
+//! numerically stable. On forests (like Fig. 5.1) the result is the exact
+//! marginal of the Eq. (5.2) factorization, which the test-suite checks
+//! against [`crate::exhaustive`].
+
+use crate::factor_graph::FactorGraph;
+
+/// Belief-propagation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpConfig {
+    /// Maximum message-passing iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the max absolute message change.
+    pub tol: f64,
+    /// Damping factor in `[0, 1)`: `new = damping·old + (1−damping)·fresh`.
+    /// 0 disables damping; positive values help on loopy graphs.
+    pub damping: f64,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        Self { max_iters: 100, tol: 1e-9, damping: 0.0 }
+    }
+}
+
+/// Result of a belief-propagation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpResult {
+    /// `snp_marginals[local_snp][g]` = posterior genotype distribution.
+    pub snp_marginals: Vec<[f64; 3]>,
+    /// `trait_marginals[local_trait]` = `[P(¬t), P(t)]` posterior.
+    pub trait_marginals: Vec<[f64; 2]>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the messages converged within the iteration budget.
+    pub converged: bool,
+}
+
+impl BpConfig {
+    /// Runs sum-product BP on `g` and returns all posterior marginals.
+    pub fn run(&self, g: &FactorGraph) -> BpResult {
+        let nf = g.factors.len();
+        // Node potentials: evidence clamps to an indicator, otherwise SNPs
+        // are flat (their distribution is induced by the factors) and traits
+        // carry their prevalence prior.
+        let snp_pot: Vec<[f64; 3]> = g
+            .snp_evidence
+            .iter()
+            .map(|ev| match ev {
+                Some(i) => indicator3(*i),
+                None => [1.0; 3],
+            })
+            .collect();
+        let trait_pot: Vec<[f64; 2]> = g
+            .trait_evidence
+            .iter()
+            .enumerate()
+            .map(|(t, ev)| match ev {
+                Some(true) => [0.0, 1.0],
+                Some(false) => [1.0, 0.0],
+                None => g.trait_prior[t],
+            })
+            .collect();
+
+        let nk = g.kin_factors.len();
+        let mut f2s = vec![[1.0f64; 3]; nf];
+        let mut f2t = vec![[1.0f64; 2]; nf];
+        // Kin-factor → SNP messages, one per (factor, side): side 0 = to the
+        // parent variable, side 1 = to the child variable.
+        let mut k2s = vec![[[1.0f64; 3]; 2]; nk];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        // Incoming product at SNP `s` excluding one association factor
+        // (`skip_f`) or one kin-factor side (`skip_k`).
+        let incoming = |s: usize,
+                        skip_f: Option<usize>,
+                        skip_k: Option<usize>,
+                        f2s: &[[f64; 3]],
+                        k2s: &[[[f64; 3]; 2]],
+                        pot: &[f64; 3]|
+         -> [f64; 3] {
+            let mut msg = *pot;
+            for &f2 in &g.snp_factors[s] {
+                if Some(f2) != skip_f {
+                    for (m, l) in msg.iter_mut().zip(&f2s[f2]) {
+                        *m *= l;
+                    }
+                }
+            }
+            for &k in &g.snp_kin[s] {
+                if Some(k) != skip_k {
+                    let side = if g.kin_factors[k].parent == s { 0 } else { 1 };
+                    for (m, l) in msg.iter_mut().zip(&k2s[k][side]) {
+                        *m *= l;
+                    }
+                }
+            }
+            msg
+        };
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Variable → factor messages (Eqs. 5.3/5.4): product of incoming
+            // factor messages excluding the destination factor.
+            let mut s2f = vec![[1.0f64; 3]; nf];
+            for (s, fs) in g.snp_factors.iter().enumerate() {
+                for &f in fs {
+                    let msg = incoming(s, Some(f), None, &f2s, &k2s, &snp_pot[s]);
+                    s2f[f] = normalize3(msg);
+                }
+            }
+            // Variable → kin-factor messages (parent side index 0, child 1).
+            let mut s2k = vec![[[1.0f64; 3]; 2]; nk];
+            for (k, kf) in g.kin_factors.iter().enumerate() {
+                s2k[k][0] =
+                    normalize3(incoming(kf.parent, None, Some(k), &f2s, &k2s, &snp_pot[kf.parent]));
+                s2k[k][1] =
+                    normalize3(incoming(kf.child, None, Some(k), &f2s, &k2s, &snp_pot[kf.child]));
+            }
+            let mut t2f = vec![[1.0f64; 2]; nf];
+            for (t, fs) in g.trait_factors.iter().enumerate() {
+                for &f in fs {
+                    let mut msg = trait_pot[t];
+                    for &f2 in fs {
+                        if f2 != f {
+                            for (m, l) in msg.iter_mut().zip(&f2t[f2]) {
+                                *m *= l;
+                            }
+                        }
+                    }
+                    t2f[f] = normalize2(msg);
+                }
+            }
+
+            // Factor → variable messages (Eqs. 5.5/5.6).
+            let mut delta = 0.0f64;
+            for (f, fac) in g.factors.iter().enumerate() {
+                let mut to_s = [0.0f64; 3];
+                for (gi, row) in fac.table.iter().enumerate() {
+                    to_s[gi] = row[0] * t2f[f][0] + row[1] * t2f[f][1];
+                }
+                let to_s = damp3(normalize3(to_s), f2s[f], self.damping);
+                for (new, old) in to_s.iter().zip(&f2s[f]) {
+                    delta = delta.max((new - old).abs());
+                }
+                f2s[f] = to_s;
+
+                let mut to_t = [0.0f64; 2];
+                for (t, slot) in to_t.iter_mut().enumerate() {
+                    *slot = (0..3).map(|gi| fac.table[gi][t] * s2f[f][gi]).sum();
+                }
+                let to_t = damp2(normalize2(to_t), f2t[f], self.damping);
+                for (new, old) in to_t.iter().zip(&f2t[f]) {
+                    delta = delta.max((new - old).abs());
+                }
+                f2t[f] = to_t;
+            }
+
+            // Kin-factor → variable messages: sum-product over the 3×3
+            // transmission table.
+            for (k, kf) in g.kin_factors.iter().enumerate() {
+                // to child: Σ_p T[p][c] · μ_{parent→k}(p)
+                let mut to_child = [0.0f64; 3];
+                for (c, slot) in to_child.iter_mut().enumerate() {
+                    *slot = (0..3).map(|p| kf.table[p][c] * s2k[k][0][p]).sum();
+                }
+                let to_child = damp3(normalize3(to_child), k2s[k][1], self.damping);
+                for (new, old) in to_child.iter().zip(&k2s[k][1]) {
+                    delta = delta.max((new - old).abs());
+                }
+                k2s[k][1] = to_child;
+
+                // to parent: Σ_c T[p][c] · μ_{child→k}(c)
+                let mut to_parent = [0.0f64; 3];
+                for (p, slot) in to_parent.iter_mut().enumerate() {
+                    *slot = (0..3).map(|c| kf.table[p][c] * s2k[k][1][c]).sum();
+                }
+                let to_parent = damp3(normalize3(to_parent), k2s[k][0], self.damping);
+                for (new, old) in to_parent.iter().zip(&k2s[k][0]) {
+                    delta = delta.max((new - old).abs());
+                }
+                k2s[k][0] = to_parent;
+            }
+
+            if delta < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Beliefs: potential × product of all incoming factor messages
+        // (both association and kin factors).
+        let snp_marginals = (0..g.n_snps())
+            .map(|s| normalize3(incoming(s, None, None, &f2s, &k2s, &snp_pot[s])))
+            .collect();
+        let trait_marginals = g
+            .trait_factors
+            .iter()
+            .enumerate()
+            .map(|(t, fs)| {
+                let mut b = trait_pot[t];
+                for &f in fs {
+                    for (x, l) in b.iter_mut().zip(&f2t[f]) {
+                        *x *= l;
+                    }
+                }
+                normalize2(b)
+            })
+            .collect();
+
+        BpResult { snp_marginals, trait_marginals, iterations, converged }
+    }
+}
+
+fn indicator3(i: usize) -> [f64; 3] {
+    let mut v = [0.0; 3];
+    v[i] = 1.0;
+    v
+}
+
+fn normalize3(mut v: [f64; 3]) -> [f64; 3] {
+    let z: f64 = v.iter().sum();
+    if z > 0.0 {
+        for x in &mut v {
+            *x /= z;
+        }
+    } else {
+        v = [1.0 / 3.0; 3];
+    }
+    v
+}
+
+fn normalize2(mut v: [f64; 2]) -> [f64; 2] {
+    let z: f64 = v.iter().sum();
+    if z > 0.0 {
+        for x in &mut v {
+            *x /= z;
+        }
+    } else {
+        v = [0.5; 2];
+    }
+    v
+}
+
+fn damp3(new: [f64; 3], old: [f64; 3], d: f64) -> [f64; 3] {
+    if d <= 0.0 {
+        return new;
+    }
+    let mut out = [0.0; 3];
+    for i in 0..3 {
+        out[i] = d * old[i] + (1.0 - d) * new[i];
+    }
+    out
+}
+
+fn damp2(new: [f64; 2], old: [f64; 2], d: f64) -> [f64; 2] {
+    if d <= 0.0 {
+        return new;
+    }
+    let mut out = [0.0; 2];
+    for i in 0..2 {
+        out[i] = d * old[i] + (1.0 - d) * new[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor_graph::{figure_5_1_catalog, Evidence, FactorGraph};
+    use crate::model::{Genotype, SnpId, TraitId};
+
+    #[test]
+    fn no_evidence_isolated_trait_stays_at_prior() {
+        // Marginalizing an exclusive SNP's factor gives Σ_s P(s|t) = 1, so a
+        // trait whose SNPs are all exclusive (t3 ↔ s5) keeps its prevalence
+        // prior. Traits that *share* a SNP (t1/t2 via s2) correlate through
+        // the product-of-experts factorization and may shift slightly; they
+        // are checked against exhaustive enumeration in `exhaustive::tests`.
+        let cat = figure_5_1_catalog();
+        let g = FactorGraph::build(&cat, &Evidence::none());
+        let r = BpConfig::default().run(&g);
+        assert!(r.converged);
+        let t3 = g.trait_local(TraitId(2)).unwrap();
+        assert!(
+            (r.trait_marginals[t3][1] - g.trait_prior[t3][1]).abs() < 1e-9,
+            "isolated trait moved from prior: {:?}",
+            r.trait_marginals[t3]
+        );
+        // The shared-SNP traits stay *near* their priors (the coupling is a
+        // second-order effect).
+        for t in [TraitId(0), TraitId(1)] {
+            let i = g.trait_local(t).unwrap();
+            assert!((r.trait_marginals[i][1] - g.trait_prior[i][1]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn risk_genotype_evidence_raises_trait_posterior() {
+        let cat = figure_5_1_catalog();
+        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()));
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+        let g = FactorGraph::build(&cat, &ev);
+        let r = BpConfig::default().run(&g);
+        let t1 = g.trait_local(TraitId(0)).unwrap();
+        assert!(
+            r.trait_marginals[t1][1] > base.trait_marginals[t1][1],
+            "observing rr at an OR>1 locus must raise P(t1)"
+        );
+        // Unrelated trait t3 unaffected (different component).
+        let t3 = g.trait_local(TraitId(2)).unwrap();
+        assert!((r.trait_marginals[t3][1] - base.trait_marginals[t3][1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trait_evidence_shifts_snp_marginals() {
+        let cat = figure_5_1_catalog();
+        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()));
+        let ev = Evidence::none().with_trait(TraitId(1), true);
+        let g = FactorGraph::build(&cat, &ev);
+        let r = BpConfig::default().run(&g);
+        for s in [SnpId(1), SnpId(2), SnpId(3)] {
+            let i = g.snp_local(s).unwrap();
+            assert!(
+                r.snp_marginals[i][0] > base.snp_marginals[i][0],
+                "P(rr) at {s} must rise when its trait is present"
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_is_reproduced_exactly() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none()
+            .with_snp(SnpId(4), Genotype::Het)
+            .with_trait(TraitId(0), false);
+        let g = FactorGraph::build(&cat, &ev);
+        let r = BpConfig::default().run(&g);
+        let s = g.snp_local(SnpId(4)).unwrap();
+        assert_eq!(r.snp_marginals[s], [0.0, 1.0, 0.0]);
+        let t = g.trait_local(TraitId(0)).unwrap();
+        assert_eq!(r.trait_marginals[t], [1.0, 0.0]);
+    }
+
+    #[test]
+    fn marginals_normalized_and_converged_on_tree() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(1), Genotype::HomRisk);
+        let g = FactorGraph::build(&cat, &ev);
+        let r = BpConfig::default().run(&g);
+        assert!(r.converged);
+        for m in &r.snp_marginals {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for m in &r.trait_marginals {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn damping_reaches_same_fixed_point_on_tree() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomNonRisk);
+        let g = FactorGraph::build(&cat, &ev);
+        let plain = BpConfig::default().run(&g);
+        let damped = BpConfig { damping: 0.5, max_iters: 500, ..Default::default() }.run(&g);
+        for (a, b) in plain.trait_marginals.iter().zip(&damped.trait_marginals) {
+            assert!((a[1] - b[1]).abs() < 1e-6);
+        }
+    }
+}

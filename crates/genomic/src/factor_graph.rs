@@ -1,0 +1,318 @@
+//! The bipartite factor graph of §5.4 / Fig. 5.1: SNP variable nodes, trait
+//! variable nodes, and one factor node `f_ji(s_i, t_j)` per catalogued
+//! SNP-trait association.
+//!
+//! The joint distribution is factorized as Eq. (5.2):
+//! `p(X^U | S^K, T^K, C) = (1/Z) · Π_j P(t_j) · Π_{i,j} f_ji(s_i, t_j)`
+//! with `f_ji(s, t) = P(s | t)` from Table 5.2. Known SNPs/traits enter as
+//! clamped evidence. When a SNP participates in several associations the
+//! product acts as a product-of-experts combination of its parents — the
+//! same approximation the dissertation's pairwise factorization makes.
+
+use crate::catalog::GwasCatalog;
+use crate::model::{Genotype, SnpId, TraitId};
+use crate::tables::genotype_given_trait;
+use std::collections::HashMap;
+
+/// The attacker's background knowledge: released SNPs `S^K` and released
+/// traits `T^K` (§5.3.2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Evidence {
+    /// Known genotypes.
+    pub snps: HashMap<SnpId, Genotype>,
+    /// Known trait statuses.
+    pub traits: HashMap<TraitId, bool>,
+}
+
+impl Evidence {
+    /// Empty evidence (a fully unobserved target).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a known SNP; builder style.
+    pub fn with_snp(mut self, s: SnpId, g: Genotype) -> Self {
+        self.snps.insert(s, g);
+        self
+    }
+
+    /// Adds a known trait; builder style.
+    pub fn with_trait(mut self, t: TraitId, present: bool) -> Self {
+        self.traits.insert(t, present);
+        self
+    }
+}
+
+/// One pairwise factor `f_ji(s_i, t_j)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    /// Local index of the SNP variable.
+    pub snp: usize,
+    /// Local index of the trait variable.
+    pub trait_idx: usize,
+    /// `table[g][t] = P(genotype g | trait status t)` (t: 0 = absent,
+    /// 1 = present).
+    pub table: [[f64; 2]; 3],
+}
+
+/// A pairwise SNP-SNP factor between two genotype variables — used by the
+/// kinship extension ([`crate::kinship`]) to encode Mendelian transmission
+/// between a parent's and a child's genotype at the same locus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KinFactor {
+    /// Local index of the parent's SNP variable.
+    pub parent: usize,
+    /// Local index of the child's SNP variable.
+    pub child: usize,
+    /// `table[p][c] = P(child genotype c | parent genotype p)`.
+    pub table: [[f64; 3]; 3],
+}
+
+/// The compiled factor graph: only SNPs that participate in at least one
+/// association are materialized (isolated SNPs carry no inferential signal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorGraph {
+    /// Global ids of the materialized SNP variables.
+    pub snp_ids: Vec<SnpId>,
+    /// Global ids of the materialized trait variables.
+    pub trait_ids: Vec<TraitId>,
+    /// Trait priors `[P(¬t), P(t)]` (prevalence), or clamped evidence.
+    pub trait_prior: Vec<[f64; 2]>,
+    /// SNP evidence: clamped genotype index, if known.
+    pub snp_evidence: Vec<Option<usize>>,
+    /// Trait evidence: clamped status, if known.
+    pub trait_evidence: Vec<Option<bool>>,
+    /// All pairwise SNP-trait factors.
+    pub factors: Vec<Factor>,
+    /// SNP-trait factor indices adjacent to each SNP variable.
+    pub snp_factors: Vec<Vec<usize>>,
+    /// Factor indices adjacent to each trait variable.
+    pub trait_factors: Vec<Vec<usize>>,
+    /// Mendelian-transmission factors between SNP variables (kinship).
+    pub kin_factors: Vec<KinFactor>,
+    /// Kin-factor indices adjacent to each SNP variable.
+    pub snp_kin: Vec<Vec<usize>>,
+}
+
+impl FactorGraph {
+    /// Compiles `catalog` + `evidence` into a factor graph.
+    pub fn build(catalog: &GwasCatalog, evidence: &Evidence) -> Self {
+        let mut snp_index: HashMap<SnpId, usize> = HashMap::new();
+        let mut trait_index: HashMap<TraitId, usize> = HashMap::new();
+        let mut snp_ids = Vec::new();
+        let mut trait_ids = Vec::new();
+
+        for assoc in catalog.associations() {
+            snp_index.entry(assoc.snp).or_insert_with(|| {
+                snp_ids.push(assoc.snp);
+                snp_ids.len() - 1
+            });
+            trait_index.entry(assoc.trait_id).or_insert_with(|| {
+                trait_ids.push(assoc.trait_id);
+                trait_ids.len() - 1
+            });
+        }
+
+        let trait_prior: Vec<[f64; 2]> = trait_ids
+            .iter()
+            .map(|&t| {
+                let p = catalog.trait_info(t).prevalence;
+                [1.0 - p, p]
+            })
+            .collect();
+
+        let snp_evidence: Vec<Option<usize>> =
+            snp_ids.iter().map(|s| evidence.snps.get(s).map(|g| g.index())).collect();
+        let trait_evidence: Vec<Option<bool>> =
+            trait_ids.iter().map(|t| evidence.traits.get(t).copied()).collect();
+
+        let mut factors = Vec::with_capacity(catalog.associations().len());
+        let mut snp_factors = vec![Vec::new(); snp_ids.len()];
+        let mut trait_factors = vec![Vec::new(); trait_ids.len()];
+        for assoc in catalog.associations() {
+            let s = snp_index[&assoc.snp];
+            let t = trait_index[&assoc.trait_id];
+            let mut table = [[0.0; 2]; 3];
+            for g in Genotype::ALL {
+                table[g.index()][0] = genotype_given_trait(assoc, g, false);
+                table[g.index()][1] = genotype_given_trait(assoc, g, true);
+            }
+            let f_idx = factors.len();
+            factors.push(Factor { snp: s, trait_idx: t, table });
+            snp_factors[s].push(f_idx);
+            trait_factors[t].push(f_idx);
+        }
+
+        let n_snps = snp_ids.len();
+        Self {
+            snp_ids,
+            trait_ids,
+            trait_prior,
+            snp_evidence,
+            trait_evidence,
+            factors,
+            snp_factors,
+            trait_factors,
+            kin_factors: Vec::new(),
+            snp_kin: vec![Vec::new(); n_snps],
+        }
+    }
+
+    /// Appends a Mendelian-transmission factor between two materialized SNP
+    /// variables (same locus, different individuals). Used by
+    /// [`crate::kinship`].
+    ///
+    /// # Panics
+    /// Panics on out-of-range variable indices.
+    pub fn add_kin_factor(&mut self, parent: usize, child: usize, table: [[f64; 3]; 3]) {
+        assert!(parent < self.n_snps() && child < self.n_snps(), "SNP index out of range");
+        let idx = self.kin_factors.len();
+        self.kin_factors.push(KinFactor { parent, child, table });
+        self.snp_kin[parent].push(idx);
+        self.snp_kin[child].push(idx);
+    }
+
+    /// Number of SNP variables.
+    pub fn n_snps(&self) -> usize {
+        self.snp_ids.len()
+    }
+
+    /// Number of trait variables.
+    pub fn n_traits(&self) -> usize {
+        self.trait_ids.len()
+    }
+
+    /// Local index of global SNP `s`, if materialized.
+    pub fn snp_local(&self, s: SnpId) -> Option<usize> {
+        self.snp_ids.iter().position(|&x| x == s)
+    }
+
+    /// Local index of global trait `t`, if materialized.
+    pub fn trait_local(&self, t: TraitId) -> Option<usize> {
+        self.trait_ids.iter().position(|&x| x == t)
+    }
+
+    /// Whether the factor graph is a forest (no cycles). BP is exact on
+    /// forests, approximate otherwise — useful for tests and diagnostics.
+    pub fn is_forest(&self) -> bool {
+        // Union-find over variable nodes; each factor is an edge
+        // snp ↔ trait. A cycle appears iff an edge joins two nodes already
+        // connected.
+        let n = self.n_snps() + self.n_traits();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for f in &self.factors {
+            let a = find(&mut parent, f.snp);
+            let b = find(&mut parent, self.n_snps() + f.trait_idx);
+            if a == b {
+                return false;
+            }
+            parent[a] = b;
+        }
+        for f in &self.kin_factors {
+            let a = find(&mut parent, f.parent);
+            let b = find(&mut parent, f.child);
+            if a == b {
+                return false;
+            }
+            parent[a] = b;
+        }
+        true
+    }
+}
+
+/// Builds the 3-trait/5-SNP example factor graph of Fig. 5.1:
+/// `{s1,s2} → t1`, `{s2,s3,s4} → t2`, `{s5} → t3`.
+pub fn figure_5_1_catalog() -> GwasCatalog {
+    let mut c = GwasCatalog::new(5);
+    let t1 = c.add_trait("t1", 0.1);
+    let t2 = c.add_trait("t2", 0.2);
+    let t3 = c.add_trait("t3", 0.05);
+    c.associate(SnpId(0), t1, 1.5, 0.3);
+    c.associate(SnpId(1), t1, 1.3, 0.25);
+    c.associate(SnpId(1), t2, 1.8, 0.25);
+    c.associate(SnpId(2), t2, 1.2, 0.4);
+    c.associate(SnpId(3), t2, 2.0, 0.15);
+    c.associate(SnpId(4), t3, 1.6, 0.2);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_5_1_structure() {
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none());
+        assert_eq!(g.n_snps(), 5);
+        assert_eq!(g.n_traits(), 3);
+        assert_eq!(g.factors.len(), 6);
+        // s2 (index 1) participates in two factors (t1 and t2).
+        let s2 = g.snp_local(SnpId(1)).unwrap();
+        assert_eq!(g.snp_factors[s2].len(), 2);
+        // t2 has three SNP neighbours.
+        let t2 = g.trait_local(TraitId(1)).unwrap();
+        assert_eq!(g.trait_factors[t2].len(), 3);
+        assert!(g.is_forest(), "Fig. 5.1 is a tree");
+    }
+
+    #[test]
+    fn evidence_is_clamped() {
+        let ev = Evidence::none()
+            .with_snp(SnpId(0), Genotype::Het)
+            .with_trait(TraitId(2), true);
+        let g = FactorGraph::build(&figure_5_1_catalog(), &ev);
+        let s = g.snp_local(SnpId(0)).unwrap();
+        assert_eq!(g.snp_evidence[s], Some(1));
+        let t = g.trait_local(TraitId(2)).unwrap();
+        assert_eq!(g.trait_evidence[t], Some(true));
+    }
+
+    #[test]
+    fn factor_tables_are_conditional_distributions() {
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none());
+        for f in &g.factors {
+            for t in 0..2 {
+                let total: f64 = (0..3).map(|s| f.table[s][t]).sum();
+                assert!((total - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        // Two traits sharing two SNPs forms a 4-cycle.
+        let mut c = GwasCatalog::new(2);
+        let t0 = c.add_trait("a", 0.1);
+        let t1 = c.add_trait("b", 0.1);
+        for s in 0..2 {
+            c.associate(SnpId(s), t0, 1.5, 0.3);
+            c.associate(SnpId(s), t1, 1.5, 0.3);
+        }
+        let g = FactorGraph::build(&c, &Evidence::none());
+        assert!(!g.is_forest());
+    }
+
+    #[test]
+    fn isolated_snps_not_materialized() {
+        let mut c = GwasCatalog::new(10);
+        let t = c.add_trait("x", 0.1);
+        c.associate(SnpId(7), t, 1.5, 0.3);
+        let g = FactorGraph::build(&c, &Evidence::none());
+        assert_eq!(g.n_snps(), 1);
+        assert_eq!(g.snp_ids, vec![SnpId(7)]);
+        assert_eq!(g.snp_local(SnpId(0)), None);
+    }
+}

@@ -1,0 +1,501 @@
+//! Kin genomic inference — the relative-aware attacker of §5.1/§5.3.2.
+//!
+//! The dissertation's attacker "can effectively predict the target
+//! genotypes and phenotypes of target individuals based on genome
+//! information shared by individuals **or their relatives**" (§1.4, the
+//! Lacks-family motivation). This module realizes that capability by
+//! replicating the SNP-trait factor graph per family member and connecting
+//! relatives' genotype variables at each locus with Mendelian-transmission
+//! factors:
+//!
+//! `P(child | parent)` marginalizes the unobserved second parent through
+//! the population allele frequency `f` (the association's control-group
+//! RAF), giving the 3×3 table
+//! `T[p][c] = Σ_{passed} P(pass | p) · P(other allele | f)`.
+
+use crate::bp::{BpConfig, BpResult};
+use crate::catalog::GwasCatalog;
+use crate::factor_graph::{Evidence, FactorGraph};
+use crate::model::{SnpId, TraitId};
+
+/// A nuclear/extended family: per-member released evidence plus
+/// parent-child relations (indices into `members`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Family {
+    /// Each member's released SNPs/traits (may be empty for the victim).
+    pub members: Vec<Evidence>,
+    /// `(parent, child)` pairs, both indices into `members`.
+    pub parent_child: Vec<(usize, usize)>,
+}
+
+impl Family {
+    /// Starts an empty family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member; returns their index.
+    pub fn member(&mut self, evidence: Evidence) -> usize {
+        self.members.push(evidence);
+        self.members.len() - 1
+    }
+
+    /// Declares `parent` to be a biological parent of `child`.
+    ///
+    /// # Panics
+    /// Panics on unknown indices or a self-relation.
+    pub fn relate(&mut self, parent: usize, child: usize) {
+        assert!(parent < self.members.len() && child < self.members.len(), "unknown member");
+        assert_ne!(parent, child, "a member cannot parent themselves");
+        self.parent_child.push((parent, child));
+    }
+}
+
+/// Maps `(member, global id)` to the local variable indices of the compiled
+/// family factor graph.
+#[derive(Debug, Clone)]
+pub struct FamilyIndex {
+    /// Number of SNP variables per member (the per-member stride).
+    snps_per_member: usize,
+    /// Number of trait variables per member.
+    traits_per_member: usize,
+    /// The per-member template ids (identical for every member).
+    snp_ids: Vec<SnpId>,
+    trait_ids: Vec<TraitId>,
+}
+
+impl FamilyIndex {
+    /// Local SNP-variable index of `(member, snp)`, if the SNP is
+    /// materialized.
+    pub fn snp(&self, member: usize, snp: SnpId) -> Option<usize> {
+        self.snp_ids
+            .iter()
+            .position(|&x| x == snp)
+            .map(|i| member * self.snps_per_member + i)
+    }
+
+    /// Local trait-variable index of `(member, trait)`.
+    pub fn trait_(&self, member: usize, t: TraitId) -> Option<usize> {
+        self.trait_ids
+            .iter()
+            .position(|&x| x == t)
+            .map(|i| member * self.traits_per_member + i)
+    }
+}
+
+/// Mendelian transmission table `T[parent][child]` with the second parent
+/// marginalized through population risk-allele frequency `f`.
+pub fn transmission_table(f: f64) -> [[f64; 3]; 3] {
+    assert!((0.0..=1.0).contains(&f), "allele frequency out of range");
+    // Probability the parent passes the risk allele, by parent genotype
+    // (rr, rρ, ρρ).
+    let pass = [1.0, 0.5, 0.0];
+    let mut table = [[0.0; 3]; 3];
+    for (p, &pr) in pass.iter().enumerate() {
+        // child = (passed allele, population allele):
+        // rr  needs passed r AND population r;
+        // ρρ  needs passed ρ AND population ρ;
+        // rρ  is everything else.
+        table[p][0] = pr * f;
+        table[p][2] = (1.0 - pr) * (1.0 - f);
+        table[p][1] = 1.0 - table[p][0] - table[p][2];
+    }
+    table
+}
+
+/// Compiles a family into one factor graph: each member gets a full copy of
+/// the catalog's SNP-trait graph (with their own evidence clamped), and
+/// each `(parent, child)` relation adds one transmission factor per locus.
+///
+/// Returns the graph and the index for locating per-member variables.
+pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGraph, FamilyIndex) {
+    assert!(!family.members.is_empty(), "family needs at least one member");
+    let template = FactorGraph::build(catalog, &Evidence::none());
+    let m = family.members.len();
+    let (ns, nt) = (template.n_snps(), template.n_traits());
+
+    let mut g = FactorGraph {
+        snp_ids: Vec::with_capacity(ns * m),
+        trait_ids: Vec::with_capacity(nt * m),
+        trait_prior: Vec::with_capacity(nt * m),
+        snp_evidence: Vec::with_capacity(ns * m),
+        trait_evidence: Vec::with_capacity(nt * m),
+        factors: Vec::with_capacity(template.factors.len() * m),
+        snp_factors: vec![Vec::new(); ns * m],
+        trait_factors: vec![Vec::new(); nt * m],
+        kin_factors: Vec::new(),
+        snp_kin: vec![Vec::new(); ns * m],
+    };
+
+    for (member, evidence) in family.members.iter().enumerate() {
+        let (s_off, t_off) = (member * ns, member * nt);
+        g.snp_ids.extend_from_slice(&template.snp_ids);
+        g.trait_ids.extend_from_slice(&template.trait_ids);
+        g.trait_prior.extend_from_slice(&template.trait_prior);
+        g.snp_evidence.extend(
+            template.snp_ids.iter().map(|s| evidence.snps.get(s).map(|x| x.index())),
+        );
+        g.trait_evidence
+            .extend(template.trait_ids.iter().map(|t| evidence.traits.get(t).copied()));
+        for f in &template.factors {
+            let idx = g.factors.len();
+            g.factors.push(crate::factor_graph::Factor {
+                snp: f.snp + s_off,
+                trait_idx: f.trait_idx + t_off,
+                table: f.table,
+            });
+            g.snp_factors[f.snp + s_off].push(idx);
+            g.trait_factors[f.trait_idx + t_off].push(idx);
+        }
+    }
+
+    // One transmission factor per relation per materialized locus, using
+    // the locus's first-association control RAF as the population
+    // frequency. The raw transmission table is divided by the HWE
+    // population prior: the child's association factor already supplies a
+    // generative genotype distribution, so the kin factor must contribute
+    // only the *likelihood ratio* `P(c | parent) / P_pop(c)` — otherwise
+    // the population base rate is counted twice (product-of-experts) and a
+    // risk-homozygous parent would paradoxically not raise the child's
+    // P(rr).
+    for &(parent, child) in &family.parent_child {
+        for (i, &snp) in template.snp_ids.iter().enumerate() {
+            let f = catalog
+                .associations_of_snp(snp)
+                .next()
+                .map(|a| a.raf_control)
+                .unwrap_or(0.5);
+            let raw = transmission_table(f);
+            let hwe = [f * f, 2.0 * f * (1.0 - f), (1.0 - f) * (1.0 - f)];
+            let mut table = [[0.0; 3]; 3];
+            for (p_row, raw_row) in table.iter_mut().zip(&raw) {
+                for c in 0..3 {
+                    p_row[c] = if hwe[c] > 0.0 { raw_row[c] / hwe[c] } else { 0.0 };
+                }
+            }
+            g.add_kin_factor(parent * ns + i, child * ns + i, table);
+        }
+    }
+
+    let index = FamilyIndex {
+        snps_per_member: ns,
+        traits_per_member: nt,
+        snp_ids: template.snp_ids,
+        trait_ids: template.trait_ids,
+    };
+    (g, index)
+}
+
+/// Runs the kin inference attack: builds the family graph, runs belief
+/// propagation, and returns the marginals (index them with the returned
+/// [`FamilyIndex`]).
+pub fn kin_attack(
+    catalog: &GwasCatalog,
+    family: &Family,
+    cfg: BpConfig,
+) -> (BpResult, FamilyIndex) {
+    let (g, index) = build_family_graph(catalog, family);
+    (cfg.run(&g), index)
+}
+
+/// A protection target inside a family: `(member, variable)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KinTarget {
+    /// A member's unreleased SNP.
+    Snp(usize, SnpId),
+    /// A member's unreleased trait.
+    Trait(usize, TraitId),
+}
+
+/// Outcome of a kin-aware sanitization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KinSanitizeOutcome {
+    /// SNPs the releaser must withhold, in greedy order.
+    pub withheld: Vec<SnpId>,
+    /// Minimum target privacy level after each withholding
+    /// (`history[0]` = before any).
+    pub history: Vec<f64>,
+    /// Whether every target reached `δ`.
+    pub satisfied: bool,
+}
+
+/// Kin-aware GPUT: greedily withholds SNPs from `releaser`'s evidence until
+/// every target (typically a *relative*'s traits) reaches `δ` privacy —
+/// privacy being measured as in
+/// [`crate::sanitize::Predictor::target_privacy_levels`]: distance of the
+/// BP posterior from the all-SNPs-hidden baseline.
+///
+/// This answers the consent question §5.1 raises: which parts of *my*
+/// genome must I keep private so that publishing the rest does not expose
+/// *my family*?
+pub fn kin_greedy_sanitize(
+    catalog: &GwasCatalog,
+    family: &Family,
+    releaser: usize,
+    targets: &[KinTarget],
+    delta: f64,
+    max_withheld: usize,
+    cfg: BpConfig,
+) -> KinSanitizeOutcome {
+    assert!(releaser < family.members.len(), "unknown releaser");
+    let candidates: Vec<SnpId> = {
+        let mut c: Vec<SnpId> = family.members[releaser].snps.keys().copied().collect();
+        c.sort_unstable();
+        c
+    };
+
+    let levels = |withheld: &[usize]| -> Vec<f64> {
+        let mut fam = family.clone();
+        for &i in withheld {
+            fam.members[releaser].snps.remove(&candidates[i]);
+        }
+        // Baseline: every member's SNP evidence hidden.
+        let mut base_fam = fam.clone();
+        for m in &mut base_fam.members {
+            m.snps.clear();
+        }
+        let (post, idx) = kin_attack(catalog, &fam, cfg);
+        let (base, idx0) = kin_attack(catalog, &base_fam, cfg);
+        targets
+            .iter()
+            .map(|t| {
+                let (p, b) = match *t {
+                    KinTarget::Snp(m, s) => (
+                        idx.snp(m, s).map(|i| post.snp_marginals[i].to_vec()),
+                        idx0.snp(m, s).map(|i| base.snp_marginals[i].to_vec()),
+                    ),
+                    KinTarget::Trait(m, t) => (
+                        idx.trait_(m, t).map(|i| post.trait_marginals[i].to_vec()),
+                        idx0.trait_(m, t).map(|i| base.trait_marginals[i].to_vec()),
+                    ),
+                };
+                match (p, b) {
+                    (Some(p), Some(b)) => {
+                        let tv =
+                            0.5 * p.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>();
+                        (1.0 - tv).clamp(0.0, 1.0)
+                    }
+                    _ => 1.0,
+                }
+            })
+            .collect()
+    };
+    let min_level =
+        |w: &[usize]| -> f64 { levels(w).into_iter().fold(f64::INFINITY, f64::min) };
+    let sum_level = |w: &[usize]| -> f64 { levels(w).iter().sum() };
+
+    let order = ppdp_opt::greedy_cardinality(
+        candidates.len(),
+        max_withheld.min(candidates.len()),
+        |sel| sum_level(sel),
+    );
+
+    let mut history = vec![min_level(&[])];
+    let mut taken: Vec<usize> = Vec::new();
+    let mut satisfied = history[0] >= delta;
+    for &i in &order {
+        if satisfied {
+            break;
+        }
+        taken.push(i);
+        let h = min_level(&taken);
+        history.push(h);
+        satisfied = h >= delta;
+    }
+    KinSanitizeOutcome {
+        withheld: taken.into_iter().map(|i| candidates[i]).collect(),
+        history,
+        satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_marginals;
+    use crate::model::Genotype;
+
+    /// Two independent single-SNP traits — per-member graphs are forests,
+    /// and kin edges keep them forests.
+    fn small_catalog() -> GwasCatalog {
+        let mut c = GwasCatalog::new(2);
+        let t0 = c.add_trait("d0", 0.1);
+        let t1 = c.add_trait("d1", 0.2);
+        c.associate(SnpId(0), t0, 2.0, 0.3);
+        c.associate(SnpId(1), t1, 1.5, 0.4);
+        c
+    }
+
+    #[test]
+    fn transmission_table_rows_normalize() {
+        for f in [0.1, 0.5, 0.9] {
+            let t = transmission_table(f);
+            for row in t {
+                assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            }
+            // A ρρ parent can never produce an rr child.
+            assert_eq!(t[2][0], 0.0);
+            // An rr parent can never produce a ρρ child.
+            assert_eq!(t[0][2], 0.0);
+        }
+    }
+
+    #[test]
+    fn parent_genotype_shifts_child_marginal() {
+        let cat = small_catalog();
+        // Parent released rr at SNP 0; child released nothing.
+        let mut fam = Family::new();
+        let parent = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::HomRisk));
+        let child = fam.member(Evidence::none());
+        fam.relate(parent, child);
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+
+        // Baseline: the same child with an uninformative (unrelated) parent.
+        let mut fam0 = Family::new();
+        let _ = fam0.member(Evidence::none());
+        let (r0, idx0) = kin_attack(&cat, &fam0, BpConfig::default());
+
+        let c_s0 = idx.snp(child, SnpId(0)).unwrap();
+        let b_s0 = idx0.snp(0, SnpId(0)).unwrap();
+        assert!(
+            r.snp_marginals[c_s0][0] > r0.snp_marginals[b_s0][0],
+            "rr parent must raise child's P(rr): {:?} vs {:?}",
+            r.snp_marginals[c_s0],
+            r0.snp_marginals[b_s0]
+        );
+        // The unrelated locus is only perturbed marginally: the likelihood-
+        // ratio kin factor reshapes the joint measure slightly even without
+        // evidence, but no information flows, so the shift stays small.
+        let c_s1 = idx.snp(child, SnpId(1)).unwrap();
+        let b_s1 = idx0.snp(0, SnpId(1)).unwrap();
+        for i in 0..3 {
+            assert!(
+                (r.snp_marginals[c_s1][i] - r0.snp_marginals[b_s1][i]).abs() < 0.05,
+                "{:?} vs {:?}",
+                r.snp_marginals[c_s1],
+                r0.snp_marginals[b_s1]
+            );
+        }
+    }
+
+    #[test]
+    fn child_evidence_propagates_to_parent_trait() {
+        // Releasing the child's genome threatens the *parent's* phenotype
+        // privacy — the kin-privacy threat of §5.1.
+        let cat = small_catalog();
+        let mut fam = Family::new();
+        let parent = fam.member(Evidence::none());
+        let child = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::HomRisk));
+        fam.relate(parent, child);
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+        let p_t0 = idx.trait_(parent, TraitId(0)).unwrap();
+        let prior = cat.trait_info(TraitId(0)).prevalence;
+        assert!(
+            r.trait_marginals[p_t0][1] > prior,
+            "child's rr raises P(parent has d0): {} vs prior {prior}",
+            r.trait_marginals[p_t0][1]
+        );
+    }
+
+    #[test]
+    fn family_bp_matches_exhaustive_on_forest() {
+        let cat = small_catalog();
+        let mut fam = Family::new();
+        let parent = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::Het));
+        let child = fam.member(Evidence::none().with_trait(TraitId(1), true));
+        fam.relate(parent, child);
+        let (g, _) = build_family_graph(&cat, &fam);
+        assert!(g.is_forest());
+        let bp = BpConfig::default().run(&g);
+        let ex = exhaustive_marginals(&g);
+        for (a, b) in bp.snp_marginals.iter().zip(&ex.snp_marginals) {
+            for i in 0..3 {
+                assert!((a[i] - b[i]).abs() < 1e-7, "{a:?} vs {b:?}");
+            }
+        }
+        for (a, b) in bp.trait_marginals.iter().zip(&ex.trait_marginals) {
+            assert!((a[1] - b[1]).abs() < 1e-7, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn three_generation_chain_attenuates() {
+        // Grandparent rr → parent → child: the signal weakens with each
+        // meiosis but stays above baseline.
+        let cat = small_catalog();
+        let mut fam = Family::new();
+        let gp = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::HomRisk));
+        let parent = fam.member(Evidence::none());
+        let child = fam.member(Evidence::none());
+        fam.relate(gp, parent);
+        fam.relate(parent, child);
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+        let p_rr = r.snp_marginals[idx.snp(parent, SnpId(0)).unwrap()][0];
+        let c_rr = r.snp_marginals[idx.snp(child, SnpId(0)).unwrap()][0];
+
+        let mut lone = Family::new();
+        let solo = lone.member(Evidence::none());
+        let (r0, idx0) = kin_attack(&cat, &lone, BpConfig::default());
+        let base_rr = r0.snp_marginals[idx0.snp(solo, SnpId(0)).unwrap()][0];
+
+        assert!(p_rr > c_rr, "parent closer to evidence: {p_rr} vs {c_rr}");
+        assert!(c_rr > base_rr, "grandchild still above baseline: {c_rr} vs {base_rr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parent themselves")]
+    fn self_relation_rejected() {
+        let mut fam = Family::new();
+        let a = fam.member(Evidence::none());
+        fam.relate(a, a);
+    }
+
+    #[test]
+    fn kin_sanitize_protects_the_relative() {
+        let cat = small_catalog();
+        let mut fam = Family::new();
+        let parent = fam.member(
+            Evidence::none()
+                .with_snp(SnpId(0), Genotype::HomRisk)
+                .with_snp(SnpId(1), Genotype::HomRisk),
+        );
+        let child = fam.member(Evidence::none());
+        fam.relate(parent, child);
+        let targets =
+            [KinTarget::Trait(child, TraitId(0)), KinTarget::Trait(child, TraitId(1))];
+        let out = kin_greedy_sanitize(
+            &cat,
+            &fam,
+            parent,
+            &targets,
+            0.99,
+            4,
+            BpConfig::default(),
+        );
+        assert!(out.satisfied, "withholding everything must protect the child: {out:?}");
+        for w in out.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "privacy trajectory monotone: {:?}", out.history);
+        }
+        assert!(!out.withheld.is_empty());
+    }
+
+    #[test]
+    fn kin_sanitize_noop_when_target_already_private() {
+        let cat = small_catalog();
+        let mut fam = Family::new();
+        let releaser = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::Het));
+        // No relation: the other member is untouched by the release.
+        let bystander = fam.member(Evidence::none());
+        let out = kin_greedy_sanitize(
+            &cat,
+            &fam,
+            releaser,
+            &[KinTarget::Trait(bystander, TraitId(0))],
+            0.99,
+            4,
+            BpConfig::default(),
+        );
+        assert!(out.satisfied);
+        assert!(out.withheld.is_empty(), "no kinship edge, nothing leaks: {out:?}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Linkage disequilibrium (LD): statistical correlation between nearby SNP
+//! loci within one genome.
+//!
+//! §5.1 motivates the whole chapter with it: James Watson withheld his
+//! ApoE locus, "however … although this sensitive gene is removed, it can
+//! be inferred with the publicly available statistical correlation among
+//! SNPs (i.e., linkage disequilibrium)". This module adds LD pairs as
+//! SNP-SNP factors (reusing the kinship factor machinery) so the belief-
+//! propagation attacker exploits them exactly like the works the chapter
+//! cites ([54], [85]).
+//!
+//! An LD pair is parameterized by the two risk-allele frequencies
+//! `(f_a, f_b)` and the correlation coefficient `r ∈ [−1, 1]` between the
+//! alleles (so `r²` is the usual LD measure). Haplotype frequencies follow
+//! from `D = r·√(f_a(1−f_a)f_b(1−f_b))`, and genotype-level conditionals
+//! from independent haplotype draws (random mating).
+
+use crate::factor_graph::FactorGraph;
+use crate::model::SnpId;
+
+/// One linkage-disequilibrium pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdPair {
+    /// First locus.
+    pub a: SnpId,
+    /// Second locus.
+    pub b: SnpId,
+    /// Risk-allele frequency at `a`.
+    pub freq_a: f64,
+    /// Risk-allele frequency at `b`.
+    pub freq_b: f64,
+    /// Allelic correlation coefficient `r` (signed; `r²` is the familiar
+    /// LD strength).
+    pub r: f64,
+}
+
+impl LdPair {
+    /// Haplotype frequencies `(P[r_a r_b], P[r_a ρ_b], P[ρ_a r_b],
+    /// P[ρ_a ρ_b])`, clamped into the feasible region.
+    pub fn haplotype_frequencies(&self) -> [f64; 4] {
+        let (fa, fb, r) = (self.freq_a, self.freq_b, self.r);
+        assert!((0.0..=1.0).contains(&fa) && (0.0..=1.0).contains(&fb), "bad frequency");
+        assert!((-1.0..=1.0).contains(&r), "correlation out of range");
+        let d = r * (fa * (1.0 - fa) * fb * (1.0 - fb)).sqrt();
+        // Feasibility: all four haplotype frequencies must be ≥ 0.
+        let d_max = (fa * (1.0 - fb)).min((1.0 - fa) * fb);
+        let d_min = -(fa * fb).min((1.0 - fa) * (1.0 - fb));
+        let d = d.clamp(d_min, d_max);
+        [
+            fa * fb + d,
+            fa * (1.0 - fb) - d,
+            (1.0 - fa) * fb - d,
+            (1.0 - fa) * (1.0 - fb) + d,
+        ]
+    }
+
+    /// Conditional allele distribution at `b` given the allele at `a`:
+    /// `P(r_b | allele_a)`.
+    fn allele_b_given_a(&self, a_is_risk: bool) -> f64 {
+        let h = self.haplotype_frequencies();
+        if a_is_risk {
+            let z = h[0] + h[1];
+            if z > 0.0 {
+                h[0] / z
+            } else {
+                self.freq_b
+            }
+        } else {
+            let z = h[2] + h[3];
+            if z > 0.0 {
+                h[2] / z
+            } else {
+                self.freq_b
+            }
+        }
+    }
+
+    /// Genotype-level conditional `table[g_a][g_b] = P(g_b | g_a)` under
+    /// random mating: each of `b`'s two alleles pairs with one of `a`'s
+    /// alleles on the same haplotype.
+    pub fn genotype_table(&self) -> [[f64; 3]; 3] {
+        let mut table = [[0.0; 3]; 3];
+        for (ga, row) in table.iter_mut().enumerate() {
+            // `a`'s two haplotypes carry risk alleles per genotype.
+            let risk_haplos: &[bool] = match ga {
+                0 => &[true, true],
+                1 => &[true, false],
+                _ => &[false, false],
+            };
+            // b's two alleles, one per haplotype.
+            let p1 = self.allele_b_given_a(risk_haplos[0]);
+            let p2 = self.allele_b_given_a(risk_haplos[1]);
+            row[0] = p1 * p2;
+            row[2] = (1.0 - p1) * (1.0 - p2);
+            row[1] = 1.0 - row[0] - row[2];
+        }
+        table
+    }
+
+    /// The likelihood-ratio form of [`LdPair::genotype_table`] — divided by
+    /// the HWE marginal at `b`, for insertion into a factor graph whose
+    /// association factors already generate `b`'s base distribution (the
+    /// same correction the kinship module applies).
+    pub fn ratio_table(&self) -> [[f64; 3]; 3] {
+        let raw = self.genotype_table();
+        let fb = self.freq_b;
+        let hwe = [fb * fb, 2.0 * fb * (1.0 - fb), (1.0 - fb) * (1.0 - fb)];
+        let mut out = [[0.0; 3]; 3];
+        for (row, raw_row) in out.iter_mut().zip(&raw) {
+            for c in 0..3 {
+                row[c] = if hwe[c] > 0.0 { raw_row[c] / hwe[c] } else { 0.0 };
+            }
+        }
+        out
+    }
+}
+
+/// Adds LD factors to an existing (single-individual) factor graph. Pairs
+/// whose loci are not materialized in the graph are skipped and reported
+/// back.
+///
+/// Returns the number of factors actually added.
+pub fn add_ld_factors(graph: &mut FactorGraph, pairs: &[LdPair]) -> usize {
+    let mut added = 0;
+    for p in pairs {
+        if let (Some(a), Some(b)) = (graph.snp_local(p.a), graph.snp_local(p.b)) {
+            graph.add_kin_factor(a, b, p.ratio_table());
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bp::BpConfig;
+    use crate::catalog::GwasCatalog;
+    use crate::factor_graph::Evidence;
+    use crate::model::Genotype;
+
+    #[test]
+    fn haplotypes_normalize_and_respect_feasibility() {
+        for &(fa, fb, r) in &[(0.3, 0.4, 0.8), (0.1, 0.9, -0.5), (0.5, 0.5, 1.0)] {
+            let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: fa, freq_b: fb, r };
+            let h = p.haplotype_frequencies();
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(h.iter().all(|&x| x >= -1e-12), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn zero_correlation_gives_independence() {
+        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.4, r: 0.0 };
+        let t = p.genotype_table();
+        // Every row equals the HWE marginal at b.
+        let hwe = [0.4 * 0.4, 2.0 * 0.4 * 0.6, 0.6 * 0.6];
+        for row in t {
+            for (x, y) in row.iter().zip(&hwe) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        // Ratio table is all-ones.
+        for row in p.ratio_table() {
+            for x in row {
+                assert!((x - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_ld_makes_genotypes_track() {
+        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r: 1.0 };
+        let t = p.genotype_table();
+        // With r = 1 and equal frequencies, g_b = g_a deterministically.
+        for g in 0..3 {
+            assert!((t[g][g] - 1.0).abs() < 1e-9, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn genotype_rows_normalize() {
+        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.2, freq_b: 0.6, r: 0.5 };
+        for row in p.genotype_table() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The Watson scenario: the victim withholds their ApoE-like SNP (s1)
+    /// but releases a tightly-linked neighbour (s0); LD lets the attacker
+    /// reconstruct the withheld locus.
+    #[test]
+    fn withheld_snp_reconstructed_through_ld() {
+        let mut cat = GwasCatalog::new(2);
+        let t0 = cat.add_trait("alzheimers-like", 0.02);
+        cat.associate(SnpId(0), t0, 1.2, 0.3);
+        cat.associate(SnpId(1), t0, 2.5, 0.3); // the sensitive locus
+
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+        let mut g = FactorGraph::build(&cat, &ev);
+        let baseline = BpConfig::default().run(&g);
+        let s1 = g.snp_local(SnpId(1)).unwrap();
+        let base_rr = baseline.snp_marginals[s1][0];
+
+        let added = add_ld_factors(
+            &mut g,
+            &[LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r: 0.95 }],
+        );
+        assert_eq!(added, 1);
+        let with_ld = BpConfig::default().run(&g);
+        assert!(
+            with_ld.snp_marginals[s1][0] > base_rr + 0.3,
+            "strong LD must nearly reconstruct the withheld locus: {} vs {base_rr}",
+            with_ld.snp_marginals[s1][0]
+        );
+    }
+
+    #[test]
+    fn unmaterialized_pairs_skipped() {
+        let mut cat = GwasCatalog::new(3);
+        let t0 = cat.add_trait("x", 0.1);
+        cat.associate(SnpId(0), t0, 1.5, 0.3);
+        let mut g = FactorGraph::build(&cat, &Evidence::none());
+        let added = add_ld_factors(
+            &mut g,
+            &[LdPair { a: SnpId(0), b: SnpId(2), freq_a: 0.3, freq_b: 0.3, r: 0.9 }],
+        );
+        assert_eq!(added, 0, "SNP 2 has no associations and is not materialized");
+    }
+}

@@ -1,0 +1,108 @@
+//! Core genomic types: SNPs, genotypes and traits (§5.2.1, §5.3.1).
+
+/// Index of a SNP `s_i ∈ S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnpId(pub usize);
+
+impl std::fmt::Display for SnpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Index of a trait (phenotype) `t_j ∈ T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraitId(pub usize);
+
+impl std::fmt::Display for TraitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A genotype at one SNP locus, expressed relative to the risk allele `r`
+/// reported by the GWAS catalog: homozygous risk (`rr`), heterozygous
+/// (`rρ`) or homozygous non-risk (`ρρ`).
+///
+/// The dissertation also writes genotypes as `BB/Bb/bb` relative to the
+/// *major* allele (§5.2.1); the two codings coincide up to relabelling, and
+/// the inference chapter (Tables 5.1/5.2) works in risk-allele space, so
+/// that is the canonical coding here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Genotype {
+    /// Both alleles are the risk allele (`r r`).
+    HomRisk,
+    /// One risk and one non-risk allele (`r ρ`).
+    Het,
+    /// Both alleles are the non-risk allele (`ρ ρ`).
+    HomNonRisk,
+}
+
+impl Genotype {
+    /// All three genotype states, in domain order.
+    pub const ALL: [Genotype; 3] = [Genotype::HomRisk, Genotype::Het, Genotype::HomNonRisk];
+
+    /// Domain index (0 = `rr`, 1 = `rρ`, 2 = `ρρ`).
+    pub fn index(self) -> usize {
+        match self {
+            Genotype::HomRisk => 0,
+            Genotype::Het => 1,
+            Genotype::HomNonRisk => 2,
+        }
+    }
+
+    /// Inverse of [`Genotype::index`].
+    ///
+    /// # Panics
+    /// Panics if `i ≥ 3`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Number of risk-allele copies (the numeric coding used by the
+    /// estimation-error metric, Eq. 5.8).
+    pub fn risk_copies(self) -> u8 {
+        match self {
+            Genotype::HomRisk => 2,
+            Genotype::Het => 1,
+            Genotype::HomNonRisk => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Genotype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Genotype::HomRisk => "rr",
+            Genotype::Het => "rp",
+            Genotype::HomNonRisk => "pp",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for g in Genotype::ALL {
+            assert_eq!(Genotype::from_index(g.index()), g);
+        }
+    }
+
+    #[test]
+    fn risk_copies_match_genotype() {
+        assert_eq!(Genotype::HomRisk.risk_copies(), 2);
+        assert_eq!(Genotype::Het.risk_copies(), 1);
+        assert_eq!(Genotype::HomNonRisk.risk_copies(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SnpId(3).to_string(), "s3");
+        assert_eq!(TraitId(1).to_string(), "t1");
+        assert_eq!(Genotype::Het.to_string(), "rp");
+    }
+}

@@ -1,0 +1,156 @@
+//! The Naive Bayes genomic attacker — the baseline prediction method of
+//! Fig. 5.2(b). Two-step: (1) each trait's posterior is computed
+//! independently from its observed SNPs assuming conditional independence;
+//! (2) each unknown SNP's marginal is the mixture of its Table 5.2 rows
+//! under the (estimated) status of its associated traits, combined as a
+//! normalized product over associations.
+//!
+//! Unlike belief propagation this never propagates information *through*
+//! shared SNPs between traits, which is exactly why it extracts less signal
+//! (lower attacker accuracy at zero removals in Fig. 5.2).
+
+use crate::bp::BpResult;
+use crate::catalog::GwasCatalog;
+use crate::factor_graph::{Evidence, FactorGraph};
+use crate::model::Genotype;
+use crate::tables::genotype_given_trait;
+
+/// Runs the Naive Bayes attack and reports marginals in the same local
+/// indexing as [`FactorGraph::build`] (so results are directly comparable
+/// with BP on the same graph).
+pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> BpResult {
+    let g = FactorGraph::build(catalog, evidence);
+
+    // Step 1: trait posteriors from observed SNPs only.
+    let trait_marginals: Vec<[f64; 2]> = g
+        .trait_ids
+        .iter()
+        .enumerate()
+        .map(|(tl, &tid)| {
+            if let Some(status) = g.trait_evidence[tl] {
+                return if status { [0.0, 1.0] } else { [1.0, 0.0] };
+            }
+            let p = catalog.trait_info(tid).prevalence;
+            let mut log_odds = (p / (1.0 - p)).ln();
+            for assoc in catalog.associations_of_trait(tid) {
+                if let Some(&geno) = evidence.snps.get(&assoc.snp) {
+                    let like_t = genotype_given_trait(assoc, geno, true);
+                    let like_not = genotype_given_trait(assoc, geno, false);
+                    if like_t > 0.0 && like_not > 0.0 {
+                        log_odds += (like_t / like_not).ln();
+                    }
+                }
+            }
+            let pt = 1.0 / (1.0 + (-log_odds).exp());
+            [1.0 - pt, pt]
+        })
+        .collect();
+
+    // Step 2: unknown-SNP marginals as a product-of-experts over the SNP's
+    // associations, each expert being the Table 5.2 mixture under the
+    // trait's estimated posterior.
+    let snp_marginals: Vec<[f64; 3]> = g
+        .snp_ids
+        .iter()
+        .enumerate()
+        .map(|(sl, &sid)| {
+            if let Some(idx) = g.snp_evidence[sl] {
+                let mut m = [0.0; 3];
+                m[idx] = 1.0;
+                return m;
+            }
+            let mut m = [1.0f64; 3];
+            for assoc in catalog.associations_of_snp(sid) {
+                let tl = g.trait_local(assoc.trait_id).expect("trait materialized");
+                let pt = trait_marginals[tl][1];
+                for geno in Genotype::ALL {
+                    let mix = genotype_given_trait(assoc, geno, true) * pt
+                        + genotype_given_trait(assoc, geno, false) * (1.0 - pt);
+                    m[geno.index()] *= mix;
+                }
+            }
+            let z: f64 = m.iter().sum();
+            if z > 0.0 {
+                for x in &mut m {
+                    *x /= z;
+                }
+            } else {
+                m = [1.0 / 3.0; 3];
+            }
+            m
+        })
+        .collect();
+
+    BpResult { snp_marginals, trait_marginals, iterations: 1, converged: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bp::BpConfig;
+    use crate::factor_graph::figure_5_1_catalog;
+    use crate::model::{SnpId, TraitId};
+
+    #[test]
+    fn no_evidence_traits_at_prior() {
+        let cat = figure_5_1_catalog();
+        let r = naive_bayes_marginals(&cat, &Evidence::none());
+        let g = FactorGraph::build(&cat, &Evidence::none());
+        for (tl, m) in r.trait_marginals.iter().enumerate() {
+            assert!((m[1] - g.trait_prior[tl][1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn observed_risk_genotype_raises_trait_posterior() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+        let r = naive_bayes_marginals(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev);
+        let t1 = g.trait_local(TraitId(0)).unwrap();
+        assert!(r.trait_marginals[t1][1] > cat.trait_info(TraitId(0)).prevalence);
+    }
+
+    #[test]
+    fn nb_misses_cross_trait_propagation_that_bp_captures() {
+        // Observe s3 (only associated with t2). BP propagates t2's shift
+        // through shared SNP s2 into t1; NB leaves t1 exactly at prior.
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(2), Genotype::HomRisk);
+        let nb = naive_bayes_marginals(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev);
+        let bp = BpConfig::default().run(&g);
+        let t1 = g.trait_local(TraitId(0)).unwrap();
+        let prior = cat.trait_info(TraitId(0)).prevalence;
+        assert!((nb.trait_marginals[t1][1] - prior).abs() < 1e-12, "NB stays at prior");
+        assert!(
+            (bp.trait_marginals[t1][1] - prior).abs() > 1e-6,
+            "BP moves t1 via the shared SNP"
+        );
+    }
+
+    #[test]
+    fn known_snps_reproduced() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(4), Genotype::Het);
+        let r = naive_bayes_marginals(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev);
+        let s = g.snp_local(SnpId(4)).unwrap();
+        assert_eq!(r.snp_marginals[s], [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn all_marginals_normalized() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none()
+            .with_snp(SnpId(1), Genotype::HomNonRisk)
+            .with_trait(TraitId(2), true);
+        let r = naive_bayes_marginals(&cat, &ev);
+        for m in &r.snp_marginals {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for m in &r.trait_marginals {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

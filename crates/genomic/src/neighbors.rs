@@ -1,0 +1,118 @@
+//! Neighbor-SNP closures (Defs. 5.5.3 and 5.5.4): the candidate set the
+//! sanitizer may hide in order to protect a target trait or SNP.
+
+use crate::catalog::GwasCatalog;
+use crate::model::{SnpId, TraitId};
+use std::collections::BTreeSet;
+
+fn snps_of_trait(cat: &GwasCatalog, t: TraitId) -> BTreeSet<SnpId> {
+    cat.associations_of_trait(t).map(|a| a.snp).collect()
+}
+
+fn traits_of_snp(cat: &GwasCatalog, s: SnpId) -> BTreeSet<TraitId> {
+    cat.associations_of_snp(s).map(|a| a.trait_id).collect()
+}
+
+fn snps_sharing_traits_with(cat: &GwasCatalog, snps: &BTreeSet<SnpId>) -> BTreeSet<SnpId> {
+    let mut out = BTreeSet::new();
+    for &s in snps {
+        for t in traits_of_snp(cat, s) {
+            out.extend(snps_of_trait(cat, t));
+        }
+    }
+    out
+}
+
+/// Def. 5.5.3 — the neighbor SNPs of trait `t`:
+/// 1. SNPs directly associated with `t`;
+/// 2. SNPs associated with the traits that share common SNPs with `t`;
+/// 3. SNPs sharing common traits with the case-2 SNPs.
+pub fn neighbor_snps_of_trait(cat: &GwasCatalog, t: TraitId) -> Vec<SnpId> {
+    let s1 = snps_of_trait(cat, t);
+    // Traits sharing a SNP with t.
+    let sharing_traits: BTreeSet<TraitId> = s1
+        .iter()
+        .flat_map(|&s| traits_of_snp(cat, s))
+        .filter(|&tj| tj != t)
+        .collect();
+    let s2: BTreeSet<SnpId> =
+        sharing_traits.iter().flat_map(|&tj| snps_of_trait(cat, tj)).collect();
+    let s3 = snps_sharing_traits_with(cat, &s2);
+    let mut all = s1;
+    all.extend(s2);
+    all.extend(s3);
+    all.into_iter().collect()
+}
+
+/// Def. 5.5.4 — the neighbor SNPs of SNP `s`:
+/// 1. SNPs associated with a common trait with `s`;
+/// 2. SNPs associated with the traits associated with the case-1 SNPs;
+/// 3. SNPs sharing common traits with the case-2 SNPs.
+///
+/// `s` itself is excluded.
+pub fn neighbor_snps_of_snp(cat: &GwasCatalog, s: SnpId) -> Vec<SnpId> {
+    let own_traits = traits_of_snp(cat, s);
+    let s1: BTreeSet<SnpId> = own_traits
+        .iter()
+        .flat_map(|&t| snps_of_trait(cat, t))
+        .filter(|&x| x != s)
+        .collect();
+    let t2: BTreeSet<TraitId> = s1.iter().flat_map(|&x| traits_of_snp(cat, x)).collect();
+    let s2: BTreeSet<SnpId> = t2.iter().flat_map(|&t| snps_of_trait(cat, t)).collect();
+    let s3 = snps_sharing_traits_with(cat, &s2);
+    let mut all = s1;
+    all.extend(s2);
+    all.extend(s3);
+    all.remove(&s);
+    all.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor_graph::figure_5_1_catalog;
+
+    // Fig. 5.1 topology (0-indexed): t0 ↔ {s0,s1}, t1 ↔ {s1,s2,s3},
+    // t2 ↔ {s4}.
+
+    #[test]
+    fn trait_neighbors_follow_example_in_text() {
+        // The running example under Def. 5.5.3: s1, s2, s3 are all neighbor
+        // SNPs of t1 because s2/s3 are associated with t2 which shares s1
+        // with t1 (1-indexed in the text; 0-indexed here).
+        let cat = figure_5_1_catalog();
+        let n = neighbor_snps_of_trait(&cat, TraitId(0));
+        assert!(n.contains(&SnpId(0)) && n.contains(&SnpId(1)), "direct SNPs");
+        assert!(n.contains(&SnpId(2)) && n.contains(&SnpId(3)), "via shared s1/t1");
+        assert!(!n.contains(&SnpId(4)), "s5 belongs to a different component");
+    }
+
+    #[test]
+    fn snp_neighbors_follow_example_in_text() {
+        // Example under Def. 5.5.4: s2 and s3 are neighbor SNPs of s1
+        // (1-indexed) — here: s1, s2, s3 are neighbors of s0 via t0→s1→t1.
+        let cat = figure_5_1_catalog();
+        let n = neighbor_snps_of_snp(&cat, SnpId(0));
+        assert!(n.contains(&SnpId(1)), "shares t0");
+        assert!(n.contains(&SnpId(2)) && n.contains(&SnpId(3)), "via s1's trait t1");
+        assert!(!n.contains(&SnpId(0)), "self excluded");
+        assert!(!n.contains(&SnpId(4)));
+    }
+
+    #[test]
+    fn isolated_component_has_local_neighbors_only() {
+        let cat = figure_5_1_catalog();
+        let n = neighbor_snps_of_trait(&cat, TraitId(2));
+        assert_eq!(n, vec![SnpId(4)]);
+        assert!(neighbor_snps_of_snp(&cat, SnpId(4)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_deterministic_and_sorted() {
+        let cat = figure_5_1_catalog();
+        let n = neighbor_snps_of_trait(&cat, TraitId(1));
+        let mut sorted = n.clone();
+        sorted.sort();
+        assert_eq!(n, sorted);
+    }
+}

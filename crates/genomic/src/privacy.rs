@@ -1,0 +1,128 @@
+//! Privacy metrics of §5.5.1 and §5.6.2:
+//! * normalized entropy `H_i` (Eq. 5.7) and the `δ-privacy` criterion
+//!   (Def. 5.5.1);
+//! * the attacker estimation error `Er` (Eq. 5.8).
+
+/// Normalized Shannon entropy of a marginal: `H = −Σ p log p / log |domain|`
+/// (Eq. 5.7 — the dissertation normalizes SNPs by `log 3`; this
+/// generalization divides by the log of the actual domain size so traits
+/// normalize by `log 2`). Ranges over `[0, 1]`; 1 = attacker fully
+/// uncertain.
+pub fn entropy_privacy(dist: &[f64]) -> f64 {
+    let n = dist.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let h: f64 = dist
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum();
+    (h / (n as f64).ln()).clamp(0.0, 1.0)
+}
+
+/// Def. 5.5.1: the released data satisfy `δ-privacy` for a set of target
+/// marginals iff every target's normalized entropy is at least `δ`.
+pub fn satisfies_delta_privacy<'a, I>(marginals: I, delta: f64) -> bool
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    marginals.into_iter().all(|m| entropy_privacy(m) >= delta)
+}
+
+/// Estimation error `Er = Σ_x p(x) · ‖x − x̂‖` (Eq. 5.8), where `x̂` is the
+/// attacker's point prediction (the marginal's argmax) and values are coded
+/// numerically by `coding` (e.g. risk-allele copies for genotypes, 0/1 for
+/// traits). Normalized by the coding's range so it lies in `[0, 1]`.
+pub fn estimation_error(dist: &[f64], coding: &[f64]) -> f64 {
+    assert_eq!(dist.len(), coding.len(), "distribution/coding length mismatch");
+    if dist.is_empty() {
+        return 0.0;
+    }
+    let xhat = coding[argmax(dist)];
+    let range = coding.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - coding.iter().cloned().fold(f64::INFINITY, f64::min);
+    let raw: f64 = dist.iter().zip(coding).map(|(&p, &x)| p * (x - xhat).abs()).sum();
+    if range > 0.0 {
+        raw / range
+    } else {
+        0.0
+    }
+}
+
+/// Numeric coding of the genotype domain (risk-allele copies 2/1/0).
+pub const GENOTYPE_CODING: [f64; 3] = [2.0, 1.0, 0.0];
+
+/// Numeric coding of the trait domain (absent/present).
+pub const TRAIT_CODING: [f64; 2] = [0.0, 1.0];
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy_privacy(&[1.0, 0.0, 0.0]), 0.0);
+        assert!((entropy_privacy(&[1.0 / 3.0; 3]) - 1.0).abs() < 1e-12);
+        assert!((entropy_privacy(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_monotone_toward_uniform() {
+        let sharp = entropy_privacy(&[0.9, 0.05, 0.05]);
+        let soft = entropy_privacy(&[0.5, 0.3, 0.2]);
+        assert!(soft > sharp);
+    }
+
+    #[test]
+    fn degenerate_domains() {
+        assert_eq!(entropy_privacy(&[]), 0.0);
+        assert_eq!(entropy_privacy(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn delta_privacy_all_targets_must_pass() {
+        let a = [0.5, 0.5];
+        let b = [0.95, 0.05];
+        assert!(satisfies_delta_privacy([&a[..]], 0.9));
+        assert!(!satisfies_delta_privacy([&a[..], &b[..]], 0.9));
+        assert!(satisfies_delta_privacy(std::iter::empty::<&[f64]>(), 0.9));
+    }
+
+    #[test]
+    fn estimation_error_zero_when_certain() {
+        assert_eq!(estimation_error(&[0.0, 0.0, 1.0], &GENOTYPE_CODING), 0.0);
+    }
+
+    #[test]
+    fn estimation_error_grows_with_uncertainty() {
+        let sharp = estimation_error(&[0.9, 0.1, 0.0], &GENOTYPE_CODING);
+        let soft = estimation_error(&[0.4, 0.3, 0.3], &GENOTYPE_CODING);
+        assert!(soft > sharp);
+        // Uniform over genotypes: argmax = rr (2 copies), error =
+        // (1/3·0 + 1/3·1 + 1/3·2) / 2 = 0.5.
+        let uni = estimation_error(&[1.0 / 3.0; 3], &GENOTYPE_CODING);
+        assert!((uni - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_coding_error() {
+        assert!((estimation_error(&[0.3, 0.7], &TRAIT_CODING) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn coding_length_checked() {
+        estimation_error(&[0.5, 0.5], &GENOTYPE_CODING);
+    }
+}

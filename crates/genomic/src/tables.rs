@@ -1,0 +1,132 @@
+//! The conditional probability tables of §5.4.
+//!
+//! * Table 5.1 — allele probability given trait status:
+//!   `P(r | t) = f^a`, `P(r | ¬t) = f^o` (and complements for `ρ`).
+//! * Table 5.2 — genotype probability given trait status under
+//!   Hardy-Weinberg equilibrium: `P(rr|·) = f²`, `P(rρ|·) = 2f(1−f)`,
+//!   `P(ρρ|·) = (1−f)²` with `f = f^a` in cases and `f = f^o` in controls.
+//!
+//!   *Substitution note:* the dissertation's printed Table 5.2 lists
+//!   `√f` for the homozygous rows, which is not a probability (it does not
+//!   normalize and exceeds `f` itself). Standard Hardy-Weinberg genotype
+//!   frequencies are used instead — they normalize exactly and are clearly
+//!   what the table intends.
+//! * `trait_posterior` — `P(t | s)` via Bayes with the trait's prevalence,
+//!   the direction needed for the factor → trait messages (Eq. 5.6).
+
+use crate::catalog::Association;
+use crate::model::Genotype;
+
+/// Table 5.1: probability of observing the risk allele (`true`) or the
+/// non-risk allele (`false`) at the association's locus, conditioned on the
+/// trait being present (`trait_present`).
+pub fn allele_given_trait(assoc: &Association, risk: bool, trait_present: bool) -> f64 {
+    let f = if trait_present { assoc.raf_case() } else { assoc.raf_control };
+    if risk {
+        f
+    } else {
+        1.0 - f
+    }
+}
+
+/// Table 5.2 (Hardy-Weinberg form): `P(genotype | trait status)`.
+pub fn genotype_given_trait(assoc: &Association, g: Genotype, trait_present: bool) -> f64 {
+    let f = if trait_present { assoc.raf_case() } else { assoc.raf_control };
+    match g {
+        Genotype::HomRisk => f * f,
+        Genotype::Het => 2.0 * f * (1.0 - f),
+        Genotype::HomNonRisk => (1.0 - f) * (1.0 - f),
+    }
+}
+
+/// Marginal genotype probability under the population mixture
+/// `P(g) = P(g|t)·p + P(g|¬t)·(1−p)` for prevalence `p` — the SNP prior
+/// induced by one association.
+pub fn genotype_marginal(assoc: &Association, prevalence: f64, g: Genotype) -> f64 {
+    genotype_given_trait(assoc, g, true) * prevalence
+        + genotype_given_trait(assoc, g, false) * (1.0 - prevalence)
+}
+
+/// `P(t | g)` by Bayes inversion of Table 5.2 with the trait prevalence —
+/// the quantity the dissertation says "can be easily deduced from Table 5.2
+/// based on Bayesian posterior probability".
+pub fn trait_posterior(assoc: &Association, prevalence: f64, g: Genotype) -> f64 {
+    let joint_t = genotype_given_trait(assoc, g, true) * prevalence;
+    let joint_not = genotype_given_trait(assoc, g, false) * (1.0 - prevalence);
+    let z = joint_t + joint_not;
+    if z == 0.0 {
+        prevalence
+    } else {
+        joint_t / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SnpId, TraitId};
+
+    fn assoc(or: f64, fo: f64) -> Association {
+        Association { snp: SnpId(0), trait_id: TraitId(0), odds_ratio: or, raf_control: fo }
+    }
+
+    #[test]
+    fn table_5_1_rows_complement() {
+        let a = assoc(1.6, 0.3);
+        for present in [true, false] {
+            let r = allele_given_trait(&a, true, present);
+            let p = allele_given_trait(&a, false, present);
+            assert!((r + p - 1.0).abs() < 1e-12);
+        }
+        assert!(
+            allele_given_trait(&a, true, true) > allele_given_trait(&a, true, false),
+            "risk allele enriched in cases when OR > 1"
+        );
+    }
+
+    #[test]
+    fn table_5_2_normalizes() {
+        let a = assoc(2.3, 0.17);
+        for present in [true, false] {
+            let total: f64 =
+                Genotype::ALL.iter().map(|&g| genotype_given_trait(&a, g, present)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "HWE must normalize, got {total}");
+        }
+    }
+
+    #[test]
+    fn hom_risk_more_likely_in_cases() {
+        let a = assoc(2.0, 0.25);
+        assert!(
+            genotype_given_trait(&a, Genotype::HomRisk, true)
+                > genotype_given_trait(&a, Genotype::HomRisk, false)
+        );
+        assert!(
+            genotype_given_trait(&a, Genotype::HomNonRisk, true)
+                < genotype_given_trait(&a, Genotype::HomNonRisk, false)
+        );
+    }
+
+    #[test]
+    fn trait_posterior_monotone_in_risk_copies() {
+        let a = assoc(2.0, 0.25);
+        let p = 0.1;
+        let post_rr = trait_posterior(&a, p, Genotype::HomRisk);
+        let post_het = trait_posterior(&a, p, Genotype::Het);
+        let post_pp = trait_posterior(&a, p, Genotype::HomNonRisk);
+        assert!(post_rr > post_het && post_het > post_pp);
+        // Neutral OR → posterior equals prevalence.
+        let neutral = assoc(1.0, 0.25);
+        for g in Genotype::ALL {
+            assert!((trait_posterior(&neutral, p, g) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn genotype_marginal_is_mixture() {
+        let a = assoc(1.7, 0.3);
+        let p = 0.2;
+        let total: f64 = Genotype::ALL.iter().map(|&g| genotype_marginal(&a, p, g)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Attribute schema: categorical attribute categories and values.
+//!
+//! Every user carries one value (possibly missing) per attribute category
+//! `h_r ∈ H` (Def. 3.2.2). Values are small categorical codes; real datasets
+//! in the dissertation (Facebook100, SNAP ego-nets) encode attributes as
+//! numeric codes, which is exactly what [`Value`] models.
+
+/// A categorical attribute value. `None`-ness (a user publishing nothing for
+/// a category) is modelled at the [`crate::SocialGraph`] level as
+/// `Option<Value>`.
+pub type Value = u16;
+
+/// Index of an attribute category `h_r` within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CategoryId(pub usize);
+
+impl std::fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// One attribute category `h_r ∈ H`: a name plus the number of distinct
+/// values it can take (its *arity*). Values are `0..arity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Category {
+    /// Human-readable category name (e.g. "favorite movies", "gender").
+    pub name: String,
+    /// Number of distinct categorical values; values are `0..arity`.
+    pub arity: Value,
+}
+
+impl Category {
+    /// Creates a category with the given name and arity.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0` — a category must admit at least one value.
+    pub fn new(name: impl Into<String>, arity: Value) -> Self {
+        assert!(arity > 0, "category arity must be positive");
+        Self { name: name.into(), arity }
+    }
+}
+
+/// The full set of attribute categories `H` for a social network.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    categories: Vec<Category>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of categories.
+    pub fn new(categories: Vec<Category>) -> Self {
+        Self { categories }
+    }
+
+    /// Convenience constructor: `n` categories all with the same arity,
+    /// named `a0, a1, …`.
+    pub fn uniform(n: usize, arity: Value) -> Self {
+        Self::new((0..n).map(|i| Category::new(format!("a{i}"), arity)).collect())
+    }
+
+    /// Number of categories `|H|`.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the schema has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// The category at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn category(&self, id: CategoryId) -> &Category {
+        &self.categories[id.0]
+    }
+
+    /// Arity of the category at `id`.
+    pub fn arity(&self, id: CategoryId) -> Value {
+        self.category(id).arity
+    }
+
+    /// Iterator over `(CategoryId, &Category)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CategoryId, &Category)> {
+        self.categories.iter().enumerate().map(|(i, c)| (CategoryId(i), c))
+    }
+
+    /// All category ids.
+    pub fn ids(&self) -> impl Iterator<Item = CategoryId> {
+        (0..self.categories.len()).map(CategoryId)
+    }
+
+    /// Looks a category up by name.
+    pub fn find(&self, name: &str) -> Option<CategoryId> {
+        self.categories.iter().position(|c| c.name == name).map(CategoryId)
+    }
+
+    /// Checks that `value` is legal for `cat`.
+    pub fn validate(&self, cat: CategoryId, value: Value) -> bool {
+        cat.0 < self.categories.len() && value < self.arity(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schema_has_named_categories() {
+        let s = Schema::uniform(3, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.category(CategoryId(1)).name, "a1");
+        assert_eq!(s.arity(CategoryId(2)), 4);
+    }
+
+    #[test]
+    fn find_locates_by_name() {
+        let s = Schema::new(vec![Category::new("gender", 2), Category::new("major", 12)]);
+        assert_eq!(s.find("major"), Some(CategoryId(1)));
+        assert_eq!(s.find("nope"), None);
+    }
+
+    #[test]
+    fn validate_checks_range() {
+        let s = Schema::uniform(2, 3);
+        assert!(s.validate(CategoryId(0), 2));
+        assert!(!s.validate(CategoryId(0), 3));
+        assert!(!s.validate(CategoryId(2), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be positive")]
+    fn zero_arity_rejected() {
+        let _ = Category::new("bad", 0);
+    }
+
+    #[test]
+    fn display_of_category_id() {
+        assert_eq!(CategoryId(7).to_string(), "h7");
+    }
+}

@@ -1,0 +1,104 @@
+//! Fluent construction of [`SocialGraph`]s for tests, examples and the
+//! synthetic data generators.
+
+use crate::attr::{CategoryId, Schema, Value};
+use crate::graph::{SocialGraph, UserId};
+
+/// Builder for [`SocialGraph`]: collect users, attribute rows and edges and
+/// assemble them in one pass.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    schema: Schema,
+    rows: Vec<Vec<Option<Value>>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder over `schema` with no users.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a user with all attributes missing; returns its id.
+    pub fn user(&mut self) -> UserId {
+        self.rows.push(vec![None; self.schema.len()]);
+        UserId(self.rows.len() - 1)
+    }
+
+    /// Adds a user with a fully published attribute row; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the row width or any value is illegal for the schema.
+    pub fn user_with(&mut self, row: &[Value]) -> UserId {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        for (c, &v) in row.iter().enumerate() {
+            assert!(self.schema.validate(CategoryId(c), v), "illegal value {v} in column {c}");
+        }
+        self.rows.push(row.iter().map(|&v| Some(v)).collect());
+        UserId(self.rows.len() - 1)
+    }
+
+    /// Adds a user with a partially published row.
+    pub fn user_with_partial(&mut self, row: &[Option<Value>]) -> UserId {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        self.rows.push(row.to_vec());
+        UserId(self.rows.len() - 1)
+    }
+
+    /// Records an undirected edge (deduplicated at build time).
+    pub fn edge(&mut self, a: UserId, b: UserId) -> &mut Self {
+        self.edges.push((a.0, b.0));
+        self
+    }
+
+    /// Assembles the graph.
+    ///
+    /// # Panics
+    /// Panics if any recorded edge references a user that was never added.
+    pub fn build(self) -> SocialGraph {
+        let n = self.rows.len();
+        let mut g = SocialGraph::new(self.schema, n);
+        for (u, row) in self.rows.into_iter().enumerate() {
+            for (c, v) in row.into_iter().enumerate() {
+                if let Some(v) = v {
+                    g.set_value(UserId(u), CategoryId(c), v);
+                }
+            }
+        }
+        for (a, b) in self.edges {
+            assert!(a < n && b < n, "edge references unknown user");
+            g.add_edge(UserId(a), UserId(b));
+        }
+        g.check_invariants();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_graph_with_rows_and_edges() {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 3));
+        let u0 = b.user_with(&[0, 1]);
+        let u1 = b.user_with_partial(&[Some(2), None]);
+        let u2 = b.user();
+        b.edge(u0, u1).edge(u1, u2).edge(u0, u1); // duplicate collapses
+        let g = b.build();
+        assert_eq!(g.user_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.value(u1, CategoryId(0)), Some(2));
+        assert_eq!(g.value(u1, CategoryId(1)), None);
+        assert_eq!(g.value(u2, CategoryId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn edge_to_missing_user_panics() {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let u = b.user();
+        b.edge(u, UserId(9));
+        b.build();
+    }
+}

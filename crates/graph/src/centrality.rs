@@ -1,0 +1,198 @@
+//! Centrality measures and structure-preservation reporting.
+//!
+//! §4.2.1 requires that "social network structure should be preserved such
+//! as node degree, centrality, betweenness" — this module provides those
+//! measures (degree centrality, closeness, Brandes betweenness) and a
+//! [`StructureReport`] comparing an original graph against its sanitized
+//! release.
+
+use crate::graph::{SocialGraph, UserId};
+use crate::stats::bfs_distances;
+use std::collections::VecDeque;
+
+/// Normalized degree centrality of every user: `deg(u) / (n − 1)`.
+pub fn degree_centrality(g: &SocialGraph) -> Vec<f64> {
+    let n = g.user_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    g.users().map(|u| g.degree(u) as f64 / (n - 1) as f64).collect()
+}
+
+/// Closeness centrality: `(reachable − 1) / Σ distances`, scaled by the
+/// reachable fraction (the Wasserman-Faust correction for disconnected
+/// graphs). 0 for isolated users.
+pub fn closeness_centrality(g: &SocialGraph) -> Vec<f64> {
+    let n = g.user_count();
+    g.users()
+        .map(|u| {
+            let d = bfs_distances(g, u);
+            let mut sum = 0usize;
+            let mut reachable = 0usize;
+            for &x in &d {
+                if x != usize::MAX && x > 0 {
+                    sum += x;
+                    reachable += 1;
+                }
+            }
+            if sum == 0 || n <= 1 {
+                0.0
+            } else {
+                (reachable as f64 / sum as f64) * (reachable as f64 / (n - 1) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Betweenness centrality of every user via Brandes' algorithm
+/// (unweighted), normalized by `(n−1)(n−2)/2` so values lie in `[0, 1]`.
+pub fn betweenness_centrality(g: &SocialGraph) -> Vec<f64> {
+    let n = g.user_count();
+    let mut bc = vec![0.0f64; n];
+    for s in 0..n {
+        // Single-source shortest-path counting.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.neighbors(UserId(v)) {
+                if dist[w.0] < 0 {
+                    dist[w.0] = dist[v] + 1;
+                    queue.push_back(w.0);
+                }
+                if dist[w.0] == dist[v] + 1 {
+                    sigma[w.0] += sigma[v];
+                    preds[w.0].push(v);
+                }
+            }
+        }
+        // Dependency accumulation.
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    // Undirected graph: each pair counted twice; normalize to [0, 1].
+    let norm = if n > 2 { ((n - 1) * (n - 2)) as f64 } else { 1.0 };
+    for x in &mut bc {
+        *x /= norm;
+    }
+    bc
+}
+
+/// How much structure a sanitized graph preserved, per §4.2.1's checklist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureReport {
+    /// Mean absolute degree-centrality change.
+    pub degree_drift: f64,
+    /// Mean absolute closeness-centrality change.
+    pub closeness_drift: f64,
+    /// Mean absolute betweenness-centrality change.
+    pub betweenness_drift: f64,
+}
+
+impl StructureReport {
+    /// Compares original `g` against sanitized `h` (same user universe).
+    ///
+    /// # Panics
+    /// Panics if the user counts differ.
+    pub fn compare(g: &SocialGraph, h: &SocialGraph) -> Self {
+        assert_eq!(g.user_count(), h.user_count(), "graphs must share users");
+        let drift = |a: &[f64], b: &[f64]| -> f64 {
+            if a.is_empty() {
+                return 0.0;
+            }
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+        };
+        Self {
+            degree_drift: drift(&degree_centrality(g), &degree_centrality(h)),
+            closeness_drift: drift(&closeness_centrality(g), &closeness_centrality(h)),
+            betweenness_drift: drift(&betweenness_centrality(g), &betweenness_centrality(h)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Schema;
+    use crate::builder::GraphBuilder;
+
+    /// Path 0-1-2-3-4: node 2 is the most between.
+    fn path() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let us: Vec<_> = (0..5).map(|_| b.user()).collect();
+        for w in us.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn betweenness_of_path_center() {
+        let bc = betweenness_centrality(&path());
+        // Exact values for P5: centre carries 4 of the 6 pairs, next layer 3.
+        assert!(bc[2] > bc[1] && bc[1] > bc[0]);
+        assert_eq!(bc[0], 0.0);
+        assert!((bc[2] - 4.0 / 6.0).abs() < 1e-9, "{bc:?}");
+        assert!((bc[1] - 3.0 / 6.0).abs() < 1e-9, "{bc:?}");
+    }
+
+    #[test]
+    fn betweenness_of_star_hub_is_one() {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let hub = b.user();
+        let leaves: Vec<_> = (0..4).map(|_| b.user()).collect();
+        for &l in &leaves {
+            b.edge(hub, l);
+        }
+        let g = b.build();
+        let bc = betweenness_centrality(&g);
+        assert!((bc[hub.0] - 1.0).abs() < 1e-9, "{bc:?}");
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn degree_and_closeness_orderings() {
+        let g = path();
+        let dc = degree_centrality(&g);
+        assert!((dc[2] - 0.5).abs() < 1e-12); // degree 2 of 4
+        assert!((dc[0] - 0.25).abs() < 1e-12);
+        let cc = closeness_centrality(&g);
+        assert!(cc[2] > cc[0], "centre is closer to everyone");
+    }
+
+    #[test]
+    fn isolated_user_scores_zero() {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        b.user();
+        b.user();
+        let g = b.build();
+        assert_eq!(closeness_centrality(&g), vec![0.0, 0.0]);
+        assert_eq!(betweenness_centrality(&g), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn structure_report_zero_on_identity_and_positive_on_edit() {
+        let g = path();
+        let report = StructureReport::compare(&g, &g);
+        assert_eq!(report.degree_drift, 0.0);
+        assert_eq!(report.betweenness_drift, 0.0);
+        let mut h = g.clone();
+        h.remove_edge(UserId(1), UserId(2));
+        let report = StructureReport::compare(&g, &h);
+        assert!(report.degree_drift > 0.0);
+        assert!(report.betweenness_drift > 0.0);
+        assert!(report.closeness_drift > 0.0);
+    }
+}

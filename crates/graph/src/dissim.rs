@@ -1,0 +1,133 @@
+//! Data-dissimilarity measurers `M(G, G')` used by the utility definitions
+//! (condition (i) of Def. 3.2.7 and Def. 4.4.1): how far a sanitized graph
+//! drifted from the original.
+
+use crate::graph::SocialGraph;
+use std::collections::HashSet;
+
+/// A measurer `M(G, G') → [0, ∞)` with `M(G, G) = 0`. The dissertation
+/// leaves `M` pluggable ("data dissimilarity measurer M"), so this is a
+/// trait with the two measurers its experiments need.
+pub trait Dissimilarity {
+    /// Computes the dissimilarity between the original `g` and sanitized `h`.
+    ///
+    /// Implementations may assume both graphs share user ids and schema.
+    fn measure(&self, g: &SocialGraph, h: &SocialGraph) -> f64;
+}
+
+/// Jaccard distance between edge sets: `1 − |E ∩ E'| / |E ∪ E'|`
+/// (0 when both graphs are empty).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeJaccard;
+
+impl Dissimilarity for EdgeJaccard {
+    fn measure(&self, g: &SocialGraph, h: &SocialGraph) -> f64 {
+        let a: HashSet<_> = g.edges().collect();
+        let b: HashSet<_> = h.edges().collect();
+        let inter = a.intersection(&b).count();
+        let union = a.len() + b.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            1.0 - inter as f64 / union as f64
+        }
+    }
+}
+
+/// Fraction of attribute cells that changed (published↔hidden counts as a
+/// change): normalized Hamming distance over the attribute matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttributeHamming;
+
+impl Dissimilarity for AttributeHamming {
+    fn measure(&self, g: &SocialGraph, h: &SocialGraph) -> f64 {
+        assert_eq!(g.user_count(), h.user_count(), "graphs must share users");
+        let cells = g.user_count() * g.schema().len();
+        if cells == 0 {
+            return 0.0;
+        }
+        let changed: usize = g
+            .users()
+            .map(|u| {
+                g.attr_row(u).iter().zip(h.attr_row(u)).filter(|(x, y)| x != y).count()
+            })
+            .sum();
+        changed as f64 / cells as f64
+    }
+}
+
+/// Convex combination of [`EdgeJaccard`] and [`AttributeHamming`] — the
+/// measurer the experiment harness uses so that both link and attribute
+/// sanitization count against the ε budget.
+#[derive(Debug, Clone, Copy)]
+pub struct StructureDelta {
+    /// Weight of the edge term in `[0, 1]`; the attribute term gets `1 − w`.
+    pub edge_weight: f64,
+}
+
+impl Default for StructureDelta {
+    fn default() -> Self {
+        Self { edge_weight: 0.5 }
+    }
+}
+
+impl Dissimilarity for StructureDelta {
+    fn measure(&self, g: &SocialGraph, h: &SocialGraph) -> f64 {
+        let w = self.edge_weight.clamp(0.0, 1.0);
+        w * EdgeJaccard.measure(g, h) + (1.0 - w) * AttributeHamming.measure(g, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{CategoryId, Schema};
+    use crate::builder::GraphBuilder;
+    use crate::graph::UserId;
+
+    fn base() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 3));
+        let u0 = b.user_with(&[0, 1]);
+        let u1 = b.user_with(&[1, 2]);
+        let u2 = b.user_with(&[2, 0]);
+        b.edge(u0, u1).edge(u1, u2);
+        b.build()
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let g = base();
+        assert_eq!(EdgeJaccard.measure(&g, &g), 0.0);
+        assert_eq!(AttributeHamming.measure(&g, &g), 0.0);
+        assert_eq!(StructureDelta::default().measure(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn edge_jaccard_counts_removed_edge() {
+        let g = base();
+        let mut h = g.clone();
+        h.remove_edge(UserId(0), UserId(1));
+        // |∩| = 1, |∪| = 2 → distance 0.5.
+        assert!((EdgeJaccard.measure(&g, &h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_counts_hidden_cells() {
+        let g = base();
+        let mut h = g.clone();
+        h.clear_value(UserId(0), CategoryId(0));
+        h.set_value(UserId(1), CategoryId(1), 0);
+        // 2 changed cells out of 6.
+        assert!((AttributeHamming.measure(&g, &h) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_delta_blends() {
+        let g = base();
+        let mut h = g.clone();
+        h.remove_edge(UserId(0), UserId(1));
+        h.clear_value(UserId(0), CategoryId(0));
+        let d = StructureDelta { edge_weight: 0.5 }.measure(&g, &h);
+        assert!((d - 0.5 * 0.5 - 0.5 * (1.0 / 6.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! The core [`SocialGraph`] type: users, undirected friendship links, and
+//! per-user categorical attribute vectors.
+
+use crate::attr::{CategoryId, Schema, Value};
+
+/// Index of a user `u_i ∈ V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub usize);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A social network `G(V, E, X)` (Def. 3.2.1).
+///
+/// Links are undirected: `e_ij ∈ E ⇔ e_ji ∈ E`. Attribute vectors hold one
+/// `Option<Value>` per schema category; `None` models a user who published
+/// nothing for that category (the dissertation stresses that social data is
+/// *incomplete*). Adjacency lists are kept sorted so that neighbourhood
+/// intersection (shared-friends counting) is a linear merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialGraph {
+    schema: Schema,
+    /// `attrs[u][c]` = value of category `c` for user `u`.
+    attrs: Vec<Vec<Option<Value>>>,
+    /// Sorted adjacency lists.
+    adj: Vec<Vec<UserId>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph with `n` users over `schema`; all attribute
+    /// values start missing and there are no links.
+    pub fn new(schema: Schema, n: usize) -> Self {
+        Self {
+            attrs: vec![vec![None; schema.len()]; n],
+            adj: vec![Vec::new(); n],
+            schema,
+            edge_count: 0,
+        }
+    }
+
+    /// The attribute schema `H`.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of users `|V|`.
+    pub fn user_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of undirected links `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> {
+        (0..self.attrs.len()).map(UserId)
+    }
+
+    /// Sorted neighbour list `N_i` of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: UserId) -> &[UserId] {
+        &self.adj[u.0]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: UserId) -> usize {
+        self.adj[u.0].len()
+    }
+
+    /// Whether the undirected link `{a, b}` exists.
+    pub fn has_edge(&self, a: UserId, b: UserId) -> bool {
+        self.adj[a.0].binary_search(&b).is_ok()
+    }
+
+    /// Adds the undirected link `{a, b}`. Returns `true` if the link was new.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range users.
+    pub fn add_edge(&mut self, a: UserId, b: UserId) -> bool {
+        assert_ne!(a, b, "self-loops are not part of the social-network model");
+        assert!(a.0 < self.attrs.len() && b.0 < self.attrs.len(), "user out of range");
+        match self.adj[a.0].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos_a) => {
+                self.adj[a.0].insert(pos_a, b);
+                let pos_b = self.adj[b.0].binary_search(&a).unwrap_err();
+                self.adj[b.0].insert(pos_b, a);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the undirected link `{a, b}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: UserId, b: UserId) -> bool {
+        match self.adj[a.0].binary_search(&b) {
+            Err(_) => false,
+            Ok(pos_a) => {
+                self.adj[a.0].remove(pos_a);
+                let pos_b = self.adj[b.0].binary_search(&a).expect("adjacency symmetric");
+                self.adj[b.0].remove(pos_b);
+                self.edge_count -= 1;
+                true
+            }
+        }
+    }
+
+    /// All undirected edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, ns)| {
+            ns.iter().filter(move |b| a < b.0).map(move |&b| (UserId(a), b))
+        })
+    }
+
+    /// The attribute value of `u` for `cat` (`None` = unpublished).
+    pub fn value(&self, u: UserId, cat: CategoryId) -> Option<Value> {
+        self.attrs[u.0][cat.0]
+    }
+
+    /// Sets the attribute value of `u` for `cat`.
+    ///
+    /// # Panics
+    /// Panics if `value` is not legal for `cat` under the schema.
+    pub fn set_value(&mut self, u: UserId, cat: CategoryId, value: Value) {
+        assert!(self.schema.validate(cat, value), "value {value} illegal for {cat}");
+        self.attrs[u.0][cat.0] = Some(value);
+    }
+
+    /// Clears (hides) the attribute value of `u` for `cat`.
+    pub fn clear_value(&mut self, u: UserId, cat: CategoryId) {
+        self.attrs[u.0][cat.0] = None;
+    }
+
+    /// Hides category `cat` for *every* user (attribute-removal
+    /// sanitization, §3.5.2). The schema keeps the column so ids stay
+    /// stable; the column simply becomes all-missing.
+    pub fn clear_category(&mut self, cat: CategoryId) {
+        for row in &mut self.attrs {
+            row[cat.0] = None;
+        }
+    }
+
+    /// The full attribute row of `u`.
+    pub fn attr_row(&self, u: UserId) -> &[Option<Value>] {
+        &self.attrs[u.0]
+    }
+
+    /// Number of published (non-missing) attributes of `u`, `|X_i|`.
+    pub fn published_count(&self, u: UserId) -> usize {
+        self.attrs[u.0].iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Count of categories on which `a` and `b` both published *the same*
+    /// value — the numerator of the wvRN weight `W_{i,j}` (Eq. 3.2 / 4.2).
+    pub fn shared_attr_count(&self, a: UserId, b: UserId) -> usize {
+        self.attrs[a.0]
+            .iter()
+            .zip(&self.attrs[b.0])
+            .filter(|(x, y)| x.is_some() && x == y)
+            .count()
+    }
+
+    /// Weight `W_{i,j}` from Eq. (3.2)/(4.2): shared published attributes of
+    /// `i` and `j` divided by `|X_i|`. Returns 0 when `i` published nothing.
+    pub fn wvrn_weight(&self, i: UserId, j: UserId) -> f64 {
+        let denom = self.published_count(i);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.shared_attr_count(i, j) as f64 / denom as f64
+    }
+
+    /// Number of friends shared by `a` and `b` (`|N_a ∩ N_b|`), computed as
+    /// a sorted-list merge. This is the structure-utility value metric of
+    /// Def. 4.4.2.
+    pub fn shared_friend_count(&self, a: UserId, b: UserId) -> usize {
+        let (mut xs, mut ys) = (self.adj[a.0].iter(), self.adj[b.0].iter());
+        let (mut x, mut y) = (xs.next(), ys.next());
+        let mut shared = 0;
+        while let (Some(&u), Some(&v)) = (x, y) {
+            match u.cmp(&v) {
+                std::cmp::Ordering::Less => x = xs.next(),
+                std::cmp::Ordering::Greater => y = ys.next(),
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    x = xs.next();
+                    y = ys.next();
+                }
+            }
+        }
+        shared
+    }
+
+    /// Asserts internal invariants (sorted symmetric adjacency, edge count).
+    /// Used by tests and the property suite; cheap enough for debug builds.
+    pub fn check_invariants(&self) {
+        let mut half_edges = 0;
+        for (a, ns) in self.adj.iter().enumerate() {
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "adjacency of u{a} not sorted/deduped");
+            for &b in ns {
+                assert_ne!(b.0, a, "self-loop at u{a}");
+                assert!(
+                    self.adj[b.0].binary_search(&UserId(a)).is_ok(),
+                    "asymmetric edge u{a}-{b}"
+                );
+            }
+            half_edges += ns.len();
+        }
+        assert_eq!(half_edges, 2 * self.edge_count, "edge count out of sync");
+        for row in &self.attrs {
+            assert_eq!(row.len(), self.schema.len(), "attr row width mismatch");
+            for (c, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    assert!(self.schema.validate(CategoryId(c), *v), "illegal value");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SocialGraph {
+        let mut g = SocialGraph::new(Schema::uniform(3, 4), 5);
+        g.add_edge(UserId(0), UserId(1));
+        g.add_edge(UserId(1), UserId(2));
+        g.add_edge(UserId(0), UserId(2));
+        g.add_edge(UserId(3), UserId(4));
+        g
+    }
+
+    #[test]
+    fn edges_are_undirected_and_counted() {
+        let mut g = small();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(UserId(2), UserId(1)));
+        assert!(!g.add_edge(UserId(1), UserId(0)), "duplicate edge must be a no-op");
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.remove_edge(UserId(2), UserId(0)));
+        assert!(!g.has_edge(UserId(0), UserId(2)));
+        assert_eq!(g.edge_count(), 3);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn remove_missing_edge_is_noop() {
+        let mut g = small();
+        assert!(!g.remove_edge(UserId(0), UserId(4)));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        small().add_edge(UserId(1), UserId(1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = small();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 4);
+        assert!(es.iter().all(|(a, b)| a < b));
+    }
+
+    #[test]
+    fn attribute_set_get_clear() {
+        let mut g = small();
+        g.set_value(UserId(0), CategoryId(1), 3);
+        assert_eq!(g.value(UserId(0), CategoryId(1)), Some(3));
+        g.clear_value(UserId(0), CategoryId(1));
+        assert_eq!(g.value(UserId(0), CategoryId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn out_of_range_value_rejected() {
+        small().set_value(UserId(0), CategoryId(0), 4);
+    }
+
+    #[test]
+    fn clear_category_hides_everyone() {
+        let mut g = small();
+        for u in 0..5 {
+            g.set_value(UserId(u), CategoryId(2), 1);
+        }
+        g.clear_category(CategoryId(2));
+        assert!(g.users().all(|u| g.value(u, CategoryId(2)).is_none()));
+    }
+
+    #[test]
+    fn shared_attrs_and_weights() {
+        let mut g = small();
+        g.set_value(UserId(0), CategoryId(0), 1);
+        g.set_value(UserId(0), CategoryId(1), 2);
+        g.set_value(UserId(1), CategoryId(0), 1);
+        g.set_value(UserId(1), CategoryId(1), 3);
+        assert_eq!(g.shared_attr_count(UserId(0), UserId(1)), 1);
+        assert!((g.wvrn_weight(UserId(0), UserId(1)) - 0.5).abs() < 1e-12);
+        // u4 published nothing → weight from u4 is zero.
+        assert_eq!(g.wvrn_weight(UserId(4), UserId(0)), 0.0);
+    }
+
+    #[test]
+    fn shared_friends_by_merge() {
+        let g = small();
+        // N(0) = {1,2}, N(1) = {0,2} → shared friend {2}.
+        assert_eq!(g.shared_friend_count(UserId(0), UserId(1)), 1);
+        assert_eq!(g.shared_friend_count(UserId(0), UserId(3)), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Social-network substrate for the `ppdp` workspace.
+//!
+//! This crate implements the network model of Chapter 3/4 of *Privacy
+//! Preserving Data Publishing* (He, 2018): a social network is a graph
+//! `G(V, E, X)` with a user set `V`, an undirected friendship link set `E`,
+//! and per-user attribute vectors `X` drawn from a fixed categorical
+//! [`Schema`]. One or more attribute categories are designated *sensitive*;
+//! their values act as class labels for inference attacks.
+//!
+//! The crate deliberately contains **no** inference or sanitization logic —
+//! only the data model, graph algorithms (components, diameter, clustering,
+//! shared friends) and the structure-dissimilarity measurers `M(G, G')`
+//! required by the utility definitions (Def. 3.2.7 / Def. 4.4.1).
+
+pub mod attr;
+pub mod builder;
+pub mod centrality;
+pub mod dissim;
+pub mod graph;
+pub mod snapshot;
+pub mod stats;
+
+pub use attr::{Category, CategoryId, Schema, Value};
+pub use builder::GraphBuilder;
+pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality, StructureReport};
+pub use dissim::{AttributeHamming, Dissimilarity, EdgeJaccard, StructureDelta};
+pub use graph::{SocialGraph, UserId};
+pub use snapshot::GraphSnapshot;
+pub use stats::GraphStats;

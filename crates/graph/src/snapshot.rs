@@ -1,0 +1,122 @@
+//! Serializable graph snapshots: export/import a [`SocialGraph`] (with its
+//! schema) as JSON so sanitized datasets can actually be *published* — the
+//! end product of every pipeline in this workspace.
+
+use crate::attr::{Category, CategoryId, Schema, Value};
+use crate::graph::{SocialGraph, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, serializable form of a [`SocialGraph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSnapshot {
+    /// `(name, arity)` per category, in schema order.
+    pub categories: Vec<(String, Value)>,
+    /// One attribute row per user (`None` = unpublished).
+    pub rows: Vec<Vec<Option<Value>>>,
+    /// Undirected edges as `(a, b)` with `a < b`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphSnapshot {
+    /// Captures a graph.
+    pub fn capture(g: &SocialGraph) -> Self {
+        Self {
+            categories: g
+                .schema()
+                .iter()
+                .map(|(_, c)| (c.name.clone(), c.arity))
+                .collect(),
+            rows: g.users().map(|u| g.attr_row(u).to_vec()).collect(),
+            edges: g.edges().map(|(a, b)| (a.0, b.0)).collect(),
+        }
+    }
+
+    /// Restores the graph.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is internally inconsistent (ragged rows,
+    /// out-of-range values or edges).
+    pub fn restore(&self) -> SocialGraph {
+        let schema = Schema::new(
+            self.categories.iter().map(|(n, a)| Category::new(n.clone(), *a)).collect(),
+        );
+        let mut g = SocialGraph::new(schema, self.rows.len());
+        for (u, row) in self.rows.iter().enumerate() {
+            assert_eq!(row.len(), self.categories.len(), "ragged snapshot row");
+            for (c, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    g.set_value(UserId(u), CategoryId(c), *v);
+                }
+            }
+        }
+        for &(a, b) in &self.edges {
+            g.add_edge(UserId(a), UserId(b));
+        }
+        g.check_invariants();
+        g
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    /// Propagates `serde_json` encoding failures (effectively unreachable
+    /// for this data model).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a snapshot from JSON.
+    ///
+    /// # Errors
+    /// Returns the `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::new(vec![
+            Category::new("gender", 2),
+            Category::new("major", 5),
+        ]));
+        let u0 = b.user_with(&[0, 3]);
+        let u1 = b.user_with_partial(&[Some(1), None]);
+        let u2 = b.user();
+        b.edge(u0, u1).edge(u1, u2);
+        b.build()
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let g = graph();
+        let snap = GraphSnapshot::capture(&g);
+        assert_eq!(snap.restore(), g);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = graph();
+        let json = GraphSnapshot::capture(&g).to_json().unwrap();
+        let back = GraphSnapshot::from_json(&json).unwrap().restore();
+        assert_eq!(back, g);
+        assert!(json.contains("gender"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(GraphSnapshot::from_json("{not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn inconsistent_snapshot_rejected() {
+        let mut snap = GraphSnapshot::capture(&graph());
+        snap.rows[1].pop();
+        snap.restore();
+    }
+}

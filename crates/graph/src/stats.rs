@@ -1,0 +1,245 @@
+//! Graph statistics needed by Table 3.3 and the experiment harnesses:
+//! connected components, largest-component size, diameter, degrees,
+//! clustering coefficients.
+
+use crate::graph::{SocialGraph, UserId};
+use std::collections::VecDeque;
+
+/// Summary statistics of a [`SocialGraph`], matching the rows of Table 3.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of connected components (isolated nodes count as components).
+    pub components: usize,
+    /// Node count of the largest connected component.
+    pub largest_component_nodes: usize,
+    /// Edge count of the largest connected component.
+    pub largest_component_edges: usize,
+    /// Longest shortest path within the largest component. Exact when the
+    /// component is small, double-sweep lower bound otherwise (flagged by
+    /// [`GraphStats::diameter_exact`]).
+    pub diameter: usize,
+    /// Whether `diameter` was computed exactly.
+    pub diameter_exact: bool,
+}
+
+/// Computes all [`GraphStats`] for `g`. Diameter is exact when the largest
+/// component has at most `exact_diameter_limit` nodes; above that a
+/// double-sweep BFS lower bound is used (tight on social graphs).
+pub fn graph_stats(g: &SocialGraph, exact_diameter_limit: usize) -> GraphStats {
+    let comps = components(g);
+    let largest = comps.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    let lc_edges = component_edge_count(g, &largest);
+    let (diameter, exact) = if largest.len() <= 1 {
+        (0, true)
+    } else if largest.len() <= exact_diameter_limit {
+        (exact_diameter(g, &largest), true)
+    } else {
+        (double_sweep_diameter(g, largest[0]), false)
+    };
+    GraphStats {
+        nodes: g.user_count(),
+        edges: g.edge_count(),
+        components: comps.len(),
+        largest_component_nodes: largest.len(),
+        largest_component_edges: lc_edges,
+        diameter,
+        diameter_exact: exact,
+    }
+}
+
+/// Connected components as lists of users (singletons included).
+pub fn components(g: &SocialGraph) -> Vec<Vec<UserId>> {
+    let n = g.user_count();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::from([UserId(s)]);
+        seen[s] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+fn component_edge_count(g: &SocialGraph, comp: &[UserId]) -> usize {
+    // Every edge of a member stays inside its component, so summing degrees
+    // over the component double-counts exactly the component's edges.
+    comp.iter().map(|&u| g.degree(u)).sum::<usize>() / 2
+}
+
+/// BFS distances from `src`; `usize::MAX` marks unreachable users.
+pub fn bfs_distances(g: &SocialGraph, src: UserId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.user_count()];
+    dist[src.0] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.0];
+        for &v in g.neighbors(u) {
+            if dist[v.0] == usize::MAX {
+                dist[v.0] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `u`: the largest finite BFS distance from `u`.
+pub fn eccentricity(g: &SocialGraph, u: UserId) -> usize {
+    bfs_distances(g, u).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+}
+
+fn exact_diameter(g: &SocialGraph, comp: &[UserId]) -> usize {
+    comp.iter().map(|&u| eccentricity(g, u)).max().unwrap_or(0)
+}
+
+/// Double-sweep BFS diameter lower bound: BFS from `seed`, then BFS again
+/// from the farthest node found. Exact on trees, near-exact on small-world
+/// social graphs.
+pub fn double_sweep_diameter(g: &SocialGraph, seed: UserId) -> usize {
+    let d1 = bfs_distances(g, seed);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != usize::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| UserId(i))
+        .unwrap_or(seed);
+    eccentricity(g, far)
+}
+
+/// Local clustering coefficient of `u`: fraction of neighbour pairs that are
+/// themselves linked.
+pub fn local_clustering(g: &SocialGraph, u: UserId) -> f64 {
+    let ns = g.neighbors(u);
+    let k = ns.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (k * (k - 1)) as f64
+}
+
+/// Mean local clustering coefficient over all users.
+pub fn average_clustering(g: &SocialGraph) -> f64 {
+    if g.user_count() == 0 {
+        return 0.0;
+    }
+    g.users().map(|u| local_clustering(g, u)).sum::<f64>() / g.user_count() as f64
+}
+
+/// Degree histogram: `hist[d]` = number of users with degree `d`.
+pub fn degree_histogram(g: &SocialGraph) -> Vec<usize> {
+    let max_d = g.users().map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_d + 1];
+    for u in g.users() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Schema;
+    use crate::builder::GraphBuilder;
+
+    /// Path 0-1-2-3 plus isolated 4 and pair 5-6.
+    fn fixture() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let us: Vec<_> = (0..7).map(|_| b.user()).collect();
+        b.edge(us[0], us[1]).edge(us[1], us[2]).edge(us[2], us[3]).edge(us[5], us[6]);
+        b.build()
+    }
+
+    #[test]
+    fn components_counted_with_singletons() {
+        let g = fixture();
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<_> = {
+            let mut s: Vec<_> = comps.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn stats_match_fixture() {
+        let g = fixture();
+        let s = graph_stats(&g, 1000);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.largest_component_nodes, 4);
+        assert_eq!(s.largest_component_edges, 3);
+        assert_eq!(s.diameter, 3);
+        assert!(s.diameter_exact);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = fixture();
+        // Start the sweep in the middle of the path: still finds diameter 3.
+        assert_eq!(double_sweep_diameter(&g, UserId(1)), 3);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = fixture();
+        let d = bfs_distances(&g, UserId(0));
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], usize::MAX);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let us: Vec<_> = (0..3).map(|_| b.user()).collect();
+        b.edge(us[0], us[1]).edge(us[1], us[2]).edge(us[0], us[2]);
+        let g = b.build();
+        assert!((local_clustering(&g, us[0]) - 1.0).abs() < 1e-12);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_path_center_is_zero() {
+        let g = fixture();
+        assert_eq!(local_clustering(&g, UserId(1)), 0.0);
+        assert_eq!(local_clustering(&g, UserId(4)), 0.0); // degree 0
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_users() {
+        let g = fixture();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+        assert_eq!(h[0], 1); // isolated u4
+        assert_eq!(h[1], 4); // path ends + pair
+        assert_eq!(h[2], 2); // path middles
+    }
+}

@@ -1,0 +1,290 @@
+//! Greedy maximization of monotone submodular set functions under
+//! cardinality and knapsack constraints (Sviridenko-style cost-benefit
+//! greedy, the solver reference [77] of the dissertation).
+
+/// Selects up to `k` of `n` items greedily to maximize `objective(selected)`.
+/// `objective` must be monotone for the guarantee to hold; the selection
+/// stops early when no remaining item has positive marginal gain.
+///
+/// Returns the selected item indices in pick order.
+pub fn greedy_cardinality<F>(n: usize, k: usize, mut objective: F) -> Vec<usize>
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    let mut selected: Vec<usize> = Vec::new();
+    let mut current = objective(&selected);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while selected.len() < k && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
+        for (pos, &item) in remaining.iter().enumerate() {
+            selected.push(item);
+            let v = objective(&selected);
+            selected.pop();
+            if best.map_or(true, |(_, bv)| v > bv) {
+                best = Some((pos, v));
+            }
+        }
+        let (pos, value) = best.expect("remaining non-empty");
+        if value <= current + 1e-15 {
+            break; // no positive marginal gain anywhere
+        }
+        selected.push(remaining.remove(pos));
+        current = value;
+    }
+    selected
+}
+
+/// Naive cost-benefit greedy under a knapsack constraint: repeatedly adds
+/// the feasible item maximizing marginal gain per unit cost, re-evaluating
+/// every candidate each round. Quadratic in oracle calls; kept as the
+/// ablation baseline for [`lazy_greedy_knapsack`].
+pub fn naive_greedy_knapsack<F>(
+    costs: &[f64],
+    budget: f64,
+    mut objective: F,
+) -> Vec<usize>
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    assert!(costs.iter().all(|&c| c >= 0.0), "negative costs are not supported");
+    let mut selected: Vec<usize> = Vec::new();
+    let mut spent = 0.0;
+    let mut current = objective(&selected);
+    let mut remaining: Vec<usize> = (0..costs.len()).collect();
+    loop {
+        let mut best: Option<(usize, f64, f64)> = None; // (pos, ratio, value)
+        for (pos, &item) in remaining.iter().enumerate() {
+            if spent + costs[item] > budget + 1e-12 {
+                continue;
+            }
+            selected.push(item);
+            let v = objective(&selected);
+            selected.pop();
+            let gain = v - current;
+            if gain <= 1e-15 {
+                continue;
+            }
+            // Zero-cost items are infinitely attractive: order them by gain.
+            let ratio = if costs[item] > 0.0 { gain / costs[item] } else { f64::INFINITY };
+            if best.map_or(true, |(_, br, bv)| ratio > br || (ratio == br && v > bv)) {
+                best = Some((pos, ratio, v));
+            }
+        }
+        match best {
+            None => break,
+            Some((pos, _, value)) => {
+                let item = remaining.remove(pos);
+                spent += costs[item];
+                selected.push(item);
+                current = value;
+            }
+        }
+    }
+    selected
+}
+
+/// Lazy cost-benefit greedy (Minoux's accelerated greedy): keeps stale upper
+/// bounds on marginal gains in a max-heap and only re-evaluates the top.
+/// For submodular objectives this returns the same set as
+/// [`naive_greedy_knapsack`] with far fewer oracle calls.
+pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Vec<usize>
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    assert!(costs.iter().all(|&c| c >= 0.0), "negative costs are not supported");
+
+    #[derive(PartialEq)]
+    struct Entry {
+        ratio: f64,
+        gain: f64,
+        item: usize,
+        round: usize,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.ratio
+                .partial_cmp(&other.ratio)
+                .unwrap_or(Ordering::Equal)
+                .then(self.gain.partial_cmp(&other.gain).unwrap_or(Ordering::Equal))
+                .then(other.item.cmp(&self.item))
+        }
+    }
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut spent = 0.0;
+    let base = objective(&selected);
+    let mut current = base;
+    let mut round = 0usize;
+    let mut heap: BinaryHeap<Entry> = (0..costs.len())
+        .map(|item| {
+            let gain = {
+                selected.push(item);
+                let v = objective(&selected);
+                selected.pop();
+                v - base
+            };
+            Entry { ratio: ratio_of(gain, costs[item]), gain, item, round }
+        })
+        .collect();
+
+    // Non-positive gains must sort below every positive-gain entry even at
+    // zero cost, otherwise a free-but-useless item would sit on top of the
+    // heap and trigger the early break.
+    fn ratio_of(gain: f64, cost: f64) -> f64 {
+        if gain <= 1e-15 {
+            f64::NEG_INFINITY
+        } else if cost > 0.0 {
+            gain / cost
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    while let Some(top) = heap.pop() {
+        if spent + costs[top.item] > budget + 1e-12 {
+            continue; // infeasible now; submodularity ⇒ never feasible-better later
+        }
+        if top.round == round {
+            if top.gain <= 1e-15 {
+                break; // freshest bound non-positive ⇒ done (monotone case)
+            }
+            spent += costs[top.item];
+            selected.push(top.item);
+            current += top.gain;
+            round += 1;
+        } else {
+            // Stale bound: re-evaluate against the current selection.
+            selected.push(top.item);
+            let v = objective(&selected);
+            selected.pop();
+            let gain = v - current;
+            heap.push(Entry { ratio: ratio_of(gain, costs[top.item]), gain, item: top.item, round });
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Weighted coverage: item i covers a set of elements; objective =
+    /// total weight covered. Monotone and submodular.
+    fn coverage<'a>(
+        items: &'a [Vec<usize>],
+        weights: &'a [f64],
+    ) -> impl Fn(&[usize]) -> f64 + 'a {
+        move |sel: &[usize]| {
+            let mut covered: HashSet<usize> = HashSet::new();
+            for &i in sel {
+                covered.extend(items[i].iter().copied());
+            }
+            covered.iter().map(|&e| weights[e]).sum()
+        }
+    }
+
+    #[test]
+    fn cardinality_greedy_covers_best_first() {
+        let items = vec![vec![0, 1, 2], vec![2, 3], vec![4], vec![0, 1]];
+        let w = vec![1.0; 5];
+        let sel = greedy_cardinality(4, 2, coverage(&items, &w));
+        assert_eq!(sel[0], 0, "largest set first");
+        // Second pick: item 1 adds {3} (+1) and item 2 adds {4} (+1);
+        // ties go to the first maximal candidate found.
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn cardinality_greedy_stops_on_zero_gain() {
+        let items = vec![vec![0], vec![0], vec![0]];
+        let w = vec![1.0];
+        let sel = greedy_cardinality(3, 3, coverage(&items, &w));
+        assert_eq!(sel.len(), 1, "duplicates add nothing");
+    }
+
+    #[test]
+    fn knapsack_respects_budget() {
+        let items = vec![vec![0, 1], vec![2], vec![3], vec![4]];
+        let w = vec![1.0; 5];
+        let costs = vec![2.0, 1.0, 1.0, 1.0];
+        let sel = naive_greedy_knapsack(&costs, 2.0, coverage(&items, &w));
+        let spent: f64 = sel.iter().map(|&i| costs[i]).sum();
+        assert!(spent <= 2.0 + 1e-9);
+        assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn lazy_matches_naive_on_coverage() {
+        let items = vec![
+            vec![0, 1, 2, 3],
+            vec![3, 4, 5],
+            vec![5, 6],
+            vec![0, 6, 7, 8],
+            vec![9],
+            vec![1, 9],
+        ];
+        let w: Vec<f64> = (0..10).map(|i| 1.0 + (i as f64) * 0.3).collect();
+        let costs = vec![3.0, 2.0, 1.0, 3.0, 0.5, 1.0];
+        for budget in [1.0, 2.5, 4.0, 7.0, 100.0] {
+            let naive = naive_greedy_knapsack(&costs, budget, coverage(&items, &w));
+            let lazy = lazy_greedy_knapsack(&costs, budget, coverage(&items, &w));
+            let f = coverage(&items, &w);
+            assert!(
+                (f(&naive) - f(&lazy)).abs() < 1e-9,
+                "budget {budget}: naive {naive:?} vs lazy {lazy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_uses_fewer_oracle_calls() {
+        let items: Vec<Vec<usize>> = (0..40).map(|i| vec![i, (i + 1) % 40]).collect();
+        let w = vec![1.0; 40];
+        let costs = vec![1.0; 40];
+        let mut naive_calls = 0usize;
+        let mut lazy_calls = 0usize;
+        let _ = naive_greedy_knapsack(&costs, 10.0, |s| {
+            naive_calls += 1;
+            coverage(&items, &w)(s)
+        });
+        let _ = lazy_greedy_knapsack(&costs, 10.0, |s| {
+            lazy_calls += 1;
+            coverage(&items, &w)(s)
+        });
+        assert!(
+            lazy_calls < naive_calls,
+            "lazy ({lazy_calls}) should beat naive ({naive_calls})"
+        );
+    }
+
+    #[test]
+    fn zero_cost_items_always_taken_when_useful() {
+        let items = vec![vec![0], vec![1]];
+        let w = vec![5.0, 1.0];
+        let costs = vec![0.0, 1.0];
+        let sel = lazy_greedy_knapsack(&costs, 0.0, coverage(&items, &w));
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn empty_problem_selects_nothing() {
+        assert!(lazy_greedy_knapsack(&[], 5.0, |_| 0.0).is_empty());
+        assert!(greedy_cardinality(0, 3, |_| 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative costs")]
+    fn negative_cost_rejected() {
+        naive_greedy_knapsack(&[-1.0], 1.0, |_| 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared optimization substrate for the `ppdp` workspace.
+//!
+//! Chapters 4 and 5 both reduce their sanitization problems to maximizing a
+//! *monotone, submodular, non-negative* set function under a knapsack-like
+//! constraint and invoke "the greedy algorithm proposed in [77]"
+//! (Sviridenko 2004). [`greedy`] provides that algorithm in two flavours —
+//! a naive re-evaluating greedy and a lazy (priority-queue) greedy — so the
+//! ablation bench can compare them; both share the `(1 − 1/e)`-style
+//! guarantee for monotone submodular objectives.
+//!
+//! [`simplex`] enumerates discretized probability vectors, the search space
+//! Chapter 4 uses after discretizing `f(X'|X)` ("we discrete the probability
+//! space `[0…1] → [0, 1/d, 2/d, …, 1]`", §4.5.2).
+
+pub mod greedy;
+pub mod simplex;
+
+pub use greedy::{greedy_cardinality, lazy_greedy_knapsack, naive_greedy_knapsack};
+pub use simplex::{enumerate_simplex, simplex_size};

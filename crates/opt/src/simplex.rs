@@ -1,0 +1,115 @@
+//! Enumeration of discretized probability simplices: all vectors
+//! `(p_1, …, p_m)` with `p_i ∈ {0, 1/d, …, 1}` and `Σ p_i = 1`.
+//!
+//! Chapter 4 discretizes the infinite strategy space `f(X'|X)` this way to
+//! obtain a tractable sub-optimal search (§4.5.2).
+
+/// Number of points in the discretized `m`-simplex with denominator `d`:
+/// `C(d + m − 1, m − 1)`.
+pub fn simplex_size(m: usize, d: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    binomial(d + m - 1, m - 1)
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    let k = k.min(n - k.min(n));
+    let mut num = 1usize;
+    for i in 0..k {
+        num = num * (n - i) / (i + 1);
+    }
+    num
+}
+
+/// Enumerates every discretized distribution over `m` outcomes with
+/// denominator `d`, in lexicographic order of the integer compositions.
+///
+/// # Panics
+/// Panics if the space would exceed `1_000_000` points (guards against
+/// accidental exponential blowup — callers should shrink `d` or `m`).
+pub fn enumerate_simplex(m: usize, d: usize) -> Vec<Vec<f64>> {
+    if m == 0 {
+        return Vec::new();
+    }
+    assert!(
+        simplex_size(m, d) <= 1_000_000,
+        "discretized simplex too large: shrink m ({m}) or d ({d})"
+    );
+    let mut out = Vec::with_capacity(simplex_size(m, d));
+    let mut current = vec![0usize; m];
+    compositions(d, 0, &mut current, &mut out);
+    out
+}
+
+fn compositions(rest: usize, idx: usize, current: &mut [usize], out: &mut Vec<Vec<f64>>) {
+    let m = current.len();
+    if idx == m - 1 {
+        current[idx] = rest;
+        let d: usize = current.iter().sum();
+        if d == 0 {
+            // d = 0 admits only the all-zero composition; map it to the
+            // uniform distribution so callers always get a valid point.
+            out.push(vec![1.0 / m as f64; m]);
+        } else {
+            out.push(current.iter().map(|&c| c as f64 / d as f64).collect());
+        }
+        return;
+    }
+    for take in 0..=rest {
+        current[idx] = take;
+        compositions(rest - take, idx + 1, current, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_stars_and_bars() {
+        assert_eq!(simplex_size(2, 4), 5); // (0,4)…(4,0)
+        assert_eq!(simplex_size(3, 2), 6);
+        assert_eq!(simplex_size(1, 10), 1);
+    }
+
+    #[test]
+    fn enumeration_count_matches_size() {
+        for (m, d) in [(2, 4), (3, 3), (4, 2), (1, 7)] {
+            assert_eq!(enumerate_simplex(m, d).len(), simplex_size(m, d), "m={m} d={d}");
+        }
+    }
+
+    #[test]
+    fn every_point_sums_to_one() {
+        for p in enumerate_simplex(3, 5) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn includes_vertices() {
+        let pts = enumerate_simplex(3, 4);
+        for v in 0..3 {
+            let mut vertex = vec![0.0; 3];
+            vertex[v] = 1.0;
+            assert!(pts.iter().any(|p| p
+                .iter()
+                .zip(&vertex)
+                .all(|(a, b)| (a - b).abs() < 1e-12)));
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        assert!(enumerate_simplex(0, 5).is_empty());
+        assert_eq!(enumerate_simplex(1, 0), vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn blowup_guard() {
+        enumerate_simplex(20, 50);
+    }
+}

@@ -1,0 +1,175 @@
+//! Lower/upper approximations, positive regions and dependency degrees
+//! (Defs. 3.3.3 and 3.3.4).
+
+use crate::partition::{blocks_from_labels, partition_labels};
+use crate::system::{AttrId, InformationSystem};
+
+/// `H'`-lower approximation of a row set `V'`: rows whose `H'`-equivalence
+/// class is entirely inside `V'` (Def. 3.3.3). Returns sorted row indices.
+pub fn lower_approximation(
+    sys: &InformationSystem,
+    attrs: &[AttrId],
+    target: &[usize],
+) -> Vec<usize> {
+    let labels = partition_labels(sys, attrs);
+    let in_target = membership(sys.n_rows(), target);
+    let blocks = blocks_from_labels(&labels);
+    let mut out: Vec<usize> = blocks
+        .into_iter()
+        .filter(|b| b.iter().all(|&r| in_target[r]))
+        .flatten()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// `H'`-upper approximation of `V'`: rows whose `H'`-equivalence class
+/// intersects `V'` (Def. 3.3.3). Returns sorted row indices.
+pub fn upper_approximation(
+    sys: &InformationSystem,
+    attrs: &[AttrId],
+    target: &[usize],
+) -> Vec<usize> {
+    let labels = partition_labels(sys, attrs);
+    let in_target = membership(sys.n_rows(), target);
+    let blocks = blocks_from_labels(&labels);
+    let mut out: Vec<usize> = blocks
+        .into_iter()
+        .filter(|b| b.iter().any(|&r| in_target[r]))
+        .flatten()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// `POS_{H'}(H'')`: union of `H'`-lower approximations of every
+/// `H''`-equivalence class (Def. 3.3.4). Returns sorted row indices.
+///
+/// Computed in one pass: a row is in the positive region iff every member of
+/// its `H'`-block carries the same `H''`-label.
+pub fn positive_region(
+    sys: &InformationSystem,
+    cond: &[AttrId],
+    dec: &[AttrId],
+) -> Vec<usize> {
+    let cond_labels = partition_labels(sys, cond);
+    let dec_labels = partition_labels(sys, dec);
+    let blocks = blocks_from_labels(&cond_labels);
+    let mut out = Vec::new();
+    for block in blocks {
+        let first = dec_labels[block[0]];
+        if block.iter().all(|&r| dec_labels[r] == first) {
+            out.extend_from_slice(&block);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Dependency degree `k = γ(H', H'') = |POS_{H'}(H'')| / |V|` (Eq. 3.1).
+/// Returns 0 for an empty table.
+pub fn dependency_degree(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> f64 {
+    if sys.n_rows() == 0 {
+        return 0.0;
+    }
+    positive_region(sys, cond, dec).len() as f64 / sys.n_rows() as f64
+}
+
+fn membership(n: usize, rows: &[usize]) -> Vec<bool> {
+    let mut m = vec![false; n];
+    for &r in rows {
+        m[r] = true;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3.1 encoding (see `partition::tests::table_3_1`).
+    fn table_3_1() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0), Some(0)],
+            vec![Some(1), Some(1), Some(1), Some(0)],
+            vec![Some(1), Some(0), Some(0), Some(1)],
+            vec![Some(2), Some(2), Some(0), Some(2)],
+            vec![Some(2), Some(1), Some(1), Some(1)],
+            vec![Some(0), Some(3), Some(2), Some(0)],
+            vec![Some(2), Some(1), Some(2), Some(1)],
+            vec![Some(0), Some(3), Some(1), Some(0)],
+        ])
+    }
+
+    const H23: [AttrId; 2] = [AttrId(1), AttrId(2)];
+    const D: [AttrId; 1] = [AttrId(3)];
+
+    #[test]
+    fn example_3_3_3_approximations() {
+        // Example 3.3.3: V' = {u1,u2,u6,u8} (0-indexed {0,1,5,7}),
+        // H' = {h2,h3}. Lower = {u6,u8}, upper = {u1,u2,u3,u5,u6,u8}.
+        let sys = table_3_1();
+        let target = [0, 1, 5, 7];
+        assert_eq!(lower_approximation(&sys, &H23, &target), vec![5, 7]);
+        assert_eq!(upper_approximation(&sys, &H23, &target), vec![0, 1, 2, 4, 5, 7]);
+    }
+
+    #[test]
+    fn example_3_3_4_dependency() {
+        // Example 3.3.4: POS_{h2,h3}(d) = {u4,u6,u7,u8} and k = 1/2.
+        let sys = table_3_1();
+        let pos = positive_region(&sys, &H23, &D);
+        assert_eq!(pos, vec![3, 5, 6, 7]);
+        assert!((dependency_degree(&sys, &H23, &D) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_condition_set_has_full_dependency() {
+        // Example 3.3.5 computes POS_C(D) = all rows for Table 3.1.
+        let sys = table_3_1();
+        let c = [AttrId(0), AttrId(1), AttrId(2)];
+        assert_eq!(positive_region(&sys, &c, &D).len(), 8);
+        assert_eq!(dependency_degree(&sys, &c, &D), 1.0);
+    }
+
+    #[test]
+    fn single_attribute_positive_regions() {
+        // The dissertation's Example 3.3.5 lists POS_{h1}(D) = POS_{h2}(D) =
+        // all 8 rows, which contradicts its own Table 3.1 (e.g. Carrie
+        // Underwood fans u2/u3 have different political views). We assert the
+        // values that actually follow from the table.
+        let sys = table_3_1();
+        assert_eq!(positive_region(&sys, &[AttrId(0)], &D), vec![0, 5, 7]);
+        assert_eq!(positive_region(&sys, &[AttrId(1)], &D), vec![3, 5, 7]);
+        assert_eq!(positive_region(&sys, &[AttrId(2)], &D), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn example_3_3_5_reduct_pairs_preserve_full_dependency() {
+        // Example 3.3.5's conclusion does hold: {h1,h2} and {h1,h3} preserve
+        // POS_C(D) (all 8 rows) while {h2,h3} does not.
+        let sys = table_3_1();
+        assert_eq!(positive_region(&sys, &[AttrId(0), AttrId(1)], &D).len(), 8);
+        assert_eq!(positive_region(&sys, &[AttrId(0), AttrId(2)], &D).len(), 8);
+        assert_eq!(positive_region(&sys, &H23, &D).len(), 4);
+    }
+
+    #[test]
+    fn lower_subset_of_upper() {
+        let sys = table_3_1();
+        let target = [1, 4, 6];
+        let lo = lower_approximation(&sys, &H23, &target);
+        let hi = upper_approximation(&sys, &H23, &target);
+        assert!(lo.iter().all(|r| hi.contains(r)));
+    }
+
+    #[test]
+    fn empty_condition_set_dependency() {
+        // With no condition attributes everything is one block; dependency is
+        // 1 only if the decision is constant.
+        let sys = table_3_1();
+        assert_eq!(dependency_degree(&sys, &[], &D), 0.0);
+        let constant = InformationSystem::from_columns(vec![vec![Some(0); 4]]);
+        assert_eq!(dependency_degree(&constant, &[], &[AttrId(0)]), 1.0);
+    }
+}

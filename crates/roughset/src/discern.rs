@@ -1,0 +1,210 @@
+//! Discernibility-matrix machinery: the classical alternative route to
+//! reducts (Skowron's discernibility function). For each pair of objects
+//! with different decisions, the matrix records which condition attributes
+//! tell them apart; a reduct is a minimal hitting set of those entries.
+//!
+//! The greedy hitting-set solver here complements
+//! [`crate::reduct::find_reduct`]: on *consistent* tables both produce
+//! positive-region-preserving reducts, and the test-suite cross-checks
+//! them. The matrix itself is also the right tool for explaining *why* an
+//! attribute is indispensable (every singleton entry is a core attribute).
+
+use crate::approx::positive_region;
+use crate::partition::partition_labels;
+use crate::system::{AttrId, InformationSystem};
+
+/// The non-empty discernibility entries: for each recorded object pair,
+/// the set of condition attributes on which the two objects differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscernibilityMatrix {
+    /// One attribute set (sorted) per discerning pair.
+    pub entries: Vec<Vec<AttrId>>,
+}
+
+impl DiscernibilityMatrix {
+    /// Builds the decision-relative discernibility matrix: entries for
+    /// every pair of objects with *different* decision labels, restricted
+    /// to pairs where at least one object lies in the positive region (the
+    /// standard consistency-aware construction).
+    pub fn build(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Self {
+        let dec_labels = partition_labels(sys, dec);
+        let pos: std::collections::HashSet<usize> =
+            positive_region(sys, cond, dec).into_iter().collect();
+        let n = sys.n_rows();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if dec_labels[i] == dec_labels[j] {
+                    continue;
+                }
+                if !pos.contains(&i) && !pos.contains(&j) {
+                    continue; // both inconsistent: no attribute can help
+                }
+                let diff: Vec<AttrId> = cond
+                    .iter()
+                    .copied()
+                    .filter(|&a| sys.value(i, a) != sys.value(j, a))
+                    .collect();
+                if !diff.is_empty() {
+                    entries.push(diff);
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// Core attributes: those appearing as a singleton entry (no other
+    /// attribute can discern that pair).
+    pub fn core(&self) -> Vec<AttrId> {
+        let mut core: Vec<AttrId> =
+            self.entries.iter().filter(|e| e.len() == 1).map(|e| e[0]).collect();
+        core.sort_unstable();
+        core.dedup();
+        core
+    }
+
+    /// Greedy minimal hitting set of the entries: start from the core, then
+    /// repeatedly add the attribute hitting the most unhit entries, then
+    /// prune redundant picks. The result hits every entry — i.e. it
+    /// preserves all recorded discernibility.
+    pub fn greedy_hitting_set(&self) -> Vec<AttrId> {
+        let mut chosen: Vec<AttrId> = self.core();
+        let hit = |set: &[AttrId], entry: &[AttrId]| entry.iter().any(|a| set.contains(a));
+        loop {
+            let unhit: Vec<&Vec<AttrId>> =
+                self.entries.iter().filter(|e| !hit(&chosen, e)).collect();
+            if unhit.is_empty() {
+                break;
+            }
+            // Attribute covering the most unhit entries (lowest id ties).
+            let mut counts: std::collections::BTreeMap<AttrId, usize> =
+                std::collections::BTreeMap::new();
+            for e in &unhit {
+                for &a in e.iter() {
+                    *counts.entry(a).or_insert(0) += 1;
+                }
+            }
+            let (&best, _) = counts
+                .iter()
+                .max_by(|(a, x), (b, y)| x.cmp(y).then(b.cmp(a)))
+                .expect("unhit entries are non-empty");
+            chosen.push(best);
+        }
+        // Prune: drop attributes whose removal still hits everything.
+        let mut i = chosen.len();
+        while i > 0 {
+            i -= 1;
+            let trial: Vec<AttrId> =
+                chosen.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &a)| a).collect();
+            if self.entries.iter().all(|e| hit(&trial, e)) {
+                chosen = trial;
+                if i > chosen.len() {
+                    i = chosen.len();
+                }
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+/// Convenience: reduct of `cond` w.r.t. `dec` via the discernibility
+/// matrix. On consistent tables this preserves the positive region exactly
+/// like [`crate::reduct::find_reduct`].
+pub fn discernibility_reduct(
+    sys: &InformationSystem,
+    cond: &[AttrId],
+    dec: &[AttrId],
+) -> Vec<AttrId> {
+    DiscernibilityMatrix::build(sys, cond, dec).greedy_hitting_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::positive_region;
+    use crate::reduct::is_reduct;
+
+    fn table_3_1() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0), Some(0)],
+            vec![Some(1), Some(1), Some(1), Some(0)],
+            vec![Some(1), Some(0), Some(0), Some(1)],
+            vec![Some(2), Some(2), Some(0), Some(2)],
+            vec![Some(2), Some(1), Some(1), Some(1)],
+            vec![Some(0), Some(3), Some(2), Some(0)],
+            vec![Some(2), Some(1), Some(2), Some(1)],
+            vec![Some(0), Some(3), Some(1), Some(0)],
+        ])
+    }
+
+    const C: [AttrId; 3] = [AttrId(0), AttrId(1), AttrId(2)];
+    const D: [AttrId; 1] = [AttrId(3)];
+
+    #[test]
+    fn matrix_entries_discern_differing_decisions() {
+        let sys = table_3_1();
+        let m = DiscernibilityMatrix::build(&sys, &C, &D);
+        assert!(!m.entries.is_empty());
+        // u1 (Taylor, GodsNotDead, Heaven, Con) vs u3 (Carrie, GodsNotDead,
+        // Heaven, Lib): only h1 differs.
+        assert!(m.entries.contains(&vec![AttrId(0)]));
+    }
+
+    #[test]
+    fn core_matches_positive_region_core() {
+        let sys = table_3_1();
+        let m = DiscernibilityMatrix::build(&sys, &C, &D);
+        // Table 3.1's core is {h1} (both reducts contain it).
+        assert_eq!(m.core(), vec![AttrId(0)]);
+    }
+
+    #[test]
+    fn discernibility_reduct_is_a_reduct_on_consistent_table() {
+        let sys = table_3_1();
+        let r = discernibility_reduct(&sys, &C, &D);
+        assert!(is_reduct(&sys, &C, &D, &r), "{r:?}");
+    }
+
+    #[test]
+    fn cross_checks_with_greedy_reduct_on_random_consistent_tables() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            // Consistent by construction: decision = attr0, noise elsewhere.
+            let rows: Vec<Vec<Option<u16>>> = (0..20)
+                .map(|_| {
+                    let a: u16 = rng.gen_range(0..3);
+                    vec![
+                        Some(a),
+                        Some(rng.gen_range(0..3)),
+                        Some(rng.gen_range(0..3)),
+                        Some(a),
+                    ]
+                })
+                .collect();
+            let sys = InformationSystem::from_rows(&rows);
+            let r = discernibility_reduct(&sys, &C, &D);
+            let full = positive_region(&sys, &C, &D).len();
+            assert_eq!(
+                positive_region(&sys, &r, &D).len(),
+                full,
+                "hitting set must preserve the positive region"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_pairs_are_skipped() {
+        // Two identical rows with different decisions: no entry, and the
+        // reduct is empty (nothing can discern them).
+        let sys = InformationSystem::from_rows(&[
+            vec![Some(0), Some(1)],
+            vec![Some(0), Some(0)],
+        ]);
+        let m = DiscernibilityMatrix::build(&sys, &[AttrId(0)], &[AttrId(1)]);
+        assert!(m.entries.is_empty());
+        assert!(m.greedy_hitting_set().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Rough Set Theory (RST) substrate — the mathematical tool Chapter 3 of
+//! *Privacy Preserving Data Publishing* uses to extract knowledge from
+//! incomplete, inaccurate and uncertain social-network data (§3.3).
+//!
+//! Provides:
+//! * [`InformationSystem`] — the knowledge-representation table
+//!   `Γ = (V, H = C ∪ D)` (Def. 3.3.1);
+//! * indiscernibility partitions and equivalence classes (Def. 3.3.2);
+//! * lower/upper approximations and positive regions (Def. 3.3.3);
+//! * attribute-dependency degree `γ(H', H'')` (Def. 3.3.4);
+//! * reduct and core computation (Def. 3.3.5);
+//! * decision-rule extraction and an RST rule classifier (§3.3.2).
+//!
+//! Missing values (`None`) are first-class: two `None`s are indiscernible,
+//! matching how the dissertation treats users who publish nothing for a
+//! category.
+
+pub mod approx;
+pub mod discern;
+pub mod partition;
+pub mod quality;
+pub mod reduct;
+pub mod rules;
+pub mod system;
+
+pub use approx::{dependency_degree, lower_approximation, positive_region, upper_approximation};
+pub use discern::{discernibility_reduct, DiscernibilityMatrix};
+pub use partition::{blocks_from_labels, partition_labels};
+pub use quality::{approximation_accuracy, boundary_region, per_class_accuracy, roughness};
+pub use reduct::{core_attributes, find_reduct, is_reduct};
+pub use rules::{DecisionRule, RuleClassifier, RuleSet};
+pub use system::{AttrId, InformationSystem};

@@ -1,0 +1,113 @@
+//! Indiscernibility partitions (Def. 3.3.2): the equivalence classes
+//! `[u]_{H'}` of objects that take identical values on an attribute subset.
+
+use crate::system::{AttrId, InformationSystem};
+use std::collections::HashMap;
+
+/// Assigns each row a block label such that two rows share a label iff they
+/// are `attrs`-indiscernible. Labels are dense in `0..n_blocks` and assigned
+/// in first-appearance order, so they are deterministic.
+///
+/// Implemented as iterative refinement: one pass per attribute, hashing
+/// `(previous label, value)` pairs — `O(|attrs| · n)` expected time.
+pub fn partition_labels(sys: &InformationSystem, attrs: &[AttrId]) -> Vec<usize> {
+    let n = sys.n_rows();
+    let mut labels = vec![0usize; n];
+    for &a in attrs {
+        let col = sys.column(a);
+        let mut remap: HashMap<(usize, Option<u16>), usize> = HashMap::new();
+        let mut next = 0usize;
+        for (row, lab) in labels.iter_mut().enumerate() {
+            let key = (*lab, col[row]);
+            let new = *remap.entry(key).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            *lab = new;
+        }
+    }
+    labels
+}
+
+/// Converts block labels into explicit blocks (lists of row indices),
+/// ordered by label.
+pub fn blocks_from_labels(labels: &[usize]) -> Vec<Vec<usize>> {
+    let n_blocks = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut blocks = vec![Vec::new(); n_blocks];
+    for (row, &lab) in labels.iter().enumerate() {
+        blocks[lab].push(row);
+    }
+    blocks
+}
+
+/// Whether rows `a` and `b` are indiscernible with respect to `attrs`
+/// (`IND_{H'}(a, b)`, Def. 3.3.2).
+pub fn indiscernible(sys: &InformationSystem, attrs: &[AttrId], a: usize, b: usize) -> bool {
+    attrs.iter().all(|&at| sys.value(a, at) == sys.value(b, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3.1 from the dissertation, encoded: columns are
+    /// h1 favorite musical {Taylor=0, Carrie=1, George=2},
+    /// h2 favorite movies {GodsNotDead=0, SonOfGod=1, FastFurious=2, Transformers=3},
+    /// h3 favorite books {Heaven=0, IDeclare=1, HungerGames=2},
+    /// d political view {Conservative=0, Liberal=1, Green=2}.
+    pub(crate) fn table_3_1() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0), Some(0)], // u1
+            vec![Some(1), Some(1), Some(1), Some(0)], // u2
+            vec![Some(1), Some(0), Some(0), Some(1)], // u3
+            vec![Some(2), Some(2), Some(0), Some(2)], // u4
+            vec![Some(2), Some(1), Some(1), Some(1)], // u5
+            vec![Some(0), Some(3), Some(2), Some(0)], // u6
+            vec![Some(2), Some(1), Some(2), Some(1)], // u7
+            vec![Some(0), Some(3), Some(1), Some(0)], // u8
+        ])
+    }
+
+    #[test]
+    fn example_3_2_partition_h2_h3() {
+        // Example 3.3.2: [u]_{h2,h3} = {{u1,u3},{u2,u5},{u4},{u6},{u7},{u8}}.
+        let sys = table_3_1();
+        let labels = partition_labels(&sys, &[AttrId(1), AttrId(2)]);
+        let blocks = blocks_from_labels(&labels);
+        let mut sizes: Vec<_> = blocks.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 2, 2]);
+        assert_eq!(labels[0], labels[2]); // u1 ~ u3
+        assert_eq!(labels[1], labels[4]); // u2 ~ u5
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn empty_attr_set_gives_single_block() {
+        let sys = table_3_1();
+        let labels = partition_labels(&sys, &[]);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(blocks_from_labels(&labels).len(), 1);
+    }
+
+    #[test]
+    fn missing_values_are_indiscernible() {
+        let sys = InformationSystem::from_columns(vec![vec![None, None, Some(0)]]);
+        let labels = partition_labels(&sys, &[AttrId(0)]);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(indiscernible(&sys, &[AttrId(0)], 0, 1));
+        assert!(!indiscernible(&sys, &[AttrId(0)], 0, 2));
+    }
+
+    #[test]
+    fn blocks_cover_all_rows_exactly_once() {
+        let sys = table_3_1();
+        let labels = partition_labels(&sys, &[AttrId(0)]);
+        let blocks = blocks_from_labels(&labels);
+        let mut all: Vec<_> = blocks.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,135 @@
+//! Approximation-quality measures: the classical Rough-Set indicators of
+//! how well a condition attribute set characterizes a target concept —
+//! accuracy of approximation, roughness, and the boundary region.
+//!
+//! These complement the dependency degree `γ` (Def. 3.3.4): `γ` summarizes
+//! the whole decision, while the measures here diagnose *one* concept (one
+//! class of users), which is what the sensitive-attribute analysis of
+//! §3.5.1 reasons about per class label.
+
+use crate::approx::{lower_approximation, upper_approximation};
+use crate::system::{AttrId, InformationSystem};
+
+/// Accuracy of approximation `α_{H'}(V') = |lower| / |upper|` — 1 when the
+/// concept is perfectly definable by `attrs`, shrinking toward 0 as the
+/// boundary grows. Defined as 1 for an empty target (vacuously exact).
+pub fn approximation_accuracy(
+    sys: &InformationSystem,
+    attrs: &[AttrId],
+    target: &[usize],
+) -> f64 {
+    let upper = upper_approximation(sys, attrs, target);
+    if upper.is_empty() {
+        return 1.0;
+    }
+    lower_approximation(sys, attrs, target).len() as f64 / upper.len() as f64
+}
+
+/// Roughness `1 − α` — the definability deficit of the concept.
+pub fn roughness(sys: &InformationSystem, attrs: &[AttrId], target: &[usize]) -> f64 {
+    1.0 - approximation_accuracy(sys, attrs, target)
+}
+
+/// The boundary region: objects in the upper but not the lower
+/// approximation — the users the attribute set cannot commit either way.
+/// Sorted row indices.
+pub fn boundary_region(
+    sys: &InformationSystem,
+    attrs: &[AttrId],
+    target: &[usize],
+) -> Vec<usize> {
+    let lower = lower_approximation(sys, attrs, target);
+    upper_approximation(sys, attrs, target)
+        .into_iter()
+        .filter(|r| lower.binary_search(r).is_err())
+        .collect()
+}
+
+/// Per-class quality summary of a decision attribute: for every decision
+/// value, the approximation accuracy of its object set under `cond`.
+pub fn per_class_accuracy(
+    sys: &InformationSystem,
+    cond: &[AttrId],
+    decision: AttrId,
+) -> Vec<(u16, f64)> {
+    let mut classes: std::collections::BTreeMap<u16, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for row in 0..sys.n_rows() {
+        if let Some(y) = sys.value(row, decision) {
+            classes.entry(y).or_default().push(row);
+        }
+    }
+    classes
+        .into_iter()
+        .map(|(y, rows)| (y, approximation_accuracy(sys, cond, &rows)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3.1 encoding (see the partition tests).
+    fn table_3_1() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0), Some(0)],
+            vec![Some(1), Some(1), Some(1), Some(0)],
+            vec![Some(1), Some(0), Some(0), Some(1)],
+            vec![Some(2), Some(2), Some(0), Some(2)],
+            vec![Some(2), Some(1), Some(1), Some(1)],
+            vec![Some(0), Some(3), Some(2), Some(0)],
+            vec![Some(2), Some(1), Some(2), Some(1)],
+            vec![Some(0), Some(3), Some(1), Some(0)],
+        ])
+    }
+
+    const H23: [AttrId; 2] = [AttrId(1), AttrId(2)];
+
+    #[test]
+    fn accuracy_from_example_3_3_3() {
+        // V' = {u1,u2,u6,u8}: lower = {u6,u8} (2), upper = 6 objects.
+        let sys = table_3_1();
+        let target = [0, 1, 5, 7];
+        assert!((approximation_accuracy(&sys, &H23, &target) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((roughness(&sys, &H23, &target) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_upper_minus_lower() {
+        let sys = table_3_1();
+        let target = [0, 1, 5, 7];
+        // upper {0,1,2,4,5,7} − lower {5,7} = {0,1,2,4}.
+        assert_eq!(boundary_region(&sys, &H23, &target), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn definable_concept_has_accuracy_one() {
+        // With the full condition set, Table 3.1 is consistent → every
+        // decision class is exactly definable.
+        let sys = table_3_1();
+        let cond = [AttrId(0), AttrId(1), AttrId(2)];
+        for (_, acc) in per_class_accuracy(&sys, &cond, AttrId(3)) {
+            assert!((acc - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_class_accuracy_orders_hard_classes() {
+        let sys = table_3_1();
+        let acc = per_class_accuracy(&sys, &H23, AttrId(3));
+        assert_eq!(acc.len(), 3);
+        // The Green class {u4} is a singleton block under {h2,h3} → exact.
+        let green = acc.iter().find(|&&(y, _)| y == 2).unwrap().1;
+        assert_eq!(green, 1.0);
+        // Conservative (4 members, 2 in mixed blocks) is rougher.
+        let con = acc.iter().find(|&&(y, _)| y == 0).unwrap().1;
+        assert!(con < 1.0);
+    }
+
+    #[test]
+    fn empty_target_is_vacuously_exact() {
+        let sys = table_3_1();
+        assert_eq!(approximation_accuracy(&sys, &H23, &[]), 1.0);
+        assert!(boundary_region(&sys, &H23, &[]).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Reduct and core computation (Def. 3.3.5): a reduct is a minimal condition
+//! subset `R ⊆ C` that preserves the positive region `POS_R(D) = POS_C(D)`;
+//! the core is the set of attributes common to all reducts — equivalently
+//! the attributes whose removal from `C` shrinks the positive region.
+
+use crate::approx::positive_region;
+use crate::system::{AttrId, InformationSystem};
+
+/// Whether `r` is a reduct of `cond` with respect to `dec`:
+/// (i) `POS_r(dec) = POS_cond(dec)`, and (ii) no proper subset obtained by
+/// dropping one attribute still satisfies (i).
+pub fn is_reduct(
+    sys: &InformationSystem,
+    cond: &[AttrId],
+    dec: &[AttrId],
+    r: &[AttrId],
+) -> bool {
+    let full = positive_region(sys, cond, dec).len();
+    if positive_region(sys, r, dec).len() != full {
+        return false;
+    }
+    (0..r.len()).all(|skip| {
+        let sub: Vec<AttrId> =
+            r.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &a)| a).collect();
+        positive_region(sys, &sub, dec).len() != full
+    })
+}
+
+/// Finds one reduct of `cond` w.r.t. `dec` via greedy forward selection
+/// (add the attribute that grows the positive region most, ties broken by
+/// lowest id) followed by backward elimination (drop attributes that are not
+/// needed, highest id first). Deterministic for a given table.
+///
+/// The result always satisfies both reduct conditions of Def. 3.3.5.
+pub fn find_reduct(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Vec<AttrId> {
+    let full = positive_region(sys, cond, dec).len();
+    let mut chosen: Vec<AttrId> = Vec::new();
+    let mut remaining: Vec<AttrId> = cond.to_vec();
+    let mut current = positive_region(sys, &chosen, dec).len();
+
+    while current < full && !remaining.is_empty() {
+        let best_idx = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut trial = chosen.clone();
+                trial.push(a);
+                (i, positive_region(sys, &trial, dec).len())
+            })
+            .max_by(|(ia, pa), (ib, pb)| pa.cmp(pb).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .expect("remaining non-empty");
+        // Even when no single attribute grows the region (a pair might),
+        // adding the best candidate keeps the loop making progress toward
+        // the full condition set, which trivially reaches `full`.
+        chosen.push(remaining.remove(best_idx));
+        current = positive_region(sys, &chosen, dec).len();
+    }
+
+    // Backward elimination for minimality, dropping highest ids first so the
+    // earliest (most informative) greedy picks are retained.
+    let mut i = chosen.len();
+    while i > 0 {
+        i -= 1;
+        let mut trial = chosen.clone();
+        trial.remove(i);
+        if positive_region(sys, &trial, dec).len() == current {
+            chosen = trial;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// The core: attributes `a ∈ cond` such that `POS_{cond∖{a}}(dec)` is
+/// strictly smaller than `POS_cond(dec)`. These are exactly the attributes
+/// contained in every reduct.
+pub fn core_attributes(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Vec<AttrId> {
+    let full = positive_region(sys, cond, dec).len();
+    cond.iter()
+        .copied()
+        .filter(|&a| {
+            let sub: Vec<AttrId> = cond.iter().copied().filter(|&b| b != a).collect();
+            positive_region(sys, &sub, dec).len() < full
+        })
+        .collect()
+}
+
+/// Enumerates **all** reducts by exhaustive subset search. Exponential in
+/// `|cond|`; guarded to ≤ 20 attributes. Used by tests and small analyses.
+///
+/// # Panics
+/// Panics if `cond.len() > 20`.
+pub fn all_reducts(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Vec<Vec<AttrId>> {
+    assert!(cond.len() <= 20, "exhaustive reduct search limited to 20 attributes");
+    let full = positive_region(sys, cond, dec).len();
+    let mut preserving: Vec<Vec<AttrId>> = Vec::new();
+    for mask in 0u32..(1 << cond.len()) {
+        let subset: Vec<AttrId> = cond
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &a)| a)
+            .collect();
+        if positive_region(sys, &subset, dec).len() == full {
+            preserving.push(subset);
+        }
+    }
+    // Keep only minimal preserving subsets.
+    preserving
+        .iter()
+        .filter(|s| {
+            !preserving
+                .iter()
+                .any(|t| t.len() < s.len() && t.iter().all(|a| s.contains(a)))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_3_1() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0), Some(0)],
+            vec![Some(1), Some(1), Some(1), Some(0)],
+            vec![Some(1), Some(0), Some(0), Some(1)],
+            vec![Some(2), Some(2), Some(0), Some(2)],
+            vec![Some(2), Some(1), Some(1), Some(1)],
+            vec![Some(0), Some(3), Some(2), Some(0)],
+            vec![Some(2), Some(1), Some(2), Some(1)],
+            vec![Some(0), Some(3), Some(1), Some(0)],
+        ])
+    }
+
+    const C: [AttrId; 3] = [AttrId(0), AttrId(1), AttrId(2)];
+    const D: [AttrId; 1] = [AttrId(3)];
+
+    #[test]
+    fn reduct_pairs_of_table_3_1() {
+        let sys = table_3_1();
+        assert!(is_reduct(&sys, &C, &D, &[AttrId(0), AttrId(1)]));
+        assert!(is_reduct(&sys, &C, &D, &[AttrId(0), AttrId(2)]));
+        assert!(!is_reduct(&sys, &C, &D, &[AttrId(1), AttrId(2)])); // R3 in Example 3.3.5
+        assert!(!is_reduct(&sys, &C, &D, &C), "full set is not minimal");
+    }
+
+    #[test]
+    fn find_reduct_returns_valid_reduct() {
+        let sys = table_3_1();
+        let r = find_reduct(&sys, &C, &D);
+        assert!(is_reduct(&sys, &C, &D, &r), "greedy result {r:?} must be a reduct");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn all_reducts_of_table_3_1() {
+        let sys = table_3_1();
+        let rs = all_reducts(&sys, &C, &D);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.contains(&vec![AttrId(0), AttrId(1)]));
+        assert!(rs.contains(&vec![AttrId(0), AttrId(2)]));
+    }
+
+    #[test]
+    fn core_is_intersection_of_reducts() {
+        let sys = table_3_1();
+        // Both reducts contain h1, so core = {h1}.
+        assert_eq!(core_attributes(&sys, &C, &D), vec![AttrId(0)]);
+    }
+
+    #[test]
+    fn redundant_attribute_dropped() {
+        // Decision equals attr 0; attr 1 is noise duplicating attr 0; attr 2
+        // is constant. Reduct must be exactly {attr0} or {attr1}.
+        let sys = InformationSystem::from_columns(vec![
+            vec![Some(0), Some(1), Some(0), Some(1)],
+            vec![Some(0), Some(1), Some(0), Some(1)],
+            vec![Some(5), Some(5), Some(5), Some(5)],
+            vec![Some(0), Some(1), Some(0), Some(1)],
+        ]);
+        let r = find_reduct(&sys, &[AttrId(0), AttrId(1), AttrId(2)], &[AttrId(3)]);
+        assert_eq!(r.len(), 1);
+        assert!(r == [AttrId(0)] || r == [AttrId(1)]);
+        // Core empty: either of attr0/attr1 can substitute for the other.
+        assert!(core_attributes(&sys, &[AttrId(0), AttrId(1), AttrId(2)], &[AttrId(3)])
+            .is_empty());
+    }
+
+    #[test]
+    fn inconsistent_table_reduct_preserves_partial_region() {
+        // Two identical rows with different decisions → positive region < n.
+        let sys = InformationSystem::from_columns(vec![
+            vec![Some(0), Some(0), Some(1)],
+            vec![Some(0), Some(1), Some(1)],
+        ]);
+        let cond = [AttrId(0)];
+        let r = find_reduct(&sys, &cond, &[AttrId(1)]);
+        let full = positive_region(&sys, &cond, &[AttrId(1)]).len();
+        assert_eq!(positive_region(&sys, &r, &[AttrId(1)]).len(), full);
+    }
+}

@@ -1,0 +1,281 @@
+//! Decision-rule extraction from a reduct system (§3.3.2) and the resulting
+//! RST rule classifier used as the attribute-based local model in ICA-RST.
+
+use crate::partition::{blocks_from_labels, partition_labels};
+use crate::system::{AttrId, Cell, InformationSystem};
+
+/// One decision rule: *if the reduct attributes take these values, then the
+/// decision is distributed as `counts`*. `counts[y]` is the number of
+/// training objects of the rule's equivalence class with decision value `y`.
+/// A rule is *deterministic* (Pᵢ ⊆ Qⱼ) when exactly one count is non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRule {
+    /// `(attribute, required value)` pairs, one per reduct attribute.
+    pub conditions: Vec<(AttrId, Cell)>,
+    /// Decision-value histogram of the equivalence class.
+    pub counts: Vec<usize>,
+}
+
+impl DecisionRule {
+    /// Total number of training objects covered (the rule's support).
+    pub fn support(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the rule maps to a single decision value.
+    pub fn is_deterministic(&self) -> bool {
+        self.counts.iter().filter(|&&c| c > 0).count() == 1
+    }
+
+    /// Number of conditions satisfied by `row` (full attribute row,
+    /// indexable by `AttrId`).
+    pub fn match_score(&self, row: &[Cell]) -> usize {
+        self.conditions.iter().filter(|(a, v)| row[a.0] == *v).count()
+    }
+
+    /// Whether every condition matches `row`.
+    pub fn matches(&self, row: &[Cell]) -> bool {
+        self.match_score(row) == self.conditions.len()
+    }
+}
+
+/// The decision rules extracted from a reduct system `(V, R ∪ D)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    /// Reduct attributes the conditions range over.
+    pub reduct: Vec<AttrId>,
+    /// Extracted rules, one per `R`-equivalence class.
+    pub rules: Vec<DecisionRule>,
+    /// Number of decision classes.
+    pub n_classes: usize,
+    /// Global decision histogram (the classifier's prior / fallback).
+    pub prior: Vec<usize>,
+}
+
+impl RuleSet {
+    /// Extracts rules from `sys`: one rule per `reduct`-equivalence class,
+    /// with decision counts over the column `decision` whose values lie in
+    /// `0..n_classes` (missing decisions are skipped).
+    pub fn extract(
+        sys: &InformationSystem,
+        reduct: &[AttrId],
+        decision: AttrId,
+        n_classes: usize,
+    ) -> Self {
+        assert!(n_classes > 0, "need at least one decision class");
+        let labels = partition_labels(sys, reduct);
+        let dec_col = sys.column(decision);
+        let mut prior = vec![0usize; n_classes];
+        for v in dec_col.iter().flatten() {
+            prior[*v as usize] += 1;
+        }
+        let rules = blocks_from_labels(&labels)
+            .into_iter()
+            .filter_map(|block| {
+                let rep = block[0];
+                let conditions =
+                    reduct.iter().map(|&a| (a, sys.value(rep, a))).collect::<Vec<_>>();
+                let mut counts = vec![0usize; n_classes];
+                let mut any = false;
+                for &r in &block {
+                    if let Some(y) = dec_col[r] {
+                        counts[y as usize] += 1;
+                        any = true;
+                    }
+                }
+                // Blocks with no labelled member yield no rule.
+                any.then_some(DecisionRule { conditions, counts })
+            })
+            .collect();
+        Self { reduct: reduct.to_vec(), rules, n_classes, prior }
+    }
+
+    /// Number of deterministic rules.
+    pub fn deterministic_count(&self) -> usize {
+        self.rules.iter().filter(|r| r.is_deterministic()).count()
+    }
+}
+
+/// Classifier over a [`RuleSet`]: exact rule match first, then a
+/// nearest-rule backoff (maximum number of satisfied conditions, support-
+/// weighted aggregation), then the training prior. Produces probability
+/// distributions so it can drive collective inference.
+#[derive(Debug, Clone)]
+pub struct RuleClassifier {
+    rules: RuleSet,
+}
+
+impl RuleClassifier {
+    /// Wraps an extracted rule set.
+    pub fn new(rules: RuleSet) -> Self {
+        Self { rules }
+    }
+
+    /// Trains directly from an information system (convenience).
+    pub fn train(
+        sys: &InformationSystem,
+        reduct: &[AttrId],
+        decision: AttrId,
+        n_classes: usize,
+    ) -> Self {
+        Self::new(RuleSet::extract(sys, reduct, decision, n_classes))
+    }
+
+    /// The underlying rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Probability distribution over decision classes for `row` (a full
+    /// attribute row indexable by `AttrId`).
+    pub fn predict_dist(&self, row: &[Cell]) -> Vec<f64> {
+        // Exact match: the reduct partition guarantees at most one rule
+        // matches completely.
+        if let Some(rule) = self.rules.rules.iter().find(|r| r.matches(row)) {
+            return normalize(&rule.counts, self.rules.n_classes);
+        }
+        // Backoff: aggregate the counts of the best partially-matching rules.
+        let best = self
+            .rules
+            .rules
+            .iter()
+            .map(|r| r.match_score(row))
+            .max()
+            .unwrap_or(0);
+        if best > 0 {
+            let mut agg = vec![0usize; self.rules.n_classes];
+            for r in &self.rules.rules {
+                if r.match_score(row) == best {
+                    for (a, c) in agg.iter_mut().zip(&r.counts) {
+                        *a += c;
+                    }
+                }
+            }
+            if agg.iter().any(|&c| c > 0) {
+                return normalize(&agg, self.rules.n_classes);
+            }
+        }
+        normalize(&self.rules.prior, self.rules.n_classes)
+    }
+
+    /// Most probable class for `row` (lowest class id wins ties).
+    pub fn predict(&self, row: &[Cell]) -> u16 {
+        argmax(&self.predict_dist(row))
+    }
+}
+
+/// Index of the maximum entry; first occurrence wins ties.
+pub(crate) fn argmax(dist: &[f64]) -> u16 {
+    let mut best = 0usize;
+    for (i, &p) in dist.iter().enumerate() {
+        if p > dist[best] {
+            best = i;
+        }
+    }
+    best as u16
+}
+
+fn normalize(counts: &[usize], n: usize) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![1.0 / n as f64; n];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3.2: h1 musical {Taylor=0, Carrie=1, George=2},
+    /// h2 movies {GodsNotDead=0, SonOfGod=1, Transformers=2},
+    /// d political view {Conservative=0, Liberal=1}.
+    fn table_3_2() -> InformationSystem {
+        InformationSystem::from_rows(&[
+            vec![Some(0), Some(0), Some(0)], // u1
+            vec![Some(1), Some(1), Some(0)], // u2
+            vec![Some(0), Some(0), Some(0)], // u3
+            vec![Some(1), Some(1), Some(0)], // u4
+            vec![Some(2), Some(1), Some(1)], // u5
+            vec![Some(2), Some(1), Some(1)], // u6
+            vec![Some(0), Some(2), Some(0)], // u7
+            vec![Some(0), Some(2), Some(1)], // u8
+            vec![Some(0), Some(0), Some(0)], // u9
+        ])
+    }
+
+    const R: [AttrId; 2] = [AttrId(0), AttrId(1)];
+
+    #[test]
+    fn example_3_3_6_rule_extraction() {
+        let rs = RuleSet::extract(&table_3_2(), &R, AttrId(2), 2);
+        // Four equivalence classes → four rules; P1..P3 deterministic,
+        // P4 = {u7, u8} indeterministic.
+        assert_eq!(rs.rules.len(), 4);
+        assert_eq!(rs.deterministic_count(), 3);
+        // Rule for (Taylor, God's Not Dead) → Conservative with support 3.
+        let rule = rs
+            .rules
+            .iter()
+            .find(|r| r.conditions == vec![(AttrId(0), Some(0)), (AttrId(1), Some(0))])
+            .expect("P1 rule");
+        assert_eq!(rule.counts, vec![3, 0]);
+        assert!(rule.is_deterministic());
+        // Rule for (George, Son of God) → Liberal.
+        let rule = rs
+            .rules
+            .iter()
+            .find(|r| r.conditions == vec![(AttrId(0), Some(2)), (AttrId(1), Some(1))])
+            .expect("P3 rule");
+        assert_eq!(rule.counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn exact_match_classification() {
+        let clf = RuleClassifier::train(&table_3_2(), &R, AttrId(2), 2);
+        assert_eq!(clf.predict(&[Some(0), Some(0), None]), 0);
+        assert_eq!(clf.predict(&[Some(2), Some(1), None]), 1);
+        // Indeterministic class (Taylor, Transformers): 1 Con vs 1 Lib →
+        // tie broken toward class 0.
+        let dist = clf.predict_dist(&[Some(0), Some(2), None]);
+        assert!((dist[0] - 0.5).abs() < 1e-12 && (dist[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_aggregates_partial_matches() {
+        let clf = RuleClassifier::train(&table_3_2(), &R, AttrId(2), 2);
+        // (George, God's Not Dead) matches no rule exactly; best partial
+        // matches share one condition: (·, GodsNotDead) rule P1 (3 Con) and
+        // (George, ·) rule P3 (2 Lib) → aggregate [3, 2] → Conservative.
+        let dist = clf.predict_dist(&[Some(2), Some(0), None]);
+        assert!((dist[0] - 0.6).abs() < 1e-12);
+        assert_eq!(clf.predict(&[Some(2), Some(0), None]), 0);
+    }
+
+    #[test]
+    fn prior_fallback_when_nothing_matches() {
+        let clf = RuleClassifier::train(&table_3_2(), &R, AttrId(2), 2);
+        // Unseen values everywhere → prior (6 Con, 3 Lib).
+        let dist = clf.predict_dist(&[Some(9), Some(9), None]);
+        assert!((dist[0] - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_blocks_yield_no_rule() {
+        let sys = InformationSystem::from_rows(&[
+            vec![Some(0), Some(0)],
+            vec![Some(1), None], // unlabeled
+        ]);
+        let rs = RuleSet::extract(&sys, &[AttrId(0)], AttrId(1), 2);
+        assert_eq!(rs.rules.len(), 1);
+        assert_eq!(rs.prior, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_training_set_predicts_uniform() {
+        let sys = InformationSystem::from_rows(&[vec![Some(0), None]]);
+        let clf = RuleClassifier::train(&sys, &[AttrId(0)], AttrId(1), 3);
+        let dist = clf.predict_dist(&[Some(0), None]);
+        assert!(dist.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+    }
+}

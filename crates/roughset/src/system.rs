@@ -1,0 +1,123 @@
+//! The information system `Γ = (V, H = C ∪ D)` (Def. 3.3.1): a column-major
+//! table of categorical values over a set of objects (users).
+
+/// A categorical cell value; `None` models an unpublished attribute.
+pub type Cell = Option<u16>;
+
+/// Index of an attribute (column) in an [`InformationSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+/// An information system: `n_rows` objects described by categorical columns.
+/// Condition vs decision attributes are a *view* decision — every function
+/// in this crate takes explicit column subsets, so the same table can serve
+/// privacy analysis (decision = sensitive attribute) and utility analysis
+/// (decision = utility attribute) without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InformationSystem {
+    n_rows: usize,
+    columns: Vec<Vec<Cell>>,
+}
+
+impl InformationSystem {
+    /// Builds a system from column-major data.
+    ///
+    /// # Panics
+    /// Panics if the columns have inconsistent lengths.
+    pub fn from_columns(columns: Vec<Vec<Cell>>) -> Self {
+        let n_rows = columns.first().map_or(0, Vec::len);
+        assert!(columns.iter().all(|c| c.len() == n_rows), "ragged columns");
+        Self { n_rows, columns }
+    }
+
+    /// Builds a system from row-major data (each row one object).
+    ///
+    /// # Panics
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<Cell>]) -> Self {
+        let width = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == width), "ragged rows");
+        let mut columns = vec![Vec::with_capacity(rows.len()); width];
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                columns[c].push(*v);
+            }
+        }
+        Self { n_rows: rows.len(), columns }
+    }
+
+    /// Number of objects `|V|`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes `|H|`.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column for `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    pub fn column(&self, attr: AttrId) -> &[Cell] {
+        &self.columns[attr.0]
+    }
+
+    /// Value of object `row` at `attr`.
+    pub fn value(&self, row: usize, attr: AttrId) -> Cell {
+        self.columns[attr.0][row]
+    }
+
+    /// All attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.columns.len()).map(AttrId)
+    }
+
+    /// Restricts the system to a subset of rows (e.g. a training split),
+    /// preserving column order.
+    pub fn select_rows(&self, rows: &[usize]) -> Self {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        Self { n_rows: rows.len(), columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_and_row_constructors_agree() {
+        let rows = vec![
+            vec![Some(1), None],
+            vec![Some(2), Some(0)],
+            vec![Some(1), Some(0)],
+        ];
+        let a = InformationSystem::from_rows(&rows);
+        let b = InformationSystem::from_columns(vec![
+            vec![Some(1), Some(2), Some(1)],
+            vec![None, Some(0), Some(0)],
+        ]);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.n_attrs(), 2);
+        assert_eq!(a.value(0, AttrId(1)), None);
+    }
+
+    #[test]
+    fn select_rows_projects() {
+        let s = InformationSystem::from_columns(vec![vec![Some(0), Some(1), Some(2)]]);
+        let t = s.select_rows(&[2, 0]);
+        assert_eq!(t.column(AttrId(0)), &[Some(2), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        InformationSystem::from_columns(vec![vec![Some(0)], vec![]]);
+    }
+}

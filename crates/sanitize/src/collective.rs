@@ -1,0 +1,116 @@
+//! The Collective Method (Algorithm 2): combine attribute removal and Core
+//! perturbation based on the PDA/UDA dependency analysis.
+
+use crate::depend::{dependency_report, DependencyReport};
+use crate::generalize::numeric_generalization;
+use ppdp_graph::{CategoryId, SocialGraph};
+
+/// What the collective method decided to do — used for reporting
+/// (Table 3.6) and testing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectivePlan {
+    /// The dependency analysis the plan was derived from.
+    pub report: DependencyReport,
+    /// Attributes removed outright (`PDAs` or `PDAs − Core`).
+    pub removed: Vec<CategoryId>,
+    /// Attributes perturbed via numeric generalization (the Core).
+    pub perturbed: Vec<CategoryId>,
+    /// Generalization level used for the perturbation.
+    pub level: usize,
+}
+
+/// Algorithm 2: if `PDAs ∩ UDAs = ∅`, remove the PDAs (they carry no
+/// utility); otherwise remove `PDAs − Core` and perturb the shared Core at
+/// generalization `level`. Returns the sanitized graph and the plan.
+pub fn collective_sanitize(
+    g: &SocialGraph,
+    privacy_cat: CategoryId,
+    utility_cat: CategoryId,
+    level: usize,
+) -> (SocialGraph, CollectivePlan) {
+    let report = dependency_report(g, privacy_cat, utility_cat);
+    let mut out = g.clone();
+    let (removed, perturbed) = if report.core.is_empty() {
+        (report.pdas.clone(), Vec::new())
+    } else {
+        (report.pdas_minus_core(), report.core.clone())
+    };
+    for &c in &removed {
+        out.clear_category(c);
+    }
+    for &c in &perturbed {
+        numeric_generalization(&mut out, c, level);
+    }
+    (out, CollectivePlan { report, removed, perturbed, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema};
+
+    /// Categories: 0/1 are corrupted (non-deterministic) copies of the
+    /// privacy/utility targets, 2 deterministically encodes *both* targets
+    /// (the Core), 3 is noise, 4 is the privacy target, 5 the utility
+    /// target. Both reducts must therefore contain category 2.
+    fn graph_with_core() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(6, 4));
+        for i in 0..32u16 {
+            let priv_v = i % 2;
+            let util_v = (i / 2) % 2;
+            let both = priv_v * 2 + util_v;
+            let noise = (i / 4) % 4;
+            let c0 = if i % 4 == 3 { 1 - priv_v } else { priv_v };
+            let c1 = if i % 8 == 5 { 1 - util_v } else { util_v };
+            b.user_with(&[c0, c1, both, noise, priv_v, util_v]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn core_perturbed_not_removed() {
+        let g = graph_with_core();
+        let (out, plan) = collective_sanitize(&g, CategoryId(4), CategoryId(5), 2);
+        assert!(
+            plan.perturbed.contains(&CategoryId(2)),
+            "category 2 drives both targets → Core: {plan:?}"
+        );
+        // Perturbed category still published (generalized), removed ones
+        // hidden for every user.
+        for u in out.users() {
+            for &c in &plan.removed {
+                assert_eq!(out.value(u, c), None);
+            }
+        }
+        assert!(out.users().any(|u| out.value(u, CategoryId(2)).is_some()));
+    }
+
+    #[test]
+    fn empty_core_removes_all_pdas() {
+        // Clean separation: category 0 fully determines privacy, category 1
+        // fully determines utility — no shared attribute.
+        let mut b = GraphBuilder::new(Schema::uniform(4, 2));
+        for i in 0..16u16 {
+            let p = i % 2;
+            let u = (i / 2) % 2;
+            b.user_with(&[p, u, p, u]);
+        }
+        let g = b.build();
+        let (out, plan) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 2);
+        assert!(plan.perturbed.is_empty(), "{plan:?}");
+        assert!(!plan.removed.is_empty());
+        for u in out.users() {
+            for &c in &plan.removed {
+                assert_eq!(out.value(u, c), None);
+            }
+        }
+    }
+
+    #[test]
+    fn original_graph_untouched() {
+        let g = graph_with_core();
+        let before = g.clone();
+        let _ = collective_sanitize(&g, CategoryId(4), CategoryId(5), 3);
+        assert_eq!(g, before);
+    }
+}

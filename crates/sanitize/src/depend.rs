@@ -1,0 +1,246 @@
+//! Privacy-/utility-dependent attribute discovery (§3.5.1, Def. 3.6.1):
+//! which publicly available attributes dominate the prediction of the
+//! sensitive (privacy) attribute and the utility attribute.
+//!
+//! Two dependency measures are used:
+//! * the Rough-Set dependency degree `γ` (Def. 3.3.4) — exact but brittle
+//!   on noisy data, where positive regions collapse and every attribute
+//!   looks indispensable;
+//! * a *mutual-information affinity*: `I(attr; target) / H(target)`. This
+//!   is the measure the PDA/UDA classification uses, because it keeps
+//!   ranking informative attributes correctly when `γ` saturates at 0 and
+//!   when heavy class skew hides the minority-class signal from simple
+//!   majority rules — the regime real social data lives in.
+
+use ppdp_graph::{CategoryId, SocialGraph};
+use ppdp_roughset::{dependency_degree, AttrId, InformationSystem};
+use std::collections::HashMap;
+
+/// The dependency analysis a collective sanitization run starts from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyReport {
+    /// Privacy-dependent attributes, ordered by decreasing affinity to the
+    /// privacy attribute.
+    pub pdas: Vec<CategoryId>,
+    /// Utility-dependent attributes, same for the utility attribute.
+    pub udas: Vec<CategoryId>,
+    /// `Core = PDAs ∩ UDAs` (Def. 3.6.1) — attributes that drive both
+    /// predictions, to be perturbed rather than removed.
+    pub core: Vec<CategoryId>,
+    /// Affinity of each PDA to the privacy attribute, aligned with `pdas`.
+    pub pda_degrees: Vec<f64>,
+    /// Size of the condition set before reduction.
+    pub condition_count: usize,
+}
+
+impl DependencyReport {
+    /// `PDAs − Core`: attributes Algorithm 2 removes outright.
+    pub fn pdas_minus_core(&self) -> Vec<CategoryId> {
+        self.pdas.iter().copied().filter(|c| !self.core.contains(c)).collect()
+    }
+}
+
+/// Converts a [`SocialGraph`] into a column-per-category information system.
+pub fn graph_system(g: &SocialGraph) -> InformationSystem {
+    let columns = g
+        .schema()
+        .ids()
+        .map(|c| g.users().map(|u| g.value(u, c)).collect())
+        .collect();
+    InformationSystem::from_columns(columns)
+}
+
+/// Affinity of `cat` for `target`: the empirical mutual information
+/// `I(cat; target)` normalized by the target entropy `H(target)`, computed
+/// over users publishing both attributes. 0 = independent, 1 = `cat`
+/// determines `target`. Mutual information is used instead of a
+/// majority-vote rule because it keeps detecting minority-class signal
+/// under the heavy class skew the datasets carry (§3.7.3).
+pub fn attribute_affinity(g: &SocialGraph, cat: CategoryId, target: CategoryId) -> f64 {
+    let mut joint: HashMap<(u16, u16), f64> = HashMap::new();
+    let mut a_counts: HashMap<u16, f64> = HashMap::new();
+    let mut y_counts: HashMap<u16, f64> = HashMap::new();
+    let mut n = 0.0f64;
+    for u in g.users() {
+        if let (Some(a), Some(y)) = (g.value(u, cat), g.value(u, target)) {
+            *joint.entry((a, y)).or_insert(0.0) += 1.0;
+            *a_counts.entry(a).or_insert(0.0) += 1.0;
+            *y_counts.entry(y).or_insert(0.0) += 1.0;
+            n += 1.0;
+        }
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mi: f64 = joint
+        .iter()
+        .map(|(&(a, y), &c)| {
+            let p = c / n;
+            p * (p * n * n / (a_counts[&a] * y_counts[&y])).ln()
+        })
+        .sum();
+    let h_y: f64 = y_counts
+        .values()
+        .map(|&c| {
+            let p = c / n;
+            -p * p.ln()
+        })
+        .sum();
+    if h_y > 0.0 {
+        (mi / h_y).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Runs the dependency analysis of §3.5.1 / §3.6: ranks the public
+/// condition attributes by affinity to `privacy_cat` and `utility_cat`
+/// (both excluded from the condition set), classifies the clearly
+/// informative ones as PDAs/UDAs, and intersects them into the Core.
+///
+/// An attribute qualifies when its affinity reaches both an absolute floor
+/// (0.02 normalized MI, above finite-sample noise) and half of the
+/// strongest observed affinity for that target —
+/// the same "most dependent attributes" notion §3.5.1 formalizes via
+/// `argmax_s k`.
+pub fn dependency_report(
+    g: &SocialGraph,
+    privacy_cat: CategoryId,
+    utility_cat: CategoryId,
+) -> DependencyReport {
+    assert_ne!(privacy_cat, utility_cat, "privacy and utility attributes must differ");
+    let cond: Vec<CategoryId> = g
+        .schema()
+        .ids()
+        .filter(|&c| c != privacy_cat && c != utility_cat)
+        .collect();
+
+    let classify = |target: CategoryId| -> (Vec<CategoryId>, Vec<f64>) {
+        let mut scored: Vec<(CategoryId, f64)> = cond
+            .iter()
+            .map(|&c| (c, attribute_affinity(g, c, target)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let max = scored.first().map(|&(_, s)| s).unwrap_or(0.0);
+        let cut = (max * 0.5).max(0.02);
+        scored.into_iter().filter(|&(_, s)| s >= cut).unzip()
+    };
+
+    let (pdas, pda_degrees) = classify(privacy_cat);
+    let (udas, _) = classify(utility_cat);
+    let core: Vec<CategoryId> = pdas.iter().copied().filter(|c| udas.contains(c)).collect();
+    DependencyReport { pdas, udas, core, pda_degrees, condition_count: cond.len() }
+}
+
+/// The `n`-most privacy-dependent attributes (§3.5.1): condition attributes
+/// ranked by affinity to `privacy_cat`, Rough-Set dependency degree as the
+/// tie-break. This is the removal order used by the Fig. 3.2-3.4
+/// attribute-removal sweeps.
+pub fn most_dependent_attributes(
+    g: &SocialGraph,
+    privacy_cat: CategoryId,
+    n: usize,
+) -> Vec<CategoryId> {
+    let sys = graph_system(g);
+    let dec = AttrId(privacy_cat.0);
+    let mut scored: Vec<(CategoryId, f64, f64)> = g
+        .schema()
+        .ids()
+        .filter(|&c| c != privacy_cat)
+        .map(|c| {
+            (
+                c,
+                attribute_affinity(g, c, privacy_cat),
+                dependency_degree(&sys, &[AttrId(c.0)], &[dec]),
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then(b.2.partial_cmp(&a.2).unwrap())
+            .then(a.0.cmp(&b.0))
+    });
+    scored.into_iter().take(n).map(|(c, _, _)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema, SocialGraph};
+
+    /// Categories: 0 = copy of privacy attr, 1 = copy of utility attr,
+    /// 2 = copy of both (the future Core), 3 = noise,
+    /// 4 = privacy attr, 5 = utility attr.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(6, 4));
+        for i in 0..32u16 {
+            let priv_v = i % 2;
+            let util_v = (i / 2) % 2;
+            let both = priv_v * 2 + util_v;
+            let noise = (i / 4) % 4;
+            b.user_with(&[priv_v, util_v, both, noise, priv_v, util_v]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn affinity_detects_planted_copies() {
+        let g = graph();
+        // Category 0 fully determines the privacy attr → normalized MI = 1.
+        assert!((attribute_affinity(&g, CategoryId(0), CategoryId(4)) - 1.0).abs() < 1e-9);
+        // Noise is uninformative.
+        assert!(attribute_affinity(&g, CategoryId(3), CategoryId(4)).abs() < 1e-9);
+        // Category 2 determines both targets.
+        assert!(attribute_affinity(&g, CategoryId(2), CategoryId(5)) > 0.4);
+    }
+
+    #[test]
+    fn report_finds_planted_dependencies() {
+        let g = graph();
+        let rep = dependency_report(&g, CategoryId(4), CategoryId(5));
+        assert_eq!(rep.condition_count, 4);
+        assert!(rep.pdas.contains(&CategoryId(0)));
+        assert!(rep.pdas.contains(&CategoryId(2)));
+        assert!(!rep.pdas.contains(&CategoryId(3)), "noise excluded: {rep:?}");
+        assert!(rep.udas.contains(&CategoryId(1)));
+        assert!(rep.udas.contains(&CategoryId(2)));
+        assert_eq!(rep.core, vec![CategoryId(2)]);
+        assert_eq!(rep.pdas_minus_core(), vec![CategoryId(0)]);
+    }
+
+    #[test]
+    fn pda_degrees_align_and_descend() {
+        let g = graph();
+        let rep = dependency_report(&g, CategoryId(4), CategoryId(5));
+        assert_eq!(rep.pdas.len(), rep.pda_degrees.len());
+        for w in rep.pda_degrees.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn most_dependent_ranks_determining_attribute_first() {
+        let g = graph();
+        let top = most_dependent_attributes(&g, CategoryId(4), 3);
+        assert_eq!(top[0], CategoryId(0), "exact copy ranks first (tie-break by id)");
+        assert!(top.contains(&CategoryId(2)));
+        assert!(!top.contains(&CategoryId(4)), "target itself excluded");
+    }
+
+    #[test]
+    fn affinity_handles_missing_values() {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        b.user_with_partial(&[None, Some(1)]);
+        b.user_with_partial(&[Some(0), None]);
+        let g = b.build();
+        // No user publishes both → affinity 0 (no crash).
+        assert_eq!(attribute_affinity(&g, CategoryId(0), CategoryId(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_privacy_and_utility_rejected() {
+        dependency_report(&graph(), CategoryId(4), CategoryId(4));
+    }
+}

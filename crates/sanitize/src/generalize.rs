@@ -1,0 +1,150 @@
+//! Attribute generalization: generic-attribute hierarchies (GAH,
+//! Def. 3.6.2) and the numeric interval generalization of Algorithm 4.
+
+use ppdp_graph::{CategoryId, SocialGraph, Value};
+
+/// A Generic Attribute Hierarchy: per generalization level, a mapping from
+/// original value to generic value. Level 0 is the identity ("Star Wars");
+/// higher levels are coarser ("Fantasy" → "American film").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gah {
+    /// `levels[l][v]` = generic value of original value `v` at level `l`.
+    levels: Vec<Vec<Value>>,
+}
+
+impl Gah {
+    /// Builds a hierarchy from explicit per-level maps. Level 0 must be the
+    /// identity over `0..arity`.
+    ///
+    /// # Panics
+    /// Panics if the maps are ragged or level 0 is not the identity.
+    pub fn new(levels: Vec<Vec<Value>>) -> Self {
+        assert!(!levels.is_empty(), "need at least the identity level");
+        let arity = levels[0].len();
+        assert!(levels.iter().all(|l| l.len() == arity), "ragged levels");
+        assert!(
+            levels[0].iter().enumerate().all(|(i, &v)| v as usize == i),
+            "level 0 must be the identity"
+        );
+        Self { levels }
+    }
+
+    /// Numeric interval hierarchy (Algorithm 4): at generalization level
+    /// `L ≥ 1` over values `0..arity`, value `x` maps to
+    /// `⌊x / Range⌋` with `Range = ⌊(arity − 1) / L⌋ + 1`, so perturbing
+    /// degree *decreases* as `L` increases — exactly the behaviour
+    /// Tables 3.8-3.10 sweep.
+    pub fn numeric(arity: Value, max_level: usize) -> Self {
+        assert!(max_level >= 1, "need at least one generalization level");
+        let identity: Vec<Value> = (0..arity).collect();
+        let mut levels = vec![identity];
+        for l in 1..=max_level {
+            let range = (arity.saturating_sub(1)) / l as Value + 1;
+            levels.push((0..arity).map(|x| x / range).collect());
+        }
+        Self { levels }
+    }
+
+    /// Number of levels (including the identity level 0).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Generic value of `v` at `level` (clamped to the deepest level).
+    pub fn generalize(&self, v: Value, level: usize) -> Value {
+        let level = level.min(self.levels.len() - 1);
+        self.levels[level][v as usize]
+    }
+
+    /// Number of distinct generic values at `level` — the information the
+    /// attacker retains.
+    pub fn distinct_at(&self, level: usize) -> usize {
+        let level = level.min(self.levels.len() - 1);
+        let mut vals: Vec<Value> = self.levels[level].clone();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+}
+
+/// Algorithm 4 applied to one category: replaces every published value of
+/// `cat` with its interval-generalized value at level `L`. Returns the
+/// mapping used (for reporting).
+pub fn numeric_generalization(g: &mut SocialGraph, cat: CategoryId, level: usize) -> Gah {
+    let arity = g.schema().arity(cat);
+    let gah = Gah::numeric(arity, level.max(1));
+    perturb_category(g, cat, &gah, level);
+    gah
+}
+
+/// Replaces every published value of `cat` with its generic value at
+/// `level` under `gah` (the "perturbing Core" step of Algorithm 2).
+pub fn perturb_category(g: &mut SocialGraph, cat: CategoryId, gah: &Gah, level: usize) {
+    for u in g.users().collect::<Vec<_>>() {
+        if let Some(v) = g.value(u, cat) {
+            g.set_value(u, cat, gah.generalize(v, level));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema};
+
+    #[test]
+    fn numeric_hierarchy_coarsens_monotonically() {
+        let gah = Gah::numeric(8, 8);
+        // Level 1: one bucket; level 8: identity-sized buckets.
+        assert_eq!(gah.distinct_at(1), 1);
+        for l in 1..8 {
+            assert!(
+                gah.distinct_at(l) <= gah.distinct_at(l + 1),
+                "level {l} must be at least as coarse as {}",
+                l + 1
+            );
+        }
+        assert_eq!(gah.distinct_at(0), 8);
+    }
+
+    #[test]
+    fn generalize_buckets_adjacent_values_together() {
+        let gah = Gah::numeric(8, 8);
+        // L = 4 → range = 7/4 + 1 = 2 → buckets {0,1},{2,3},{4,5},{6,7}.
+        assert_eq!(gah.generalize(0, 4), gah.generalize(1, 4));
+        assert_ne!(gah.generalize(1, 4), gah.generalize(2, 4));
+        assert_eq!(gah.generalize(7, 4), 3);
+    }
+
+    #[test]
+    fn level_clamped_to_depth() {
+        let gah = Gah::numeric(4, 2);
+        assert_eq!(gah.generalize(3, 99), gah.generalize(3, 2));
+    }
+
+    #[test]
+    fn perturbation_applies_to_published_values_only() {
+        let mut b = GraphBuilder::new(Schema::uniform(1, 8));
+        let u0 = b.user_with(&[7]);
+        let u1 = b.user();
+        let mut g = b.build();
+        numeric_generalization(&mut g, CategoryId(0), 1);
+        assert_eq!(g.value(u0, CategoryId(0)), Some(0), "single bucket at L=1");
+        assert_eq!(g.value(u1, CategoryId(0)), None, "missing stays missing");
+    }
+
+    #[test]
+    fn semantic_hierarchy_from_explicit_maps() {
+        // Star Wars(0) → Fantasy(0) → American film(0);
+        // Titanic(1) → Drama(1) → American film(0).
+        let gah = Gah::new(vec![vec![0, 1], vec![0, 1], vec![0, 0]]);
+        assert_eq!(gah.generalize(1, 2), 0);
+        assert_eq!(gah.distinct_at(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity")]
+    fn non_identity_base_level_rejected() {
+        Gah::new(vec![vec![1, 0]]);
+    }
+}

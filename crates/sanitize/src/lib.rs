@@ -1,0 +1,35 @@
+//! Chapter 3 sanitization: collective data-sanitization for preventing
+//! sensitive-information inference attacks in social networks.
+//!
+//! The pipeline mirrors §3.5-3.6 of the dissertation:
+//! 1. [`depend`] finds **privacy-dependent attributes** (PDAs) and
+//!    **utility-dependent attributes** (UDAs) through Rough-Set reducts and
+//!    dependency degrees, and their intersection, the **Core**
+//!    (Def. 3.6.1).
+//! 2. [`links`] scores **indistinguishable links** (Def. 3.5.1): links whose
+//!    removal drives the victim's class distribution toward uniform
+//!    (minimum variance).
+//! 3. [`generalize`] builds generic-attribute hierarchies (GAH,
+//!    Def. 3.6.2) and the numeric interval generalization of Algorithm 4.
+//! 4. [`collective`] is Algorithm 2: remove `PDAs − Core`, perturb the Core
+//!    at a chosen generalization level.
+//! 5. [`metrics`] evaluates `(Δ, C)`-privacy (Def. 3.2.6), `(ε, δ)`-utility
+//!    (Def. 3.2.7) and the utility/privacy ratio reported in
+//!    Tables 3.7-3.12.
+//! 6. [`deanon`] implements the seed-and-propagate structural
+//!    de-anonymization attack that motivates the chapter (§3.1's AOL/GIC
+//!    incidents): naive pseudonymization is demonstrably insufficient.
+
+pub mod collective;
+pub mod deanon;
+pub mod depend;
+pub mod generalize;
+pub mod links;
+pub mod metrics;
+
+pub use collective::{collective_sanitize, CollectivePlan};
+pub use deanon::{propagation_attack, pseudonymize, DeanonResult};
+pub use depend::{dependency_report, DependencyReport};
+pub use generalize::{numeric_generalization, perturb_category, Gah};
+pub use links::{indistinguishable_links, remove_indistinguishable_links, LinkScore};
+pub use metrics::{delta_privacy, epsilon_delta_utility, utility_privacy_ratio, RatioReport};

@@ -1,0 +1,262 @@
+//! Indistinguishable-link scoring and removal (Def. 3.5.1 / §3.5.3).
+//!
+//! A link is *Δ'-indistinguishable* for a user when removing it leaves the
+//! user's predicted class distribution nearly uniform — i.e. the variance of
+//! the class probabilities drops below Δ'. The link-removal sanitizer
+//! removes the links whose removal minimizes that variance, so the attacker
+//! ends up unable to tell the classes apart.
+
+use ppdp_classify::{masked_weight, AttackModel, LabeledGraph, LocalKind};
+use ppdp_graph::{CategoryId, SocialGraph, UserId};
+
+/// One scored candidate link: removing `{user, neighbor}` leaves `user`'s
+/// relational class distribution with the given probability variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkScore {
+    /// The victim whose distribution was evaluated.
+    pub user: UserId,
+    /// The neighbour at the other end of the candidate link.
+    pub neighbor: UserId,
+    /// `Var{P(y_1), …, P(y_|Y|)}` after hypothetically removing the link.
+    pub variance: f64,
+}
+
+/// Population variance of a probability vector — the indistinguishability
+/// criterion of Eq. (3.4). Zero means perfectly uniform (fully hidden).
+pub fn dist_variance(dist: &[f64]) -> f64 {
+    if dist.is_empty() {
+        return 0.0;
+    }
+    let mean = dist.iter().sum::<f64>() / dist.len() as f64;
+    dist.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / dist.len() as f64
+}
+
+/// Relational distribution of `u` with neighbour `skip` excluded — the
+/// "what if this link were removed" evaluation behind Def. 3.5.1.
+fn relational_without(
+    lg: &LabeledGraph<'_>,
+    dists: &[Vec<f64>],
+    u: UserId,
+    skip: UserId,
+) -> Option<Vec<f64>> {
+    let ns: Vec<UserId> =
+        lg.graph.neighbors(u).iter().copied().filter(|&j| j != skip).collect();
+    if ns.is_empty() {
+        return None;
+    }
+    let n_classes = lg.n_classes();
+    let weights: Vec<f64> = ns.iter().map(|&j| masked_weight(lg, u, j)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = vec![0.0; n_classes];
+    if total > 0.0 {
+        for (&j, &w) in ns.iter().zip(&weights) {
+            for (o, p) in out.iter_mut().zip(&dists[j.0]) {
+                *o += w * p;
+            }
+        }
+        for o in &mut out {
+            *o /= total;
+        }
+    } else {
+        for &j in &ns {
+            for (o, p) in out.iter_mut().zip(&dists[j.0]) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= ns.len() as f64;
+        }
+    }
+    Some(out)
+}
+
+/// Scores every undirected link of the graph by the *minimum* post-removal
+/// distribution variance over its endpoints whose label is unknown (the
+/// victims worth protecting), returning candidates sorted ascending — the
+/// head of the list is "the most indistinguishable link" of §3.5.3.
+///
+/// Links between two known-label users score `+∞` (removing them protects
+/// nobody). A victim whose only link is the candidate falls back to the
+/// attacker's attribute-based distribution after removal (§3.7.2 bootstraps
+/// isolated users from attributes), so the candidate is scored by *that*
+/// distribution's variance — treating it as "fully hidden" would reward
+/// handing the attacker their sharp attribute channel.
+///
+/// `dists` are the per-user class distributions the attacker currently
+/// holds (e.g. from an `AttrOnly` bootstrap).
+pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec<LinkScore> {
+    let victim_var = |u: UserId, other: UserId| -> Option<f64> {
+        if lg.known[u.0] {
+            return None; // label already public; nothing to protect
+        }
+        Some(
+            relational_without(lg, dists, u, other)
+                .map(|d| dist_variance(&d))
+                .unwrap_or_else(|| dist_variance(&dists[u.0])),
+        )
+    };
+    let mut scores: Vec<LinkScore> = lg
+        .graph
+        .edges()
+        .map(|(a, b)| {
+            let va = victim_var(a, b);
+            let vb = victim_var(b, a);
+            match (va, vb) {
+                (Some(x), Some(y)) if y < x => LinkScore { user: b, neighbor: a, variance: y },
+                (Some(x), _) => LinkScore { user: a, neighbor: b, variance: x },
+                (None, Some(y)) => LinkScore { user: b, neighbor: a, variance: y },
+                (None, None) => LinkScore { user: a, neighbor: b, variance: f64::INFINITY },
+            }
+        })
+        .collect();
+    scores.sort_by(|x, y| {
+        x.variance
+            .partial_cmp(&y.variance)
+            .unwrap()
+            .then(x.user.cmp(&y.user))
+            .then(x.neighbor.cmp(&y.neighbor))
+    });
+    scores
+}
+
+/// Removes the `count` most indistinguishable links and returns the
+/// sanitized graph. The attacker's reference distributions are obtained by
+/// bootstrapping the local classifier `kind` (AttrOnly) over the split
+/// described by `known`.
+///
+/// Removal proceeds in batches with re-scoring between batches: single-link
+/// scores are evaluated against the *current* graph, so joint effects (a
+/// victim losing several links) are tracked instead of trusting stale
+/// one-shot scores. This is the "local optimal" strategy §3.7.3 describes,
+/// applied iteratively.
+pub fn remove_indistinguishable_links(
+    g: &SocialGraph,
+    label_cat: CategoryId,
+    known: &[bool],
+    kind: LocalKind,
+    count: usize,
+) -> SocialGraph {
+    let lg0 = LabeledGraph::new(g, label_cat, known.to_vec());
+    let boot = ppdp_classify::run_attack(&lg0, kind, AttackModel::AttrOnly);
+    let mut out = g.clone();
+    let mut left = count;
+    // Re-score every `batch` removals; cap the number of scoring passes so
+    // large sweeps stay tractable.
+    let batch = (count / 10).max(50);
+    while left > 0 && out.edge_count() > 0 {
+        let lg = LabeledGraph::new(&out, label_cat, known.to_vec());
+        let scores = indistinguishable_links(&lg, &boot.dists);
+        let take = left.min(batch).min(scores.len());
+        if take == 0 {
+            break;
+        }
+        for s in scores.into_iter().take(take) {
+            out.remove_edge(s.user, s.neighbor);
+        }
+        left -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema};
+
+    #[test]
+    fn variance_zero_for_uniform() {
+        assert_eq!(dist_variance(&[0.25; 4]), 0.0);
+        assert!(dist_variance(&[1.0, 0.0]) > 0.2);
+        assert_eq!(dist_variance(&[]), 0.0);
+    }
+
+    /// u0 linked to two label-0 users and one label-1 user; label is
+    /// category 1, category 0 is a feature everyone shares.
+    fn star() -> SocialGraph {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        let u0 = b.user_with(&[0, 0]);
+        let u1 = b.user_with(&[0, 0]);
+        let u2 = b.user_with(&[0, 0]);
+        let u3 = b.user_with(&[0, 1]);
+        b.edge(u0, u1).edge(u0, u2).edge(u0, u3);
+        b.build()
+    }
+
+    #[test]
+    fn removing_same_class_link_is_most_indistinguishable() {
+        let g = star();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
+        // one-hot distributions for the known users, uniform for u0.
+        let dists = vec![
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
+        let scores = indistinguishable_links(&lg, &dists);
+        assert_eq!(scores.len(), 3);
+        // Removing a u0-u1 or u0-u2 link leaves {0,1} neighbours → (0.5,0.5)
+        // variance 0; removing u0-u3 leaves (1.0, 0.0) → high variance.
+        let best = scores[0];
+        assert!(best.neighbor == UserId(1) || best.neighbor == UserId(2));
+        assert!(best.variance < 1e-9);
+        assert!(scores[2].variance > 0.2);
+        assert_eq!(scores[2].neighbor, UserId(3));
+    }
+
+    #[test]
+    fn removal_produces_sanitized_graph() {
+        let g = star();
+        let out = remove_indistinguishable_links(
+            &g,
+            CategoryId(1),
+            &[false, true, true, true],
+            LocalKind::Bayes,
+            2,
+        );
+        assert_eq!(out.edge_count(), 1);
+        assert_eq!(g.edge_count(), 3, "original untouched");
+        // The discriminative link to u3 must survive longest? No: it is the
+        // *least* indistinguishable, so it is removed last — still present.
+        assert!(out.has_edge(UserId(0), UserId(3)));
+    }
+
+    #[test]
+    fn removing_more_links_than_exist_empties_graph() {
+        let g = star();
+        let out = remove_indistinguishable_links(
+            &g,
+            CategoryId(1),
+            &[false, true, true, true],
+            LocalKind::Bayes,
+            99,
+        );
+        assert_eq!(out.edge_count(), 0);
+    }
+
+    #[test]
+    fn sole_link_counts_as_fully_hidden() {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        let u0 = b.user_with(&[0, 0]);
+        let u1 = b.user_with(&[0, 1]);
+        b.edge(u0, u1);
+        let g = b.build();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true]);
+        let dists = vec![vec![0.5, 0.5], vec![0.0, 1.0]];
+        let scores = indistinguishable_links(&lg, &dists);
+        assert_eq!(scores[0].variance, 0.0);
+    }
+
+    #[test]
+    fn link_between_known_users_scores_infinite() {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        let u0 = b.user_with(&[0, 0]);
+        let u1 = b.user_with(&[0, 1]);
+        b.edge(u0, u1);
+        let g = b.build();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![true, true]);
+        let dists = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let scores = indistinguishable_links(&lg, &dists);
+        assert!(scores[0].variance.is_infinite());
+    }
+}

@@ -1,0 +1,119 @@
+//! The four adversary knowledge cases of §4.6.4: what the attacker knows
+//! about the user's profile `ψ(X)` and the deployed sanitization strategy
+//! `f(X'|X)`.
+
+use crate::privacy::latent_privacy;
+use crate::profile::Profile;
+use crate::strategy::AttributeStrategy;
+
+/// Adversary knowledge model (§4.2.2 / §4.6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knowledge {
+    /// Knows both `ψ(X)` and `f(X'|X)` — the powerful adversary the
+    /// Collective Sanitization of the chapter is designed against.
+    Full,
+    /// Knows the profile but not the strategy (assumes identity `f`).
+    ProfileOnly,
+    /// Knows the strategy but not the profile (assumes uniform `ψ`).
+    StrategyOnly,
+    /// Knows neither.
+    UnknownBoth,
+}
+
+impl Knowledge {
+    /// Display name matching the Fig. 4.3 legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Knowledge::Full => "Collective Sanitization",
+            Knowledge::ProfileOnly => "Profile Only",
+            Knowledge::StrategyOnly => "Strategy Only",
+            Knowledge::UnknownBoth => "Unknown Both",
+        }
+    }
+
+    /// The profile/strategy pair this adversary *believes* governs the
+    /// release.
+    pub fn believed(
+        &self,
+        true_profile: &Profile,
+        true_strategy: &AttributeStrategy,
+    ) -> (Profile, AttributeStrategy) {
+        let profile = match self {
+            Knowledge::Full | Knowledge::ProfileOnly => true_profile.clone(),
+            Knowledge::StrategyOnly | Knowledge::UnknownBoth => true_profile.flattened(),
+        };
+        let strategy = match self {
+            Knowledge::Full | Knowledge::StrategyOnly => true_strategy.clone(),
+            Knowledge::ProfileOnly | Knowledge::UnknownBoth => {
+                AttributeStrategy::identity(true_profile.variants().to_vec())
+            }
+        };
+        (profile, strategy)
+    }
+
+    /// Latent-data privacy against this adversary (Eq. 4.5 with the
+    /// adversary's believed posterior driving the `Ẑ` choice).
+    pub fn privacy(
+        &self,
+        profile: &Profile,
+        strategy: &AttributeStrategy,
+        predictions: &[Vec<f64>],
+    ) -> f64 {
+        let (bp, bs) = self.believed(profile, strategy);
+        latent_privacy(profile, strategy, &bp, &bs, predictions)
+    }
+}
+
+/// All four cases, in the order Fig. 4.3 plots them.
+pub const ALL_KNOWLEDGE: [Knowledge; 4] = [
+    Knowledge::Full,
+    Knowledge::ProfileOnly,
+    Knowledge::StrategyOnly,
+    Knowledge::UnknownBoth,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AttrVec;
+
+    fn variants() -> Vec<AttrVec> {
+        vec![vec![Some(0)], vec![Some(1)], vec![Some(2)]]
+    }
+
+    fn preds() -> Vec<Vec<f64>> {
+        vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]]
+    }
+
+    #[test]
+    fn full_knowledge_minimizes_privacy() {
+        let p = Profile::new(variants(), vec![0.6, 0.3, 0.1]);
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        let full = Knowledge::Full.privacy(&p, &s, &preds());
+        for k in [Knowledge::ProfileOnly, Knowledge::StrategyOnly, Knowledge::UnknownBoth] {
+            let weaker = k.privacy(&p, &s, &preds());
+            assert!(
+                weaker >= full - 1e-12,
+                "{k:?} adversary ({weaker}) cannot beat full knowledge ({full})"
+            );
+        }
+    }
+
+    #[test]
+    fn believed_pairs_match_cases() {
+        let p = Profile::new(variants(), vec![0.6, 0.3, 0.1]);
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        let (bp, bs) = Knowledge::ProfileOnly.believed(&p, &s);
+        assert_eq!(bp, p);
+        assert_eq!(bs, AttributeStrategy::identity(variants()));
+        let (bp, bs) = Knowledge::StrategyOnly.believed(&p, &s);
+        assert_eq!(bp, p.flattened());
+        assert_eq!(bs, s);
+    }
+
+    #[test]
+    fn names_match_figure_legend() {
+        assert_eq!(Knowledge::Full.name(), "Collective Sanitization");
+        assert_eq!(Knowledge::UnknownBoth.name(), "Unknown Both");
+    }
+}

@@ -1,0 +1,33 @@
+//! Chapter 4: tradeoff between latent-data privacy and customized data
+//! utility for social data publishing.
+//!
+//! The chapter's machinery, implemented faithfully:
+//! * [`profile`] — user profiles `ψ(X)` (Def. 4.2.7): the adversary's prior
+//!   over a user's possible attribute sets;
+//! * [`strategy`] — attribute-sanitization strategies `f(X'|X)` as
+//!   stochastic matrices over variant spaces, plus the removal /
+//!   generalization constructors of §4.3.2;
+//! * [`utility`] — `δ`-prediction utility loss (Def. 4.4.3, pluggable
+//!   attribute-set disparity `du`) and `ε`-structure utility loss
+//!   (Def. 4.4.2, shared-friends additive `ζ`);
+//! * [`privacy`] — the latent-data privacy objective of Eqs. (4.4)-(4.8):
+//!   `Σ_{X'} min_Ẑ Σ_X ψ(X)·f(X'|X)·dp(Z_X, Ẑ)`;
+//! * [`adversary`] — the four knowledge cases of §4.6.4 (full knowledge,
+//!   profile only, strategy only, neither);
+//! * [`optimize`] — the `(ε, δ)-UtiOptPri` solver (Def. 4.5.1): discretized
+//!   coordinate-ascent search for `f(X'|X)` (§4.5.2) and the greedy
+//!   submodular-knapsack vulnerable-link selector backed by `ppdp-opt`.
+
+pub mod adversary;
+pub mod optimize;
+pub mod privacy;
+pub mod profile;
+pub mod strategy;
+pub mod utility;
+
+pub use adversary::Knowledge;
+pub use optimize::{optimize_attribute_strategy, select_vulnerable_links, OptimizeConfig};
+pub use privacy::{latent_privacy, prediction_disparity};
+pub use profile::{AttrVec, Profile};
+pub use strategy::AttributeStrategy;
+pub use utility::{hamming_disparity, prediction_utility_loss, structure_utility_loss};

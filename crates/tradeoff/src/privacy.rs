@@ -1,0 +1,178 @@
+//! The latent-data privacy objective of §4.4.2 (Eqs. 4.4-4.8).
+//!
+//! The adversary observes a sanitized attribute set `X'`, forms the
+//! posterior over true sets `X`, and outputs the point prediction `Ẑ` that
+//! minimizes the expected disparity to the SLA prediction `Z_X` the true
+//! set would induce. The user's (unconditional) latent-data privacy is the
+//! remaining expected disparity:
+//!
+//! `Privacy = Σ_{X'} min_Ẑ Σ_X ψ(X) · f(X'|X) · dp(Z_X, Ẑ)`  (Eq. 4.5)
+
+use crate::profile::Profile;
+use crate::strategy::AttributeStrategy;
+
+/// Disparity between two SLA prediction distributions (`dp` of Eq. 4.4):
+/// total-variation distance `½ Σ |a − b|`.
+pub fn prediction_disparity(a: &[f64], b: &[f64]) -> f64 {
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Latent-data privacy of one user (Eqs. 4.5-4.7).
+///
+/// * `profile` / `strategy` — the **true** `ψ(X)` and `f(X'|X)` governing
+///   what the adversary observes;
+/// * `believed_profile` / `believed_strategy` — what the adversary *thinks*
+///   they are (§4.6.4's knowledge cases; pass the true ones for the
+///   powerful adversary);
+/// * `predictions[i]` — `Z_{X_i}`, the SLA prediction induced by input
+///   variant `i` (already reflecting any link sanitization `A`, hence the
+///   paper's `Z_X(A)` notation).
+///
+/// The adversary's candidate set for `Ẑ` is `{Z_{X_i}}` — for a
+/// total-variation `dp`, an optimal `Ẑ` always lies in the candidate hull
+/// and restricting to the vertices yields the standard discrete
+/// approximation the chapter's own discretization (§4.5.2) makes.
+///
+/// # Panics
+/// Panics if the strategies' variant spaces are inconsistent with the
+/// profiles or predictions.
+pub fn latent_privacy(
+    profile: &Profile,
+    strategy: &AttributeStrategy,
+    believed_profile: &Profile,
+    believed_strategy: &AttributeStrategy,
+    predictions: &[Vec<f64>],
+) -> f64 {
+    assert_eq!(profile.variants(), strategy.inputs(), "true strategy/profile mismatch");
+    assert_eq!(
+        believed_profile.variants(),
+        believed_strategy.inputs(),
+        "believed strategy/profile mismatch"
+    );
+    assert_eq!(predictions.len(), profile.len(), "one prediction per variant");
+
+    let n_in = profile.len();
+    let mut total = 0.0;
+    for (o, x_prime) in strategy.outputs().iter().enumerate() {
+        // The adversary scores candidate Ẑ using their *believed* posterior
+        // weights over X given this X'. Their belief may live on a
+        // different output space (e.g. identity strategy), so match by
+        // attribute-set equality; an unexplainable X' leaves the adversary
+        // with their prior.
+        let believed_o =
+            believed_strategy.outputs().iter().position(|x| x == x_prime);
+        let believed_weight = |i: usize| -> f64 {
+            match believed_o {
+                Some(bo) => believed_profile.prob(i) * believed_strategy.prob(i, bo),
+                None => believed_profile.prob(i),
+            }
+        };
+
+        // Adversary's choice: the candidate Ẑ minimizing believed expected
+        // disparity (Eq. 4.4 / the linearized constraint 4.8).
+        let z_hat = (0..n_in)
+            .min_by(|&a, &b| {
+                let cost = |c: usize| -> f64 {
+                    (0..n_in)
+                        .map(|i| believed_weight(i) * prediction_disparity(&predictions[i], &predictions[c]))
+                        .sum()
+                };
+                cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
+            })
+            .expect("non-empty profile");
+
+        // True expected disparity contributed by this X' (Eq. 4.5 summand).
+        for i in 0..n_in {
+            let w = profile.prob(i) * strategy.prob(i, o);
+            if w > 0.0 {
+                total += w * prediction_disparity(&predictions[i], &predictions[z_hat]);
+            }
+        }
+    }
+    total
+}
+
+/// Convenience: privacy against the *powerful* adversary of §4.2.2, who
+/// knows both the profile and the strategy.
+pub fn latent_privacy_vs_powerful(
+    profile: &Profile,
+    strategy: &AttributeStrategy,
+    predictions: &[Vec<f64>],
+) -> f64 {
+    latent_privacy(profile, strategy, profile, strategy, predictions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AttrVec;
+
+    fn variants() -> Vec<AttrVec> {
+        vec![vec![Some(0)], vec![Some(1)]]
+    }
+
+    /// Variant 0 ⇒ SLA class 0 with certainty, variant 1 ⇒ class 1.
+    fn preds() -> Vec<Vec<f64>> {
+        vec![vec![1.0, 0.0], vec![0.0, 1.0]]
+    }
+
+    #[test]
+    fn tv_disparity_basics() {
+        assert_eq!(prediction_disparity(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(prediction_disparity(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((prediction_disparity(&[0.5, 0.5], &[1.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_strategy_gives_zero_privacy() {
+        // Publishing X unchanged lets the powerful adversary recover Z_X
+        // exactly: privacy 0.
+        let p = Profile::uniform(variants());
+        let s = AttributeStrategy::identity(variants());
+        let privacy = latent_privacy_vs_powerful(&p, &s, &preds());
+        assert!(privacy.abs() < 1e-12, "got {privacy}");
+    }
+
+    #[test]
+    fn merging_strategy_creates_privacy() {
+        // Hiding the attribute merges both variants into one output; the
+        // adversary must commit to one Z and is wrong half the time.
+        let p = Profile::uniform(variants());
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        let privacy = latent_privacy_vs_powerful(&p, &s, &preds());
+        assert!((privacy - 0.5).abs() < 1e-12, "got {privacy}");
+    }
+
+    #[test]
+    fn skewed_profile_lowers_privacy() {
+        // With ψ = (0.9, 0.1) the adversary bets on variant 0 and is wrong
+        // only 10% of the time.
+        let p = Profile::new(variants(), vec![0.9, 0.1]);
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        let privacy = latent_privacy_vs_powerful(&p, &s, &preds());
+        assert!((privacy - 0.1).abs() < 1e-12, "got {privacy}");
+    }
+
+    #[test]
+    fn weaker_adversary_knowledge_never_lowers_privacy() {
+        let p = Profile::new(variants(), vec![0.9, 0.1]);
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        let powerful = latent_privacy_vs_powerful(&p, &s, &preds());
+        // Unknown profile: adversary assumes uniform ψ.
+        let flat = p.flattened();
+        let weaker = latent_privacy(&p, &s, &flat, &s, &preds());
+        assert!(weaker >= powerful - 1e-12, "{weaker} < {powerful}");
+    }
+
+    #[test]
+    fn strategy_ignorant_adversary_on_perturbed_output() {
+        // The believed identity strategy cannot explain the generalized
+        // output, so the adversary falls back to their prior.
+        let p = Profile::new(variants(), vec![0.7, 0.3]);
+        let s = AttributeStrategy::perturbing(variants(), &[(0, 2)]);
+        let believed = AttributeStrategy::identity(variants());
+        let privacy = latent_privacy(&p, &s, &p, &believed, &preds());
+        // Prior favours variant 0 → adversary predicts Z_0, wrong with 0.3.
+        assert!((privacy - 0.3).abs() < 1e-12, "got {privacy}");
+    }
+}

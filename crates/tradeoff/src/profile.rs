@@ -1,0 +1,172 @@
+//! User profiles `ψ(X)` (Def. 4.2.7): the adversary's prior distribution
+//! over a user's possible attribute sets.
+
+/// One possible attribute set `X` of a user (`None` = unpublished).
+pub type AttrVec = Vec<Option<u16>>;
+
+/// A profile `Ψ = {ψ(X_1), …, ψ(X_k)}` with `Σ ψ(X_i) = 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    variants: Vec<AttrVec>,
+    probs: Vec<f64>,
+}
+
+impl Profile {
+    /// Builds a profile; probabilities are normalized.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, the profile is empty, variants have
+    /// inconsistent widths, or any probability is negative / all are zero.
+    pub fn new(variants: Vec<AttrVec>, probs: Vec<f64>) -> Self {
+        assert_eq!(variants.len(), probs.len(), "variant/probability mismatch");
+        assert!(!variants.is_empty(), "profile must contain at least one variant");
+        let width = variants[0].len();
+        assert!(variants.iter().all(|v| v.len() == width), "ragged variants");
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let z: f64 = probs.iter().sum();
+        assert!(z > 0.0, "profile has zero total mass");
+        Self { variants, probs: probs.into_iter().map(|p| p / z).collect() }
+    }
+
+    /// Uniform profile over the given variants.
+    pub fn uniform(variants: Vec<AttrVec>) -> Self {
+        let n = variants.len();
+        Self::new(variants, vec![1.0; n])
+    }
+
+    /// Empirical profile: counts duplicate attribute vectors in `observed`
+    /// and normalizes. Variant order is first-appearance.
+    pub fn empirical(observed: &[AttrVec]) -> Self {
+        assert!(!observed.is_empty(), "no observations");
+        let mut variants: Vec<AttrVec> = Vec::new();
+        let mut counts: Vec<f64> = Vec::new();
+        for row in observed {
+            match variants.iter().position(|v| v == row) {
+                Some(i) => counts[i] += 1.0,
+                None => {
+                    variants.push(row.clone());
+                    counts.push(1.0);
+                }
+            }
+        }
+        Self::new(variants, counts)
+    }
+
+    /// Number of variants `k`.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether the profile is empty (never true for a constructed profile).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// The variants.
+    pub fn variants(&self) -> &[AttrVec] {
+        &self.variants
+    }
+
+    /// `ψ(X_i)`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Iterator over `(variant, ψ)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttrVec, f64)> {
+        self.variants.iter().zip(self.probs.iter().copied())
+    }
+
+    /// A profile with the same variants but uniform mass — what an
+    /// adversary *without* profile knowledge assumes (§4.6.4).
+    pub fn flattened(&self) -> Self {
+        Self::uniform(self.variants.clone())
+    }
+
+    /// The `n` most probable variants, renormalized — used to keep the
+    /// discretized strategy-space search of §4.5.2 tractable when the
+    /// empirical variant space is large.
+    pub fn truncated(&self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one variant");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.probs[b].partial_cmp(&self.probs[a]).unwrap().then(a.cmp(&b))
+        });
+        idx.truncate(n);
+        idx.sort_unstable(); // keep original relative order for determinism
+        Self::new(
+            idx.iter().map(|&i| self.variants[i].clone()).collect(),
+            idx.iter().map(|&i| self.probs[i]).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_probabilities() {
+        let p = Profile::new(
+            vec![vec![Some(0)], vec![Some(1)]],
+            vec![3.0, 1.0],
+        );
+        assert!((p.prob(0) - 0.75).abs() < 1e-12);
+        assert!((p.prob(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_counts_duplicates() {
+        let obs = vec![
+            vec![Some(0), None],
+            vec![Some(1), Some(2)],
+            vec![Some(0), None],
+            vec![Some(0), None],
+        ];
+        let p = Profile::empirical(&obs);
+        assert_eq!(p.len(), 2);
+        assert!((p.prob(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flattened_is_uniform() {
+        let p = Profile::new(vec![vec![Some(0)], vec![Some(1)]], vec![0.9, 0.1]);
+        let f = p.flattened();
+        assert!((f.prob(0) - 0.5).abs() < 1e-12);
+        assert_eq!(f.variants(), p.variants());
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let p = Profile::uniform(vec![vec![Some(3)], vec![Some(4)]]);
+        let total: f64 = p.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_keeps_top_mass() {
+        let p = Profile::new(
+            vec![vec![Some(0)], vec![Some(1)], vec![Some(2)], vec![Some(3)]],
+            vec![0.4, 0.1, 0.3, 0.2],
+        );
+        let t = p.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.variants()[0], vec![Some(0)]);
+        assert_eq!(t.variants()[1], vec![Some(2)]);
+        assert!((t.prob(0) - 0.4 / 0.7).abs() < 1e-12);
+        // Truncating beyond the size is the identity.
+        assert_eq!(p.truncated(10), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total mass")]
+    fn zero_mass_rejected() {
+        Profile::new(vec![vec![Some(0)]], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_variants_rejected() {
+        Profile::uniform(vec![vec![Some(0)], vec![Some(0), Some(1)]]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Attribute-sanitization strategies `f(X'|X)` (§4.3.2 / §4.4): stochastic
+//! maps from a user's possible attribute sets to sanitized outputs.
+
+use crate::profile::AttrVec;
+
+/// A strategy `f(X'|X)`: row `i` is the output distribution for input
+/// variant `i`. Inputs and outputs are explicit variant lists, so removal,
+/// perturbation and randomized strategies share one representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeStrategy {
+    inputs: Vec<AttrVec>,
+    outputs: Vec<AttrVec>,
+    /// `matrix[i][o] = f(outputs[o] | inputs[i])`; each row sums to 1.
+    matrix: Vec<Vec<f64>>,
+}
+
+impl AttributeStrategy {
+    /// Builds a strategy, validating stochasticity.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent, any entry is negative, or a
+    /// row does not sum to 1 (tolerance 1e-9).
+    pub fn new(inputs: Vec<AttrVec>, outputs: Vec<AttrVec>, matrix: Vec<Vec<f64>>) -> Self {
+        assert_eq!(inputs.len(), matrix.len(), "one row per input variant");
+        for row in &matrix {
+            assert_eq!(row.len(), outputs.len(), "one column per output variant");
+            assert!(row.iter().all(|&p| p >= 0.0), "negative strategy entry");
+            let z: f64 = row.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9, "strategy row must sum to 1, got {z}");
+        }
+        Self { inputs, outputs, matrix }
+    }
+
+    /// The identity strategy: publish `X` unchanged (what an adversary
+    /// without strategy knowledge assumes, §4.6.4).
+    pub fn identity(variants: Vec<AttrVec>) -> Self {
+        let n = variants.len();
+        let matrix = (0..n)
+            .map(|i| (0..n).map(|o| if i == o { 1.0 } else { 0.0 }).collect())
+            .collect();
+        Self::new(variants.clone(), variants, matrix)
+    }
+
+    /// Deterministic removal strategy: every input is mapped to itself with
+    /// the attributes at `hide` blanked out. Outputs are deduplicated.
+    pub fn removal(variants: Vec<AttrVec>, hide: &[usize]) -> Self {
+        let sanitized: Vec<AttrVec> = variants
+            .iter()
+            .map(|v| {
+                let mut w = v.clone();
+                for &h in hide {
+                    w[h] = None;
+                }
+                w
+            })
+            .collect();
+        Self::deterministic(variants, sanitized)
+    }
+
+    /// Deterministic perturbation strategy: attributes at `(col, level)`
+    /// pairs are generalized by integer division (`v → v / level`), the
+    /// interval bucketing of Algorithm 4 with bucket width `level`.
+    pub fn perturbing(variants: Vec<AttrVec>, buckets: &[(usize, u16)]) -> Self {
+        let sanitized: Vec<AttrVec> = variants
+            .iter()
+            .map(|v| {
+                let mut w = v.clone();
+                for &(col, width) in buckets {
+                    assert!(width > 0, "bucket width must be positive");
+                    if let Some(x) = w[col] {
+                        w[col] = Some(x / width);
+                    }
+                }
+                w
+            })
+            .collect();
+        Self::deterministic(variants, sanitized)
+    }
+
+    /// Builds a deterministic strategy from explicit per-input images.
+    pub fn deterministic(inputs: Vec<AttrVec>, images: Vec<AttrVec>) -> Self {
+        assert_eq!(inputs.len(), images.len(), "one image per input");
+        let mut outputs: Vec<AttrVec> = Vec::new();
+        let mut cols = Vec::with_capacity(images.len());
+        for img in &images {
+            let o = match outputs.iter().position(|x| x == img) {
+                Some(o) => o,
+                None => {
+                    outputs.push(img.clone());
+                    outputs.len() - 1
+                }
+            };
+            cols.push(o);
+        }
+        let matrix = cols
+            .iter()
+            .map(|&o| {
+                let mut row = vec![0.0; outputs.len()];
+                row[o] = 1.0;
+                row
+            })
+            .collect();
+        Self::new(inputs, outputs, matrix)
+    }
+
+    /// Input variants.
+    pub fn inputs(&self) -> &[AttrVec] {
+        &self.inputs
+    }
+
+    /// Output variants.
+    pub fn outputs(&self) -> &[AttrVec] {
+        &self.outputs
+    }
+
+    /// `f(outputs[o] | inputs[i])`.
+    pub fn prob(&self, i: usize, o: usize) -> f64 {
+        self.matrix[i][o]
+    }
+
+    /// Replaces row `i` with a new distribution (used by the coordinate-
+    /// ascent optimizer).
+    ///
+    /// # Panics
+    /// Panics if `row` is not a distribution over the outputs.
+    pub fn set_row(&mut self, i: usize, row: Vec<f64>) {
+        assert_eq!(row.len(), self.outputs.len(), "row width mismatch");
+        let z: f64 = row.iter().sum();
+        assert!((z - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0), "not a distribution");
+        self.matrix[i] = row;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variants() -> Vec<AttrVec> {
+        vec![
+            vec![Some(0), Some(4)],
+            vec![Some(1), Some(5)],
+            vec![Some(0), Some(5)],
+        ]
+    }
+
+    #[test]
+    fn identity_maps_each_to_itself() {
+        let s = AttributeStrategy::identity(variants());
+        for i in 0..3 {
+            assert_eq!(s.prob(i, i), 1.0);
+        }
+        assert_eq!(s.inputs(), s.outputs());
+    }
+
+    #[test]
+    fn removal_blanks_and_merges() {
+        let s = AttributeStrategy::removal(variants(), &[0]);
+        // Hiding column 0 merges variants 1 and 2 into (None, 5).
+        assert_eq!(s.outputs().len(), 2);
+        let merged = vec![None, Some(5)];
+        let o = s.outputs().iter().position(|x| *x == merged).unwrap();
+        assert_eq!(s.prob(1, o), 1.0);
+        assert_eq!(s.prob(2, o), 1.0);
+    }
+
+    #[test]
+    fn perturbing_buckets_values() {
+        let s = AttributeStrategy::perturbing(variants(), &[(1, 2)]);
+        // 4/2 = 2, 5/2 = 2 → column 1 collapses to 2 everywhere.
+        assert!(s.outputs().iter().all(|v| v[1] == Some(2)));
+        assert_eq!(s.outputs().len(), 2, "only column 0 distinguishes now");
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let s = AttributeStrategy::removal(variants(), &[0, 1]);
+        for i in 0..3 {
+            let total: f64 = (0..s.outputs().len()).map(|o| s.prob(i, o)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(s.outputs().len(), 1, "hiding everything collapses the space");
+    }
+
+    #[test]
+    fn set_row_replaces_distribution() {
+        let mut s = AttributeStrategy::removal(variants(), &[0]);
+        let w = s.outputs().len();
+        s.set_row(0, vec![1.0 / w as f64; w]);
+        assert!((s.prob(0, 0) - 1.0 / w as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn non_stochastic_rejected() {
+        AttributeStrategy::new(
+            vec![vec![Some(0)]],
+            vec![vec![Some(0)]],
+            vec![vec![0.5]],
+        );
+    }
+}

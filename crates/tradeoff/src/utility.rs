@@ -1,0 +1,125 @@
+//! Utility-loss metrics of §4.4.1: `δ`-prediction utility loss (Def. 4.4.3)
+//! and `ε`-structure utility loss (Def. 4.4.2).
+
+use crate::profile::{AttrVec, Profile};
+use crate::strategy::AttributeStrategy;
+use ppdp_graph::{SocialGraph, UserId};
+
+/// The attribute-set disparity measurer `du(X, X')` — pluggable per
+/// Def. 4.4.3 ("du can be defined as Euclidean, Hamming, or Mahalanobis
+/// distance").
+pub type Disparity = fn(&AttrVec, &AttrVec) -> f64;
+
+/// Hamming `du`: number of attribute positions that differ (hidden ≠
+/// published).
+pub fn hamming_disparity(a: &AttrVec, b: &AttrVec) -> f64 {
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as f64
+}
+
+/// Euclidean `du` over the numeric codes (missing treated as a maximal
+/// per-coordinate gap of 1 unit beyond any observed code).
+pub fn euclidean_disparity(a: &AttrVec, b: &AttrVec) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| match (x, y) {
+            (Some(p), Some(q)) => {
+                let d = *p as f64 - *q as f64;
+                d * d
+            }
+            (None, None) => 0.0,
+            _ => 1.0,
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Prediction utility loss (Def. 4.4.3):
+/// `PUL = Σ_{X,X'} ψ(X) · f(X'|X) · du(X, X')`.
+///
+/// # Panics
+/// Panics if the strategy's inputs do not match the profile's variants.
+pub fn prediction_utility_loss(
+    profile: &Profile,
+    strategy: &AttributeStrategy,
+    du: Disparity,
+) -> f64 {
+    assert_eq!(profile.variants(), strategy.inputs(), "strategy/profile mismatch");
+    let mut loss = 0.0;
+    for (i, (x, psi)) in profile.iter().enumerate() {
+        for (o, x_prime) in strategy.outputs().iter().enumerate() {
+            let p = strategy.prob(i, o);
+            if p > 0.0 {
+                loss += psi * p * du(x, x_prime);
+            }
+        }
+    }
+    loss
+}
+
+/// Structure utility loss (Def. 4.4.2): the additive `ζ` over the structure
+/// utility values `S_j` of the removed neighbours, where `S_j` is the
+/// number of friends `u` shares with `j` — "unfriending a friend that
+/// shares a large number of friends has a bad effect on the clustering
+/// coefficient".
+pub fn structure_utility_loss(g: &SocialGraph, u: UserId, removed: &[UserId]) -> f64 {
+    removed.iter().map(|&j| g.shared_friend_count(u, j) as f64).sum()
+}
+
+/// Structure utility value `S_j` of one candidate link `{u, j}`.
+pub fn structure_value(g: &SocialGraph, u: UserId, j: UserId) -> f64 {
+    g.shared_friend_count(u, j) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdp_graph::{GraphBuilder, Schema};
+
+    #[test]
+    fn hamming_counts_positions() {
+        let a = vec![Some(1), Some(2), None];
+        let b = vec![Some(1), None, None];
+        assert_eq!(hamming_disparity(&a, &b), 1.0);
+        assert_eq!(hamming_disparity(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_squares_numeric_gaps() {
+        let a = vec![Some(0), Some(3)];
+        let b = vec![Some(4), Some(0)];
+        assert!((euclidean_disparity(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((euclidean_disparity(&a, &vec![None, Some(3)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_strategy_has_zero_loss() {
+        let p = Profile::uniform(vec![vec![Some(0), Some(1)], vec![Some(2), Some(3)]]);
+        let s = AttributeStrategy::identity(p.variants().to_vec());
+        assert_eq!(prediction_utility_loss(&p, &s, hamming_disparity), 0.0);
+    }
+
+    #[test]
+    fn removal_loss_weights_by_profile() {
+        let p = Profile::new(
+            vec![vec![Some(0), Some(1)], vec![None, Some(3)]],
+            vec![0.8, 0.2],
+        );
+        let s = AttributeStrategy::removal(p.variants().to_vec(), &[0]);
+        // Variant 0 loses one published attribute (du = 1); variant 1 had
+        // nothing in column 0 (du = 0). PUL = 0.8·1 + 0.2·0.
+        assert!((prediction_utility_loss(&p, &s, hamming_disparity) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_loss_sums_shared_friends() {
+        // Triangle 0-1-2 plus pendant 3 on 0.
+        let mut b = GraphBuilder::new(Schema::uniform(1, 2));
+        let us: Vec<_> = (0..4).map(|_| b.user()).collect();
+        b.edge(us[0], us[1]).edge(us[1], us[2]).edge(us[0], us[2]).edge(us[0], us[3]);
+        let g = b.build();
+        // S_1 for u0 = shared friends of 0 and 1 = |{2}| = 1; S_3 = 0.
+        assert_eq!(structure_value(&g, us[0], us[1]), 1.0);
+        assert_eq!(structure_value(&g, us[0], us[3]), 0.0);
+        assert_eq!(structure_utility_loss(&g, us[0], &[us[1], us[3]]), 1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Chapter 4 per-user optimization: maximize a user's latent-data privacy
+//! under a δ prediction-utility-loss budget, and show how the adversary's
+//! knowledge (profile / strategy) changes what they can infer.
+//!
+//! Run with: `cargo run --release --example latent_tradeoff`
+
+use ppdp::tradeoff::adversary::ALL_KNOWLEDGE;
+use ppdp::tradeoff::{
+    hamming_disparity, latent_privacy, optimize_attribute_strategy, prediction_utility_loss,
+    AttributeStrategy, OptimizeConfig, Profile,
+};
+
+fn main() {
+    // A user with four plausible attribute sets: (music taste, club
+    // membership). The adversary's profile ψ(X) says the first is likely.
+    let variants = vec![
+        vec![Some(0), Some(0)],
+        vec![Some(0), Some(1)],
+        vec![Some(1), Some(0)],
+        vec![Some(1), Some(1)],
+    ];
+    let profile = Profile::new(variants.clone(), vec![0.4, 0.3, 0.2, 0.1]);
+
+    // Z_X: the SLA (say, political view) prediction each true attribute set
+    // would induce — club membership is highly indicative.
+    let predictions = vec![
+        vec![0.9, 0.1],
+        vec![0.2, 0.8],
+        vec![0.8, 0.2],
+        vec![0.1, 0.9],
+    ];
+
+    println!("δ sweep — privacy the optimizer can buy with utility loss:");
+    println!("{:>6} {:>12} {:>12}", "delta", "privacy", "PUL used");
+    for &delta in &[0.0, 0.3, 0.6, 1.0, 2.0] {
+        let initial = AttributeStrategy::identity(variants.clone());
+        let (strategy, privacy) = optimize_attribute_strategy(
+            &profile,
+            &initial,
+            &predictions,
+            hamming_disparity,
+            OptimizeConfig { grid: 4, sweeps: 4, delta },
+        );
+        let pul = prediction_utility_loss(&profile, &strategy, hamming_disparity);
+        println!("{delta:>6.1} {privacy:>12.4} {pul:>12.4}");
+    }
+
+    // Fix one sanitization (hide the club-membership attribute) and vary
+    // the adversary's knowledge — Fig. 4.3's four cases.
+    let strategy = AttributeStrategy::removal(variants.clone(), &[1]);
+    println!("\nadversary knowledge cases (strategy: hide attribute 1):");
+    for k in ALL_KNOWLEDGE {
+        let (bp, bs) = k.believed(&profile, &strategy);
+        let privacy = latent_privacy(&profile, &strategy, &bp, &bs, &predictions);
+        println!("  {:<24} latent-data privacy = {:.4}", k.name(), privacy);
+    }
+}

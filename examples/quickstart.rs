@@ -1,0 +1,48 @@
+//! Quickstart: sanitize a social dataset against sensitive-attribute
+//! inference attacks and check what the attacker can still do.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ppdp::datagen::social::caltech_like;
+use ppdp::prelude::*;
+
+fn main() {
+    // A Caltech-like dataset (769 users, 16 656 friendships, 7 attribute
+    // categories; the sensitive attribute is the 4-ary student/faculty
+    // status flag).
+    let data = caltech_like(42);
+    println!(
+        "dataset: {} users, {} links, {} categories",
+        data.graph.user_count(),
+        data.graph.edge_count(),
+        data.graph.schema().len()
+    );
+
+    // Publish with Algorithm 2 (collective sanitization): remove the
+    // privacy-dependent attributes that carry no utility, generalize the
+    // shared Core, and additionally drop 200 indistinguishable links.
+    let report = SocialPublisher::new(&data)
+        .generalization_level(3)
+        .remove_links(200)
+        .known_fraction(0.7)
+        .local_classifier(LocalKind::Bayes)
+        .evidence_mix(0.5, 0.5)
+        .publish(7);
+
+    println!("\ncollective sanitization plan:");
+    println!("  removed categories   : {:?}", report.plan.removed);
+    println!("  perturbed categories : {:?}", report.plan.perturbed);
+    println!("  generalization level : {}", report.plan.level);
+
+    println!("\nattack accuracy on the sensitive attribute (ICA-Bayes):");
+    println!("  before sanitization : {:.3}", report.privacy_accuracy_before);
+    println!("  after sanitization  : {:.3}", report.privacy_accuracy_after);
+    println!(
+        "\nattack accuracy on the utility attribute after sanitization: {:.3}",
+        report.utility_accuracy_after
+    );
+    println!(
+        "utility/privacy ratio: {:.3}",
+        report.utility_accuracy_after / report.privacy_accuracy_after
+    );
+}

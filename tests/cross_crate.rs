@@ -1,0 +1,201 @@
+//! Integration tests spanning crates: generated datasets flowing through
+//! the attack models, the sanitizers, and the metric layers.
+
+use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
+use ppdp::datagen::social::{caltech_like, snap_like};
+use ppdp::genomic::{
+    exhaustive_marginals, naive_bayes_marginals, BpConfig, Evidence, FactorGraph, Genotype,
+    SnpId, TraitId,
+};
+use ppdp::sanitize::depend::most_dependent_attributes;
+use ppdp::sanitize::{dependency_report, remove_indistinguishable_links};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn known_mask(n: usize, frac: f64, seed: u64) -> Vec<bool> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_bool(frac)).collect()
+}
+
+#[test]
+fn attack_models_beat_prior_on_generated_caltech() {
+    let d = caltech_like(42);
+    let known = known_mask(d.graph.user_count(), 0.7, 1);
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known);
+    let prior = ppdp::sanitize::metrics::prior_accuracy(&lg);
+    for model in [
+        AttackModel::AttrOnly,
+        AttackModel::LinkOnly,
+        AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+    ] {
+        let acc = run_attack(&lg, LocalKind::Bayes, model).accuracy;
+        assert!(
+            acc > prior - 0.02,
+            "{model:?} should at least match the prior ({prior}), got {acc}"
+        );
+    }
+    // The planted attribute correlation must make AttrOnly strictly beat
+    // the prior (the paper's signal band is deliberately weak, so the gap
+    // is small but must be positive).
+    let attr = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    assert!(attr > prior, "AttrOnly {attr} vs prior {prior}");
+}
+
+#[test]
+fn attribute_removal_weakens_attr_only_attack() {
+    let d = snap_like(42);
+    let known = known_mask(d.graph.user_count(), 0.7, 2);
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+
+    let mut sanitized = d.graph.clone();
+    for cat in most_dependent_attributes(&d.graph, d.privacy_cat, 6) {
+        sanitized.clear_category(cat);
+    }
+    let lg2 = LabeledGraph::new(&sanitized, d.privacy_cat, known);
+    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    assert!(
+        after < before,
+        "hiding the 6 most dependent attributes must reduce accuracy: {before} → {after}"
+    );
+}
+
+#[test]
+fn link_removal_bounded_volatility_and_full_removal_equals_attr_only() {
+    // S3.7.3 documents that accuracy responds *volatilely* to link
+    // removal on skewed data (and our synthetic attribute channel is a
+    // fallback the paper's weak real attributes were not). The robust
+    // invariants: (1) the requested number of links is removed, (2) the
+    // accuracy perturbation stays bounded, and (3) removing every link
+    // collapses LinkOnly onto AttrOnly exactly.
+    let d = caltech_like(42);
+    let known = known_mask(d.graph.user_count(), 0.7, 3);
+    let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
+    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
+
+    let sanitized = remove_indistinguishable_links(
+        &d.graph,
+        d.privacy_cat,
+        &known,
+        LocalKind::Bayes,
+        2_000,
+    );
+    assert_eq!(sanitized.edge_count(), d.graph.edge_count() - 2_000);
+    let lg2 = LabeledGraph::new(&sanitized, d.privacy_cat, known.clone());
+    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
+    assert!((after - before).abs() <= 0.1, "accuracy jumped: {before} -> {after}");
+
+    let empty = remove_indistinguishable_links(
+        &d.graph,
+        d.privacy_cat,
+        &known,
+        LocalKind::Bayes,
+        usize::MAX,
+    );
+    assert_eq!(empty.edge_count(), 0);
+    let lg3 = LabeledGraph::new(&empty, d.privacy_cat, known.clone());
+    let link_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
+    let attr_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    assert!(
+        (link_only - attr_only).abs() < 1e-12,
+        "with no links, LinkOnly must equal AttrOnly: {link_only} vs {attr_only}"
+    );
+}
+
+#[test]
+fn dependency_report_on_generated_data_finds_planted_core() {
+    let d = caltech_like(42);
+    let rep = dependency_report(&d.graph, d.privacy_cat, d.utility_cat);
+    assert!(!rep.pdas.is_empty(), "planted informative attributes must appear");
+    // Category 2 is planted as jointly informative; it should be a PDA (and
+    // usually in the Core).
+    assert!(
+        rep.pdas.contains(&ppdp::graph::CategoryId(2))
+            || rep.udas.contains(&ppdp::graph::CategoryId(2)),
+        "{rep:?}"
+    );
+}
+
+#[test]
+fn bp_equals_exhaustive_on_generated_tree_catalog() {
+    // A small chain catalog (3 traits, 1 shared SNP per neighbour) keeps
+    // the factor graph a tree — BP must be exact — while the unknown-state
+    // space (3^6 · 2^2) stays enumerable for the exhaustive baseline.
+    let mut catalog = ppdp::genomic::GwasCatalog::new(7);
+    let t0 = catalog.add_trait("t0", 0.1);
+    let t1 = catalog.add_trait("t1", 0.2);
+    let t2 = catalog.add_trait("t2", 0.05);
+    for (s, t, or, raf) in [
+        (0, t0, 1.5, 0.3),
+        (1, t0, 1.8, 0.2),
+        (2, t0, 1.2, 0.4),
+        (2, t1, 1.6, 0.4),
+        (3, t1, 2.0, 0.15),
+        (4, t1, 1.3, 0.5),
+        (4, t2, 1.7, 0.5),
+        (5, t2, 1.4, 0.25),
+        (6, t2, 1.9, 0.35),
+    ] {
+        catalog.associate(SnpId(s), t, or, raf);
+    }
+    let ev = Evidence::none()
+        .with_snp(SnpId(0), Genotype::HomRisk)
+        .with_trait(TraitId(1), true);
+    let g = FactorGraph::build(&catalog, &ev);
+    assert!(g.is_forest(), "chain-shared catalog must be a forest");
+    let bp = BpConfig::default().run(&g);
+    let ex = exhaustive_marginals(&g);
+    for (a, b) in bp.trait_marginals.iter().zip(&ex.trait_marginals) {
+        assert!((a[1] - b[1]).abs() < 1e-6, "{a:?} vs {b:?}");
+    }
+    for (a, b) in bp.snp_marginals.iter().zip(&ex.snp_marginals) {
+        for i in 0..3 {
+            assert!((a[i] - b[i]).abs() < 1e-6, "{a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn bp_attacker_identifies_cases_better_than_chance() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(80, 6, 2, 13);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 30, 30, 13);
+    let mut correct = 0usize;
+    for i in 0..panel.n_individuals() {
+        let ev = panel.full_evidence(i);
+        let g = FactorGraph::build(&catalog, &ev);
+        let r = BpConfig::default().run(&g);
+        let t = g.trait_local(TraitId(0)).unwrap();
+        // Threshold at the prevalence-free midpoint of the two posteriors'
+        // population: classify by comparing to the prior.
+        let prior = catalog.trait_info(TraitId(0)).prevalence;
+        let predicted_case = r.trait_marginals[t][1] > prior;
+        if predicted_case == panel.case[i] {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / panel.n_individuals() as f64;
+    assert!(acc > 0.6, "BP attacker should separate cases from controls: {acc}");
+}
+
+#[test]
+fn bp_extracts_at_least_as_much_signal_as_naive_bayes() {
+    use ppdp::genomic::entropy_privacy;
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(80, 6, 2, 17);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 20, 20, 17);
+    // Average entropy (attacker uncertainty) of the focal-trait marginal:
+    // BP should be at most NB's (it uses strictly more propagation paths).
+    let mut bp_total = 0.0;
+    let mut nb_total = 0.0;
+    for i in 0..panel.n_individuals() {
+        let ev = panel.full_evidence(i);
+        let g = FactorGraph::build(&catalog, &ev);
+        let t = g.trait_local(TraitId(0)).unwrap();
+        bp_total += entropy_privacy(&BpConfig::default().run(&g).trait_marginals[t]);
+        nb_total += entropy_privacy(&naive_bayes_marginals(&catalog, &ev).trait_marginals[t]);
+    }
+    assert!(
+        bp_total <= nb_total + 1.0,
+        "BP attacker uncertainty ({bp_total}) should not exceed NB's ({nb_total}) by much"
+    );
+}

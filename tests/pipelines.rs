@@ -1,0 +1,164 @@
+//! End-to-end pipeline tests: the qualitative shapes the dissertation's
+//! evaluation argues from must hold on the synthetic datasets.
+
+use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::datagen::social::caltech_like;
+use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
+use ppdp::prelude::*;
+use ppdp::publish::{DpPublisher, GenomePublisher, SocialPublisher};
+
+#[test]
+fn social_pipeline_full_run() {
+    let data = caltech_like(42);
+    let report = SocialPublisher::new(&data)
+        .generalization_level(2)
+        .remove_links(300)
+        .publish(7);
+    assert!(report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9);
+    assert_eq!(report.sanitized.edge_count(), data.graph.edge_count() - 300);
+    // Removed categories are hidden for every user in the sanitized graph.
+    for &cat in &report.plan.removed {
+        assert!(report.sanitized.users().all(|u| report.sanitized.value(u, cat).is_none()));
+    }
+    // The sensitive and utility columns themselves are never sanitized away
+    // (they are the ground truth the evaluation needs).
+    assert!(report.sanitized.users().any(|u| report.sanitized.value(u, data.privacy_cat).is_some()));
+}
+
+#[test]
+fn coarser_generalization_is_at_least_as_private() {
+    let data = caltech_like(42);
+    // L = 1 collapses the Core to one bucket (max perturbation); L = 8 is
+    // near-identity. Privacy accuracy should not *decrease* as L grows.
+    let acc_at = |level: usize| -> f64 {
+        SocialPublisher::new(&data)
+            .generalization_level(level)
+            .publish(7)
+            .privacy_accuracy_after
+    };
+    let coarse = acc_at(1);
+    let fine = acc_at(8);
+    assert!(
+        coarse <= fine + 0.03,
+        "L=1 ({coarse}) must not leak more than L=8 ({fine})"
+    );
+}
+
+#[test]
+fn genome_pipeline_trajectory_monotone_and_satisfying() {
+    let catalog = synthetic_catalog(60, 5, 2, 11);
+    let panel = amd_like(&catalog, TraitId(0), 5, 5, 11);
+    let targets: Vec<Target> =
+        (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
+    let (released, outcome) =
+        GenomePublisher::new(&catalog, 0.95).publish(&panel.full_evidence(0), &targets);
+    for w in outcome.history.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "privacy trajectory must be non-decreasing");
+    }
+    assert!(outcome.satisfied, "hiding enough SNPs must reach δ = 0.95: {outcome:?}");
+    assert!(released.snps.len() < panel.n_snps(), "something must be hidden");
+}
+
+#[test]
+fn bp_defence_needs_at_least_as_many_removals_as_nb_defence() {
+    let catalog = synthetic_catalog(60, 5, 2, 19);
+    let panel = amd_like(&catalog, TraitId(0), 5, 5, 19);
+    let ev = panel.full_evidence(1);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    let bp = greedy_sanitize(
+        &catalog,
+        &ev,
+        &targets,
+        0.5,
+        50,
+        Predictor::BeliefPropagation(BpConfig::default()),
+    );
+    let nb = greedy_sanitize(&catalog, &ev, &targets, 0.5, 50, Predictor::NaiveBayes);
+    assert!(
+        bp.removed.len() >= nb.removed.len(),
+        "Fig 5.2 shape: BP ({}) ≥ NB ({})",
+        bp.removed.len(),
+        nb.removed.len()
+    );
+}
+
+#[test]
+fn dp_pipeline_epsilon_monotonicity() {
+    let original = correlated_microdata(3_000, 5, 3, 0.85, 21);
+    let tvd = |eps: f64| -> f64 {
+        // Average over seeds to smooth sampling noise.
+        (0..3)
+            .map(|s| {
+                let synth = DpPublisher::new(eps, 1).publish(&original, 3_000, 100 + s);
+                original.marginal_tvd(&synth, &[0, 1])
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let strict = tvd(0.05);
+    let loose = tvd(20.0);
+    assert!(
+        strict > loose,
+        "smaller ε must cost utility: tvd(0.05) = {strict} vs tvd(20) = {loose}"
+    );
+}
+
+#[test]
+fn dp_pipeline_preserves_planted_correlation_at_moderate_epsilon() {
+    let original = correlated_microdata(4_000, 4, 2, 0.9, 23);
+    let synth = DpPublisher::new(10.0, 1).publish(&original, 4_000, 24);
+    let orig_mi = original.mutual_information(0, 1);
+    let synth_mi = synth.mutual_information(0, 1);
+    assert!(
+        synth_mi > orig_mi * 0.5,
+        "degree-1 network must keep the chain correlation: {synth_mi} vs {orig_mi}"
+    );
+}
+
+#[test]
+fn dp_synthetic_genomes_preserve_allele_frequencies() {
+    // The introduction's high-dimensional genomic publishing recipe,
+    // end-to-end: encode a case/control panel as a table, synthesize with
+    // the noisy Bayesian-network approximation, and check that per-locus
+    // genotype frequencies survive.
+    let catalog = synthetic_catalog(30, 4, 1, 31);
+    let panel = amd_like(&catalog, TraitId(0), 200, 200, 31);
+    let table = panel.to_table();
+    let synth = DpPublisher::new(20.0, 1).publish(&table, 400, 32);
+    assert_eq!(synth.n_cols(), panel.n_snps());
+    let mut worst = 0.0f64;
+    for s in 0..panel.n_snps() {
+        worst = worst.max(table.marginal_tvd(&synth, &[s]));
+    }
+    assert!(worst < 0.15, "per-locus genotype marginals drifted: worst tvd {worst}");
+}
+
+#[test]
+fn kin_attack_integrates_with_generated_panels() {
+    use ppdp::genomic::kinship::{kin_attack, Family};
+    let catalog = synthetic_catalog(40, 4, 1, 33);
+    let panel = amd_like(&catalog, TraitId(0), 10, 10, 33);
+    let mut family = Family::new();
+    let parent = family.member(panel.full_evidence(0)); // a case individual
+    let child = family.member(ppdp::genomic::Evidence::none());
+    family.relate(parent, child);
+    let (r, idx) = kin_attack(&catalog, &family, BpConfig::default());
+    // Every child marginal is a valid distribution and at least one locus
+    // must have shifted away from the singleton baseline.
+    let mut lone = Family::new();
+    let solo = lone.member(ppdp::genomic::Evidence::none());
+    let (r0, idx0) = kin_attack(&catalog, &lone, BpConfig::default());
+    let mut max_shift = 0.0f64;
+    for s in 0..catalog.n_snps() {
+        if let (Some(i), Some(j)) = (idx.snp(child, SnpId(s)), idx0.snp(solo, SnpId(s))) {
+            let m = r.snp_marginals[i];
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            for (x, y) in m.iter().zip(&r0.snp_marginals[j]) {
+                max_shift = max_shift.max((x - y).abs());
+            }
+        }
+    }
+    assert!(max_shift > 0.05, "parent's genome must leak into the child: {max_shift}");
+}

@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use ppdp::classify::{LabeledGraph, RelationalState};
+use ppdp::genomic::{
+    entropy_privacy, estimation_error, exhaustive_marginals, BpConfig, Evidence, FactorGraph,
+    Genotype, GwasCatalog, SnpId,
+};
+use ppdp::graph::{CategoryId, Schema, SocialGraph, UserId};
+use ppdp::opt::{enumerate_simplex, lazy_greedy_knapsack, naive_greedy_knapsack};
+use ppdp::roughset::{dependency_degree, find_reduct, is_reduct, AttrId, InformationSystem};
+use proptest::prelude::*;
+
+// ---------- social graph invariants ----------
+
+/// Random sequence of add/remove edge operations on a small graph.
+fn edge_ops() -> impl Strategy<Value = Vec<(bool, u8, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..8, 0u8..8), 0..60)
+}
+
+proptest! {
+    #[test]
+    fn graph_invariants_hold_under_random_edge_ops(ops in edge_ops()) {
+        let mut g = SocialGraph::new(Schema::uniform(2, 3), 8);
+        for (add, a, b) in ops {
+            let (a, b) = (UserId(a as usize), UserId(b as usize));
+            if a == b {
+                continue;
+            }
+            if add {
+                g.add_edge(a, b);
+            } else {
+                g.remove_edge(a, b);
+            }
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn shared_friend_count_is_symmetric(ops in edge_ops()) {
+        let mut g = SocialGraph::new(Schema::uniform(1, 2), 8);
+        for (add, a, b) in ops {
+            let (a, b) = (UserId(a as usize), UserId(b as usize));
+            if a != b && add {
+                g.add_edge(a, b);
+            }
+        }
+        for a in 0..8 {
+            for b in 0..8 {
+                prop_assert_eq!(
+                    g.shared_friend_count(UserId(a), UserId(b)),
+                    g.shared_friend_count(UserId(b), UserId(a))
+                );
+            }
+        }
+    }
+}
+
+// ---------- rough set invariants ----------
+
+fn random_table() -> impl Strategy<Value = Vec<Vec<Option<u16>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::option::weighted(0.8, 0u16..3), 4),
+        2..20,
+    )
+}
+
+proptest! {
+    #[test]
+    fn greedy_reduct_is_always_a_reduct(rows in random_table()) {
+        let sys = InformationSystem::from_rows(&rows);
+        let cond = [AttrId(0), AttrId(1), AttrId(2)];
+        let dec = [AttrId(3)];
+        let r = find_reduct(&sys, &cond, &dec);
+        // Either a genuine reduct, or empty when even ∅ preserves the
+        // (possibly empty) positive region.
+        if r.is_empty() {
+            prop_assert_eq!(
+                dependency_degree(&sys, &[], &dec),
+                dependency_degree(&sys, &cond, &dec)
+            );
+        } else {
+            prop_assert!(is_reduct(&sys, &cond, &dec, &r), "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn dependency_degree_monotone_in_condition_set(rows in random_table()) {
+        let sys = InformationSystem::from_rows(&rows);
+        let dec = [AttrId(3)];
+        let single = dependency_degree(&sys, &[AttrId(0)], &dec);
+        let pair = dependency_degree(&sys, &[AttrId(0), AttrId(1)], &dec);
+        let triple = dependency_degree(&sys, &[AttrId(0), AttrId(1), AttrId(2)], &dec);
+        prop_assert!(single <= pair + 1e-12);
+        prop_assert!(pair <= triple + 1e-12);
+    }
+}
+
+// ---------- relational classifier invariants ----------
+
+proptest! {
+    #[test]
+    fn relational_distributions_are_normalized(ops in edge_ops(), labels in prop::collection::vec(0u16..2, 8)) {
+        let mut g = SocialGraph::new(Schema::uniform(2, 2), 8);
+        for (add, a, b) in ops {
+            let (a, b) = (UserId(a as usize), UserId(b as usize));
+            if a != b && add {
+                g.add_edge(a, b);
+            }
+        }
+        for (i, &y) in labels.iter().enumerate() {
+            g.set_value(UserId(i), CategoryId(1), y);
+            g.set_value(UserId(i), CategoryId(0), y);
+        }
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![true; 8]);
+        let state = RelationalState::new(&lg);
+        for u in g.users() {
+            if let Some(d) = ppdp::classify::relational_dist(&lg, &state, u) {
+                prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(d.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+            }
+        }
+    }
+}
+
+// ---------- genomic invariants ----------
+
+/// Random small catalogs: 2 traits over ≤ 5 SNPs, random ORs/RAFs.
+fn random_catalog() -> impl Strategy<Value = GwasCatalog> {
+    (
+        prop::collection::vec((0usize..5, 0usize..2, 0.2f64..3.0, 0.1f64..0.9), 1..7),
+        0.01f64..0.5,
+        0.01f64..0.5,
+    )
+        .prop_map(|(assocs, p0, p1)| {
+            let mut c = GwasCatalog::new(5);
+            let t0 = c.add_trait("t0", p0);
+            let t1 = c.add_trait("t1", p1);
+            let mut seen = std::collections::HashSet::new();
+            for (s, t, or, raf) in assocs {
+                if seen.insert((s, t)) {
+                    c.associate(SnpId(s), if t == 0 { t0 } else { t1 }, or, raf);
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bp_marginals_always_normalized(cat in random_catalog(), g0 in 0usize..3) {
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
+        let fg = FactorGraph::build(&cat, &ev);
+        let r = BpConfig { damping: 0.2, max_iters: 300, ..Default::default() }.run(&fg);
+        for m in &r.snp_marginals {
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            prop_assert!(m.iter().all(|&p| p >= -1e-9));
+        }
+        for m in &r.trait_marginals {
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bp_matches_exhaustive_on_random_forests(cat in random_catalog(), g0 in 0usize..3) {
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
+        let fg = FactorGraph::build(&cat, &ev);
+        prop_assume!(fg.is_forest());
+        let bp = BpConfig::default().run(&fg);
+        let ex = exhaustive_marginals(&fg);
+        for (a, b) in bp.trait_marginals.iter().zip(&ex.trait_marginals) {
+            prop_assert!((a[1] - b[1]).abs() < 1e-5, "{:?} vs {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn entropy_privacy_bounded(p in 0.0f64..1.0) {
+        let h = entropy_privacy(&[p, 1.0 - p]);
+        prop_assert!((0.0..=1.0).contains(&h));
+        // Symmetric around p = 0.5.
+        let h2 = entropy_privacy(&[1.0 - p, p]);
+        prop_assert!((h - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimation_error_bounded(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let z = a + b + 1e-9;
+        let dist = [a / z, b / z, 1.0 - (a + b) / z];
+        let er = estimation_error(&dist, &[2.0, 1.0, 0.0]);
+        prop_assert!((0.0..=1.0).contains(&er), "er = {}", er);
+    }
+}
+
+// ---------- optimization invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lazy_and_naive_greedy_agree_on_coverage(
+        items in prop::collection::vec(prop::collection::vec(0usize..8, 1..4), 1..8),
+        budget in 0.5f64..6.0,
+    ) {
+        let costs: Vec<f64> = items.iter().map(|s| s.len() as f64 * 0.5).collect();
+        let cover = |sel: &[usize]| -> f64 {
+            let mut seen = std::collections::HashSet::new();
+            for &i in sel {
+                seen.extend(items[i].iter().copied());
+            }
+            seen.len() as f64
+        };
+        let a = naive_greedy_knapsack(&costs, budget, cover);
+        let b = lazy_greedy_knapsack(&costs, budget, cover);
+        prop_assert!((cover(&a) - cover(&b)).abs() < 1e-9, "{:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn simplex_points_are_distributions(m in 1usize..5, d in 0usize..6) {
+        for p in enumerate_simplex(m, d) {
+            prop_assert_eq!(p.len(), m);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------- kinship / LD invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transmission_tables_are_stochastic(f in 0.0f64..=1.0) {
+        let t = ppdp::genomic::kinship::transmission_table(f);
+        for row in t {
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            prop_assert!(row.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+        }
+        // Mendelian impossibilities.
+        prop_assert_eq!(t[0][2], 0.0);
+        prop_assert_eq!(t[2][0], 0.0);
+    }
+
+    #[test]
+    fn ld_haplotypes_feasible(
+        fa in 0.01f64..0.99,
+        fb in 0.01f64..0.99,
+        r in -1.0f64..=1.0,
+    ) {
+        use ppdp::genomic::ld::LdPair;
+        use ppdp::genomic::SnpId;
+        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: fa, freq_b: fb, r };
+        let h = p.haplotype_frequencies();
+        prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&x| x >= -1e-9));
+        // Allele-frequency margins are preserved by the clamped D.
+        prop_assert!((h[0] + h[1] - fa).abs() < 1e-9);
+        prop_assert!((h[0] + h[2] - fb).abs() < 1e-9);
+        for row in p.genotype_table() {
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------- anonymization invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mondrian_always_k_anonymous(
+        rows in prop::collection::vec((0u16..12, 0u16..6, 0u16..4), 20..120),
+        k in 2usize..8,
+    ) {
+        use ppdp::dp::{is_k_anonymous, mondrian_anonymize, Table};
+        let data: Vec<Vec<u16>> = rows.iter().map(|&(a, b, s)| vec![a, b, s]).collect();
+        let table = Table::new(vec![12, 6, 4], data);
+        prop_assume!(table.n_rows() >= k);
+        let anon = mondrian_anonymize(&table, &[0, 1], k);
+        prop_assert!(is_k_anonymous(&anon.table, &[0, 1], k));
+        prop_assert!((0.0..=1.0).contains(&anon.generalization_cost));
+        // Sensitive column untouched.
+        for (o, a) in table.rows().iter().zip(anon.table.rows()) {
+            prop_assert_eq!(o[2], a[2]);
+        }
+    }
+}
+
+// ---------- gibbs invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gibbs_outputs_are_distributions(seed in 0u64..1000) {
+        use ppdp::classify::{gibbs_predict, GibbsConfig, NaiveBayes};
+        let mut b = ppdp::graph::GraphBuilder::new(Schema::uniform(2, 2));
+        let users: Vec<_> = (0..6).map(|i| b.user_with(&[(i % 2) as u16, (i % 2) as u16])).collect();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if (i + j) % 3 == 0 {
+                    b.edge(users[i], users[j]);
+                }
+            }
+        }
+        let g = b.build();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![true, true, true, false, false, false]);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let dists = gibbs_predict(
+            &lg,
+            &nb,
+            GibbsConfig { burn_in: 5, samples: 20, seed, ..Default::default() },
+        );
+        for d in &dists {
+            prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}
