@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format — in the order that fails fastest
+# on real breakage. Run from the workspace root before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

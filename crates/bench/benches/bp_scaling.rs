@@ -5,7 +5,7 @@
 //! is exponential. Also ablates the BP damping factor (DESIGN.md ablation
 //! #3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use ppdp::genomic::{
     exhaustive_marginals, BpConfig, Evidence, FactorGraph, Genotype, GwasCatalog, SnpId,
 };
@@ -20,7 +20,12 @@ fn chain_catalog(n_snps: usize) -> GwasCatalog {
         let t = c.add_trait(format!("t{t_idx}"), 0.05 + 0.01 * ((t_idx % 10) as f64));
         let start = s.saturating_sub(1); // share one SNP with the previous trait
         for i in start..s + 3 {
-            c.associate(SnpId(i), t, 1.2 + 0.1 * ((i % 5) as f64), 0.2 + 0.05 * ((i % 7) as f64));
+            c.associate(
+                SnpId(i),
+                t,
+                1.2 + 0.1 * ((i % 5) as f64),
+                0.2 + 0.05 * ((i % 7) as f64),
+            );
         }
         s += 3;
         t_idx += 1;
@@ -67,7 +72,10 @@ fn bench_damping_ablation(c: &mut Criterion) {
     let cat = chain_catalog(512);
     let g = FactorGraph::build(&cat, &evidence_half(512));
     for &damping in &[0.0, 0.25, 0.5] {
-        let cfg = BpConfig { damping, ..Default::default() };
+        let cfg = BpConfig {
+            damping,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{damping}")),
             &cfg,
@@ -77,5 +85,45 @@ fn bench_damping_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bp_linear, bench_exhaustive_exponential, bench_damping_ablation);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_bp_linear,
+    bench_exhaustive_exponential,
+    bench_damping_ablation
+);
+
+/// One instrumented pass over the headline workload, dumped as a telemetry
+/// `RunReport` so criterion timings can be cross-read against BP iteration
+/// counts and residuals.
+fn dump_telemetry_report(path: &str) {
+    let rec = ppdp::telemetry::Recorder::new();
+    {
+        let _scope = rec.enter();
+        let _span = ppdp::telemetry::span("bench.bp_scaling");
+        let cat = chain_catalog(1024);
+        let g = FactorGraph::build(&cat, &evidence_half(1024));
+        let _ = BpConfig::default().run(&g);
+    }
+    use ppdp::telemetry::status_line;
+    match std::fs::write(path, rec.take().to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "{}",
+            status_line("saved", &format!("telemetry report → {path}"))
+        ),
+        Err(e) => eprintln!(
+            "{}",
+            status_line(
+                "error",
+                &format!("cannot write telemetry report {path}: {e}")
+            )
+        ),
+    }
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("PPDP_BENCH_REPORT") {
+        dump_telemetry_report(&path);
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

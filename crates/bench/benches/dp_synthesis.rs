@@ -22,7 +22,10 @@ fn bench_fit_by_degree(c: &mut Criterion) {
                 BayesNet::fit(
                     &mut rng,
                     std::hint::black_box(&table),
-                    SynthesisConfig { degree: k, epsilon: 1.0 },
+                    SynthesisConfig {
+                        degree: k,
+                        epsilon: 1.0,
+                    },
                 )
             })
         });
@@ -34,7 +37,14 @@ fn bench_sampling_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("bayesnet_sample");
     let table = correlated_microdata(5_000, 10, 4, 0.85, 3);
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let net = BayesNet::fit(&mut rng, &table, SynthesisConfig { degree: 2, epsilon: 1.0 });
+    let net = BayesNet::fit(
+        &mut rng,
+        &table,
+        SynthesisConfig {
+            degree: 2,
+            epsilon: 1.0,
+        },
+    );
     for &n in &[1_000usize, 10_000, 50_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
@@ -63,5 +73,10 @@ fn bench_dp_aggregation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit_by_degree, bench_sampling_throughput, bench_dp_aggregation);
+criterion_group!(
+    benches,
+    bench_fit_by_degree,
+    bench_sampling_throughput,
+    bench_dp_aggregation
+);
 criterion_main!(benches);

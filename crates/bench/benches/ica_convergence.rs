@@ -28,7 +28,10 @@ fn bench_ica(c: &mut Criterion) {
                     run_attack(
                         std::hint::black_box(&lg),
                         kind,
-                        AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+                        AttackModel::Collective {
+                            alpha: 0.5,
+                            beta: 0.5,
+                        },
                     )
                     .accuracy
                 })
@@ -47,7 +50,13 @@ fn bench_attack_models(c: &mut Criterion) {
     for (name, model) in [
         ("attr_only", AttackModel::AttrOnly),
         ("link_only", AttackModel::LinkOnly),
-        ("collective", AttackModel::Collective { alpha: 0.5, beta: 0.5 }),
+        (
+            "collective",
+            AttackModel::Collective {
+                alpha: 0.5,
+                beta: 0.5,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| run_attack(std::hint::black_box(&lg), LocalKind::Bayes, model).accuracy)

@@ -3,9 +3,9 @@
 //! Greedy-solver ablation (DESIGN.md #4): lazy vs naive cost-benefit greedy
 //! on the vulnerable-link selection workload, plus the genomic GPUT greedy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppdp::datagen::gwas::synthetic_catalog;
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
 use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
 use ppdp::genomic::{BpConfig, TraitId};
 use ppdp::opt::{lazy_greedy_knapsack, naive_greedy_knapsack};
@@ -56,8 +56,9 @@ fn bench_gput_greedy(c: &mut Criterion) {
         let catalog = synthetic_catalog(snps, assoc, 2, 5);
         let panel = amd_like(&catalog, TraitId(0), 4, 4, 5);
         let ev = panel.full_evidence(0);
-        let targets: Vec<Target> =
-            (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
+        let targets: Vec<Target> = (0..catalog.n_traits())
+            .map(|i| Target::Trait(TraitId(i)))
+            .collect();
         let id = format!("{snps}snps_{assoc}assoc");
         group.bench_with_input(BenchmarkId::from_parameter(id), &catalog, |b, cat| {
             b.iter(|| {
@@ -76,4 +77,49 @@ fn bench_gput_greedy(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_lazy_vs_naive, bench_gput_greedy);
-criterion_main!(benches);
+
+/// One instrumented pass of the GPUT greedy workload, dumped as a telemetry
+/// `RunReport` (BP sweeps, lazy-greedy hit rates) next to criterion output.
+fn dump_telemetry_report(path: &str) {
+    let rec = ppdp::telemetry::Recorder::new();
+    {
+        let _scope = rec.enter();
+        let _span = ppdp::telemetry::span("bench.sanitize_greedy");
+        let catalog = synthetic_catalog(60, 4, 2, 5);
+        let panel = amd_like(&catalog, TraitId(0), 4, 4, 5);
+        let ev = panel.full_evidence(0);
+        let targets: Vec<Target> = (0..catalog.n_traits())
+            .map(|i| Target::Trait(TraitId(i)))
+            .collect();
+        let _ = greedy_sanitize(
+            &catalog,
+            &ev,
+            &targets,
+            0.95,
+            6,
+            Predictor::BeliefPropagation(BpConfig::default()),
+        );
+    }
+    use ppdp::telemetry::status_line;
+    match std::fs::write(path, rec.take().to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "{}",
+            status_line("saved", &format!("telemetry report → {path}"))
+        ),
+        Err(e) => eprintln!(
+            "{}",
+            status_line(
+                "error",
+                &format!("cannot write telemetry report {path}: {e}")
+            )
+        ),
+    }
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("PPDP_BENCH_REPORT") {
+        dump_telemetry_report(&path);
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

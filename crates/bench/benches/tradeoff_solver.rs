@@ -9,8 +9,9 @@ use ppdp::tradeoff::{
 };
 
 fn setup(n_variants: usize) -> (Profile, Vec<Vec<f64>>) {
-    let variants: Vec<Vec<Option<u16>>> =
-        (0..n_variants).map(|i| vec![Some((i % 4) as u16), Some((i / 4) as u16)]).collect();
+    let variants: Vec<Vec<Option<u16>>> = (0..n_variants)
+        .map(|i| vec![Some((i % 4) as u16), Some((i / 4) as u16)])
+        .collect();
     let profile = Profile::new(
         variants.clone(),
         (1..=n_variants).map(|i| i as f64).collect(),
@@ -37,7 +38,11 @@ fn bench_grid(c: &mut Criterion) {
                     &initial,
                     &predictions,
                     hamming_disparity,
-                    OptimizeConfig { grid, sweeps: 2, delta: 2.0 },
+                    OptimizeConfig {
+                        grid,
+                        sweeps: 2,
+                        delta: 2.0,
+                    },
                 )
             })
         });
@@ -58,7 +63,11 @@ fn bench_variants(c: &mut Criterion) {
                     &initial,
                     &predictions,
                     hamming_disparity,
-                    OptimizeConfig { grid: 3, sweeps: 1, delta: 2.0 },
+                    OptimizeConfig {
+                        grid: 3,
+                        sweeps: 1,
+                        delta: 2.0,
+                    },
                 )
             })
         });

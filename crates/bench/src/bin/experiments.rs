@@ -5,14 +5,24 @@
 //!   cargo run -p ppdp-bench --release --bin experiments -- <id> [<id> …]
 //!   cargo run -p ppdp-bench --release --bin experiments -- all
 //!   cargo run -p ppdp-bench --release --bin experiments -- quick   # skip MIT-scale sweeps
+//!   cargo run -p ppdp-bench --release --bin experiments -- fig5.2 --report out.json
+//!   cargo run -p ppdp-bench --release --bin experiments -- fig5.2 --json
 //!
 //! Ids: table3.3 table3.4 table3.5 table3.6 table3.7 table3.8 table3.9
 //!      table3.10 table3.11 table3.12 fig3.2 fig3.3 fig3.4 fig3.5
 //!      table4.2 fig4.1 fig4.2 fig4.3 fig4.4
 //!      table5.1 table5.2 table5.3 fig5.1 fig5.2
+//!      ext.kin ext.ld ext.deanon ext.dpgenomes
+//!
+//! Every run records telemetry (spans, counters, privacy-budget draws);
+//! `--report <path>` writes the aggregated [`RunReport`] as JSON to a file
+//! and `--json` prints it to stdout. Unknown ids exit with status 1, bad
+//! usage with status 2.
 
+use ppdp::telemetry::{self, fmt_nanos, status_line, Recorder};
 use ppdp_bench::util::SEED;
 use ppdp_bench::{ch3, ch4, ch5};
+use std::time::Instant;
 
 fn run(id: &str) {
     match id {
@@ -21,9 +31,11 @@ fn run(id: &str) {
         "table3.5" => ch3::table3_5(),
         "table3.6" => ch3::table3_6(),
         "table3.7" => ch3::table_max_ratio("Table 3.7", (0.5, 0.5)),
-        "table3.8" => {
-            ch3::table_sweep("Table 3.8", &ppdp::datagen::social::snap_like(SEED), &[0, 200, 400, 600])
-        }
+        "table3.8" => ch3::table_sweep(
+            "Table 3.8",
+            &ppdp::datagen::social::snap_like(SEED),
+            &[0, 200, 400, 600],
+        ),
         "table3.9" => ch3::table_sweep(
             "Table 3.9",
             &ppdp::datagen::social::caltech_like(SEED),
@@ -69,36 +81,160 @@ fn run(id: &str) {
         "ext.ld" => ppdp_bench::ext::ext_ld(),
         "ext.deanon" => ppdp_bench::ext::ext_deanon(),
         "ext.dpgenomes" => ppdp_bench::ext::ext_dp_genomes(),
-        other => eprintln!("unknown experiment id: {other}"),
+        other => unreachable!("id {other} was validated against ALL before dispatch"),
     }
 }
 
 const ALL: &[&str] = &[
-    "table3.3", "table3.4", "table3.5", "table3.6", "table3.7", "table3.8", "table3.9",
-    "table3.10", "table3.11", "table3.12", "fig3.2", "fig3.3", "fig3.4", "fig3.5", "table4.2",
-    "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table5.1", "table5.2", "table5.3", "fig5.1",
-    "fig5.2", "ext.kin", "ext.ld", "ext.deanon", "ext.dpgenomes",
+    "table3.3",
+    "table3.4",
+    "table3.5",
+    "table3.6",
+    "table3.7",
+    "table3.8",
+    "table3.9",
+    "table3.10",
+    "table3.11",
+    "table3.12",
+    "fig3.2",
+    "fig3.3",
+    "fig3.4",
+    "fig3.5",
+    "table4.2",
+    "fig4.1",
+    "fig4.2",
+    "fig4.3",
+    "fig4.4",
+    "table5.1",
+    "table5.2",
+    "table5.3",
+    "fig5.1",
+    "fig5.2",
+    "ext.kin",
+    "ext.ld",
+    "ext.deanon",
+    "ext.dpgenomes",
 ];
 
 /// `quick` skips the MIT-scale sweeps (fig3.4, fig3.5, table3.10).
 const QUICK: &[&str] = &[
-    "table3.3", "table3.4", "table3.5", "table3.6", "table3.7", "table3.8", "table3.9",
-    "table3.11", "table3.12", "fig3.2", "fig3.3", "table4.2", "fig4.1", "fig4.2", "fig4.3",
-    "fig4.4", "table5.1", "table5.2", "table5.3", "fig5.1", "fig5.2", "ext.kin", "ext.ld",
-    "ext.deanon", "ext.dpgenomes",
+    "table3.3",
+    "table3.4",
+    "table3.5",
+    "table3.6",
+    "table3.7",
+    "table3.8",
+    "table3.9",
+    "table3.11",
+    "table3.12",
+    "fig3.2",
+    "fig3.3",
+    "table4.2",
+    "fig4.1",
+    "fig4.2",
+    "fig4.3",
+    "fig4.4",
+    "table5.1",
+    "table5.2",
+    "table5.3",
+    "fig5.1",
+    "fig5.2",
+    "ext.kin",
+    "ext.ld",
+    "ext.deanon",
+    "ext.dpgenomes",
 ];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json]   (ids: {})",
+        ALL.join(" ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: experiments <id>|all|quick [<id> …]   (ids: {})", ALL.join(" "));
-        std::process::exit(2);
-    }
-    for arg in &args {
+
+    let mut report_path: Option<String> = None;
+    let mut json_stdout = false;
+    let mut ids: Vec<&'static str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "all" => ALL.iter().for_each(|id| run(id)),
-            "quick" => QUICK.iter().for_each(|id| run(id)),
-            id => run(id),
+            "--report" => match iter.next() {
+                Some(p) => report_path = Some(p.clone()),
+                None => {
+                    eprintln!("{}", status_line("error", "--report needs a file path"));
+                    usage();
+                }
+            },
+            "--json" => json_stdout = true,
+            "all" => ids.extend(ALL),
+            "quick" => ids.extend(QUICK),
+            flag if flag.starts_with('-') => {
+                eprintln!("{}", status_line("error", &format!("unknown flag {flag}")));
+                usage();
+            }
+            id => match ALL.iter().find(|&&known| known == id) {
+                Some(&id) => ids.push(id),
+                None => {
+                    eprintln!(
+                        "{}",
+                        status_line("error", &format!("unknown experiment id: {id}"))
+                    );
+                    std::process::exit(1);
+                }
+            },
         }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    // One recorder for the whole invocation: every instrumented code path
+    // in the workspace reports into it, grouped under a per-experiment span.
+    let recorder = Recorder::new();
+    telemetry::install_global(recorder.clone());
+    let total = Instant::now();
+    for &id in &ids {
+        eprintln!("{}", status_line("run", id));
+        let started = Instant::now();
+        {
+            let _span = telemetry::span(id);
+            run(id);
+        }
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        eprintln!(
+            "{}",
+            status_line("done", &format!("{id} in {}", fmt_nanos(nanos)))
+        );
+    }
+    telemetry::uninstall_global();
+    let report = recorder.take();
+    let total_nanos = u64::try_from(total.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    eprintln!(
+        "{}",
+        status_line(
+            "done",
+            &format!("{} experiment(s) in {}", ids.len(), fmt_nanos(total_nanos))
+        )
+    );
+
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+            eprintln!(
+                "{}",
+                status_line("error", &format!("cannot write {path}: {e}"))
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{}",
+            status_line("saved", &format!("telemetry report → {path}"))
+        );
+    }
+    if json_stdout {
+        println!("{}", report.to_json_pretty());
     }
 }

@@ -4,18 +4,24 @@ use crate::util::{cols, datasets, header, known_mask, row, SEED};
 use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
 use ppdp::datagen::social::SocialDataset;
 use ppdp::graph::stats::graph_stats;
+use ppdp::graph::SocialGraph;
+use ppdp::roughset::{find_reduct, AttrId};
 use ppdp::sanitize::depend::{dependency_report, graph_system, most_dependent_attributes};
 use ppdp::sanitize::links::indistinguishable_links;
 use ppdp::sanitize::metrics::utility_privacy_ratio;
 use ppdp::sanitize::{collective_sanitize, generalize::numeric_generalization};
-use ppdp::graph::SocialGraph;
-use ppdp::roughset::{find_reduct, AttrId};
 
 const KINDS: [LocalKind; 3] = [LocalKind::Bayes, LocalKind::Knn(7), LocalKind::Rst];
 const MODELS: [(&str, AttackModel); 3] = [
     ("AttrOnly", AttackModel::AttrOnly),
     ("LinkOnly", AttackModel::LinkOnly),
-    ("CC", AttackModel::Collective { alpha: 0.5, beta: 0.5 }),
+    (
+        "CC",
+        AttackModel::Collective {
+            alpha: 0.5,
+            beta: 0.5,
+        },
+    ),
 ];
 
 /// Table 3.3: general statistics about the three datasets.
@@ -24,7 +30,13 @@ pub fn table3_3() {
     cols(&["SNAP", "Caltech", "MIT"]);
     let stats: Vec<_> = datasets()
         .iter()
-        .map(|d| (graph_stats(&d.graph, 1_000), d.graph.schema().len(), d.graph.schema().arity(d.privacy_cat)))
+        .map(|d| {
+            (
+                graph_stats(&d.graph, 1_000),
+                d.graph.schema().len(),
+                d.graph.schema().arity(d.privacy_cat),
+            )
+        })
         .collect();
     let pick = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..3).map(f).collect() };
     row("nodes", &pick(&|i| stats[i].0.nodes as f64));
@@ -32,14 +44,26 @@ pub fn table3_3() {
     row("attributes per user", &pick(&|i| stats[i].1 as f64));
     row("decision attr values", &pick(&|i| stats[i].2 as f64));
     row("components", &pick(&|i| stats[i].0.components as f64));
-    row("largest component nodes", &pick(&|i| stats[i].0.largest_component_nodes as f64));
-    row("largest component edges", &pick(&|i| stats[i].0.largest_component_edges as f64));
-    row("diameter (lower bound)", &pick(&|i| stats[i].0.diameter as f64));
+    row(
+        "largest component nodes",
+        &pick(&|i| stats[i].0.largest_component_nodes as f64),
+    );
+    row(
+        "largest component edges",
+        &pick(&|i| stats[i].0.largest_component_edges as f64),
+    );
+    row(
+        "diameter (lower bound)",
+        &pick(&|i| stats[i].0.diameter as f64),
+    );
 }
 
 /// Table 3.4: reduct sizes for the three datasets.
 pub fn table3_4() {
-    header("Table 3.4", "reduct systems (condition attrs -> reduct size)");
+    header(
+        "Table 3.4",
+        "reduct systems (condition attrs -> reduct size)",
+    );
     for d in datasets() {
         let sys = graph_system(&d.graph);
         let cond: Vec<AttrId> = d
@@ -91,19 +115,25 @@ pub fn table3_6() {
     }
 }
 
-fn ratio_for(
-    g: &SocialGraph,
-    d: &SocialDataset,
-    known: &[bool],
-    mix: (f64, f64),
-) -> f64 {
-    utility_privacy_ratio(g, d.privacy_cat, d.utility_cat, known, LocalKind::Bayes, mix).ratio
+fn ratio_for(g: &SocialGraph, d: &SocialDataset, known: &[bool], mix: (f64, f64)) -> f64 {
+    utility_privacy_ratio(
+        g,
+        d.privacy_cat,
+        d.utility_cat,
+        known,
+        LocalKind::Bayes,
+        mix,
+    )
+    .ratio
 }
 
 /// Tables 3.7 / 3.11 / 3.12: maximum utility/privacy ratio under the
 /// collective, attribute-removal and link-removal methods at a given α/β.
 pub fn table_max_ratio(id: &str, mix: (f64, f64)) {
-    header(id, &format!("max utility/privacy, alpha={}, beta={}", mix.0, mix.1));
+    header(
+        id,
+        &format!("max utility/privacy, alpha={}, beta={}", mix.0, mix.1),
+    );
     cols(&["Collective", "AttrRemove", "LinkRemove"]);
     for d in datasets() {
         let known = known_mask(d.graph.user_count(), SEED + 1);
@@ -151,7 +181,10 @@ pub fn table_max_ratio(id: &str, mix: (f64, f64)) {
 /// Tables 3.8-3.10: utility/privacy vs generalization level L, #removed
 /// attributes and #removed links, for one dataset.
 pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) {
-    header(id, &format!("utility/privacy sweeps on {} (alpha=beta=0.5)", d.name));
+    header(
+        id,
+        &format!("utility/privacy sweeps on {} (alpha=beta=0.5)", d.name),
+    );
     let known = known_mask(d.graph.user_count(), SEED + 1);
     let mix = (0.5, 0.5);
 
@@ -196,7 +229,10 @@ pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_
 
     let order = most_dependent_attributes(&d.graph, d.privacy_cat, attr_steps);
     for kind in KINDS {
-        println!("-- panel: {} as attribute-based classifier, attribute removal --", kind.name());
+        println!(
+            "-- panel: {} as attribute-based classifier, attribute removal --",
+            kind.name()
+        );
         cols(&["#attrs", "AttrOnly", "LinkOnly", "CC"]);
         for k in 0..=order.len() {
             let mut g = d.graph.clone();
@@ -216,7 +252,10 @@ pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_
     let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
     let scores = indistinguishable_links(&lg, &boot.dists);
     for kind in KINDS {
-        println!("-- panel: {} as attribute-based classifier, link removal --", kind.name());
+        println!(
+            "-- panel: {} as attribute-based classifier, link removal --",
+            kind.name()
+        );
         cols(&["#links", "AttrOnly", "LinkOnly", "CC"]);
         for &k in link_steps {
             let mut g = d.graph.clone();
@@ -236,7 +275,10 @@ pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_
 /// Figure 3.5: 2-D sweep (removed attributes × removed links) on MIT with
 /// ICA-KNN and ICA-Bayes.
 pub fn fig3_5(d: &SocialDataset) {
-    header("Fig 3.5", "2-D attr x link removal sweep on MIT (ICA-KNN / ICA-Bayes)");
+    header(
+        "Fig 3.5",
+        "2-D attr x link removal sweep on MIT (ICA-KNN / ICA-Bayes)",
+    );
     let known = known_mask(d.graph.user_count(), SEED + 1);
     let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
     let lg0 = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
@@ -259,8 +301,15 @@ pub fn fig3_5(d: &SocialDataset) {
                         g.remove_edge(s.user, s.neighbor);
                     }
                     let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
-                    run_attack(&lg, kind, AttackModel::Collective { alpha: 0.5, beta: 0.5 })
-                        .accuracy
+                    run_attack(
+                        &lg,
+                        kind,
+                        AttackModel::Collective {
+                            alpha: 0.5,
+                            beta: 0.5,
+                        },
+                    )
+                    .accuracy
                 })
                 .collect();
             row(&format!("{a}"), &accs);

@@ -59,7 +59,12 @@ pub fn build_contexts(d: &SocialDataset) -> Vec<UserCtx> {
     let observed: Vec<Vec<Option<u16>>> = d
         .graph
         .users()
-        .map(|u| PUBLIC_COLS.iter().map(|&c| d.graph.attr_row(u)[c]).collect())
+        .map(|u| {
+            PUBLIC_COLS
+                .iter()
+                .map(|&c| d.graph.attr_row(u)[c])
+                .collect()
+        })
         .collect();
     let profile = Profile::empirical(&observed).truncated(MAX_VARIANTS);
 
@@ -151,19 +156,31 @@ fn attr_privacy(ctx: &UserCtx, strategy: &str, k: usize) -> f64 {
 
 /// Table 4.2: general information about the Chapter 4 dataset.
 pub fn table4_2() {
-    header("Table 4.2", "general information about Caltech (Chapter 4 view)");
+    header(
+        "Table 4.2",
+        "general information about Caltech (Chapter 4 view)",
+    );
     let d = caltech_like(SEED);
     println!("users                      : {}", d.graph.user_count());
     println!("social links               : {}", d.graph.edge_count());
     println!("attributes per user        : {}", d.graph.schema().len());
-    println!("SLA (flag) attribute values: {}", d.graph.schema().arity(d.privacy_cat));
-    println!("NSLA (gender) attr values  : {}", d.graph.schema().arity(d.utility_cat));
+    println!(
+        "SLA (flag) attribute values: {}",
+        d.graph.schema().arity(d.privacy_cat)
+    );
+    println!(
+        "NSLA (gender) attr values  : {}",
+        d.graph.schema().arity(d.utility_cat)
+    );
 }
 
 /// Figure 4.1: latent-data privacy vs (a) #attributes sanitized under four
 /// strategies and (b) #links sanitized under three strategies.
 pub fn fig4_1() {
-    header("Fig 4.1", "latent-data privacy vs sanitization effort (eps=180, delta=0.4)");
+    header(
+        "Fig 4.1",
+        "latent-data privacy vs sanitization effort (eps=180, delta=0.4)",
+    );
     let d = caltech_like(SEED);
     let ctxs = build_contexts(&d);
     let mean = |f: &dyn Fn(&UserCtx) -> f64| -> f64 {
@@ -171,7 +188,13 @@ pub fn fig4_1() {
     };
 
     println!("-- (a) attributes sanitized --");
-    cols(&["#attrs", "AttrRemove", "AttrPerturb", "LinkRemove", "Collective"]);
+    cols(&[
+        "#attrs",
+        "AttrRemove",
+        "AttrPerturb",
+        "LinkRemove",
+        "Collective",
+    ]);
     for k in 0..=PUBLIC_COLS.len() {
         let removal = mean(&|c| composite(attr_privacy(c, "removal", k), link_privacy(c, 0)));
         let perturb = mean(&|c| composite(attr_privacy(c, "perturb", k), link_privacy(c, 0)));
@@ -204,7 +227,10 @@ pub fn fig4_1() {
 
 /// Figure 4.2: utility loss vs latent-data privacy level.
 pub fn fig4_2() {
-    header("Fig 4.2", "utility loss under different latent-privacy levels");
+    header(
+        "Fig 4.2",
+        "utility loss under different latent-privacy levels",
+    );
     let d = caltech_like(SEED);
     let ctxs = build_contexts(&d);
 
@@ -247,7 +273,10 @@ pub fn fig4_2() {
 /// knowledge: strategies *designed* under each knowledge case, evaluated
 /// against the powerful adversary.
 pub fn fig4_3() {
-    header("Fig 4.3", "latent privacy under four adversary-knowledge cases");
+    header(
+        "Fig 4.3",
+        "latent privacy under four adversary-knowledge cases",
+    );
     let d = caltech_like(SEED);
     let ctxs = build_contexts(&d);
 
@@ -256,7 +285,11 @@ pub fn fig4_3() {
             .map(|c| {
                 let initial = AttributeStrategy::removal(c.profile.variants().to_vec(), &[0]);
                 let pul0 = prediction_utility_loss(&c.profile, &initial, hamming_disparity);
-                let cfg = OptimizeConfig { grid: 3, sweeps: 1, delta: delta.max(pul0) };
+                let cfg = OptimizeConfig {
+                    grid: 3,
+                    sweeps: 1,
+                    delta: delta.max(pul0),
+                };
                 let (s, _) = optimize_attribute_strategy_under(
                     &c.profile,
                     &initial,
@@ -277,8 +310,10 @@ pub fn fig4_3() {
     println!("-- (c) privacy vs prediction-utility threshold delta --");
     cols(&["delta", "Collective", "Profile", "Strategy", "Unknown"]);
     for delta in [0.8, 1.2, 1.6, 2.0] {
-        let vals: Vec<f64> =
-            ALL_KNOWLEDGE.iter().map(|&k| designed_privacy(k, delta)).collect();
+        let vals: Vec<f64> = ALL_KNOWLEDGE
+            .iter()
+            .map(|&k| designed_privacy(k, delta))
+            .collect();
         row("", &[&[delta], vals.as_slice()].concat());
     }
 }
@@ -298,19 +333,20 @@ pub fn fig4_4() {
                         // ε buys link removals greedily until the structure
                         // budget is exhausted.
                         let mut removed = 0;
-                        while link_cost(c, removed + 1) <= eps
-                            && removed < c.link_costs.len()
-                        {
+                        while link_cost(c, removed + 1) <= eps && removed < c.link_costs.len() {
                             removed += 1;
                         }
-                        let initial =
-                            AttributeStrategy::identity(c.profile.variants().to_vec());
+                        let initial = AttributeStrategy::identity(c.profile.variants().to_vec());
                         let (_, attr) = optimize_attribute_strategy_under(
                             &c.profile,
                             &initial,
                             &c.predictions,
                             hamming_disparity,
-                            OptimizeConfig { grid: 2, sweeps: 1, delta },
+                            OptimizeConfig {
+                                grid: 2,
+                                sweeps: 1,
+                                delta,
+                            },
                             Knowledge::Full,
                         );
                         composite(attr, link_privacy(c, removed))

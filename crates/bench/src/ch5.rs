@@ -23,11 +23,17 @@ pub fn table5_1() {
     cols(&["t_j", "not t_j"]);
     row(
         "risk allele r",
-        &[allele_given_trait(&a, true, true), allele_given_trait(&a, true, false)],
+        &[
+            allele_given_trait(&a, true, true),
+            allele_given_trait(&a, true, false),
+        ],
     );
     row(
         "non-risk allele p",
-        &[allele_given_trait(&a, false, true), allele_given_trait(&a, false, false)],
+        &[
+            allele_given_trait(&a, false, true),
+            allele_given_trait(&a, false, false),
+        ],
     );
     println!("(f^a derived from f^o and OR: {:.4})", a.raf_case());
 }
@@ -35,7 +41,10 @@ pub fn table5_1() {
 /// Table 5.2: genotype probabilities given trait status (Hardy-Weinberg
 /// form; see the substitution note in `ppdp-genomic::tables`).
 pub fn table5_2() {
-    header("Table 5.2", "P(genotype | trait) for OR=1.8, f^o=0.25 (HWE)");
+    header(
+        "Table 5.2",
+        "P(genotype | trait) for OR=1.8, f^o=0.25 (HWE)",
+    );
     let a = Association {
         snp: SnpId(0),
         trait_id: TraitId(0),
@@ -46,7 +55,10 @@ pub fn table5_2() {
     for g in Genotype::ALL {
         row(
             &format!("genotype {g}"),
-            &[genotype_given_trait(&a, g, true), genotype_given_trait(&a, g, false)],
+            &[
+                genotype_given_trait(&a, g, true),
+                genotype_given_trait(&a, g, false),
+            ],
         );
     }
 }
@@ -73,8 +85,10 @@ pub fn fig5_1() {
         g.is_forest()
     );
     for (t, _) in cat.traits() {
-        let snps: Vec<String> =
-            cat.associations_of_trait(t).map(|a| a.snp.to_string()).collect();
+        let snps: Vec<String> = cat
+            .associations_of_trait(t)
+            .map(|a| a.snp.to_string())
+            .collect();
         println!("  {t} <- {{{}}}", snps.join(", "));
     }
 }
@@ -88,11 +102,16 @@ pub fn fig5_2() {
     let panel = amd_like(&catalog, TraitId(0), 96, 50, SEED);
     // Victim: the first case individual; protect every disease status.
     let evidence = panel.full_evidence(0);
-    let targets: Vec<Target> =
-        (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
+    let targets: Vec<Target> = (0..catalog.n_traits())
+        .map(|i| Target::Trait(TraitId(i)))
+        .collect();
 
     for (label, predictor, budget) in [
-        ("(a) belief propagation", Predictor::BeliefPropagation(BpConfig::default()), 8usize),
+        (
+            "(a) belief propagation",
+            Predictor::BeliefPropagation(BpConfig::default()),
+            8usize,
+        ),
         ("(b) Naive Bayes", Predictor::NaiveBayes, 5usize),
     ] {
         println!("-- {label} --");
@@ -103,7 +122,10 @@ pub fn fig5_2() {
         }
         println!(
             "removed: {:?}",
-            out.removed.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            out.removed
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -17,7 +17,10 @@ use ppdp::sanitize::deanon::demo_attack;
 /// Kin inference: how much of a silent child's genome/phenome leaks per
 /// relative released.
 pub fn ext_kin() {
-    header("Ext: kin", "information leaked about a silent child per released relative");
+    header(
+        "Ext: kin",
+        "information leaked about a silent child per released relative",
+    );
     let catalog = synthetic_catalog(80, 6, 2, SEED);
     let panel = amd_like(&catalog, TraitId(0), 20, 20, SEED);
     cols(&["relatives", "mean dP(trait)", "max dP(geno)"]);
@@ -54,7 +57,11 @@ pub fn ext_kin() {
         }
         row(
             &format!("{relatives}"),
-            &[relatives as f64, trait_shift / n_traits.max(1) as f64, geno_shift],
+            &[
+                relatives as f64,
+                trait_shift / n_traits.max(1) as f64,
+                geno_shift,
+            ],
         );
     }
 }
@@ -62,7 +69,10 @@ pub fn ext_kin() {
 /// The Watson scenario: reconstruct a withheld sensitive locus through LD
 /// of increasing strength.
 pub fn ext_ld() {
-    header("Ext: LD", "withheld-locus reconstruction vs LD strength (Watson/ApoE)");
+    header(
+        "Ext: LD",
+        "withheld-locus reconstruction vs LD strength (Watson/ApoE)",
+    );
     let mut cat = GwasCatalog::new(2);
     let t0 = cat.add_trait("alzheimers-like", 0.02);
     cat.associate(SnpId(0), t0, 1.2, 0.3);
@@ -73,7 +83,13 @@ pub fn ext_ld() {
         let mut g = FactorGraph::build(&cat, &ev);
         add_ld_factors(
             &mut g,
-            &[LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r }],
+            &[LdPair {
+                a: SnpId(0),
+                b: SnpId(1),
+                freq_a: 0.3,
+                freq_b: 0.3,
+                r,
+            }],
         );
         let res = BpConfig::default().run(&g);
         let s1 = g.snp_local(SnpId(1)).expect("materialized");
@@ -83,7 +99,10 @@ pub fn ext_ld() {
 
 /// Structural de-anonymization of a pseudonymized Caltech-like graph.
 pub fn ext_deanon() {
-    header("Ext: deanon", "seed-and-propagate re-identification of pseudonymized Caltech");
+    header(
+        "Ext: deanon",
+        "seed-and-propagate re-identification of pseudonymized Caltech",
+    );
     let d = caltech_like(SEED);
     cols(&["edge noise", "seeds", "precision", "recall"]);
     for &(noise, seeds) in &[(0.0, 16usize), (0.05, 16), (0.15, 16), (0.0, 4)] {
@@ -95,7 +114,10 @@ pub fn ext_deanon() {
 /// DP synthetic genomes vs Mondrian k-anonymity: utility at matched
 /// protection effort.
 pub fn ext_dp_genomes() {
-    header("Ext: dp-genomes", "DP synthesis vs k-anonymity on a genotype panel");
+    header(
+        "Ext: dp-genomes",
+        "DP synthesis vs k-anonymity on a genotype panel",
+    );
     let catalog = synthetic_catalog(28, 4, 1, SEED);
     let panel = amd_like(&catalog, TraitId(0), 300, 300, SEED);
     let table = panel.to_table();
@@ -103,7 +125,9 @@ pub fn ext_dp_genomes() {
     println!("-- DP synthesis (degree-1 network) --");
     cols(&["epsilon", "worst locus tvd"]);
     for &eps in &[0.1, 1.0, 10.0, 100.0] {
-        let synth = DpPublisher::new(eps, 1).publish(&table, table.n_rows(), SEED + 3);
+        let synth = DpPublisher::new(eps, 1)
+            .publish(&table, table.n_rows(), SEED + 3)
+            .table;
         let worst = (0..table.n_cols())
             .map(|s| table.marginal_tvd(&synth, &[s]))
             .fold(0.0f64, f64::max);

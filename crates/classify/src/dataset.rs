@@ -40,7 +40,11 @@ impl<'g> LabeledGraph<'g> {
     /// Panics if `known` does not match the user count.
     pub fn new(graph: &'g SocialGraph, label_cat: CategoryId, known: Vec<bool>) -> Self {
         assert_eq!(known.len(), graph.user_count(), "known mask size mismatch");
-        Self { graph, label_cat, known }
+        Self {
+            graph,
+            label_cat,
+            known,
+        }
     }
 
     /// Builds a view where a random fraction `frac_known` of *labelled*
@@ -107,7 +111,11 @@ impl<'g> LabeledGraph<'g> {
                 labels.push(y);
             }
         }
-        TrainSet { rows, labels, n_classes: self.n_classes() }
+        TrainSet {
+            rows,
+            labels,
+            n_classes: self.n_classes(),
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! evaluation.
 
 use crate::dataset::LabeledGraph;
-use crate::ica::{ica_predict, IcaConfig};
+use crate::ica::{ica_run, IcaConfig};
 use crate::knn::Knn;
 use crate::naive_bayes::NaiveBayes;
 use crate::relational::{relational_dist, RelationalState};
@@ -122,19 +122,38 @@ pub enum AttackModel {
     },
 }
 
-/// Result of running an attack: final distributions and accuracy on `V^U`.
+/// Result of running an attack: final distributions and accuracy on `V^U`,
+/// plus the inference engine's convergence data.
 #[derive(Debug, Clone)]
 pub struct AttackOutcome {
     /// Final class distribution per user.
     pub dists: Vec<Vec<f64>>,
     /// Fraction of unknown-but-labelled users predicted correctly.
     pub accuracy: f64,
+    /// Inference sweeps performed (1 for the single-pass models).
+    pub iterations: usize,
+    /// Whether the inference engine converged (single-pass models and
+    /// fixed-length Gibbs chains are trivially converged).
+    pub converged: bool,
+    /// Final sweep residual (0 for non-iterative models).
+    pub final_residual: f64,
 }
 
 /// Runs `model` with local classifier `kind` against `lg` and scores the
 /// predictions on the hidden labels of `V^U`.
 pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) -> AttackOutcome {
-    let local = kind.fit(lg);
+    let local = {
+        let _fit_span = ppdp_telemetry::span(match kind {
+            LocalKind::Bayes => "attack.fit.Bayes",
+            LocalKind::Knn(_) => "attack.fit.KNN",
+            LocalKind::Rst => "attack.fit.RST",
+        });
+        kind.fit(lg)
+    };
+    let _infer_span = ppdp_telemetry::span("attack.infer");
+    let mut iterations = 1;
+    let mut converged = true;
+    let mut final_residual = 0.0;
     let dists = match model {
         AttackModel::AttrOnly => {
             let mut state = RelationalState::new(lg);
@@ -164,16 +183,34 @@ pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) ->
             state.dist
         }
         AttackModel::Collective { alpha, beta } => {
-            ica_predict(lg, local.as_ref(), IcaConfig::with_mix(alpha, beta))
+            let out = ica_run(lg, local.as_ref(), IcaConfig::with_mix(alpha, beta));
+            iterations = out.iterations;
+            converged = out.converged;
+            final_residual = out.final_delta;
+            out.dists
         }
-        AttackModel::Gibbs { alpha, beta } => crate::gibbs::gibbs_predict(
-            lg,
-            local.as_ref(),
-            crate::gibbs::GibbsConfig { alpha, beta, ..Default::default() },
-        ),
+        AttackModel::Gibbs { alpha, beta } => {
+            let out = crate::gibbs::gibbs_run(
+                lg,
+                local.as_ref(),
+                crate::gibbs::GibbsConfig {
+                    alpha,
+                    beta,
+                    ..Default::default()
+                },
+            );
+            iterations = out.sweeps;
+            out.dists
+        }
     };
     let accuracy = accuracy(lg, &dists);
-    AttackOutcome { dists, accuracy }
+    AttackOutcome {
+        dists,
+        accuracy,
+        iterations,
+        converged,
+        final_residual,
+    }
 }
 
 /// Fraction of `V^U` users whose argmax prediction matches ground truth.
@@ -231,7 +268,10 @@ mod tests {
             for model in [
                 AttackModel::AttrOnly,
                 AttackModel::LinkOnly,
-                AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+                AttackModel::Collective {
+                    alpha: 0.5,
+                    beta: 0.5,
+                },
             ] {
                 let out = run_attack(&lg, kind, model);
                 assert!(
@@ -251,17 +291,30 @@ mod tests {
         let cc = run_attack(
             &lg,
             LocalKind::Bayes,
-            AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+            AttackModel::Collective {
+                alpha: 0.5,
+                beta: 0.5,
+            },
         )
         .accuracy;
-        assert!(cc + 1e-9 >= attr - 0.05, "collective {cc} should not collapse vs {attr}");
+        assert!(
+            cc + 1e-9 >= attr - 0.05,
+            "collective {cc} should not collapse vs {attr}"
+        );
     }
 
     #[test]
     fn gibbs_attack_model_beats_chance() {
         let g = community_graph(80, 7);
         let lg = LabeledGraph::with_random_split(&g, CategoryId(2), 0.7, 7);
-        let out = run_attack(&lg, LocalKind::Bayes, AttackModel::Gibbs { alpha: 0.5, beta: 0.5 });
+        let out = run_attack(
+            &lg,
+            LocalKind::Bayes,
+            AttackModel::Gibbs {
+                alpha: 0.5,
+                beta: 0.5,
+            },
+        );
         assert!(out.accuracy > 0.6, "Gibbs accuracy {}", out.accuracy);
     }
 

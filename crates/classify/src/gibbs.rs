@@ -32,25 +32,58 @@ pub struct GibbsConfig {
 
 impl Default for GibbsConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.5, burn_in: 50, samples: 200, seed: 7 }
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+            burn_in: 50,
+            samples: 200,
+            seed: 7,
+        }
     }
 }
 
+/// Full outcome of a Gibbs run: the distributions plus chain statistics
+/// ([`gibbs_predict`] keeps the distributions-only signature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GibbsOutcome {
+    /// Final class distribution per user (known users pinned one-hot).
+    pub dists: Vec<Vec<f64>>,
+    /// Resampling sweeps performed (`burn_in + samples`).
+    pub sweeps: usize,
+    /// Total hard-label changes across all sweeps — the chain's mixing
+    /// activity (0 means the chain froze immediately).
+    pub label_flips: usize,
+}
+
 /// Runs Gibbs-sampling collective classification and returns per-user
-/// label distributions (known users stay pinned one-hot).
+/// label distributions (known users stay pinned one-hot). Convenience
+/// wrapper over [`gibbs_run`].
 pub fn gibbs_predict(
     lg: &LabeledGraph<'_>,
     local: &dyn LocalClassifier,
     cfg: GibbsConfig,
 ) -> Vec<Vec<f64>> {
+    gibbs_run(lg, local, cfg).dists
+}
+
+/// Runs Gibbs-sampling collective classification and returns distributions
+/// plus chain statistics. Seeded and fully deterministic.
+pub fn gibbs_run(
+    lg: &LabeledGraph<'_>,
+    local: &dyn LocalClassifier,
+    cfg: GibbsConfig,
+) -> GibbsOutcome {
     assert!(cfg.samples > 0, "need at least one retained sample");
+    let _span = ppdp_telemetry::span("gibbs.run");
     let n_classes = lg.n_classes();
     let unknown = lg.unknown_users();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
     // Cache the attribute conditionals (they never change).
-    let pa: Vec<Vec<f64>> =
-        unknown.iter().map(|&u| local.predict_dist(&lg.masked_row(u))).collect();
+    let pa: Vec<Vec<f64>> = unknown
+        .iter()
+        .map(|&u| local.predict_dist(&lg.masked_row(u)))
+        .collect();
 
     // Hard label state: known users fixed, unknowns bootstrapped from P_A.
     let mut label: Vec<u16> = lg
@@ -63,7 +96,9 @@ pub fn gibbs_predict(
     }
 
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
+    let mut label_flips = 0usize;
     for round in 0..(cfg.burn_in + cfg.samples) {
+        let mut flips = 0usize;
         for (&u, a_dist) in unknown.iter().zip(&pa) {
             // Relational conditional from the *current hard labels* of the
             // neighbours (the Gibbs flavour of Eq. 4.3).
@@ -97,16 +132,25 @@ pub fn gibbs_predict(
             } else {
                 cond = vec![1.0 / n_classes as f64; n_classes];
             }
-            label[u.0] = sample_from(&mut rng, &cond);
+            let resampled = sample_from(&mut rng, &cond);
+            if resampled != label[u.0] {
+                flips += 1;
+            }
+            label[u.0] = resampled;
         }
+        label_flips += flips;
+        ppdp_telemetry::value("gibbs.sweep_flips", flips as f64);
         if round >= cfg.burn_in {
             for &u in &unknown {
                 counts[u.0][label[u.0] as usize] += 1;
             }
         }
     }
+    let sweeps = cfg.burn_in + cfg.samples;
+    ppdp_telemetry::counter("gibbs.sweeps", sweeps as u64);
 
-    lg.graph
+    let dists = lg
+        .graph
         .users()
         .map(|u| {
             if lg.known[u.0] {
@@ -118,10 +162,18 @@ pub fn gibbs_predict(
             if total == 0 {
                 vec![1.0 / n_classes as f64; n_classes]
             } else {
-                counts[u.0].iter().map(|&c| c as f64 / total as f64).collect()
+                counts[u.0]
+                    .iter()
+                    .map(|&c| c as f64 / total as f64)
+                    .collect()
             }
         })
-        .collect()
+        .collect();
+    GibbsOutcome {
+        dists,
+        sweeps,
+        label_flips,
+    }
 }
 
 fn sample_from<R: Rng>(rng: &mut R, dist: &[f64]) -> u16 {
@@ -178,7 +230,14 @@ mod tests {
         let a = gibbs_predict(&lg, &nb, GibbsConfig::default());
         let b = gibbs_predict(&lg, &nb, GibbsConfig::default());
         assert_eq!(a, b);
-        let c = gibbs_predict(&lg, &nb, GibbsConfig { seed: 8, ..Default::default() });
+        let c = gibbs_predict(
+            &lg,
+            &nb,
+            GibbsConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, c, "different chains differ in finite samples");
     }
 
@@ -208,7 +267,11 @@ mod tests {
         let gibbs = gibbs_predict(
             &lg,
             &nb,
-            GibbsConfig { burn_in: 100, samples: 1_000, ..Default::default() },
+            GibbsConfig {
+                burn_in: 100,
+                samples: 1_000,
+                ..Default::default()
+            },
         );
         let ica = ica_predict(&lg, &nb, IcaConfig::default());
         for u in [3usize, 7] {
@@ -221,6 +284,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn gibbs_run_exposes_chain_statistics() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig::default();
+        let rec = ppdp_telemetry::Recorder::new();
+        let out = {
+            let _scope = rec.enter();
+            gibbs_run(&lg, &nb, cfg)
+        };
+        assert_eq!(out.sweeps, cfg.burn_in + cfg.samples);
+        assert_eq!(
+            out.dists,
+            gibbs_predict(&lg, &nb, cfg),
+            "wrapper returns same dists"
+        );
+        let report = rec.take();
+        assert_eq!(report.counter("gibbs.sweeps"), out.sweeps as u64);
+        let flips = report
+            .histogram("gibbs.sweep_flips")
+            .expect("per-sweep flips recorded");
+        assert_eq!(flips.count, out.sweeps as u64);
+        assert!((flips.sum - out.label_flips as f64).abs() < 1e-9);
+        assert!(report.span("gibbs.run").is_some());
     }
 
     #[test]

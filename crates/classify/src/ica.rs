@@ -22,7 +22,12 @@ pub struct IcaConfig {
 
 impl Default for IcaConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.5, max_iters: 10, tol: 1e-6 }
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+            max_iters: 10,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -32,30 +37,69 @@ impl IcaConfig {
     /// # Panics
     /// Panics unless `alpha, beta ≥ 0` and `alpha + beta > 0`.
     pub fn with_mix(alpha: f64, beta: f64) -> Self {
-        assert!(alpha >= 0.0 && beta >= 0.0 && alpha + beta > 0.0, "bad α/β mix");
-        Self { alpha, beta, ..Self::default() }
+        assert!(
+            alpha >= 0.0 && beta >= 0.0 && alpha + beta > 0.0,
+            "bad α/β mix"
+        );
+        Self {
+            alpha,
+            beta,
+            ..Self::default()
+        }
     }
 }
 
+/// Full outcome of an ICA run: the distributions plus the convergence
+/// data ([`ica_predict`] keeps the distributions-only signature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcaOutcome {
+    /// Final class distribution per user (known users pinned one-hot).
+    pub dists: Vec<Vec<f64>>,
+    /// Refinement sweeps actually performed.
+    pub iterations: usize,
+    /// Max per-class probability change in the last sweep
+    /// ([`f64::INFINITY`] when no sweep ran).
+    pub final_delta: f64,
+    /// Whether the sweep deltas dropped below `cfg.tol` within the budget.
+    pub converged: bool,
+    /// Total argmax-label changes across all sweeps.
+    pub label_flips: usize,
+}
+
 /// Runs ICA and returns the final class distribution of every user (known
-/// users stay pinned one-hot). Updates are synchronous per iteration so the
-/// result is deterministic.
+/// users stay pinned one-hot). Convenience wrapper over [`ica_run`] for
+/// callers that only need the distributions.
 pub fn ica_predict(
     lg: &LabeledGraph<'_>,
     local: &dyn LocalClassifier,
     cfg: IcaConfig,
 ) -> Vec<Vec<f64>> {
+    ica_run(lg, local, cfg).dists
+}
+
+/// Runs ICA and returns distributions plus convergence data. Updates are
+/// synchronous per iteration so the result is deterministic.
+pub fn ica_run(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: IcaConfig) -> IcaOutcome {
+    let _span = ppdp_telemetry::span("ica.run");
     let unknown = lg.unknown_users();
     let mut state = RelationalState::new(lg);
 
     // Bootstrap (steps 1-3): attribute-only distributions for V^U.
-    let pa: Vec<Vec<f64>> = unknown.iter().map(|&u| local.predict_dist(&lg.masked_row(u))).collect();
+    let pa: Vec<Vec<f64>> = unknown
+        .iter()
+        .map(|&u| local.predict_dist(&lg.masked_row(u)))
+        .collect();
     for (&u, d) in unknown.iter().zip(&pa) {
         state.set(u, d.clone());
     }
 
+    let mut iterations = 0;
+    let mut final_delta = f64::INFINITY;
+    let mut converged = false;
+    let mut label_flips = 0usize;
     // Refinement (steps 4-10): combine P_A with the relational P_L.
     for _ in 0..cfg.max_iters {
+        iterations += 1;
         let mut next = Vec::with_capacity(unknown.len());
         for (&u, a_dist) in unknown.iter().zip(&pa) {
             let combined = match relational_dist(lg, &state, u) {
@@ -65,17 +109,41 @@ pub fn ica_predict(
             next.push(combined);
         }
         let mut delta = 0.0f64;
+        let mut flips = 0usize;
         for (&u, d) in unknown.iter().zip(next) {
+            if crate::argmax(&state.dist[u.0]) != crate::argmax(&d) {
+                flips += 1;
+            }
             for (old, new) in state.dist[u.0].iter().zip(&d) {
                 delta = delta.max((old - new).abs());
             }
             state.set(u, d);
         }
+        label_flips += flips;
+        final_delta = delta;
+        ppdp_telemetry::value("ica.sweep_flips", flips as f64);
+        ppdp_telemetry::value("ica.sweep_delta", delta);
         if delta < cfg.tol {
+            converged = true;
             break;
         }
     }
-    state.dist
+    ppdp_telemetry::counter("ica.sweeps", iterations as u64);
+    ppdp_telemetry::counter(
+        if converged {
+            "ica.converged"
+        } else {
+            "ica.nonconverged"
+        },
+        1,
+    );
+    IcaOutcome {
+        dists: state.dist,
+        iterations,
+        final_delta,
+        converged,
+        label_flips,
+    }
 }
 
 fn mix(a: &[f64], l: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
@@ -157,8 +225,22 @@ mod tests {
         known[7] = false;
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let short = ica_predict(&lg, &nb, IcaConfig { max_iters: 50, ..Default::default() });
-        let long = ica_predict(&lg, &nb, IcaConfig { max_iters: 500, ..Default::default() });
+        let short = ica_predict(
+            &lg,
+            &nb,
+            IcaConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
+        let long = ica_predict(
+            &lg,
+            &nb,
+            IcaConfig {
+                max_iters: 500,
+                ..Default::default()
+            },
+        );
         for (a, b) in short.iter().zip(&long) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-4, "fixed point reached early");
@@ -170,5 +252,63 @@ mod tests {
     #[should_panic(expected = "bad α/β mix")]
     fn degenerate_mix_rejected() {
         IcaConfig::with_mix(0.0, 0.0);
+    }
+
+    #[test]
+    fn ica_run_exposes_convergence_data() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = IcaConfig {
+            max_iters: 200,
+            ..Default::default()
+        };
+        let out = ica_run(&lg, &nb, cfg);
+        assert!(out.converged, "easy graph must converge: {out:?}");
+        assert!(out.iterations >= 1 && out.iterations <= 200);
+        assert!(out.final_delta < cfg.tol);
+        assert_eq!(
+            out.dists,
+            ica_predict(&lg, &nb, cfg),
+            "wrapper returns same dists"
+        );
+        // A one-sweep budget cannot reach the 1e-6 fixed point here.
+        let starved = ica_run(
+            &lg,
+            &nb,
+            IcaConfig {
+                max_iters: 1,
+                ..cfg
+            },
+        );
+        assert!(!starved.converged);
+        assert_eq!(starved.iterations, 1);
+        assert!(starved.final_delta.is_finite());
+    }
+
+    #[test]
+    fn ica_run_records_telemetry() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let rec = ppdp_telemetry::Recorder::new();
+        let out = {
+            let _scope = rec.enter();
+            ica_run(&lg, &nb, IcaConfig::default())
+        };
+        let report = rec.take();
+        assert_eq!(report.counter("ica.sweeps"), out.iterations as u64);
+        assert_eq!(report.counter("ica.converged"), 1);
+        let flips = report
+            .histogram("ica.sweep_flips")
+            .expect("per-sweep flips recorded");
+        assert_eq!(flips.count, out.iterations as u64);
+        assert!((flips.sum - out.label_flips as f64).abs() < 1e-9);
+        assert!(report.span("ica.run").is_some());
     }
 }

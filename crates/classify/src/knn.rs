@@ -121,7 +121,11 @@ mod tests {
     #[test]
     fn empty_train_set_is_uniform() {
         let knn = Knn::train(
-            &TrainSet { rows: vec![], labels: vec![], n_classes: 4 },
+            &TrainSet {
+                rows: vec![],
+                labels: vec![],
+                n_classes: 4,
+            },
             3,
         );
         let d = knn.predict_dist(&[Some(0)]);

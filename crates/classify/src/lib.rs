@@ -22,8 +22,8 @@ pub mod relational;
 
 pub use dataset::{LabeledGraph, TrainSet};
 pub use eval::{accuracy, run_attack, AttackModel, LocalKind};
-pub use gibbs::{gibbs_predict, GibbsConfig};
-pub use ica::{ica_predict, IcaConfig};
+pub use gibbs::{gibbs_predict, gibbs_run, GibbsConfig, GibbsOutcome};
+pub use ica::{ica_predict, ica_run, IcaConfig, IcaOutcome};
 pub use knn::Knn;
 pub use metrics::{cross_validate, ConfusionMatrix};
 pub use naive_bayes::NaiveBayes;

@@ -22,7 +22,10 @@ impl ConfusionMatrix {
         assert_eq!(truth.len(), predicted.len(), "length mismatch");
         let mut counts = vec![vec![0usize; n_classes]; n_classes];
         for (&t, &p) in truth.iter().zip(predicted) {
-            assert!((t as usize) < n_classes && (p as usize) < n_classes, "label range");
+            assert!(
+                (t as usize) < n_classes && (p as usize) < n_classes,
+                "label range"
+            );
             counts[t as usize][p as usize] += 1;
         }
         Self { counts }
@@ -78,7 +81,9 @@ impl ConfusionMatrix {
         let mut total = 0.0;
         let mut classes = 0usize;
         for y in 0..self.counts.len() {
-            let Some(r) = self.recall(y as u16) else { continue };
+            let Some(r) = self.recall(y as u16) else {
+                continue;
+            };
             let p = self.precision(y as u16).unwrap_or(0.0);
             classes += 1;
             if p + r > 0.0 {
@@ -107,8 +112,16 @@ pub fn cross_validate(ts: &TrainSet, kind: LocalKind, k: usize) -> f64 {
         let lo = fold * n / k;
         let hi = (fold + 1) * n / k;
         let train = TrainSet {
-            rows: ts.rows[..lo].iter().chain(&ts.rows[hi..]).cloned().collect(),
-            labels: ts.labels[..lo].iter().chain(&ts.labels[hi..]).copied().collect(),
+            rows: ts.rows[..lo]
+                .iter()
+                .chain(&ts.rows[hi..])
+                .cloned()
+                .collect(),
+            labels: ts.labels[..lo]
+                .iter()
+                .chain(&ts.labels[hi..])
+                .copied()
+                .collect(),
             n_classes: ts.n_classes,
         };
         let clf: Box<dyn LocalClassifier> = match kind {
@@ -176,7 +189,9 @@ mod tests {
     fn cross_validation_learns_clean_signal() {
         // 40 rows, feature 0 determines the label perfectly.
         let ts = TrainSet {
-            rows: (0..40).map(|i| vec![Some((i % 2) as u16), Some((i % 5) as u16)]).collect(),
+            rows: (0..40)
+                .map(|i| vec![Some((i % 2) as u16), Some((i % 5) as u16)])
+                .collect(),
             labels: (0..40).map(|i| (i % 2) as u16).collect(),
             n_classes: 2,
         };
@@ -189,7 +204,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "folds")]
     fn silly_fold_count_rejected() {
-        let ts = TrainSet { rows: vec![vec![Some(0)]], labels: vec![0], n_classes: 1 };
+        let ts = TrainSet {
+            rows: vec![vec![Some(0)]],
+            labels: vec![0],
+            n_classes: 1,
+        };
         cross_validate(&ts, LocalKind::Bayes, 2);
     }
 }

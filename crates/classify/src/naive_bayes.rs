@@ -64,8 +64,8 @@ impl NaiveBayes {
         let n_y = self.class_counts[y as usize] as f64;
         let total: usize = self.class_counts.iter().sum();
         // log prior with smoothing.
-        let mut ll = ((n_y + self.alpha) / (total as f64 + self.alpha * self.n_classes as f64))
-            .ln();
+        let mut ll =
+            ((n_y + self.alpha) / (total as f64 + self.alpha * self.n_classes as f64)).ln();
         for (c, v) in row.iter().enumerate() {
             if c >= self.value_counts.len() {
                 break;
@@ -86,8 +86,9 @@ impl LocalClassifier for NaiveBayes {
     }
 
     fn predict_dist(&self, row: &[Option<u16>]) -> Vec<f64> {
-        let lls: Vec<f64> =
-            (0..self.n_classes).map(|y| self.log_likelihood(row, y as u16)).collect();
+        let lls: Vec<f64> = (0..self.n_classes)
+            .map(|y| self.log_likelihood(row, y as u16))
+            .collect();
         softmax_from_log(&lls)
     }
 }

@@ -41,6 +41,7 @@ pub use ppdp_graph as graph;
 pub use ppdp_opt as opt;
 pub use ppdp_roughset as roughset;
 pub use ppdp_sanitize as sanitize;
+pub use ppdp_telemetry as telemetry;
 pub use ppdp_tradeoff as tradeoff;
 
 pub mod publish;
@@ -52,4 +53,5 @@ pub mod prelude {
     pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
     pub use ppdp_genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
     pub use ppdp_graph::{CategoryId, SocialGraph, UserId};
+    pub use ppdp_telemetry::{Recorder, RunReport};
 }

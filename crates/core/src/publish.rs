@@ -6,6 +6,7 @@ use ppdp_genomic::sanitize::{greedy_sanitize, Predictor, SanitizeOutcome, Target
 use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
 use ppdp_graph::SocialGraph;
 use ppdp_sanitize::{collective_sanitize, remove_indistinguishable_links, CollectivePlan};
+use ppdp_telemetry::{Recorder, RunReport};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,6 +36,9 @@ pub struct SocialReport {
     pub privacy_accuracy_after: f64,
     /// Attack accuracy on the utility attribute after sanitization.
     pub utility_accuracy_after: f64,
+    /// Everything the instrumented sub-crates recorded during the run:
+    /// phase timings, ICA sweep counts, link-removal counters.
+    pub telemetry: RunReport,
 }
 
 impl<'d> SocialPublisher<'d> {
@@ -83,51 +87,77 @@ impl<'d> SocialPublisher<'d> {
     }
 
     /// Runs sanitization + evaluation (deterministic for a given seed).
+    ///
+    /// The attached [`SocialReport::telemetry`] covers the whole run; the
+    /// same events also reach any recorder the caller has scoped or
+    /// installed globally.
     pub fn publish(&self, seed: u64) -> SocialReport {
+        let rec = Recorder::new();
+        let scope = rec.enter();
+        let span = ppdp_telemetry::span("social.publish");
+
         let d = self.data;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let known: Vec<bool> =
-            (0..d.graph.user_count()).map(|_| rng.gen_bool(self.known_fraction)).collect();
-        let model = AttackModel::Collective { alpha: self.mix.0, beta: self.mix.1 };
+        let known: Vec<bool> = (0..d.graph.user_count())
+            .map(|_| rng.gen_bool(self.known_fraction))
+            .collect();
+        let model = AttackModel::Collective {
+            alpha: self.mix.0,
+            beta: self.mix.1,
+        };
 
-        let before = ppdp_classify::run_attack(
-            &LabeledGraph::new(&d.graph, d.privacy_cat, known.clone()),
-            self.kind,
-            model,
-        )
-        .accuracy;
-
-        let (mut sanitized, plan) =
-            collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level);
-        if self.links_to_remove > 0 {
-            sanitized = remove_indistinguishable_links(
-                &sanitized,
-                d.privacy_cat,
-                &known,
+        let before = {
+            let _phase = ppdp_telemetry::span("attack_before");
+            ppdp_classify::run_attack(
+                &LabeledGraph::new(&d.graph, d.privacy_cat, known.clone()),
                 self.kind,
-                self.links_to_remove,
-            );
-        }
+                model,
+            )
+            .accuracy
+        };
 
-        let after = ppdp_classify::run_attack(
-            &LabeledGraph::new(&sanitized, d.privacy_cat, known.clone()),
-            self.kind,
-            model,
-        )
-        .accuracy;
-        let utility = ppdp_classify::run_attack(
-            &LabeledGraph::new(&sanitized, d.utility_cat, known),
-            self.kind,
-            model,
-        )
-        .accuracy;
+        let (mut sanitized, plan) = {
+            let _phase = ppdp_telemetry::span("sanitize");
+            let (mut sanitized, plan) =
+                collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level);
+            if self.links_to_remove > 0 {
+                sanitized = remove_indistinguishable_links(
+                    &sanitized,
+                    d.privacy_cat,
+                    &known,
+                    self.kind,
+                    self.links_to_remove,
+                );
+            }
+            (sanitized, plan)
+        };
 
+        let (after, utility) = {
+            let _phase = ppdp_telemetry::span("attack_after");
+            let after = ppdp_classify::run_attack(
+                &LabeledGraph::new(&sanitized, d.privacy_cat, known.clone()),
+                self.kind,
+                model,
+            )
+            .accuracy;
+            let utility = ppdp_classify::run_attack(
+                &LabeledGraph::new(&sanitized, d.utility_cat, known),
+                self.kind,
+                model,
+            )
+            .accuracy;
+            (after, utility)
+        };
+
+        drop(span);
+        drop(scope);
         SocialReport {
             sanitized,
             plan,
             privacy_accuracy_before: before,
             privacy_accuracy_after: after,
             utility_accuracy_after: utility,
+            telemetry: rec.take(),
         }
     }
 }
@@ -141,6 +171,17 @@ pub use ppdp_tradeoff::optimize::{optimize_attribute_strategy, select_vulnerable
 /// strategy builders.
 pub struct LatentPublisher;
 
+/// Outcome of a [`LatentPublisher`] run.
+#[derive(Debug, Clone)]
+pub struct LatentReport {
+    /// The optimized per-attribute publishing strategy.
+    pub strategy: ppdp_tradeoff::AttributeStrategy,
+    /// Latent-privacy objective value achieved by the strategy.
+    pub privacy: f64,
+    /// Telemetry recorded during the optimization (greedy solver counters).
+    pub telemetry: RunReport,
+}
+
 impl LatentPublisher {
     /// Optimizes an attribute strategy for one user; see
     /// [`ppdp_tradeoff::optimize::optimize_attribute_strategy`].
@@ -149,14 +190,27 @@ impl LatentPublisher {
         initial: &ppdp_tradeoff::AttributeStrategy,
         predictions: &[Vec<f64>],
         delta: f64,
-    ) -> (ppdp_tradeoff::AttributeStrategy, f64) {
-        ppdp_tradeoff::optimize_attribute_strategy(
+    ) -> LatentReport {
+        let rec = Recorder::new();
+        let scope = rec.enter();
+        let span = ppdp_telemetry::span("latent.optimize");
+        let (strategy, privacy) = ppdp_tradeoff::optimize_attribute_strategy(
             profile,
             initial,
             predictions,
             ppdp_tradeoff::hamming_disparity,
-            ppdp_tradeoff::OptimizeConfig { delta, ..Default::default() },
-        )
+            ppdp_tradeoff::OptimizeConfig {
+                delta,
+                ..Default::default()
+            },
+        );
+        drop(span);
+        drop(scope);
+        LatentReport {
+            strategy,
+            privacy,
+            telemetry: rec.take(),
+        }
     }
 }
 
@@ -194,9 +248,12 @@ impl<'c> GenomePublisher<'c> {
     }
 
     /// Sanitizes `evidence` so that every `target` reaches `δ`-privacy;
-    /// returns the greedy outcome plus the evidence actually safe to
-    /// release.
-    pub fn publish(&self, evidence: &Evidence, targets: &[Target]) -> (Evidence, SanitizeOutcome) {
+    /// returns the evidence actually safe to release, the greedy outcome,
+    /// and the telemetry of the run (BP sweeps, removals, timings).
+    pub fn publish(&self, evidence: &Evidence, targets: &[Target]) -> GenomeReport {
+        let rec = Recorder::new();
+        let scope = rec.enter();
+        let span = ppdp_telemetry::span("genome.publish");
         let outcome = greedy_sanitize(
             self.catalog,
             evidence,
@@ -209,8 +266,26 @@ impl<'c> GenomePublisher<'c> {
         for s in &outcome.removed {
             released.snps.remove(s);
         }
-        (released, outcome)
+        drop(span);
+        drop(scope);
+        GenomeReport {
+            released,
+            outcome,
+            telemetry: rec.take(),
+        }
     }
+}
+
+/// Outcome of a [`GenomePublisher`] run.
+#[derive(Debug, Clone)]
+pub struct GenomeReport {
+    /// The evidence that remains safe to release after sanitization.
+    pub released: Evidence,
+    /// The greedy sanitizer's trajectory (removed SNPs, privacy history).
+    pub outcome: SanitizeOutcome,
+    /// Telemetry recorded during the run (BP iterations, residuals,
+    /// per-candidate evaluation spans).
+    pub telemetry: RunReport,
 }
 
 /// Differential-privacy pipeline: synthetic publishing of categorical
@@ -230,15 +305,48 @@ impl DpPublisher {
     }
 
     /// Fits the noisy network and samples `n` synthetic records.
-    pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> ppdp_dp::Table {
+    ///
+    /// The attached [`DpReport::telemetry`] includes every ε draw of the
+    /// fit's [`ppdp_dp::BudgetLedger`]; the draws sum to the configured
+    /// total budget.
+    pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> DpReport {
+        let rec = Recorder::new();
+        let scope = rec.enter();
+        let span = ppdp_telemetry::span("dp.publish");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let net = ppdp_dp::BayesNet::fit(
-            &mut rng,
+        let net = {
+            let _phase = ppdp_telemetry::span("fit");
+            ppdp_dp::BayesNet::fit(
+                &mut rng,
+                table,
+                ppdp_dp::SynthesisConfig {
+                    degree: self.degree,
+                    epsilon: self.epsilon,
+                },
+            )
+        };
+        let table = {
+            let _phase = ppdp_telemetry::span("sample");
+            net.sample(&mut rng, n)
+        };
+        drop(span);
+        drop(scope);
+        DpReport {
             table,
-            ppdp_dp::SynthesisConfig { degree: self.degree, epsilon: self.epsilon },
-        );
-        net.sample(&mut rng, n)
+            telemetry: rec.take(),
+        }
     }
+}
+
+/// Outcome of a [`DpPublisher`] run.
+#[derive(Debug, Clone)]
+pub struct DpReport {
+    /// The synthetic table sampled from the noisy network.
+    pub table: ppdp_dp::Table,
+    /// Telemetry recorded during the run; `telemetry.budget` holds one
+    /// entry per ε draw and `telemetry.total_epsilon()` equals the
+    /// configured budget.
+    pub telemetry: RunReport,
 }
 
 #[cfg(test)]
@@ -253,7 +361,9 @@ mod tests {
     #[test]
     fn social_pipeline_reduces_privacy_accuracy() {
         let data = caltech_like(42);
-        let report = SocialPublisher::new(&data).generalization_level(2).publish(7);
+        let report = SocialPublisher::new(&data)
+            .generalization_level(2)
+            .publish(7);
         assert!(
             report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9,
             "{} → {}",
@@ -269,19 +379,33 @@ mod tests {
         let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
         let evidence = panel.full_evidence(0);
         let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
-        let (released, outcome) = GenomePublisher::new(&catalog, 0.6).publish(&evidence, &targets);
-        assert_eq!(evidence.snps.len(), released.snps.len() + outcome.removed.len());
+        let report = GenomePublisher::new(&catalog, 0.6).publish(&evidence, &targets);
+        let (released, outcome) = (&report.released, &report.outcome);
+        assert_eq!(
+            evidence.snps.len(),
+            released.snps.len() + outcome.removed.len()
+        );
         for s in &outcome.removed {
             assert!(!released.snps.contains_key(s), "removed SNP still released");
         }
+        assert!(
+            report.telemetry.counter("bp.iterations") > 0,
+            "BP ran under the recorder"
+        );
     }
 
     #[test]
     fn dp_pipeline_produces_same_schema() {
         let t = correlated_microdata(500, 4, 3, 0.8, 5);
-        let synth = DpPublisher::new(5.0, 1).publish(&t, 300, 6);
+        let report = DpPublisher::new(5.0, 1).publish(&t, 300, 6);
+        let synth = &report.table;
         assert_eq!(synth.n_cols(), 4);
         assert_eq!(synth.n_rows(), 300);
         assert_eq!(synth.arities(), t.arities());
+        assert!(
+            (report.telemetry.total_epsilon() - 5.0).abs() < 1e-9,
+            "ledger draws must sum to the configured ε: {:?}",
+            report.telemetry.budget
+        );
     }
 }

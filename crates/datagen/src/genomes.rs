@@ -127,7 +127,11 @@ pub fn amd_like(
         genotypes.push(row);
         case.push(is_case);
     }
-    GenomePanel { focal_trait, genotypes, case }
+    GenomePanel {
+        focal_trait,
+        genotypes,
+        case,
+    }
 }
 
 #[cfg(test)]
@@ -161,8 +165,9 @@ mod tests {
             .collect();
         assert!(!focal_snps.is_empty());
         let mean = |is_case: bool| -> f64 {
-            let idx: Vec<usize> =
-                (0..p.n_individuals()).filter(|&i| p.case[i] == is_case).collect();
+            let idx: Vec<usize> = (0..p.n_individuals())
+                .filter(|&i| p.case[i] == is_case)
+                .collect();
             let mut total = 0u32;
             for &i in &idx {
                 for &s in &focal_snps {
@@ -198,8 +203,9 @@ mod tests {
         // Column histogram must match the genotype counts.
         let h = t.histogram(&[0]);
         for g in ppdp_genomic::Genotype::ALL {
-            let direct =
-                (0..p.n_individuals()).filter(|&i| p.genotypes[i][0] == g).count() as f64;
+            let direct = (0..p.n_individuals())
+                .filter(|&i| p.genotypes[i][0] == g)
+                .count() as f64;
             assert_eq!(h[g.index()], direct);
         }
     }

@@ -25,7 +25,10 @@ pub fn synthetic_catalog(
     shared_per_trait: usize,
     seed: u64,
 ) -> GwasCatalog {
-    assert!(shared_per_trait < assoc_per_trait, "need at least one exclusive SNP per trait");
+    assert!(
+        shared_per_trait < assoc_per_trait,
+        "need at least one exclusive SNP per trait"
+    );
     let mut catalog = GwasCatalog::with_table_5_3_traits(n_snps);
     let n_traits = catalog.n_traits();
     assert!(
@@ -74,18 +77,30 @@ mod tests {
     fn consecutive_traits_share_snps() {
         let c = synthetic_catalog(100, 5, 2, 42);
         for t in 1..7 {
-            let a: std::collections::BTreeSet<_> =
-                c.associations_of_trait(TraitId(t - 1)).map(|x| x.snp).collect();
+            let a: std::collections::BTreeSet<_> = c
+                .associations_of_trait(TraitId(t - 1))
+                .map(|x| x.snp)
+                .collect();
             let b: std::collections::BTreeSet<_> =
                 c.associations_of_trait(TraitId(t)).map(|x| x.snp).collect();
-            assert_eq!(a.intersection(&b).count(), 2, "traits {t}-1 and {t} share 2 SNPs");
+            assert_eq!(
+                a.intersection(&b).count(),
+                2,
+                "traits {t}-1 and {t} share 2 SNPs"
+            );
         }
     }
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(synthetic_catalog(60, 4, 1, 7), synthetic_catalog(60, 4, 1, 7));
-        assert_ne!(synthetic_catalog(60, 4, 1, 7), synthetic_catalog(60, 4, 1, 8));
+        assert_eq!(
+            synthetic_catalog(60, 4, 1, 7),
+            synthetic_catalog(60, 4, 1, 7)
+        );
+        assert_ne!(
+            synthetic_catalog(60, 4, 1, 7),
+            synthetic_catalog(60, 4, 1, 8)
+        );
     }
 
     #[test]

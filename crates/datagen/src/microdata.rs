@@ -30,7 +30,11 @@ pub fn correlated_microdata(
             let mut row = Vec::with_capacity(n_cols);
             row.push(rng.gen_range(0..arity));
             for c in 1..n_cols {
-                let v = if rng.gen_bool(corr) { row[c - 1] } else { rng.gen_range(0..arity) };
+                let v = if rng.gen_bool(corr) {
+                    row[c - 1]
+                } else {
+                    rng.gen_range(0..arity)
+                };
                 row.push(v);
             }
             row
@@ -54,7 +58,10 @@ mod tests {
     #[test]
     fn chain_correlation_planted() {
         let t = correlated_microdata(3_000, 3, 2, 0.9, 2);
-        assert!(t.mutual_information(0, 1) > 0.2, "adjacent columns correlated");
+        assert!(
+            t.mutual_information(0, 1) > 0.2,
+            "adjacent columns correlated"
+        );
         assert!(
             t.mutual_information(0, 2) < t.mutual_information(0, 1),
             "correlation decays along the chain"

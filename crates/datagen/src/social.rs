@@ -137,10 +137,19 @@ pub fn mit_like(seed: u64) -> SocialDataset {
 /// Panics on infeasible configurations (too few nodes for the component
 /// count, too many edges for the node count, fewer than 3 attributes).
 pub fn generate(cfg: &SocialConfig) -> SocialDataset {
-    assert!(cfg.n_attrs >= 3, "need privacy, utility and at least one public attribute");
-    assert!(cfg.nodes >= cfg.components * 2, "components need at least 2 nodes each");
+    assert!(
+        cfg.n_attrs >= 3,
+        "need privacy, utility and at least one public attribute"
+    );
+    assert!(
+        cfg.nodes >= cfg.components * 2,
+        "components need at least 2 nodes each"
+    );
     let max_edges = cfg.nodes * (cfg.nodes - 1) / 2;
-    assert!(cfg.edges <= max_edges, "edge count exceeds simple-graph capacity");
+    assert!(
+        cfg.edges <= max_edges,
+        "edge count exceeds simple-graph capacity"
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
@@ -179,7 +188,9 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
             }
         })
         .collect();
-    let utilities: Vec<u16> = (0..cfg.nodes).map(|_| rng.gen_range(0..cfg.utility_arity)).collect();
+    let utilities: Vec<u16> = (0..cfg.nodes)
+        .map(|_| rng.gen_range(0..cfg.utility_arity))
+        .collect();
 
     let mut b = GraphBuilder::new(schema);
     for i in 0..cfg.nodes {
@@ -196,8 +207,7 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
             let v = if pos < n_joint {
                 // Core candidates: encode label and utility jointly.
                 if informative {
-                    let joint =
-                        labels[i] as u32 * cfg.utility_arity as u32 + utilities[i] as u32;
+                    let joint = labels[i] as u32 * cfg.utility_arity as u32 + utilities[i] as u32;
                     ((joint + c as u32) % cfg.other_arity as u32) as u16
                 } else {
                     rng.gen_range(0..cfg.other_arity)
@@ -273,7 +283,12 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
         }
     }
 
-    SocialDataset { graph: b.build(), privacy_cat, utility_cat, name: cfg.name }
+    SocialDataset {
+        graph: b.build(),
+        privacy_cat,
+        utility_cat,
+        name: cfg.name,
+    }
 }
 
 #[cfg(test)]
@@ -329,9 +344,7 @@ mod tests {
         let same = d
             .graph
             .edges()
-            .filter(|&(a, b)| {
-                d.graph.value(a, d.privacy_cat) == d.graph.value(b, d.privacy_cat)
-            })
+            .filter(|&(a, b)| d.graph.value(a, d.privacy_cat) == d.graph.value(b, d.privacy_cat))
             .count() as f64
             / d.graph.edge_count() as f64;
         // Chance level for 65/35 split would be ≈ 0.545.
@@ -364,7 +377,10 @@ mod tests {
             .sum();
         let total: usize = joint.values().sum();
         let acc = correct as f64 / total as f64;
-        assert!(acc > 0.7, "informative attribute should predict the label: {acc}");
+        assert!(
+            acc > 0.7,
+            "informative attribute should predict the label: {acc}"
+        );
     }
 
     #[test]

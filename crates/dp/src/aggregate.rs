@@ -40,8 +40,15 @@ impl NoisyCdf {
     /// # Panics
     /// Panics if the range is empty or out of the domain.
     pub fn range_count(&self, lo: u16, hi: u16) -> f64 {
-        assert!(lo <= hi && (hi as usize) < self.counts.len(), "bad range [{lo}, {hi}]");
-        let below = if lo == 0 { 0.0 } else { self.cum[lo as usize - 1] };
+        assert!(
+            lo <= hi && (hi as usize) < self.counts.len(),
+            "bad range [{lo}, {hi}]"
+        );
+        let below = if lo == 0 {
+            0.0
+        } else {
+            self.cum[lo as usize - 1]
+        };
         self.cum[hi as usize] - below
     }
 

@@ -11,7 +11,10 @@ use std::collections::HashMap;
 fn equivalence_classes(table: &Table, quasi: &[usize]) -> HashMap<usize, Vec<usize>> {
     let mut classes: HashMap<usize, Vec<usize>> = HashMap::new();
     for (r, row) in table.rows().iter().enumerate() {
-        classes.entry(table.cell_index(row, quasi)).or_default().push(r);
+        classes
+            .entry(table.cell_index(row, quasi))
+            .or_default()
+            .push(r);
     }
     classes
 }
@@ -20,7 +23,9 @@ fn equivalence_classes(table: &Table, quasi: &[usize]) -> HashMap<usize, Vec<usi
 /// members. An empty table is vacuously k-anonymous.
 pub fn is_k_anonymous(table: &Table, quasi: &[usize], k: usize) -> bool {
     assert!(k >= 1, "k must be at least 1");
-    equivalence_classes(table, quasi).values().all(|c| c.len() >= k)
+    equivalence_classes(table, quasi)
+        .values()
+        .all(|c| c.len() >= k)
 }
 
 /// Whether every quasi-identifier equivalence class contains at least `l`
@@ -28,8 +33,7 @@ pub fn is_k_anonymous(table: &Table, quasi: &[usize], k: usize) -> bool {
 pub fn is_l_diverse(table: &Table, quasi: &[usize], sensitive: usize, l: usize) -> bool {
     assert!(l >= 1, "l must be at least 1");
     equivalence_classes(table, quasi).values().all(|class| {
-        let mut vals: Vec<u16> =
-            class.iter().map(|&r| table.rows()[r][sensitive]).collect();
+        let mut vals: Vec<u16> = class.iter().map(|&r| table.rows()[r][sensitive]).collect();
         vals.sort_unstable();
         vals.dedup();
         vals.len() >= l
@@ -39,7 +43,11 @@ pub fn is_l_diverse(table: &Table, quasi: &[usize], sensitive: usize, l: usize) 
 /// Size of the smallest quasi-identifier equivalence class — the table's
 /// effective `k`. Returns 0 for an empty table.
 pub fn effective_k(table: &Table, quasi: &[usize]) -> usize {
-    equivalence_classes(table, quasi).values().map(Vec::len).min().unwrap_or(0)
+    equivalence_classes(table, quasi)
+        .values()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -65,7 +73,10 @@ mod tests {
         let t = t();
         let quasi = [0, 1];
         assert!(is_k_anonymous(&t, &quasi, 2));
-        assert!(!is_k_anonymous(&t, &quasi, 3), "class (1,1) has only 2 members");
+        assert!(
+            !is_k_anonymous(&t, &quasi, 3),
+            "class (1,1) has only 2 members"
+        );
         assert_eq!(effective_k(&t, &quasi), 2);
     }
 
@@ -75,7 +86,10 @@ mod tests {
         let quasi = [0, 1];
         // Class (0,0) has {0,1,2}; class (1,1) has only {3}.
         assert!(is_l_diverse(&t, &quasi, 2, 1));
-        assert!(!is_l_diverse(&t, &quasi, 2, 2), "homogeneous class breaks 2-diversity");
+        assert!(
+            !is_l_diverse(&t, &quasi, 2, 2),
+            "homogeneous class breaks 2-diversity"
+        );
     }
 
     #[test]
@@ -98,6 +112,9 @@ mod tests {
     #[test]
     fn full_quasi_set_usually_breaks_anonymity() {
         let t = t();
-        assert!(!is_k_anonymous(&t, &[0, 1, 2], 2), "unique sensitive values singleton-ize");
+        assert!(
+            !is_k_anonymous(&t, &[0, 1, 2], 2),
+            "unique sensitive values singleton-ize"
+        );
     }
 }

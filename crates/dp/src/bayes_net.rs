@@ -10,7 +10,7 @@
 //! privacy guarantee can be injected into them; finally, synthetic genomes
 //! are sampled from the approximate distribution" (§1.1, §6.2).
 
-use crate::budget::PrivacyBudget;
+use crate::budget::BudgetLedger;
 use crate::histogram::noisy_histogram;
 use crate::table::Table;
 use rand::Rng;
@@ -31,7 +31,10 @@ pub struct SynthesisConfig {
 
 impl Default for SynthesisConfig {
     fn default() -> Self {
-        Self { degree: 2, epsilon: 1.0 }
+        Self {
+            degree: 2,
+            epsilon: 1.0,
+        }
     }
 }
 
@@ -46,6 +49,8 @@ pub struct BayesNet {
     parents: Vec<Vec<usize>>,
     /// `cpd[c][parent_cell * arity + value]` = `P(value | parent_cell)`.
     cpd: Vec<Vec<f64>>,
+    /// Audit trail of every ε draw made while fitting the conditionals.
+    ledger: BudgetLedger,
 }
 
 impl BayesNet {
@@ -73,32 +78,51 @@ impl BayesNet {
         cfg: SynthesisConfig,
     ) -> Self {
         let eps_struct = cfg.epsilon / 2.0;
-        let counts_cfg = SynthesisConfig { epsilon: cfg.epsilon / 2.0, ..cfg };
+        let counts_cfg = SynthesisConfig {
+            epsilon: cfg.epsilon / 2.0,
+            ..cfg
+        };
         let n_picks = (table.n_cols().saturating_sub(1) * cfg.degree).max(1);
         let eps_each = eps_struct / n_picks as f64;
+        let mut pick_no = 0usize;
         Self::fit_with_selector(rng, table, counts_cfg, move |mis, rng| {
             let mut remaining: Vec<usize> = (0..mis.len()).collect();
             let mut picked = Vec::new();
-            while !remaining.is_empty() {
+            // Only `degree` parents are kept, so only `degree` private
+            // selections are made (and paid for) per column.
+            while !remaining.is_empty() && picked.len() < cfg.degree {
                 let scores: Vec<f64> = remaining.iter().map(|&i| mis[i]).collect();
-                let choice =
-                    crate::mechanism::exponential_mechanism(rng, &scores, eps_each, 1.0);
+                let choice = crate::mechanism::exponential_mechanism(rng, &scores, eps_each, 1.0);
                 picked.push(remaining.remove(choice));
+                ppdp_telemetry::budget_draw(
+                    "exponential",
+                    &format!("structure[{pick_no}]"),
+                    eps_each,
+                    0.0,
+                    1.0,
+                );
+                pick_no += 1;
             }
             picked
         })
     }
 
-    fn fit_with_selector<R, F>(rng: &mut R, table: &Table, cfg: SynthesisConfig, mut rank: F) -> Self
+    fn fit_with_selector<R, F>(
+        rng: &mut R,
+        table: &Table,
+        cfg: SynthesisConfig,
+        mut rank: F,
+    ) -> Self
     where
         R: Rng + ?Sized,
         F: FnMut(&[f64], &mut R) -> Vec<usize>,
     {
         assert!(table.n_cols() > 0, "cannot fit an empty schema");
         assert!(cfg.epsilon > 0.0, "ε must be positive");
+        let _span = ppdp_telemetry::span("bayes_net.fit");
         let n_cols = table.n_cols();
-        let mut budget = PrivacyBudget::new(cfg.epsilon);
-        let eps_per_col = budget.equal_shares(n_cols);
+        let mut ledger = BudgetLedger::new(cfg.epsilon);
+        let eps_per_col = ledger.equal_shares(n_cols);
 
         // Column order: descending total MI with all others, so highly
         // correlated columns are placed early and become available parents.
@@ -132,12 +156,21 @@ impl BayesNet {
                     .collect();
                 parents[c].sort_unstable();
             }
-            budget.spend(eps_per_col).expect("equal shares fit the budget");
+            ledger
+                .spend(eps_per_col, "laplace", &format!("cpd[{c}]"), 1.0)
+                .expect("equal shares fit the budget");
             cpd[c] = Self::noisy_cpd(rng, table, c, &parents[c], eps_per_col);
             placed.push(c);
         }
+        ppdp_telemetry::counter("bayes_net.columns", n_cols as u64);
 
-        Self { arities: table.arities().to_vec(), order, parents, cpd }
+        Self {
+            arities: table.arities().to_vec(),
+            order,
+            parents,
+            cpd,
+            ledger,
+        }
     }
 
     /// Noisy conditional `P(c | parents)` from a Laplace-noised joint
@@ -168,6 +201,15 @@ impl BayesNet {
     /// Parent set of column `c`.
     pub fn parents(&self, c: usize) -> &[usize] {
         &self.parents[c]
+    }
+
+    /// The audit trail of ε draws made while fitting the noisy
+    /// conditionals. For [`BayesNet::fit`] the draws sum to the full
+    /// `cfg.epsilon`; for [`BayesNet::fit_private_structure`] they sum to
+    /// the conditionals' half (structure-selection draws are emitted to
+    /// telemetry as `exponential` draws).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
     }
 
     /// Samples `n` synthetic records by ancestral sampling along the fitted
@@ -229,17 +271,34 @@ mod tests {
     fn structure_links_correlated_columns() {
         let t = correlated_table(500, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let net = BayesNet::fit(&mut rng, &t, SynthesisConfig { degree: 1, epsilon: 50.0 });
+        let net = BayesNet::fit(
+            &mut rng,
+            &t,
+            SynthesisConfig {
+                degree: 1,
+                epsilon: 50.0,
+            },
+        );
         // One of {0, 1} must be the other's parent.
         let linked = net.parents(0).contains(&1) || net.parents(1).contains(&0);
-        assert!(linked, "perfectly correlated pair must be adjacent: {net:?}");
+        assert!(
+            linked,
+            "perfectly correlated pair must be adjacent: {net:?}"
+        );
     }
 
     #[test]
     fn synthetic_data_preserves_marginals_at_high_epsilon() {
         let t = correlated_table(2_000, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let net = BayesNet::fit(&mut rng, &t, SynthesisConfig { degree: 1, epsilon: 100.0 });
+        let net = BayesNet::fit(
+            &mut rng,
+            &t,
+            SynthesisConfig {
+                degree: 1,
+                epsilon: 100.0,
+            },
+        );
         let synth = net.sample(&mut rng, 2_000);
         for cols in [vec![0], vec![2], vec![0, 1]] {
             let tvd = t.marginal_tvd(&synth, &cols);
@@ -258,14 +317,24 @@ mod tests {
         let t = correlated_table(2_000, 5);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let tvd_at = |eps: f64, rng: &mut ChaCha8Rng| -> f64 {
-            let net = BayesNet::fit(rng, &t, SynthesisConfig { degree: 1, epsilon: eps });
+            let net = BayesNet::fit(
+                rng,
+                &t,
+                SynthesisConfig {
+                    degree: 1,
+                    epsilon: eps,
+                },
+            );
             let synth = net.sample(rng, 2_000);
             t.marginal_tvd(&synth, &[0, 1])
         };
         let precise = tvd_at(100.0, &mut rng);
         // Average several low-ε runs to smooth sampling noise.
         let noisy: f64 = (0..5).map(|_| tvd_at(0.02, &mut rng)).sum::<f64>() / 5.0;
-        assert!(noisy > precise, "ε=0.02 ({noisy}) must hurt vs ε=100 ({precise})");
+        assert!(
+            noisy > precise,
+            "ε=0.02 ({noisy}) must hurt vs ε=100 ({precise})"
+        );
     }
 
     #[test]
@@ -275,7 +344,10 @@ mod tests {
         let net = BayesNet::fit_private_structure(
             &mut rng,
             &t,
-            SynthesisConfig { degree: 2, epsilon: 10.0 },
+            SynthesisConfig {
+                degree: 2,
+                epsilon: 10.0,
+            },
         );
         let synth = net.sample(&mut rng, 100);
         assert_eq!(synth.n_rows(), 100);
@@ -291,10 +363,44 @@ mod tests {
     }
 
     #[test]
+    fn fit_ledger_draws_sum_to_configured_epsilon() {
+        let t = correlated_table(200, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let eps = 4.0;
+        let net = BayesNet::fit(
+            &mut rng,
+            &t,
+            SynthesisConfig {
+                degree: 1,
+                epsilon: eps,
+            },
+        );
+        let ledger = net.ledger();
+        assert_eq!(ledger.draws().len(), 3, "one laplace draw per column");
+        assert!(
+            (ledger.total_drawn() - eps).abs() < 1e-9,
+            "draws must sum to ε: {} vs {eps}",
+            ledger.total_drawn()
+        );
+        assert!((ledger.spent() - ledger.total_drawn()).abs() < 1e-12);
+        assert!(ledger
+            .draws()
+            .iter()
+            .all(|d| d.mechanism == "laplace" && d.sensitivity == 1.0));
+    }
+
+    #[test]
     fn degree_zero_gives_independent_columns() {
         let t = correlated_table(500, 9);
         let mut rng = ChaCha8Rng::seed_from_u64(10);
-        let net = BayesNet::fit(&mut rng, &t, SynthesisConfig { degree: 0, epsilon: 50.0 });
+        let net = BayesNet::fit(
+            &mut rng,
+            &t,
+            SynthesisConfig {
+                degree: 0,
+                epsilon: 50.0,
+            },
+        );
         assert!((0..3).all(|c| net.parents(c).is_empty()));
         let synth = net.sample(&mut rng, 3_000);
         assert!(

@@ -1,5 +1,9 @@
 //! ε-budget accounting: sequential composition (budgets add) with support
-//! for parallel composition over disjoint partitions (budgets max).
+//! for parallel composition over disjoint partitions (budgets max), plus a
+//! [`BudgetLedger`] that records every draw (mechanism, label, sensitivity)
+//! for post-hoc privacy auditing.
+
+use ppdp_telemetry::BudgetDraw;
 
 /// Error returned when a spend would exceed the remaining budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +42,10 @@ impl PrivacyBudget {
     /// Panics if `epsilon` is not strictly positive and finite.
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
-        Self { total: epsilon, spent: 0.0 }
+        Self {
+            total: epsilon,
+            spent: 0.0,
+        }
     }
 
     /// Total ε of this budget.
@@ -60,7 +67,10 @@ impl PrivacyBudget {
     pub fn spend(&mut self, epsilon: f64) -> Result<(), BudgetExceeded> {
         assert!(epsilon >= 0.0, "cannot spend negative ε");
         if epsilon > self.remaining() + 1e-12 {
-            return Err(BudgetExceeded { requested: epsilon, remaining: self.remaining() });
+            return Err(BudgetExceeded {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
         }
         self.spent += epsilon;
         Ok(())
@@ -80,6 +90,84 @@ impl PrivacyBudget {
     }
 }
 
+/// A [`PrivacyBudget`] that additionally records every draw — which
+/// mechanism spent how much ε at what sensitivity, and what it released —
+/// so a publication pipeline can be audited after the fact. Each
+/// successful draw is also emitted to any active
+/// [`ppdp_telemetry::Recorder`], landing in the run's
+/// [`ppdp_telemetry::RunReport::budget`] section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedger {
+    budget: PrivacyBudget,
+    draws: Vec<BudgetDraw>,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger over a budget of `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            budget: PrivacyBudget::new(epsilon),
+            draws: Vec::new(),
+        }
+    }
+
+    /// Records a sequential draw of `epsilon` by `mechanism` (calibrated
+    /// against `sensitivity`) releasing `label`. A draw that would exceed
+    /// the remaining budget returns [`BudgetExceeded`] and records nothing.
+    pub fn spend(
+        &mut self,
+        epsilon: f64,
+        mechanism: &str,
+        label: &str,
+        sensitivity: f64,
+    ) -> Result<(), BudgetExceeded> {
+        self.budget.spend(epsilon)?;
+        self.draws.push(BudgetDraw {
+            mechanism: mechanism.to_owned(),
+            label: label.to_owned(),
+            epsilon,
+            delta: 0.0,
+            sensitivity,
+        });
+        ppdp_telemetry::budget_draw(mechanism, label, epsilon, 0.0, sensitivity);
+        Ok(())
+    }
+
+    /// Every recorded draw, in spend order.
+    pub fn draws(&self) -> &[BudgetDraw] {
+        &self.draws
+    }
+
+    /// Total ε of the underlying budget.
+    pub fn total(&self) -> f64 {
+        self.budget.total()
+    }
+
+    /// ε spent so far (always equals [`BudgetLedger::total_drawn`]).
+    pub fn spent(&self) -> f64 {
+        self.budget.spent()
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        self.budget.remaining()
+    }
+
+    /// Sum of ε across the recorded draws — the sequential-composition
+    /// total of the release.
+    pub fn total_drawn(&self) -> f64 {
+        self.draws.iter().map(|d| d.epsilon).sum()
+    }
+
+    /// Splits the remaining budget into `k` equal sequential shares.
+    pub fn equal_shares(&self, k: usize) -> f64 {
+        self.budget.equal_shares(k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +179,10 @@ mod tests {
         b.spend(0.4).unwrap();
         assert!((b.remaining() - 0.2).abs() < 1e-12);
         assert!(b.spend(0.3).is_err());
-        assert!((b.spent() - 0.8).abs() < 1e-12, "failed spend must not charge");
+        assert!(
+            (b.spent() - 0.8).abs() < 1e-12,
+            "failed spend must not charge"
+        );
     }
 
     #[test]
@@ -121,5 +212,47 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_budget_rejected() {
         PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    fn ledger_total_equals_sum_of_draws() {
+        let mut ledger = BudgetLedger::new(1.0);
+        ledger.spend(0.25, "laplace", "hist[a]", 1.0).unwrap();
+        ledger.spend(0.25, "laplace", "hist[b]", 1.0).unwrap();
+        ledger.spend(0.5, "exponential", "pick", 1.0).unwrap();
+        assert_eq!(ledger.draws().len(), 3);
+        assert!((ledger.total_drawn() - 1.0).abs() < 1e-12);
+        assert!(
+            (ledger.spent() - ledger.total_drawn()).abs() < 1e-12,
+            "ledger spent must equal the sum of its draws"
+        );
+        assert!(ledger.remaining() < 1e-12);
+        assert_eq!(ledger.draws()[2].mechanism, "exponential");
+        assert_eq!(ledger.draws()[0].label, "hist[a]");
+    }
+
+    #[test]
+    fn ledger_overdraw_errors_and_records_nothing() {
+        let mut ledger = BudgetLedger::new(0.5);
+        ledger.spend(0.4, "laplace", "x", 1.0).unwrap();
+        let err = ledger.spend(0.3, "laplace", "y", 1.0).unwrap_err();
+        assert_eq!(err.requested, 0.3);
+        assert!((err.remaining - 0.1).abs() < 1e-12);
+        assert_eq!(ledger.draws().len(), 1, "failed draw must not be recorded");
+        assert!((ledger.total_drawn() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_draws_reach_an_active_recorder() {
+        let rec = ppdp_telemetry::Recorder::new();
+        {
+            let _scope = rec.enter();
+            let mut ledger = BudgetLedger::new(1.0);
+            ledger.spend(0.5, "laplace", "cpd[0]", 1.0).unwrap();
+        }
+        let report = rec.take();
+        assert_eq!(report.budget.len(), 1);
+        assert!((report.total_epsilon() - 0.5).abs() < 1e-12);
+        assert_eq!(report.budget[0].mechanism, "laplace");
     }
 }

@@ -52,7 +52,9 @@ mod tests {
     fn table() -> Table {
         Table::new(
             vec![2, 2],
-            (0..400).map(|i| vec![(i % 2) as u16, ((i / 2) % 2) as u16]).collect(),
+            (0..400)
+                .map(|i| vec![(i % 2) as u16, ((i / 2) % 2) as u16])
+                .collect(),
         )
     }
 

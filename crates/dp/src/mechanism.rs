@@ -9,7 +9,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `scale` is not strictly positive and finite.
 pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    assert!(scale > 0.0 && scale.is_finite(), "Laplace scale must be positive");
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "Laplace scale must be positive"
+    );
     // Inverse-CDF sampling: u ∈ (−1/2, 1/2), x = −b·sgn(u)·ln(1 − 2|u|).
     let u: f64 = rng.gen::<f64>() - 0.5;
     -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
@@ -84,7 +87,10 @@ mod tests {
     fn laplace_scale_orders_spread() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let spread = |scale: f64, rng: &mut ChaCha8Rng| -> f64 {
-            (0..10_000).map(|_| laplace_noise(rng, scale).abs()).sum::<f64>() / 10_000.0
+            (0..10_000)
+                .map(|_| laplace_noise(rng, scale).abs())
+                .sum::<f64>()
+                / 10_000.0
         };
         let tight = spread(0.5, &mut rng);
         let wide = spread(5.0, &mut rng);
@@ -97,7 +103,10 @@ mod tests {
         let n = 50_000;
         let sum: i64 = (0..n).map(|_| geometric_noise(&mut rng, 0.5)).sum();
         let mean = sum as f64 / n as f64;
-        assert!(mean.abs() < 0.05, "two-sided geometric is centred, got {mean}");
+        assert!(
+            mean.abs() < 0.05,
+            "two-sided geometric is centred, got {mean}"
+        );
     }
 
     #[test]
@@ -107,7 +116,10 @@ mod tests {
         let picks = (0..2_000)
             .filter(|_| exponential_mechanism(&mut rng, &scores, 2.0, 1.0) == 2)
             .count();
-        assert!(picks > 1_800, "high score should dominate, got {picks}/2000");
+        assert!(
+            picks > 1_800,
+            "high score should dominate, got {picks}/2000"
+        );
     }
 
     #[test]
@@ -117,7 +129,10 @@ mod tests {
         let picks = (0..10_000)
             .filter(|_| exponential_mechanism(&mut rng, &scores, 0.0, 1.0) == 1)
             .count();
-        assert!((4_000..6_000).contains(&picks), "ε=0 ⇒ uniform, got {picks}");
+        assert!(
+            (4_000..6_000).contains(&picks),
+            "ε=0 ⇒ uniform, got {picks}"
+        );
     }
 
     #[test]

@@ -35,8 +35,14 @@ pub struct AnonymizedTable {
 pub fn mondrian_anonymize(table: &Table, quasi: &[usize], k: usize) -> AnonymizedTable {
     assert!(k >= 1, "k must be at least 1");
     assert!(!quasi.is_empty(), "need at least one quasi-identifier");
-    assert!(quasi.iter().all(|&c| c < table.n_cols()), "quasi column out of range");
-    assert!(table.n_rows() >= k, "fewer than k records: no k-anonymous table exists");
+    assert!(
+        quasi.iter().all(|&c| c < table.n_cols()),
+        "quasi column out of range"
+    );
+    assert!(
+        table.n_rows() >= k,
+        "fewer than k records: no k-anonymous table exists"
+    );
 
     let mut rows: Vec<Vec<u16>> = table.rows().to_vec();
     let indices: Vec<usize> = (0..rows.len()).collect();
@@ -105,14 +111,12 @@ fn best_split(
         let mut vals: Vec<u16> = part.iter().map(|&r| rows[r][c]).collect();
         vals.sort_unstable();
         let median = vals[vals.len() / 2];
-        let (lo, hi): (Vec<usize>, Vec<usize>) =
-            part.iter().partition(|&&r| rows[r][c] < median);
+        let (lo, hi): (Vec<usize>, Vec<usize>) = part.iter().partition(|&&r| rows[r][c] < median);
         if lo.len() >= k && hi.len() >= k {
             return Some((lo, hi));
         }
         // Try splitting at the median inclusive on the left instead.
-        let (lo, hi): (Vec<usize>, Vec<usize>) =
-            part.iter().partition(|&&r| rows[r][c] <= median);
+        let (lo, hi): (Vec<usize>, Vec<usize>) = part.iter().partition(|&&r| rows[r][c] <= median);
         if lo.len() >= k && hi.len() >= k {
             return Some((lo, hi));
         }
@@ -168,8 +172,14 @@ mod tests {
         let t = table(300, 3);
         let c2 = mondrian_anonymize(&t, &[0, 1], 2).generalization_cost;
         let c50 = mondrian_anonymize(&t, &[0, 1], 50).generalization_cost;
-        assert!(c50 >= c2, "larger k must coarsen at least as much: {c2} vs {c50}");
-        assert!(c2 > 0.0, "random 16x8 quasi space needs some generalization");
+        assert!(
+            c50 >= c2,
+            "larger k must coarsen at least as much: {c2} vs {c50}"
+        );
+        assert!(
+            c2 > 0.0,
+            "random 16x8 quasi space needs some generalization"
+        );
     }
 
     #[test]

@@ -154,12 +154,16 @@ mod tests {
         // col1 = col0 → MI = H(col0) = ln 2 for balanced binary.
         let dep = Table::new(
             vec![2, 2],
-            (0..100).map(|i| vec![(i % 2) as u16, (i % 2) as u16]).collect(),
+            (0..100)
+                .map(|i| vec![(i % 2) as u16, (i % 2) as u16])
+                .collect(),
         );
         assert!((dep.mutual_information(0, 1) - (2f64).ln()).abs() < 1e-9);
         let indep = Table::new(
             vec![2, 2],
-            (0..100).map(|i| vec![(i % 2) as u16, ((i / 2) % 2) as u16]).collect(),
+            (0..100)
+                .map(|i| vec![(i % 2) as u16, ((i / 2) % 2) as u16])
+                .collect(),
         );
         assert!(indep.mutual_information(0, 1) < 1e-9);
     }

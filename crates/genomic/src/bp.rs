@@ -23,7 +23,11 @@ pub struct BpConfig {
 
 impl Default for BpConfig {
     fn default() -> Self {
-        Self { max_iters: 100, tol: 1e-9, damping: 0.0 }
+        Self {
+            max_iters: 100,
+            tol: 1e-9,
+            damping: 0.0,
+        }
     }
 }
 
@@ -38,11 +42,15 @@ pub struct BpResult {
     pub iterations: usize,
     /// Whether the messages converged within the iteration budget.
     pub converged: bool,
+    /// Max absolute message change in the last sweep — the convergence
+    /// residual ([`f64::INFINITY`] when no sweep ran, 0 for exact methods).
+    pub final_residual: f64,
 }
 
 impl BpConfig {
     /// Runs sum-product BP on `g` and returns all posterior marginals.
     pub fn run(&self, g: &FactorGraph) -> BpResult {
+        let _span = ppdp_telemetry::span("bp.run");
         let nf = g.factors.len();
         // Node potentials: evidence clamps to an indicator, otherwise SNPs
         // are flat (their distribution is induced by the factors) and traits
@@ -74,6 +82,7 @@ impl BpConfig {
         let mut k2s = vec![[[1.0f64; 3]; 2]; nk];
         let mut iterations = 0;
         let mut converged = false;
+        let mut final_residual = f64::INFINITY;
 
         // Incoming product at SNP `s` excluding one association factor
         // (`skip_f`) or one kin-factor side (`skip_k`).
@@ -117,10 +126,22 @@ impl BpConfig {
             // Variable → kin-factor messages (parent side index 0, child 1).
             let mut s2k = vec![[[1.0f64; 3]; 2]; nk];
             for (k, kf) in g.kin_factors.iter().enumerate() {
-                s2k[k][0] =
-                    normalize3(incoming(kf.parent, None, Some(k), &f2s, &k2s, &snp_pot[kf.parent]));
-                s2k[k][1] =
-                    normalize3(incoming(kf.child, None, Some(k), &f2s, &k2s, &snp_pot[kf.child]));
+                s2k[k][0] = normalize3(incoming(
+                    kf.parent,
+                    None,
+                    Some(k),
+                    &f2s,
+                    &k2s,
+                    &snp_pot[kf.parent],
+                ));
+                s2k[k][1] = normalize3(incoming(
+                    kf.child,
+                    None,
+                    Some(k),
+                    &f2s,
+                    &k2s,
+                    &snp_pot[kf.child],
+                ));
             }
             let mut t2f = vec![[1.0f64; 2]; nf];
             for (t, fs) in g.trait_factors.iter().enumerate() {
@@ -187,11 +208,22 @@ impl BpConfig {
                 k2s[k][0] = to_parent;
             }
 
+            final_residual = delta;
+            ppdp_telemetry::value("bp.sweep_residual", delta);
             if delta < self.tol {
                 converged = true;
                 break;
             }
         }
+        ppdp_telemetry::counter("bp.iterations", iterations as u64);
+        ppdp_telemetry::counter(
+            if converged {
+                "bp.converged"
+            } else {
+                "bp.nonconverged"
+            },
+            1,
+        );
 
         // Beliefs: potential × product of all incoming factor messages
         // (both association and kin factors).
@@ -213,7 +245,13 @@ impl BpConfig {
             })
             .collect();
 
-        BpResult { snp_marginals, trait_marginals, iterations, converged }
+        BpResult {
+            snp_marginals,
+            trait_marginals,
+            iterations,
+            converged,
+            final_residual,
+        }
     }
 }
 
@@ -363,12 +401,61 @@ mod tests {
     }
 
     #[test]
+    fn convergence_is_exposed_as_data() {
+        let cat = figure_5_1_catalog();
+        let g = FactorGraph::build(&cat, &Evidence::none());
+        let cfg = BpConfig::default();
+        let r = cfg.run(&g);
+        assert!(r.converged);
+        assert!(r.iterations >= 1 && r.iterations <= cfg.max_iters);
+        assert!(
+            r.final_residual < cfg.tol,
+            "converged run must report a sub-tolerance residual, got {}",
+            r.final_residual
+        );
+        // Starving the iteration budget surfaces non-convergence as data.
+        let starved = BpConfig {
+            max_iters: 1,
+            tol: 1e-15,
+            ..cfg
+        }
+        .run(&g);
+        assert!(!starved.converged);
+        assert_eq!(starved.iterations, 1);
+        assert!(starved.final_residual.is_finite() && starved.final_residual >= 1e-15);
+    }
+
+    #[test]
+    fn bp_run_records_telemetry() {
+        let rec = ppdp_telemetry::Recorder::new();
+        let cat = figure_5_1_catalog();
+        let g = FactorGraph::build(&cat, &Evidence::none());
+        let r = {
+            let _scope = rec.enter();
+            BpConfig::default().run(&g)
+        };
+        let report = rec.take();
+        assert_eq!(report.counter("bp.iterations"), r.iterations as u64);
+        assert_eq!(report.counter("bp.converged"), 1);
+        let h = report
+            .histogram("bp.sweep_residual")
+            .expect("residuals recorded");
+        assert_eq!(h.count, r.iterations as u64);
+        assert!(report.span("bp.run").is_some());
+    }
+
+    #[test]
     fn damping_reaches_same_fixed_point_on_tree() {
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomNonRisk);
         let g = FactorGraph::build(&cat, &ev);
         let plain = BpConfig::default().run(&g);
-        let damped = BpConfig { damping: 0.5, max_iters: 500, ..Default::default() }.run(&g);
+        let damped = BpConfig {
+            damping: 0.5,
+            max_iters: 500,
+            ..Default::default()
+        }
+        .run(&g);
         for (a, b) in plain.trait_marginals.iter().zip(&damped.trait_marginals) {
             assert!((a[1] - b[1]).abs() < 1e-6);
         }

@@ -51,7 +51,11 @@ pub struct GwasCatalog {
 impl GwasCatalog {
     /// Creates an empty catalog over `n_snps` SNP loci.
     pub fn new(n_snps: usize) -> Self {
-        Self { traits: Vec::new(), n_snps, associations: Vec::new() }
+        Self {
+            traits: Vec::new(),
+            n_snps,
+            associations: Vec::new(),
+        }
     }
 
     /// Registers a trait; returns its id.
@@ -63,7 +67,10 @@ impl GwasCatalog {
             prevalence > 0.0 && prevalence < 1.0,
             "prevalence must lie strictly in (0,1)"
         );
-        self.traits.push(TraitInfo { name: name.into(), prevalence });
+        self.traits.push(TraitInfo {
+            name: name.into(),
+            prevalence,
+        });
         TraitId(self.traits.len() - 1)
     }
 
@@ -76,8 +83,16 @@ impl GwasCatalog {
         assert!(snp.0 < self.n_snps, "unknown SNP {snp}");
         assert!(trait_id.0 < self.traits.len(), "unknown trait {trait_id}");
         assert!(odds_ratio > 0.0, "odds ratio must be positive");
-        assert!(raf_control > 0.0 && raf_control < 1.0, "f^o must lie in (0,1)");
-        self.associations.push(Association { snp, trait_id, odds_ratio, raf_control });
+        assert!(
+            raf_control > 0.0 && raf_control < 1.0,
+            "f^o must lie in (0,1)"
+        );
+        self.associations.push(Association {
+            snp,
+            trait_id,
+            odds_ratio,
+            raf_control,
+        });
     }
 
     /// Number of SNP loci.
@@ -153,10 +168,18 @@ mod tests {
         };
         assert!((a.raf_case() - 0.3).abs() < 1e-12);
         // OR = 2, f^o = 0.5 → odds 1 → 2 → f^a = 2/3.
-        let b = Association { odds_ratio: 2.0, raf_control: 0.5, ..a };
+        let b = Association {
+            odds_ratio: 2.0,
+            raf_control: 0.5,
+            ..a
+        };
         assert!((b.raf_case() - 2.0 / 3.0).abs() < 1e-12);
         // Risk allele with OR > 1 is always enriched in cases.
-        let c = Association { odds_ratio: 1.8, raf_control: 0.2, ..a };
+        let c = Association {
+            odds_ratio: 1.8,
+            raf_control: 0.2,
+            ..a
+        };
         assert!(c.raf_case() > c.raf_control);
     }
 

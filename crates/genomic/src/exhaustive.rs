@@ -14,10 +14,12 @@ use crate::factor_graph::FactorGraph;
 /// use belief propagation beyond toy sizes (that asymmetry *is* the
 /// experiment).
 pub fn exhaustive_marginals(g: &FactorGraph) -> BpResult {
-    let unknown_snps: Vec<usize> =
-        (0..g.n_snps()).filter(|&s| g.snp_evidence[s].is_none()).collect();
-    let unknown_traits: Vec<usize> =
-        (0..g.n_traits()).filter(|&t| g.trait_evidence[t].is_none()).collect();
+    let unknown_snps: Vec<usize> = (0..g.n_snps())
+        .filter(|&s| g.snp_evidence[s].is_none())
+        .collect();
+    let unknown_traits: Vec<usize> = (0..g.n_traits())
+        .filter(|&t| g.trait_evidence[t].is_none())
+        .collect();
 
     let states = 3f64.powi(unknown_snps.len() as i32) * 2f64.powi(unknown_traits.len() as i32);
     assert!(
@@ -79,7 +81,10 @@ pub fn exhaustive_marginals(g: &FactorGraph) -> BpResult {
         }
     }
 
-    assert!(z > 0.0, "factorization assigns zero mass to every assignment");
+    assert!(
+        z > 0.0,
+        "factorization assigns zero mass to every assignment"
+    );
     for m in &mut snp_acc {
         for x in m.iter_mut() {
             *x /= z;
@@ -95,6 +100,7 @@ pub fn exhaustive_marginals(g: &FactorGraph) -> BpResult {
         trait_marginals: trait_acc,
         iterations: total as usize,
         converged: true,
+        final_residual: 0.0,
     }
 }
 
@@ -155,7 +161,12 @@ mod tests {
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
         let g = FactorGraph::build(&c, &ev);
         assert!(!g.is_forest());
-        let bp = BpConfig { damping: 0.3, max_iters: 2000, ..Default::default() }.run(&g);
+        let bp = BpConfig {
+            damping: 0.3,
+            max_iters: 2000,
+            ..Default::default()
+        }
+        .run(&g);
         let ex = exhaustive_marginals(&g);
         for (a, b) in bp.trait_marginals.iter().zip(&ex.trait_marginals) {
             assert!(

@@ -121,10 +121,14 @@ impl FactorGraph {
             })
             .collect();
 
-        let snp_evidence: Vec<Option<usize>> =
-            snp_ids.iter().map(|s| evidence.snps.get(s).map(|g| g.index())).collect();
-        let trait_evidence: Vec<Option<bool>> =
-            trait_ids.iter().map(|t| evidence.traits.get(t).copied()).collect();
+        let snp_evidence: Vec<Option<usize>> = snp_ids
+            .iter()
+            .map(|s| evidence.snps.get(s).map(|g| g.index()))
+            .collect();
+        let trait_evidence: Vec<Option<bool>> = trait_ids
+            .iter()
+            .map(|t| evidence.traits.get(t).copied())
+            .collect();
 
         let mut factors = Vec::with_capacity(catalog.associations().len());
         let mut snp_factors = vec![Vec::new(); snp_ids.len()];
@@ -138,7 +142,11 @@ impl FactorGraph {
                 table[g.index()][1] = genotype_given_trait(assoc, g, true);
             }
             let f_idx = factors.len();
-            factors.push(Factor { snp: s, trait_idx: t, table });
+            factors.push(Factor {
+                snp: s,
+                trait_idx: t,
+                table,
+            });
             snp_factors[s].push(f_idx);
             trait_factors[t].push(f_idx);
         }
@@ -165,9 +173,16 @@ impl FactorGraph {
     /// # Panics
     /// Panics on out-of-range variable indices.
     pub fn add_kin_factor(&mut self, parent: usize, child: usize, table: [[f64; 3]; 3]) {
-        assert!(parent < self.n_snps() && child < self.n_snps(), "SNP index out of range");
+        assert!(
+            parent < self.n_snps() && child < self.n_snps(),
+            "SNP index out of range"
+        );
         let idx = self.kin_factors.len();
-        self.kin_factors.push(KinFactor { parent, child, table });
+        self.kin_factors.push(KinFactor {
+            parent,
+            child,
+            table,
+        });
         self.snp_kin[parent].push(idx);
         self.snp_kin[child].push(idx);
     }

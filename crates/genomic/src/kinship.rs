@@ -45,7 +45,10 @@ impl Family {
     /// # Panics
     /// Panics on unknown indices or a self-relation.
     pub fn relate(&mut self, parent: usize, child: usize) {
-        assert!(parent < self.members.len() && child < self.members.len(), "unknown member");
+        assert!(
+            parent < self.members.len() && child < self.members.len(),
+            "unknown member"
+        );
         assert_ne!(parent, child, "a member cannot parent themselves");
         self.parent_child.push((parent, child));
     }
@@ -109,7 +112,10 @@ pub fn transmission_table(f: f64) -> [[f64; 3]; 3] {
 ///
 /// Returns the graph and the index for locating per-member variables.
 pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGraph, FamilyIndex) {
-    assert!(!family.members.is_empty(), "family needs at least one member");
+    assert!(
+        !family.members.is_empty(),
+        "family needs at least one member"
+    );
     let template = FactorGraph::build(catalog, &Evidence::none());
     let m = family.members.len();
     let (ns, nt) = (template.n_snps(), template.n_traits());
@@ -133,10 +139,17 @@ pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGrap
         g.trait_ids.extend_from_slice(&template.trait_ids);
         g.trait_prior.extend_from_slice(&template.trait_prior);
         g.snp_evidence.extend(
-            template.snp_ids.iter().map(|s| evidence.snps.get(s).map(|x| x.index())),
+            template
+                .snp_ids
+                .iter()
+                .map(|s| evidence.snps.get(s).map(|x| x.index())),
         );
-        g.trait_evidence
-            .extend(template.trait_ids.iter().map(|t| evidence.traits.get(t).copied()));
+        g.trait_evidence.extend(
+            template
+                .trait_ids
+                .iter()
+                .map(|t| evidence.traits.get(t).copied()),
+        );
         for f in &template.factors {
             let idx = g.factors.len();
             g.factors.push(crate::factor_graph::Factor {
@@ -170,7 +183,11 @@ pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGrap
             let mut table = [[0.0; 3]; 3];
             for (p_row, raw_row) in table.iter_mut().zip(&raw) {
                 for c in 0..3 {
-                    p_row[c] = if hwe[c] > 0.0 { raw_row[c] / hwe[c] } else { 0.0 };
+                    p_row[c] = if hwe[c] > 0.0 {
+                        raw_row[c] / hwe[c]
+                    } else {
+                        0.0
+                    };
                 }
             }
             g.add_kin_factor(parent * ns + i, child * ns + i, table);
@@ -271,8 +288,7 @@ pub fn kin_greedy_sanitize(
                 };
                 match (p, b) {
                     (Some(p), Some(b)) => {
-                        let tv =
-                            0.5 * p.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>();
+                        let tv = 0.5 * p.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>();
                         (1.0 - tv).clamp(0.0, 1.0)
                     }
                     _ => 1.0,
@@ -280,8 +296,7 @@ pub fn kin_greedy_sanitize(
             })
             .collect()
     };
-    let min_level =
-        |w: &[usize]| -> f64 { levels(w).into_iter().fold(f64::INFINITY, f64::min) };
+    let min_level = |w: &[usize]| -> f64 { levels(w).into_iter().fold(f64::INFINITY, f64::min) };
     let sum_level = |w: &[usize]| -> f64 { levels(w).iter().sum() };
 
     let order = ppdp_opt::greedy_cardinality(
@@ -439,7 +454,10 @@ mod tests {
         let base_rr = r0.snp_marginals[idx0.snp(solo, SnpId(0)).unwrap()][0];
 
         assert!(p_rr > c_rr, "parent closer to evidence: {p_rr} vs {c_rr}");
-        assert!(c_rr > base_rr, "grandchild still above baseline: {c_rr} vs {base_rr}");
+        assert!(
+            c_rr > base_rr,
+            "grandchild still above baseline: {c_rr} vs {base_rr}"
+        );
     }
 
     #[test]
@@ -461,20 +479,21 @@ mod tests {
         );
         let child = fam.member(Evidence::none());
         fam.relate(parent, child);
-        let targets =
-            [KinTarget::Trait(child, TraitId(0)), KinTarget::Trait(child, TraitId(1))];
-        let out = kin_greedy_sanitize(
-            &cat,
-            &fam,
-            parent,
-            &targets,
-            0.99,
-            4,
-            BpConfig::default(),
+        let targets = [
+            KinTarget::Trait(child, TraitId(0)),
+            KinTarget::Trait(child, TraitId(1)),
+        ];
+        let out = kin_greedy_sanitize(&cat, &fam, parent, &targets, 0.99, 4, BpConfig::default());
+        assert!(
+            out.satisfied,
+            "withholding everything must protect the child: {out:?}"
         );
-        assert!(out.satisfied, "withholding everything must protect the child: {out:?}");
         for w in out.history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "privacy trajectory monotone: {:?}", out.history);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "privacy trajectory monotone: {:?}",
+                out.history
+            );
         }
         assert!(!out.withheld.is_empty());
     }
@@ -496,6 +515,9 @@ mod tests {
             BpConfig::default(),
         );
         assert!(out.satisfied);
-        assert!(out.withheld.is_empty(), "no kinship edge, nothing leaks: {out:?}");
+        assert!(
+            out.withheld.is_empty(),
+            "no kinship edge, nothing leaks: {out:?}"
+        );
     }
 }

@@ -39,7 +39,10 @@ impl LdPair {
     /// P[ρ_a ρ_b])`, clamped into the feasible region.
     pub fn haplotype_frequencies(&self) -> [f64; 4] {
         let (fa, fb, r) = (self.freq_a, self.freq_b, self.r);
-        assert!((0.0..=1.0).contains(&fa) && (0.0..=1.0).contains(&fb), "bad frequency");
+        assert!(
+            (0.0..=1.0).contains(&fa) && (0.0..=1.0).contains(&fb),
+            "bad frequency"
+        );
         assert!((-1.0..=1.0).contains(&r), "correlation out of range");
         let d = r * (fa * (1.0 - fa) * fb * (1.0 - fb)).sqrt();
         // Feasibility: all four haplotype frequencies must be ≥ 0.
@@ -108,7 +111,11 @@ impl LdPair {
         let mut out = [[0.0; 3]; 3];
         for (row, raw_row) in out.iter_mut().zip(&raw) {
             for c in 0..3 {
-                row[c] = if hwe[c] > 0.0 { raw_row[c] / hwe[c] } else { 0.0 };
+                row[c] = if hwe[c] > 0.0 {
+                    raw_row[c] / hwe[c]
+                } else {
+                    0.0
+                };
             }
         }
         out
@@ -142,7 +149,13 @@ mod tests {
     #[test]
     fn haplotypes_normalize_and_respect_feasibility() {
         for &(fa, fb, r) in &[(0.3, 0.4, 0.8), (0.1, 0.9, -0.5), (0.5, 0.5, 1.0)] {
-            let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: fa, freq_b: fb, r };
+            let p = LdPair {
+                a: SnpId(0),
+                b: SnpId(1),
+                freq_a: fa,
+                freq_b: fb,
+                r,
+            };
             let h = p.haplotype_frequencies();
             assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
             assert!(h.iter().all(|&x| x >= -1e-12), "{h:?}");
@@ -151,7 +164,13 @@ mod tests {
 
     #[test]
     fn zero_correlation_gives_independence() {
-        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.4, r: 0.0 };
+        let p = LdPair {
+            a: SnpId(0),
+            b: SnpId(1),
+            freq_a: 0.3,
+            freq_b: 0.4,
+            r: 0.0,
+        };
         let t = p.genotype_table();
         // Every row equals the HWE marginal at b.
         let hwe = [0.4 * 0.4, 2.0 * 0.4 * 0.6, 0.6 * 0.6];
@@ -170,7 +189,13 @@ mod tests {
 
     #[test]
     fn perfect_ld_makes_genotypes_track() {
-        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r: 1.0 };
+        let p = LdPair {
+            a: SnpId(0),
+            b: SnpId(1),
+            freq_a: 0.3,
+            freq_b: 0.3,
+            r: 1.0,
+        };
         let t = p.genotype_table();
         // With r = 1 and equal frequencies, g_b = g_a deterministically.
         for g in 0..3 {
@@ -180,7 +205,13 @@ mod tests {
 
     #[test]
     fn genotype_rows_normalize() {
-        let p = LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.2, freq_b: 0.6, r: 0.5 };
+        let p = LdPair {
+            a: SnpId(0),
+            b: SnpId(1),
+            freq_a: 0.2,
+            freq_b: 0.6,
+            r: 0.5,
+        };
         for row in p.genotype_table() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         }
@@ -204,7 +235,13 @@ mod tests {
 
         let added = add_ld_factors(
             &mut g,
-            &[LdPair { a: SnpId(0), b: SnpId(1), freq_a: 0.3, freq_b: 0.3, r: 0.95 }],
+            &[LdPair {
+                a: SnpId(0),
+                b: SnpId(1),
+                freq_a: 0.3,
+                freq_b: 0.3,
+                r: 0.95,
+            }],
         );
         assert_eq!(added, 1);
         let with_ld = BpConfig::default().run(&g);
@@ -223,8 +260,17 @@ mod tests {
         let mut g = FactorGraph::build(&cat, &Evidence::none());
         let added = add_ld_factors(
             &mut g,
-            &[LdPair { a: SnpId(0), b: SnpId(2), freq_a: 0.3, freq_b: 0.3, r: 0.9 }],
+            &[LdPair {
+                a: SnpId(0),
+                b: SnpId(2),
+                freq_a: 0.3,
+                freq_b: 0.3,
+                r: 0.9,
+            }],
         );
-        assert_eq!(added, 0, "SNP 2 has no associations and is not materialized");
+        assert_eq!(
+            added, 0,
+            "SNP 2 has no associations and is not materialized"
+        );
     }
 }

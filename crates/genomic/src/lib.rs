@@ -44,7 +44,9 @@ pub use bp::{BpConfig, BpResult};
 pub use catalog::{Association, GwasCatalog, TraitInfo};
 pub use exhaustive::exhaustive_marginals;
 pub use factor_graph::{Evidence, FactorGraph};
-pub use kinship::{build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget};
+pub use kinship::{
+    build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget,
+};
 pub use ld::{add_ld_factors, LdPair};
 pub use model::{Genotype, SnpId, TraitId};
 pub use nb::naive_bayes_marginals;

@@ -81,7 +81,13 @@ pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> BpRe
         })
         .collect();
 
-    BpResult { snp_marginals, trait_marginals, iterations: 1, converged: true }
+    BpResult {
+        snp_marginals,
+        trait_marginals,
+        iterations: 1,
+        converged: true,
+        final_residual: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +128,10 @@ mod tests {
         let bp = BpConfig::default().run(&g);
         let t1 = g.trait_local(TraitId(0)).unwrap();
         let prior = cat.trait_info(TraitId(0)).prevalence;
-        assert!((nb.trait_marginals[t1][1] - prior).abs() < 1e-12, "NB stays at prior");
+        assert!(
+            (nb.trait_marginals[t1][1] - prior).abs() < 1e-12,
+            "NB stays at prior"
+        );
         assert!(
             (bp.trait_marginals[t1][1] - prior).abs() > 1e-6,
             "BP moves t1 via the shared SNP"

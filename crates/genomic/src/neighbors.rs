@@ -35,8 +35,10 @@ pub fn neighbor_snps_of_trait(cat: &GwasCatalog, t: TraitId) -> Vec<SnpId> {
         .flat_map(|&s| traits_of_snp(cat, s))
         .filter(|&tj| tj != t)
         .collect();
-    let s2: BTreeSet<SnpId> =
-        sharing_traits.iter().flat_map(|&tj| snps_of_trait(cat, tj)).collect();
+    let s2: BTreeSet<SnpId> = sharing_traits
+        .iter()
+        .flat_map(|&tj| snps_of_trait(cat, tj))
+        .collect();
     let s3 = snps_sharing_traits_with(cat, &s2);
     let mut all = s1;
     all.extend(s2);
@@ -82,9 +84,18 @@ mod tests {
         // with t1 (1-indexed in the text; 0-indexed here).
         let cat = figure_5_1_catalog();
         let n = neighbor_snps_of_trait(&cat, TraitId(0));
-        assert!(n.contains(&SnpId(0)) && n.contains(&SnpId(1)), "direct SNPs");
-        assert!(n.contains(&SnpId(2)) && n.contains(&SnpId(3)), "via shared s1/t1");
-        assert!(!n.contains(&SnpId(4)), "s5 belongs to a different component");
+        assert!(
+            n.contains(&SnpId(0)) && n.contains(&SnpId(1)),
+            "direct SNPs"
+        );
+        assert!(
+            n.contains(&SnpId(2)) && n.contains(&SnpId(3)),
+            "via shared s1/t1"
+        );
+        assert!(
+            !n.contains(&SnpId(4)),
+            "s5 belongs to a different component"
+        );
     }
 
     #[test]
@@ -94,7 +105,10 @@ mod tests {
         let cat = figure_5_1_catalog();
         let n = neighbor_snps_of_snp(&cat, SnpId(0));
         assert!(n.contains(&SnpId(1)), "shares t0");
-        assert!(n.contains(&SnpId(2)) && n.contains(&SnpId(3)), "via s1's trait t1");
+        assert!(
+            n.contains(&SnpId(2)) && n.contains(&SnpId(3)),
+            "via s1's trait t1"
+        );
         assert!(!n.contains(&SnpId(0)), "self excluded");
         assert!(!n.contains(&SnpId(4)));
     }

@@ -35,14 +35,22 @@ where
 /// numerically by `coding` (e.g. risk-allele copies for genotypes, 0/1 for
 /// traits). Normalized by the coding's range so it lies in `[0, 1]`.
 pub fn estimation_error(dist: &[f64], coding: &[f64]) -> f64 {
-    assert_eq!(dist.len(), coding.len(), "distribution/coding length mismatch");
+    assert_eq!(
+        dist.len(),
+        coding.len(),
+        "distribution/coding length mismatch"
+    );
     if dist.is_empty() {
         return 0.0;
     }
     let xhat = coding[argmax(dist)];
     let range = coding.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - coding.iter().cloned().fold(f64::INFINITY, f64::min);
-    let raw: f64 = dist.iter().zip(coding).map(|(&p, &x)| p * (x - xhat).abs()).sum();
+    let raw: f64 = dist
+        .iter()
+        .zip(coding)
+        .map(|(&p, &x)| p * (x - xhat).abs())
+        .sum();
     if range > 0.0 {
         raw / range
     } else {

@@ -48,12 +48,10 @@ impl Predictor {
         targets
             .iter()
             .map(|t| match t {
-                Target::Snp(s) => {
-                    g.snp_local(*s).map(|i| result.snp_marginals[i].to_vec())
-                }
-                Target::Trait(t) => {
-                    g.trait_local(*t).map(|i| result.trait_marginals[i].to_vec())
-                }
+                Target::Snp(s) => g.snp_local(*s).map(|i| result.snp_marginals[i].to_vec()),
+                Target::Trait(t) => g
+                    .trait_local(*t)
+                    .map(|i| result.trait_marginals[i].to_vec()),
             })
             .collect()
     }
@@ -108,6 +106,11 @@ pub struct SanitizeOutcome {
     pub error_history: Vec<f64>,
     /// Whether every target reached `δ`.
     pub satisfied: bool,
+    /// Whether every predictor invocation during the run converged
+    /// (trivially true for the exact Naive Bayes baseline; for BP this
+    /// aggregates the [`crate::BpResult::converged`] flags that were
+    /// previously discarded).
+    pub predictor_converged: bool,
 }
 
 /// The vulnerable-neighbor-SNP candidate set: released SNPs that are
@@ -124,7 +127,10 @@ pub fn candidate_snps(
             Target::Snp(s) => cands.extend(neighbor_snps_of_snp(catalog, *s)),
         }
     }
-    cands.into_iter().filter(|s| evidence.snps.contains_key(s)).collect()
+    cands
+        .into_iter()
+        .filter(|s| evidence.snps.contains_key(s))
+        .collect()
 }
 
 /// Greedy GPUT solver: iteratively hides the released neighbor SNP whose
@@ -144,6 +150,11 @@ pub fn greedy_sanitize(
     max_removals: usize,
     predictor: Predictor,
 ) -> SanitizeOutcome {
+    // A scoped recorder audits the predictor's convergence counters for
+    // this run; events still propagate to any outer/global recorder.
+    let audit = ppdp_telemetry::Recorder::new();
+    let audit_scope = audit.enter();
+    let span = ppdp_telemetry::span("sanitize.greedy");
     let candidates = candidate_snps(catalog, evidence, targets);
 
     let evidence_without = |removed: &[usize]| -> Evidence {
@@ -162,18 +173,28 @@ pub fn greedy_sanitize(
     };
     let sum_entropy = |removed: &[usize]| -> f64 {
         let ev = evidence_without(removed);
-        predictor.target_privacy_levels(catalog, &ev, targets).iter().sum()
+        predictor
+            .target_privacy_levels(catalog, &ev, targets)
+            .iter()
+            .sum()
     };
 
     // Greedy on the summed privacy level (smooth objective); the stopping
     // rule and the reported trajectory use the min (the δ-privacy
     // criterion).
-    let order = greedy_cardinality(candidates.len(), max_removals.min(candidates.len()), |sel| {
-        sum_entropy(sel)
-    });
+    let order = greedy_cardinality(
+        candidates.len(),
+        max_removals.min(candidates.len()),
+        |sel| sum_entropy(sel),
+    );
 
     let mut history = vec![min_entropy(&[])];
-    let mut error_history = vec![mean_error(&predictor, catalog, &evidence_without(&[]), targets)];
+    let mut error_history = vec![mean_error(
+        &predictor,
+        catalog,
+        &evidence_without(&[]),
+        targets,
+    )];
     let mut taken: Vec<usize> = Vec::new();
     let mut satisfied = history[0] >= delta;
     for &i in &order {
@@ -183,15 +204,26 @@ pub fn greedy_sanitize(
         taken.push(i);
         let h = min_entropy(&taken);
         history.push(h);
-        error_history.push(mean_error(&predictor, catalog, &evidence_without(&taken), targets));
+        error_history.push(mean_error(
+            &predictor,
+            catalog,
+            &evidence_without(&taken),
+            targets,
+        ));
         satisfied = h >= delta;
     }
+
+    ppdp_telemetry::counter("sanitize.greedy.removed", taken.len() as u64);
+    drop(span);
+    drop(audit_scope);
+    let predictor_converged = audit.take().counter("bp.nonconverged") == 0;
 
     SanitizeOutcome {
         removed: taken.into_iter().map(|i| candidates[i]).collect(),
         history,
         error_history,
         satisfied,
+        predictor_converged,
     }
 }
 
@@ -281,9 +313,16 @@ mod tests {
             8,
             Predictor::BeliefPropagation(BpConfig::default()),
         );
-        assert!(out.satisfied, "hiding every informative SNP must suffice: {out:?}");
+        assert!(
+            out.satisfied,
+            "hiding every informative SNP must suffice: {out:?}"
+        );
         let last = *out.history.last().unwrap();
         assert!(last >= 0.9);
+        assert!(
+            out.predictor_converged,
+            "tree-structured BP must converge every call"
+        );
     }
 
     #[test]
@@ -300,8 +339,14 @@ mod tests {
             8,
             Predictor::BeliefPropagation(BpConfig::default()),
         );
-        let nb =
-            greedy_sanitize(&cat, &full_evidence(), &targets, 0.35, 8, Predictor::NaiveBayes);
+        let nb = greedy_sanitize(
+            &cat,
+            &full_evidence(),
+            &targets,
+            0.35,
+            8,
+            Predictor::NaiveBayes,
+        );
         assert!(
             bp.removed.len() >= nb.removed.len(),
             "BP {} vs NB {}",
@@ -337,7 +382,10 @@ mod tests {
             8,
             Predictor::NaiveBayes,
         );
-        assert!(out.satisfied, "a trait with no associations cannot be attacked");
+        assert!(
+            out.satisfied,
+            "a trait with no associations cannot be attacked"
+        );
         assert!(out.removed.is_empty());
     }
 }

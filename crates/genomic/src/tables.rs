@@ -21,7 +21,11 @@ use crate::model::Genotype;
 /// non-risk allele (`false`) at the association's locus, conditioned on the
 /// trait being present (`trait_present`).
 pub fn allele_given_trait(assoc: &Association, risk: bool, trait_present: bool) -> f64 {
-    let f = if trait_present { assoc.raf_case() } else { assoc.raf_control };
+    let f = if trait_present {
+        assoc.raf_case()
+    } else {
+        assoc.raf_control
+    };
     if risk {
         f
     } else {
@@ -31,7 +35,11 @@ pub fn allele_given_trait(assoc: &Association, risk: bool, trait_present: bool) 
 
 /// Table 5.2 (Hardy-Weinberg form): `P(genotype | trait status)`.
 pub fn genotype_given_trait(assoc: &Association, g: Genotype, trait_present: bool) -> f64 {
-    let f = if trait_present { assoc.raf_case() } else { assoc.raf_control };
+    let f = if trait_present {
+        assoc.raf_case()
+    } else {
+        assoc.raf_control
+    };
     match g {
         Genotype::HomRisk => f * f,
         Genotype::Het => 2.0 * f * (1.0 - f),
@@ -67,7 +75,12 @@ mod tests {
     use crate::model::{SnpId, TraitId};
 
     fn assoc(or: f64, fo: f64) -> Association {
-        Association { snp: SnpId(0), trait_id: TraitId(0), odds_ratio: or, raf_control: fo }
+        Association {
+            snp: SnpId(0),
+            trait_id: TraitId(0),
+            odds_ratio: or,
+            raf_control: fo,
+        }
     }
 
     #[test]
@@ -88,9 +101,14 @@ mod tests {
     fn table_5_2_normalizes() {
         let a = assoc(2.3, 0.17);
         for present in [true, false] {
-            let total: f64 =
-                Genotype::ALL.iter().map(|&g| genotype_given_trait(&a, g, present)).sum();
-            assert!((total - 1.0).abs() < 1e-12, "HWE must normalize, got {total}");
+            let total: f64 = Genotype::ALL
+                .iter()
+                .map(|&g| genotype_given_trait(&a, g, present))
+                .sum();
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "HWE must normalize, got {total}"
+            );
         }
     }
 
@@ -126,7 +144,10 @@ mod tests {
     fn genotype_marginal_is_mixture() {
         let a = assoc(1.7, 0.3);
         let p = 0.2;
-        let total: f64 = Genotype::ALL.iter().map(|&g| genotype_marginal(&a, p, g)).sum();
+        let total: f64 = Genotype::ALL
+            .iter()
+            .map(|&g| genotype_marginal(&a, p, g))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 }

@@ -37,7 +37,10 @@ impl Category {
     /// Panics if `arity == 0` — a category must admit at least one value.
     pub fn new(name: impl Into<String>, arity: Value) -> Self {
         assert!(arity > 0, "category arity must be positive");
-        Self { name: name.into(), arity }
+        Self {
+            name: name.into(),
+            arity,
+        }
     }
 }
 
@@ -56,7 +59,11 @@ impl Schema {
     /// Convenience constructor: `n` categories all with the same arity,
     /// named `a0, a1, …`.
     pub fn uniform(n: usize, arity: Value) -> Self {
-        Self::new((0..n).map(|i| Category::new(format!("a{i}"), arity)).collect())
+        Self::new(
+            (0..n)
+                .map(|i| Category::new(format!("a{i}"), arity))
+                .collect(),
+        )
     }
 
     /// Number of categories `|H|`.
@@ -84,7 +91,10 @@ impl Schema {
 
     /// Iterator over `(CategoryId, &Category)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CategoryId, &Category)> {
-        self.categories.iter().enumerate().map(|(i, c)| (CategoryId(i), c))
+        self.categories
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CategoryId(i), c))
     }
 
     /// All category ids.
@@ -94,7 +104,10 @@ impl Schema {
 
     /// Looks a category up by name.
     pub fn find(&self, name: &str) -> Option<CategoryId> {
-        self.categories.iter().position(|c| c.name == name).map(CategoryId)
+        self.categories
+            .iter()
+            .position(|c| c.name == name)
+            .map(CategoryId)
     }
 
     /// Checks that `value` is legal for `cat`.

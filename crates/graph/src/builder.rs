@@ -16,7 +16,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder over `schema` with no users.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new(), edges: Vec::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a user with all attributes missing; returns its id.
@@ -32,7 +36,10 @@ impl GraphBuilder {
     pub fn user_with(&mut self, row: &[Value]) -> UserId {
         assert_eq!(row.len(), self.schema.len(), "row width mismatch");
         for (c, &v) in row.iter().enumerate() {
-            assert!(self.schema.validate(CategoryId(c), v), "illegal value {v} in column {c}");
+            assert!(
+                self.schema.validate(CategoryId(c), v),
+                "illegal value {v} in column {c}"
+            );
         }
         self.rows.push(row.iter().map(|&v| Some(v)).collect());
         UserId(self.rows.len() - 1)

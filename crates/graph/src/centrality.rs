@@ -16,7 +16,9 @@ pub fn degree_centrality(g: &SocialGraph) -> Vec<f64> {
     if n <= 1 {
         return vec![0.0; n];
     }
-    g.users().map(|u| g.degree(u) as f64 / (n - 1) as f64).collect()
+    g.users()
+        .map(|u| g.degree(u) as f64 / (n - 1) as f64)
+        .collect()
 }
 
 /// Closeness centrality: `(reachable − 1) / Σ distances`, scaled by the
@@ -83,7 +85,11 @@ pub fn betweenness_centrality(g: &SocialGraph) -> Vec<f64> {
         }
     }
     // Undirected graph: each pair counted twice; normalize to [0, 1].
-    let norm = if n > 2 { ((n - 1) * (n - 2)) as f64 } else { 1.0 };
+    let norm = if n > 2 {
+        ((n - 1) * (n - 2)) as f64
+    } else {
+        1.0
+    };
     for x in &mut bc {
         *x /= norm;
     }

@@ -49,7 +49,11 @@ impl Dissimilarity for AttributeHamming {
         let changed: usize = g
             .users()
             .map(|u| {
-                g.attr_row(u).iter().zip(h.attr_row(u)).filter(|(x, y)| x != y).count()
+                g.attr_row(u)
+                    .iter()
+                    .zip(h.attr_row(u))
+                    .filter(|(x, y)| x != y)
+                    .count()
             })
             .sum();
         changed as f64 / cells as f64

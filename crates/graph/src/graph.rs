@@ -86,7 +86,10 @@ impl SocialGraph {
     /// Panics on self-loops or out-of-range users.
     pub fn add_edge(&mut self, a: UserId, b: UserId) -> bool {
         assert_ne!(a, b, "self-loops are not part of the social-network model");
-        assert!(a.0 < self.attrs.len() && b.0 < self.attrs.len(), "user out of range");
+        assert!(
+            a.0 < self.attrs.len() && b.0 < self.attrs.len(),
+            "user out of range"
+        );
         match self.adj[a.0].binary_search(&b) {
             Ok(_) => false,
             Err(pos_a) => {
@@ -105,7 +108,9 @@ impl SocialGraph {
             Err(_) => false,
             Ok(pos_a) => {
                 self.adj[a.0].remove(pos_a);
-                let pos_b = self.adj[b.0].binary_search(&a).expect("adjacency symmetric");
+                let pos_b = self.adj[b.0]
+                    .binary_search(&a)
+                    .expect("adjacency symmetric");
                 self.adj[b.0].remove(pos_b);
                 self.edge_count -= 1;
                 true
@@ -116,7 +121,9 @@ impl SocialGraph {
     /// All undirected edges as `(a, b)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(a, ns)| {
-            ns.iter().filter(move |b| a < b.0).map(move |&b| (UserId(a), b))
+            ns.iter()
+                .filter(move |b| a < b.0)
+                .map(move |&b| (UserId(a), b))
         })
     }
 
@@ -130,7 +137,10 @@ impl SocialGraph {
     /// # Panics
     /// Panics if `value` is not legal for `cat` under the schema.
     pub fn set_value(&mut self, u: UserId, cat: CategoryId, value: Value) {
-        assert!(self.schema.validate(cat, value), "value {value} illegal for {cat}");
+        assert!(
+            self.schema.validate(cat, value),
+            "value {value} illegal for {cat}"
+        );
         self.attrs[u.0][cat.0] = Some(value);
     }
 
@@ -204,7 +214,10 @@ impl SocialGraph {
     pub fn check_invariants(&self) {
         let mut half_edges = 0;
         for (a, ns) in self.adj.iter().enumerate() {
-            assert!(ns.windows(2).all(|w| w[0] < w[1]), "adjacency of u{a} not sorted/deduped");
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "adjacency of u{a} not sorted/deduped"
+            );
             for &b in ns {
                 assert_ne!(b.0, a, "self-loop at u{a}");
                 assert!(
@@ -244,7 +257,10 @@ mod tests {
         let mut g = small();
         assert_eq!(g.edge_count(), 4);
         assert!(g.has_edge(UserId(2), UserId(1)));
-        assert!(!g.add_edge(UserId(1), UserId(0)), "duplicate edge must be a no-op");
+        assert!(
+            !g.add_edge(UserId(1), UserId(0)),
+            "duplicate edge must be a no-op"
+        );
         assert_eq!(g.edge_count(), 4);
         assert!(g.remove_edge(UserId(2), UserId(0)));
         assert!(!g.has_edge(UserId(0), UserId(2)));

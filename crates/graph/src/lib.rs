@@ -22,7 +22,9 @@ pub mod stats;
 
 pub use attr::{Category, CategoryId, Schema, Value};
 pub use builder::GraphBuilder;
-pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality, StructureReport};
+pub use centrality::{
+    betweenness_centrality, closeness_centrality, degree_centrality, StructureReport,
+};
 pub use dissim::{AttributeHamming, Dissimilarity, EdgeJaccard, StructureDelta};
 pub use graph::{SocialGraph, UserId};
 pub use snapshot::GraphSnapshot;

@@ -38,7 +38,10 @@ impl GraphSnapshot {
     /// out-of-range values or edges).
     pub fn restore(&self) -> SocialGraph {
         let schema = Schema::new(
-            self.categories.iter().map(|(n, a)| Category::new(n.clone(), *a)).collect(),
+            self.categories
+                .iter()
+                .map(|(n, a)| Category::new(n.clone(), *a))
+                .collect(),
         );
         let mut g = SocialGraph::new(schema, self.rows.len());
         for (u, row) in self.rows.iter().enumerate() {

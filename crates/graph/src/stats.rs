@@ -31,7 +31,11 @@ pub struct GraphStats {
 /// double-sweep BFS lower bound is used (tight on social graphs).
 pub fn graph_stats(g: &SocialGraph, exact_diameter_limit: usize) -> GraphStats {
     let comps = components(g);
-    let largest = comps.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    let largest = comps
+        .iter()
+        .max_by_key(|c| c.len())
+        .cloned()
+        .unwrap_or_default();
     let lc_edges = component_edge_count(g, &largest);
     let (diameter, exact) = if largest.len() <= 1 {
         (0, true)
@@ -102,7 +106,11 @@ pub fn bfs_distances(g: &SocialGraph, src: UserId) -> Vec<usize> {
 
 /// Eccentricity of `u`: the largest finite BFS distance from `u`.
 pub fn eccentricity(g: &SocialGraph, u: UserId) -> usize {
-    bfs_distances(g, u).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+    bfs_distances(g, u)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 fn exact_diameter(g: &SocialGraph, comp: &[UserId]) -> usize {
@@ -171,7 +179,10 @@ mod tests {
     fn fixture() -> SocialGraph {
         let mut b = GraphBuilder::new(Schema::uniform(1, 2));
         let us: Vec<_> = (0..7).map(|_| b.user()).collect();
-        b.edge(us[0], us[1]).edge(us[1], us[2]).edge(us[2], us[3]).edge(us[5], us[6]);
+        b.edge(us[0], us[1])
+            .edge(us[1], us[2])
+            .edge(us[2], us[3])
+            .edge(us[5], us[6]);
         b.build()
     }
 

@@ -11,13 +11,16 @@ pub fn greedy_cardinality<F>(n: usize, k: usize, mut objective: F) -> Vec<usize>
 where
     F: FnMut(&[usize]) -> f64,
 {
+    let mut evaluations = 0u64;
     let mut selected: Vec<usize> = Vec::new();
+    evaluations += 1;
     let mut current = objective(&selected);
     let mut remaining: Vec<usize> = (0..n).collect();
     while selected.len() < k && !remaining.is_empty() {
         let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
         for (pos, &item) in remaining.iter().enumerate() {
             selected.push(item);
+            evaluations += 1;
             let v = objective(&selected);
             selected.pop();
             if best.map_or(true, |(_, bv)| v > bv) {
@@ -31,6 +34,7 @@ where
         selected.push(remaining.remove(pos));
         current = value;
     }
+    ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
     selected
 }
 
@@ -38,15 +42,15 @@ where
 /// the feasible item maximizing marginal gain per unit cost, re-evaluating
 /// every candidate each round. Quadratic in oracle calls; kept as the
 /// ablation baseline for [`lazy_greedy_knapsack`].
-pub fn naive_greedy_knapsack<F>(
-    costs: &[f64],
-    budget: f64,
-    mut objective: F,
-) -> Vec<usize>
+pub fn naive_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Vec<usize>
 where
     F: FnMut(&[usize]) -> f64,
 {
-    assert!(costs.iter().all(|&c| c >= 0.0), "negative costs are not supported");
+    assert!(
+        costs.iter().all(|&c| c >= 0.0),
+        "negative costs are not supported"
+    );
+    let mut evaluations = 1u64;
     let mut selected: Vec<usize> = Vec::new();
     let mut spent = 0.0;
     let mut current = objective(&selected);
@@ -58,6 +62,7 @@ where
                 continue;
             }
             selected.push(item);
+            evaluations += 1;
             let v = objective(&selected);
             selected.pop();
             let gain = v - current;
@@ -65,7 +70,11 @@ where
                 continue;
             }
             // Zero-cost items are infinitely attractive: order them by gain.
-            let ratio = if costs[item] > 0.0 { gain / costs[item] } else { f64::INFINITY };
+            let ratio = if costs[item] > 0.0 {
+                gain / costs[item]
+            } else {
+                f64::INFINITY
+            };
             if best.map_or(true, |(_, br, bv)| ratio > br || (ratio == br && v > bv)) {
                 best = Some((pos, ratio, v));
             }
@@ -80,6 +89,7 @@ where
             }
         }
     }
+    ppdp_telemetry::counter("greedy.naive.evaluations", evaluations);
     selected
 }
 
@@ -94,7 +104,10 @@ where
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
-    assert!(costs.iter().all(|&c| c >= 0.0), "negative costs are not supported");
+    assert!(
+        costs.iter().all(|&c| c >= 0.0),
+        "negative costs are not supported"
+    );
 
     #[derive(PartialEq)]
     struct Entry {
@@ -114,11 +127,18 @@ where
             self.ratio
                 .partial_cmp(&other.ratio)
                 .unwrap_or(Ordering::Equal)
-                .then(self.gain.partial_cmp(&other.gain).unwrap_or(Ordering::Equal))
+                .then(
+                    self.gain
+                        .partial_cmp(&other.gain)
+                        .unwrap_or(Ordering::Equal),
+                )
                 .then(other.item.cmp(&self.item))
         }
     }
 
+    let mut evaluations = 1u64;
+    let mut lazy_hits = 0u64;
+    let mut reevaluations = 0u64;
     let mut selected: Vec<usize> = Vec::new();
     let mut spent = 0.0;
     let base = objective(&selected);
@@ -128,11 +148,17 @@ where
         .map(|item| {
             let gain = {
                 selected.push(item);
+                evaluations += 1;
                 let v = objective(&selected);
                 selected.pop();
                 v - base
             };
-            Entry { ratio: ratio_of(gain, costs[item]), gain, item, round }
+            Entry {
+                ratio: ratio_of(gain, costs[item]),
+                gain,
+                item,
+                round,
+            }
         })
         .collect();
 
@@ -157,19 +183,31 @@ where
             if top.gain <= 1e-15 {
                 break; // freshest bound non-positive ⇒ done (monotone case)
             }
+            // The cached bound was already fresh — the lazy shortcut paid off.
+            lazy_hits += 1;
             spent += costs[top.item];
             selected.push(top.item);
             current += top.gain;
             round += 1;
         } else {
             // Stale bound: re-evaluate against the current selection.
+            reevaluations += 1;
             selected.push(top.item);
+            evaluations += 1;
             let v = objective(&selected);
             selected.pop();
             let gain = v - current;
-            heap.push(Entry { ratio: ratio_of(gain, costs[top.item]), gain, item: top.item, round });
+            heap.push(Entry {
+                ratio: ratio_of(gain, costs[top.item]),
+                gain,
+                item: top.item,
+                round,
+            });
         }
     }
+    ppdp_telemetry::counter("greedy.lazy.evaluations", evaluations);
+    ppdp_telemetry::counter("greedy.lazy.hits", lazy_hits);
+    ppdp_telemetry::counter("greedy.lazy.reevals", reevaluations);
     selected
 }
 
@@ -180,10 +218,7 @@ mod tests {
 
     /// Weighted coverage: item i covers a set of elements; objective =
     /// total weight covered. Monotone and submodular.
-    fn coverage<'a>(
-        items: &'a [Vec<usize>],
-        weights: &'a [f64],
-    ) -> impl Fn(&[usize]) -> f64 + 'a {
+    fn coverage<'a>(items: &'a [Vec<usize>], weights: &'a [f64]) -> impl Fn(&[usize]) -> f64 + 'a {
         move |sel: &[usize]| {
             let mut covered: HashSet<usize> = HashSet::new();
             for &i in sel {
@@ -286,5 +321,42 @@ mod tests {
     #[should_panic(expected = "negative costs")]
     fn negative_cost_rejected() {
         naive_greedy_knapsack(&[-1.0], 1.0, |_| 0.0);
+    }
+
+    #[test]
+    fn evaluation_counters_match_actual_oracle_calls() {
+        let items: Vec<Vec<usize>> = (0..20).map(|i| vec![i, (i + 1) % 20]).collect();
+        let w = vec![1.0; 20];
+        let costs = vec![1.0; 20];
+        let rec = ppdp_telemetry::Recorder::new();
+        let mut naive_calls = 0u64;
+        let mut lazy_calls = 0u64;
+        {
+            let _scope = rec.enter();
+            let _ = naive_greedy_knapsack(&costs, 5.0, |s| {
+                naive_calls += 1;
+                coverage(&items, &w)(s)
+            });
+            let _ = lazy_greedy_knapsack(&costs, 5.0, |s| {
+                lazy_calls += 1;
+                coverage(&items, &w)(s)
+            });
+            let _ = greedy_cardinality(20, 3, coverage(&items, &w));
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("greedy.naive.evaluations"), naive_calls);
+        assert_eq!(report.counter("greedy.lazy.evaluations"), lazy_calls);
+        assert!(report.counter("greedy.cardinality.evaluations") > 0);
+        // Every accepted pick was either a lazy hit or preceded by a
+        // re-evaluation; the hit rate is the lazy solver's whole point.
+        assert!(
+            report.counter("greedy.lazy.hits") > 0,
+            "lazy shortcut never fired"
+        );
+        assert_eq!(
+            report.counter("greedy.lazy.evaluations"),
+            21 + report.counter("greedy.lazy.reevals"),
+            "evals = base + initial bounds + one per re-evaluation"
+        );
     }
 }

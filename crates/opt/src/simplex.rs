@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn enumeration_count_matches_size() {
         for (m, d) in [(2, 4), (3, 3), (4, 2), (1, 7)] {
-            assert_eq!(enumerate_simplex(m, d).len(), simplex_size(m, d), "m={m} d={d}");
+            assert_eq!(
+                enumerate_simplex(m, d).len(),
+                simplex_size(m, d),
+                "m={m} d={d}"
+            );
         }
     }
 
@@ -94,10 +98,9 @@ mod tests {
         for v in 0..3 {
             let mut vertex = vec![0.0; 3];
             vertex[v] = 1.0;
-            assert!(pts.iter().any(|p| p
+            assert!(pts
                 .iter()
-                .zip(&vertex)
-                .all(|(a, b)| (a - b).abs() < 1e-12)));
+                .any(|p| p.iter().zip(&vertex).all(|(a, b)| (a - b).abs() < 1e-12)));
         }
     }
 

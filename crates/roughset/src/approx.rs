@@ -47,11 +47,7 @@ pub fn upper_approximation(
 ///
 /// Computed in one pass: a row is in the positive region iff every member of
 /// its `H'`-block carries the same `H''`-label.
-pub fn positive_region(
-    sys: &InformationSystem,
-    cond: &[AttrId],
-    dec: &[AttrId],
-) -> Vec<usize> {
+pub fn positive_region(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Vec<usize> {
     let cond_labels = partition_labels(sys, cond);
     let dec_labels = partition_labels(sys, dec);
     let blocks = blocks_from_labels(&cond_labels);
@@ -111,7 +107,10 @@ mod tests {
         let sys = table_3_1();
         let target = [0, 1, 5, 7];
         assert_eq!(lower_approximation(&sys, &H23, &target), vec![5, 7]);
-        assert_eq!(upper_approximation(&sys, &H23, &target), vec![0, 1, 2, 4, 5, 7]);
+        assert_eq!(
+            upper_approximation(&sys, &H23, &target),
+            vec![0, 1, 2, 4, 5, 7]
+        );
     }
 
     #[test]

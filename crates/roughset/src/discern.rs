@@ -56,8 +56,12 @@ impl DiscernibilityMatrix {
     /// Core attributes: those appearing as a singleton entry (no other
     /// attribute can discern that pair).
     pub fn core(&self) -> Vec<AttrId> {
-        let mut core: Vec<AttrId> =
-            self.entries.iter().filter(|e| e.len() == 1).map(|e| e[0]).collect();
+        let mut core: Vec<AttrId> = self
+            .entries
+            .iter()
+            .filter(|e| e.len() == 1)
+            .map(|e| e[0])
+            .collect();
         core.sort_unstable();
         core.dedup();
         core
@@ -94,8 +98,12 @@ impl DiscernibilityMatrix {
         let mut i = chosen.len();
         while i > 0 {
             i -= 1;
-            let trial: Vec<AttrId> =
-                chosen.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &a)| a).collect();
+            let trial: Vec<AttrId> = chosen
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != i)
+                .map(|(_, &a)| a)
+                .collect();
             if self.entries.iter().all(|e| hit(&trial, e)) {
                 chosen = trial;
                 if i > chosen.len() {
@@ -199,10 +207,7 @@ mod tests {
     fn inconsistent_pairs_are_skipped() {
         // Two identical rows with different decisions: no entry, and the
         // reduct is empty (nothing can discern them).
-        let sys = InformationSystem::from_rows(&[
-            vec![Some(0), Some(1)],
-            vec![Some(0), Some(0)],
-        ]);
+        let sys = InformationSystem::from_rows(&[vec![Some(0), Some(1)], vec![Some(0), Some(0)]]);
         let m = DiscernibilityMatrix::build(&sys, &[AttrId(0)], &[AttrId(1)]);
         assert!(m.entries.is_empty());
         assert!(m.greedy_hitting_set().is_empty());

@@ -13,11 +13,7 @@ use crate::system::{AttrId, InformationSystem};
 /// Accuracy of approximation `α_{H'}(V') = |lower| / |upper|` — 1 when the
 /// concept is perfectly definable by `attrs`, shrinking toward 0 as the
 /// boundary grows. Defined as 1 for an empty target (vacuously exact).
-pub fn approximation_accuracy(
-    sys: &InformationSystem,
-    attrs: &[AttrId],
-    target: &[usize],
-) -> f64 {
+pub fn approximation_accuracy(sys: &InformationSystem, attrs: &[AttrId], target: &[usize]) -> f64 {
     let upper = upper_approximation(sys, attrs, target);
     if upper.is_empty() {
         return 1.0;
@@ -33,11 +29,7 @@ pub fn roughness(sys: &InformationSystem, attrs: &[AttrId], target: &[usize]) ->
 /// The boundary region: objects in the upper but not the lower
 /// approximation — the users the attribute set cannot commit either way.
 /// Sorted row indices.
-pub fn boundary_region(
-    sys: &InformationSystem,
-    attrs: &[AttrId],
-    target: &[usize],
-) -> Vec<usize> {
+pub fn boundary_region(sys: &InformationSystem, attrs: &[AttrId], target: &[usize]) -> Vec<usize> {
     let lower = lower_approximation(sys, attrs, target);
     upper_approximation(sys, attrs, target)
         .into_iter()

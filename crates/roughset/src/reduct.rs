@@ -9,19 +9,18 @@ use crate::system::{AttrId, InformationSystem};
 /// Whether `r` is a reduct of `cond` with respect to `dec`:
 /// (i) `POS_r(dec) = POS_cond(dec)`, and (ii) no proper subset obtained by
 /// dropping one attribute still satisfies (i).
-pub fn is_reduct(
-    sys: &InformationSystem,
-    cond: &[AttrId],
-    dec: &[AttrId],
-    r: &[AttrId],
-) -> bool {
+pub fn is_reduct(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId], r: &[AttrId]) -> bool {
     let full = positive_region(sys, cond, dec).len();
     if positive_region(sys, r, dec).len() != full {
         return false;
     }
     (0..r.len()).all(|skip| {
-        let sub: Vec<AttrId> =
-            r.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &a)| a).collect();
+        let sub: Vec<AttrId> = r
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, &a)| a)
+            .collect();
         positive_region(sys, &sub, dec).len() != full
     })
 }
@@ -92,7 +91,10 @@ pub fn core_attributes(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId])
 /// # Panics
 /// Panics if `cond.len() > 20`.
 pub fn all_reducts(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> Vec<Vec<AttrId>> {
-    assert!(cond.len() <= 20, "exhaustive reduct search limited to 20 attributes");
+    assert!(
+        cond.len() <= 20,
+        "exhaustive reduct search limited to 20 attributes"
+    );
     let full = positive_region(sys, cond, dec).len();
     let mut preserving: Vec<Vec<AttrId>> = Vec::new();
     for mask in 0u32..(1 << cond.len()) {
@@ -151,7 +153,10 @@ mod tests {
     fn find_reduct_returns_valid_reduct() {
         let sys = table_3_1();
         let r = find_reduct(&sys, &C, &D);
-        assert!(is_reduct(&sys, &C, &D, &r), "greedy result {r:?} must be a reduct");
+        assert!(
+            is_reduct(&sys, &C, &D, &r),
+            "greedy result {r:?} must be a reduct"
+        );
         assert_eq!(r.len(), 2);
     }
 
@@ -185,8 +190,7 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(r == [AttrId(0)] || r == [AttrId(1)]);
         // Core empty: either of attr0/attr1 can substitute for the other.
-        assert!(core_attributes(&sys, &[AttrId(0), AttrId(1), AttrId(2)], &[AttrId(3)])
-            .is_empty());
+        assert!(core_attributes(&sys, &[AttrId(0), AttrId(1), AttrId(2)], &[AttrId(3)]).is_empty());
     }
 
     #[test]

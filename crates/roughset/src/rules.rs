@@ -30,7 +30,10 @@ impl DecisionRule {
     /// Number of conditions satisfied by `row` (full attribute row,
     /// indexable by `AttrId`).
     pub fn match_score(&self, row: &[Cell]) -> usize {
-        self.conditions.iter().filter(|(a, v)| row[a.0] == *v).count()
+        self.conditions
+            .iter()
+            .filter(|(a, v)| row[a.0] == *v)
+            .count()
     }
 
     /// Whether every condition matches `row`.
@@ -73,8 +76,10 @@ impl RuleSet {
             .into_iter()
             .filter_map(|block| {
                 let rep = block[0];
-                let conditions =
-                    reduct.iter().map(|&a| (a, sys.value(rep, a))).collect::<Vec<_>>();
+                let conditions = reduct
+                    .iter()
+                    .map(|&a| (a, sys.value(rep, a)))
+                    .collect::<Vec<_>>();
                 let mut counts = vec![0usize; n_classes];
                 let mut any = false;
                 for &r in &block {
@@ -87,7 +92,12 @@ impl RuleSet {
                 any.then_some(DecisionRule { conditions, counts })
             })
             .collect();
-        Self { reduct: reduct.to_vec(), rules, n_classes, prior }
+        Self {
+            reduct: reduct.to_vec(),
+            rules,
+            n_classes,
+            prior,
+        }
     }
 
     /// Number of deterministic rules.

@@ -43,7 +43,10 @@ impl InformationSystem {
                 columns[c].push(*v);
             }
         }
-        Self { n_rows: rows.len(), columns }
+        Self {
+            n_rows: rows.len(),
+            columns,
+        }
     }
 
     /// Number of objects `|V|`.
@@ -82,7 +85,10 @@ impl InformationSystem {
             .iter()
             .map(|col| rows.iter().map(|&r| col[r]).collect())
             .collect();
-        Self { n_rows: rows.len(), columns }
+        Self {
+            n_rows: rows.len(),
+            columns,
+        }
     }
 }
 

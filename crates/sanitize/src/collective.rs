@@ -28,20 +28,40 @@ pub fn collective_sanitize(
     utility_cat: CategoryId,
     level: usize,
 ) -> (SocialGraph, CollectivePlan) {
-    let report = dependency_report(g, privacy_cat, utility_cat);
+    let _span = ppdp_telemetry::span("collective.sanitize");
+    let report = {
+        let _phase = ppdp_telemetry::span("depend");
+        dependency_report(g, privacy_cat, utility_cat)
+    };
     let mut out = g.clone();
     let (removed, perturbed) = if report.core.is_empty() {
         (report.pdas.clone(), Vec::new())
     } else {
         (report.pdas_minus_core(), report.core.clone())
     };
-    for &c in &removed {
-        out.clear_category(c);
+    {
+        let _phase = ppdp_telemetry::span("remove");
+        for &c in &removed {
+            out.clear_category(c);
+        }
     }
-    for &c in &perturbed {
-        numeric_generalization(&mut out, c, level);
+    {
+        let _phase = ppdp_telemetry::span("perturb");
+        for &c in &perturbed {
+            numeric_generalization(&mut out, c, level);
+        }
     }
-    (out, CollectivePlan { report, removed, perturbed, level })
+    ppdp_telemetry::counter("collective.removed", removed.len() as u64);
+    ppdp_telemetry::counter("collective.perturbed", perturbed.len() as u64);
+    (
+        out,
+        CollectivePlan {
+            report,
+            removed,
+            perturbed,
+            level,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -104,6 +124,32 @@ mod tests {
                 assert_eq!(out.value(u, c), None);
             }
         }
+    }
+
+    #[test]
+    fn phases_and_removals_are_recorded() {
+        let g = graph_with_core();
+        let rec = ppdp_telemetry::Recorder::new();
+        let plan = {
+            let _scope = rec.enter();
+            collective_sanitize(&g, CategoryId(4), CategoryId(5), 2).1
+        };
+        let report = rec.take();
+        for phase in [
+            "collective.sanitize",
+            "collective.sanitize/depend",
+            "collective.sanitize/remove",
+        ] {
+            assert!(report.span(phase).is_some(), "missing phase span {phase}");
+        }
+        assert_eq!(
+            report.counter("collective.removed"),
+            plan.removed.len() as u64
+        );
+        assert_eq!(
+            report.counter("collective.perturbed"),
+            plan.perturbed.len() as u64
+        );
     }
 
     #[test]

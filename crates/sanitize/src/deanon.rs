@@ -34,7 +34,10 @@ pub struct DeanonResult {
 /// modelling naive "remove the names" publishing. Returns the anonymized
 /// graph and the ground-truth map `truth[anon_id] = original_id`.
 pub fn pseudonymize(g: &SocialGraph, edge_noise: f64, seed: u64) -> (SocialGraph, Vec<usize>) {
-    assert!((0.0..1.0).contains(&edge_noise), "noise fraction out of range");
+    assert!(
+        (0.0..1.0).contains(&edge_noise),
+        "noise fraction out of range"
+    );
     let n = g.user_count();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // anon id i corresponds to original perm[i].
@@ -80,7 +83,11 @@ pub fn propagation_attack(
     margin: usize,
 ) -> DeanonResult {
     let n = anon.user_count();
-    assert_eq!(reference.user_count(), n, "graphs must share the user universe");
+    assert_eq!(
+        reference.user_count(),
+        n,
+        "graphs must share the user universe"
+    );
     let mut map_a2r: Vec<Option<UserId>> = vec![None; n];
     let mut mapped_r: Vec<bool> = vec![false; n];
     for &(a, r) in seeds {
@@ -135,7 +142,10 @@ pub fn propagation_attack(
         .filter(|a| !seeds_set.contains(a))
         .filter_map(|a| map_a2r[a].map(|r| (UserId(a), r)))
         .collect();
-    let correct = committed.iter().filter(|&&(a, r)| truth[a.0] == r.0).count();
+    let correct = committed
+        .iter()
+        .filter(|&&(a, r)| truth[a.0] == r.0)
+        .count();
     let non_seed_total = n - seeds_set.len();
     DeanonResult {
         precision: if committed.is_empty() {
@@ -143,19 +153,18 @@ pub fn propagation_attack(
         } else {
             correct as f64 / committed.len() as f64
         },
-        recall: if non_seed_total == 0 { 0.0 } else { correct as f64 / non_seed_total as f64 },
+        recall: if non_seed_total == 0 {
+            0.0
+        } else {
+            correct as f64 / non_seed_total as f64
+        },
         mapping: committed,
     }
 }
 
 /// Convenience: pseudonymize `g`, pick `n_seeds` random correct seeds, and
 /// run the attack.
-pub fn demo_attack(
-    g: &SocialGraph,
-    edge_noise: f64,
-    n_seeds: usize,
-    seed: u64,
-) -> DeanonResult {
+pub fn demo_attack(g: &SocialGraph, edge_noise: f64, n_seeds: usize, seed: u64) -> DeanonResult {
     let (anon, truth) = pseudonymize(g, edge_noise, seed);
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1));
     let mut ids: Vec<usize> = (0..g.user_count()).collect();
@@ -188,7 +197,11 @@ mod tests {
                     rng.gen_range(0..v)
                 } else {
                     let (x, y) = g_edges[rng.gen_range(0..g_edges.len())];
-                    if rng.gen_bool(0.5) { x } else { y }
+                    if rng.gen_bool(0.5) {
+                        x
+                    } else {
+                        y
+                    }
                 };
                 if u != v {
                     g_edges.push((u.min(v), u.max(v)));
@@ -252,8 +265,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut ids: Vec<usize> = (0..80).collect();
         ids.shuffle(&mut rng);
-        let seeds: Vec<(UserId, UserId)> =
-            ids.into_iter().take(8).map(|a| (UserId(a), UserId(truth[a]))).collect();
+        let seeds: Vec<(UserId, UserId)> = ids
+            .into_iter()
+            .take(8)
+            .map(|a| (UserId(a), UserId(truth[a])))
+            .collect();
         let loose = propagation_attack(&anon, &g, &seeds, &truth, 1, 0);
         let strict = propagation_attack(&anon, &g, &seeds, &truth, 4, 3);
         assert!(strict.mapping.len() <= loose.mapping.len());

@@ -36,7 +36,11 @@ pub struct DependencyReport {
 impl DependencyReport {
     /// `PDAs − Core`: attributes Algorithm 2 removes outright.
     pub fn pdas_minus_core(&self) -> Vec<CategoryId> {
-        self.pdas.iter().copied().filter(|c| !self.core.contains(c)).collect()
+        self.pdas
+            .iter()
+            .copied()
+            .filter(|c| !self.core.contains(c))
+            .collect()
     }
 }
 
@@ -108,7 +112,10 @@ pub fn dependency_report(
     privacy_cat: CategoryId,
     utility_cat: CategoryId,
 ) -> DependencyReport {
-    assert_ne!(privacy_cat, utility_cat, "privacy and utility attributes must differ");
+    assert_ne!(
+        privacy_cat, utility_cat,
+        "privacy and utility attributes must differ"
+    );
     let cond: Vec<CategoryId> = g
         .schema()
         .ids()
@@ -129,7 +136,13 @@ pub fn dependency_report(
     let (pdas, pda_degrees) = classify(privacy_cat);
     let (udas, _) = classify(utility_cat);
     let core: Vec<CategoryId> = pdas.iter().copied().filter(|c| udas.contains(c)).collect();
-    DependencyReport { pdas, udas, core, pda_degrees, condition_count: cond.len() }
+    DependencyReport {
+        pdas,
+        udas,
+        core,
+        pda_degrees,
+        condition_count: cond.len(),
+    }
 }
 
 /// The `n`-most privacy-dependent attributes (§3.5.1): condition attributes
@@ -202,7 +215,10 @@ mod tests {
         assert_eq!(rep.condition_count, 4);
         assert!(rep.pdas.contains(&CategoryId(0)));
         assert!(rep.pdas.contains(&CategoryId(2)));
-        assert!(!rep.pdas.contains(&CategoryId(3)), "noise excluded: {rep:?}");
+        assert!(
+            !rep.pdas.contains(&CategoryId(3)),
+            "noise excluded: {rep:?}"
+        );
         assert!(rep.udas.contains(&CategoryId(1)));
         assert!(rep.udas.contains(&CategoryId(2)));
         assert_eq!(rep.core, vec![CategoryId(2)]);
@@ -223,7 +239,11 @@ mod tests {
     fn most_dependent_ranks_determining_attribute_first() {
         let g = graph();
         let top = most_dependent_attributes(&g, CategoryId(4), 3);
-        assert_eq!(top[0], CategoryId(0), "exact copy ranks first (tie-break by id)");
+        assert_eq!(
+            top[0],
+            CategoryId(0),
+            "exact copy ranks first (tie-break by id)"
+        );
         assert!(top.contains(&CategoryId(2)));
         assert!(!top.contains(&CategoryId(4)), "target itself excluded");
     }

@@ -39,8 +39,13 @@ fn relational_without(
     u: UserId,
     skip: UserId,
 ) -> Option<Vec<f64>> {
-    let ns: Vec<UserId> =
-        lg.graph.neighbors(u).iter().copied().filter(|&j| j != skip).collect();
+    let ns: Vec<UserId> = lg
+        .graph
+        .neighbors(u)
+        .iter()
+        .copied()
+        .filter(|&j| j != skip)
+        .collect();
     if ns.is_empty() {
         return None;
     }
@@ -102,10 +107,26 @@ pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec
             let va = victim_var(a, b);
             let vb = victim_var(b, a);
             match (va, vb) {
-                (Some(x), Some(y)) if y < x => LinkScore { user: b, neighbor: a, variance: y },
-                (Some(x), _) => LinkScore { user: a, neighbor: b, variance: x },
-                (None, Some(y)) => LinkScore { user: b, neighbor: a, variance: y },
-                (None, None) => LinkScore { user: a, neighbor: b, variance: f64::INFINITY },
+                (Some(x), Some(y)) if y < x => LinkScore {
+                    user: b,
+                    neighbor: a,
+                    variance: y,
+                },
+                (Some(x), _) => LinkScore {
+                    user: a,
+                    neighbor: b,
+                    variance: x,
+                },
+                (None, Some(y)) => LinkScore {
+                    user: b,
+                    neighbor: a,
+                    variance: y,
+                },
+                (None, None) => LinkScore {
+                    user: a,
+                    neighbor: b,
+                    variance: f64::INFINITY,
+                },
             }
         })
         .collect();
@@ -136,6 +157,7 @@ pub fn remove_indistinguishable_links(
     kind: LocalKind,
     count: usize,
 ) -> SocialGraph {
+    let _span = ppdp_telemetry::span("links.remove_indistinguishable");
     let lg0 = LabeledGraph::new(g, label_cat, known.to_vec());
     let boot = ppdp_classify::run_attack(&lg0, kind, AttackModel::AttrOnly);
     let mut out = g.clone();
@@ -153,6 +175,7 @@ pub fn remove_indistinguishable_links(
         for s in scores.into_iter().take(take) {
             out.remove_edge(s.user, s.neighbor);
         }
+        ppdp_telemetry::counter("links.removed", take as u64);
         left -= take;
     }
     out

@@ -119,14 +119,16 @@ pub fn utility_privacy_ratio(
     (alpha, beta): (f64, f64),
 ) -> RatioReport {
     let model = AttackModel::Collective { alpha, beta };
-    let priv_acc =
-        run_attack(&LabeledGraph::new(g, privacy, known.to_vec()), kind, model).accuracy;
-    let util_acc =
-        run_attack(&LabeledGraph::new(g, utility, known.to_vec()), kind, model).accuracy;
+    let priv_acc = run_attack(&LabeledGraph::new(g, privacy, known.to_vec()), kind, model).accuracy;
+    let util_acc = run_attack(&LabeledGraph::new(g, utility, known.to_vec()), kind, model).accuracy;
     RatioReport {
         utility_accuracy: util_acc,
         privacy_accuracy: priv_acc,
-        ratio: if priv_acc > 0.0 { util_acc / priv_acc } else { f64::INFINITY },
+        ratio: if priv_acc > 0.0 {
+            util_acc / priv_acc
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -174,7 +176,10 @@ mod tests {
         let g = graph(1);
         let lg = LabeledGraph::new(&g, CategoryId(2), known_mask(60, 1));
         let p = prior_accuracy(&lg);
-        assert!((0.2..=0.8).contains(&p), "balanced classes → near 0.5, got {p}");
+        assert!(
+            (0.2..=0.8).contains(&p),
+            "balanced classes → near 0.5, got {p}"
+        );
     }
 
     #[test]

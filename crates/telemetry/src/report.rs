@@ -1,0 +1,492 @@
+//! The serializable output of an instrumented run: aggregated span
+//! timings, monotonic counters, value histograms and the privacy-budget
+//! ledger, exportable as JSON (machine-readable trajectory files) or as a
+//! pretty text table (human eyes, progress lines).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of logarithmic buckets kept per [`Histogram`]: half-open decades
+/// `10^(i-12) ≤ v < 10^(i-11)`, clamped at both ends, so finite positive
+/// values from 1e-12 up to 1e12 land in distinct buckets.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Aggregated wall-clock statistics for one span path.
+///
+/// Spans are keyed by their slash-joined nesting path (e.g.
+/// `"social.publish/attack_before"`), and repeated executions of the same
+/// path aggregate into one entry, so hot loops stay O(1) in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Number of times the span was entered and exited.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all executions.
+    pub total_nanos: u64,
+    /// Fastest single execution (0 when `count == 0`).
+    pub min_nanos: u64,
+    /// Slowest single execution.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Folds one execution of `nanos` wall-clock time into the stats.
+    pub fn record(&mut self, nanos: u64) {
+        if self.count == 0 {
+            self.min_nanos = nanos;
+            self.max_nanos = nanos;
+        } else {
+            self.min_nanos = self.min_nanos.min(nanos);
+            self.max_nanos = self.max_nanos.max(nanos);
+        }
+        self.count += 1;
+        self.total_nanos += nanos;
+    }
+
+    /// Mean nanoseconds per execution (0 when never executed).
+    pub fn mean_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_nanos / self.count
+        }
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+/// A lightweight value histogram: summary statistics plus logarithmic
+/// (decade) bucket counts. Non-finite samples are ignored; zero or
+/// negative samples land in the lowest bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when `count == 0`).
+    pub min: f64,
+    /// Largest sample (0 when `count == 0`).
+    pub max: f64,
+    /// Most recent sample (0 when `count == 0`).
+    pub last: f64,
+    /// Decade bucket counts; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            last: 0.0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Folds one sample into the histogram. Non-finite values are dropped.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.last = v;
+        if self.buckets.len() != HISTOGRAM_BUCKETS {
+            self.buckets.resize(HISTOGRAM_BUCKETS, 0);
+        }
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.last = other.last;
+        if self.buckets.len() != HISTOGRAM_BUCKETS {
+            self.buckets.resize(HISTOGRAM_BUCKETS, 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+}
+
+/// Decade bucket for a sample: `10^(i-12) ≤ v < 10^(i-11)`, clamped.
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 {
+        return 0;
+    }
+    let i = v.log10().floor() + 12.0;
+    i.clamp(0.0, (HISTOGRAM_BUCKETS - 1) as f64) as usize
+}
+
+/// One draw against a privacy budget: which mechanism consumed how much
+/// `(ε, δ)` at what sensitivity, and what it released.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetDraw {
+    /// Mechanism name (`"laplace"`, `"exponential"`, `"geometric"`, …).
+    pub mechanism: String,
+    /// What was released (a free-form label such as `"cpd[3]"`).
+    pub label: String,
+    /// ε consumed by this draw.
+    pub epsilon: f64,
+    /// δ consumed by this draw (0 for pure-ε mechanisms).
+    pub delta: f64,
+    /// Query sensitivity the noise was calibrated against.
+    pub sensitivity: f64,
+}
+
+/// The full structured report of one instrumented run.
+///
+/// Produced by draining a [`crate::Recorder`]; serializable with
+/// `serde_json` for machine-readable perf/privacy trajectories, and
+/// renderable as a text table via [`RunReport::to_text`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Aggregated span timings keyed by slash-joined nesting path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Monotonic counters keyed by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value histograms keyed by metric name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Every privacy-budget draw, in the order it was recorded.
+    pub budget: Vec<BudgetDraw>,
+}
+
+impl RunReport {
+    /// `true` when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.budget.is_empty()
+    }
+
+    /// Value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Span stats for a path, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStats> {
+        self.spans.get(path)
+    }
+
+    /// Histogram for a metric, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Total ε across all budget draws (sequential composition).
+    pub fn total_epsilon(&self) -> f64 {
+        self.budget.iter().map(|d| d.epsilon).sum()
+    }
+
+    /// Total δ across all budget draws.
+    pub fn total_delta(&self) -> f64 {
+        self.budget.iter().map(|d| d.delta).sum()
+    }
+
+    /// Folds another report into this one (spans/counters/histograms merge
+    /// by key, budget draws append).
+    pub fn merge(&mut self, other: &RunReport) {
+        for (k, v) in &other.spans {
+            self.spans.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        self.budget.extend(other.budget.iter().cloned());
+    }
+
+    /// Compact single-line JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("RunReport serializes")
+    }
+
+    /// Human-diffable pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serializes")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Renders the report as an aligned text table (the shared renderer
+    /// used for progress/summary lines across the workspace binaries).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("telemetry: (empty report)\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>12} {:>12} {:>12}\n",
+                "span", "count", "total", "mean", "max"
+            ));
+            for (path, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {:<42} {:>8} {:>12} {:>12} {:>12}\n",
+                    path,
+                    s.count,
+                    fmt_nanos(s.total_nanos),
+                    fmt_nanos(s.mean_nanos()),
+                    fmt_nanos(s.max_nanos)
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {:<42} {:>12}\n", name, v));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "mean", "min", "max"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<42} {:>8} {:>12.4e} {:>12.4e} {:>12.4e}\n",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        if !self.budget.is_empty() {
+            out.push_str(&format!(
+                "{:<44} {:>10} {:>10} {:>12}\n",
+                "budget draw", "epsilon", "delta", "sensitivity"
+            ));
+            for d in &self.budget {
+                out.push_str(&format!(
+                    "  {:<42} {:>10.4} {:>10.4} {:>12.4}\n",
+                    format!("{} {}", d.mechanism, d.label),
+                    d.epsilon,
+                    d.delta,
+                    d.sensitivity
+                ));
+            }
+            out.push_str(&format!(
+                "  {:<42} {:>10.4} {:>10.4}\n",
+                "total",
+                self.total_epsilon(),
+                self.total_delta()
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond duration human-readably (`"417ns"`, `"3.21ms"`,
+/// `"1.50s"`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// One status line in the shared telemetry text style, for binaries that
+/// route their progress output through the telemetry renderer.
+pub fn status_line(tag: &str, msg: &str) -> String {
+    format!("[{tag:>5}] {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stats_aggregate_and_merge() {
+        let mut s = SpanStats::default();
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, 40);
+        assert_eq!(s.min_nanos, 10);
+        assert_eq!(s.max_nanos, 30);
+        assert_eq!(s.mean_nanos(), 20);
+        let mut t = SpanStats::default();
+        t.record(5);
+        t.merge(&s);
+        assert_eq!(t.count, 3);
+        assert_eq!(t.min_nanos, 5);
+        assert_eq!(t.max_nanos, 30);
+    }
+
+    #[test]
+    fn histogram_aggregates_stats_and_buckets() {
+        let mut h = Histogram::default();
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 11.111).abs() < 1e-9);
+        assert_eq!(h.min, 0.001);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.last, 10.0);
+        let total: u64 = h.buckets.iter().sum();
+        assert_eq!(total, h.count, "every sample lands in exactly one bucket");
+        // Five different decades → five distinct buckets.
+        assert_eq!(h.buckets.iter().filter(|&&b| b > 0).count(), 5);
+        // Non-finite samples are ignored.
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count, 5);
+    }
+
+    #[test]
+    fn histogram_clamps_extremes_into_edge_buckets() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(1e99);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn report_merge_and_queries() {
+        let mut a = RunReport::default();
+        a.counters.insert("x".into(), 2);
+        a.spans.entry("s".into()).or_default().record(100);
+        a.budget.push(BudgetDraw {
+            mechanism: "laplace".into(),
+            label: "h".into(),
+            epsilon: 0.5,
+            delta: 0.0,
+            sensitivity: 1.0,
+        });
+        let mut b = RunReport::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        b.budget.push(BudgetDraw {
+            mechanism: "laplace".into(),
+            label: "h2".into(),
+            epsilon: 0.25,
+            delta: 0.0,
+            sensitivity: 1.0,
+        });
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.counter("missing"), 0);
+        assert!((a.total_epsilon() - 0.75).abs() < 1e-12);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_serde_json() {
+        let mut r = RunReport::default();
+        r.counters.insert("bp.iterations".into(), 42);
+        r.spans.entry("run/fit".into()).or_default().record(12_345);
+        r.histograms
+            .entry("residual".into())
+            .or_default()
+            .record(1e-6);
+        r.budget.push(BudgetDraw {
+            mechanism: "laplace".into(),
+            label: "cpd[0]".into(),
+            epsilon: 0.125,
+            delta: 0.0,
+            sensitivity: 1.0,
+        });
+        let back = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(r, back);
+        let back_pretty = RunReport::from_json(&r.to_json_pretty()).expect("round trip");
+        assert_eq!(r, back_pretty);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_section() {
+        let mut r = RunReport::default();
+        r.counters.insert("c".into(), 1);
+        r.spans.entry("s".into()).or_default().record(1_500_000);
+        r.histograms.entry("h".into()).or_default().record(2.0);
+        r.budget.push(BudgetDraw {
+            mechanism: "laplace".into(),
+            label: "x".into(),
+            epsilon: 1.0,
+            delta: 0.0,
+            sensitivity: 1.0,
+        });
+        let text = r.to_text();
+        for needle in [
+            "span",
+            "counter",
+            "histogram",
+            "budget draw",
+            "total",
+            "1.50ms",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(RunReport::default().to_text().contains("empty report"));
+    }
+
+    #[test]
+    fn nanos_formatting_picks_sane_units() {
+        assert_eq!(fmt_nanos(417), "417ns");
+        assert_eq!(fmt_nanos(1_500), "1.50us");
+        assert_eq!(fmt_nanos(3_210_000), "3.21ms");
+        assert_eq!(fmt_nanos(1_500_000_000), "1.50s");
+    }
+}

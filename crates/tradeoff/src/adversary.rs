@@ -90,7 +90,11 @@ mod tests {
         let p = Profile::new(variants(), vec![0.6, 0.3, 0.1]);
         let s = AttributeStrategy::removal(variants(), &[0]);
         let full = Knowledge::Full.privacy(&p, &s, &preds());
-        for k in [Knowledge::ProfileOnly, Knowledge::StrategyOnly, Knowledge::UnknownBoth] {
+        for k in [
+            Knowledge::ProfileOnly,
+            Knowledge::StrategyOnly,
+            Knowledge::UnknownBoth,
+        ] {
             let weaker = k.privacy(&p, &s, &preds());
             assert!(
                 weaker >= full - 1e-12,

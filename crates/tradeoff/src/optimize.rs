@@ -33,7 +33,11 @@ pub struct OptimizeConfig {
 
 impl Default for OptimizeConfig {
     fn default() -> Self {
-        Self { grid: 4, sweeps: 3, delta: 0.5 }
+        Self {
+            grid: 4,
+            sweeps: 3,
+            delta: 0.5,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ pub fn optimize_attribute_strategy_under(
     cfg: OptimizeConfig,
     assumed: crate::adversary::Knowledge,
 ) -> (AttributeStrategy, f64) {
-    assert_eq!(profile.variants(), initial.inputs(), "strategy/profile mismatch");
+    assert_eq!(
+        profile.variants(),
+        initial.inputs(),
+        "strategy/profile mismatch"
+    );
     let initial_pul = prediction_utility_loss(profile, initial, du);
     assert!(
         initial_pul <= cfg.delta + 1e-9,
@@ -129,11 +137,7 @@ pub fn optimize_attribute_strategy_under(
 /// costs are the shared-friend structure values `S_j`.
 ///
 /// Returns the selected neighbour endpoints, in greedy pick order.
-pub fn select_vulnerable_links(
-    lg: &LabeledGraph<'_>,
-    u: UserId,
-    epsilon: f64,
-) -> Vec<UserId> {
+pub fn select_vulnerable_links(lg: &LabeledGraph<'_>, u: UserId, epsilon: f64) -> Vec<UserId> {
     let Some(true_label) = lg.true_label(u) else {
         return Vec::new();
     };
@@ -142,8 +146,10 @@ pub fn select_vulnerable_links(
         return Vec::new();
     }
     let state = RelationalState::new(lg);
-    let costs: Vec<f64> =
-        neighbours.iter().map(|&j| structure_value(lg.graph, u, j)).collect();
+    let costs: Vec<f64> = neighbours
+        .iter()
+        .map(|&j| structure_value(lg.graph, u, j))
+        .collect();
 
     // Privacy gain = 1 − P(true label) from the wvRN vote over the
     // neighbours that remain. Removing a vulnerable link (one whose far end
@@ -167,7 +173,11 @@ pub fn select_vulnerable_links(
         if kept == 0 {
             return 1.0; // no relational signal at all: fully private
         }
-        let p_true = if den > 0.0 { num / den } else { unweighted / kept as f64 };
+        let p_true = if den > 0.0 {
+            num / den
+        } else {
+            unweighted / kept as f64
+        };
         1.0 - p_true
     };
 
@@ -203,7 +213,11 @@ mod tests {
             &initial,
             &preds(),
             hamming_disparity,
-            OptimizeConfig { grid: 4, sweeps: 3, delta: 1.0 },
+            OptimizeConfig {
+                grid: 4,
+                sweeps: 3,
+                delta: 1.0,
+            },
         );
         assert!(privacy >= 0.5 - 1e-9, "got {privacy}");
         assert_eq!(s.inputs(), p.variants());
@@ -213,7 +227,11 @@ mod tests {
     fn optimizer_never_violates_delta() {
         let p = Profile::new(variants(), vec![0.7, 0.3]);
         let initial = AttributeStrategy::removal(variants(), &[0]);
-        let cfg = OptimizeConfig { grid: 3, sweeps: 2, delta: 1.0 };
+        let cfg = OptimizeConfig {
+            grid: 3,
+            sweeps: 2,
+            delta: 1.0,
+        };
         let (s, _) = optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, cfg);
         assert!(prediction_utility_loss(&p, &s, hamming_disparity) <= cfg.delta + 1e-9);
     }
@@ -229,7 +247,11 @@ mod tests {
                 &initial,
                 &preds(),
                 hamming_disparity,
-                OptimizeConfig { grid: 4, sweeps: 3, delta },
+                OptimizeConfig {
+                    grid: 4,
+                    sweeps: 3,
+                    delta,
+                },
             )
             .1
         };
@@ -249,7 +271,11 @@ mod tests {
             &initial,
             &preds(),
             hamming_disparity,
-            OptimizeConfig { grid: 2, sweeps: 1, delta: 0.0 },
+            OptimizeConfig {
+                grid: 2,
+                sweeps: 1,
+                delta: 0.0,
+            },
         );
     }
 
@@ -273,7 +299,10 @@ mod tests {
         // Generous ε: the greedy should remove the links to u1/u2 (they vote
         // for the true label 0) and keep u3 (votes against it).
         let sel = select_vulnerable_links(&lg, UserId(0), 10.0);
-        assert!(sel.contains(&UserId(1)) && sel.contains(&UserId(2)), "{sel:?}");
+        assert!(
+            sel.contains(&UserId(1)) && sel.contains(&UserId(2)),
+            "{sel:?}"
+        );
         assert!(!sel.contains(&UserId(3)));
     }
 

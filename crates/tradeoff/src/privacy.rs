@@ -43,13 +43,21 @@ pub fn latent_privacy(
     believed_strategy: &AttributeStrategy,
     predictions: &[Vec<f64>],
 ) -> f64 {
-    assert_eq!(profile.variants(), strategy.inputs(), "true strategy/profile mismatch");
+    assert_eq!(
+        profile.variants(),
+        strategy.inputs(),
+        "true strategy/profile mismatch"
+    );
     assert_eq!(
         believed_profile.variants(),
         believed_strategy.inputs(),
         "believed strategy/profile mismatch"
     );
-    assert_eq!(predictions.len(), profile.len(), "one prediction per variant");
+    assert_eq!(
+        predictions.len(),
+        profile.len(),
+        "one prediction per variant"
+    );
 
     let n_in = profile.len();
     let mut total = 0.0;
@@ -59,8 +67,10 @@ pub fn latent_privacy(
         // different output space (e.g. identity strategy), so match by
         // attribute-set equality; an unexplainable X' leaves the adversary
         // with their prior.
-        let believed_o =
-            believed_strategy.outputs().iter().position(|x| x == x_prime);
+        let believed_o = believed_strategy
+            .outputs()
+            .iter()
+            .position(|x| x == x_prime);
         let believed_weight = |i: usize| -> f64 {
             match believed_o {
                 Some(bo) => believed_profile.prob(i) * believed_strategy.prob(i, bo),
@@ -74,7 +84,10 @@ pub fn latent_privacy(
             .min_by(|&a, &b| {
                 let cost = |c: usize| -> f64 {
                     (0..n_in)
-                        .map(|i| believed_weight(i) * prediction_disparity(&predictions[i], &predictions[c]))
+                        .map(|i| {
+                            believed_weight(i)
+                                * prediction_disparity(&predictions[i], &predictions[c])
+                        })
                         .sum()
                 };
                 cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))

@@ -19,13 +19,19 @@ impl Profile {
     /// inconsistent widths, or any probability is negative / all are zero.
     pub fn new(variants: Vec<AttrVec>, probs: Vec<f64>) -> Self {
         assert_eq!(variants.len(), probs.len(), "variant/probability mismatch");
-        assert!(!variants.is_empty(), "profile must contain at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "profile must contain at least one variant"
+        );
         let width = variants[0].len();
         assert!(variants.iter().all(|v| v.len() == width), "ragged variants");
         assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
         let z: f64 = probs.iter().sum();
         assert!(z > 0.0, "profile has zero total mass");
-        Self { variants, probs: probs.into_iter().map(|p| p / z).collect() }
+        Self {
+            variants,
+            probs: probs.into_iter().map(|p| p / z).collect(),
+        }
     }
 
     /// Uniform profile over the given variants.
@@ -90,7 +96,10 @@ impl Profile {
         assert!(n >= 1, "need at least one variant");
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.probs[b].partial_cmp(&self.probs[a]).unwrap().then(a.cmp(&b))
+            self.probs[b]
+                .partial_cmp(&self.probs[a])
+                .unwrap()
+                .then(a.cmp(&b))
         });
         idx.truncate(n);
         idx.sort_unstable(); // keep original relative order for determinism
@@ -107,10 +116,7 @@ mod tests {
 
     #[test]
     fn normalizes_probabilities() {
-        let p = Profile::new(
-            vec![vec![Some(0)], vec![Some(1)]],
-            vec![3.0, 1.0],
-        );
+        let p = Profile::new(vec![vec![Some(0)], vec![Some(1)]], vec![3.0, 1.0]);
         assert!((p.prob(0) - 0.75).abs() < 1e-12);
         assert!((p.prob(1) - 0.25).abs() < 1e-12);
     }

@@ -26,9 +26,16 @@ impl AttributeStrategy {
             assert_eq!(row.len(), outputs.len(), "one column per output variant");
             assert!(row.iter().all(|&p| p >= 0.0), "negative strategy entry");
             let z: f64 = row.iter().sum();
-            assert!((z - 1.0).abs() < 1e-9, "strategy row must sum to 1, got {z}");
+            assert!(
+                (z - 1.0).abs() < 1e-9,
+                "strategy row must sum to 1, got {z}"
+            );
         }
-        Self { inputs, outputs, matrix }
+        Self {
+            inputs,
+            outputs,
+            matrix,
+        }
     }
 
     /// The identity strategy: publish `X` unchanged (what an adversary
@@ -126,7 +133,10 @@ impl AttributeStrategy {
     pub fn set_row(&mut self, i: usize, row: Vec<f64>) {
         assert_eq!(row.len(), self.outputs.len(), "row width mismatch");
         let z: f64 = row.iter().sum();
-        assert!((z - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0), "not a distribution");
+        assert!(
+            (z - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0),
+            "not a distribution"
+        );
         self.matrix[i] = row;
     }
 }
@@ -178,7 +188,11 @@ mod tests {
             let total: f64 = (0..s.outputs().len()).map(|o| s.prob(i, o)).sum();
             assert!((total - 1.0).abs() < 1e-12);
         }
-        assert_eq!(s.outputs().len(), 1, "hiding everything collapses the space");
+        assert_eq!(
+            s.outputs().len(),
+            1,
+            "hiding everything collapses the space"
+        );
     }
 
     #[test]
@@ -192,10 +206,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn non_stochastic_rejected() {
-        AttributeStrategy::new(
-            vec![vec![Some(0)]],
-            vec![vec![Some(0)]],
-            vec![vec![0.5]],
-        );
+        AttributeStrategy::new(vec![vec![Some(0)]], vec![vec![Some(0)]], vec![vec![0.5]]);
     }
 }

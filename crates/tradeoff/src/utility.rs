@@ -43,7 +43,11 @@ pub fn prediction_utility_loss(
     strategy: &AttributeStrategy,
     du: Disparity,
 ) -> f64 {
-    assert_eq!(profile.variants(), strategy.inputs(), "strategy/profile mismatch");
+    assert_eq!(
+        profile.variants(),
+        strategy.inputs(),
+        "strategy/profile mismatch"
+    );
     let mut loss = 0.0;
     for (i, (x, psi)) in profile.iter().enumerate() {
         for (o, x_prime) in strategy.outputs().iter().enumerate() {
@@ -62,7 +66,10 @@ pub fn prediction_utility_loss(
 /// shares a large number of friends has a bad effect on the clustering
 /// coefficient".
 pub fn structure_utility_loss(g: &SocialGraph, u: UserId, removed: &[UserId]) -> f64 {
-    removed.iter().map(|&j| g.shared_friend_count(u, j) as f64).sum()
+    removed
+        .iter()
+        .map(|&j| g.shared_friend_count(u, j) as f64)
+        .sum()
 }
 
 /// Structure utility value `S_j` of one candidate link `{u, j}`.
@@ -115,7 +122,10 @@ mod tests {
         // Triangle 0-1-2 plus pendant 3 on 0.
         let mut b = GraphBuilder::new(Schema::uniform(1, 2));
         let us: Vec<_> = (0..4).map(|_| b.user()).collect();
-        b.edge(us[0], us[1]).edge(us[1], us[2]).edge(us[0], us[2]).edge(us[0], us[3]);
+        b.edge(us[0], us[1])
+            .edge(us[1], us[2])
+            .edge(us[0], us[2])
+            .edge(us[0], us[3]);
         let g = b.build();
         // S_1 for u0 = shared friends of 0 and 1 = |{2}| = 1; S_3 = 0.
         assert_eq!(structure_value(&g, us[0], us[1]), 1.0);

@@ -19,9 +19,12 @@ fn main() {
     );
 
     println!("\nε sweep — synthetic-data utility (total variation distance, lower = better):");
-    println!("{:>8} {:>12} {:>12} {:>12}", "epsilon", "tvd[c0]", "tvd[c0,c1]", "MI(c0,c1)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "epsilon", "tvd[c0]", "tvd[c0,c1]", "MI(c0,c1)"
+    );
     for &eps in &[0.05, 0.2, 1.0, 5.0, 50.0] {
-        let synth = DpPublisher::new(eps, 1).publish(&original, 5_000, 7);
+        let synth = DpPublisher::new(eps, 1).publish(&original, 5_000, 7).table;
         println!(
             "{:>8.2} {:>12.4} {:>12.4} {:>12.4}",
             eps,
@@ -54,7 +57,7 @@ fn main() {
 
     // Baseline contrast: the synthetic table's k-anonymity w.r.t. the
     // first two columns as quasi-identifiers.
-    let synth = DpPublisher::new(1.0, 1).publish(&original, 5_000, 7);
+    let synth = DpPublisher::new(1.0, 1).publish(&original, 5_000, 7).table;
     for k in [2, 5, 20] {
         println!(
             "synthetic table is {k}-anonymous on (c0, c1): {}",

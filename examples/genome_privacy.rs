@@ -22,7 +22,11 @@ fn main() {
         catalog.associations().len(),
         catalog.n_snps()
     );
-    println!("panel: {} individuals ({} cases)", panel.n_individuals(), 96);
+    println!(
+        "panel: {} individuals ({} cases)",
+        panel.n_individuals(),
+        96
+    );
 
     // Individual 0 is a case; they release all their SNPs but not their
     // disease status. How much does the attacker learn?
@@ -32,7 +36,10 @@ fn main() {
     let bp = BpConfig::default().run(&graph);
     let nb = naive_bayes_marginals(&catalog, &evidence);
 
-    println!("\nattacker posteriors for the focal disease (truth: case = {}):", panel.case[victim]);
+    println!(
+        "\nattacker posteriors for the focal disease (truth: case = {}):",
+        panel.case[victim]
+    );
     let t = graph.trait_local(TraitId(0)).expect("focal trait in graph");
     println!(
         "  belief propagation: P(disease) = {:.3}  (entropy privacy {:.3})",
@@ -47,16 +54,28 @@ fn main() {
 
     // Defend: hide the fewest SNPs such that every disease's entropy
     // privacy reaches δ = 0.9 against the BP attacker.
-    let targets: Vec<Target> =
-        (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
-    let (released, outcome) = GenomePublisher::new(&catalog, 0.9).publish(&evidence, &targets);
+    let targets: Vec<Target> = (0..catalog.n_traits())
+        .map(|i| Target::Trait(TraitId(i)))
+        .collect();
+    let report = GenomePublisher::new(&catalog, 0.9).publish(&evidence, &targets);
+    let (released, outcome) = (report.released, report.outcome);
 
     println!("\ngreedy δ-privacy sanitization (δ = 0.9):");
     println!("  SNPs released originally : {}", evidence.snps.len());
-    println!("  SNPs hidden              : {} → {:?}", outcome.removed.len(), outcome.removed);
+    println!(
+        "  SNPs hidden              : {} → {:?}",
+        outcome.removed.len(),
+        outcome.removed
+    );
     println!("  SNPs still released      : {}", released.snps.len());
-    println!("  min-target privacy path  : {:?}", rounded(&outcome.history));
-    println!("  attacker error path      : {:?}", rounded(&outcome.error_history));
+    println!(
+        "  min-target privacy path  : {:?}",
+        rounded(&outcome.history)
+    );
+    println!(
+        "  attacker error path      : {:?}",
+        rounded(&outcome.error_history)
+    );
     println!("  δ satisfied              : {}", outcome.satisfied);
 
     // Verify: re-run the attack on the sanitized release.
@@ -68,6 +87,9 @@ fn main() {
         bp2.trait_marginals[t2][1],
         entropy_privacy(&bp2.trait_marginals[t2])
     );
+
+    // Every pipeline run carries its telemetry: spans, counters, residuals.
+    println!("\nrun telemetry:\n{}", report.telemetry.to_text());
 }
 
 fn rounded(xs: &[f64]) -> Vec<f64> {

@@ -23,9 +23,15 @@ fn main() {
 
     let (result, idx) = kin_attack(&catalog, &family, BpConfig::default());
 
-    println!("parent released {} SNPs; child released nothing\n", panel.full_evidence(0).snps.len());
+    println!(
+        "parent released {} SNPs; child released nothing\n",
+        panel.full_evidence(0).snps.len()
+    );
     println!("attacker's view of the CHILD (who published nothing):");
-    println!("{:<26} {:>10} {:>10} {:>10}", "disease", "prior", "P(kin-BP)", "privacy");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "disease", "prior", "P(kin-BP)", "privacy"
+    );
     for (t, info) in catalog.traits() {
         if let Some(i) = idx.trait_(child, t) {
             let m = result.trait_marginals[i];
@@ -69,8 +75,9 @@ fn main() {
 
     // Defence: which of the PARENT's SNPs must be withheld so the child's
     // disease statuses stay private (the consent problem)?
-    let targets: Vec<KinTarget> =
-        (0..catalog.n_traits()).map(|t| KinTarget::Trait(child, TraitId(t))).collect();
+    let targets: Vec<KinTarget> = (0..catalog.n_traits())
+        .map(|t| KinTarget::Trait(child, TraitId(t)))
+        .collect();
     let out = kin_greedy_sanitize(
         &catalog,
         &family,
@@ -80,10 +87,21 @@ fn main() {
         12,
         BpConfig::default(),
     );
-    println!("
-kin-aware sanitization of the parent's release (delta = 0.95):");
-    println!("  SNPs the parent must withhold : {} of {}", out.withheld.len(), panel.n_snps());
-    println!("  child privacy trajectory      : {:?}",
-        out.history.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "
+kin-aware sanitization of the parent's release (delta = 0.95):"
+    );
+    println!(
+        "  SNPs the parent must withhold : {} of {}",
+        out.withheld.len(),
+        panel.n_snps()
+    );
+    println!(
+        "  child privacy trajectory      : {:?}",
+        out.history
+            .iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("  delta satisfied               : {}", out.satisfied);
 }

@@ -39,7 +39,11 @@ fn main() {
             &initial,
             &predictions,
             hamming_disparity,
-            OptimizeConfig { grid: 4, sweeps: 4, delta },
+            OptimizeConfig {
+                grid: 4,
+                sweeps: 4,
+                delta,
+            },
         );
         let pul = prediction_utility_loss(&profile, &strategy, hamming_disparity);
         println!("{delta:>6.1} {privacy:>12.4} {pul:>12.4}");

@@ -35,8 +35,14 @@ fn main() {
     println!("  generalization level : {}", report.plan.level);
 
     println!("\nattack accuracy on the sensitive attribute (ICA-Bayes):");
-    println!("  before sanitization : {:.3}", report.privacy_accuracy_before);
-    println!("  after sanitization  : {:.3}", report.privacy_accuracy_after);
+    println!(
+        "  before sanitization : {:.3}",
+        report.privacy_accuracy_before
+    );
+    println!(
+        "  after sanitization  : {:.3}",
+        report.privacy_accuracy_after
+    );
     println!(
         "\nattack accuracy on the utility attribute after sanitization: {:.3}",
         report.utility_accuracy_after

@@ -7,8 +7,8 @@
 use ppdp::classify::run_attack;
 use ppdp::datagen::social::snap_like;
 use ppdp::prelude::*;
-use ppdp::sanitize::{dependency_report, remove_indistinguishable_links};
 use ppdp::sanitize::depend::most_dependent_attributes;
+use ppdp::sanitize::{dependency_report, remove_indistinguishable_links};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,13 +16,21 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     let data = snap_like(42);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
-    let known: Vec<bool> = (0..data.graph.user_count()).map(|_| rng.gen_bool(0.7)).collect();
+    let known: Vec<bool> = (0..data.graph.user_count())
+        .map(|_| rng.gen_bool(0.7))
+        .collect();
 
     let kinds = [LocalKind::Bayes, LocalKind::Knn(7), LocalKind::Rst];
     let models = [
         ("AttrOnly", AttackModel::AttrOnly),
         ("LinkOnly", AttackModel::LinkOnly),
-        ("CC(ICA) ", AttackModel::Collective { alpha: 0.5, beta: 0.5 }),
+        (
+            "CC(ICA) ",
+            AttackModel::Collective {
+                alpha: 0.5,
+                beta: 0.5,
+            },
+        ),
     ];
 
     println!("== attack accuracy on the sensitive attribute (original graph) ==");
@@ -38,7 +46,10 @@ fn main() {
 
     // Dependency analysis: which public attributes drive the prediction?
     let rep = dependency_report(&data.graph, data.privacy_cat, data.utility_cat);
-    println!("\nPDAs (reduct for the sensitive attribute): {:?}", rep.pdas);
+    println!(
+        "\nPDAs (reduct for the sensitive attribute): {:?}",
+        rep.pdas
+    );
     println!("UDAs (reduct for the utility attribute)  : {:?}", rep.udas);
     println!("Core (shared)                            : {:?}", rep.core);
 
@@ -48,13 +59,8 @@ fn main() {
     for cat in most_dependent_attributes(&data.graph, data.privacy_cat, 4) {
         sanitized.clear_category(cat);
     }
-    let sanitized = remove_indistinguishable_links(
-        &sanitized,
-        data.privacy_cat,
-        &known,
-        LocalKind::Bayes,
-        400,
-    );
+    let sanitized =
+        remove_indistinguishable_links(&sanitized, data.privacy_cat, &known, LocalKind::Bayes, 400);
 
     println!("\n== after removing 4 PDAs and 400 indistinguishable links ==");
     println!("{:<10} {:>8} {:>8} {:>8}", "model", "Bayes", "KNN", "RST");

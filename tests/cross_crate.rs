@@ -4,8 +4,8 @@
 use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
 use ppdp::datagen::social::{caltech_like, snap_like};
 use ppdp::genomic::{
-    exhaustive_marginals, naive_bayes_marginals, BpConfig, Evidence, FactorGraph, Genotype,
-    SnpId, TraitId,
+    exhaustive_marginals, naive_bayes_marginals, BpConfig, Evidence, FactorGraph, Genotype, SnpId,
+    TraitId,
 };
 use ppdp::sanitize::depend::most_dependent_attributes;
 use ppdp::sanitize::{dependency_report, remove_indistinguishable_links};
@@ -27,7 +27,10 @@ fn attack_models_beat_prior_on_generated_caltech() {
     for model in [
         AttackModel::AttrOnly,
         AttackModel::LinkOnly,
-        AttackModel::Collective { alpha: 0.5, beta: 0.5 },
+        AttackModel::Collective {
+            alpha: 0.5,
+            beta: 0.5,
+        },
     ] {
         let acc = run_attack(&lg, LocalKind::Bayes, model).accuracy;
         assert!(
@@ -74,17 +77,15 @@ fn link_removal_bounded_volatility_and_full_removal_equals_attr_only() {
     let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
     let before = run_attack(&lg, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
 
-    let sanitized = remove_indistinguishable_links(
-        &d.graph,
-        d.privacy_cat,
-        &known,
-        LocalKind::Bayes,
-        2_000,
-    );
+    let sanitized =
+        remove_indistinguishable_links(&d.graph, d.privacy_cat, &known, LocalKind::Bayes, 2_000);
     assert_eq!(sanitized.edge_count(), d.graph.edge_count() - 2_000);
     let lg2 = LabeledGraph::new(&sanitized, d.privacy_cat, known.clone());
     let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
-    assert!((after - before).abs() <= 0.1, "accuracy jumped: {before} -> {after}");
+    assert!(
+        (after - before).abs() <= 0.1,
+        "accuracy jumped: {before} -> {after}"
+    );
 
     let empty = remove_indistinguishable_links(
         &d.graph,
@@ -107,7 +108,10 @@ fn link_removal_bounded_volatility_and_full_removal_equals_attr_only() {
 fn dependency_report_on_generated_data_finds_planted_core() {
     let d = caltech_like(42);
     let rep = dependency_report(&d.graph, d.privacy_cat, d.utility_cat);
-    assert!(!rep.pdas.is_empty(), "planted informative attributes must appear");
+    assert!(
+        !rep.pdas.is_empty(),
+        "planted informative attributes must appear"
+    );
     // Category 2 is planted as jointly informative; it should be a PDA (and
     // usually in the Core).
     assert!(
@@ -175,7 +179,10 @@ fn bp_attacker_identifies_cases_better_than_chance() {
         }
     }
     let acc = correct as f64 / panel.n_individuals() as f64;
-    assert!(acc > 0.6, "BP attacker should separate cases from controls: {acc}");
+    assert!(
+        acc > 0.6,
+        "BP attacker should separate cases from controls: {acc}"
+    );
 }
 
 #[test]

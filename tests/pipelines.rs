@@ -20,11 +20,17 @@ fn social_pipeline_full_run() {
     assert_eq!(report.sanitized.edge_count(), data.graph.edge_count() - 300);
     // Removed categories are hidden for every user in the sanitized graph.
     for &cat in &report.plan.removed {
-        assert!(report.sanitized.users().all(|u| report.sanitized.value(u, cat).is_none()));
+        assert!(report
+            .sanitized
+            .users()
+            .all(|u| report.sanitized.value(u, cat).is_none()));
     }
     // The sensitive and utility columns themselves are never sanitized away
     // (they are the ground truth the evaluation needs).
-    assert!(report.sanitized.users().any(|u| report.sanitized.value(u, data.privacy_cat).is_some()));
+    assert!(report
+        .sanitized
+        .users()
+        .any(|u| report.sanitized.value(u, data.privacy_cat).is_some()));
 }
 
 #[test]
@@ -50,15 +56,29 @@ fn coarser_generalization_is_at_least_as_private() {
 fn genome_pipeline_trajectory_monotone_and_satisfying() {
     let catalog = synthetic_catalog(60, 5, 2, 11);
     let panel = amd_like(&catalog, TraitId(0), 5, 5, 11);
-    let targets: Vec<Target> =
-        (0..catalog.n_traits()).map(|i| Target::Trait(TraitId(i))).collect();
-    let (released, outcome) =
-        GenomePublisher::new(&catalog, 0.95).publish(&panel.full_evidence(0), &targets);
+    let targets: Vec<Target> = (0..catalog.n_traits())
+        .map(|i| Target::Trait(TraitId(i)))
+        .collect();
+    let report = GenomePublisher::new(&catalog, 0.95).publish(&panel.full_evidence(0), &targets);
+    let (released, outcome) = (&report.released, &report.outcome);
     for w in outcome.history.windows(2) {
-        assert!(w[1] >= w[0] - 1e-9, "privacy trajectory must be non-decreasing");
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "privacy trajectory must be non-decreasing"
+        );
     }
-    assert!(outcome.satisfied, "hiding enough SNPs must reach δ = 0.95: {outcome:?}");
-    assert!(released.snps.len() < panel.n_snps(), "something must be hidden");
+    assert!(
+        outcome.satisfied,
+        "hiding enough SNPs must reach δ = 0.95: {outcome:?}"
+    );
+    assert!(
+        released.snps.len() < panel.n_snps(),
+        "something must be hidden"
+    );
+    assert!(
+        outcome.predictor_converged,
+        "BP must converge on every greedy evaluation"
+    );
 }
 
 #[test]
@@ -91,7 +111,9 @@ fn dp_pipeline_epsilon_monotonicity() {
         // Average over seeds to smooth sampling noise.
         (0..3)
             .map(|s| {
-                let synth = DpPublisher::new(eps, 1).publish(&original, 3_000, 100 + s);
+                let synth = DpPublisher::new(eps, 1)
+                    .publish(&original, 3_000, 100 + s)
+                    .table;
                 original.marginal_tvd(&synth, &[0, 1])
             })
             .sum::<f64>()
@@ -108,7 +130,9 @@ fn dp_pipeline_epsilon_monotonicity() {
 #[test]
 fn dp_pipeline_preserves_planted_correlation_at_moderate_epsilon() {
     let original = correlated_microdata(4_000, 4, 2, 0.9, 23);
-    let synth = DpPublisher::new(10.0, 1).publish(&original, 4_000, 24);
+    let synth = DpPublisher::new(10.0, 1)
+        .publish(&original, 4_000, 24)
+        .table;
     let orig_mi = original.mutual_information(0, 1);
     let synth_mi = synth.mutual_information(0, 1);
     assert!(
@@ -126,13 +150,16 @@ fn dp_synthetic_genomes_preserve_allele_frequencies() {
     let catalog = synthetic_catalog(30, 4, 1, 31);
     let panel = amd_like(&catalog, TraitId(0), 200, 200, 31);
     let table = panel.to_table();
-    let synth = DpPublisher::new(20.0, 1).publish(&table, 400, 32);
+    let synth = DpPublisher::new(20.0, 1).publish(&table, 400, 32).table;
     assert_eq!(synth.n_cols(), panel.n_snps());
     let mut worst = 0.0f64;
     for s in 0..panel.n_snps() {
         worst = worst.max(table.marginal_tvd(&synth, &[s]));
     }
-    assert!(worst < 0.15, "per-locus genotype marginals drifted: worst tvd {worst}");
+    assert!(
+        worst < 0.15,
+        "per-locus genotype marginals drifted: worst tvd {worst}"
+    );
 }
 
 #[test]
@@ -160,5 +187,8 @@ fn kin_attack_integrates_with_generated_panels() {
             }
         }
     }
-    assert!(max_shift > 0.05, "parent's genome must leak into the child: {max_shift}");
+    assert!(
+        max_shift > 0.05,
+        "parent's genome must leak into the child: {max_shift}"
+    );
 }

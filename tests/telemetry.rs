@@ -1,0 +1,110 @@
+//! Cross-crate observability tests: every pipeline run must come back with
+//! a usable, serializable `RunReport`, and the DP pipeline's budget ledger
+//! must account for the whole configured ε.
+
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::datagen::social::caltech_like;
+use ppdp::prelude::*;
+use ppdp::telemetry::RunReport;
+
+/// serde_json round trip must be lossless for every section of the report.
+fn round_trips(report: &RunReport) -> RunReport {
+    let json = report.to_json();
+    let back = RunReport::from_json(&json).expect("report deserializes");
+    assert_eq!(&back, report, "serde_json round trip must be lossless");
+    back
+}
+
+#[test]
+fn social_pipeline_yields_nonempty_roundtripping_report() {
+    let data = caltech_like(42);
+    let report = SocialPublisher::new(&data)
+        .generalization_level(2)
+        .publish(7);
+    let t = &report.telemetry;
+    assert!(!t.is_empty(), "an instrumented run must record something");
+
+    // The pipeline phases and at least one classifier sweep are visible.
+    for span in ["social.publish", "social.publish/sanitize"] {
+        assert!(t.span(span).is_some(), "missing span {span}");
+    }
+    assert!(t.counter("ica.sweeps") > 0, "ICA iteration counter missing");
+
+    // Wall-clock timings are real: the root span has nonzero duration and
+    // contains its children.
+    let root = t.span("social.publish").unwrap();
+    assert!(root.total_nanos > 0, "root span must have nonzero duration");
+    let sanitize = t.span("social.publish/sanitize").unwrap();
+    assert!(root.total_nanos >= sanitize.total_nanos);
+
+    round_trips(t);
+}
+
+#[test]
+fn dp_pipeline_report_accounts_for_the_whole_budget() {
+    let table = correlated_microdata(400, 4, 3, 0.8, 5);
+    let epsilon = 3.0;
+    let report = DpPublisher::new(epsilon, 1).publish(&table, 200, 6);
+    let t = &report.telemetry;
+
+    assert!(!t.is_empty());
+    assert!(
+        t.span("dp.publish").is_some_and(|s| s.total_nanos > 0),
+        "pipeline span must have nonzero duration"
+    );
+    // Every ε draw is on the ledger and they sum to the configured total.
+    assert!(!t.budget.is_empty(), "fit must record its ε draws");
+    let drawn: f64 = t.budget.iter().map(|d| d.epsilon).sum();
+    assert!(
+        (drawn - epsilon).abs() < 1e-9,
+        "draws must sum to ε = {epsilon}: {drawn}"
+    );
+    assert!((t.total_epsilon() - epsilon).abs() < 1e-9);
+    assert!(t.budget.iter().all(|d| d.mechanism == "laplace"));
+
+    round_trips(t);
+}
+
+#[test]
+fn genome_pipeline_report_counts_bp_iterations() {
+    use ppdp::datagen::genomes::amd_like;
+    use ppdp::datagen::gwas::synthetic_catalog;
+    use ppdp::genomic::sanitize::Target;
+
+    let catalog = synthetic_catalog(60, 5, 2, 11);
+    let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let targets = [Target::Trait(TraitId(0))];
+    let report = GenomePublisher::new(&catalog, 0.6).publish(&panel.full_evidence(0), &targets);
+    let t = &report.telemetry;
+
+    assert!(
+        t.counter("bp.iterations") > 0,
+        "BP iteration counter missing"
+    );
+    assert!(
+        t.histogram("bp.sweep_residual")
+            .is_some_and(|h| h.count > 0),
+        "per-sweep residuals must be recorded"
+    );
+    assert!(t.span("genome.publish").is_some());
+    round_trips(t);
+}
+
+#[test]
+fn pipelines_also_feed_an_outer_scoped_recorder() {
+    // A caller-scoped recorder sees the same events the attached report
+    // does — the attachment is not an either/or.
+    let rec = Recorder::new();
+    let table = correlated_microdata(300, 3, 2, 0.8, 9);
+    let attached = {
+        let _scope = rec.enter();
+        DpPublisher::new(2.0, 1).publish(&table, 100, 4).telemetry
+    };
+    let outer = rec.take();
+    assert!((outer.total_epsilon() - attached.total_epsilon()).abs() < 1e-12);
+    assert_eq!(
+        outer.counter("bayes_net.columns"),
+        attached.counter("bayes_net.columns")
+    );
+    assert!(outer.span("dp.publish").is_some());
+}
