@@ -11,8 +11,20 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> chaos suite (fault injection: no panics allowed)"
+cargo test -q -p ppdp --test chaos
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Library code of the Result-converted crates must not panic on corrupt
+# input: unwrap/expect are reserved for tests, benches, and examples.
+echo "==> cargo clippy (no unwrap/expect in converted lib code)"
+for crate in ppdp-errors ppdp-graph ppdp-classify ppdp-sanitize \
+    ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp; do
+  cargo clippy -q -p "$crate" --lib -- \
+    -D clippy::unwrap_used -D clippy::expect_used
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

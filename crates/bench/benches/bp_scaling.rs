@@ -45,7 +45,7 @@ fn bench_bp_linear(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp_linear_in_snps");
     for &n in &[64usize, 256, 1024, 4096] {
         let cat = chain_catalog(n);
-        let g = FactorGraph::build(&cat, &evidence_half(n));
+        let g = FactorGraph::build(&cat, &evidence_half(n)).expect("bench data is well-formed");
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| BpConfig::default().run(std::hint::black_box(g)))
         });
@@ -59,7 +59,7 @@ fn bench_exhaustive_exponential(c: &mut Criterion) {
     for &n in &[6usize, 9, 12] {
         let cat = chain_catalog(n + 1);
         // Leave `n` SNPs unknown by releasing none.
-        let g = FactorGraph::build(&cat, &Evidence::none());
+        let g = FactorGraph::build(&cat, &Evidence::none()).expect("bench data is well-formed");
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| exhaustive_marginals(std::hint::black_box(g)))
         });
@@ -70,7 +70,7 @@ fn bench_exhaustive_exponential(c: &mut Criterion) {
 fn bench_damping_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp_damping_ablation");
     let cat = chain_catalog(512);
-    let g = FactorGraph::build(&cat, &evidence_half(512));
+    let g = FactorGraph::build(&cat, &evidence_half(512)).expect("bench data is well-formed");
     for &damping in &[0.0, 0.25, 0.5] {
         let cfg = BpConfig {
             damping,
@@ -101,7 +101,7 @@ fn dump_telemetry_report(path: &str) {
         let _scope = rec.enter();
         let _span = ppdp::telemetry::span("bench.bp_scaling");
         let cat = chain_catalog(1024);
-        let g = FactorGraph::build(&cat, &evidence_half(1024));
+        let g = FactorGraph::build(&cat, &evidence_half(1024)).expect("bench data is well-formed");
         let _ = BpConfig::default().run(&g);
     }
     use ppdp::telemetry::status_line;

@@ -44,7 +44,8 @@ fn bench_sampling_throughput(c: &mut Criterion) {
             degree: 2,
             epsilon: 1.0,
         },
-    );
+    )
+    .expect("bench data is well-formed");
     for &n in &[1_000usize, 10_000, 50_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {

@@ -33,6 +33,7 @@ fn bench_ica(c: &mut Criterion) {
                             beta: 0.5,
                         },
                     )
+                    .expect("bench data is well-formed")
                     .accuracy
                 })
             });
@@ -59,7 +60,11 @@ fn bench_attack_models(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| run_attack(std::hint::black_box(&lg), LocalKind::Bayes, model).accuracy)
+            b.iter(|| {
+                run_attack(std::hint::black_box(&lg), LocalKind::Bayes, model)
+                    .expect("bench data is well-formed")
+                    .accuracy
+            })
         });
     }
     group.finish();

@@ -24,7 +24,7 @@ use ppdp_bench::util::SEED;
 use ppdp_bench::{ch3, ch4, ch5};
 use std::time::Instant;
 
-fn run(id: &str) {
+fn run(id: &str) -> ppdp::errors::Result<()> {
     match id {
         "table3.3" => ch3::table3_3(),
         "table3.4" => ch3::table3_4(),
@@ -200,9 +200,14 @@ fn main() {
     for &id in &ids {
         eprintln!("{}", status_line("run", id));
         let started = Instant::now();
-        {
+        let outcome = {
             let _span = telemetry::span(id);
-            run(id);
+            run(id)
+        };
+        if let Err(e) = outcome {
+            eprintln!("{}", status_line("error", &format!("{id}: {e}")));
+            telemetry::uninstall_global();
+            std::process::exit(1);
         }
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         eprintln!(

@@ -3,6 +3,7 @@
 use crate::util::{cols, datasets, header, known_mask, row, SEED};
 use ppdp::classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
 use ppdp::datagen::social::SocialDataset;
+use ppdp::errors::Result;
 use ppdp::graph::stats::graph_stats;
 use ppdp::graph::SocialGraph;
 use ppdp::roughset::{find_reduct, AttrId};
@@ -25,7 +26,7 @@ const MODELS: [(&str, AttackModel); 3] = [
 ];
 
 /// Table 3.3: general statistics about the three datasets.
-pub fn table3_3() {
+pub fn table3_3() -> Result<()> {
     header("Table 3.3", "general statistics about the three datasets");
     cols(&["SNAP", "Caltech", "MIT"]);
     let stats: Vec<_> = datasets()
@@ -56,10 +57,11 @@ pub fn table3_3() {
         "diameter (lower bound)",
         &pick(&|i| stats[i].0.diameter as f64),
     );
+    Ok(())
 }
 
 /// Table 3.4: reduct sizes for the three datasets.
-pub fn table3_4() {
+pub fn table3_4() -> Result<()> {
     header(
         "Table 3.4",
         "reduct systems (condition attrs -> reduct size)",
@@ -81,10 +83,11 @@ pub fn table3_4() {
             reduct.len()
         );
     }
+    Ok(())
 }
 
 /// Table 3.5: the utility/privacy attribute designation.
-pub fn table3_5() {
+pub fn table3_5() -> Result<()> {
     header("Table 3.5", "utility and privacy attribute settings");
     for d in datasets() {
         println!(
@@ -96,10 +99,11 @@ pub fn table3_5() {
             d.utility_cat,
         );
     }
+    Ok(())
 }
 
 /// Table 3.6: PDA/UDA/Core sizes per dataset.
-pub fn table3_6() {
+pub fn table3_6() -> Result<()> {
     header("Table 3.6", "PDAs, UDAs and Core");
     cols(&["UDAs", "PDA-Core", "Core"]);
     for d in datasets() {
@@ -113,23 +117,24 @@ pub fn table3_6() {
             ],
         );
     }
+    Ok(())
 }
 
-fn ratio_for(g: &SocialGraph, d: &SocialDataset, known: &[bool], mix: (f64, f64)) -> f64 {
-    utility_privacy_ratio(
+fn ratio_for(g: &SocialGraph, d: &SocialDataset, known: &[bool], mix: (f64, f64)) -> Result<f64> {
+    Ok(utility_privacy_ratio(
         g,
         d.privacy_cat,
         d.utility_cat,
         known,
         LocalKind::Bayes,
         mix,
-    )
-    .ratio
+    )?
+    .ratio)
 }
 
 /// Tables 3.7 / 3.11 / 3.12: maximum utility/privacy ratio under the
 /// collective, attribute-removal and link-removal methods at a given α/β.
-pub fn table_max_ratio(id: &str, mix: (f64, f64)) {
+pub fn table_max_ratio(id: &str, mix: (f64, f64)) -> Result<()> {
     header(
         id,
         &format!("max utility/privacy, alpha={}, beta={}", mix.0, mix.1),
@@ -139,48 +144,45 @@ pub fn table_max_ratio(id: &str, mix: (f64, f64)) {
         let known = known_mask(d.graph.user_count(), SEED + 1);
 
         // Collective: best ratio over generalization levels 5..8.
-        let collective = (5..=8)
-            .map(|level| {
-                let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level);
-                ratio_for(&san, &d, &known, mix)
-            })
-            .fold(f64::NEG_INFINITY, f64::max);
+        let mut collective = f64::NEG_INFINITY;
+        for level in 5..=8 {
+            let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level)?;
+            collective = collective.max(ratio_for(&san, &d, &known, mix)?);
+        }
 
         // Attribute removal: best ratio over removing 0..=3 top PDAs.
         let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
-        let attr_removal = (0..=order.len())
-            .map(|k| {
-                let mut g = d.graph.clone();
-                for &cat in &order[..k] {
-                    g.clear_category(cat);
-                }
-                ratio_for(&g, &d, &known, mix)
-            })
-            .fold(f64::NEG_INFINITY, f64::max);
+        let mut attr_removal = f64::NEG_INFINITY;
+        for k in 0..=order.len() {
+            let mut g = d.graph.clone();
+            for &cat in &order[..k] {
+                g.clear_category(cat);
+            }
+            attr_removal = attr_removal.max(ratio_for(&g, &d, &known, mix)?);
+        }
 
         // Link removal: best ratio over 0/300/600 removed links (prefix of
         // one global indistinguishability ranking).
         let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-        let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+        let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)?;
         let scores = indistinguishable_links(&lg, &boot.dists);
-        let link_removal = [0usize, 300, 600]
-            .iter()
-            .map(|&k| {
-                let mut g = d.graph.clone();
-                for s in scores.iter().take(k) {
-                    g.remove_edge(s.user, s.neighbor);
-                }
-                ratio_for(&g, &d, &known, mix)
-            })
-            .fold(f64::NEG_INFINITY, f64::max);
+        let mut link_removal = f64::NEG_INFINITY;
+        for &k in &[0usize, 300, 600] {
+            let mut g = d.graph.clone();
+            for s in scores.iter().take(k) {
+                g.remove_edge(s.user, s.neighbor);
+            }
+            link_removal = link_removal.max(ratio_for(&g, &d, &known, mix)?);
+        }
 
         row(d.name, &[collective, attr_removal, link_removal]);
     }
+    Ok(())
 }
 
 /// Tables 3.8-3.10: utility/privacy vs generalization level L, #removed
 /// attributes and #removed links, for one dataset.
-pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) {
+pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) -> Result<()> {
     header(
         id,
         &format!("utility/privacy sweeps on {} (alpha=beta=0.5)", d.name),
@@ -191,8 +193,8 @@ pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) {
     println!("-- generalization level L (collective perturbation of the Core) --");
     cols(&["L", "uti/pri"]);
     for level in 5..=8 {
-        let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level);
-        row("", &[level as f64, ratio_for(&san, d, &known, mix)]);
+        let (san, _) = collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, level)?;
+        row("", &[level as f64, ratio_for(&san, d, &known, mix)?]);
     }
 
     println!("-- number of removed privacy-dependent attributes --");
@@ -203,27 +205,33 @@ pub fn table_sweep(id: &str, d: &SocialDataset, link_steps: &[usize]) {
         for &cat in &order[..k] {
             g.clear_category(cat);
         }
-        row("", &[k as f64, ratio_for(&g, d, &known, mix)]);
+        row("", &[k as f64, ratio_for(&g, d, &known, mix)?]);
     }
 
     println!("-- number of removed indistinguishable links --");
     cols(&["#links", "uti/pri"]);
     let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)?;
     let scores = indistinguishable_links(&lg, &boot.dists);
     for &k in link_steps {
         let mut g = d.graph.clone();
         for s in scores.iter().take(k) {
             g.remove_edge(s.user, s.neighbor);
         }
-        row("", &[k as f64, ratio_for(&g, d, &known, mix)]);
+        row("", &[k as f64, ratio_for(&g, d, &known, mix)?]);
     }
+    Ok(())
 }
 
 /// Figures 3.2-3.4: sensitive-attribute prediction accuracy vs the number
 /// of removed PDAs (panel a-c) and removed indistinguishable links (panel
 /// d-f), for the three local classifiers × three attack models.
-pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_steps: &[usize]) {
+pub fn fig_accuracy_sweeps(
+    id: &str,
+    d: &SocialDataset,
+    attr_steps: usize,
+    link_steps: &[usize],
+) -> Result<()> {
     header(id, &format!("accuracy sweeps on {}", d.name));
     let known = known_mask(d.graph.user_count(), SEED + 1);
 
@@ -242,14 +250,14 @@ pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_
             let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
             let accs: Vec<f64> = MODELS
                 .iter()
-                .map(|(_, m)| run_attack(&lg, kind, *m).accuracy)
-                .collect();
+                .map(|(_, m)| Ok(run_attack(&lg, kind, *m)?.accuracy))
+                .collect::<Result<_>>()?;
             row("", &[&[k as f64], accs.as_slice()].concat());
         }
     }
 
     let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly);
+    let boot = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)?;
     let scores = indistinguishable_links(&lg, &boot.dists);
     for kind in KINDS {
         println!(
@@ -265,16 +273,17 @@ pub fn fig_accuracy_sweeps(id: &str, d: &SocialDataset, attr_steps: usize, link_
             let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
             let accs: Vec<f64> = MODELS
                 .iter()
-                .map(|(_, m)| run_attack(&lg, kind, *m).accuracy)
-                .collect();
+                .map(|(_, m)| Ok(run_attack(&lg, kind, *m)?.accuracy))
+                .collect::<Result<_>>()?;
             row("", &[&[k as f64], accs.as_slice()].concat());
         }
     }
+    Ok(())
 }
 
 /// Figure 3.5: 2-D sweep (removed attributes × removed links) on MIT with
 /// ICA-KNN and ICA-Bayes.
-pub fn fig3_5(d: &SocialDataset) {
+pub fn fig3_5(d: &SocialDataset) -> Result<()> {
     header(
         "Fig 3.5",
         "2-D attr x link removal sweep on MIT (ICA-KNN / ICA-Bayes)",
@@ -282,7 +291,7 @@ pub fn fig3_5(d: &SocialDataset) {
     let known = known_mask(d.graph.user_count(), SEED + 1);
     let order = most_dependent_attributes(&d.graph, d.privacy_cat, 3);
     let lg0 = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-    let boot = run_attack(&lg0, LocalKind::Bayes, AttackModel::AttrOnly);
+    let boot = run_attack(&lg0, LocalKind::Bayes, AttackModel::AttrOnly)?;
     let scores = indistinguishable_links(&lg0, &boot.dists);
     let link_grid = [0usize, 1_000, 2_500, 5_000];
     for kind in [LocalKind::Knn(7), LocalKind::Bayes] {
@@ -301,20 +310,21 @@ pub fn fig3_5(d: &SocialDataset) {
                         g.remove_edge(s.user, s.neighbor);
                     }
                     let lg = LabeledGraph::new(&g, d.privacy_cat, known.clone());
-                    run_attack(
+                    Ok(run_attack(
                         &lg,
                         kind,
                         AttackModel::Collective {
                             alpha: 0.5,
                             beta: 0.5,
                         },
-                    )
-                    .accuracy
+                    )?
+                    .accuracy)
                 })
-                .collect();
+                .collect::<Result<_>>()?;
             row(&format!("{a}"), &accs);
         }
     }
+    Ok(())
 }
 
 /// Convenience: run one generalization-perturbation on a clone (exposed for

@@ -10,6 +10,7 @@
 use crate::util::{cols, header, known_mask, row, SEED};
 use ppdp::classify::{LabeledGraph, LocalKind, RelationalState};
 use ppdp::datagen::social::{caltech_like, SocialDataset};
+use ppdp::errors::Result;
 use ppdp::graph::UserId;
 use ppdp::tradeoff::adversary::{Knowledge, ALL_KNOWLEDGE};
 use ppdp::tradeoff::optimize::optimize_attribute_strategy_under;
@@ -113,7 +114,7 @@ pub fn build_contexts(d: &SocialDataset) -> Vec<UserCtx> {
 fn link_privacy(ctx: &UserCtx, removed: usize) -> f64 {
     let mut mass: Vec<f64> = ctx.neighbor_true_mass.clone();
     // Remove the links whose far ends lean hardest toward the true label.
-    mass.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    mass.sort_by(|a, b| b.total_cmp(a));
     let kept = &mass[removed.min(mass.len())..];
     if kept.is_empty() {
         return 1.0;
@@ -129,7 +130,7 @@ fn link_cost(ctx: &UserCtx, removed: usize) -> f64 {
         .zip(&ctx.link_costs)
         .map(|(&m, &c)| (m, c))
         .collect();
-    paired.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    paired.sort_by(|a, b| b.0.total_cmp(&a.0));
     paired.iter().take(removed).map(|&(_, c)| c).sum()
 }
 
@@ -155,7 +156,7 @@ fn attr_privacy(ctx: &UserCtx, strategy: &str, k: usize) -> f64 {
 }
 
 /// Table 4.2: general information about the Chapter 4 dataset.
-pub fn table4_2() {
+pub fn table4_2() -> Result<()> {
     header(
         "Table 4.2",
         "general information about Caltech (Chapter 4 view)",
@@ -172,11 +173,12 @@ pub fn table4_2() {
         "NSLA (gender) attr values  : {}",
         d.graph.schema().arity(d.utility_cat)
     );
+    Ok(())
 }
 
 /// Figure 4.1: latent-data privacy vs (a) #attributes sanitized under four
 /// strategies and (b) #links sanitized under three strategies.
-pub fn fig4_1() {
+pub fn fig4_1() -> Result<()> {
     header(
         "Fig 4.1",
         "latent-data privacy vs sanitization effort (eps=180, delta=0.4)",
@@ -223,10 +225,11 @@ pub fn fig4_1() {
         });
         row("", &[k as f64, linkrm, collective, random]);
     }
+    Ok(())
 }
 
 /// Figure 4.2: utility loss vs latent-data privacy level.
-pub fn fig4_2() {
+pub fn fig4_2() -> Result<()> {
     header(
         "Fig 4.2",
         "utility loss under different latent-privacy levels",
@@ -267,12 +270,13 @@ pub fn fig4_2() {
         };
         row("", &[pul, priv_at(2), priv_at(4)]);
     }
+    Ok(())
 }
 
 /// Figure 4.3: privacy-utility tradeoff with different adversary prior
 /// knowledge: strategies *designed* under each knowledge case, evaluated
 /// against the powerful adversary.
-pub fn fig4_3() {
+pub fn fig4_3() -> Result<()> {
     header(
         "Fig 4.3",
         "latent privacy under four adversary-knowledge cases",
@@ -280,31 +284,30 @@ pub fn fig4_3() {
     let d = caltech_like(SEED);
     let ctxs = build_contexts(&d);
 
-    let designed_privacy = |k: Knowledge, delta: f64| -> f64 {
-        ctxs.iter()
-            .map(|c| {
-                let initial = AttributeStrategy::removal(c.profile.variants().to_vec(), &[0]);
-                let pul0 = prediction_utility_loss(&c.profile, &initial, hamming_disparity);
-                let cfg = OptimizeConfig {
-                    grid: 3,
-                    sweeps: 1,
-                    delta: delta.max(pul0),
-                };
-                let (s, _) = optimize_attribute_strategy_under(
-                    &c.profile,
-                    &initial,
-                    &c.predictions,
-                    hamming_disparity,
-                    cfg,
-                    k,
-                );
-                composite(
-                    latent_privacy_vs_powerful(&c.profile, &s, &c.predictions),
-                    link_privacy(c, 2),
-                )
-            })
-            .sum::<f64>()
-            / ctxs.len() as f64
+    let designed_privacy = |k: Knowledge, delta: f64| -> Result<f64> {
+        let mut total = 0.0;
+        for c in &ctxs {
+            let initial = AttributeStrategy::removal(c.profile.variants().to_vec(), &[0]);
+            let pul0 = prediction_utility_loss(&c.profile, &initial, hamming_disparity);
+            let cfg = OptimizeConfig {
+                grid: 3,
+                sweeps: 1,
+                delta: delta.max(pul0),
+            };
+            let (s, _) = optimize_attribute_strategy_under(
+                &c.profile,
+                &initial,
+                &c.predictions,
+                hamming_disparity,
+                cfg,
+                k,
+            )?;
+            total += composite(
+                latent_privacy_vs_powerful(&c.profile, &s, &c.predictions),
+                link_privacy(c, 2),
+            );
+        }
+        Ok(total / ctxs.len() as f64)
     };
 
     println!("-- (c) privacy vs prediction-utility threshold delta --");
@@ -313,48 +316,47 @@ pub fn fig4_3() {
         let vals: Vec<f64> = ALL_KNOWLEDGE
             .iter()
             .map(|&k| designed_privacy(k, delta))
-            .collect();
+            .collect::<Result<_>>()?;
         row("", &[&[delta], vals.as_slice()].concat());
     }
+    Ok(())
 }
 
 /// Figure 4.4: latent-data privacy surface over (ε, δ).
-pub fn fig4_4() {
+pub fn fig4_4() -> Result<()> {
     header("Fig 4.4", "latent privacy over the (eps, delta) grid");
     let d = caltech_like(SEED);
     let ctxs = build_contexts(&d);
     cols(&["eps\\delta", "0.5", "1.0", "1.5", "2.0"]);
     for eps in [0.0, 2.0, 4.0, 8.0] {
-        let vals: Vec<f64> = [0.5, 1.0, 1.5, 2.0]
-            .iter()
-            .map(|&delta| {
-                ctxs.iter()
-                    .map(|c| {
-                        // ε buys link removals greedily until the structure
-                        // budget is exhausted.
-                        let mut removed = 0;
-                        while link_cost(c, removed + 1) <= eps && removed < c.link_costs.len() {
-                            removed += 1;
-                        }
-                        let initial = AttributeStrategy::identity(c.profile.variants().to_vec());
-                        let (_, attr) = optimize_attribute_strategy_under(
-                            &c.profile,
-                            &initial,
-                            &c.predictions,
-                            hamming_disparity,
-                            OptimizeConfig {
-                                grid: 2,
-                                sweeps: 1,
-                                delta,
-                            },
-                            Knowledge::Full,
-                        );
-                        composite(attr, link_privacy(c, removed))
-                    })
-                    .sum::<f64>()
-                    / ctxs.len() as f64
-            })
-            .collect();
+        let mut vals = Vec::new();
+        for delta in [0.5, 1.0, 1.5, 2.0] {
+            let mut total = 0.0;
+            for c in &ctxs {
+                // ε buys link removals greedily until the structure
+                // budget is exhausted.
+                let mut removed = 0;
+                while link_cost(c, removed + 1) <= eps && removed < c.link_costs.len() {
+                    removed += 1;
+                }
+                let initial = AttributeStrategy::identity(c.profile.variants().to_vec());
+                let (_, attr) = optimize_attribute_strategy_under(
+                    &c.profile,
+                    &initial,
+                    &c.predictions,
+                    hamming_disparity,
+                    OptimizeConfig {
+                        grid: 2,
+                        sweeps: 1,
+                        delta,
+                    },
+                    Knowledge::Full,
+                )?;
+                total += composite(attr, link_privacy(c, removed));
+            }
+            vals.push(total / ctxs.len() as f64);
+        }
         row(&format!("{eps}"), &vals);
     }
+    Ok(())
 }

@@ -4,6 +4,7 @@
 use crate::util::{cols, header, row, SEED};
 use ppdp::datagen::genomes::amd_like;
 use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::errors::Result;
 use ppdp::genomic::catalog::TABLE_5_3;
 use ppdp::genomic::factor_graph::figure_5_1_catalog;
 use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
@@ -12,7 +13,7 @@ use ppdp::genomic::{Association, BpConfig, Evidence, FactorGraph, Genotype, SnpI
 
 /// Table 5.1: conditional probability of the risk / non-risk allele given
 /// trait status, for a representative association.
-pub fn table5_1() {
+pub fn table5_1() -> Result<()> {
     header("Table 5.1", "P(allele | trait) for OR=1.8, f^o=0.25");
     let a = Association {
         snp: SnpId(0),
@@ -36,11 +37,12 @@ pub fn table5_1() {
         ],
     );
     println!("(f^a derived from f^o and OR: {:.4})", a.raf_case());
+    Ok(())
 }
 
 /// Table 5.2: genotype probabilities given trait status (Hardy-Weinberg
 /// form; see the substitution note in `ppdp-genomic::tables`).
-pub fn table5_2() {
+pub fn table5_2() -> Result<()> {
     header(
         "Table 5.2",
         "P(genotype | trait) for OR=1.8, f^o=0.25 (HWE)",
@@ -61,22 +63,24 @@ pub fn table5_2() {
             ],
         );
     }
+    Ok(())
 }
 
 /// Table 5.3: the seven diseases and their prevalence rates.
-pub fn table5_3() {
+pub fn table5_3() -> Result<()> {
     header("Table 5.3", "seven popular diseases and prevalence rates");
     for (name, p) in TABLE_5_3 {
         println!("{name:<24} {p}");
     }
+    Ok(())
 }
 
 /// Figure 5.1: the 3-trait / 5-SNP example factor graph, rendered as an
 /// adjacency listing.
-pub fn fig5_1() {
+pub fn fig5_1() -> Result<()> {
     header("Fig 5.1", "example factor graph (3 traits, 5 SNPs)");
     let cat = figure_5_1_catalog();
-    let g = FactorGraph::build(&cat, &Evidence::none());
+    let g = FactorGraph::build(&cat, &Evidence::none())?;
     println!(
         "{} SNP variables, {} trait variables, {} factors; forest = {}",
         g.n_snps(),
@@ -91,12 +95,13 @@ pub fn fig5_1() {
             .collect();
         println!("  {t} <- {{{}}}", snps.join(", "));
     }
+    Ok(())
 }
 
 /// Figure 5.2: privacy level (and attacker estimation error) with an
 /// increasing number of sanitized SNPs, under (a) belief propagation and
 /// (b) Naive Bayes as the prediction method.
-pub fn fig5_2() {
+pub fn fig5_2() -> Result<()> {
     header("Fig 5.2", "privacy level vs number of sanitized SNPs");
     let catalog = synthetic_catalog(120, 6, 2, SEED);
     let panel = amd_like(&catalog, TraitId(0), 96, 50, SEED);
@@ -116,7 +121,7 @@ pub fn fig5_2() {
     ] {
         println!("-- {label} --");
         cols(&["#removed", "privacy", "inf.error"]);
-        let out = greedy_sanitize(&catalog, &evidence, &targets, 1.1, budget, predictor);
+        let out = greedy_sanitize(&catalog, &evidence, &targets, 1.1, budget, predictor)?;
         for (k, (p, e)) in out.history.iter().zip(&out.error_history).enumerate() {
             row("", &[k as f64, *p, *e]);
         }
@@ -128,4 +133,5 @@ pub fn fig5_2() {
                 .collect::<Vec<_>>()
         );
     }
+    Ok(())
 }

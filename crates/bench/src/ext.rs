@@ -8,6 +8,7 @@ use ppdp::datagen::genomes::amd_like;
 use ppdp::datagen::gwas::synthetic_catalog;
 use ppdp::datagen::social::caltech_like;
 use ppdp::dp::mondrian_anonymize;
+use ppdp::errors::Result;
 use ppdp::genomic::kinship::{kin_attack, Family};
 use ppdp::genomic::ld::{add_ld_factors, LdPair};
 use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, GwasCatalog, SnpId, TraitId};
@@ -16,7 +17,7 @@ use ppdp::sanitize::deanon::demo_attack;
 
 /// Kin inference: how much of a silent child's genome/phenome leaks per
 /// relative released.
-pub fn ext_kin() {
+pub fn ext_kin() -> Result<()> {
     header(
         "Ext: kin",
         "information leaked about a silent child per released relative",
@@ -31,11 +32,11 @@ pub fn ext_kin() {
             let m = family.member(panel.full_evidence(r));
             family.relate(m, child);
         }
-        let (res, idx) = kin_attack(&catalog, &family, BpConfig::default());
+        let (res, idx) = kin_attack(&catalog, &family, BpConfig::default())?;
         // Baseline: the same child alone.
         let mut lone = Family::new();
         let solo = lone.member(Evidence::none());
-        let (base, idx0) = kin_attack(&catalog, &lone, BpConfig::default());
+        let (base, idx0) = kin_attack(&catalog, &lone, BpConfig::default())?;
         let mut trait_shift = 0.0;
         let mut n_traits = 0usize;
         for t in 0..catalog.n_traits() {
@@ -64,11 +65,12 @@ pub fn ext_kin() {
             ],
         );
     }
+    Ok(())
 }
 
 /// The Watson scenario: reconstruct a withheld sensitive locus through LD
 /// of increasing strength.
-pub fn ext_ld() {
+pub fn ext_ld() -> Result<()> {
     header(
         "Ext: LD",
         "withheld-locus reconstruction vs LD strength (Watson/ApoE)",
@@ -80,7 +82,7 @@ pub fn ext_ld() {
     let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
     cols(&["r", "P(rr at hidden locus)"]);
     for &r in &[0.0, 0.3, 0.6, 0.9, 0.99] {
-        let mut g = FactorGraph::build(&cat, &ev);
+        let mut g = FactorGraph::build(&cat, &ev)?;
         add_ld_factors(
             &mut g,
             &[LdPair {
@@ -90,15 +92,16 @@ pub fn ext_ld() {
                 freq_b: 0.3,
                 r,
             }],
-        );
+        )?;
         let res = BpConfig::default().run(&g);
         let s1 = g.snp_local(SnpId(1)).expect("materialized");
         row("", &[r, res.snp_marginals[s1][0]]);
     }
+    Ok(())
 }
 
 /// Structural de-anonymization of a pseudonymized Caltech-like graph.
-pub fn ext_deanon() {
+pub fn ext_deanon() -> Result<()> {
     header(
         "Ext: deanon",
         "seed-and-propagate re-identification of pseudonymized Caltech",
@@ -109,11 +112,12 @@ pub fn ext_deanon() {
         let r = demo_attack(&d.graph, noise, seeds, SEED + 9);
         row("", &[noise, seeds as f64, r.precision, r.recall]);
     }
+    Ok(())
 }
 
 /// DP synthetic genomes vs Mondrian k-anonymity: utility at matched
 /// protection effort.
-pub fn ext_dp_genomes() {
+pub fn ext_dp_genomes() -> Result<()> {
     header(
         "Ext: dp-genomes",
         "DP synthesis vs k-anonymity on a genotype panel",
@@ -126,7 +130,7 @@ pub fn ext_dp_genomes() {
     cols(&["epsilon", "worst locus tvd"]);
     for &eps in &[0.1, 1.0, 10.0, 100.0] {
         let synth = DpPublisher::new(eps, 1)
-            .publish(&table, table.n_rows(), SEED + 3)
+            .publish(&table, table.n_rows(), SEED + 3)?
             .table;
         let worst = (0..table.n_cols())
             .map(|s| table.marginal_tvd(&synth, &[s]))
@@ -143,4 +147,5 @@ pub fn ext_dp_genomes() {
             .fold(0.0f64, f64::max);
         row("", &[k as f64, anon.generalization_cost, worst]);
     }
+    Ok(())
 }

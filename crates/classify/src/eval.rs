@@ -8,6 +8,7 @@ use crate::knn::Knn;
 use crate::naive_bayes::NaiveBayes;
 use crate::relational::{relational_dist, RelationalState};
 use crate::{argmax, LocalClassifier};
+use ppdp_errors::Result;
 use ppdp_roughset::{find_reduct, AttrId, InformationSystem, RuleClassifier};
 
 /// Which attribute-based (local) classifier to use.
@@ -137,11 +138,22 @@ pub struct AttackOutcome {
     pub converged: bool,
     /// Final sweep residual (0 for non-iterative models).
     pub final_residual: f64,
+    /// Whether the inference engine had to repair numerically corrupt
+    /// distributions along the way (always `false` for single-pass models).
+    pub degraded: bool,
 }
 
 /// Runs `model` with local classifier `kind` against `lg` and scores the
 /// predictions on the hidden labels of `V^U`.
-pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) -> AttackOutcome {
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when the collective
+/// models are configured with a degenerate α/β mix.
+pub fn run_attack(
+    lg: &LabeledGraph<'_>,
+    kind: LocalKind,
+    model: AttackModel,
+) -> Result<AttackOutcome> {
     let local = {
         let _fit_span = ppdp_telemetry::span(match kind {
             LocalKind::Bayes => "attack.fit.Bayes",
@@ -154,6 +166,7 @@ pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) ->
     let mut iterations = 1;
     let mut converged = true;
     let mut final_residual = 0.0;
+    let mut degraded = false;
     let dists = match model {
         AttackModel::AttrOnly => {
             let mut state = RelationalState::new(lg);
@@ -183,10 +196,21 @@ pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) ->
             state.dist
         }
         AttackModel::Collective { alpha, beta } => {
-            let out = ica_run(lg, local.as_ref(), IcaConfig::with_mix(alpha, beta));
+            // The struct literal (not `with_mix`) defers mix validation to
+            // `ica_run`, which reports a typed error instead of panicking.
+            let out = ica_run(
+                lg,
+                local.as_ref(),
+                IcaConfig {
+                    alpha,
+                    beta,
+                    ..Default::default()
+                },
+            )?;
             iterations = out.iterations;
             converged = out.converged;
             final_residual = out.final_delta;
+            degraded = out.degraded;
             out.dists
         }
         AttackModel::Gibbs { alpha, beta } => {
@@ -198,19 +222,21 @@ pub fn run_attack(lg: &LabeledGraph<'_>, kind: LocalKind, model: AttackModel) ->
                     beta,
                     ..Default::default()
                 },
-            );
+            )?;
             iterations = out.sweeps;
+            degraded = out.degraded;
             out.dists
         }
     };
     let accuracy = accuracy(lg, &dists);
-    AttackOutcome {
+    Ok(AttackOutcome {
         dists,
         accuracy,
         iterations,
         converged,
         final_residual,
-    }
+        degraded,
+    })
 }
 
 /// Fraction of `V^U` users whose argmax prediction matches ground truth.
@@ -273,7 +299,7 @@ mod tests {
                     beta: 0.5,
                 },
             ] {
-                let out = run_attack(&lg, kind, model);
+                let out = run_attack(&lg, kind, model).unwrap();
                 assert!(
                     out.accuracy > 0.6,
                     "{kind:?}/{model:?} accuracy {} ≤ chance",
@@ -287,7 +313,9 @@ mod tests {
     fn collective_at_least_matches_attr_only_here() {
         let g = community_graph(80, 11);
         let lg = LabeledGraph::with_random_split(&g, CategoryId(2), 0.6, 11);
-        let attr = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+        let attr = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)
+            .unwrap()
+            .accuracy;
         let cc = run_attack(
             &lg,
             LocalKind::Bayes,
@@ -296,6 +324,7 @@ mod tests {
                 beta: 0.5,
             },
         )
+        .unwrap()
         .accuracy;
         assert!(
             cc + 1e-9 >= attr - 0.05,
@@ -314,8 +343,10 @@ mod tests {
                 alpha: 0.5,
                 beta: 0.5,
             },
-        );
+        )
+        .unwrap();
         assert!(out.accuracy > 0.6, "Gibbs accuracy {}", out.accuracy);
+        assert!(!out.degraded);
     }
 
     #[test]

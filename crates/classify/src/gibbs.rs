@@ -11,6 +11,7 @@
 use crate::dataset::LabeledGraph;
 use crate::relational::{masked_weight, one_hot};
 use crate::LocalClassifier;
+use ppdp_errors::{ensure, Result};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -53,31 +54,68 @@ pub struct GibbsOutcome {
     /// Total hard-label changes across all sweeps — the chain's mixing
     /// activity (0 means the chain froze immediately).
     pub label_flips: usize,
+    /// True when a conditional was numerically corrupt (NaN/Inf/negative
+    /// mass or underflow to zero) and a uniform resample was used instead.
+    pub degraded: bool,
 }
 
 /// Runs Gibbs-sampling collective classification and returns per-user
 /// label distributions (known users stay pinned one-hot). Convenience
 /// wrapper over [`gibbs_run`].
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a degenerate
+/// config (see [`gibbs_run`]).
 pub fn gibbs_predict(
     lg: &LabeledGraph<'_>,
     local: &dyn LocalClassifier,
     cfg: GibbsConfig,
-) -> Vec<Vec<f64>> {
-    gibbs_run(lg, local, cfg).dists
+) -> Result<Vec<Vec<f64>>> {
+    Ok(gibbs_run(lg, local, cfg)?.dists)
 }
 
 /// Runs Gibbs-sampling collective classification and returns distributions
 /// plus chain statistics. Seeded and fully deterministic.
+///
+/// A numerically corrupt conditional (NaN/Inf/negative mass, zero total)
+/// never aborts the chain: that step resamples uniformly instead, counted
+/// under `gibbs.renormalized` and flagged on [`GibbsOutcome::degraded`]
+/// plus a `degraded.gibbs` telemetry event.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when no samples are
+/// retained, the α/β mix is degenerate or the classifier's class count
+/// disagrees with the graph's.
 pub fn gibbs_run(
     lg: &LabeledGraph<'_>,
     local: &dyn LocalClassifier,
     cfg: GibbsConfig,
-) -> GibbsOutcome {
-    assert!(cfg.samples > 0, "need at least one retained sample");
+) -> Result<GibbsOutcome> {
+    ensure(cfg.samples > 0, "need at least one retained sample")?;
+    ensure(
+        cfg.alpha.is_finite()
+            && cfg.beta.is_finite()
+            && cfg.alpha >= 0.0
+            && cfg.beta >= 0.0
+            && cfg.alpha + cfg.beta > 0.0,
+        format!(
+            "bad α/β mix: need α, β ≥ 0 and α + β > 0, got α = {}, β = {}",
+            cfg.alpha, cfg.beta
+        ),
+    )?;
+    ensure(
+        local.n_classes() == lg.n_classes(),
+        format!(
+            "local classifier predicts {} classes but the graph has {}",
+            local.n_classes(),
+            lg.n_classes()
+        ),
+    )?;
     let _span = ppdp_telemetry::span("gibbs.run");
     let n_classes = lg.n_classes();
     let unknown = lg.unknown_users();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut repairs = 0usize;
 
     // Cache the attribute conditionals (they never change).
     let pa: Vec<Vec<f64>> = unknown
@@ -92,7 +130,7 @@ pub fn gibbs_run(
         .map(|u| lg.true_label(u).filter(|_| lg.known[u.0]).unwrap_or(0))
         .collect();
     for (&u, d) in unknown.iter().zip(&pa) {
-        label[u.0] = sample_from(&mut rng, d);
+        label[u.0] = sample_from(&mut rng, d, &mut repairs);
     }
 
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
@@ -132,7 +170,7 @@ pub fn gibbs_run(
             } else {
                 cond = vec![1.0 / n_classes as f64; n_classes];
             }
-            let resampled = sample_from(&mut rng, &cond);
+            let resampled = sample_from(&mut rng, &cond, &mut repairs);
             if resampled != label[u.0] {
                 flips += 1;
             }
@@ -169,15 +207,29 @@ pub fn gibbs_run(
             }
         })
         .collect();
-    GibbsOutcome {
+    let degraded = repairs > 0;
+    if degraded {
+        ppdp_telemetry::degradation("gibbs", "uniform_sample");
+    }
+    Ok(GibbsOutcome {
         dists,
         sweeps,
         label_flips,
-    }
+        degraded,
+    })
 }
 
-fn sample_from<R: Rng>(rng: &mut R, dist: &[f64]) -> u16 {
-    let mut pick = rng.gen::<f64>() * dist.iter().sum::<f64>();
+/// Inverse-CDF sampling with a numerical guard: a corrupt distribution
+/// (NaN/Inf/negative component or non-positive total mass) falls back to a
+/// uniform draw instead of biasing the walk toward index 0.
+fn sample_from<R: Rng>(rng: &mut R, dist: &[f64], repairs: &mut usize) -> u16 {
+    let z: f64 = dist.iter().sum();
+    if !z.is_finite() || z <= 0.0 || dist.iter().any(|p| !p.is_finite() || *p < 0.0) {
+        *repairs += 1;
+        ppdp_telemetry::counter("gibbs.renormalized", 1);
+        return rng.gen_range(0..dist.len().max(1)) as u16;
+    }
+    let mut pick = rng.gen::<f64>() * z;
     for (i, &p) in dist.iter().enumerate() {
         pick -= p;
         if pick <= 0.0 {
@@ -215,7 +267,7 @@ mod tests {
         known[7] = false;
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default()).unwrap();
         assert!(dists[3][0] > 0.8, "{:?}", dists[3]);
         assert!(dists[7][1] > 0.8, "{:?}", dists[7]);
     }
@@ -227,8 +279,8 @@ mod tests {
         known[3] = false;
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let a = gibbs_predict(&lg, &nb, GibbsConfig::default());
-        let b = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        let a = gibbs_predict(&lg, &nb, GibbsConfig::default()).unwrap();
+        let b = gibbs_predict(&lg, &nb, GibbsConfig::default()).unwrap();
         assert_eq!(a, b);
         let c = gibbs_predict(
             &lg,
@@ -237,7 +289,8 @@ mod tests {
                 seed: 8,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_ne!(a, c, "different chains differ in finite samples");
     }
 
@@ -248,7 +301,7 @@ mod tests {
         known[3] = false;
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default()).unwrap();
         assert_eq!(dists[0], vec![1.0, 0.0]);
         for d in &dists {
             assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -272,8 +325,9 @@ mod tests {
                 samples: 1_000,
                 ..Default::default()
             },
-        );
-        let ica = ica_predict(&lg, &nb, IcaConfig::default());
+        )
+        .unwrap();
+        let ica = ica_predict(&lg, &nb, IcaConfig::default()).unwrap();
         for u in [3usize, 7] {
             for k in 0..2 {
                 assert!(
@@ -298,14 +352,15 @@ mod tests {
         let rec = ppdp_telemetry::Recorder::new();
         let out = {
             let _scope = rec.enter();
-            gibbs_run(&lg, &nb, cfg)
+            gibbs_run(&lg, &nb, cfg).unwrap()
         };
         assert_eq!(out.sweeps, cfg.burn_in + cfg.samples);
         assert_eq!(
             out.dists,
-            gibbs_predict(&lg, &nb, cfg),
+            gibbs_predict(&lg, &nb, cfg).unwrap(),
             "wrapper returns same dists"
         );
+        assert!(!out.degraded, "healthy chain must not flag degradation");
         let report = rec.take();
         assert_eq!(report.counter("gibbs.sweeps"), out.sweeps as u64);
         let flips = report
@@ -314,6 +369,74 @@ mod tests {
         assert_eq!(flips.count, out.sweeps as u64);
         assert!((flips.sum - out.label_flips as f64).abs() < 1e-9);
         assert!(report.span("gibbs.run").is_some());
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error_not_a_panic() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let no_samples = GibbsConfig {
+            samples: 0,
+            ..Default::default()
+        };
+        let err = gibbs_run(&lg, &nb, no_samples).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("retained sample"), "{err}");
+        for (alpha, beta) in [(0.0, 0.0), (f64::NAN, 0.5), (-0.1, 0.5)] {
+            let cfg = GibbsConfig {
+                alpha,
+                beta,
+                ..Default::default()
+            };
+            let err = gibbs_run(&lg, &nb, cfg).unwrap_err();
+            assert_eq!(err.kind(), "invalid_input", "α={alpha}, β={beta}");
+        }
+    }
+
+    /// A local classifier that returns poisoned distributions.
+    struct PoisonLocal {
+        value: f64,
+    }
+
+    impl crate::LocalClassifier for PoisonLocal {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_dist(&self, _row: &[Option<u16>]) -> Vec<f64> {
+            vec![self.value; 2]
+        }
+    }
+
+    #[test]
+    fn poisoned_conditionals_degrade_to_uniform_resampling() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        for value in [f64::NAN, f64::INFINITY, -1.0] {
+            let poison = PoisonLocal { value };
+            let rec = ppdp_telemetry::Recorder::new();
+            let out = {
+                let _scope = rec.enter();
+                gibbs_run(&lg, &poison, GibbsConfig::default()).unwrap()
+            };
+            assert!(out.degraded, "value {value} must flag degradation");
+            for d in &out.dists {
+                let z: f64 = d.iter().sum();
+                assert!(
+                    d.iter().all(|p| p.is_finite() && *p >= 0.0) && (z - 1.0).abs() < 1e-9,
+                    "value {value} leaked a corrupt dist: {d:?}"
+                );
+            }
+            let report = rec.take();
+            assert!(report.counter("gibbs.renormalized") > 0, "value {value}");
+            assert_eq!(report.counter("degraded.gibbs"), 1);
+            assert_eq!(report.counter("degraded.gibbs.uniform_sample"), 1);
+        }
     }
 
     #[test]
@@ -326,7 +449,7 @@ mod tests {
         let g = b.build();
         let lg = LabeledGraph::new(&g, CategoryId(1), vec![true, true, false]);
         let nb = NaiveBayes::train(&lg.train_set());
-        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default());
+        let dists = gibbs_predict(&lg, &nb, GibbsConfig::default()).unwrap();
         assert!(dists[2][1] > 0.5, "{:?}", dists[2]);
     }
 }

@@ -6,6 +6,7 @@
 use crate::dataset::LabeledGraph;
 use crate::relational::{relational_dist, RelationalState};
 use crate::LocalClassifier;
+use ppdp_errors::{ensure, Result};
 
 /// ICA parameters: the α/β evidence mix of Eq. (3.5) plus iteration control.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +48,32 @@ impl IcaConfig {
             ..Self::default()
         }
     }
+
+    /// Boundary validation for configs built as struct literals (which
+    /// bypass [`IcaConfig::with_mix`]'s assertion).
+    pub fn validate(&self) -> Result<()> {
+        ensure(
+            self.alpha.is_finite() && self.beta.is_finite(),
+            format!(
+                "α/β mix must be finite, got α = {}, β = {}",
+                self.alpha, self.beta
+            ),
+        )?;
+        ensure(
+            self.alpha >= 0.0 && self.beta >= 0.0 && self.alpha + self.beta > 0.0,
+            format!(
+                "bad α/β mix: need α, β ≥ 0 and α + β > 0, got α = {}, β = {}",
+                self.alpha, self.beta
+            ),
+        )?;
+        ensure(
+            self.tol.is_finite() && self.tol >= 0.0,
+            format!(
+                "convergence tolerance must be finite and ≥ 0, got {}",
+                self.tol
+            ),
+        )
+    }
 }
 
 /// Full outcome of an ICA run: the distributions plus the convergence
@@ -64,30 +91,71 @@ pub struct IcaOutcome {
     pub converged: bool,
     /// Total argmax-label changes across all sweeps.
     pub label_flips: usize,
+    /// True when a distribution was numerically corrupt (NaN/Inf/negative
+    /// mass or underflow to zero) and had to be repaired defensively.
+    pub degraded: bool,
 }
 
 /// Runs ICA and returns the final class distribution of every user (known
 /// users stay pinned one-hot). Convenience wrapper over [`ica_run`] for
 /// callers that only need the distributions.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a degenerate α/β
+/// mix or a classifier whose class count disagrees with the graph's.
 pub fn ica_predict(
     lg: &LabeledGraph<'_>,
     local: &dyn LocalClassifier,
     cfg: IcaConfig,
-) -> Vec<Vec<f64>> {
-    ica_run(lg, local, cfg).dists
+) -> Result<Vec<Vec<f64>>> {
+    Ok(ica_run(lg, local, cfg)?.dists)
 }
 
 /// Runs ICA and returns distributions plus convergence data. Updates are
 /// synchronous per iteration so the result is deterministic.
-pub fn ica_run(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: IcaConfig) -> IcaOutcome {
+///
+/// Numerically corrupt distributions (NaN/Inf/negative mass, underflow to
+/// zero) never propagate: a corrupt attribute bootstrap falls back to the
+/// uniform distribution and a corrupt combined distribution falls back to
+/// the attribute-only one (the Naive-Bayes degradation of the robustness
+/// plan). Repairs are counted under `ica.renormalized` and flagged on
+/// [`IcaOutcome::degraded`] plus a `degraded.ica` telemetry event.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a degenerate α/β
+/// mix, a non-finite tolerance or a classifier whose class count disagrees
+/// with the graph's.
+pub fn ica_run(
+    lg: &LabeledGraph<'_>,
+    local: &dyn LocalClassifier,
+    cfg: IcaConfig,
+) -> Result<IcaOutcome> {
+    cfg.validate()?;
+    ensure(
+        local.n_classes() == lg.n_classes(),
+        format!(
+            "local classifier predicts {} classes but the graph has {}",
+            local.n_classes(),
+            lg.n_classes()
+        ),
+    )?;
     let _span = ppdp_telemetry::span("ica.run");
     let unknown = lg.unknown_users();
     let mut state = RelationalState::new(lg);
+    let uniform = vec![1.0 / lg.n_classes() as f64; lg.n_classes()];
+    let mut repairs = 0usize;
 
-    // Bootstrap (steps 1-3): attribute-only distributions for V^U.
+    // Bootstrap (steps 1-3): attribute-only distributions for V^U. A
+    // corrupt local prediction degrades to the uninformative uniform.
     let pa: Vec<Vec<f64>> = unknown
         .iter()
-        .map(|&u| local.predict_dist(&lg.masked_row(u)))
+        .map(|&u| {
+            checked_dist(
+                local.predict_dist(&lg.masked_row(u)),
+                &uniform,
+                &mut repairs,
+            )
+        })
         .collect();
     for (&u, d) in unknown.iter().zip(&pa) {
         state.set(u, d.clone());
@@ -103,7 +171,13 @@ pub fn ica_run(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: IcaConfi
         let mut next = Vec::with_capacity(unknown.len());
         for (&u, a_dist) in unknown.iter().zip(&pa) {
             let combined = match relational_dist(lg, &state, u) {
-                Some(l_dist) => mix(a_dist, &l_dist, cfg.alpha, cfg.beta),
+                // A corrupt combined distribution degrades to the
+                // attribute-only bootstrap (itself already repaired).
+                Some(l_dist) => checked_dist(
+                    mix(a_dist, &l_dist, cfg.alpha, cfg.beta),
+                    a_dist,
+                    &mut repairs,
+                ),
                 None => a_dist.clone(),
             };
             next.push(combined);
@@ -137,13 +211,18 @@ pub fn ica_run(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: IcaConfi
         },
         1,
     );
-    IcaOutcome {
+    let degraded = repairs > 0;
+    if degraded {
+        ppdp_telemetry::degradation("ica", "dist_repair");
+    }
+    Ok(IcaOutcome {
         dists: state.dist,
         iterations,
         final_delta,
         converged,
         label_flips,
-    }
+        degraded,
+    })
 }
 
 fn mix(a: &[f64], l: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
@@ -154,6 +233,19 @@ fn mix(a: &[f64], l: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
     } else {
         vec![1.0 / a.len() as f64; a.len()]
     }
+}
+
+/// Renormalizes `d`, or returns `fallback` (counting the repair) when `d`
+/// carries NaN/Inf/negative components or its mass underflowed to zero.
+fn checked_dist(d: Vec<f64>, fallback: &[f64], repairs: &mut usize) -> Vec<f64> {
+    let corrupt = d.iter().any(|x| !x.is_finite() || *x < 0.0);
+    let z: f64 = d.iter().sum();
+    if corrupt || !z.is_finite() || z <= 0.0 {
+        *repairs += 1;
+        ppdp_telemetry::counter("ica.renormalized", 1);
+        return fallback.to_vec();
+    }
+    d.iter().map(|x| x / z).collect()
 }
 
 #[cfg(test)]
@@ -188,7 +280,7 @@ mod tests {
         known[7] = false; // one unknown in clique B
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let dists = ica_predict(&lg, &nb, IcaConfig::default());
+        let dists = ica_predict(&lg, &nb, IcaConfig::default()).unwrap();
         assert!(dists[3][0] > 0.85, "clique-A member: {:?}", dists[3]);
         assert!(dists[7][1] > 0.85, "clique-B member: {:?}", dists[7]);
     }
@@ -198,7 +290,7 @@ mod tests {
         let g = two_cliques();
         let lg = LabeledGraph::new(&g, CategoryId(2), vec![true; 8]);
         let nb = NaiveBayes::train(&lg.train_set());
-        let dists = ica_predict(&lg, &nb, IcaConfig::default());
+        let dists = ica_predict(&lg, &nb, IcaConfig::default()).unwrap();
         assert_eq!(dists[0], vec![1.0, 0.0]);
         assert_eq!(dists[4], vec![0.0, 1.0]);
     }
@@ -210,7 +302,7 @@ mod tests {
         known[3] = false;
         let lg = LabeledGraph::new(&g, CategoryId(2), known);
         let nb = NaiveBayes::train(&lg.train_set());
-        let ica = ica_predict(&lg, &nb, IcaConfig::with_mix(1.0, 0.0));
+        let ica = ica_predict(&lg, &nb, IcaConfig::with_mix(1.0, 0.0)).unwrap();
         let direct = nb.predict_dist(&lg.masked_row(UserId(3)));
         for (a, b) in ica[3].iter().zip(&direct) {
             assert!((a - b).abs() < 1e-9);
@@ -232,7 +324,8 @@ mod tests {
                 max_iters: 50,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let long = ica_predict(
             &lg,
             &nb,
@@ -240,7 +333,8 @@ mod tests {
                 max_iters: 500,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for (a, b) in short.iter().zip(&long) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-4, "fixed point reached early");
@@ -255,6 +349,96 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_config_is_a_typed_error_at_the_boundary() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        // Struct literals bypass `with_mix`'s assert; the run boundary
+        // still rejects them with a typed error, never a panic.
+        for (alpha, beta) in [
+            (0.0, 0.0),
+            (-1.0, 0.5),
+            (f64::NAN, 0.5),
+            (f64::INFINITY, 0.5),
+        ] {
+            let cfg = IcaConfig {
+                alpha,
+                beta,
+                ..Default::default()
+            };
+            let err = ica_run(&lg, &nb, cfg).unwrap_err();
+            assert_eq!(err.kind(), "invalid_input", "α={alpha}, β={beta}: {err}");
+        }
+        let bad_tol = IcaConfig {
+            tol: f64::NAN,
+            ..Default::default()
+        };
+        assert_eq!(
+            ica_run(&lg, &nb, bad_tol).unwrap_err().kind(),
+            "invalid_input"
+        );
+    }
+
+    /// A local classifier that returns poisoned distributions.
+    struct PoisonLocal {
+        n: usize,
+        value: f64,
+    }
+
+    impl crate::LocalClassifier for PoisonLocal {
+        fn n_classes(&self) -> usize {
+            self.n
+        }
+        fn predict_dist(&self, _row: &[Option<u16>]) -> Vec<f64> {
+            vec![self.value; self.n]
+        }
+    }
+
+    #[test]
+    fn poisoned_local_classifier_degrades_instead_of_propagating_nan() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        for value in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            let poison = PoisonLocal { n: 2, value };
+            let rec = ppdp_telemetry::Recorder::new();
+            let out = {
+                let _scope = rec.enter();
+                ica_run(&lg, &poison, IcaConfig::default()).unwrap()
+            };
+            assert!(out.degraded, "value {value} must flag degradation");
+            for d in &out.dists {
+                let z: f64 = d.iter().sum();
+                assert!(
+                    d.iter().all(|p| p.is_finite() && *p >= 0.0) && (z - 1.0).abs() < 1e-9,
+                    "value {value} leaked a corrupt dist: {d:?}"
+                );
+            }
+            let report = rec.take();
+            assert!(report.counter("ica.renormalized") > 0);
+            assert_eq!(report.counter("degraded.ica"), 1);
+            assert_eq!(report.counter("degraded.ica.dist_repair"), 1);
+            assert_eq!(report.degradations(), 1);
+        }
+    }
+
+    #[test]
+    fn class_count_mismatch_is_rejected() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let poison = PoisonLocal { n: 5, value: 0.2 };
+        let err = ica_run(&lg, &poison, IcaConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("5"), "{err}");
+    }
+
+    #[test]
     fn ica_run_exposes_convergence_data() {
         let g = two_cliques();
         let mut known = vec![true; 8];
@@ -266,13 +450,14 @@ mod tests {
             max_iters: 200,
             ..Default::default()
         };
-        let out = ica_run(&lg, &nb, cfg);
+        let out = ica_run(&lg, &nb, cfg).unwrap();
         assert!(out.converged, "easy graph must converge: {out:?}");
+        assert!(!out.degraded, "healthy run must not flag degradation");
         assert!(out.iterations >= 1 && out.iterations <= 200);
         assert!(out.final_delta < cfg.tol);
         assert_eq!(
             out.dists,
-            ica_predict(&lg, &nb, cfg),
+            ica_predict(&lg, &nb, cfg).unwrap(),
             "wrapper returns same dists"
         );
         // A one-sweep budget cannot reach the 1e-6 fixed point here.
@@ -283,7 +468,8 @@ mod tests {
                 max_iters: 1,
                 ..cfg
             },
-        );
+        )
+        .unwrap();
         assert!(!starved.converged);
         assert_eq!(starved.iterations, 1);
         assert!(starved.final_delta.is_finite());
@@ -299,11 +485,13 @@ mod tests {
         let rec = ppdp_telemetry::Recorder::new();
         let out = {
             let _scope = rec.enter();
-            ica_run(&lg, &nb, IcaConfig::default())
+            ica_run(&lg, &nb, IcaConfig::default()).unwrap()
         };
         let report = rec.take();
         assert_eq!(report.counter("ica.sweeps"), out.iterations as u64);
         assert_eq!(report.counter("ica.converged"), 1);
+        assert_eq!(report.counter("ica.renormalized"), 0);
+        assert_eq!(report.degradations(), 0);
         let flips = report
             .histogram("ica.sweep_flips")
             .expect("per-sweep flips recorded");

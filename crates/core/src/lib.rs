@@ -28,7 +28,8 @@
 //! let report = SocialPublisher::new(&data)
 //!     .generalization_level(3)
 //!     .known_fraction(0.7)
-//!     .publish(7);
+//!     .publish(7)
+//!     .expect("caltech_like data is well-formed");
 //! // Sanitization must not make the sensitive attribute easier to infer.
 //! assert!(report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9);
 //! ```
@@ -36,6 +37,7 @@
 pub use ppdp_classify as classify;
 pub use ppdp_datagen as datagen;
 pub use ppdp_dp as dp;
+pub use ppdp_errors as errors;
 pub use ppdp_genomic as genomic;
 pub use ppdp_graph as graph;
 pub use ppdp_opt as opt;
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use crate::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
     pub use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
     pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
+    pub use ppdp_errors::{PpdpError, Result};
     pub use ppdp_genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
     pub use ppdp_graph::{CategoryId, SocialGraph, UserId};
     pub use ppdp_telemetry::{Recorder, RunReport};

@@ -2,6 +2,7 @@
 
 use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
 use ppdp_datagen::social::SocialDataset;
+use ppdp_errors::{ensure, ensure_unit_closed, Result};
 use ppdp_genomic::sanitize::{greedy_sanitize, Predictor, SanitizeOutcome, Target};
 use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
 use ppdp_graph::SocialGraph;
@@ -91,7 +92,24 @@ impl<'d> SocialPublisher<'d> {
     /// The attached [`SocialReport::telemetry`] covers the whole run; the
     /// same events also reach any recorder the caller has scoped or
     /// installed globally.
-    pub fn publish(&self, seed: u64) -> SocialReport {
+    ///
+    /// # Errors
+    /// Returns [`ppdp_errors::PpdpError::InvalidInput`] when the known
+    /// fraction is outside `[0, 1]`, the α/β mix is degenerate, or the
+    /// dataset's privacy/utility targets are invalid.
+    pub fn publish(&self, seed: u64) -> Result<SocialReport> {
+        ensure_unit_closed("known fraction", self.known_fraction)?;
+        ensure(
+            self.mix.0.is_finite()
+                && self.mix.1.is_finite()
+                && self.mix.0 >= 0.0
+                && self.mix.1 >= 0.0
+                && self.mix.0 + self.mix.1 > 0.0,
+            format!(
+                "bad α/β mix: need α, β ≥ 0 and α + β > 0, got α = {}, β = {}",
+                self.mix.0, self.mix.1
+            ),
+        )?;
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("social.publish");
@@ -112,14 +130,14 @@ impl<'d> SocialPublisher<'d> {
                 &LabeledGraph::new(&d.graph, d.privacy_cat, known.clone()),
                 self.kind,
                 model,
-            )
+            )?
             .accuracy
         };
 
-        let (mut sanitized, plan) = {
+        let (sanitized, plan) = {
             let _phase = ppdp_telemetry::span("sanitize");
             let (mut sanitized, plan) =
-                collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level);
+                collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level)?;
             if self.links_to_remove > 0 {
                 sanitized = remove_indistinguishable_links(
                     &sanitized,
@@ -127,7 +145,7 @@ impl<'d> SocialPublisher<'d> {
                     &known,
                     self.kind,
                     self.links_to_remove,
-                );
+                )?;
             }
             (sanitized, plan)
         };
@@ -138,27 +156,27 @@ impl<'d> SocialPublisher<'d> {
                 &LabeledGraph::new(&sanitized, d.privacy_cat, known.clone()),
                 self.kind,
                 model,
-            )
+            )?
             .accuracy;
             let utility = ppdp_classify::run_attack(
                 &LabeledGraph::new(&sanitized, d.utility_cat, known),
                 self.kind,
                 model,
-            )
+            )?
             .accuracy;
             (after, utility)
         };
 
         drop(span);
         drop(scope);
-        SocialReport {
+        Ok(SocialReport {
             sanitized,
             plan,
             privacy_accuracy_before: before,
             privacy_accuracy_after: after,
             utility_accuracy_after: utility,
             telemetry: rec.take(),
-        }
+        })
     }
 }
 
@@ -185,12 +203,16 @@ pub struct LatentReport {
 impl LatentPublisher {
     /// Optimizes an attribute strategy for one user; see
     /// [`ppdp_tradeoff::optimize::optimize_attribute_strategy`].
+    ///
+    /// # Errors
+    /// Propagates the optimizer's boundary validation — an infeasible
+    /// initial strategy, a mismatched profile, or a degenerate `δ`.
     pub fn optimize(
         profile: &ppdp_tradeoff::Profile,
         initial: &ppdp_tradeoff::AttributeStrategy,
         predictions: &[Vec<f64>],
         delta: f64,
-    ) -> LatentReport {
+    ) -> Result<LatentReport> {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("latent.optimize");
@@ -203,14 +225,14 @@ impl LatentPublisher {
                 delta,
                 ..Default::default()
             },
-        );
+        )?;
         drop(span);
         drop(scope);
-        LatentReport {
+        Ok(LatentReport {
             strategy,
             privacy,
             telemetry: rec.take(),
-        }
+        })
     }
 }
 
@@ -250,7 +272,16 @@ impl<'c> GenomePublisher<'c> {
     /// Sanitizes `evidence` so that every `target` reaches `δ`-privacy;
     /// returns the evidence actually safe to release, the greedy outcome,
     /// and the telemetry of the run (BP sweeps, removals, timings).
-    pub fn publish(&self, evidence: &Evidence, targets: &[Target]) -> GenomeReport {
+    ///
+    /// # Errors
+    /// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a corrupt
+    /// catalog, evidence referencing unknown SNPs/traits, or a `δ`
+    /// threshold that is not finite.
+    pub fn publish(&self, evidence: &Evidence, targets: &[Target]) -> Result<GenomeReport> {
+        ensure(
+            self.delta.is_finite(),
+            format!("privacy threshold δ must be finite, got {}", self.delta),
+        )?;
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("genome.publish");
@@ -261,18 +292,18 @@ impl<'c> GenomePublisher<'c> {
             self.delta,
             self.max_removals,
             self.predictor,
-        );
+        )?;
         let mut released = evidence.clone();
         for s in &outcome.removed {
             released.snps.remove(s);
         }
         drop(span);
         drop(scope);
-        GenomeReport {
+        Ok(GenomeReport {
             released,
             outcome,
             telemetry: rec.take(),
-        }
+        })
     }
 }
 
@@ -309,7 +340,13 @@ impl DpPublisher {
     /// The attached [`DpReport::telemetry`] includes every ε draw of the
     /// fit's [`ppdp_dp::BudgetLedger`]; the draws sum to the configured
     /// total budget.
-    pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> DpReport {
+    ///
+    /// # Errors
+    /// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a non-positive
+    /// or non-finite ε or an empty schema, and
+    /// [`ppdp_errors::PpdpError::BudgetExhausted`] if the fit attempts to
+    /// overdraw its ledger.
+    pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> Result<DpReport> {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("dp.publish");
@@ -323,7 +360,7 @@ impl DpPublisher {
                     degree: self.degree,
                     epsilon: self.epsilon,
                 },
-            )
+            )?
         };
         let table = {
             let _phase = ppdp_telemetry::span("sample");
@@ -331,10 +368,10 @@ impl DpPublisher {
         };
         drop(span);
         drop(scope);
-        DpReport {
+        Ok(DpReport {
             table,
             telemetry: rec.take(),
-        }
+        })
     }
 }
 
@@ -363,7 +400,8 @@ mod tests {
         let data = caltech_like(42);
         let report = SocialPublisher::new(&data)
             .generalization_level(2)
-            .publish(7);
+            .publish(7)
+            .unwrap();
         assert!(
             report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9,
             "{} → {}",
@@ -379,7 +417,9 @@ mod tests {
         let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
         let evidence = panel.full_evidence(0);
         let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
-        let report = GenomePublisher::new(&catalog, 0.6).publish(&evidence, &targets);
+        let report = GenomePublisher::new(&catalog, 0.6)
+            .publish(&evidence, &targets)
+            .unwrap();
         let (released, outcome) = (&report.released, &report.outcome);
         assert_eq!(
             evidence.snps.len(),
@@ -395,9 +435,34 @@ mod tests {
     }
 
     #[test]
+    fn pipelines_reject_bad_boundary_inputs_with_typed_errors() {
+        let data = caltech_like(42);
+        let err = SocialPublisher::new(&data)
+            .known_fraction(1.5)
+            .publish(7)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        let err = SocialPublisher::new(&data)
+            .evidence_mix(0.0, 0.0)
+            .publish(7)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+
+        let catalog = synthetic_catalog(60, 5, 2, 3);
+        let err = GenomePublisher::new(&catalog, f64::NAN)
+            .publish(&Evidence::none(), &[Target::Trait(TraitId(0))])
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+
+        let t = correlated_microdata(50, 3, 2, 0.5, 5);
+        let err = DpPublisher::new(-1.0, 1).publish(&t, 10, 6).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+    }
+
+    #[test]
     fn dp_pipeline_produces_same_schema() {
         let t = correlated_microdata(500, 4, 3, 0.8, 5);
-        let report = DpPublisher::new(5.0, 1).publish(&t, 300, 6);
+        let report = DpPublisher::new(5.0, 1).publish(&t, 300, 6).unwrap();
         let synth = &report.table;
         assert_eq!(synth.n_cols(), 4);
         assert_eq!(synth.n_rows(), 300);

@@ -1,0 +1,302 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Every generator in this crate produces *well-formed* data; real deployed
+//! pipelines also meet hand-edited files, truncated uploads, and catalogs
+//! with transcription errors. This module manufactures those faults
+//! on demand — seeded, so every failure a chaos test finds is replayable —
+//! and the cross-crate chaos suite asserts that each pipeline maps every
+//! fault to a structured [`ppdp_errors::PpdpError`] or a flagged degraded
+//! result, never a panic.
+//!
+//! The injectors mutate data in place (or derive corrupted copies) and
+//! return a short description of what was broken, so test failures can say
+//! which fault was active.
+
+use ppdp_dp::Table;
+use ppdp_genomic::{Evidence, Genotype, GwasCatalog, SnpId, TraitId};
+use ppdp_graph::snapshot::GraphSnapshot;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded source of faults. All mutation methods draw from the same
+/// deterministic stream, so a `(seed, call sequence)` pair fully replays a
+/// chaos scenario.
+#[derive(Debug)]
+pub struct Chaos {
+    rng: ChaCha8Rng,
+}
+
+/// The non-finite / out-of-domain values the injectors rotate through.
+const POISON_VALUES: [f64; 4] = [f64::NAN, f64::INFINITY, -1.0, 0.0];
+
+impl Chaos {
+    /// Creates a fault injector from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn poison_value(&mut self) -> f64 {
+        POISON_VALUES[self.rng.gen_range(0..POISON_VALUES.len())]
+    }
+
+    /// Overwrites up to `faults` association entries of `catalog` with
+    /// NaN/Inf/negative/zero odds ratios and risk-allele frequencies, the
+    /// way a scraped GWAS file with unparsed cells would look.
+    ///
+    /// Returns descriptions of the injected faults (empty if the catalog
+    /// has no associations to poison).
+    pub fn poison_catalog(&mut self, catalog: &mut GwasCatalog, faults: usize) -> Vec<String> {
+        let mut notes = Vec::new();
+        let n = catalog.associations().len();
+        if n == 0 {
+            return notes;
+        }
+        for _ in 0..faults {
+            let i = self.rng.gen_range(0..n);
+            let v = self.poison_value();
+            let assoc = &mut catalog.associations_mut()[i];
+            if self.rng.gen_bool(0.5) {
+                assoc.odds_ratio = v;
+                notes.push(format!("association {i}: odds_ratio = {v}"));
+            } else {
+                assoc.raf_control = v;
+                notes.push(format!("association {i}: raf_control = {v}"));
+            }
+        }
+        notes
+    }
+
+    /// Overwrites one trait's prevalence with a non-finite or out-of-range
+    /// value. No-op on a traitless catalog.
+    pub fn poison_prevalence(&mut self, catalog: &mut GwasCatalog) -> Option<String> {
+        let n = catalog.traits_mut().len();
+        if n == 0 {
+            return None;
+        }
+        let i = self.rng.gen_range(0..n);
+        let v = self.poison_value();
+        catalog.traits_mut()[i].prevalence = v;
+        Some(format!("trait {i}: prevalence = {v}"))
+    }
+
+    /// Drops up to `n` random SNP observations from `evidence`, simulating
+    /// a partial upload.
+    pub fn drop_evidence(&mut self, evidence: &mut Evidence, n: usize) -> usize {
+        let mut dropped = 0;
+        for _ in 0..n {
+            // Sort before picking: HashMap iteration order is not
+            // deterministic, and replayability is the whole point here.
+            let mut keys: Vec<SnpId> = evidence.snps.keys().copied().collect();
+            keys.sort_unstable_by_key(|s| s.0);
+            if keys.is_empty() {
+                break;
+            }
+            let snp = keys[self.rng.gen_range(0..keys.len())];
+            evidence.snps.remove(&snp);
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Adds evidence for SNP and trait ids *outside* the catalog — dangling
+    /// references a pipeline must reject or ignore, never index with.
+    pub fn dangling_evidence(&mut self, evidence: &mut Evidence, catalog: &GwasCatalog) {
+        let snp = SnpId(catalog.n_snps() + self.rng.gen_range(1..100usize));
+        let t = TraitId(catalog.n_traits() + self.rng.gen_range(1..100usize));
+        evidence.snps.insert(snp, Genotype::HomRisk);
+        evidence.traits.insert(t, true);
+    }
+
+    /// Flips every observed trait label, yielding evidence that contradicts
+    /// the genotype channel (e.g. all risk homozygotes yet "no disease").
+    /// Still *structurally* valid: pipelines must absorb it, not panic.
+    pub fn contradict_evidence(&mut self, evidence: &mut Evidence) -> usize {
+        let mut flipped = 0;
+        for present in evidence.traits.values_mut() {
+            *present = !*present;
+            flipped += 1;
+        }
+        flipped
+    }
+
+    /// Injects one structural fault into a graph snapshot: a duplicate
+    /// edge, a dangling edge endpoint (the JSON analog of a duplicate or
+    /// unknown node id), a row-length mismatch, an out-of-range attribute
+    /// value, or a zero-arity category. Returns what was broken.
+    ///
+    /// No-op (returns `None`) when the snapshot is too small to host the
+    /// chosen fault; callers loop over seeds until a fault lands.
+    pub fn corrupt_snapshot(&mut self, snap: &mut GraphSnapshot) -> Option<String> {
+        match self.rng.gen_range(0..5) {
+            0 => {
+                let &(a, b) = snap.edges.first()?;
+                snap.edges.push((a, b));
+                Some(format!("duplicate edge ({a}, {b})"))
+            }
+            1 => {
+                if snap.rows.is_empty() {
+                    return None;
+                }
+                let ghost = snap.rows.len() + self.rng.gen_range(1..50usize);
+                snap.edges.push((0, ghost));
+                Some(format!("dangling edge endpoint {ghost}"))
+            }
+            2 => {
+                let row = snap.rows.first_mut()?;
+                row.pop()?;
+                Some("user 0: truncated attribute row".into())
+            }
+            3 => {
+                let (_, arity) = snap.categories.first()?;
+                let arity = *arity;
+                let row = snap.rows.first_mut()?;
+                *row.first_mut()? = Some(arity + self.rng.gen_range(1..10u16));
+                Some(format!("user 0: attribute value beyond arity {arity}"))
+            }
+            _ => {
+                let (name, arity) = snap.categories.first_mut()?;
+                *arity = 0;
+                Some(format!("category {name:?}: arity zeroed"))
+            }
+        }
+    }
+
+    /// Mangles a JSON document the way truncated or bit-rotted uploads do:
+    /// cuts it short, swaps a structural character, or splices in garbage.
+    pub fn malform_json(&mut self, json: &str) -> String {
+        if json.is_empty() {
+            return "{".into();
+        }
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let cut = self.rng.gen_range(1..=json.len().saturating_sub(1).max(1));
+                json[..cut].to_string()
+            }
+            1 => json.replacen(['{', '['], "?", 1),
+            _ => {
+                let at = self.rng.gen_range(0..json.len());
+                let mut s = String::with_capacity(json.len() + 4);
+                s.push_str(&json[..at]);
+                s.push_str("\u{0}!!");
+                s.push_str(&json[at..]);
+                s
+            }
+        }
+    }
+
+    /// Derives a table in which column `col` is stuck at one value while
+    /// keeping its declared arity — every conditional distribution over
+    /// that column has zero-probability rows for the unseen values, the
+    /// degenerate-CPT case the DP fit must smooth or reject.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range for the table.
+    pub fn degenerate_column(&mut self, table: &Table, col: usize) -> Table {
+        assert!(col < table.n_cols(), "column {col} out of range");
+        let stuck = self.rng.gen_range(0..table.arities()[col]);
+        let rows = table
+            .rows()
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r[col] = stuck;
+                r
+            })
+            .collect();
+        Table::new(table.arities().to_vec(), rows)
+    }
+
+    /// An empty table over the same schema — the zero-record edge case.
+    pub fn empty_table(table: &Table) -> Table {
+        Table::new(table.arities().to_vec(), Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gwas::synthetic_catalog;
+    use crate::microdata::correlated_microdata;
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let base = synthetic_catalog(60, 5, 2, 11);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let notes_a = Chaos::new(7).poison_catalog(&mut a, 3);
+        let notes_b = Chaos::new(7).poison_catalog(&mut b, 3);
+        assert_eq!(notes_a, notes_b);
+        // Same stream ⇒ same corrupted values (NaN != NaN, so compare the
+        // fault descriptions plus the non-NaN fields pairwise).
+        for (x, y) in a.associations().iter().zip(b.associations()) {
+            assert_eq!(x.snp, y.snp);
+            assert!(
+                x.odds_ratio == y.odds_ratio || (x.odds_ratio.is_nan() && y.odds_ratio.is_nan())
+            );
+        }
+        let different = Chaos::new(8).poison_catalog(&mut a.clone(), 3);
+        assert_ne!(notes_a, different, "seed must matter");
+    }
+
+    #[test]
+    fn poisoned_catalog_fails_validation() {
+        let mut catalog = synthetic_catalog(60, 5, 2, 11);
+        let notes = Chaos::new(3).poison_catalog(&mut catalog, 4);
+        assert!(!notes.is_empty());
+        assert!(catalog.validate().is_err(), "poison must be detectable");
+    }
+
+    #[test]
+    fn evidence_faults_drop_and_dangle() {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let mut ev = Evidence::none()
+            .with_snp(SnpId(0), Genotype::HomRisk)
+            .with_snp(SnpId(1), Genotype::HomNonRisk)
+            .with_trait(TraitId(0), true);
+        let mut chaos = Chaos::new(5);
+        assert_eq!(chaos.drop_evidence(&mut ev, 1), 1);
+        assert_eq!(ev.snps.len(), 1);
+        chaos.dangling_evidence(&mut ev, &catalog);
+        assert!(ev.snps.keys().any(|s| s.0 >= catalog.n_snps()));
+        assert!(ev.traits.keys().any(|t| t.0 >= catalog.n_traits()));
+        assert_eq!(chaos.contradict_evidence(&mut ev), 2);
+    }
+
+    #[test]
+    fn corrupted_snapshots_fail_validation() {
+        let data = crate::social::caltech_like(9);
+        let base = GraphSnapshot::capture(&data.graph);
+        assert!(base.validate().is_ok());
+        let mut seen = 0;
+        for seed in 0..10 {
+            let mut snap = base.clone();
+            if let Some(fault) = Chaos::new(seed).corrupt_snapshot(&mut snap) {
+                seen += 1;
+                assert!(snap.validate().is_err(), "fault not caught: {fault}");
+            }
+        }
+        assert!(seen >= 5, "expected most seeds to land a fault, got {seen}");
+    }
+
+    #[test]
+    fn malformed_json_differs_from_input() {
+        let mut chaos = Chaos::new(1);
+        for seed in 0..5u64 {
+            let doc = format!("{{\"k\": [{seed}, 2, 3]}}");
+            assert_ne!(chaos.malform_json(&doc), doc);
+        }
+    }
+
+    #[test]
+    fn degenerate_column_sticks_and_keeps_arity() {
+        let t = correlated_microdata(100, 3, 3, 0.5, 2);
+        let d = Chaos::new(2).degenerate_column(&t, 1);
+        assert_eq!(d.arities(), t.arities());
+        let stuck = d.rows()[0][1];
+        assert!(d.rows().iter().all(|r| r[1] == stuck));
+        assert_eq!(Chaos::empty_table(&t).n_rows(), 0);
+    }
+}

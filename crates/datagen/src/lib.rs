@@ -10,11 +10,13 @@
 //! (§5.6.1) — so every experiment exercises the identical code paths.
 //! See DESIGN.md's substitution table for the fidelity argument.
 
+pub mod chaos;
 pub mod genomes;
 pub mod gwas;
 pub mod microdata;
 pub mod social;
 
+pub use chaos::Chaos;
 pub use genomes::{amd_like, GenomePanel};
 pub use gwas::synthetic_catalog;
 pub use microdata::correlated_microdata;

@@ -13,6 +13,7 @@
 use crate::budget::BudgetLedger;
 use crate::histogram::noisy_histogram;
 use crate::table::Table;
+use ppdp_errors::{ensure, Result};
 use rand::Rng;
 
 /// Synthesis parameters.
@@ -58,11 +59,19 @@ impl BayesNet {
     /// information (each new column picks the ≤ `degree` already-placed
     /// columns with the highest pairwise MI), then ε-DP noisy conditionals
     /// with the budget split equally across columns.
-    pub fn fit<R: Rng + ?Sized>(rng: &mut R, table: &Table, cfg: SynthesisConfig) -> Self {
+    ///
+    /// # Errors
+    /// [`ppdp_errors::PpdpError::InvalidInput`] on an empty schema or a
+    /// non-positive/non-finite ε; [`ppdp_errors::PpdpError::BudgetExhausted`]
+    /// if the per-column draws cannot fit the budget (unreachable for the
+    /// equal-shares split used here, but surfaced rather than swallowed).
+    pub fn fit<R: Rng + ?Sized>(rng: &mut R, table: &Table, cfg: SynthesisConfig) -> Result<Self> {
         Self::fit_with_selector(rng, table, cfg, |mis, _rng| {
-            // Non-private greedy: take the top-MI candidates outright.
+            // Non-private greedy: take the top-MI candidates outright
+            // (total_cmp keeps the order deterministic even for NaN
+            // scores, which `fit_with_selector` has already rejected).
             let mut idx: Vec<usize> = (0..mis.len()).collect();
-            idx.sort_by(|&a, &b| mis[b].partial_cmp(&mis[a]).unwrap().then(a.cmp(&b)));
+            idx.sort_by(|&a, &b| mis[b].total_cmp(&mis[a]).then(a.cmp(&b)));
             idx
         })
     }
@@ -72,11 +81,14 @@ impl BayesNet {
     /// terms; a conservative sensitivity of 1.0 is used), making structure
     /// selection private too. Half the budget goes to structure, half to
     /// the conditionals.
+    ///
+    /// # Errors
+    /// As [`BayesNet::fit`].
     pub fn fit_private_structure<R: Rng + ?Sized>(
         rng: &mut R,
         table: &Table,
         cfg: SynthesisConfig,
-    ) -> Self {
+    ) -> Result<Self> {
         let eps_struct = cfg.epsilon / 2.0;
         let counts_cfg = SynthesisConfig {
             epsilon: cfg.epsilon / 2.0,
@@ -112,16 +124,20 @@ impl BayesNet {
         table: &Table,
         cfg: SynthesisConfig,
         mut rank: F,
-    ) -> Self
+    ) -> Result<Self>
     where
         R: Rng + ?Sized,
         F: FnMut(&[f64], &mut R) -> Vec<usize>,
     {
-        assert!(table.n_cols() > 0, "cannot fit an empty schema");
-        assert!(cfg.epsilon > 0.0, "ε must be positive");
+        ensure(table.n_cols() > 0, "cannot fit an empty schema")?;
+        ensure(
+            table.n_rows() > 0,
+            "cannot fit an empty table: no records to learn from",
+        )?;
+        ppdp_errors::ensure_positive("synthesis ε", cfg.epsilon)?;
         let _span = ppdp_telemetry::span("bayes_net.fit");
         let n_cols = table.n_cols();
-        let mut ledger = BudgetLedger::new(cfg.epsilon);
+        let mut ledger = BudgetLedger::try_new(cfg.epsilon, Default::default())?;
         let eps_per_col = ledger.equal_shares(n_cols);
 
         // Column order: descending total MI with all others, so highly
@@ -135,11 +151,19 @@ impl BayesNet {
                 mi[b][a] = v;
             }
         }
+        for (a, row) in mi.iter().enumerate() {
+            for (b, &v) in row.iter().enumerate() {
+                ensure(
+                    v.is_finite(),
+                    format!("mutual information MI({a}, {b}) = {v} is not finite"),
+                )?;
+            }
+        }
         let mut order: Vec<usize> = (0..n_cols).collect();
         order.sort_by(|&a, &b| {
             let sa: f64 = mi[a].iter().sum();
             let sb: f64 = mi[b].iter().sum();
-            sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+            sb.total_cmp(&sa).then(a.cmp(&b))
         });
 
         let mut parents = vec![Vec::new(); n_cols];
@@ -156,21 +180,19 @@ impl BayesNet {
                     .collect();
                 parents[c].sort_unstable();
             }
-            ledger
-                .spend(eps_per_col, "laplace", &format!("cpd[{c}]"), 1.0)
-                .expect("equal shares fit the budget");
+            ledger.spend(eps_per_col, "laplace", &format!("cpd[{c}]"), 1.0)?;
             cpd[c] = Self::noisy_cpd(rng, table, c, &parents[c], eps_per_col);
             placed.push(c);
         }
         ppdp_telemetry::counter("bayes_net.columns", n_cols as u64);
 
-        Self {
+        Ok(Self {
             arities: table.arities().to_vec(),
             order,
             parents,
             cpd,
             ledger,
-        }
+        })
     }
 
     /// Noisy conditional `P(c | parents)` from a Laplace-noised joint
@@ -238,7 +260,15 @@ impl BayesNet {
 }
 
 fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, dist: &[f64]) -> usize {
-    let mut pick = rng.gen::<f64>() * dist.iter().sum::<f64>();
+    // Numerical guard: a corrupted conditional (NaN/Inf entries or a
+    // non-positive mass) would bias inverse-CDF sampling silently — fall
+    // back to a uniform draw and flag the degradation instead.
+    let z: f64 = dist.iter().sum();
+    if !z.is_finite() || z <= 0.0 || dist.iter().any(|p| !p.is_finite() || *p < 0.0) {
+        ppdp_telemetry::degradation("synthesis", "uniform_sample");
+        return rng.gen_range(0..dist.len().max(1));
+    }
+    let mut pick = rng.gen::<f64>() * z;
     for (i, &p) in dist.iter().enumerate() {
         pick -= p;
         if pick <= 0.0 {
@@ -278,7 +308,8 @@ mod tests {
                 degree: 1,
                 epsilon: 50.0,
             },
-        );
+        )
+        .unwrap();
         // One of {0, 1} must be the other's parent.
         let linked = net.parents(0).contains(&1) || net.parents(1).contains(&0);
         assert!(
@@ -298,7 +329,8 @@ mod tests {
                 degree: 1,
                 epsilon: 100.0,
             },
-        );
+        )
+        .unwrap();
         let synth = net.sample(&mut rng, 2_000);
         for cols in [vec![0], vec![2], vec![0, 1]] {
             let tvd = t.marginal_tvd(&synth, &cols);
@@ -324,7 +356,8 @@ mod tests {
                     degree: 1,
                     epsilon: eps,
                 },
-            );
+            )
+            .unwrap();
             let synth = net.sample(rng, 2_000);
             t.marginal_tvd(&synth, &[0, 1])
         };
@@ -348,7 +381,8 @@ mod tests {
                 degree: 2,
                 epsilon: 10.0,
             },
-        );
+        )
+        .unwrap();
         let synth = net.sample(&mut rng, 100);
         assert_eq!(synth.n_rows(), 100);
         assert_eq!(synth.n_cols(), 3);
@@ -374,7 +408,8 @@ mod tests {
                 degree: 1,
                 epsilon: eps,
             },
-        );
+        )
+        .unwrap();
         let ledger = net.ledger();
         assert_eq!(ledger.draws().len(), 3, "one laplace draw per column");
         assert!(
@@ -390,6 +425,59 @@ mod tests {
     }
 
     #[test]
+    fn invalid_epsilon_is_a_typed_error_not_a_panic() {
+        let t = correlated_table(50, 13);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = BayesNet::fit(
+                &mut rng,
+                &t,
+                SynthesisConfig {
+                    degree: 1,
+                    epsilon: eps,
+                },
+            )
+            .unwrap_err();
+            assert_eq!(e.kind(), "invalid_input", "ε = {eps}");
+        }
+    }
+
+    #[test]
+    fn private_structure_cannot_exceed_configured_epsilon() {
+        // Regression guard for the budget-accounting invariant: every ε
+        // draw `fit_private_structure` makes — ledgered conditionals plus
+        // telemetry-only structure picks — must sum to at most cfg.epsilon.
+        let t = correlated_table(300, 15);
+        let eps = 2.0;
+        let rec = ppdp_telemetry::Recorder::new();
+        let net = {
+            let _scope = rec.enter();
+            let mut rng = ChaCha8Rng::seed_from_u64(16);
+            BayesNet::fit_private_structure(
+                &mut rng,
+                &t,
+                SynthesisConfig {
+                    degree: 2,
+                    epsilon: eps,
+                },
+            )
+            .unwrap()
+        };
+        let report = rec.take();
+        assert!(
+            report.total_epsilon() <= eps + 1e-9,
+            "total ε drawn {} exceeds the configured budget {eps}",
+            report.total_epsilon()
+        );
+        assert!(
+            (net.ledger().total_drawn() - eps / 2.0).abs() < 1e-9,
+            "conditionals use exactly their half: {}",
+            net.ledger().total_drawn()
+        );
+        assert!(net.ledger().remaining() < 1e-9);
+    }
+
+    #[test]
     fn degree_zero_gives_independent_columns() {
         let t = correlated_table(500, 9);
         let mut rng = ChaCha8Rng::seed_from_u64(10);
@@ -400,7 +488,8 @@ mod tests {
                 degree: 0,
                 epsilon: 50.0,
             },
-        );
+        )
+        .unwrap();
         assert!((0..3).all(|c| net.parents(c).is_empty()));
         let synth = net.sample(&mut rng, 3_000);
         assert!(

@@ -2,29 +2,30 @@
 //! for parallel composition over disjoint partitions (budgets max), plus a
 //! [`BudgetLedger`] that records every draw (mechanism, label, sensitivity)
 //! for post-hoc privacy auditing.
+//!
+//! Overdraws surface as [`PpdpError::BudgetExhausted`]. The default policy
+//! is **strict**: a draw that does not fit the remaining budget errors and
+//! charges nothing. An opt-in **permissive** policy
+//! ([`OverdrawPolicy::Permissive`]) clamps the draw to whatever remains —
+//! the ε guarantee is preserved (never overspent), the requested noise
+//! level is not — and records a `degraded.budget.clamped_draw` telemetry
+//! event so the weakened release is visible in the run report.
 
+use ppdp_errors::{ensure, PpdpError, Result};
 use ppdp_telemetry::BudgetDraw;
 
-/// Error returned when a spend would exceed the remaining budget.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BudgetExceeded {
-    /// Amount requested.
-    pub requested: f64,
-    /// Amount remaining at the time of the request.
-    pub remaining: f64,
+/// What a budget does when a spend exceeds the remaining ε.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverdrawPolicy {
+    /// Refuse the draw with [`PpdpError::BudgetExhausted`]; nothing is
+    /// charged. The default.
+    #[default]
+    Strict,
+    /// Clamp the draw to the remaining ε (never overspending) and flag the
+    /// degradation via telemetry. Useful for exploratory runs where a
+    /// weaker-than-requested release beats an aborted one.
+    Permissive,
 }
-
-impl std::fmt::Display for BudgetExceeded {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "privacy budget exceeded: requested ε={}, remaining ε={}",
-            self.requested, self.remaining
-        )
-    }
-}
-
-impl std::error::Error for BudgetExceeded {}
 
 /// A mutable ε budget for one release. Every mechanism invocation must be
 /// paid for through [`PrivacyBudget::spend`]; the total spent is the ε of
@@ -33,19 +34,34 @@ impl std::error::Error for BudgetExceeded {}
 pub struct PrivacyBudget {
     total: f64,
     spent: f64,
+    policy: OverdrawPolicy,
 }
 
 impl PrivacyBudget {
-    /// A fresh budget of `epsilon`.
+    /// A fresh strict budget of `epsilon`.
     ///
     /// # Panics
-    /// Panics if `epsilon` is not strictly positive and finite.
+    /// Panics if `epsilon` is not strictly positive and finite — use
+    /// [`PrivacyBudget::try_new`] for values that crossed a trust boundary.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive");
-        Self {
+        match Self::try_new(epsilon, OverdrawPolicy::Strict) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor with an explicit overdraw policy.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] unless `epsilon` is strictly positive
+    /// and finite.
+    pub fn try_new(epsilon: f64, policy: OverdrawPolicy) -> Result<Self> {
+        ppdp_errors::ensure_positive("privacy budget ε", epsilon)?;
+        Ok(Self {
             total: epsilon,
             spent: 0.0,
-        }
+            policy,
+        })
     }
 
     /// Total ε of this budget.
@@ -63,27 +79,59 @@ impl PrivacyBudget {
         (self.total - self.spent).max(0.0)
     }
 
-    /// Records a sequential spend of `epsilon`.
-    pub fn spend(&mut self, epsilon: f64) -> Result<(), BudgetExceeded> {
-        assert!(epsilon >= 0.0, "cannot spend negative ε");
-        if epsilon > self.remaining() + 1e-12 {
-            return Err(BudgetExceeded {
-                requested: epsilon,
-                remaining: self.remaining(),
-            });
-        }
-        self.spent += epsilon;
-        Ok(())
+    /// The configured overdraw policy.
+    pub fn policy(&self) -> OverdrawPolicy {
+        self.policy
+    }
+
+    /// Records a sequential spend of `epsilon` and returns the ε actually
+    /// charged (equal to `epsilon` except for a clamped permissive
+    /// overdraw).
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] on a negative or non-finite request;
+    /// [`PpdpError::BudgetExhausted`] on a strict overdraw (nothing is
+    /// charged in either case).
+    pub fn spend(&mut self, epsilon: f64) -> Result<f64> {
+        ensure(
+            epsilon.is_finite() && epsilon >= 0.0,
+            format!("ε draw must be finite and non-negative, got {epsilon}"),
+        )?;
+        let charged = if epsilon > self.remaining() + 1e-12 {
+            match self.policy {
+                OverdrawPolicy::Strict => {
+                    return Err(PpdpError::BudgetExhausted {
+                        requested: epsilon,
+                        remaining: self.remaining(),
+                    });
+                }
+                OverdrawPolicy::Permissive => {
+                    ppdp_telemetry::degradation("budget", "clamped_draw");
+                    self.remaining()
+                }
+            }
+        } else {
+            epsilon
+        };
+        self.spent += charged;
+        Ok(charged)
     }
 
     /// Records a *parallel* spend: `k` mechanisms each using `epsilon` on
     /// disjoint partitions of the data cost only `max = epsilon` total.
-    pub fn spend_parallel(&mut self, epsilon: f64, k: usize) -> Result<(), BudgetExceeded> {
-        assert!(k > 0, "parallel composition over zero mechanisms");
+    ///
+    /// # Errors
+    /// As [`PrivacyBudget::spend`], plus [`PpdpError::InvalidInput`] for
+    /// `k = 0`.
+    pub fn spend_parallel(&mut self, epsilon: f64, k: usize) -> Result<f64> {
+        ensure(k > 0, "parallel composition over zero mechanisms")?;
         self.spend(epsilon)
     }
 
     /// Splits the remaining budget into `k` equal sequential shares.
+    ///
+    /// # Panics
+    /// Panics if `k = 0`.
     pub fn equal_shares(&self, k: usize) -> f64 {
         assert!(k > 0, "cannot split into zero shares");
         self.remaining() / k as f64
@@ -103,10 +151,11 @@ pub struct BudgetLedger {
 }
 
 impl BudgetLedger {
-    /// A fresh ledger over a budget of `epsilon`.
+    /// A fresh strict ledger over a budget of `epsilon`.
     ///
     /// # Panics
-    /// Panics if `epsilon` is not strictly positive and finite.
+    /// Panics if `epsilon` is not strictly positive and finite — use
+    /// [`BudgetLedger::try_new`] for values that crossed a trust boundary.
     pub fn new(epsilon: f64) -> Self {
         Self {
             budget: PrivacyBudget::new(epsilon),
@@ -114,26 +163,43 @@ impl BudgetLedger {
         }
     }
 
+    /// Fallible constructor with an explicit overdraw policy.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] unless `epsilon` is strictly positive
+    /// and finite.
+    pub fn try_new(epsilon: f64, policy: OverdrawPolicy) -> Result<Self> {
+        Ok(Self {
+            budget: PrivacyBudget::try_new(epsilon, policy)?,
+            draws: Vec::new(),
+        })
+    }
+
     /// Records a sequential draw of `epsilon` by `mechanism` (calibrated
-    /// against `sensitivity`) releasing `label`. A draw that would exceed
-    /// the remaining budget returns [`BudgetExceeded`] and records nothing.
+    /// against `sensitivity`) releasing `label`, returning the ε actually
+    /// charged (clamped under [`OverdrawPolicy::Permissive`]).
+    ///
+    /// # Errors
+    /// [`PpdpError::BudgetExhausted`] on a strict overdraw,
+    /// [`PpdpError::InvalidInput`] on a negative/non-finite request; the
+    /// failed draw is not recorded.
     pub fn spend(
         &mut self,
         epsilon: f64,
         mechanism: &str,
         label: &str,
         sensitivity: f64,
-    ) -> Result<(), BudgetExceeded> {
-        self.budget.spend(epsilon)?;
+    ) -> Result<f64> {
+        let charged = self.budget.spend(epsilon)?;
         self.draws.push(BudgetDraw {
             mechanism: mechanism.to_owned(),
             label: label.to_owned(),
-            epsilon,
+            epsilon: charged,
             delta: 0.0,
             sensitivity,
         });
-        ppdp_telemetry::budget_draw(mechanism, label, epsilon, 0.0, sensitivity);
-        Ok(())
+        ppdp_telemetry::budget_draw(mechanism, label, charged, 0.0, sensitivity);
+        Ok(charged)
     }
 
     /// Every recorded draw, in spend order.
@@ -154,6 +220,11 @@ impl BudgetLedger {
     /// ε still available.
     pub fn remaining(&self) -> f64 {
         self.budget.remaining()
+    }
+
+    /// The configured overdraw policy.
+    pub fn policy(&self) -> OverdrawPolicy {
+        self.budget.policy()
     }
 
     /// Sum of ε across the recorded draws — the sequential-composition
@@ -203,15 +274,56 @@ mod tests {
     fn exceeded_error_reports_amounts() {
         let mut b = PrivacyBudget::new(0.1);
         let err = b.spend(0.5).unwrap_err();
-        assert_eq!(err.requested, 0.5);
-        assert!((err.remaining - 0.1).abs() < 1e-12);
-        assert!(err.to_string().contains("exceeded"));
+        assert_eq!(err.kind(), "budget_exhausted");
+        let PpdpError::BudgetExhausted {
+            requested,
+            remaining,
+        } = err
+        else {
+            panic!("wrong variant: {err:?}");
+        };
+        assert_eq!(requested, 0.5);
+        assert!((remaining - 0.1).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
+    fn nan_and_negative_draws_rejected() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert_eq!(b.spend(f64::NAN).unwrap_err().kind(), "invalid_input");
+        assert_eq!(b.spend(-0.1).unwrap_err().kind(), "invalid_input");
+        assert_eq!(b.spent(), 0.0, "rejected draws charge nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and > 0")]
     fn non_positive_budget_rejected() {
         PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_epsilon_without_panicking() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = PrivacyBudget::try_new(eps, OverdrawPolicy::Strict).unwrap_err();
+            assert_eq!(e.kind(), "invalid_input");
+        }
+    }
+
+    #[test]
+    fn permissive_policy_clamps_and_flags_degradation() {
+        let rec = ppdp_telemetry::Recorder::new();
+        let charged = {
+            let _scope = rec.enter();
+            let mut ledger = BudgetLedger::try_new(1.0, OverdrawPolicy::Permissive).unwrap();
+            ledger.spend(0.8, "laplace", "a", 1.0).unwrap();
+            ledger.spend(0.8, "laplace", "b", 1.0).unwrap()
+        };
+        assert!((charged - 0.2).abs() < 1e-12, "clamped to remaining");
+        let report = rec.take();
+        assert_eq!(report.counter("degraded.budget"), 1);
+        assert_eq!(report.counter("degraded.budget.clamped_draw"), 1);
+        // The recorded draw reflects the *charged* ε, so the audit trail
+        // never claims more protection than was bought.
+        assert!((report.total_epsilon() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -236,8 +348,8 @@ mod tests {
         let mut ledger = BudgetLedger::new(0.5);
         ledger.spend(0.4, "laplace", "x", 1.0).unwrap();
         let err = ledger.spend(0.3, "laplace", "y", 1.0).unwrap_err();
-        assert_eq!(err.requested, 0.3);
-        assert!((err.remaining - 0.1).abs() < 1e-12);
+        assert_eq!(err.kind(), "budget_exhausted");
+        assert!(err.to_string().contains("0.3"), "{err}");
         assert_eq!(ledger.draws().len(), 1, "failed draw must not be recorded");
         assert!((ledger.total_drawn() - 0.4).abs() < 1e-12);
     }

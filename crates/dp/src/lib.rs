@@ -32,7 +32,7 @@ pub mod table;
 pub use aggregate::{dp_quantile, dp_range_count, NoisyCdf};
 pub use anonymity::{is_k_anonymous, is_l_diverse};
 pub use bayes_net::{BayesNet, SynthesisConfig};
-pub use budget::{BudgetLedger, PrivacyBudget};
+pub use budget::{BudgetLedger, OverdrawPolicy, PrivacyBudget};
 pub use histogram::{noisy_histogram, noisy_marginal};
 pub use mechanism::{exponential_mechanism, geometric_noise, laplace_noise};
 pub use mondrian::{mondrian_anonymize, AnonymizedTable};

@@ -97,8 +97,8 @@ fn best_split(
     let mut ranges: Vec<(usize, u16)> = quasi
         .iter()
         .map(|&c| {
-            let min = part.iter().map(|&r| rows[r][c]).min().unwrap();
-            let max = part.iter().map(|&r| rows[r][c]).max().unwrap();
+            let min = part.iter().map(|&r| rows[r][c]).min().unwrap_or(0);
+            let max = part.iter().map(|&r| rows[r][c]).max().unwrap_or(0);
             (c, max - min)
         })
         .collect();

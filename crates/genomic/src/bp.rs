@@ -6,19 +6,37 @@
 //! numerically stable. On forests (like Fig. 5.1) the result is the exact
 //! marginal of the Eq. (5.2) factorization, which the test-suite checks
 //! against [`crate::exhaustive`].
+//!
+//! # Robustness
+//!
+//! BP never panics and never returns NaN. Every message is checked *before*
+//! normalization: a NaN/Inf/negative component or an underflowed (all-zero)
+//! message — the signature of a poisoned factor table or contradictory
+//! evidence — is repaired to uniform (counted as `bp.renormalized`) and the
+//! attempt is marked unclean. Unclean or non-converging attempts restart
+//! from fresh messages with escalated damping (a bounded ladder of
+//! [`BpConfig::max_restarts`] extra attempts, counted as `bp.restarts`).
+//! If every attempt stays unclean the run degrades to prior-only marginals
+//! (evidence still honoured), sets [`BpResult::degraded`], and records a
+//! `degraded.bp.prior_fallback` telemetry event.
 
 use crate::factor_graph::FactorGraph;
 
 /// Belief-propagation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BpConfig {
-    /// Maximum message-passing iterations.
+    /// Maximum message-passing iterations *per attempt*.
     pub max_iters: usize,
     /// Convergence tolerance on the max absolute message change.
     pub tol: f64,
     /// Damping factor in `[0, 1)`: `new = damping·old + (1−damping)·fresh`.
     /// 0 disables damping; positive values help on loopy graphs.
     pub damping: f64,
+    /// Bounded restart schedule: when an attempt hits numerical corruption
+    /// or fails to converge, BP restarts from fresh messages with escalated
+    /// damping (0.5, then 0.8) up to this many extra attempts before
+    /// accepting the outcome (or degrading to prior-only marginals).
+    pub max_restarts: usize,
 }
 
 impl Default for BpConfig {
@@ -27,6 +45,7 @@ impl Default for BpConfig {
             max_iters: 100,
             tol: 1e-9,
             damping: 0.0,
+            max_restarts: 2,
         }
     }
 }
@@ -38,20 +57,43 @@ pub struct BpResult {
     pub snp_marginals: Vec<[f64; 3]>,
     /// `trait_marginals[local_trait]` = `[P(¬t), P(t)]` posterior.
     pub trait_marginals: Vec<[f64; 2]>,
-    /// Iterations actually performed.
+    /// Total message-passing sweeps performed, summed over all attempts.
     pub iterations: usize,
-    /// Whether the messages converged within the iteration budget.
+    /// Whether the accepted attempt converged within its iteration budget.
     pub converged: bool,
     /// Max absolute message change in the last sweep — the convergence
     /// residual ([`f64::INFINITY`] when no sweep ran, 0 for exact methods).
     pub final_residual: f64,
+    /// Extra attempts consumed by the restart ladder (0 = the first attempt
+    /// was accepted).
+    pub restarts: usize,
+    /// True when every attempt hit numerical corruption and the marginals
+    /// fell back to the prior-only product. Degraded marginals are valid
+    /// distributions (evidence is still honoured) but carry no
+    /// cross-variable inference — treat them as a flagged lower bound, not
+    /// a posterior.
+    pub degraded: bool,
+}
+
+/// Outcome of one damping attempt.
+struct Attempt {
+    snp_marginals: Vec<[f64; 3]>,
+    trait_marginals: Vec<[f64; 2]>,
+    sweeps: usize,
+    converged: bool,
+    final_residual: f64,
+    clean: bool,
 }
 
 impl BpConfig {
     /// Runs sum-product BP on `g` and returns all posterior marginals.
+    ///
+    /// Infallible by design: numerical corruption degrades (see the module
+    /// docs and [`BpResult::degraded`]) instead of panicking or erroring —
+    /// the caller always gets normalized, finite marginals plus flags
+    /// describing how much to trust them.
     pub fn run(&self, g: &FactorGraph) -> BpResult {
         let _span = ppdp_telemetry::span("bp.run");
-        let nf = g.factors.len();
         // Node potentials: evidence clamps to an indicator, otherwise SNPs
         // are flat (their distribution is induced by the factors) and traits
         // carry their prevalence prior.
@@ -74,15 +116,106 @@ impl BpConfig {
             })
             .collect();
 
+        // Damping ladder: the configured value first, then the escalations
+        // that actually increase it, capped at `max_restarts` extras.
+        let mut ladder = vec![self.damping];
+        for d in [0.5, 0.8] {
+            if ladder.len() > self.max_restarts {
+                break;
+            }
+            if d > ladder[ladder.len() - 1] {
+                ladder.push(d);
+            }
+        }
+
+        let mut total_sweeps = 0usize;
+        let mut attempts_run = 0usize;
+        let mut last_residual = f64::INFINITY;
+        let mut best: Option<Attempt> = None;
+        for &damping in &ladder {
+            attempts_run += 1;
+            let a = self.attempt(g, damping, &snp_pot, &trait_pot);
+            total_sweeps += a.sweeps;
+            last_residual = a.final_residual;
+            let accepted = a.clean && a.converged;
+            if a.clean {
+                best = Some(a);
+            }
+            if accepted {
+                break;
+            }
+        }
+        let restarts = attempts_run - 1;
+        if restarts > 0 {
+            ppdp_telemetry::counter("bp.restarts", restarts as u64);
+        }
+        ppdp_telemetry::counter("bp.iterations", total_sweeps as u64);
+
+        let result = match best {
+            Some(a) => BpResult {
+                snp_marginals: a.snp_marginals,
+                trait_marginals: a.trait_marginals,
+                iterations: total_sweeps,
+                converged: a.converged,
+                final_residual: a.final_residual,
+                restarts,
+                degraded: false,
+            },
+            None => {
+                // Every attempt hit numerical corruption: degrade to the
+                // prior-only product. Evidence indicators and prevalence
+                // priors are valid by construction (the graph validated its
+                // catalog at build time), so these are always finite and
+                // normalized.
+                ppdp_telemetry::degradation("bp", "prior_fallback");
+                let mut ignored = true;
+                let snp_marginals = snp_pot.iter().map(|p| checked3(*p, &mut ignored)).collect();
+                let trait_marginals = trait_pot
+                    .iter()
+                    .map(|p| checked2(*p, &mut ignored))
+                    .collect();
+                BpResult {
+                    snp_marginals,
+                    trait_marginals,
+                    iterations: total_sweeps,
+                    converged: false,
+                    final_residual: last_residual,
+                    restarts,
+                    degraded: true,
+                }
+            }
+        };
+        ppdp_telemetry::counter(
+            if result.converged {
+                "bp.converged"
+            } else {
+                "bp.nonconverged"
+            },
+            1,
+        );
+        result
+    }
+
+    /// One full message-passing attempt from fresh messages at a given
+    /// damping. Stops early on convergence or on detected corruption.
+    fn attempt(
+        &self,
+        g: &FactorGraph,
+        damping: f64,
+        snp_pot: &[[f64; 3]],
+        trait_pot: &[[f64; 2]],
+    ) -> Attempt {
+        let nf = g.factors.len();
         let nk = g.kin_factors.len();
         let mut f2s = vec![[1.0f64; 3]; nf];
         let mut f2t = vec![[1.0f64; 2]; nf];
         // Kin-factor → SNP messages, one per (factor, side): side 0 = to the
         // parent variable, side 1 = to the child variable.
         let mut k2s = vec![[[1.0f64; 3]; 2]; nk];
-        let mut iterations = 0;
+        let mut sweeps = 0;
         let mut converged = false;
         let mut final_residual = f64::INFINITY;
+        let mut clean = true;
 
         // Incoming product at SNP `s` excluding one association factor
         // (`skip_f`) or one kin-factor side (`skip_k`).
@@ -113,35 +246,27 @@ impl BpConfig {
         };
 
         for iter in 0..self.max_iters {
-            iterations = iter + 1;
+            sweeps = iter + 1;
             // Variable → factor messages (Eqs. 5.3/5.4): product of incoming
             // factor messages excluding the destination factor.
             let mut s2f = vec![[1.0f64; 3]; nf];
             for (s, fs) in g.snp_factors.iter().enumerate() {
                 for &f in fs {
                     let msg = incoming(s, Some(f), None, &f2s, &k2s, &snp_pot[s]);
-                    s2f[f] = normalize3(msg);
+                    s2f[f] = checked3(msg, &mut clean);
                 }
             }
             // Variable → kin-factor messages (parent side index 0, child 1).
             let mut s2k = vec![[[1.0f64; 3]; 2]; nk];
             for (k, kf) in g.kin_factors.iter().enumerate() {
-                s2k[k][0] = normalize3(incoming(
-                    kf.parent,
-                    None,
-                    Some(k),
-                    &f2s,
-                    &k2s,
-                    &snp_pot[kf.parent],
-                ));
-                s2k[k][1] = normalize3(incoming(
-                    kf.child,
-                    None,
-                    Some(k),
-                    &f2s,
-                    &k2s,
-                    &snp_pot[kf.child],
-                ));
+                s2k[k][0] = checked3(
+                    incoming(kf.parent, None, Some(k), &f2s, &k2s, &snp_pot[kf.parent]),
+                    &mut clean,
+                );
+                s2k[k][1] = checked3(
+                    incoming(kf.child, None, Some(k), &f2s, &k2s, &snp_pot[kf.child]),
+                    &mut clean,
+                );
             }
             let mut t2f = vec![[1.0f64; 2]; nf];
             for (t, fs) in g.trait_factors.iter().enumerate() {
@@ -154,7 +279,7 @@ impl BpConfig {
                             }
                         }
                     }
-                    t2f[f] = normalize2(msg);
+                    t2f[f] = checked2(msg, &mut clean);
                 }
             }
 
@@ -165,7 +290,7 @@ impl BpConfig {
                 for (gi, row) in fac.table.iter().enumerate() {
                     to_s[gi] = row[0] * t2f[f][0] + row[1] * t2f[f][1];
                 }
-                let to_s = damp3(normalize3(to_s), f2s[f], self.damping);
+                let to_s = damp3(checked3(to_s, &mut clean), f2s[f], damping);
                 for (new, old) in to_s.iter().zip(&f2s[f]) {
                     delta = delta.max((new - old).abs());
                 }
@@ -175,7 +300,7 @@ impl BpConfig {
                 for (t, slot) in to_t.iter_mut().enumerate() {
                     *slot = (0..3).map(|gi| fac.table[gi][t] * s2f[f][gi]).sum();
                 }
-                let to_t = damp2(normalize2(to_t), f2t[f], self.damping);
+                let to_t = damp2(checked2(to_t, &mut clean), f2t[f], damping);
                 for (new, old) in to_t.iter().zip(&f2t[f]) {
                     delta = delta.max((new - old).abs());
                 }
@@ -190,7 +315,7 @@ impl BpConfig {
                 for (c, slot) in to_child.iter_mut().enumerate() {
                     *slot = (0..3).map(|p| kf.table[p][c] * s2k[k][0][p]).sum();
                 }
-                let to_child = damp3(normalize3(to_child), k2s[k][1], self.damping);
+                let to_child = damp3(checked3(to_child, &mut clean), k2s[k][1], damping);
                 for (new, old) in to_child.iter().zip(&k2s[k][1]) {
                     delta = delta.max((new - old).abs());
                 }
@@ -201,7 +326,7 @@ impl BpConfig {
                 for (p, slot) in to_parent.iter_mut().enumerate() {
                     *slot = (0..3).map(|c| kf.table[p][c] * s2k[k][1][c]).sum();
                 }
-                let to_parent = damp3(normalize3(to_parent), k2s[k][0], self.damping);
+                let to_parent = damp3(checked3(to_parent, &mut clean), k2s[k][0], damping);
                 for (new, old) in to_parent.iter().zip(&k2s[k][0]) {
                     delta = delta.max((new - old).abs());
                 }
@@ -210,25 +335,19 @@ impl BpConfig {
 
             final_residual = delta;
             ppdp_telemetry::value("bp.sweep_residual", delta);
+            if !clean {
+                break;
+            }
             if delta < self.tol {
                 converged = true;
                 break;
             }
         }
-        ppdp_telemetry::counter("bp.iterations", iterations as u64);
-        ppdp_telemetry::counter(
-            if converged {
-                "bp.converged"
-            } else {
-                "bp.nonconverged"
-            },
-            1,
-        );
 
         // Beliefs: potential × product of all incoming factor messages
         // (both association and kin factors).
         let snp_marginals = (0..g.n_snps())
-            .map(|s| normalize3(incoming(s, None, None, &f2s, &k2s, &snp_pot[s])))
+            .map(|s| checked3(incoming(s, None, None, &f2s, &k2s, &snp_pot[s]), &mut clean))
             .collect();
         let trait_marginals = g
             .trait_factors
@@ -241,16 +360,17 @@ impl BpConfig {
                         *x *= l;
                     }
                 }
-                normalize2(b)
+                checked2(b, &mut clean)
             })
             .collect();
 
-        BpResult {
+        Attempt {
             snp_marginals,
             trait_marginals,
-            iterations,
-            converged,
+            sweeps,
+            converged: converged && clean,
             final_residual,
+            clean,
         }
     }
 }
@@ -261,26 +381,35 @@ fn indicator3(i: usize) -> [f64; 3] {
     v
 }
 
-fn normalize3(mut v: [f64; 3]) -> [f64; 3] {
+/// Normalizes a 3-vector, first checking it for corruption: a NaN, Inf or
+/// negative component, or an underflowed (non-positive) sum, clears `clean`,
+/// bumps the `bp.renormalized` counter, and repairs the message to uniform
+/// so the sweep can finish with finite values.
+fn checked3(mut v: [f64; 3], clean: &mut bool) -> [f64; 3] {
+    let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = v.iter().sum();
-    if z > 0.0 {
-        for x in &mut v {
-            *x /= z;
-        }
-    } else {
-        v = [1.0 / 3.0; 3];
+    if corrupt || !z.is_finite() || z <= 0.0 {
+        *clean = false;
+        ppdp_telemetry::counter("bp.renormalized", 1);
+        return [1.0 / 3.0; 3];
+    }
+    for x in &mut v {
+        *x /= z;
     }
     v
 }
 
-fn normalize2(mut v: [f64; 2]) -> [f64; 2] {
+/// 2-vector sibling of [`checked3`].
+fn checked2(mut v: [f64; 2], clean: &mut bool) -> [f64; 2] {
+    let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = v.iter().sum();
-    if z > 0.0 {
-        for x in &mut v {
-            *x /= z;
-        }
-    } else {
-        v = [0.5; 2];
+    if corrupt || !z.is_finite() || z <= 0.0 {
+        *clean = false;
+        ppdp_telemetry::counter("bp.renormalized", 1);
+        return [0.5; 2];
+    }
+    for x in &mut v {
+        *x /= z;
     }
     v
 }
@@ -321,9 +450,10 @@ mod tests {
         // the product-of-experts factorization and may shift slightly; they
         // are checked against exhaustive enumeration in `exhaustive::tests`.
         let cat = figure_5_1_catalog();
-        let g = FactorGraph::build(&cat, &Evidence::none());
+        let g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
         let r = BpConfig::default().run(&g);
         assert!(r.converged);
+        assert!(!r.degraded);
         let t3 = g.trait_local(TraitId(2)).unwrap();
         assert!(
             (r.trait_marginals[t3][1] - g.trait_prior[t3][1]).abs() < 1e-9,
@@ -341,9 +471,9 @@ mod tests {
     #[test]
     fn risk_genotype_evidence_raises_trait_posterior() {
         let cat = figure_5_1_catalog();
-        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()));
+        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()).unwrap());
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
-        let g = FactorGraph::build(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let r = BpConfig::default().run(&g);
         let t1 = g.trait_local(TraitId(0)).unwrap();
         assert!(
@@ -358,9 +488,9 @@ mod tests {
     #[test]
     fn trait_evidence_shifts_snp_marginals() {
         let cat = figure_5_1_catalog();
-        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()));
+        let base = BpConfig::default().run(&FactorGraph::build(&cat, &Evidence::none()).unwrap());
         let ev = Evidence::none().with_trait(TraitId(1), true);
-        let g = FactorGraph::build(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let r = BpConfig::default().run(&g);
         for s in [SnpId(1), SnpId(2), SnpId(3)] {
             let i = g.snp_local(s).unwrap();
@@ -377,7 +507,7 @@ mod tests {
         let ev = Evidence::none()
             .with_snp(SnpId(4), Genotype::Het)
             .with_trait(TraitId(0), false);
-        let g = FactorGraph::build(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let r = BpConfig::default().run(&g);
         let s = g.snp_local(SnpId(4)).unwrap();
         assert_eq!(r.snp_marginals[s], [0.0, 1.0, 0.0]);
@@ -389,7 +519,7 @@ mod tests {
     fn marginals_normalized_and_converged_on_tree() {
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(1), Genotype::HomRisk);
-        let g = FactorGraph::build(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let r = BpConfig::default().run(&g);
         assert!(r.converged);
         for m in &r.snp_marginals {
@@ -403,10 +533,11 @@ mod tests {
     #[test]
     fn convergence_is_exposed_as_data() {
         let cat = figure_5_1_catalog();
-        let g = FactorGraph::build(&cat, &Evidence::none());
+        let g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
         let cfg = BpConfig::default();
         let r = cfg.run(&g);
         assert!(r.converged);
+        assert_eq!(r.restarts, 0);
         assert!(r.iterations >= 1 && r.iterations <= cfg.max_iters);
         assert!(
             r.final_residual < cfg.tol,
@@ -414,22 +545,97 @@ mod tests {
             r.final_residual
         );
         // Starving the iteration budget surfaces non-convergence as data.
+        // With restarts disabled, exactly one sweep runs.
         let starved = BpConfig {
             max_iters: 1,
             tol: 1e-15,
+            max_restarts: 0,
             ..cfg
         }
         .run(&g);
         assert!(!starved.converged);
+        assert!(
+            !starved.degraded,
+            "non-convergence alone is not degradation"
+        );
         assert_eq!(starved.iterations, 1);
         assert!(starved.final_residual.is_finite() && starved.final_residual >= 1e-15);
+    }
+
+    #[test]
+    fn restart_ladder_escalates_damping_on_nonconvergence() {
+        let cat = figure_5_1_catalog();
+        let g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
+        // One sweep per attempt, unreachable tolerance, default ladder
+        // (0 → 0.5 → 0.8): three attempts, each a single sweep.
+        let r = BpConfig {
+            max_iters: 1,
+            tol: 1e-15,
+            ..BpConfig::default()
+        }
+        .run(&g);
+        assert!(!r.converged);
+        assert!(!r.degraded, "a clean attempt was available");
+        assert_eq!(r.restarts, 2);
+        assert_eq!(
+            r.iterations, 3,
+            "iterations counts sweeps over all attempts"
+        );
+    }
+
+    #[test]
+    fn poisoned_factor_degrades_to_prior_fallback_with_telemetry() {
+        // An all-zero transmission table passes entry-wise validation (zero
+        // probabilities are legal) but annihilates every message through it
+        // — the "zero-probability CPT row" fault. BP must neither panic nor
+        // emit NaN: it exhausts the restart ladder and degrades.
+        let cat = figure_5_1_catalog();
+        let mut g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
+        g.add_kin_factor(0, 1, [[0.0; 3]; 3]).unwrap();
+        let rec = ppdp_telemetry::Recorder::new();
+        let r = {
+            let _scope = rec.enter();
+            BpConfig::default().run(&g)
+        };
+        assert!(r.degraded);
+        assert!(!r.converged);
+        assert_eq!(r.restarts, 2, "full ladder exhausted");
+        for m in &r.snp_marginals {
+            assert!(m.iter().all(|x| x.is_finite()));
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for m in &r.trait_marginals {
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("degraded.bp"), 1);
+        assert_eq!(report.counter("degraded.bp.prior_fallback"), 1);
+        assert!(report.counter("bp.renormalized") > 0);
+        assert_eq!(report.counter("bp.restarts"), 2);
+        assert_eq!(report.degradations(), 1);
+    }
+
+    #[test]
+    fn degraded_marginals_still_honour_evidence() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::Het);
+        let mut g = FactorGraph::build(&cat, &ev).unwrap();
+        g.add_kin_factor(0, 1, [[0.0; 3]; 3]).unwrap();
+        let r = BpConfig::default().run(&g);
+        assert!(r.degraded);
+        let s = g.snp_local(SnpId(0)).unwrap();
+        assert_eq!(r.snp_marginals[s], [0.0, 1.0, 0.0]);
+        // Unobserved traits fall back to their prevalence priors.
+        for (t, m) in r.trait_marginals.iter().enumerate() {
+            assert!((m[1] - g.trait_prior[t][1]).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn bp_run_records_telemetry() {
         let rec = ppdp_telemetry::Recorder::new();
         let cat = figure_5_1_catalog();
-        let g = FactorGraph::build(&cat, &Evidence::none());
+        let g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
         let r = {
             let _scope = rec.enter();
             BpConfig::default().run(&g)
@@ -437,6 +643,7 @@ mod tests {
         let report = rec.take();
         assert_eq!(report.counter("bp.iterations"), r.iterations as u64);
         assert_eq!(report.counter("bp.converged"), 1);
+        assert_eq!(report.counter("bp.renormalized"), 0);
         let h = report
             .histogram("bp.sweep_residual")
             .expect("residuals recorded");
@@ -448,7 +655,7 @@ mod tests {
     fn damping_reaches_same_fixed_point_on_tree() {
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomNonRisk);
-        let g = FactorGraph::build(&cat, &ev);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let plain = BpConfig::default().run(&g);
         let damped = BpConfig {
             damping: 0.5,

@@ -2,6 +2,7 @@
 //! and SNP-trait associations `C(T, s_i, r_i^j, O_i^j, f_i^{j,o})`.
 
 use crate::model::{SnpId, TraitId};
+use ppdp_errors::Result;
 
 /// One catalogued trait: a name plus its population prevalence rate
 /// `p(t_j)` (Table 5.3 supplies the dissertation's seven diseases).
@@ -131,6 +132,69 @@ impl GwasCatalog {
         self.associations.iter().filter(move |a| a.trait_id == t)
     }
 
+    /// Re-checks every invariant the registration methods enforce, plus the
+    /// NaN/Inf cases their comparisons only reject by accident. This is the
+    /// boundary check [`crate::FactorGraph::build`] runs before compiling a
+    /// graph, so catalogs corrupted *after* construction (deserialized,
+    /// mutated through [`GwasCatalog::traits_mut`], …) surface as typed
+    /// errors naming the offending record instead of downstream NaN
+    /// marginals.
+    ///
+    /// # Errors
+    /// [`ppdp_errors::PpdpError::InvalidInput`] naming the first offending
+    /// trait or association.
+    pub fn validate(&self) -> Result<()> {
+        for (j, t) in self.traits.iter().enumerate() {
+            ppdp_errors::ensure_unit_open(
+                &format!("trait {j} ({:?}) prevalence", t.name),
+                t.prevalence,
+            )?;
+        }
+        for (i, a) in self.associations.iter().enumerate() {
+            ppdp_errors::ensure(
+                a.snp.0 < self.n_snps,
+                format!(
+                    "association {i}: SNP {} out of range (catalog has {} loci)",
+                    a.snp, self.n_snps
+                ),
+            )?;
+            ppdp_errors::ensure(
+                a.trait_id.0 < self.traits.len(),
+                format!(
+                    "association {i}: trait {} out of range (catalog has {} traits)",
+                    a.trait_id,
+                    self.traits.len()
+                ),
+            )?;
+            ppdp_errors::ensure_positive(
+                &format!("association {i} ({} ↔ {}) odds ratio", a.snp, a.trait_id),
+                a.odds_ratio,
+            )?;
+            ppdp_errors::ensure_unit_open(
+                &format!("association {i} ({} ↔ {}) control RAF", a.snp, a.trait_id),
+                a.raf_control,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Raw mutable access to the trait list, bypassing the registration
+    /// checks. Exists so fault-injection harnesses (`ppdp-datagen`'s chaos
+    /// module) can corrupt a catalog the way a bad upstream feed would;
+    /// production code should never need it — [`GwasCatalog::validate`]
+    /// rejects whatever it broke.
+    #[doc(hidden)]
+    pub fn traits_mut(&mut self) -> &mut Vec<TraitInfo> {
+        &mut self.traits
+    }
+
+    /// Raw mutable access to the association list; see
+    /// [`GwasCatalog::traits_mut`].
+    #[doc(hidden)]
+    pub fn associations_mut(&mut self) -> &mut Vec<Association> {
+        &mut self.associations
+    }
+
     /// The dissertation's Table 5.3: seven popular diseases and their
     /// prevalence rates, pre-registered as traits of a fresh catalog.
     pub fn with_table_5_3_traits(n_snps: usize) -> Self {
@@ -216,5 +280,45 @@ mod tests {
     #[should_panic(expected = "prevalence")]
     fn bad_prevalence_rejected() {
         GwasCatalog::new(1).add_trait("x", 1.5);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_catalogs() {
+        assert!(figure_like_catalog().validate().is_ok());
+    }
+
+    fn figure_like_catalog() -> GwasCatalog {
+        let mut c = GwasCatalog::new(3);
+        let t = c.add_trait("x", 0.1);
+        c.associate(SnpId(0), t, 1.5, 0.3);
+        c.associate(SnpId(2), t, 1.2, 0.4);
+        c
+    }
+
+    #[test]
+    fn validate_names_the_corrupted_record() {
+        // NaN prevalence injected past the registration checks.
+        let mut c = figure_like_catalog();
+        c.traits_mut()[0].prevalence = f64::NAN;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+        assert!(e.to_string().contains("trait 0"), "{e}");
+
+        // Non-positive odds ratio.
+        let mut c = figure_like_catalog();
+        c.associations_mut()[1].odds_ratio = 0.0;
+        let e = c.validate().unwrap_err();
+        assert!(e.to_string().contains("association 1"), "{e}");
+
+        // Dangling SNP reference.
+        let mut c = figure_like_catalog();
+        c.associations_mut()[0].snp = SnpId(99);
+        let e = c.validate().unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+
+        // Infinite control RAF.
+        let mut c = figure_like_catalog();
+        c.associations_mut()[0].raf_control = f64::INFINITY;
+        assert!(c.validate().is_err());
     }
 }

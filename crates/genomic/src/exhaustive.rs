@@ -101,6 +101,8 @@ pub fn exhaustive_marginals(g: &FactorGraph) -> BpResult {
         iterations: total as usize,
         converged: true,
         final_residual: 0.0,
+        restarts: 0,
+        degraded: false,
     }
 }
 
@@ -117,7 +119,7 @@ mod tests {
 
     #[test]
     fn bp_matches_exhaustive_on_tree_no_evidence() {
-        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none());
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
         let bp = BpConfig::default().run(&g);
         let ex = exhaustive_marginals(&g);
         for (a, b) in bp.snp_marginals.iter().zip(&ex.snp_marginals) {
@@ -135,7 +137,7 @@ mod tests {
         let ev = Evidence::none()
             .with_snp(SnpId(2), Genotype::HomRisk)
             .with_trait(TraitId(0), true);
-        let g = FactorGraph::build(&figure_5_1_catalog(), &ev);
+        let g = FactorGraph::build(&figure_5_1_catalog(), &ev).unwrap();
         let bp = BpConfig::default().run(&g);
         let ex = exhaustive_marginals(&g);
         for (a, b) in bp.snp_marginals.iter().zip(&ex.snp_marginals) {
@@ -159,7 +161,7 @@ mod tests {
             c.associate(SnpId(s), t1, 1.4, 0.35);
         }
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
-        let g = FactorGraph::build(&c, &ev);
+        let g = FactorGraph::build(&c, &ev).unwrap();
         assert!(!g.is_forest());
         let bp = BpConfig {
             damping: 0.3,
@@ -185,7 +187,7 @@ mod tests {
         for s in 0..40 {
             c.associate(SnpId(s), t, 1.2, 0.3);
         }
-        let g = FactorGraph::build(&c, &Evidence::none());
+        let g = FactorGraph::build(&c, &Evidence::none()).unwrap();
         exhaustive_marginals(&g);
     }
 }

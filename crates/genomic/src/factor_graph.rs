@@ -12,6 +12,7 @@
 use crate::catalog::GwasCatalog;
 use crate::model::{Genotype, SnpId, TraitId};
 use crate::tables::genotype_given_trait;
+use ppdp_errors::{ensure, PpdpError, Result};
 use std::collections::HashMap;
 
 /// The attacker's background knowledge: released SNPs `S^K` and released
@@ -40,6 +41,32 @@ impl Evidence {
     pub fn with_trait(mut self, t: TraitId, present: bool) -> Self {
         self.traits.insert(t, present);
         self
+    }
+
+    /// Checks that every referenced SNP and trait exists in `catalog`.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] naming the first dangling reference.
+    pub fn validate_against(&self, catalog: &GwasCatalog) -> Result<()> {
+        for s in self.snps.keys() {
+            ensure(
+                s.0 < catalog.n_snps(),
+                format!(
+                    "evidence references unknown SNP {s} (catalog has {} loci)",
+                    catalog.n_snps()
+                ),
+            )?;
+        }
+        for t in self.traits.keys() {
+            ensure(
+                t.0 < catalog.n_traits(),
+                format!(
+                    "evidence references unknown trait {t} (catalog has {} traits)",
+                    catalog.n_traits()
+                ),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -96,7 +123,22 @@ pub struct FactorGraph {
 
 impl FactorGraph {
     /// Compiles `catalog` + `evidence` into a factor graph.
-    pub fn build(catalog: &GwasCatalog, evidence: &Evidence) -> Self {
+    ///
+    /// This is the validation boundary for the whole genomic attack stack:
+    /// the catalog is re-checked ([`GwasCatalog::validate`]), evidence may
+    /// only reference catalogued loci/traits, and an association-free
+    /// catalog (an *empty graph* — nothing to infer over) is rejected
+    /// outright rather than yielding silently empty marginals.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] naming the offending record.
+    pub fn build(catalog: &GwasCatalog, evidence: &Evidence) -> Result<Self> {
+        catalog.validate()?;
+        ensure(
+            !catalog.associations().is_empty(),
+            "catalog has no SNP-trait associations: the factor graph would be empty",
+        )?;
+        evidence.validate_against(catalog)?;
         let mut snp_index: HashMap<SnpId, usize> = HashMap::new();
         let mut trait_index: HashMap<TraitId, usize> = HashMap::new();
         let mut snp_ids = Vec::new();
@@ -152,7 +194,7 @@ impl FactorGraph {
         }
 
         let n_snps = snp_ids.len();
-        Self {
+        Ok(Self {
             snp_ids,
             trait_ids,
             trait_prior,
@@ -163,20 +205,43 @@ impl FactorGraph {
             trait_factors,
             kin_factors: Vec::new(),
             snp_kin: vec![Vec::new(); n_snps],
-        }
+        })
     }
 
     /// Appends a Mendelian-transmission factor between two materialized SNP
     /// variables (same locus, different individuals). Used by
     /// [`crate::kinship`].
     ///
-    /// # Panics
-    /// Panics on out-of-range variable indices.
-    pub fn add_kin_factor(&mut self, parent: usize, child: usize, table: [[f64; 3]; 3]) {
-        assert!(
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] on out-of-range variable indices, a
+    /// self-edge, or a table containing negative or non-finite entries.
+    pub fn add_kin_factor(
+        &mut self,
+        parent: usize,
+        child: usize,
+        table: [[f64; 3]; 3],
+    ) -> Result<()> {
+        ensure(
             parent < self.n_snps() && child < self.n_snps(),
-            "SNP index out of range"
-        );
+            format!(
+                "kin factor ({parent}, {child}) out of range: graph has {} SNP variables",
+                self.n_snps()
+            ),
+        )?;
+        ensure(
+            parent != child,
+            format!("kin factor ({parent}, {child}) links a variable to itself"),
+        )?;
+        for (p, row) in table.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(PpdpError::invalid_input(format!(
+                        "kin factor ({parent}, {child}) table[{p}][{c}] = {v} is not a \
+                         non-negative finite weight"
+                    )));
+                }
+            }
+        }
         let idx = self.kin_factors.len();
         self.kin_factors.push(KinFactor {
             parent,
@@ -185,6 +250,7 @@ impl FactorGraph {
         });
         self.snp_kin[parent].push(idx);
         self.snp_kin[child].push(idx);
+        Ok(())
     }
 
     /// Number of SNP variables.
@@ -270,7 +336,7 @@ mod tests {
 
     #[test]
     fn figure_5_1_structure() {
-        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none());
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
         assert_eq!(g.n_snps(), 5);
         assert_eq!(g.n_traits(), 3);
         assert_eq!(g.factors.len(), 6);
@@ -288,7 +354,7 @@ mod tests {
         let ev = Evidence::none()
             .with_snp(SnpId(0), Genotype::Het)
             .with_trait(TraitId(2), true);
-        let g = FactorGraph::build(&figure_5_1_catalog(), &ev);
+        let g = FactorGraph::build(&figure_5_1_catalog(), &ev).unwrap();
         let s = g.snp_local(SnpId(0)).unwrap();
         assert_eq!(g.snp_evidence[s], Some(1));
         let t = g.trait_local(TraitId(2)).unwrap();
@@ -297,7 +363,7 @@ mod tests {
 
     #[test]
     fn factor_tables_are_conditional_distributions() {
-        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none());
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
         for f in &g.factors {
             for t in 0..2 {
                 let total: f64 = (0..3).map(|s| f.table[s][t]).sum();
@@ -316,8 +382,48 @@ mod tests {
             c.associate(SnpId(s), t0, 1.5, 0.3);
             c.associate(SnpId(s), t1, 1.5, 0.3);
         }
-        let g = FactorGraph::build(&c, &Evidence::none());
+        let g = FactorGraph::build(&c, &Evidence::none()).unwrap();
         assert!(!g.is_forest());
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        let c = GwasCatalog::new(3);
+        let e = FactorGraph::build(&c, &Evidence::none()).unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+        assert!(e.to_string().contains("no SNP-trait associations"), "{e}");
+    }
+
+    #[test]
+    fn dangling_evidence_rejected() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none().with_snp(SnpId(42), Genotype::Het);
+        let e = FactorGraph::build(&cat, &ev).unwrap_err();
+        assert!(e.to_string().contains("s42"), "names the SNP: {e}");
+        let ev = Evidence::none().with_trait(TraitId(9), true);
+        let e = FactorGraph::build(&cat, &ev).unwrap_err();
+        assert!(e.to_string().contains("t9"), "names the trait: {e}");
+    }
+
+    #[test]
+    fn corrupted_catalog_rejected_at_build() {
+        let mut cat = figure_5_1_catalog();
+        cat.associations_mut()[2].raf_control = f64::NAN;
+        let e = FactorGraph::build(&cat, &Evidence::none()).unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+    }
+
+    #[test]
+    fn degenerate_kin_factors_rejected() {
+        let mut g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        assert!(g.add_kin_factor(0, 99, [[0.5; 3]; 3]).is_err(), "dangling");
+        assert!(g.add_kin_factor(1, 1, [[0.5; 3]; 3]).is_err(), "self-edge");
+        let mut bad = [[0.5; 3]; 3];
+        bad[1][2] = f64::NAN;
+        assert!(g.add_kin_factor(0, 1, bad).is_err(), "NaN entry");
+        bad[1][2] = -0.25;
+        assert!(g.add_kin_factor(0, 1, bad).is_err(), "negative entry");
+        assert!(g.add_kin_factor(0, 1, [[0.5; 3]; 3]).is_ok());
     }
 
     #[test]
@@ -325,7 +431,7 @@ mod tests {
         let mut c = GwasCatalog::new(10);
         let t = c.add_trait("x", 0.1);
         c.associate(SnpId(7), t, 1.5, 0.3);
-        let g = FactorGraph::build(&c, &Evidence::none());
+        let g = FactorGraph::build(&c, &Evidence::none()).unwrap();
         assert_eq!(g.n_snps(), 1);
         assert_eq!(g.snp_ids, vec![SnpId(7)]);
         assert_eq!(g.snp_local(SnpId(0)), None);

@@ -17,6 +17,7 @@ use crate::bp::{BpConfig, BpResult};
 use crate::catalog::GwasCatalog;
 use crate::factor_graph::{Evidence, FactorGraph};
 use crate::model::{SnpId, TraitId};
+use ppdp_errors::{ensure, Result};
 
 /// A nuclear/extended family: per-member released evidence plus
 /// parent-child relations (indices into `members`).
@@ -111,12 +112,51 @@ pub fn transmission_table(f: f64) -> [[f64; 3]; 3] {
 /// each `(parent, child)` relation adds one transmission factor per locus.
 ///
 /// Returns the graph and the index for locating per-member variables.
-pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGraph, FamilyIndex) {
-    assert!(
+///
+/// This is the validation boundary for family data: an empty family,
+/// dangling or self-referential `parent_child` relations (the fields are
+/// public and may have bypassed [`Family::relate`]), and member evidence
+/// referencing loci/traits outside the catalog are all rejected with an
+/// error naming the offending record.
+///
+/// # Errors
+/// [`ppdp_errors::PpdpError::InvalidInput`].
+pub fn build_family_graph(
+    catalog: &GwasCatalog,
+    family: &Family,
+) -> Result<(FactorGraph, FamilyIndex)> {
+    ensure(
         !family.members.is_empty(),
-        "family needs at least one member"
-    );
-    let template = FactorGraph::build(catalog, &Evidence::none());
+        "family needs at least one member",
+    )?;
+    for (i, &(p, c)) in family.parent_child.iter().enumerate() {
+        ensure(
+            p < family.members.len() && c < family.members.len(),
+            format!(
+                "relation {i} ({p}, {c}) dangles: family has {} members",
+                family.members.len()
+            ),
+        )?;
+        ensure(
+            p != c,
+            format!("relation {i}: member {p} parents themselves"),
+        )?;
+    }
+    for (m, ev) in family.members.iter().enumerate() {
+        for s in ev.snps.keys() {
+            ensure(
+                s.0 < catalog.n_snps(),
+                format!("member {m} evidence references unknown SNP {s}"),
+            )?;
+        }
+        for tr in ev.traits.keys() {
+            ensure(
+                tr.0 < catalog.n_traits(),
+                format!("member {m} evidence references unknown trait {tr}"),
+            )?;
+        }
+    }
+    let template = FactorGraph::build(catalog, &Evidence::none())?;
     let m = family.members.len();
     let (ns, nt) = (template.n_snps(), template.n_traits());
 
@@ -190,7 +230,7 @@ pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGrap
                     };
                 }
             }
-            g.add_kin_factor(parent * ns + i, child * ns + i, table);
+            g.add_kin_factor(parent * ns + i, child * ns + i, table)?;
         }
     }
 
@@ -200,19 +240,22 @@ pub fn build_family_graph(catalog: &GwasCatalog, family: &Family) -> (FactorGrap
         snp_ids: template.snp_ids,
         trait_ids: template.trait_ids,
     };
-    (g, index)
+    Ok((g, index))
 }
 
 /// Runs the kin inference attack: builds the family graph, runs belief
 /// propagation, and returns the marginals (index them with the returned
 /// [`FamilyIndex`]).
+///
+/// # Errors
+/// Propagates [`build_family_graph`] validation failures.
 pub fn kin_attack(
     catalog: &GwasCatalog,
     family: &Family,
     cfg: BpConfig,
-) -> (BpResult, FamilyIndex) {
-    let (g, index) = build_family_graph(catalog, family);
-    (cfg.run(&g), index)
+) -> Result<(BpResult, FamilyIndex)> {
+    let (g, index) = build_family_graph(catalog, family)?;
+    Ok((cfg.run(&g), index))
 }
 
 /// A protection target inside a family: `(member, variable)`.
@@ -245,6 +288,12 @@ pub struct KinSanitizeOutcome {
 /// This answers the consent question §5.1 raises: which parts of *my*
 /// genome must I keep private so that publishing the rest does not expose
 /// *my family*?
+///
+/// # Errors
+/// [`ppdp_errors::PpdpError::InvalidInput`] on an unknown releaser or a
+/// family/catalog pair that fails [`build_family_graph`] validation;
+/// [`ppdp_errors::PpdpError::Numerical`] when the privacy objective turns
+/// NaN mid-search.
 pub fn kin_greedy_sanitize(
     catalog: &GwasCatalog,
     family: &Family,
@@ -253,15 +302,21 @@ pub fn kin_greedy_sanitize(
     delta: f64,
     max_withheld: usize,
     cfg: BpConfig,
-) -> KinSanitizeOutcome {
-    assert!(releaser < family.members.len(), "unknown releaser");
+) -> Result<KinSanitizeOutcome> {
+    ensure(
+        releaser < family.members.len(),
+        format!(
+            "unknown releaser {releaser}: family has {} members",
+            family.members.len()
+        ),
+    )?;
     let candidates: Vec<SnpId> = {
         let mut c: Vec<SnpId> = family.members[releaser].snps.keys().copied().collect();
         c.sort_unstable();
         c
     };
 
-    let levels = |withheld: &[usize]| -> Vec<f64> {
+    let levels = |withheld: &[usize]| -> Result<Vec<f64>> {
         let mut fam = family.clone();
         for &i in withheld {
             fam.members[releaser].snps.remove(&candidates[i]);
@@ -271,9 +326,9 @@ pub fn kin_greedy_sanitize(
         for m in &mut base_fam.members {
             m.snps.clear();
         }
-        let (post, idx) = kin_attack(catalog, &fam, cfg);
-        let (base, idx0) = kin_attack(catalog, &base_fam, cfg);
-        targets
+        let (post, idx) = kin_attack(catalog, &fam, cfg)?;
+        let (base, idx0) = kin_attack(catalog, &base_fam, cfg)?;
+        Ok(targets
             .iter()
             .map(|t| {
                 let (p, b) = match *t {
@@ -294,18 +349,21 @@ pub fn kin_greedy_sanitize(
                     _ => 1.0,
                 }
             })
-            .collect()
+            .collect())
     };
-    let min_level = |w: &[usize]| -> f64 { levels(w).into_iter().fold(f64::INFINITY, f64::min) };
-    let sum_level = |w: &[usize]| -> f64 { levels(w).iter().sum() };
+    let min_level =
+        |w: &[usize]| -> Result<f64> { Ok(levels(w)?.into_iter().fold(f64::INFINITY, f64::min)) };
+    // NaN signals a failure to `greedy_cardinality`'s checked evaluation,
+    // which converts it back into a typed `Numerical` error.
+    let sum_level = |w: &[usize]| -> f64 { levels(w).map(|v| v.iter().sum()).unwrap_or(f64::NAN) };
 
     let order = ppdp_opt::greedy_cardinality(
         candidates.len(),
         max_withheld.min(candidates.len()),
         |sel| sum_level(sel),
-    );
+    )?;
 
-    let mut history = vec![min_level(&[])];
+    let mut history = vec![min_level(&[])?];
     let mut taken: Vec<usize> = Vec::new();
     let mut satisfied = history[0] >= delta;
     for &i in &order {
@@ -313,15 +371,15 @@ pub fn kin_greedy_sanitize(
             break;
         }
         taken.push(i);
-        let h = min_level(&taken);
+        let h = min_level(&taken)?;
         history.push(h);
         satisfied = h >= delta;
     }
-    KinSanitizeOutcome {
+    Ok(KinSanitizeOutcome {
         withheld: taken.into_iter().map(|i| candidates[i]).collect(),
         history,
         satisfied,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -363,12 +421,12 @@ mod tests {
         let parent = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::HomRisk));
         let child = fam.member(Evidence::none());
         fam.relate(parent, child);
-        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default()).unwrap();
 
         // Baseline: the same child with an uninformative (unrelated) parent.
         let mut fam0 = Family::new();
         let _ = fam0.member(Evidence::none());
-        let (r0, idx0) = kin_attack(&cat, &fam0, BpConfig::default());
+        let (r0, idx0) = kin_attack(&cat, &fam0, BpConfig::default()).unwrap();
 
         let c_s0 = idx.snp(child, SnpId(0)).unwrap();
         let b_s0 = idx0.snp(0, SnpId(0)).unwrap();
@@ -402,7 +460,7 @@ mod tests {
         let parent = fam.member(Evidence::none());
         let child = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::HomRisk));
         fam.relate(parent, child);
-        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default()).unwrap();
         let p_t0 = idx.trait_(parent, TraitId(0)).unwrap();
         let prior = cat.trait_info(TraitId(0)).prevalence;
         assert!(
@@ -419,7 +477,7 @@ mod tests {
         let parent = fam.member(Evidence::none().with_snp(SnpId(0), Genotype::Het));
         let child = fam.member(Evidence::none().with_trait(TraitId(1), true));
         fam.relate(parent, child);
-        let (g, _) = build_family_graph(&cat, &fam);
+        let (g, _) = build_family_graph(&cat, &fam).unwrap();
         assert!(g.is_forest());
         let bp = BpConfig::default().run(&g);
         let ex = exhaustive_marginals(&g);
@@ -444,13 +502,13 @@ mod tests {
         let child = fam.member(Evidence::none());
         fam.relate(gp, parent);
         fam.relate(parent, child);
-        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default());
+        let (r, idx) = kin_attack(&cat, &fam, BpConfig::default()).unwrap();
         let p_rr = r.snp_marginals[idx.snp(parent, SnpId(0)).unwrap()][0];
         let c_rr = r.snp_marginals[idx.snp(child, SnpId(0)).unwrap()][0];
 
         let mut lone = Family::new();
         let solo = lone.member(Evidence::none());
-        let (r0, idx0) = kin_attack(&cat, &lone, BpConfig::default());
+        let (r0, idx0) = kin_attack(&cat, &lone, BpConfig::default()).unwrap();
         let base_rr = r0.snp_marginals[idx0.snp(solo, SnpId(0)).unwrap()][0];
 
         assert!(p_rr > c_rr, "parent closer to evidence: {p_rr} vs {c_rr}");
@@ -469,6 +527,32 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_family_rejected_with_named_record() {
+        let cat = small_catalog();
+        // Dangling relation pushed past `relate`'s checks (public field).
+        let mut fam = Family::new();
+        fam.member(Evidence::none());
+        fam.parent_child.push((0, 7));
+        let e = build_family_graph(&cat, &fam).unwrap_err();
+        assert!(e.to_string().contains("relation 0"), "{e}");
+
+        // Empty family.
+        assert!(build_family_graph(&cat, &Family::new()).is_err());
+
+        // Evidence referencing a locus outside the catalog.
+        let mut fam = Family::new();
+        fam.member(Evidence::none().with_snp(SnpId(42), Genotype::Het));
+        let e = build_family_graph(&cat, &fam).unwrap_err();
+        assert!(e.to_string().contains("member 0"), "{e}");
+
+        // Unknown releaser index.
+        let mut fam = Family::new();
+        fam.member(Evidence::none());
+        let e = kin_greedy_sanitize(&cat, &fam, 3, &[], 0.5, 1, BpConfig::default()).unwrap_err();
+        assert!(e.to_string().contains("releaser 3"), "{e}");
+    }
+
+    #[test]
     fn kin_sanitize_protects_the_relative() {
         let cat = small_catalog();
         let mut fam = Family::new();
@@ -483,7 +567,8 @@ mod tests {
             KinTarget::Trait(child, TraitId(0)),
             KinTarget::Trait(child, TraitId(1)),
         ];
-        let out = kin_greedy_sanitize(&cat, &fam, parent, &targets, 0.99, 4, BpConfig::default());
+        let out = kin_greedy_sanitize(&cat, &fam, parent, &targets, 0.99, 4, BpConfig::default())
+            .unwrap();
         assert!(
             out.satisfied,
             "withholding everything must protect the child: {out:?}"
@@ -513,7 +598,8 @@ mod tests {
             0.99,
             4,
             BpConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(out.satisfied);
         assert!(
             out.withheld.is_empty(),

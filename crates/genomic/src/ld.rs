@@ -17,6 +17,7 @@
 
 use crate::factor_graph::FactorGraph;
 use crate::model::SnpId;
+use ppdp_errors::{ensure, Result};
 
 /// One linkage-disequilibrium pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +36,42 @@ pub struct LdPair {
 }
 
 impl LdPair {
+    /// Boundary validation of the pair's parameters: frequencies must be
+    /// finite and in `[0, 1]`, the correlation finite and in `[−1, 1]`.
+    /// (The computational methods below `assert!` the same ranges — this is
+    /// the `Result`-returning form for data that crossed a trust boundary.)
+    ///
+    /// # Errors
+    /// [`ppdp_errors::PpdpError::InvalidInput`].
+    pub fn validate(&self) -> Result<()> {
+        ensure(
+            self.freq_a.is_finite() && (0.0..=1.0).contains(&self.freq_a),
+            format!(
+                "LD pair ({}, {}): freq_a = {} not in [0, 1]",
+                self.a, self.b, self.freq_a
+            ),
+        )?;
+        ensure(
+            self.freq_b.is_finite() && (0.0..=1.0).contains(&self.freq_b),
+            format!(
+                "LD pair ({}, {}): freq_b = {} not in [0, 1]",
+                self.a, self.b, self.freq_b
+            ),
+        )?;
+        ensure(
+            self.r.is_finite() && (-1.0..=1.0).contains(&self.r),
+            format!(
+                "LD pair ({}, {}): correlation r = {} not in [-1, 1]",
+                self.a, self.b, self.r
+            ),
+        )?;
+        ensure(
+            self.a != self.b,
+            format!("LD pair ({}, {}) links a locus to itself", self.a, self.b),
+        )?;
+        Ok(())
+    }
+
     /// Haplotype frequencies `(P[r_a r_b], P[r_a ρ_b], P[ρ_a r_b],
     /// P[ρ_a ρ_b])`, clamped into the feasible region.
     pub fn haplotype_frequencies(&self) -> [f64; 4] {
@@ -127,15 +164,23 @@ impl LdPair {
 /// back.
 ///
 /// Returns the number of factors actually added.
-pub fn add_ld_factors(graph: &mut FactorGraph, pairs: &[LdPair]) -> usize {
+///
+/// # Errors
+/// [`ppdp_errors::PpdpError::InvalidInput`] when a pair fails
+/// [`LdPair::validate`] (the error names the pair's loci); no factors are
+/// added in that case — validation runs before any mutation.
+pub fn add_ld_factors(graph: &mut FactorGraph, pairs: &[LdPair]) -> Result<usize> {
+    for p in pairs {
+        p.validate()?;
+    }
     let mut added = 0;
     for p in pairs {
         if let (Some(a), Some(b)) = (graph.snp_local(p.a), graph.snp_local(p.b)) {
-            graph.add_kin_factor(a, b, p.ratio_table());
+            graph.add_kin_factor(a, b, p.ratio_table())?;
             added += 1;
         }
     }
-    added
+    Ok(added)
 }
 
 #[cfg(test)]
@@ -228,7 +273,7 @@ mod tests {
         cat.associate(SnpId(1), t0, 2.5, 0.3); // the sensitive locus
 
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
-        let mut g = FactorGraph::build(&cat, &ev);
+        let mut g = FactorGraph::build(&cat, &ev).unwrap();
         let baseline = BpConfig::default().run(&g);
         let s1 = g.snp_local(SnpId(1)).unwrap();
         let base_rr = baseline.snp_marginals[s1][0];
@@ -242,7 +287,8 @@ mod tests {
                 freq_b: 0.3,
                 r: 0.95,
             }],
-        );
+        )
+        .unwrap();
         assert_eq!(added, 1);
         let with_ld = BpConfig::default().run(&g);
         assert!(
@@ -253,11 +299,45 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_ld_pair_rejected_naming_the_loci() {
+        let mut cat = GwasCatalog::new(2);
+        let t0 = cat.add_trait("x", 0.1);
+        cat.associate(SnpId(0), t0, 1.5, 0.3);
+        cat.associate(SnpId(1), t0, 1.2, 0.4);
+        let mut g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
+        let bad = LdPair {
+            a: SnpId(0),
+            b: SnpId(1),
+            freq_a: f64::NAN,
+            freq_b: 0.3,
+            r: 0.5,
+        };
+        let before = g.kin_factors.len();
+        let e = add_ld_factors(&mut g, &[bad]).unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+        assert!(e.to_string().contains("freq_a"), "{e}");
+        assert_eq!(g.kin_factors.len(), before, "no partial mutation");
+
+        let self_pair = LdPair {
+            b: SnpId(0),
+            freq_a: 0.3,
+            ..bad
+        };
+        assert!(self_pair.validate().is_err(), "self-linked locus");
+        let wild_r = LdPair {
+            freq_a: 0.3,
+            r: 1.5,
+            ..bad
+        };
+        assert!(wild_r.validate().is_err(), "out-of-range correlation");
+    }
+
+    #[test]
     fn unmaterialized_pairs_skipped() {
         let mut cat = GwasCatalog::new(3);
         let t0 = cat.add_trait("x", 0.1);
         cat.associate(SnpId(0), t0, 1.5, 0.3);
-        let mut g = FactorGraph::build(&cat, &Evidence::none());
+        let mut g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
         let added = add_ld_factors(
             &mut g,
             &[LdPair {
@@ -267,7 +347,8 @@ mod tests {
                 freq_b: 0.3,
                 r: 0.9,
             }],
-        );
+        )
+        .unwrap();
         assert_eq!(
             added, 0,
             "SNP 2 has no associations and is not materialized"

@@ -14,12 +14,17 @@ use crate::catalog::GwasCatalog;
 use crate::factor_graph::{Evidence, FactorGraph};
 use crate::model::Genotype;
 use crate::tables::genotype_given_trait;
+use ppdp_errors::Result;
 
 /// Runs the Naive Bayes attack and reports marginals in the same local
 /// indexing as [`FactorGraph::build`] (so results are directly comparable
 /// with BP on the same graph).
-pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> BpResult {
-    let g = FactorGraph::build(catalog, evidence);
+///
+/// # Errors
+/// [`ppdp_errors::PpdpError::InvalidInput`] when the catalog/evidence pair
+/// fails the [`FactorGraph::build`] boundary checks.
+pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> Result<BpResult> {
+    let g = FactorGraph::build(catalog, evidence)?;
 
     // Step 1: trait posteriors from observed SNPs only.
     let trait_marginals: Vec<[f64; 2]> = g
@@ -61,7 +66,11 @@ pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> BpRe
             }
             let mut m = [1.0f64; 3];
             for assoc in catalog.associations_of_snp(sid) {
-                let tl = g.trait_local(assoc.trait_id).expect("trait materialized");
+                // Every associated trait is materialized by construction;
+                // skipping (rather than unwrapping) keeps this total.
+                let Some(tl) = g.trait_local(assoc.trait_id) else {
+                    continue;
+                };
                 let pt = trait_marginals[tl][1];
                 for geno in Genotype::ALL {
                     let mix = genotype_given_trait(assoc, geno, true) * pt
@@ -81,13 +90,15 @@ pub fn naive_bayes_marginals(catalog: &GwasCatalog, evidence: &Evidence) -> BpRe
         })
         .collect();
 
-    BpResult {
+    Ok(BpResult {
         snp_marginals,
         trait_marginals,
         iterations: 1,
         converged: true,
         final_residual: 0.0,
-    }
+        restarts: 0,
+        degraded: false,
+    })
 }
 
 #[cfg(test)]
@@ -100,8 +111,8 @@ mod tests {
     #[test]
     fn no_evidence_traits_at_prior() {
         let cat = figure_5_1_catalog();
-        let r = naive_bayes_marginals(&cat, &Evidence::none());
-        let g = FactorGraph::build(&cat, &Evidence::none());
+        let r = naive_bayes_marginals(&cat, &Evidence::none()).unwrap();
+        let g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
         for (tl, m) in r.trait_marginals.iter().enumerate() {
             assert!((m[1] - g.trait_prior[tl][1]).abs() < 1e-12);
         }
@@ -111,8 +122,8 @@ mod tests {
     fn observed_risk_genotype_raises_trait_posterior() {
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
-        let r = naive_bayes_marginals(&cat, &ev);
-        let g = FactorGraph::build(&cat, &ev);
+        let r = naive_bayes_marginals(&cat, &ev).unwrap();
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let t1 = g.trait_local(TraitId(0)).unwrap();
         assert!(r.trait_marginals[t1][1] > cat.trait_info(TraitId(0)).prevalence);
     }
@@ -123,8 +134,8 @@ mod tests {
         // through shared SNP s2 into t1; NB leaves t1 exactly at prior.
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(2), Genotype::HomRisk);
-        let nb = naive_bayes_marginals(&cat, &ev);
-        let g = FactorGraph::build(&cat, &ev);
+        let nb = naive_bayes_marginals(&cat, &ev).unwrap();
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let bp = BpConfig::default().run(&g);
         let t1 = g.trait_local(TraitId(0)).unwrap();
         let prior = cat.trait_info(TraitId(0)).prevalence;
@@ -142,8 +153,8 @@ mod tests {
     fn known_snps_reproduced() {
         let cat = figure_5_1_catalog();
         let ev = Evidence::none().with_snp(SnpId(4), Genotype::Het);
-        let r = naive_bayes_marginals(&cat, &ev);
-        let g = FactorGraph::build(&cat, &ev);
+        let r = naive_bayes_marginals(&cat, &ev).unwrap();
+        let g = FactorGraph::build(&cat, &ev).unwrap();
         let s = g.snp_local(SnpId(4)).unwrap();
         assert_eq!(r.snp_marginals[s], [0.0, 1.0, 0.0]);
     }
@@ -154,7 +165,7 @@ mod tests {
         let ev = Evidence::none()
             .with_snp(SnpId(1), Genotype::HomNonRisk)
             .with_trait(TraitId(2), true);
-        let r = naive_bayes_marginals(&cat, &ev);
+        let r = naive_bayes_marginals(&cat, &ev).unwrap();
         for m in &r.snp_marginals {
             assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }

@@ -9,6 +9,7 @@ use crate::factor_graph::{Evidence, FactorGraph};
 use crate::model::{SnpId, TraitId};
 use crate::nb::naive_bayes_marginals;
 use crate::neighbors::{neighbor_snps_of_snp, neighbor_snps_of_trait};
+use ppdp_errors::Result;
 use ppdp_opt::greedy_cardinality;
 use std::collections::BTreeSet;
 
@@ -39,13 +40,13 @@ impl Predictor {
         catalog: &GwasCatalog,
         evidence: &Evidence,
         targets: &[Target],
-    ) -> Vec<Option<Vec<f64>>> {
-        let g = FactorGraph::build(catalog, evidence);
+    ) -> Result<Vec<Option<Vec<f64>>>> {
+        let g = FactorGraph::build(catalog, evidence)?;
         let result = match self {
             Predictor::BeliefPropagation(cfg) => cfg.run(&g),
-            Predictor::NaiveBayes => naive_bayes_marginals(catalog, evidence),
+            Predictor::NaiveBayes => naive_bayes_marginals(catalog, evidence)?,
         };
-        targets
+        Ok(targets
             .iter()
             .map(|t| match t {
                 Target::Snp(s) => g.snp_local(*s).map(|i| result.snp_marginals[i].to_vec()),
@@ -53,7 +54,7 @@ impl Predictor {
                     .trait_local(*t)
                     .map(|i| result.trait_marginals[i].to_vec()),
             })
-            .collect()
+            .collect())
     }
 
     /// Per-target privacy *level*: `1 − TV(posterior, baseline posterior)`,
@@ -67,18 +68,23 @@ impl Predictor {
     /// zero even when the attacker knows nothing beyond the prevalence.
     /// The Eq. (5.7) entropy itself is still available via
     /// [`crate::privacy::entropy_privacy`] on the marginals.
+    ///
+    /// # Errors
+    /// Propagates [`FactorGraph::build`] boundary failures
+    /// ([`ppdp_errors::PpdpError::InvalidInput`]).
     pub fn target_privacy_levels(
         &self,
         catalog: &GwasCatalog,
         evidence: &Evidence,
         targets: &[Target],
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>> {
         let baseline = {
             let mut ev = evidence.clone();
             ev.snps.clear();
-            self.target_marginals(catalog, &ev, targets)
+            self.target_marginals(catalog, &ev, targets)?
         };
-        self.target_marginals(catalog, evidence, targets)
+        Ok(self
+            .target_marginals(catalog, evidence, targets)?
             .into_iter()
             .zip(&baseline)
             .map(|(post, base)| match (post, base) {
@@ -88,7 +94,7 @@ impl Predictor {
                 }
                 _ => 1.0, // unreachable target: nothing to learn
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -111,6 +117,11 @@ pub struct SanitizeOutcome {
     /// aggregates the [`crate::BpResult::converged`] flags that were
     /// previously discarded).
     pub predictor_converged: bool,
+    /// Whether any predictor invocation degraded to its prior-only fallback
+    /// ([`crate::BpResult::degraded`]). A `true` here means the reported
+    /// privacy levels were computed against a weakened attacker and should
+    /// be treated as optimistic.
+    pub predictor_degraded: bool,
 }
 
 /// The vulnerable-neighbor-SNP candidate set: released SNPs that are
@@ -142,6 +153,11 @@ pub fn candidate_snps(
 /// of the attacker's posterior from their no-SNP-evidence baseline — which
 /// reaches 1 exactly when the remaining released SNPs teach the attacker
 /// nothing beyond the prior.
+///
+/// # Errors
+/// [`ppdp_errors::PpdpError::InvalidInput`] when the catalog/evidence pair
+/// fails boundary validation, [`ppdp_errors::PpdpError::Numerical`] when
+/// the privacy objective turns NaN mid-search.
 pub fn greedy_sanitize(
     catalog: &GwasCatalog,
     evidence: &Evidence,
@@ -149,7 +165,12 @@ pub fn greedy_sanitize(
     delta: f64,
     max_removals: usize,
     predictor: Predictor,
-) -> SanitizeOutcome {
+) -> Result<SanitizeOutcome> {
+    // Validate here, not just inside BP's graph build: the Naive-Bayes
+    // predictor never builds a factor graph, and a dangling SNP id would
+    // otherwise only surface later as a NaN objective.
+    catalog.validate()?;
+    evidence.validate_against(catalog)?;
     // A scoped recorder audits the predictor's convergence counters for
     // this run; events still propagate to any outer/global recorder.
     let audit = ppdp_telemetry::Recorder::new();
@@ -164,19 +185,22 @@ pub fn greedy_sanitize(
         }
         ev
     };
-    let min_entropy = |removed: &[usize]| -> f64 {
+    let min_entropy = |removed: &[usize]| -> Result<f64> {
         let ev = evidence_without(removed);
-        predictor
-            .target_privacy_levels(catalog, &ev, targets)
+        Ok(predictor
+            .target_privacy_levels(catalog, &ev, targets)?
             .into_iter()
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, f64::min))
     };
+    // The greedy objective must be a plain `f64` closure; boundary failures
+    // surface as NaN, which `greedy_cardinality`'s checked evaluation turns
+    // back into a typed `Numerical` error.
     let sum_entropy = |removed: &[usize]| -> f64 {
         let ev = evidence_without(removed);
         predictor
             .target_privacy_levels(catalog, &ev, targets)
-            .iter()
-            .sum()
+            .map(|v| v.iter().sum())
+            .unwrap_or(f64::NAN)
     };
 
     // Greedy on the summed privacy level (smooth objective); the stopping
@@ -186,15 +210,15 @@ pub fn greedy_sanitize(
         candidates.len(),
         max_removals.min(candidates.len()),
         |sel| sum_entropy(sel),
-    );
+    )?;
 
-    let mut history = vec![min_entropy(&[])];
+    let mut history = vec![min_entropy(&[])?];
     let mut error_history = vec![mean_error(
         &predictor,
         catalog,
         &evidence_without(&[]),
         targets,
-    )];
+    )?];
     let mut taken: Vec<usize> = Vec::new();
     let mut satisfied = history[0] >= delta;
     for &i in &order {
@@ -202,29 +226,32 @@ pub fn greedy_sanitize(
             break;
         }
         taken.push(i);
-        let h = min_entropy(&taken);
+        let h = min_entropy(&taken)?;
         history.push(h);
         error_history.push(mean_error(
             &predictor,
             catalog,
             &evidence_without(&taken),
             targets,
-        ));
+        )?);
         satisfied = h >= delta;
     }
 
     ppdp_telemetry::counter("sanitize.greedy.removed", taken.len() as u64);
     drop(span);
     drop(audit_scope);
-    let predictor_converged = audit.take().counter("bp.nonconverged") == 0;
+    let report = audit.take();
+    let predictor_converged = report.counter("bp.nonconverged") == 0;
+    let predictor_degraded = report.counter("degraded.bp") > 0;
 
-    SanitizeOutcome {
+    Ok(SanitizeOutcome {
         removed: taken.into_iter().map(|i| candidates[i]).collect(),
         history,
         error_history,
         satisfied,
         predictor_converged,
-    }
+        predictor_degraded,
+    })
 }
 
 fn mean_error(
@@ -232,15 +259,15 @@ fn mean_error(
     catalog: &GwasCatalog,
     evidence: &Evidence,
     targets: &[Target],
-) -> f64 {
+) -> Result<f64> {
     use crate::privacy::{estimation_error, GENOTYPE_CODING, TRAIT_CODING};
-    let g = FactorGraph::build(catalog, evidence);
+    let g = FactorGraph::build(catalog, evidence)?;
     let result = match predictor {
         Predictor::BeliefPropagation(cfg) => cfg.run(&g),
-        Predictor::NaiveBayes => naive_bayes_marginals(catalog, evidence),
+        Predictor::NaiveBayes => naive_bayes_marginals(catalog, evidence)?,
     };
     if targets.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let total: f64 = targets
         .iter()
@@ -255,7 +282,7 @@ fn mean_error(
                 .unwrap_or(0.5),
         })
         .sum();
-    total / targets.len() as f64
+    Ok(total / targets.len() as f64)
 }
 
 #[cfg(test)]
@@ -291,7 +318,8 @@ mod tests {
             0.99,
             8,
             Predictor::BeliefPropagation(BpConfig::default()),
-        );
+        )
+        .unwrap();
         for w in out.history.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-9,
@@ -312,7 +340,8 @@ mod tests {
             0.9,
             8,
             Predictor::BeliefPropagation(BpConfig::default()),
-        );
+        )
+        .unwrap();
         assert!(
             out.satisfied,
             "hiding every informative SNP must suffice: {out:?}"
@@ -338,7 +367,8 @@ mod tests {
             0.35,
             8,
             Predictor::BeliefPropagation(BpConfig::default()),
-        );
+        )
+        .unwrap();
         let nb = greedy_sanitize(
             &cat,
             &full_evidence(),
@@ -346,7 +376,8 @@ mod tests {
             0.35,
             8,
             Predictor::NaiveBayes,
-        );
+        )
+        .unwrap();
         assert!(
             bp.removed.len() >= nb.removed.len(),
             "BP {} vs NB {}",
@@ -365,7 +396,8 @@ mod tests {
             0.0,
             8,
             Predictor::NaiveBayes,
-        );
+        )
+        .unwrap();
         assert!(out.satisfied);
         assert!(out.removed.is_empty());
     }
@@ -381,7 +413,8 @@ mod tests {
             0.99,
             8,
             Predictor::NaiveBayes,
-        );
+        )
+        .unwrap();
         assert!(
             out.satisfied,
             "a trait with no associations cannot be attacked"

@@ -94,8 +94,11 @@ impl SocialGraph {
             Ok(_) => false,
             Err(pos_a) => {
                 self.adj[a.0].insert(pos_a, b);
-                let pos_b = self.adj[b.0].binary_search(&a).unwrap_err();
-                self.adj[b.0].insert(pos_b, a);
+                // Symmetric invariant: `a` cannot already be in adj[b] when
+                // `b` was absent from adj[a].
+                if let Err(pos_b) = self.adj[b.0].binary_search(&a) {
+                    self.adj[b.0].insert(pos_b, a);
+                }
                 self.edge_count += 1;
                 true
             }
@@ -108,10 +111,9 @@ impl SocialGraph {
             Err(_) => false,
             Ok(pos_a) => {
                 self.adj[a.0].remove(pos_a);
-                let pos_b = self.adj[b.0]
-                    .binary_search(&a)
-                    .expect("adjacency symmetric");
-                self.adj[b.0].remove(pos_b);
+                if let Ok(pos_b) = self.adj[b.0].binary_search(&a) {
+                    self.adj[b.0].remove(pos_b);
+                }
                 self.edge_count -= 1;
                 true
             }

@@ -4,7 +4,9 @@
 
 use crate::attr::{Category, CategoryId, Schema, Value};
 use crate::graph::{SocialGraph, UserId};
+use ppdp_errors::{PpdpError, Result};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// A self-contained, serializable form of a [`SocialGraph`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,12 +33,75 @@ impl GraphSnapshot {
         }
     }
 
-    /// Restores the graph.
+    /// Checks the snapshot's internal consistency without building a graph,
+    /// naming the first offending record in the error.
     ///
-    /// # Panics
-    /// Panics if the snapshot is internally inconsistent (ragged rows,
-    /// out-of-range values or edges).
-    pub fn restore(&self) -> SocialGraph {
+    /// Rejected shapes (all of which arise from hand-edited or corrupted
+    /// published files): empty schemas with non-empty rows, zero-arity
+    /// categories, attribute rows whose length does not match the schema,
+    /// out-of-range attribute values, dangling edge endpoints, self-loops
+    /// and duplicate edges.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] describing the offending record.
+    pub fn validate(&self) -> Result<()> {
+        let n_cats = self.categories.len();
+        for (c, (name, arity)) in self.categories.iter().enumerate() {
+            if *arity == 0 {
+                return Err(PpdpError::invalid_input(format!(
+                    "category {c} ({name:?}) has arity 0"
+                )));
+            }
+        }
+        for (u, row) in self.rows.iter().enumerate() {
+            if row.len() != n_cats {
+                return Err(PpdpError::invalid_input(format!(
+                    "user {u}: attribute row has {} entries, schema has {n_cats}",
+                    row.len()
+                )));
+            }
+            for (c, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    let arity = self.categories[c].1;
+                    if *v >= arity {
+                        return Err(PpdpError::invalid_input(format!(
+                            "user {u}: value {v} out of range for category {c} (arity {arity})"
+                        )));
+                    }
+                }
+            }
+        }
+        let n = self.rows.len();
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(self.edges.len());
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            if a >= n || b >= n {
+                return Err(PpdpError::invalid_input(format!(
+                    "edge {i} ({a}, {b}) dangles: only {n} users in snapshot"
+                )));
+            }
+            if a == b {
+                return Err(PpdpError::invalid_input(format!(
+                    "edge {i} ({a}, {b}) is a self-loop"
+                )));
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(PpdpError::invalid_input(format!(
+                    "edge {i} ({a}, {b}) duplicates an earlier edge"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores the graph after validating the snapshot.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] naming the offending record when the
+    /// snapshot is internally inconsistent (ragged rows, out-of-range
+    /// values, dangling/duplicate/self-loop edges).
+    pub fn restore(&self) -> Result<SocialGraph> {
+        self.validate()?;
         let schema = Schema::new(
             self.categories
                 .iter()
@@ -45,7 +110,6 @@ impl GraphSnapshot {
         );
         let mut g = SocialGraph::new(schema, self.rows.len());
         for (u, row) in self.rows.iter().enumerate() {
-            assert_eq!(row.len(), self.categories.len(), "ragged snapshot row");
             for (c, v) in row.iter().enumerate() {
                 if let Some(v) = v {
                     g.set_value(UserId(u), CategoryId(c), *v);
@@ -56,24 +120,30 @@ impl GraphSnapshot {
             g.add_edge(UserId(a), UserId(b));
         }
         g.check_invariants();
-        g
+        Ok(g)
     }
 
     /// Serializes to a JSON string.
     ///
     /// # Errors
-    /// Propagates `serde_json` encoding failures (effectively unreachable
-    /// for this data model).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    /// [`PpdpError::Numerical`] on a `serde_json` encoding failure
+    /// (effectively unreachable for this data model).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| PpdpError::numerical(format!("encode: {e}")))
     }
 
-    /// Parses a snapshot from JSON.
+    /// Parses **and validates** a snapshot from JSON: both syntactically
+    /// malformed input and well-formed JSON describing an inconsistent
+    /// graph are rejected.
     ///
     /// # Errors
-    /// Returns the `serde_json` error on malformed input.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    /// [`PpdpError::InvalidInput`] on malformed JSON or a snapshot that
+    /// fails [`GraphSnapshot::validate`].
+    pub fn from_json(s: &str) -> Result<Self> {
+        let snap: Self = serde_json::from_str(s)
+            .map_err(|e| PpdpError::invalid_input(format!("malformed snapshot JSON: {e}")))?;
+        snap.validate()?;
+        Ok(snap)
     }
 }
 
@@ -98,28 +168,74 @@ mod tests {
     fn capture_restore_roundtrip() {
         let g = graph();
         let snap = GraphSnapshot::capture(&g);
-        assert_eq!(snap.restore(), g);
+        assert_eq!(snap.restore().unwrap(), g);
     }
 
     #[test]
     fn json_roundtrip() {
         let g = graph();
         let json = GraphSnapshot::capture(&g).to_json().unwrap();
-        let back = GraphSnapshot::from_json(&json).unwrap().restore();
+        let back = GraphSnapshot::from_json(&json).unwrap().restore().unwrap();
         assert_eq!(back, g);
         assert!(json.contains("gender"));
     }
 
     #[test]
     fn malformed_json_is_an_error() {
-        assert!(GraphSnapshot::from_json("{not json").is_err());
+        let e = GraphSnapshot::from_json("{not json").unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
     }
 
     #[test]
-    #[should_panic(expected = "ragged")]
-    fn inconsistent_snapshot_rejected() {
+    fn ragged_row_rejected_naming_the_user() {
         let mut snap = GraphSnapshot::capture(&graph());
         snap.rows[1].pop();
-        snap.restore();
+        let e = snap.restore().unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+        assert!(e.to_string().contains("user 1"), "names the row: {e}");
+    }
+
+    #[test]
+    fn dangling_edge_rejected_naming_the_edge() {
+        let mut snap = GraphSnapshot::capture(&graph());
+        snap.edges.push((0, 99));
+        let e = snap.restore().unwrap_err();
+        assert!(e.to_string().contains("dangles"), "{e}");
+        assert!(e.to_string().contains("99"), "names the endpoint: {e}");
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_edges_rejected() {
+        let mut snap = GraphSnapshot::capture(&graph());
+        snap.edges.push((2, 2));
+        assert!(snap
+            .restore()
+            .unwrap_err()
+            .to_string()
+            .contains("self-loop"));
+
+        let mut snap = GraphSnapshot::capture(&graph());
+        let first = snap.edges[0];
+        snap.edges.push((first.1, first.0)); // same link, flipped orientation
+        assert!(snap
+            .restore()
+            .unwrap_err()
+            .to_string()
+            .contains("duplicates"));
+    }
+
+    #[test]
+    fn out_of_range_value_rejected() {
+        let mut snap = GraphSnapshot::capture(&graph());
+        snap.rows[0][0] = Some(7); // gender has arity 2
+        let e = snap.restore().unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn zero_arity_category_rejected() {
+        let mut snap = GraphSnapshot::capture(&graph());
+        snap.categories[1].1 = 0;
+        assert!(snap.validate().is_err());
     }
 }

@@ -1,33 +1,47 @@
 //! Greedy maximization of monotone submodular set functions under
 //! cardinality and knapsack constraints (Sviridenko-style cost-benefit
 //! greedy, the solver reference [77] of the dissertation).
+//!
+//! All three solvers validate their inputs and watch the objective oracle:
+//! a `NaN` objective value aborts the run with [`PpdpError::Numerical`]
+//! instead of silently corrupting the pick order (NaN comparisons are
+//! always false, which would make the greedy argmax arbitrary).
+
+use ppdp_errors::{ensure, PpdpError, Result};
 
 /// Selects up to `k` of `n` items greedily to maximize `objective(selected)`.
 /// `objective` must be monotone for the guarantee to hold; the selection
 /// stops early when no remaining item has positive marginal gain.
 ///
 /// Returns the selected item indices in pick order.
-pub fn greedy_cardinality<F>(n: usize, k: usize, mut objective: F) -> Vec<usize>
+///
+/// # Errors
+///
+/// [`PpdpError::InvalidInput`] when `k > n`; [`PpdpError::Numerical`] when
+/// the objective returns NaN.
+pub fn greedy_cardinality<F>(n: usize, k: usize, mut objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
+    ensure(k <= n, format!("cardinality bound k={k} exceeds n={n}"))?;
     let mut evaluations = 0u64;
     let mut selected: Vec<usize> = Vec::new();
     evaluations += 1;
-    let mut current = objective(&selected);
+    let mut current = checked_eval(&mut objective, &selected)?;
     let mut remaining: Vec<usize> = (0..n).collect();
     while selected.len() < k && !remaining.is_empty() {
         let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
         for (pos, &item) in remaining.iter().enumerate() {
             selected.push(item);
             evaluations += 1;
-            let v = objective(&selected);
+            let v = checked_eval(&mut objective, &selected);
             selected.pop();
+            let v = v?;
             if best.map_or(true, |(_, bv)| v > bv) {
                 best = Some((pos, v));
             }
         }
-        let (pos, value) = best.expect("remaining non-empty");
+        let Some((pos, value)) = best else { break };
         if value <= current + 1e-15 {
             break; // no positive marginal gain anywhere
         }
@@ -35,25 +49,58 @@ where
         current = value;
     }
     ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
-    selected
+    Ok(selected)
+}
+
+/// Evaluate the objective and reject NaN (±Inf is tolerated: `-Inf` is a
+/// legitimate "never pick this" sentinel some callers use).
+fn checked_eval<F>(objective: &mut F, selected: &[usize]) -> Result<f64>
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    let v = objective(selected);
+    if v.is_nan() {
+        Err(PpdpError::numerical(format!(
+            "objective returned NaN on selection {selected:?}"
+        )))
+    } else {
+        Ok(v)
+    }
+}
+
+/// Validate a knapsack instance: finite non-negative costs, finite
+/// non-negative budget.
+fn check_knapsack(costs: &[f64], budget: f64) -> Result<()> {
+    for (i, &c) in costs.iter().enumerate() {
+        ensure(
+            c.is_finite() && c >= 0.0,
+            format!("cost[{i}] must be finite and >= 0, got {c}"),
+        )?;
+    }
+    ensure(
+        budget.is_finite() && budget >= 0.0,
+        format!("budget must be finite and >= 0, got {budget}"),
+    )
 }
 
 /// Naive cost-benefit greedy under a knapsack constraint: repeatedly adds
 /// the feasible item maximizing marginal gain per unit cost, re-evaluating
 /// every candidate each round. Quadratic in oracle calls; kept as the
 /// ablation baseline for [`lazy_greedy_knapsack`].
-pub fn naive_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Vec<usize>
+///
+/// # Errors
+///
+/// [`PpdpError::InvalidInput`] for negative/non-finite costs or budget;
+/// [`PpdpError::Numerical`] when the objective returns NaN.
+pub fn naive_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
-    assert!(
-        costs.iter().all(|&c| c >= 0.0),
-        "negative costs are not supported"
-    );
+    check_knapsack(costs, budget)?;
     let mut evaluations = 1u64;
     let mut selected: Vec<usize> = Vec::new();
     let mut spent = 0.0;
-    let mut current = objective(&selected);
+    let mut current = checked_eval(&mut objective, &selected)?;
     let mut remaining: Vec<usize> = (0..costs.len()).collect();
     loop {
         let mut best: Option<(usize, f64, f64)> = None; // (pos, ratio, value)
@@ -63,8 +110,9 @@ where
             }
             selected.push(item);
             evaluations += 1;
-            let v = objective(&selected);
+            let v = checked_eval(&mut objective, &selected);
             selected.pop();
+            let v = v?;
             let gain = v - current;
             if gain <= 1e-15 {
                 continue;
@@ -90,24 +138,26 @@ where
         }
     }
     ppdp_telemetry::counter("greedy.naive.evaluations", evaluations);
-    selected
+    Ok(selected)
 }
 
 /// Lazy cost-benefit greedy (Minoux's accelerated greedy): keeps stale upper
 /// bounds on marginal gains in a max-heap and only re-evaluates the top.
 /// For submodular objectives this returns the same set as
 /// [`naive_greedy_knapsack`] with far fewer oracle calls.
-pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Vec<usize>
+///
+/// # Errors
+///
+/// [`PpdpError::InvalidInput`] for negative/non-finite costs or budget;
+/// [`PpdpError::Numerical`] when the objective returns NaN.
+pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
-    assert!(
-        costs.iter().all(|&c| c >= 0.0),
-        "negative costs are not supported"
-    );
+    check_knapsack(costs, budget)?;
 
     #[derive(PartialEq)]
     struct Entry {
@@ -141,26 +191,23 @@ where
     let mut reevaluations = 0u64;
     let mut selected: Vec<usize> = Vec::new();
     let mut spent = 0.0;
-    let base = objective(&selected);
+    let base = checked_eval(&mut objective, &selected)?;
     let mut current = base;
     let mut round = 0usize;
-    let mut heap: BinaryHeap<Entry> = (0..costs.len())
-        .map(|item| {
-            let gain = {
-                selected.push(item);
-                evaluations += 1;
-                let v = objective(&selected);
-                selected.pop();
-                v - base
-            };
-            Entry {
-                ratio: ratio_of(gain, costs[item]),
-                gain,
-                item,
-                round,
-            }
-        })
-        .collect();
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(costs.len());
+    for (item, &cost) in costs.iter().enumerate() {
+        selected.push(item);
+        evaluations += 1;
+        let v = checked_eval(&mut objective, &selected);
+        selected.pop();
+        let gain = v? - base;
+        heap.push(Entry {
+            ratio: ratio_of(gain, cost),
+            gain,
+            item,
+            round,
+        });
+    }
 
     // Non-positive gains must sort below every positive-gain entry even at
     // zero cost, otherwise a free-but-useless item would sit on top of the
@@ -194,9 +241,9 @@ where
             reevaluations += 1;
             selected.push(top.item);
             evaluations += 1;
-            let v = objective(&selected);
+            let v = checked_eval(&mut objective, &selected);
             selected.pop();
-            let gain = v - current;
+            let gain = v? - current;
             heap.push(Entry {
                 ratio: ratio_of(gain, costs[top.item]),
                 gain,
@@ -208,7 +255,7 @@ where
     ppdp_telemetry::counter("greedy.lazy.evaluations", evaluations);
     ppdp_telemetry::counter("greedy.lazy.hits", lazy_hits);
     ppdp_telemetry::counter("greedy.lazy.reevals", reevaluations);
-    selected
+    Ok(selected)
 }
 
 #[cfg(test)]
@@ -232,7 +279,7 @@ mod tests {
     fn cardinality_greedy_covers_best_first() {
         let items = vec![vec![0, 1, 2], vec![2, 3], vec![4], vec![0, 1]];
         let w = vec![1.0; 5];
-        let sel = greedy_cardinality(4, 2, coverage(&items, &w));
+        let sel = greedy_cardinality(4, 2, coverage(&items, &w)).unwrap();
         assert_eq!(sel[0], 0, "largest set first");
         // Second pick: item 1 adds {3} (+1) and item 2 adds {4} (+1);
         // ties go to the first maximal candidate found.
@@ -243,7 +290,7 @@ mod tests {
     fn cardinality_greedy_stops_on_zero_gain() {
         let items = vec![vec![0], vec![0], vec![0]];
         let w = vec![1.0];
-        let sel = greedy_cardinality(3, 3, coverage(&items, &w));
+        let sel = greedy_cardinality(3, 3, coverage(&items, &w)).unwrap();
         assert_eq!(sel.len(), 1, "duplicates add nothing");
     }
 
@@ -252,7 +299,7 @@ mod tests {
         let items = vec![vec![0, 1], vec![2], vec![3], vec![4]];
         let w = vec![1.0; 5];
         let costs = vec![2.0, 1.0, 1.0, 1.0];
-        let sel = naive_greedy_knapsack(&costs, 2.0, coverage(&items, &w));
+        let sel = naive_greedy_knapsack(&costs, 2.0, coverage(&items, &w)).unwrap();
         let spent: f64 = sel.iter().map(|&i| costs[i]).sum();
         assert!(spent <= 2.0 + 1e-9);
         assert!(!sel.is_empty());
@@ -271,8 +318,8 @@ mod tests {
         let w: Vec<f64> = (0..10).map(|i| 1.0 + (i as f64) * 0.3).collect();
         let costs = vec![3.0, 2.0, 1.0, 3.0, 0.5, 1.0];
         for budget in [1.0, 2.5, 4.0, 7.0, 100.0] {
-            let naive = naive_greedy_knapsack(&costs, budget, coverage(&items, &w));
-            let lazy = lazy_greedy_knapsack(&costs, budget, coverage(&items, &w));
+            let naive = naive_greedy_knapsack(&costs, budget, coverage(&items, &w)).unwrap();
+            let lazy = lazy_greedy_knapsack(&costs, budget, coverage(&items, &w)).unwrap();
             let f = coverage(&items, &w);
             assert!(
                 (f(&naive) - f(&lazy)).abs() < 1e-9,
@@ -291,11 +338,13 @@ mod tests {
         let _ = naive_greedy_knapsack(&costs, 10.0, |s| {
             naive_calls += 1;
             coverage(&items, &w)(s)
-        });
+        })
+        .unwrap();
         let _ = lazy_greedy_knapsack(&costs, 10.0, |s| {
             lazy_calls += 1;
             coverage(&items, &w)(s)
-        });
+        })
+        .unwrap();
         assert!(
             lazy_calls < naive_calls,
             "lazy ({lazy_calls}) should beat naive ({naive_calls})"
@@ -307,20 +356,49 @@ mod tests {
         let items = vec![vec![0], vec![1]];
         let w = vec![5.0, 1.0];
         let costs = vec![0.0, 1.0];
-        let sel = lazy_greedy_knapsack(&costs, 0.0, coverage(&items, &w));
+        let sel = lazy_greedy_knapsack(&costs, 0.0, coverage(&items, &w)).unwrap();
         assert_eq!(sel, vec![0]);
     }
 
     #[test]
     fn empty_problem_selects_nothing() {
-        assert!(lazy_greedy_knapsack(&[], 5.0, |_| 0.0).is_empty());
-        assert!(greedy_cardinality(0, 3, |_| 0.0).is_empty());
+        assert!(lazy_greedy_knapsack(&[], 5.0, |_| 0.0).unwrap().is_empty());
+        assert!(greedy_cardinality(0, 0, |_| 0.0).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "negative costs")]
-    fn negative_cost_rejected() {
-        naive_greedy_knapsack(&[-1.0], 1.0, |_| 0.0);
+    fn negative_cost_rejected_as_invalid_input() {
+        let e = naive_greedy_knapsack(&[-1.0], 1.0, |_| 0.0).unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+        let e = lazy_greedy_knapsack(&[1.0, -2.0], 1.0, |_| 0.0).unwrap_err();
+        assert!(e.to_string().contains("cost[1]"), "names the offender: {e}");
+    }
+
+    #[test]
+    fn nan_objective_is_a_numerical_error_not_garbage() {
+        let e = lazy_greedy_knapsack(&[1.0, 1.0], 2.0, |_| f64::NAN).unwrap_err();
+        assert_eq!(e.kind(), "numerical");
+        let e = greedy_cardinality(3, 2, |s| {
+            if s.len() > 1 {
+                f64::NAN
+            } else {
+                s.len() as f64
+            }
+        })
+        .unwrap_err();
+        assert_eq!(e.kind(), "numerical");
+    }
+
+    #[test]
+    fn oversized_cardinality_bound_rejected() {
+        let e = greedy_cardinality(2, 3, |_| 0.0).unwrap_err();
+        assert_eq!(e.kind(), "invalid_input");
+    }
+
+    #[test]
+    fn nan_budget_rejected() {
+        assert!(naive_greedy_knapsack(&[1.0], f64::NAN, |_| 0.0).is_err());
+        assert!(lazy_greedy_knapsack(&[1.0], f64::NEG_INFINITY, |_| 0.0).is_err());
     }
 
     #[test]
@@ -336,12 +414,14 @@ mod tests {
             let _ = naive_greedy_knapsack(&costs, 5.0, |s| {
                 naive_calls += 1;
                 coverage(&items, &w)(s)
-            });
+            })
+            .unwrap();
             let _ = lazy_greedy_knapsack(&costs, 5.0, |s| {
                 lazy_calls += 1;
                 coverage(&items, &w)(s)
-            });
-            let _ = greedy_cardinality(20, 3, coverage(&items, &w));
+            })
+            .unwrap();
+            let _ = greedy_cardinality(20, 3, coverage(&items, &w)).unwrap();
         }
         let report = rec.take();
         assert_eq!(report.counter("greedy.naive.evaluations"), naive_calls);

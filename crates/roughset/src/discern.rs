@@ -88,10 +88,12 @@ impl DiscernibilityMatrix {
                     *counts.entry(a).or_insert(0) += 1;
                 }
             }
-            let (&best, _) = counts
+            let Some((&best, _)) = counts
                 .iter()
                 .max_by(|(a, x), (b, y)| x.cmp(y).then(b.cmp(a)))
-                .expect("unhit entries are non-empty");
+            else {
+                break; // unhit entries were all empty sets: nothing covers
+            };
             chosen.push(best);
         }
         // Prune: drop attributes whose removal still hits everything.

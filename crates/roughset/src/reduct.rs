@@ -38,7 +38,7 @@ pub fn find_reduct(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> 
     let mut current = positive_region(sys, &chosen, dec).len();
 
     while current < full && !remaining.is_empty() {
-        let best_idx = remaining
+        let Some(best_idx) = remaining
             .iter()
             .enumerate()
             .map(|(i, &a)| {
@@ -48,7 +48,9 @@ pub fn find_reduct(sys: &InformationSystem, cond: &[AttrId], dec: &[AttrId]) -> 
             })
             .max_by(|(ia, pa), (ib, pb)| pa.cmp(pb).then(ib.cmp(ia)))
             .map(|(i, _)| i)
-            .expect("remaining non-empty");
+        else {
+            break;
+        };
         // Even when no single attribute grows the region (a pair might),
         // adding the best candidate keeps the loop making progress toward
         // the full condition set, which trivially reaches `full`.

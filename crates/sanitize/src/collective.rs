@@ -3,6 +3,7 @@
 
 use crate::depend::{dependency_report, DependencyReport};
 use crate::generalize::numeric_generalization;
+use ppdp_errors::{ensure, Result};
 use ppdp_graph::{CategoryId, SocialGraph};
 
 /// What the collective method decided to do — used for reporting
@@ -22,12 +23,33 @@ pub struct CollectivePlan {
 /// Algorithm 2: if `PDAs ∩ UDAs = ∅`, remove the PDAs (they carry no
 /// utility); otherwise remove `PDAs − Core` and perturb the shared Core at
 /// generalization `level`. Returns the sanitized graph and the plan.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when either target
+/// category is outside the schema or the two targets coincide.
 pub fn collective_sanitize(
     g: &SocialGraph,
     privacy_cat: CategoryId,
     utility_cat: CategoryId,
     level: usize,
-) -> (SocialGraph, CollectivePlan) {
+) -> Result<(SocialGraph, CollectivePlan)> {
+    let n_cats = g.schema().len();
+    for (role, c) in [("privacy", privacy_cat), ("utility", utility_cat)] {
+        ensure(
+            c.0 < n_cats,
+            format!(
+                "{role} category {} is outside the schema ({n_cats} categories)",
+                c.0
+            ),
+        )?;
+    }
+    ensure(
+        privacy_cat != utility_cat,
+        format!(
+            "privacy and utility targets must differ, both are category {}",
+            privacy_cat.0
+        ),
+    )?;
     let _span = ppdp_telemetry::span("collective.sanitize");
     let report = {
         let _phase = ppdp_telemetry::span("depend");
@@ -53,7 +75,7 @@ pub fn collective_sanitize(
     }
     ppdp_telemetry::counter("collective.removed", removed.len() as u64);
     ppdp_telemetry::counter("collective.perturbed", perturbed.len() as u64);
-    (
+    Ok((
         out,
         CollectivePlan {
             report,
@@ -61,7 +83,7 @@ pub fn collective_sanitize(
             perturbed,
             level,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -90,7 +112,7 @@ mod tests {
     #[test]
     fn core_perturbed_not_removed() {
         let g = graph_with_core();
-        let (out, plan) = collective_sanitize(&g, CategoryId(4), CategoryId(5), 2);
+        let (out, plan) = collective_sanitize(&g, CategoryId(4), CategoryId(5), 2).unwrap();
         assert!(
             plan.perturbed.contains(&CategoryId(2)),
             "category 2 drives both targets → Core: {plan:?}"
@@ -116,7 +138,7 @@ mod tests {
             b.user_with(&[p, u, p, u]);
         }
         let g = b.build();
-        let (out, plan) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 2);
+        let (out, plan) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 2).unwrap();
         assert!(plan.perturbed.is_empty(), "{plan:?}");
         assert!(!plan.removed.is_empty());
         for u in out.users() {
@@ -132,7 +154,9 @@ mod tests {
         let rec = ppdp_telemetry::Recorder::new();
         let plan = {
             let _scope = rec.enter();
-            collective_sanitize(&g, CategoryId(4), CategoryId(5), 2).1
+            collective_sanitize(&g, CategoryId(4), CategoryId(5), 2)
+                .unwrap()
+                .1
         };
         let report = rec.take();
         for phase in [
@@ -153,10 +177,21 @@ mod tests {
     }
 
     #[test]
+    fn bad_targets_are_typed_errors() {
+        let g = graph_with_core();
+        let err = collective_sanitize(&g, CategoryId(42), CategoryId(5), 2).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("privacy category 42"), "{err}");
+        let err = collective_sanitize(&g, CategoryId(4), CategoryId(4), 2).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("must differ"), "{err}");
+    }
+
+    #[test]
     fn original_graph_untouched() {
         let g = graph_with_core();
         let before = g.clone();
-        let _ = collective_sanitize(&g, CategoryId(4), CategoryId(5), 3);
+        let _ = collective_sanitize(&g, CategoryId(4), CategoryId(5), 3).unwrap();
         assert_eq!(g, before);
     }
 }

@@ -127,7 +127,7 @@ pub fn dependency_report(
             .iter()
             .map(|&c| (c, attribute_affinity(g, c, target)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let max = scored.first().map(|&(_, s)| s).unwrap_or(0.0);
         let cut = (max * 0.5).max(0.02);
         scored.into_iter().filter(|&(_, s)| s >= cut).unzip()
@@ -169,9 +169,8 @@ pub fn most_dependent_attributes(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap()
-            .then(b.2.partial_cmp(&a.2).unwrap())
+        b.1.total_cmp(&a.1)
+            .then(b.2.total_cmp(&a.2))
             .then(a.0.cmp(&b.0))
     });
     scored.into_iter().take(n).map(|(c, _, _)| c).collect()

@@ -7,6 +7,7 @@
 //! ends up unable to tell the classes apart.
 
 use ppdp_classify::{masked_weight, AttackModel, LabeledGraph, LocalKind};
+use ppdp_errors::{ensure, Result};
 use ppdp_graph::{CategoryId, SocialGraph, UserId};
 
 /// One scored candidate link: removing `{user, neighbor}` leaves `user`'s
@@ -132,8 +133,7 @@ pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec
         .collect();
     scores.sort_by(|x, y| {
         x.variance
-            .partial_cmp(&y.variance)
-            .unwrap()
+            .total_cmp(&y.variance)
             .then(x.user.cmp(&y.user))
             .then(x.neighbor.cmp(&y.neighbor))
     });
@@ -150,16 +150,36 @@ pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec
 /// victim losing several links) are tracked instead of trusting stale
 /// one-shot scores. This is the "local optimal" strategy §3.7.3 describes,
 /// applied iteratively.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when the known mask
+/// does not cover every user or `label_cat` is outside the schema.
 pub fn remove_indistinguishable_links(
     g: &SocialGraph,
     label_cat: CategoryId,
     known: &[bool],
     kind: LocalKind,
     count: usize,
-) -> SocialGraph {
+) -> Result<SocialGraph> {
+    ensure(
+        known.len() == g.user_count(),
+        format!(
+            "known mask covers {} users but the graph has {}",
+            known.len(),
+            g.user_count()
+        ),
+    )?;
+    ensure(
+        label_cat.0 < g.schema().len(),
+        format!(
+            "label category {} is outside the schema ({} categories)",
+            label_cat.0,
+            g.schema().len()
+        ),
+    )?;
     let _span = ppdp_telemetry::span("links.remove_indistinguishable");
     let lg0 = LabeledGraph::new(g, label_cat, known.to_vec());
-    let boot = ppdp_classify::run_attack(&lg0, kind, AttackModel::AttrOnly);
+    let boot = ppdp_classify::run_attack(&lg0, kind, AttackModel::AttrOnly)?;
     let mut out = g.clone();
     let mut left = count;
     // Re-score every `batch` removals; cap the number of scoring passes so
@@ -178,7 +198,7 @@ pub fn remove_indistinguishable_links(
         ppdp_telemetry::counter("links.removed", take as u64);
         left -= take;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -236,7 +256,8 @@ mod tests {
             &[false, true, true, true],
             LocalKind::Bayes,
             2,
-        );
+        )
+        .unwrap();
         assert_eq!(out.edge_count(), 1);
         assert_eq!(g.edge_count(), 3, "original untouched");
         // The discriminative link to u3 must survive longest? No: it is the
@@ -253,7 +274,8 @@ mod tests {
             &[false, true, true, true],
             LocalKind::Bayes,
             99,
-        );
+        )
+        .unwrap();
         assert_eq!(out.edge_count(), 0);
     }
 
@@ -268,6 +290,31 @@ mod tests {
         let dists = vec![vec![0.5, 0.5], vec![0.0, 1.0]];
         let scores = indistinguishable_links(&lg, &dists);
         assert_eq!(scores[0].variance, 0.0);
+    }
+
+    #[test]
+    fn mismatched_known_mask_is_a_typed_error() {
+        let g = star();
+        let err = remove_indistinguishable_links(
+            &g,
+            CategoryId(1),
+            &[false, true], // graph has 4 users
+            LocalKind::Bayes,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("4"), "{err}");
+        let err = remove_indistinguishable_links(
+            &g,
+            CategoryId(9),
+            &[false, true, true, true],
+            LocalKind::Bayes,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("schema"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! Tables 3.7-3.12.
 
 use ppdp_classify::{run_attack, AttackModel, LabeledGraph, LocalKind};
+use ppdp_errors::{ensure, Result};
 use ppdp_graph::{CategoryId, Dissimilarity, SocialGraph};
 
 /// Accuracy achievable from prior knowledge alone (`max_{c'} Λ(K)` in
@@ -36,21 +37,51 @@ pub fn prior_accuracy(lg: &LabeledGraph<'_>) -> f64 {
 /// classifier/attack configurations achieves on the sensitive attribute of
 /// `g`, minus the prior-knowledge baseline. `g` is `(Δ, C)`-private iff the
 /// returned value is `≤ Δ`.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when no classifier
+/// kinds or attack models are supplied, the known mask does not cover
+/// every user, or an attack configuration is degenerate.
 pub fn delta_privacy(
     g: &SocialGraph,
     sensitive: CategoryId,
     known: &[bool],
     kinds: &[LocalKind],
     models: &[AttackModel],
-) -> f64 {
+) -> Result<f64> {
+    let best = best_attack_accuracy(g, sensitive, known, kinds, models)?;
     let lg = LabeledGraph::new(g, sensitive, known.to_vec());
     let baseline = prior_accuracy(&lg);
-    let best = kinds
-        .iter()
-        .flat_map(|&k| models.iter().map(move |&m| (k, m)))
-        .map(|(k, m)| run_attack(&lg, k, m).accuracy)
-        .fold(f64::NEG_INFINITY, f64::max);
-    (best - baseline).max(0.0)
+    Ok((best - baseline).max(0.0))
+}
+
+/// Best accuracy over the `kinds × models` attack grid, with boundary
+/// validation shared by the Def. 3.2.6/3.2.7 metrics.
+fn best_attack_accuracy(
+    g: &SocialGraph,
+    target: CategoryId,
+    known: &[bool],
+    kinds: &[LocalKind],
+    models: &[AttackModel],
+) -> Result<f64> {
+    ensure(!kinds.is_empty(), "need at least one classifier kind")?;
+    ensure(!models.is_empty(), "need at least one attack model")?;
+    ensure(
+        known.len() == g.user_count(),
+        format!(
+            "known mask covers {} users but the graph has {}",
+            known.len(),
+            g.user_count()
+        ),
+    )?;
+    let lg = LabeledGraph::new(g, target, known.to_vec());
+    let mut best = f64::NEG_INFINITY;
+    for &k in kinds {
+        for &m in models {
+            best = best.max(run_attack(&lg, k, m)?.accuracy);
+        }
+    }
+    Ok(best)
 }
 
 /// Outcome of checking `(ε, δ)`-utility (Def. 3.2.7) of a sanitized graph.
@@ -68,6 +99,10 @@ pub struct UtilityCheck {
 /// Checks `(ε, δ)`-utility of sanitized graph `h` against original `g`:
 /// (i) `M(g, h) ≤ ε`, and (ii) the best classifier gains at least `δ`
 /// accuracy on the (non-sensitive) `utility` attribute over prior knowledge.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] under the same
+/// conditions as [`delta_privacy`].
 #[allow(clippy::too_many_arguments)]
 pub fn epsilon_delta_utility(
     g: &SocialGraph,
@@ -78,21 +113,17 @@ pub fn epsilon_delta_utility(
     models: &[AttackModel],
     measurer: &dyn Dissimilarity,
     (epsilon, delta): (f64, f64),
-) -> UtilityCheck {
+) -> Result<UtilityCheck> {
+    let best = best_attack_accuracy(h, utility, known, kinds, models)?;
     let dissimilarity = measurer.measure(g, h);
     let lg = LabeledGraph::new(h, utility, known.to_vec());
     let baseline = prior_accuracy(&lg);
-    let best = kinds
-        .iter()
-        .flat_map(|&k| models.iter().map(move |&m| (k, m)))
-        .map(|(k, m)| run_attack(&lg, k, m).accuracy)
-        .fold(f64::NEG_INFINITY, f64::max);
     let accuracy_gain = best - baseline;
-    UtilityCheck {
+    Ok(UtilityCheck {
         dissimilarity,
         accuracy_gain,
         satisfied: dissimilarity <= epsilon && accuracy_gain >= delta,
-    }
+    })
 }
 
 /// The Tables 3.7-3.12 criterion on a sanitized graph: accuracy predicting
@@ -110,6 +141,10 @@ pub struct RatioReport {
 
 /// Evaluates the utility/privacy ratio of `g` under the collective attack
 /// model with the given α/β mix and local classifier.
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a degenerate α/β
+/// mix or a known mask that does not cover every user.
 pub fn utility_privacy_ratio(
     g: &SocialGraph,
     privacy: CategoryId,
@@ -117,11 +152,21 @@ pub fn utility_privacy_ratio(
     known: &[bool],
     kind: LocalKind,
     (alpha, beta): (f64, f64),
-) -> RatioReport {
+) -> Result<RatioReport> {
+    ensure(
+        known.len() == g.user_count(),
+        format!(
+            "known mask covers {} users but the graph has {}",
+            known.len(),
+            g.user_count()
+        ),
+    )?;
     let model = AttackModel::Collective { alpha, beta };
-    let priv_acc = run_attack(&LabeledGraph::new(g, privacy, known.to_vec()), kind, model).accuracy;
-    let util_acc = run_attack(&LabeledGraph::new(g, utility, known.to_vec()), kind, model).accuracy;
-    RatioReport {
+    let priv_acc =
+        run_attack(&LabeledGraph::new(g, privacy, known.to_vec()), kind, model)?.accuracy;
+    let util_acc =
+        run_attack(&LabeledGraph::new(g, utility, known.to_vec()), kind, model)?.accuracy;
+    Ok(RatioReport {
         utility_accuracy: util_acc,
         privacy_accuracy: priv_acc,
         ratio: if priv_acc > 0.0 {
@@ -129,7 +174,7 @@ pub fn utility_privacy_ratio(
         } else {
             f64::INFINITY
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -188,9 +233,9 @@ mod tests {
         let known = known_mask(60, 2);
         let kinds = [LocalKind::Bayes];
         let models = [AttackModel::AttrOnly];
-        let before = delta_privacy(&g, CategoryId(2), &known, &kinds, &models);
-        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1);
-        let after = delta_privacy(&san, CategoryId(2), &known, &kinds, &models);
+        let before = delta_privacy(&g, CategoryId(2), &known, &kinds, &models).unwrap();
+        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1).unwrap();
+        let after = delta_privacy(&san, CategoryId(2), &known, &kinds, &models).unwrap();
         assert!(
             after <= before + 1e-9,
             "sanitization must not increase leakage: {before} → {after}"
@@ -201,7 +246,7 @@ mod tests {
     fn utility_check_reports_dissimilarity() {
         let g = graph(3);
         let known = known_mask(60, 3);
-        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1);
+        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1).unwrap();
         let check = epsilon_delta_utility(
             &g,
             &san,
@@ -211,7 +256,8 @@ mod tests {
             &[AttackModel::AttrOnly],
             &StructureDelta::default(),
             (1.0, -1.0),
-        );
+        )
+        .unwrap();
         assert!(check.dissimilarity >= 0.0);
         assert!(check.satisfied, "loose thresholds must pass: {check:?}");
     }
@@ -230,8 +276,9 @@ mod tests {
             &known,
             LocalKind::Bayes,
             (1.0, 0.0),
-        );
-        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1);
+        )
+        .unwrap();
+        let (san, _) = collective_sanitize(&g, CategoryId(2), CategoryId(3), 1).unwrap();
         let after = utility_privacy_ratio(
             &san,
             CategoryId(2),
@@ -239,7 +286,8 @@ mod tests {
             &known,
             LocalKind::Bayes,
             (1.0, 0.0),
-        );
+        )
+        .unwrap();
         assert!(
             after.privacy_accuracy <= before.privacy_accuracy + 1e-9,
             "privacy attack must not get easier: {} -> {}",

@@ -225,6 +225,23 @@ pub fn budget_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensi
     for_each_recorder(|r| r.record_budget_draw(&draw));
 }
 
+/// Records one graceful-degradation event: `subsystem` fell back to a
+/// weaker-but-safe strategy for `reason` (e.g. `degradation("bp",
+/// "prior_fallback")` when belief propagation gives up and reports prior
+/// marginals). Shows up in [`RunReport::counters`] as `degraded.<subsystem>`
+/// and `degraded.<subsystem>.<reason>`, so operators can alert on any
+/// degraded run without knowing every reason string. No-op when disabled.
+#[inline]
+pub fn degradation(subsystem: &str, reason: &str) {
+    if !enabled() {
+        return;
+    }
+    for_each_recorder(|r| {
+        r.record_counter(&format!("degraded.{subsystem}"), 1);
+        r.record_counter(&format!("degraded.{subsystem}.{reason}"), 1);
+    });
+}
+
 /// Opens a wall-clock span named `name`, nested under any spans already
 /// open on this thread (paths join with `/`). The span records its
 /// duration when the returned guard drops. No-op when disabled.
@@ -276,6 +293,26 @@ mod tests {
         value("lib.disabled.value", 1.0);
         budget_draw("laplace", "x", 0.1, 0.0, 1.0);
         let _s = span("lib.disabled.span");
+    }
+
+    #[test]
+    fn degradation_events_roll_up_per_subsystem_and_reason() {
+        let rec = Recorder::new();
+        {
+            let _scope = rec.enter();
+            degradation("bp", "prior_fallback");
+            degradation("bp", "prior_fallback");
+            degradation("ica", "nan_reset");
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("degraded.bp"), 2);
+        assert_eq!(report.counter("degraded.bp.prior_fallback"), 2);
+        assert_eq!(report.counter("degraded.ica"), 1);
+        assert_eq!(
+            report.degradations(),
+            3,
+            "reason rows are not double-counted"
+        );
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl SpanStats {
 
     /// Mean nanoseconds per execution (0 when never executed).
     pub fn mean_nanos(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_nanos / self.count
-        }
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
     }
 
     /// Merges another aggregate into this one.
@@ -219,6 +215,23 @@ impl RunReport {
         self.histograms.get(name)
     }
 
+    /// Total graceful-degradation events across all subsystems (the sum of
+    /// every top-level `degraded.<subsystem>` counter recorded via
+    /// `ppdp_telemetry::degradation`). Non-zero means some result in this
+    /// run was produced by a fallback path and should be treated as
+    /// lower-fidelity.
+    pub fn degradations(&self) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| {
+                // Top-level entries only: "degraded.bp", not "degraded.bp.reason".
+                k.strip_prefix("degraded.")
+                    .is_some_and(|rest| !rest.contains('.'))
+            })
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     /// Total ε across all budget draws (sequential composition).
     pub fn total_epsilon(&self) -> f64 {
         self.budget.iter().map(|d| d.epsilon).sum()
@@ -245,11 +258,16 @@ impl RunReport {
     }
 
     /// Compact single-line JSON.
+    ///
+    /// Serializing a plain owned data struct cannot fail, so the internal
+    /// expect is unreachable (exempt from the no-panic lint gate).
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("RunReport serializes")
     }
 
     /// Human-diffable pretty JSON.
+    #[allow(clippy::expect_used)]
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("RunReport serializes")
     }

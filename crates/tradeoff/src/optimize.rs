@@ -17,6 +17,7 @@ use crate::profile::Profile;
 use crate::strategy::AttributeStrategy;
 use crate::utility::{prediction_utility_loss, structure_value, Disparity};
 use ppdp_classify::{masked_weight, LabeledGraph, RelationalState};
+use ppdp_errors::{ensure, Result};
 use ppdp_graph::UserId;
 use ppdp_opt::{enumerate_simplex, lazy_greedy_knapsack};
 
@@ -46,16 +47,17 @@ impl Default for OptimizeConfig {
 /// (commonly a removal or perturbation strategy over the desired output
 /// space). Returns the improved strategy and its privacy value.
 ///
-/// # Panics
-/// Panics if `initial`'s inputs disagree with the profile's variants or the
-/// initial strategy already violates the δ constraint.
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] if `initial`'s inputs
+/// disagree with the profile's variants, the initial strategy already
+/// violates the δ constraint, or the config is degenerate.
 pub fn optimize_attribute_strategy(
     profile: &Profile,
     initial: &AttributeStrategy,
     predictions: &[Vec<f64>],
     du: Disparity,
     cfg: OptimizeConfig,
-) -> (AttributeStrategy, f64) {
+) -> Result<(AttributeStrategy, f64)> {
     optimize_attribute_strategy_under(
         profile,
         initial,
@@ -72,6 +74,9 @@ pub fn optimize_attribute_strategy(
 /// the true powerful adversary and fall short. Returns the strategy and the
 /// privacy it *believes* it achieves (re-evaluate with
 /// [`crate::privacy::latent_privacy_vs_powerful`] for the true value).
+///
+/// # Errors
+/// Same conditions as [`optimize_attribute_strategy`].
 pub fn optimize_attribute_strategy_under(
     profile: &Profile,
     initial: &AttributeStrategy,
@@ -79,18 +84,38 @@ pub fn optimize_attribute_strategy_under(
     du: Disparity,
     cfg: OptimizeConfig,
     assumed: crate::adversary::Knowledge,
-) -> (AttributeStrategy, f64) {
-    assert_eq!(
-        profile.variants(),
-        initial.inputs(),
-        "strategy/profile mismatch"
-    );
+) -> Result<(AttributeStrategy, f64)> {
+    ensure(cfg.grid >= 1, "probability grid denominator must be ≥ 1")?;
+    ensure(
+        cfg.delta.is_finite() && cfg.delta >= 0.0,
+        format!("δ must be finite and ≥ 0, got {}", cfg.delta),
+    )?;
+    ensure(
+        profile.variants() == initial.inputs(),
+        "strategy/profile mismatch: the initial strategy's inputs must be the profile's variants",
+    )?;
+    ensure(
+        predictions.len() == profile.len(),
+        format!(
+            "got {} adversary predictions for {} profile variants",
+            predictions.len(),
+            profile.len()
+        ),
+    )?;
+    for (i, p) in predictions.iter().enumerate() {
+        ensure(
+            p.iter().all(|x| x.is_finite()),
+            format!("adversary prediction {i} contains a non-finite entry"),
+        )?;
+    }
     let initial_pul = prediction_utility_loss(profile, initial, du);
-    assert!(
+    ensure(
         initial_pul <= cfg.delta + 1e-9,
-        "initial strategy violates δ: PUL {initial_pul} > {}",
-        cfg.delta
-    );
+        format!(
+            "initial strategy violates δ: PUL {initial_pul} > {}",
+            cfg.delta
+        ),
+    )?;
 
     let n_out = initial.outputs().len();
     let candidates = enumerate_simplex(n_out, cfg.grid);
@@ -128,7 +153,7 @@ pub fn optimize_attribute_strategy_under(
             break;
         }
     }
-    (best, best_privacy)
+    Ok((best, best_privacy))
 }
 
 /// Selects the vulnerable links of `u` to remove (Def. 4.3.1 / §4.5.2):
@@ -137,13 +162,29 @@ pub fn optimize_attribute_strategy_under(
 /// costs are the shared-friend structure values `S_j`.
 ///
 /// Returns the selected neighbour endpoints, in greedy pick order.
-pub fn select_vulnerable_links(lg: &LabeledGraph<'_>, u: UserId, epsilon: f64) -> Vec<UserId> {
+///
+/// # Errors
+/// Returns [`ppdp_errors::PpdpError::InvalidInput`] when `u` is not a user
+/// of the graph or the `ε` budget is NaN or negative.
+pub fn select_vulnerable_links(
+    lg: &LabeledGraph<'_>,
+    u: UserId,
+    epsilon: f64,
+) -> Result<Vec<UserId>> {
+    ensure(
+        u.0 < lg.graph.user_count(),
+        format!(
+            "user {} is not in the graph ({} users)",
+            u.0,
+            lg.graph.user_count()
+        ),
+    )?;
     let Some(true_label) = lg.true_label(u) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let neighbours: Vec<UserId> = lg.graph.neighbors(u).to_vec();
     if neighbours.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let state = RelationalState::new(lg);
     let costs: Vec<f64> = neighbours
@@ -181,10 +222,10 @@ pub fn select_vulnerable_links(lg: &LabeledGraph<'_>, u: UserId, epsilon: f64) -
         1.0 - p_true
     };
 
-    lazy_greedy_knapsack(&costs, epsilon, objective)
+    Ok(lazy_greedy_knapsack(&costs, epsilon, objective)?
         .into_iter()
         .map(|i| neighbours[i])
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -218,7 +259,8 @@ mod tests {
                 sweeps: 3,
                 delta: 1.0,
             },
-        );
+        )
+        .unwrap();
         assert!(privacy >= 0.5 - 1e-9, "got {privacy}");
         assert_eq!(s.inputs(), p.variants());
     }
@@ -232,7 +274,8 @@ mod tests {
             sweeps: 2,
             delta: 1.0,
         };
-        let (s, _) = optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, cfg);
+        let (s, _) =
+            optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, cfg).unwrap();
         assert!(prediction_utility_loss(&p, &s, hamming_disparity) <= cfg.delta + 1e-9);
     }
 
@@ -253,6 +296,7 @@ mod tests {
                     delta,
                 },
             )
+            .unwrap()
             .1
         };
         // identity outputs can only be reshuffled; merging needs PUL ≥ …
@@ -262,11 +306,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "violates")]
-    fn infeasible_initial_rejected() {
+    fn infeasible_initial_is_a_typed_error() {
         let p = Profile::uniform(variants());
         let initial = AttributeStrategy::removal(variants(), &[0]);
-        optimize_attribute_strategy(
+        let err = optimize_attribute_strategy(
             &p,
             &initial,
             &preds(),
@@ -276,7 +319,39 @@ mod tests {
                 sweeps: 1,
                 delta: 0.0,
             },
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("violates"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_config_and_nan_budget_are_typed_errors() {
+        let p = Profile::uniform(variants());
+        let initial = AttributeStrategy::identity(variants());
+        let bad = OptimizeConfig {
+            grid: 0,
+            sweeps: 1,
+            delta: 0.5,
+        };
+        let err = optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, bad)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        let nan_delta = OptimizeConfig {
+            grid: 2,
+            sweeps: 1,
+            delta: f64::NAN,
+        };
+        let err = optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, nan_delta)
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        let g = link_fixture();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
+        let err = select_vulnerable_links(&lg, UserId(0), f64::NAN).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        let err = select_vulnerable_links(&lg, UserId(99), 1.0).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("99"), "{err}");
     }
 
     /// u0 linked to u1/u2 (same SLA label as u0, and sharing a mutual
@@ -298,7 +373,7 @@ mod tests {
         let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
         // Generous ε: the greedy should remove the links to u1/u2 (they vote
         // for the true label 0) and keep u3 (votes against it).
-        let sel = select_vulnerable_links(&lg, UserId(0), 10.0);
+        let sel = select_vulnerable_links(&lg, UserId(0), 10.0).unwrap();
         assert!(
             sel.contains(&UserId(1)) && sel.contains(&UserId(2)),
             "{sel:?}"
@@ -311,7 +386,7 @@ mod tests {
         let g = link_fixture();
         let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
         // Each of u1/u2 costs 1 (shared friend). ε = 1 affords only one.
-        let sel = select_vulnerable_links(&lg, UserId(0), 1.0);
+        let sel = select_vulnerable_links(&lg, UserId(0), 1.0).unwrap();
         let cost: f64 = sel.iter().map(|&j| structure_value(&g, UserId(0), j)).sum();
         assert!(cost <= 1.0 + 1e-9);
     }
@@ -322,6 +397,8 @@ mod tests {
         let mut no_label = g.clone();
         no_label.clear_value(UserId(0), CategoryId(1));
         let lg = LabeledGraph::new(&no_label, CategoryId(1), vec![false, true, true, true]);
-        assert!(select_vulnerable_links(&lg, UserId(0), 10.0).is_empty());
+        assert!(select_vulnerable_links(&lg, UserId(0), 10.0)
+            .unwrap()
+            .is_empty());
     }
 }

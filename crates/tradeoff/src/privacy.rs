@@ -80,19 +80,18 @@ pub fn latent_privacy(
 
         // Adversary's choice: the candidate Ẑ minimizing believed expected
         // disparity (Eq. 4.4 / the linearized constraint 4.8).
-        let z_hat = (0..n_in)
-            .min_by(|&a, &b| {
-                let cost = |c: usize| -> f64 {
-                    (0..n_in)
-                        .map(|i| {
-                            believed_weight(i)
-                                * prediction_disparity(&predictions[i], &predictions[c])
-                        })
-                        .sum()
-                };
-                cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
-            })
-            .expect("non-empty profile");
+        let Some(z_hat) = (0..n_in).min_by(|&a, &b| {
+            let cost = |c: usize| -> f64 {
+                (0..n_in)
+                    .map(|i| {
+                        believed_weight(i) * prediction_disparity(&predictions[i], &predictions[c])
+                    })
+                    .sum()
+            };
+            cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
+        }) else {
+            continue; // empty profile: no adversary guess to score
+        };
 
         // True expected disparity contributed by this X' (Eq. 4.5 summand).
         for i in 0..n_in {

@@ -95,12 +95,7 @@ impl Profile {
     pub fn truncated(&self, n: usize) -> Self {
         assert!(n >= 1, "need at least one variant");
         let mut idx: Vec<usize> = (0..self.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.probs[b]
-                .partial_cmp(&self.probs[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.probs[b].total_cmp(&self.probs[a]).then(a.cmp(&b)));
         idx.truncate(n);
         idx.sort_unstable(); // keep original relative order for determinism
         Self::new(

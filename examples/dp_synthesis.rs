@@ -7,9 +7,10 @@
 
 use ppdp::datagen::microdata::correlated_microdata;
 use ppdp::dp::{dp_quantile, dp_range_count, is_k_anonymous, NoisyCdf};
+use ppdp::prelude::Result;
 use ppdp::publish::DpPublisher;
 
-fn main() {
+fn main() -> Result<()> {
     // A chain-correlated table: 5 000 records × 8 categorical columns.
     let original = correlated_microdata(5_000, 8, 4, 0.85, 42);
     println!(
@@ -24,7 +25,7 @@ fn main() {
         "epsilon", "tvd[c0]", "tvd[c0,c1]", "MI(c0,c1)"
     );
     for &eps in &[0.05, 0.2, 1.0, 5.0, 50.0] {
-        let synth = DpPublisher::new(eps, 1).publish(&original, 5_000, 7).table;
+        let synth = DpPublisher::new(eps, 1).publish(&original, 5_000, 7)?.table;
         println!(
             "{:>8.2} {:>12.4} {:>12.4} {:>12.4}",
             eps,
@@ -57,11 +58,12 @@ fn main() {
 
     // Baseline contrast: the synthetic table's k-anonymity w.r.t. the
     // first two columns as quasi-identifiers.
-    let synth = DpPublisher::new(1.0, 1).publish(&original, 5_000, 7).table;
+    let synth = DpPublisher::new(1.0, 1).publish(&original, 5_000, 7)?.table;
     for k in [2, 5, 20] {
         println!(
             "synthetic table is {k}-anonymous on (c0, c1): {}",
             is_k_anonymous(&synth, &[0, 1], k)
         );
     }
+    Ok(())
 }

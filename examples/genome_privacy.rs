@@ -11,7 +11,7 @@ use ppdp::genomic::{entropy_privacy, naive_bayes_marginals};
 use ppdp::prelude::*;
 use ppdp::publish::GenomePublisher;
 
-fn main() {
+fn main() -> Result<()> {
     // A GWAS-Catalog-like association database over the dissertation's
     // seven Table 5.3 diseases, and an AMD-style case/control panel.
     let catalog = synthetic_catalog(200, 6, 2, 42);
@@ -32,9 +32,9 @@ fn main() {
     // disease status. How much does the attacker learn?
     let victim = 0usize;
     let evidence = panel.full_evidence(victim);
-    let graph = FactorGraph::build(&catalog, &evidence);
+    let graph = FactorGraph::build(&catalog, &evidence)?;
     let bp = BpConfig::default().run(&graph);
-    let nb = naive_bayes_marginals(&catalog, &evidence);
+    let nb = naive_bayes_marginals(&catalog, &evidence)?;
 
     println!(
         "\nattacker posteriors for the focal disease (truth: case = {}):",
@@ -57,7 +57,7 @@ fn main() {
     let targets: Vec<Target> = (0..catalog.n_traits())
         .map(|i| Target::Trait(TraitId(i)))
         .collect();
-    let report = GenomePublisher::new(&catalog, 0.9).publish(&evidence, &targets);
+    let report = GenomePublisher::new(&catalog, 0.9).publish(&evidence, &targets)?;
     let (released, outcome) = (report.released, report.outcome);
 
     println!("\ngreedy δ-privacy sanitization (δ = 0.9):");
@@ -79,7 +79,7 @@ fn main() {
     println!("  δ satisfied              : {}", outcome.satisfied);
 
     // Verify: re-run the attack on the sanitized release.
-    let graph2 = FactorGraph::build(&catalog, &released);
+    let graph2 = FactorGraph::build(&catalog, &released)?;
     let bp2 = BpConfig::default().run(&graph2);
     let t2 = graph2.trait_local(TraitId(0)).expect("still materialized");
     println!(
@@ -90,6 +90,7 @@ fn main() {
 
     // Every pipeline run carries its telemetry: spans, counters, residuals.
     println!("\nrun telemetry:\n{}", report.telemetry.to_text());
+    Ok(())
 }
 
 fn rounded(xs: &[f64]) -> Vec<f64> {

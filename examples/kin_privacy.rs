@@ -10,7 +10,7 @@ use ppdp::genomic::kinship::{kin_attack, kin_greedy_sanitize, Family, KinTarget}
 use ppdp::genomic::{entropy_privacy, Evidence};
 use ppdp::prelude::*;
 
-fn main() {
+fn main() -> Result<()> {
     let catalog = synthetic_catalog(80, 6, 2, 42);
     let panel = amd_like(&catalog, TraitId(0), 20, 20, 42);
 
@@ -21,7 +21,7 @@ fn main() {
     let child = family.member(Evidence::none());
     family.relate(parent, child);
 
-    let (result, idx) = kin_attack(&catalog, &family, BpConfig::default());
+    let (result, idx) = kin_attack(&catalog, &family, BpConfig::default())?;
 
     println!(
         "parent released {} SNPs; child released nothing\n",
@@ -49,7 +49,7 @@ fn main() {
     // has the population priors.
     let mut lone = Family::new();
     let solo = lone.member(Evidence::none());
-    let (baseline, idx0) = kin_attack(&catalog, &lone, BpConfig::default());
+    let (baseline, idx0) = kin_attack(&catalog, &lone, BpConfig::default())?;
     println!("\nshift from the no-relatives baseline (|ΔP(disease)|):");
     for (t, info) in catalog.traits() {
         if let (Some(i), Some(j)) = (idx.trait_(child, t), idx0.trait_(solo, t)) {
@@ -68,7 +68,7 @@ fn main() {
             })
         })
         .collect();
-    exposed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    exposed.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (s, conf) in exposed.into_iter().take(5) {
         println!("  {s}: attacker confidence {conf:.3}");
     }
@@ -86,7 +86,7 @@ fn main() {
         0.95,
         12,
         BpConfig::default(),
-    );
+    )?;
     println!(
         "
 kin-aware sanitization of the parent's release (delta = 0.95):"
@@ -104,4 +104,5 @@ kin-aware sanitization of the parent's release (delta = 0.95):"
             .collect::<Vec<_>>()
     );
     println!("  delta satisfied               : {}", out.satisfied);
+    Ok(())
 }

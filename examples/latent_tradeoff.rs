@@ -4,13 +4,14 @@
 //!
 //! Run with: `cargo run --release --example latent_tradeoff`
 
+use ppdp::prelude::Result;
 use ppdp::tradeoff::adversary::ALL_KNOWLEDGE;
 use ppdp::tradeoff::{
     hamming_disparity, latent_privacy, optimize_attribute_strategy, prediction_utility_loss,
     AttributeStrategy, OptimizeConfig, Profile,
 };
 
-fn main() {
+fn main() -> Result<()> {
     // A user with four plausible attribute sets: (music taste, club
     // membership). The adversary's profile ψ(X) says the first is likely.
     let variants = vec![
@@ -44,7 +45,7 @@ fn main() {
                 sweeps: 4,
                 delta,
             },
-        );
+        )?;
         let pul = prediction_utility_loss(&profile, &strategy, hamming_disparity);
         println!("{delta:>6.1} {privacy:>12.4} {pul:>12.4}");
     }
@@ -58,4 +59,5 @@ fn main() {
         let privacy = latent_privacy(&profile, &strategy, &bp, &bs, &predictions);
         println!("  {:<24} latent-data privacy = {:.4}", k.name(), privacy);
     }
+    Ok(())
 }

@@ -6,7 +6,7 @@
 use ppdp::datagen::social::caltech_like;
 use ppdp::prelude::*;
 
-fn main() {
+fn main() -> Result<()> {
     // A Caltech-like dataset (769 users, 16 656 friendships, 7 attribute
     // categories; the sensitive attribute is the 4-ary student/faculty
     // status flag).
@@ -27,7 +27,7 @@ fn main() {
         .known_fraction(0.7)
         .local_classifier(LocalKind::Bayes)
         .evidence_mix(0.5, 0.5)
-        .publish(7);
+        .publish(7)?;
 
     println!("\ncollective sanitization plan:");
     println!("  removed categories   : {:?}", report.plan.removed);
@@ -51,4 +51,5 @@ fn main() {
         "utility/privacy ratio: {:.3}",
         report.utility_accuracy_after / report.privacy_accuracy_after
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<()> {
     let data = snap_like(42);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let known: Vec<bool> = (0..data.graph.user_count())
@@ -39,7 +39,7 @@ fn main() {
         print!("{name:<10}");
         for kind in kinds {
             let lg = LabeledGraph::new(&data.graph, data.privacy_cat, known.clone());
-            print!(" {:>8.3}", run_attack(&lg, kind, model).accuracy);
+            print!(" {:>8.3}", run_attack(&lg, kind, model)?.accuracy);
         }
         println!();
     }
@@ -59,8 +59,13 @@ fn main() {
     for cat in most_dependent_attributes(&data.graph, data.privacy_cat, 4) {
         sanitized.clear_category(cat);
     }
-    let sanitized =
-        remove_indistinguishable_links(&sanitized, data.privacy_cat, &known, LocalKind::Bayes, 400);
+    let sanitized = remove_indistinguishable_links(
+        &sanitized,
+        data.privacy_cat,
+        &known,
+        LocalKind::Bayes,
+        400,
+    )?;
 
     println!("\n== after removing 4 PDAs and 400 indistinguishable links ==");
     println!("{:<10} {:>8} {:>8} {:>8}", "model", "Bayes", "KNN", "RST");
@@ -68,8 +73,9 @@ fn main() {
         print!("{name:<10}");
         for kind in kinds {
             let lg = LabeledGraph::new(&sanitized, data.privacy_cat, known.clone());
-            print!(" {:>8.3}", run_attack(&lg, kind, model).accuracy);
+            print!(" {:>8.3}", run_attack(&lg, kind, model)?.accuracy);
         }
         println!();
     }
+    Ok(())
 }

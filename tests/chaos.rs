@@ -1,0 +1,291 @@
+//! Cross-crate chaos suite: every pipeline × every injected fault must
+//! yield a structured [`ppdp::errors::PpdpError`] or a *flagged* degraded
+//! result — never a panic, never silent NaN.
+//!
+//! Faults come from the seeded [`ppdp::datagen::chaos::Chaos`] injector, so
+//! any failure here is replayable from the seed named in the assertion
+//! message. A panic anywhere in this file is itself the bug: the robustness
+//! contract is that corrupt *data* can only surface as `Err` or as a
+//! degradation flag plus telemetry.
+
+use ppdp::datagen::chaos::Chaos;
+use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::datagen::social::caltech_like;
+use ppdp::errors::PpdpError;
+use ppdp::genomic::sanitize::Target;
+use ppdp::graph::snapshot::GraphSnapshot;
+use ppdp::prelude::*;
+use ppdp::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
+
+const KNOWN_KINDS: [&str; 4] = [
+    "invalid_input",
+    "budget_exhausted",
+    "non_convergence",
+    "numerical",
+];
+
+fn assert_structured(err: &PpdpError, fault: &str) {
+    assert!(
+        KNOWN_KINDS.contains(&err.kind()),
+        "fault {fault:?} produced an unclassified error: {err}"
+    );
+    assert!(
+        !err.to_string().is_empty(),
+        "fault {fault:?} produced an empty error message"
+    );
+}
+
+// ---------- genome pipeline × catalog / evidence faults ----------
+
+#[test]
+fn genome_pipeline_rejects_poisoned_catalogs() {
+    for seed in 0..8u64 {
+        let mut catalog = synthetic_catalog(60, 5, 2, 11);
+        let notes = Chaos::new(seed).poison_catalog(&mut catalog, 3);
+        let targets = [Target::Trait(TraitId(0))];
+        let err = GenomePublisher::new(&catalog, 0.6)
+            .publish(&Evidence::none(), &targets)
+            .expect_err(&format!("seed {seed}: poison {notes:?} must be caught"));
+        assert_structured(&err, &format!("{notes:?}"));
+    }
+}
+
+#[test]
+fn genome_pipeline_rejects_poisoned_prevalence() {
+    for seed in 0..8u64 {
+        let mut catalog = synthetic_catalog(60, 5, 2, 11);
+        let note = Chaos::new(seed)
+            .poison_prevalence(&mut catalog)
+            .expect("catalog has traits");
+        let err = GenomePublisher::new(&catalog, 0.6)
+            .publish(&Evidence::none(), &[Target::Trait(TraitId(0))])
+            .expect_err(&format!("seed {seed}: {note} must be caught"));
+        assert_structured(&err, &note);
+    }
+}
+
+#[test]
+fn genome_pipeline_rejects_dangling_evidence() {
+    for seed in 0..8u64 {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let panel = amd_like(&catalog, TraitId(0), 3, 3, 11);
+        let mut ev = panel.full_evidence(0);
+        Chaos::new(seed).dangling_evidence(&mut ev, &catalog);
+        let err = GenomePublisher::new(&catalog, 0.6)
+            .publish(&ev, &[Target::Trait(TraitId(0))])
+            .expect_err(&format!("seed {seed}: dangling ids must be caught"));
+        assert_structured(&err, "dangling evidence");
+        assert!(
+            err.to_string().contains("unknown"),
+            "error should name the dangling reference: {err}"
+        );
+    }
+}
+
+#[test]
+fn genome_pipeline_absorbs_dropped_and_contradictory_evidence() {
+    // Structurally valid corruption: the pipeline must run to completion
+    // and produce finite results, not error and not panic.
+    for seed in 0..4u64 {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let panel = amd_like(&catalog, TraitId(0), 3, 3, 11);
+        let mut ev = panel.full_evidence(0);
+        let mut chaos = Chaos::new(seed);
+        chaos.drop_evidence(&mut ev, 5);
+        chaos.contradict_evidence(&mut ev);
+        let report = GenomePublisher::new(&catalog, 0.6)
+            .publish(&ev, &[Target::Trait(TraitId(0))])
+            .unwrap_or_else(|e| panic!("seed {seed}: valid-but-lying evidence errored: {e}"));
+        for p in &report.outcome.history {
+            assert!(p.is_finite(), "seed {seed}: non-finite privacy level");
+        }
+    }
+}
+
+// ---------- BP × poisoned factor graph: flagged degradation ----------
+
+#[test]
+fn poisoned_factor_graph_degrades_with_visible_telemetry() {
+    // The zero-probability-CPT fault: an all-zero transmission table is
+    // entry-wise legal but annihilates every message through it. BP must
+    // exhaust its restart ladder, fall back to prior-only marginals, flag
+    // the result, and leave a degradation event on the recorder.
+    let catalog = synthetic_catalog(60, 5, 2, 11);
+    let panel = amd_like(&catalog, TraitId(0), 3, 3, 11);
+    let mut g = FactorGraph::build(&catalog, &panel.full_evidence(0)).unwrap();
+    g.add_kin_factor(0, 1, [[0.0; 3]; 3]).unwrap();
+    let rec = Recorder::new();
+    let r = {
+        let _scope = rec.enter();
+        BpConfig::default().run(&g)
+    };
+    assert!(r.degraded, "poisoned graph must be flagged");
+    assert!(!r.converged);
+    for m in &r.snp_marginals {
+        assert!(m.iter().all(|x| x.is_finite()));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+    for m in &r.trait_marginals {
+        assert!(m.iter().all(|x| x.is_finite()));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+    let report = rec.take();
+    assert!(
+        report.counter("degraded.bp") >= 1,
+        "degradation not recorded"
+    );
+    assert!(
+        report.counter("bp.restarts") > 0,
+        "restart ladder not visible"
+    );
+    assert!(report.degradations() >= 1);
+}
+
+// ---------- social pipeline × config faults ----------
+
+#[test]
+fn social_pipeline_rejects_degenerate_configs() {
+    let data = caltech_like(42);
+    for (fault, publisher) in [
+        (
+            "known fraction 1.5",
+            SocialPublisher::new(&data).known_fraction(1.5),
+        ),
+        (
+            "known fraction NaN",
+            SocialPublisher::new(&data).known_fraction(f64::NAN),
+        ),
+        (
+            "zero mix",
+            SocialPublisher::new(&data).evidence_mix(0.0, 0.0),
+        ),
+        (
+            "NaN mix",
+            SocialPublisher::new(&data).evidence_mix(f64::NAN, 0.5),
+        ),
+        (
+            "negative mix",
+            SocialPublisher::new(&data).evidence_mix(-1.0, 0.5),
+        ),
+    ] {
+        let err = publisher
+            .publish(7)
+            .expect_err(&format!("{fault} must be caught"));
+        assert_structured(&err, fault);
+    }
+}
+
+// ---------- snapshot layer × structural and JSON faults ----------
+
+#[test]
+fn corrupted_snapshots_yield_named_record_errors() {
+    let data = caltech_like(9);
+    let base = GraphSnapshot::capture(&data.graph);
+    let mut faults_seen = 0;
+    for seed in 0..12u64 {
+        let mut snap = base.clone();
+        let Some(fault) = Chaos::new(seed).corrupt_snapshot(&mut snap) else {
+            continue;
+        };
+        faults_seen += 1;
+        let err = snap
+            .restore()
+            .expect_err(&format!("seed {seed}: {fault} must be caught"));
+        assert_structured(&err, &fault);
+    }
+    assert!(
+        faults_seen >= 6,
+        "chaos landed too few faults: {faults_seen}"
+    );
+}
+
+#[test]
+fn malformed_snapshot_json_is_a_typed_error() {
+    let data = caltech_like(9);
+    let snap = GraphSnapshot::capture(&data.graph);
+    let mut chaos = Chaos::new(3);
+    // A syntactically valid JSON document of the right shape...
+    let Ok(json) = snap.to_json() else {
+        // Serialization backend unavailable in this build: from_json on
+        // garbage must still be a typed error, not a panic.
+        let err = GraphSnapshot::from_json("{ not json").unwrap_err();
+        assert_structured(&err, "garbage json");
+        return;
+    };
+    // ...mangled three different ways must come back as errors.
+    for _ in 0..3 {
+        let bad = chaos.malform_json(&json);
+        let err = GraphSnapshot::from_json(&bad).expect_err("mangled JSON must not deserialize");
+        assert_structured(&err, "malformed json");
+    }
+}
+
+// ---------- latent pipeline × poisoned predictions ----------
+
+#[test]
+fn latent_pipeline_rejects_poisoned_predictions_and_delta() {
+    use ppdp::tradeoff::{AttributeStrategy, Profile};
+    let variants = vec![vec![Some(0)], vec![Some(1)]];
+    let profile = Profile::uniform(variants.clone());
+    let initial = AttributeStrategy::removal(variants, &[0]);
+    // NaN predictions: the feasibility gate cannot certify the initial
+    // strategy, so the optimizer must refuse rather than optimize garbage.
+    let poisoned = vec![vec![f64::NAN, f64::NAN], vec![0.0, 1.0]];
+    let err = LatentPublisher::optimize(&profile, &initial, &poisoned, 1.0)
+        .expect_err("NaN predictions must be caught");
+    assert_structured(&err, "NaN predictions");
+    // NaN δ.
+    let clean = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+    let err = LatentPublisher::optimize(&profile, &initial, &clean, f64::NAN)
+        .expect_err("NaN delta must be caught");
+    assert_structured(&err, "NaN delta");
+    // Wrong prediction count.
+    let short = vec![vec![1.0, 0.0]];
+    let err = LatentPublisher::optimize(&profile, &initial, &short, 1.0)
+        .expect_err("missing predictions must be caught");
+    assert_structured(&err, "short predictions");
+}
+
+// ---------- dp pipeline × degenerate tables and budgets ----------
+
+#[test]
+fn dp_pipeline_handles_degenerate_tables_without_panicking() {
+    let table = correlated_microdata(200, 3, 3, 0.5, 5);
+    for seed in 0..4u64 {
+        let stuck = Chaos::new(seed).degenerate_column(&table, 1);
+        // Zero-probability CPT rows: the fit must smooth or reject, and a
+        // successful fit must sample only in-domain values.
+        match DpPublisher::new(2.0, 1).publish(&stuck, 100, seed) {
+            Ok(report) => {
+                for row in report.table.rows() {
+                    for (c, (&v, &a)) in row.iter().zip(report.table.arities()).enumerate() {
+                        assert!(v < a, "seed {seed}: column {c} sampled {v} ≥ arity {a}");
+                    }
+                }
+            }
+            Err(e) => assert_structured(&e, "degenerate column"),
+        }
+    }
+    let err = DpPublisher::new(2.0, 1)
+        .publish(&Chaos::empty_table(&table), 10, 0)
+        .expect_err("zero-record table must be caught");
+    assert_structured(&err, "empty table");
+}
+
+#[test]
+fn dp_pipeline_rejects_degenerate_epsilon() {
+    let table = correlated_microdata(100, 3, 2, 0.5, 5);
+    for (fault, eps) in [
+        ("negative ε", -1.0),
+        ("zero ε", 0.0),
+        ("NaN ε", f64::NAN),
+        ("infinite ε", f64::INFINITY),
+    ] {
+        let err = DpPublisher::new(eps, 1)
+            .publish(&table, 10, 0)
+            .expect_err(&format!("{fault} must be caught"));
+        assert_structured(&err, fault);
+    }
+}

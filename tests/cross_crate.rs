@@ -32,7 +32,7 @@ fn attack_models_beat_prior_on_generated_caltech() {
             beta: 0.5,
         },
     ] {
-        let acc = run_attack(&lg, LocalKind::Bayes, model).accuracy;
+        let acc = run_attack(&lg, LocalKind::Bayes, model).unwrap().accuracy;
         assert!(
             acc > prior - 0.02,
             "{model:?} should at least match the prior ({prior}), got {acc}"
@@ -41,7 +41,9 @@ fn attack_models_beat_prior_on_generated_caltech() {
     // The planted attribute correlation must make AttrOnly strictly beat
     // the prior (the paper's signal band is deliberately weak, so the gap
     // is small but must be positive).
-    let attr = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    let attr = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)
+        .unwrap()
+        .accuracy;
     assert!(attr > prior, "AttrOnly {attr} vs prior {prior}");
 }
 
@@ -50,14 +52,18 @@ fn attribute_removal_weakens_attr_only_attack() {
     let d = snap_like(42);
     let known = known_mask(d.graph.user_count(), 0.7, 2);
     let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::AttrOnly)
+        .unwrap()
+        .accuracy;
 
     let mut sanitized = d.graph.clone();
     for cat in most_dependent_attributes(&d.graph, d.privacy_cat, 6) {
         sanitized.clear_category(cat);
     }
     let lg2 = LabeledGraph::new(&sanitized, d.privacy_cat, known);
-    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::AttrOnly)
+        .unwrap()
+        .accuracy;
     assert!(
         after < before,
         "hiding the 6 most dependent attributes must reduce accuracy: {before} → {after}"
@@ -75,13 +81,18 @@ fn link_removal_bounded_volatility_and_full_removal_equals_attr_only() {
     let d = caltech_like(42);
     let known = known_mask(d.graph.user_count(), 0.7, 3);
     let lg = LabeledGraph::new(&d.graph, d.privacy_cat, known.clone());
-    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
+    let before = run_attack(&lg, LocalKind::Bayes, AttackModel::LinkOnly)
+        .unwrap()
+        .accuracy;
 
     let sanitized =
-        remove_indistinguishable_links(&d.graph, d.privacy_cat, &known, LocalKind::Bayes, 2_000);
+        remove_indistinguishable_links(&d.graph, d.privacy_cat, &known, LocalKind::Bayes, 2_000)
+            .unwrap();
     assert_eq!(sanitized.edge_count(), d.graph.edge_count() - 2_000);
     let lg2 = LabeledGraph::new(&sanitized, d.privacy_cat, known.clone());
-    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
+    let after = run_attack(&lg2, LocalKind::Bayes, AttackModel::LinkOnly)
+        .unwrap()
+        .accuracy;
     assert!(
         (after - before).abs() <= 0.1,
         "accuracy jumped: {before} -> {after}"
@@ -93,11 +104,16 @@ fn link_removal_bounded_volatility_and_full_removal_equals_attr_only() {
         &known,
         LocalKind::Bayes,
         usize::MAX,
-    );
+    )
+    .unwrap();
     assert_eq!(empty.edge_count(), 0);
     let lg3 = LabeledGraph::new(&empty, d.privacy_cat, known.clone());
-    let link_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::LinkOnly).accuracy;
-    let attr_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::AttrOnly).accuracy;
+    let link_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::LinkOnly)
+        .unwrap()
+        .accuracy;
+    let attr_only = run_attack(&lg3, LocalKind::Bayes, AttackModel::AttrOnly)
+        .unwrap()
+        .accuracy;
     assert!(
         (link_only - attr_only).abs() < 1e-12,
         "with no links, LinkOnly must equal AttrOnly: {link_only} vs {attr_only}"
@@ -146,7 +162,7 @@ fn bp_equals_exhaustive_on_generated_tree_catalog() {
     let ev = Evidence::none()
         .with_snp(SnpId(0), Genotype::HomRisk)
         .with_trait(TraitId(1), true);
-    let g = FactorGraph::build(&catalog, &ev);
+    let g = FactorGraph::build(&catalog, &ev).unwrap();
     assert!(g.is_forest(), "chain-shared catalog must be a forest");
     let bp = BpConfig::default().run(&g);
     let ex = exhaustive_marginals(&g);
@@ -167,7 +183,7 @@ fn bp_attacker_identifies_cases_better_than_chance() {
     let mut correct = 0usize;
     for i in 0..panel.n_individuals() {
         let ev = panel.full_evidence(i);
-        let g = FactorGraph::build(&catalog, &ev);
+        let g = FactorGraph::build(&catalog, &ev).unwrap();
         let r = BpConfig::default().run(&g);
         let t = g.trait_local(TraitId(0)).unwrap();
         // Threshold at the prevalence-free midpoint of the two posteriors'
@@ -196,10 +212,14 @@ fn bp_extracts_at_least_as_much_signal_as_naive_bayes() {
     let mut nb_total = 0.0;
     for i in 0..panel.n_individuals() {
         let ev = panel.full_evidence(i);
-        let g = FactorGraph::build(&catalog, &ev);
+        let g = FactorGraph::build(&catalog, &ev).unwrap();
         let t = g.trait_local(TraitId(0)).unwrap();
         bp_total += entropy_privacy(&BpConfig::default().run(&g).trait_marginals[t]);
-        nb_total += entropy_privacy(&naive_bayes_marginals(&catalog, &ev).trait_marginals[t]);
+        nb_total += entropy_privacy(
+            &naive_bayes_marginals(&catalog, &ev)
+                .unwrap()
+                .trait_marginals[t],
+        );
     }
     assert!(
         bp_total <= nb_total + 1.0,

@@ -15,7 +15,8 @@ fn social_pipeline_full_run() {
     let report = SocialPublisher::new(&data)
         .generalization_level(2)
         .remove_links(300)
-        .publish(7);
+        .publish(7)
+        .unwrap();
     assert!(report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9);
     assert_eq!(report.sanitized.edge_count(), data.graph.edge_count() - 300);
     // Removed categories are hidden for every user in the sanitized graph.
@@ -42,6 +43,7 @@ fn coarser_generalization_is_at_least_as_private() {
         SocialPublisher::new(&data)
             .generalization_level(level)
             .publish(7)
+            .unwrap()
             .privacy_accuracy_after
     };
     let coarse = acc_at(1);
@@ -59,7 +61,9 @@ fn genome_pipeline_trajectory_monotone_and_satisfying() {
     let targets: Vec<Target> = (0..catalog.n_traits())
         .map(|i| Target::Trait(TraitId(i)))
         .collect();
-    let report = GenomePublisher::new(&catalog, 0.95).publish(&panel.full_evidence(0), &targets);
+    let report = GenomePublisher::new(&catalog, 0.95)
+        .publish(&panel.full_evidence(0), &targets)
+        .unwrap();
     let (released, outcome) = (&report.released, &report.outcome);
     for w in outcome.history.windows(2) {
         assert!(
@@ -94,8 +98,9 @@ fn bp_defence_needs_at_least_as_many_removals_as_nb_defence() {
         0.5,
         50,
         Predictor::BeliefPropagation(BpConfig::default()),
-    );
-    let nb = greedy_sanitize(&catalog, &ev, &targets, 0.5, 50, Predictor::NaiveBayes);
+    )
+    .unwrap();
+    let nb = greedy_sanitize(&catalog, &ev, &targets, 0.5, 50, Predictor::NaiveBayes).unwrap();
     assert!(
         bp.removed.len() >= nb.removed.len(),
         "Fig 5.2 shape: BP ({}) ≥ NB ({})",
@@ -113,6 +118,7 @@ fn dp_pipeline_epsilon_monotonicity() {
             .map(|s| {
                 let synth = DpPublisher::new(eps, 1)
                     .publish(&original, 3_000, 100 + s)
+                    .unwrap()
                     .table;
                 original.marginal_tvd(&synth, &[0, 1])
             })
@@ -132,6 +138,7 @@ fn dp_pipeline_preserves_planted_correlation_at_moderate_epsilon() {
     let original = correlated_microdata(4_000, 4, 2, 0.9, 23);
     let synth = DpPublisher::new(10.0, 1)
         .publish(&original, 4_000, 24)
+        .unwrap()
         .table;
     let orig_mi = original.mutual_information(0, 1);
     let synth_mi = synth.mutual_information(0, 1);
@@ -150,7 +157,10 @@ fn dp_synthetic_genomes_preserve_allele_frequencies() {
     let catalog = synthetic_catalog(30, 4, 1, 31);
     let panel = amd_like(&catalog, TraitId(0), 200, 200, 31);
     let table = panel.to_table();
-    let synth = DpPublisher::new(20.0, 1).publish(&table, 400, 32).table;
+    let synth = DpPublisher::new(20.0, 1)
+        .publish(&table, 400, 32)
+        .unwrap()
+        .table;
     assert_eq!(synth.n_cols(), panel.n_snps());
     let mut worst = 0.0f64;
     for s in 0..panel.n_snps() {
@@ -171,12 +181,12 @@ fn kin_attack_integrates_with_generated_panels() {
     let parent = family.member(panel.full_evidence(0)); // a case individual
     let child = family.member(ppdp::genomic::Evidence::none());
     family.relate(parent, child);
-    let (r, idx) = kin_attack(&catalog, &family, BpConfig::default());
+    let (r, idx) = kin_attack(&catalog, &family, BpConfig::default()).unwrap();
     // Every child marginal is a valid distribution and at least one locus
     // must have shifted away from the singleton baseline.
     let mut lone = Family::new();
     let solo = lone.member(ppdp::genomic::Evidence::none());
-    let (r0, idx0) = kin_attack(&catalog, &lone, BpConfig::default());
+    let (r0, idx0) = kin_attack(&catalog, &lone, BpConfig::default()).unwrap();
     let mut max_shift = 0.0f64;
     for s in 0..catalog.n_snps() {
         if let (Some(i), Some(j)) = (idx.snp(child, SnpId(s)), idx0.snp(solo, SnpId(s))) {

@@ -151,7 +151,7 @@ proptest! {
     #[test]
     fn bp_marginals_always_normalized(cat in random_catalog(), g0 in 0usize..3) {
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
-        let fg = FactorGraph::build(&cat, &ev);
+        let fg = FactorGraph::build(&cat, &ev).unwrap();
         let r = BpConfig { damping: 0.2, max_iters: 300, ..Default::default() }.run(&fg);
         for m in &r.snp_marginals {
             prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
@@ -165,7 +165,7 @@ proptest! {
     #[test]
     fn bp_matches_exhaustive_on_random_forests(cat in random_catalog(), g0 in 0usize..3) {
         let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
-        let fg = FactorGraph::build(&cat, &ev);
+        let fg = FactorGraph::build(&cat, &ev).unwrap();
         prop_assume!(fg.is_forest());
         let bp = BpConfig::default().run(&fg);
         let ex = exhaustive_marginals(&fg);
@@ -210,8 +210,8 @@ proptest! {
             }
             seen.len() as f64
         };
-        let a = naive_greedy_knapsack(&costs, budget, cover);
-        let b = lazy_greedy_knapsack(&costs, budget, cover);
+        let a = naive_greedy_knapsack(&costs, budget, cover).unwrap();
+        let b = lazy_greedy_knapsack(&costs, budget, cover).unwrap();
         prop_assert!((cover(&a) - cover(&b)).abs() < 1e-9, "{:?} vs {:?}", a, b);
     }
 
@@ -310,10 +310,71 @@ proptest! {
             &lg,
             &nb,
             GibbsConfig { burn_in: 5, samples: 20, seed, ..Default::default() },
-        );
+        )
+        .unwrap();
         for d in &dists {
             prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}
+
+// ---------- robustness invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chaos-adjacent invariant: even at the edge of the validation domain
+    /// (odds ratios across 16 decades, risk-allele frequencies within
+    /// 1e-12 of 0 or 1), BP must return finite, normalized marginals —
+    /// degrading via its restart ladder if need be, never emitting NaN.
+    #[test]
+    fn bp_marginals_finite_under_extreme_odds_and_rafs(
+        or_exp in -8i32..=8,
+        raf_exp in 2i32..=12,
+        near_one in any::<bool>(),
+        g0 in 0usize..3,
+    ) {
+        let raf_edge = 10f64.powi(-raf_exp);
+        let raf = if near_one { 1.0 - raf_edge } else { raf_edge };
+        let or = 10f64.powi(or_exp);
+        let mut cat = GwasCatalog::new(3);
+        let t0 = cat.add_trait("rare", 1e-9);
+        let t1 = cat.add_trait("common", 1.0 - 1e-9);
+        cat.associate(SnpId(0), t0, or, raf);
+        cat.associate(SnpId(1), t0, 1.0 / or, 1.0 - raf);
+        cat.associate(SnpId(1), t1, or, raf);
+        cat.validate().unwrap();
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
+        let fg = FactorGraph::build(&cat, &ev).unwrap();
+        let r = BpConfig::default().run(&fg);
+        for m in &r.snp_marginals {
+            prop_assert!(m.iter().all(|x| x.is_finite() && *x >= -1e-12), "{:?}", m);
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{:?}", m);
+        }
+        for m in &r.trait_marginals {
+            prop_assert!(m.iter().all(|x| x.is_finite() && *x >= -1e-12), "{:?}", m);
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{:?}", m);
+        }
+    }
+
+    /// The greedy knapsack must respect its budget even when every
+    /// marginal gain is zero or negative (nothing is worth buying — the
+    /// solvers must not buy their way past ε out of desperation).
+    #[test]
+    fn knapsack_never_exceeds_budget_with_non_positive_gains(
+        costs in prop::collection::vec(0.1f64..3.0, 1..10),
+        budget in 0.0f64..5.0,
+        negative in any::<bool>(),
+    ) {
+        let sign = if negative { -1.0 } else { 0.0 };
+        let objective = |sel: &[usize]| sign * sel.len() as f64;
+        for picked in [
+            lazy_greedy_knapsack(&costs, budget, objective).unwrap(),
+            naive_greedy_knapsack(&costs, budget, objective).unwrap(),
+        ] {
+            let spent: f64 = picked.iter().map(|&i| costs[i]).sum();
+            prop_assert!(spent <= budget + 1e-9, "spent {} of {}", spent, budget);
         }
     }
 }

@@ -20,7 +20,8 @@ fn social_pipeline_yields_nonempty_roundtripping_report() {
     let data = caltech_like(42);
     let report = SocialPublisher::new(&data)
         .generalization_level(2)
-        .publish(7);
+        .publish(7)
+        .unwrap();
     let t = &report.telemetry;
     assert!(!t.is_empty(), "an instrumented run must record something");
 
@@ -44,7 +45,9 @@ fn social_pipeline_yields_nonempty_roundtripping_report() {
 fn dp_pipeline_report_accounts_for_the_whole_budget() {
     let table = correlated_microdata(400, 4, 3, 0.8, 5);
     let epsilon = 3.0;
-    let report = DpPublisher::new(epsilon, 1).publish(&table, 200, 6);
+    let report = DpPublisher::new(epsilon, 1)
+        .publish(&table, 200, 6)
+        .unwrap();
     let t = &report.telemetry;
 
     assert!(!t.is_empty());
@@ -74,7 +77,9 @@ fn genome_pipeline_report_counts_bp_iterations() {
     let catalog = synthetic_catalog(60, 5, 2, 11);
     let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
     let targets = [Target::Trait(TraitId(0))];
-    let report = GenomePublisher::new(&catalog, 0.6).publish(&panel.full_evidence(0), &targets);
+    let report = GenomePublisher::new(&catalog, 0.6)
+        .publish(&panel.full_evidence(0), &targets)
+        .unwrap();
     let t = &report.telemetry;
 
     assert!(
@@ -98,7 +103,10 @@ fn pipelines_also_feed_an_outer_scoped_recorder() {
     let table = correlated_microdata(300, 3, 2, 0.8, 9);
     let attached = {
         let _scope = rec.enter();
-        DpPublisher::new(2.0, 1).publish(&table, 100, 4).telemetry
+        DpPublisher::new(2.0, 1)
+            .publish(&table, 100, 4)
+            .unwrap()
+            .telemetry
     };
     let outer = rec.take();
     assert!((outer.total_epsilon() - attached.total_epsilon()).abs() < 1e-12);
