@@ -8,8 +8,20 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test -q"
-cargo test --workspace -q
+# The suite must pass — with identical results — whether the execution
+# layer resolves to one thread or many (ExecPolicy::from_env reads
+# PPDP_THREADS, then RAYON_NUM_THREADS).
+echo "==> cargo test -q (1 thread)"
+RAYON_NUM_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test -q (4 threads)"
+RAYON_NUM_THREADS=4 cargo test --workspace -q
+
+echo "==> sequential-vs-parallel equivalence harness"
+cargo test -q -p ppdp --test equivalence
+
+echo "==> golden-value regression suite"
+cargo test -q -p ppdp --test golden
 
 echo "==> chaos suite (fault injection: no panics allowed)"
 cargo test -q -p ppdp --test chaos
@@ -19,11 +31,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Library code of the Result-converted crates must not panic on corrupt
 # input: unwrap/expect are reserved for tests, benches, and examples.
-echo "==> cargo clippy (no unwrap/expect in converted lib code)"
+# disallowed_methods (clippy.toml) additionally denies raw
+# std::thread::spawn — all library threading goes through ppdp-exec.
+echo "==> cargo clippy (no unwrap/expect/raw-spawn in lib code)"
 for crate in ppdp-errors ppdp-graph ppdp-classify ppdp-sanitize \
-    ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp; do
+    ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry ppdp; do
   cargo clippy -q -p "$crate" --lib -- \
-    -D clippy::unwrap_used -D clippy::expect_used
+    -D clippy::unwrap_used -D clippy::expect_used \
+    -D clippy::disallowed_methods
 done
 
 echo "==> cargo fmt --check"

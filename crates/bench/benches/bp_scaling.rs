@@ -6,6 +6,7 @@
 //! #3).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use ppdp::exec::ExecPolicy;
 use ppdp::genomic::{
     exhaustive_marginals, BpConfig, Evidence, FactorGraph, Genotype, GwasCatalog, SnpId,
 };
@@ -67,6 +68,31 @@ fn bench_exhaustive_exponential(c: &mut Criterion) {
     group.finish();
 }
 
+/// The thread axis: the same headline BP workload under the execution
+/// policies the equivalence harness proves interchangeable. The interesting
+/// read is `4` (and `8`) vs `seq` — the acceptance floor is ≥ 1.5× at four
+/// threads on this workload.
+fn bench_bp_thread_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_thread_axis");
+    let cat = chain_catalog(4096);
+    let g = FactorGraph::build(&cat, &evidence_half(4096)).expect("bench data is well-formed");
+    for (label, exec) in [
+        ("seq", ExecPolicy::Sequential),
+        ("2", ExecPolicy::parallel(2)),
+        ("4", ExecPolicy::parallel(4)),
+        ("8", ExecPolicy::parallel(8)),
+    ] {
+        let cfg = BpConfig {
+            exec,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| cfg.run(std::hint::black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_damping_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp_damping_ablation");
     let cat = chain_catalog(512);
@@ -88,24 +114,50 @@ fn bench_damping_ablation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bp_linear,
+    bench_bp_thread_axis,
     bench_exhaustive_exponential,
     bench_damping_ablation
 );
 
 /// One instrumented pass over the headline workload, dumped as a telemetry
 /// `RunReport` so criterion timings can be cross-read against BP iteration
-/// counts and residuals.
+/// counts and residuals. Also times a sequential-vs-4-thread pair and
+/// records the measured speedup into the report.
 fn dump_telemetry_report(path: &str) {
     let rec = ppdp::telemetry::Recorder::new();
+    let speedup;
     {
         let _scope = rec.enter();
         let _span = ppdp::telemetry::span("bench.bp_scaling");
-        let cat = chain_catalog(1024);
-        let g = FactorGraph::build(&cat, &evidence_half(1024)).expect("bench data is well-formed");
-        let _ = BpConfig::default().run(&g);
+        let cat = chain_catalog(4096);
+        let g = FactorGraph::build(&cat, &evidence_half(4096)).expect("bench data is well-formed");
+        let time = |exec: ExecPolicy| {
+            let cfg = BpConfig {
+                exec,
+                ..Default::default()
+            };
+            let started = std::time::Instant::now();
+            for _ in 0..3 {
+                let _ = cfg.run(&g);
+            }
+            started.elapsed().as_secs_f64()
+        };
+        let seq = time(ExecPolicy::Sequential);
+        let par = time(ExecPolicy::parallel(4));
+        speedup = seq / par.max(1e-12);
     }
+    let mut report = rec.take();
+    report.record_speedup("bp.run@4", speedup);
     use ppdp::telemetry::status_line;
-    match std::fs::write(path, rec.take().to_json_pretty()) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "{}",
+        status_line(
+            "speedup",
+            &format!("bp.run sequential/parallel(4) = {speedup:.2}x on {cores} host core(s)")
+        )
+    );
+    match std::fs::write(path, report.to_json_pretty()) {
         Ok(()) => eprintln!(
             "{}",
             status_line("saved", &format!("telemetry report → {path}"))

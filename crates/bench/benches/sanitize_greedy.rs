@@ -6,8 +6,9 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use ppdp::datagen::genomes::amd_like;
 use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::exec::ExecPolicy;
 use ppdp::genomic::sanitize::{greedy_sanitize, Predictor, Target};
-use ppdp::genomic::{BpConfig, TraitId};
+use ppdp::genomic::{greedy_sanitize_with, BpConfig, TraitId};
 use ppdp::opt::{lazy_greedy_knapsack, naive_greedy_knapsack};
 use rand::Rng;
 use rand::SeedableRng;
@@ -76,32 +77,94 @@ fn bench_gput_greedy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lazy_vs_naive, bench_gput_greedy);
+/// The thread axis: per-candidate marginal-gain evaluation of the GPUT
+/// greedy fanned out across worker pools. The picks are bitwise identical
+/// at every size (see `tests/equivalence.rs`); only the wall-clock moves —
+/// the acceptance floor is ≥ 1.5× at four threads on this workload.
+fn bench_gput_thread_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gput_thread_axis");
+    group.sample_size(10);
+    let catalog = synthetic_catalog(120, 6, 2, 5);
+    let panel = amd_like(&catalog, TraitId(0), 4, 4, 5);
+    let ev = panel.full_evidence(0);
+    let targets: Vec<Target> = (0..catalog.n_traits())
+        .map(|i| Target::Trait(TraitId(i)))
+        .collect();
+    for (label, exec) in [
+        ("seq", ExecPolicy::Sequential),
+        ("2", ExecPolicy::parallel(2)),
+        ("4", ExecPolicy::parallel(4)),
+        ("8", ExecPolicy::parallel(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &exec, |b, &exec| {
+            b.iter(|| {
+                greedy_sanitize_with(
+                    exec,
+                    std::hint::black_box(&catalog),
+                    &ev,
+                    &targets,
+                    0.95,
+                    6,
+                    Predictor::BeliefPropagation(BpConfig::default()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lazy_vs_naive,
+    bench_gput_greedy,
+    bench_gput_thread_axis
+);
 
 /// One instrumented pass of the GPUT greedy workload, dumped as a telemetry
 /// `RunReport` (BP sweeps, lazy-greedy hit rates) next to criterion output.
+/// Also times a sequential-vs-4-thread pair and records the measured
+/// speedup into the report.
 fn dump_telemetry_report(path: &str) {
     let rec = ppdp::telemetry::Recorder::new();
+    let speedup;
     {
         let _scope = rec.enter();
         let _span = ppdp::telemetry::span("bench.sanitize_greedy");
-        let catalog = synthetic_catalog(60, 4, 2, 5);
+        let catalog = synthetic_catalog(120, 6, 2, 5);
         let panel = amd_like(&catalog, TraitId(0), 4, 4, 5);
         let ev = panel.full_evidence(0);
         let targets: Vec<Target> = (0..catalog.n_traits())
             .map(|i| Target::Trait(TraitId(i)))
             .collect();
-        let _ = greedy_sanitize(
-            &catalog,
-            &ev,
-            &targets,
-            0.95,
-            6,
-            Predictor::BeliefPropagation(BpConfig::default()),
-        );
+        let time = |exec: ExecPolicy| {
+            let started = std::time::Instant::now();
+            let _ = greedy_sanitize_with(
+                exec,
+                &catalog,
+                &ev,
+                &targets,
+                0.95,
+                6,
+                Predictor::BeliefPropagation(BpConfig::default()),
+            );
+            started.elapsed().as_secs_f64()
+        };
+        let seq = time(ExecPolicy::Sequential);
+        let par = time(ExecPolicy::parallel(4));
+        speedup = seq / par.max(1e-12);
     }
+    let mut report = rec.take();
+    report.record_speedup("sanitize.greedy@4", speedup);
     use ppdp::telemetry::status_line;
-    match std::fs::write(path, rec.take().to_json_pretty()) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "{}",
+        status_line(
+            "speedup",
+            &format!("gput greedy sequential/parallel(4) = {speedup:.2}x on {cores} host core(s)")
+        )
+    );
+    match std::fs::write(path, report.to_json_pretty()) {
         Ok(()) => eprintln!(
             "{}",
             status_line("saved", &format!("telemetry report → {path}"))

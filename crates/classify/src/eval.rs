@@ -154,6 +154,21 @@ pub fn run_attack(
     kind: LocalKind,
     model: AttackModel,
 ) -> Result<AttackOutcome> {
+    run_attack_with(lg, kind, model, ppdp_exec::ExecPolicy::Sequential)
+}
+
+/// [`run_attack`] with an explicit execution policy for the collective
+/// inference engines (ICA node scoring; Gibbs chains). The outcome is
+/// identical for every policy and thread count.
+///
+/// # Errors
+/// Same conditions as [`run_attack`].
+pub fn run_attack_with(
+    lg: &LabeledGraph<'_>,
+    kind: LocalKind,
+    model: AttackModel,
+    exec: ppdp_exec::ExecPolicy,
+) -> Result<AttackOutcome> {
     let local = {
         let _fit_span = ppdp_telemetry::span(match kind {
             LocalKind::Bayes => "attack.fit.Bayes",
@@ -204,6 +219,7 @@ pub fn run_attack(
                 IcaConfig {
                     alpha,
                     beta,
+                    exec,
                     ..Default::default()
                 },
             )?;
@@ -220,6 +236,7 @@ pub fn run_attack(
                 crate::gibbs::GibbsConfig {
                     alpha,
                     beta,
+                    exec,
                     ..Default::default()
                 },
             )?;

@@ -12,6 +12,7 @@ use crate::dataset::LabeledGraph;
 use crate::relational::{masked_weight, one_hot};
 use crate::LocalClassifier;
 use ppdp_errors::{ensure, Result};
+use ppdp_exec::{split_seed, ExecPolicy};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +30,13 @@ pub struct GibbsConfig {
     pub samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Independent Markov chains whose retained samples are pooled. Chain
+    /// `c` runs on the seed `split_seed(seed, c)` (plain `seed` when
+    /// `chains == 1`), so the pooled estimate depends only on the config —
+    /// never on the execution policy or thread count.
+    pub chains: usize,
+    /// Execution policy for running the independent chains.
+    pub exec: ExecPolicy,
 }
 
 impl Default for GibbsConfig {
@@ -39,6 +47,8 @@ impl Default for GibbsConfig {
             burn_in: 50,
             samples: 200,
             seed: 7,
+            chains: 1,
+            exec: ExecPolicy::Sequential,
         }
     }
 }
@@ -49,10 +59,10 @@ impl Default for GibbsConfig {
 pub struct GibbsOutcome {
     /// Final class distribution per user (known users pinned one-hot).
     pub dists: Vec<Vec<f64>>,
-    /// Resampling sweeps performed (`burn_in + samples`).
+    /// Resampling sweeps performed, `chains × (burn_in + samples)`.
     pub sweeps: usize,
-    /// Total hard-label changes across all sweeps — the chain's mixing
-    /// activity (0 means the chain froze immediately).
+    /// Total hard-label changes across all sweeps of all chains — the
+    /// chains' mixing activity (0 means every chain froze immediately).
     pub label_flips: usize,
     /// True when a conditional was numerically corrupt (NaN/Inf/negative
     /// mass or underflow to zero) and a uniform resample was used instead.
@@ -92,6 +102,7 @@ pub fn gibbs_run(
     cfg: GibbsConfig,
 ) -> Result<GibbsOutcome> {
     ensure(cfg.samples > 0, "need at least one retained sample")?;
+    ensure(cfg.chains > 0, "need at least one chain")?;
     ensure(
         cfg.alpha.is_finite()
             && cfg.beta.is_finite()
@@ -114,8 +125,6 @@ pub fn gibbs_run(
     let _span = ppdp_telemetry::span("gibbs.run");
     let n_classes = lg.n_classes();
     let unknown = lg.unknown_users();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut repairs = 0usize;
 
     // Cache the attribute conditionals (they never change).
     let pa: Vec<Vec<f64>> = unknown
@@ -123,21 +132,113 @@ pub fn gibbs_run(
         .map(|&u| local.predict_dist(&lg.masked_row(u)))
         .collect();
 
+    // Chain seeds depend only on the config: a single chain keeps the
+    // historical `cfg.seed` walk, multiple chains decorrelate via
+    // `split_seed`. The execution policy never touches the seeds.
+    let seeds: Vec<u64> = if cfg.chains == 1 {
+        vec![cfg.seed]
+    } else {
+        (0..cfg.chains as u64)
+            .map(|c| split_seed(cfg.seed, c))
+            .collect()
+    };
+    let chain_outs = cfg.exec.par_map(seeds.len(), |c| {
+        run_chain(lg, &cfg, &unknown, &pa, seeds[c])
+    });
+
+    // Pool the chains in chain order (not completion order): retained
+    // counts and flip totals are additive; the per-sweep flip histogram is
+    // recorded here on the coordinator so even its order-dependent fields
+    // (`last`) match the sequential run exactly.
+    let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
+    let mut label_flips = 0usize;
+    let mut repairs = 0usize;
+    for chain in &chain_outs {
+        for (total, per_chain) in counts.iter_mut().zip(&chain.counts) {
+            for (t, c) in total.iter_mut().zip(per_chain) {
+                *t += c;
+            }
+        }
+        label_flips += chain.label_flips;
+        repairs += chain.repairs;
+        for &flips in &chain.sweep_flips {
+            ppdp_telemetry::value("gibbs.sweep_flips", flips as f64);
+        }
+    }
+    let sweeps = cfg.chains * (cfg.burn_in + cfg.samples);
+    ppdp_telemetry::counter("gibbs.sweeps", sweeps as u64);
+
+    let dists = lg
+        .graph
+        .users()
+        .map(|u| {
+            if lg.known[u.0] {
+                if let Some(y) = lg.true_label(u) {
+                    return one_hot(y, n_classes);
+                }
+            }
+            let total: usize = counts[u.0].iter().sum();
+            if total == 0 {
+                vec![1.0 / n_classes as f64; n_classes]
+            } else {
+                counts[u.0]
+                    .iter()
+                    .map(|&c| c as f64 / total as f64)
+                    .collect()
+            }
+        })
+        .collect();
+    let degraded = repairs > 0;
+    if degraded {
+        ppdp_telemetry::degradation("gibbs", "uniform_sample");
+    }
+    Ok(GibbsOutcome {
+        dists,
+        sweeps,
+        label_flips,
+        degraded,
+    })
+}
+
+/// Everything one chain contributes to the pooled estimate; merged by the
+/// coordinator in chain order so results are policy-independent.
+struct ChainOut {
+    counts: Vec<Vec<usize>>,
+    label_flips: usize,
+    repairs: usize,
+    sweep_flips: Vec<usize>,
+}
+
+/// Runs one Markov chain on its own seeded RNG. Pure except for the
+/// additive `gibbs.renormalized` counter inside [`sample_from`], so it is
+/// safe to call from worker threads.
+fn run_chain(
+    lg: &LabeledGraph<'_>,
+    cfg: &GibbsConfig,
+    unknown: &[ppdp_graph::UserId],
+    pa: &[Vec<f64>],
+    seed: u64,
+) -> ChainOut {
+    let n_classes = lg.n_classes();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut repairs = 0usize;
+
     // Hard label state: known users fixed, unknowns bootstrapped from P_A.
     let mut label: Vec<u16> = lg
         .graph
         .users()
         .map(|u| lg.true_label(u).filter(|_| lg.known[u.0]).unwrap_or(0))
         .collect();
-    for (&u, d) in unknown.iter().zip(&pa) {
+    for (&u, d) in unknown.iter().zip(pa) {
         label[u.0] = sample_from(&mut rng, d, &mut repairs);
     }
 
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
     let mut label_flips = 0usize;
+    let mut sweep_flips = Vec::with_capacity(cfg.burn_in + cfg.samples);
     for round in 0..(cfg.burn_in + cfg.samples) {
         let mut flips = 0usize;
-        for (&u, a_dist) in unknown.iter().zip(&pa) {
+        for (&u, a_dist) in unknown.iter().zip(pa) {
             // Relational conditional from the *current hard labels* of the
             // neighbours (the Gibbs flavour of Eq. 4.3).
             let ns = lg.graph.neighbors(u);
@@ -177,46 +278,19 @@ pub fn gibbs_run(
             label[u.0] = resampled;
         }
         label_flips += flips;
-        ppdp_telemetry::value("gibbs.sweep_flips", flips as f64);
+        sweep_flips.push(flips);
         if round >= cfg.burn_in {
-            for &u in &unknown {
+            for &u in unknown {
                 counts[u.0][label[u.0] as usize] += 1;
             }
         }
     }
-    let sweeps = cfg.burn_in + cfg.samples;
-    ppdp_telemetry::counter("gibbs.sweeps", sweeps as u64);
-
-    let dists = lg
-        .graph
-        .users()
-        .map(|u| {
-            if lg.known[u.0] {
-                if let Some(y) = lg.true_label(u) {
-                    return one_hot(y, n_classes);
-                }
-            }
-            let total: usize = counts[u.0].iter().sum();
-            if total == 0 {
-                vec![1.0 / n_classes as f64; n_classes]
-            } else {
-                counts[u.0]
-                    .iter()
-                    .map(|&c| c as f64 / total as f64)
-                    .collect()
-            }
-        })
-        .collect();
-    let degraded = repairs > 0;
-    if degraded {
-        ppdp_telemetry::degradation("gibbs", "uniform_sample");
-    }
-    Ok(GibbsOutcome {
-        dists,
-        sweeps,
+    ChainOut {
+        counts,
         label_flips,
-        degraded,
-    })
+        repairs,
+        sweep_flips,
+    }
 }
 
 /// Inverse-CDF sampling with a numerical guard: a corrupt distribution
@@ -372,6 +446,70 @@ mod tests {
     }
 
     #[test]
+    fn multi_chain_parallel_reproduces_sequential_run_bitwise() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let base = GibbsConfig {
+            chains: 6,
+            burn_in: 10,
+            samples: 50,
+            ..Default::default()
+        };
+        let run = |exec: ExecPolicy| {
+            let rec = ppdp_telemetry::Recorder::new();
+            let out = {
+                let _scope = rec.enter();
+                gibbs_run(&lg, &nb, GibbsConfig { exec, ..base }).unwrap()
+            };
+            (out, rec.take())
+        };
+        let (seq_out, seq_rep) = run(ExecPolicy::Sequential);
+        assert_eq!(seq_out.sweeps, 6 * 60, "sweeps count all chains");
+        for threads in [1, 2, 8] {
+            let (par_out, par_rep) = run(ExecPolicy::parallel(threads));
+            assert_eq!(seq_out, par_out, "threads = {threads}");
+            assert_eq!(
+                seq_rep.equivalence_view(),
+                par_rep.equivalence_view(),
+                "threads = {threads}"
+            );
+            // The flip histogram is recorded coordinator-side in chain
+            // order, so even its order-dependent fields must agree.
+            let s = seq_rep.histogram("gibbs.sweep_flips").unwrap();
+            let p = par_rep.histogram("gibbs.sweep_flips").unwrap();
+            assert_eq!((s.count, s.sum, s.last), (p.count, p.sum, p.last));
+        }
+    }
+
+    #[test]
+    fn single_chain_keeps_the_historical_walk() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        // chains: 1 must keep using cfg.seed directly, so the default
+        // config's output is unchanged by the multi-chain machinery; a
+        // second chain must genuinely perturb the pooled estimate.
+        let one = gibbs_run(&lg, &nb, GibbsConfig::default()).unwrap();
+        let two = gibbs_run(
+            &lg,
+            &nb,
+            GibbsConfig {
+                chains: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.sweeps * 2, two.sweeps);
+        assert_ne!(one.dists, two.dists, "pooled chains shift the estimate");
+    }
+
+    #[test]
     fn degenerate_config_is_a_typed_error_not_a_panic() {
         let g = two_cliques();
         let mut known = vec![true; 8];
@@ -385,6 +523,13 @@ mod tests {
         let err = gibbs_run(&lg, &nb, no_samples).unwrap_err();
         assert_eq!(err.kind(), "invalid_input");
         assert!(err.to_string().contains("retained sample"), "{err}");
+        let no_chains = GibbsConfig {
+            chains: 0,
+            ..Default::default()
+        };
+        let err = gibbs_run(&lg, &nb, no_chains).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("chain"), "{err}");
         for (alpha, beta) in [(0.0, 0.0), (f64::NAN, 0.5), (-0.1, 0.5)] {
             let cfg = GibbsConfig {
                 alpha,

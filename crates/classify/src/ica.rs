@@ -7,6 +7,12 @@ use crate::dataset::LabeledGraph;
 use crate::relational::{relational_dist, RelationalState};
 use crate::LocalClassifier;
 use ppdp_errors::{ensure, Result};
+use ppdp_exec::ExecPolicy;
+
+/// Below this many unknown users the per-node scoring is too cheap to be
+/// worth spawning worker threads for; the run silently stays sequential.
+/// Scheduling-only: the scored values are identical either way.
+const PAR_MIN_UNKNOWNS: usize = 16;
 
 /// ICA parameters: the α/β evidence mix of Eq. (3.5) plus iteration control.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +25,9 @@ pub struct IcaConfig {
     pub max_iters: usize,
     /// Convergence tolerance on the max per-class probability change.
     pub tol: f64,
+    /// Execution policy for the per-node bootstrap and sweep scoring.
+    /// Results are bitwise identical across policies and thread counts.
+    pub exec: ExecPolicy,
 }
 
 impl Default for IcaConfig {
@@ -28,6 +37,7 @@ impl Default for IcaConfig {
             beta: 0.5,
             max_iters: 10,
             tol: 1e-6,
+            exec: ExecPolicy::Sequential,
         }
     }
 }
@@ -144,19 +154,20 @@ pub fn ica_run(
     let mut state = RelationalState::new(lg);
     let uniform = vec![1.0 / lg.n_classes() as f64; lg.n_classes()];
     let mut repairs = 0usize;
+    let exec = if unknown.len() >= PAR_MIN_UNKNOWNS {
+        cfg.exec
+    } else {
+        ExecPolicy::Sequential
+    };
 
     // Bootstrap (steps 1-3): attribute-only distributions for V^U. A
     // corrupt local prediction degrades to the uninformative uniform.
-    let pa: Vec<Vec<f64>> = unknown
-        .iter()
-        .map(|&u| {
-            checked_dist(
-                local.predict_dist(&lg.masked_row(u)),
-                &uniform,
-                &mut repairs,
-            )
-        })
-        .collect();
+    let pa: Vec<Vec<f64>> = fold_flag(
+        exec.par_map(unknown.len(), |i| {
+            checked_dist_flag(local.predict_dist(&lg.masked_row(unknown[i])), &uniform)
+        }),
+        &mut repairs,
+    );
     for (&u, d) in unknown.iter().zip(&pa) {
         state.set(u, d.clone());
     }
@@ -166,22 +177,24 @@ pub fn ica_run(
     let mut converged = false;
     let mut label_flips = 0usize;
     // Refinement (steps 4-10): combine P_A with the relational P_L.
+    // Scoring reads only the previous synchronous state, so the per-node
+    // evaluations are independent and safe to fan out.
     for _ in 0..cfg.max_iters {
         iterations += 1;
-        let mut next = Vec::with_capacity(unknown.len());
-        for (&u, a_dist) in unknown.iter().zip(&pa) {
-            let combined = match relational_dist(lg, &state, u) {
-                // A corrupt combined distribution degrades to the
-                // attribute-only bootstrap (itself already repaired).
-                Some(l_dist) => checked_dist(
-                    mix(a_dist, &l_dist, cfg.alpha, cfg.beta),
-                    a_dist,
-                    &mut repairs,
-                ),
-                None => a_dist.clone(),
-            };
-            next.push(combined);
-        }
+        let next: Vec<Vec<f64>> = fold_flag(
+            exec.par_map(unknown.len(), |i| {
+                let a_dist = &pa[i];
+                match relational_dist(lg, &state, unknown[i]) {
+                    // A corrupt combined distribution degrades to the
+                    // attribute-only bootstrap (itself already repaired).
+                    Some(l_dist) => {
+                        checked_dist_flag(mix(a_dist, &l_dist, cfg.alpha, cfg.beta), a_dist)
+                    }
+                    None => (a_dist.clone(), false),
+                }
+            }),
+            &mut repairs,
+        );
         let mut delta = 0.0f64;
         let mut flips = 0usize;
         for (&u, d) in unknown.iter().zip(next) {
@@ -235,17 +248,31 @@ fn mix(a: &[f64], l: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
     }
 }
 
-/// Renormalizes `d`, or returns `fallback` (counting the repair) when `d`
+/// Renormalizes `d`, or returns `fallback` plus a repaired flag when `d`
 /// carries NaN/Inf/negative components or its mass underflowed to zero.
-fn checked_dist(d: Vec<f64>, fallback: &[f64], repairs: &mut usize) -> Vec<f64> {
+/// The `ica.renormalized` counter is additive, so recording it from a
+/// worker thread is order-independent; the flag lets the coordinator fold
+/// the repair count deterministically.
+fn checked_dist_flag(d: Vec<f64>, fallback: &[f64]) -> (Vec<f64>, bool) {
     let corrupt = d.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = d.iter().sum();
     if corrupt || !z.is_finite() || z <= 0.0 {
-        *repairs += 1;
         ppdp_telemetry::counter("ica.renormalized", 1);
-        return fallback.to_vec();
+        return (fallback.to_vec(), true);
     }
-    d.iter().map(|x| x / z).collect()
+    (d.iter().map(|x| x / z).collect(), false)
+}
+
+/// Strips the repair flags from per-item results, summing them into
+/// `repairs`; preserves item order.
+fn fold_flag(items: Vec<(Vec<f64>, bool)>, repairs: &mut usize) -> Vec<Vec<f64>> {
+    items
+        .into_iter()
+        .map(|(d, repaired)| {
+            *repairs += usize::from(repaired);
+            d
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -473,6 +500,79 @@ mod tests {
         assert!(!starved.converged);
         assert_eq!(starved.iterations, 1);
         assert!(starved.final_delta.is_finite());
+    }
+
+    /// A chain of homophilous cliques, one unknown user per clique: wide
+    /// enough (`n_cliques ≥ PAR_MIN_UNKNOWNS`) to cross the parallelism
+    /// threshold.
+    fn clique_chain(n_cliques: usize) -> (SocialGraph, Vec<bool>) {
+        let mut b = GraphBuilder::new(Schema::uniform(3, 2));
+        let mut prev: Option<UserId> = None;
+        for c in 0..n_cliques {
+            let label = (c % 2) as u16;
+            let members: Vec<_> = (0..4)
+                .map(|i| b.user_with(&[label, (i % 2) as u16, label]))
+                .collect();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.edge(members[i], members[j]);
+                }
+            }
+            if let Some(p) = prev {
+                b.edge(p, members[0]); // bridge between cliques
+            }
+            prev = Some(members[0]);
+        }
+        let mut known = vec![true; 4 * n_cliques];
+        for c in 0..n_cliques {
+            known[4 * c + 3] = false;
+        }
+        (b.build(), known)
+    }
+
+    #[test]
+    fn parallel_policy_reproduces_sequential_run_bitwise() {
+        let (g, known) = clique_chain(20);
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let sequential = ica_run(&lg, &nb, IcaConfig::default()).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = IcaConfig {
+                exec: ppdp_exec::ExecPolicy::parallel(threads),
+                ..Default::default()
+            };
+            let parallel = ica_run(&lg, &nb, cfg).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_policy_matches_sequential_telemetry_counters() {
+        let (g, known) = clique_chain(20);
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let run = |exec: ppdp_exec::ExecPolicy| {
+            let poison = PoisonLocal { n: 2, value: -1.0 };
+            let rec = ppdp_telemetry::Recorder::new();
+            let out = {
+                let _scope = rec.enter();
+                ica_run(
+                    &lg,
+                    &poison,
+                    IcaConfig {
+                        exec,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            (out, rec.take().equivalence_view())
+        };
+        let (seq_out, seq_view) = run(ppdp_exec::ExecPolicy::Sequential);
+        let (par_out, par_view) = run(ppdp_exec::ExecPolicy::parallel(4));
+        assert_eq!(seq_out, par_out);
+        assert!(seq_out.degraded, "poison must trigger worker-side repairs");
+        assert_eq!(seq_view, par_view);
+        assert!(par_view.counter("ica.renormalized") > 0);
     }
 
     #[test]

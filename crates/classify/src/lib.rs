@@ -21,7 +21,7 @@ pub mod naive_bayes;
 pub mod relational;
 
 pub use dataset::{LabeledGraph, TrainSet};
-pub use eval::{accuracy, run_attack, AttackModel, LocalKind};
+pub use eval::{accuracy, run_attack, run_attack_with, AttackModel, LocalKind};
 pub use gibbs::{gibbs_predict, gibbs_run, GibbsConfig, GibbsOutcome};
 pub use ica::{ica_predict, ica_run, IcaConfig, IcaOutcome};
 pub use knn::Knn;
@@ -31,7 +31,11 @@ pub use relational::{masked_weight, one_hot, relational_dist, RelationalState};
 
 /// A trained attribute-based classifier producing class-probability
 /// distributions from a full attribute row (`None` = unpublished value).
-pub trait LocalClassifier {
+///
+/// The `Send + Sync` supertrait lets the inference loops score nodes from
+/// worker threads under [`ppdp_exec::ExecPolicy::Parallel`]; every
+/// classifier here is plain trained data, so the bound is free.
+pub trait LocalClassifier: Send + Sync {
     /// Number of decision classes.
     fn n_classes(&self) -> usize;
     /// Probability distribution over classes for `row`.

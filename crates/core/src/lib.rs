@@ -38,6 +38,7 @@ pub use ppdp_classify as classify;
 pub use ppdp_datagen as datagen;
 pub use ppdp_dp as dp;
 pub use ppdp_errors as errors;
+pub use ppdp_exec as exec;
 pub use ppdp_genomic as genomic;
 pub use ppdp_graph as graph;
 pub use ppdp_opt as opt;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
     pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
     pub use ppdp_errors::{PpdpError, Result};
+    pub use ppdp_exec::ExecPolicy;
     pub use ppdp_genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
     pub use ppdp_graph::{CategoryId, SocialGraph, UserId};
     pub use ppdp_telemetry::{Recorder, RunReport};

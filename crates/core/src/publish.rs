@@ -3,14 +3,33 @@
 use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
 use ppdp_datagen::social::SocialDataset;
 use ppdp_errors::{ensure, ensure_unit_closed, Result};
-use ppdp_genomic::sanitize::{greedy_sanitize, Predictor, SanitizeOutcome, Target};
+use ppdp_exec::ExecPolicy;
+use ppdp_genomic::sanitize::{greedy_sanitize_with, Predictor, SanitizeOutcome, Target};
 use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
 use ppdp_graph::SocialGraph;
-use ppdp_sanitize::{collective_sanitize, remove_indistinguishable_links, CollectivePlan};
+use ppdp_sanitize::{collective_sanitize, remove_indistinguishable_links_with, CollectivePlan};
 use ppdp_telemetry::{Recorder, RunReport};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Records the wall-clock of one pipeline phase under an `exec.`-prefixed
+/// value, so [`RunReport::equivalence_view`] drops it: timings are the one
+/// thing the parallel layer is *allowed* to change.
+fn record_phase_ms(phase: &'static str, started: std::time::Instant) {
+    ppdp_telemetry::value(
+        match phase {
+            "attack_before" => "exec.phase_ms.attack_before",
+            "sanitize" => "exec.phase_ms.sanitize",
+            "attack_after" => "exec.phase_ms.attack_after",
+            "fit" => "exec.phase_ms.fit",
+            "sample" => "exec.phase_ms.sample",
+            "optimize" => "exec.phase_ms.optimize",
+            _ => "exec.phase_ms.other",
+        },
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+}
 
 /// Chapter 3 pipeline: collective sanitization of a social dataset plus a
 /// before/after attack evaluation.
@@ -22,6 +41,7 @@ pub struct SocialPublisher<'d> {
     known_fraction: f64,
     kind: LocalKind,
     mix: (f64, f64),
+    exec: ExecPolicy,
 }
 
 /// Outcome of a [`SocialPublisher`] run.
@@ -54,6 +74,7 @@ impl<'d> SocialPublisher<'d> {
             known_fraction: 0.7,
             kind: LocalKind::Bayes,
             mix: (0.5, 0.5),
+            exec: ExecPolicy::Sequential,
         }
     }
 
@@ -87,6 +108,14 @@ impl<'d> SocialPublisher<'d> {
         self
     }
 
+    /// Sets the execution policy for the attack and sanitization phases.
+    /// The published artifacts and report metrics are bitwise identical
+    /// for every policy and thread count; only wall-clock changes.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Runs sanitization + evaluation (deterministic for a given seed).
     ///
     /// The attached [`SocialReport::telemetry`] covers the whole run; the
@@ -113,6 +142,7 @@ impl<'d> SocialPublisher<'d> {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("social.publish");
+        self.exec.record_threads();
 
         let d = self.data;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -126,20 +156,26 @@ impl<'d> SocialPublisher<'d> {
 
         let before = {
             let _phase = ppdp_telemetry::span("attack_before");
-            ppdp_classify::run_attack(
+            let started = std::time::Instant::now();
+            let accuracy = ppdp_classify::run_attack_with(
                 &LabeledGraph::new(&d.graph, d.privacy_cat, known.clone()),
                 self.kind,
                 model,
+                self.exec,
             )?
-            .accuracy
+            .accuracy;
+            record_phase_ms("attack_before", started);
+            accuracy
         };
 
         let (sanitized, plan) = {
             let _phase = ppdp_telemetry::span("sanitize");
+            let started = std::time::Instant::now();
             let (mut sanitized, plan) =
                 collective_sanitize(&d.graph, d.privacy_cat, d.utility_cat, self.level)?;
             if self.links_to_remove > 0 {
-                sanitized = remove_indistinguishable_links(
+                sanitized = remove_indistinguishable_links_with(
+                    self.exec,
                     &sanitized,
                     d.privacy_cat,
                     &known,
@@ -147,23 +183,28 @@ impl<'d> SocialPublisher<'d> {
                     self.links_to_remove,
                 )?;
             }
+            record_phase_ms("sanitize", started);
             (sanitized, plan)
         };
 
         let (after, utility) = {
             let _phase = ppdp_telemetry::span("attack_after");
-            let after = ppdp_classify::run_attack(
+            let started = std::time::Instant::now();
+            let after = ppdp_classify::run_attack_with(
                 &LabeledGraph::new(&sanitized, d.privacy_cat, known.clone()),
                 self.kind,
                 model,
+                self.exec,
             )?
             .accuracy;
-            let utility = ppdp_classify::run_attack(
+            let utility = ppdp_classify::run_attack_with(
                 &LabeledGraph::new(&sanitized, d.utility_cat, known),
                 self.kind,
                 model,
+                self.exec,
             )?
             .accuracy;
+            record_phase_ms("attack_after", started);
             (after, utility)
         };
 
@@ -213,10 +254,29 @@ impl LatentPublisher {
         predictions: &[Vec<f64>],
         delta: f64,
     ) -> Result<LatentReport> {
+        Self::optimize_with(ExecPolicy::Sequential, profile, initial, predictions, delta)
+    }
+
+    /// [`LatentPublisher::optimize`] with an explicit execution policy for
+    /// the coordinate-ascent candidate scoring; the optimized strategy and
+    /// privacy value are identical for every policy and thread count.
+    ///
+    /// # Errors
+    /// Same conditions as [`LatentPublisher::optimize`].
+    pub fn optimize_with(
+        exec: ExecPolicy,
+        profile: &ppdp_tradeoff::Profile,
+        initial: &ppdp_tradeoff::AttributeStrategy,
+        predictions: &[Vec<f64>],
+        delta: f64,
+    ) -> Result<LatentReport> {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("latent.optimize");
-        let (strategy, privacy) = ppdp_tradeoff::optimize_attribute_strategy(
+        exec.record_threads();
+        let started = std::time::Instant::now();
+        let (strategy, privacy) = ppdp_tradeoff::optimize_attribute_strategy_with(
+            exec,
             profile,
             initial,
             predictions,
@@ -226,6 +286,7 @@ impl LatentPublisher {
                 ..Default::default()
             },
         )?;
+        record_phase_ms("optimize", started);
         drop(span);
         drop(scope);
         Ok(LatentReport {
@@ -244,6 +305,7 @@ pub struct GenomePublisher<'c> {
     delta: f64,
     max_removals: usize,
     predictor: Predictor,
+    exec: ExecPolicy,
 }
 
 impl<'c> GenomePublisher<'c> {
@@ -254,7 +316,16 @@ impl<'c> GenomePublisher<'c> {
             delta,
             max_removals: usize::MAX,
             predictor: Predictor::BeliefPropagation(BpConfig::default()),
+            exec: ExecPolicy::Sequential,
         }
+    }
+
+    /// Sets the execution policy for the greedy sanitizer's per-candidate
+    /// marginal-gain evaluations. The removal sequence and report are
+    /// bitwise identical for every policy and thread count.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Caps the number of SNPs the sanitizer may hide.
@@ -285,7 +356,10 @@ impl<'c> GenomePublisher<'c> {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("genome.publish");
-        let outcome = greedy_sanitize(
+        self.exec.record_threads();
+        let started = std::time::Instant::now();
+        let outcome = greedy_sanitize_with(
+            self.exec,
             self.catalog,
             evidence,
             targets,
@@ -293,6 +367,7 @@ impl<'c> GenomePublisher<'c> {
             self.max_removals,
             self.predictor,
         )?;
+        record_phase_ms("sanitize", started);
         let mut released = evidence.clone();
         for s in &outcome.removed {
             released.snps.remove(s);
@@ -327,12 +402,25 @@ pub struct DpPublisher {
     pub epsilon: f64,
     /// Bayesian-network degree (marginal dimensionality − 1).
     pub degree: usize,
+    exec: ExecPolicy,
 }
 
 impl DpPublisher {
     /// Pipeline with the given budget and network degree.
     pub fn new(epsilon: f64, degree: usize) -> Self {
-        Self { epsilon, degree }
+        Self {
+            epsilon,
+            degree,
+            exec: ExecPolicy::Sequential,
+        }
+    }
+
+    /// Sets the execution policy for the sampling phase. Records are drawn
+    /// from per-record split seeds, so the synthetic table is bitwise
+    /// identical for every policy and thread count.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Fits the noisy network and samples `n` synthetic records.
@@ -350,21 +438,32 @@ impl DpPublisher {
         let rec = Recorder::new();
         let scope = rec.enter();
         let span = ppdp_telemetry::span("dp.publish");
+        self.exec.record_threads();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = {
             let _phase = ppdp_telemetry::span("fit");
-            ppdp_dp::BayesNet::fit(
+            let started = std::time::Instant::now();
+            let net = ppdp_dp::BayesNet::fit(
                 &mut rng,
                 table,
                 ppdp_dp::SynthesisConfig {
                     degree: self.degree,
                     epsilon: self.epsilon,
                 },
-            )?
+            )?;
+            record_phase_ms("fit", started);
+            net
         };
         let table = {
             let _phase = ppdp_telemetry::span("sample");
-            net.sample(&mut rng, n)
+            let started = std::time::Instant::now();
+            // Per-record split seeds (derived from the run seed after the
+            // fit consumed its draws) keep the table a pure function of
+            // `(table, ε, degree, seed, n)` under any execution policy.
+            let sample_seed = rng.gen::<u64>();
+            let table = net.sample_with(self.exec, sample_seed, n);
+            record_phase_ms("sample", started);
+            table
         };
         drop(span);
         drop(scope);

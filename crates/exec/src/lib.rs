@@ -1,0 +1,255 @@
+//! `ppdp-exec`: the workspace's deterministic parallel execution layer.
+//!
+//! Every parallel region in the workspace goes through [`ExecPolicy`]
+//! (direct `std::thread::spawn` in library code is denied by the clippy
+//! gate in `ci.sh`). The layer makes two guarantees:
+//!
+//! 1. **Bitwise determinism.** [`ExecPolicy::par_map`] evaluates a pure
+//!    closure per item index and assembles the results in item-index
+//!    order, so the output `Vec` is identical for `Sequential`,
+//!    `Parallel { threads: 1 }`, `Parallel { threads: 8 }`, … as long as
+//!    the closure itself is a pure function of the index. Randomized
+//!    kernels derive one RNG per item via [`split_seed`] (a SplitMix64
+//!    mix of the run seed and the stable item index) instead of sharing
+//!    a sequential stream, which is what makes per-item work
+//!    order-independent in the first place.
+//! 2. **Telemetry transparency.** Worker closures run with the
+//!    coordinating thread's telemetry context re-activated (see
+//!    [`ppdp_telemetry::ThreadContext`]), so scoped recorders observe
+//!    the same counter totals regardless of the thread count. Kernels
+//!    keep order-dependent telemetry (histograms, budget draws, spans)
+//!    on the coordinating thread; workers record only additive counters.
+//!
+//! ```
+//! use ppdp_exec::ExecPolicy;
+//!
+//! let seq = ExecPolicy::Sequential.par_map(8, |i| i * i);
+//! let par = ExecPolicy::Parallel { threads: 4 }.par_map(8, |i| i * i);
+//! assert_eq!(seq, par);
+//! ```
+
+use ppdp_telemetry::ThreadContext;
+
+/// How a kernel should execute its independent per-item work.
+///
+/// The policy never changes *what* is computed — only how many OS
+/// threads evaluate the item closures. `Default` is [`Sequential`],
+/// so every existing call site keeps its single-threaded behavior
+/// unless a publisher explicitly opts in.
+///
+/// [`Sequential`]: ExecPolicy::Sequential
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Evaluate items one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan items out over `threads` scoped worker threads.
+    Parallel {
+        /// Worker-thread count; `0` means "use all available cores".
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// Shorthand for `Parallel { threads }`.
+    pub fn parallel(threads: usize) -> Self {
+        Self::Parallel { threads }
+    }
+
+    /// Reads the policy from the environment: `PPDP_THREADS` first, then
+    /// `RAYON_NUM_THREADS` (honored for ecosystem compatibility even
+    /// though the layer is built on scoped std threads). Unset or
+    /// unparsable values, and values `<= 1`, mean [`Sequential`].
+    ///
+    /// [`Sequential`]: ExecPolicy::Sequential
+    pub fn from_env() -> Self {
+        for var in ["PPDP_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(raw) = std::env::var(var) {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    return if n <= 1 {
+                        Self::Sequential
+                    } else {
+                        Self::Parallel { threads: n }
+                    };
+                }
+            }
+        }
+        Self::Sequential
+    }
+
+    /// Effective worker count: 1 for [`ExecPolicy::Sequential`], the
+    /// machine's available parallelism for `Parallel { threads: 0 }`.
+    pub fn threads(&self) -> usize {
+        match *self {
+            Self::Sequential => 1,
+            Self::Parallel { threads: 0 } => {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+            Self::Parallel { threads } => threads,
+        }
+    }
+
+    /// `true` when more than one worker thread would be used.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n - 1)` and returns the results in
+    /// index order.
+    ///
+    /// Under [`ExecPolicy::Sequential`] (or when `n < 2`) this is a plain
+    /// loop on the calling thread. Under `Parallel` the index range is
+    /// split into contiguous chunks, one scoped worker per chunk, and the
+    /// per-chunk results are concatenated in chunk order — so the output
+    /// is positionally identical to the sequential evaluation. Each
+    /// worker runs with the caller's telemetry context activated.
+    ///
+    /// A panic in `f` is re-raised on the calling thread after all
+    /// workers have been joined (no detached threads, no hung joins).
+    pub fn par_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = self.threads().min(n);
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let ctx = ThreadContext::capture();
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (chunk..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let (ctx, f) = (&ctx, &f);
+                    scope.spawn(move || {
+                        let _telemetry = ctx.activate();
+                        (start..end).map(f).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            // The coordinator evaluates the first chunk itself instead of
+            // idling at the join barrier — one fewer spawn per call, and
+            // its telemetry context is already active.
+            out.extend((0..chunk).map(&f));
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(cause) => panic = Some(cause),
+                }
+            }
+        });
+        if let Some(cause) = panic {
+            std::panic::resume_unwind(cause);
+        }
+        out
+    }
+
+    /// Records the policy's effective thread count into telemetry under
+    /// `exec.threads` (excluded from equivalence comparisons — it is
+    /// *supposed* to differ between policies).
+    pub fn record_threads(&self) {
+        ppdp_telemetry::counter("exec.threads", self.threads() as u64);
+    }
+}
+
+/// Derives an independent 64-bit seed for item `index` of a run seeded
+/// with `seed`, via a SplitMix64-style avalanche of `seed ⊕ φ·(index+1)`.
+///
+/// Both the sequential and parallel paths of every randomized kernel
+/// seed item `i`'s RNG with `split_seed(seed, i)`, which is what makes
+/// per-item randomness independent of evaluation order (and therefore of
+/// the thread count). The `index + 1` offset keeps `split_seed(s, 0)`
+/// from collapsing to a plain mix of `s`.
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
+        assert_eq!(ExecPolicy::Sequential.threads(), 1);
+        assert!(!ExecPolicy::Sequential.is_parallel());
+        assert!(ExecPolicy::parallel(4).is_parallel());
+        assert_eq!(ExecPolicy::parallel(4).threads(), 4);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        assert!(ExecPolicy::parallel(0).threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_in_order_and_value() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD;
+        let seq: Vec<u64> = (0..103).map(f).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = ExecPolicy::parallel(threads).par_map(103, f);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        let p = ExecPolicy::parallel(8);
+        assert!(p.par_map(0, |i| i).is_empty());
+        assert_eq!(p.par_map(1, |i| i + 7), vec![7]);
+        assert_eq!(p.par_map(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn par_map_propagates_scoped_telemetry() {
+        let rec = ppdp_telemetry::Recorder::new();
+        {
+            let _scope = rec.enter();
+            let _ = ExecPolicy::parallel(4).par_map(32, |i| {
+                ppdp_telemetry::counter("exec.test.items", 1);
+                i
+            });
+        }
+        assert_eq!(rec.take().counter("exec.test.items"), 32);
+    }
+
+    #[test]
+    fn par_map_panic_resurfaces_on_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            ExecPolicy::parallel(4).par_map(16, |i| {
+                assert!(i != 11, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn split_seed_is_stable_and_spreads() {
+        assert_eq!(split_seed(42, 0), split_seed(42, 0), "deterministic");
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| split_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1000, "no collisions over a small range");
+        assert_ne!(split_seed(1, 5), split_seed(2, 5), "seed matters");
+    }
+
+    #[test]
+    fn from_env_parses_thread_counts() {
+        // Serialize env mutation within this test only; other tests in
+        // this binary do not read these variables.
+        std::env::set_var("PPDP_THREADS", "6");
+        assert_eq!(ExecPolicy::from_env(), ExecPolicy::parallel(6));
+        std::env::set_var("PPDP_THREADS", "1");
+        assert_eq!(ExecPolicy::from_env(), ExecPolicy::Sequential);
+        std::env::remove_var("PPDP_THREADS");
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(ExecPolicy::from_env(), ExecPolicy::parallel(3));
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+}

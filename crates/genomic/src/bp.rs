@@ -21,6 +21,14 @@
 //! `degraded.bp.prior_fallback` telemetry event.
 
 use crate::factor_graph::FactorGraph;
+use ppdp_exec::ExecPolicy;
+
+/// Minimum factor count (association + kin) before a `Parallel` policy
+/// actually fans out; smaller graphs run sequentially regardless. This is
+/// purely a scheduling decision — results are identical either way, since
+/// every message stage evaluates the same pure per-item closures and
+/// assembles them in item order.
+const PAR_MIN_FACTORS: usize = 32;
 
 /// Belief-propagation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +45,11 @@ pub struct BpConfig {
     /// damping (0.5, then 0.8) up to this many extra attempts before
     /// accepting the outcome (or degrading to prior-only marginals).
     pub max_restarts: usize,
+    /// How to schedule the per-factor message stages. The policy never
+    /// changes the marginals: sweeps fan out over pure per-factor closures
+    /// whose results are folded in factor order, so `Sequential` and any
+    /// `Parallel { threads }` produce bitwise-identical messages.
+    pub exec: ExecPolicy,
 }
 
 impl Default for BpConfig {
@@ -46,6 +59,7 @@ impl Default for BpConfig {
             tol: 1e-9,
             damping: 0.0,
             max_restarts: 2,
+            exec: ExecPolicy::Sequential,
         }
     }
 }
@@ -207,6 +221,11 @@ impl BpConfig {
     ) -> Attempt {
         let nf = g.factors.len();
         let nk = g.kin_factors.len();
+        let exec = if nf + nk >= PAR_MIN_FACTORS {
+            self.exec
+        } else {
+            ExecPolicy::Sequential
+        };
         let mut f2s = vec![[1.0f64; 3]; nf];
         let mut f2t = vec![[1.0f64; 2]; nf];
         // Kin-factor → SNP messages, one per (factor, side): side 0 = to the
@@ -248,89 +267,125 @@ impl BpConfig {
         for iter in 0..self.max_iters {
             sweeps = iter + 1;
             // Variable → factor messages (Eqs. 5.3/5.4): product of incoming
-            // factor messages excluding the destination factor.
-            let mut s2f = vec![[1.0f64; 3]; nf];
-            for (s, fs) in g.snp_factors.iter().enumerate() {
-                for &f in fs {
-                    let msg = incoming(s, Some(f), None, &f2s, &k2s, &snp_pot[s]);
-                    s2f[f] = checked3(msg, &mut clean);
-                }
-            }
+            // factor messages excluding the destination factor. Each factor
+            // touches exactly one SNP, so the stage is per-factor
+            // independent and safe to fan out.
+            let s2f = fold_flag(
+                exec.par_map(nf, |f| {
+                    let s = g.factors[f].snp;
+                    checked3_flag(incoming(s, Some(f), None, &f2s, &k2s, &snp_pot[s]))
+                }),
+                &mut clean,
+            );
             // Variable → kin-factor messages (parent side index 0, child 1).
-            let mut s2k = vec![[[1.0f64; 3]; 2]; nk];
-            for (k, kf) in g.kin_factors.iter().enumerate() {
-                s2k[k][0] = checked3(
-                    incoming(kf.parent, None, Some(k), &f2s, &k2s, &snp_pot[kf.parent]),
-                    &mut clean,
-                );
-                s2k[k][1] = checked3(
-                    incoming(kf.child, None, Some(k), &f2s, &k2s, &snp_pot[kf.child]),
-                    &mut clean,
-                );
-            }
-            let mut t2f = vec![[1.0f64; 2]; nf];
-            for (t, fs) in g.trait_factors.iter().enumerate() {
-                for &f in fs {
+            let s2k = fold_flag(
+                exec.par_map(nk, |k| {
+                    let kf = &g.kin_factors[k];
+                    let (to_parent_side, ok_p) = checked3_flag(incoming(
+                        kf.parent,
+                        None,
+                        Some(k),
+                        &f2s,
+                        &k2s,
+                        &snp_pot[kf.parent],
+                    ));
+                    let (to_child_side, ok_c) = checked3_flag(incoming(
+                        kf.child,
+                        None,
+                        Some(k),
+                        &f2s,
+                        &k2s,
+                        &snp_pot[kf.child],
+                    ));
+                    ([to_parent_side, to_child_side], ok_p && ok_c)
+                }),
+                &mut clean,
+            );
+            let t2f = fold_flag(
+                exec.par_map(nf, |f| {
+                    let t = g.factors[f].trait_idx;
                     let mut msg = trait_pot[t];
-                    for &f2 in fs {
+                    for &f2 in &g.trait_factors[t] {
                         if f2 != f {
                             for (m, l) in msg.iter_mut().zip(&f2t[f2]) {
                                 *m *= l;
                             }
                         }
                     }
-                    t2f[f] = checked2(msg, &mut clean);
-                }
-            }
+                    checked2_flag(msg)
+                }),
+                &mut clean,
+            );
 
-            // Factor → variable messages (Eqs. 5.5/5.6).
+            // Factor → variable messages (Eqs. 5.5/5.6). Each factor's
+            // update reads only its own old messages, so the stage fans
+            // out per factor; the residual folds with `max`, which is
+            // order-independent.
             let mut delta = 0.0f64;
-            for (f, fac) in g.factors.iter().enumerate() {
+            let factor_updates = exec.par_map(nf, |f| {
+                let fac = &g.factors[f];
                 let mut to_s = [0.0f64; 3];
                 for (gi, row) in fac.table.iter().enumerate() {
                     to_s[gi] = row[0] * t2f[f][0] + row[1] * t2f[f][1];
                 }
-                let to_s = damp3(checked3(to_s, &mut clean), f2s[f], damping);
+                let (to_s, ok_s) = checked3_flag(to_s);
+                let to_s = damp3(to_s, f2s[f], damping);
+                let mut d = 0.0f64;
                 for (new, old) in to_s.iter().zip(&f2s[f]) {
-                    delta = delta.max((new - old).abs());
+                    d = d.max((new - old).abs());
                 }
-                f2s[f] = to_s;
 
                 let mut to_t = [0.0f64; 2];
                 for (t, slot) in to_t.iter_mut().enumerate() {
                     *slot = (0..3).map(|gi| fac.table[gi][t] * s2f[f][gi]).sum();
                 }
-                let to_t = damp2(checked2(to_t, &mut clean), f2t[f], damping);
+                let (to_t, ok_t) = checked2_flag(to_t);
+                let to_t = damp2(to_t, f2t[f], damping);
                 for (new, old) in to_t.iter().zip(&f2t[f]) {
-                    delta = delta.max((new - old).abs());
+                    d = d.max((new - old).abs());
                 }
+                (to_s, to_t, d, ok_s && ok_t)
+            });
+            for (f, (to_s, to_t, d, ok)) in factor_updates.into_iter().enumerate() {
+                f2s[f] = to_s;
                 f2t[f] = to_t;
+                delta = delta.max(d);
+                clean &= ok;
             }
 
             // Kin-factor → variable messages: sum-product over the 3×3
-            // transmission table.
-            for (k, kf) in g.kin_factors.iter().enumerate() {
+            // transmission table. Both directions read only the s2k
+            // messages and the factor's own old k2s entries.
+            let kin_updates = exec.par_map(nk, |k| {
+                let kf = &g.kin_factors[k];
                 // to child: Σ_p T[p][c] · μ_{parent→k}(p)
                 let mut to_child = [0.0f64; 3];
                 for (c, slot) in to_child.iter_mut().enumerate() {
                     *slot = (0..3).map(|p| kf.table[p][c] * s2k[k][0][p]).sum();
                 }
-                let to_child = damp3(checked3(to_child, &mut clean), k2s[k][1], damping);
+                let (to_child, ok_c) = checked3_flag(to_child);
+                let to_child = damp3(to_child, k2s[k][1], damping);
+                let mut d = 0.0f64;
                 for (new, old) in to_child.iter().zip(&k2s[k][1]) {
-                    delta = delta.max((new - old).abs());
+                    d = d.max((new - old).abs());
                 }
-                k2s[k][1] = to_child;
 
                 // to parent: Σ_c T[p][c] · μ_{child→k}(c)
                 let mut to_parent = [0.0f64; 3];
                 for (p, slot) in to_parent.iter_mut().enumerate() {
                     *slot = (0..3).map(|c| kf.table[p][c] * s2k[k][1][c]).sum();
                 }
-                let to_parent = damp3(checked3(to_parent, &mut clean), k2s[k][0], damping);
+                let (to_parent, ok_p) = checked3_flag(to_parent);
+                let to_parent = damp3(to_parent, k2s[k][0], damping);
                 for (new, old) in to_parent.iter().zip(&k2s[k][0]) {
-                    delta = delta.max((new - old).abs());
+                    d = d.max((new - old).abs());
                 }
-                k2s[k][0] = to_parent;
+                ([to_parent, to_child], d, ok_c && ok_p)
+            });
+            for (k, (sides, d, ok)) in kin_updates.into_iter().enumerate() {
+                k2s[k] = sides;
+                delta = delta.max(d);
+                clean &= ok;
             }
 
             final_residual = delta;
@@ -346,23 +401,24 @@ impl BpConfig {
 
         // Beliefs: potential × product of all incoming factor messages
         // (both association and kin factors).
-        let snp_marginals = (0..g.n_snps())
-            .map(|s| checked3(incoming(s, None, None, &f2s, &k2s, &snp_pot[s]), &mut clean))
-            .collect();
-        let trait_marginals = g
-            .trait_factors
-            .iter()
-            .enumerate()
-            .map(|(t, fs)| {
+        let snp_marginals = fold_flag(
+            exec.par_map(g.n_snps(), |s| {
+                checked3_flag(incoming(s, None, None, &f2s, &k2s, &snp_pot[s]))
+            }),
+            &mut clean,
+        );
+        let trait_marginals = fold_flag(
+            exec.par_map(g.trait_factors.len(), |t| {
                 let mut b = trait_pot[t];
-                for &f in fs {
+                for &f in &g.trait_factors[t] {
                     for (x, l) in b.iter_mut().zip(&f2t[f]) {
                         *x *= l;
                     }
                 }
-                checked2(b, &mut clean)
-            })
-            .collect();
+                checked2_flag(b)
+            }),
+            &mut clean,
+        );
 
         Attempt {
             snp_marginals,
@@ -382,36 +438,63 @@ fn indicator3(i: usize) -> [f64; 3] {
 }
 
 /// Normalizes a 3-vector, first checking it for corruption: a NaN, Inf or
-/// negative component, or an underflowed (non-positive) sum, clears `clean`,
-/// bumps the `bp.renormalized` counter, and repairs the message to uniform
-/// so the sweep can finish with finite values.
-fn checked3(mut v: [f64; 3], clean: &mut bool) -> [f64; 3] {
+/// negative component, or an underflowed (non-positive) sum, bumps the
+/// `bp.renormalized` counter and repairs the message to uniform so the
+/// sweep can finish with finite values. Returns the message plus a
+/// clean-flag (`false` = repaired); pure apart from the additive counter,
+/// so it is safe to call from worker threads.
+fn checked3_flag(mut v: [f64; 3]) -> ([f64; 3], bool) {
     let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = v.iter().sum();
     if corrupt || !z.is_finite() || z <= 0.0 {
-        *clean = false;
         ppdp_telemetry::counter("bp.renormalized", 1);
-        return [1.0 / 3.0; 3];
+        return ([1.0 / 3.0; 3], false);
     }
     for x in &mut v {
         *x /= z;
     }
+    (v, true)
+}
+
+/// 2-vector sibling of [`checked3_flag`].
+fn checked2_flag(mut v: [f64; 2]) -> ([f64; 2], bool) {
+    let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
+    let z: f64 = v.iter().sum();
+    if corrupt || !z.is_finite() || z <= 0.0 {
+        ppdp_telemetry::counter("bp.renormalized", 1);
+        return ([0.5; 2], false);
+    }
+    for x in &mut v {
+        *x /= z;
+    }
+    (v, true)
+}
+
+/// `&mut clean` adapter over [`checked3_flag`] for sequential-only paths.
+fn checked3(v: [f64; 3], clean: &mut bool) -> [f64; 3] {
+    let (v, ok) = checked3_flag(v);
+    *clean &= ok;
     v
 }
 
-/// 2-vector sibling of [`checked3`].
-fn checked2(mut v: [f64; 2], clean: &mut bool) -> [f64; 2] {
-    let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
-    let z: f64 = v.iter().sum();
-    if corrupt || !z.is_finite() || z <= 0.0 {
-        *clean = false;
-        ppdp_telemetry::counter("bp.renormalized", 1);
-        return [0.5; 2];
-    }
-    for x in &mut v {
-        *x /= z;
-    }
+/// `&mut clean` adapter over [`checked2_flag`] for sequential-only paths.
+fn checked2(v: [f64; 2], clean: &mut bool) -> [f64; 2] {
+    let (v, ok) = checked2_flag(v);
+    *clean &= ok;
     v
+}
+
+/// Unzips a stage's `(message, clean)` results (already in item order),
+/// AND-folding the clean flags into `clean`. The fold is order-independent,
+/// which is what lets the stage itself run on any number of threads.
+fn fold_flag<T>(pairs: Vec<(T, bool)>, clean: &mut bool) -> Vec<T> {
+    pairs
+        .into_iter()
+        .map(|(v, ok)| {
+            *clean &= ok;
+            v
+        })
+        .collect()
 }
 
 fn damp3(new: [f64; 3], old: [f64; 3], d: f64) -> [f64; 3] {
@@ -649,6 +732,69 @@ mod tests {
             .expect("residuals recorded");
         assert_eq!(h.count, r.iterations as u64);
         assert!(report.span("bp.run").is_some());
+    }
+
+    /// A catalog large enough to cross [`PAR_MIN_FACTORS`], with kin
+    /// factors, evidence, and uneven odds ratios — the shape the parallel
+    /// scheduler actually sees in anger.
+    fn wide_graph() -> FactorGraph {
+        let mut cat = crate::GwasCatalog::with_table_5_3_traits(48);
+        let nt = cat.n_traits();
+        for s in 0..48 {
+            cat.associate(
+                SnpId(s),
+                TraitId(s % nt),
+                1.1 + 0.02 * s as f64,
+                0.05 + 0.018 * (s % 50) as f64,
+            );
+        }
+        let ev = Evidence::none()
+            .with_snp(SnpId(0), Genotype::HomRisk)
+            .with_snp(SnpId(7), Genotype::Het)
+            .with_trait(TraitId(1), true);
+        let mut g = FactorGraph::build(&cat, &ev).unwrap();
+        let mendel = [[0.9, 0.1, 0.0], [0.25, 0.5, 0.25], [0.0, 0.1, 0.9]];
+        for (p, c) in [(0, 1), (2, 3), (4, 5)] {
+            g.add_kin_factor(p, c, mendel).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_policy_reproduces_sequential_run_bitwise() {
+        let g = wide_graph();
+        let seq = BpConfig::default().run(&g);
+        assert!(!seq.degraded);
+        for threads in [1, 2, 8] {
+            let par = BpConfig {
+                exec: ppdp_exec::ExecPolicy::parallel(threads),
+                ..Default::default()
+            }
+            .run(&g);
+            // f64 equality below means bitwise: every message stage folds
+            // in factor order regardless of the thread count.
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_policy_matches_sequential_telemetry_counters() {
+        let g = wide_graph();
+        let run = |exec| {
+            let rec = ppdp_telemetry::Recorder::new();
+            let _r = {
+                let _scope = rec.enter();
+                BpConfig {
+                    exec,
+                    ..Default::default()
+                }
+                .run(&g)
+            };
+            rec.take()
+        };
+        let seq = run(ppdp_exec::ExecPolicy::Sequential);
+        let par = run(ppdp_exec::ExecPolicy::parallel(4));
+        assert_eq!(seq.equivalence_view(), par.equivalence_view());
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use ld::{add_ld_factors, LdPair};
 pub use model::{Genotype, SnpId, TraitId};
 pub use nb::naive_bayes_marginals;
 pub use privacy::{entropy_privacy, estimation_error, satisfies_delta_privacy};
-pub use sanitize::{greedy_sanitize, SanitizeOutcome};
+pub use sanitize::{greedy_sanitize, greedy_sanitize_with, SanitizeOutcome};
 pub use tables::{allele_given_trait, genotype_given_trait, trait_posterior};

@@ -10,7 +10,8 @@ use crate::model::{SnpId, TraitId};
 use crate::nb::naive_bayes_marginals;
 use crate::neighbors::{neighbor_snps_of_snp, neighbor_snps_of_trait};
 use ppdp_errors::Result;
-use ppdp_opt::greedy_cardinality;
+use ppdp_exec::ExecPolicy;
+use ppdp_opt::greedy_cardinality_with;
 use std::collections::BTreeSet;
 
 /// A variable whose privacy the publisher wants to protect.
@@ -166,6 +167,34 @@ pub fn greedy_sanitize(
     max_removals: usize,
     predictor: Predictor,
 ) -> Result<SanitizeOutcome> {
+    greedy_sanitize_with(
+        ExecPolicy::Sequential,
+        catalog,
+        evidence,
+        targets,
+        delta,
+        max_removals,
+        predictor,
+    )
+}
+
+/// [`greedy_sanitize`] with an explicit execution policy: under
+/// [`ExecPolicy::Parallel`] the per-candidate marginal-gain evaluations of
+/// each greedy round fan out across worker threads. The removal sequence,
+/// trajectories and convergence flags are identical to the sequential
+/// solver for every thread count; only wall-clock changes.
+///
+/// # Errors
+/// Same contract as [`greedy_sanitize`].
+pub fn greedy_sanitize_with(
+    exec: ExecPolicy,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+    predictor: Predictor,
+) -> Result<SanitizeOutcome> {
     // Validate here, not just inside BP's graph build: the Naive-Bayes
     // predictor never builds a factor graph, and a dangling SNP id would
     // otherwise only surface later as a NaN objective.
@@ -205,8 +234,10 @@ pub fn greedy_sanitize(
 
     // Greedy on the summed privacy level (smooth objective); the stopping
     // rule and the reported trajectory use the min (the δ-privacy
-    // criterion).
-    let order = greedy_cardinality(
+    // criterion). The per-candidate evaluations of each round are
+    // independent predictor runs, so they parallelize under `exec`.
+    let order = greedy_cardinality_with(
+        exec,
         candidates.len(),
         max_removals.min(candidates.len()),
         |sel| sum_entropy(sel),
@@ -384,6 +415,32 @@ mod tests {
             bp.removed.len(),
             nb.removed.len()
         );
+    }
+
+    #[test]
+    fn parallel_policy_reproduces_sequential_sanitization_bitwise() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        for predictor in [
+            Predictor::BeliefPropagation(BpConfig::default()),
+            Predictor::NaiveBayes,
+        ] {
+            let run = |exec: ExecPolicy| {
+                let rec = ppdp_telemetry::Recorder::new();
+                let out = {
+                    let _scope = rec.enter();
+                    greedy_sanitize_with(exec, &cat, &full_evidence(), &targets, 0.99, 8, predictor)
+                        .unwrap()
+                };
+                (out, rec.take().equivalence_view())
+            };
+            let (seq_out, seq_view) = run(ExecPolicy::Sequential);
+            for threads in [1, 2, 8] {
+                let (par_out, par_view) = run(ExecPolicy::parallel(threads));
+                assert_eq!(seq_out, par_out, "{predictor:?}, threads = {threads}");
+                assert_eq!(seq_view, par_view, "{predictor:?}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,77 @@
 //! always false, which would make the greedy argmax arbitrary).
 
 use ppdp_errors::{ensure, PpdpError, Result};
+use ppdp_exec::ExecPolicy;
+
+/// Scans per-candidate objective values (in candidate order) for the first
+/// NaN, reproducing the sequential solvers' fail-fast error: the reported
+/// selection is `selected + [candidate]` exactly as if the candidates had
+/// been evaluated one at a time.
+fn first_nan_error(values: &[f64], remaining: &[usize], selected: &[usize]) -> Result<()> {
+    for (pos, v) in values.iter().enumerate() {
+        if v.is_nan() {
+            let mut sel = selected.to_vec();
+            sel.push(remaining[pos]);
+            return Err(PpdpError::numerical(format!(
+                "objective returned NaN on selection {sel:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`greedy_cardinality`] with an explicit execution policy: per-round
+/// candidate evaluations fan out over `exec`, and the argmax folds over the
+/// evaluated values in candidate order, reproducing the sequential solver's
+/// first-maximum tie-break (and its first-NaN error) bit for bit. Requires
+/// `Fn + Sync` because candidate evaluations may run concurrently.
+///
+/// # Errors
+/// Same contract as [`greedy_cardinality`].
+pub fn greedy_cardinality_with<F>(
+    exec: ExecPolicy,
+    n: usize,
+    k: usize,
+    objective: F,
+) -> Result<Vec<usize>>
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    ensure(k <= n, format!("cardinality bound k={k} exceeds n={n}"))?;
+    let mut evaluations = 0u64;
+    let mut selected: Vec<usize> = Vec::new();
+    evaluations += 1;
+    let mut current = objective(&selected);
+    if current.is_nan() {
+        return Err(PpdpError::numerical(format!(
+            "objective returned NaN on selection {selected:?}"
+        )));
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    while selected.len() < k && !remaining.is_empty() {
+        let values = exec.par_map(remaining.len(), |pos| {
+            let mut sel = selected.clone();
+            sel.push(remaining[pos]);
+            objective(&sel)
+        });
+        evaluations += values.len() as u64;
+        first_nan_error(&values, &remaining, &selected)?;
+        let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
+        for (pos, &v) in values.iter().enumerate() {
+            if best.map_or(true, |(_, bv)| v > bv) {
+                best = Some((pos, v));
+            }
+        }
+        let Some((pos, value)) = best else { break };
+        if value <= current + 1e-15 {
+            break; // no positive marginal gain anywhere
+        }
+        selected.push(remaining.remove(pos));
+        current = value;
+    }
+    ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
+    Ok(selected)
+}
 
 /// Selects up to `k` of `n` items greedily to maximize `objective(selected)`.
 /// `objective` must be monotone for the guarantee to hold; the selection
@@ -65,6 +136,49 @@ where
         )))
     } else {
         Ok(v)
+    }
+}
+
+/// Max-heap entry of the lazy greedy: stale upper bounds on marginal
+/// gains, ordered by cost-benefit ratio, then gain, then (reversed) item
+/// index so ties pop deterministically.
+#[derive(PartialEq)]
+struct Entry {
+    ratio: f64,
+    gain: f64,
+    item: usize,
+    round: usize,
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ratio
+            .partial_cmp(&other.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                self.gain
+                    .partial_cmp(&other.gain)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(other.item.cmp(&self.item))
+    }
+}
+
+/// Non-positive gains must sort below every positive-gain entry even at
+/// zero cost, otherwise a free-but-useless item would sit on top of the
+/// heap and trigger the early break.
+fn ratio_of(gain: f64, cost: f64) -> f64 {
+    if gain <= 1e-15 {
+        f64::NEG_INFINITY
+    } else if cost > 0.0 {
+        gain / cost
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -141,6 +255,77 @@ where
     Ok(selected)
 }
 
+/// [`naive_greedy_knapsack`] with an explicit execution policy: each
+/// round's feasible candidates are evaluated under `exec` and the
+/// cost-benefit argmax folds over the values in candidate order, matching
+/// the sequential solver's tie-breaks and first-NaN error exactly.
+///
+/// # Errors
+/// Same contract as [`naive_greedy_knapsack`].
+pub fn naive_greedy_knapsack_with<F>(
+    exec: ExecPolicy,
+    costs: &[f64],
+    budget: f64,
+    objective: F,
+) -> Result<Vec<usize>>
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    check_knapsack(costs, budget)?;
+    let mut evaluations = 1u64;
+    let mut selected: Vec<usize> = Vec::new();
+    let mut spent = 0.0;
+    let mut current = objective(&selected);
+    if current.is_nan() {
+        return Err(PpdpError::numerical(format!(
+            "objective returned NaN on selection {selected:?}"
+        )));
+    }
+    let mut remaining: Vec<usize> = (0..costs.len()).collect();
+    loop {
+        let feasible: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&item| spent + costs[item] <= budget + 1e-12)
+            .collect();
+        let values = exec.par_map(feasible.len(), |i| {
+            let mut sel = selected.clone();
+            sel.push(feasible[i]);
+            objective(&sel)
+        });
+        evaluations += values.len() as u64;
+        first_nan_error(&values, &feasible, &selected)?;
+        let mut best: Option<(usize, f64, f64)> = None; // (item, ratio, value)
+        for (i, &v) in values.iter().enumerate() {
+            let item = feasible[i];
+            let gain = v - current;
+            if gain <= 1e-15 {
+                continue;
+            }
+            // Zero-cost items are infinitely attractive: order them by gain.
+            let ratio = if costs[item] > 0.0 {
+                gain / costs[item]
+            } else {
+                f64::INFINITY
+            };
+            if best.map_or(true, |(_, br, bv)| ratio > br || (ratio == br && v > bv)) {
+                best = Some((item, ratio, v));
+            }
+        }
+        match best {
+            None => break,
+            Some((item, _, value)) => {
+                remaining.retain(|&x| x != item);
+                spent += costs[item];
+                selected.push(item);
+                current = value;
+            }
+        }
+    }
+    ppdp_telemetry::counter("greedy.naive.evaluations", evaluations);
+    Ok(selected)
+}
+
 /// Lazy cost-benefit greedy (Minoux's accelerated greedy): keeps stale upper
 /// bounds on marginal gains in a max-heap and only re-evaluates the top.
 /// For submodular objectives this returns the same set as
@@ -154,37 +339,9 @@ pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> 
 where
     F: FnMut(&[usize]) -> f64,
 {
-    use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
     check_knapsack(costs, budget)?;
-
-    #[derive(PartialEq)]
-    struct Entry {
-        ratio: f64,
-        gain: f64,
-        item: usize,
-        round: usize,
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.ratio
-                .partial_cmp(&other.ratio)
-                .unwrap_or(Ordering::Equal)
-                .then(
-                    self.gain
-                        .partial_cmp(&other.gain)
-                        .unwrap_or(Ordering::Equal),
-                )
-                .then(other.item.cmp(&self.item))
-        }
-    }
 
     let mut evaluations = 1u64;
     let mut lazy_hits = 0u64;
@@ -209,19 +366,94 @@ where
         });
     }
 
-    // Non-positive gains must sort below every positive-gain entry even at
-    // zero cost, otherwise a free-but-useless item would sit on top of the
-    // heap and trigger the early break.
-    fn ratio_of(gain: f64, cost: f64) -> f64 {
-        if gain <= 1e-15 {
-            f64::NEG_INFINITY
-        } else if cost > 0.0 {
-            gain / cost
+    while let Some(top) = heap.pop() {
+        if spent + costs[top.item] > budget + 1e-12 {
+            continue; // infeasible now; submodularity ⇒ never feasible-better later
+        }
+        if top.round == round {
+            if top.gain <= 1e-15 {
+                break; // freshest bound non-positive ⇒ done (monotone case)
+            }
+            // The cached bound was already fresh — the lazy shortcut paid off.
+            lazy_hits += 1;
+            spent += costs[top.item];
+            selected.push(top.item);
+            current += top.gain;
+            round += 1;
         } else {
-            f64::INFINITY
+            // Stale bound: re-evaluate against the current selection.
+            reevaluations += 1;
+            selected.push(top.item);
+            evaluations += 1;
+            let v = checked_eval(&mut objective, &selected);
+            selected.pop();
+            let gain = v? - current;
+            heap.push(Entry {
+                ratio: ratio_of(gain, costs[top.item]),
+                gain,
+                item: top.item,
+                round,
+            });
         }
     }
+    ppdp_telemetry::counter("greedy.lazy.evaluations", evaluations);
+    ppdp_telemetry::counter("greedy.lazy.hits", lazy_hits);
+    ppdp_telemetry::counter("greedy.lazy.reevals", reevaluations);
+    Ok(selected)
+}
 
+/// [`lazy_greedy_knapsack`] with an explicit execution policy. Only the
+/// initial bound-building pass (one oracle call per item) fans out — the
+/// heap loop's re-evaluations are data-dependent on earlier picks and
+/// stay sequential, which is the lazy solver's whole point. The heap is
+/// seeded in item order from values computed per item, so the pick
+/// sequence is identical to the sequential solver's.
+///
+/// # Errors
+/// Same contract as [`lazy_greedy_knapsack`].
+pub fn lazy_greedy_knapsack_with<F>(
+    exec: ExecPolicy,
+    costs: &[f64],
+    budget: f64,
+    objective: F,
+) -> Result<Vec<usize>>
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    use std::collections::BinaryHeap;
+
+    check_knapsack(costs, budget)?;
+
+    let mut evaluations = 1u64;
+    let mut lazy_hits = 0u64;
+    let mut reevaluations = 0u64;
+    let mut selected: Vec<usize> = Vec::new();
+    let mut spent = 0.0;
+    let base = objective(&selected);
+    if base.is_nan() {
+        return Err(PpdpError::numerical(format!(
+            "objective returned NaN on selection {selected:?}"
+        )));
+    }
+    let mut current = base;
+    let mut round = 0usize;
+
+    let items: Vec<usize> = (0..costs.len()).collect();
+    let values = exec.par_map(items.len(), |item| objective(&[item]));
+    evaluations += values.len() as u64;
+    first_nan_error(&values, &items, &selected)?;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(costs.len());
+    for (item, &v) in values.iter().enumerate() {
+        let gain = v - base;
+        heap.push(Entry {
+            ratio: ratio_of(gain, costs[item]),
+            gain,
+            item,
+            round,
+        });
+    }
+
+    let mut objective = objective;
     while let Some(top) = heap.pop() {
         if spent + costs[top.item] > budget + 1e-12 {
             continue; // infeasible now; submodularity ⇒ never feasible-better later
@@ -399,6 +631,117 @@ mod tests {
     fn nan_budget_rejected() {
         assert!(naive_greedy_knapsack(&[1.0], f64::NAN, |_| 0.0).is_err());
         assert!(lazy_greedy_knapsack(&[1.0], f64::NEG_INFINITY, |_| 0.0).is_err());
+    }
+
+    /// Order-stable sibling of [`coverage`]: sums weights over a sorted,
+    /// deduplicated element list. [`coverage`]'s `HashSet` iterates in a
+    /// per-instance random order, so its float sum varies between calls —
+    /// fine for tolerance checks, fatal for exact pick-sequence checks.
+    fn det_coverage<'a>(
+        items: &'a [Vec<usize>],
+        weights: &'a [f64],
+    ) -> impl Fn(&[usize]) -> f64 + Sync + 'a {
+        move |sel: &[usize]| {
+            let mut covered: Vec<usize> =
+                sel.iter().flat_map(|&i| items[i].iter().copied()).collect();
+            covered.sort_unstable();
+            covered.dedup();
+            covered.iter().map(|&e| weights[e]).sum()
+        }
+    }
+
+    #[test]
+    fn policy_variants_match_sequential_solvers_exactly() {
+        let items: Vec<Vec<usize>> = (0..30)
+            .map(|i| vec![i % 11, (i * 7) % 11, (i * 3 + 1) % 11])
+            .collect();
+        let w: Vec<f64> = (0..11).map(|i| 1.0 + (i as f64) * 0.37).collect();
+        let costs: Vec<f64> = (0..30).map(|i| 0.5 + ((i * 13) % 7) as f64 * 0.4).collect();
+        let f = det_coverage(&items, &w);
+        let policies = [
+            ExecPolicy::Sequential,
+            ExecPolicy::parallel(1),
+            ExecPolicy::parallel(2),
+            ExecPolicy::parallel(8),
+        ];
+
+        let card_ref = greedy_cardinality(30, 6, &f).unwrap();
+        let naive_ref = naive_greedy_knapsack(&costs, 4.0, &f).unwrap();
+        let lazy_ref = lazy_greedy_knapsack(&costs, 4.0, &f).unwrap();
+        for exec in policies {
+            assert_eq!(
+                greedy_cardinality_with(exec, 30, 6, &f).unwrap(),
+                card_ref,
+                "cardinality, {exec:?}"
+            );
+            assert_eq!(
+                naive_greedy_knapsack_with(exec, &costs, 4.0, &f).unwrap(),
+                naive_ref,
+                "naive knapsack, {exec:?}"
+            );
+            assert_eq!(
+                lazy_greedy_knapsack_with(exec, &costs, 4.0, &f).unwrap(),
+                lazy_ref,
+                "lazy knapsack, {exec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_variants_reproduce_first_nan_error() {
+        // NaN only on selections containing item 3: the reported selection
+        // must name item 3 first, exactly like the sequential scan.
+        let poisoned = |s: &[usize]| {
+            if s.contains(&3) {
+                f64::NAN
+            } else {
+                s.len() as f64
+            }
+        };
+        let seq = greedy_cardinality(6, 3, poisoned).unwrap_err();
+        for exec in [ExecPolicy::Sequential, ExecPolicy::parallel(4)] {
+            let par = greedy_cardinality_with(exec, 6, 3, poisoned).unwrap_err();
+            assert_eq!(seq.to_string(), par.to_string(), "{exec:?}");
+            let e = naive_greedy_knapsack_with(exec, &[1.0; 6], 10.0, poisoned).unwrap_err();
+            assert_eq!(e.kind(), "numerical");
+            let e = lazy_greedy_knapsack_with(exec, &[1.0; 6], 10.0, poisoned).unwrap_err();
+            assert_eq!(e.kind(), "numerical");
+        }
+    }
+
+    #[test]
+    fn policy_variants_record_identical_evaluation_counters() {
+        let items: Vec<Vec<usize>> = (0..20).map(|i| vec![i, (i + 1) % 20]).collect();
+        let w = vec![1.0; 20];
+        let costs = vec![1.0; 20];
+        let f = det_coverage(&items, &w);
+        let run = |exec: Option<ExecPolicy>| {
+            let rec = ppdp_telemetry::Recorder::new();
+            {
+                let _scope = rec.enter();
+                match exec {
+                    None => {
+                        let _ = naive_greedy_knapsack(&costs, 5.0, &f).unwrap();
+                        let _ = lazy_greedy_knapsack(&costs, 5.0, &f).unwrap();
+                        let _ = greedy_cardinality(20, 3, &f).unwrap();
+                    }
+                    Some(exec) => {
+                        let _ = naive_greedy_knapsack_with(exec, &costs, 5.0, &f).unwrap();
+                        let _ = lazy_greedy_knapsack_with(exec, &costs, 5.0, &f).unwrap();
+                        let _ = greedy_cardinality_with(exec, 20, 3, &f).unwrap();
+                    }
+                }
+            }
+            rec.take()
+        };
+        let reference = run(None);
+        for exec in [ExecPolicy::Sequential, ExecPolicy::parallel(4)] {
+            assert_eq!(
+                run(Some(exec)).equivalence_view(),
+                reference.equivalence_view(),
+                "{exec:?}"
+            );
+        }
     }
 
     #[test]

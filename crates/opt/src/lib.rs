@@ -15,5 +15,8 @@
 pub mod greedy;
 pub mod simplex;
 
-pub use greedy::{greedy_cardinality, lazy_greedy_knapsack, naive_greedy_knapsack};
+pub use greedy::{
+    greedy_cardinality, greedy_cardinality_with, lazy_greedy_knapsack, lazy_greedy_knapsack_with,
+    naive_greedy_knapsack, naive_greedy_knapsack_with,
+};
 pub use simplex::{enumerate_simplex, simplex_size};

@@ -76,16 +76,23 @@ pub fn attribute_affinity(g: &SocialGraph, cat: CategoryId, target: CategoryId) 
     if n == 0.0 {
         return 0.0;
     }
-    let mi: f64 = joint
+    // Accumulate in sorted key order: HashMap iteration order varies per
+    // process, and float addition is not associative, so summing in map
+    // order would make the low bits of the affinity differ across runs.
+    let mut cells: Vec<((u16, u16), f64)> = joint.into_iter().collect();
+    cells.sort_unstable_by_key(|&(k, _)| k);
+    let mi: f64 = cells
         .iter()
-        .map(|(&(a, y), &c)| {
+        .map(|&((a, y), c)| {
             let p = c / n;
             p * (p * n * n / (a_counts[&a] * y_counts[&y])).ln()
         })
         .sum();
-    let h_y: f64 = y_counts
-        .values()
-        .map(|&c| {
+    let mut classes: Vec<(u16, f64)> = y_counts.iter().map(|(&y, &c)| (y, c)).collect();
+    classes.sort_unstable_by_key(|&(y, _)| y);
+    let h_y: f64 = classes
+        .iter()
+        .map(|&(_, c)| {
             let p = c / n;
             -p * p.ln()
         })

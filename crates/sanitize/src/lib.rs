@@ -31,5 +31,8 @@ pub use collective::{collective_sanitize, CollectivePlan};
 pub use deanon::{propagation_attack, pseudonymize, DeanonResult};
 pub use depend::{dependency_report, DependencyReport};
 pub use generalize::{numeric_generalization, perturb_category, Gah};
-pub use links::{indistinguishable_links, remove_indistinguishable_links, LinkScore};
+pub use links::{
+    indistinguishable_links, indistinguishable_links_with, remove_indistinguishable_links,
+    remove_indistinguishable_links_with, LinkScore,
+};
 pub use metrics::{delta_privacy, epsilon_delta_utility, utility_privacy_ratio, RatioReport};

@@ -8,7 +8,13 @@
 
 use ppdp_classify::{masked_weight, AttackModel, LabeledGraph, LocalKind};
 use ppdp_errors::{ensure, Result};
+use ppdp_exec::ExecPolicy;
 use ppdp_graph::{CategoryId, SocialGraph, UserId};
+
+/// Below this many candidate links the per-edge scoring is too cheap to be
+/// worth spawning worker threads for; the run silently stays sequential.
+/// Scheduling-only: the scores are identical either way.
+const PAR_MIN_EDGES: usize = 64;
 
 /// One scored candidate link: removing `{user, neighbor}` leaves `user`'s
 /// relational class distribution with the given probability variance.
@@ -91,6 +97,19 @@ fn relational_without(
 /// `dists` are the per-user class distributions the attacker currently
 /// holds (e.g. from an `AttrOnly` bootstrap).
 pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec<LinkScore> {
+    indistinguishable_links_with(ExecPolicy::Sequential, lg, dists)
+}
+
+/// [`indistinguishable_links`] with an explicit execution policy: under
+/// [`ExecPolicy::Parallel`] the per-link evaluations fan out across worker
+/// threads. Each link's score is independent of every other link's, and the
+/// final ordering is a total sort with deterministic tie-breaks, so the
+/// returned list is identical for every policy and thread count.
+pub fn indistinguishable_links_with(
+    exec: ExecPolicy,
+    lg: &LabeledGraph<'_>,
+    dists: &[Vec<f64>],
+) -> Vec<LinkScore> {
     let victim_var = |u: UserId, other: UserId| -> Option<f64> {
         if lg.known[u.0] {
             return None; // label already public; nothing to protect
@@ -101,36 +120,39 @@ pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec
                 .unwrap_or_else(|| dist_variance(&dists[u.0])),
         )
     };
-    let mut scores: Vec<LinkScore> = lg
-        .graph
-        .edges()
-        .map(|(a, b)| {
-            let va = victim_var(a, b);
-            let vb = victim_var(b, a);
-            match (va, vb) {
-                (Some(x), Some(y)) if y < x => LinkScore {
-                    user: b,
-                    neighbor: a,
-                    variance: y,
-                },
-                (Some(x), _) => LinkScore {
-                    user: a,
-                    neighbor: b,
-                    variance: x,
-                },
-                (None, Some(y)) => LinkScore {
-                    user: b,
-                    neighbor: a,
-                    variance: y,
-                },
-                (None, None) => LinkScore {
-                    user: a,
-                    neighbor: b,
-                    variance: f64::INFINITY,
-                },
-            }
-        })
-        .collect();
+    let edges: Vec<(UserId, UserId)> = lg.graph.edges().collect();
+    let exec = if edges.len() >= PAR_MIN_EDGES {
+        exec
+    } else {
+        ExecPolicy::Sequential
+    };
+    let mut scores: Vec<LinkScore> = exec.par_map(edges.len(), |i| {
+        let (a, b) = edges[i];
+        let va = victim_var(a, b);
+        let vb = victim_var(b, a);
+        match (va, vb) {
+            (Some(x), Some(y)) if y < x => LinkScore {
+                user: b,
+                neighbor: a,
+                variance: y,
+            },
+            (Some(x), _) => LinkScore {
+                user: a,
+                neighbor: b,
+                variance: x,
+            },
+            (None, Some(y)) => LinkScore {
+                user: b,
+                neighbor: a,
+                variance: y,
+            },
+            (None, None) => LinkScore {
+                user: a,
+                neighbor: b,
+                variance: f64::INFINITY,
+            },
+        }
+    });
     scores.sort_by(|x, y| {
         x.variance
             .total_cmp(&y.variance)
@@ -155,6 +177,23 @@ pub fn indistinguishable_links(lg: &LabeledGraph<'_>, dists: &[Vec<f64>]) -> Vec
 /// Returns [`ppdp_errors::PpdpError::InvalidInput`] when the known mask
 /// does not cover every user or `label_cat` is outside the schema.
 pub fn remove_indistinguishable_links(
+    g: &SocialGraph,
+    label_cat: CategoryId,
+    known: &[bool],
+    kind: LocalKind,
+    count: usize,
+) -> Result<SocialGraph> {
+    remove_indistinguishable_links_with(ExecPolicy::Sequential, g, label_cat, known, kind, count)
+}
+
+/// [`remove_indistinguishable_links`] with an explicit execution policy for
+/// the per-link scoring passes (see [`indistinguishable_links_with`]). The
+/// sanitized graph is identical for every policy and thread count.
+///
+/// # Errors
+/// Same contract as [`remove_indistinguishable_links`].
+pub fn remove_indistinguishable_links_with(
+    exec: ExecPolicy,
     g: &SocialGraph,
     label_cat: CategoryId,
     known: &[bool],
@@ -187,7 +226,7 @@ pub fn remove_indistinguishable_links(
     let batch = (count / 10).max(50);
     while left > 0 && out.edge_count() > 0 {
         let lg = LabeledGraph::new(&out, label_cat, known.to_vec());
-        let scores = indistinguishable_links(&lg, &boot.dists);
+        let scores = indistinguishable_links_with(exec, &lg, &boot.dists);
         let take = left.min(batch).min(scores.len());
         if take == 0 {
             break;
@@ -290,6 +329,74 @@ mod tests {
         let dists = vec![vec![0.5, 0.5], vec![0.0, 1.0]];
         let scores = indistinguishable_links(&lg, &dists);
         assert_eq!(scores[0].variance, 0.0);
+    }
+
+    /// A chain of cliques wide enough to cross `PAR_MIN_EDGES`.
+    fn big_graph() -> (SocialGraph, Vec<bool>) {
+        let mut b = GraphBuilder::new(Schema::uniform(2, 2));
+        let mut prev = None;
+        let n_cliques = 8;
+        for c in 0..n_cliques {
+            let label = (c % 2) as u16;
+            let members: Vec<_> = (0..5)
+                .map(|i| b.user_with(&[(i % 2) as u16, label]))
+                .collect();
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    b.edge(members[i], members[j]);
+                }
+            }
+            if let Some(p) = prev {
+                b.edge(p, members[0]);
+            }
+            prev = Some(members[0]);
+        }
+        let mut known = vec![true; 5 * n_cliques];
+        for c in 0..n_cliques {
+            known[5 * c + 4] = false;
+        }
+        (b.build(), known)
+    }
+
+    #[test]
+    fn parallel_policy_reproduces_sequential_scores_and_removals_bitwise() {
+        let (g, known) = big_graph();
+        assert!(
+            g.edge_count() >= PAR_MIN_EDGES,
+            "fixture must cross the gate"
+        );
+        let lg = LabeledGraph::new(&g, CategoryId(1), known.clone());
+        let dists: Vec<Vec<f64>> = (0..g.user_count())
+            .map(|u| {
+                if known[u] {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.5, 0.5]
+                }
+            })
+            .collect();
+        let seq_scores = indistinguishable_links(&lg, &dists);
+        let seq_graph =
+            remove_indistinguishable_links(&g, CategoryId(1), &known, LocalKind::Bayes, 20)
+                .unwrap();
+        for threads in [1, 2, 8] {
+            let exec = ExecPolicy::parallel(threads);
+            assert_eq!(
+                seq_scores,
+                indistinguishable_links_with(exec, &lg, &dists),
+                "threads = {threads}"
+            );
+            let par_graph = remove_indistinguishable_links_with(
+                exec,
+                &g,
+                CategoryId(1),
+                &known,
+                LocalKind::Bayes,
+                20,
+            )
+            .unwrap();
+            assert_eq!(seq_graph, par_graph, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -143,6 +143,71 @@ impl Drop for ScopedRecorder {
     }
 }
 
+/// A snapshot of one thread's telemetry context — its scoped-recorder
+/// stack and open span path — for propagation into worker threads.
+///
+/// The execution layer (`ppdp-exec`) captures the coordinating thread's
+/// context before fanning out and [`activate`](ThreadContext::activate)s
+/// it in each worker, so counters recorded inside parallel regions reach
+/// the same scoped recorders they would have reached sequentially.
+/// Workers should record *additive counters only*: histogram `sum`/`last`
+/// and budget-draw ordering are record-order-dependent, so kernels keep
+/// those on the coordinating thread to stay deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadContext {
+    recorders: Vec<Recorder>,
+    span_path: Vec<&'static str>,
+}
+
+impl ThreadContext {
+    /// Captures the calling thread's scoped-recorder stack and span path.
+    pub fn capture() -> Self {
+        Self {
+            recorders: SCOPED.with(|s| s.borrow().clone()),
+            span_path: SPAN_PATH.with(|p| p.borrow().clone()),
+        }
+    }
+
+    /// Re-activates the captured context on the current (worker) thread
+    /// until the returned guard drops. Spans opened by the worker nest
+    /// under the captured span path, and events reach every captured
+    /// recorder (plus the global one, deduplicated as usual).
+    #[must_use = "the context deactivates when the returned guard drops"]
+    pub fn activate(&self) -> ThreadContextGuard {
+        let prev_path =
+            SPAN_PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), self.span_path.clone()));
+        SCOPED.with(|s| s.borrow_mut().extend(self.recorders.iter().cloned()));
+        ACTIVE.fetch_add(self.recorders.len(), Ordering::Relaxed);
+        ThreadContextGuard {
+            pushed: self.recorders.len(),
+            prev_path,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard returned by [`ThreadContext::activate`]; restores the worker
+/// thread's previous telemetry context when dropped. `!Send` — it must
+/// drop on the thread that activated the context.
+#[derive(Debug)]
+pub struct ThreadContextGuard {
+    pushed: usize,
+    prev_path: Vec<&'static str>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ThreadContextGuard {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            let mut stack = s.borrow_mut();
+            let keep = stack.len().saturating_sub(self.pushed);
+            stack.truncate(keep);
+        });
+        ACTIVE.fetch_sub(self.pushed, Ordering::Relaxed);
+        SPAN_PATH.with(|p| *p.borrow_mut() = std::mem::take(&mut self.prev_path));
+    }
+}
+
 /// Installs `rec` as the process-wide recorder, returning the previous
 /// one if any. Events reach the global recorder from every thread.
 pub fn install_global(rec: Recorder) -> Option<Recorder> {
@@ -415,6 +480,54 @@ mod tests {
     }
 
     #[test]
+    fn thread_context_carries_scoped_recorders_to_workers() {
+        let rec = Recorder::new();
+        {
+            let _scope = rec.enter();
+            let _outer = span("ctx.outer");
+            let ctx = ThreadContext::capture();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let _guard = ctx.activate();
+                        counter("ctx.worker.items", 2);
+                        let _inner = span("ctx.inner");
+                    });
+                }
+            });
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("ctx.worker.items"), 8);
+        // Worker spans nest under the captured path.
+        let inner = report
+            .span("ctx.outer/ctx.inner")
+            .expect("worker span nests under captured path");
+        assert_eq!(inner.count, 4);
+    }
+
+    #[test]
+    fn thread_context_guard_restores_previous_context() {
+        let rec = Recorder::new();
+        let ctx = {
+            let _scope = rec.enter();
+            ThreadContext::capture()
+        };
+        {
+            let _guard = ctx.activate();
+            assert!(enabled());
+            counter("ctx.restored.inside", 1);
+        }
+        counter("ctx.restored.outside", 1);
+        let report = rec.take();
+        assert_eq!(report.counter("ctx.restored.inside"), 1);
+        assert_eq!(
+            report.counter("ctx.restored.outside"),
+            0,
+            "guard drop must deactivate the captured recorders"
+        );
+    }
+
+    #[test]
     fn global_recorder_sees_events_from_spawned_threads() {
         // Unique metric names: other tests run in parallel and may also
         // have the global slot occupied at some point — we only assert
@@ -422,6 +535,10 @@ mod tests {
         let rec = Recorder::new();
         let prev = install_global(rec.clone());
         counter("lib.global.main_thread", 1);
+        // A raw OS thread on purpose: this test verifies the *global*
+        // recorder is visible outside any `ppdp-exec` pool, so it must not
+        // go through the structured layer the lint below funnels us into.
+        #[allow(clippy::disallowed_methods)]
         std::thread::spawn(|| counter("lib.global.worker_thread", 2))
             .join()
             .expect("worker thread");

@@ -189,6 +189,12 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, Histogram>,
     /// Every privacy-budget draw, in the order it was recorded.
     pub budget: Vec<BudgetDraw>,
+    /// Parallel-over-sequential wall-clock speedup factors keyed by
+    /// region name (e.g. `"bp.run@4"` → 3.1), populated by benches and
+    /// perf harnesses rather than by recorders. Excluded from
+    /// [`RunReport::equivalence_view`] like all timing-derived data.
+    #[serde(default)]
+    pub speedup: BTreeMap<String, f64>,
 }
 
 impl RunReport {
@@ -198,6 +204,7 @@ impl RunReport {
             && self.counters.is_empty()
             && self.histograms.is_empty()
             && self.budget.is_empty()
+            && self.speedup.is_empty()
     }
 
     /// Value of a counter (0 when never incremented).
@@ -232,6 +239,75 @@ impl RunReport {
             .sum()
     }
 
+    /// Records one parallel-over-sequential speedup measurement.
+    pub fn record_speedup(&mut self, region: &str, factor: f64) {
+        self.speedup.insert(region.to_owned(), factor);
+    }
+
+    /// Effective worker-thread count of the run (the `exec.threads`
+    /// counter recorded by publishers), 1 when never recorded.
+    pub fn exec_threads(&self) -> u64 {
+        self.counter("exec.threads").max(1)
+    }
+
+    /// The deterministic projection of the report used by the
+    /// sequential-vs-parallel equivalence harness.
+    ///
+    /// Drops everything that legitimately differs across thread counts
+    /// while keeping everything that must not:
+    ///
+    /// - span *timings* are zeroed (wall clock varies) but span *counts*
+    ///   are kept — the same phases must run the same number of times;
+    /// - histogram `sum` and `last` are zeroed: f64 addition is not
+    ///   associative and workers may interleave recordings, so only
+    ///   `count`/`min`/`max`/`buckets` are order-independent;
+    /// - `exec.*` metrics (thread counts, per-phase wall-clock) and the
+    ///   [`speedup`](RunReport::speedup) map are dropped entirely;
+    /// - counters and the budget ledger pass through untouched — they
+    ///   are additive or recorded on the coordinating thread in item
+    ///   order, so any difference is a determinism bug.
+    pub fn equivalence_view(&self) -> RunReport {
+        let mut view = RunReport::default();
+        for (path, stats) in &self.spans {
+            if path.split('/').any(|seg| seg.starts_with("exec.")) {
+                continue;
+            }
+            view.spans.insert(
+                path.clone(),
+                SpanStats {
+                    count: stats.count,
+                    total_nanos: 0,
+                    min_nanos: 0,
+                    max_nanos: 0,
+                },
+            );
+        }
+        for (name, v) in &self.counters {
+            if name.starts_with("exec.") {
+                continue;
+            }
+            view.counters.insert(name.clone(), *v);
+        }
+        for (name, h) in &self.histograms {
+            if name.starts_with("exec.") {
+                continue;
+            }
+            view.histograms.insert(
+                name.clone(),
+                Histogram {
+                    count: h.count,
+                    sum: 0.0,
+                    min: h.min,
+                    max: h.max,
+                    last: 0.0,
+                    buckets: h.buckets.clone(),
+                },
+            );
+        }
+        view.budget = self.budget.clone();
+        view
+    }
+
     /// Total ε across all budget draws (sequential composition).
     pub fn total_epsilon(&self) -> f64 {
         self.budget.iter().map(|d| d.epsilon).sum()
@@ -255,6 +331,9 @@ impl RunReport {
             self.histograms.entry(k.clone()).or_default().merge(v);
         }
         self.budget.extend(other.budget.iter().cloned());
+        for (k, v) in &other.speedup {
+            self.speedup.insert(k.clone(), *v);
+        }
     }
 
     /// Compact single-line JSON.
@@ -321,6 +400,12 @@ impl RunReport {
                     h.min,
                     h.max
                 ));
+            }
+        }
+        if !self.speedup.is_empty() {
+            out.push_str(&format!("{:<44} {:>12}\n", "speedup", "factor"));
+            for (region, factor) in &self.speedup {
+                out.push_str(&format!("  {:<42} {:>11.2}x\n", region, factor));
             }
         }
         if !self.budget.is_empty() {
@@ -471,6 +556,43 @@ mod tests {
         assert_eq!(r, back);
         let back_pretty = RunReport::from_json(&r.to_json_pretty()).expect("round trip");
         assert_eq!(r, back_pretty);
+    }
+
+    #[test]
+    fn equivalence_view_is_timing_free_but_keeps_structure() {
+        let mut r = RunReport::default();
+        r.counters.insert("bp.iterations".into(), 7);
+        r.counters.insert("exec.threads".into(), 4);
+        r.spans.entry("run/fit".into()).or_default().record(999);
+        r.spans
+            .entry("run/exec.phase".into())
+            .or_default()
+            .record(5);
+        let h = r.histograms.entry("residual".into()).or_default();
+        h.record(0.5);
+        h.record(0.25);
+        r.histograms
+            .entry("exec.phase_ms.fit".into())
+            .or_default()
+            .record(12.0);
+        r.record_speedup("bp.run@4", 3.0);
+        let view = r.equivalence_view();
+        assert_eq!(view.counter("bp.iterations"), 7);
+        assert_eq!(view.counter("exec.threads"), 0, "exec.* dropped");
+        let fit = view.span("run/fit").expect("span count kept");
+        assert_eq!((fit.count, fit.total_nanos), (1, 0), "timing zeroed");
+        assert!(view.span("run/exec.phase").is_none());
+        let hist = view.histogram("residual").expect("histogram kept");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 0.0, "order-dependent sum zeroed");
+        assert_eq!(hist.last, 0.0, "order-dependent last zeroed");
+        assert_eq!((hist.min, hist.max), (0.25, 0.5));
+        assert!(view.histogram("exec.phase_ms.fit").is_none());
+        assert!(view.speedup.is_empty());
+        assert_eq!(r.exec_threads(), 4);
+        assert_eq!(RunReport::default().exec_threads(), 1);
+        // The view is a fixpoint: projecting twice changes nothing.
+        assert_eq!(view.equivalence_view(), view);
     }
 
     #[test]

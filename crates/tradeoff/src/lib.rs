@@ -26,7 +26,11 @@ pub mod strategy;
 pub mod utility;
 
 pub use adversary::Knowledge;
-pub use optimize::{optimize_attribute_strategy, select_vulnerable_links, OptimizeConfig};
+pub use optimize::{
+    optimize_attribute_strategy, optimize_attribute_strategy_under,
+    optimize_attribute_strategy_under_with, optimize_attribute_strategy_with,
+    select_vulnerable_links, select_vulnerable_links_with, OptimizeConfig,
+};
 pub use privacy::{latent_privacy, prediction_disparity};
 pub use profile::{AttrVec, Profile};
 pub use strategy::AttributeStrategy;

@@ -18,8 +18,14 @@ use crate::strategy::AttributeStrategy;
 use crate::utility::{prediction_utility_loss, structure_value, Disparity};
 use ppdp_classify::{masked_weight, LabeledGraph, RelationalState};
 use ppdp_errors::{ensure, Result};
+use ppdp_exec::ExecPolicy;
 use ppdp_graph::UserId;
-use ppdp_opt::{enumerate_simplex, lazy_greedy_knapsack};
+use ppdp_opt::{enumerate_simplex, lazy_greedy_knapsack_with};
+
+/// Below this many simplex candidates a coordinate-ascent row sweep is too
+/// cheap to be worth spawning worker threads for; the sweep silently stays
+/// sequential. Scheduling-only: the chosen rows are identical either way.
+const PAR_MIN_CANDIDATES: usize = 16;
 
 /// Parameters of the attribute-strategy search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +74,35 @@ pub fn optimize_attribute_strategy(
     )
 }
 
+/// [`optimize_attribute_strategy`] with an explicit execution policy: under
+/// [`ExecPolicy::Parallel`] each coordinate-ascent row sweep evaluates its
+/// simplex candidates on worker threads. Candidate evaluations within one
+/// row are independent (each scores the strategy with only that row
+/// replaced) and the accept fold runs in candidate order on the
+/// coordinator, so the result is identical for every policy and thread
+/// count.
+///
+/// # Errors
+/// Same conditions as [`optimize_attribute_strategy`].
+pub fn optimize_attribute_strategy_with(
+    exec: ExecPolicy,
+    profile: &Profile,
+    initial: &AttributeStrategy,
+    predictions: &[Vec<f64>],
+    du: Disparity,
+    cfg: OptimizeConfig,
+) -> Result<(AttributeStrategy, f64)> {
+    optimize_attribute_strategy_under_with(
+        exec,
+        profile,
+        initial,
+        predictions,
+        du,
+        cfg,
+        crate::adversary::Knowledge::Full,
+    )
+}
+
 /// Like [`optimize_attribute_strategy`], but the *designer* assumes the
 /// adversary has only the given [`Knowledge`] — the Fig. 4.3 experiment:
 /// strategies designed under weaker assumptions are then evaluated against
@@ -78,6 +113,32 @@ pub fn optimize_attribute_strategy(
 /// # Errors
 /// Same conditions as [`optimize_attribute_strategy`].
 pub fn optimize_attribute_strategy_under(
+    profile: &Profile,
+    initial: &AttributeStrategy,
+    predictions: &[Vec<f64>],
+    du: Disparity,
+    cfg: OptimizeConfig,
+    assumed: crate::adversary::Knowledge,
+) -> Result<(AttributeStrategy, f64)> {
+    optimize_attribute_strategy_under_with(
+        ExecPolicy::Sequential,
+        profile,
+        initial,
+        predictions,
+        du,
+        cfg,
+        assumed,
+    )
+}
+
+/// [`optimize_attribute_strategy_under`] with an explicit execution policy
+/// (see [`optimize_attribute_strategy_with`]).
+///
+/// # Errors
+/// Same conditions as [`optimize_attribute_strategy`].
+#[allow(clippy::too_many_arguments)] // the `_with` variant adds one policy knob
+pub fn optimize_attribute_strategy_under_with(
+    exec: ExecPolicy,
     profile: &Profile,
     initial: &AttributeStrategy,
     predictions: &[Vec<f64>],
@@ -125,6 +186,11 @@ pub fn optimize_attribute_strategy_under(
         latent_privacy(profile, s, &bp, &bs, predictions)
     };
     let mut best_privacy = objective(&best);
+    let exec = if candidates.len() >= PAR_MIN_CANDIDATES {
+        exec
+    } else {
+        ExecPolicy::Sequential
+    };
 
     for _ in 0..cfg.sweeps {
         let mut improved = false;
@@ -132,12 +198,19 @@ pub fn optimize_attribute_strategy_under(
             let saved = (0..n_out).map(|o| best.prob(i, o)).collect::<Vec<_>>();
             let mut row_best = saved.clone();
             let mut row_best_privacy = best_privacy;
-            for cand in &candidates {
-                best.set_row(i, cand.clone());
-                if prediction_utility_loss(profile, &best, du) > cfg.delta + 1e-9 {
-                    continue;
+            // Each candidate scores the strategy with only row `i`
+            // replaced, independent of every other candidate — safe to fan
+            // out. Infeasible candidates score −∞ so the in-order accept
+            // fold below reproduces the sequential `continue` exactly.
+            let scored = exec.par_map(candidates.len(), |c| {
+                let mut trial = best.clone();
+                trial.set_row(i, candidates[c].clone());
+                if prediction_utility_loss(profile, &trial, du) > cfg.delta + 1e-9 {
+                    return f64::NEG_INFINITY;
                 }
-                let privacy = objective(&best);
+                objective(&trial)
+            });
+            for (cand, privacy) in candidates.iter().zip(scored) {
                 if privacy > row_best_privacy + 1e-12 {
                     row_best_privacy = privacy;
                     row_best = cand.clone();
@@ -167,6 +240,22 @@ pub fn optimize_attribute_strategy_under(
 /// Returns [`ppdp_errors::PpdpError::InvalidInput`] when `u` is not a user
 /// of the graph or the `ε` budget is NaN or negative.
 pub fn select_vulnerable_links(
+    lg: &LabeledGraph<'_>,
+    u: UserId,
+    epsilon: f64,
+) -> Result<Vec<UserId>> {
+    select_vulnerable_links_with(ExecPolicy::Sequential, lg, u, epsilon)
+}
+
+/// [`select_vulnerable_links`] with an explicit execution policy: under
+/// [`ExecPolicy::Parallel`] the lazy greedy's initial bound pass evaluates
+/// the per-neighbour gains on worker threads. The selection is identical
+/// for every policy and thread count.
+///
+/// # Errors
+/// Same conditions as [`select_vulnerable_links`].
+pub fn select_vulnerable_links_with(
+    exec: ExecPolicy,
     lg: &LabeledGraph<'_>,
     u: UserId,
     epsilon: f64,
@@ -222,7 +311,7 @@ pub fn select_vulnerable_links(
         1.0 - p_true
     };
 
-    Ok(lazy_greedy_knapsack(&costs, epsilon, objective)?
+    Ok(lazy_greedy_knapsack_with(exec, &costs, epsilon, objective)?
         .into_iter()
         .map(|i| neighbours[i])
         .collect())
@@ -303,6 +392,43 @@ mod tests {
         let tight = run(0.0);
         let loose = run(2.0);
         assert!(loose >= tight - 1e-12, "loose {loose} < tight {tight}");
+    }
+
+    #[test]
+    fn parallel_policy_reproduces_sequential_optimum_bitwise() {
+        // grid 24 → 25 simplex candidates, enough to cross the parallel
+        // gate so worker threads really run.
+        let p = Profile::new(variants(), vec![0.7, 0.3]);
+        let initial = AttributeStrategy::removal(variants(), &[0]);
+        let cfg = OptimizeConfig {
+            grid: 24,
+            sweeps: 3,
+            delta: 1.0,
+        };
+        let (seq_s, seq_p) =
+            optimize_attribute_strategy(&p, &initial, &preds(), hamming_disparity, cfg).unwrap();
+        let g = link_fixture();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
+        let seq_sel = select_vulnerable_links(&lg, UserId(0), 10.0).unwrap();
+        for threads in [1, 2, 8] {
+            let exec = ExecPolicy::parallel(threads);
+            let (par_s, par_p) = optimize_attribute_strategy_with(
+                exec,
+                &p,
+                &initial,
+                &preds(),
+                hamming_disparity,
+                cfg,
+            )
+            .unwrap();
+            assert_eq!(seq_s, par_s, "threads = {threads}");
+            assert_eq!(seq_p.to_bits(), par_p.to_bits(), "threads = {threads}");
+            assert_eq!(
+                seq_sel,
+                select_vulnerable_links_with(exec, &lg, UserId(0), 10.0).unwrap(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

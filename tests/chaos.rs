@@ -274,6 +274,123 @@ fn dp_pipeline_handles_degenerate_tables_without_panicking() {
     assert_structured(&err, "empty table");
 }
 
+// ---------- fault matrix × parallel execution ----------
+//
+// Re-runs the poison matrices with a worker pool attached. The contract
+// gains a clause under `ExecPolicy::Parallel`: a fault must still surface
+// as the *same* structured error the sequential run produces (never a
+// panic escaping a worker, never a hung join), and a survivable fault must
+// degrade to the byte-identical artifact.
+
+#[test]
+fn genome_poison_matrix_is_policy_independent() {
+    for seed in 0..8u64 {
+        let mut catalog = synthetic_catalog(60, 5, 2, 11);
+        let notes = Chaos::new(seed).poison_catalog(&mut catalog, 3);
+        let targets = [Target::Trait(TraitId(0))];
+        let seq_err = GenomePublisher::new(&catalog, 0.6)
+            .publish(&Evidence::none(), &targets)
+            .expect_err(&format!("seed {seed}: poison {notes:?} must be caught"));
+        let par_err = GenomePublisher::new(&catalog, 0.6)
+            .exec(ExecPolicy::parallel(4))
+            .publish(&Evidence::none(), &targets)
+            .expect_err(&format!(
+                "seed {seed}: poison {notes:?} must be caught in parallel too"
+            ));
+        assert_structured(&par_err, &format!("{notes:?}"));
+        assert_eq!(
+            seq_err.kind(),
+            par_err.kind(),
+            "seed {seed}: fault classification drifted across policies"
+        );
+        assert_eq!(
+            seq_err.to_string(),
+            par_err.to_string(),
+            "seed {seed}: fault message drifted across policies"
+        );
+    }
+}
+
+#[test]
+fn genome_survivable_corruption_degrades_identically_under_parallelism() {
+    for seed in 0..4u64 {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let panel = amd_like(&catalog, TraitId(0), 3, 3, 11);
+        let mut ev = panel.full_evidence(0);
+        let mut chaos = Chaos::new(seed);
+        chaos.drop_evidence(&mut ev, 5);
+        chaos.contradict_evidence(&mut ev);
+        let run = |exec: ExecPolicy| {
+            GenomePublisher::new(&catalog, 0.6)
+                .exec(exec)
+                .publish(&ev, &[Target::Trait(TraitId(0))])
+                .unwrap_or_else(|e| panic!("seed {seed}: valid-but-lying evidence errored: {e}"))
+        };
+        let seq = run(ExecPolicy::Sequential);
+        let par = run(ExecPolicy::parallel(4));
+        assert_eq!(seq.released, par.released, "seed {seed}");
+        assert_eq!(seq.outcome, par.outcome, "seed {seed}");
+        for p in &par.outcome.history {
+            assert!(p.is_finite(), "seed {seed}: non-finite privacy level");
+        }
+    }
+}
+
+#[test]
+fn social_degenerate_configs_are_rejected_under_parallelism() {
+    let data = caltech_like(42);
+    for (fault, publisher) in [
+        (
+            "known fraction 1.5",
+            SocialPublisher::new(&data).known_fraction(1.5),
+        ),
+        (
+            "zero mix",
+            SocialPublisher::new(&data).evidence_mix(0.0, 0.0),
+        ),
+        (
+            "NaN mix",
+            SocialPublisher::new(&data).evidence_mix(f64::NAN, 0.5),
+        ),
+    ] {
+        let err = publisher
+            .exec(ExecPolicy::parallel(4))
+            .publish(7)
+            .expect_err(&format!("{fault} must be caught under parallelism"));
+        assert_structured(&err, fault);
+    }
+}
+
+#[test]
+fn dp_degenerate_tables_are_policy_independent() {
+    let table = correlated_microdata(200, 3, 3, 0.5, 5);
+    for seed in 0..4u64 {
+        let stuck = Chaos::new(seed).degenerate_column(&table, 1);
+        let seq = DpPublisher::new(2.0, 1).publish(&stuck, 100, seed);
+        let par = DpPublisher::new(2.0, 1)
+            .exec(ExecPolicy::parallel(4))
+            .publish(&stuck, 100, seed);
+        match (seq, par) {
+            (Ok(s), Ok(p)) => assert_eq!(s.table, p.table, "seed {seed}"),
+            (Err(s), Err(p)) => {
+                assert_structured(&p, "degenerate column");
+                assert_eq!(s.kind(), p.kind(), "seed {seed}");
+            }
+            (s, p) => panic!(
+                "seed {seed}: fault outcome drifted across policies: \
+                 sequential {:?} vs parallel {:?}",
+                s.map(|r| r.table.n_rows()),
+                p.map(|r| r.table.n_rows())
+            ),
+        }
+    }
+    let err = DpPublisher::new(2.0, 1)
+        .exec(ExecPolicy::parallel(4))
+        .publish(&Chaos::empty_table(&table), 10, 0)
+        .expect_err("zero-record table must be caught under parallelism");
+    assert_structured(&err, "empty table");
+}
+
 #[test]
 fn dp_pipeline_rejects_degenerate_epsilon() {
     let table = correlated_microdata(100, 3, 2, 0.5, 5);

@@ -1,0 +1,184 @@
+//! Golden-value regression suite: pins the numeric outputs of the four
+//! inference/sanitization kernels to checked-in JSON snapshots.
+//!
+//! Every snapshot is rendered by hand with `format!` into a canonical JSON
+//! string (floats via Rust's shortest-round-trip `{:?}`, so the pin is
+//! bitwise) and compared byte-for-byte against `tests/golden/<name>.json`.
+//! To refresh after an intentional numeric change:
+//!
+//! ```text
+//! PPDP_REGEN_GOLDEN=1 cargo test -p ppdp --test golden
+//! ```
+//!
+//! Each kernel is evaluated under `ExecPolicy::Sequential` *and*
+//! `ExecPolicy::parallel(4)` against the same snapshot — the goldens double
+//! as a fixed-point check on the deterministic parallel execution layer.
+
+use ppdp::classify::{run_attack_with, AttackModel, LabeledGraph, LocalKind};
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::datagen::social::caltech_like;
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::sanitize::Predictor;
+use ppdp::genomic::sanitize::Target;
+use ppdp::genomic::{greedy_sanitize_with, BpConfig, Evidence, FactorGraph, Genotype};
+use ppdp::genomic::{SnpId, TraitId};
+use ppdp::publish::DpPublisher;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+
+/// Both policies every golden is checked under.
+const POLICIES: [ExecPolicy; 2] = [ExecPolicy::Sequential, ExecPolicy::Parallel { threads: 4 }];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the checked-in snapshot, or rewrites the
+/// snapshot when `PPDP_REGEN_GOLDEN=1` is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("PPDP_REGEN_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with PPDP_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, rendered,
+        "golden drift in {name}; if the change is intentional, regenerate \
+         with PPDP_REGEN_GOLDEN=1"
+    );
+}
+
+/// `[a, b, c]` with shortest-round-trip floats.
+fn json_floats(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:?}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[test]
+fn bp_marginals_match_snapshot() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(40, 4, 1, 7);
+    let evidence = Evidence::none()
+        .with_snp(SnpId(0), Genotype::HomRisk)
+        .with_snp(SnpId(5), Genotype::Het)
+        .with_trait(TraitId(2), true);
+    let graph = FactorGraph::build(&catalog, &evidence).unwrap();
+    for exec in POLICIES {
+        let bp = BpConfig {
+            exec,
+            ..Default::default()
+        }
+        .run(&graph);
+        let traits: Vec<String> = bp
+            .trait_marginals
+            .iter()
+            .map(|m| json_floats(&m[..]))
+            .collect();
+        let snps: Vec<String> = bp
+            .snp_marginals
+            .iter()
+            .map(|m| json_floats(&m[..]))
+            .collect();
+        let rendered = format!(
+            "{{\n  \"iterations\": {},\n  \"converged\": {},\n  \"trait_marginals\": [\n    {}\n  ],\n  \"snp_marginals\": [\n    {}\n  ]\n}}\n",
+            bp.iterations,
+            bp.converged,
+            traits.join(",\n    "),
+            snps.join(",\n    ")
+        );
+        check_golden("bp_marginals.json", &rendered);
+    }
+}
+
+#[test]
+fn ica_accuracy_matches_snapshot() {
+    let data = caltech_like(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let known: Vec<bool> = (0..data.graph.user_count())
+        .map(|_| rng.gen_bool(0.7))
+        .collect();
+    let lg = LabeledGraph::new(&data.graph, data.privacy_cat, known);
+    for exec in POLICIES {
+        let out = run_attack_with(
+            &lg,
+            LocalKind::Bayes,
+            AttackModel::Collective {
+                alpha: 0.5,
+                beta: 0.5,
+            },
+            exec,
+        )
+        .unwrap();
+        let rendered = format!(
+            "{{\n  \"accuracy\": {:?},\n  \"iterations\": {},\n  \"converged\": {}\n}}\n",
+            out.accuracy, out.iterations, out.converged
+        );
+        check_golden("ica_accuracy.json", &rendered);
+    }
+}
+
+#[test]
+fn greedy_sanitization_picks_match_snapshot() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(60, 5, 2, 11);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    for exec in POLICIES {
+        let out = greedy_sanitize_with(
+            exec,
+            &catalog,
+            &evidence,
+            &targets,
+            0.9999,
+            8,
+            Predictor::BeliefPropagation(BpConfig::default()),
+        )
+        .unwrap();
+        let removed: Vec<String> = out.removed.iter().map(|s| s.0.to_string()).collect();
+        let rendered = format!(
+            "{{\n  \"removed\": [{}],\n  \"satisfied\": {},\n  \"privacy_history\": {}\n}}\n",
+            removed.join(", "),
+            out.satisfied,
+            json_floats(&out.history)
+        );
+        check_golden("greedy_picks.json", &rendered);
+    }
+}
+
+#[test]
+fn dp_synthesis_counts_match_snapshot() {
+    let original = correlated_microdata(400, 4, 3, 0.8, 5);
+    for exec in POLICIES {
+        let report = DpPublisher::new(5.0, 1)
+            .exec(exec)
+            .publish(&original, 300, 6)
+            .unwrap();
+        let synth = &report.table;
+        let mut columns = Vec::new();
+        for c in 0..synth.n_cols() {
+            let mut counts = vec![0usize; synth.arities()[c] as usize];
+            for row in synth.rows() {
+                counts[row[c] as usize] += 1;
+            }
+            let cells: Vec<String> = counts.iter().map(|n| n.to_string()).collect();
+            columns.push(format!("[{}]", cells.join(", ")));
+        }
+        let rendered = format!(
+            "{{\n  \"rows\": {},\n  \"column_counts\": [\n    {}\n  ]\n}}\n",
+            synth.rows().len(),
+            columns.join(",\n    ")
+        );
+        check_golden("dp_counts.json", &rendered);
+    }
+}

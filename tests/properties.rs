@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
 use ppdp::classify::{LabeledGraph, RelationalState};
+use ppdp::exec::ExecPolicy;
 use ppdp::genomic::{
     entropy_privacy, estimation_error, exhaustive_marginals, BpConfig, Evidence, FactorGraph,
     Genotype, GwasCatalog, SnpId,
@@ -316,6 +317,90 @@ proptest! {
             prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
+    }
+}
+
+// ---------- execution-policy invariants ----------
+
+/// Maps the proptest-drawn thread count onto a policy: 0 means the
+/// sequential reference, anything else a parallel pool of that size.
+fn drawn_policy(threads: usize) -> ExecPolicy {
+    if threads == 0 {
+        ExecPolicy::Sequential
+    } else {
+        ExecPolicy::parallel(threads)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The greedy knapsack keeps its budget discipline — and its exact
+    /// pick sequence — under every execution policy and thread count.
+    #[test]
+    fn knapsack_policy_independent_and_within_budget(
+        items in prop::collection::vec(prop::collection::vec(0usize..8, 1..4), 1..8),
+        budget in 0.5f64..6.0,
+        threads in 0usize..9,
+    ) {
+        use ppdp::opt::lazy_greedy_knapsack_with;
+        let exec = drawn_policy(threads);
+        let costs: Vec<f64> = items.iter().map(|s| s.len() as f64 * 0.5).collect();
+        let cover = |sel: &[usize]| -> f64 {
+            let mut seen = std::collections::HashSet::new();
+            for &i in sel {
+                seen.extend(items[i].iter().copied());
+            }
+            seen.len() as f64
+        };
+        let seq = lazy_greedy_knapsack_with(ExecPolicy::Sequential, &costs, budget, cover).unwrap();
+        let par = lazy_greedy_knapsack_with(exec, &costs, budget, cover).unwrap();
+        prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        let spent: f64 = par.iter().map(|&i| costs[i]).sum();
+        prop_assert!(spent <= budget + 1e-9, "spent {} of {}", spent, budget);
+    }
+
+    /// BP marginals stay normalized and bitwise policy-independent for any
+    /// random forest-shaped catalog and any thread count.
+    #[test]
+    fn bp_policy_independent_and_normalized(
+        cat in random_catalog(),
+        g0 in 0usize..3,
+        threads in 0usize..9,
+    ) {
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::from_index(g0));
+        let fg = FactorGraph::build(&cat, &ev).unwrap();
+        let seq = BpConfig::default().run(&fg);
+        let par = BpConfig { exec: drawn_policy(threads), ..Default::default() }.run(&fg);
+        prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        for m in &par.snp_marginals {
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+        for m in &par.trait_marginals {
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// DP synthesis is a pure function of `(data, ε, seed)` — the drawn
+    /// execution policy must never leak into the sampled table.
+    #[test]
+    fn dp_synthesis_policy_independent(
+        seed in 0u64..500,
+        threads in 0usize..9,
+    ) {
+        use ppdp::publish::DpPublisher;
+        let original = ppdp::datagen::microdata::correlated_microdata(120, 3, 2, 0.7, 9);
+        let seq = DpPublisher::new(4.0, 1).publish(&original, 80, seed).unwrap();
+        let par = DpPublisher::new(4.0, 1)
+            .exec(drawn_policy(threads))
+            .publish(&original, 80, seed)
+            .unwrap();
+        prop_assert_eq!(&seq.table, &par.table, "threads = {}", threads);
+        prop_assert_eq!(
+            seq.telemetry.equivalence_view(),
+            par.telemetry.equivalence_view(),
+            "threads = {}", threads
+        );
     }
 }
 
