@@ -26,6 +26,13 @@ cargo test -q -p ppdp --test golden
 echo "==> chaos suite (fault injection: no panics allowed)"
 cargo test -q -p ppdp --test chaos
 
+# Perf contract of the incremental inference engine: warm-started BP must
+# reproduce the full-recompute picks exactly while updating ≤ 25% of its
+# messages and running ≥ 5× faster. Writes BENCH_PR4.json, exits non-zero
+# on any gate miss.
+echo "==> incremental-BP bench gate (bench_pr4)"
+cargo run -q --release -p ppdp-bench --bin bench_pr4
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

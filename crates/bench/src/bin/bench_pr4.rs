@@ -1,0 +1,164 @@
+//! PR gate: warm-started incremental BP vs strict full recomputation on
+//! the GPUT greedy-sanitization workload.
+//!
+//! Runs the same greedy search twice through the [`IncrementalBp`]-backed
+//! delta oracle — once warm-started (messages persist across oracle calls,
+//! only the dirtied region refreshes) and once in strict mode (every probe
+//! resets and recomputes all messages) — and asserts the PR's performance
+//! contract:
+//!
+//! * identical removal sequences (warm-starting changes cost, not answers);
+//! * privacy trajectories agreeing to 1e-9;
+//! * ≥ 5× wall-clock speedup for the warm-started engine;
+//! * warm-started message updates ≤ 25% of the strict engine's.
+//!
+//! Writes the measurements to `BENCH_PR4.json` at the workspace root and
+//! exits non-zero if any gate fails, so `ci.sh` can run it directly.
+//!
+//! [`IncrementalBp`]: ppdp::genomic::IncrementalBp
+
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::sanitize::{SanitizeOutcome, Target};
+use ppdp::genomic::{
+    greedy_sanitize_full_recompute, greedy_sanitize_incremental, BpConfig, GwasCatalog, TraitId,
+};
+use ppdp::telemetry::{Recorder, RunReport};
+use std::time::Instant;
+
+struct Measured {
+    out: SanitizeOutcome,
+    wall_ns: u128,
+    report: RunReport,
+}
+
+fn run(strict: bool, catalog: &GwasCatalog, evidence: &ppdp::genomic::Evidence) -> Measured {
+    let targets: Vec<Target> = (0..catalog.n_traits())
+        .map(|i| Target::Trait(TraitId(i)))
+        .collect();
+    let solver = if strict {
+        greedy_sanitize_full_recompute
+    } else {
+        greedy_sanitize_incremental
+    };
+    // Best of 3 runs: the workload is deterministic, so the minimum is the
+    // least-noisy wall-clock estimate on a shared machine.
+    let mut best: Option<Measured> = None;
+    for _ in 0..3 {
+        let rec = Recorder::new();
+        let start = Instant::now();
+        let out = {
+            let _scope = rec.enter();
+            solver(
+                ExecPolicy::Sequential,
+                catalog,
+                evidence,
+                &targets,
+                0.95,
+                6,
+                BpConfig::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("bench_pr4: solver failed: {e}");
+                std::process::exit(1);
+            })
+        };
+        let wall_ns = start.elapsed().as_nanos();
+        let m = Measured {
+            out,
+            wall_ns,
+            report: rec.take(),
+        };
+        if best.as_ref().is_none_or(|b| m.wall_ns < b.wall_ns) {
+            best = Some(m);
+        }
+    }
+    best.unwrap_or_else(|| unreachable!("three runs always produce a best"))
+}
+
+/// SNP pool size; the seven Table-5.3 traits each claim [`ASSOC_PER_TRAIT`]
+/// loci, so the factor graph is large enough for inference to dominate the
+/// greedy search's wall time.
+const N_SNPS: usize = 400;
+/// Associations per trait in the synthetic catalog.
+const ASSOC_PER_TRAIT: usize = 50;
+
+fn main() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(N_SNPS, ASSOC_PER_TRAIT, 2, 5);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 4, 4, 5);
+    let evidence = panel.full_evidence(0);
+
+    let strict = run(true, &catalog, &evidence);
+    let warm = run(false, &catalog, &evidence);
+
+    let strict_msgs = strict.report.counter("bp.messages_updated");
+    let warm_msgs = warm.report.counter("bp.messages_updated");
+    let speedup = strict.wall_ns as f64 / warm.wall_ns.max(1) as f64;
+    let msg_ratio = warm_msgs as f64 / strict_msgs.max(1) as f64;
+    let picks_identical = warm.out.removed == strict.out.removed;
+    let max_history_diff = warm
+        .out
+        .history
+        .iter()
+        .zip(&strict.out.history)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    let mode_json = |label: &str, m: &Measured| {
+        format!(
+            "  \"{label}\": {{\"wall_ns\": {}, \"messages_updated\": {}, \
+             \"refreshes\": {}, \"evaluations\": {}, \"oracle_calls_saved\": {}}}",
+            m.wall_ns,
+            m.report.counter("bp.messages_updated"),
+            m.report.counter("bp.incremental.refreshes"),
+            m.report.counter("greedy.cardinality.evaluations"),
+            m.report.counter("sanitize.greedy.oracle_calls_saved"),
+        )
+    };
+    let json = format!(
+        "{{\n  \"fixture\": {{\"snps\": {N_SNPS}, \"associations_per_trait\": {ASSOC_PER_TRAIT}, \
+         \"delta\": 0.95, \"max_removals\": 6}},\n{},\n{},\n  \"speedup\": {speedup:?},\n  \
+         \"messages_ratio\": {msg_ratio:?},\n  \"picks_identical\": {picks_identical},\n  \
+         \"max_history_diff\": {max_history_diff:?},\n  \"removed\": {:?}\n}}\n",
+        mode_json("full_recompute", &strict),
+        mode_json("incremental", &warm),
+        warm.out.removed.iter().map(|s| s.0).collect::<Vec<_>>(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("bench_pr4: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+
+    let mut failed = false;
+    if !picks_identical {
+        eprintln!(
+            "GATE FAIL: removal sequences differ (warm {:?} vs strict {:?})",
+            warm.out.removed, strict.out.removed
+        );
+        failed = true;
+    }
+    if max_history_diff > 1e-9 {
+        eprintln!("GATE FAIL: privacy trajectories diverge by {max_history_diff} (> 1e-9)");
+        failed = true;
+    }
+    if speedup < 5.0 {
+        eprintln!("GATE FAIL: incremental speedup {speedup:.2}x < 5x");
+        failed = true;
+    }
+    if msg_ratio > 0.25 {
+        eprintln!(
+            "GATE FAIL: incremental message updates {warm_msgs} are {:.1}% of full recompute's \
+             {strict_msgs} (> 25%)",
+            100.0 * msg_ratio
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "bench_pr4 OK: {speedup:.1}x faster, {:.1}% of the messages, identical picks",
+        100.0 * msg_ratio
+    );
+}

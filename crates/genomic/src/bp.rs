@@ -28,7 +28,7 @@ use ppdp_exec::ExecPolicy;
 /// purely a scheduling decision — results are identical either way, since
 /// every message stage evaluates the same pure per-item closures and
 /// assembles them in item order.
-const PAR_MIN_FACTORS: usize = 32;
+pub(crate) const PAR_MIN_FACTORS: usize = 32;
 
 /// Belief-propagation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,14 +246,16 @@ impl BpConfig {
                         pot: &[f64; 3]|
          -> [f64; 3] {
             let mut msg = *pot;
-            for &f2 in &g.snp_factors[s] {
+            for &f2 in g.snp_factor_ids(s) {
+                let f2 = f2 as usize;
                 if Some(f2) != skip_f {
                     for (m, l) in msg.iter_mut().zip(&f2s[f2]) {
                         *m *= l;
                     }
                 }
             }
-            for &k in &g.snp_kin[s] {
+            for &k in g.snp_kin_ids(s) {
+                let k = k as usize;
                 if Some(k) != skip_k {
                     let side = if g.kin_factors[k].parent == s { 0 } else { 1 };
                     for (m, l) in msg.iter_mut().zip(&k2s[k][side]) {
@@ -305,7 +307,8 @@ impl BpConfig {
                 exec.par_map(nf, |f| {
                     let t = g.factors[f].trait_idx;
                     let mut msg = trait_pot[t];
-                    for &f2 in &g.trait_factors[t] {
+                    for &f2 in g.trait_factor_ids(t) {
+                        let f2 = f2 as usize;
                         if f2 != f {
                             for (m, l) in msg.iter_mut().zip(&f2t[f2]) {
                                 *m *= l;
@@ -389,6 +392,11 @@ impl BpConfig {
             }
 
             final_residual = delta;
+            // Each sweep rewrites every factor→variable message: two per
+            // association factor (to-SNP, to-trait) and two per kin factor
+            // (to-parent, to-child). The incremental engine reports the
+            // same metric, so the CI regression gate can compare them.
+            ppdp_telemetry::counter("bp.messages_updated", 2 * (nf + nk) as u64);
             ppdp_telemetry::value("bp.sweep_residual", delta);
             if !clean {
                 break;
@@ -408,10 +416,10 @@ impl BpConfig {
             &mut clean,
         );
         let trait_marginals = fold_flag(
-            exec.par_map(g.trait_factors.len(), |t| {
+            exec.par_map(g.n_traits(), |t| {
                 let mut b = trait_pot[t];
-                for &f in &g.trait_factors[t] {
-                    for (x, l) in b.iter_mut().zip(&f2t[f]) {
+                for &f in g.trait_factor_ids(t) {
+                    for (x, l) in b.iter_mut().zip(&f2t[f as usize]) {
                         *x *= l;
                     }
                 }
@@ -431,7 +439,7 @@ impl BpConfig {
     }
 }
 
-fn indicator3(i: usize) -> [f64; 3] {
+pub(crate) fn indicator3(i: usize) -> [f64; 3] {
     let mut v = [0.0; 3];
     v[i] = 1.0;
     v
@@ -443,7 +451,7 @@ fn indicator3(i: usize) -> [f64; 3] {
 /// sweep can finish with finite values. Returns the message plus a
 /// clean-flag (`false` = repaired); pure apart from the additive counter,
 /// so it is safe to call from worker threads.
-fn checked3_flag(mut v: [f64; 3]) -> ([f64; 3], bool) {
+pub(crate) fn checked3_flag(mut v: [f64; 3]) -> ([f64; 3], bool) {
     let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = v.iter().sum();
     if corrupt || !z.is_finite() || z <= 0.0 {
@@ -457,7 +465,7 @@ fn checked3_flag(mut v: [f64; 3]) -> ([f64; 3], bool) {
 }
 
 /// 2-vector sibling of [`checked3_flag`].
-fn checked2_flag(mut v: [f64; 2]) -> ([f64; 2], bool) {
+pub(crate) fn checked2_flag(mut v: [f64; 2]) -> ([f64; 2], bool) {
     let corrupt = v.iter().any(|x| !x.is_finite() || *x < 0.0);
     let z: f64 = v.iter().sum();
     if corrupt || !z.is_finite() || z <= 0.0 {
@@ -497,7 +505,7 @@ fn fold_flag<T>(pairs: Vec<(T, bool)>, clean: &mut bool) -> Vec<T> {
         .collect()
 }
 
-fn damp3(new: [f64; 3], old: [f64; 3], d: f64) -> [f64; 3] {
+pub(crate) fn damp3(new: [f64; 3], old: [f64; 3], d: f64) -> [f64; 3] {
     if d <= 0.0 {
         return new;
     }
@@ -508,7 +516,7 @@ fn damp3(new: [f64; 3], old: [f64; 3], d: f64) -> [f64; 3] {
     out
 }
 
-fn damp2(new: [f64; 2], old: [f64; 2], d: f64) -> [f64; 2] {
+pub(crate) fn damp2(new: [f64; 2], old: [f64; 2], d: f64) -> [f64; 2] {
     if d <= 0.0 {
         return new;
     }

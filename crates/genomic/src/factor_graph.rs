@@ -8,21 +8,33 @@
 //! clamped evidence. When a SNP participates in several associations the
 //! product acts as a product-of-experts combination of its parents — the
 //! same approximation the dissertation's pairwise factorization makes.
+//!
+//! # Layout
+//!
+//! Adjacency is stored as flat CSR (compressed sparse row) arrays rather
+//! than `Vec<Vec<usize>>`: one `offsets` array per variable class plus a
+//! packed `u32` item array. Neighbour walks in the BP hot loop are then a
+//! single slice index with no pointer chasing, and the whole graph is three
+//! contiguous allocations. Global→local id resolution goes through sorted
+//! lookup tables (binary search) instead of `O(n)` scans or hash maps, so
+//! construction and lookup order are deterministic independent of hasher
+//! state.
 
 use crate::catalog::GwasCatalog;
 use crate::model::{Genotype, SnpId, TraitId};
 use crate::tables::genotype_given_trait;
 use ppdp_errors::{ensure, PpdpError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The attacker's background knowledge: released SNPs `S^K` and released
-/// traits `T^K` (§5.3.2).
+/// traits `T^K` (§5.3.2). Ordered maps keep every traversal (validation,
+/// candidate enumeration, serialization) deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Evidence {
     /// Known genotypes.
-    pub snps: HashMap<SnpId, Genotype>,
+    pub snps: BTreeMap<SnpId, Genotype>,
     /// Known trait statuses.
-    pub traits: HashMap<TraitId, bool>,
+    pub traits: BTreeMap<TraitId, bool>,
 }
 
 impl Evidence {
@@ -46,7 +58,8 @@ impl Evidence {
     /// Checks that every referenced SNP and trait exists in `catalog`.
     ///
     /// # Errors
-    /// [`PpdpError::InvalidInput`] naming the first dangling reference.
+    /// [`PpdpError::InvalidInput`] naming the first dangling reference (in
+    /// id order — the maps are sorted, so the choice is deterministic).
     pub fn validate_against(&self, catalog: &GwasCatalog) -> Result<()> {
         for s in self.snps.keys() {
             ensure(
@@ -95,8 +108,72 @@ pub struct KinFactor {
     pub table: [[f64; 3]; 3],
 }
 
+/// Flat CSR adjacency: `items[offsets[r] .. offsets[r+1]]` are row `r`'s
+/// neighbour ids, in insertion order. Item ids are interned as `u32` — a
+/// factor graph with more than 4 billion factors does not fit in memory
+/// anyway, and the narrower ids halve the adjacency footprint.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Csr {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR table from `(row, item)` memberships via counting sort.
+    /// Pairs must be supplied in item order; within each row, items then
+    /// come out in that same order (matching what repeated `Vec::push`
+    /// construction produced).
+    fn from_memberships(n_rows: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut offsets = vec![0u32; n_rows + 1];
+        for &(row, _) in pairs {
+            offsets[row as usize + 1] += 1;
+        }
+        for r in 0..n_rows {
+            offsets[r + 1] += offsets[r];
+        }
+        let mut cursor = offsets.clone();
+        let mut items = vec![0u32; pairs.len()];
+        for &(row, item) in pairs {
+            let slot = cursor[row as usize];
+            items[slot as usize] = item;
+            cursor[row as usize] = slot + 1;
+        }
+        Self { offsets, items }
+    }
+
+    fn row(&self, r: usize) -> &[u32] {
+        &self.items[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
+/// Sorted `(global id, local index)` lookup table. Duplicated global ids
+/// (family graphs replicate the template per member) resolve to the lowest
+/// local index, preserving first-occurrence semantics.
+fn build_lookup<T: Ord + Copy>(ids: &[T]) -> Vec<(T, u32)> {
+    let mut lookup: Vec<(T, u32)> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    lookup.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    lookup
+}
+
+fn lookup_local<T: Ord + Copy>(lookup: &[(T, u32)], id: T) -> Option<usize> {
+    let i = lookup.partition_point(|&(x, _)| x < id);
+    match lookup.get(i) {
+        Some(&(x, local)) if x == id => Some(local as usize),
+        _ => None,
+    }
+}
+
 /// The compiled factor graph: only SNPs that participate in at least one
 /// association are materialized (isolated SNPs carry no inferential signal).
+///
+/// The association/kin factor lists stay public (read-only consumers like
+/// exhaustive enumeration and benches walk them directly); adjacency lives
+/// in private CSR tables kept in sync by the constructors and
+/// [`FactorGraph::add_kin_factor`] / [`FactorGraph::add_kin_factors`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FactorGraph {
     /// Global ids of the materialized SNP variables.
@@ -111,14 +188,18 @@ pub struct FactorGraph {
     pub trait_evidence: Vec<Option<bool>>,
     /// All pairwise SNP-trait factors.
     pub factors: Vec<Factor>,
-    /// SNP-trait factor indices adjacent to each SNP variable.
-    pub snp_factors: Vec<Vec<usize>>,
-    /// Factor indices adjacent to each trait variable.
-    pub trait_factors: Vec<Vec<usize>>,
     /// Mendelian-transmission factors between SNP variables (kinship).
     pub kin_factors: Vec<KinFactor>,
-    /// Kin-factor indices adjacent to each SNP variable.
-    pub snp_kin: Vec<Vec<usize>>,
+    /// CSR: SNP variable → adjacent association-factor ids.
+    snp_adj: Csr,
+    /// CSR: trait variable → adjacent association-factor ids.
+    trait_adj: Csr,
+    /// CSR: SNP variable → adjacent kin-factor ids.
+    kin_adj: Csr,
+    /// Sorted global→local SNP lookup.
+    snp_lookup: Vec<(SnpId, u32)>,
+    /// Sorted global→local trait lookup.
+    trait_lookup: Vec<(TraitId, u32)>,
 }
 
 impl FactorGraph {
@@ -139,8 +220,12 @@ impl FactorGraph {
             "catalog has no SNP-trait associations: the factor graph would be empty",
         )?;
         evidence.validate_against(catalog)?;
-        let mut snp_index: HashMap<SnpId, usize> = HashMap::new();
-        let mut trait_index: HashMap<TraitId, usize> = HashMap::new();
+        // Intern in first-occurrence (association) order: local index = the
+        // position of the id's first appearance in the catalog. Sorted maps
+        // make the interner hasher-free; the assigned order depends only on
+        // the association list.
+        let mut snp_index: BTreeMap<SnpId, usize> = BTreeMap::new();
+        let mut trait_index: BTreeMap<TraitId, usize> = BTreeMap::new();
         let mut snp_ids = Vec::new();
         let mut trait_ids = Vec::new();
 
@@ -173,8 +258,6 @@ impl FactorGraph {
             .collect();
 
         let mut factors = Vec::with_capacity(catalog.associations().len());
-        let mut snp_factors = vec![Vec::new(); snp_ids.len()];
-        let mut trait_factors = vec![Vec::new(); trait_ids.len()];
         for assoc in catalog.associations() {
             let s = snp_index[&assoc.snp];
             let t = trait_index[&assoc.trait_id];
@@ -183,34 +266,121 @@ impl FactorGraph {
                 table[g.index()][0] = genotype_given_trait(assoc, g, false);
                 table[g.index()][1] = genotype_given_trait(assoc, g, true);
             }
-            let f_idx = factors.len();
             factors.push(Factor {
                 snp: s,
                 trait_idx: t,
                 table,
             });
-            snp_factors[s].push(f_idx);
-            trait_factors[t].push(f_idx);
         }
 
-        let n_snps = snp_ids.len();
-        Ok(Self {
+        Ok(Self::assemble(
             snp_ids,
             trait_ids,
             trait_prior,
             snp_evidence,
             trait_evidence,
             factors,
-            snp_factors,
-            trait_factors,
+        ))
+    }
+
+    /// Assembles a graph from pre-built parts, deriving the CSR adjacency
+    /// and lookup tables. Used by [`FactorGraph::build`] and by callers
+    /// (e.g. [`crate::kinship`]) that construct replicated graphs directly.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] when vector lengths disagree or a factor
+    /// references an out-of-range variable.
+    pub fn from_parts(
+        snp_ids: Vec<SnpId>,
+        trait_ids: Vec<TraitId>,
+        trait_prior: Vec<[f64; 2]>,
+        snp_evidence: Vec<Option<usize>>,
+        trait_evidence: Vec<Option<bool>>,
+        factors: Vec<Factor>,
+    ) -> Result<Self> {
+        ensure(
+            snp_evidence.len() == snp_ids.len(),
+            format!(
+                "snp_evidence has {} entries for {} SNP variables",
+                snp_evidence.len(),
+                snp_ids.len()
+            ),
+        )?;
+        ensure(
+            trait_prior.len() == trait_ids.len() && trait_evidence.len() == trait_ids.len(),
+            format!(
+                "trait_prior/trait_evidence have {}/{} entries for {} trait variables",
+                trait_prior.len(),
+                trait_evidence.len(),
+                trait_ids.len()
+            ),
+        )?;
+        for (i, f) in factors.iter().enumerate() {
+            ensure(
+                f.snp < snp_ids.len() && f.trait_idx < trait_ids.len(),
+                format!(
+                    "factor {i} references (snp {}, trait {}) outside {}×{} variables",
+                    f.snp,
+                    f.trait_idx,
+                    snp_ids.len(),
+                    trait_ids.len()
+                ),
+            )?;
+        }
+        Ok(Self::assemble(
+            snp_ids,
+            trait_ids,
+            trait_prior,
+            snp_evidence,
+            trait_evidence,
+            factors,
+        ))
+    }
+
+    fn assemble(
+        snp_ids: Vec<SnpId>,
+        trait_ids: Vec<TraitId>,
+        trait_prior: Vec<[f64; 2]>,
+        snp_evidence: Vec<Option<usize>>,
+        trait_evidence: Vec<Option<bool>>,
+        factors: Vec<Factor>,
+    ) -> Self {
+        let snp_pairs: Vec<(u32, u32)> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.snp as u32, i as u32))
+            .collect();
+        let trait_pairs: Vec<(u32, u32)> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.trait_idx as u32, i as u32))
+            .collect();
+        let snp_adj = Csr::from_memberships(snp_ids.len(), &snp_pairs);
+        let trait_adj = Csr::from_memberships(trait_ids.len(), &trait_pairs);
+        let kin_adj = Csr::from_memberships(snp_ids.len(), &[]);
+        let snp_lookup = build_lookup(&snp_ids);
+        let trait_lookup = build_lookup(&trait_ids);
+        Self {
+            snp_ids,
+            trait_ids,
+            trait_prior,
+            snp_evidence,
+            trait_evidence,
+            factors,
             kin_factors: Vec::new(),
-            snp_kin: vec![Vec::new(); n_snps],
-        })
+            snp_adj,
+            trait_adj,
+            kin_adj,
+            snp_lookup,
+            trait_lookup,
+        }
     }
 
     /// Appends a Mendelian-transmission factor between two materialized SNP
     /// variables (same locus, different individuals). Used by
-    /// [`crate::kinship`].
+    /// [`crate::kinship`]. Appending many factors one at a time rebuilds
+    /// the kin adjacency each call — batch callers should prefer
+    /// [`FactorGraph::add_kin_factors`].
     ///
     /// # Errors
     /// [`PpdpError::InvalidInput`] on out-of-range variable indices, a
@@ -221,35 +391,58 @@ impl FactorGraph {
         child: usize,
         table: [[f64; 3]; 3],
     ) -> Result<()> {
-        ensure(
-            parent < self.n_snps() && child < self.n_snps(),
-            format!(
-                "kin factor ({parent}, {child}) out of range: graph has {} SNP variables",
-                self.n_snps()
-            ),
-        )?;
-        ensure(
-            parent != child,
-            format!("kin factor ({parent}, {child}) links a variable to itself"),
-        )?;
-        for (p, row) in table.iter().enumerate() {
-            for (c, &v) in row.iter().enumerate() {
-                if !v.is_finite() || v < 0.0 {
-                    return Err(PpdpError::invalid_input(format!(
-                        "kin factor ({parent}, {child}) table[{p}][{c}] = {v} is not a \
-                         non-negative finite weight"
-                    )));
+        self.add_kin_factors([(parent, child, table)])
+    }
+
+    /// Appends a batch of Mendelian-transmission factors, validating every
+    /// entry before mutating the graph (failure leaves it unchanged) and
+    /// rebuilding the kin CSR adjacency once.
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] as for [`FactorGraph::add_kin_factor`].
+    pub fn add_kin_factors(
+        &mut self,
+        batch: impl IntoIterator<Item = (usize, usize, [[f64; 3]; 3])>,
+    ) -> Result<()> {
+        let batch: Vec<(usize, usize, [[f64; 3]; 3])> = batch.into_iter().collect();
+        for &(parent, child, ref table) in &batch {
+            ensure(
+                parent < self.n_snps() && child < self.n_snps(),
+                format!(
+                    "kin factor ({parent}, {child}) out of range: graph has {} SNP variables",
+                    self.n_snps()
+                ),
+            )?;
+            ensure(
+                parent != child,
+                format!("kin factor ({parent}, {child}) links a variable to itself"),
+            )?;
+            for (p, row) in table.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(PpdpError::invalid_input(format!(
+                            "kin factor ({parent}, {child}) table[{p}][{c}] = {v} is not a \
+                             non-negative finite weight"
+                        )));
+                    }
                 }
             }
         }
-        let idx = self.kin_factors.len();
-        self.kin_factors.push(KinFactor {
-            parent,
-            child,
-            table,
-        });
-        self.snp_kin[parent].push(idx);
-        self.snp_kin[child].push(idx);
+        self.kin_factors
+            .extend(batch.into_iter().map(|(parent, child, table)| KinFactor {
+                parent,
+                child,
+                table,
+            }));
+        // Rebuild the kin CSR from scratch: each factor contributes its
+        // parent and child memberships, in factor order (parent first),
+        // matching what per-edge `Vec::push` produced.
+        let mut pairs = Vec::with_capacity(self.kin_factors.len() * 2);
+        for (k, f) in self.kin_factors.iter().enumerate() {
+            pairs.push((f.parent as u32, k as u32));
+            pairs.push((f.child as u32, k as u32));
+        }
+        self.kin_adj = Csr::from_memberships(self.n_snps(), &pairs);
         Ok(())
     }
 
@@ -263,14 +456,31 @@ impl FactorGraph {
         self.trait_ids.len()
     }
 
-    /// Local index of global SNP `s`, if materialized.
+    /// Association-factor ids adjacent to SNP variable `s`, in factor order.
+    pub fn snp_factor_ids(&self, s: usize) -> &[u32] {
+        self.snp_adj.row(s)
+    }
+
+    /// Association-factor ids adjacent to trait variable `t`, in factor
+    /// order.
+    pub fn trait_factor_ids(&self, t: usize) -> &[u32] {
+        self.trait_adj.row(t)
+    }
+
+    /// Kin-factor ids adjacent to SNP variable `s`.
+    pub fn snp_kin_ids(&self, s: usize) -> &[u32] {
+        self.kin_adj.row(s)
+    }
+
+    /// Local index of global SNP `s`, if materialized (binary search; the
+    /// first occurrence wins when ids repeat, as in family graphs).
     pub fn snp_local(&self, s: SnpId) -> Option<usize> {
-        self.snp_ids.iter().position(|&x| x == s)
+        lookup_local(&self.snp_lookup, s)
     }
 
     /// Local index of global trait `t`, if materialized.
     pub fn trait_local(&self, t: TraitId) -> Option<usize> {
-        self.trait_ids.iter().position(|&x| x == t)
+        lookup_local(&self.trait_lookup, t)
     }
 
     /// Whether the factor graph is a forest (no cycles). BP is exact on
@@ -342,11 +552,93 @@ mod tests {
         assert_eq!(g.factors.len(), 6);
         // s2 (index 1) participates in two factors (t1 and t2).
         let s2 = g.snp_local(SnpId(1)).unwrap();
-        assert_eq!(g.snp_factors[s2].len(), 2);
+        assert_eq!(g.snp_factor_ids(s2).len(), 2);
         // t2 has three SNP neighbours.
         let t2 = g.trait_local(TraitId(1)).unwrap();
-        assert_eq!(g.trait_factors[t2].len(), 3);
+        assert_eq!(g.trait_factor_ids(t2).len(), 3);
         assert!(g.is_forest(), "Fig. 5.1 is a tree");
+    }
+
+    #[test]
+    fn csr_adjacency_matches_factor_list() {
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        // Every factor appears exactly once in its SNP's and trait's rows,
+        // and rows are in ascending factor order (insertion order).
+        for s in 0..g.n_snps() {
+            let row = g.snp_factor_ids(s);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row sorted: {row:?}");
+            for &f in row {
+                assert_eq!(g.factors[f as usize].snp, s);
+            }
+        }
+        for t in 0..g.n_traits() {
+            for &f in g.trait_factor_ids(t) {
+                assert_eq!(g.factors[f as usize].trait_idx, t);
+            }
+        }
+        let total: usize = (0..g.n_snps()).map(|s| g.snp_factor_ids(s).len()).sum();
+        assert_eq!(total, g.factors.len());
+    }
+
+    #[test]
+    fn kin_adjacency_tracks_batched_appends() {
+        let mut g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        g.add_kin_factors([
+            (0, 1, [[0.5; 3]; 3]),
+            (1, 2, [[0.5; 3]; 3]),
+            (0, 3, [[0.5; 3]; 3]),
+        ])
+        .unwrap();
+        assert_eq!(g.snp_kin_ids(0), &[0, 2]);
+        assert_eq!(g.snp_kin_ids(1), &[0, 1]);
+        assert_eq!(g.snp_kin_ids(2), &[1]);
+        assert_eq!(g.snp_kin_ids(3), &[2]);
+        assert_eq!(g.snp_kin_ids(4), &[] as &[u32]);
+        // A failed batch mutates nothing.
+        let before = g.clone();
+        assert!(g
+            .add_kin_factors([(3, 4, [[0.5; 3]; 3]), (1, 1, [[0.5; 3]; 3])])
+            .is_err());
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn from_parts_validates_factor_ranges() {
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        let rebuilt = FactorGraph::from_parts(
+            g.snp_ids.clone(),
+            g.trait_ids.clone(),
+            g.trait_prior.clone(),
+            g.snp_evidence.clone(),
+            g.trait_evidence.clone(),
+            g.factors.clone(),
+        )
+        .unwrap();
+        assert_eq!(g, rebuilt);
+
+        let mut bad = g.factors.clone();
+        bad[0].snp = 99;
+        let e = FactorGraph::from_parts(
+            g.snp_ids.clone(),
+            g.trait_ids.clone(),
+            g.trait_prior.clone(),
+            g.snp_evidence.clone(),
+            g.trait_evidence.clone(),
+            bad,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("factor 0"), "{e}");
+
+        let e = FactorGraph::from_parts(
+            g.snp_ids.clone(),
+            g.trait_ids.clone(),
+            g.trait_prior.clone(),
+            vec![None; 2],
+            g.trait_evidence.clone(),
+            g.factors.clone(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("snp_evidence"), "{e}");
     }
 
     #[test]
@@ -435,5 +727,39 @@ mod tests {
         assert_eq!(g.n_snps(), 1);
         assert_eq!(g.snp_ids, vec![SnpId(7)]);
         assert_eq!(g.snp_local(SnpId(0)), None);
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_to_first_occurrence() {
+        // Family-style graph: the same global ids appear once per member.
+        let g = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        let m = 3usize;
+        let ns = g.n_snps();
+        let mut snp_ids = Vec::new();
+        let mut trait_ids = Vec::new();
+        let mut trait_prior = Vec::new();
+        let mut factors = Vec::new();
+        for member in 0..m {
+            snp_ids.extend_from_slice(&g.snp_ids);
+            trait_ids.extend_from_slice(&g.trait_ids);
+            trait_prior.extend_from_slice(&g.trait_prior);
+            factors.extend(g.factors.iter().map(|f| Factor {
+                snp: f.snp + member * ns,
+                trait_idx: f.trait_idx + member * g.n_traits(),
+                table: f.table,
+            }));
+        }
+        let big = FactorGraph::from_parts(
+            snp_ids,
+            trait_ids,
+            trait_prior,
+            vec![None; ns * m],
+            vec![None; g.n_traits() * m],
+            factors,
+        )
+        .unwrap();
+        for s in 0..ns {
+            assert_eq!(big.snp_local(g.snp_ids[s]), Some(s), "member-0 copy wins");
+        }
     }
 }

@@ -160,47 +160,49 @@ pub fn build_family_graph(
     let m = family.members.len();
     let (ns, nt) = (template.n_snps(), template.n_traits());
 
-    let mut g = FactorGraph {
-        snp_ids: Vec::with_capacity(ns * m),
-        trait_ids: Vec::with_capacity(nt * m),
-        trait_prior: Vec::with_capacity(nt * m),
-        snp_evidence: Vec::with_capacity(ns * m),
-        trait_evidence: Vec::with_capacity(nt * m),
-        factors: Vec::with_capacity(template.factors.len() * m),
-        snp_factors: vec![Vec::new(); ns * m],
-        trait_factors: vec![Vec::new(); nt * m],
-        kin_factors: Vec::new(),
-        snp_kin: vec![Vec::new(); ns * m],
-    };
+    let mut snp_ids = Vec::with_capacity(ns * m);
+    let mut trait_ids = Vec::with_capacity(nt * m);
+    let mut trait_prior = Vec::with_capacity(nt * m);
+    let mut snp_evidence = Vec::with_capacity(ns * m);
+    let mut trait_evidence = Vec::with_capacity(nt * m);
+    let mut factors = Vec::with_capacity(template.factors.len() * m);
 
     for (member, evidence) in family.members.iter().enumerate() {
         let (s_off, t_off) = (member * ns, member * nt);
-        g.snp_ids.extend_from_slice(&template.snp_ids);
-        g.trait_ids.extend_from_slice(&template.trait_ids);
-        g.trait_prior.extend_from_slice(&template.trait_prior);
-        g.snp_evidence.extend(
+        snp_ids.extend_from_slice(&template.snp_ids);
+        trait_ids.extend_from_slice(&template.trait_ids);
+        trait_prior.extend_from_slice(&template.trait_prior);
+        snp_evidence.extend(
             template
                 .snp_ids
                 .iter()
                 .map(|s| evidence.snps.get(s).map(|x| x.index())),
         );
-        g.trait_evidence.extend(
+        trait_evidence.extend(
             template
                 .trait_ids
                 .iter()
                 .map(|t| evidence.traits.get(t).copied()),
         );
-        for f in &template.factors {
-            let idx = g.factors.len();
-            g.factors.push(crate::factor_graph::Factor {
-                snp: f.snp + s_off,
-                trait_idx: f.trait_idx + t_off,
-                table: f.table,
-            });
-            g.snp_factors[f.snp + s_off].push(idx);
-            g.trait_factors[f.trait_idx + t_off].push(idx);
-        }
+        factors.extend(
+            template
+                .factors
+                .iter()
+                .map(|f| crate::factor_graph::Factor {
+                    snp: f.snp + s_off,
+                    trait_idx: f.trait_idx + t_off,
+                    table: f.table,
+                }),
+        );
     }
+    let mut g = FactorGraph::from_parts(
+        snp_ids,
+        trait_ids,
+        trait_prior,
+        snp_evidence,
+        trait_evidence,
+        factors,
+    )?;
 
     // One transmission factor per relation per materialized locus, using
     // the locus's first-association control RAF as the population
@@ -211,6 +213,7 @@ pub fn build_family_graph(
     // the population base rate is counted twice (product-of-experts) and a
     // risk-homozygous parent would paradoxically not raise the child's
     // P(rr).
+    let mut kin_batch = Vec::with_capacity(family.parent_child.len() * ns);
     for &(parent, child) in &family.parent_child {
         for (i, &snp) in template.snp_ids.iter().enumerate() {
             let f = catalog
@@ -230,9 +233,10 @@ pub fn build_family_graph(
                     };
                 }
             }
-            g.add_kin_factor(parent * ns + i, child * ns + i, table)?;
+            kin_batch.push((parent * ns + i, child * ns + i, table));
         }
     }
+    g.add_kin_factors(kin_batch)?;
 
     let index = FamilyIndex {
         snps_per_member: ns,

@@ -11,6 +11,8 @@
 //!   evidence clamping;
 //! * [`bp`] — sum-product belief propagation (the linear-complexity
 //!   inference attack of §5.4);
+//! * [`incremental`] — warm-start, residual-scheduled BP with journaled
+//!   trials, the engine behind the greedy sanitization delta oracles;
 //! * [`exhaustive`] — the exponential-cost joint-enumeration baseline the
 //!   paper's headline claim compares against (Eq. 5.1);
 //! * [`nb`] — the Naive Bayes attacker baseline of Fig. 5.2(b);
@@ -31,6 +33,7 @@ pub mod bp;
 pub mod catalog;
 pub mod exhaustive;
 pub mod factor_graph;
+pub mod incremental;
 pub mod kinship;
 pub mod ld;
 pub mod model;
@@ -44,6 +47,7 @@ pub use bp::{BpConfig, BpResult};
 pub use catalog::{Association, GwasCatalog, TraitInfo};
 pub use exhaustive::exhaustive_marginals;
 pub use factor_graph::{Evidence, FactorGraph};
+pub use incremental::{IncrementalBp, RefreshOutcome};
 pub use kinship::{
     build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget,
 };
@@ -51,5 +55,8 @@ pub use ld::{add_ld_factors, LdPair};
 pub use model::{Genotype, SnpId, TraitId};
 pub use nb::naive_bayes_marginals;
 pub use privacy::{entropy_privacy, estimation_error, satisfies_delta_privacy};
-pub use sanitize::{greedy_sanitize, greedy_sanitize_with, SanitizeOutcome};
+pub use sanitize::{
+    greedy_sanitize, greedy_sanitize_full_recompute, greedy_sanitize_incremental,
+    greedy_sanitize_with, SanitizeOutcome,
+};
 pub use tables::{allele_given_trait, genotype_given_trait, trait_posterior};

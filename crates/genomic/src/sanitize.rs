@@ -6,12 +6,13 @@
 use crate::bp::BpConfig;
 use crate::catalog::GwasCatalog;
 use crate::factor_graph::{Evidence, FactorGraph};
+use crate::incremental::IncrementalBp;
 use crate::model::{SnpId, TraitId};
 use crate::nb::naive_bayes_marginals;
 use crate::neighbors::{neighbor_snps_of_snp, neighbor_snps_of_trait};
-use ppdp_errors::Result;
+use ppdp_errors::{PpdpError, Result};
 use ppdp_exec::ExecPolicy;
-use ppdp_opt::greedy_cardinality_with;
+use ppdp_opt::{greedy_cardinality_oracle, greedy_cardinality_with, DeltaOracle};
 use std::collections::BTreeSet;
 
 /// A variable whose privacy the publisher wants to protect.
@@ -285,6 +286,344 @@ pub fn greedy_sanitize_with(
     })
 }
 
+/// A protection target resolved against the factor graph, with the
+/// attacker's no-SNP-evidence baseline belief captured once up front.
+enum TargetSlot {
+    Snp {
+        local: usize,
+        baseline: [f64; 3],
+    },
+    Trait {
+        local: usize,
+        baseline: [f64; 2],
+    },
+    /// Not present in the graph: the attacker has no handle at all.
+    Unreachable,
+}
+
+/// [`DeltaOracle`] over the GPUT candidate set, backed by a warm-started
+/// [`IncrementalBp`] engine. A probe hides one candidate SNP inside a
+/// journaled trial, refreshes only the dirtied region of the graph, scores
+/// the targets, and rolls the trial back; a commit makes the removal
+/// permanent. The factor graph is built once and the attacker's baseline
+/// belief is computed once — the closure-based sanitizer rebuilds both on
+/// every objective evaluation.
+struct GputOracle<'a> {
+    engine: IncrementalBp,
+    cand_local: Vec<usize>,
+    slots: &'a [TargetSlot],
+    committed: Vec<usize>,
+    current: f64,
+    /// When true every probe/commit runs [`IncrementalBp::full_recompute`]
+    /// instead of a warm refresh — the strict reference mode.
+    strict: bool,
+    all_converged: bool,
+    probes: u64,
+    /// `(min privacy level, mean estimation error)` after each commit, in
+    /// commit order — the Fig. 5.2 trajectory, recorded for free while the
+    /// engine is already in the right state.
+    trajectory: Vec<(f64, f64)>,
+}
+
+impl GputOracle<'_> {
+    fn refresh_engine(&mut self) {
+        let out = if self.strict {
+            self.engine.full_recompute()
+        } else {
+            self.engine.refresh()
+        };
+        self.all_converged &= out.converged;
+    }
+
+    /// Per-target privacy levels, arithmetic-identical to
+    /// [`Predictor::target_privacy_levels`] (same element order, same
+    /// clamp), just read from the warm engine instead of a fresh BP run.
+    fn levels(&self) -> Vec<f64> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                TargetSlot::Snp { local, baseline } => {
+                    let p = self.engine.snp_marginal(*local);
+                    let tv = 0.5
+                        * p.iter()
+                            .zip(baseline)
+                            .map(|(x, y)| (x - y).abs())
+                            .sum::<f64>();
+                    (1.0 - tv).clamp(0.0, 1.0)
+                }
+                TargetSlot::Trait { local, baseline } => {
+                    let p = self.engine.trait_marginal(*local);
+                    let tv = 0.5
+                        * p.iter()
+                            .zip(baseline)
+                            .map(|(x, y)| (x - y).abs())
+                            .sum::<f64>();
+                    (1.0 - tv).clamp(0.0, 1.0)
+                }
+                TargetSlot::Unreachable => 1.0,
+            })
+            .collect()
+    }
+
+    fn sum_levels(&self) -> f64 {
+        self.levels().iter().sum()
+    }
+
+    fn min_level(&self) -> f64 {
+        self.levels().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean target estimation error at the engine's current state
+    /// (arithmetic-identical to the closure sanitizer's [`mean_error`]).
+    fn mean_err(&self) -> f64 {
+        use crate::privacy::{estimation_error, GENOTYPE_CODING, TRAIT_CODING};
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                TargetSlot::Snp { local, .. } => {
+                    estimation_error(&self.engine.snp_marginal(*local), &GENOTYPE_CODING)
+                }
+                TargetSlot::Trait { local, .. } => {
+                    estimation_error(&self.engine.trait_marginal(*local), &TRAIT_CODING)
+                }
+                TargetSlot::Unreachable => 0.5,
+            })
+            .sum();
+        total / self.slots.len() as f64
+    }
+
+    fn probe(&mut self, item: usize) -> Result<f64> {
+        self.engine.begin_trial()?;
+        self.engine.set_snp_evidence(self.cand_local[item], None)?;
+        self.refresh_engine();
+        let v = self.sum_levels();
+        self.engine.rollback_trial()?;
+        Ok(v)
+    }
+}
+
+impl DeltaOracle for GputOracle<'_> {
+    fn len(&self) -> usize {
+        self.cand_local.len()
+    }
+
+    fn committed(&self) -> &[usize] {
+        &self.committed
+    }
+
+    fn current(&self) -> f64 {
+        self.current
+    }
+
+    fn value_of(&mut self, item: usize) -> f64 {
+        self.probes += 1;
+        // Engine errors (impossible for pre-validated indices) surface as
+        // NaN, which the greedy solver turns into a typed Numerical error.
+        self.probe(item).unwrap_or(f64::NAN)
+    }
+
+    fn commit(&mut self, item: usize, value: f64) {
+        // The candidate index was validated at oracle construction, so the
+        // evidence edit cannot fail.
+        let _ = self.engine.set_snp_evidence(self.cand_local[item], None);
+        self.refresh_engine();
+        self.committed.push(item);
+        self.current = value;
+        self.trajectory.push((self.min_level(), self.mean_err()));
+    }
+}
+
+/// [`greedy_sanitize`] against the belief-propagation attacker, evaluated
+/// through the incremental inference engine: the factor graph is built
+/// once, BP messages persist across the whole greedy search, and each
+/// candidate probe is a journaled trial refreshed by residual scheduling
+/// instead of a from-scratch graph build + BP run. Same outcome shape and
+/// stopping rule as [`greedy_sanitize_with`]; marginals (and hence privacy
+/// trajectories) agree with the from-scratch pipeline to within the BP
+/// tolerance rather than bitwise.
+///
+/// `exec` drives the engine's dirty-set fan-out (and is forwarded to the
+/// solver); the result is bitwise-identical for every policy.
+///
+/// `predictor_degraded` is always `false`: the incremental engine has no
+/// prior-only fallback — a budget-exhausted refresh reports through
+/// `predictor_converged` instead.
+///
+/// # Errors
+/// Same contract as [`greedy_sanitize`].
+pub fn greedy_sanitize_incremental(
+    exec: ExecPolicy,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+    cfg: BpConfig,
+) -> Result<SanitizeOutcome> {
+    sanitize_incremental_impl(
+        exec,
+        catalog,
+        evidence,
+        targets,
+        delta,
+        max_removals,
+        cfg,
+        false,
+    )
+}
+
+/// Strict reference twin of [`greedy_sanitize_incremental`]: every probe
+/// and commit runs [`IncrementalBp::full_recompute`] instead of a
+/// warm-started refresh. Used by the equivalence tests and the PR bench to
+/// certify that warm-starting changes cost, not answers.
+///
+/// # Errors
+/// Same contract as [`greedy_sanitize`].
+pub fn greedy_sanitize_full_recompute(
+    exec: ExecPolicy,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+    cfg: BpConfig,
+) -> Result<SanitizeOutcome> {
+    sanitize_incremental_impl(
+        exec,
+        catalog,
+        evidence,
+        targets,
+        delta,
+        max_removals,
+        cfg,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sanitize_incremental_impl(
+    exec: ExecPolicy,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+    mut cfg: BpConfig,
+    strict: bool,
+) -> Result<SanitizeOutcome> {
+    catalog.validate()?;
+    evidence.validate_against(catalog)?;
+    cfg.exec = exec;
+    let audit = ppdp_telemetry::Recorder::new();
+    let audit_scope = audit.enter();
+    let span = ppdp_telemetry::span("sanitize.incremental");
+    let candidates = candidate_snps(catalog, evidence, targets);
+
+    // Attacker's baseline belief (no SNP evidence at all), computed once.
+    // Interning depends only on the catalog's association list, so local
+    // indices agree between the baseline graph and the working graph.
+    let baseline = {
+        let mut ev = evidence.clone();
+        ev.snps.clear();
+        let g = FactorGraph::build(catalog, &ev)?;
+        cfg.run(&g)
+    };
+
+    let g = FactorGraph::build(catalog, evidence)?;
+    let slots: Vec<TargetSlot> = targets
+        .iter()
+        .map(|t| match t {
+            Target::Snp(s) => g
+                .snp_local(*s)
+                .map(|i| TargetSlot::Snp {
+                    local: i,
+                    baseline: baseline.snp_marginals[i],
+                })
+                .unwrap_or(TargetSlot::Unreachable),
+            Target::Trait(t) => g
+                .trait_local(*t)
+                .map(|i| TargetSlot::Trait {
+                    local: i,
+                    baseline: baseline.trait_marginals[i],
+                })
+                .unwrap_or(TargetSlot::Unreachable),
+        })
+        .collect();
+    let cand_local: Vec<usize> = candidates
+        .iter()
+        .map(|s| {
+            g.snp_local(*s).ok_or_else(|| {
+                PpdpError::invalid_input(format!("candidate SNP {s:?} is not in the factor graph"))
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut engine = IncrementalBp::new(g, cfg);
+    let init = engine.refresh(); // everything dirty: the one full pass
+
+    let mut oracle = GputOracle {
+        engine,
+        cand_local,
+        slots: &slots,
+        committed: Vec::new(),
+        current: 0.0,
+        strict,
+        all_converged: init.converged,
+        probes: 0,
+        trajectory: Vec::new(),
+    };
+    oracle.current = oracle.sum_levels();
+    let h0 = oracle.min_level();
+    let e0 = oracle.mean_err();
+
+    let k = max_removals.min(candidates.len());
+    let order = greedy_cardinality_oracle(exec, &mut oracle, k)?;
+
+    // Replay the recorded trajectory, stopping once δ-privacy is reached —
+    // the same stopping rule the closure sanitizer applies by re-running
+    // the predictor on every prefix.
+    let mut history = vec![h0];
+    let mut error_history = vec![e0];
+    let mut taken: Vec<usize> = Vec::new();
+    let mut satisfied = h0 >= delta;
+    for (pos, &i) in order.iter().enumerate() {
+        if satisfied {
+            break;
+        }
+        taken.push(i);
+        let (h, e) = oracle.trajectory[pos];
+        history.push(h);
+        error_history.push(e);
+        satisfied = h >= delta;
+    }
+
+    ppdp_telemetry::counter("sanitize.greedy.removed", taken.len() as u64);
+    // Probes served from warm state instead of a from-scratch
+    // graph-build + baseline + posterior pipeline (0 in strict mode:
+    // full_recompute rebuilds the messages on purpose).
+    ppdp_telemetry::counter(
+        "sanitize.greedy.oracle_calls_saved",
+        if strict { 0 } else { oracle.probes },
+    );
+    drop(span);
+    drop(audit_scope);
+    let report = audit.take();
+    let predictor_converged = oracle.all_converged && report.counter("bp.nonconverged") == 0;
+
+    Ok(SanitizeOutcome {
+        removed: taken.into_iter().map(|i| candidates[i]).collect(),
+        history,
+        error_history,
+        satisfied,
+        predictor_converged,
+        predictor_degraded: false,
+    })
+}
+
 fn mean_error(
     predictor: &Predictor,
     catalog: &GwasCatalog,
@@ -457,6 +796,136 @@ mod tests {
         .unwrap();
         assert!(out.satisfied);
         assert!(out.removed.is_empty());
+    }
+
+    /// Asymmetric evidence (mixed genotypes) so candidate gains are
+    /// distinct and pick order is not decided by exact-tie fallbacks —
+    /// warm-started and from-scratch BP then agree on the sequence.
+    fn mixed_evidence() -> Evidence {
+        let mut ev = Evidence::none();
+        for s in 0..5 {
+            let g = if s % 2 == 0 {
+                Genotype::HomRisk
+            } else {
+                Genotype::Het
+            };
+            ev.snps.insert(SnpId(s), g);
+        }
+        ev
+    }
+
+    #[test]
+    fn incremental_sanitizer_matches_closure_pipeline() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let closure = greedy_sanitize(
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            Predictor::BeliefPropagation(BpConfig::default()),
+        )
+        .unwrap();
+        let inc = greedy_sanitize_incremental(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            BpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(inc.removed, closure.removed, "same removal sequence");
+        assert_eq!(inc.satisfied, closure.satisfied);
+        assert_eq!(inc.history.len(), closure.history.len());
+        for (a, b) in inc.history.iter().zip(&closure.history) {
+            assert!((a - b).abs() < 1e-6, "history {a} vs {b}");
+        }
+        for (a, b) in inc.error_history.iter().zip(&closure.error_history) {
+            assert!((a - b).abs() < 1e-6, "error history {a} vs {b}");
+        }
+        assert!(inc.predictor_converged);
+    }
+
+    #[test]
+    fn warm_start_and_full_recompute_pick_identical_sets() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let warm = greedy_sanitize_incremental(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            BpConfig::default(),
+        )
+        .unwrap();
+        let strict = greedy_sanitize_full_recompute(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            BpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(warm.removed, strict.removed);
+        assert_eq!(warm.satisfied, strict.satisfied);
+        for (a, b) in warm.history.iter().zip(&strict.history) {
+            assert!((a - b).abs() < 1e-9, "history {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_sanitizer_is_policy_invariant_bitwise() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let run = |exec: ExecPolicy| {
+            greedy_sanitize_incremental(
+                exec,
+                &cat,
+                &mixed_evidence(),
+                &targets,
+                0.99,
+                8,
+                BpConfig::default(),
+            )
+            .unwrap()
+        };
+        let seq = run(ExecPolicy::Sequential);
+        for threads in [2, 4] {
+            assert_eq!(run(ExecPolicy::parallel(threads)), seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn incremental_sanitizer_records_oracle_savings() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0))];
+        let rec = ppdp_telemetry::Recorder::new();
+        {
+            let _scope = rec.enter();
+            let _ = greedy_sanitize_incremental(
+                ExecPolicy::Sequential,
+                &cat,
+                &mixed_evidence(),
+                &targets,
+                0.99,
+                8,
+                BpConfig::default(),
+            )
+            .unwrap();
+        }
+        let report = rec.take();
+        assert!(
+            report.counter("sanitize.greedy.oracle_calls_saved") > 0,
+            "warm-start probes must be recorded as savings"
+        );
+        assert!(report.counter("bp.incremental.refreshes") > 0);
     }
 
     #[test]

@@ -3,29 +3,25 @@
 //! greedy, the solver reference [77] of the dissertation).
 //!
 //! All three solvers validate their inputs and watch the objective oracle:
-//! a `NaN` objective value aborts the run with [`PpdpError::Numerical`]
-//! instead of silently corrupting the pick order (NaN comparisons are
-//! always false, which would make the greedy argmax arbitrary).
+//! a `NaN` objective value aborts the run with
+//! [`PpdpError::Numerical`](ppdp_errors::PpdpError) instead of silently
+//! corrupting the pick order (NaN comparisons are always false, which
+//! would make the greedy argmax arbitrary).
+//!
+//! These closure-based entry points are adapters over the delta-oracle
+//! engines in [`crate::oracle`]: each wraps the closure in a
+//! [`ClosureOracle`] / [`ParClosureOracle`] and delegates, so closure and
+//! oracle callers share one implementation of every tie-break, stop rule
+//! and telemetry counter. Candidate probes reuse a single push/pop scratch
+//! selection (sequential) or one exact-capacity buffer per candidate
+//! (parallel) — the selection is never cloned per candidate.
 
-use ppdp_errors::{ensure, PpdpError, Result};
+use crate::oracle::{
+    check_knapsack, greedy_cardinality_oracle, lazy_greedy_knapsack_oracle,
+    naive_greedy_knapsack_oracle, ClosureOracle, ParClosureOracle,
+};
+use ppdp_errors::{ensure, Result};
 use ppdp_exec::ExecPolicy;
-
-/// Scans per-candidate objective values (in candidate order) for the first
-/// NaN, reproducing the sequential solvers' fail-fast error: the reported
-/// selection is `selected + [candidate]` exactly as if the candidates had
-/// been evaluated one at a time.
-fn first_nan_error(values: &[f64], remaining: &[usize], selected: &[usize]) -> Result<()> {
-    for (pos, v) in values.iter().enumerate() {
-        if v.is_nan() {
-            let mut sel = selected.to_vec();
-            sel.push(remaining[pos]);
-            return Err(PpdpError::numerical(format!(
-                "objective returned NaN on selection {sel:?}"
-            )));
-        }
-    }
-    Ok(())
-}
 
 /// [`greedy_cardinality`] with an explicit execution policy: per-round
 /// candidate evaluations fan out over `exec`, and the argmax folds over the
@@ -45,39 +41,8 @@ where
     F: Fn(&[usize]) -> f64 + Sync,
 {
     ensure(k <= n, format!("cardinality bound k={k} exceeds n={n}"))?;
-    let mut evaluations = 0u64;
-    let mut selected: Vec<usize> = Vec::new();
-    evaluations += 1;
-    let mut current = objective(&selected);
-    if current.is_nan() {
-        return Err(PpdpError::numerical(format!(
-            "objective returned NaN on selection {selected:?}"
-        )));
-    }
-    let mut remaining: Vec<usize> = (0..n).collect();
-    while selected.len() < k && !remaining.is_empty() {
-        let values = exec.par_map(remaining.len(), |pos| {
-            let mut sel = selected.clone();
-            sel.push(remaining[pos]);
-            objective(&sel)
-        });
-        evaluations += values.len() as u64;
-        first_nan_error(&values, &remaining, &selected)?;
-        let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
-        for (pos, &v) in values.iter().enumerate() {
-            if best.map_or(true, |(_, bv)| v > bv) {
-                best = Some((pos, v));
-            }
-        }
-        let Some((pos, value)) = best else { break };
-        if value <= current + 1e-15 {
-            break; // no positive marginal gain anywhere
-        }
-        selected.push(remaining.remove(pos));
-        current = value;
-    }
-    ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
-    Ok(selected)
+    let mut oracle = ParClosureOracle::new(n, objective);
+    greedy_cardinality_oracle(exec, &mut oracle, k)
 }
 
 /// Selects up to `k` of `n` items greedily to maximize `objective(selected)`.
@@ -88,113 +53,16 @@ where
 ///
 /// # Errors
 ///
-/// [`PpdpError::InvalidInput`] when `k > n`; [`PpdpError::Numerical`] when
-/// the objective returns NaN.
-pub fn greedy_cardinality<F>(n: usize, k: usize, mut objective: F) -> Result<Vec<usize>>
+/// [`PpdpError::InvalidInput`](ppdp_errors::PpdpError) when `k > n`;
+/// [`PpdpError::Numerical`](ppdp_errors::PpdpError) when the objective
+/// returns NaN.
+pub fn greedy_cardinality<F>(n: usize, k: usize, objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
     ensure(k <= n, format!("cardinality bound k={k} exceeds n={n}"))?;
-    let mut evaluations = 0u64;
-    let mut selected: Vec<usize> = Vec::new();
-    evaluations += 1;
-    let mut current = checked_eval(&mut objective, &selected)?;
-    let mut remaining: Vec<usize> = (0..n).collect();
-    while selected.len() < k && !remaining.is_empty() {
-        let mut best: Option<(usize, f64)> = None; // (position in remaining, value)
-        for (pos, &item) in remaining.iter().enumerate() {
-            selected.push(item);
-            evaluations += 1;
-            let v = checked_eval(&mut objective, &selected);
-            selected.pop();
-            let v = v?;
-            if best.map_or(true, |(_, bv)| v > bv) {
-                best = Some((pos, v));
-            }
-        }
-        let Some((pos, value)) = best else { break };
-        if value <= current + 1e-15 {
-            break; // no positive marginal gain anywhere
-        }
-        selected.push(remaining.remove(pos));
-        current = value;
-    }
-    ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
-    Ok(selected)
-}
-
-/// Evaluate the objective and reject NaN (±Inf is tolerated: `-Inf` is a
-/// legitimate "never pick this" sentinel some callers use).
-fn checked_eval<F>(objective: &mut F, selected: &[usize]) -> Result<f64>
-where
-    F: FnMut(&[usize]) -> f64,
-{
-    let v = objective(selected);
-    if v.is_nan() {
-        Err(PpdpError::numerical(format!(
-            "objective returned NaN on selection {selected:?}"
-        )))
-    } else {
-        Ok(v)
-    }
-}
-
-/// Max-heap entry of the lazy greedy: stale upper bounds on marginal
-/// gains, ordered by cost-benefit ratio, then gain, then (reversed) item
-/// index so ties pop deterministically.
-#[derive(PartialEq)]
-struct Entry {
-    ratio: f64,
-    gain: f64,
-    item: usize,
-    round: usize,
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.ratio
-            .partial_cmp(&other.ratio)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                self.gain
-                    .partial_cmp(&other.gain)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-            .then(other.item.cmp(&self.item))
-    }
-}
-
-/// Non-positive gains must sort below every positive-gain entry even at
-/// zero cost, otherwise a free-but-useless item would sit on top of the
-/// heap and trigger the early break.
-fn ratio_of(gain: f64, cost: f64) -> f64 {
-    if gain <= 1e-15 {
-        f64::NEG_INFINITY
-    } else if cost > 0.0 {
-        gain / cost
-    } else {
-        f64::INFINITY
-    }
-}
-
-/// Validate a knapsack instance: finite non-negative costs, finite
-/// non-negative budget.
-fn check_knapsack(costs: &[f64], budget: f64) -> Result<()> {
-    for (i, &c) in costs.iter().enumerate() {
-        ensure(
-            c.is_finite() && c >= 0.0,
-            format!("cost[{i}] must be finite and >= 0, got {c}"),
-        )?;
-    }
-    ensure(
-        budget.is_finite() && budget >= 0.0,
-        format!("budget must be finite and >= 0, got {budget}"),
-    )
+    let mut oracle = ClosureOracle::new(n, objective);
+    greedy_cardinality_oracle(ExecPolicy::Sequential, &mut oracle, k)
 }
 
 /// Naive cost-benefit greedy under a knapsack constraint: repeatedly adds
@@ -204,55 +72,17 @@ fn check_knapsack(costs: &[f64], budget: f64) -> Result<()> {
 ///
 /// # Errors
 ///
-/// [`PpdpError::InvalidInput`] for negative/non-finite costs or budget;
-/// [`PpdpError::Numerical`] when the objective returns NaN.
-pub fn naive_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Result<Vec<usize>>
+/// [`PpdpError::InvalidInput`](ppdp_errors::PpdpError) for
+/// negative/non-finite costs or budget;
+/// [`PpdpError::Numerical`](ppdp_errors::PpdpError) when the objective
+/// returns NaN.
+pub fn naive_greedy_knapsack<F>(costs: &[f64], budget: f64, objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
     check_knapsack(costs, budget)?;
-    let mut evaluations = 1u64;
-    let mut selected: Vec<usize> = Vec::new();
-    let mut spent = 0.0;
-    let mut current = checked_eval(&mut objective, &selected)?;
-    let mut remaining: Vec<usize> = (0..costs.len()).collect();
-    loop {
-        let mut best: Option<(usize, f64, f64)> = None; // (pos, ratio, value)
-        for (pos, &item) in remaining.iter().enumerate() {
-            if spent + costs[item] > budget + 1e-12 {
-                continue;
-            }
-            selected.push(item);
-            evaluations += 1;
-            let v = checked_eval(&mut objective, &selected);
-            selected.pop();
-            let v = v?;
-            let gain = v - current;
-            if gain <= 1e-15 {
-                continue;
-            }
-            // Zero-cost items are infinitely attractive: order them by gain.
-            let ratio = if costs[item] > 0.0 {
-                gain / costs[item]
-            } else {
-                f64::INFINITY
-            };
-            if best.map_or(true, |(_, br, bv)| ratio > br || (ratio == br && v > bv)) {
-                best = Some((pos, ratio, v));
-            }
-        }
-        match best {
-            None => break,
-            Some((pos, _, value)) => {
-                let item = remaining.remove(pos);
-                spent += costs[item];
-                selected.push(item);
-                current = value;
-            }
-        }
-    }
-    ppdp_telemetry::counter("greedy.naive.evaluations", evaluations);
-    Ok(selected)
+    let mut oracle = ClosureOracle::new(costs.len(), objective);
+    naive_greedy_knapsack_oracle(ExecPolicy::Sequential, &mut oracle, costs, budget)
 }
 
 /// [`naive_greedy_knapsack`] with an explicit execution policy: each
@@ -272,58 +102,8 @@ where
     F: Fn(&[usize]) -> f64 + Sync,
 {
     check_knapsack(costs, budget)?;
-    let mut evaluations = 1u64;
-    let mut selected: Vec<usize> = Vec::new();
-    let mut spent = 0.0;
-    let mut current = objective(&selected);
-    if current.is_nan() {
-        return Err(PpdpError::numerical(format!(
-            "objective returned NaN on selection {selected:?}"
-        )));
-    }
-    let mut remaining: Vec<usize> = (0..costs.len()).collect();
-    loop {
-        let feasible: Vec<usize> = remaining
-            .iter()
-            .copied()
-            .filter(|&item| spent + costs[item] <= budget + 1e-12)
-            .collect();
-        let values = exec.par_map(feasible.len(), |i| {
-            let mut sel = selected.clone();
-            sel.push(feasible[i]);
-            objective(&sel)
-        });
-        evaluations += values.len() as u64;
-        first_nan_error(&values, &feasible, &selected)?;
-        let mut best: Option<(usize, f64, f64)> = None; // (item, ratio, value)
-        for (i, &v) in values.iter().enumerate() {
-            let item = feasible[i];
-            let gain = v - current;
-            if gain <= 1e-15 {
-                continue;
-            }
-            // Zero-cost items are infinitely attractive: order them by gain.
-            let ratio = if costs[item] > 0.0 {
-                gain / costs[item]
-            } else {
-                f64::INFINITY
-            };
-            if best.map_or(true, |(_, br, bv)| ratio > br || (ratio == br && v > bv)) {
-                best = Some((item, ratio, v));
-            }
-        }
-        match best {
-            None => break,
-            Some((item, _, value)) => {
-                remaining.retain(|&x| x != item);
-                spent += costs[item];
-                selected.push(item);
-                current = value;
-            }
-        }
-    }
-    ppdp_telemetry::counter("greedy.naive.evaluations", evaluations);
-    Ok(selected)
+    let mut oracle = ParClosureOracle::new(costs.len(), objective);
+    naive_greedy_knapsack_oracle(exec, &mut oracle, costs, budget)
 }
 
 /// Lazy cost-benefit greedy (Minoux's accelerated greedy): keeps stale upper
@@ -333,73 +113,18 @@ where
 ///
 /// # Errors
 ///
-/// [`PpdpError::InvalidInput`] for negative/non-finite costs or budget;
-/// [`PpdpError::Numerical`] when the objective returns NaN.
-pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, mut objective: F) -> Result<Vec<usize>>
+/// [`PpdpError::InvalidInput`](ppdp_errors::PpdpError) for
+/// negative/non-finite costs or budget;
+/// [`PpdpError::Numerical`](ppdp_errors::PpdpError) when the objective
+/// returns NaN, or when a marginal gain turns NaN (`∞ − ∞`) — NaN never
+/// enters the lazy heap.
+pub fn lazy_greedy_knapsack<F>(costs: &[f64], budget: f64, objective: F) -> Result<Vec<usize>>
 where
     F: FnMut(&[usize]) -> f64,
 {
-    use std::collections::BinaryHeap;
-
     check_knapsack(costs, budget)?;
-
-    let mut evaluations = 1u64;
-    let mut lazy_hits = 0u64;
-    let mut reevaluations = 0u64;
-    let mut selected: Vec<usize> = Vec::new();
-    let mut spent = 0.0;
-    let base = checked_eval(&mut objective, &selected)?;
-    let mut current = base;
-    let mut round = 0usize;
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(costs.len());
-    for (item, &cost) in costs.iter().enumerate() {
-        selected.push(item);
-        evaluations += 1;
-        let v = checked_eval(&mut objective, &selected);
-        selected.pop();
-        let gain = v? - base;
-        heap.push(Entry {
-            ratio: ratio_of(gain, cost),
-            gain,
-            item,
-            round,
-        });
-    }
-
-    while let Some(top) = heap.pop() {
-        if spent + costs[top.item] > budget + 1e-12 {
-            continue; // infeasible now; submodularity ⇒ never feasible-better later
-        }
-        if top.round == round {
-            if top.gain <= 1e-15 {
-                break; // freshest bound non-positive ⇒ done (monotone case)
-            }
-            // The cached bound was already fresh — the lazy shortcut paid off.
-            lazy_hits += 1;
-            spent += costs[top.item];
-            selected.push(top.item);
-            current += top.gain;
-            round += 1;
-        } else {
-            // Stale bound: re-evaluate against the current selection.
-            reevaluations += 1;
-            selected.push(top.item);
-            evaluations += 1;
-            let v = checked_eval(&mut objective, &selected);
-            selected.pop();
-            let gain = v? - current;
-            heap.push(Entry {
-                ratio: ratio_of(gain, costs[top.item]),
-                gain,
-                item: top.item,
-                round,
-            });
-        }
-    }
-    ppdp_telemetry::counter("greedy.lazy.evaluations", evaluations);
-    ppdp_telemetry::counter("greedy.lazy.hits", lazy_hits);
-    ppdp_telemetry::counter("greedy.lazy.reevals", reevaluations);
-    Ok(selected)
+    let mut oracle = ClosureOracle::new(costs.len(), objective);
+    lazy_greedy_knapsack_oracle(ExecPolicy::Sequential, &mut oracle, costs, budget)
 }
 
 /// [`lazy_greedy_knapsack`] with an explicit execution policy. Only the
@@ -420,74 +145,9 @@ pub fn lazy_greedy_knapsack_with<F>(
 where
     F: Fn(&[usize]) -> f64 + Sync,
 {
-    use std::collections::BinaryHeap;
-
     check_knapsack(costs, budget)?;
-
-    let mut evaluations = 1u64;
-    let mut lazy_hits = 0u64;
-    let mut reevaluations = 0u64;
-    let mut selected: Vec<usize> = Vec::new();
-    let mut spent = 0.0;
-    let base = objective(&selected);
-    if base.is_nan() {
-        return Err(PpdpError::numerical(format!(
-            "objective returned NaN on selection {selected:?}"
-        )));
-    }
-    let mut current = base;
-    let mut round = 0usize;
-
-    let items: Vec<usize> = (0..costs.len()).collect();
-    let values = exec.par_map(items.len(), |item| objective(&[item]));
-    evaluations += values.len() as u64;
-    first_nan_error(&values, &items, &selected)?;
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(costs.len());
-    for (item, &v) in values.iter().enumerate() {
-        let gain = v - base;
-        heap.push(Entry {
-            ratio: ratio_of(gain, costs[item]),
-            gain,
-            item,
-            round,
-        });
-    }
-
-    let mut objective = objective;
-    while let Some(top) = heap.pop() {
-        if spent + costs[top.item] > budget + 1e-12 {
-            continue; // infeasible now; submodularity ⇒ never feasible-better later
-        }
-        if top.round == round {
-            if top.gain <= 1e-15 {
-                break; // freshest bound non-positive ⇒ done (monotone case)
-            }
-            // The cached bound was already fresh — the lazy shortcut paid off.
-            lazy_hits += 1;
-            spent += costs[top.item];
-            selected.push(top.item);
-            current += top.gain;
-            round += 1;
-        } else {
-            // Stale bound: re-evaluate against the current selection.
-            reevaluations += 1;
-            selected.push(top.item);
-            evaluations += 1;
-            let v = checked_eval(&mut objective, &selected);
-            selected.pop();
-            let gain = v? - current;
-            heap.push(Entry {
-                ratio: ratio_of(gain, costs[top.item]),
-                gain,
-                item: top.item,
-                round,
-            });
-        }
-    }
-    ppdp_telemetry::counter("greedy.lazy.evaluations", evaluations);
-    ppdp_telemetry::counter("greedy.lazy.hits", lazy_hits);
-    ppdp_telemetry::counter("greedy.lazy.reevals", reevaluations);
-    Ok(selected)
+    let mut oracle = ParClosureOracle::new(costs.len(), objective);
+    lazy_greedy_knapsack_oracle(exec, &mut oracle, costs, budget)
 }
 
 #[cfg(test)]
@@ -619,6 +279,34 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(e.kind(), "numerical");
+    }
+
+    #[test]
+    fn nan_gain_from_infinite_objective_is_a_numerical_error() {
+        // Regression: an objective that returns +∞ everywhere makes every
+        // marginal gain ∞ − ∞ = NaN. The lazy solver used to push those
+        // NaN ratios straight into its heap, where `partial_cmp`'s
+        // treat-as-equal fallback silently scrambled the pick order. It
+        // must fail typed instead.
+        let e = lazy_greedy_knapsack(&[1.0, 1.0], 2.0, |_| f64::INFINITY).unwrap_err();
+        assert_eq!(e.kind(), "numerical");
+        assert!(e.to_string().contains("NaN"), "{e}");
+        for exec in [ExecPolicy::Sequential, ExecPolicy::parallel(4)] {
+            let e =
+                lazy_greedy_knapsack_with(exec, &[1.0, 1.0], 2.0, |_| f64::INFINITY).unwrap_err();
+            assert_eq!(e.kind(), "numerical", "{exec:?}");
+        }
+        // -∞ as a "never pick this" sentinel stays legal: gains are -∞,
+        // not NaN, and the solver just selects nothing.
+        let sel = lazy_greedy_knapsack(&[1.0, 1.0], 2.0, |s| {
+            if s.is_empty() {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
+        .unwrap();
+        assert!(sel.is_empty());
     }
 
     #[test]

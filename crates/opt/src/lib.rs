@@ -8,15 +8,27 @@
 //! ablation bench can compare them; both share the `(1 − 1/e)`-style
 //! guarantee for monotone submodular objectives.
 //!
+//! [`oracle`] is the incremental-evaluation layer underneath [`greedy`]:
+//! the [`DeltaOracle`] trait lets callers keep cached state for the
+//! committed prefix (warm-started inference, running sums) so each
+//! candidate probe costs a delta instead of a from-scratch evaluation.
+//! The closure APIs in [`greedy`] are thin adapters over the same oracle
+//! engines, so both entry points pick identical sets.
+//!
 //! [`simplex`] enumerates discretized probability vectors, the search space
 //! Chapter 4 uses after discretizing `f(X'|X)` ("we discrete the probability
 //! space `[0…1] → [0, 1/d, 2/d, …, 1]`", §4.5.2).
 
 pub mod greedy;
+pub mod oracle;
 pub mod simplex;
 
 pub use greedy::{
     greedy_cardinality, greedy_cardinality_with, lazy_greedy_knapsack, lazy_greedy_knapsack_with,
     naive_greedy_knapsack, naive_greedy_knapsack_with,
+};
+pub use oracle::{
+    greedy_cardinality_oracle, lazy_greedy_knapsack_oracle, naive_greedy_knapsack_oracle,
+    ClosureOracle, DeltaOracle, ParClosureOracle,
 };
 pub use simplex::{enumerate_simplex, simplex_size};

@@ -10,6 +10,7 @@ use ppdp_classify::{masked_weight, AttackModel, LabeledGraph, LocalKind};
 use ppdp_errors::{ensure, Result};
 use ppdp_exec::ExecPolicy;
 use ppdp_graph::{CategoryId, SocialGraph, UserId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Below this many candidate links the per-edge scoring is too cheap to be
 /// worth spawning worker threads for; the run silently stays sequential.
@@ -110,6 +111,26 @@ pub fn indistinguishable_links_with(
     lg: &LabeledGraph<'_>,
     dists: &[Vec<f64>],
 ) -> Vec<LinkScore> {
+    let edges: Vec<(UserId, UserId)> = lg.graph.edges().collect();
+    let exec = if edges.len() >= PAR_MIN_EDGES {
+        exec
+    } else {
+        ExecPolicy::Sequential
+    };
+    let mut scores: Vec<LinkScore> = exec.par_map(edges.len(), |i| {
+        let (a, b) = edges[i];
+        score_edge(lg, dists, a, b)
+    });
+    sort_scores(&mut scores);
+    scores
+}
+
+/// Scores one candidate link against the current graph. A pure function of
+/// the two endpoints' neighbour sets (plus the static reference
+/// distributions and known mask) — the property the incremental removal
+/// loop exploits: removing a batch of edges only changes the scores of
+/// links incident to a touched endpoint.
+fn score_edge(lg: &LabeledGraph<'_>, dists: &[Vec<f64>], a: UserId, b: UserId) -> LinkScore {
     let victim_var = |u: UserId, other: UserId| -> Option<f64> {
         if lg.known[u.0] {
             return None; // label already public; nothing to protect
@@ -120,46 +141,41 @@ pub fn indistinguishable_links_with(
                 .unwrap_or_else(|| dist_variance(&dists[u.0])),
         )
     };
-    let edges: Vec<(UserId, UserId)> = lg.graph.edges().collect();
-    let exec = if edges.len() >= PAR_MIN_EDGES {
-        exec
-    } else {
-        ExecPolicy::Sequential
-    };
-    let mut scores: Vec<LinkScore> = exec.par_map(edges.len(), |i| {
-        let (a, b) = edges[i];
-        let va = victim_var(a, b);
-        let vb = victim_var(b, a);
-        match (va, vb) {
-            (Some(x), Some(y)) if y < x => LinkScore {
-                user: b,
-                neighbor: a,
-                variance: y,
-            },
-            (Some(x), _) => LinkScore {
-                user: a,
-                neighbor: b,
-                variance: x,
-            },
-            (None, Some(y)) => LinkScore {
-                user: b,
-                neighbor: a,
-                variance: y,
-            },
-            (None, None) => LinkScore {
-                user: a,
-                neighbor: b,
-                variance: f64::INFINITY,
-            },
-        }
-    });
+    let va = victim_var(a, b);
+    let vb = victim_var(b, a);
+    match (va, vb) {
+        (Some(x), Some(y)) if y < x => LinkScore {
+            user: b,
+            neighbor: a,
+            variance: y,
+        },
+        (Some(x), _) => LinkScore {
+            user: a,
+            neighbor: b,
+            variance: x,
+        },
+        (None, Some(y)) => LinkScore {
+            user: b,
+            neighbor: a,
+            variance: y,
+        },
+        (None, None) => LinkScore {
+            user: a,
+            neighbor: b,
+            variance: f64::INFINITY,
+        },
+    }
+}
+
+/// Ascending total order: variance, then victim, then neighbour — the
+/// deterministic ranking every scoring pass uses.
+fn sort_scores(scores: &mut [LinkScore]) {
     scores.sort_by(|x, y| {
         x.variance
             .total_cmp(&y.variance)
             .then(x.user.cmp(&y.user))
             .then(x.neighbor.cmp(&y.neighbor))
     });
-    scores
 }
 
 /// Removes the `count` most indistinguishable links and returns the
@@ -224,19 +240,61 @@ pub fn remove_indistinguishable_links_with(
     // Re-score every `batch` removals; cap the number of scoring passes so
     // large sweeps stay tractable.
     let batch = (count / 10).max(50);
+    // Incremental score cache, keyed by the canonical (low, high) edge. An
+    // edge's score is a pure function of its endpoints' neighbour sets (see
+    // [`score_edge`]), so after a removal batch only edges incident to a
+    // touched endpoint are re-scored; every other cached score is exactly
+    // what a full re-scoring pass would recompute.
+    let mut cache: BTreeMap<(usize, usize), LinkScore> = BTreeMap::new();
+    // `None` = first pass, everything needs scoring.
+    let mut touched: Option<BTreeSet<usize>> = None;
+    let mut rescored = 0u64;
+    let mut reused = 0u64;
     while left > 0 && out.edge_count() > 0 {
         let lg = LabeledGraph::new(&out, label_cat, known.to_vec());
-        let scores = indistinguishable_links_with(exec, &lg, &boot.dists);
+        let edges: Vec<(UserId, UserId)> = lg.graph.edges().collect();
+        let need: Vec<(UserId, UserId)> = match &touched {
+            None => edges.clone(),
+            Some(t) => edges
+                .iter()
+                .copied()
+                .filter(|(a, b)| t.contains(&a.0) || t.contains(&b.0))
+                .collect(),
+        };
+        rescored += need.len() as u64;
+        reused += (edges.len() - need.len()) as u64;
+        let pass_exec = if need.len() >= PAR_MIN_EDGES {
+            exec
+        } else {
+            ExecPolicy::Sequential
+        };
+        let fresh = pass_exec.par_map(need.len(), |i| {
+            let (a, b) = need[i];
+            score_edge(&lg, &boot.dists, a, b)
+        });
+        for (&(a, b), s) in need.iter().zip(&fresh) {
+            cache.insert((a.0, b.0), *s);
+        }
+        let mut scores: Vec<LinkScore> = cache.values().copied().collect();
+        sort_scores(&mut scores);
         let take = left.min(batch).min(scores.len());
         if take == 0 {
             break;
         }
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
         for s in scores.into_iter().take(take) {
             out.remove_edge(s.user, s.neighbor);
+            let key = (s.user.0.min(s.neighbor.0), s.user.0.max(s.neighbor.0));
+            cache.remove(&key);
+            dirty.insert(s.user.0);
+            dirty.insert(s.neighbor.0);
         }
         ppdp_telemetry::counter("links.removed", take as u64);
         left -= take;
+        touched = Some(dirty);
     }
+    ppdp_telemetry::counter("links.rescored", rescored);
+    ppdp_telemetry::counter("links.rescore_saved", reused);
     Ok(out)
 }
 
@@ -333,9 +391,12 @@ mod tests {
 
     /// A chain of cliques wide enough to cross `PAR_MIN_EDGES`.
     fn big_graph() -> (SocialGraph, Vec<bool>) {
+        clique_chain(8)
+    }
+
+    fn clique_chain(n_cliques: usize) -> (SocialGraph, Vec<bool>) {
         let mut b = GraphBuilder::new(Schema::uniform(2, 2));
         let mut prev = None;
-        let n_cliques = 8;
         for c in 0..n_cliques {
             let label = (c % 2) as u16;
             let members: Vec<_> = (0..5)
@@ -397,6 +458,65 @@ mod tests {
             .unwrap();
             assert_eq!(seq_graph, par_graph, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn incremental_rescoring_matches_full_rescoring_across_batches() {
+        // Reference: the pre-cache removal loop that re-scores every edge
+        // of the current graph between batches. The cached loop must
+        // produce the identical sanitized graph while re-scoring only
+        // edges incident to a removed endpoint.
+        let reference = |g: &SocialGraph, known: &[bool], count: usize| -> SocialGraph {
+            let lg0 = LabeledGraph::new(g, CategoryId(1), known.to_vec());
+            let boot =
+                ppdp_classify::run_attack(&lg0, LocalKind::Bayes, AttackModel::AttrOnly).unwrap();
+            let mut out = g.clone();
+            let mut left = count;
+            let batch = (count / 10).max(50);
+            while left > 0 && out.edge_count() > 0 {
+                let lg = LabeledGraph::new(&out, CategoryId(1), known.to_vec());
+                let scores = indistinguishable_links(&lg, &boot.dists);
+                let take = left.min(batch).min(scores.len());
+                if take == 0 {
+                    break;
+                }
+                for s in scores.into_iter().take(take) {
+                    out.remove_edge(s.user, s.neighbor);
+                }
+                left -= take;
+            }
+            out
+        };
+        let (g, known) = big_graph();
+        // 80 removals with batch = 50 → two scoring passes, so the dirty
+        // path (second pass reuses clean cached scores) really runs.
+        for count in [5, 20, 80] {
+            let expect = reference(&g, &known, count);
+            let got =
+                remove_indistinguishable_links(&g, CategoryId(1), &known, LocalKind::Bayes, count)
+                    .unwrap();
+            assert_eq!(expect, got, "count = {count}");
+        }
+    }
+
+    #[test]
+    fn rescore_telemetry_reports_cache_reuse() {
+        // Large enough that one 50-edge batch (tie-broken toward low user
+        // ids, hence concentrated in the early cliques) leaves later
+        // cliques untouched for the second pass to reuse.
+        let (g, known) = clique_chain(24);
+        let rec = ppdp_telemetry::Recorder::new();
+        {
+            let _scope = rec.enter();
+            let _ = remove_indistinguishable_links(&g, CategoryId(1), &known, LocalKind::Bayes, 80)
+                .unwrap();
+        }
+        let report = rec.take();
+        assert!(
+            report.counter("links.rescore_saved") > 0,
+            "second pass must reuse scores of untouched edges"
+        );
+        assert!(report.counter("links.rescored") > 0);
     }
 
     #[test]

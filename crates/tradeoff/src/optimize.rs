@@ -20,7 +20,7 @@ use ppdp_classify::{masked_weight, LabeledGraph, RelationalState};
 use ppdp_errors::{ensure, Result};
 use ppdp_exec::ExecPolicy;
 use ppdp_graph::UserId;
-use ppdp_opt::{enumerate_simplex, lazy_greedy_knapsack_with};
+use ppdp_opt::{enumerate_simplex, lazy_greedy_knapsack_oracle, DeltaOracle};
 
 /// Below this many simplex candidates a coordinate-ascent row sweep is too
 /// cheap to be worth spawning worker threads for; the sweep silently stays
@@ -281,24 +281,77 @@ pub fn select_vulnerable_links_with(
         .map(|&j| structure_value(lg.graph, u, j))
         .collect();
 
-    // Privacy gain = 1 − P(true label) from the wvRN vote over the
-    // neighbours that remain. Removing a vulnerable link (one whose far end
-    // leans toward the true label) increases this — the monotone objective
-    // of Thm. 4.5.1.
-    let objective = |removed: &[usize]| -> f64 {
+    let mut oracle = LinkOracle::new(lg, u, true_label, &neighbours, &state);
+    Ok(
+        lazy_greedy_knapsack_oracle(exec, &mut oracle, &costs, epsilon)?
+            .into_iter()
+            .map(|i| neighbours[i])
+            .collect(),
+    )
+}
+
+/// [`DeltaOracle`] over a user's links for vulnerable-link selection.
+///
+/// Privacy gain = 1 − P(true label) from the wvRN vote over the neighbours
+/// that remain. Removing a vulnerable link (one whose far end leans toward
+/// the true label) increases this — the monotone objective of Thm. 4.5.1.
+///
+/// The per-neighbour vote weights and true-label beliefs are computed once
+/// at construction and the committed removals live in a bitmask, so a
+/// probe is one pass over the neighbour list — the closure formulation
+/// re-derived the masked weights and ran an `O(|removed|)` membership scan
+/// per neighbour on every evaluation. The pass accumulates in neighbour
+/// order with the same operations, so scores (and hence the greedy pick
+/// sequence) are bitwise-identical to the closure objective's.
+struct LinkOracle {
+    weight: Vec<f64>,
+    p_true: Vec<f64>,
+    removed: Vec<bool>,
+    committed: Vec<usize>,
+    current: f64,
+}
+
+impl LinkOracle {
+    fn new(
+        lg: &LabeledGraph<'_>,
+        u: UserId,
+        true_label: u16,
+        neighbours: &[UserId],
+        state: &RelationalState,
+    ) -> Self {
+        let weight: Vec<f64> = neighbours
+            .iter()
+            .map(|&j| masked_weight(lg, u, j))
+            .collect();
+        let p_true: Vec<f64> = neighbours
+            .iter()
+            .map(|&j| state.dist[j.0][true_label as usize])
+            .collect();
+        let mut oracle = Self {
+            weight,
+            p_true,
+            removed: vec![false; neighbours.len()],
+            committed: Vec::new(),
+            current: 0.0,
+        };
+        oracle.current = oracle.score(None);
+        oracle
+    }
+
+    /// Objective with the committed removals plus optionally one more.
+    fn score(&self, extra: Option<usize>) -> f64 {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         let mut unweighted = 0.0f64;
         let mut kept = 0usize;
-        for (idx, &j) in neighbours.iter().enumerate() {
-            if removed.contains(&idx) {
+        for idx in 0..self.weight.len() {
+            if self.removed[idx] || Some(idx) == extra {
                 continue;
             }
             kept += 1;
-            let w = masked_weight(lg, u, j);
-            num += w * state.dist[j.0][true_label as usize];
-            den += w;
-            unweighted += state.dist[j.0][true_label as usize];
+            num += self.weight[idx] * self.p_true[idx];
+            den += self.weight[idx];
+            unweighted += self.p_true[idx];
         }
         if kept == 0 {
             return 1.0; // no relational signal at all: fully private
@@ -309,12 +362,31 @@ pub fn select_vulnerable_links_with(
             unweighted / kept as f64
         };
         1.0 - p_true
-    };
+    }
+}
 
-    Ok(lazy_greedy_knapsack_with(exec, &costs, epsilon, objective)?
-        .into_iter()
-        .map(|i| neighbours[i])
-        .collect())
+impl DeltaOracle for LinkOracle {
+    fn len(&self) -> usize {
+        self.weight.len()
+    }
+
+    fn committed(&self) -> &[usize] {
+        &self.committed
+    }
+
+    fn current(&self) -> f64 {
+        self.current
+    }
+
+    fn value_of(&mut self, item: usize) -> f64 {
+        self.score(Some(item))
+    }
+
+    fn commit(&mut self, item: usize, value: f64) {
+        self.removed[item] = true;
+        self.committed.push(item);
+        self.current = value;
+    }
 }
 
 #[cfg(test)]
@@ -515,6 +587,62 @@ mod tests {
         let sel = select_vulnerable_links(&lg, UserId(0), 1.0).unwrap();
         let cost: f64 = sel.iter().map(|&j| structure_value(&g, UserId(0), j)).sum();
         assert!(cost <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn link_oracle_matches_closure_objective_item_for_item() {
+        // Pin the LinkOracle refactor: the closure formulation of the
+        // objective (fresh masked-weight derivation + membership scan per
+        // evaluation) must produce the same pick sequence through the same
+        // lazy solver, at several budgets.
+        let g = link_fixture();
+        let lg = LabeledGraph::new(&g, CategoryId(1), vec![false, true, true, true]);
+        let u = UserId(0);
+        let true_label = lg.true_label(u).unwrap();
+        let neighbours: Vec<UserId> = lg.graph.neighbors(u).to_vec();
+        let state = RelationalState::new(&lg);
+        let costs: Vec<f64> = neighbours
+            .iter()
+            .map(|&j| structure_value(lg.graph, u, j))
+            .collect();
+        let objective = |removed: &[usize]| -> f64 {
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            let mut unweighted = 0.0f64;
+            let mut kept = 0usize;
+            for (idx, &j) in neighbours.iter().enumerate() {
+                if removed.contains(&idx) {
+                    continue;
+                }
+                kept += 1;
+                let w = masked_weight(&lg, u, j);
+                num += w * state.dist[j.0][true_label as usize];
+                den += w;
+                unweighted += state.dist[j.0][true_label as usize];
+            }
+            if kept == 0 {
+                return 1.0;
+            }
+            let p_true = if den > 0.0 {
+                num / den
+            } else {
+                unweighted / kept as f64
+            };
+            1.0 - p_true
+        };
+        for epsilon in [0.0, 0.5, 1.0, 2.0, 10.0] {
+            let closure_picks: Vec<UserId> =
+                ppdp_opt::lazy_greedy_knapsack(&costs, epsilon, objective)
+                    .unwrap()
+                    .into_iter()
+                    .map(|i| neighbours[i])
+                    .collect();
+            assert_eq!(
+                select_vulnerable_links(&lg, u, epsilon).unwrap(),
+                closure_picks,
+                "ε = {epsilon}"
+            );
+        }
     }
 
     #[test]

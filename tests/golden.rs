@@ -157,6 +157,68 @@ fn greedy_sanitization_picks_match_snapshot() {
 }
 
 #[test]
+fn incremental_oracle_matches_closure_picks_on_golden_fixture() {
+    // Satellite of the incremental-inference PR: the DeltaOracle-driven
+    // sanitizer (warm-started residual BP, no per-candidate graph rebuilds)
+    // must reproduce the closure pipeline's removal sequence item for item
+    // on the snapshot fixture, under both policies, in both refresh modes.
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(60, 5, 2, 11);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    let reference = greedy_sanitize_with(
+        ExecPolicy::Sequential,
+        &catalog,
+        &evidence,
+        &targets,
+        0.9999,
+        8,
+        Predictor::BeliefPropagation(BpConfig::default()),
+    )
+    .unwrap();
+    for exec in POLICIES {
+        for (label, out) in [
+            (
+                "warm",
+                ppdp::genomic::greedy_sanitize_incremental(
+                    exec,
+                    &catalog,
+                    &evidence,
+                    &targets,
+                    0.9999,
+                    8,
+                    BpConfig::default(),
+                )
+                .unwrap(),
+            ),
+            (
+                "strict",
+                ppdp::genomic::greedy_sanitize_full_recompute(
+                    exec,
+                    &catalog,
+                    &evidence,
+                    &targets,
+                    0.9999,
+                    8,
+                    BpConfig::default(),
+                )
+                .unwrap(),
+            ),
+        ] {
+            assert_eq!(
+                out.removed, reference.removed,
+                "{label} picks diverge under {exec:?}"
+            );
+            assert_eq!(out.satisfied, reference.satisfied, "{label} {exec:?}");
+            assert_eq!(out.history.len(), reference.history.len());
+            for (a, b) in out.history.iter().zip(&reference.history) {
+                assert!((a - b).abs() < 1e-6, "{label} {exec:?}: history {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
 fn dp_synthesis_counts_match_snapshot() {
     let original = correlated_microdata(400, 4, 3, 0.8, 5);
     for exec in POLICIES {
