@@ -20,6 +20,9 @@ RAYON_NUM_THREADS=4 cargo test --workspace -q
 echo "==> sequential-vs-parallel equivalence harness"
 cargo test -q -p ppdp --test equivalence
 
+echo "==> causal-trace equivalence harness"
+cargo test -q -p ppdp --test trace
+
 echo "==> golden-value regression suite"
 cargo test -q -p ppdp --test golden
 
@@ -33,6 +36,37 @@ cargo test -q -p ppdp --test chaos
 echo "==> incremental-BP bench gate (bench_pr4)"
 cargo run -q --release -p ppdp-bench --bin bench_pr4
 
+# Tracing overhead gate: re-run the bench with the causal-event collector
+# live and bound the slowdown of the traced full-recompute pass to < 5%
+# relative to the untraced run above. The untraced BENCH_PR4.json is the
+# artifact of record and is restored afterwards.
+echo "==> tracing overhead gate (< 5% on bench_pr4)"
+cp BENCH_PR4.json BENCH_PR4.untraced.json
+PPDP_TRACE=1 PPDP_TRACE_OUT=bench_pr4_trace.jsonl \
+  cargo run -q --release -p ppdp-bench --bin bench_pr4
+awk '
+  /"full_recompute"/ { if (match($0, /"wall_ns": *[0-9]+/)) \
+      print substr($0, RSTART + 11, RLENGTH - 11) }
+' BENCH_PR4.untraced.json BENCH_PR4.json | awk '
+  NR == 1 { base = $1 }
+  NR == 2 { traced = $1 }
+  END {
+    if (base == "" || traced == "") { print "missing wall_ns"; exit 1 }
+    ratio = traced / base
+    printf "untraced %d ns, traced %d ns, ratio %.3f\n", base, traced, ratio
+    if (ratio >= 1.05) { print "FAIL: tracing overhead >= 5%"; exit 1 }
+  }
+'
+
+# Cross-run regression diff gate: the traced re-run must be metric-clean
+# against the untraced baseline (wall-time ignored — the overhead gate
+# above owns that axis).
+echo "==> ppdp-report diff gate"
+cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
+  diff --ignore-wall BENCH_PR4.untraced.json BENCH_PR4.json
+mv BENCH_PR4.untraced.json BENCH_PR4.json
+rm -f bench_pr4_trace.jsonl
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -42,7 +76,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # std::thread::spawn — all library threading goes through ppdp-exec.
 echo "==> cargo clippy (no unwrap/expect/raw-spawn in lib code)"
 for crate in ppdp-errors ppdp-graph ppdp-classify ppdp-sanitize \
-    ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry ppdp; do
+    ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry \
+    ppdp-trace ppdp; do
   cargo clippy -q -p "$crate" --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used \
     -D clippy::disallowed_methods

@@ -15,6 +15,11 @@
 //! Writes the measurements to `BENCH_PR4.json` at the workspace root and
 //! exits non-zero if any gate fails, so `ci.sh` can run it directly.
 //!
+//! Set `PPDP_TRACE=1` to capture a causal event trace of the whole
+//! invocation (`PPDP_TRACE_OUT=<path>` selects the JSONL destination,
+//! default `bench_pr4_trace.jsonl`); `ci.sh` reruns the bench in this
+//! mode to bound the tracing wall-clock overhead.
+//!
 //! [`IncrementalBp`]: ppdp::genomic::IncrementalBp
 
 use ppdp::exec::ExecPolicy;
@@ -68,7 +73,7 @@ fn run(strict: bool, catalog: &GwasCatalog, evidence: &ppdp::genomic::Evidence) 
             wall_ns,
             report: rec.take(),
         };
-        if best.as_ref().is_none_or(|b| m.wall_ns < b.wall_ns) {
+        if best.as_ref().map_or(true, |b| m.wall_ns < b.wall_ns) {
             best = Some(m);
         }
     }
@@ -87,8 +92,26 @@ fn main() {
     let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 4, 4, 5);
     let evidence = panel.full_evidence(0);
 
+    let tracing = std::env::var("PPDP_TRACE").is_ok_and(|v| v == "1");
+    let collector = tracing.then(ppdp::trace::Collector::new);
+    if let Some(col) = &collector {
+        ppdp::trace::install_global(col.clone());
+    }
+
     let strict = run(true, &catalog, &evidence);
     let warm = run(false, &catalog, &evidence);
+
+    if let Some(col) = &collector {
+        ppdp::trace::uninstall_global();
+        let trace = col.take();
+        let out =
+            std::env::var("PPDP_TRACE_OUT").unwrap_or_else(|_| "bench_pr4_trace.jsonl".into());
+        if let Err(e) = std::fs::write(&out, trace.to_jsonl()) {
+            eprintln!("bench_pr4: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench_pr4: {} trace event(s) → {out}", trace.records.len());
+    }
 
     let strict_msgs = strict.report.counter("bp.messages_updated");
     let warm_msgs = warm.report.counter("bp.messages_updated");

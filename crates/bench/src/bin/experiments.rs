@@ -18,6 +18,17 @@
 //! `--report <path>` writes the aggregated [`RunReport`] as JSON to a file
 //! and `--json` prints it to stdout. Unknown ids exit with status 1, bad
 //! usage with status 2.
+//!
+//! When any subsystem degraded gracefully during the run (prior
+//! fallbacks, distribution repairs, …) a per-(subsystem, reason) summary
+//! is printed to stderr and the process exits with status 3 — pass
+//! `--allow-degraded` to keep exit 0 for runs where lower-fidelity
+//! results are acceptable.
+//!
+//! Set `PPDP_TRACE=1` to additionally capture a causal event trace of
+//! the whole invocation; `PPDP_TRACE_OUT=<path>` writes it as JSONL
+//! (default `experiments_trace.jsonl` next to the current directory),
+//! ready for `ppdp-report explain` or the Chrome trace converter.
 
 use ppdp::telemetry::{self, fmt_nanos, status_line, Recorder};
 use ppdp_bench::util::SEED;
@@ -147,10 +158,44 @@ const QUICK: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json]   (ids: {})",
+        "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json] \
+         [--allow-degraded]   (ids: {})",
         ALL.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Prints one stderr line per `degraded.<subsystem>.<reason>` counter and
+/// returns the total degradation count (0 when every result is full
+/// fidelity).
+fn report_degradations(report: &ppdp::telemetry::RunReport) -> u64 {
+    let total = report.degradations();
+    if total == 0 {
+        return 0;
+    }
+    eprintln!(
+        "{}",
+        status_line(
+            "degraded",
+            &format!("{total} event(s) produced by fallback paths:")
+        )
+    );
+    for (name, count) in &report.counters {
+        let Some(rest) = name.strip_prefix("degraded.") else {
+            continue;
+        };
+        let Some((subsystem, reason)) = rest.split_once('.') else {
+            continue; // top-level per-subsystem totals, already summed above
+        };
+        eprintln!(
+            "{}",
+            status_line(
+                "degraded",
+                &format!("subsystem={subsystem} reason={reason} count={count}")
+            )
+        );
+    }
+    total
 }
 
 fn main() {
@@ -158,6 +203,7 @@ fn main() {
 
     let mut report_path: Option<String> = None;
     let mut json_stdout = false;
+    let mut allow_degraded = false;
     let mut ids: Vec<&'static str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -170,6 +216,7 @@ fn main() {
                 }
             },
             "--json" => json_stdout = true,
+            "--allow-degraded" => allow_degraded = true,
             "all" => ids.extend(ALL),
             "quick" => ids.extend(QUICK),
             flag if flag.starts_with('-') => {
@@ -196,6 +243,11 @@ fn main() {
     // in the workspace reports into it, grouped under a per-experiment span.
     let recorder = Recorder::new();
     telemetry::install_global(recorder.clone());
+    let tracing = std::env::var("PPDP_TRACE").is_ok_and(|v| v == "1");
+    let collector = tracing.then(ppdp::trace::Collector::new);
+    if let Some(col) = &collector {
+        ppdp::trace::install_global(col.clone());
+    }
     let total = Instant::now();
     for &id in &ids {
         eprintln!("{}", status_line("run", id));
@@ -216,6 +268,28 @@ fn main() {
         );
     }
     telemetry::uninstall_global();
+    if let Some(col) = &collector {
+        ppdp::trace::uninstall_global();
+        let trace = col.take();
+        let out =
+            std::env::var("PPDP_TRACE_OUT").unwrap_or_else(|_| "experiments_trace.jsonl".into());
+        match std::fs::write(&out, trace.to_jsonl()) {
+            Ok(()) => eprintln!(
+                "{}",
+                status_line(
+                    "saved",
+                    &format!("{} trace event(s) → {out}", trace.records.len())
+                )
+            ),
+            Err(e) => {
+                eprintln!(
+                    "{}",
+                    status_line("error", &format!("cannot write {out}: {e}"))
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let report = recorder.take();
     let total_nanos = u64::try_from(total.elapsed().as_nanos()).unwrap_or(u64::MAX);
     eprintln!(
@@ -241,5 +315,15 @@ fn main() {
     }
     if json_stdout {
         println!("{}", report.to_json_pretty());
+    }
+    if report_degradations(&report) > 0 && !allow_degraded {
+        eprintln!(
+            "{}",
+            status_line(
+                "error",
+                "run degraded; inspect the summary above (or pass --allow-degraded)"
+            )
+        );
+        std::process::exit(3);
     }
 }

@@ -1,0 +1,495 @@
+//! `ppdp-report`: explain and diff instrumented ppdp runs.
+//!
+//! Usage:
+//!   ppdp-report explain <run.json | trace.jsonl>
+//!   ppdp-report diff [--ignore-wall] <baseline> <candidate>
+//!   ppdp-report chrome <trace.jsonl> [--out <path>]
+//!   ppdp-report flame <trace.jsonl>
+//!
+//! * `explain` prints an annotated trajectory of one run: convergence
+//!   curves per inference attempt, greedy picks with marginal gains,
+//!   trial commits/rollbacks, every privacy-budget draw with its
+//!   call-site, watchdog verdicts and degradations. It accepts either an
+//!   aggregated `RunReport`/`BENCH_*.json` document or a causal event
+//!   trace (`PPDP_TRACE=1` JSONL output).
+//! * `diff` compares two such documents and flags wall-time, message-
+//!   count and ε-spend regressions (see `ppdp_trace::diff` for the
+//!   thresholds). Exit status: 0 clean, 1 regressions found.
+//! * `chrome` converts a JSONL trace to Chrome `trace_event` JSON
+//!   (load via `chrome://tracing` or Perfetto); `flame` emits
+//!   collapsed-stack lines for flamegraph tooling.
+//!
+//! Bad usage, unreadable files and parse errors exit with status 2.
+
+use ppdp::trace::json::JsonValue;
+use ppdp::trace::{diff, Trace, TraceEvent, TrialPhase};
+
+/// A parsed input file: either an aggregated report document or an
+/// event trace.
+enum Input {
+    /// `RunReport` JSON, `BENCH_*.json`, or any structurally similar doc.
+    Report(JsonValue),
+    /// JSONL causal event trace.
+    Trace(Trace),
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ppdp-report: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    fail(
+        "usage: ppdp-report explain <file> | diff [--ignore-wall] <baseline> <candidate> \
+         | chrome <trace.jsonl> [--out <path>] | flame <trace.jsonl>",
+    );
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    }
+}
+
+/// Loads `path` as a report document or a trace, sniffing the format:
+/// a file that parses as one JSON document is a report (unless it is a
+/// single trace record); anything else must parse line-by-line as a
+/// trace.
+fn load(path: &str) -> Input {
+    let text = read(path);
+    if let Ok(doc) = JsonValue::parse(&text) {
+        let single_record = doc.get("key").is_some() && doc.get("event").is_some();
+        if !single_record {
+            return Input::Report(doc);
+        }
+    }
+    match Trace::from_jsonl(&text) {
+        Ok(trace) => Input::Trace(trace),
+        Err(e) => fail(&format!(
+            "{path} is neither report JSON nor a JSONL trace: {e}"
+        )),
+    }
+}
+
+fn load_trace(path: &str) -> Trace {
+    match load(path) {
+        Input::Trace(trace) => trace,
+        Input::Report(_) => fail(&format!(
+            "{path} is a report document, expected a JSONL trace"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------- explain
+
+fn explain(path: &str) {
+    match load(path) {
+        Input::Report(doc) => explain_report(path, &doc),
+        Input::Trace(trace) => explain_trace(path, &trace),
+    }
+}
+
+fn explain_report(path: &str, doc: &JsonValue) {
+    println!("# {path}");
+    if let Some(spans) = doc.get("spans").and_then(JsonValue::as_object) {
+        println!("\n## spans");
+        for (span_path, stats) in spans {
+            let count = num_member(stats, "count");
+            let total = num_member(stats, "total_nanos");
+            println!(
+                "  {span_path}: {count:.0} run(s), {:.3} ms total",
+                total / 1e6
+            );
+        }
+    }
+    if let Some(counters) = doc.get("counters").and_then(JsonValue::as_object) {
+        println!("\n## counters");
+        for (name, v) in counters {
+            println!("  {name} = {:.0}", v.as_f64().unwrap_or(0.0));
+        }
+    }
+    if let Some(histograms) = doc.get("histograms").and_then(JsonValue::as_object) {
+        println!("\n## value distributions");
+        for (name, h) in histograms {
+            let count = num_member(h, "count");
+            let sum = num_member(h, "sum");
+            let mean = if count > 0.0 { sum / count } else { 0.0 };
+            println!(
+                "  {name}: n={count:.0} min={} mean={} max={}",
+                sig(num_member(h, "min")),
+                sig(mean),
+                sig(num_member(h, "max")),
+            );
+        }
+    }
+    if let Some(draws) = doc.get("budget").and_then(JsonValue::as_array) {
+        let eps: f64 = draws.iter().map(|d| num_member(d, "epsilon")).sum();
+        let delta: f64 = draws.iter().map(|d| num_member(d, "delta")).sum();
+        println!(
+            "\n## privacy budget: {} draw(s), ε={} δ={}",
+            draws.len(),
+            sig(eps),
+            sig(delta)
+        );
+        for d in draws {
+            let mech = d
+                .get("mechanism")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            let label = d.get("label").and_then(JsonValue::as_str).unwrap_or("?");
+            println!(
+                "  {mech} releases {label}: ε={} (sensitivity {})",
+                sig(num_member(d, "epsilon")),
+                sig(num_member(d, "sensitivity")),
+            );
+        }
+    }
+    // Unstructured documents (e.g. BENCH_*.json): fall back to flat leaves.
+    if doc.get("spans").is_none() && doc.get("counters").is_none() {
+        println!("\n## metrics");
+        if let Some(members) = doc.as_object() {
+            for (k, v) in members {
+                match v.as_f64() {
+                    Some(n) => println!("  {k} = {}", sig(n)),
+                    None => println!("  {k} = {}", v.to_json()),
+                }
+            }
+        }
+    }
+}
+
+fn explain_trace(path: &str, trace: &Trace) {
+    println!("# {path}: {} event(s)", trace.records.len());
+    if trace.dropped > 0 {
+        println!(
+            "  warning: {} event(s) dropped at capture (raise capacity)",
+            trace.dropped
+        );
+    }
+
+    // Belief propagation, grouped into attempts at each round-counter reset.
+    let mut attempts: Vec<Vec<(u64, f64, u64)>> = Vec::new();
+    let mut refreshes = (0u64, 0u64, 0u64, 0u64); // passes, frontier, updates, converged
+    let mut ica: Vec<(u64, f64, u64)> = Vec::new();
+    let mut gibbs = (0u64, 0u64, 0u64); // chains(max+1), sweeps, flips
+    let mut picks: Vec<(String, u64, f64, f64)> = Vec::new();
+    let mut trials = (0u64, 0u64, 0u64, 0u64); // begins, commits, rollbacks, restored
+    let mut draws: Vec<(String, String, f64, String)> = Vec::new();
+    let mut watchdogs: Vec<String> = Vec::new();
+    let mut degradations: Vec<String> = Vec::new();
+    for r in &trace.records {
+        match &r.event {
+            TraceEvent::BpRound {
+                round,
+                residual,
+                messages,
+                ..
+            } => {
+                if *round == 1 || attempts.is_empty() {
+                    attempts.push(Vec::new());
+                }
+                if let Some(a) = attempts.last_mut() {
+                    a.push((*round, *residual, *messages));
+                }
+            }
+            TraceEvent::BpRefresh {
+                frontier,
+                updates,
+                converged,
+                ..
+            } => {
+                refreshes.0 += 1;
+                refreshes.1 += frontier;
+                refreshes.2 += updates;
+                refreshes.3 += u64::from(*converged);
+            }
+            TraceEvent::IcaSweep {
+                sweep,
+                delta,
+                flips,
+            } => ica.push((*sweep, *delta, *flips)),
+            TraceEvent::GibbsSweep { chain, flips, .. } => {
+                gibbs.0 = gibbs.0.max(chain + 1);
+                gibbs.1 += 1;
+                gibbs.2 += flips;
+            }
+            TraceEvent::GreedyPick {
+                solver,
+                item,
+                value,
+                gain,
+            } => {
+                picks.push((solver.clone(), *item, *value, *gain));
+            }
+            TraceEvent::Trial { phase, entries } => match phase {
+                TrialPhase::Begin => trials.0 += 1,
+                TrialPhase::Commit => trials.1 += 1,
+                TrialPhase::Rollback => {
+                    trials.2 += 1;
+                    trials.3 += entries;
+                }
+            },
+            TraceEvent::BudgetDraw {
+                mechanism,
+                label,
+                epsilon,
+                call_site,
+                ..
+            } => {
+                draws.push((
+                    mechanism.clone(),
+                    label.clone(),
+                    *epsilon,
+                    call_site.clone(),
+                ));
+            }
+            TraceEvent::Watchdog {
+                subsystem,
+                verdict,
+                iteration,
+                ..
+            } => {
+                watchdogs.push(format!(
+                    "{subsystem} flagged {verdict} at iteration {iteration}"
+                ));
+            }
+            TraceEvent::Degradation {
+                subsystem, reason, ..
+            } => {
+                degradations.push(format!("{subsystem}: {reason}"));
+            }
+            _ => {}
+        }
+    }
+
+    if !attempts.is_empty() {
+        let total_rounds: usize = attempts.iter().map(Vec::len).sum();
+        println!(
+            "\n## belief propagation: {} attempt(s), {total_rounds} sweep(s)",
+            attempts.len()
+        );
+        for (i, a) in attempts.iter().enumerate() {
+            let Some((_, last_res, _)) = a.last() else {
+                continue;
+            };
+            let messages: u64 = a.iter().map(|(.., m)| m).sum();
+            print!(
+                "  attempt {i}: {} sweep(s), final residual {}, {messages} message(s)",
+                a.len(),
+                sig(*last_res)
+            );
+            println!("{}", residual_curve(a));
+        }
+    }
+    if refreshes.0 > 0 {
+        println!(
+            "\n## incremental BP: {} refresh(es), frontier {} factor(s) total, {} update(s), {} converged",
+            refreshes.0, refreshes.1, refreshes.2, refreshes.3
+        );
+    }
+    if !ica.is_empty() {
+        let flips: u64 = ica.iter().map(|(.., f)| f).sum();
+        let Some((sweeps, final_delta, _)) = ica.last() else {
+            unreachable!("non-empty")
+        };
+        println!(
+            "\n## ICA: {sweeps} sweep(s), final delta {}, {flips} label flip(s)",
+            sig(*final_delta)
+        );
+    }
+    if gibbs.1 > 0 {
+        println!(
+            "\n## Gibbs: {} chain(s), {} sweep(s), {} label flip(s)",
+            gibbs.0, gibbs.1, gibbs.2
+        );
+    }
+    if !picks.is_empty() {
+        println!("\n## greedy picks");
+        for (solver, item, value, gain) in &picks {
+            println!(
+                "  {solver} picked item {item}: objective {} (gain {})",
+                sig(*value),
+                sig(*gain)
+            );
+        }
+    }
+    if trials.0 > 0 {
+        println!(
+            "\n## trials: {} opened, {} committed, {} rolled back ({} journal entries restored)",
+            trials.0, trials.1, trials.2, trials.3
+        );
+    }
+    if !draws.is_empty() {
+        let eps: f64 = draws.iter().map(|(_, _, e, _)| e).sum();
+        println!(
+            "\n## privacy budget: {} draw(s), ε={}",
+            draws.len(),
+            sig(eps)
+        );
+        for (mech, label, eps, site) in &draws {
+            println!("  {mech} releases {label}: ε={} at {site}", sig(*eps));
+        }
+    }
+    if !watchdogs.is_empty() {
+        println!("\n## watchdog verdicts");
+        for w in &watchdogs {
+            println!("  {w}");
+        }
+    }
+    if !degradations.is_empty() {
+        println!("\n## degradations");
+        for d in &degradations {
+            println!("  {d}");
+        }
+    }
+}
+
+/// A coarse log-scale sparkline of an attempt's residual trajectory,
+/// sampled down to at most 16 points.
+fn residual_curve(rounds: &[(u64, f64, u64)]) -> String {
+    const GLYPHS: [char; 5] = ['▁', '▂', '▄', '▆', '█'];
+    if rounds.len() < 2 {
+        return String::new();
+    }
+    let stride = rounds.len().div_ceil(16);
+    let sampled: Vec<f64> = rounds.iter().step_by(stride).map(|(_, r, _)| *r).collect();
+    let logs: Vec<f64> = sampled.iter().map(|r| r.max(1e-300).log10()).collect();
+    let (lo, hi) = logs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-12);
+    let curve: String = logs
+        .iter()
+        .map(|&v| GLYPHS[(((v - lo) / span) * 4.0).round().clamp(0.0, 4.0) as usize])
+        .collect();
+    format!("  {curve}")
+}
+
+// ------------------------------------------------------------------- diff
+
+/// Reduces a trace to a comparable summary document so `diff` can
+/// compare two traces (or a trace against itself across runs) with the
+/// same metric classes used for reports.
+fn trace_summary(trace: &Trace) -> JsonValue {
+    let mut kinds: Vec<(String, f64)> = Vec::new();
+    let mut bump = |name: &str, by: f64| match kinds.iter_mut().find(|(k, _)| k == name) {
+        Some((_, v)) => *v += by,
+        None => kinds.push((name.to_owned(), by)),
+    };
+    let mut wall = 0.0f64;
+    let mut epsilon = 0.0f64;
+    let mut delta = 0.0f64;
+    let mut messages = 0.0f64;
+    for r in &trace.records {
+        bump(r.event.kind(), 1.0);
+        match &r.event {
+            TraceEvent::SpanExit { path, dur_nanos } if !path.contains('/') => {
+                wall += *dur_nanos as f64;
+            }
+            TraceEvent::BudgetDraw {
+                epsilon: e,
+                delta: d,
+                ..
+            } => {
+                epsilon += e;
+                delta += d;
+            }
+            TraceEvent::BpRound { messages: m, .. } | TraceEvent::BpRefresh { messages: m, .. } => {
+                messages += *m as f64;
+            }
+            _ => {}
+        }
+    }
+    kinds.sort_by(|a, b| a.0.cmp(&b.0));
+    JsonValue::Object(vec![
+        (
+            "events".into(),
+            JsonValue::Object(
+                kinds
+                    .into_iter()
+                    .map(|(k, v)| (k, JsonValue::Num(v)))
+                    .collect(),
+            ),
+        ),
+        ("bp_messages".into(), JsonValue::Num(messages)),
+        ("epsilon_total".into(), JsonValue::Num(epsilon)),
+        ("delta_total".into(), JsonValue::Num(delta)),
+        ("span_wall_nanos".into(), JsonValue::Num(wall)),
+    ])
+}
+
+fn as_diffable(input: Input) -> JsonValue {
+    match input {
+        Input::Report(doc) => doc,
+        Input::Trace(trace) => trace_summary(&trace),
+    }
+}
+
+fn run_diff(baseline: &str, candidate: &str, ignore_wall: bool) -> ! {
+    let thresholds = diff::DiffThresholds {
+        ignore_wall,
+        ..diff::DiffThresholds::default()
+    };
+    let base = as_diffable(load(baseline));
+    let cand = as_diffable(load(candidate));
+    let report = diff::diff_values(&base, &cand, &thresholds);
+    print!("{baseline} -> {candidate}\n{}", report.to_text());
+    std::process::exit(i32::from(!report.is_clean()));
+}
+
+// ------------------------------------------------------------------- misc
+
+fn num_member(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+/// Compact numeric rendering: integral values print without a fraction,
+/// everything else with 4 significant digits.
+fn sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4e}")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["explain", path] => explain(path),
+        ["diff", rest @ ..] => {
+            let mut ignore_wall = false;
+            let mut files: Vec<&str> = Vec::new();
+            for arg in rest {
+                match *arg {
+                    "--ignore-wall" => ignore_wall = true,
+                    flag if flag.starts_with('-') => fail(&format!("unknown diff flag {flag}")),
+                    path => files.push(path),
+                }
+            }
+            match files.as_slice() {
+                [baseline, candidate] => run_diff(baseline, candidate, ignore_wall),
+                _ => usage(),
+            }
+        }
+        ["chrome", path, rest @ ..] => {
+            let json = load_trace(path).to_chrome_json();
+            match rest {
+                [] => print!("{json}"),
+                ["--out", out] => {
+                    if let Err(e) = std::fs::write(out, &json) {
+                        fail(&format!("cannot write {out}: {e}"));
+                    }
+                    eprintln!("ppdp-report: Chrome trace → {out}");
+                }
+                _ => usage(),
+            }
+        }
+        ["flame", path] => print!("{}", load_trace(path).flame()),
+        _ => usage(),
+    }
+}

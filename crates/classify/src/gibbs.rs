@@ -153,7 +153,7 @@ pub fn gibbs_run(
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
     let mut label_flips = 0usize;
     let mut repairs = 0usize;
-    for chain in &chain_outs {
+    for (chain_idx, chain) in chain_outs.iter().enumerate() {
         for (total, per_chain) in counts.iter_mut().zip(&chain.counts) {
             for (t, c) in total.iter_mut().zip(per_chain) {
                 *t += c;
@@ -161,8 +161,17 @@ pub fn gibbs_run(
         }
         label_flips += chain.label_flips;
         repairs += chain.repairs;
-        for &flips in &chain.sweep_flips {
+        // Sampler flip counts plateau at the chain's mixing rate rather
+        // than decaying, so only the divergence check is meaningful here.
+        let mut watchdog =
+            ppdp_trace::ConvergenceWatchdog::new(ppdp_trace::WatchdogConfig::divergence_only(0.0));
+        for (sweep, &flips) in chain.sweep_flips.iter().enumerate() {
             ppdp_telemetry::value("gibbs.sweep_flips", flips as f64);
+            ppdp_trace::gibbs_sweep(chain_idx as u64, sweep as u64, flips as u64);
+            if let Some(verdict) = watchdog.observe(flips as f64) {
+                ppdp_telemetry::counter(&format!("watchdog.gibbs.{}", verdict.as_str()), 1);
+                ppdp_trace::watchdog_event("gibbs", verdict.as_str(), watchdog.iteration());
+            }
         }
     }
     let sweeps = cfg.chains * (cfg.burn_in + cfg.samples);

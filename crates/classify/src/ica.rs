@@ -176,6 +176,10 @@ pub fn ica_run(
     let mut final_delta = f64::INFINITY;
     let mut converged = false;
     let mut label_flips = 0usize;
+    // Flags stalled/oscillating/diverging sweep-delta trajectories as
+    // `watchdog.ica.*` counters and trace events; purely observational.
+    let mut watchdog =
+        ppdp_trace::ConvergenceWatchdog::new(ppdp_trace::WatchdogConfig::with_tol(cfg.tol));
     // Refinement (steps 4-10): combine P_A with the relational P_L.
     // Scoring reads only the previous synchronous state, so the per-node
     // evaluations are independent and safe to fan out.
@@ -210,6 +214,11 @@ pub fn ica_run(
         final_delta = delta;
         ppdp_telemetry::value("ica.sweep_flips", flips as f64);
         ppdp_telemetry::value("ica.sweep_delta", delta);
+        ppdp_trace::ica_sweep(iterations as u64, delta, flips as u64);
+        if let Some(verdict) = watchdog.observe(delta) {
+            ppdp_telemetry::counter(&format!("watchdog.ica.{}", verdict.as_str()), 1);
+            ppdp_trace::watchdog_event("ica", verdict.as_str(), watchdog.iteration());
+        }
         if delta < cfg.tol {
             converged = true;
             break;

@@ -45,6 +45,7 @@ pub use ppdp_opt as opt;
 pub use ppdp_roughset as roughset;
 pub use ppdp_sanitize as sanitize;
 pub use ppdp_telemetry as telemetry;
+pub use ppdp_trace as trace;
 pub use ppdp_tradeoff as tradeoff;
 
 pub mod publish;

@@ -183,6 +183,10 @@ impl BudgetLedger {
     /// [`PpdpError::BudgetExhausted`] on a strict overdraw,
     /// [`PpdpError::InvalidInput`] on a negative/non-finite request; the
     /// failed draw is not recorded.
+    ///
+    /// `#[track_caller]` so trace collectors attribute the draw to the
+    /// mechanism call-site, not to this ledger internals frame.
+    #[track_caller]
     pub fn spend(
         &mut self,
         epsilon: f64,

@@ -112,8 +112,20 @@ impl ExecPolicy {
         F: Fn(usize) -> R + Sync,
     {
         let threads = self.threads().min(n);
+        // Captured under EVERY policy (consuming exactly one trace
+        // sequence number), and each item evaluation is wrapped in an
+        // item scope — this is what keys item `i`'s trace events
+        // `[…region, i, seq]` identically whether the item ran on the
+        // coordinator, a worker, or sequentially. Free when tracing is
+        // disabled.
+        let region = ppdp_trace::RegionCtx::capture();
         if threads <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    let _item = region.item(i);
+                    f(i)
+                })
+                .collect();
         }
         let ctx = ThreadContext::capture();
         let chunk = n.div_ceil(threads);
@@ -124,17 +136,26 @@ impl ExecPolicy {
                 .step_by(chunk)
                 .map(|start| {
                     let end = (start + chunk).min(n);
-                    let (ctx, f) = (&ctx, &f);
+                    let (ctx, f, region) = (&ctx, &f, &region);
                     scope.spawn(move || {
                         let _telemetry = ctx.activate();
-                        (start..end).map(f).collect::<Vec<R>>()
+                        let _lane = region.worker();
+                        (start..end)
+                            .map(|i| {
+                                let _item = region.item(i);
+                                f(i)
+                            })
+                            .collect::<Vec<R>>()
                     })
                 })
                 .collect();
             // The coordinator evaluates the first chunk itself instead of
             // idling at the join barrier — one fewer spawn per call, and
             // its telemetry context is already active.
-            out.extend((0..chunk).map(&f));
+            out.extend((0..chunk).map(|i| {
+                let _item = region.item(i);
+                f(i)
+            }));
             for handle in handles {
                 match handle.join() {
                     Ok(part) => out.extend(part),
@@ -229,6 +250,30 @@ mod tests {
             })
         });
         assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn par_map_traces_merge_identically_across_policies() {
+        let run = |policy: ExecPolicy| {
+            let col = ppdp_trace::Collector::new();
+            {
+                let _scope = col.enter();
+                ppdp_telemetry::counter("trace.before", 1);
+                let _ = policy.par_map(17, |i| {
+                    ppdp_telemetry::counter("trace.item", i as u64);
+                    ppdp_telemetry::value("trace.item.value", i as f64 * 0.5);
+                    i
+                });
+                ppdp_telemetry::counter("trace.after", 1);
+            }
+            col.take().equivalence_view()
+        };
+        let seq = run(ExecPolicy::Sequential);
+        for threads in [1, 2, 4, 8] {
+            let par = run(ExecPolicy::parallel(threads));
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        assert!(!seq.records.is_empty());
     }
 
     #[test]

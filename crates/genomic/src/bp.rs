@@ -235,6 +235,11 @@ impl BpConfig {
         let mut converged = false;
         let mut final_residual = f64::INFINITY;
         let mut clean = true;
+        // Live convergence monitor: flags stalled/oscillating/diverging
+        // residual trajectories as `watchdog.bp.*` counters and trace
+        // events without ever changing the iteration itself.
+        let mut watchdog =
+            ppdp_trace::ConvergenceWatchdog::new(ppdp_trace::WatchdogConfig::with_tol(self.tol));
 
         // Incoming product at SNP `s` excluding one association factor
         // (`skip_f`) or one kin-factor side (`skip_k`).
@@ -398,6 +403,11 @@ impl BpConfig {
             // same metric, so the CI regression gate can compare them.
             ppdp_telemetry::counter("bp.messages_updated", 2 * (nf + nk) as u64);
             ppdp_telemetry::value("bp.sweep_residual", delta);
+            ppdp_trace::bp_round(sweeps as u64, delta, 2 * (nf + nk) as u64, (nf + nk) as u64);
+            if let Some(verdict) = watchdog.observe(delta) {
+                ppdp_telemetry::counter(&format!("watchdog.bp.{}", verdict.as_str()), 1);
+                ppdp_trace::watchdog_event("bp", verdict.as_str(), watchdog.iteration());
+            }
             if !clean {
                 break;
             }

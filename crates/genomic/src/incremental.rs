@@ -329,6 +329,7 @@ impl IncrementalBp {
         }
         dirty.sort_unstable();
         dirty.dedup();
+        let frontier = dirty.len() as u64;
         if !dirty.is_empty() {
             let exec = if dirty.len() >= PAR_MIN_FACTORS {
                 self.cfg.exec
@@ -382,6 +383,7 @@ impl IncrementalBp {
         self.messages_updated += messages;
         ppdp_telemetry::counter("bp.messages_updated", messages);
         ppdp_telemetry::counter("bp.incremental.refreshes", 1);
+        ppdp_trace::bp_refresh(frontier, updates, messages, self.converged);
         RefreshOutcome {
             updates,
             messages_updated: messages,
@@ -455,6 +457,7 @@ impl IncrementalBp {
         self.in_trial = true;
         self.j_converged = self.converged;
         self.j_clean = self.clean;
+        ppdp_trace::trial(ppdp_trace::TrialPhase::Begin, 0);
         Ok(())
     }
 
@@ -464,6 +467,12 @@ impl IncrementalBp {
     /// [`ppdp_errors::PpdpError::InvalidInput`] when no trial is open.
     pub fn commit_trial(&mut self) -> Result<()> {
         ensure(self.in_trial, "commit_trial: no trial is open")?;
+        let entries = (self.j_snps.len()
+            + self.j_traits.len()
+            + self.j_factors.len()
+            + self.j_kins.len()
+            + self.j_residuals.len()) as u64;
+        ppdp_trace::trial(ppdp_trace::TrialPhase::Commit, entries);
         for &(s, ..) in &self.j_snps {
             self.j_snp_touched[s] = false;
         }
@@ -495,6 +504,12 @@ impl IncrementalBp {
     /// [`ppdp_errors::PpdpError::InvalidInput`] when no trial is open.
     pub fn rollback_trial(&mut self) -> Result<()> {
         ensure(self.in_trial, "rollback_trial: no trial is open")?;
+        let entries = (self.j_snps.len()
+            + self.j_traits.len()
+            + self.j_factors.len()
+            + self.j_kins.len()
+            + self.j_residuals.len()) as u64;
+        ppdp_trace::trial(ppdp_trace::TrialPhase::Rollback, entries);
         let snps = std::mem::take(&mut self.j_snps);
         for (s, ev, pot) in snps {
             self.g.snp_evidence[s] = ev;

@@ -133,9 +133,9 @@ impl<F: FnMut(&[usize]) -> f64> DeltaOracle for ClosureOracle<F> {
 }
 
 /// [`ClosureOracle`] for `Fn + Sync` closures: batch probes fan out under
-/// the execution policy. Sequential batches reuse the push/pop scratch;
-/// parallel batches make one exact-capacity buffer per candidate (workers
-/// cannot share the scratch).
+/// the execution policy, one exact-capacity candidate buffer per probe
+/// (workers cannot share the push/pop scratch, and routing the sequential
+/// case through the same path keeps traces policy-independent).
 pub struct ParClosureOracle<F> {
     objective: F,
     n: usize,
@@ -183,27 +183,17 @@ impl<F: Fn(&[usize]) -> f64 + Sync> DeltaOracle for ParClosureOracle<F> {
     }
 
     fn value_of_batch(&mut self, exec: ExecPolicy, items: &[usize]) -> Vec<f64> {
-        match exec {
-            ExecPolicy::Sequential => {
-                let mut values = Vec::with_capacity(items.len());
-                for &item in items {
-                    self.selected.push(item);
-                    values.push((self.objective)(&self.selected));
-                    self.selected.pop();
-                }
-                values
-            }
-            ExecPolicy::Parallel { .. } => {
-                let objective = &self.objective;
-                let selected = &self.selected;
-                exec.par_map(items.len(), |i| {
-                    let mut sel = Vec::with_capacity(selected.len() + 1);
-                    sel.extend_from_slice(selected);
-                    sel.push(items[i]);
-                    objective(&sel)
-                })
-            }
-        }
+        // Both policies route through `par_map` so trace events emitted by
+        // the objective are keyed per candidate identically — the extra
+        // per-candidate buffer is noise next to any real objective.
+        let objective = &self.objective;
+        let selected = &self.selected;
+        exec.par_map(items.len(), |i| {
+            let mut sel = Vec::with_capacity(selected.len() + 1);
+            sel.extend_from_slice(selected);
+            sel.push(items[i]);
+            objective(&sel)
+        })
     }
 }
 
@@ -307,6 +297,7 @@ pub fn greedy_cardinality_oracle<O: DeltaOracle + ?Sized>(
             break; // no positive marginal gain anywhere
         }
         let item = remaining.remove(pos);
+        ppdp_trace::greedy_pick("cardinality", item as u64, value, value - current);
         oracle.commit(item, value);
         picked.push(item);
         current = value;
@@ -374,6 +365,7 @@ pub fn naive_greedy_knapsack_oracle<O: DeltaOracle + ?Sized>(
             Some((item, _, value)) => {
                 remaining.retain(|&x| x != item);
                 spent += costs[item];
+                ppdp_trace::greedy_pick("naive_knapsack", item as u64, value, value - current);
                 oracle.commit(item, value);
                 picked.push(item);
                 current = value;
@@ -522,6 +514,7 @@ pub fn lazy_greedy_knapsack_oracle<O: DeltaOracle + ?Sized>(
             lazy_hits += 1;
             spent += costs[top.item];
             current += top.gain;
+            ppdp_trace::greedy_pick("lazy_knapsack", top.item as u64, current, top.gain);
             oracle.commit(top.item, current);
             picked.push(top.item);
             round += 1;

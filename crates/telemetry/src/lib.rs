@@ -11,6 +11,12 @@
 //! instrumentation call is a single relaxed atomic load — instrumented
 //! hot loops cost ~nothing when telemetry is disabled.
 //!
+//! When a `ppdp-trace` collector is active, every primitive here also
+//! forwards a structured event to it (span enter/exit with causal
+//! parent keys, counters, histogram samples, budget draws with
+//! call-site provenance, degradations), so the entire existing
+//! instrumentation surface shows up in traces without extra wiring.
+//!
 //! ```
 //! use ppdp_telemetry::Recorder;
 //!
@@ -259,6 +265,7 @@ fn for_each_recorder(f: impl Fn(&Recorder)) {
 /// Adds `n` to the monotonic counter `name`. No-op when disabled.
 #[inline]
 pub fn counter(name: &str, n: u64) {
+    ppdp_trace::counter_event(name, n);
     if !enabled() {
         return;
     }
@@ -268,6 +275,7 @@ pub fn counter(name: &str, n: u64) {
 /// Records sample `v` into the histogram `name`. No-op when disabled.
 #[inline]
 pub fn value(name: &str, v: f64) {
+    ppdp_trace::value_event(name, v);
     if !enabled() {
         return;
     }
@@ -275,8 +283,24 @@ pub fn value(name: &str, v: f64) {
 }
 
 /// Records one privacy-budget draw. No-op when disabled.
+///
+/// `#[track_caller]` propagates the *requesting* call site (e.g. the
+/// `BudgetLedger::spend` caller inside a publish pipeline) into the
+/// trace event's `call_site` field for per-draw provenance.
 #[inline]
+#[track_caller]
 pub fn budget_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensitivity: f64) {
+    if ppdp_trace::enabled() {
+        let loc = std::panic::Location::caller();
+        ppdp_trace::budget_draw_event(
+            mechanism,
+            label,
+            epsilon,
+            delta,
+            sensitivity,
+            &format!("{}:{}", loc.file(), loc.line()),
+        );
+    }
     if !enabled() {
         return;
     }
@@ -298,6 +322,7 @@ pub fn budget_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensi
 /// degraded run without knowing every reason string. No-op when disabled.
 #[inline]
 pub fn degradation(subsystem: &str, reason: &str) {
+    ppdp_trace::degradation_event(subsystem, reason);
     if !enabled() {
         return;
     }
@@ -313,7 +338,9 @@ pub fn degradation(subsystem: &str, reason: &str) {
 #[inline]
 #[must_use = "the span measures until the returned guard drops"]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    let telemetry = enabled();
+    let tracing = ppdp_trace::enabled();
+    if !telemetry && !tracing {
         return Span { open: None };
     }
     let path = SPAN_PATH.with(|p| {
@@ -321,25 +348,52 @@ pub fn span(name: &'static str) -> Span {
         stack.push(name);
         stack.join("/")
     });
+    let trace_key = if tracing {
+        ppdp_trace::span_enter(name)
+    } else {
+        None
+    };
     Span {
-        open: Some((Instant::now(), path)),
+        open: Some(SpanOpen {
+            start: Instant::now(),
+            path,
+            trace_key,
+            telemetry,
+        }),
     }
+}
+
+/// State of one open span execution; see [`Span`].
+#[derive(Debug)]
+struct SpanOpen {
+    start: Instant,
+    path: String,
+    /// Trace identity of this execution, when a collector was active at
+    /// entry (exit is forwarded to the same collector scope).
+    trace_key: Option<ppdp_trace::TraceKey>,
+    /// Whether telemetry recorders were active at entry.
+    telemetry: bool,
 }
 
 /// RAII guard for one execution of a wall-clock span; see [`span`].
 #[derive(Debug)]
 pub struct Span {
-    open: Option<(Instant, String)>,
+    open: Option<SpanOpen>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((start, path)) = self.open.take() {
-            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(open) = self.open.take() {
+            let nanos = u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             SPAN_PATH.with(|p| {
                 p.borrow_mut().pop();
             });
-            for_each_recorder(|r| r.record_span(&path, nanos));
+            if let Some(key) = &open.trace_key {
+                ppdp_trace::span_exit(key, &open.path, nanos);
+            }
+            if open.telemetry {
+                for_each_recorder(|r| r.record_span(&open.path, nanos));
+            }
         }
     }
 }
@@ -525,6 +579,74 @@ mod tests {
             0,
             "guard drop must deactivate the captured recorders"
         );
+    }
+
+    #[test]
+    fn primitives_forward_structured_events_to_trace_collectors() {
+        use ppdp_trace::{Collector, TraceEvent};
+        let rec = Recorder::new();
+        let col = Collector::new();
+        {
+            let _rscope = rec.enter();
+            let _tscope = col.enter();
+            let outer = span("fwd.outer");
+            counter("fwd.count", 3);
+            value("fwd.residual", 0.5);
+            budget_draw("laplace", "fwd[0]", 0.25, 0.0, 1.0);
+            degradation("fwd", "test_reason");
+            drop(outer);
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("fwd.count"), 3);
+        let trace = col.take();
+        let kinds: Vec<&str> = trace.records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "span_enter",
+                "counter",
+                "value",
+                "budget_draw",
+                "degradation",
+                "span_exit"
+            ]
+        );
+        // Budget draws carry this file's call site.
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::BudgetDraw { call_site, epsilon, .. }
+                if call_site.contains("lib.rs") && *epsilon == 0.25
+        )));
+        // The degradation attaches to the open span's key.
+        let span_key = trace.records[0].key.clone();
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::Degradation { span, .. } if span.as_ref() == Some(&span_key)
+        )));
+        // Span exits carry the telemetry path.
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::SpanExit { path, .. } if path == "fwd.outer"
+        )));
+    }
+
+    #[test]
+    fn trace_only_spans_still_nest_without_recorders() {
+        use ppdp_trace::{Collector, TraceEvent};
+        let col = Collector::new();
+        {
+            let _tscope = col.enter();
+            let outer = span("traceonly.outer");
+            {
+                let _inner = span("traceonly.inner");
+            }
+            drop(outer);
+        }
+        let trace = col.take();
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::SpanExit { path, .. } if path == "traceonly.outer/traceonly.inner"
+        )));
     }
 
     #[test]

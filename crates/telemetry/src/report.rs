@@ -126,6 +126,30 @@ impl Histogram {
         }
     }
 
+    /// Approximate `p`-quantile (`0 ≤ p ≤ 1`) from the decade buckets:
+    /// the upper edge of the first bucket whose cumulative count covers
+    /// `p`, clamped into `[min, max]` (so `quantile(0.0)`/`quantile(1.0)`
+    /// never escape the observed range). Decade-coarse by construction,
+    /// but — unlike any exact streaming quantile — completely
+    /// independent of recording and merge order.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((p * self.count as f64).ceil()).max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                // Upper edge of decade bucket i (see `bucket_index`).
+                let upper = 10f64.powi(i as i32 - 11);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -620,6 +644,71 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!(RunReport::default().to_text().contains("empty report"));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_independent_and_bounded() {
+        let mut h = Histogram::default();
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0] {
+            h.record(v);
+        }
+        let mut rev = Histogram::default();
+        for v in [10.0, 1.0, 0.1, 0.01, 0.001] {
+            rev.record(v);
+        }
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile(p), rev.quantile(p), "p={p}");
+            assert!(h.quantile(p) >= h.min && h.quantile(p) <= h.max);
+        }
+        // Decade resolution: each quantile is a bucket's upper edge,
+        // clamped into the observed range.
+        assert_eq!(h.quantile(1.0), 10.0);
+        assert_eq!(h.quantile(0.0), 0.01);
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    /// Pins the JSON-determinism contract: every map in a `RunReport` is
+    /// a `BTreeMap`, so serialization (which walks iteration order) and
+    /// the text renderer emit keys in sorted order regardless of
+    /// insertion order. Golden comparisons and `ppdp-report diff` rely
+    /// on this.
+    #[test]
+    fn report_maps_iterate_in_sorted_key_order() {
+        let mut r = RunReport::default();
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            r.counters.insert(name.into(), 1);
+            r.spans.entry(name.into()).or_default().record(1);
+            r.histograms.entry(name.into()).or_default().record(1.0);
+            r.record_speedup(name, 2.0);
+        }
+        let sorted = ["alpha", "beta", "mid", "zeta"];
+        let counter_keys: Vec<&str> = r.counters.keys().map(String::as_str).collect();
+        let span_keys: Vec<&str> = r.spans.keys().map(String::as_str).collect();
+        let hist_keys: Vec<&str> = r.histograms.keys().map(String::as_str).collect();
+        let speedup_keys: Vec<&str> = r.speedup.keys().map(String::as_str).collect();
+        assert_eq!(counter_keys, sorted);
+        assert_eq!(span_keys, sorted);
+        assert_eq!(hist_keys, sorted);
+        assert_eq!(speedup_keys, sorted);
+        // The text table (rendered from the same iteration order) lists
+        // alpha before zeta in every section.
+        let text = r.to_text();
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
+    }
+
+    /// Serialized key order matches iteration order (sorted). Requires a
+    /// real `serde_json`; fails under the offline stub like the other
+    /// JSON round-trip tests.
+    #[test]
+    fn json_encodes_maps_in_sorted_key_order() {
+        let mut r = RunReport::default();
+        r.counters.insert("zeta".into(), 1);
+        r.counters.insert("alpha".into(), 2);
+        let json = r.to_json();
+        let alpha = json.find("\"alpha\"").expect("alpha serialized");
+        let zeta = json.find("\"zeta\"").expect("zeta serialized");
+        assert!(alpha < zeta, "sorted key order in JSON: {json}");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property tests for the aggregate merge operators.
+//!
+//! Worker recorders merge into the coordinator in whatever order threads
+//! finish, so every statistic the equivalence harness compares must be
+//! independent of merge order. These properties pin that contract for
+//! [`SpanStats::merge`] and [`Histogram::merge`]: merging A into B and B
+//! into A agree on every order-independent projection (`count`, `min`,
+//! `max`, totals, buckets, quantiles), and merging matches recording the
+//! concatenated sample stream directly. `Histogram::last` is explicitly
+//! order-*dependent* (it tracks the most recent sample) and is excluded —
+//! the equivalence view zeroes it for the same reason.
+
+use ppdp_telemetry::{Histogram, SpanStats};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn span_stats_of(samples: &[u64]) -> SpanStats {
+    let mut s = SpanStats::default();
+    for &v in samples {
+        s.record(v);
+    }
+    s
+}
+
+/// The order-independent projection of a histogram: everything except
+/// `sum` (compared approximately below) and `last` (order-dependent by
+/// design).
+fn histogram_view(h: &Histogram) -> (u64, u64, u64, Vec<u64>, [u64; 3]) {
+    (
+        h.count,
+        h.min.to_bits(),
+        h.max.to_bits(),
+        h.buckets.clone(),
+        [
+            h.quantile(0.0).to_bits(),
+            h.quantile(0.5).to_bits(),
+            h.quantile(1.0).to_bits(),
+        ],
+    )
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_order_independent(
+        a in prop::collection::vec(1e-6f64..1e6, 0..40),
+        b in prop::collection::vec(1e-6f64..1e6, 0..40),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+
+        // Both merge orders agree exactly on every order-independent stat.
+        prop_assert_eq!(histogram_view(&ab), histogram_view(&ba));
+        // `sum` adds the same two partial sums either way — bitwise equal.
+        prop_assert_eq!(ab.sum.to_bits(), ba.sum.to_bits());
+
+        // Merging equals recording the concatenated stream (sum only up to
+        // float associativity).
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = histogram_of(&all);
+        prop_assert_eq!(histogram_view(&ab), histogram_view(&direct));
+        let scale = direct.sum.abs().max(1.0);
+        prop_assert!((ab.sum - direct.sum).abs() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity(
+        a in prop::collection::vec(1e-6f64..1e6, 0..40),
+    ) {
+        let h = histogram_of(&a);
+        let mut left = Histogram::default();
+        left.merge(&h);
+        let mut right = h.clone();
+        right.merge(&Histogram::default());
+        prop_assert_eq!(&left, &h);
+        prop_assert_eq!(&right, &h);
+    }
+
+    #[test]
+    fn span_stats_merge_is_order_independent(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (sa, sb) = (span_stats_of(&a), span_stats_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+
+        // Every SpanStats field is a sum, min or max — merge order can
+        // never change any of them.
+        prop_assert_eq!(ab, ba);
+
+        // And merging equals recording the concatenated stream exactly
+        // (u64 addition is associative).
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ab, span_stats_of(&all));
+    }
+
+    #[test]
+    fn span_stats_merge_with_empty_is_identity(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let s = span_stats_of(&a);
+        let mut left = SpanStats::default();
+        left.merge(&s);
+        let mut right = s;
+        right.merge(&SpanStats::default());
+        prop_assert_eq!(left, s);
+        prop_assert_eq!(right, s);
+    }
+}

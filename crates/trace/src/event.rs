@@ -1,0 +1,499 @@
+//! Typed trace events, their deterministic ordering keys, and their
+//! dependency-free JSON codec.
+
+use crate::json::{write_f64, JsonValue};
+use std::fmt::Write as _;
+
+/// Deterministic ordering key of one trace record.
+///
+/// Keys are variable-length sequences of `u64` compared
+/// lexicographically. The coordinating thread assigns its events
+/// single-segment keys `[seq]` in program order; a parallel region
+/// consumes one coordinator sequence number `r` and every event of item
+/// `i` inside it is keyed `[…, r, i, item_seq]`. Nested regions extend
+/// the path recursively. Because every segment is allocated by program
+/// structure — never by scheduling — sorting the records by key yields
+/// the **same total order under `ExecPolicy::Sequential` and
+/// `Parallel { n }`** for any thread count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceKey(pub Vec<u64>);
+
+impl TraceKey {
+    /// The key extended by one more segment.
+    pub fn child(&self, seq: u64) -> TraceKey {
+        let mut path = self.0.clone();
+        path.push(seq);
+        TraceKey(path)
+    }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.0.iter().map(|&s| JsonValue::Num(s as f64)).collect())
+    }
+
+    fn from_value(v: &JsonValue) -> Option<TraceKey> {
+        let items = v.as_array()?;
+        let mut path = Vec::with_capacity(items.len());
+        for item in items {
+            path.push(item.as_u64()?);
+        }
+        Some(TraceKey(path))
+    }
+}
+
+impl std::fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|s| s.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+/// Phase of an incremental-inference trial (see
+/// `ppdp-genomic::IncrementalBp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialPhase {
+    /// A journal was opened; subsequent mutations are revocable.
+    Begin,
+    /// The trial's mutations were kept and the journal discarded.
+    Commit,
+    /// The trial's mutations were undone from the journal.
+    Rollback,
+}
+
+impl TrialPhase {
+    /// Stable lowercase name, matching the JSON encoding.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TrialPhase::Begin => "begin",
+            TrialPhase::Commit => "commit",
+            TrialPhase::Rollback => "rollback",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<TrialPhase> {
+        match s {
+            "begin" => Some(TrialPhase::Begin),
+            "commit" => Some(TrialPhase::Commit),
+            "rollback" => Some(TrialPhase::Rollback),
+            _ => None,
+        }
+    }
+}
+
+/// One typed, structured event in a trace.
+///
+/// The generic variants (`SpanEnter`/`SpanExit`/`Counter`/`Value`) are
+/// emitted automatically by `ppdp-telemetry` whenever tracing is
+/// enabled, so every instrumented call site in the workspace shows up in
+/// the trace without extra wiring. The domain variants (`BpRound`,
+/// `IcaSweep`, `GreedyPick`, …) are emitted directly by the kernels and
+/// carry the per-iteration detail the aggregated `RunReport` throws
+/// away.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A wall-clock span opened. Its record's key doubles as the span's
+    /// identity; `parent` is the key of the enclosing open span, forming
+    /// the causal tree.
+    SpanEnter {
+        /// Span name (the last path segment).
+        name: String,
+        /// Key of the enclosing open span, if any.
+        parent: Option<TraceKey>,
+    },
+    /// A wall-clock span closed.
+    SpanExit {
+        /// Slash-joined span path as aggregated by `ppdp-telemetry`.
+        path: String,
+        /// Wall-clock duration of this execution (nondeterministic;
+        /// zeroed by [`crate::Trace::equivalence_view`]).
+        dur_nanos: u64,
+    },
+    /// A monotonic counter was incremented.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Amount added.
+        add: u64,
+    },
+    /// A histogram sample was recorded.
+    Value {
+        /// Histogram name.
+        name: String,
+        /// Sample value.
+        value: f64,
+    },
+    /// One privacy-budget draw, with call-site provenance.
+    BudgetDraw {
+        /// Mechanism name (`"laplace"`, `"exponential"`, …).
+        mechanism: String,
+        /// What was released.
+        label: String,
+        /// ε consumed.
+        epsilon: f64,
+        /// δ consumed (0 for pure-ε mechanisms).
+        delta: f64,
+        /// Sensitivity the noise was calibrated against.
+        sensitivity: f64,
+        /// `file:line` of the code that requested the draw.
+        call_site: String,
+    },
+    /// A graceful degradation: `subsystem` fell back to a weaker-but-safe
+    /// strategy for `reason`, inside the span keyed `span`.
+    Degradation {
+        /// Degrading subsystem (`"bp"`, `"ica"`, `"budget"`, …).
+        subsystem: String,
+        /// Machine-readable reason (`"prior_fallback"`, …).
+        reason: String,
+        /// Key of the innermost open span when the event fired.
+        span: Option<TraceKey>,
+    },
+    /// One sweep of full belief propagation.
+    BpRound {
+        /// 1-based sweep index within the current attempt.
+        round: u64,
+        /// Max message residual after the sweep.
+        residual: f64,
+        /// Factor→variable messages rewritten this sweep.
+        messages: u64,
+        /// Factors considered dirty this sweep (all of them, for full BP).
+        frontier: u64,
+    },
+    /// One `IncrementalBp::refresh` pass.
+    BpRefresh {
+        /// Size of the seed dirty frontier drained by the pass.
+        frontier: u64,
+        /// Factor updates applied.
+        updates: u64,
+        /// Messages rewritten.
+        messages: u64,
+        /// Whether every residual fell below tolerance.
+        converged: bool,
+    },
+    /// One ICA refinement sweep.
+    IcaSweep {
+        /// 1-based sweep index.
+        sweep: u64,
+        /// Max per-node distribution change this sweep.
+        delta: f64,
+        /// Hard-label flips this sweep.
+        flips: u64,
+    },
+    /// One Gibbs sweep of one chain.
+    GibbsSweep {
+        /// Chain index.
+        chain: u64,
+        /// 0-based sweep index within the chain.
+        sweep: u64,
+        /// Label flips this sweep.
+        flips: u64,
+    },
+    /// A greedy solver committed an item.
+    GreedyPick {
+        /// Solver family (`"cardinality"`, `"naive_knapsack"`,
+        /// `"lazy_knapsack"`).
+        solver: String,
+        /// Committed item index.
+        item: u64,
+        /// Objective value after the commit.
+        value: f64,
+        /// Marginal gain over the previous objective value.
+        gain: f64,
+    },
+    /// An incremental-inference trial changed phase.
+    Trial {
+        /// Begin, commit or rollback.
+        phase: TrialPhase,
+        /// Journal entries involved (restored on rollback, discarded on
+        /// commit, 0 on begin).
+        entries: u64,
+    },
+    /// A convergence watchdog tripped.
+    Watchdog {
+        /// Monitored subsystem (`"bp"`, `"ica"`, `"gibbs"`).
+        subsystem: String,
+        /// `"stall"`, `"oscillation"` or `"divergence"`.
+        verdict: String,
+        /// 1-based iteration at which the verdict fired.
+        iteration: u64,
+        /// Key of the innermost open span when the verdict fired — the
+        /// offending iteration's enclosing span.
+        span: Option<TraceKey>,
+    },
+}
+
+impl TraceEvent {
+    /// Stable type tag used in the JSON encoding and human rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SpanEnter { .. } => "span_enter",
+            TraceEvent::SpanExit { .. } => "span_exit",
+            TraceEvent::Counter { .. } => "counter",
+            TraceEvent::Value { .. } => "value",
+            TraceEvent::BudgetDraw { .. } => "budget_draw",
+            TraceEvent::Degradation { .. } => "degradation",
+            TraceEvent::BpRound { .. } => "bp_round",
+            TraceEvent::BpRefresh { .. } => "bp_refresh",
+            TraceEvent::IcaSweep { .. } => "ica_sweep",
+            TraceEvent::GibbsSweep { .. } => "gibbs_sweep",
+            TraceEvent::GreedyPick { .. } => "greedy_pick",
+            TraceEvent::Trial { .. } => "trial",
+            TraceEvent::Watchdog { .. } => "watchdog",
+        }
+    }
+
+    /// The event payload as a JSON object with a `"type"` tag, suitable
+    /// for `args` maps and the JSONL codec.
+    pub fn to_value(&self) -> JsonValue {
+        let mut m: Vec<(String, JsonValue)> =
+            vec![("type".into(), JsonValue::Str(self.kind().into()))];
+        let key_or_null = |k: &Option<TraceKey>| match k {
+            Some(k) => k.to_value(),
+            None => JsonValue::Null,
+        };
+        match self {
+            TraceEvent::SpanEnter { name, parent } => {
+                m.push(("name".into(), JsonValue::Str(name.clone())));
+                m.push(("parent".into(), key_or_null(parent)));
+            }
+            TraceEvent::SpanExit { path, dur_nanos } => {
+                m.push(("path".into(), JsonValue::Str(path.clone())));
+                m.push(("dur_nanos".into(), JsonValue::Num(*dur_nanos as f64)));
+            }
+            TraceEvent::Counter { name, add } => {
+                m.push(("name".into(), JsonValue::Str(name.clone())));
+                m.push(("add".into(), JsonValue::Num(*add as f64)));
+            }
+            TraceEvent::Value { name, value } => {
+                m.push(("name".into(), JsonValue::Str(name.clone())));
+                m.push(("value".into(), JsonValue::Num(*value)));
+            }
+            TraceEvent::BudgetDraw {
+                mechanism,
+                label,
+                epsilon,
+                delta,
+                sensitivity,
+                call_site,
+            } => {
+                m.push(("mechanism".into(), JsonValue::Str(mechanism.clone())));
+                m.push(("label".into(), JsonValue::Str(label.clone())));
+                m.push(("epsilon".into(), JsonValue::Num(*epsilon)));
+                m.push(("delta".into(), JsonValue::Num(*delta)));
+                m.push(("sensitivity".into(), JsonValue::Num(*sensitivity)));
+                m.push(("call_site".into(), JsonValue::Str(call_site.clone())));
+            }
+            TraceEvent::Degradation {
+                subsystem,
+                reason,
+                span,
+            } => {
+                m.push(("subsystem".into(), JsonValue::Str(subsystem.clone())));
+                m.push(("reason".into(), JsonValue::Str(reason.clone())));
+                m.push(("span".into(), key_or_null(span)));
+            }
+            TraceEvent::BpRound {
+                round,
+                residual,
+                messages,
+                frontier,
+            } => {
+                m.push(("round".into(), JsonValue::Num(*round as f64)));
+                m.push(("residual".into(), JsonValue::Num(*residual)));
+                m.push(("messages".into(), JsonValue::Num(*messages as f64)));
+                m.push(("frontier".into(), JsonValue::Num(*frontier as f64)));
+            }
+            TraceEvent::BpRefresh {
+                frontier,
+                updates,
+                messages,
+                converged,
+            } => {
+                m.push(("frontier".into(), JsonValue::Num(*frontier as f64)));
+                m.push(("updates".into(), JsonValue::Num(*updates as f64)));
+                m.push(("messages".into(), JsonValue::Num(*messages as f64)));
+                m.push(("converged".into(), JsonValue::Bool(*converged)));
+            }
+            TraceEvent::IcaSweep {
+                sweep,
+                delta,
+                flips,
+            } => {
+                m.push(("sweep".into(), JsonValue::Num(*sweep as f64)));
+                m.push(("delta".into(), JsonValue::Num(*delta)));
+                m.push(("flips".into(), JsonValue::Num(*flips as f64)));
+            }
+            TraceEvent::GibbsSweep {
+                chain,
+                sweep,
+                flips,
+            } => {
+                m.push(("chain".into(), JsonValue::Num(*chain as f64)));
+                m.push(("sweep".into(), JsonValue::Num(*sweep as f64)));
+                m.push(("flips".into(), JsonValue::Num(*flips as f64)));
+            }
+            TraceEvent::GreedyPick {
+                solver,
+                item,
+                value,
+                gain,
+            } => {
+                m.push(("solver".into(), JsonValue::Str(solver.clone())));
+                m.push(("item".into(), JsonValue::Num(*item as f64)));
+                m.push(("value".into(), JsonValue::Num(*value)));
+                m.push(("gain".into(), JsonValue::Num(*gain)));
+            }
+            TraceEvent::Trial { phase, entries } => {
+                m.push(("phase".into(), JsonValue::Str(phase.as_str().into())));
+                m.push(("entries".into(), JsonValue::Num(*entries as f64)));
+            }
+            TraceEvent::Watchdog {
+                subsystem,
+                verdict,
+                iteration,
+                span,
+            } => {
+                m.push(("subsystem".into(), JsonValue::Str(subsystem.clone())));
+                m.push(("verdict".into(), JsonValue::Str(verdict.clone())));
+                m.push(("iteration".into(), JsonValue::Num(*iteration as f64)));
+                m.push(("span".into(), key_or_null(span)));
+            }
+        }
+        JsonValue::Object(m)
+    }
+
+    /// Decodes an event from its tagged-object encoding.
+    pub fn from_value(v: &JsonValue) -> Option<TraceEvent> {
+        let tag = v.get("type")?.as_str()?;
+        let s = |k: &str| v.get(k).and_then(JsonValue::as_str).map(str::to_owned);
+        let n = |k: &str| v.get(k).and_then(JsonValue::as_f64);
+        let u = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+        let key = |k: &str| match v.get(k) {
+            Some(JsonValue::Null) | None => Some(None),
+            Some(other) => TraceKey::from_value(other).map(Some),
+        };
+        Some(match tag {
+            "span_enter" => TraceEvent::SpanEnter {
+                name: s("name")?,
+                parent: key("parent")?,
+            },
+            "span_exit" => TraceEvent::SpanExit {
+                path: s("path")?,
+                dur_nanos: u("dur_nanos")?,
+            },
+            "counter" => TraceEvent::Counter {
+                name: s("name")?,
+                add: u("add")?,
+            },
+            "value" => TraceEvent::Value {
+                name: s("name")?,
+                value: n("value").unwrap_or(f64::NAN),
+            },
+            "budget_draw" => TraceEvent::BudgetDraw {
+                mechanism: s("mechanism")?,
+                label: s("label")?,
+                epsilon: n("epsilon")?,
+                delta: n("delta")?,
+                sensitivity: n("sensitivity")?,
+                call_site: s("call_site")?,
+            },
+            "degradation" => TraceEvent::Degradation {
+                subsystem: s("subsystem")?,
+                reason: s("reason")?,
+                span: key("span")?,
+            },
+            "bp_round" => TraceEvent::BpRound {
+                round: u("round")?,
+                residual: n("residual")?,
+                messages: u("messages")?,
+                frontier: u("frontier")?,
+            },
+            "bp_refresh" => TraceEvent::BpRefresh {
+                frontier: u("frontier")?,
+                updates: u("updates")?,
+                messages: u("messages")?,
+                converged: v.get("converged")?.as_bool()?,
+            },
+            "ica_sweep" => TraceEvent::IcaSweep {
+                sweep: u("sweep")?,
+                delta: n("delta")?,
+                flips: u("flips")?,
+            },
+            "gibbs_sweep" => TraceEvent::GibbsSweep {
+                chain: u("chain")?,
+                sweep: u("sweep")?,
+                flips: u("flips")?,
+            },
+            "greedy_pick" => TraceEvent::GreedyPick {
+                solver: s("solver")?,
+                item: u("item")?,
+                value: n("value")?,
+                gain: n("gain")?,
+            },
+            "trial" => TraceEvent::Trial {
+                phase: TrialPhase::from_str(&s("phase")?)?,
+                entries: u("entries")?,
+            },
+            "watchdog" => TraceEvent::Watchdog {
+                subsystem: s("subsystem")?,
+                verdict: s("verdict")?,
+                iteration: u("iteration")?,
+                span: key("span")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One captured event: its deterministic ordering key, a wall-clock
+/// timestamp relative to the collector's creation (nondeterministic,
+/// excluded from equivalence comparisons) and the typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Deterministic merge key; see [`TraceKey`].
+    pub key: TraceKey,
+    /// Nanoseconds since the collector was created.
+    pub ts_nanos: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// One-line compact JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"key\":[");
+        for (i, seg) in self.key.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{seg}");
+        }
+        out.push_str("],\"ts_nanos\":");
+        write_f64(self.ts_nanos as f64, &mut out);
+        out.push_str(",\"event\":");
+        out.push_str(&self.event.to_value().to_json());
+        out.push('}');
+        out
+    }
+
+    /// Decodes a record from the encoding produced by
+    /// [`TraceRecord::to_json`].
+    pub fn from_json(text: &str) -> Result<TraceRecord, String> {
+        let value = JsonValue::parse(text)?;
+        let key = value
+            .get("key")
+            .and_then(TraceKey::from_value)
+            .ok_or("record missing 'key'")?;
+        let ts_nanos = value
+            .get("ts_nanos")
+            .and_then(JsonValue::as_u64)
+            .ok_or("record missing 'ts_nanos'")?;
+        let event = value
+            .get("event")
+            .and_then(TraceEvent::from_value)
+            .ok_or("record missing or malformed 'event'")?;
+        Ok(TraceRecord {
+            key,
+            ts_nanos,
+            event,
+        })
+    }
+}

@@ -1,0 +1,401 @@
+//! A captured trace and its export formats: JSONL, Chrome
+//! `trace_event` JSON and a collapsed-stack flame view.
+
+use crate::event::{TraceEvent, TraceKey, TraceRecord};
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A merged, key-sorted sequence of trace records drained from a
+/// [`crate::Collector`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Records in deterministic [`TraceKey`] order.
+    pub records: Vec<TraceRecord>,
+    /// Records discarded because the collector hit its capacity.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The deterministic projection of this trace: wall-clock timestamps
+    /// and span durations are zeroed and `exec.*` counter/value events
+    /// (thread counts, per-phase wall clock — the one thing a policy
+    /// change is *supposed* to alter) are dropped; everything else is
+    /// kept verbatim. Two runs of the same workload under different
+    /// `ExecPolicy` settings must produce equal equivalence views.
+    pub fn equivalence_view(&self) -> Trace {
+        let records = self
+            .records
+            .iter()
+            .filter(|r| {
+                !matches!(
+                    &r.event,
+                    TraceEvent::Counter { name, .. } | TraceEvent::Value { name, .. }
+                        if name.starts_with("exec.")
+                )
+            })
+            .map(|r| {
+                let event = match &r.event {
+                    TraceEvent::SpanExit { path, .. } => TraceEvent::SpanExit {
+                        path: path.clone(),
+                        dur_nanos: 0,
+                    },
+                    other => other.clone(),
+                };
+                TraceRecord {
+                    key: r.key.clone(),
+                    ts_nanos: 0,
+                    event,
+                }
+            })
+            .collect();
+        Trace {
+            records,
+            dropped: 0,
+        }
+    }
+
+    /// Serializes the trace as JSON Lines: one [`TraceRecord`] object per
+    /// line, in deterministic key order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from the JSON Lines produced by
+    /// [`Trace::to_jsonl`]. Blank lines are ignored; a malformed line is
+    /// an error naming its 1-based line number.
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = TraceRecord::from_json(line)
+                .map_err(|e| format!("trace jsonl line {}: {e}", i + 1))?;
+            records.push(record);
+        }
+        Ok(Trace {
+            records,
+            dropped: 0,
+        })
+    }
+
+    /// Renders the trace in Chrome `trace_event` JSON array format
+    /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// Spans become complete (`"ph": "X"`) events; domain events become
+    /// instants (`"ph": "i"`) with their payload under `args`. All
+    /// events are placed on pid 1, with the tid derived from the item
+    /// lane in the key so parallel items land on separate rows.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<JsonValue> = Vec::with_capacity(self.records.len());
+        for record in &self.records {
+            match &record.event {
+                TraceEvent::SpanEnter { .. } => {
+                    // Rendered from the paired exit (which knows the
+                    // duration); the enter itself is omitted.
+                }
+                TraceEvent::SpanExit { path, dur_nanos } => {
+                    let ts_start = record.ts_nanos.saturating_sub(*dur_nanos);
+                    events.push(JsonValue::Object(vec![
+                        ("name".into(), JsonValue::Str(path.clone())),
+                        ("ph".into(), JsonValue::Str("X".into())),
+                        ("pid".into(), JsonValue::Num(1.0)),
+                        ("tid".into(), JsonValue::Num(lane(&record.key) as f64)),
+                        ("ts".into(), JsonValue::Num(micros(ts_start) as f64)),
+                        ("dur".into(), JsonValue::Num(micros(*dur_nanos) as f64)),
+                        (
+                            "args".into(),
+                            JsonValue::Object(vec![(
+                                "key".into(),
+                                JsonValue::Str(record.key.to_string()),
+                            )]),
+                        ),
+                    ]));
+                }
+                other => {
+                    let mut args = match other.to_value() {
+                        JsonValue::Object(members) => members,
+                        _ => Vec::new(),
+                    };
+                    args.push(("key".into(), JsonValue::Str(record.key.to_string())));
+                    events.push(JsonValue::Object(vec![
+                        ("name".into(), JsonValue::Str(other.kind().into())),
+                        ("ph".into(), JsonValue::Str("i".into())),
+                        ("s".into(), JsonValue::Str("t".into())),
+                        ("pid".into(), JsonValue::Num(1.0)),
+                        ("tid".into(), JsonValue::Num(lane(&record.key) as f64)),
+                        ("ts".into(), JsonValue::Num(micros(record.ts_nanos) as f64)),
+                        ("args".into(), JsonValue::Object(args)),
+                    ]));
+                }
+            }
+        }
+        JsonValue::Object(vec![("traceEvents".into(), JsonValue::Array(events))]).to_json()
+    }
+
+    /// Collapsed-stack flame view: one line per span path with its
+    /// **self** time in microseconds, in the `a;b;c <count>` format
+    /// consumed by flamegraph tooling. Paths are the slash-joined span
+    /// paths from telemetry, re-joined with `;`.
+    pub fn flame(&self) -> String {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for record in &self.records {
+            if let TraceEvent::SpanExit { path, dur_nanos } = &record.event {
+                *totals.entry(path.clone()).or_insert(0) += micros(*dur_nanos);
+            }
+        }
+        // Self time = a path's total minus its direct children's totals.
+        let mut self_micros = totals.clone();
+        for (path, total) in &totals {
+            if let Some((parent, _)) = path.rsplit_once('/') {
+                if let Some(slot) = self_micros.get_mut(parent) {
+                    *slot = slot.saturating_sub(*total);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (path, micros) in &self_micros {
+            let _ = writeln!(out, "{} {micros}", path.replace('/', ";"));
+        }
+        out
+    }
+}
+
+/// Chrome trace rows: top-level coordinator events on lane 0, parallel
+/// items on a lane derived from their item index.
+fn lane(key: &TraceKey) -> u64 {
+    if key.0.len() <= 1 {
+        0
+    } else {
+        // Second-to-last segment is the item index inside its region
+        // (or the overflow worker lane, clamped for display).
+        1 + key.0[key.0.len() - 2].min(1 << 20)
+    }
+}
+
+fn micros(nanos: u64) -> u64 {
+    nanos / 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TrialPhase;
+
+    fn sample() -> Trace {
+        let records = vec![
+            TraceRecord {
+                key: TraceKey(vec![0]),
+                ts_nanos: 1_000,
+                event: TraceEvent::SpanEnter {
+                    name: "publish".into(),
+                    parent: None,
+                },
+            },
+            TraceRecord {
+                key: TraceKey(vec![1]),
+                ts_nanos: 2_000,
+                event: TraceEvent::BpRound {
+                    round: 1,
+                    residual: 0.25,
+                    messages: 64,
+                    frontier: 32,
+                },
+            },
+            TraceRecord {
+                key: TraceKey(vec![2]),
+                ts_nanos: 3_000,
+                event: TraceEvent::Trial {
+                    phase: TrialPhase::Rollback,
+                    entries: 7,
+                },
+            },
+            TraceRecord {
+                key: TraceKey(vec![3]),
+                ts_nanos: 9_000,
+                event: TraceEvent::SpanExit {
+                    path: "publish".into(),
+                    dur_nanos: 8_000,
+                },
+            },
+        ];
+        Trace {
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = sample();
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let key = TraceKey(vec![2, 0, 5]);
+        let events = vec![
+            TraceEvent::SpanEnter {
+                name: "bp".into(),
+                parent: Some(TraceKey(vec![1])),
+            },
+            TraceEvent::SpanExit {
+                path: "publish/bp".into(),
+                dur_nanos: 123,
+            },
+            TraceEvent::Counter {
+                name: "bp.messages_updated".into(),
+                add: 64,
+            },
+            TraceEvent::Value {
+                name: "bp.sweep_residual".into(),
+                value: 0.015625,
+            },
+            TraceEvent::BudgetDraw {
+                mechanism: "laplace".into(),
+                label: "hist[3]".into(),
+                epsilon: 0.25,
+                delta: 0.0,
+                sensitivity: 1.0,
+                call_site: "crates/dp/src/publish.rs:88".into(),
+            },
+            TraceEvent::Degradation {
+                subsystem: "bp".into(),
+                reason: "prior_fallback".into(),
+                span: None,
+            },
+            TraceEvent::BpRound {
+                round: 3,
+                residual: 0.5,
+                messages: 10,
+                frontier: 5,
+            },
+            TraceEvent::BpRefresh {
+                frontier: 4,
+                updates: 9,
+                messages: 18,
+                converged: true,
+            },
+            TraceEvent::IcaSweep {
+                sweep: 2,
+                delta: 0.125,
+                flips: 7,
+            },
+            TraceEvent::GibbsSweep {
+                chain: 1,
+                sweep: 40,
+                flips: 3,
+            },
+            TraceEvent::GreedyPick {
+                solver: "lazy_knapsack".into(),
+                item: 17,
+                value: 42.5,
+                gain: 1.5,
+            },
+            TraceEvent::Trial {
+                phase: TrialPhase::Commit,
+                entries: 12,
+            },
+            TraceEvent::Watchdog {
+                subsystem: "ica".into(),
+                verdict: "oscillation".into(),
+                iteration: 14,
+                span: Some(TraceKey(vec![0])),
+            },
+        ];
+        let trace = Trace {
+            records: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| TraceRecord {
+                    key: key.child(i as u64),
+                    ts_nanos: i as u64 * 10,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn from_jsonl_reports_bad_line_number() {
+        let err = Trace::from_jsonl("{\"key\":[0]").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn equivalence_view_zeroes_timing_only() {
+        let view = sample().equivalence_view();
+        assert!(view.records.iter().all(|r| r.ts_nanos == 0));
+        assert!(matches!(
+            view.records[3].event,
+            TraceEvent::SpanExit { dur_nanos: 0, .. }
+        ));
+        assert!(matches!(
+            view.records[1].event,
+            TraceEvent::BpRound { residual, .. } if residual == 0.25
+        ));
+    }
+
+    #[test]
+    fn chrome_export_pairs_spans_and_tags_instants() {
+        let chrome = sample().to_chrome_json();
+        let parsed = JsonValue::parse(&chrome).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let complete: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 1);
+        assert_eq!(
+            complete[0].get("name").and_then(JsonValue::as_str),
+            Some("publish")
+        );
+        assert_eq!(complete[0].get("dur").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(complete[0].get("ts").and_then(JsonValue::as_u64), Some(1));
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("i")
+                && e.get("name").and_then(JsonValue::as_str) == Some("bp_round")
+        }));
+    }
+
+    #[test]
+    fn flame_subtracts_child_self_time() {
+        let records = vec![
+            TraceRecord {
+                key: TraceKey(vec![0]),
+                ts_nanos: 0,
+                event: TraceEvent::SpanExit {
+                    path: "a/b".into(),
+                    dur_nanos: 3_000,
+                },
+            },
+            TraceRecord {
+                key: TraceKey(vec![1]),
+                ts_nanos: 0,
+                event: TraceEvent::SpanExit {
+                    path: "a".into(),
+                    dur_nanos: 10_000,
+                },
+            },
+        ];
+        let flame = Trace {
+            records,
+            dropped: 0,
+        }
+        .flame();
+        assert_eq!(flame, "a 7\na;b 3\n");
+    }
+}

@@ -1,0 +1,915 @@
+//! `ppdp-trace`: low-overhead structured event tracing beneath the
+//! `ppdp-telemetry` aggregates.
+//!
+//! Where telemetry keeps end-of-run totals (span sums, counters,
+//! histograms), this crate captures the *trajectory*: every BP round
+//! residual, ICA/Gibbs sweep, greedy pick, trial rollback and
+//! privacy-budget draw, as typed events with causal span parentage.
+//!
+//! # Architecture
+//!
+//! - **Per-thread staging buffers.** Events are pushed into a
+//!   thread-local buffer without taking any lock; buffers flush to the
+//!   owning [`Collector`]'s shared sink in batches (on overflow and at
+//!   scope exit). When no collector is active, every instrumentation
+//!   call is a single relaxed atomic load.
+//! - **Deterministic merge keys.** Every record carries a
+//!   [`TraceKey`] assigned by program structure (see its docs).
+//!   [`Collector::take`] sorts by key, so `ExecPolicy::Sequential` and
+//!   `Parallel { n }` runs of the same workload produce **identical
+//!   post-merge event streams** (timestamps and span durations aside —
+//!   [`Trace::equivalence_view`] masks those). The guarantee covers all
+//!   parallelism routed through `ppdp-exec`; events from raw threads
+//!   outside an item scope are captured but not ordered
+//!   deterministically.
+//! - **Bounded memory.** Each collector stores at most its configured
+//!   capacity; excess events are dropped (newest first) and counted in
+//!   [`Trace::dropped`]. The determinism guarantee applies to traces
+//!   with no drops.
+//!
+//! ```
+//! use ppdp_trace::{Collector, TraceEvent};
+//!
+//! let col = Collector::new();
+//! {
+//!     let _scope = col.enter();
+//!     ppdp_trace::counter_event("demo.iterations", 3);
+//! }
+//! let trace = col.take();
+//! assert!(matches!(
+//!     trace.records[0].event,
+//!     TraceEvent::Counter { ref name, add: 3 } if name == "demo.iterations"
+//! ));
+//! ```
+
+pub mod diff;
+mod event;
+mod export;
+pub mod json;
+mod watchdog;
+
+pub use event::{TraceEvent, TraceKey, TraceRecord, TrialPhase};
+pub use export::Trace;
+pub use watchdog::{ConvergenceWatchdog, WatchdogConfig, WatchdogVerdict};
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Number of currently active collectors (scoped + global): the
+/// lock-free fast path — instrumentation is a no-op while this is 0.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide collector, if one is installed.
+static GLOBAL: Mutex<Option<Collector>> = Mutex::new(None);
+
+/// Events staged per thread before a batch flush takes the sink lock.
+const BATCH: usize = 256;
+
+/// Default per-collector record capacity.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Key segment for worker-scope events emitted outside any item scope.
+/// Larger than any realistic item index (so strays sort after every
+/// item) while staying exactly representable in an `f64` for the JSON
+/// codec.
+const WORKER_LANE: u64 = (1 << 53) - 1;
+
+/// Recovers the inner value from a possibly poisoned mutex; a panic in
+/// one instrumented region must not disable tracing everywhere else.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = const { RefCell::new(ThreadCtx { scopes: Vec::new() }) };
+}
+
+/// Per-thread tracing context: a stack of scopes, the top one receiving
+/// every event emitted on this thread.
+struct ThreadCtx {
+    scopes: Vec<ScopeState>,
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        // Thread exit: whatever is still staged reaches the sink.
+        for scope in self.scopes.drain(..) {
+            scope.collector.flush(scope.buf);
+        }
+    }
+}
+
+/// One entry of the per-thread scope stack: the collector receiving
+/// events, the lock-free staging buffer, and the deterministic key
+/// state (prefix, next sequence number, open-span stack).
+struct ScopeState {
+    collector: Collector,
+    buf: Vec<TraceRecord>,
+    prefix: Vec<u64>,
+    next_seq: u64,
+    spans: Vec<TraceKey>,
+    /// Span parent inherited across a region boundary: spans opened in
+    /// this scope with an empty local span stack nest under it.
+    base_parent: Option<TraceKey>,
+    /// Whether this scope was auto-created for the global collector (and
+    /// may therefore be replaced when the global changes).
+    implicit: bool,
+}
+
+impl ScopeState {
+    fn fresh(collector: Collector, prefix: Vec<u64>, base_parent: Option<TraceKey>) -> Self {
+        Self {
+            collector,
+            buf: Vec::new(),
+            prefix,
+            next_seq: 0,
+            spans: Vec::new(),
+            base_parent,
+            implicit: false,
+        }
+    }
+
+    fn next_key(&mut self) -> TraceKey {
+        let mut path = self.prefix.clone();
+        path.push(self.next_seq);
+        self.next_seq += 1;
+        TraceKey(path)
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if self.buf.len() >= BATCH {
+            let batch = std::mem::take(&mut self.buf);
+            self.collector.flush(batch);
+        }
+        self.buf.push(record);
+    }
+}
+
+/// Runs `f` against the thread's active scope, creating an implicit
+/// scope for the global collector when no scoped one exists. Returns
+/// `None` when no collector is reachable from this thread.
+fn with_scope<R>(f: impl FnOnce(&mut ScopeState) -> R) -> Option<R> {
+    CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        // Re-validate an implicit (global-backed) top scope: the global
+        // may have been swapped or removed since it was created.
+        if ctx.scopes.last().is_some_and(|s| s.implicit) {
+            let global = relock(&GLOBAL).clone();
+            let stale = match &global {
+                Some(g) => !ctx.scopes.last().is_some_and(|s| s.collector.same_sink(g)),
+                None => true,
+            };
+            if stale {
+                if let Some(old) = ctx.scopes.pop() {
+                    old.collector.flush(old.buf);
+                }
+            }
+        }
+        if ctx.scopes.is_empty() {
+            let global = relock(&GLOBAL).clone()?;
+            let mut scope = ScopeState::fresh(global, Vec::new(), None);
+            scope.implicit = true;
+            ctx.scopes.push(scope);
+        }
+        ctx.scopes.last_mut().map(f)
+    })
+}
+
+/// A thread-safe sink for trace events. Cloning is cheap; clones share
+/// the same underlying record store.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    sink: Mutex<Vec<TraceRecord>>,
+    dropped: AtomicU64,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Self {
+            sink: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            capacity: DEFAULT_CAPACITY,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Collector {
+    /// A collector with the default record capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A collector that retains at most `capacity` records; the excess
+    /// is dropped (newest first) and counted in [`Trace::dropped`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                capacity,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Makes this collector active on the current thread until the
+    /// returned guard drops. Events on this thread reach the most
+    /// recently entered collector.
+    #[must_use = "tracing stops when the returned scope guard drops"]
+    pub fn enter(&self) -> ScopedCollector {
+        CTX.with(|c| {
+            c.borrow_mut()
+                .scopes
+                .push(ScopeState::fresh(self.clone(), Vec::new(), None));
+        });
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        ScopedCollector {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Drains the collector: flushes this thread's staged events, sorts
+    /// all records by [`TraceKey`] (the deterministic merge) and returns
+    /// the resulting [`Trace`], leaving the collector empty.
+    ///
+    /// Call after parallel regions have joined — events still staged on
+    /// other live threads are not reachable from here (they flush when
+    /// their scopes or threads end).
+    pub fn take(&self) -> Trace {
+        flush_thread();
+        let mut records = std::mem::take(&mut *relock(&self.inner.sink));
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        Trace {
+            records,
+            dropped: self.inner.dropped.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Nanoseconds since this collector was created.
+    fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn same_sink(&self, other: &Collector) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Moves a staged batch into the shared sink, honouring capacity.
+    fn flush(&self, mut batch: Vec<TraceRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut sink = relock(&self.inner.sink);
+        let room = self.inner.capacity.saturating_sub(sink.len());
+        if batch.len() > room {
+            self.inner
+                .dropped
+                .fetch_add((batch.len() - room) as u64, Ordering::Relaxed);
+            batch.truncate(room);
+        }
+        sink.append(&mut batch);
+    }
+}
+
+/// Guard returned by [`Collector::enter`]; deactivates (and flushes) the
+/// scope when dropped. `!Send` — it must drop on the entering thread.
+#[derive(Debug)]
+pub struct ScopedCollector {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopedCollector {
+    fn drop(&mut self) {
+        CTX.with(|c| {
+            if let Some(scope) = c.borrow_mut().scopes.pop() {
+                scope.collector.flush(scope.buf);
+            }
+        });
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Installs `col` as the process-wide collector, returning the previous
+/// one if any. Events from every thread without a scoped collector reach
+/// the global one.
+pub fn install_global(col: Collector) -> Option<Collector> {
+    let mut slot = relock(&GLOBAL);
+    let prev = slot.replace(col);
+    if prev.is_none() {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
+    prev
+}
+
+/// Removes the process-wide collector, returning it if one was installed.
+pub fn uninstall_global() -> Option<Collector> {
+    let mut slot = relock(&GLOBAL);
+    let prev = slot.take();
+    if prev.is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+    prev
+}
+
+/// `true` when at least one collector (scoped anywhere or global) is
+/// active. A single relaxed atomic load — the no-op fast path.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) > 0
+}
+
+/// Flushes the current thread's staged events to their collectors
+/// (scopes stay active). Called by `ppdp-exec` workers before they
+/// terminate and by [`Collector::take`].
+pub fn flush_thread() {
+    CTX.with(|c| {
+        for scope in &mut c.borrow_mut().scopes {
+            let batch = std::mem::take(&mut scope.buf);
+            scope.collector.flush(batch);
+        }
+    });
+}
+
+/// Emits one event on the current thread's active scope. No-op when
+/// tracing is disabled or unreachable from this thread.
+fn emit(event: TraceEvent) {
+    with_scope(|s| {
+        let key = s.next_key();
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.push(TraceRecord {
+            key,
+            ts_nanos,
+            event,
+        });
+    });
+}
+
+/// Opens a traced span: emits [`TraceEvent::SpanEnter`] and returns the
+/// new span's key (its identity for causal parenting), or `None` when
+/// tracing is disabled.
+pub fn span_enter(name: &str) -> Option<TraceKey> {
+    if !enabled() {
+        return None;
+    }
+    with_scope(|s| {
+        let key = s.next_key();
+        let parent = s.spans.last().cloned().or_else(|| s.base_parent.clone());
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.spans.push(key.clone());
+        s.push(TraceRecord {
+            key: key.clone(),
+            ts_nanos,
+            event: TraceEvent::SpanEnter {
+                name: name.to_owned(),
+                parent,
+            },
+        });
+        key
+    })
+}
+
+/// Closes a traced span opened by [`span_enter`]: emits
+/// [`TraceEvent::SpanExit`] carrying the slash-joined `path` and the
+/// measured duration.
+pub fn span_exit(key: &TraceKey, path: &str, dur_nanos: u64) {
+    with_scope(|s| {
+        if s.spans.last() == Some(key) {
+            s.spans.pop();
+        }
+        let exit_key = s.next_key();
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.push(TraceRecord {
+            key: exit_key,
+            ts_nanos,
+            event: TraceEvent::SpanExit {
+                path: path.to_owned(),
+                dur_nanos,
+            },
+        });
+    });
+}
+
+/// Key of the innermost open traced span on this thread, if any.
+pub fn current_span() -> Option<TraceKey> {
+    if !enabled() {
+        return None;
+    }
+    with_scope(|s| s.spans.last().cloned().or_else(|| s.base_parent.clone())).flatten()
+}
+
+/// Emits a [`TraceEvent::Counter`]. No-op when disabled.
+#[inline]
+pub fn counter_event(name: &str, add: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Counter {
+        name: name.to_owned(),
+        add,
+    });
+}
+
+/// Emits a [`TraceEvent::Value`]. No-op when disabled.
+#[inline]
+pub fn value_event(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Value {
+        name: name.to_owned(),
+        value,
+    });
+}
+
+/// Emits a [`TraceEvent::BudgetDraw`] with `file:line` call-site
+/// provenance. No-op when disabled.
+#[inline]
+pub fn budget_draw_event(
+    mechanism: &str,
+    label: &str,
+    epsilon: f64,
+    delta: f64,
+    sensitivity: f64,
+    call_site: &str,
+) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::BudgetDraw {
+        mechanism: mechanism.to_owned(),
+        label: label.to_owned(),
+        epsilon,
+        delta,
+        sensitivity,
+        call_site: call_site.to_owned(),
+    });
+}
+
+/// Emits a [`TraceEvent::Degradation`] attached to the innermost open
+/// span. No-op when disabled.
+#[inline]
+pub fn degradation_event(subsystem: &str, reason: &str) {
+    if !enabled() {
+        return;
+    }
+    with_scope(|s| {
+        let span = s.spans.last().cloned().or_else(|| s.base_parent.clone());
+        let key = s.next_key();
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.push(TraceRecord {
+            key,
+            ts_nanos,
+            event: TraceEvent::Degradation {
+                subsystem: subsystem.to_owned(),
+                reason: reason.to_owned(),
+                span,
+            },
+        });
+    });
+}
+
+/// Emits a [`TraceEvent::BpRound`]. No-op when disabled.
+#[inline]
+pub fn bp_round(round: u64, residual: f64, messages: u64, frontier: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::BpRound {
+        round,
+        residual,
+        messages,
+        frontier,
+    });
+}
+
+/// Emits a [`TraceEvent::BpRefresh`]. No-op when disabled.
+#[inline]
+pub fn bp_refresh(frontier: u64, updates: u64, messages: u64, converged: bool) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::BpRefresh {
+        frontier,
+        updates,
+        messages,
+        converged,
+    });
+}
+
+/// Emits a [`TraceEvent::IcaSweep`]. No-op when disabled.
+#[inline]
+pub fn ica_sweep(sweep: u64, delta: f64, flips: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::IcaSweep {
+        sweep,
+        delta,
+        flips,
+    });
+}
+
+/// Emits a [`TraceEvent::GibbsSweep`]. No-op when disabled.
+#[inline]
+pub fn gibbs_sweep(chain: u64, sweep: u64, flips: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::GibbsSweep {
+        chain,
+        sweep,
+        flips,
+    });
+}
+
+/// Emits a [`TraceEvent::GreedyPick`]. No-op when disabled.
+#[inline]
+pub fn greedy_pick(solver: &str, item: u64, value: f64, gain: f64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::GreedyPick {
+        solver: solver.to_owned(),
+        item,
+        value,
+        gain,
+    });
+}
+
+/// Emits a [`TraceEvent::Trial`]. No-op when disabled.
+#[inline]
+pub fn trial(phase: TrialPhase, entries: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Trial { phase, entries });
+}
+
+/// Emits a [`TraceEvent::Watchdog`] attached to the innermost open
+/// span. No-op when disabled (the watchdog itself still fires — its
+/// verdict is returned to the caller regardless of tracing).
+#[inline]
+pub fn watchdog_event(subsystem: &str, verdict: &str, iteration: u64) {
+    if !enabled() {
+        return;
+    }
+    with_scope(|s| {
+        let span = s.spans.last().cloned().or_else(|| s.base_parent.clone());
+        let key = s.next_key();
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.push(TraceRecord {
+            key,
+            ts_nanos,
+            event: TraceEvent::Watchdog {
+                subsystem: subsystem.to_owned(),
+                verdict: verdict.to_owned(),
+                iteration,
+                span,
+            },
+        });
+    });
+}
+
+/// A captured parallel-region context: carries the region's key prefix
+/// and span parent into worker threads so item events merge
+/// deterministically by `(item index, per-item seq)`.
+///
+/// `ppdp-exec` captures one per `par_map` call (consuming exactly one
+/// coordinator sequence number, under every policy) and wraps each item
+/// evaluation in [`RegionCtx::item`].
+#[derive(Debug, Default)]
+pub struct RegionCtx {
+    state: Option<RegionState>,
+}
+
+#[derive(Debug)]
+struct RegionState {
+    collector: Collector,
+    /// The region's key prefix: the coordinator's prefix plus the
+    /// region's own sequence number.
+    prefix: Vec<u64>,
+    parent_span: Option<TraceKey>,
+}
+
+impl RegionCtx {
+    /// Captures the calling thread's tracing context for one parallel
+    /// region, allocating the region's sequence number. Inactive (and
+    /// free) when tracing is disabled.
+    pub fn capture() -> Self {
+        if !enabled() {
+            return Self { state: None };
+        }
+        let state = with_scope(|s| {
+            let mut prefix = s.prefix.clone();
+            prefix.push(s.next_seq);
+            s.next_seq += 1;
+            RegionState {
+                collector: s.collector.clone(),
+                prefix,
+                parent_span: s.spans.last().cloned().or_else(|| s.base_parent.clone()),
+            }
+        });
+        Self { state }
+    }
+
+    /// Opens a worker-lifetime scope on the current thread so the items
+    /// it processes merge their staged events with a single flush when
+    /// the guard drops. Optional on the coordinating thread (items merge
+    /// into the enclosing scope there).
+    #[must_use = "the worker scope flushes when the returned guard drops"]
+    pub fn worker(&self) -> RegionGuard {
+        let Some(state) = &self.state else {
+            return RegionGuard {
+                pushed: false,
+                _not_send: PhantomData,
+            };
+        };
+        // Overflow lane: any stray event emitted outside an item scope
+        // sorts after every item instead of colliding with item keys.
+        let mut prefix = state.prefix.clone();
+        prefix.push(WORKER_LANE);
+        CTX.with(|c| {
+            c.borrow_mut().scopes.push(ScopeState::fresh(
+                state.collector.clone(),
+                prefix,
+                state.parent_span.clone(),
+            ));
+        });
+        RegionGuard {
+            pushed: true,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Scopes the evaluation of item `index`: events emitted inside get
+    /// keys `[…region, index, seq]`, independent of which thread runs
+    /// the item. Near-free when tracing is disabled.
+    #[must_use = "the item scope deactivates when the returned guard drops"]
+    pub fn item(&self, index: usize) -> RegionGuard {
+        let Some(state) = &self.state else {
+            return RegionGuard {
+                pushed: false,
+                _not_send: PhantomData,
+            };
+        };
+        let mut prefix = state.prefix.clone();
+        prefix.push(index as u64);
+        CTX.with(|c| {
+            c.borrow_mut().scopes.push(ScopeState::fresh(
+                state.collector.clone(),
+                prefix,
+                state.parent_span.clone(),
+            ));
+        });
+        RegionGuard {
+            pushed: true,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard for a [`RegionCtx`] worker or item scope. On drop the scope's
+/// staged events merge into the enclosing scope's buffer when both feed
+/// the same collector (no lock), and flush to the sink otherwise.
+#[derive(Debug)]
+pub struct RegionGuard {
+    pushed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        if !self.pushed {
+            return;
+        }
+        CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            let Some(mut done) = ctx.scopes.pop() else {
+                return;
+            };
+            match ctx.scopes.last_mut() {
+                Some(parent)
+                    if parent.collector.same_sink(&done.collector)
+                        && parent.buf.len() + done.buf.len() <= BATCH * 2 =>
+                {
+                    parent.buf.append(&mut done.buf);
+                }
+                _ => done.collector.flush(done.buf),
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_paths_record_nothing() {
+        counter_event("trace.disabled", 1);
+        value_event("trace.disabled", 1.0);
+        bp_round(1, 0.5, 10, 10);
+        assert!(span_enter("trace.disabled").is_none() || enabled());
+    }
+
+    #[test]
+    fn scoped_collector_captures_events_in_program_order() {
+        let col = Collector::new();
+        {
+            let _scope = col.enter();
+            counter_event("a", 1);
+            value_event("b", 2.0);
+            counter_event("c", 3);
+        }
+        let trace = col.take();
+        assert_eq!(trace.records.len(), 3);
+        assert_eq!(trace.dropped, 0);
+        let names: Vec<&str> = trace
+            .records
+            .iter()
+            .map(|r| match &r.event {
+                TraceEvent::Counter { name, .. } | TraceEvent::Value { name, .. } => name.as_str(),
+                other => other.kind(),
+            })
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        // Keys are strictly increasing coordinator sequence numbers.
+        assert!(trace.records.windows(2).all(|w| w[0].key < w[1].key));
+        assert!(col.take().records.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn span_parentage_forms_a_tree() {
+        let col = Collector::new();
+        {
+            let _scope = col.enter();
+            let outer = span_enter("outer").unwrap();
+            let inner = span_enter("inner").unwrap();
+            span_exit(&inner, "outer/inner", 10);
+            span_exit(&outer, "outer", 20);
+        }
+        let trace = col.take();
+        let parents: Vec<Option<TraceKey>> = trace
+            .records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::SpanEnter { parent, .. } => Some(parent.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(parents.len(), 2);
+        assert_eq!(parents[0], None, "root span has no parent");
+        assert_eq!(
+            parents[1].as_ref(),
+            Some(&trace.records[0].key),
+            "inner span's parent is the outer enter key"
+        );
+    }
+
+    #[test]
+    fn region_items_merge_deterministically_across_thread_orders() {
+        // Simulate a par_map both sequentially and with reversed item
+        // execution order: the sorted traces must be identical.
+        let run = |reverse: bool| {
+            let col = Collector::new();
+            {
+                let _scope = col.enter();
+                counter_event("before", 1);
+                let region = RegionCtx::capture();
+                let order: Vec<usize> = if reverse {
+                    vec![2, 1, 0]
+                } else {
+                    vec![0, 1, 2]
+                };
+                for i in order {
+                    let _item = region.item(i);
+                    counter_event("item", i as u64);
+                    value_event("item.value", i as f64);
+                }
+                counter_event("after", 1);
+            }
+            col.take().equivalence_view()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn worker_scopes_flush_from_real_threads() {
+        let col = Collector::new();
+        {
+            let _scope = col.enter();
+            let region = RegionCtx::capture();
+            std::thread::scope(|s| {
+                for w in 0..2usize {
+                    let region = &region;
+                    s.spawn(move || {
+                        let _lane = region.worker();
+                        for i in (w * 4)..(w * 4 + 4) {
+                            let _item = region.item(i);
+                            counter_event("worker.item", i as u64);
+                        }
+                    });
+                }
+            });
+        }
+        let trace = col.take();
+        let adds: Vec<u64> = trace
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Counter { add, .. } => Some(add),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(adds, (0..8).collect::<Vec<u64>>(), "merged in item order");
+    }
+
+    #[test]
+    fn capacity_overflow_drops_and_counts() {
+        let col = Collector::with_capacity(10);
+        {
+            let _scope = col.enter();
+            for i in 0..BATCH as u64 + 20 {
+                counter_event("x", i);
+            }
+        }
+        let trace = col.take();
+        assert_eq!(trace.records.len(), 10);
+        assert_eq!(trace.dropped, BATCH as u64 + 10);
+    }
+
+    #[test]
+    fn global_collector_sees_events_without_scoped_entry() {
+        let col = Collector::new();
+        let prev = install_global(col.clone());
+        counter_event("global.event", 7);
+        flush_thread();
+        let trace = col.take();
+        match prev {
+            Some(p) => {
+                install_global(p);
+            }
+            None => {
+                uninstall_global();
+            }
+        }
+        assert!(trace.records.iter().any(
+            |r| matches!(&r.event, TraceEvent::Counter { name, add: 7 } if name == "global.event")
+        ));
+    }
+
+    #[test]
+    fn nested_scoped_collector_wins_over_outer() {
+        let outer = Collector::new();
+        let inner = Collector::new();
+        {
+            let _o = outer.enter();
+            counter_event("outer.only", 1);
+            {
+                let _i = inner.enter();
+                counter_event("inner.only", 1);
+            }
+        }
+        let has = |t: &Trace, needle: &str| {
+            t.records
+                .iter()
+                .any(|r| matches!(&r.event, TraceEvent::Counter { name, .. } if name == needle))
+        };
+        let outer_trace = outer.take();
+        let inner_trace = inner.take();
+        assert!(has(&outer_trace, "outer.only"));
+        assert!(!has(&outer_trace, "inner.only"));
+        assert!(has(&inner_trace, "inner.only"));
+    }
+
+    #[test]
+    fn budget_and_degradation_events_carry_context() {
+        let col = Collector::new();
+        {
+            let _scope = col.enter();
+            let span = span_enter("release").unwrap();
+            budget_draw_event("laplace", "hist[0]", 0.5, 0.0, 1.0, "crates/dp/src/x.rs:12");
+            degradation_event("budget", "clamped_draw");
+            span_exit(&span, "release", 5);
+        }
+        let trace = col.take();
+        let span_key = trace.records[0].key.clone();
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::BudgetDraw { call_site, .. } if call_site.ends_with("x.rs:12")
+        )));
+        assert!(trace.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::Degradation { span, .. } if span.as_ref() == Some(&span_key)
+        )));
+    }
+}

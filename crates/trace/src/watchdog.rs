@@ -1,0 +1,291 @@
+//! Live convergence watchdogs for iterative kernels.
+//!
+//! A [`ConvergenceWatchdog`] is fed one residual per iteration (BP max
+//! message residual, ICA sweep delta, Gibbs flip count) and inspects a
+//! sliding window for three failure shapes:
+//!
+//! - **divergence** — the latest residual is far above the window
+//!   minimum: the iteration is moving away from a fixed point;
+//! - **oscillation** — consecutive differences keep alternating sign
+//!   with no net progress: the iteration is bouncing between states;
+//! - **stall** — the recent half of the window is no better than the
+//!   older half and still above tolerance: progress has flat-lined.
+//!
+//! The checks are ordered (divergence, then oscillation, then stall)
+//! and the watchdog fires **at most once** — after a verdict it goes
+//! quiet so a single pathology yields a single event. The caller
+//! surfaces verdicts as telemetry counters and trace events; the
+//! watchdog itself never mutates the iteration.
+
+/// Tuning knobs for a [`ConvergenceWatchdog`].
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Sliding window length; no verdict fires before the window fills.
+    pub window: usize,
+    /// Residuals at or below this are converged: never flagged.
+    pub tol: f64,
+    /// Divergence fires when `last >= divergence_factor * window_min`.
+    pub divergence_factor: f64,
+    /// Stall fires when `min(recent half) >= stall_ratio * min(older
+    /// half)` and the whole window is above `tol`.
+    pub stall_ratio: f64,
+    /// Enable the oscillation check (meaningless for flip counts that
+    /// legitimately jitter, e.g. Gibbs — disable there).
+    pub detect_oscillation: bool,
+    /// Enable the stall check.
+    pub detect_stall: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            window: 12,
+            tol: 1e-9,
+            divergence_factor: 10.0,
+            stall_ratio: 0.995,
+            detect_oscillation: true,
+            detect_stall: true,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Config with the given convergence tolerance and every check on.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            tol,
+            ..Self::default()
+        }
+    }
+
+    /// Divergence-only config, for sequences (like Gibbs flip counts)
+    /// that legitimately plateau and jitter near equilibrium.
+    pub fn divergence_only(tol: f64) -> Self {
+        Self {
+            tol,
+            detect_oscillation: false,
+            detect_stall: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The failure shape a watchdog detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Progress flat-lined above tolerance.
+    Stall,
+    /// Residuals bounce with alternating sign and no net progress.
+    Oscillation,
+    /// Residuals are growing away from the best seen in the window.
+    Divergence,
+}
+
+impl WatchdogVerdict {
+    /// Stable lowercase name for counters and trace events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WatchdogVerdict::Stall => "stall",
+            WatchdogVerdict::Oscillation => "oscillation",
+            WatchdogVerdict::Divergence => "divergence",
+        }
+    }
+}
+
+/// Sliding-window convergence monitor; see the module docs.
+#[derive(Debug, Clone)]
+pub struct ConvergenceWatchdog {
+    cfg: WatchdogConfig,
+    window: Vec<f64>,
+    iteration: u64,
+    fired: bool,
+}
+
+impl ConvergenceWatchdog {
+    /// A watchdog with the given configuration (window is clamped to a
+    /// minimum of 4 so the half-window comparisons are meaningful).
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        let cfg = WatchdogConfig {
+            window: cfg.window.max(4),
+            ..cfg
+        };
+        Self {
+            window: Vec::with_capacity(cfg.window),
+            cfg,
+            iteration: 0,
+            fired: false,
+        }
+    }
+
+    /// Feeds one iteration's residual. Returns a verdict the first time
+    /// a pathology is detected, `None` otherwise (including every call
+    /// after the first verdict). Non-finite residuals are an immediate
+    /// divergence.
+    pub fn observe(&mut self, residual: f64) -> Option<WatchdogVerdict> {
+        self.iteration += 1;
+        if self.fired {
+            return None;
+        }
+        if !residual.is_finite() {
+            self.fired = true;
+            return Some(WatchdogVerdict::Divergence);
+        }
+        if self.window.len() == self.cfg.window {
+            self.window.remove(0);
+        }
+        self.window.push(residual);
+        if self.window.len() < self.cfg.window {
+            return None;
+        }
+        // A converged window is never pathological.
+        let min = self.window.iter().copied().fold(f64::INFINITY, f64::min);
+        if min <= self.cfg.tol {
+            return None;
+        }
+        let verdict = self
+            .check_divergence(min)
+            .or_else(|| self.check_oscillation())
+            .or_else(|| self.check_stall());
+        if verdict.is_some() {
+            self.fired = true;
+        }
+        verdict
+    }
+
+    /// 1-based index of the most recently observed iteration.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Whether a verdict has already been returned.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    fn check_divergence(&self, window_min: f64) -> Option<WatchdogVerdict> {
+        let last = *self.window.last()?;
+        (last >= self.cfg.divergence_factor * window_min).then_some(WatchdogVerdict::Divergence)
+    }
+
+    fn check_oscillation(&self) -> Option<WatchdogVerdict> {
+        if !self.cfg.detect_oscillation {
+            return None;
+        }
+        // Every consecutive difference is non-trivial and the sign
+        // strictly alternates: bouncing, not converging.
+        let diffs: Vec<f64> = self.window.windows(2).map(|w| w[1] - w[0]).collect();
+        let scale = self
+            .window
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .abs()
+            .max(self.cfg.tol);
+        let significant = diffs.iter().all(|d| d.abs() > 1e-3 * scale);
+        let alternating = diffs.windows(2).all(|p| p[0] * p[1] < 0.0);
+        (significant && alternating && !diffs.is_empty()).then_some(WatchdogVerdict::Oscillation)
+    }
+
+    fn check_stall(&self) -> Option<WatchdogVerdict> {
+        if !self.cfg.detect_stall {
+            return None;
+        }
+        let half = self.window.len() / 2;
+        let older_min = self.window[..half]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let recent_min = self.window[half..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        (recent_min >= self.cfg.stall_ratio * older_min).then_some(WatchdogVerdict::Stall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(dog: &mut ConvergenceWatchdog, seq: &[f64]) -> Option<WatchdogVerdict> {
+        let mut verdict = None;
+        for &r in seq {
+            if let Some(v) = dog.observe(r) {
+                verdict.get_or_insert(v);
+            }
+        }
+        verdict
+    }
+
+    #[test]
+    fn silent_on_geometric_convergence() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let seq: Vec<f64> = (0..40).map(|i| 0.5f64.powi(i)).collect();
+        assert_eq!(feed(&mut dog, &seq), None);
+    }
+
+    #[test]
+    fn silent_on_slow_but_real_convergence() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let seq: Vec<f64> = (1..60).map(|i| 1.0 / f64::from(i)).collect();
+        assert_eq!(feed(&mut dog, &seq), None);
+    }
+
+    #[test]
+    fn constant_residual_is_a_stall() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let seq = vec![0.25; 20];
+        assert_eq!(feed(&mut dog, &seq), Some(WatchdogVerdict::Stall));
+    }
+
+    #[test]
+    fn alternating_residuals_are_an_oscillation() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let seq: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.4 } else { 0.1 })
+            .collect();
+        assert_eq!(feed(&mut dog, &seq), Some(WatchdogVerdict::Oscillation));
+    }
+
+    #[test]
+    fn growing_residuals_are_a_divergence() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let seq: Vec<f64> = (0..20).map(|i| 1e-3 * 1.6f64.powi(i)).collect();
+        assert_eq!(feed(&mut dog, &seq), Some(WatchdogVerdict::Divergence));
+    }
+
+    #[test]
+    fn nan_is_an_immediate_divergence() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        assert_eq!(dog.observe(f64::NAN), Some(WatchdogVerdict::Divergence));
+    }
+
+    #[test]
+    fn fires_at_most_once() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-9));
+        let mut verdicts = 0;
+        for _ in 0..50 {
+            if dog.observe(0.3).is_some() {
+                verdicts += 1;
+            }
+        }
+        assert_eq!(verdicts, 1);
+        assert!(dog.fired());
+    }
+
+    #[test]
+    fn converged_window_is_never_flagged() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::with_tol(1e-6));
+        let seq = vec![1e-8; 30];
+        assert_eq!(feed(&mut dog, &seq), None);
+    }
+
+    #[test]
+    fn divergence_only_config_ignores_plateaus() {
+        let mut dog = ConvergenceWatchdog::new(WatchdogConfig::divergence_only(0.5));
+        let seq = vec![3.0; 30];
+        assert_eq!(feed(&mut dog, &seq), None);
+        let grow: Vec<f64> = (0..20).map(|i| 3.0 * 1.5f64.powi(i)).collect();
+        assert_eq!(feed(&mut dog, &grow), Some(WatchdogVerdict::Divergence));
+    }
+}

@@ -1,0 +1,161 @@
+//! Causal-trace equivalence harness — the tracing analogue of
+//! `tests/equivalence.rs`.
+//!
+//! A trace is only trustworthy if it is a property of the *computation*,
+//! not of the schedule: running the same pipeline under
+//! `ExecPolicy::Sequential` and `ExecPolicy::Parallel { 4 }` must produce
+//! byte-identical traces once wall-clock fields are masked
+//! ([`Trace::equivalence_view`]). These tests drive the real publishing
+//! pipelines with a scoped collector and assert that guarantee, that the
+//! expected domain events actually show up, that budget draws carry
+//! call-site provenance, and that the convergence watchdogs stay silent
+//! on healthy runs.
+//!
+//! [`Trace::equivalence_view`]: ppdp::trace::Trace::equivalence_view
+
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::sanitize::Target;
+use ppdp::genomic::TraitId;
+use ppdp::publish::{DpPublisher, GenomePublisher};
+use ppdp::trace::{Collector, Trace, TraceEvent};
+
+/// Runs `f` under a scoped collector and returns the captured trace.
+fn traced<R>(f: impl FnOnce() -> R) -> Trace {
+    let col = Collector::new();
+    {
+        let _scope = col.enter();
+        f();
+    }
+    col.take()
+}
+
+fn kinds(trace: &Trace) -> Vec<&'static str> {
+    trace.records.iter().map(|r| r.event.kind()).collect()
+}
+
+#[test]
+fn genome_pipeline_traces_identically_across_policies() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(60, 5, 2, 11);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    let run = |exec: ExecPolicy| {
+        traced(|| {
+            GenomePublisher::new(&catalog, 0.9999)
+                .exec(exec)
+                .publish(&evidence, &targets)
+                .unwrap()
+        })
+        .equivalence_view()
+    };
+    let seq = run(ExecPolicy::Sequential);
+    assert!(!seq.records.is_empty(), "pipeline must emit trace events");
+    for threads in [2, 4] {
+        let par = run(ExecPolicy::parallel(threads));
+        assert_eq!(seq, par, "threads = {threads}");
+    }
+
+    let ks = kinds(&seq);
+    assert!(ks.contains(&"bp_round"), "full BP sweeps traced: {ks:?}");
+    assert!(ks.contains(&"greedy_pick"), "greedy commits traced: {ks:?}");
+    assert!(ks.contains(&"span_enter") && ks.contains(&"span_exit"));
+    assert!(
+        !ks.contains(&"watchdog"),
+        "watchdogs must stay silent on a converging run"
+    );
+}
+
+#[test]
+fn incremental_sanitize_traces_refreshes_and_trials() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(60, 5, 2, 11);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets: Vec<Target> = vec![Target::Trait(TraitId(0))];
+    let trace = traced(|| {
+        ppdp::genomic::greedy_sanitize_incremental(
+            ExecPolicy::Sequential,
+            &catalog,
+            &evidence,
+            &targets,
+            0.9999,
+            3,
+            ppdp::genomic::BpConfig::default(),
+        )
+        .unwrap()
+    });
+    let ks = kinds(&trace);
+    assert!(ks.contains(&"bp_refresh"), "refresh passes traced: {ks:?}");
+    assert!(ks.contains(&"trial"), "oracle trials traced: {ks:?}");
+    let rollbacks = trace
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                &r.event,
+                TraceEvent::Trial {
+                    phase: ppdp::trace::TrialPhase::Rollback,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        rollbacks > 0,
+        "speculative probes must roll back at least once"
+    );
+}
+
+#[test]
+fn dp_pipeline_traces_identically_and_attributes_budget_draws() {
+    let table = ppdp::datagen::microdata::correlated_microdata(200, 4, 3, 0.8, 5);
+    let run = |exec: ExecPolicy| {
+        traced(|| {
+            DpPublisher::new(5.0, 1)
+                .exec(exec)
+                .publish(&table, 150, 6)
+                .unwrap()
+        })
+        .equivalence_view()
+    };
+    let seq = run(ExecPolicy::Sequential);
+    let par = run(ExecPolicy::parallel(4));
+    assert_eq!(seq, par, "dp publishing trace must be policy-independent");
+
+    let draws: Vec<_> = seq
+        .records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::BudgetDraw {
+                epsilon, call_site, ..
+            } => Some((*epsilon, call_site.clone())),
+            _ => None,
+        })
+        .collect();
+    assert!(!draws.is_empty(), "dp publishing must draw budget");
+    let total: f64 = draws.iter().map(|(e, _)| e).sum();
+    assert!(
+        (total - 5.0).abs() < 1e-9,
+        "trace-level ε accounting matches the ledger (got {total})"
+    );
+    for (_, site) in &draws {
+        assert!(
+            site.contains(".rs:"),
+            "draw must carry file:line provenance, got {site:?}"
+        );
+    }
+}
+
+#[test]
+fn traces_round_trip_through_jsonl() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(40, 4, 2, 7);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 6, 6, 7);
+    let evidence = panel.full_evidence(0);
+    let trace = traced(|| {
+        GenomePublisher::new(&catalog, 0.9999)
+            .publish(&evidence, &[Target::Trait(TraitId(0))])
+            .unwrap()
+    });
+    let decoded = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+    assert_eq!(trace, decoded);
+    assert!(!trace.to_chrome_json().is_empty());
+}
