@@ -67,6 +67,43 @@ cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
 mv BENCH_PR4.untraced.json BENCH_PR4.json
 rm -f bench_pr4_trace.jsonl
 
+# Metrics overhead gate: same shape as the tracing gate — re-run the
+# bench with the live registry, heartbeat and allocation tee enabled and
+# bound the slowdown of the full-recompute pass to < 5%. The plain
+# BENCH_PR4.json stays the artifact of record.
+echo "==> metrics overhead gate (< 5% on bench_pr4)"
+cp BENCH_PR4.json BENCH_PR4.plain.json
+PPDP_METRICS=1 PPDP_METRICS_OUT=bench_pr4_metrics.om \
+  cargo run -q --release -p ppdp-bench --bin bench_pr4
+awk '
+  /"full_recompute"/ { if (match($0, /"wall_ns": *[0-9]+/)) \
+      print substr($0, RSTART + 11, RLENGTH - 11) }
+' BENCH_PR4.plain.json BENCH_PR4.json | awk '
+  NR == 1 { base = $1 }
+  NR == 2 { metered = $1 }
+  END {
+    if (base == "" || metered == "") { print "missing wall_ns"; exit 1 }
+    ratio = metered / base
+    printf "plain %d ns, metered %d ns, ratio %.3f\n", base, metered, ratio
+    if (ratio >= 1.05) { print "FAIL: metrics overhead >= 5%"; exit 1 }
+  }
+'
+test -s bench_pr4_metrics.om || { echo "FAIL: no metrics snapshot written"; exit 1; }
+mv BENCH_PR4.plain.json BENCH_PR4.json
+rm -f bench_pr4_metrics.om
+
+# Live-exposition smoke test + paper-scale harness (ci profile): the
+# run must complete, self-scrape a valid OpenMetrics payload containing
+# the BP progress gauge and per-span allocation series, and produce
+# RSS/allocation columns; its JSON must then diff clean against itself
+# (exercises the memory metric class end-to-end).
+echo "==> bench_scale scrape + resource-accounting gate (ci profile)"
+cargo run -q --release -p ppdp-bench --bin bench_scale -- \
+  --profile ci --out BENCH_SCALE.ci.json
+cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
+  diff BENCH_SCALE.ci.json BENCH_SCALE.ci.json
+rm -f BENCH_SCALE.ci.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -77,7 +114,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (no unwrap/expect/raw-spawn in lib code)"
 for crate in ppdp-errors ppdp-graph ppdp-classify ppdp-sanitize \
     ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry \
-    ppdp-trace ppdp; do
+    ppdp-metrics ppdp-trace ppdp; do
   cargo clippy -q -p "$crate" --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used \
     -D clippy::disallowed_methods

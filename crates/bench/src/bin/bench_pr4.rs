@@ -18,7 +18,10 @@
 //! Set `PPDP_TRACE=1` to capture a causal event trace of the whole
 //! invocation (`PPDP_TRACE_OUT=<path>` selects the JSONL destination,
 //! default `bench_pr4_trace.jsonl`); `ci.sh` reruns the bench in this
-//! mode to bound the tracing wall-clock overhead.
+//! mode to bound the tracing wall-clock overhead. `PPDP_METRICS=1`
+//! likewise tees the run into the live metric registry (see README.md
+//! for the `PPDP_METRICS_*` surface); `ci.sh` bounds that overhead the
+//! same way.
 //!
 //! [`IncrementalBp`]: ppdp::genomic::IncrementalBp
 
@@ -97,10 +100,15 @@ fn main() {
     if let Some(col) = &collector {
         ppdp::trace::install_global(col.clone());
     }
+    // `PPDP_METRICS*` tees the whole bench into the live registry;
+    // `ci.sh` reruns in this mode to bound the metrics overhead the
+    // same way it bounds tracing overhead.
+    let live = ppdp::metrics::LiveMetrics::from_env();
 
     let strict = run(true, &catalog, &evidence);
     let warm = run(false, &catalog, &evidence);
 
+    live.finish();
     if let Some(col) = &collector {
         ppdp::trace::uninstall_global();
         let trace = col.take();

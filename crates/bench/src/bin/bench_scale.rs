@@ -1,0 +1,354 @@
+//! Paper-scale sweep harness: genomes to 10⁵ SNPs and social graphs
+//! toward 10⁶ nodes, with live metrics and full resource accounting.
+//!
+//! ROADMAP items 1-2 need runs far beyond the unit-test fixtures; this
+//! binary is both the proof that the workspace survives those sizes and
+//! the baseline every later PR must beat. For each size in the selected
+//! profile it
+//!
+//! 1. generates the synthetic dataset (GWAS catalog + genotype panel, or
+//!    a Table-3.3-shaped social graph scaled up),
+//! 2. runs the paper's inference kernel on it (sum-product BP for
+//!    genomes; Gibbs-sampling collective classification for graphs),
+//! 3. records wall time, RSS / peak RSS (`/proc/self/status`), and exact
+//!    allocation deltas from the instrumented global allocator,
+//!
+//! writing the trajectory to `BENCH_SCALE.json` at the workspace root
+//! (`ppdp-report diff` understands the file; see the `memory` metric
+//! class). The whole run is observable live: a `ppdp-metrics` registry
+//! with heartbeat and an ephemeral HTTP listener is installed up front,
+//! and the harness *scrapes itself* mid-run, validates the OpenMetrics
+//! payload, and records whether the BP round-progress gauge and per-span
+//! allocation series were present — the acceptance probes for the live
+//! observability layer.
+//!
+//! Usage: `bench_scale [--profile ci|paper] [--out <path>]`. The `ci`
+//! profile keeps CI wall time low; `paper` sweeps to the full sizes
+//! (10⁵ SNPs, 2.5×10⁵ nodes) and is what generates the checked-in
+//! baseline. `PPDP_THREADS` selects the execution policy as usual.
+
+use ppdp::classify::{gibbs_run, GibbsConfig, LabeledGraph};
+use ppdp::datagen::social::{generate, SocialConfig};
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
+use ppdp::metrics::alloc::CountingAlloc;
+use ppdp::metrics::{http, LiveMetrics};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Every allocation in this binary flows through the counting allocator,
+/// so the per-row allocation columns are exact (not sampled).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One measured sweep point.
+struct Row {
+    kind: &'static str,
+    size: usize,
+    /// Factor count (genomes) or edge count (graphs).
+    structure: usize,
+    gen_wall_ns: u128,
+    wall_ns: u128,
+    /// BP sweeps or Gibbs sweeps actually performed.
+    work_units: usize,
+    converged: bool,
+    rss_bytes: u64,
+    peak_rss_bytes: u64,
+    alloc_bytes: u64,
+    alloc_count: u64,
+    peak_live_bytes: u64,
+}
+
+fn resource() -> (u64, u64) {
+    ppdp::metrics::resource::sample()
+        .map(|s| (s.rss_bytes, s.peak_rss_bytes))
+        .unwrap_or((0, 0))
+}
+
+fn alloc_totals() -> (u64, u64, u64) {
+    ppdp::metrics::alloc::totals()
+        .map(|t| (t.bytes, t.count, t.peak_live_bytes))
+        .unwrap_or((0, 0, 0))
+}
+
+fn genome_row(n_snps: usize, exec: ExecPolicy) -> Row {
+    let _span = ppdp::telemetry::span("scale.genome");
+    let (bytes0, count0, _) = alloc_totals();
+    let gen_start = Instant::now();
+    // The SNP pool scales; catalogued associations per trait are capped
+    // at 2 000, mirroring real panels where most of a 10⁵-locus array
+    // carries no association for any given trait. The cap also keeps the
+    // trait-side message product (quadratic in trait degree) from
+    // dominating the sweep: the scaled dimensions are the per-SNP
+    // marginal extraction and the O(n) graph state.
+    let assoc_per_trait = (n_snps / 10).min(2_000);
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(n_snps, assoc_per_trait, 2, 7);
+    let evidence = Evidence::none()
+        .with_snp(SnpId(0), Genotype::HomRisk)
+        .with_snp(SnpId(5), Genotype::Het)
+        .with_trait(TraitId(2), true);
+    let graph = match FactorGraph::build(&catalog, &evidence) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("bench_scale: factor graph build failed at {n_snps} SNPs: {e}");
+            std::process::exit(1);
+        }
+    };
+    let gen_wall_ns = gen_start.elapsed().as_nanos();
+    let n_factors = 7 * assoc_per_trait;
+
+    let start = Instant::now();
+    let bp = BpConfig {
+        exec,
+        ..Default::default()
+    }
+    .run(&graph);
+    let wall_ns = start.elapsed().as_nanos();
+    let (bytes1, count1, peak_live) = alloc_totals();
+    let (rss, peak_rss) = resource();
+    Row {
+        kind: "genome",
+        size: n_snps,
+        structure: n_factors,
+        gen_wall_ns,
+        wall_ns,
+        work_units: bp.iterations,
+        converged: bp.converged,
+        rss_bytes: rss,
+        peak_rss_bytes: peak_rss,
+        alloc_bytes: bytes1 - bytes0,
+        alloc_count: count1 - count0,
+        peak_live_bytes: peak_live,
+    }
+}
+
+fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
+    let _span = ppdp::telemetry::span("scale.graph");
+    let (bytes0, count0, _) = alloc_totals();
+    let gen_start = Instant::now();
+    // Caltech-shaped attributes scaled up; edges ≈ 8·|V| keeps the mean
+    // degree in the band of the paper's datasets at any size.
+    let edges = 8 * nodes;
+    let data = generate(&SocialConfig {
+        name: "scaled",
+        nodes,
+        edges,
+        n_attrs: 7,
+        label_arity: 4,
+        utility_arity: 2,
+        other_arity: 8,
+        majority_frac: 0.72,
+        components: 4,
+        attr_corr: 0.52,
+        homophily: 0.3,
+        missing_frac: 0.1,
+        seed: 42,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let known: Vec<bool> = (0..data.graph.user_count())
+        .map(|_| rng.gen_bool(0.7))
+        .collect();
+    let lg = LabeledGraph::new(&data.graph, data.privacy_cat, known);
+    let local = ppdp::classify::LocalKind::Bayes.fit(&lg);
+    let gen_wall_ns = gen_start.elapsed().as_nanos();
+
+    let start = Instant::now();
+    // Short chains: the sweep cost (not the estimate quality) is what a
+    // scale baseline pins, and 25 sweeps over 10⁵ unknowns is already
+    // an order of magnitude beyond any test fixture.
+    let out = match gibbs_run(
+        &lg,
+        local.as_ref(),
+        GibbsConfig {
+            burn_in: 5,
+            samples: 20,
+            exec,
+            ..Default::default()
+        },
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_scale: gibbs failed at {nodes} nodes: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall_ns = start.elapsed().as_nanos();
+    let (bytes1, count1, peak_live) = alloc_totals();
+    let (rss, peak_rss) = resource();
+    Row {
+        kind: "graph",
+        size: nodes,
+        structure: edges,
+        gen_wall_ns,
+        wall_ns,
+        work_units: out.sweeps,
+        converged: !out.degraded,
+        rss_bytes: rss,
+        peak_rss_bytes: peak_rss,
+        alloc_bytes: bytes1 - bytes0,
+        alloc_count: count1 - count0,
+        peak_live_bytes: peak_live,
+    }
+}
+
+/// Scrape the harness's own endpoint mid-run and probe the payload for
+/// the acceptance series: valid OpenMetrics, the `bp.round` progress
+/// gauge, and per-span allocation attribution.
+struct ScrapeProbe {
+    series: usize,
+    validated: bool,
+    bp_round_gauge: bool,
+    span_alloc_series: bool,
+}
+
+fn self_scrape(addr: &std::net::SocketAddr) -> ScrapeProbe {
+    let body = match http::scrape(addr) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_scale: self-scrape failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = match ppdp::metrics::validate(&body) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_scale: scrape is not valid OpenMetrics: {e}");
+            std::process::exit(1);
+        }
+    };
+    ScrapeProbe {
+        series: stats.samples,
+        validated: true,
+        bp_round_gauge: body.contains("\nbp_round "),
+        span_alloc_series: body.contains("alloc_span_"),
+    }
+}
+
+fn row_json(r: &Row) -> String {
+    format!(
+        "    {{\"kind\": \"{}\", \"size\": {}, \"structure\": {}, \"gen_wall_ns\": {}, \
+         \"wall_ns\": {}, \"work_units\": {}, \"converged\": {}, \"rss_bytes\": {}, \
+         \"peak_rss_bytes\": {}, \"alloc_bytes\": {}, \"alloc_count\": {}, \
+         \"peak_live_bytes\": {}}}",
+        r.kind,
+        r.size,
+        r.structure,
+        r.gen_wall_ns,
+        r.wall_ns,
+        r.work_units,
+        r.converged,
+        r.rss_bytes,
+        r.peak_rss_bytes,
+        r.alloc_bytes,
+        r.alloc_count,
+        r.peak_live_bytes,
+    )
+}
+
+fn main() {
+    let mut profile = String::from("ci");
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                profile = args
+                    .next()
+                    .unwrap_or_else(|| usage("--profile needs ci|paper"))
+            }
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let (genome_sizes, graph_sizes): (&[usize], &[usize]) = match profile.as_str() {
+        "ci" => (&[2_000, 10_000], &[5_000, 20_000]),
+        "paper" => (&[10_000, 50_000, 100_000], &[25_000, 100_000, 250_000]),
+        other => usage(&format!("unknown profile {other} (want ci|paper)")),
+    };
+    let out_path = out_path
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SCALE.json").into());
+    let exec = ExecPolicy::from_env();
+
+    // Live observability for the whole run: registry + heartbeat +
+    // ephemeral scrape port. Headless consumers can additionally set
+    // PPDP_METRICS_SNAPSHOT; the listener here is for the self-probe.
+    let live = LiveMetrics::install(Some("127.0.0.1:0"), 200, None, None);
+    let addr = match live.addr() {
+        Some(a) => a,
+        None => {
+            eprintln!("bench_scale: metrics listener failed to bind");
+            std::process::exit(1);
+        }
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut probe: Option<ScrapeProbe> = None;
+    for &n in genome_sizes {
+        eprintln!("bench_scale: genome sweep at {n} SNPs …");
+        rows.push(genome_row(n, exec));
+        if probe.is_none() {
+            // Mid-run on purpose: the registry must already carry the BP
+            // round gauge and span attribution while work continues.
+            probe = Some(self_scrape(&addr));
+        }
+    }
+    for &n in graph_sizes {
+        eprintln!("bench_scale: graph sweep at {n} nodes …");
+        rows.push(graph_row(n, exec));
+    }
+    let probe = probe.unwrap_or_else(|| usage("profile has no genome sizes"));
+    let snap = live.finish();
+
+    let json = format!(
+        "{{\n  \"profile\": \"{profile}\",\n  \"threads\": {},\n  \"scrape\": {{\"series\": {}, \
+         \"validated\": {}, \"bp_round_gauge\": {}, \"span_alloc_series\": {}}},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        exec.threads(),
+        probe.series,
+        probe.validated,
+        probe.bp_round_gauge,
+        probe.span_alloc_series,
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_scale: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+
+    let mut failed = false;
+    if !probe.bp_round_gauge {
+        eprintln!("GATE FAIL: mid-run scrape is missing the bp_round progress gauge");
+        failed = true;
+    }
+    if !probe.span_alloc_series {
+        eprintln!("GATE FAIL: mid-run scrape is missing per-span allocation series");
+        failed = true;
+    }
+    if snap.counters.get("alloc.bytes").copied().unwrap_or(0) == 0 {
+        eprintln!("GATE FAIL: counting allocator reported no traffic");
+        failed = true;
+    }
+    for r in &rows {
+        if r.peak_rss_bytes == 0 && std::path::Path::new("/proc/self/status").exists() {
+            eprintln!("GATE FAIL: {} row at {} has no RSS sample", r.kind, r.size);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    let max_rss = rows.iter().map(|r| r.peak_rss_bytes).max().unwrap_or(0);
+    println!(
+        "bench_scale OK: {} rows, peak RSS {:.1} MiB → {out_path}",
+        rows.len(),
+        max_rss as f64 / (1024.0 * 1024.0)
+    );
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_scale: {msg}\nusage: bench_scale [--profile ci|paper] [--out <path>]");
+    std::process::exit(2)
+}

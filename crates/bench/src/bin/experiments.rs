@@ -29,6 +29,14 @@
 //! the whole invocation; `PPDP_TRACE_OUT=<path>` writes it as JSONL
 //! (default `experiments_trace.jsonl` next to the current directory),
 //! ready for `ppdp-report explain` or the Chrome trace converter.
+//!
+//! Set `PPDP_METRICS=1` (or `PPDP_METRICS_ADDR=<ip:port>`) to expose the
+//! live metric registry while the run executes: counters, ε-draws, span
+//! timings, progress/ETA and RSS gauges, scrapeable as OpenMetrics text.
+//! `--metrics-out <path>` forces metrics on and writes the final merged
+//! snapshot to `<path>` on exit (the flag is the CLI spelling of
+//! `PPDP_METRICS_OUT`; see README.md for the full `PPDP_METRICS_*`
+//! environment table).
 
 use ppdp::telemetry::{self, fmt_nanos, status_line, Recorder};
 use ppdp_bench::util::SEED;
@@ -159,7 +167,7 @@ const QUICK: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json] \
-         [--allow-degraded]   (ids: {})",
+         [--metrics-out <path>] [--allow-degraded]   (ids: {})",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -202,6 +210,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     let mut report_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut json_stdout = false;
     let mut allow_degraded = false;
     let mut ids: Vec<&'static str> = Vec::new();
@@ -212,6 +221,16 @@ fn main() {
                 Some(p) => report_path = Some(p.clone()),
                 None => {
                     eprintln!("{}", status_line("error", "--report needs a file path"));
+                    usage();
+                }
+            },
+            "--metrics-out" => match iter.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => {
+                    eprintln!(
+                        "{}",
+                        status_line("error", "--metrics-out needs a file path")
+                    );
                     usage();
                 }
             },
@@ -243,6 +262,28 @@ fn main() {
     // in the workspace reports into it, grouped under a per-experiment span.
     let recorder = Recorder::new();
     telemetry::install_global(recorder.clone());
+    // Live metrics tee: `--metrics-out` forces the registry on with a
+    // final-snapshot path; otherwise `PPDP_METRICS*` decides. Env knobs
+    // (address, heartbeat interval, periodic snapshot) apply either way.
+    let live = match &metrics_out {
+        Some(path) => {
+            let addr = std::env::var("PPDP_METRICS_ADDR").ok();
+            let interval_ms = std::env::var("PPDP_METRICS_INTERVAL_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(500);
+            let snapshot = std::env::var("PPDP_METRICS_SNAPSHOT")
+                .ok()
+                .map(std::path::PathBuf::from);
+            ppdp::metrics::LiveMetrics::install(
+                addr.as_deref(),
+                interval_ms,
+                snapshot,
+                Some(std::path::PathBuf::from(path)),
+            )
+        }
+        None => ppdp::metrics::LiveMetrics::from_env(),
+    };
     let tracing = std::env::var("PPDP_TRACE").is_ok_and(|v| v == "1");
     let collector = tracing.then(ppdp::trace::Collector::new);
     if let Some(col) = &collector {
@@ -268,6 +309,19 @@ fn main() {
         );
     }
     telemetry::uninstall_global();
+    let metrics_active = live.active();
+    let metrics_snap = live.finish();
+    if metrics_active {
+        let series = metrics_snap.counters.len()
+            + metrics_snap.fcounters.len()
+            + metrics_snap.gauges.len()
+            + metrics_snap.histograms.len();
+        let dest = metrics_out.as_deref().unwrap_or("(env-configured sinks)");
+        eprintln!(
+            "{}",
+            status_line("saved", &format!("{series} metric series → {dest}"))
+        );
+    }
     if let Some(col) = &collector {
         ppdp::trace::uninstall_global();
         let trace = col.take();

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   ppdp-report explain <run.json | trace.jsonl>
-//!   ppdp-report diff [--ignore-wall] <baseline> <candidate>
+//!   ppdp-report diff [--ignore-wall] [--memory-ratio <x>] <baseline> <candidate>
 //!   ppdp-report chrome <trace.jsonl> [--out <path>]
 //!   ppdp-report flame <trace.jsonl>
 //!
@@ -12,9 +12,12 @@
 //!   call-site, watchdog verdicts and degradations. It accepts either an
 //!   aggregated `RunReport`/`BENCH_*.json` document or a causal event
 //!   trace (`PPDP_TRACE=1` JSONL output).
-//! * `diff` compares two such documents and flags wall-time, message-
-//!   count and ε-spend regressions (see `ppdp_trace::diff` for the
-//!   thresholds). Exit status: 0 clean, 1 regressions found.
+//! * `diff` compares two such documents and flags wall-time,
+//!   memory-footprint (RSS / allocation columns, e.g. from
+//!   `BENCH_SCALE.json`), message-count and ε-spend regressions (see
+//!   `ppdp_trace::diff` for the metric classes and thresholds).
+//!   `--memory-ratio <x>` tightens or loosens the memory class alone.
+//!   Exit status: 0 clean, 1 regressions found.
 //! * `chrome` converts a JSONL trace to Chrome `trace_event` JSON
 //!   (load via `chrome://tracing` or Perfetto); `flame` emits
 //!   collapsed-stack lines for flamegraph tooling.
@@ -40,8 +43,8 @@ fn fail(msg: &str) -> ! {
 
 fn usage() -> ! {
     fail(
-        "usage: ppdp-report explain <file> | diff [--ignore-wall] <baseline> <candidate> \
-         | chrome <trace.jsonl> [--out <path>] | flame <trace.jsonl>",
+        "usage: ppdp-report explain <file> | diff [--ignore-wall] [--memory-ratio <x>] \
+         <baseline> <candidate> | chrome <trace.jsonl> [--out <path>] | flame <trace.jsonl>",
     );
 }
 
@@ -426,10 +429,12 @@ fn as_diffable(input: Input) -> JsonValue {
     }
 }
 
-fn run_diff(baseline: &str, candidate: &str, ignore_wall: bool) -> ! {
+fn run_diff(baseline: &str, candidate: &str, ignore_wall: bool, memory_ratio: Option<f64>) -> ! {
+    let defaults = diff::DiffThresholds::default();
     let thresholds = diff::DiffThresholds {
         ignore_wall,
-        ..diff::DiffThresholds::default()
+        memory_ratio: memory_ratio.unwrap_or(defaults.memory_ratio),
+        ..defaults
     };
     let base = as_diffable(load(baseline));
     let cand = as_diffable(load(candidate));
@@ -463,16 +468,22 @@ fn main() {
         ["explain", path] => explain(path),
         ["diff", rest @ ..] => {
             let mut ignore_wall = false;
+            let mut memory_ratio: Option<f64> = None;
             let mut files: Vec<&str> = Vec::new();
-            for arg in rest {
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
                 match *arg {
                     "--ignore-wall" => ignore_wall = true,
+                    "--memory-ratio" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x >= 1.0 => memory_ratio = Some(x),
+                        _ => fail("--memory-ratio needs a ratio >= 1.0"),
+                    },
                     flag if flag.starts_with('-') => fail(&format!("unknown diff flag {flag}")),
                     path => files.push(path),
                 }
             }
             match files.as_slice() {
-                [baseline, candidate] => run_diff(baseline, candidate, ignore_wall),
+                [baseline, candidate] => run_diff(baseline, candidate, ignore_wall, memory_ratio),
                 _ => usage(),
             }
         }

@@ -142,6 +142,13 @@ pub fn gibbs_run(
             .map(|c| split_seed(cfg.seed, c))
             .collect()
     };
+    // Live progress across all chains: each chain bumps the
+    // `gibbs.sweeps_done` live counter per sweep, and the metrics
+    // heartbeat derives progress/ETA against this declared total.
+    ppdp_telemetry::target(
+        "gibbs.sweeps_done",
+        (cfg.chains * (cfg.burn_in + cfg.samples)) as f64,
+    );
     let chain_outs = cfg.exec.par_map(seeds.len(), |c| {
         run_chain(lg, &cfg, &unknown, &pa, seeds[c])
     });
@@ -288,6 +295,11 @@ fn run_chain(
         }
         label_flips += flips;
         sweep_flips.push(flips);
+        // Live-only (registry counters are additive and the gauge's final
+        // write is `burn_in + samples` from every chain, so final
+        // snapshots stay identical across execution policies).
+        ppdp_metrics::counter("gibbs.sweeps_done", 1);
+        ppdp_metrics::gauge_set("gibbs.sweep", (round + 1) as f64);
         if round >= cfg.burn_in {
             for &u in unknown {
                 counts[u.0][label[u.0] as usize] += 1;

@@ -41,6 +41,7 @@ pub use ppdp_errors as errors;
 pub use ppdp_exec as exec;
 pub use ppdp_genomic as genomic;
 pub use ppdp_graph as graph;
+pub use ppdp_metrics as metrics;
 pub use ppdp_opt as opt;
 pub use ppdp_roughset as roughset;
 pub use ppdp_sanitize as sanitize;

@@ -114,6 +114,9 @@ impl PrivacyBudget {
             epsilon
         };
         self.spent += charged;
+        // Live readout for operators watching a long publish run; a gauge
+        // because "remaining" is a current value, not an accumulation.
+        ppdp_telemetry::gauge("budget.remaining_epsilon", self.remaining());
         Ok(charged)
     }
 

@@ -138,6 +138,11 @@ impl ExecPolicy {
                     let end = (start + chunk).min(n);
                     let (ctx, f, region) = (&ctx, &f, &region);
                     scope.spawn(move || {
+                        // Resolve the metrics shard up front so the first
+                        // instrumented item doesn't pay the registration
+                        // lock inside the hot loop.
+                        ppdp_metrics::register_thread();
+                        ppdp_metrics::counter("exec.workers_spawned", 1);
                         let _telemetry = ctx.activate();
                         let _lane = region.worker();
                         (start..end)
@@ -174,6 +179,9 @@ impl ExecPolicy {
     /// *supposed* to differ between policies).
     pub fn record_threads(&self) {
         ppdp_telemetry::counter("exec.threads", self.threads() as u64);
+        // Live view: a gauge, so scrapes show the *current* policy rather
+        // than a sum over every region that ever recorded.
+        ppdp_telemetry::gauge("exec.threads", self.threads() as f64);
     }
 }
 

@@ -271,6 +271,10 @@ impl BpConfig {
             msg
         };
 
+        // Live progress: the metrics heartbeat derives progress./eta from
+        // the bp.round gauge against this declared ceiling. max_iters is
+        // an upper bound (convergence exits early), so ETA is pessimistic.
+        ppdp_telemetry::target("bp.rounds", self.max_iters as f64);
         for iter in 0..self.max_iters {
             sweeps = iter + 1;
             // Variable → factor messages (Eqs. 5.3/5.4): product of incoming
@@ -403,6 +407,7 @@ impl BpConfig {
             // same metric, so the CI regression gate can compare them.
             ppdp_telemetry::counter("bp.messages_updated", 2 * (nf + nk) as u64);
             ppdp_telemetry::value("bp.sweep_residual", delta);
+            ppdp_telemetry::gauge("bp.round", sweeps as f64);
             ppdp_trace::bp_round(sweeps as u64, delta, 2 * (nf + nk) as u64, (nf + nk) as u64);
             if let Some(verdict) = watchdog.observe(delta) {
                 ppdp_telemetry::counter(&format!("watchdog.bp.{}", verdict.as_str()), 1);

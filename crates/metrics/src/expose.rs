@@ -1,0 +1,399 @@
+//! OpenMetrics / Prometheus text-format exposition.
+//!
+//! [`MetricsSnapshot::to_openmetrics`] renders a merged snapshot as an
+//! OpenMetrics text payload: counter families suffixed `_total`, gauges
+//! bare, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`, terminated by `# EOF`. Metric names are sanitized to
+//! `[a-zA-Z_][a-zA-Z0-9_]*` (dots and slashes from span paths become
+//! underscores); a rare post-sanitization collision gets a numeric
+//! suffix rather than silently merging two series.
+//!
+//! [`validate`] is a self-contained checker used by the CI smoke gate and
+//! `bench_scale`'s self-scrape: it verifies TYPE declarations, sample
+//! syntax, cumulative bucket monotonicity, `+Inf` bucket == `_count`,
+//! and the `# EOF` terminator, without any external parser dependency.
+
+use crate::registry::{bucket_upper_edge, HistSnapshot, MetricsSnapshot, BUCKETS};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// Sanitize a metric name into the OpenMetrics charset
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch == '_' || ch.is_ascii_alphabetic() || (i > 0 && ch.is_ascii_digit());
+        if ok {
+            out.push(ch);
+        } else if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Deduplicate sanitized names: on collision append `_2`, `_3`, ...
+fn unique_name(seen: &mut BTreeSet<String>, base: String) -> String {
+    if seen.insert(base.clone()) {
+        return base;
+    }
+    let mut i = 2u32;
+    loop {
+        let cand = format!("{base}_{i}");
+        if seen.insert(cand.clone()) {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// Render an `le` edge the way Prometheus expects (`0.01`, `1`, `100`,
+/// `1e-05`, `+Inf`), stable across platforms.
+fn fmt_le(edge: f64) -> String {
+    if edge.is_infinite() {
+        return "+Inf".to_owned();
+    }
+    // Decade edges only: powers of ten render exactly.
+    let exp = edge.log10().round() as i32;
+    if (-4..=6).contains(&exp) {
+        // Plain decimal within a readable range.
+        if exp >= 0 {
+            format!("{}", 10f64.powi(exp))
+        } else {
+            format!("{:.*}", exp.unsigned_abs() as usize, edge)
+        }
+    } else {
+        format!("1e{exp}")
+    }
+}
+
+/// Render a float sample value: finite shortest-roundtrip, no NaN/Inf
+/// (clamped to 0 — OpenMetrics forbids them for our series types).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render this snapshot as an OpenMetrics text payload (see module
+    /// docs). Families are emitted in sorted order: integer counters,
+    /// float counters, gauges, histograms.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        let mut seen = BTreeSet::new();
+        for (name, v) in &self.counters {
+            let n = unique_name(&mut seen, sanitize_name(name));
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n}_total {v}");
+        }
+        for (name, v) in &self.fcounters {
+            let n = unique_name(&mut seen, sanitize_name(name));
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n}_total {}", fmt_value(*v));
+        }
+        for (name, v) in &self.gauges {
+            let n = unique_name(&mut seen, sanitize_name(name));
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", fmt_value(*v));
+        }
+        for (name, h) in &self.histograms {
+            let n = unique_name(&mut seen, sanitize_name(name));
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cum += b;
+                let le = if i + 1 == h.buckets.len() {
+                    "+Inf".to_owned()
+                } else {
+                    fmt_le(bucket_upper_edge(i))
+                };
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            if h.buckets.len() < BUCKETS {
+                // Defensive: a foreign snapshot with fewer buckets still
+                // needs the +Inf terminator bucket.
+                let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", fmt_value(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Summary statistics returned by a successful [`validate`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Number of `# TYPE` family declarations.
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+    /// Number of histogram families.
+    pub histograms: usize,
+}
+
+/// Validate an OpenMetrics text payload (see module docs for the checks).
+/// Returns per-family statistics, or a description of the first problem.
+pub fn validate(text: &str) -> Result<ExpositionStats, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut stats = ExpositionStats::default();
+    let mut hist_state: HashMap<String, (u64, Option<u64>, Option<u64>)> = HashMap::new();
+    let mut saw_eof = false;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if saw_eof && !line.is_empty() {
+            return Err(at(format!("content after # EOF: {line:?}")));
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| at("empty TYPE line".into()))?;
+            let ty = it.next().ok_or_else(|| at("TYPE missing kind".into()))?;
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(at(format!("unsupported type {ty:?}")));
+            }
+            if !valid_name(name) {
+                return Err(at(format!("invalid family name {name:?}")));
+            }
+            if types.insert(name.to_owned(), ty.to_owned()).is_some() {
+                return Err(at(format!("duplicate TYPE for {name}")));
+            }
+            stats.families += 1;
+            if ty == "histogram" {
+                stats.histograms += 1;
+                hist_state.insert(name.to_owned(), (0, None, None));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP/UNIT comments are legal and unchecked.
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find(|c| c == '{' || c == ' ') {
+            Some(i) => line.split_at(i),
+            None => return Err(at(format!("malformed sample: {line:?}"))),
+        };
+        if !valid_name(name_part) {
+            return Err(at(format!("invalid metric name {name_part:?}")));
+        }
+        let (labels, value_str) = if let Some(stripped) = rest.strip_prefix('{') {
+            let end = stripped
+                .find('}')
+                .ok_or_else(|| at("unterminated label set".into()))?;
+            (&stripped[..end], stripped[end + 1..].trim())
+        } else {
+            ("", rest.trim())
+        };
+        let value: f64 = value_str
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| at(format!("unparseable value {value_str:?}")))?;
+        stats.samples += 1;
+
+        // Resolve the declared family this sample belongs to.
+        let (family, suffix) = resolve_family(name_part, &types)
+            .ok_or_else(|| at(format!("sample {name_part} has no TYPE declaration")))?;
+        let ty = types.get(&family).cloned().unwrap_or_default();
+        match (ty.as_str(), suffix.as_str()) {
+            ("counter", "_total") => {
+                if value < 0.0 {
+                    return Err(at(format!("negative counter {name_part}")));
+                }
+            }
+            ("counter", s) => {
+                return Err(at(format!("counter sample with suffix {s:?}")));
+            }
+            ("gauge", "") => {}
+            ("gauge", s) => {
+                return Err(at(format!("gauge sample with suffix {s:?}")));
+            }
+            ("histogram", "_bucket") => {
+                let le = labels
+                    .split(',')
+                    .find_map(|kv| kv.trim().strip_prefix("le=\""))
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| at(format!("bucket without le label: {line:?}")))?;
+                let st = hist_state.entry(family.clone()).or_default();
+                let count = value as u64;
+                if count < st.0 {
+                    return Err(at(format!(
+                        "non-cumulative buckets for {family}: {count} < {}",
+                        st.0
+                    )));
+                }
+                st.0 = count;
+                if le == "+Inf" {
+                    st.1 = Some(count);
+                }
+            }
+            ("histogram", "_sum") => {}
+            ("histogram", "_count") => {
+                let st = hist_state.entry(family.clone()).or_default();
+                st.2 = Some(value as u64);
+            }
+            ("histogram", s) => {
+                return Err(at(format!("histogram sample with suffix {s:?}")));
+            }
+            _ => return Err(at(format!("sample {name_part} has unknown family type"))),
+        }
+    }
+
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_owned());
+    }
+    for (family, (_, inf, count)) in &hist_state {
+        match (inf, count) {
+            (Some(i), Some(c)) if i != c => {
+                return Err(format!("histogram {family}: +Inf bucket {i} != count {c}"));
+            }
+            (None, _) => return Err(format!("histogram {family}: missing +Inf bucket")),
+            (_, None) => return Err(format!("histogram {family}: missing _count")),
+            _ => {}
+        }
+    }
+    Ok(stats)
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c == '_' || c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    chars.all(|c| c == '_' || c.is_ascii_alphanumeric())
+}
+
+/// Map a sample name to its declared family and suffix. Longest-match so
+/// a family literally named `x_total` wins over family `x` + `_total`.
+fn resolve_family(sample: &str, types: &HashMap<String, String>) -> Option<(String, String)> {
+    let mut best: Option<(String, String)> = None;
+    for family in types.keys() {
+        let suffix = match sample.strip_prefix(family.as_str()) {
+            Some(s) => s,
+            None => continue,
+        };
+        if matches!(suffix, "" | "_total" | "_bucket" | "_sum" | "_count")
+            && best
+                .as_ref()
+                .map(|(b, _)| family.len() > b.len())
+                .unwrap_or(true)
+        {
+            best = Some((family.clone(), suffix.to_owned()));
+        }
+    }
+    best
+}
+
+/// Convenience: render a snapshot and validate the result in one step.
+/// Used by tests and the CI smoke gate.
+pub fn render_validated(snap: &MetricsSnapshot) -> Result<(String, ExpositionStats), String> {
+    let text = snap.to_openmetrics();
+    let stats = validate(&text)?;
+    Ok((text, stats))
+}
+
+/// Build a tiny deterministic snapshot used by smoke tests.
+pub fn demo_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("bp.messages_updated".into(), 1234);
+    snap.fcounters.insert("budget.epsilon_spent".into(), 0.75);
+    snap.gauges.insert("progress.bp.rounds".into(), 0.4);
+    let mut h = HistSnapshot {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        buckets: vec![0; BUCKETS],
+    };
+    for v in [0.001, 0.02, 0.02, 5.0] {
+        h.count += 1;
+        h.sum += v;
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+        h.buckets[crate::registry::bucket_index(v)] += 1;
+    }
+    snap.histograms.insert("span.bp.run.seconds".into(), h);
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_paths_to_charset() {
+        assert_eq!(sanitize_name("bp.run/attack"), "bp_run_attack");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name_2"), "ok_name_2");
+    }
+
+    #[test]
+    fn demo_snapshot_round_trips() {
+        let (text, stats) = match render_validated(&demo_snapshot()) {
+            Ok(v) => v,
+            Err(e) => panic!("invalid exposition: {e}"),
+        };
+        assert!(text.contains("# TYPE bp_messages_updated counter"));
+        assert!(text.contains("bp_messages_updated_total 1234"));
+        assert!(text.contains("budget_epsilon_spent_total 0.75"));
+        assert!(text.contains("# TYPE progress_bp_rounds gauge"));
+        assert!(text.contains("span_bp_run_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.ends_with("# EOF\n"));
+        assert_eq!(stats.histograms, 1);
+        assert!(stats.samples >= 4 + BUCKETS);
+    }
+
+    #[test]
+    fn validator_rejects_missing_eof() {
+        let text = "# TYPE x counter\nx_total 1\n";
+        assert!(validate(text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_non_cumulative_buckets() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n# EOF\n";
+        let err = validate(text).map(|_| ());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validator_rejects_undeclared_samples() {
+        let text = "mystery_total 3\n# EOF\n";
+        assert!(validate(text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_inf_count_mismatch() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n";
+        assert!(validate(text).is_err());
+    }
+
+    #[test]
+    fn le_edges_render_prometheus_style() {
+        assert_eq!(fmt_le(bucket_upper_edge(12)), "10");
+        assert_eq!(fmt_le(bucket_upper_edge(11)), "1");
+        assert_eq!(fmt_le(bucket_upper_edge(9)), "0.01");
+        assert_eq!(fmt_le(bucket_upper_edge(0)), "1e-11");
+        assert_eq!(fmt_le(f64::INFINITY), "+Inf");
+    }
+}

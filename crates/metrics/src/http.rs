@@ -1,0 +1,163 @@
+//! Minimal std-only HTTP exposition endpoint.
+//!
+//! [`serve`] binds a `TcpListener` and answers `GET /metrics` with the
+//! registry's current OpenMetrics payload (any other path gets a 404).
+//! One request per connection, `Connection: close` — exactly the access
+//! pattern of a Prometheus scraper or a `curl` in the monitoring
+//! walkthrough. The listener thread is a pure observer: it never runs
+//! kernel work, so it sits outside the deterministic execution model
+//! enforced by `ppdp-exec`.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running exposition endpoint. Dropping it (or calling
+/// [`MetricsServer::stop`]) shuts the listener thread down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when serving on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Start serving `registry` on `addr` (e.g. `"127.0.0.1:9779"`, or port
+/// `0` for an ephemeral port). Returns once the socket is bound.
+pub fn serve(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    // Monitoring thread, not kernel work: exempt from the ppdp-exec
+    // determinism model, hence the allow on the spawn denylist.
+    #[allow(clippy::disallowed_methods)]
+    let handle = std::thread::Builder::new()
+        .name("ppdp-metrics-http".to_owned())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    handle_conn(stream, &registry);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let response = if path == "/metrics" || path == "/" {
+        let body = registry.snapshot().to_openmetrics();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_owned()
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Blocking one-shot scrape of `addr` (`GET /metrics`), returning the
+/// response body. Used by `bench_scale`'s self-scrape and tests.
+pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_owned()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_valid_openmetrics_and_404s() {
+        let registry = Registry::new();
+        let shard = registry.acquire_shard();
+        shard.counter_cell("demo.http.hits").add(3);
+        shard.hist_cell("demo.http.latency").observe(0.01);
+        let mut server = match serve("127.0.0.1:0", registry) {
+            Ok(s) => s,
+            Err(e) => panic!("bind failed: {e}"),
+        };
+
+        let body = match scrape(&server.addr()) {
+            Ok(b) => b,
+            Err(e) => panic!("scrape failed: {e}"),
+        };
+        let stats = match crate::expose::validate(&body) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid exposition: {e}\n{body}"),
+        };
+        assert!(body.contains("demo_http_hits_total 3"));
+        assert!(stats.histograms >= 1);
+
+        // Unknown path → 404.
+        let mut stream = match TcpStream::connect_timeout(&server.addr(), Duration::from_secs(2)) {
+            Ok(s) => s,
+            Err(e) => panic!("connect failed: {e}"),
+        };
+        let _ = stream.write_all(b"GET /nope HTTP/1.0\r\n\r\n");
+        let mut resp = String::new();
+        let _ = stream.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.0 404"));
+
+        server.stop();
+    }
+}

@@ -1,0 +1,532 @@
+//! Live metric registry with OpenMetrics exposition and resource
+//! accounting for the ppdp workspace.
+//!
+//! `ppdp-telemetry` is a *post-mortem* layer: spans and counters
+//! accumulate into a [`RunReport`]-style aggregate that is only visible
+//! when the run finishes. This crate is the *live* counterpart needed by
+//! paper-scale runs (10⁵-SNP genomes, 10⁵⁺-node graphs) and the
+//! `ppdp-serve` arc: a sharded registry of counters, gauges and
+//! fixed-bucket histograms that can be scraped mid-run.
+//!
+//! Architecture (mirrors `ppdp-trace`'s collector pattern):
+//!
+//! * a process-global `Option<Registry>` behind a mutex, with an
+//!   [`enabled`] fast path that is a single relaxed atomic load — when no
+//!   registry is installed every recording call is a no-op costing one
+//!   branch;
+//! * per-thread **shards**: a thread resolves its shard once per install
+//!   epoch and caches `Arc` handles per metric name in TLS, so the steady
+//!   state hot path is a `HashMap` lookup plus one relaxed atomic op — no
+//!   locks, no allocation;
+//! * scrapes merge all shards: counters sum, histograms merge, gauges are
+//!   last-write-wins by a registry-global sequence number;
+//! * [`resource::Heartbeat`] samples RSS/threads and derives
+//!   progress/rate/ETA gauges from `target.*` declarations;
+//! * [`alloc::CountingAlloc`] (opt-in `#[global_allocator]`) attributes
+//!   bytes/allocs to the innermost telemetry span;
+//! * [`http::serve`] exposes everything as OpenMetrics text;
+//!   [`expose::validate`] checks a payload without external parsers.
+//!
+//! `ppdp-telemetry` tees every span, counter, value and ε-draw in here
+//! (when a registry is installed), so kernels get live series with zero
+//! call-site changes. This crate deliberately depends on nothing —
+//! std only — per the workspace's zero-dependency observability rule.
+//!
+//! # Quick start
+//!
+//! ```
+//! let registry = ppdp_metrics::Registry::new();
+//! ppdp_metrics::install_global(registry.clone());
+//! ppdp_metrics::counter("demo.events", 3);
+//! ppdp_metrics::observe("demo.latency_seconds", 0.012);
+//! ppdp_metrics::gauge_set("demo.progress", 0.5);
+//! let text = registry.snapshot().to_openmetrics();
+//! assert!(text.contains("demo_events_total 3"));
+//! assert!(ppdp_metrics::expose::validate(&text).is_ok());
+//! ppdp_metrics::uninstall_global();
+//! ```
+
+pub mod alloc;
+pub mod expose;
+pub mod http;
+pub mod registry;
+pub mod resource;
+
+pub use expose::{validate, ExpositionStats};
+pub use http::MetricsServer;
+pub use registry::{HistSnapshot, MetricsSnapshot, Registry};
+pub use resource::{Heartbeat, ResourceSample};
+
+use registry::{CounterCell, FloatCell, GaugeCell, HistCell, Shard};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// 1 when a global registry is installed — the no-op fast path gate.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+/// Bumped on every install/uninstall so TLS caches from a previous
+/// registry are discarded instead of writing into a dead registry.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static GLOBAL: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Per-thread resolved shard plus metric-name → cell handle caches.
+struct LocalShard {
+    epoch: u64,
+    registry: Option<Registry>,
+    shard: Option<Arc<Shard>>,
+    counters: HashMap<String, Arc<CounterCell>>,
+    fcounters: HashMap<String, Arc<FloatCell>>,
+    gauges: HashMap<String, Arc<GaugeCell>>,
+    hists: HashMap<String, Arc<HistCell>>,
+}
+
+impl LocalShard {
+    fn new() -> Self {
+        LocalShard {
+            epoch: 0,
+            registry: None,
+            shard: None,
+            counters: HashMap::new(),
+            fcounters: HashMap::new(),
+            gauges: HashMap::new(),
+            hists: HashMap::new(),
+        }
+    }
+
+    /// Revalidate against the current install epoch; (re)acquire a shard
+    /// from the live registry when stale.
+    fn sync(&mut self) -> bool {
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if self.epoch != epoch {
+            self.retire();
+            self.epoch = epoch;
+            self.registry = relock(&GLOBAL).clone();
+            self.shard = self.registry.as_ref().map(Registry::acquire_shard);
+        }
+        self.shard.is_some()
+    }
+
+    /// Return the shard to the registry's free list and drop caches.
+    fn retire(&mut self) {
+        if let (Some(reg), Some(shard)) = (self.registry.take(), self.shard.take()) {
+            reg.release_shard(shard);
+        }
+        self.counters.clear();
+        self.fcounters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+impl Drop for LocalShard {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalShard> = RefCell::new(LocalShard::new());
+}
+
+/// Install `registry` as the process-global live registry, returning the
+/// previously installed one (if any). Recording calls from any thread
+/// start flowing into it immediately.
+pub fn install_global(registry: Registry) -> Option<Registry> {
+    let mut slot = relock(&GLOBAL);
+    let prev = slot.replace(registry);
+    ACTIVE.store(1, Ordering::SeqCst);
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    prev
+}
+
+/// Remove the global registry, returning it. Recording calls become
+/// single-branch no-ops again.
+pub fn uninstall_global() -> Option<Registry> {
+    let mut slot = relock(&GLOBAL);
+    let prev = slot.take();
+    ACTIVE.store(0, Ordering::SeqCst);
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    prev
+}
+
+/// True when a global registry is installed. Single relaxed load — this
+/// is the gate every tee in `ppdp-telemetry` checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Clone of the installed global registry, if any.
+pub fn global() -> Option<Registry> {
+    relock(&GLOBAL).clone()
+}
+
+/// Pre-resolve the calling thread's shard (and pay the registration lock
+/// now rather than at the first metric touch). `ppdp-exec` calls this
+/// from each freshly spawned worker.
+pub fn register_thread() {
+    if !enabled() {
+        return;
+    }
+    let _ = LOCAL.try_with(|l| {
+        l.borrow_mut().sync();
+    });
+}
+
+/// Run `f` with the thread-local state when a registry is live.
+#[inline]
+fn with_local<F: FnOnce(&mut LocalShard)>(f: F) {
+    if !enabled() {
+        return;
+    }
+    let _ = LOCAL.try_with(|l| {
+        // A recording call re-entered from within a recording call (e.g.
+        // via the instrumented allocator) would hit the RefCell borrow —
+        // recording paths never allocate through cells, but stay safe.
+        if let Ok(mut local) = l.try_borrow_mut() {
+            if local.sync() {
+                f(&mut local);
+            }
+        }
+    });
+}
+
+/// Add `n` to integer counter `name`.
+#[inline]
+pub fn counter(name: &str, n: u64) {
+    with_local(|local| {
+        if let Some(shard) = &local.shard {
+            let cell = local
+                .counters
+                .entry(name.to_owned())
+                .or_insert_with(|| shard.counter_cell(name));
+            cell.add(n);
+        }
+    });
+}
+
+/// Add `v` to monotone float counter `name` (e.g. ε spent).
+#[inline]
+pub fn counter_f64(name: &str, v: f64) {
+    with_local(|local| {
+        if let Some(shard) = &local.shard {
+            let cell = local
+                .fcounters
+                .entry(name.to_owned())
+                .or_insert_with(|| shard.fcounter_cell(name));
+            cell.add(v);
+        }
+    });
+}
+
+/// Set gauge `name` to `v` (last-write-wins across threads).
+#[inline]
+pub fn gauge_set(name: &str, v: f64) {
+    with_local(|local| {
+        if let (Some(shard), Some(reg)) = (&local.shard, &local.registry) {
+            let cell = local
+                .gauges
+                .entry(name.to_owned())
+                .or_insert_with(|| shard.gauge_cell(name));
+            cell.set(v, reg.next_gauge_seq());
+        }
+    });
+}
+
+/// Record sample `v` into histogram `name` (decade buckets).
+#[inline]
+pub fn observe(name: &str, v: f64) {
+    with_local(|local| {
+        if let Some(shard) = &local.shard {
+            let cell = local
+                .hists
+                .entry(name.to_owned())
+                .or_insert_with(|| shard.hist_cell(name));
+            cell.observe(v);
+        }
+    });
+}
+
+/// Record a completed telemetry span: duration histogram
+/// `span.<path>.seconds` plus counter `span.<path>.calls`.
+#[inline]
+pub fn observe_span(path: &str, wall_nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    let secs = wall_nanos as f64 * 1e-9;
+    observe(&format!("span.{path}.seconds"), secs);
+    counter(&format!("span.{path}.calls"), 1);
+}
+
+/// Declare the completion target for progress tracking: the heartbeat
+/// derives `progress.<name>` / `rate.<name>_per_s` / `eta_seconds.<name>`
+/// from counter (or gauge) `<name>` relative to this target.
+#[inline]
+pub fn set_target(name: &str, total: f64) {
+    gauge_set(&format!("target.{name}"), total);
+}
+
+/// Everything a binary needs for live observability, driven by the
+/// `PPDP_METRICS*` environment surface:
+///
+/// | variable | effect |
+/// |---|---|
+/// | `PPDP_METRICS=1` | install a registry + heartbeat |
+/// | `PPDP_METRICS_ADDR=host:port` | also serve OpenMetrics over HTTP (implies `PPDP_METRICS=1`) |
+/// | `PPDP_METRICS_OUT=path` | write a final OpenMetrics snapshot on [`LiveMetrics::finish`] |
+/// | `PPDP_METRICS_SNAPSHOT=path` | heartbeat rewrites this snapshot file every tick |
+/// | `PPDP_METRICS_INTERVAL_MS=n` | heartbeat period (default 500) |
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    registry: Option<Registry>,
+    heartbeat: Option<Heartbeat>,
+    server: Option<MetricsServer>,
+    out: Option<std::path::PathBuf>,
+    installed_global: bool,
+}
+
+impl LiveMetrics {
+    /// Read the `PPDP_METRICS*` environment and start whatever it asks
+    /// for. Returns an inert handle (all no-ops) when metrics are off.
+    pub fn from_env() -> LiveMetrics {
+        let on = std::env::var("PPDP_METRICS")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let addr = std::env::var("PPDP_METRICS_ADDR").ok();
+        if !on && addr.is_none() {
+            return LiveMetrics::default();
+        }
+        let interval_ms = std::env::var("PPDP_METRICS_INTERVAL_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(500);
+        let snapshot = std::env::var("PPDP_METRICS_SNAPSHOT")
+            .ok()
+            .map(std::path::PathBuf::from);
+        let out = std::env::var("PPDP_METRICS_OUT")
+            .ok()
+            .map(std::path::PathBuf::from);
+        Self::install(addr.as_deref(), interval_ms, snapshot, out)
+    }
+
+    /// Programmatic installation (used by `bench_scale`): optional HTTP
+    /// address, heartbeat period, optional heartbeat snapshot file and
+    /// final-snapshot path.
+    pub fn install(
+        addr: Option<&str>,
+        interval_ms: u64,
+        snapshot: Option<std::path::PathBuf>,
+        out: Option<std::path::PathBuf>,
+    ) -> LiveMetrics {
+        let registry = Registry::new();
+        install_global(registry.clone());
+        let heartbeat = Heartbeat::start(
+            registry.clone(),
+            std::time::Duration::from_millis(interval_ms),
+            snapshot,
+        );
+        let server = addr.and_then(|a| match http::serve(a, registry.clone()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("ppdp-metrics: failed to bind {a}: {e}");
+                None
+            }
+        });
+        LiveMetrics {
+            registry: Some(registry),
+            heartbeat: Some(heartbeat),
+            server,
+            out,
+            installed_global: true,
+        }
+    }
+
+    /// True when a registry was actually installed.
+    pub fn active(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The registry, when active.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
+    }
+
+    /// The HTTP endpoint address, when serving.
+    pub fn addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(MetricsServer::addr)
+    }
+
+    /// Stop heartbeat and server, write the final snapshot (if
+    /// configured), uninstall the global registry, and return the final
+    /// merged snapshot. Safe to call on an inert handle (returns an
+    /// empty snapshot).
+    pub fn finish(mut self) -> MetricsSnapshot {
+        if let Some(mut hb) = self.heartbeat.take() {
+            hb.stop();
+        }
+        if let Some(mut srv) = self.server.take() {
+            srv.stop();
+        }
+        let snap = self
+            .registry
+            .take()
+            .map(|r| r.snapshot())
+            .unwrap_or_default();
+        if self.installed_global {
+            uninstall_global();
+            self.installed_global = false;
+        }
+        if let Some(path) = self.out.take() {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&path, snap.to_openmetrics()) {
+                eprintln!("ppdp-metrics: failed to write {}: {e}", path.display());
+            }
+        }
+        snap
+    }
+}
+
+/// Serialises tests that install the process-global registry (unit tests
+/// in this crate run on parallel threads within one binary).
+#[cfg(test)]
+pub(crate) static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> MutexGuard<'static, ()> {
+        match TEST_GUARD.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = guard();
+        uninstall_global();
+        counter("lib.disabled.count", 5);
+        assert!(!enabled());
+        let registry = Registry::new();
+        install_global(registry.clone());
+        counter("lib.disabled.count", 2);
+        let snap = registry.snapshot_shards_only();
+        assert_eq!(snap.counters.get("lib.disabled.count"), Some(&2));
+        uninstall_global();
+    }
+
+    #[test]
+    fn epoch_bump_redirects_cached_threads() {
+        let _g = guard();
+        let first = Registry::new();
+        install_global(first.clone());
+        counter("lib.epoch.count", 1);
+        let second = Registry::new();
+        install_global(second.clone());
+        counter("lib.epoch.count", 10);
+        uninstall_global();
+        assert_eq!(
+            first.snapshot_shards_only().counters.get("lib.epoch.count"),
+            Some(&1)
+        );
+        assert_eq!(
+            second
+                .snapshot_shards_only()
+                .counters
+                .get("lib.epoch.count"),
+            Some(&10)
+        );
+    }
+
+    #[test]
+    fn observe_span_emits_seconds_histogram_and_calls() {
+        let _g = guard();
+        let registry = Registry::new();
+        install_global(registry.clone());
+        observe_span("bp.run", 2_000_000); // 2ms
+        let snap = registry.snapshot_shards_only();
+        uninstall_global();
+        assert_eq!(snap.counters.get("span.bp.run.calls"), Some(&1));
+        let h = match snap.histograms.get("span.bp.run.seconds") {
+            Some(h) => h,
+            None => panic!("span histogram missing"),
+        };
+        assert_eq!(h.count, 1);
+        assert!((h.min - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_target_declares_target_gauge() {
+        let _g = guard();
+        let registry = Registry::new();
+        install_global(registry.clone());
+        set_target("bp.rounds", 100.0);
+        let snap = registry.snapshot_shards_only();
+        uninstall_global();
+        assert_eq!(snap.gauges.get("target.bp.rounds"), Some(&100.0));
+    }
+
+    #[test]
+    fn worker_threads_merge_into_snapshot() {
+        let _g = guard();
+        let registry = Registry::new();
+        install_global(registry.clone());
+        // Determinism-exempt test threads (not kernel work).
+        #[allow(clippy::disallowed_methods)]
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    register_thread();
+                    for _ in 0..100 {
+                        counter("lib.workers.count", 1);
+                        observe("lib.workers.value", 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let snap = registry.snapshot_shards_only();
+        uninstall_global();
+        assert_eq!(snap.counters.get("lib.workers.count"), Some(&400));
+        let h = match snap.histograms.get("lib.workers.value") {
+            Some(h) => h,
+            None => panic!("worker histogram missing"),
+        };
+        assert_eq!(h.count, 400);
+    }
+
+    #[test]
+    fn live_metrics_finish_returns_snapshot_and_uninstalls() {
+        let _g = guard();
+        let lm = LiveMetrics::install(Some("127.0.0.1:0"), 50, None, None);
+        assert!(lm.active());
+        let addr = match lm.addr() {
+            Some(a) => a,
+            None => panic!("server did not bind"),
+        };
+        counter("lib.live.count", 9);
+        let body = match http::scrape(&addr) {
+            Ok(b) => b,
+            Err(e) => panic!("scrape failed: {e}"),
+        };
+        assert!(body.contains("lib_live_count_total 9"));
+        let snap = lm.finish();
+        assert!(!enabled());
+        assert_eq!(snap.counters.get("lib.live.count"), Some(&9));
+        assert!(snap.gauges.contains_key("process.uptime_seconds"));
+    }
+}

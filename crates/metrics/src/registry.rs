@@ -1,0 +1,580 @@
+//! Sharded live metric registry.
+//!
+//! The registry holds one [`Shard`] per participating thread. A thread
+//! resolves its shard once (guarded by an install epoch, see `lib.rs`),
+//! caches `Arc` handles to the individual metric cells it touches, and
+//! from then on updates are plain relaxed atomic operations — no locks on
+//! the hot path. Locks are only taken when a thread first touches a
+//! metric name, when a worker thread registers or retires its shard, and
+//! when a scrape merges all shards into a [`MetricsSnapshot`].
+//!
+//! Merge semantics mirror `ppdp-telemetry`'s report merge:
+//!
+//! * **counters** (integer and float) sum across shards — order never
+//!   matters for `u64`, and float sums are compared only through the
+//!   tolerance-aware [`MetricsSnapshot::equivalence_view`];
+//! * **histograms** sum `count`/`buckets`, combine `min`/`max`, and sum
+//!   `sum` (same caveat);
+//! * **gauges** are last-write-wins, arbitrated by a registry-global
+//!   sequence number so the merge picks the most recent `set` regardless
+//!   of which shard it landed in. The value and sequence are two separate
+//!   atomics, so a reader can observe a torn (value, seq) pair; gauges
+//!   are presentation-only (progress, RSS, remaining ε) and the staleness
+//!   window is one update, which the scrape path tolerates by design.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of histogram buckets. Matches `ppdp-telemetry`'s decade layout:
+/// bucket `i` covers `10^(i-12) <= v < 10^(i-11)`, with underflow clamped
+/// into bucket 0 and overflow into the last bucket.
+pub const BUCKETS: usize = 24;
+
+/// Upper (exclusive) edge of decade bucket `i`, i.e. `10^(i-11)`.
+/// The final bucket's edge is `+Inf` in the exposition layer.
+pub fn bucket_upper_edge(i: usize) -> f64 {
+    10f64.powi(i as i32 - 11)
+}
+
+/// Map a sample to its decade bucket index (same layout as
+/// `ppdp_telemetry::Histogram`).
+pub fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let exp = v.log10().floor() as i64 + 12;
+    exp.clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it.
+/// Metric cells are always left in a consistent state (every update is a
+/// single atomic op), so continuing past poison is sound.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A monotonically increasing integer counter cell.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing float counter cell (e.g. ε spent).
+#[derive(Debug)]
+pub struct FloatCell {
+    bits: AtomicU64,
+}
+
+impl Default for FloatCell {
+    fn default() -> Self {
+        FloatCell {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl FloatCell {
+    /// Add `v` via a compare-and-swap loop on the bit pattern.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins gauge cell. `seq` orders writes across shards; the
+/// shard merge keeps the value with the highest sequence number.
+#[derive(Debug)]
+pub struct GaugeCell {
+    bits: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Default for GaugeCell {
+    fn default() -> Self {
+        GaugeCell {
+            bits: AtomicU64::new(0f64.to_bits()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl GaugeCell {
+    /// Set the gauge to `v`, stamped with registry sequence `seq`.
+    #[inline]
+    pub fn set(&self, v: f64, seq: u64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Read `(value, seq)`. The pair may be torn by one in-flight update;
+    /// see the module docs for why that is acceptable for gauges.
+    pub fn get(&self) -> (f64, u64) {
+        (
+            f64::from_bits(self.bits.load(Ordering::Relaxed)),
+            self.seq.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A fixed-bucket histogram cell (decade layout, [`BUCKETS`] buckets).
+#[derive(Debug)]
+pub struct HistCell {
+    count: AtomicU64,
+    sum: FloatCell,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: FloatCell::default(),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistCell {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        update_float_extreme(&self.min_bits, v, |cur, new| new < cur);
+        update_float_extreme(&self.max_bits, v, |cur, new| new > cur);
+    }
+}
+
+/// CAS-update a float extreme stored as bits. `better(cur, new)` returns
+/// true when `new` should replace `cur`.
+fn update_float_extreme(bits: &AtomicU64, v: f64, better: fn(f64, f64) -> bool) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while better(f64::from_bits(cur), v) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Per-thread metric shard. Each map is locked only when a thread first
+/// touches a name (cell creation) and during scrapes; updates go through
+/// cached `Arc` cell handles.
+#[derive(Debug, Default)]
+pub struct Shard {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    fcounters: Mutex<BTreeMap<String, Arc<FloatCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+}
+
+impl Shard {
+    /// Get or create the integer counter cell for `name`.
+    pub fn counter_cell(&self, name: &str) -> Arc<CounterCell> {
+        let mut map = relock(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(CounterCell::default());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the float counter cell for `name`.
+    pub fn fcounter_cell(&self, name: &str) -> Arc<FloatCell> {
+        let mut map = relock(&self.fcounters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(FloatCell::default());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the gauge cell for `name`.
+    pub fn gauge_cell(&self, name: &str) -> Arc<GaugeCell> {
+        let mut map = relock(&self.gauges);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(GaugeCell::default());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the histogram cell for `name`.
+    pub fn hist_cell(&self, name: &str) -> Arc<HistCell> {
+        let mut map = relock(&self.hists);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(HistCell::default());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+}
+
+struct RegistryInner {
+    /// All shards ever handed out, live and retired alike. Scrapes merge
+    /// every entry, so counts survive thread exit.
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Shards whose owning thread has exited, available for reuse so
+    /// repeated `par_map` fan-outs don't grow the shard list unboundedly.
+    free: Mutex<Vec<Arc<Shard>>>,
+    /// Registry-global Lamport clock for gauge writes.
+    gauge_seq: AtomicU64,
+    /// Process instant the registry was created (uptime gauge).
+    epoch: std::time::Instant,
+}
+
+/// Handle to a live metric registry. Cheap to clone; all clones share the
+/// same shards.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = relock(&self.inner.shards).len();
+        f.debug_struct("Registry").field("shards", &n).finish()
+    }
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                shards: Mutex::new(Vec::new()),
+                free: Mutex::new(Vec::new()),
+                gauge_seq: AtomicU64::new(0),
+                epoch: std::time::Instant::now(),
+            }),
+        }
+    }
+
+    /// Acquire a shard for the calling thread: reuse a retired shard if
+    /// one is free, otherwise append a fresh one.
+    pub fn acquire_shard(&self) -> Arc<Shard> {
+        if let Some(s) = relock(&self.inner.free).pop() {
+            return s;
+        }
+        let s = Arc::new(Shard::default());
+        relock(&self.inner.shards).push(Arc::clone(&s));
+        s
+    }
+
+    /// Return a shard to the free list when its owning thread exits. The
+    /// shard stays in `shards` (its counts remain visible); it is merely
+    /// eligible for reuse by the next worker thread.
+    pub fn release_shard(&self, shard: Arc<Shard>) {
+        relock(&self.inner.free).push(shard);
+    }
+
+    /// Next gauge sequence number (registry-global, monotone).
+    pub fn next_gauge_seq(&self) -> u64 {
+        self.inner.gauge_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// True when both handles point at the same registry.
+    pub fn same_as(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Merge every shard into a point-in-time [`MetricsSnapshot`] and fold
+    /// in process-level resource series (`process.*`, `alloc.*`).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.snapshot_shards_only();
+        snap.gauges
+            .insert("process.uptime_seconds".to_owned(), self.uptime_seconds());
+        if let Some(rs) = crate::resource::sample() {
+            snap.gauges
+                .insert("process.rss_bytes".to_owned(), rs.rss_bytes as f64);
+            snap.gauges.insert(
+                "process.peak_rss_bytes".to_owned(),
+                rs.peak_rss_bytes as f64,
+            );
+            snap.gauges
+                .insert("process.threads".to_owned(), rs.threads as f64);
+        }
+        if let Some(at) = crate::alloc::totals() {
+            snap.counters.insert("alloc.bytes".to_owned(), at.bytes);
+            snap.counters.insert("alloc.count".to_owned(), at.count);
+            snap.gauges
+                .insert("alloc.live_bytes".to_owned(), at.live_bytes as f64);
+            snap.gauges.insert(
+                "alloc.peak_live_bytes".to_owned(),
+                at.peak_live_bytes as f64,
+            );
+            for (path, bytes, count) in crate::alloc::span_cells() {
+                snap.counters
+                    .insert(format!("alloc.span.{path}.bytes"), bytes);
+                snap.counters
+                    .insert(format!("alloc.span.{path}.count"), count);
+            }
+        }
+        snap
+    }
+
+    /// Merge every shard into a snapshot without the process/alloc fold-in
+    /// (used by tests that compare pure registry state).
+    pub fn snapshot_shards_only(&self) -> MetricsSnapshot {
+        let shards: Vec<Arc<Shard>> = relock(&self.inner.shards).clone();
+        let mut snap = MetricsSnapshot::default();
+        let mut gauge_seqs: BTreeMap<String, u64> = BTreeMap::new();
+        for shard in &shards {
+            for (name, cell) in relock(&shard.counters).iter() {
+                *snap.counters.entry(name.clone()).or_insert(0) += cell.get();
+            }
+            for (name, cell) in relock(&shard.fcounters).iter() {
+                *snap.fcounters.entry(name.clone()).or_insert(0.0) += cell.get();
+            }
+            for (name, cell) in relock(&shard.gauges).iter() {
+                let (v, seq) = cell.get();
+                let best = gauge_seqs.entry(name.clone()).or_insert(0);
+                if seq >= *best {
+                    *best = seq;
+                    snap.gauges.insert(name.clone(), v);
+                }
+            }
+            for (name, cell) in relock(&shard.hists).iter() {
+                let entry = snap
+                    .histograms
+                    .entry(name.clone())
+                    .or_insert_with(|| HistSnapshot {
+                        count: 0,
+                        sum: 0.0,
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                        buckets: vec![0; BUCKETS],
+                    });
+                entry.count += cell.count.load(Ordering::Relaxed);
+                entry.sum += cell.sum.get();
+                let min = f64::from_bits(cell.min_bits.load(Ordering::Relaxed));
+                let max = f64::from_bits(cell.max_bits.load(Ordering::Relaxed));
+                if min < entry.min {
+                    entry.min = min;
+                }
+                if max > entry.max {
+                    entry.max = max;
+                }
+                for (dst, src) in entry.buckets.iter_mut().zip(cell.buckets.iter()) {
+                    *dst += src.load(Ordering::Relaxed);
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time merged view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Integer counters, summed across shards.
+    pub counters: BTreeMap<String, u64>,
+    /// Float counters (ε/δ spend), summed across shards.
+    pub fcounters: BTreeMap<String, f64>,
+    /// Gauges, last-write-wins by registry sequence.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms, merged across shards.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+/// Merged histogram state inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of samples (float addition — compare with tolerance).
+    pub sum: f64,
+    /// Smallest sample, `+Inf` when empty.
+    pub min: f64,
+    /// Largest sample, `-Inf` when empty.
+    pub max: f64,
+    /// Decade bucket occupancy ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Project out everything that may legitimately differ between
+    /// `ExecPolicy::Sequential` and `ExecPolicy::Parallel` runs of the
+    /// same workload: float sums (addition order), gauges (timing and
+    /// scheduling dependent), environment series (`process.*`,
+    /// `alloc.*`, `exec.*`, `metrics.*`), and span *duration* histograms
+    /// (wall time is nondeterministic even between two sequential runs —
+    /// the `span.*.calls` counters stay, they are policy-invariant).
+    /// What remains — integer counters and histogram
+    /// count/min/max/buckets — must be identical, which the root
+    /// `tests/metrics.rs` suite enforces.
+    pub fn equivalence_view(&self) -> MetricsSnapshot {
+        let env = |name: &str| {
+            name.starts_with("process.")
+                || name.starts_with("alloc.")
+                || name.starts_with("exec.")
+                || name.starts_with("metrics.")
+        };
+        let timing = |name: &str| name.starts_with("span.");
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| !env(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            fcounters: self
+                .fcounters
+                .iter()
+                .filter(|(k, _)| !env(k))
+                .map(|(k, _)| (k.clone(), 0.0))
+                .collect(),
+            gauges: BTreeMap::new(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !env(k) && !timing(k))
+                .map(|(k, h)| {
+                    let mut h = h.clone();
+                    h.sum = 0.0;
+                    (k.clone(), h)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_matches_telemetry_decades() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(1e-12), 0);
+        assert_eq!(bucket_index(1.0), 12);
+        assert_eq!(bucket_index(9.9), 12);
+        assert_eq!(bucket_index(10.0), 13);
+        assert_eq!(bucket_index(1e20), BUCKETS - 1);
+        assert!((bucket_upper_edge(12) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let r = Registry::new();
+        let a = r.acquire_shard();
+        let b = r.acquire_shard();
+        a.counter_cell("x").add(3);
+        b.counter_cell("x").add(4);
+        b.counter_cell("y").add(1);
+        let snap = r.snapshot_shards_only();
+        assert_eq!(snap.counters.get("x"), Some(&7));
+        assert_eq!(snap.counters.get("y"), Some(&1));
+    }
+
+    #[test]
+    fn gauges_pick_highest_sequence() {
+        let r = Registry::new();
+        let a = r.acquire_shard();
+        let b = r.acquire_shard();
+        a.gauge_cell("g").set(1.0, r.next_gauge_seq());
+        b.gauge_cell("g").set(2.0, r.next_gauge_seq());
+        a.gauge_cell("g").set(3.0, r.next_gauge_seq());
+        let snap = r.snapshot_shards_only();
+        assert_eq!(snap.gauges.get("g"), Some(&3.0));
+    }
+
+    #[test]
+    fn histograms_merge_counts_and_extremes() {
+        let r = Registry::new();
+        let a = r.acquire_shard();
+        let b = r.acquire_shard();
+        a.hist_cell("h").observe(0.5);
+        b.hist_cell("h").observe(50.0);
+        let snap = r.snapshot_shards_only();
+        let h = snap.histograms.get("h").map(Clone::clone);
+        let h = match h {
+            Some(h) => h,
+            None => panic!("histogram missing"),
+        };
+        assert_eq!(h.count, 2);
+        assert!((h.min - 0.5).abs() < 1e-12);
+        assert!((h.max - 50.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(h.buckets[bucket_index(0.5)], 1);
+        assert_eq!(h.buckets[bucket_index(50.0)], 1);
+    }
+
+    #[test]
+    fn released_shards_are_reused_and_keep_counts() {
+        let r = Registry::new();
+        let a = r.acquire_shard();
+        a.counter_cell("n").add(2);
+        r.release_shard(a);
+        let b = r.acquire_shard();
+        b.counter_cell("n").add(5);
+        // Reuse: still exactly one shard backing the registry.
+        let snap = r.snapshot_shards_only();
+        assert_eq!(snap.counters.get("n"), Some(&7));
+    }
+
+    #[test]
+    fn equivalence_view_drops_environment_series() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("bp.messages".into(), 10);
+        snap.counters.insert("exec.workers_spawned".into(), 4);
+        snap.fcounters.insert("budget.epsilon_spent".into(), 0.5);
+        snap.gauges.insert("process.rss_bytes".into(), 1e6);
+        let view = snap.equivalence_view();
+        assert!(view.counters.contains_key("bp.messages"));
+        assert!(!view.counters.contains_key("exec.workers_spawned"));
+        assert_eq!(view.fcounters.get("budget.epsilon_spent"), Some(&0.0));
+        assert!(view.gauges.is_empty());
+    }
+}

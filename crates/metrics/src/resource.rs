@@ -1,0 +1,301 @@
+//! Process resource sampling and the heartbeat thread.
+//!
+//! [`sample`] parses `/proc/self/status` (Linux) for RSS, peak RSS and
+//! thread count. [`Heartbeat`] is a low-frequency monitoring thread that
+//! periodically
+//!
+//! 1. publishes `process.*` resource gauges into the registry,
+//! 2. derives **progress / rate / ETA gauges**: for every gauge named
+//!    `target.<name>` it looks up the counter `<name>` and emits
+//!    `progress.<name>` (fraction complete), `rate.<name>_per_s`
+//!    (samples/s since the previous tick) and `eta_seconds.<name>`,
+//!    which is how BP round and Gibbs sweep counters become live ETA
+//!    series, and
+//! 3. optionally writes an OpenMetrics snapshot file (tmp + rename) so
+//!    headless CI can observe a run without a scrape port.
+
+use crate::registry::Registry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One sample of process-level resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Peak resident set size in bytes (`VmHWM`).
+    pub peak_rss_bytes: u64,
+    /// Current thread count (`Threads`).
+    pub threads: u64,
+}
+
+/// Sample the current process, or `None` on platforms without
+/// `/proc/self/status`.
+pub fn sample() -> Option<ResourceSample> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut rss = None;
+    let mut hwm = None;
+    let mut threads = None;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            hwm = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = rest.trim().parse::<u64>().ok();
+        }
+    }
+    Some(ResourceSample {
+        rss_bytes: rss?,
+        peak_rss_bytes: hwm.unwrap_or(0),
+        threads: threads.unwrap_or(0),
+    })
+}
+
+fn parse_kb(rest: &str) -> Option<u64> {
+    let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Handle to a running heartbeat thread; stops (and joins) on drop.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Start a heartbeat over `registry`, ticking every `interval`. When
+    /// `snapshot_path` is set, each tick also rewrites that file with the
+    /// current OpenMetrics payload (atomically, via tmp + rename).
+    pub fn start(
+        registry: Registry,
+        interval: Duration,
+        snapshot_path: Option<PathBuf>,
+    ) -> Heartbeat {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        // Monitoring thread, not kernel work: exempt from the ppdp-exec
+        // determinism model, hence the allow on the spawn denylist.
+        #[allow(clippy::disallowed_methods)]
+        let handle = std::thread::Builder::new()
+            .name("ppdp-metrics-heartbeat".to_owned())
+            .spawn(move || {
+                run(
+                    registry,
+                    interval.max(Duration::from_millis(10)),
+                    snapshot_path,
+                    stop2,
+                )
+            })
+            .ok();
+        Heartbeat { stop, handle }
+    }
+
+    /// Stop the heartbeat and wait for the thread to exit.
+    pub fn stop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        if let Ok(mut stopped) = lock.lock() {
+            *stopped = true;
+        }
+        cvar.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn run(
+    registry: Registry,
+    interval: Duration,
+    snapshot_path: Option<PathBuf>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let shard = registry.acquire_shard();
+    let mut prev: HashMap<String, (f64, Instant)> = HashMap::new();
+    loop {
+        tick(&registry, &shard, &mut prev);
+        if let Some(path) = &snapshot_path {
+            write_snapshot(&registry, path);
+        }
+        let (lock, cvar) = &*stop;
+        let stopped = match lock.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if *stopped {
+            break;
+        }
+        match cvar.wait_timeout(stopped, interval) {
+            Ok((g, _)) if *g => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    registry.release_shard(shard);
+}
+
+fn tick(
+    registry: &Registry,
+    shard: &crate::registry::Shard,
+    prev: &mut HashMap<String, (f64, Instant)>,
+) {
+    shard.counter_cell("metrics.heartbeats").add(1);
+    if let Some(rs) = sample() {
+        shard
+            .gauge_cell("process.rss_bytes")
+            .set(rs.rss_bytes as f64, registry.next_gauge_seq());
+        shard
+            .gauge_cell("process.peak_rss_bytes")
+            .set(rs.peak_rss_bytes as f64, registry.next_gauge_seq());
+        shard
+            .gauge_cell("process.threads")
+            .set(rs.threads as f64, registry.next_gauge_seq());
+    }
+    shard
+        .gauge_cell("process.uptime_seconds")
+        .set(registry.uptime_seconds(), registry.next_gauge_seq());
+
+    // Progress / rate / ETA derivation from `target.<name>` gauges.
+    let snap = registry.snapshot_shards_only();
+    let now = Instant::now();
+    for (gname, target) in &snap.gauges {
+        let name = match gname.strip_prefix("target.") {
+            Some(n) => n,
+            None => continue,
+        };
+        let current = snap
+            .counters
+            .get(name)
+            .map(|v| *v as f64)
+            .or_else(|| snap.fcounters.get(name).copied())
+            .or_else(|| {
+                // Progress sources may themselves be gauges (e.g.
+                // bp.round, which resets per restart attempt).
+                snap.gauges.get(name).copied()
+            });
+        let current = match current {
+            Some(c) => c,
+            None => continue,
+        };
+        if *target > 0.0 {
+            shard.gauge_cell(&format!("progress.{name}")).set(
+                (current / target).clamp(0.0, 1.0),
+                registry.next_gauge_seq(),
+            );
+        }
+        if let Some((pv, pt)) = prev.get(name) {
+            let dt = now.duration_since(*pt).as_secs_f64();
+            if dt > 0.0 {
+                let rate = (current - pv) / dt;
+                shard
+                    .gauge_cell(&format!("rate.{name}_per_s"))
+                    .set(rate.max(0.0), registry.next_gauge_seq());
+                if rate > 0.0 && *target > current {
+                    shard
+                        .gauge_cell(&format!("eta_seconds.{name}"))
+                        .set((target - current) / rate, registry.next_gauge_seq());
+                }
+            }
+        }
+        prev.insert(name.to_owned(), (current, now));
+    }
+}
+
+fn write_snapshot(registry: &Registry, path: &PathBuf) {
+    let text = registry.snapshot().to_openmetrics();
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_status_sampling_works_on_linux() {
+        if !std::path::Path::new("/proc/self/status").exists() {
+            return;
+        }
+        let s = match sample() {
+            Some(s) => s,
+            None => panic!("sampling failed on linux"),
+        };
+        assert!(s.rss_bytes > 0);
+        assert!(s.threads >= 1);
+    }
+
+    #[test]
+    fn heartbeat_derives_progress_and_eta() {
+        let registry = Registry::new();
+        let shard = registry.acquire_shard();
+        shard
+            .gauge_cell("target.demo.items")
+            .set(100.0, registry.next_gauge_seq());
+        shard.counter_cell("demo.items").add(25);
+        let mut hb = Heartbeat::start(registry.clone(), Duration::from_millis(15), None);
+        // First tick records progress; a later tick (after more work)
+        // derives a positive rate and an ETA.
+        std::thread::sleep(Duration::from_millis(40));
+        shard.counter_cell("demo.items").add(25);
+        std::thread::sleep(Duration::from_millis(60));
+        hb.stop();
+
+        let snap = registry.snapshot_shards_only();
+        let progress = snap.gauges.get("progress.demo.items").copied();
+        match progress {
+            Some(p) => assert!((0.25..=1.0).contains(&p), "progress {p}"),
+            None => panic!(
+                "no progress gauge: {:?}",
+                snap.gauges.keys().collect::<Vec<_>>()
+            ),
+        }
+        assert!(
+            snap.counters
+                .get("metrics.heartbeats")
+                .copied()
+                .unwrap_or(0)
+                >= 2
+        );
+        assert!(snap.gauges.contains_key("rate.demo.items_per_s"));
+    }
+
+    #[test]
+    fn snapshot_file_is_written_and_valid() {
+        let registry = Registry::new();
+        let shard = registry.acquire_shard();
+        shard.counter_cell("demo.file.count").add(7);
+        let dir = std::env::temp_dir().join("ppdp_metrics_hb_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("snap.prom");
+        let _ = std::fs::remove_file(&path);
+        let mut hb = Heartbeat::start(
+            registry.clone(),
+            Duration::from_millis(15),
+            Some(path.clone()),
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        hb.stop();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => panic!("snapshot file missing: {e}"),
+        };
+        if let Err(e) = crate::expose::validate(&text) {
+            panic!("invalid snapshot exposition: {e}");
+        }
+        assert!(text.contains("demo_file_count_total 7"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

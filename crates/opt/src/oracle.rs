@@ -282,6 +282,8 @@ pub fn greedy_cardinality_oracle<O: DeltaOracle + ?Sized>(
     let mut current = base_nan_error(oracle)?;
     let mut picked: Vec<usize> = Vec::new();
     let mut remaining = uncommitted(oracle);
+    // Live progress: k is the pick ceiling (early exit on zero gain).
+    ppdp_telemetry::target("greedy.picks", k as f64);
     while picked.len() < k && !remaining.is_empty() {
         let values = oracle.value_of_batch(exec, &remaining);
         evaluations += values.len() as u64;
@@ -300,6 +302,7 @@ pub fn greedy_cardinality_oracle<O: DeltaOracle + ?Sized>(
         ppdp_trace::greedy_pick("cardinality", item as u64, value, value - current);
         oracle.commit(item, value);
         picked.push(item);
+        ppdp_telemetry::gauge("greedy.picks", picked.len() as f64);
         current = value;
     }
     ppdp_telemetry::counter("greedy.cardinality.evaluations", evaluations);
@@ -517,6 +520,10 @@ pub fn lazy_greedy_knapsack_oracle<O: DeltaOracle + ?Sized>(
             ppdp_trace::greedy_pick("lazy_knapsack", top.item as u64, current, top.gain);
             oracle.commit(top.item, current);
             picked.push(top.item);
+            // Live pick position and budget headroom for mid-run scrapes
+            // (no meaningful pick-count target under a knapsack bound).
+            ppdp_telemetry::gauge("greedy.picks", picked.len() as f64);
+            ppdp_telemetry::gauge("greedy.budget_remaining", budget - spent);
             round += 1;
         } else {
             // Stale bound: re-evaluate against the current selection.

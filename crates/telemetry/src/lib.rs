@@ -17,6 +17,15 @@
 //! call-site provenance, degradations), so the entire existing
 //! instrumentation surface shows up in traces without extra wiring.
 //!
+//! Likewise, when a `ppdp-metrics` live registry is installed (see
+//! [`ppdp_metrics::install_global`] / `PPDP_METRICS=1`), every primitive
+//! tees into it: counters and histograms become live series, spans
+//! become `span.<path>.seconds` histograms plus `span.<path>.calls`
+//! counters with per-span allocation attribution, and ε-draws accumulate
+//! into `budget.epsilon_spent`. The extra [`gauge`] and [`target`]
+//! primitives are live-only (run reports have no last-write-wins
+//! concept) and power mid-run progress/ETA derivation.
+//!
 //! ```
 //! use ppdp_telemetry::Recorder;
 //!
@@ -266,6 +275,7 @@ fn for_each_recorder(f: impl Fn(&Recorder)) {
 #[inline]
 pub fn counter(name: &str, n: u64) {
     ppdp_trace::counter_event(name, n);
+    ppdp_metrics::counter(name, n);
     if !enabled() {
         return;
     }
@@ -276,10 +286,32 @@ pub fn counter(name: &str, n: u64) {
 #[inline]
 pub fn value(name: &str, v: f64) {
     ppdp_trace::value_event(name, v);
+    ppdp_metrics::observe(name, v);
     if !enabled() {
         return;
     }
     for_each_recorder(|r| r.record_value(name, v));
+}
+
+/// Sets the live gauge `name` to `v` (last write wins across threads).
+///
+/// Gauges exist only in the live `ppdp-metrics` layer — a [`RunReport`]
+/// is an end-of-run aggregate with no meaningful "current value", so
+/// this records nothing when no live registry is installed. Kernels use
+/// it for round/sweep positions (`bp.round`, `gibbs.sweep`) and
+/// remaining-budget readouts that operators watch mid-run.
+#[inline]
+pub fn gauge(name: &str, v: f64) {
+    ppdp_metrics::gauge_set(name, v);
+}
+
+/// Declares the completion target for `name` (live-only, like [`gauge`]):
+/// the metrics heartbeat derives `progress.<name>`, `rate.<name>_per_s`
+/// and `eta_seconds.<name>` from the counter or gauge `<name>` relative
+/// to this total.
+#[inline]
+pub fn target(name: &str, total: f64) {
+    ppdp_metrics::set_target(name, total);
 }
 
 /// Records one privacy-budget draw. No-op when disabled.
@@ -300,6 +332,11 @@ pub fn budget_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensi
             sensitivity,
             &format!("{}:{}", loc.file(), loc.line()),
         );
+    }
+    if ppdp_metrics::enabled() {
+        ppdp_metrics::counter("budget.draws", 1);
+        ppdp_metrics::counter_f64("budget.epsilon_spent", epsilon);
+        ppdp_metrics::counter_f64(&format!("budget.epsilon_spent.{mechanism}"), epsilon);
     }
     if !enabled() {
         return;
@@ -323,6 +360,10 @@ pub fn budget_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensi
 #[inline]
 pub fn degradation(subsystem: &str, reason: &str) {
     ppdp_trace::degradation_event(subsystem, reason);
+    if ppdp_metrics::enabled() {
+        ppdp_metrics::counter(&format!("degraded.{subsystem}"), 1);
+        ppdp_metrics::counter(&format!("degraded.{subsystem}.{reason}"), 1);
+    }
     if !enabled() {
         return;
     }
@@ -340,7 +381,8 @@ pub fn degradation(subsystem: &str, reason: &str) {
 pub fn span(name: &'static str) -> Span {
     let telemetry = enabled();
     let tracing = ppdp_trace::enabled();
-    if !telemetry && !tracing {
+    let metrics = ppdp_metrics::enabled();
+    if !telemetry && !tracing && !metrics {
         return Span { open: None };
     }
     let path = SPAN_PATH.with(|p| {
@@ -353,12 +395,19 @@ pub fn span(name: &'static str) -> Span {
     } else {
         None
     };
+    let alloc_scope = if metrics {
+        Some(ppdp_metrics::alloc::AllocScope::enter(&path))
+    } else {
+        None
+    };
     Span {
         open: Some(SpanOpen {
             start: Instant::now(),
             path,
             trace_key,
             telemetry,
+            metrics,
+            alloc_scope,
         }),
     }
 }
@@ -373,6 +422,11 @@ struct SpanOpen {
     trace_key: Option<ppdp_trace::TraceKey>,
     /// Whether telemetry recorders were active at entry.
     telemetry: bool,
+    /// Whether a live metrics registry was installed at entry.
+    metrics: bool,
+    /// Attributes this thread's allocations to the span path while open
+    /// (inert unless the counting allocator is installed).
+    alloc_scope: Option<ppdp_metrics::alloc::AllocScope>,
 }
 
 /// RAII guard for one execution of a wall-clock span; see [`span`].
@@ -383,13 +437,19 @@ pub struct Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(open) = self.open.take() {
+        if let Some(mut open) = self.open.take() {
             let nanos = u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Close attribution before the tee below so the tee's own
+            // formatting allocations are charged to the parent span.
+            drop(open.alloc_scope.take());
             SPAN_PATH.with(|p| {
                 p.borrow_mut().pop();
             });
             if let Some(key) = &open.trace_key {
                 ppdp_trace::span_exit(key, &open.path, nanos);
+            }
+            if open.metrics {
+                ppdp_metrics::observe_span(&open.path, nanos);
             }
             if open.telemetry {
                 for_each_recorder(|r| r.record_span(&open.path, nanos));
@@ -647,6 +707,52 @@ mod tests {
             &r.event,
             TraceEvent::SpanExit { path, .. } if path == "traceonly.outer/traceonly.inner"
         )));
+    }
+
+    #[test]
+    fn primitives_tee_into_live_metrics_registry() {
+        // The only test in this binary that installs the process-global
+        // metrics registry, so no cross-test interference on its names.
+        let registry = ppdp_metrics::Registry::new();
+        let prev = ppdp_metrics::install_global(registry.clone());
+        {
+            let outer = span("tee.outer");
+            counter("tee.count", 4);
+            value("tee.residual", 0.25);
+            gauge("tee.position", 7.0);
+            target("tee.position", 10.0);
+            budget_draw("laplace", "tee[0]", 0.5, 0.0, 1.0);
+            degradation("tee", "test_reason");
+            drop(outer);
+        }
+        let snap = registry.snapshot_shards_only();
+        match prev {
+            Some(p) => {
+                ppdp_metrics::install_global(p);
+            }
+            None => {
+                ppdp_metrics::uninstall_global();
+            }
+        }
+        assert_eq!(snap.counters.get("tee.count"), Some(&4));
+        let h = snap
+            .histograms
+            .get("tee.residual")
+            .expect("value() tees a histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(snap.gauges.get("tee.position"), Some(&7.0));
+        assert_eq!(snap.gauges.get("target.tee.position"), Some(&10.0));
+        assert_eq!(snap.counters.get("budget.draws"), Some(&1));
+        let eps = snap
+            .fcounters
+            .get("budget.epsilon_spent")
+            .expect("epsilon tee");
+        assert!((eps - 0.5).abs() < 1e-12);
+        assert_eq!(snap.counters.get("degraded.tee"), Some(&1));
+        assert_eq!(snap.counters.get("degraded.tee.test_reason"), Some(&1));
+        // Spans tee even with no recorder or collector active.
+        assert_eq!(snap.counters.get("span.tee.outer.calls"), Some(&1));
+        assert!(snap.histograms.contains_key("span.tee.outer.seconds"));
     }
 
     #[test]

@@ -10,8 +10,65 @@
 //! order-*dependent* (it tracks the most recent sample) and is excluded —
 //! the equivalence view zeroes it for the same reason.
 
+//!
+//! The live-metrics registry (`ppdp-metrics`) has the same obligation
+//! one layer down: per-thread shards merge into a snapshot in shard
+//! order, which is unrelated to the order values arrived, so the merged
+//! histogram must not depend on how the sample stream was partitioned
+//! across threads. The `registry_*` properties below pin that.
+
 use ppdp_telemetry::{Histogram, SpanStats};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises properties that install the process-global metrics
+/// registry (the test harness runs properties on parallel threads).
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Records `chunks` into a fresh registry — one OS thread per chunk,
+/// all racing into the sharded histogram — and returns the merged view.
+fn record_partitioned(chunks: Vec<Vec<f64>>) -> ppdp_metrics::HistSnapshot {
+    let guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let registry = ppdp_metrics::Registry::new();
+    let prev = ppdp_metrics::install_global(registry.clone());
+    #[allow(clippy::disallowed_methods)] // raw threads are the point: shard-per-thread racing
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            std::thread::spawn(move || {
+                ppdp_metrics::register_thread();
+                for v in chunk {
+                    ppdp_metrics::observe("merge.props.hist", v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread panicked");
+    }
+    ppdp_metrics::uninstall_global();
+    if let Some(prev) = prev {
+        ppdp_metrics::install_global(prev);
+    }
+    drop(guard);
+    registry
+        .snapshot_shards_only()
+        .histograms
+        .get("merge.props.hist")
+        .cloned()
+        .expect("histogram was recorded")
+}
+
+/// Order-independent projection of a registry histogram: everything
+/// except `sum`, which is compared approximately (float associativity).
+fn registry_view(h: &ppdp_metrics::HistSnapshot) -> (u64, u64, u64, Vec<u64>) {
+    (
+        h.count,
+        h.min.to_bits(),
+        h.max.to_bits(),
+        h.buckets.to_vec(),
+    )
+}
 
 fn histogram_of(samples: &[f64]) -> Histogram {
     let mut h = Histogram::default();
@@ -119,5 +176,44 @@ proptest! {
         right.merge(&SpanStats::default());
         prop_assert_eq!(left, s);
         prop_assert_eq!(right, s);
+    }
+
+    /// Registry shard merging is partition-invariant: splitting one
+    /// sample stream across racing threads (in either chunk order)
+    /// yields the same merged histogram as recording it on one thread.
+    #[test]
+    fn registry_histogram_merge_is_partition_invariant(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..48),
+        cut_a in 0usize..48,
+        cut_b in 0usize..48,
+    ) {
+        let split = |cut: usize| -> Vec<Vec<f64>> {
+            let cut = cut % samples.len().max(1);
+            vec![samples[..cut].to_vec(), samples[cut..].to_vec()]
+        };
+        let whole = record_partitioned(vec![samples.clone()]);
+        let two = record_partitioned(split(cut_a));
+        let mut reversed = split(cut_b);
+        reversed.reverse();
+        let other = record_partitioned(reversed);
+
+        prop_assert_eq!(registry_view(&whole), registry_view(&two));
+        prop_assert_eq!(registry_view(&whole), registry_view(&other));
+        let scale = whole.sum.abs().max(1.0);
+        prop_assert!((two.sum - whole.sum).abs() <= 1e-9 * scale);
+        prop_assert!((other.sum - whole.sum).abs() <= 1e-9 * scale);
+    }
+
+    /// The registry's decade buckets agree with the telemetry
+    /// `Histogram` layout sample-for-sample, so a run report and a live
+    /// scrape of the same stream always tell the same story.
+    #[test]
+    fn registry_buckets_match_telemetry_histogram(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..48),
+    ) {
+        let live = record_partitioned(vec![samples.clone()]);
+        let report = histogram_of(&samples);
+        prop_assert_eq!(live.count, report.count);
+        prop_assert_eq!(&live.buckets, &report.buckets);
     }
 }

@@ -9,8 +9,9 @@
 //!
 //! | class | matched by | rule |
 //! |---|---|---|
-//! | skip | `exec.*`, `*.min_nanos`/`*.max_nanos`, `phase_ms`, `speedup`, `*.last`, `ts_nanos` | never compared (scheduling noise) |
+//! | skip | `exec.*`, `threads`, `*.min_nanos`/`*.max_nanos`, `phase_ms`, `speedup`, `*.last`, `ts_nanos` | never compared (scheduling noise) |
 //! | wall | `total_nanos`, `wall_ns`, `dur_nanos`, `*wall*` | flag *increases* beyond `wall_ratio` |
+//! | memory | leaf contains `rss`, or starts with `alloc_`, or ends with `_bytes` | flag *increases* beyond `memory_ratio` — footprint growth (`BENCH_SCALE.json` columns) |
 //! | epsilon | `*epsilon*`, `*delta*` | flag *increases* beyond `epsilon_ratio` — privacy overspend |
 //! | count | both values integral | flag relative changes beyond `count_ratio` in either direction, with an absolute slack for tiny counters |
 //! | float | everything else | flag relative error beyond `float_rtol` |
@@ -22,12 +23,16 @@
 use crate::json::JsonValue;
 
 /// Thresholds for [`diff_values`]. The defaults flag a 1.5× wall-time
-/// regression, a 1.2× ε overspend, a 1.25× count change and a 5%
-/// float drift.
+/// regression, a 1.5× memory-footprint growth, a 1.2× ε overspend, a
+/// 1.25× count change and a 5% float drift.
 #[derive(Debug, Clone)]
 pub struct DiffThresholds {
     /// Wall metrics flag when `candidate / baseline >= wall_ratio`.
     pub wall_ratio: f64,
+    /// Memory metrics (RSS / allocation columns) flag when
+    /// `candidate / baseline >= memory_ratio`. Increase-only, like wall:
+    /// an allocator that got leaner never flags.
+    pub memory_ratio: f64,
     /// ε/δ metrics flag when `candidate / baseline >= epsilon_ratio`.
     pub epsilon_ratio: f64,
     /// Count metrics flag when the larger/smaller ratio exceeds this.
@@ -46,6 +51,7 @@ impl Default for DiffThresholds {
     fn default() -> Self {
         Self {
             wall_ratio: 1.5,
+            memory_ratio: 1.5,
             epsilon_ratio: 1.2,
             count_ratio: 1.25,
             count_slack: 2.0,
@@ -60,6 +66,9 @@ impl Default for DiffThresholds {
 pub enum MetricClass {
     /// Wall-clock time: regressions are increases.
     Wall,
+    /// Memory footprint (RSS samples, allocator byte/alloc counts):
+    /// regressions are increases.
+    Memory,
     /// Privacy spend: regressions are increases.
     Epsilon,
     /// Integral counts: any large relative change.
@@ -82,6 +91,7 @@ pub fn classify(path: &str, baseline: f64, candidate: f64) -> MetricClass {
     if has_seg("exec")
         || lower.starts_with("exec.")
         || lower.contains(".exec.")
+        || leaf == "threads"
         || leaf == "min_nanos"
         || leaf == "max_nanos"
         || leaf == "last"
@@ -93,6 +103,9 @@ pub fn classify(path: &str, baseline: f64, candidate: f64) -> MetricClass {
     }
     if leaf == "total_nanos" || leaf == "wall_ns" || leaf == "dur_nanos" || lower.contains("wall") {
         return MetricClass::Wall;
+    }
+    if leaf.contains("rss") || leaf.starts_with("alloc_") || leaf.ends_with("_bytes") {
+        return MetricClass::Memory;
     }
     if lower.contains("epsilon") || lower.contains("delta") {
         return MetricClass::Epsilon;
@@ -259,6 +272,12 @@ pub fn diff_values(
                     thresholds.wall_ratio
                 )
             }),
+            MetricClass::Memory => ratio_exceeds(*base, cand, thresholds.memory_ratio).map(|r| {
+                format!(
+                    "memory footprint {r:.2}x baseline (threshold {:.2}x)",
+                    thresholds.memory_ratio
+                )
+            }),
             MetricClass::Epsilon => ratio_exceeds(*base, cand, thresholds.epsilon_ratio).map(|r| {
                 format!(
                     "privacy spend {r:.2}x baseline (threshold {:.2}x)",
@@ -418,6 +437,72 @@ mod tests {
         };
         let report = diff_values(&base, &cand, &th);
         assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn memory_growth_flags_and_shrink_stays_clean() {
+        let base = parse(
+            r#"{"rows":[{"peak_rss_bytes":1000000,"alloc_bytes":500000,"alloc_count":1000,"peak_live_bytes":200000}]}"#,
+        );
+        // 2x RSS growth flags under the memory class.
+        let grown = parse(
+            r#"{"rows":[{"peak_rss_bytes":2000000,"alloc_bytes":500000,"alloc_count":1000,"peak_live_bytes":200000}]}"#,
+        );
+        let report = diff_values(&base, &grown, &DiffThresholds::default());
+        assert_eq!(report.regressions.len(), 1, "{}", report.to_text());
+        assert_eq!(report.regressions[0].path, "rows[0].peak_rss_bytes");
+        assert!(
+            report.regressions[0]
+                .reason
+                .contains("memory footprint 2.00x"),
+            "{}",
+            report.regressions[0].reason
+        );
+        // A leaner allocator (all columns halved) never flags, and the
+        // alloc_* columns are memory-class (increase-only), not counts.
+        let lean = parse(
+            r#"{"rows":[{"peak_rss_bytes":500000,"alloc_bytes":250000,"alloc_count":500,"peak_live_bytes":100000}]}"#,
+        );
+        assert!(diff_values(&base, &lean, &DiffThresholds::default()).is_clean());
+        // A tighter custom threshold catches smaller growth.
+        let th = DiffThresholds {
+            memory_ratio: 1.1,
+            ..DiffThresholds::default()
+        };
+        let slight = parse(
+            r#"{"rows":[{"peak_rss_bytes":1200000,"alloc_bytes":500000,"alloc_count":1000,"peak_live_bytes":200000}]}"#,
+        );
+        assert!(!diff_values(&base, &slight, &th).is_clean());
+    }
+
+    #[test]
+    fn bench_scale_shaped_documents_diff_clean_against_themselves() {
+        // The exact column set bench_scale emits: wall columns ride the
+        // wall class, memory columns the memory class, `threads` is
+        // scheduling noise, the rest are counts/bools.
+        let doc = parse(
+            r#"{"profile":"paper","threads":4,
+                "scrape":{"series":98,"validated":true,"bp_round_gauge":true,"span_alloc_series":true},
+                "rows":[{"kind":"genome","size":10000,"structure":7000,"gen_wall_ns":4897716,
+                         "wall_ns":41270299,"work_units":5,"converged":true,"rss_bytes":4915200,
+                         "peak_rss_bytes":5718016,"alloc_bytes":10215463,"alloc_count":29357,
+                         "peak_live_bytes":2349061}]}"#,
+        );
+        let report = diff_values(&doc, &doc, &DiffThresholds::default());
+        assert!(report.is_clean(), "{}", report.to_text());
+        // threads skipped; every row column compared.
+        assert!(report.skipped >= 1);
+        assert!(report.compared >= 12, "compared {}", report.compared);
+        // Cross-machine thread-count changes never flag.
+        let other = parse(
+            r#"{"profile":"paper","threads":16,
+                "scrape":{"series":98,"validated":true,"bp_round_gauge":true,"span_alloc_series":true},
+                "rows":[{"kind":"genome","size":10000,"structure":7000,"gen_wall_ns":4897716,
+                         "wall_ns":41270299,"work_units":5,"converged":true,"rss_bytes":4915200,
+                         "peak_rss_bytes":5718016,"alloc_bytes":10215463,"alloc_count":29357,
+                         "peak_live_bytes":2349061}]}"#,
+        );
+        assert!(diff_values(&doc, &other, &DiffThresholds::default()).is_clean());
     }
 
     #[test]

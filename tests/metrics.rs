@@ -1,0 +1,127 @@
+//! Cross-crate suite: live-metrics snapshots are execution-policy
+//! invariant.
+//!
+//! The `ppdp-metrics` registry shards writes per thread and merges at
+//! snapshot time, and the telemetry tee records from worker threads
+//! under `ExecPolicy::Parallel`. The determinism contract (DESIGN.md,
+//! "live observability & resource model") is that none of this may leak
+//! into what the metrics *say*: the same workload must produce the same
+//! counters and histogram occupancy whether it ran sequentially or on
+//! any number of racing workers. [`MetricsSnapshot::equivalence_view`]
+//! defines exactly which series carry that obligation (integer
+//! counters, fcounter key sets, value-histogram count/min/max/buckets)
+//! and which are exempt (gauges, float sums, span durations, and
+//! `process.*`/`alloc.*`/`exec.*` environment series).
+//!
+//! The registry is process-global, so everything here serialises on one
+//! mutex — the parallelism under test is *inside* each workload, not
+//! across tests.
+
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
+use ppdp::metrics::{self, MetricsSnapshot, Registry};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with a fresh global registry installed and returns `f`'s
+/// result next to the final shard-merged snapshot.
+fn with_registry<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let registry = Registry::new();
+    let prev = metrics::install_global(registry.clone());
+    let out = f();
+    metrics::uninstall_global();
+    if let Some(prev) = prev {
+        metrics::install_global(prev);
+    }
+    (out, registry.snapshot_shards_only())
+}
+
+/// A synthetic recording workload: every item bumps integer counters
+/// (including a per-class family so several names race), adds a dyadic
+/// fcounter increment, lands a histogram sample, and writes a gauge.
+/// All values derive from the item alone, so any schedule records the
+/// same multiset.
+fn synthetic_workload(exec: ExecPolicy, items: &[u8]) -> MetricsSnapshot {
+    let ((), snap) = with_registry(|| {
+        exec.par_map(items.len(), |i| {
+            let v = u64::from(items[i]);
+            metrics::counter("work.items", 1);
+            metrics::counter(&format!("work.class.{}", v % 3), v % 7 + 1);
+            // Multiples of 0.25 are exactly representable and sum
+            // exactly in every association order, so even the float
+            // counter total is bitwise policy-invariant here.
+            metrics::counter_f64("work.epsilon", (v % 8) as f64 * 0.25);
+            metrics::observe("work.value", (v % 13 + 1) as f64 * 0.5);
+            // Same value from every thread: last-write-wins cannot
+            // depend on which thread wrote last.
+            metrics::gauge_set("work.done", 1.0);
+        });
+    });
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent sharded updates under `Parallel{1,2,8}` yield the
+    /// same final snapshot as `Sequential` — byte-for-byte on the
+    /// equivalence view, bitwise on the dyadic fcounter total.
+    #[test]
+    fn sharded_updates_are_policy_invariant(
+        items in prop::collection::vec(any::<u8>(), 1..160),
+    ) {
+        let seq = synthetic_workload(ExecPolicy::Sequential, &items);
+        prop_assert_eq!(seq.counters.get("work.items"), Some(&(items.len() as u64)));
+        for threads in [1usize, 2, 8] {
+            let par = synthetic_workload(ExecPolicy::Parallel { threads }, &items);
+            prop_assert_eq!(seq.equivalence_view(), par.equivalence_view());
+            prop_assert_eq!(
+                seq.fcounters.get("work.epsilon").map(|v| v.to_bits()),
+                par.fcounters.get("work.epsilon").map(|v| v.to_bits())
+            );
+            prop_assert_eq!(par.gauges.get("work.done"), Some(&1.0));
+        }
+    }
+}
+
+/// The real tee under the real kernel: a belief-propagation run teed
+/// into the registry reports identical counters and value histograms
+/// (residual trajectories, round counts) under every policy — the
+/// sequential-vs-parallel equivalence harness, extended to what the
+/// live scrape would show.
+#[test]
+fn bp_tee_metrics_match_between_sequential_and_parallel() {
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(400, 40, 2, 7);
+    let evidence = Evidence::none()
+        .with_snp(SnpId(0), Genotype::HomRisk)
+        .with_trait(TraitId(1), true);
+    let graph = FactorGraph::build(&catalog, &evidence).expect("fixture catalog is well-formed");
+    let run = |exec: ExecPolicy| {
+        with_registry(|| {
+            BpConfig {
+                exec,
+                ..Default::default()
+            }
+            .run(&graph)
+        })
+    };
+    let (seq_result, seq) = run(ExecPolicy::Sequential);
+    assert!(seq_result.converged, "fixture BP run converges");
+    // The target declaration and round gauge must be present live even
+    // though they are exempt from the equivalence comparison.
+    assert_eq!(seq.gauges.get("target.bp.rounds"), Some(&100.0));
+    assert!(seq.gauges.contains_key("bp.round"));
+    for threads in [2usize, 8] {
+        let (par_result, par) = run(ExecPolicy::Parallel { threads });
+        assert_eq!(par_result.converged, seq_result.converged);
+        assert_eq!(par_result.iterations, seq_result.iterations);
+        assert_eq!(
+            seq.equivalence_view(),
+            par.equivalence_view(),
+            "metrics diverged between Sequential and Parallel{{{threads}}}"
+        );
+    }
+}
