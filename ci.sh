@@ -29,6 +29,14 @@ cargo test -q -p ppdp --test golden
 echo "==> chaos suite (fault injection: no panics allowed)"
 cargo test -q -p ppdp --test chaos
 
+# Crash-injection gate: SIGKILL/abort a real publish pipeline at every
+# deterministic durability boundary plus randomized timed kills, under
+# both execution policies. Each kill must recover to a byte-identical
+# artifact with a ledger that never under-counts spent ε; also covers the
+# experiments driver's SIGTERM checkpoint/resume path.
+echo "==> crash-injection harness (kill-mid-run recovery)"
+cargo test -q -p ppdp-bench --test crash
+
 # Perf contract of the incremental inference engine: warm-started BP must
 # reproduce the full-recompute picks exactly while updating ≤ 25% of its
 # messages and running ≥ 5× faster. Writes BENCH_PR4.json, exits non-zero
@@ -112,7 +120,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # disallowed_methods (clippy.toml) additionally denies raw
 # std::thread::spawn — all library threading goes through ppdp-exec.
 echo "==> cargo clippy (no unwrap/expect/raw-spawn in lib code)"
-for crate in ppdp-errors ppdp-graph ppdp-classify ppdp-sanitize \
+for crate in ppdp-errors ppdp-durable ppdp-graph ppdp-classify ppdp-sanitize \
     ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry \
     ppdp-metrics ppdp-trace ppdp; do
   cargo clippy -q -p "$crate" --lib -- \

@@ -1,0 +1,240 @@
+//! Crash-injection target: a small but real publish pipeline whose every
+//! durability boundary is a numbered abort point.
+//!
+//! The pipeline runs two ε-consuming stages over a [`DurableLedger`] and a
+//! [`CheckpointStore`], then writes one deterministic `artifact.json`:
+//!
+//! 1. `genome` — greedy δ-privacy SNP sanitization via
+//!    `GenomePublisher::publish_resumable` (every greedy pick is journaled
+//!    to the checkpoint store as it commits);
+//! 2. `dp` — PrivBayes-style synthetic microdata release;
+//! 3. `artifact` — the released results, written atomically.
+//!
+//! Each stage draws its ε from the WAL-backed ledger *before* doing work;
+//! after its release escapes, the stage appends an idempotent line to
+//! `truth.log` (append + fsync) — the harness's lower bound on truly-spent
+//! ε. The crash invariant under any kill: recovered `ledger.spent()` ≥ the
+//! sum of `truth.log`, and a resumed run produces an `artifact.json` that
+//! is byte-identical to an uninterrupted run's.
+//!
+//! Usage:
+//!   crash_child --dir <workdir> [--exec seq|par4] [--kill-at <n>] [--seed <s>]
+//!
+//! `--kill-at n` aborts the process (`std::process::abort`, as a crash
+//! would) at the n-th numbered crash point of a *fresh* run; the points are
+//! printed on completion (`COMPLETE points=<total> …`) so a harness can
+//! enumerate them. Resume runs renumber (durably finished spends are
+//! skipped), so harnesses only pass `--kill-at` on first runs. The
+//! `PPDP_CRASH_AT` environment variable is an equivalent spelling.
+
+use ppdp::dp::{DurableLedger, OverdrawPolicy};
+use ppdp::durable::{fnv1a, write_atomic, CheckpointStore};
+use ppdp::genomic::sanitize::Target;
+use ppdp::genomic::TraitId;
+use ppdp::prelude::{ExecPolicy, GenomePublisher};
+use ppdp::publish::DpPublisher;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Numbered abort gate: every durability boundary calls [`Gate::point`],
+/// and the run dies by `abort()` when the counter reaches `--kill-at`.
+struct Gate {
+    kill_at: Option<u32>,
+    counter: u32,
+}
+
+impl Gate {
+    fn point(&mut self, tag: &str) {
+        self.counter += 1;
+        if self.kill_at == Some(self.counter) {
+            eprintln!("crash_child: abort at point {} ({tag})", self.counter);
+            std::process::abort();
+        }
+    }
+}
+
+/// Appends `<stage> <eps_bits>` to `truth.log` and fsyncs — but only once
+/// per stage: the truth log records that a release *escaped*, and a resumed
+/// run that recomputes an already-released stage must not double-count it.
+fn truth_append(path: &Path, stage: &str, epsilon: f64) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let prefix = format!("{stage} ");
+    if existing.lines().any(|l| l.starts_with(&prefix)) {
+        return Ok(());
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{stage} {}", epsilon.to_bits())?;
+    f.sync_all()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: crash_child --dir <workdir> [--exec seq|par4] [--kill-at <n>] [--seed <s>]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("crash_child: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut exec = ExecPolicy::Sequential;
+    let mut exec_name = "seq";
+    let mut kill_at: Option<u32> = std::env::var("PPDP_CRASH_AT")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut seed: u64 = 42;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(iter.next().unwrap_or_else(|| usage()))),
+            "--exec" => match iter.next().map(String::as_str) {
+                Some("seq") => (exec, exec_name) = (ExecPolicy::Sequential, "seq"),
+                Some("par4") => (exec, exec_name) = (ExecPolicy::parallel(4), "par4"),
+                _ => usage(),
+            },
+            "--kill-at" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => kill_at = Some(n),
+                None => usage(),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(&format!("cannot create {dir:?}: {e}"));
+    }
+    let mut gate = Gate {
+        kill_at,
+        counter: 0,
+    };
+    let truth = dir.join("truth.log");
+
+    // -- open: ledger WAL replay + checkpoint store ----------------------
+    let store = CheckpointStore::open(&dir.join("ckpt"))
+        .unwrap_or_else(|e| fail(&format!("checkpoint store: {e}")));
+    let (mut ledger, recovery) =
+        DurableLedger::open(&dir.join("budget.wal"), 2.0, OverdrawPolicy::Strict)
+            .unwrap_or_else(|e| fail(&format!("ledger: {e}")));
+    eprintln!(
+        "crash_child: recovered draws={} eps={} torn_tail={}",
+        recovery.replayed, recovery.recovered_epsilon, recovery.torn_tail
+    );
+    gate.point("open");
+
+    // -- stage genome: δ-privacy SNP sanitization ------------------------
+    let genome_eps = 0.5;
+    if !ledger.has_label("genome") {
+        ledger
+            .spend(genome_eps, "exponential", "genome", 1.0)
+            .unwrap_or_else(|e| fail(&format!("genome spend: {e}")));
+        gate.point("genome.wal");
+    }
+    let catalog = ppdp::datagen::gwas::synthetic_catalog(60, 5, 2, seed);
+    let panel = ppdp::datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, seed);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    let genome = GenomePublisher::new(&catalog, 0.9999)
+        .exec(exec)
+        .publish_resumable(&evidence, &targets, &store, "crash")
+        .unwrap_or_else(|e| fail(&format!("genome publish: {e}")));
+    gate.point("genome.work");
+    if let Err(e) = truth_append(&truth, "genome", genome_eps) {
+        fail(&format!("truth log: {e}"));
+    }
+    gate.point("genome.truth");
+
+    // -- stage dp: synthetic microdata release ---------------------------
+    let dp_eps = 1.0;
+    if !ledger.has_label("dp") {
+        ledger
+            .spend(dp_eps, "laplace", "dp", 1.0)
+            .unwrap_or_else(|e| fail(&format!("dp spend: {e}")));
+        gate.point("dp.wal");
+    }
+    let table = ppdp::datagen::microdata::correlated_microdata(300, 4, 3, 0.8, seed);
+    let dp = DpPublisher::new(dp_eps, 1)
+        .exec(exec)
+        .publish(&table, 200, seed)
+        .unwrap_or_else(|e| fail(&format!("dp publish: {e}")));
+    gate.point("dp.work");
+    if let Err(e) = truth_append(&truth, "dp", dp_eps) {
+        fail(&format!("truth log: {e}"));
+    }
+    gate.point("dp.truth");
+
+    // -- artifact: the released results, atomically ----------------------
+    let mut removed: Vec<usize> = genome.outcome.removed.iter().map(|s| s.0).collect();
+    removed.sort_unstable();
+    let history_bits: Vec<String> = genome
+        .outcome
+        .history
+        .iter()
+        .map(|h| h.to_bits().to_string())
+        .collect();
+    let mut synth_bytes = Vec::new();
+    for row in dp.table.rows() {
+        for &cell in row {
+            synth_bytes.extend_from_slice(&cell.to_le_bytes());
+        }
+    }
+    let draws: Vec<String> = ledger
+        .draws()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"label\":\"{}\",\"mechanism\":\"{}\",\"eps_bits\":{}}}",
+                d.label,
+                d.mechanism,
+                d.epsilon.to_bits()
+            )
+        })
+        .collect();
+    let artifact = format!(
+        "{{\n  \"exec\": \"{exec_name}\",\n  \"seed\": {seed},\n  \
+         \"genome\": {{\"removed\": {removed:?}, \"history_bits\": [{}], \"satisfied\": {}}},\n  \
+         \"dp\": {{\"rows\": {}, \"digest\": {}}},\n  \
+         \"ledger\": {{\"spent_bits\": {}, \"draws\": [{}]}}\n}}\n",
+        history_bits.join(", "),
+        genome.outcome.satisfied,
+        dp.table.n_rows(),
+        fnv1a(&synth_bytes),
+        ledger.spent().to_bits(),
+        draws.join(", "),
+    );
+    write_atomic(&dir.join("artifact.json"), artifact.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("artifact: {e}")));
+    gate.point("artifact");
+
+    // The truth log is a lower bound on durably-accounted ε — verify the
+    // recovery invariant from inside the completing process too.
+    let truth_sum: f64 = std::fs::read_to_string(&truth)
+        .unwrap_or_default()
+        .lines()
+        .filter_map(|l| l.split_whitespace().nth(1))
+        .filter_map(|b| b.parse::<u64>().ok())
+        .map(f64::from_bits)
+        .sum();
+    if ledger.spent() + 1e-9 < truth_sum {
+        eprintln!(
+            "crash_child: LEDGER UNDER-COUNT: spent={} < truth={truth_sum}",
+            ledger.spent()
+        );
+        std::process::exit(5);
+    }
+    println!(
+        "COMPLETE points={} spent_bits={} truth_bits={}",
+        gate.counter,
+        ledger.spent().to_bits(),
+        truth_sum.to_bits()
+    );
+}

@@ -37,11 +37,45 @@
 //! snapshot to `<path>` on exit (the flag is the CLI spelling of
 //! `PPDP_METRICS_OUT`; see README.md for the full `PPDP_METRICS_*`
 //! environment table).
+//!
+//! Long sweeps survive interruption: `--checkpoint-dir <dir>` journals
+//! every completed experiment id to a write-ahead log (fsynced append),
+//! and a rerun with the same directory skips the ids already done. On
+//! `SIGTERM` the current experiment finishes, its completion is
+//! checkpointed, every report/trace/metrics sink is flushed, and the
+//! process exits with status **4** — rerun to resume where it stopped.
+//! `PPDP_SELF_TERM_AFTER=<n>` raises SIGTERM from inside the process after
+//! `n` experiments (the crash harness's knob for testing the handler).
 
+use ppdp::durable::Wal;
 use ppdp::telemetry::{self, fmt_nanos, status_line, Recorder};
 use ppdp_bench::util::SEED;
 use ppdp_bench::{ch3, ch4, ch5};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Set by the SIGTERM handler; checked between experiments. An atomic
+/// store is async-signal-safe, which is all a handler may do.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+fn install_sigterm_handler() {
+    // SAFETY: `on_sigterm` only performs an atomic store, and the libc
+    // `signal` call itself is sound for any fn(i32) handler address.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
 
 fn run(id: &str) -> ppdp::errors::Result<()> {
     match id {
@@ -167,7 +201,7 @@ const QUICK: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json] \
-         [--metrics-out <path>] [--allow-degraded]   (ids: {})",
+         [--metrics-out <path>] [--checkpoint-dir <dir>] [--allow-degraded]   (ids: {})",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -211,6 +245,7 @@ fn main() {
 
     let mut report_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
     let mut json_stdout = false;
     let mut allow_degraded = false;
     let mut ids: Vec<&'static str> = Vec::new();
@@ -230,6 +265,16 @@ fn main() {
                     eprintln!(
                         "{}",
                         status_line("error", "--metrics-out needs a file path")
+                    );
+                    usage();
+                }
+            },
+            "--checkpoint-dir" => match iter.next() {
+                Some(p) => checkpoint_dir = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!(
+                        "{}",
+                        status_line("error", "--checkpoint-dir needs a directory path")
                     );
                     usage();
                 }
@@ -257,6 +302,41 @@ fn main() {
     if ids.is_empty() {
         usage();
     }
+    install_sigterm_handler();
+    let self_term_after: Option<usize> = std::env::var("PPDP_SELF_TERM_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    // Progress journal: replay completed ids, skip them, append as we go.
+    // The WAL's torn-tail tolerance means a kill mid-append forgets at most
+    // the one id whose completion was never acknowledged — rerunning it is
+    // safe (experiments are deterministic), forgetting ε draws would not be.
+    let mut progress = match &checkpoint_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "{}",
+                    status_line("error", &format!("cannot create {}: {e}", dir.display()))
+                );
+                std::process::exit(1);
+            }
+            match Wal::open(&dir.join("experiments.wal")) {
+                Ok((wal, replay)) => {
+                    let done: Vec<String> = replay
+                        .records
+                        .iter()
+                        .map(|r| String::from_utf8_lossy(r).into_owned())
+                        .collect();
+                    Some((wal, done))
+                }
+                Err(e) => {
+                    eprintln!("{}", status_line("error", &format!("checkpoint wal: {e}")));
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
 
     // One recorder for the whole invocation: every instrumented code path
     // in the workspace reports into it, grouped under a per-experiment span.
@@ -290,7 +370,19 @@ fn main() {
         ppdp::trace::install_global(col.clone());
     }
     let total = Instant::now();
+    let mut interrupted = false;
+    let mut completed = 0usize;
     for &id in &ids {
+        if TERMINATE.load(Ordering::Relaxed) {
+            interrupted = true;
+            break;
+        }
+        if let Some((_, done)) = &progress {
+            if done.iter().any(|d| d == id) {
+                eprintln!("{}", status_line("skip", &format!("{id} (checkpointed)")));
+                continue;
+            }
+        }
         eprintln!("{}", status_line("run", id));
         let started = Instant::now();
         let outcome = {
@@ -302,11 +394,29 @@ fn main() {
             telemetry::uninstall_global();
             std::process::exit(1);
         }
+        if let Some((wal, done)) = &mut progress {
+            // Durability point: once this append returns, a rerun skips
+            // the id even if we die before printing "done".
+            if let Err(e) = wal.append(id.as_bytes()) {
+                eprintln!("{}", status_line("error", &format!("checkpoint {id}: {e}")));
+                telemetry::uninstall_global();
+                std::process::exit(1);
+            }
+            done.push(id.to_owned());
+        }
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         eprintln!(
             "{}",
             status_line("done", &format!("{id} in {}", fmt_nanos(nanos)))
         );
+        completed += 1;
+        if self_term_after == Some(completed) {
+            // SAFETY: raising a signal at ourselves; the handler above
+            // only flips an atomic.
+            unsafe {
+                raise(SIGTERM);
+            }
+        }
     }
     telemetry::uninstall_global();
     let metrics_active = live.active();
@@ -350,7 +460,7 @@ fn main() {
         "{}",
         status_line(
             "done",
-            &format!("{} experiment(s) in {}", ids.len(), fmt_nanos(total_nanos))
+            &format!("{completed} experiment(s) in {}", fmt_nanos(total_nanos))
         )
     );
 
@@ -379,5 +489,19 @@ fn main() {
             )
         );
         std::process::exit(3);
+    }
+    if interrupted {
+        let resume_hint = match &checkpoint_dir {
+            Some(dir) => format!("rerun with --checkpoint-dir {} to resume", dir.display()),
+            None => "pass --checkpoint-dir to make interrupted sweeps resumable".to_owned(),
+        };
+        eprintln!(
+            "{}",
+            status_line(
+                "interrupted",
+                &format!("SIGTERM after {completed} experiment(s); {resume_hint}")
+            )
+        );
+        std::process::exit(4);
     }
 }

@@ -11,6 +11,7 @@
 use crate::dataset::LabeledGraph;
 use crate::relational::{masked_weight, one_hot};
 use crate::LocalClassifier;
+use ppdp_durable::{CheckpointKey, CheckpointStore, Codec};
 use ppdp_errors::{ensure, Result};
 use ppdp_exec::{split_seed, ExecPolicy};
 use rand::Rng;
@@ -101,6 +102,31 @@ pub fn gibbs_run(
     local: &dyn LocalClassifier,
     cfg: GibbsConfig,
 ) -> Result<GibbsOutcome> {
+    validate(lg, local, &cfg)?;
+    let _span = ppdp_telemetry::span("gibbs.run");
+    let unknown = lg.unknown_users();
+
+    // Cache the attribute conditionals (they never change).
+    let pa: Vec<Vec<f64>> = unknown
+        .iter()
+        .map(|&u| local.predict_dist(&lg.masked_row(u)))
+        .collect();
+
+    let seeds = chain_seeds(&cfg);
+    // Live progress across all chains: each chain bumps the
+    // `gibbs.sweeps_done` live counter per sweep, and the metrics
+    // heartbeat derives progress/ETA against this declared total.
+    ppdp_telemetry::target(
+        "gibbs.sweeps_done",
+        (cfg.chains * (cfg.burn_in + cfg.samples)) as f64,
+    );
+    let chain_outs = cfg.exec.par_map(seeds.len(), |c| {
+        run_chain(lg, &cfg, &unknown, &pa, seeds[c])
+    });
+    Ok(pool_chains(lg, &cfg, &chain_outs))
+}
+
+fn validate(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: &GibbsConfig) -> Result<()> {
     ensure(cfg.samples > 0, "need at least one retained sample")?;
     ensure(cfg.chains > 0, "need at least one chain")?;
     ensure(
@@ -121,38 +147,24 @@ pub fn gibbs_run(
             local.n_classes(),
             lg.n_classes()
         ),
-    )?;
-    let _span = ppdp_telemetry::span("gibbs.run");
-    let n_classes = lg.n_classes();
-    let unknown = lg.unknown_users();
+    )
+}
 
-    // Cache the attribute conditionals (they never change).
-    let pa: Vec<Vec<f64>> = unknown
-        .iter()
-        .map(|&u| local.predict_dist(&lg.masked_row(u)))
-        .collect();
-
-    // Chain seeds depend only on the config: a single chain keeps the
-    // historical `cfg.seed` walk, multiple chains decorrelate via
-    // `split_seed`. The execution policy never touches the seeds.
-    let seeds: Vec<u64> = if cfg.chains == 1 {
+/// Chain seeds depend only on the config: a single chain keeps the
+/// historical `cfg.seed` walk, multiple chains decorrelate via
+/// `split_seed`. The execution policy never touches the seeds.
+fn chain_seeds(cfg: &GibbsConfig) -> Vec<u64> {
+    if cfg.chains == 1 {
         vec![cfg.seed]
     } else {
         (0..cfg.chains as u64)
             .map(|c| split_seed(cfg.seed, c))
             .collect()
-    };
-    // Live progress across all chains: each chain bumps the
-    // `gibbs.sweeps_done` live counter per sweep, and the metrics
-    // heartbeat derives progress/ETA against this declared total.
-    ppdp_telemetry::target(
-        "gibbs.sweeps_done",
-        (cfg.chains * (cfg.burn_in + cfg.samples)) as f64,
-    );
-    let chain_outs = cfg.exec.par_map(seeds.len(), |c| {
-        run_chain(lg, &cfg, &unknown, &pa, seeds[c])
-    });
+    }
+}
 
+fn pool_chains(lg: &LabeledGraph<'_>, cfg: &GibbsConfig, chain_outs: &[ChainOut]) -> GibbsOutcome {
+    let n_classes = lg.n_classes();
     // Pool the chains in chain order (not completion order): retained
     // counts and flip totals are additive; the per-sweep flip histogram is
     // recorded here on the coordinator so even its order-dependent fields
@@ -208,12 +220,186 @@ pub fn gibbs_run(
     if degraded {
         ppdp_telemetry::degradation("gibbs", "uniform_sample");
     }
-    Ok(GibbsOutcome {
+    GibbsOutcome {
         dists,
         sweeps,
         label_flips,
         degraded,
-    })
+    }
+}
+
+/// Checkpointed state of a partially completed multi-chain Gibbs run: the
+/// full [`ChainOut`] contribution of every *completed* chain, in chain
+/// order. Chains are independent given their seeds, so a resumed run
+/// simply skips the completed prefix and re-runs the rest — pooling is
+/// in chain order either way, making the resumed outcome bitwise-identical
+/// to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GibbsCheckpoint {
+    counts: Vec<Vec<Vec<usize>>>,
+    label_flips: Vec<usize>,
+    repairs: Vec<usize>,
+    sweep_flips: Vec<Vec<usize>>,
+}
+
+impl GibbsCheckpoint {
+    /// Number of completed chains recorded.
+    pub fn chains_done(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn push(&mut self, chain: &ChainOut) {
+        self.counts.push(chain.counts.clone());
+        self.label_flips.push(chain.label_flips);
+        self.repairs.push(chain.repairs);
+        self.sweep_flips.push(chain.sweep_flips.clone());
+    }
+
+    fn restore(&self) -> Vec<ChainOut> {
+        (0..self.chains_done())
+            .map(|c| ChainOut {
+                counts: self.counts[c].clone(),
+                label_flips: self.label_flips[c],
+                repairs: self.repairs[c],
+                sweep_flips: self.sweep_flips[c].clone(),
+            })
+            .collect()
+    }
+
+    /// Internal consistency: parallel vectors aligned, counts shaped for
+    /// this graph. A failed check means a foreign/corrupt snapshot; the
+    /// loader falls back to a cold start.
+    fn is_consistent(&self, lg: &LabeledGraph<'_>, cfg: &GibbsConfig) -> bool {
+        let n = self.chains_done();
+        n <= cfg.chains
+            && self.label_flips.len() == n
+            && self.repairs.len() == n
+            && self.sweep_flips.len() == n
+            && self.counts.iter().all(|per_chain| {
+                per_chain.len() == lg.graph.user_count()
+                    && per_chain.iter().all(|row| row.len() == lg.n_classes())
+            })
+            && self
+                .sweep_flips
+                .iter()
+                .all(|f| f.len() == cfg.burn_in + cfg.samples)
+    }
+}
+
+impl Codec for GibbsCheckpoint {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.counts.encode_into(out);
+        self.label_flips.encode_into(out);
+        self.repairs.encode_into(out);
+        self.sweep_flips.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(GibbsCheckpoint {
+            counts: Codec::decode(input)?,
+            label_flips: Codec::decode(input)?,
+            repairs: Codec::decode(input)?,
+            sweep_flips: Codec::decode(input)?,
+        })
+    }
+}
+
+/// The checkpoint key a [`gibbs_run_resumable`] run files its state under.
+/// The digest covers the graph (structure, attributes, known mask, target
+/// category) and every sampling parameter; the exec fingerprint is `"any"`
+/// because chain outputs are policy-invariant. The *local classifier* is
+/// not digestible through its trait object — callers running different
+/// classifiers over the same graph must use distinct `run_label`s.
+pub fn gibbs_checkpoint_key(
+    run_label: &str,
+    lg: &LabeledGraph<'_>,
+    cfg: &GibbsConfig,
+) -> CheckpointKey {
+    let input = format!(
+        "{:?}|{:?}|{:?}|{}|{}|{}|{}|{}",
+        lg.graph,
+        lg.known,
+        lg.label_cat,
+        cfg.alpha.to_bits(),
+        cfg.beta.to_bits(),
+        cfg.burn_in,
+        cfg.samples,
+        cfg.chains,
+    );
+    CheckpointKey::new(
+        format!("gibbs/{run_label}"),
+        cfg.seed,
+        "any",
+        input.as_bytes(),
+    )
+}
+
+/// [`gibbs_run`] with chain-level checkpointing: chains run in batches of
+/// the policy's thread count, and after each batch the completed chains'
+/// contributions are checkpointed (atomic tmp + fsync + rename). A rerun
+/// after a kill restores the completed chains — re-emitting their
+/// `gibbs.renormalized` telemetry so scoped recorders see the same totals
+/// — and samples only the rest. The outcome is bitwise-identical to an
+/// uninterrupted [`gibbs_run`] with the same config.
+///
+/// # Errors
+/// As [`gibbs_run`], plus [`ppdp_errors::PpdpError::Io`] when a
+/// checkpoint cannot be written.
+pub fn gibbs_run_resumable(
+    lg: &LabeledGraph<'_>,
+    local: &dyn LocalClassifier,
+    cfg: GibbsConfig,
+    store: &CheckpointStore,
+    run_label: &str,
+) -> Result<GibbsOutcome> {
+    validate(lg, local, &cfg)?;
+    let _span = ppdp_telemetry::span("gibbs.run");
+    let unknown = lg.unknown_users();
+    let pa: Vec<Vec<f64>> = unknown
+        .iter()
+        .map(|&u| local.predict_dist(&lg.masked_row(u)))
+        .collect();
+    let seeds = chain_seeds(&cfg);
+
+    let key = gibbs_checkpoint_key(run_label, lg, &cfg);
+    let mut ckpt = store
+        .load::<GibbsCheckpoint>(&key)
+        .filter(|c| c.is_consistent(lg, &cfg))
+        .unwrap_or_default();
+    let mut chain_outs = ckpt.restore();
+    if !chain_outs.is_empty() {
+        // Restored chains already paid their in-chain telemetry in the
+        // killed process; re-emit the additive counters so a scoped
+        // recorder around this run sees uninterrupted totals.
+        let repairs: u64 = chain_outs.iter().map(|c| c.repairs as u64).sum();
+        if repairs > 0 {
+            ppdp_telemetry::counter("gibbs.renormalized", repairs);
+        }
+        ppdp_telemetry::counter("gibbs.checkpoint.resumed_chains", chain_outs.len() as u64);
+        ppdp_trace::supervisor_event("checkpoint_resume", run_label, chain_outs.len() as u64);
+    }
+
+    ppdp_telemetry::target(
+        "gibbs.sweeps_done",
+        (cfg.chains * (cfg.burn_in + cfg.samples)) as f64,
+    );
+    let batch = cfg.exec.threads().max(1);
+    while chain_outs.len() < seeds.len() {
+        let start = chain_outs.len();
+        let end = (start + batch).min(seeds.len());
+        let outs = cfg.exec.par_map(end - start, |i| {
+            run_chain(lg, &cfg, &unknown, &pa, seeds[start + i])
+        });
+        for out in &outs {
+            ckpt.push(out);
+        }
+        chain_outs.extend(outs);
+        // The save is the durability point: a kill after it replays every
+        // chain up to and including this batch.
+        store.save(&key, &ckpt)?;
+        ppdp_telemetry::counter("gibbs.checkpoint.saved", 1);
+        ppdp_trace::supervisor_event("checkpoint_save", run_label, chain_outs.len() as u64);
+    }
+    Ok(pool_chains(lg, &cfg, &chain_outs))
 }
 
 /// Everything one chain contributes to the pooled estimate; merged by the
@@ -603,6 +789,108 @@ mod tests {
             assert_eq!(report.counter("degraded.gibbs"), 1);
             assert_eq!(report.counter("degraded.gibbs.uniform_sample"), 1);
         }
+    }
+
+    fn tmpstore(tag: &str) -> CheckpointStore {
+        let d = std::env::temp_dir().join(format!("ppdp-gibbs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        CheckpointStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn resumable_run_matches_plain_run_bitwise() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig {
+            chains: 5,
+            burn_in: 10,
+            samples: 40,
+            ..Default::default()
+        };
+        let reference = gibbs_run(&lg, &nb, cfg).unwrap();
+        let store = tmpstore("match");
+        let out = gibbs_run_resumable(&lg, &nb, cfg, &store, "unit").unwrap();
+        assert_eq!(out, reference, "checkpointing must not perturb the run");
+        let key = gibbs_checkpoint_key("unit", &lg, &cfg);
+        let ckpt: GibbsCheckpoint = store.load(&key).expect("checkpoint persisted");
+        assert_eq!(ckpt.chains_done(), 5);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncated_checkpoint_resumes_to_identical_outcome() {
+        // Simulate a kill after each chain batch: keep only the completed
+        // prefix a crashed run would have fsynced, rerun, and demand the
+        // resumed outcome (and its telemetry totals) be identical.
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig {
+            chains: 4,
+            burn_in: 5,
+            samples: 30,
+            ..Default::default()
+        };
+        let store = tmpstore("resume");
+        let uninterrupted = gibbs_run_resumable(&lg, &nb, cfg, &store, "resume").unwrap();
+        let key = gibbs_checkpoint_key("resume", &lg, &cfg);
+        let full: GibbsCheckpoint = store.load(&key).unwrap();
+        assert_eq!(full.chains_done(), 4);
+        for done in 0..4usize {
+            let truncated = GibbsCheckpoint {
+                counts: full.counts[..done].to_vec(),
+                label_flips: full.label_flips[..done].to_vec(),
+                repairs: full.repairs[..done].to_vec(),
+                sweep_flips: full.sweep_flips[..done].to_vec(),
+            };
+            store.save(&key, &truncated).unwrap();
+            let rec = ppdp_telemetry::Recorder::new();
+            let resumed = {
+                let _scope = rec.enter();
+                gibbs_run_resumable(&lg, &nb, cfg, &store, "resume").unwrap()
+            };
+            assert_eq!(resumed, uninterrupted, "kill after {done} chains");
+            let report = rec.take();
+            assert_eq!(
+                report.counter("gibbs.checkpoint.resumed_chains"),
+                done as u64
+            );
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_ignored_not_resumed() {
+        // A checkpoint written under a different config must not leak into
+        // this run: the key digest differs, so load is a cold start.
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let store = tmpstore("foreign");
+        let cfg_a = GibbsConfig {
+            chains: 3,
+            burn_in: 5,
+            samples: 20,
+            ..Default::default()
+        };
+        let _ = gibbs_run_resumable(&lg, &nb, cfg_a, &store, "run").unwrap();
+        let cfg_b = GibbsConfig {
+            samples: 21,
+            ..cfg_a
+        };
+        let reference = gibbs_run(&lg, &nb, cfg_b).unwrap();
+        let out = gibbs_run_resumable(&lg, &nb, cfg_b, &store, "run").unwrap();
+        assert_eq!(out, reference);
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub use ppdp_classify as classify;
 pub use ppdp_datagen as datagen;
 pub use ppdp_dp as dp;
+pub use ppdp_durable as durable;
 pub use ppdp_errors as errors;
 pub use ppdp_exec as exec;
 pub use ppdp_genomic as genomic;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
     pub use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
     pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
+    pub use ppdp_durable::{CheckpointKey, CheckpointStore};
     pub use ppdp_errors::{PpdpError, Result};
     pub use ppdp_exec::ExecPolicy;
     pub use ppdp_genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};

@@ -2,9 +2,12 @@
 
 use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
 use ppdp_datagen::social::SocialDataset;
+use ppdp_durable::CheckpointStore;
 use ppdp_errors::{ensure, ensure_unit_closed, Result};
 use ppdp_exec::ExecPolicy;
-use ppdp_genomic::sanitize::{greedy_sanitize_with, Predictor, SanitizeOutcome, Target};
+use ppdp_genomic::sanitize::{
+    greedy_sanitize_checkpointed, greedy_sanitize_with, Predictor, SanitizeOutcome, Target,
+};
 use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
 use ppdp_graph::SocialGraph;
 use ppdp_sanitize::{collective_sanitize, remove_indistinguishable_links_with, CollectivePlan};
@@ -380,6 +383,69 @@ impl<'c> GenomePublisher<'c> {
             telemetry: rec.take(),
         })
     }
+
+    /// [`GenomePublisher::publish`] with crash-safe checkpointing: every
+    /// greedy pick is journaled to `store` (fsync + atomic rename) as it
+    /// commits, and a rerun with the same `store`, `run_label`, and inputs
+    /// resumes from the journal instead of re-evaluating finished picks.
+    /// The resumed report is bitwise identical to an uninterrupted run —
+    /// the journal replays through the same `commit` path the solver uses,
+    /// and trial rollback in the incremental BP engine is exact.
+    ///
+    /// A journal written for *different* inputs (catalog, evidence,
+    /// targets, δ, or removal cap) never matches the checkpoint key and
+    /// degrades to a cold start; so does a corrupt or truncated snapshot.
+    ///
+    /// # Errors
+    /// As [`GenomePublisher::publish`], plus [`ppdp_errors::PpdpError::InvalidInput`]
+    /// when the configured predictor is Naive Bayes — only the incremental
+    /// BP sanitizer journals its picks.
+    pub fn publish_resumable(
+        &self,
+        evidence: &Evidence,
+        targets: &[Target],
+        store: &CheckpointStore,
+        run_label: &str,
+    ) -> Result<GenomeReport> {
+        ensure(
+            self.delta.is_finite(),
+            format!("privacy threshold δ must be finite, got {}", self.delta),
+        )?;
+        let Predictor::BeliefPropagation(cfg) = self.predictor else {
+            return Err(ppdp_errors::PpdpError::invalid_input(
+                "publish_resumable requires the belief-propagation predictor; \
+                 the Naive Bayes sanitizer has no pick journal",
+            ));
+        };
+        let rec = Recorder::new();
+        let scope = rec.enter();
+        let span = ppdp_telemetry::span("genome.publish");
+        self.exec.record_threads();
+        let started = std::time::Instant::now();
+        let outcome = greedy_sanitize_checkpointed(
+            self.exec,
+            self.catalog,
+            evidence,
+            targets,
+            self.delta,
+            self.max_removals,
+            cfg,
+            store,
+            run_label,
+        )?;
+        record_phase_ms("sanitize", started);
+        let mut released = evidence.clone();
+        for s in &outcome.removed {
+            released.snps.remove(s);
+        }
+        drop(span);
+        drop(scope);
+        Ok(GenomeReport {
+            released,
+            outcome,
+            telemetry: rec.take(),
+        })
+    }
 }
 
 /// Outcome of a [`GenomePublisher`] run.
@@ -531,6 +597,68 @@ mod tests {
             report.telemetry.counter("bp.iterations") > 0,
             "BP ran under the recorder"
         );
+    }
+
+    #[test]
+    fn genome_resumable_matches_plain_and_resumes_from_journal() {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
+        let evidence = panel.full_evidence(0);
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let publisher = GenomePublisher::new(&catalog, 0.6);
+        let plain = publisher.publish(&evidence, &targets).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("ppdp-core-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ppdp_durable::CheckpointStore::open(&dir).unwrap();
+        let first = publisher
+            .publish_resumable(&evidence, &targets, &store, "core-test")
+            .unwrap();
+        assert_eq!(
+            first.outcome, plain.outcome,
+            "checkpointing must not change picks"
+        );
+        assert_eq!(first.released.snps, plain.released.snps);
+
+        // A rerun against the same store replays the full journal instead
+        // of re-running the greedy search, and lands on the same report.
+        let second = publisher
+            .publish_resumable(&evidence, &targets, &store, "core-test")
+            .unwrap();
+        assert_eq!(second.outcome, plain.outcome);
+        // The journal holds every greedy pick (outcome.removed is the
+        // δ-stopped prefix of those picks): run 2 must resume exactly the
+        // picks run 1 saved, and save nothing new.
+        let saved = first.telemetry.counter("sanitize.checkpoint.saved");
+        assert!(saved > 0, "first run must journal its picks");
+        assert_eq!(
+            second
+                .telemetry
+                .counter("sanitize.checkpoint.resumed_picks"),
+            saved,
+            "second run must resume every journaled pick"
+        );
+        assert_eq!(second.telemetry.counter("sanitize.checkpoint.saved"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn genome_resumable_rejects_naive_bayes_predictor() {
+        let catalog = synthetic_catalog(60, 5, 2, 11);
+        let dir = std::env::temp_dir().join(format!("ppdp-core-resume-nb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ppdp_durable::CheckpointStore::open(&dir).unwrap();
+        let err = GenomePublisher::new(&catalog, 0.6)
+            .against_naive_bayes()
+            .publish_resumable(
+                &Evidence::none(),
+                &[Target::Trait(TraitId(0))],
+                &store,
+                "nb",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

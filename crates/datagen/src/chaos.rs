@@ -213,6 +213,89 @@ impl Chaos {
     pub fn empty_table(table: &Table) -> Table {
         Table::new(table.arities().to_vec(), Vec::new())
     }
+
+    // ---- storage faults -------------------------------------------------
+    //
+    // The durability layer (`ppdp-durable`) claims WAL replay and
+    // checkpoint loads survive the classic crash-storage pathologies.
+    // These injectors manufacture exactly those pathologies against real
+    // files, seeded like every other fault here.
+
+    /// Truncates the file at a random interior byte — the on-disk shape of
+    /// a write torn by power loss before `fsync` completed. Returns the
+    /// new length, or `None` if the file is too short to tear (< 2 bytes).
+    ///
+    /// # Errors
+    /// Propagates I/O failures from metadata/truncate calls.
+    pub fn torn_write(&mut self, path: &std::path::Path) -> std::io::Result<Option<u64>> {
+        let len = std::fs::metadata(path)?.len();
+        if len < 2 {
+            return Ok(None);
+        }
+        let cut = self.rng.gen_range(1..len);
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(cut)?;
+        f.sync_all()?;
+        Ok(Some(cut))
+    }
+
+    /// Flips one random bit of the file in place — bit rot / a bad sector
+    /// that passed the disk's own checks. Returns `(offset, mask)` of the
+    /// flipped bit, or `None` for an empty file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the read/write cycle.
+    pub fn bit_rot(&mut self, path: &std::path::Path) -> std::io::Result<Option<(u64, u8)>> {
+        let mut bytes = std::fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(None);
+        }
+        let at = self.rng.gen_range(0..bytes.len());
+        let mask = 1u8 << self.rng.gen_range(0..8u32);
+        bytes[at] ^= mask;
+        std::fs::write(path, &bytes)?;
+        Ok(Some((at as u64, mask)))
+    }
+
+    /// Returns a short read of `bytes`: a strict random prefix, the way a
+    /// reader racing a crashed writer (or an interrupted `read`) sees a
+    /// file. Empty input yields an empty read.
+    pub fn short_read<'a>(&mut self, bytes: &'a [u8]) -> &'a [u8] {
+        if bytes.is_empty() {
+            return bytes;
+        }
+        &bytes[..self.rng.gen_range(0..bytes.len())]
+    }
+
+    /// Plants a stale `<file>.tmp` sibling filled with garbage — the
+    /// leftover of an atomic-write sequence killed between "write tmp" and
+    /// "rename". A correct writer must truncate/replace it; a correct
+    /// reader must never pick it up. Returns the tmp path.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from writing the tmp file.
+    pub fn stale_tmp(&mut self, path: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
+        let n = self.rng.gen_range(1..64usize);
+        let garbage: Vec<u8> = (0..n)
+            .map(|_| self.rng.gen_range(0..=255u32) as u8)
+            .collect();
+        std::fs::write(&tmp, garbage)?;
+        Ok(tmp)
+    }
+
+    /// A path on which every write fails with `ENOSPC` (`/dev/full`), for
+    /// exercising the disk-full error path. `None` where the platform
+    /// doesn't provide it — callers should skip, not fail.
+    pub fn enospc_path() -> Option<std::path::PathBuf> {
+        let p = std::path::PathBuf::from("/dev/full");
+        p.exists().then_some(p)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +371,60 @@ mod tests {
             let doc = format!("{{\"k\": [{seed}, 2, 3]}}");
             assert_ne!(chaos.malform_json(&doc), doc);
         }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ppdp-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn storage_faults_are_deterministic_and_land() {
+        let dir = tmpdir("storage");
+        let path = dir.join("victim.bin");
+        let payload: Vec<u8> = (0..=255u8).collect();
+
+        std::fs::write(&path, &payload).unwrap();
+        let cut_a = Chaos::new(9).torn_write(&path).unwrap().unwrap();
+        assert!(cut_a >= 1 && cut_a < 256);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), cut_a);
+        std::fs::write(&path, &payload).unwrap();
+        let cut_b = Chaos::new(9).torn_write(&path).unwrap().unwrap();
+        assert_eq!(cut_a, cut_b, "same seed, same tear point");
+
+        std::fs::write(&path, &payload).unwrap();
+        let (at, mask) = Chaos::new(4).bit_rot(&path).unwrap().unwrap();
+        let rotted = std::fs::read(&path).unwrap();
+        assert_eq!(rotted.len(), payload.len(), "bit rot keeps length");
+        assert_eq!(rotted[at as usize], payload[at as usize] ^ mask);
+
+        let prefix = Chaos::new(2).short_read(&payload);
+        assert!(prefix.len() < payload.len());
+        assert_eq!(prefix, &payload[..prefix.len()]);
+
+        let tmp = Chaos::new(3).stale_tmp(&path).unwrap();
+        assert!(tmp.exists());
+        assert_eq!(tmp.extension().unwrap(), "tmp");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_fault_edge_cases() {
+        let dir = tmpdir("storage-edge");
+        let path = dir.join("tiny.bin");
+        std::fs::write(&path, [1u8]).unwrap();
+        assert!(Chaos::new(0).torn_write(&path).unwrap().is_none());
+        std::fs::write(&path, []).unwrap();
+        assert!(Chaos::new(0).bit_rot(&path).unwrap().is_none());
+        assert!(Chaos::new(0).short_read(&[]).is_empty());
+        if let Some(full) = Chaos::enospc_path() {
+            let err = std::fs::write(full, b"x").unwrap_err();
+            assert_eq!(err.raw_os_error(), Some(28), "ENOSPC");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -84,6 +84,54 @@ impl PrivacyBudget {
         self.policy
     }
 
+    /// Validates a sequential spend of `epsilon` **without charging it**,
+    /// returning what [`PrivacyBudget::commit`] would charge. This is the
+    /// first half of the two-phase protocol the WAL-backed
+    /// `ppdp-dp::durable::DurableLedger` needs: the draw must be durable on
+    /// disk *before* any noise is sampled, so validation (which can refuse)
+    /// is separated from the charge (which cannot).
+    ///
+    /// # Errors
+    /// [`PpdpError::InvalidInput`] on a negative or non-finite request;
+    /// [`PpdpError::BudgetExhausted`] on a strict overdraw.
+    pub fn prepare(&self, epsilon: f64) -> Result<PreparedDraw> {
+        ensure(
+            epsilon.is_finite() && epsilon >= 0.0,
+            format!("ε draw must be finite and non-negative, got {epsilon}"),
+        )?;
+        if epsilon > self.remaining() + 1e-12 {
+            match self.policy {
+                OverdrawPolicy::Strict => Err(PpdpError::BudgetExhausted {
+                    requested: epsilon,
+                    remaining: self.remaining(),
+                }),
+                OverdrawPolicy::Permissive => Ok(PreparedDraw {
+                    charged: self.remaining(),
+                    clamped: true,
+                }),
+            }
+        } else {
+            Ok(PreparedDraw {
+                charged: epsilon,
+                clamped: false,
+            })
+        }
+    }
+
+    /// Charges a draw validated by [`PrivacyBudget::prepare`], emitting the
+    /// clamp-degradation and remaining-ε telemetry. Infallible by design:
+    /// once the intent is on disk the charge must happen.
+    pub fn commit(&mut self, prepared: &PreparedDraw) -> f64 {
+        if prepared.clamped {
+            ppdp_telemetry::degradation("budget", "clamped_draw");
+        }
+        self.spent += prepared.charged;
+        // Live readout for operators watching a long publish run; a gauge
+        // because "remaining" is a current value, not an accumulation.
+        ppdp_telemetry::gauge("budget.remaining_epsilon", self.remaining());
+        prepared.charged
+    }
+
     /// Records a sequential spend of `epsilon` and returns the ε actually
     /// charged (equal to `epsilon` except for a clamped permissive
     /// overdraw).
@@ -93,31 +141,16 @@ impl PrivacyBudget {
     /// [`PpdpError::BudgetExhausted`] on a strict overdraw (nothing is
     /// charged in either case).
     pub fn spend(&mut self, epsilon: f64) -> Result<f64> {
-        ensure(
-            epsilon.is_finite() && epsilon >= 0.0,
-            format!("ε draw must be finite and non-negative, got {epsilon}"),
-        )?;
-        let charged = if epsilon > self.remaining() + 1e-12 {
-            match self.policy {
-                OverdrawPolicy::Strict => {
-                    return Err(PpdpError::BudgetExhausted {
-                        requested: epsilon,
-                        remaining: self.remaining(),
-                    });
-                }
-                OverdrawPolicy::Permissive => {
-                    ppdp_telemetry::degradation("budget", "clamped_draw");
-                    self.remaining()
-                }
-            }
-        } else {
-            epsilon
-        };
-        self.spent += charged;
-        // Live readout for operators watching a long publish run; a gauge
-        // because "remaining" is a current value, not an accumulation.
-        ppdp_telemetry::gauge("budget.remaining_epsilon", self.remaining());
-        Ok(charged)
+        let prepared = self.prepare(epsilon)?;
+        Ok(self.commit(&prepared))
+    }
+
+    /// Re-charges `epsilon` from a replayed ledger record, bypassing policy
+    /// checks and telemetry. Recovery must never refuse: a crash-replayed
+    /// draw already happened, so the budget absorbs it even past `total`
+    /// (over-counting spent ε is safe, under-counting is a privacy bug).
+    pub(crate) fn restore(&mut self, epsilon: f64) {
+        self.spent += epsilon.max(0.0);
     }
 
     /// Records a *parallel* spend: `k` mechanisms each using `epsilon` on
@@ -138,6 +171,29 @@ impl PrivacyBudget {
     pub fn equal_shares(&self, k: usize) -> f64 {
         assert!(k > 0, "cannot split into zero shares");
         self.remaining() / k as f64
+    }
+}
+
+/// A draw validated by [`PrivacyBudget::prepare`] but not yet charged.
+///
+/// Deliberately opaque and non-cloneable: one `prepare` feeds exactly one
+/// `commit`, so a prepared amount cannot be charged twice or conjured
+/// without validation.
+#[derive(Debug, PartialEq)]
+pub struct PreparedDraw {
+    charged: f64,
+    clamped: bool,
+}
+
+impl PreparedDraw {
+    /// The ε that committing this draw will charge.
+    pub fn charged(&self) -> f64 {
+        self.charged
+    }
+
+    /// Whether a permissive overdraw clamped the request to the remainder.
+    pub fn clamped(&self) -> bool {
+        self.clamped
     }
 }
 
@@ -197,7 +253,31 @@ impl BudgetLedger {
         label: &str,
         sensitivity: f64,
     ) -> Result<f64> {
-        let charged = self.budget.spend(epsilon)?;
+        let prepared = self.prepare(epsilon)?;
+        Ok(self.commit(&prepared, mechanism, label, sensitivity))
+    }
+
+    /// Validates a draw without charging it — see
+    /// [`PrivacyBudget::prepare`] for the two-phase durable protocol.
+    ///
+    /// # Errors
+    /// As [`BudgetLedger::spend`].
+    pub fn prepare(&self, epsilon: f64) -> Result<PreparedDraw> {
+        self.budget.prepare(epsilon)
+    }
+
+    /// Charges a prepared draw and records it; the infallible second half
+    /// of the two-phase protocol (the WAL entry is already on disk by the
+    /// time a `DurableLedger` calls this).
+    #[track_caller]
+    pub fn commit(
+        &mut self,
+        prepared: &PreparedDraw,
+        mechanism: &str,
+        label: &str,
+        sensitivity: f64,
+    ) -> f64 {
+        let charged = self.budget.commit(prepared);
         self.draws.push(BudgetDraw {
             mechanism: mechanism.to_owned(),
             label: label.to_owned(),
@@ -206,12 +286,29 @@ impl BudgetLedger {
             sensitivity,
         });
         ppdp_telemetry::budget_draw(mechanism, label, charged, 0.0, sensitivity);
-        Ok(charged)
+        charged
+    }
+
+    /// Replays a draw recovered from a write-ahead log: records it and
+    /// charges its ε with **no** policy check and **no** telemetry (the
+    /// original spend already emitted both). Recovery never refuses — a
+    /// replayed draw happened, so the ledger absorbs it even if the sum now
+    /// exceeds `total` (over-counting spent ε is safe; under-counting
+    /// silently over-releases).
+    pub fn restore_draw(&mut self, draw: BudgetDraw) {
+        self.budget.restore(draw.epsilon);
+        self.draws.push(draw);
     }
 
     /// Every recorded draw, in spend order.
     pub fn draws(&self) -> &[BudgetDraw] {
         &self.draws
+    }
+
+    /// Whether any recorded draw carries `label` — the idempotency probe a
+    /// resumed pipeline uses to skip stages whose spend already hit the WAL.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.draws.iter().any(|d| d.label == label)
     }
 
     /// Total ε of the underlying budget.
@@ -359,6 +456,121 @@ mod tests {
         assert!(err.to_string().contains("0.3"), "{err}");
         assert_eq!(ledger.draws().len(), 1, "failed draw must not be recorded");
         assert!((ledger.total_drawn() - 0.4).abs() < 1e-12);
+    }
+
+    /// Smallest f64 strictly greater than `x` (`f64::next_up` is unstable
+    /// on the workspace MSRV).
+    fn next_up(x: f64) -> f64 {
+        f64::from_bits(x.to_bits() + 1)
+    }
+
+    #[test]
+    fn equal_shares_exhaust_budget_despite_rounding() {
+        // remaining()/k summed k times can exceed remaining() by an ulp;
+        // the 1e-12 spend tolerance exists precisely so the final share is
+        // not spuriously refused. Exercise it with an awkward remainder
+        // under both policies.
+        for policy in [OverdrawPolicy::Strict, OverdrawPolicy::Permissive] {
+            let mut ledger = BudgetLedger::try_new(1.0, policy).unwrap();
+            ledger.spend(0.7, "laplace", "warmup", 1.0).unwrap();
+            let share = ledger.equal_shares(3);
+            for i in 0..3 {
+                let charged = ledger
+                    .spend(share, "laplace", &format!("share[{i}]"), 1.0)
+                    .unwrap_or_else(|e| panic!("{policy:?} share {i}: {e}"));
+                assert_eq!(charged, share, "{policy:?}: no clamp within tolerance");
+            }
+            assert!(
+                ledger.spent() <= ledger.total() + 1e-9,
+                "{policy:?}: spent {} must not materially exceed total",
+                ledger.spent()
+            );
+        }
+    }
+
+    #[test]
+    fn one_ulp_over_remaining_is_inside_tolerance() {
+        for policy in [OverdrawPolicy::Strict, OverdrawPolicy::Permissive] {
+            let mut b = PrivacyBudget::try_new(1.0, policy).unwrap();
+            b.spend(0.7).unwrap();
+            let request = next_up(b.remaining());
+            let prepared = b.prepare(request).unwrap();
+            assert!(!prepared.clamped(), "{policy:?}: ulp overdraw not clamped");
+            assert_eq!(prepared.charged(), request);
+            assert_eq!(b.spend(request).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn overdraw_beyond_tolerance_is_detected_under_both_policies() {
+        // Just past the 1e-12 tolerance: strict refuses, permissive clamps
+        // to exactly remaining() and flags the degradation.
+        let mut strict = PrivacyBudget::try_new(1.0, OverdrawPolicy::Strict).unwrap();
+        strict.spend(0.7).unwrap();
+        let over = strict.remaining() + 3e-12;
+        assert_eq!(strict.spend(over).unwrap_err().kind(), "budget_exhausted");
+
+        let rec = ppdp_telemetry::Recorder::new();
+        let (charged, remaining_before) = {
+            let _scope = rec.enter();
+            let mut perm = BudgetLedger::try_new(1.0, OverdrawPolicy::Permissive).unwrap();
+            perm.spend(0.7, "laplace", "warmup", 1.0).unwrap();
+            let remaining_before = perm.remaining();
+            let charged = perm
+                .spend(remaining_before + 3e-12, "laplace", "over", 1.0)
+                .unwrap();
+            (charged, remaining_before)
+        };
+        assert_eq!(charged, remaining_before, "clamped to exact remainder");
+        assert_eq!(rec.take().counter("degraded.budget.clamped_draw"), 1);
+    }
+
+    #[test]
+    fn spend_parallel_shares_boundary() {
+        // k parallel mechanisms cost max(ε) = one share; a share one ulp
+        // over the remainder stays inside the tolerance, far over errors.
+        let mut b = PrivacyBudget::new(1.0);
+        b.spend(0.5).unwrap();
+        let share = next_up(b.remaining());
+        assert_eq!(b.spend_parallel(share, 10).unwrap(), share);
+        let mut b2 = PrivacyBudget::new(1.0);
+        b2.spend(0.5).unwrap();
+        assert_eq!(
+            b2.spend_parallel(b2.remaining() + 1e-6, 10)
+                .unwrap_err()
+                .kind(),
+            "budget_exhausted"
+        );
+        assert_eq!(
+            b2.spend_parallel(0.1, 0).unwrap_err().kind(),
+            "invalid_input"
+        );
+    }
+
+    #[test]
+    fn restore_draw_bypasses_policy_and_telemetry() {
+        let rec = ppdp_telemetry::Recorder::new();
+        let (spent, n) = {
+            let _scope = rec.enter();
+            let mut ledger = BudgetLedger::new(0.5);
+            // Replay more than the budget holds: recovery must absorb it.
+            for i in 0..3 {
+                ledger.restore_draw(BudgetDraw {
+                    mechanism: "laplace".into(),
+                    label: format!("replayed[{i}]"),
+                    epsilon: 0.3,
+                    delta: 0.0,
+                    sensitivity: 1.0,
+                });
+            }
+            assert!(ledger.has_label("replayed[2]"));
+            assert!(!ledger.has_label("replayed[3]"));
+            (ledger.spent(), ledger.draws().len())
+        };
+        assert!((spent - 0.9).abs() < 1e-12, "over-counted past total: safe");
+        assert_eq!(n, 3);
+        let report = rec.take();
+        assert_eq!(report.budget.len(), 0, "no telemetry on replay");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`mechanism`] — Laplace and geometric mechanisms plus the exponential
 //!   mechanism for selection;
 //! * [`budget`] — ε-budget accounting under sequential/parallel composition;
+//! * [`durable`] — a WAL-backed [`DurableLedger`] whose draws are fsynced
+//!   before noise is sampled, so spent ε survives `SIGKILL`;
 //! * [`table`] — the categorical microdata table the mechanisms operate on;
 //! * [`histogram`] — noisy histograms and contingency marginals;
 //! * [`aggregate`] — DP range counting and quantiles (the "big data
@@ -24,6 +26,7 @@ pub mod aggregate;
 pub mod anonymity;
 pub mod bayes_net;
 pub mod budget;
+pub mod durable;
 pub mod histogram;
 pub mod mechanism;
 pub mod mondrian;
@@ -33,6 +36,7 @@ pub use aggregate::{dp_quantile, dp_range_count, NoisyCdf};
 pub use anonymity::{is_k_anonymous, is_l_diverse};
 pub use bayes_net::{BayesNet, SynthesisConfig};
 pub use budget::{BudgetLedger, OverdrawPolicy, PrivacyBudget};
+pub use durable::{DurableLedger, Recovery};
 pub use histogram::{noisy_histogram, noisy_marginal};
 pub use mechanism::{exponential_mechanism, geometric_noise, laplace_noise};
 pub use mondrian::{mondrian_anonymize, AnonymizedTable};

@@ -1,0 +1,116 @@
+//! Atomic, durable file replacement.
+//!
+//! The only safe way to replace a file on POSIX such that a crash at any
+//! instant leaves either the complete old content or the complete new
+//! content on disk:
+//!
+//! 1. write the new bytes to a temporary file *in the same directory*
+//!    (rename is only atomic within a filesystem),
+//! 2. `fsync` the temporary file (data + metadata reach the platter),
+//! 3. `rename` it over the destination (atomic replacement),
+//! 4. `fsync` the *directory* so the rename itself is durable.
+//!
+//! Skipping step 2 is the classic "zero-length file after power loss" bug;
+//! skipping step 4 means the rename may be rolled back by journal replay.
+//! `ppdp-metrics` snapshot files and every checkpoint in the workspace go
+//! through this helper.
+
+use ppdp_errors::{PpdpError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replace `path` with `bytes`, durable against crashes.
+///
+/// The temporary file is named `<file-name>.tmp` next to the destination;
+/// a stale `.tmp` left by an earlier crash is silently overwritten (it was
+/// never renamed, so it was never visible to readers).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PpdpError::io(format!("write_atomic: no file name in {path:?}")))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| PpdpError::io_err(format!("create {tmp:?}"), &e))?;
+    f.write_all(bytes)
+        .map_err(|e| PpdpError::io_err(format!("write {tmp:?}"), &e))?;
+    f.sync_all()
+        .map_err(|e| PpdpError::io_err(format!("fsync {tmp:?}"), &e))?;
+    drop(f);
+
+    std::fs::rename(&tmp, path)
+        .map_err(|e| PpdpError::io_err(format!("rename {tmp:?} -> {path:?}"), &e))?;
+
+    if let Some(dir) = dir {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// `fsync` a directory so a rename performed inside it is durable.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    let d = File::open(dir).map_err(|e| PpdpError::io_err(format!("open dir {dir:?}"), &e))?;
+    d.sync_all()
+        .map_err(|e| PpdpError::io_err(format!("fsync dir {dir:?}"), &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ppdp-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn replaces_content_atomically() {
+        let d = tmpdir("replace");
+        let p = d.join("state.json");
+        write_atomic(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        write_atomic(&p, b"second").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn overwrites_stale_tmp_from_earlier_crash() {
+        let d = tmpdir("stale");
+        let p = d.join("state.json");
+        // Simulate a crash that left a half-written tmp behind.
+        std::fs::write(d.join("state.json.tmp"), b"garbage-from-dead-run").unwrap();
+        write_atomic(&p, b"fresh").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"fresh");
+        assert!(!d.join("state.json.tmp").exists(), "tmp consumed by rename");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        let err = write_atomic(Path::new("/"), b"x").unwrap_err();
+        assert_eq!(err.kind(), "io");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn surfaces_enospc_as_io_error() {
+        // /dev/full returns ENOSPC on write; the tmp file lands next to it
+        // in /dev, so use it as the *destination directory* is not possible —
+        // instead verify the error path by writing the tmp into /dev itself
+        // only when running as root (the CI container does). Otherwise the
+        // open fails with EACCES, which is still the io error path.
+        let err = write_atomic(Path::new("/proc/ppdp-no-such-dir/x"), b"x").unwrap_err();
+        assert_eq!(err.kind(), "io");
+    }
+}

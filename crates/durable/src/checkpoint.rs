@@ -1,0 +1,242 @@
+//! Keyed, atomically written checkpoint files.
+//!
+//! A checkpoint file is `MAGIC ∥ encode(key) ∥ u64 crc ∥ state bytes`,
+//! written through [`crate::atomic::write_atomic`]. The key pins everything
+//! that must match for a snapshot to be resumable under the workspace's
+//! determinism guarantees:
+//!
+//! * `label` — which stage of which pipeline wrote it (also versions the
+//!   state schema: bump the label when the layout changes),
+//! * `seed` — the run's root RNG seed (per-item seeds derive from it),
+//! * `exec` — a fingerprint of the `ExecPolicy`; artifacts are
+//!   policy-invariant (PR 3), so the workspace convention is `"any"` for
+//!   policy-invariant state, and a concrete string only where a caller
+//!   wants to be strict,
+//! * `input_digest` — [`crate::fnv1a`] over a canonical input encoding.
+//!
+//! [`CheckpointStore::load`] returns `None` — a cold start, never an
+//! error — for a missing file, bad magic, CRC mismatch, undecodable bytes,
+//! or a key mismatch. Resuming from the wrong snapshot would be a
+//! correctness bug; recomputing is only a performance one.
+
+use crate::atomic::write_atomic;
+use crate::codec::Codec;
+use crate::fnv1a;
+use crate::wal::crc32;
+use ppdp_errors::{PpdpError, Result};
+use std::path::{Path, PathBuf};
+
+/// File magic identifying checkpoint format version 1.
+pub const MAGIC: &[u8; 8] = b"PPDPCKP1";
+
+/// Everything that must match for a checkpoint to be resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointKey {
+    /// Pipeline stage that owns the snapshot (e.g. `"gibbs"`, `"sanitize"`).
+    pub label: String,
+    /// Root RNG seed of the run.
+    pub seed: u64,
+    /// Execution-policy fingerprint; `"any"` for policy-invariant state.
+    pub exec: String,
+    /// FNV-1a digest of a canonical input encoding.
+    pub input_digest: u64,
+}
+
+impl Codec for CheckpointKey {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.label.encode_into(out);
+        self.seed.encode_into(out);
+        self.exec.encode_into(out);
+        self.input_digest.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(CheckpointKey {
+            label: String::decode(input)?,
+            seed: u64::decode(input)?,
+            exec: String::decode(input)?,
+            input_digest: u64::decode(input)?,
+        })
+    }
+}
+
+impl CheckpointKey {
+    /// Build a key, digesting `input` with [`fnv1a`].
+    pub fn new(label: impl Into<String>, seed: u64, exec: impl Into<String>, input: &[u8]) -> Self {
+        CheckpointKey {
+            label: label.into(),
+            seed,
+            exec: exec.into(),
+            input_digest: fnv1a(input),
+        }
+    }
+
+    /// Stable file stem: `{label}-{hash:016x}` where the hash covers the
+    /// whole key, so distinct seeds/policies/inputs never collide on disk.
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}-{:016x}",
+            sanitize_label(&self.label),
+            fnv1a(&self.encode())
+        )
+    }
+}
+
+/// Replace path-hostile characters so labels can carry `/` or spaces.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A directory of keyed checkpoint files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory.
+    pub fn open(dir: &Path) -> Result<CheckpointStore> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| PpdpError::io_err(format!("create checkpoint dir {dir:?}"), &e))?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path a given key persists to.
+    pub fn path_for(&self, key: &CheckpointKey) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", key.file_stem()))
+    }
+
+    /// Atomically persist `state` under `key`.
+    pub fn save<T: Codec>(&self, key: &CheckpointKey, state: &T) -> Result<()> {
+        let state_bytes = state.encode();
+        let mut file = Vec::with_capacity(MAGIC.len() + 64 + state_bytes.len());
+        file.extend_from_slice(MAGIC);
+        key.encode_into(&mut file);
+        u64::from(crc32(&state_bytes)).encode_into(&mut file);
+        file.extend_from_slice(&state_bytes);
+        write_atomic(&self.path_for(key), &file)
+    }
+
+    /// Load the snapshot for `key`, or `None` when no *exactly matching,
+    /// intact* snapshot exists (missing file, corruption, key mismatch).
+    pub fn load<T: Codec>(&self, key: &CheckpointKey) -> Option<T> {
+        let bytes = std::fs::read(self.path_for(key)).ok()?;
+        let mut input = bytes.as_slice();
+        if input.len() < MAGIC.len() || input[..MAGIC.len()] != MAGIC[..] {
+            return None;
+        }
+        input = &input[MAGIC.len()..];
+        let found_key = CheckpointKey::decode(&mut input).ok()?;
+        if found_key != *key {
+            return None;
+        }
+        let crc = u64::decode(&mut input).ok()?;
+        if u64::from(crc32(input)) != crc {
+            return None;
+        }
+        T::decode_all(input).ok()
+    }
+
+    /// Remove the snapshot for `key` (idempotent — missing files are fine).
+    pub fn remove(&self, key: &CheckpointKey) -> Result<()> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(PpdpError::io_err(
+                format!("remove checkpoint {:?}", key.label),
+                &e,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> CheckpointStore {
+        let d = std::env::temp_dir().join(format!("ppdp-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        CheckpointStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = store("roundtrip");
+        let key = CheckpointKey::new("gibbs", 42, "any", b"input-bytes");
+        s.save(&key, &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(s.load::<Vec<u64>>(&key), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn mismatched_key_is_cold_start() {
+        let s = store("mismatch");
+        let key = CheckpointKey::new("bp", 7, "any", b"x");
+        s.save(&key, &"state".to_string()).unwrap();
+        for other in [
+            CheckpointKey::new("bp", 8, "any", b"x"),
+            CheckpointKey::new("bp", 7, "seq", b"x"),
+            CheckpointKey::new("bp", 7, "any", b"y"),
+        ] {
+            // Copy the file onto the other key's path to prove the
+            // *envelope* check fires even if paths collided.
+            std::fs::copy(s.path_for(&key), s.path_for(&other)).unwrap();
+            assert_eq!(s.load::<String>(&other), None);
+        }
+        assert_eq!(s.load::<String>(&key), Some("state".into()));
+    }
+
+    #[test]
+    fn corrupt_state_is_cold_start() {
+        let s = store("corrupt");
+        let key = CheckpointKey::new("sanitize", 1, "any", b"z");
+        s.save(&key, &vec![0.5f64; 8]).unwrap();
+        let p = s.path_for(&key);
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Flip a bit in the state payload: the CRC must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert_eq!(s.load::<Vec<f64>>(&key), None);
+        // Truncation (torn non-atomic write) is also a cold start.
+        let mut short = std::fs::read(&p).unwrap();
+        short.truncate(short.len() / 2);
+        std::fs::write(&p, &short).unwrap();
+        assert_eq!(s.load::<Vec<f64>>(&key), None);
+    }
+
+    #[test]
+    fn labels_with_separators_stay_in_dir() {
+        let s = store("labels");
+        let key = CheckpointKey::new("stage/one two", 3, "any", b"");
+        s.save(&key, &1u8).unwrap();
+        assert_eq!(s.load::<u8>(&key), Some(1));
+        let p = s.path_for(&key);
+        assert_eq!(p.parent(), Some(s.dir()));
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let s = store("remove");
+        let key = CheckpointKey::new("x", 0, "any", b"");
+        s.remove(&key).unwrap();
+        s.save(&key, &0u8).unwrap();
+        s.remove(&key).unwrap();
+        assert_eq!(s.load::<u8>(&key), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Dependency-free binary encoding for durable state.
+//!
+//! Checkpoints and WAL records must round-trip **exactly**: the resume
+//! guarantee is bitwise identity with an uninterrupted run, so `f64` fields
+//! travel as their IEEE bit patterns (`to_bits`/`from_bits`), never through
+//! decimal text. The format is little-endian, length-prefixed, and carries
+//! no schema — both sides must agree on field order, which the containing
+//! envelope pins with a versioned label.
+//!
+//! This deliberately reimplements a sliver of what `serde`+`bincode` would
+//! give: `ppdp-durable` sits below every other crate (so `ppdp-metrics` can
+//! use its atomic writes), and the workspace treats external dependencies
+//! in the persistence path as a liability — a checkpoint that cannot be
+//! decoded is a cold start, and cold-start behavior must be auditable from
+//! this file alone.
+
+use ppdp_errors::{PpdpError, Result};
+
+/// A type that can round-trip through the durable byte format.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+    /// Decode a value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self>;
+
+    /// Encode to a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a value that must consume `input` entirely.
+    fn decode_all(mut input: &[u8]) -> Result<Self> {
+        let v = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(PpdpError::io(format!(
+                "codec: {} trailing bytes after a complete value",
+                input.len()
+            )))
+        }
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if input.len() < n {
+        return Err(PpdpError::io(format!(
+            "codec: wanted {n} bytes, only {} remain",
+            input.len()
+        )));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Codec for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let b = take(input, 8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+impl Codec for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let b = take(input, 4)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(b);
+        Ok(u32::from_le_bytes(arr))
+    }
+}
+
+impl Codec for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(take(input, 1)?[0])
+    }
+}
+
+impl Codec for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let v = u64::decode(input)?;
+        usize::try_from(v).map_err(|_| PpdpError::io(format!("codec: usize overflow ({v})")))
+    }
+}
+
+impl Codec for f64 {
+    /// IEEE bit pattern — NaN payloads and signed zeros survive.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl Codec for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(PpdpError::io(format!("codec: bool byte {b}"))),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.len().encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let len = usize::decode(input)?;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PpdpError::io(format!("codec: invalid utf-8 string: {e}")))
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.len().encode_into(out);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let len = usize::decode(input)?;
+        // Corrupt lengths must not allocate terabytes before the first
+        // element decode fails; cap the pre-allocation, not the length.
+        let mut v = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            v.push(T::decode(input)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            b => Err(PpdpError::io(format!("codec: option tag {b}"))),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
+}
+
+impl<T: Codec, const N: usize> Codec for [T; N] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::decode(input)?);
+        }
+        v.try_into()
+            .map_err(|_| PpdpError::io("codec: array length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut out = Vec::new();
+        42u64.encode_into(&mut out);
+        (-0.0f64).encode_into(&mut out);
+        f64::NAN.encode_into(&mut out);
+        true.encode_into(&mut out);
+        "héllo".to_string().encode_into(&mut out);
+        let mut input = out.as_slice();
+        assert_eq!(u64::decode(&mut input).unwrap(), 42);
+        let z = f64::decode(&mut input).unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(f64::decode(&mut input).unwrap().is_nan());
+        assert!(bool::decode(&mut input).unwrap());
+        assert_eq!(String::decode(&mut input).unwrap(), "héllo");
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(0, 1.5), (7, f64::MIN_POSITIVE)];
+        let o: Option<Vec<String>> = Some(vec!["a".into(), String::new()]);
+        let a: [f64; 3] = [1.0, 2.0, 3.0];
+        let mut out = Vec::new();
+        v.encode_into(&mut out);
+        o.encode_into(&mut out);
+        a.encode_into(&mut out);
+        let mut input = out.as_slice();
+        assert_eq!(Vec::<(usize, f64)>::decode(&mut input).unwrap(), v);
+        assert_eq!(Option::<Vec<String>>::decode(&mut input).unwrap(), o);
+        assert_eq!(<[f64; 3]>::decode(&mut input).unwrap(), a);
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_error() {
+        let bytes = vec![1u8, 2, 3];
+        assert_eq!(u64::decode_all(&bytes).unwrap_err().kind(), "io");
+        let mut full = 5u64.encode();
+        full.push(0xEE);
+        assert!(u64::decode_all(&full)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn corrupt_tags_error() {
+        assert_eq!(bool::decode_all(&[9]).unwrap_err().kind(), "io");
+        assert_eq!(Option::<u8>::decode_all(&[7]).unwrap_err().kind(), "io");
+        let bad_len = u64::MAX.encode();
+        assert_eq!(Vec::<u8>::decode_all(&bad_len).unwrap_err().kind(), "io");
+    }
+}

@@ -1,0 +1,69 @@
+//! Crash-consistency primitives for the ppdp workspace.
+//!
+//! Everything above this crate — privacy-budget ledgers, BP message arenas,
+//! Gibbs chains, greedy pick journals — is in-memory state whose loss has
+//! *semantic* cost: a ledger that forgets an ε draw silently over-releases
+//! under sequential composition. This crate supplies the three mechanical
+//! building blocks the rest of the workspace composes into crash safety:
+//!
+//! * [`atomic::write_atomic`] — tmp-in-same-dir → write → `fsync(file)` →
+//!   rename → `fsync(dir)`. A reader never observes a half-written file and
+//!   a crash between any two steps leaves either the old or the new content.
+//! * [`wal::Wal`] — an append-only write-ahead log of length+CRC framed
+//!   records. Appends are fsynced before they return; replay tolerates a
+//!   torn tail (the one partial record a crash mid-append can leave) by
+//!   truncating to the last valid frame, and rejects interior corruption
+//!   loudly (bit rot is not a torn tail).
+//! * [`checkpoint::CheckpointStore`] — keyed snapshot files written through
+//!   [`atomic::write_atomic`]. A checkpoint is only resumed when its full
+//!   key (label, seed, exec fingerprint, input digest) matches, so stale or
+//!   foreign snapshots degrade to a cold start instead of wrong answers.
+//!
+//! State travels through [`codec::Codec`], a dependency-free binary
+//! encoding that round-trips `f64` as IEEE bit patterns — a requirement,
+//! not a convenience, because resume promises *bitwise* identity with an
+//! uninterrupted run and decimal text cannot deliver that.
+//!
+//! # Layering
+//!
+//! This crate sits at the very bottom of the workspace: it depends only on
+//! `ppdp-errors`. That is deliberate — `ppdp-metrics` must be able to use
+//! the atomic-write helper, and `ppdp-dp` transitively depends on
+//! `ppdp-metrics` through the telemetry tee, so the WAL-backed
+//! `DurableLedger` lives in `ppdp-dp::durable` (built *from* these
+//! primitives) rather than here. See DESIGN.md §"Crash-consistency
+//! model".
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod codec;
+pub mod wal;
+
+pub use atomic::write_atomic;
+pub use checkpoint::{CheckpointKey, CheckpointStore};
+pub use codec::Codec;
+pub use wal::{Replay, Wal};
+
+/// FNV-1a hash of a byte stream; the workspace-standard input digest for
+/// checkpoint keys. Stable across platforms and runs (no randomized state).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Append-only write-ahead log with CRC-framed records and torn-tail replay.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! [ 8-byte magic "PPDPWAL1" ]
+//! [ record ]*
+//!
+//! record := [ u32 LE payload length ] [ u32 LE CRC-32/IEEE of payload ] [ payload ]
+//! ```
+//!
+//! Appends write the full frame with a single `write_all` and then `fsync`
+//! before returning, so a record that was acknowledged to the caller is on
+//! the platter. A crash *during* an append can leave at most one partial
+//! frame at the tail; [`Wal::open`] detects it (short frame, short payload,
+//! or CRC mismatch **on the final frame only**) and truncates the file back
+//! to the last valid boundary. A CRC mismatch on an *interior* frame is not
+//! a torn tail — it is bit rot or tampering — and fails the open loudly.
+//!
+//! The asymmetry is deliberate: dropping an unacknowledged tail record is
+//! exactly the semantics the `DurableLedger` in `ppdp-dp` needs (the draw
+//! was never acted on, because noise is only sampled after the fsync
+//! returns), while silently dropping an interior record would under-count
+//! spent ε — the one unrecoverable failure in a privacy ledger.
+
+use ppdp_errors::{PpdpError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic identifying WAL format version 1.
+pub const MAGIC: &[u8; 8] = b"PPDPWAL1";
+
+/// Per-record frame overhead: u32 length + u32 CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Hard cap on a single record payload (16 MiB) — a length field larger
+/// than this is treated as corruption, not a request for 4 GiB of memory.
+pub const MAX_RECORD: usize = 16 << 20;
+
+/// CRC-32/IEEE (the zlib/PNG polynomial), computed with a lazily built
+/// 256-entry table. Hand-rolled so the bottom-of-stack crate stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Every intact record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (magic + intact frames).
+    pub valid_bytes: u64,
+    /// True when a torn tail was found and truncated away.
+    pub torn_tail: bool,
+}
+
+/// An open append-only write-ahead log.
+///
+/// All appends are durable (fsynced) before they return. The log is
+/// single-writer; concurrent writers corrupt each other by design of the
+/// format and must be excluded by the caller (one WAL per run directory).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path`, replaying existing records.
+    ///
+    /// A torn tail is truncated in place (and the truncation fsynced) so the
+    /// next append starts at a clean frame boundary. Interior corruption —
+    /// a bad CRC or impossible length *before* the final frame — returns
+    /// [`PpdpError::Io`]; the caller must treat the ledger as compromised.
+    pub fn open(path: &Path) -> Result<(Wal, Replay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| PpdpError::io_err(format!("open wal {path:?}"), &e))?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| PpdpError::io_err(format!("read wal {path:?}"), &e))?;
+
+        let replay = if bytes.is_empty() {
+            Replay {
+                records: Vec::new(),
+                valid_bytes: 0,
+                torn_tail: false,
+            }
+        } else {
+            let replay = scan(&bytes, path)?;
+            if replay.valid_bytes < bytes.len() as u64 {
+                file.set_len(replay.valid_bytes)
+                    .map_err(|e| PpdpError::io_err(format!("truncate torn wal {path:?}"), &e))?;
+            }
+            replay
+        };
+
+        // Reposition after read_to_end / set_len: appends must land exactly
+        // at the valid boundary, never past a sparse hole.
+        file.seek(SeekFrom::Start(replay.valid_bytes))
+            .map_err(|e| PpdpError::io_err(format!("seek wal {path:?}"), &e))?;
+        let mut len = replay.valid_bytes;
+        if len < MAGIC.len() as u64 {
+            // Brand-new log, or a crash tore the magic itself (nothing was
+            // ever acknowledged): (re)write the header.
+            file.write_all(MAGIC)
+                .map_err(|e| PpdpError::io_err(format!("write wal magic {path:?}"), &e))?;
+            len = MAGIC.len() as u64;
+        }
+        file.sync_all()
+            .map_err(|e| PpdpError::io_err(format!("fsync wal {path:?}"), &e))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                len,
+            },
+            replay,
+        ))
+    }
+
+    /// Append one record and fsync. When this returns `Ok`, the record
+    /// survives any subsequent crash.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        if payload.len() > MAX_RECORD {
+            return Err(PpdpError::invalid_input(format!(
+                "wal record of {} bytes exceeds the {MAX_RECORD}-byte cap",
+                payload.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| PpdpError::io_err(format!("append wal {:?}", self.path), &e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| PpdpError::io_err(format!("fsync wal {:?}", self.path), &e))?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes of valid log currently on disk (magic + intact frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The path this WAL lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan an in-memory WAL image, classifying the tail.
+///
+/// Exposed for tests and the chaos harness; [`Wal::open`] is the normal
+/// entry point.
+pub fn scan(bytes: &[u8], path: &Path) -> Result<Replay> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC[..] {
+        if bytes.len() < MAGIC.len() && MAGIC.starts_with(bytes) {
+            // A crash while writing the magic of a brand-new log: nothing
+            // was ever acknowledged, treat as empty-and-torn.
+            return Ok(Replay {
+                records: Vec::new(),
+                valid_bytes: 0,
+                torn_tail: true,
+            });
+        }
+        return Err(PpdpError::io(format!(
+            "wal {path:?}: bad magic (found {:?})",
+            &bytes[..bytes.len().min(8)]
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut off = MAGIC.len();
+    loop {
+        if off == bytes.len() {
+            return Ok(Replay {
+                records,
+                valid_bytes: off as u64,
+                torn_tail: false,
+            });
+        }
+        let torn = |records: Vec<Vec<u8>>, off: usize| {
+            Ok(Replay {
+                records,
+                valid_bytes: off as u64,
+                torn_tail: true,
+            })
+        };
+        if bytes.len() - off < FRAME_HEADER {
+            return torn(records, off);
+        }
+        let len = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+            as usize;
+        let crc = u32::from_le_bytes([
+            bytes[off + 4],
+            bytes[off + 5],
+            bytes[off + 6],
+            bytes[off + 7],
+        ]);
+        let start = off + FRAME_HEADER;
+        let interior = |ctx: String| -> Result<Replay> { Err(PpdpError::io(ctx)) };
+        if len > MAX_RECORD {
+            // An impossible length in the *final* frame position is a torn
+            // header; anywhere it leaves trailing intact frames impossible
+            // to locate, so corrupt-length == tail by construction.
+            return torn(records, off);
+        }
+        if bytes.len() - start < len {
+            return torn(records, off);
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            if start + len == bytes.len() {
+                // Bad CRC on the very last frame: torn payload write.
+                return torn(records, off);
+            }
+            return interior(format!(
+                "wal {path:?}: CRC mismatch on interior record {} (offset {off}) — \
+                 interior corruption, refusing to replay",
+                records.len()
+            ));
+        }
+        records.push(payload.to_vec());
+        off = start + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpwal(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ppdp-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("ledger.wal")
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let p = tmpwal("roundtrip");
+        {
+            let (mut w, r) = Wal::open(&p).unwrap();
+            assert!(r.records.is_empty() && !r.torn_tail);
+            w.append(b"alpha").unwrap();
+            w.append(b"").unwrap();
+            w.append(&[0xFF; 1000]).unwrap();
+        }
+        let (_, r) = Wal::open(&p).unwrap();
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[0], b"alpha");
+        assert_eq!(r.records[1], b"");
+        assert_eq!(r.records[2], vec![0xFF; 1000]);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_continues() {
+        let p = tmpwal("torn");
+        {
+            let (mut w, _) = Wal::open(&p).unwrap();
+            w.append(b"kept").unwrap();
+            w.append(b"torn-away").unwrap();
+        }
+        // Tear the last record mid-payload.
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 4).unwrap();
+        drop(f);
+
+        let (mut w, r) = Wal::open(&p).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records, vec![b"kept".to_vec()]);
+        w.append(b"after-recovery").unwrap();
+        drop(w);
+
+        let (_, r2) = Wal::open(&p).unwrap();
+        assert!(!r2.torn_tail);
+        assert_eq!(
+            r2.records,
+            vec![b"kept".to_vec(), b"after-recovery".to_vec()]
+        );
+    }
+
+    #[test]
+    fn interior_bit_rot_fails_loudly() {
+        let p = tmpwal("bitrot");
+        {
+            let (mut w, _) = Wal::open(&p).unwrap();
+            w.append(b"first-record").unwrap();
+            w.append(b"second-record").unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Flip one payload byte of the *first* record.
+        let hit = MAGIC.len() + FRAME_HEADER + 2;
+        bytes[hit] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = Wal::open(&p).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(err.to_string().contains("interior"), "{err}");
+    }
+
+    #[test]
+    fn bad_crc_on_final_frame_is_torn_tail() {
+        let p = tmpwal("tailrot");
+        {
+            let (mut w, _) = Wal::open(&p).unwrap();
+            w.append(b"first-record").unwrap();
+            w.append(b"second-record").unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        let (_, r) = Wal::open(&p).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records, vec![b"first-record".to_vec()]);
+    }
+
+    #[test]
+    fn truncation_inside_magic_is_empty_torn() {
+        let p = tmpwal("magic");
+        std::fs::write(&p, &MAGIC[..3]).unwrap();
+        let (_, r) = Wal::open(&p).unwrap();
+        assert!(r.torn_tail);
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn foreign_magic_is_rejected() {
+        let p = tmpwal("foreign");
+        std::fs::write(&p, b"NOTAWAL0data").unwrap();
+        assert_eq!(Wal::open(&p).unwrap_err().kind(), "io");
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_at_append() {
+        let p = tmpwal("cap");
+        let (mut w, _) = Wal::open(&p).unwrap();
+        let big = vec![0u8; MAX_RECORD + 1];
+        let err = w.append(&big).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+    }
+
+    #[test]
+    fn crc32_reference_vectors() {
+        // CRC-32/IEEE of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -58,6 +58,25 @@ pub enum PpdpError {
         /// Where the invariant broke and what was observed.
         context: String,
     },
+    /// A filesystem operation backing the durability layer failed (WAL
+    /// append, checkpoint write, fsync, rename).
+    Io {
+        /// The operation that failed and the underlying OS error text.
+        context: String,
+    },
+    /// Work was abandoned because a cooperative cancellation token fired.
+    Cancelled {
+        /// Why the run was cancelled (signal name, supervisor reason).
+        reason: String,
+    },
+    /// Work was abandoned because the supervisor's wall-clock deadline
+    /// elapsed before the unit finished.
+    DeadlineExceeded {
+        /// Milliseconds actually elapsed when the deadline check fired.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl PpdpError {
@@ -75,6 +94,27 @@ impl PpdpError {
         }
     }
 
+    /// Build an [`PpdpError::Io`] from anything stringly.
+    pub fn io(context: impl Into<String>) -> Self {
+        PpdpError::Io {
+            context: context.into(),
+        }
+    }
+
+    /// Build an [`PpdpError::Io`] naming the operation that hit `err`.
+    pub fn io_err(op: impl Into<String>, err: &std::io::Error) -> Self {
+        PpdpError::Io {
+            context: format!("{}: {err}", op.into()),
+        }
+    }
+
+    /// Build a [`PpdpError::Cancelled`] from anything stringly.
+    pub fn cancelled(reason: impl Into<String>) -> Self {
+        PpdpError::Cancelled {
+            reason: reason.into(),
+        }
+    }
+
     /// Stable short name of the variant, used by telemetry counters and the
     /// chaos-test matrix (`error.invalid_input`, …).
     pub fn kind(&self) -> &'static str {
@@ -83,6 +123,9 @@ impl PpdpError {
             PpdpError::BudgetExhausted { .. } => "budget_exhausted",
             PpdpError::NonConvergence { .. } => "non_convergence",
             PpdpError::Numerical { .. } => "numerical",
+            PpdpError::Io { .. } => "io",
+            PpdpError::Cancelled { .. } => "cancelled",
+            PpdpError::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 }
@@ -107,6 +150,15 @@ impl fmt::Display for PpdpError {
                 "{algorithm} failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
             PpdpError::Numerical { context } => write!(f, "numerical failure: {context}"),
+            PpdpError::Io { context } => write!(f, "io failure: {context}"),
+            PpdpError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
+            PpdpError::DeadlineExceeded {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed against a {deadline_ms} ms budget"
+            ),
         }
     }
 }

@@ -30,6 +30,10 @@
 
 use ppdp_telemetry::ThreadContext;
 
+pub mod supervisor;
+
+pub use supervisor::{CancelToken, RunSupervisor};
+
 /// How a kernel should execute its independent per-item work.
 ///
 /// The policy never changes *what* is computed — only how many OS

@@ -1,0 +1,407 @@
+//! Cooperative run supervision: cancellation tokens, wall-clock deadlines
+//! and bounded retry — the control half of the crash-safety story.
+//!
+//! The durability layer (`ppdp-durable`, `ppdp-dp::durable`) makes state
+//! survive a *hard* kill; this module makes *soft* termination orderly. A
+//! [`RunSupervisor`] threads a [`CancelToken`] and an optional deadline
+//! through long-running work:
+//!
+//! * [`RunSupervisor::guard`] — the per-stage check: errors with
+//!   [`PpdpError::Cancelled`] or [`PpdpError::DeadlineExceeded`] once
+//!   either condition fires, so a pipeline stops at the next stage
+//!   boundary, checkpoints, and exits instead of being SIGKILLed mid-write.
+//! * [`RunSupervisor::try_par_map`] — a fallible [`ExecPolicy::par_map`]:
+//!   items return `Result`, cancellation is observed *between items* on
+//!   every worker, and the first error in **item-index order** wins
+//!   (deterministic across policies, like everything in this crate).
+//! * [`RunSupervisor::retry_with_backoff`] — bounded retry with
+//!   exponential backoff for transient failures (`non_convergence`,
+//!   `numerical`, `io`), mirroring the damping-ladder degradation path:
+//!   each retry emits `supervisor.retry`, and exhaustion emits the
+//!   `degraded.supervisor.retry_exhausted` telemetry event plus a
+//!   `supervisor` trace event before surfacing the last error.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-item, so a
+//! cancelled run's partial artifacts are always stage-consistent — exactly
+//! the states the checkpoint layer knows how to resume.
+
+use crate::ExecPolicy;
+use ppdp_errors::{PpdpError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag. Clones observe the same flag; any clone
+/// (or a signal handler holding one) can cancel every holder.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether any holder has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The raw flag, for wiring into a C signal handler that can only
+    /// touch an `AtomicBool`.
+    pub fn raw_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Supervises one run: cancellation, deadline, retry policy.
+#[derive(Debug, Clone)]
+pub struct RunSupervisor {
+    token: CancelToken,
+    started: Instant,
+    deadline: Option<Duration>,
+    /// Base sleep of the exponential backoff ladder (doubles per retry).
+    backoff_base: Duration,
+}
+
+impl Default for RunSupervisor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunSupervisor {
+    /// A supervisor with no deadline and a fresh token; the retry ladder
+    /// starts at 10 ms.
+    pub fn new() -> Self {
+        RunSupervisor {
+            token: CancelToken::new(),
+            started: Instant::now(),
+            deadline: None,
+            backoff_base: Duration::from_millis(10),
+        }
+    }
+
+    /// Use an existing token (e.g. one whose raw flag a SIGTERM handler
+    /// flips).
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Bound the run's wall clock, measured from this call.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.started = Instant::now();
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Override the base backoff delay (tests use ~1 ms).
+    pub fn with_backoff_base(mut self, base: Duration) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// The supervised token (clone it into signal handlers / other
+    /// threads).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Wall clock consumed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The per-stage check: `Ok` while the run may continue.
+    ///
+    /// # Errors
+    /// [`PpdpError::Cancelled`] once the token has tripped,
+    /// [`PpdpError::DeadlineExceeded`] once the wall-clock budget is
+    /// consumed. Both emit a `supervisor.*` counter and trace event the
+    /// first time they surface from this call.
+    pub fn guard(&self, label: &str) -> Result<()> {
+        if self.token.is_cancelled() {
+            ppdp_telemetry::counter("supervisor.cancelled", 1);
+            ppdp_trace::supervisor_event("cancelled", label, 0);
+            return Err(PpdpError::cancelled(format!(
+                "cancellation token tripped at {label}"
+            )));
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > deadline {
+                ppdp_telemetry::counter("supervisor.deadline_exceeded", 1);
+                ppdp_trace::supervisor_event("deadline", label, elapsed.as_millis() as u64);
+                return Err(PpdpError::DeadlineExceeded {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    deadline_ms: deadline.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible, cancellable [`ExecPolicy::par_map`].
+    ///
+    /// Every worker re-checks the token before each item; once tripped,
+    /// remaining items are skipped (their slots error). On any failure the
+    /// error with the **lowest item index** is returned, so the reported
+    /// cause is identical under `Sequential` and every `Parallel` width.
+    ///
+    /// # Errors
+    /// [`PpdpError::Cancelled`]/[`PpdpError::DeadlineExceeded`] from the
+    /// entry guard or mid-map cancellation, else the first item error.
+    pub fn try_par_map<R, F>(
+        &self,
+        policy: ExecPolicy,
+        label: &str,
+        n: usize,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize) -> Result<R> + Sync,
+    {
+        self.guard(label)?;
+        let slots: Vec<Result<R>> = policy.par_map(n, |i| {
+            // Between-item cancellation point: cheap (one atomic load) and
+            // cooperative — the in-flight item always completes.
+            self.guard(label)?;
+            f(i)
+        });
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.push(slot?);
+        }
+        Ok(out)
+    }
+
+    /// Runs `op` up to `attempts` times, sleeping `base · 2^k` between
+    /// tries, retrying only errors a retry could plausibly cure
+    /// (`non_convergence`, `numerical`, `io`). The attempt index is passed
+    /// to `op` so callers can escalate — e.g. climb the BP damping ladder
+    /// or relax a tolerance, the PR-2 degradation path.
+    ///
+    /// # Errors
+    /// The first non-transient error immediately; otherwise the last
+    /// transient error after `attempts` tries, having emitted the
+    /// `degraded.supervisor.retry_exhausted` telemetry event.
+    pub fn retry_with_backoff<T>(
+        &self,
+        label: &str,
+        attempts: u32,
+        mut op: impl FnMut(u32) -> Result<T>,
+    ) -> Result<T> {
+        let attempts = attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            self.guard(label)?;
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => {
+                    ppdp_telemetry::counter("supervisor.retry", 1);
+                    ppdp_trace::supervisor_event("retry", label, u64::from(attempt) + 1);
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(self.backoff_base * 2u32.pow(attempt.min(16)));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        ppdp_telemetry::degradation("supervisor", "retry_exhausted");
+        ppdp_trace::supervisor_event("retry_exhausted", label, u64::from(attempts));
+        // `last` is always Some here: the loop ran ≥ 1 time and every exit
+        // path other than a transient error returned early.
+        last.map_or_else(
+            || Err(PpdpError::cancelled(format!("retry loop at {label}"))),
+            Err,
+        )
+    }
+}
+
+/// Whether a retry could plausibly cure this error class.
+fn is_transient(e: &PpdpError) -> bool {
+    matches!(e.kind(), "non_convergence" | "numerical" | "io")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_passes_then_trips_on_cancel() {
+        let sup = RunSupervisor::new();
+        assert!(sup.guard("stage").is_ok());
+        sup.token().cancel();
+        let err = sup.guard("stage").unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert!(err.to_string().contains("stage"), "{err}");
+    }
+
+    #[test]
+    fn deadline_trips_after_elapsing() {
+        let sup = RunSupervisor::new().with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = sup.guard("slow").unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        let PpdpError::DeadlineExceeded {
+            elapsed_ms,
+            deadline_ms,
+        } = err
+        else {
+            panic!("wrong variant {err:?}");
+        };
+        assert!(elapsed_ms >= deadline_ms);
+    }
+
+    #[test]
+    fn try_par_map_is_deterministic_across_policies() {
+        let sup = RunSupervisor::new();
+        let f = |i: usize| -> Result<u64> { Ok((i as u64) * 3 + 1) };
+        let seq = sup
+            .try_par_map(ExecPolicy::Sequential, "map", 37, f)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let par = sup
+                .try_par_map(ExecPolicy::parallel(threads), "map", 37, f)
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_index_error() {
+        let sup = RunSupervisor::new();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::parallel(4)] {
+            let err = sup
+                .try_par_map(policy, "map", 16, |i| -> Result<usize> {
+                    if i == 11 || i == 3 {
+                        Err(PpdpError::numerical(format!("item {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("item 3"),
+                "{policy:?}: first-by-index error wins, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_par_map_stops_after_cancellation() {
+        use std::sync::atomic::AtomicUsize;
+        let sup = RunSupervisor::new();
+        let ran = AtomicUsize::new(0);
+        let token = sup.token().clone();
+        let err = sup
+            .try_par_map(ExecPolicy::Sequential, "map", 1000, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 4 {
+                    token.cancel();
+                }
+                Ok(i)
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        let executed = ran.load(Ordering::Relaxed);
+        assert!(
+            executed <= 6,
+            "items after the cancellation point must be skipped, ran {executed}"
+        );
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let rec = ppdp_telemetry::Recorder::new();
+        let got = {
+            let _scope = rec.enter();
+            let sup = RunSupervisor::new().with_backoff_base(Duration::from_micros(100));
+            sup.retry_with_backoff("bp", 4, |attempt| {
+                if attempt < 2 {
+                    Err(PpdpError::numerical("wobbly"))
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap()
+        };
+        assert_eq!(got, 2, "op sees the attempt index");
+        let report = rec.take();
+        assert_eq!(report.counter("supervisor.retry"), 2);
+        assert_eq!(report.counter("degraded.supervisor"), 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_and_surfaces_last_error() {
+        let rec = ppdp_telemetry::Recorder::new();
+        let err = {
+            let _scope = rec.enter();
+            let sup = RunSupervisor::new().with_backoff_base(Duration::from_micros(1));
+            sup.retry_with_backoff("bp", 3, |attempt| -> Result<()> {
+                Err(PpdpError::NonConvergence {
+                    algorithm: "bp",
+                    iterations: attempt as usize,
+                    residual: 1.0,
+                })
+            })
+            .unwrap_err()
+        };
+        assert_eq!(err.kind(), "non_convergence");
+        let report = rec.take();
+        assert_eq!(report.counter("supervisor.retry"), 3);
+        assert_eq!(report.counter("degraded.supervisor.retry_exhausted"), 1);
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_errors() {
+        let sup = RunSupervisor::new();
+        let mut calls = 0;
+        let err = sup
+            .retry_with_backoff("ledger", 5, |_| -> Result<()> {
+                calls += 1;
+                Err(PpdpError::BudgetExhausted {
+                    requested: 1.0,
+                    remaining: 0.0,
+                })
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "budget_exhausted");
+        assert_eq!(calls, 1, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn supervisor_trace_events_are_captured() {
+        let col = ppdp_trace::Collector::new();
+        {
+            let _scope = col.enter();
+            let sup = RunSupervisor::new().with_backoff_base(Duration::from_micros(1));
+            let _ = sup.retry_with_backoff("unit", 2, |_| -> Result<()> {
+                Err(PpdpError::numerical("x"))
+            });
+        }
+        let trace = col.take();
+        let actions: Vec<String> = trace
+            .records
+            .iter()
+            .filter_map(|r| match &r.event {
+                ppdp_trace::TraceEvent::Supervisor { action, label, .. } => {
+                    assert_eq!(label, "unit");
+                    Some(action.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(actions, vec!["retry", "retry", "retry_exhausted"]);
+    }
+}

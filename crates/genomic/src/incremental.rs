@@ -44,6 +44,7 @@ use crate::bp::{
 };
 use crate::factor_graph::FactorGraph;
 use crate::model::Genotype;
+use ppdp_durable::Codec;
 use ppdp_errors::{ensure, Result};
 use ppdp_exec::ExecPolicy;
 use std::cmp::Ordering;
@@ -552,6 +553,84 @@ impl IncrementalBp {
         Ok(())
     }
 
+    /// Captures the engine's complete mutable state — evidence,
+    /// potentials, message arenas, residuals and flags — as a
+    /// checkpointable snapshot. The residual worklist is *not* captured:
+    /// [`IncrementalBp::import_arena`] rebuilds it from the residuals,
+    /// exactly the way [`IncrementalBp::rollback_trial`] does, so the
+    /// imported engine schedules identically (stale heap entries are
+    /// skipped by value, making the heap redundant state).
+    ///
+    /// # Errors
+    /// [`ppdp_errors::PpdpError::InvalidInput`] while a trial is open —
+    /// a trial's journal is not serialized, and checkpointing a state the
+    /// owner intends to roll back would be a correctness trap.
+    pub fn export_arena(&self) -> Result<BpArenaSnapshot> {
+        ensure(
+            !self.in_trial,
+            "export_arena: cannot snapshot inside an open trial",
+        )?;
+        Ok(BpArenaSnapshot {
+            snp_evidence: self.g.snp_evidence.clone(),
+            trait_evidence: self.g.trait_evidence.clone(),
+            snp_pot: self.snp_pot.clone(),
+            trait_pot: self.trait_pot.clone(),
+            f2s: self.f2s.clone(),
+            f2t: self.f2t.clone(),
+            k2s: self.k2s.clone(),
+            residual: self.residual.clone(),
+            converged: self.converged,
+            clean: self.clean,
+            messages_updated: self.messages_updated,
+        })
+    }
+
+    /// Restores a state captured by [`IncrementalBp::export_arena`] into
+    /// this engine (which must wrap a graph of identical shape). After
+    /// import the engine is bitwise-equivalent to the exporter: same
+    /// marginals, same pending dirt, same schedule on the next refresh.
+    ///
+    /// # Errors
+    /// [`ppdp_errors::PpdpError::InvalidInput`] while a trial is open or
+    /// when the snapshot's dimensions do not match the wrapped graph.
+    pub fn import_arena(&mut self, snap: &BpArenaSnapshot) -> Result<()> {
+        ensure(
+            !self.in_trial,
+            "import_arena: cannot restore inside an open trial",
+        )?;
+        let nf = self.g.factors.len();
+        let nk = self.g.kin_factors.len();
+        ensure(
+            snap.snp_evidence.len() == self.g.n_snps()
+                && snap.trait_evidence.len() == self.g.n_traits()
+                && snap.snp_pot.len() == self.g.n_snps()
+                && snap.trait_pot.len() == self.g.n_traits()
+                && snap.f2s.len() == nf
+                && snap.f2t.len() == nf
+                && snap.k2s.len() == nk
+                && snap.residual.len() == nf + nk,
+            "import_arena: snapshot dimensions do not match the graph",
+        )?;
+        self.g.snp_evidence.clone_from(&snap.snp_evidence);
+        self.g.trait_evidence.clone_from(&snap.trait_evidence);
+        self.snp_pot.clone_from(&snap.snp_pot);
+        self.trait_pot.clone_from(&snap.trait_pot);
+        self.f2s.clone_from(&snap.f2s);
+        self.f2t.clone_from(&snap.f2t);
+        self.k2s.clone_from(&snap.k2s);
+        self.residual.clone_from(&snap.residual);
+        self.heap.clear();
+        for (idx, &res) in self.residual.iter().enumerate() {
+            if res >= self.schedule_tol {
+                self.heap.push(HeapEntry { res, idx });
+            }
+        }
+        self.converged = snap.converged;
+        self.clean = snap.clean;
+        self.messages_updated = snap.messages_updated;
+        Ok(())
+    }
+
     // --- internals ---
 
     /// Incoming product at SNP `s` — potential × adjacent factor messages
@@ -788,6 +867,56 @@ impl IncrementalBp {
             self.j_res_touched[idx] = true;
             self.j_residuals.push((idx, self.residual[idx]));
         }
+    }
+}
+
+/// A checkpointable snapshot of an [`IncrementalBp`] engine's mutable
+/// state (see [`IncrementalBp::export_arena`]). Opaque on purpose: the
+/// only valid consumers are `import_arena` and a
+/// [`ppdp_durable::CheckpointStore`], via the [`Codec`] impl.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpArenaSnapshot {
+    snp_evidence: Vec<Option<usize>>,
+    trait_evidence: Vec<Option<bool>>,
+    snp_pot: Vec<[f64; 3]>,
+    trait_pot: Vec<[f64; 2]>,
+    f2s: Vec<[f64; 3]>,
+    f2t: Vec<[f64; 2]>,
+    k2s: Vec<[[f64; 3]; 2]>,
+    residual: Vec<f64>,
+    converged: bool,
+    clean: bool,
+    messages_updated: u64,
+}
+
+impl Codec for BpArenaSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.snp_evidence.encode_into(out);
+        self.trait_evidence.encode_into(out);
+        self.snp_pot.encode_into(out);
+        self.trait_pot.encode_into(out);
+        self.f2s.encode_into(out);
+        self.f2t.encode_into(out);
+        self.k2s.encode_into(out);
+        self.residual.encode_into(out);
+        self.converged.encode_into(out);
+        self.clean.encode_into(out);
+        self.messages_updated.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(BpArenaSnapshot {
+            snp_evidence: Codec::decode(input)?,
+            trait_evidence: Codec::decode(input)?,
+            snp_pot: Codec::decode(input)?,
+            trait_pot: Codec::decode(input)?,
+            f2s: Codec::decode(input)?,
+            f2t: Codec::decode(input)?,
+            k2s: Codec::decode(input)?,
+            residual: Codec::decode(input)?,
+            converged: Codec::decode(input)?,
+            clean: Codec::decode(input)?,
+            messages_updated: Codec::decode(input)?,
+        })
     }
 }
 
@@ -1081,6 +1210,55 @@ mod tests {
         let mut inc = IncrementalBp::new(g, BpConfig::default());
         assert!(inc.set_snp_evidence(99, None).is_err());
         assert!(inc.set_trait_evidence(99, None).is_err());
+    }
+
+    #[test]
+    fn arena_snapshot_round_trips_bitwise_through_codec() {
+        let g = wide_graph();
+        let cfg = BpConfig::default();
+        let mut inc = IncrementalBp::new(g.clone(), cfg);
+        inc.refresh();
+        inc.set_snp_evidence(5, Some(Genotype::Het)).unwrap();
+        // Snapshot with dirt pending: residuals and flags must survive.
+        let snap = inc.export_arena().unwrap();
+        let bytes = snap.encode();
+        let decoded = BpArenaSnapshot::decode_all(&bytes).unwrap();
+        assert_eq!(decoded, snap, "codec round-trip is bitwise");
+
+        let mut resumed = IncrementalBp::new(g, cfg);
+        resumed.import_arena(&decoded).unwrap();
+        // Both engines finish the pending work and agree bitwise — on the
+        // marginals AND on the raw message arenas.
+        let a = inc.refresh();
+        let b = resumed.refresh();
+        assert_eq!(a, b, "refresh outcomes match");
+        assert_eq!(inc.f2s, resumed.f2s);
+        assert_eq!(inc.f2t, resumed.f2t);
+        assert_eq!(inc.k2s, resumed.k2s);
+        assert_eq!(inc.snp_marginals(), resumed.snp_marginals());
+        assert_eq!(inc.trait_marginals(), resumed.trait_marginals());
+        // And subsequent edits evolve identically.
+        inc.set_trait_evidence(1, Some(false)).unwrap();
+        resumed.set_trait_evidence(1, Some(false)).unwrap();
+        assert_eq!(inc.refresh(), resumed.refresh());
+        assert_eq!(inc.snp_marginals(), resumed.snp_marginals());
+    }
+
+    #[test]
+    fn arena_snapshot_rejects_trials_and_shape_mismatch() {
+        let g = wide_graph();
+        let mut inc = IncrementalBp::new(g, BpConfig::default());
+        inc.refresh();
+        let snap = inc.export_arena().unwrap();
+        inc.begin_trial().unwrap();
+        assert!(inc.export_arena().is_err(), "no snapshot inside a trial");
+        assert!(inc.import_arena(&snap).is_err(), "no restore inside one");
+        inc.rollback_trial().unwrap();
+
+        let small = FactorGraph::build(&figure_5_1_catalog(), &Evidence::none()).unwrap();
+        let mut other = IncrementalBp::new(small, BpConfig::default());
+        let err = other.import_arena(&snap).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
     }
 
     #[test]

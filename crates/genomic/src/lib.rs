@@ -47,7 +47,7 @@ pub use bp::{BpConfig, BpResult};
 pub use catalog::{Association, GwasCatalog, TraitInfo};
 pub use exhaustive::exhaustive_marginals;
 pub use factor_graph::{Evidence, FactorGraph};
-pub use incremental::{IncrementalBp, RefreshOutcome};
+pub use incremental::{BpArenaSnapshot, IncrementalBp, RefreshOutcome};
 pub use kinship::{
     build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget,
 };
@@ -56,7 +56,8 @@ pub use model::{Genotype, SnpId, TraitId};
 pub use nb::naive_bayes_marginals;
 pub use privacy::{entropy_privacy, estimation_error, satisfies_delta_privacy};
 pub use sanitize::{
-    greedy_sanitize, greedy_sanitize_full_recompute, greedy_sanitize_incremental,
-    greedy_sanitize_with, SanitizeOutcome,
+    greedy_sanitize, greedy_sanitize_checkpointed, greedy_sanitize_full_recompute,
+    greedy_sanitize_incremental, greedy_sanitize_with, sanitize_checkpoint_key, SanitizeJournal,
+    SanitizeOutcome,
 };
 pub use tables::{allele_given_trait, genotype_given_trait, trait_posterior};

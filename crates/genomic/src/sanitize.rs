@@ -10,9 +10,13 @@ use crate::incremental::IncrementalBp;
 use crate::model::{SnpId, TraitId};
 use crate::nb::naive_bayes_marginals;
 use crate::neighbors::{neighbor_snps_of_snp, neighbor_snps_of_trait};
+use ppdp_durable::{CheckpointKey, CheckpointStore, Codec};
 use ppdp_errors::{PpdpError, Result};
 use ppdp_exec::ExecPolicy;
-use ppdp_opt::{greedy_cardinality_oracle, greedy_cardinality_with, DeltaOracle};
+use ppdp_opt::{
+    greedy_cardinality_oracle, greedy_cardinality_oracle_hooked, greedy_cardinality_with,
+    DeltaOracle,
+};
 use std::collections::BTreeSet;
 
 /// A variable whose privacy the publisher wants to protect.
@@ -473,6 +477,7 @@ pub fn greedy_sanitize_incremental(
         max_removals,
         cfg,
         false,
+        None,
     )
 }
 
@@ -501,6 +506,100 @@ pub fn greedy_sanitize_full_recompute(
         max_removals,
         cfg,
         true,
+        None,
+    )
+}
+
+/// Write-ahead journal of a greedy sanitization run: the committed picks
+/// `(candidate index, objective value)` in pick order. Saved to a
+/// [`CheckpointStore`] after every pick, so a killed run replays exactly
+/// its committed prefix and resumes picking — replay drives the oracle
+/// through the same `commit` calls the live run made, which restores the
+/// engine (and hence every later pick) bitwise.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SanitizeJournal {
+    /// Committed picks, in pick order.
+    pub picks: Vec<(u64, f64)>,
+}
+
+impl Codec for SanitizeJournal {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.picks.encode_into(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        Ok(SanitizeJournal {
+            picks: Vec::<(u64, f64)>::decode(input)?,
+        })
+    }
+}
+
+/// The checkpoint key a [`greedy_sanitize_checkpointed`] run files its
+/// journal under. Public so the crash harness (and operators) can inspect
+/// or prune a run's checkpoint without re-deriving the digest rules.
+///
+/// The digest covers everything that must match for a replayed prefix to
+/// be valid: catalog, evidence (in sorted order — `Evidence` hashes are
+/// iteration-order-unstable), targets, `δ` and the removal cap. The exec
+/// fingerprint is `"any"`: sanitization artifacts are policy-invariant.
+pub fn sanitize_checkpoint_key(
+    run_label: &str,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+) -> CheckpointKey {
+    let mut input = format!(
+        "{catalog:?}|{targets:?}|{}|{max_removals}|",
+        delta.to_bits()
+    );
+    let mut snps: Vec<_> = evidence.snps.iter().collect();
+    snps.sort_unstable_by_key(|(s, _)| s.0);
+    for (s, g) in snps {
+        input.push_str(&format!("s{}={g:?};", s.0));
+    }
+    let mut traits: Vec<_> = evidence.traits.iter().collect();
+    traits.sort_unstable_by_key(|(t, _)| t.0);
+    for (t, present) in traits {
+        input.push_str(&format!("t{}={present};", t.0));
+    }
+    CheckpointKey::new(format!("sanitize/{run_label}"), 0, "any", input.as_bytes())
+}
+
+/// [`greedy_sanitize_incremental`] with crash-safe pick journaling: every
+/// committed pick is appended to a [`SanitizeJournal`] checkpoint (atomic
+/// tmp + fsync + rename) *before* the next greedy round starts. A rerun
+/// after a kill loads the journal, replays the committed picks through the
+/// oracle, and resumes the search — producing a bitwise-identical
+/// [`SanitizeOutcome`] to an uninterrupted run (asserted by the crash
+/// harness). A completed run leaves its journal in place; rerunning is a
+/// pure replay.
+///
+/// # Errors
+/// Same contract as [`greedy_sanitize`]; checkpoint I/O failures surface
+/// as [`PpdpError::Io`].
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_sanitize_checkpointed(
+    exec: ExecPolicy,
+    catalog: &GwasCatalog,
+    evidence: &Evidence,
+    targets: &[Target],
+    delta: f64,
+    max_removals: usize,
+    cfg: BpConfig,
+    store: &CheckpointStore,
+    run_label: &str,
+) -> Result<SanitizeOutcome> {
+    sanitize_incremental_impl(
+        exec,
+        catalog,
+        evidence,
+        targets,
+        delta,
+        max_removals,
+        cfg,
+        false,
+        Some((store, run_label)),
     )
 }
 
@@ -514,6 +613,7 @@ fn sanitize_incremental_impl(
     max_removals: usize,
     mut cfg: BpConfig,
     strict: bool,
+    ckpt: Option<(&CheckpointStore, &str)>,
 ) -> Result<SanitizeOutcome> {
     catalog.validate()?;
     evidence.validate_against(catalog)?;
@@ -581,7 +681,65 @@ fn sanitize_incremental_impl(
     let e0 = oracle.mean_err();
 
     let k = max_removals.min(candidates.len());
-    let order = greedy_cardinality_oracle(exec, &mut oracle, k)?;
+
+    // Durability hookup: load any existing journal for this exact input,
+    // replay its committed picks through the oracle (bitwise-restoring the
+    // engine state), then journal every new pick before the next round.
+    let key = ckpt.map(|(_, run_label)| {
+        sanitize_checkpoint_key(run_label, catalog, evidence, targets, delta, max_removals)
+    });
+    let mut journal = SanitizeJournal::default();
+    if let (Some((store, run_label)), Some(key)) = (ckpt, key.as_ref()) {
+        if let Some(loaded) = store.load::<SanitizeJournal>(key) {
+            let valid = loaded
+                .picks
+                .iter()
+                .all(|&(item, _)| (item as usize) < oracle.len());
+            if valid {
+                for &(item, value) in &loaded.picks {
+                    oracle.commit(item as usize, value);
+                }
+                ppdp_telemetry::counter(
+                    "sanitize.checkpoint.resumed_picks",
+                    loaded.picks.len() as u64,
+                );
+                ppdp_trace::supervisor_event(
+                    "checkpoint_resume",
+                    run_label,
+                    loaded.picks.len() as u64,
+                );
+                journal = loaded;
+            }
+        }
+    }
+
+    let replayed: Vec<usize> = journal.picks.iter().map(|&(i, _)| i as usize).collect();
+    let order = if let (Some((store, run_label)), Some(key)) = (ckpt, key.as_ref()) {
+        let oracle = &mut oracle;
+        let journal = &mut journal;
+        let mut on_pick = |item: usize, value: f64| {
+            journal.picks.push((item as u64, value));
+            // The save is the durability point: once it returns, a kill
+            // anywhere before the next save replays up to *this* pick.
+            if store.save(key, journal).is_ok() {
+                ppdp_telemetry::counter("sanitize.checkpoint.saved", 1);
+                ppdp_trace::supervisor_event(
+                    "checkpoint_save",
+                    run_label,
+                    journal.picks.len() as u64,
+                );
+            }
+        };
+        let fresh = greedy_cardinality_oracle_hooked(
+            exec,
+            oracle,
+            k.saturating_sub(replayed.len()),
+            &mut on_pick,
+        )?;
+        replayed.iter().copied().chain(fresh).collect()
+    } else {
+        greedy_cardinality_oracle(exec, &mut oracle, k)?
+    };
 
     // Replay the recorded trajectory, stopping once δ-privacy is reached —
     // the same stopping rule the closure sanitizer applies by re-running
@@ -926,6 +1084,133 @@ mod tests {
             "warm-start probes must be recorded as savings"
         );
         assert!(report.counter("bp.incremental.refreshes") > 0);
+    }
+
+    fn tmpstore(tag: &str) -> CheckpointStore {
+        let d = std::env::temp_dir().join(format!("ppdp-sanitize-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        CheckpointStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_incremental_bitwise() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let reference = greedy_sanitize_incremental(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            BpConfig::default(),
+        )
+        .unwrap();
+        let store = tmpstore("match");
+        let out = greedy_sanitize_checkpointed(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.95,
+            8,
+            BpConfig::default(),
+            &store,
+            "unit",
+        )
+        .unwrap();
+        assert_eq!(out, reference, "journaling must not perturb the run");
+        let key = sanitize_checkpoint_key("unit", &cat, &mixed_evidence(), &targets, 0.95, 8);
+        let journal: SanitizeJournal = store.load(&key).expect("journal persisted");
+        assert!(!journal.picks.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncated_journal_resumes_to_identical_outcome() {
+        // Simulate a kill after the second pick: keep only the journal
+        // prefix a crashed run would have fsynced, rerun, and demand the
+        // resumed outcome be bitwise-identical to the uninterrupted one.
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+        let run = |store: &CheckpointStore| {
+            greedy_sanitize_checkpointed(
+                ExecPolicy::Sequential,
+                &cat,
+                &mixed_evidence(),
+                &targets,
+                0.99,
+                8,
+                BpConfig::default(),
+                store,
+                "resume",
+            )
+            .unwrap()
+        };
+        let store = tmpstore("resume");
+        let uninterrupted = run(&store);
+
+        let key = sanitize_checkpoint_key("resume", &cat, &mixed_evidence(), &targets, 0.99, 8);
+        let full: SanitizeJournal = store.load(&key).unwrap();
+        assert!(full.picks.len() >= 3, "need enough picks to truncate");
+        for cut in 0..full.picks.len() {
+            let truncated = SanitizeJournal {
+                picks: full.picks[..cut].to_vec(),
+            };
+            store.save(&key, &truncated).unwrap();
+            let rec = ppdp_telemetry::Recorder::new();
+            let resumed = {
+                let _scope = rec.enter();
+                run(&store)
+            };
+            assert_eq!(resumed, uninterrupted, "kill point after pick {cut}");
+            assert_eq!(
+                rec.take().counter("sanitize.checkpoint.resumed_picks"),
+                cut as u64
+            );
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_journal_falls_back_to_cold_start() {
+        let cat = figure_5_1_catalog();
+        let targets = [Target::Trait(TraitId(0))];
+        let store = tmpstore("corrupt");
+        let first = greedy_sanitize_checkpointed(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.99,
+            8,
+            BpConfig::default(),
+            &store,
+            "corrupt",
+        )
+        .unwrap();
+        let key = sanitize_checkpoint_key("corrupt", &cat, &mixed_evidence(), &targets, 0.99, 8);
+        // Flip one byte in the checkpoint file: load must reject it (CRC)
+        // and the rerun must recompute from scratch, not error.
+        let path = store.path_for(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let rerun = greedy_sanitize_checkpointed(
+            ExecPolicy::Sequential,
+            &cat,
+            &mixed_evidence(),
+            &targets,
+            0.99,
+            8,
+            BpConfig::default(),
+            &store,
+            "corrupt",
+        )
+        .unwrap();
+        assert_eq!(rerun, first);
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -187,7 +187,7 @@ pub fn validate(text: &str) -> Result<ExpositionStats, String> {
         }
 
         // Sample line: name[{labels}] value
-        let (name_part, rest) = match line.find(|c| c == '{' || c == ' ') {
+        let (name_part, rest) = match line.find(['{', ' ']) {
             Some(i) => line.split_at(i),
             None => return Err(at(format!("malformed sample: {line:?}"))),
         };

@@ -389,7 +389,7 @@ impl LiveMetrics {
             if let Some(parent) = path.parent() {
                 let _ = std::fs::create_dir_all(parent);
             }
-            if let Err(e) = std::fs::write(&path, snap.to_openmetrics()) {
+            if let Err(e) = ppdp_durable::write_atomic(&path, snap.to_openmetrics().as_bytes()) {
                 eprintln!("ppdp-metrics: failed to write {}: {e}", path.display());
             }
         }

@@ -16,7 +16,7 @@
 
 use crate::registry::Registry;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -212,12 +212,11 @@ fn tick(
     }
 }
 
-fn write_snapshot(registry: &Registry, path: &PathBuf) {
+fn write_snapshot(registry: &Registry, path: &Path) {
     let text = registry.snapshot().to_openmetrics();
-    let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, &text).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    // Crash-safe replace (tmp + fsync + rename + dir fsync): a scrape or a
+    // post-crash reader never observes a half-written snapshot.
+    let _ = ppdp_durable::write_atomic(path, text.as_bytes());
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ pub use greedy::{
     naive_greedy_knapsack, naive_greedy_knapsack_with,
 };
 pub use oracle::{
-    greedy_cardinality_oracle, lazy_greedy_knapsack_oracle, naive_greedy_knapsack_oracle,
-    ClosureOracle, DeltaOracle, ParClosureOracle,
+    greedy_cardinality_oracle, greedy_cardinality_oracle_hooked, lazy_greedy_knapsack_oracle,
+    naive_greedy_knapsack_oracle, ClosureOracle, DeltaOracle, ParClosureOracle,
 };
 pub use simplex::{enumerate_simplex, simplex_size};

@@ -276,6 +276,26 @@ pub fn greedy_cardinality_oracle<O: DeltaOracle + ?Sized>(
     oracle: &mut O,
     k: usize,
 ) -> Result<Vec<usize>> {
+    greedy_cardinality_oracle_hooked(exec, oracle, k, &mut |_, _| {})
+}
+
+/// [`greedy_cardinality_oracle`] with a per-pick observation hook:
+/// `on_pick(item, value)` fires *after* each commit, in pick order. The
+/// hook exists for durability journaling — a caller can append each pick
+/// to a write-ahead journal the moment it is committed, so a killed run
+/// replays exactly the committed prefix and resumes picking from there
+/// (the engine already starts from `oracle.committed()`). The hook cannot
+/// influence the selection; pick order is identical to the unhooked entry
+/// point by construction.
+///
+/// # Errors
+/// As [`greedy_cardinality_oracle`].
+pub fn greedy_cardinality_oracle_hooked<O: DeltaOracle + ?Sized>(
+    exec: ExecPolicy,
+    oracle: &mut O,
+    k: usize,
+    on_pick: &mut dyn FnMut(usize, f64),
+) -> Result<Vec<usize>> {
     let n = oracle.len();
     ensure(k <= n, format!("cardinality bound k={k} exceeds n={n}"))?;
     let mut evaluations = 1u64; // the oracle's base evaluation
@@ -302,6 +322,7 @@ pub fn greedy_cardinality_oracle<O: DeltaOracle + ?Sized>(
         ppdp_trace::greedy_pick("cardinality", item as u64, value, value - current);
         oracle.commit(item, value);
         picked.push(item);
+        on_pick(item, value);
         ppdp_telemetry::gauge("greedy.picks", picked.len() as f64);
         current = value;
     }
@@ -687,6 +708,45 @@ mod tests {
         }
         let all: Vec<usize> = first.iter().chain(&second).copied().collect();
         assert_eq!(oracle.committed(), &all[..]);
+    }
+
+    #[test]
+    fn hooked_solver_journals_every_pick_without_changing_them() {
+        let (items, weights, _) = fixture();
+        let mut oracle = CoverageOracle::new(&items, &weights);
+        let reference = greedy_cardinality_oracle(ExecPolicy::Sequential, &mut oracle, 5).unwrap();
+
+        let mut oracle = CoverageOracle::new(&items, &weights);
+        let mut journal: Vec<(usize, f64)> = Vec::new();
+        let picked = greedy_cardinality_oracle_hooked(
+            ExecPolicy::Sequential,
+            &mut oracle,
+            5,
+            &mut |item, value| journal.push((item, value)),
+        )
+        .unwrap();
+        assert_eq!(picked, reference, "hook must not perturb the selection");
+        let journaled: Vec<usize> = journal.iter().map(|&(i, _)| i).collect();
+        assert_eq!(journaled, picked, "one hook call per pick, in pick order");
+        for (&(item, value), w) in journal.iter().zip(journal.windows(2)) {
+            let _ = item;
+            assert!(w[1].1 >= w[0].1, "objective is monotone along picks");
+            let _ = value;
+        }
+
+        // Replay the journal into a fresh oracle, then resume: the engine
+        // picks up from the committed prefix without re-picking.
+        let mut resumed = CoverageOracle::new(&items, &weights);
+        for &(item, value) in &journal[..2] {
+            resumed.commit(item, value);
+        }
+        let rest = greedy_cardinality_oracle(ExecPolicy::Sequential, &mut resumed, 3).unwrap();
+        let full: Vec<usize> = journal[..2]
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(rest.iter().copied())
+            .collect();
+        assert_eq!(full, reference, "journal replay + resume = full run");
     }
 
     #[test]

@@ -218,6 +218,22 @@ pub enum TraceEvent {
         /// offending iteration's enclosing span.
         span: Option<TraceKey>,
     },
+    /// A run supervisor acted: cancellation observed, deadline hit, a
+    /// retry issued or exhausted, a checkpoint saved or resumed, a WAL
+    /// replayed.
+    Supervisor {
+        /// What happened (`"cancelled"`, `"deadline"`, `"retry"`,
+        /// `"retry_exhausted"`, `"checkpoint_save"`,
+        /// `"checkpoint_resume"`, `"wal_replay"`).
+        action: String,
+        /// The supervised unit (stage label, ledger path stem, …).
+        label: String,
+        /// Action-specific count: retry attempt number, draws replayed,
+        /// milliseconds elapsed at a deadline hit.
+        detail: u64,
+        /// Key of the innermost open span when the action fired.
+        span: Option<TraceKey>,
+    },
 }
 
 impl TraceEvent {
@@ -237,6 +253,7 @@ impl TraceEvent {
             TraceEvent::GreedyPick { .. } => "greedy_pick",
             TraceEvent::Trial { .. } => "trial",
             TraceEvent::Watchdog { .. } => "watchdog",
+            TraceEvent::Supervisor { .. } => "supervisor",
         }
     }
 
@@ -356,6 +373,17 @@ impl TraceEvent {
                 m.push(("iteration".into(), JsonValue::Num(*iteration as f64)));
                 m.push(("span".into(), key_or_null(span)));
             }
+            TraceEvent::Supervisor {
+                action,
+                label,
+                detail,
+                span,
+            } => {
+                m.push(("action".into(), JsonValue::Str(action.clone())));
+                m.push(("label".into(), JsonValue::Str(label.clone())));
+                m.push(("detail".into(), JsonValue::Num(*detail as f64)));
+                m.push(("span".into(), key_or_null(span)));
+            }
         }
         JsonValue::Object(m)
     }
@@ -436,6 +464,12 @@ impl TraceEvent {
                 subsystem: s("subsystem")?,
                 verdict: s("verdict")?,
                 iteration: u("iteration")?,
+                span: key("span")?,
+            },
+            "supervisor" => TraceEvent::Supervisor {
+                action: s("action")?,
+                label: s("label")?,
+                detail: u("detail")?,
                 span: key("span")?,
             },
             _ => return None,

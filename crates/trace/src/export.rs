@@ -309,6 +309,12 @@ mod tests {
                 iteration: 14,
                 span: Some(TraceKey(vec![0])),
             },
+            TraceEvent::Supervisor {
+                action: "retry".into(),
+                label: "bp/publish".into(),
+                detail: 2,
+                span: None,
+            },
         ];
         let trace = Trace {
             records: events

@@ -579,6 +579,31 @@ pub fn watchdog_event(subsystem: &str, verdict: &str, iteration: u64) {
     });
 }
 
+/// Emits a [`TraceEvent::Supervisor`] attached to the innermost open
+/// span. No-op when disabled (supervision itself — cancellation,
+/// deadlines, retries — fires regardless of tracing).
+#[inline]
+pub fn supervisor_event(action: &str, label: &str, detail: u64) {
+    if !enabled() {
+        return;
+    }
+    with_scope(|s| {
+        let span = s.spans.last().cloned().or_else(|| s.base_parent.clone());
+        let key = s.next_key();
+        let ts_nanos = s.collector.elapsed_nanos();
+        s.push(TraceRecord {
+            key,
+            ts_nanos,
+            event: TraceEvent::Supervisor {
+                action: action.to_owned(),
+                label: label.to_owned(),
+                detail,
+                span,
+            },
+        });
+    });
+}
+
 /// A captured parallel-region context: carries the region's key prefix
 /// and span parent into worker threads so item events merge
 /// deterministically by `(item index, per-item seq)`.

@@ -391,6 +391,189 @@ fn dp_degenerate_tables_are_policy_independent() {
     assert_structured(&err, "empty table");
 }
 
+// ---------- durability layer × storage faults ----------
+//
+// The seeded storage injectors (torn writes, bit rot, short reads, stale
+// tmp siblings) replay the failure modes a crash or dying disk inflicts on
+// the WAL and checkpoint files. The contract mirrors the data-fault one:
+// a fault surfaces as a typed `io` error or as a *detected* degradation
+// (torn-tail truncation, cold-start resume) — never a panic, and never a
+// ledger that under-counts an acknowledged ε draw.
+
+#[test]
+fn wal_replay_after_torn_write_is_an_exact_prefix() {
+    use ppdp::durable::Wal;
+    for seed in 0..8u64 {
+        let dir = scratch(&format!("walt-{seed}"));
+        let path = dir.join("x.wal");
+        let records: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 5 + i as usize]).collect();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        Chaos::new(seed).torn_write(&path).unwrap();
+        // A truncation anywhere — even inside the magic — must recover to
+        // a clean prefix of the acknowledged records.
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert!(
+            replay.records.len() < records.len() || !replay.torn_tail,
+            "seed {seed}: torn write lost bytes but replay claims full history"
+        );
+        assert_eq!(
+            replay.records[..],
+            records[..replay.records.len()],
+            "seed {seed}: replay must be an exact prefix, not reordered or garbled"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wal_bit_rot_is_loud_or_tail_truncated_never_silent() {
+    use ppdp::durable::Wal;
+    let mut outcomes = (0, 0);
+    for seed in 0..12u64 {
+        let dir = scratch(&format!("walrot-{seed}"));
+        let path = dir.join("x.wal");
+        let records: Vec<Vec<u8>> = (0..5u8).map(|i| vec![0xA0 ^ i; 16]).collect();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        Chaos::new(seed).bit_rot(&path).unwrap();
+        match Wal::open(&path) {
+            // Interior corruption (or a rotted magic): refused loudly.
+            Err(e) => {
+                assert_eq!(e.kind(), "io", "seed {seed}");
+                outcomes.0 += 1;
+            }
+            // A flip in the final frame (or a length field) presents as a
+            // torn tail: the replay must still be an exact prefix.
+            Ok((_, replay)) => {
+                assert_eq!(
+                    replay.records[..],
+                    records[..replay.records.len()],
+                    "seed {seed}: corrupted replay leaked through"
+                );
+                if replay.records.len() < records.len() {
+                    assert!(replay.torn_tail, "seed {seed}: silent record loss");
+                    outcomes.1 += 1;
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        outcomes.0 > 0,
+        "12 seeds of bit rot never hit an interior frame — injector too weak"
+    );
+}
+
+#[test]
+fn durable_ledger_never_under_counts_after_storage_faults() {
+    use ppdp::dp::{DurableLedger, OverdrawPolicy};
+    let draws = [(0.2, "a"), (0.3, "b"), (0.25, "c"), (0.15, "d")];
+    for seed in 0..8u64 {
+        let dir = scratch(&format!("ledger-{seed}"));
+        let path = dir.join("budget.wal");
+        {
+            let (mut led, _) = DurableLedger::open(&path, 1.0, OverdrawPolicy::Strict).unwrap();
+            for (eps, label) in draws {
+                led.spend(eps, "laplace", label, 1.0).unwrap();
+            }
+        }
+        Chaos::new(seed).torn_write(&path).unwrap();
+        let (led, recovery) = DurableLedger::open(&path, 1.0, OverdrawPolicy::Strict)
+            .unwrap_or_else(|e| panic!("seed {seed}: torn wal must reopen: {e}"));
+        // Truncation can only lose a suffix; what replays must be the exact
+        // prefix of the history, charged at the exact recorded ε.
+        let expect: f64 = draws[..recovery.replayed].iter().map(|(e, _)| e).sum();
+        assert!(
+            (led.spent() - expect).abs() < 1e-12,
+            "seed {seed}: replayed prefix mis-charged: {} vs {expect}",
+            led.spent()
+        );
+        for (i, (_, label)) in draws.iter().enumerate() {
+            assert_eq!(
+                led.has_label(label),
+                i < recovery.replayed,
+                "seed {seed}: label set is not a prefix at {label}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_corruption_and_stale_tmps_degrade_to_cold_start() {
+    use ppdp::durable::{CheckpointKey, CheckpointStore};
+    use ppdp::genomic::SanitizeJournal;
+    for seed in 0..8u64 {
+        let dir = scratch(&format!("ckpt-{seed}"));
+        let store = CheckpointStore::open(&dir).unwrap();
+        let key = CheckpointKey::new("chaos", 7, "any", b"input");
+        let journal = SanitizeJournal {
+            picks: vec![(3, 0.5), (1, 0.25), (9, 0.125)],
+        };
+        store.save(&key, &journal).unwrap();
+        let path = store.path_for(&key);
+
+        // A stale tmp sibling (crash between write and rename) must not
+        // shadow the committed snapshot.
+        let tmp = Chaos::new(seed).stale_tmp(&path).unwrap();
+        assert_eq!(
+            store.load::<SanitizeJournal>(&key).as_ref(),
+            Some(&journal),
+            "seed {seed}: stale tmp {tmp:?} shadowed the committed snapshot"
+        );
+
+        // Bit rot in the snapshot itself: load must refuse (cold start),
+        // not return doctored picks.
+        Chaos::new(seed).bit_rot(&path).unwrap();
+        let loaded = store.load::<SanitizeJournal>(&key);
+        assert!(
+            loaded.is_none() || loaded == Some(journal.clone()),
+            "seed {seed}: corrupt checkpoint replayed as different picks"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn short_reads_of_codec_state_error_instead_of_panicking() {
+    use ppdp::durable::Codec;
+    use ppdp::genomic::SanitizeJournal;
+    let journal = SanitizeJournal {
+        picks: (0..20).map(|i| (i as u64, 1.0 / (i + 1) as f64)).collect(),
+    };
+    let bytes = journal.encode();
+    for seed in 0..16u64 {
+        let prefix = Chaos::new(seed).short_read(&bytes);
+        if prefix.len() == bytes.len() {
+            continue;
+        }
+        let mut input = prefix;
+        let decoded = SanitizeJournal::decode(&mut input);
+        assert!(
+            decoded.is_err(),
+            "seed {seed}: truncated state at {} of {} bytes decoded silently",
+            prefix.len(),
+            bytes.len()
+        );
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ppdp-chaos-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
 #[test]
 fn dp_pipeline_rejects_degenerate_epsilon() {
     let table = correlated_microdata(100, 3, 2, 0.5, 5);
