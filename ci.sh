@@ -26,6 +26,21 @@ cargo test -q -p ppdp --test trace
 echo "==> golden-value regression suite"
 cargo test -q -p ppdp --test golden
 
+# Kernel-equivalence gate: the log-domain (LSE) BP kernel must agree with
+# the linear kernel to 1e-9 on golden fixtures, make identical greedy
+# sanitize picks, stay bitwise across exec policies and checkpoint/resume
+# with warm arenas, and survive the adversarial fixtures (degree-1500 hub
+# traits, 10⁴-deep kin chains, near-zero factor tables) that underflow
+# the linear kernel.
+echo "==> differential kernel-equivalence suite (linear vs log domain)"
+cargo test -q -p ppdp --test kernels
+
+# Arena-reuse gate: 50 back-to-back publishes on one publisher must show
+# flat per-publish allocation growth and warm-arena hits in the metrics
+# registry (its own test binary: it swaps in the counting allocator).
+echo "==> BP arena-reuse leak gate"
+cargo test -q -p ppdp --test arena
+
 echo "==> chaos suite (fault injection: no panics allowed)"
 cargo test -q -p ppdp --test chaos
 
@@ -111,6 +126,16 @@ cargo run -q --release -p ppdp-bench --bin bench_scale -- \
 cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
   diff BENCH_SCALE.ci.json BENCH_SCALE.ci.json
 rm -f BENCH_SCALE.ci.json
+
+# Paper-extreme scale gate: the 10⁶-node graph row and the 10⁵-SNP genome
+# row (both message domains) must complete within a 3 GiB peak-RSS budget,
+# the log-domain row must converge with zero underflow repairs, and it
+# must not need more sweeps than the linear row. The checked-in
+# BENCH_SCALE.json baseline is left untouched.
+echo "==> bench_scale 10⁶-node gate (gate profile, 3 GiB RSS budget)"
+cargo run -q --release -p ppdp-bench --bin bench_scale -- \
+  --profile gate --out BENCH_SCALE.gate.json --max-peak-rss-bytes 3221225472
+rm -f BENCH_SCALE.gate.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

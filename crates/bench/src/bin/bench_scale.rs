@@ -22,15 +22,24 @@
 //! allocation series were present — the acceptance probes for the live
 //! observability layer.
 //!
-//! Usage: `bench_scale [--profile ci|paper] [--out <path>]`. The `ci`
-//! profile keeps CI wall time low; `paper` sweeps to the full sizes
-//! (10⁵ SNPs, 2.5×10⁵ nodes) and is what generates the checked-in
-//! baseline. `PPDP_THREADS` selects the execution policy as usual.
+//! Usage: `bench_scale [--profile ci|paper|gate] [--out <path>]
+//! [--max-peak-rss-bytes <n>]`. The `ci` profile keeps CI wall time low;
+//! `paper` sweeps to the full sizes (10⁵ SNPs, 10⁶ graph nodes) and is
+//! what generates the checked-in baseline; `gate` runs only the extreme
+//! sizes under an optional peak-RSS budget (the ci.sh scale gate).
+//! Genome sizes run under both message domains (`genome` rows are the
+//! linear kernel, `genome_log` rows the log-sum-exp kernel). The harness
+//! fails if a log row converges slower than its linear sibling, fails to
+//! converge, or reports any `bp.renormalized` underflow repairs — at
+//! paper scale the catalog's degree-2000 hub trait underflows the linear
+//! kernel (visible in the `renormalized` column), and the log kernel is
+//! the row that must stay exact. `PPDP_THREADS` selects the execution
+//! policy as usual.
 
 use ppdp::classify::{gibbs_run, GibbsConfig, LabeledGraph};
 use ppdp::datagen::social::{generate, SocialConfig};
 use ppdp::exec::ExecPolicy;
-use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, SnpId, TraitId};
+use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, MessageDomain, SnpId, TraitId};
 use ppdp::metrics::alloc::CountingAlloc;
 use ppdp::metrics::{http, LiveMetrics};
 use rand::Rng;
@@ -54,6 +63,10 @@ struct Row {
     /// BP sweeps or Gibbs sweeps actually performed.
     work_units: usize,
     converged: bool,
+    /// `bp.renormalized` underflow repairs during the run. The linear
+    /// kernel pays these at hub-trait sizes; the log kernel must report
+    /// zero. Graph rows (Gibbs, no message products) are always zero.
+    renormalized: u64,
     rss_bytes: u64,
     peak_rss_bytes: u64,
     alloc_bytes: u64,
@@ -73,7 +86,7 @@ fn alloc_totals() -> (u64, u64, u64) {
         .unwrap_or((0, 0, 0))
 }
 
-fn genome_row(n_snps: usize, exec: ExecPolicy) -> Row {
+fn genome_row(n_snps: usize, exec: ExecPolicy, domain: MessageDomain) -> Row {
     let _span = ppdp::telemetry::span("scale.genome");
     let (bytes0, count0, _) = alloc_totals();
     let gen_start = Instant::now();
@@ -99,23 +112,32 @@ fn genome_row(n_snps: usize, exec: ExecPolicy) -> Row {
     let gen_wall_ns = gen_start.elapsed().as_nanos();
     let n_factors = 7 * assoc_per_trait;
 
+    let recorder = ppdp::telemetry::Recorder::new();
+    let scope = recorder.enter();
     let start = Instant::now();
     let bp = BpConfig {
         exec,
+        domain,
         ..Default::default()
     }
     .run(&graph);
     let wall_ns = start.elapsed().as_nanos();
+    drop(scope);
+    let renormalized = recorder.take().counter("bp.renormalized");
     let (bytes1, count1, peak_live) = alloc_totals();
     let (rss, peak_rss) = resource();
     Row {
-        kind: "genome",
+        kind: match domain {
+            MessageDomain::Linear => "genome",
+            MessageDomain::Log => "genome_log",
+        },
         size: n_snps,
         structure: n_factors,
         gen_wall_ns,
         wall_ns,
         work_units: bp.iterations,
         converged: bp.converged,
+        renormalized,
         rss_bytes: rss,
         peak_rss_bytes: peak_rss,
         alloc_bytes: bytes1 - bytes0,
@@ -185,6 +207,7 @@ fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
         wall_ns,
         work_units: out.sweeps,
         converged: !out.degraded,
+        renormalized: 0,
         rss_bytes: rss,
         peak_rss_bytes: peak_rss,
         alloc_bytes: bytes1 - bytes0,
@@ -229,7 +252,8 @@ fn self_scrape(addr: &std::net::SocketAddr) -> ScrapeProbe {
 fn row_json(r: &Row) -> String {
     format!(
         "    {{\"kind\": \"{}\", \"size\": {}, \"structure\": {}, \"gen_wall_ns\": {}, \
-         \"wall_ns\": {}, \"work_units\": {}, \"converged\": {}, \"rss_bytes\": {}, \
+         \"wall_ns\": {}, \"work_units\": {}, \"converged\": {}, \"renormalized\": {}, \
+         \"rss_bytes\": {}, \
          \"peak_rss_bytes\": {}, \"alloc_bytes\": {}, \"alloc_count\": {}, \
          \"peak_live_bytes\": {}}}",
         r.kind,
@@ -239,6 +263,7 @@ fn row_json(r: &Row) -> String {
         r.wall_ns,
         r.work_units,
         r.converged,
+        r.renormalized,
         r.rss_bytes,
         r.peak_rss_bytes,
         r.alloc_bytes,
@@ -250,22 +275,38 @@ fn row_json(r: &Row) -> String {
 fn main() {
     let mut profile = String::from("ci");
     let mut out_path: Option<String> = None;
+    let mut max_peak_rss: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--profile" => {
                 profile = args
                     .next()
-                    .unwrap_or_else(|| usage("--profile needs ci|paper"))
+                    .unwrap_or_else(|| usage("--profile needs ci|paper|gate"))
             }
             "--out" => out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
+            "--max-peak-rss-bytes" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-peak-rss-bytes needs a byte count"));
+                max_peak_rss = Some(v.parse().unwrap_or_else(|_| {
+                    usage(&format!("--max-peak-rss-bytes: bad byte count {v}"))
+                }));
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
     let (genome_sizes, graph_sizes): (&[usize], &[usize]) = match profile.as_str() {
         "ci" => (&[2_000, 10_000], &[5_000, 20_000]),
-        "paper" => (&[10_000, 50_000, 100_000], &[25_000, 100_000, 250_000]),
-        other => usage(&format!("unknown profile {other} (want ci|paper)")),
+        "paper" => (
+            &[10_000, 50_000, 100_000],
+            &[25_000, 100_000, 250_000, 1_000_000],
+        ),
+        // CI regression gate at the paper's extreme sizes only: the
+        // 10⁵-SNP genome (both message domains) and the 10⁶-node graph,
+        // typically bounded by --max-peak-rss-bytes.
+        "gate" => (&[100_000], &[1_000_000]),
+        other => usage(&format!("unknown profile {other} (want ci|paper|gate)")),
     };
     let out_path = out_path
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SCALE.json").into());
@@ -286,12 +327,14 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut probe: Option<ScrapeProbe> = None;
     for &n in genome_sizes {
-        eprintln!("bench_scale: genome sweep at {n} SNPs …");
-        rows.push(genome_row(n, exec));
-        if probe.is_none() {
-            // Mid-run on purpose: the registry must already carry the BP
-            // round gauge and span attribution while work continues.
-            probe = Some(self_scrape(&addr));
+        for domain in [MessageDomain::Linear, MessageDomain::Log] {
+            eprintln!("bench_scale: genome sweep at {n} SNPs ({domain:?}) …");
+            rows.push(genome_row(n, exec, domain));
+            if probe.is_none() {
+                // Mid-run on purpose: the registry must already carry the
+                // BP round gauge and span attribution while work continues.
+                probe = Some(self_scrape(&addr));
+            }
         }
     }
     for &n in graph_sizes {
@@ -337,6 +380,49 @@ fn main() {
             failed = true;
         }
     }
+    if let Some(budget) = max_peak_rss {
+        for r in &rows {
+            if r.peak_rss_bytes > budget {
+                eprintln!(
+                    "GATE FAIL: {} row at {} peaked at {} RSS bytes (budget {budget})",
+                    r.kind, r.size, r.peak_rss_bytes
+                );
+                failed = true;
+            }
+        }
+    }
+    // Kernel-health gates. Sweep counts are NOT required to match across
+    // domains: paper-scale catalogs carry a degree-2000 hub trait whose
+    // cavity product underflows the linear kernel, which then burns extra
+    // sweeps on per-message underflow repair (the `renormalized` column
+    // counts them). The log kernel must instead be repair-free at every
+    // size — one nonzero `bp.renormalized` in a genome_log row means the
+    // LSE path lost mass and fell back to linear-style clamping.
+    for r in rows.iter().filter(|r| r.kind == "genome_log") {
+        if r.renormalized != 0 {
+            eprintln!(
+                "GATE FAIL: log-domain row at {} SNPs needed {} underflow repairs",
+                r.size, r.renormalized
+            );
+            failed = true;
+        }
+        if !r.converged {
+            eprintln!(
+                "GATE FAIL: log-domain row at {} SNPs did not converge",
+                r.size
+            );
+            failed = true;
+        }
+        if let Some(lin) = rows.iter().find(|l| l.kind == "genome" && l.size == r.size) {
+            if r.work_units > lin.work_units {
+                eprintln!(
+                    "GATE FAIL: log kernel needed {} sweeps vs linear {} at {} SNPs",
+                    r.work_units, lin.work_units, r.size
+                );
+                failed = true;
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }
@@ -349,6 +435,9 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("bench_scale: {msg}\nusage: bench_scale [--profile ci|paper] [--out <path>]");
+    eprintln!(
+        "bench_scale: {msg}\nusage: bench_scale [--profile ci|paper|gate] \
+         [--out <path>] [--max-peak-rss-bytes <n>]"
+    );
     std::process::exit(2)
 }

@@ -438,16 +438,22 @@ fn run_chain(
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
     let mut label_flips = 0usize;
     let mut sweep_flips = Vec::with_capacity(cfg.burn_in + cfg.samples);
+    // Conditional-distribution scratch, hoisted out of the sweep loop:
+    // `fill`/`copy_from_slice` write exactly the values the historical
+    // per-user `vec![…]` allocations held, so chains are bit-identical
+    // while the inner loop stops allocating (≈ users × sweeps fewer
+    // allocations per chain).
+    let mut cond = vec![0.0f64; n_classes];
     for round in 0..(cfg.burn_in + cfg.samples) {
         let mut flips = 0usize;
         for (&u, a_dist) in unknown.iter().zip(pa) {
             // Relational conditional from the *current hard labels* of the
             // neighbours (the Gibbs flavour of Eq. 4.3).
             let ns = lg.graph.neighbors(u);
-            let mut cond = vec![0.0f64; n_classes];
             if ns.is_empty() {
-                cond.clone_from(a_dist);
+                cond.copy_from_slice(a_dist);
             } else {
+                cond.fill(0.0);
                 let mut total_w = 0.0;
                 for &j in ns {
                     let w = masked_weight(lg, u, j);
@@ -455,7 +461,7 @@ fn run_chain(
                     total_w += w;
                 }
                 if total_w <= 0.0 {
-                    cond = vec![0.0; n_classes];
+                    cond.fill(0.0);
                     for &j in ns {
                         cond[label[j.0] as usize] += 1.0;
                     }
@@ -471,7 +477,7 @@ fn run_chain(
                     *c /= z;
                 }
             } else {
-                cond = vec![1.0 / n_classes as f64; n_classes];
+                cond.fill(1.0 / n_classes as f64);
             }
             let resampled = sample_from(&mut rng, &cond, &mut repairs);
             if resampled != label[u.0] {

@@ -343,9 +343,25 @@ impl<'c> GenomePublisher<'c> {
         self
     }
 
+    /// Overrides the belief-propagation attacker configuration — most
+    /// usefully the [`ppdp_genomic::MessageDomain`]: dense hub traits
+    /// (degree ≳ 1000) underflow the linear kernel to prior-fallback
+    /// marginals, while `MessageDomain::Log` stays finite and keeps the
+    /// sanitizer's privacy estimates meaningful.
+    pub fn bp_config(mut self, cfg: BpConfig) -> Self {
+        self.predictor = Predictor::BeliefPropagation(cfg);
+        self
+    }
+
     /// Sanitizes `evidence` so that every `target` reaches `δ`-privacy;
     /// returns the evidence actually safe to release, the greedy outcome,
     /// and the telemetry of the run (BP sweeps, removals, timings).
+    ///
+    /// Back-to-back publishes on one thread reuse the thread-local BP
+    /// message arenas ([`ppdp_genomic::BpScratch`]): after the first
+    /// run, the inference inner loop performs no message-buffer
+    /// allocations (asserted flat by the arena-reuse gate in
+    /// `tests/arena.rs`).
     ///
     /// # Errors
     /// Returns [`ppdp_errors::PpdpError::InvalidInput`] for a corrupt
@@ -395,6 +411,10 @@ impl<'c> GenomePublisher<'c> {
     /// A journal written for *different* inputs (catalog, evidence,
     /// targets, δ, or removal cap) never matches the checkpoint key and
     /// degrades to a cold start; so does a corrupt or truncated snapshot.
+    /// Warm thread-local message arenas (reused across earlier publishes
+    /// on the same thread) do not perturb this: arena `clear`/`resize`
+    /// re-initialization is value-identical to fresh allocation, so
+    /// resumed and uninterrupted runs stay bitwise equal either way.
     ///
     /// # Errors
     /// As [`GenomePublisher::publish`], plus [`ppdp_errors::PpdpError::InvalidInput`]

@@ -178,6 +178,94 @@ impl ExecPolicy {
         out
     }
 
+    /// Fills `out` in place by evaluating `f(i, &mut out[i])` for every
+    /// index, scheduling the slice in cache-sized blocks of `block`
+    /// elements.
+    ///
+    /// This is the in-place sibling of [`ExecPolicy::par_map`] for flat
+    /// message arenas: the caller owns the destination buffer (so hot
+    /// kernels reuse allocations across rounds instead of collecting a
+    /// fresh `Vec` per sweep), and blocks are dealt round-robin — worker
+    /// `w` of `T` owns blocks `w, w + T, w + 2T, …` — so every round of a
+    /// fixed-point iteration assigns the *same* block to the same worker
+    /// lane. That keeps a block's cache lines warm in one core's private
+    /// cache across sweeps instead of migrating with a coarse
+    /// chunk-boundary that shifts as `n` changes.
+    ///
+    /// Determinism is structural, exactly as for `par_map`: slot `i` is
+    /// written only by `f(i, …)`, blocks are disjoint sub-slices, and no
+    /// result ordering exists to get wrong. A panic in `f` is re-raised on
+    /// the calling thread after all workers are joined. Each item runs
+    /// inside the same `region.item(i)` trace scope as the sequential
+    /// path, so trace equivalence views match across policies.
+    pub fn par_fill<T, F>(&self, out: &mut [T], block: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = out.len();
+        let block = block.max(1);
+        // Never spawn more workers than there are blocks to deal.
+        let threads = self.threads().min(n.div_ceil(block));
+        let region = ppdp_trace::RegionCtx::capture();
+        if threads <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let _item = region.item(i);
+                f(i, slot);
+            }
+            return;
+        }
+        let ctx = ThreadContext::capture();
+        // Deal the blocks round-robin into per-worker buckets. The borrow
+        // checker sees disjoint `&mut [T]` sub-slices via `chunks_mut`, so
+        // no unsafe indexing is needed.
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(threads);
+        buckets.resize_with(threads, Vec::new);
+        for (b, chunk) in out.chunks_mut(block).enumerate() {
+            buckets[b % threads].push((b * block, chunk));
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let mut buckets = buckets.into_iter();
+            // The coordinator keeps lane 0 for itself (same rationale as
+            // par_map: one fewer spawn, telemetry context already active).
+            let mine = buckets.next().unwrap_or_default();
+            let handles: Vec<_> = buckets
+                .map(|bucket| {
+                    let (ctx, f, region) = (&ctx, &f, &region);
+                    scope.spawn(move || {
+                        ppdp_metrics::register_thread();
+                        ppdp_metrics::counter("exec.workers_spawned", 1);
+                        let _telemetry = ctx.activate();
+                        let _lane = region.worker();
+                        for (start, chunk) in bucket {
+                            for (off, slot) in chunk.iter_mut().enumerate() {
+                                let i = start + off;
+                                let _item = region.item(i);
+                                f(i, slot);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (start, chunk) in mine {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = start + off;
+                    let _item = region.item(i);
+                    f(i, slot);
+                }
+            }
+            for handle in handles {
+                if let Err(cause) = handle.join() {
+                    panic = Some(cause);
+                }
+            }
+        });
+        if let Some(cause) = panic {
+            std::panic::resume_unwind(cause);
+        }
+    }
+
     /// Records the policy's effective thread count into telemetry under
     /// `exec.threads` (excluded from equivalence comparisons — it is
     /// *supposed* to differ between policies).
@@ -262,6 +350,78 @@ mod tests {
             })
         });
         assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn par_fill_matches_sequential_for_any_thread_and_block_size() {
+        let f = |i: usize, slot: &mut u64| *slot = (i as u64).wrapping_mul(0x517C_C1B7) ^ 0x5A5A;
+        let mut seq = vec![0u64; 257];
+        ExecPolicy::Sequential.par_fill(&mut seq, 16, f);
+        for threads in [1, 2, 3, 8] {
+            for block in [1, 7, 16, 300] {
+                let mut par = vec![0u64; 257];
+                ExecPolicy::parallel(threads).par_fill(&mut par, block, f);
+                assert_eq!(seq, par, "threads={threads} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_handles_degenerate_sizes() {
+        let p = ExecPolicy::parallel(8);
+        let mut empty: Vec<usize> = vec![];
+        p.par_fill(&mut empty, 4, |_, _| unreachable!());
+        let mut one = vec![0usize];
+        p.par_fill(&mut one, 4, |i, s| *s = i + 9);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn par_fill_propagates_scoped_telemetry() {
+        let rec = ppdp_telemetry::Recorder::new();
+        {
+            let _scope = rec.enter();
+            let mut out = vec![0usize; 32];
+            ExecPolicy::parallel(4).par_fill(&mut out, 3, |i, s| {
+                ppdp_telemetry::counter("exec.test.fill_items", 1);
+                *s = i;
+            });
+        }
+        assert_eq!(rec.take().counter("exec.test.fill_items"), 32);
+    }
+
+    #[test]
+    fn par_fill_panic_resurfaces_on_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut out = vec![0usize; 16];
+            ExecPolicy::parallel(4).par_fill(&mut out, 2, |i, s| {
+                assert!(i != 11, "boom");
+                *s = i;
+            });
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn par_fill_traces_merge_identically_across_policies() {
+        let run = |policy: ExecPolicy| {
+            let col = ppdp_trace::Collector::new();
+            {
+                let _scope = col.enter();
+                let mut out = vec![0.0f64; 17];
+                policy.par_fill(&mut out, 4, |i, s| {
+                    ppdp_telemetry::counter("trace.fill_item", i as u64);
+                    *s = i as f64 * 0.5;
+                });
+            }
+            col.take().equivalence_view()
+        };
+        let seq = run(ExecPolicy::Sequential);
+        for threads in [1, 2, 4, 8] {
+            let par = run(ExecPolicy::parallel(threads));
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        assert!(!seq.records.is_empty());
     }
 
     #[test]

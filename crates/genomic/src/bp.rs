@@ -21,6 +21,7 @@
 //! `degraded.bp.prior_fallback` telemetry event.
 
 use crate::factor_graph::FactorGraph;
+use crate::kernels::{self, BpScratch, MessageDomain};
 use ppdp_exec::ExecPolicy;
 
 /// Minimum factor count (association + kin) before a `Parallel` policy
@@ -50,6 +51,12 @@ pub struct BpConfig {
     /// whose results are folded in factor order, so `Sequential` and any
     /// `Parallel { threads }` produce bitwise-identical messages.
     pub exec: ExecPolicy,
+    /// Numeric domain for message storage: [`MessageDomain::Linear`]
+    /// (default, historical kernel, exact zeros) or
+    /// [`MessageDomain::Log`] (underflow-immune log-sum-exp kernel, see
+    /// [`crate::kernels`]). Both iterate the same fixed point and agree
+    /// to within the convergence tolerance; both are policy-bitwise.
+    pub domain: MessageDomain,
 }
 
 impl Default for BpConfig {
@@ -60,6 +67,7 @@ impl Default for BpConfig {
             damping: 0.0,
             max_restarts: 2,
             exec: ExecPolicy::Sequential,
+            domain: MessageDomain::default(),
         }
     }
 }
@@ -89,14 +97,16 @@ pub struct BpResult {
     pub degraded: bool,
 }
 
-/// Outcome of one damping attempt.
-struct Attempt {
-    snp_marginals: Vec<[f64; 3]>,
-    trait_marginals: Vec<[f64; 2]>,
-    sweeps: usize,
-    converged: bool,
-    final_residual: f64,
-    clean: bool,
+/// Outcome of one damping attempt (shared with the log-domain kernel in
+/// [`crate::kernels`], which produces the same shape from its own sweep
+/// loop).
+pub(crate) struct Attempt {
+    pub(crate) snp_marginals: Vec<[f64; 3]>,
+    pub(crate) trait_marginals: Vec<[f64; 2]>,
+    pub(crate) sweeps: usize,
+    pub(crate) converged: bool,
+    pub(crate) final_residual: f64,
+    pub(crate) clean: bool,
 }
 
 impl BpConfig {
@@ -107,7 +117,32 @@ impl BpConfig {
     /// the caller always gets normalized, finite marginals plus flags
     /// describing how much to trust them.
     pub fn run(&self, g: &FactorGraph) -> BpResult {
+        kernels::with_scratch(|scratch| self.run_with_scratch(g, scratch))
+    }
+
+    /// [`BpConfig::run`] against caller-provided arenas. `run` routes
+    /// every call through the calling thread's persistent
+    /// [`BpScratch`], so back-to-back runs (the greedy-sanitization
+    /// inner loop, repeated publishes) reuse their message buffers;
+    /// this entry point exists for callers that manage scratch
+    /// lifetimes themselves.
+    pub fn run_with_scratch(&self, g: &FactorGraph, scratch: &mut BpScratch) -> BpResult {
         let _span = ppdp_telemetry::span("bp.run");
+        // Warm-arena accounting for the allocation-flatness gate: a
+        // metrics (not telemetry) counter, because worker threads have
+        // their own cold scratch and per-policy telemetry must stay
+        // equivalent.
+        ppdp_metrics::counter(
+            if scratch.is_warm(self.domain, g.factors.len(), g.kin_factors.len()) {
+                "exec.arena.reused"
+            } else {
+                "exec.arena.grown"
+            },
+            1,
+        );
+        if self.domain == MessageDomain::Log {
+            scratch.prepare_log(g);
+        }
         // Node potentials: evidence clamps to an indicator, otherwise SNPs
         // are flat (their distribution is induced by the factors) and traits
         // carry their prevalence prior.
@@ -148,7 +183,10 @@ impl BpConfig {
         let mut best: Option<Attempt> = None;
         for &damping in &ladder {
             attempts_run += 1;
-            let a = self.attempt(g, damping, &snp_pot, &trait_pot);
+            let a = match self.domain {
+                MessageDomain::Linear => self.attempt(g, damping, &snp_pot, &trait_pot, scratch),
+                MessageDomain::Log => kernels::log_attempt(self, g, damping, scratch),
+            };
             total_sweeps += a.sweeps;
             last_residual = a.final_residual;
             let accepted = a.clean && a.converged;
@@ -218,6 +256,7 @@ impl BpConfig {
         damping: f64,
         snp_pot: &[[f64; 3]],
         trait_pot: &[[f64; 2]],
+        scratch: &mut BpScratch,
     ) -> Attempt {
         let nf = g.factors.len();
         let nk = g.kin_factors.len();
@@ -226,11 +265,22 @@ impl BpConfig {
         } else {
             ExecPolicy::Sequential
         };
-        let mut f2s = vec![[1.0f64; 3]; nf];
-        let mut f2t = vec![[1.0f64; 2]; nf];
+        // Arena-backed messages: `clear` + `resize` re-initializes every
+        // element to exactly the fresh-run value without releasing
+        // capacity, so the numbers are bit-identical to the historical
+        // per-attempt `vec![…]` allocations while repeated runs on a
+        // warm scratch allocate nothing.
+        let f2s = &mut scratch.lin_f2s;
+        f2s.clear();
+        f2s.resize(nf, [1.0f64; 3]);
+        let f2t = &mut scratch.lin_f2t;
+        f2t.clear();
+        f2t.resize(nf, [1.0f64; 2]);
         // Kin-factor → SNP messages, one per (factor, side): side 0 = to the
         // parent variable, side 1 = to the child variable.
-        let mut k2s = vec![[[1.0f64; 3]; 2]; nk];
+        let k2s = &mut scratch.lin_k2s;
+        k2s.clear();
+        k2s.resize(nk, [[1.0f64; 3]; 2]);
         let mut sweeps = 0;
         let mut converged = false;
         let mut final_residual = f64::INFINITY;
@@ -284,7 +334,7 @@ impl BpConfig {
             let s2f = fold_flag(
                 exec.par_map(nf, |f| {
                     let s = g.factors[f].snp;
-                    checked3_flag(incoming(s, Some(f), None, &f2s, &k2s, &snp_pot[s]))
+                    checked3_flag(incoming(s, Some(f), None, f2s, k2s, &snp_pot[s]))
                 }),
                 &mut clean,
             );
@@ -296,16 +346,16 @@ impl BpConfig {
                         kf.parent,
                         None,
                         Some(k),
-                        &f2s,
-                        &k2s,
+                        f2s,
+                        k2s,
                         &snp_pot[kf.parent],
                     ));
                     let (to_child_side, ok_c) = checked3_flag(incoming(
                         kf.child,
                         None,
                         Some(k),
-                        &f2s,
-                        &k2s,
+                        f2s,
+                        k2s,
                         &snp_pot[kf.child],
                     ));
                     ([to_parent_side, to_child_side], ok_p && ok_c)
@@ -426,7 +476,7 @@ impl BpConfig {
         // (both association and kin factors).
         let snp_marginals = fold_flag(
             exec.par_map(g.n_snps(), |s| {
-                checked3_flag(incoming(s, None, None, &f2s, &k2s, &snp_pot[s]))
+                checked3_flag(incoming(s, None, None, f2s, k2s, &snp_pot[s]))
             }),
             &mut clean,
         );
@@ -510,7 +560,7 @@ fn checked2(v: [f64; 2], clean: &mut bool) -> [f64; 2] {
 /// Unzips a stage's `(message, clean)` results (already in item order),
 /// AND-folding the clean flags into `clean`. The fold is order-independent,
 /// which is what lets the stage itself run on any number of threads.
-fn fold_flag<T>(pairs: Vec<(T, bool)>, clean: &mut bool) -> Vec<T> {
+pub(crate) fn fold_flag<T>(pairs: Vec<(T, bool)>, clean: &mut bool) -> Vec<T> {
     pairs
         .into_iter()
         .map(|(v, ok)| {
@@ -818,6 +868,100 @@ mod tests {
         let seq = run(ppdp_exec::ExecPolicy::Sequential);
         let par = run(ppdp_exec::ExecPolicy::parallel(4));
         assert_eq!(seq.equivalence_view(), par.equivalence_view());
+    }
+
+    #[test]
+    fn log_domain_matches_linear_on_wide_graph() {
+        let g = wide_graph();
+        let tight = BpConfig {
+            tol: 1e-12,
+            max_iters: 400,
+            ..Default::default()
+        };
+        let lin = tight.run(&g);
+        let log = BpConfig {
+            domain: MessageDomain::Log,
+            ..tight
+        }
+        .run(&g);
+        assert!(lin.converged && log.converged);
+        assert!(!log.degraded);
+        for (a, b) in lin.snp_marginals.iter().zip(&log.snp_marginals) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9, "snp marginal drift: {x} vs {y}");
+            }
+        }
+        for (a, b) in lin.trait_marginals.iter().zip(&log.trait_marginals) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9, "trait marginal drift: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_domain_parallel_policies_reproduce_sequential_bitwise() {
+        let g = wide_graph();
+        let seq = BpConfig {
+            domain: MessageDomain::Log,
+            ..Default::default()
+        }
+        .run(&g);
+        assert!(!seq.degraded);
+        for threads in [1, 2, 8] {
+            let par = BpConfig {
+                domain: MessageDomain::Log,
+                exec: ppdp_exec::ExecPolicy::parallel(threads),
+                ..Default::default()
+            }
+            .run(&g);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn log_domain_poisoned_table_degrades_like_linear() {
+        let cat = figure_5_1_catalog();
+        let mut g = FactorGraph::build(&cat, &Evidence::none()).unwrap();
+        g.add_kin_factor(0, 1, [[0.0; 3]; 3]).unwrap();
+        let rec = ppdp_telemetry::Recorder::new();
+        let r = {
+            let _scope = rec.enter();
+            BpConfig {
+                domain: MessageDomain::Log,
+                ..Default::default()
+            }
+            .run(&g)
+        };
+        assert!(r.degraded);
+        assert_eq!(r.restarts, 2, "full ladder exhausted");
+        for m in &r.snp_marginals {
+            assert!(m.iter().all(|x| x.is_finite()));
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let report = rec.take();
+        assert_eq!(report.counter("degraded.bp.prior_fallback"), 1);
+        assert!(report.counter("bp.renormalized") > 0);
+    }
+
+    #[test]
+    fn log_domain_evidence_reproduced_to_float_precision() {
+        let cat = figure_5_1_catalog();
+        let ev = Evidence::none()
+            .with_snp(SnpId(4), Genotype::Het)
+            .with_trait(TraitId(0), false);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
+        let r = BpConfig {
+            domain: MessageDomain::Log,
+            ..Default::default()
+        }
+        .run(&g);
+        let s = g.snp_local(SnpId(4)).unwrap();
+        // Unlike the linear kernel's exact zeros, clamped log messages
+        // leave ~exp(LOG_FLOOR) ≈ 1e-304 mass on excluded states.
+        assert!(r.snp_marginals[s][1] > 1.0 - 1e-12);
+        assert!(r.snp_marginals[s][0] < 1e-300 && r.snp_marginals[s][2] < 1e-300);
+        let t = g.trait_local(TraitId(0)).unwrap();
+        assert!(r.trait_marginals[t][0] > 1.0 - 1e-12);
     }
 
     #[test]

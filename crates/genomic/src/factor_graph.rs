@@ -472,6 +472,21 @@ impl FactorGraph {
         self.kin_adj.row(s)
     }
 
+    /// Total factor degree of SNP variable `s` (association + kin). The
+    /// incoming message *product* at a variable has components that
+    /// shrink roughly like `0.5^degree`, so linear-domain BP underflows
+    /// to exact zero near degree ≈ 1000 — the diagnostic this helper
+    /// exists for (see [`crate::kernels::MessageDomain`]).
+    pub fn snp_degree(&self, s: usize) -> usize {
+        self.snp_factor_ids(s).len() + self.snp_kin_ids(s).len()
+    }
+
+    /// Total factor degree of trait variable `t` (see
+    /// [`FactorGraph::snp_degree`]).
+    pub fn trait_degree(&self, t: usize) -> usize {
+        self.trait_factor_ids(t).len()
+    }
+
     /// Local index of global SNP `s`, if materialized (binary search; the
     /// first occurrence wins when ids repeat, as in family graphs).
     pub fn snp_local(&self, s: SnpId) -> Option<usize> {

@@ -159,7 +159,18 @@ impl IncrementalBp {
     /// Wraps `g` in an incremental engine. Every factor starts dirty; call
     /// [`IncrementalBp::refresh`] once to reach the initial fixed point
     /// (equivalent to one full BP run) before reading marginals.
-    pub fn new(g: FactorGraph, cfg: BpConfig) -> Self {
+    ///
+    /// The engine's message arenas are linear-domain: a
+    /// [`crate::kernels::MessageDomain::Log`] request in `cfg` is
+    /// linearized (counted as `bp.incremental.domain_linearized`) — the
+    /// per-evaluation neighborhood graphs it schedules are small enough
+    /// that linear messages cannot underflow, and the journal-replay /
+    /// warm-start contract depends on one fixed arena layout.
+    pub fn new(g: FactorGraph, mut cfg: BpConfig) -> Self {
+        if cfg.domain == crate::kernels::MessageDomain::Log {
+            ppdp_metrics::counter("bp.incremental.domain_linearized", 1);
+            cfg.domain = crate::kernels::MessageDomain::Linear;
+        }
         let nf = g.factors.len();
         let nk = g.kin_factors.len();
         let snp_pot: Vec<[f64; 3]> = g

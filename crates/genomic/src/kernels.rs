@@ -1,0 +1,748 @@
+//! Log-domain, flat-slice belief-propagation kernels.
+//!
+//! The textbook sum-product recursion of [`crate::bp`] multiplies
+//! per-hop-normalized messages in linear probability space. That is exact
+//! on the small Fig. 5.1 fixtures, but at AMD scale (90 449 SNPs,
+//! hub variables with thousands of incident factors) the *product of
+//! incoming messages at one variable* underflows: normalized 3-vector
+//! messages have components ≈ 0.3–0.5, so a degree-`d` product has
+//! components ≈ `0.5^d`, which reaches exact `0.0` near `d ≈ 1000` and
+//! triggers the repair → unclean → restart-ladder → `prior_fallback`
+//! degradation path even though the posterior is perfectly well defined.
+//!
+//! This module re-expresses the same fixed-point iteration in log space:
+//!
+//! * messages are stored as logs, normalized so `logsumexp(msg) = 0`;
+//! * products become sums; factor marginalization becomes
+//!   [`lse2`]/[`lse3`] with max-subtraction stabilization, which never
+//!   overflows and never returns `-inf` for finite inputs;
+//! * every stored lane is clamped at [`LOG_FLOOR`] (= ln of ~1e-304,
+//!   still above the subnormal range), which makes the cavity
+//!   subtraction `total − own` branch-free: no `-inf − (-inf) = NaN`
+//!   corner exists;
+//! * the per-variable incoming *product* is computed once per sweep as a
+//!   flat total ([`BpScratch::stot`]/[`BpScratch::ttot`]), and each
+//!   factor's cavity is recovered by subtracting its own branch — the
+//!   innermost loops are fixed-width lane loops over padded `[f64; 4]`
+//!   slots with no per-edge indirection, so they auto-vectorize;
+//! * sweeps are scheduled over the CSR arenas in cache-sized blocks via
+//!   [`ppdp_exec::ExecPolicy::par_fill`], with block-to-worker-lane
+//!   affinity that is stable across rounds.
+//!
+//! The domain is selected per run by [`MessageDomain`] on
+//! [`crate::BpConfig`]; the linear kernel remains the default and is
+//! bit-for-bit unchanged. The differential suite (`tests/kernels.rs`)
+//! proves the two kernels agree to ≤ 1e-9 on the golden fixtures, pick
+//! identical sanitization sets, and stay policy- and resume-equivalent,
+//! while the adversarial proptests drive the linear kernel into
+//! underflow that the log kernel survives.
+//!
+//! Arenas live in a thread-local [`BpScratch`] (see [`with_scratch`]),
+//! so repeated `publish`/`publish_resumable` calls on one thread reuse
+//! their message buffers instead of reallocating per BP run.
+
+use crate::bp::{Attempt, BpConfig, PAR_MIN_FACTORS};
+use crate::factor_graph::FactorGraph;
+use ppdp_exec::ExecPolicy;
+use std::cell::RefCell;
+
+/// Numeric domain for BP message storage and combination.
+///
+/// Both domains iterate the *same* fixed point (Eqs. 5.3–5.6) and
+/// converge on the same residual criterion (max absolute change of
+/// probability-space message components), so marginals agree to within
+/// the convergence tolerance. Choose:
+///
+/// * [`Linear`](MessageDomain::Linear) — the default. Exact zeros are
+///   preserved (evidence indicators stay `0.0`), and the historical
+///   golden snapshots were produced in this domain. Underflows at high
+///   variable degree (≳ 1000 incident factors).
+/// * [`Log`](MessageDomain::Log) — log-sum-exp kernels, immune to
+///   message-product underflow; exact zeros become `exp(LOG_FLOOR)`
+///   ≈ 1e-304. Use for paper-scale graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MessageDomain {
+    /// Probability-space messages (historical kernel, exact zeros).
+    #[default]
+    Linear,
+    /// Log-space messages (underflow-immune flat-lane kernel).
+    Log,
+}
+
+/// Lower clamp for stored log-message lanes: `exp(-700)` ≈ 9.9e-305 is
+/// the smallest normal-range magnitude we keep, safely above f64's
+/// subnormal threshold (`exp(-745)` ≈ 5e-324). Clamping here (rather
+/// than at `-inf`) keeps the cavity subtraction `total − own` finite and
+/// branch-free.
+pub const LOG_FLOOR: f64 = -700.0;
+
+/// `ln(1/3)`, the uniform 3-state log-message (bit-equal to
+/// `(1.0f64 / 3.0).ln()`, asserted in the unit tests).
+const LN_THIRD: f64 = -1.0986122886681098;
+
+/// `ln(1/2)`, the uniform 2-state log-message.
+const LN_HALF: f64 = -std::f64::consts::LN_2;
+
+/// Factors per scheduling block: 4096 × 64-byte [`FacMsg`] slots ≈
+/// 256 KiB per block, sized to stay resident in a core's private L2
+/// across the read-modify-write of one sweep.
+const BLOCK: usize = 4096;
+
+/// Stable log-sum-exp of two values: `ln(e^a + e^b)` with the max
+/// subtracted first. Never overflows; returns `-inf` only when both
+/// inputs are `-inf`. For finite inputs the result is finite and
+/// `>= max(a, b)`.
+#[inline]
+pub fn lse2(a: f64, b: f64) -> f64 {
+    let m = a.max(b);
+    if !m.is_finite() {
+        // Both -inf (sum of zeros), or a NaN/+inf slipped in: in every
+        // case m itself is the mathematically right (or least wrong)
+        // answer and avoids NaN from `-inf - -inf`.
+        return m;
+    }
+    m + ((a - m).exp() + (b - m).exp()).ln()
+}
+
+/// Stable log-sum-exp of three values (see [`lse2`]).
+#[inline]
+pub fn lse3(a: f64, b: f64, c: f64) -> f64 {
+    let m = a.max(b).max(c);
+    if !m.is_finite() {
+        return m;
+    }
+    m + ((a - m).exp() + (b - m).exp() + (c - m).exp()).ln()
+}
+
+/// Stable log-sum-exp over a slice; `-inf` for an empty slice.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Normalizes a 3-state log-message in place so `logsumexp = 0`,
+/// clamping lanes at [`LOG_FLOOR`] (lane 3 is padding and left as-is).
+/// A non-finite normalizer — a NaN or `+inf` lane, the log-domain
+/// signature of a poisoned table — repairs the message to uniform,
+/// bumps `bp.renormalized`, and returns `false`, mirroring the linear
+/// kernel's `checked3_flag`.
+#[inline]
+pub(crate) fn norm3_log(v: &mut [f64; 4]) -> bool {
+    let z = lse3(v[0], v[1], v[2]);
+    if !z.is_finite() {
+        ppdp_telemetry::counter("bp.renormalized", 1);
+        v[0] = LN_THIRD;
+        v[1] = LN_THIRD;
+        v[2] = LN_THIRD;
+        return false;
+    }
+    v[0] = (v[0] - z).max(LOG_FLOOR);
+    v[1] = (v[1] - z).max(LOG_FLOOR);
+    v[2] = (v[2] - z).max(LOG_FLOOR);
+    true
+}
+
+/// 2-state sibling of [`norm3_log`].
+#[inline]
+pub(crate) fn norm2_log(v: &mut [f64; 2]) -> bool {
+    let z = lse2(v[0], v[1]);
+    if !z.is_finite() {
+        ppdp_telemetry::counter("bp.renormalized", 1);
+        v[0] = LN_HALF;
+        v[1] = LN_HALF;
+        return false;
+    }
+    v[0] = (v[0] - z).max(LOG_FLOOR);
+    v[1] = (v[1] - z).max(LOG_FLOOR);
+    true
+}
+
+/// Log-domain damping: `ln(d·e^old + (1−d)·e^new)` via [`lse2`]. Called
+/// with precomputed `ln d` / `ln(1−d)`; both inputs normalized, so the
+/// mix is normalized too (up to rounding).
+#[inline]
+fn logmix(old: f64, new: f64, ln_d: f64, ln_1md: f64) -> f64 {
+    lse2(ln_d + old, ln_1md + new)
+}
+
+/// One association factor's outgoing log-messages plus its sweep
+/// residual and clean flag, padded to a 64-byte cache line so one
+/// factor's state is one line.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FacMsg {
+    /// Log-message to the SNP variable (lane 3 = padding, kept `0.0`).
+    to_s: [f64; 4],
+    /// Log-message to the trait variable.
+    to_t: [f64; 2],
+    /// Max probability-space component change of the last update.
+    resid: f64,
+    /// `false` when this factor's update needed repair (poisoned table).
+    clean: bool,
+}
+
+impl Default for FacMsg {
+    fn default() -> Self {
+        // ln(1) = 0 per lane: identical to the linear kernel's fresh
+        // [1.0; 3] messages, so sweep 1 sees the same starting point.
+        Self {
+            to_s: [0.0; 4],
+            to_t: [0.0; 2],
+            resid: 0.0,
+            clean: true,
+        }
+    }
+}
+
+/// One kin factor's outgoing log-messages (to-parent side 0, to-child
+/// side 1) plus residual and clean flag.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KinMsg {
+    to_parent: [f64; 4],
+    to_child: [f64; 4],
+    resid: f64,
+    clean: bool,
+}
+
+impl Default for KinMsg {
+    fn default() -> Self {
+        Self {
+            to_parent: [0.0; 4],
+            to_child: [0.0; 4],
+            resid: 0.0,
+            clean: true,
+        }
+    }
+}
+
+/// Reusable message arenas for both BP kernels.
+///
+/// One scratch lives per thread (see [`with_scratch`]); `clear` +
+/// `resize` re-initializes contents to the fresh-run values without
+/// touching capacity, so back-to-back runs on same-shaped graphs —
+/// the greedy-sanitization inner loop, repeated `publish` calls —
+/// perform zero message-buffer allocations after the first run. The
+/// `exec.arena.reused` / `exec.arena.grown` metrics count warm vs cold
+/// runs (asserted flat by the arena-reuse leak test).
+#[derive(Debug, Default)]
+pub struct BpScratch {
+    /// Linear-domain factor→SNP messages.
+    pub(crate) lin_f2s: Vec<[f64; 3]>,
+    /// Linear-domain factor→trait messages.
+    pub(crate) lin_f2t: Vec<[f64; 2]>,
+    /// Linear-domain kin→SNP messages (side 0 parent, 1 child).
+    pub(crate) lin_k2s: Vec<[[f64; 3]; 2]>,
+    /// Per-association-factor log tables, `[g*2 + t]`, pads at floor.
+    ltab: Vec<[f64; 8]>,
+    /// Per-kin-factor log tables, `[p*4 + c]`, pads at floor.
+    lktab: Vec<[f64; 16]>,
+    /// Log node potentials (evidence indicators / flat / priors).
+    lsnp_pot: Vec<[f64; 4]>,
+    /// Log trait potentials (evidence indicators / prevalence priors).
+    ltrait_pot: Vec<[f64; 2]>,
+    /// Current / next association-factor messages (swapped per sweep).
+    fmsg: Vec<FacMsg>,
+    nfmsg: Vec<FacMsg>,
+    /// Current / next kin-factor messages.
+    kmsg: Vec<KinMsg>,
+    nkmsg: Vec<KinMsg>,
+    /// Per-SNP incoming log totals (potential + all incident messages).
+    stot: Vec<[f64; 4]>,
+    /// Per-trait incoming log totals.
+    ttot: Vec<[f64; 2]>,
+    /// `false` when table/potential screening found a poisoned input —
+    /// every log attempt on this graph is then marked unclean, matching
+    /// the linear kernel's repair-and-degrade semantics.
+    log_ok: bool,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BpScratch> = RefCell::new(BpScratch::default());
+}
+
+/// Runs `f` with this thread's persistent [`BpScratch`]. Re-entrant
+/// calls (a BP run nested inside another on the same thread) fall back
+/// to a fresh scratch rather than aliasing the outer one.
+pub fn with_scratch<R>(f: impl FnOnce(&mut BpScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut BpScratch::default()),
+    })
+}
+
+/// Converts one probability `x` to a floored log lane. Exact zeros are
+/// legal table entries and clamp to [`LOG_FLOOR`]; NaN, negative or
+/// `+inf` entries are poison and clear `ok` (the linear kernel would
+/// emit NaN messages and repair them; the log kernel screens once).
+#[inline]
+fn ln_lane(x: f64, ok: &mut bool) -> f64 {
+    if x > 0.0 && x.is_finite() {
+        x.ln().max(LOG_FLOOR)
+    } else {
+        if x != 0.0 {
+            *ok = false;
+        }
+        LOG_FLOOR
+    }
+}
+
+impl BpScratch {
+    /// True when the arenas already have capacity for an `nf`-factor,
+    /// `nk`-kin-factor graph in `domain` (i.e. the coming run allocates
+    /// nothing).
+    pub(crate) fn is_warm(&self, domain: MessageDomain, nf: usize, nk: usize) -> bool {
+        match domain {
+            MessageDomain::Linear => {
+                self.lin_f2s.capacity() >= nf
+                    && self.lin_f2t.capacity() >= nf
+                    && self.lin_k2s.capacity() >= nk
+            }
+            MessageDomain::Log => {
+                self.fmsg.capacity() >= nf
+                    && self.nfmsg.capacity() >= nf
+                    && self.kmsg.capacity() >= nk
+                    && self.nkmsg.capacity() >= nk
+                    && self.ltab.capacity() >= nf
+            }
+        }
+    }
+
+    /// Precomputes the log tables and log potentials for `g`, returning
+    /// with `self.log_ok = false` (and one `bp.renormalized` bump per
+    /// poisoned factor) when screening finds NaN/negative/`+inf` entries
+    /// or an all-zero table — the inputs on which the linear kernel's
+    /// every sweep needs repair.
+    pub(crate) fn prepare_log(&mut self, g: &FactorGraph) {
+        let nf = g.factors.len();
+        let nk = g.kin_factors.len();
+        self.log_ok = true;
+
+        self.ltab.clear();
+        self.ltab.reserve(nf);
+        for fac in &g.factors {
+            let mut lanes = [LOG_FLOOR; 8];
+            let mut ok = true;
+            let mut any_pos = false;
+            for (gi, row) in fac.table.iter().enumerate() {
+                for (t, &x) in row.iter().enumerate() {
+                    any_pos |= x > 0.0;
+                    lanes[gi * 2 + t] = ln_lane(x, &mut ok);
+                }
+            }
+            if !ok || !any_pos {
+                ppdp_telemetry::counter("bp.renormalized", 1);
+                self.log_ok = false;
+            }
+            self.ltab.push(lanes);
+        }
+
+        self.lktab.clear();
+        self.lktab.reserve(nk);
+        for kf in &g.kin_factors {
+            let mut lanes = [LOG_FLOOR; 16];
+            let mut ok = true;
+            let mut any_pos = false;
+            for (p, row) in kf.table.iter().enumerate() {
+                for (c, &x) in row.iter().enumerate() {
+                    any_pos |= x > 0.0;
+                    lanes[p * 4 + c] = ln_lane(x, &mut ok);
+                }
+            }
+            if !ok || !any_pos {
+                ppdp_telemetry::counter("bp.renormalized", 1);
+                self.log_ok = false;
+            }
+            self.lktab.push(lanes);
+        }
+
+        self.lsnp_pot.clear();
+        self.lsnp_pot.reserve(g.n_snps());
+        for ev in &g.snp_evidence {
+            self.lsnp_pot.push(match ev {
+                Some(i) => {
+                    let mut v = [LOG_FLOOR, LOG_FLOOR, LOG_FLOOR, 0.0];
+                    v[*i] = 0.0;
+                    v
+                }
+                // ln(1) per lane — flat, like the linear [1.0; 3] pot.
+                None => [0.0; 4],
+            });
+        }
+
+        self.ltrait_pot.clear();
+        self.ltrait_pot.reserve(g.n_traits());
+        for (t, ev) in g.trait_evidence.iter().enumerate() {
+            self.ltrait_pot.push(match ev {
+                Some(true) => [LOG_FLOOR, 0.0],
+                Some(false) => [0.0, LOG_FLOOR],
+                None => {
+                    let mut ok = true;
+                    let p = g.trait_prior[t];
+                    let lanes = [ln_lane(p[0], &mut ok), ln_lane(p[1], &mut ok)];
+                    if !ok {
+                        ppdp_telemetry::counter("bp.renormalized", 1);
+                        self.log_ok = false;
+                    }
+                    lanes
+                }
+            });
+        }
+    }
+}
+
+/// One log-domain message-passing attempt from fresh messages at the
+/// given damping — the log twin of the linear `BpConfig::attempt`, with
+/// identical sweep scheduling (synchronous updates from the previous
+/// sweep's messages), residual semantics (max absolute *probability*
+/// change), telemetry stream, and restart/degradation contract.
+/// Requires [`BpScratch::prepare_log`] to have run for `g`.
+pub(crate) fn log_attempt(
+    cfg: &BpConfig,
+    g: &FactorGraph,
+    damping: f64,
+    scratch: &mut BpScratch,
+) -> Attempt {
+    let nf = g.factors.len();
+    let nk = g.kin_factors.len();
+    let exec = if nf + nk >= PAR_MIN_FACTORS {
+        cfg.exec
+    } else {
+        ExecPolicy::Sequential
+    };
+    let BpScratch {
+        ltab,
+        lktab,
+        lsnp_pot,
+        ltrait_pot,
+        fmsg,
+        nfmsg,
+        kmsg,
+        nkmsg,
+        stot,
+        ttot,
+        log_ok,
+        ..
+    } = scratch;
+    let inputs_ok = *log_ok;
+    let (ltab, lktab) = (&ltab[..], &lktab[..]);
+    let (lsnp_pot, ltrait_pot) = (&lsnp_pot[..], &ltrait_pot[..]);
+    fmsg.clear();
+    fmsg.resize(nf, FacMsg::default());
+    nfmsg.clear();
+    nfmsg.resize(nf, FacMsg::default());
+    kmsg.clear();
+    kmsg.resize(nk, KinMsg::default());
+    nkmsg.clear();
+    nkmsg.resize(nk, KinMsg::default());
+    stot.clear();
+    stot.resize(g.n_snps(), [0.0; 4]);
+    ttot.clear();
+    ttot.resize(g.n_traits(), [0.0; 2]);
+
+    let (ln_d, ln_1md) = if damping > 0.0 {
+        (damping.ln(), (1.0 - damping).ln())
+    } else {
+        (f64::NEG_INFINITY, 0.0)
+    };
+
+    let mut sweeps = 0;
+    let mut converged = false;
+    let mut final_residual = f64::INFINITY;
+    let mut clean = inputs_ok;
+    let mut watchdog =
+        ppdp_trace::ConvergenceWatchdog::new(ppdp_trace::WatchdogConfig::with_tol(cfg.tol));
+
+    // Pass A: per-variable incoming totals (potential + every incident
+    // message). Totals make the per-factor cavity a branch-free
+    // subtraction in pass B instead of a skip-one gather per edge.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_totals(
+        g: &FactorGraph,
+        exec: ExecPolicy,
+        fm: &[FacMsg],
+        km: &[KinMsg],
+        lsnp_pot: &[[f64; 4]],
+        ltrait_pot: &[[f64; 2]],
+        stot: &mut [[f64; 4]],
+        ttot: &mut [[f64; 2]],
+    ) {
+        exec.par_fill(stot, BLOCK, |s, slot| {
+            let mut tot = lsnp_pot[s];
+            for &f in g.snp_factor_ids(s) {
+                let m = &fm[f as usize].to_s;
+                for l in 0..4 {
+                    tot[l] += m[l];
+                }
+            }
+            for &k in g.snp_kin_ids(s) {
+                let k = k as usize;
+                let m = if g.kin_factors[k].parent == s {
+                    &km[k].to_parent
+                } else {
+                    &km[k].to_child
+                };
+                for l in 0..4 {
+                    tot[l] += m[l];
+                }
+            }
+            *slot = tot;
+        });
+        exec.par_fill(ttot, BLOCK, |t, slot| {
+            let mut tot = ltrait_pot[t];
+            for &f in g.trait_factor_ids(t) {
+                let m = &fm[f as usize].to_t;
+                tot[0] += m[0];
+                tot[1] += m[1];
+            }
+            *slot = tot;
+        });
+    }
+
+    ppdp_telemetry::target("bp.rounds", cfg.max_iters as f64);
+    for iter in 0..cfg.max_iters {
+        sweeps = iter + 1;
+        gather_totals(g, exec, fmsg, kmsg, lsnp_pot, ltrait_pot, stot, ttot);
+        let (st, tt) = (&stot[..], &ttot[..]);
+
+        // Pass B: per-factor cavity + update (Eqs. 5.5/5.6 in log
+        // space). Reads only previous-sweep messages and the totals, so
+        // every slot is independent; the innermost loops are fixed-lane.
+        {
+            let fm = &fmsg[..];
+            exec.par_fill(&mut nfmsg[..], BLOCK, |f, slot| {
+                let fac = &g.factors[f];
+                let old = &fm[f];
+                let tab = &ltab[f];
+                let mut ok = true;
+
+                // Cavity at the SNP = this factor's variable→factor
+                // message (Eq. 5.3), normalized like the linear kernel
+                // normalizes s2f.
+                let mut cs = [0.0f64; 4];
+                for l in 0..4 {
+                    cs[l] = st[fac.snp][l] - old.to_s[l];
+                }
+                ok &= norm3_log(&mut cs);
+                let mut ct = [
+                    tt[fac.trait_idx][0] - old.to_t[0],
+                    tt[fac.trait_idx][1] - old.to_t[1],
+                ];
+                ok &= norm2_log(&mut ct);
+
+                let mut to_s = [0.0f64; 4];
+                for gi in 0..3 {
+                    to_s[gi] = lse2(tab[gi * 2] + ct[0], tab[gi * 2 + 1] + ct[1]);
+                }
+                ok &= norm3_log(&mut to_s);
+                let mut to_t = [0.0f64; 2];
+                for t in 0..2 {
+                    to_t[t] = lse3(tab[t] + cs[0], tab[2 + t] + cs[1], tab[4 + t] + cs[2]);
+                }
+                ok &= norm2_log(&mut to_t);
+
+                if damping > 0.0 {
+                    for (m, &o) in to_s.iter_mut().zip(old.to_s.iter()).take(3) {
+                        *m = logmix(o, *m, ln_d, ln_1md);
+                    }
+                    for (m, &o) in to_t.iter_mut().zip(old.to_t.iter()) {
+                        *m = logmix(o, *m, ln_d, ln_1md);
+                    }
+                }
+                let mut d = 0.0f64;
+                for (&m, &o) in to_s.iter().zip(old.to_s.iter()).take(3) {
+                    d = d.max((m.exp() - o.exp()).abs());
+                }
+                for (&m, &o) in to_t.iter().zip(old.to_t.iter()) {
+                    d = d.max((m.exp() - o.exp()).abs());
+                }
+                *slot = FacMsg {
+                    to_s,
+                    to_t,
+                    resid: d,
+                    clean: ok,
+                };
+            });
+        }
+
+        // Kin pass: 3×3 transmission tables, both directions.
+        {
+            let km = &kmsg[..];
+            exec.par_fill(&mut nkmsg[..], BLOCK, |k, slot| {
+                let kf = &g.kin_factors[k];
+                let old = &km[k];
+                let tab = &lktab[k];
+                let mut ok = true;
+
+                let mut cp = [0.0f64; 4];
+                let mut cc = [0.0f64; 4];
+                for l in 0..4 {
+                    cp[l] = st[kf.parent][l] - old.to_parent[l];
+                    cc[l] = st[kf.child][l] - old.to_child[l];
+                }
+                ok &= norm3_log(&mut cp);
+                ok &= norm3_log(&mut cc);
+
+                // to child: lse over parents of T[p][c] + μ_{parent→k}(p)
+                let mut to_child = [0.0f64; 4];
+                for c in 0..3 {
+                    to_child[c] = lse3(tab[c] + cp[0], tab[4 + c] + cp[1], tab[8 + c] + cp[2]);
+                }
+                ok &= norm3_log(&mut to_child);
+                // to parent: lse over children of T[p][c] + μ_{child→k}(c)
+                let mut to_parent = [0.0f64; 4];
+                for (p, m) in to_parent.iter_mut().enumerate().take(3) {
+                    let row = p * 4;
+                    *m = lse3(tab[row] + cc[0], tab[row + 1] + cc[1], tab[row + 2] + cc[2]);
+                }
+                ok &= norm3_log(&mut to_parent);
+
+                if damping > 0.0 {
+                    for l in 0..3 {
+                        to_parent[l] = logmix(old.to_parent[l], to_parent[l], ln_d, ln_1md);
+                        to_child[l] = logmix(old.to_child[l], to_child[l], ln_d, ln_1md);
+                    }
+                }
+                let mut d = 0.0f64;
+                for l in 0..3 {
+                    d = d.max((to_parent[l].exp() - old.to_parent[l].exp()).abs());
+                    d = d.max((to_child[l].exp() - old.to_child[l].exp()).abs());
+                }
+                *slot = KinMsg {
+                    to_parent,
+                    to_child,
+                    resid: d,
+                    clean: ok,
+                };
+            });
+        }
+
+        std::mem::swap(fmsg, nfmsg);
+        std::mem::swap(kmsg, nkmsg);
+        let mut delta = 0.0f64;
+        for m in fmsg.iter() {
+            delta = delta.max(m.resid);
+            clean &= m.clean;
+        }
+        for m in kmsg.iter() {
+            delta = delta.max(m.resid);
+            clean &= m.clean;
+        }
+
+        final_residual = delta;
+        ppdp_telemetry::counter("bp.messages_updated", 2 * (nf + nk) as u64);
+        ppdp_telemetry::value("bp.sweep_residual", delta);
+        ppdp_telemetry::gauge("bp.round", sweeps as f64);
+        ppdp_trace::bp_round(sweeps as u64, delta, 2 * (nf + nk) as u64, (nf + nk) as u64);
+        if let Some(verdict) = watchdog.observe(delta) {
+            ppdp_telemetry::counter(&format!("watchdog.bp.{}", verdict.as_str()), 1);
+            ppdp_trace::watchdog_event("bp", verdict.as_str(), watchdog.iteration());
+        }
+        if !clean {
+            break;
+        }
+        if delta < cfg.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // Beliefs: refresh the totals from the final messages, normalize in
+    // log space, exponentiate, and renormalize the (already ≈ 1) sums in
+    // linear space so marginals sum to 1 at f64 precision.
+    gather_totals(g, exec, fmsg, kmsg, lsnp_pot, ltrait_pot, stot, ttot);
+    let (st, tt) = (&stot[..], &ttot[..]);
+    let mut bclean = true;
+    let snp_marginals: Vec<[f64; 3]> = crate::bp::fold_flag(
+        exec.par_map(g.n_snps(), |s| {
+            let mut b = st[s];
+            let ok = norm3_log(&mut b);
+            let e = [b[0].exp(), b[1].exp(), b[2].exp()];
+            let z = e[0] + e[1] + e[2];
+            ([e[0] / z, e[1] / z, e[2] / z], ok)
+        }),
+        &mut bclean,
+    );
+    let trait_marginals: Vec<[f64; 2]> = crate::bp::fold_flag(
+        exec.par_map(g.n_traits(), |t| {
+            let mut b = tt[t];
+            let ok = norm2_log(&mut b);
+            let e = [b[0].exp(), b[1].exp()];
+            let z = e[0] + e[1];
+            ([e[0] / z, e[1] / z], ok)
+        }),
+        &mut bclean,
+    );
+    clean &= bclean;
+
+    Attempt {
+        snp_marginals,
+        trait_marginals,
+        sweeps,
+        converged: converged && clean,
+        final_residual,
+        clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_log_constants_match_runtime_ln() {
+        assert_eq!(LN_THIRD, (1.0f64 / 3.0).ln());
+        assert_eq!(LN_HALF, (1.0f64 / 2.0).ln());
+    }
+
+    #[test]
+    fn lse_matches_naive_in_safe_range() {
+        for (a, b, c) in [
+            (0.0f64, 0.0f64, 0.0f64),
+            (-1.0, -2.0, -3.0),
+            (3.5, -0.25, 1.0),
+        ] {
+            let naive = (a.exp() + b.exp() + c.exp()).ln();
+            assert!((lse3(a, b, c) - naive).abs() < 1e-12);
+            let naive2 = (a.exp() + b.exp()).ln();
+            assert!((lse2(a, b) - naive2).abs() < 1e-12);
+            assert!((logsumexp(&[a, b, c]) - lse3(a, b, c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lse_survives_extreme_magnitudes() {
+        // Naive exp would overflow (+inf) or underflow (0 → -inf).
+        assert!((lse2(1000.0, 1000.0) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert!((lse2(-1e6, -1e6) - (-1e6 + 2f64.ln())).abs() < 1e-6);
+        // The dominant element wins when the gap exceeds the mantissa.
+        assert_eq!(lse2(0.0, -800.0), 0.0);
+        assert_eq!(lse3(-5.0, f64::NEG_INFINITY, f64::NEG_INFINITY), -5.0);
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn norm_log_normalizes_and_floors() {
+        let mut v = [-1000.0, -1001.0, -5000.0, 0.0];
+        assert!(norm3_log(&mut v));
+        assert!((lse3(v[0], v[1], v[2])).abs() < 1e-12);
+        assert_eq!(v[2], LOG_FLOOR, "deep lane clamps at the floor");
+        assert_eq!(v[3], 0.0, "padding untouched");
+        let mut w = [f64::NAN, 0.0];
+        assert!(!norm2_log(&mut w), "NaN lane repairs to uniform");
+        assert_eq!(w, [LN_HALF; 2]);
+    }
+
+    #[test]
+    fn logmix_matches_linear_damping() {
+        let (d, old, new) = (0.5f64, 0.2f64, 0.6f64);
+        let mixed = logmix(old.ln(), new.ln(), d.ln(), (1.0 - d).ln());
+        assert!((mixed.exp() - (d * old + (1.0 - d) * new)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fac_msg_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<FacMsg>(), 64);
+    }
+}

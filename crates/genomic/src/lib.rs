@@ -13,6 +13,9 @@
 //!   inference attack of §5.4);
 //! * [`incremental`] — warm-start, residual-scheduled BP with journaled
 //!   trials, the engine behind the greedy sanitization delta oracles;
+//! * [`kernels`] — log-domain, flat-slice BP message kernels (the
+//!   underflow-immune twin of [`bp`] selected via
+//!   [`kernels::MessageDomain`]) plus the reusable message arenas;
 //! * [`exhaustive`] — the exponential-cost joint-enumeration baseline the
 //!   paper's headline claim compares against (Eq. 5.1);
 //! * [`nb`] — the Naive Bayes attacker baseline of Fig. 5.2(b);
@@ -34,6 +37,7 @@ pub mod catalog;
 pub mod exhaustive;
 pub mod factor_graph;
 pub mod incremental;
+pub mod kernels;
 pub mod kinship;
 pub mod ld;
 pub mod model;
@@ -48,6 +52,7 @@ pub use catalog::{Association, GwasCatalog, TraitInfo};
 pub use exhaustive::exhaustive_marginals;
 pub use factor_graph::{Evidence, FactorGraph};
 pub use incremental::{BpArenaSnapshot, IncrementalBp, RefreshOutcome};
+pub use kernels::{logsumexp, lse2, lse3, BpScratch, MessageDomain, LOG_FLOOR};
 pub use kinship::{
     build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget,
 };

@@ -618,6 +618,16 @@ fn sanitize_incremental_impl(
     catalog.validate()?;
     evidence.validate_against(catalog)?;
     cfg.exec = exec;
+    // The incremental engine keeps its own linear-domain message arenas
+    // (warm-start snapshots, journaled trials); its graphs are the
+    // small per-evaluation neighborhoods where linear BP is underflow-
+    // free anyway. A log-domain request is honored by linearizing the
+    // whole incremental pipeline (baseline included, so journal replays
+    // stay self-consistent) and counting the downgrade.
+    if cfg.domain == crate::kernels::MessageDomain::Log {
+        ppdp_metrics::counter("bp.incremental.domain_linearized", 1);
+        cfg.domain = crate::kernels::MessageDomain::Linear;
+    }
     let audit = ppdp_telemetry::Recorder::new();
     let audit_scope = audit.enter();
     let span = ppdp_telemetry::span("sanitize.incremental");

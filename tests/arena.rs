@@ -1,0 +1,75 @@
+//! Arena-reuse gate: back-to-back genome publishes must not grow the
+//! allocation footprint.
+//!
+//! This binary installs [`ppdp::metrics::alloc::CountingAlloc`] as the
+//! global allocator (which is why it lives alone in its own test target:
+//! in-binary tests would share — and pollute — the process-wide
+//! counters) and runs 50 publishes on one `GenomePublisher`. After the
+//! first publish warms the thread-local BP message arenas
+//! (`ppdp::genomic::BpScratch`), every later publish must allocate the
+//! same transient working set — a leaking kernel (e.g. one that grows
+//! its arenas monotonically or re-allocates messages per sweep) shows up
+//! as a rising per-publish byte delta.
+
+use ppdp::datagen;
+use ppdp::genomic::sanitize::Target;
+use ppdp::genomic::TraitId;
+use ppdp::metrics::{self, Registry};
+use ppdp::publish::GenomePublisher;
+
+#[global_allocator]
+static ALLOC: ppdp::metrics::alloc::CountingAlloc = ppdp::metrics::alloc::CountingAlloc;
+
+#[test]
+fn fifty_publishes_reuse_arenas_with_flat_alloc_growth() {
+    let registry = Registry::new();
+    metrics::install_global(registry.clone());
+
+    let catalog = datagen::gwas::synthetic_catalog(30, 3, 1, 5);
+    let panel = datagen::genomes::amd_like(&catalog, TraitId(0), 8, 8, 5);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0))];
+    let publisher = GenomePublisher::new(&catalog, 0.9999).max_removals(4);
+
+    let mut deltas = Vec::with_capacity(50);
+    let mut picks = None;
+    for _ in 0..50 {
+        let before = ppdp::metrics::alloc::totals().expect("allocator installed");
+        let report = publisher.publish(&evidence, &targets).unwrap();
+        let after = ppdp::metrics::alloc::totals().expect("allocator installed");
+        deltas.push(after.bytes - before.bytes);
+        // Reused arenas must not perturb the outcome.
+        match &picks {
+            None => picks = Some(report.outcome.removed.clone()),
+            Some(first) => assert_eq!(first, &report.outcome.removed),
+        }
+    }
+    metrics::uninstall_global();
+
+    // Publish 0 pays the arena growth; compare a window right after
+    // warm-up against the final window. Flat means the later publishes
+    // allocate no more than the earlier ones (10% slack for incidental
+    // variation in hash-map resizes and telemetry buffers).
+    let early: u64 = deltas[1..6].iter().sum();
+    let late: u64 = deltas[45..50].iter().sum();
+    assert!(
+        late as f64 <= early as f64 * 1.10,
+        "per-publish allocation grew: early window {early}B, late window {late}B \
+         (deltas: {deltas:?})"
+    );
+
+    // The metrics registry confirms the mechanism: after the first
+    // publish the thread-local scratch satisfies every later run's
+    // capacity check, so warm hits dominate and growth events stop.
+    let snap = registry.snapshot_shards_only();
+    let reused = snap.counters.get("exec.arena.reused").copied().unwrap_or(0);
+    let grown = snap.counters.get("exec.arena.grown").copied().unwrap_or(0);
+    assert!(
+        reused >= 49,
+        "expected ≥ 49 warm arena hits across 50 publishes, saw {reused}"
+    );
+    assert!(
+        grown <= 2,
+        "arenas kept growing after warm-up: {grown} growth events"
+    );
+}

@@ -1,0 +1,477 @@
+//! Differential kernel-test suite: the log-domain BP kernel
+//! ([`ppdp::genomic::MessageDomain::Log`]) against the historical linear
+//! kernel, on the golden fixtures and on adversarial numeric structure.
+//!
+//! The contract under test (DESIGN.md, "numerical model"):
+//!
+//! * both domains iterate the *same* fixed point — marginals agree to
+//!   ≤ 1e-9 on every golden fixture when run to a tight tolerance;
+//! * the greedy sanitizer makes identical picks under either domain;
+//! * the log kernel is policy-bitwise, exactly like the linear one;
+//! * crash-safe resume (`publish_resumable`) stays bitwise identical
+//!   with warm thread-local arenas and a log-domain config;
+//! * structure that underflows the linear kernel to prior-fallback
+//!   (hub traits of degree ≳ 1000, vanishing factor tables) leaves the
+//!   log kernel finite, normalized, and degradation-free.
+
+use ppdp::datagen;
+use ppdp::exec::ExecPolicy;
+use ppdp::genomic::kinship::transmission_table;
+use ppdp::genomic::sanitize::{Predictor, Target};
+use ppdp::genomic::{
+    greedy_sanitize_with, BpConfig, BpResult, Evidence, FactorGraph, Genotype, GwasCatalog,
+    MessageDomain, SnpId, TraitId,
+};
+use ppdp::publish::GenomePublisher;
+use ppdp::telemetry::Recorder;
+use proptest::prelude::*;
+
+/// Tight-tolerance config in the given domain; the 1e-9 cross-domain
+/// agreement bound only holds when both runs converge well below it.
+fn tight(domain: MessageDomain) -> BpConfig {
+    BpConfig {
+        tol: 1e-12,
+        max_iters: 400,
+        domain,
+        ..Default::default()
+    }
+}
+
+/// Max absolute marginal difference across every SNP and trait variable.
+fn marginal_gap(a: &BpResult, b: &BpResult) -> f64 {
+    let mut gap: f64 = 0.0;
+    for (x, y) in a.snp_marginals.iter().zip(&b.snp_marginals) {
+        for (u, v) in x.iter().zip(y) {
+            gap = gap.max((u - v).abs());
+        }
+    }
+    for (x, y) in a.trait_marginals.iter().zip(&b.trait_marginals) {
+        for (u, v) in x.iter().zip(y) {
+            gap = gap.max((u - v).abs());
+        }
+    }
+    gap
+}
+
+/// Asserts every marginal is finite and sums to 1 at f64 precision.
+fn assert_normalized(r: &BpResult) {
+    for m in &r.snp_marginals {
+        assert!(m.iter().all(|x| x.is_finite()), "non-finite SNP marginal");
+        let z: f64 = m.iter().sum();
+        assert!((z - 1.0).abs() < 1e-12, "SNP marginal sums to {z}");
+    }
+    for m in &r.trait_marginals {
+        assert!(m.iter().all(|x| x.is_finite()), "non-finite trait marginal");
+        let z: f64 = m.iter().sum();
+        assert!((z - 1.0).abs() < 1e-12, "trait marginal sums to {z}");
+    }
+}
+
+/// The BP golden fixture from `tests/golden.rs` (same catalog seed and
+/// evidence as `bp_marginals.json`).
+fn bp_golden_fixture() -> FactorGraph {
+    let catalog = datagen::gwas::synthetic_catalog(40, 4, 1, 7);
+    let evidence = Evidence::none()
+        .with_snp(SnpId(0), Genotype::HomRisk)
+        .with_snp(SnpId(5), Genotype::Het)
+        .with_trait(TraitId(2), true);
+    FactorGraph::build(&catalog, &evidence).unwrap()
+}
+
+/// Star catalog: one trait observed by `degree` SNP associations. The
+/// trait-side cavity in the linear kernel is a product of `degree − 1`
+/// sub-unit message components, which hits exact 0.0 once the degree
+/// passes ≈ 1100 (2⁻¹⁰⁷⁴ is the smallest subnormal).
+fn hub_catalog(degree: usize) -> GwasCatalog {
+    let mut cat = GwasCatalog::new(degree);
+    let t = cat.add_trait("hub", 0.3);
+    for s in 0..degree {
+        cat.associate(
+            SnpId(s),
+            t,
+            1.2 + 0.3 * (s % 7) as f64 / 7.0,
+            0.1 + 0.05 * (s % 5) as f64,
+        );
+    }
+    cat
+}
+
+#[test]
+fn log_and_linear_marginals_agree_on_golden_fixture() {
+    let g = bp_golden_fixture();
+    for exec in [ExecPolicy::Sequential, ExecPolicy::parallel(4)] {
+        let lin = BpConfig {
+            exec,
+            ..tight(MessageDomain::Linear)
+        }
+        .run(&g);
+        let log = BpConfig {
+            exec,
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        assert!(lin.converged && log.converged);
+        assert!(!lin.degraded && !log.degraded);
+        assert_normalized(&log);
+        let gap = marginal_gap(&lin, &log);
+        assert!(gap <= 1e-9, "cross-domain marginal gap {gap} > 1e-9");
+    }
+}
+
+#[test]
+fn log_domain_is_policy_bitwise_on_golden_fixture() {
+    let g = bp_golden_fixture();
+    let seq = tight(MessageDomain::Log).run(&g);
+    assert!(!seq.degraded);
+    for threads in [1, 2, 8] {
+        let par = BpConfig {
+            exec: ExecPolicy::parallel(threads),
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        assert_eq!(seq.iterations, par.iterations);
+        for (a, b) in seq.snp_marginals.iter().zip(&par.snp_marginals) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "log kernel not policy-bitwise");
+            }
+        }
+        for (a, b) in seq.trait_marginals.iter().zip(&par.trait_marginals) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "log kernel not policy-bitwise");
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_sanitizer_picks_are_identical_across_domains() {
+    let catalog = datagen::gwas::synthetic_catalog(60, 5, 2, 11);
+    let panel = datagen::genomes::amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0)), Target::Trait(TraitId(1))];
+    let run = |domain| {
+        greedy_sanitize_with(
+            ExecPolicy::Sequential,
+            &catalog,
+            &evidence,
+            &targets,
+            0.9999,
+            8,
+            Predictor::BeliefPropagation(tight(domain)),
+        )
+        .unwrap()
+    };
+    let lin = run(MessageDomain::Linear);
+    let log = run(MessageDomain::Log);
+    assert_eq!(lin.removed, log.removed, "greedy picks diverged by domain");
+    assert_eq!(lin.satisfied, log.satisfied);
+    assert_eq!(lin.history.len(), log.history.len());
+    for (a, b) in lin.history.iter().zip(&log.history) {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "privacy history drift across domains: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn resumable_publish_stays_bitwise_with_warm_arenas_under_log_config() {
+    let catalog = datagen::gwas::synthetic_catalog(30, 3, 1, 5);
+    let panel = datagen::genomes::amd_like(&catalog, TraitId(0), 8, 8, 5);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0))];
+    let publisher = |domain| {
+        GenomePublisher::new(&catalog, 0.9999)
+            .max_removals(6)
+            .bp_config(BpConfig {
+                domain,
+                ..Default::default()
+            })
+    };
+
+    // Warm the thread-local message arenas so every run below reuses them.
+    let warm = publisher(MessageDomain::Log)
+        .publish(&evidence, &targets)
+        .unwrap();
+
+    let dir = tempdir("kernels-resume");
+    let store = ppdp::durable::CheckpointStore::open(&dir).unwrap();
+    let lin = publisher(MessageDomain::Linear)
+        .publish_resumable(&evidence, &targets, &store, "lin")
+        .unwrap();
+    // The incremental engine linearizes a log-domain request (its trial
+    // rollback is defined over linear arenas), so the journaled run must
+    // be bitwise identical to the linear one...
+    let log_first = publisher(MessageDomain::Log)
+        .publish_resumable(&evidence, &targets, &store, "log")
+        .unwrap();
+    // ...and a rerun over the completed journal is a pure replay.
+    let log_replayed = publisher(MessageDomain::Log)
+        .publish_resumable(&evidence, &targets, &store, "log")
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    for other in [&lin, &log_replayed] {
+        assert_eq!(log_first.outcome.removed, other.outcome.removed);
+        assert_eq!(log_first.outcome.satisfied, other.outcome.satisfied);
+        assert_eq!(log_first.outcome.history.len(), other.outcome.history.len());
+        for (a, b) in log_first.outcome.history.iter().zip(&other.outcome.history) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resume not bitwise");
+        }
+    }
+    // The direct (non-journaled) log-domain publisher makes the same picks.
+    assert_eq!(warm.outcome.removed, log_first.outcome.removed);
+}
+
+/// Satellite regression: a hub trait of degree 1500 underflows the
+/// linear trait-side cavity (a product of 1499 sub-unit components).
+/// The failure has two faces, both pinned here:
+///
+/// * undamped (restart ladder disabled) the product hits exact 0.0,
+///   every message is repaired, and the run degrades to prior-fallback
+///   marginals — *detected* corruption;
+/// * under the default ladder the damped retry approaches the fixed
+///   point from unnormalized starts, so the cavity saturates at the
+///   smallest subnormal (5e-324) instead of reaching zero. `z > 0`
+///   normalizes the saturated value to exactly `[0.5, 0.5]`: the run
+///   reports converged-and-clean with *silently wrong* marginals —
+///   *undetected* corruption, the worse face.
+///
+/// The log kernel never leaves the representable range and reproduces
+/// the healthy-degree answer with a `degraded.*`-free RunReport.
+#[test]
+fn hub_trait_underflows_linear_but_not_log() {
+    let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+    let g = FactorGraph::build(&hub_catalog(1500), &ev).unwrap();
+    // Oracle: at degree 400 the linear kernel is still healthy, and the
+    // per-factor trait pull of an unobserved flat SNP is uniform, so the
+    // true trait marginal is degree-invariant.
+    let small = FactorGraph::build(&hub_catalog(400), &ev).unwrap();
+    let oracle = BpConfig::default().run(&small);
+    assert!(!oracle.degraded && oracle.converged);
+
+    // Face 1: single undamped attempt → exact underflow → detected.
+    let undamped_rec = Recorder::new();
+    let undamped = {
+        let _scope = undamped_rec.enter();
+        BpConfig {
+            max_restarts: 0,
+            ..Default::default()
+        }
+        .run(&g)
+    };
+    let undamped_report = undamped_rec.take();
+    assert!(undamped.degraded, "undamped linear survived a 1500-hub");
+    assert!(undamped_report.counter("degraded.bp.prior_fallback") >= 1);
+    assert!(undamped_report.counter("bp.renormalized") >= 1500);
+
+    // Face 2: default ladder → subnormal saturation → silent collapse.
+    let lin_rec = Recorder::new();
+    let lin = {
+        let _scope = lin_rec.enter();
+        BpConfig::default().run(&g)
+    };
+    let lin_report = lin_rec.take();
+    assert!(
+        !lin.degraded && lin.converged,
+        "expected the damped retry to accept silently"
+    );
+    assert!(lin_report.counter("bp.renormalized") >= 1500);
+    let collapsed = lin.trait_marginals[0];
+    assert_eq!(
+        (collapsed[0].to_bits(), collapsed[1].to_bits()),
+        (0.5f64.to_bits(), 0.5f64.to_bits()),
+        "saturated linear marginal should collapse to exactly uniform"
+    );
+    assert!(
+        (collapsed[0] - oracle.trait_marginals[0][0]).abs() > 0.1,
+        "collapse should be far from the true marginal"
+    );
+
+    // Log domain: finite, normalized, degradation-free, and on the
+    // healthy-degree answer.
+    let log_rec = Recorder::new();
+    let log = {
+        let _scope = log_rec.enter();
+        BpConfig {
+            domain: MessageDomain::Log,
+            ..Default::default()
+        }
+        .run(&g)
+    };
+    let log_report = log_rec.take();
+    assert!(!log.degraded, "log kernel degraded on a degree-1500 hub");
+    assert!(log.converged);
+    assert_eq!(log_report.degradations(), 0);
+    assert_eq!(log_report.counter("bp.renormalized"), 0);
+    assert_normalized(&log);
+    for (a, b) in log.trait_marginals[0]
+        .iter()
+        .zip(&oracle.trait_marginals[0])
+    {
+        assert!(
+            (a - b).abs() <= 1e-9,
+            "log marginal {a} drifted from healthy-degree oracle {b}"
+        );
+    }
+}
+
+/// A 10⁴-deep Mendelian chain propagates evidence end to end in both
+/// domains: per-hop normalization keeps the linear kernel finite on
+/// chains (only hubs underflow it), so the two must agree.
+#[test]
+fn deep_kin_chain_stays_finite_in_both_domains() {
+    const DEPTH: usize = 10_000;
+    // One trait per SNP: the factor graph only materializes SNPs that
+    // appear in an association, and a per-SNP trait keeps every variable
+    // at association-degree 1 (no hub — the chain is the structure under
+    // test, and per-hop normalization keeps the linear kernel finite on
+    // pure chains).
+    let mut cat = GwasCatalog::new(DEPTH);
+    for i in 0..DEPTH {
+        let t = cat.add_trait(format!("t{i}"), 0.2);
+        cat.associate(SnpId(i), t, if i == 0 { 1.6 } else { 1.05 }, 0.2);
+    }
+    let ev = Evidence::none().with_snp(SnpId(0), Genotype::HomRisk);
+    let mut g = FactorGraph::build(&cat, &ev).unwrap();
+    let table = transmission_table(0.3);
+    g.add_kin_factors((0..DEPTH - 1).map(|i| (i, i + 1, table)))
+        .unwrap();
+
+    let lin = BpConfig::default().run(&g);
+    let log = BpConfig {
+        domain: MessageDomain::Log,
+        ..Default::default()
+    }
+    .run(&g);
+    assert!(!lin.degraded && !log.degraded);
+    assert_normalized(&lin);
+    assert_normalized(&log);
+    let gap = marginal_gap(&lin, &log);
+    assert!(gap <= 1e-6, "deep-chain cross-domain gap {gap}");
+}
+
+/// Fresh per-test checkpoint directory under the target tmpdir.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ppdp-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Hub degrees across the underflow frontier: the linear cavity
+    /// always corrupts (renormalization repairs fire and the trait
+    /// marginal collapses to exactly uniform), the log kernel is always
+    /// repair-free and finite.
+    #[test]
+    fn hub_degree_sweep_underflows_linear_only(degree in 1200usize..1600) {
+        let cat = hub_catalog(degree);
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::Het);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
+        let lin_rec = Recorder::new();
+        let lin = { let _s = lin_rec.enter(); BpConfig::default().run(&g) };
+        let lin_report = lin_rec.take();
+        prop_assert!(
+            lin_report.counter("bp.renormalized") >= degree as u64,
+            "linear cavity survived hub degree {degree}"
+        );
+        prop_assert!(
+            lin.degraded || lin.trait_marginals[0] == [0.5, 0.5],
+            "linear neither degraded nor collapsed at degree {degree}"
+        );
+        let log_rec = Recorder::new();
+        let log = {
+            let _s = log_rec.enter();
+            BpConfig { domain: MessageDomain::Log, ..Default::default() }.run(&g)
+        };
+        let log_report = log_rec.take();
+        prop_assert!(!log.degraded, "log degraded at hub degree {degree}");
+        prop_assert_eq!(log_report.counter("bp.renormalized"), 0);
+        for m in log.snp_marginals.iter() {
+            prop_assert!(m.iter().all(|x| x.is_finite()));
+            let z: f64 = m.iter().sum();
+            prop_assert!((z - 1.0).abs() < 1e-12);
+        }
+        for m in log.trait_marginals.iter() {
+            prop_assert!(m.iter().all(|x| x.is_finite()));
+            let z: f64 = m.iter().sum();
+            prop_assert!((z - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kin tables scaled down to the subnormal range (1e-310..1e-250):
+    /// the log kernel absorbs the scale as an additive constant that
+    /// normalization cancels, so marginals stay finite and normalized.
+    #[test]
+    fn near_zero_kin_tables_keep_log_finite(exp in -310i32..-250, f in 0.05f64..0.95) {
+        // Not `10f64.powi(exp)`: powi computes the reciprocal of 10^|exp|,
+        // and 10^310 overflows to +inf, silently making the scale 0.0.
+        let scale = 1e-250 * 10f64.powi(exp + 250);
+        assert!(scale > 0.0);
+        let mut cat = GwasCatalog::new(6);
+        // One association per SNP so all six become graph variables.
+        for i in 0..6 {
+            let t = cat.add_trait(format!("t{i}"), 0.25);
+            cat.associate(SnpId(i), t, if i == 0 { 1.4 } else { 1.02 }, 0.15);
+        }
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::Het);
+        let mut g = FactorGraph::build(&cat, &ev).unwrap();
+        let base = transmission_table(f);
+        let mut tiny = base;
+        for row in &mut tiny {
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+        }
+        g.add_kin_factors((0..5).map(|i| (i, i + 1, tiny))).unwrap();
+        let log = BpConfig { domain: MessageDomain::Log, ..Default::default() }.run(&g);
+        prop_assert!(!log.degraded, "log degraded at table scale {scale:e}");
+        for m in log.snp_marginals.iter() {
+            prop_assert!(m.iter().all(|x| x.is_finite()));
+            let z: f64 = m.iter().sum();
+            prop_assert!((z - 1.0).abs() < 1e-12, "marginal sums to {z}");
+        }
+        for m in log.trait_marginals.iter() {
+            prop_assert!(m.iter().all(|x| x.is_finite()));
+            let z: f64 = m.iter().sum();
+            prop_assert!((z - 1.0).abs() < 1e-12, "marginal sums to {z}");
+        }
+    }
+
+    /// Random extreme evidence loads on the golden catalog: whenever both
+    /// kernels converge cleanly, they agree to 1e-9.
+    #[test]
+    fn extreme_evidence_keeps_domains_in_agreement(
+        snp_mask in prop::collection::vec(0u8..3, 8),
+        trait_on in any::<bool>(),
+    ) {
+        let catalog = datagen::gwas::synthetic_catalog(40, 4, 1, 7);
+        let mut ev = Evidence::none().with_trait(TraitId(0), trait_on);
+        for (i, &m) in snp_mask.iter().enumerate() {
+            let g = match m {
+                0 => Genotype::HomNonRisk,
+                1 => Genotype::Het,
+                _ => Genotype::HomRisk,
+            };
+            ev = ev.with_snp(SnpId(i * 5), g);
+        }
+        let g = FactorGraph::build(&catalog, &ev).unwrap();
+        let lin = tight(MessageDomain::Linear).run(&g);
+        let log = tight(MessageDomain::Log).run(&g);
+        if lin.converged && log.converged && !lin.degraded && !log.degraded {
+            let gap = marginal_gap(&lin, &log);
+            prop_assert!(gap <= 1e-9, "marginal gap {gap} under extreme evidence");
+        }
+    }
+}

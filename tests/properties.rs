@@ -463,3 +463,87 @@ proptest! {
         }
     }
 }
+
+// ---------- log-sum-exp kernel invariants ----------
+
+/// Log-space operands spanning the full safe magnitude range, including
+/// values near the `LOG_FLOOR` clamp of the log-domain BP kernel.
+fn log_operand() -> impl Strategy<Value = f64> {
+    (0u8..10, -700.0f64..700.0).prop_map(|(kind, x)| match kind {
+        // Occasionally the exact floor clamp or a near-zero operand.
+        0 => ppdp::genomic::LOG_FLOOR,
+        1 => x * 1e-9,
+        _ => x,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `lse2` is exactly commutative: max-subtraction picks the same
+    /// pivot either way, so the float expression is identical.
+    #[test]
+    fn lse_is_commutative(a in log_operand(), b in log_operand()) {
+        let ab = ppdp::genomic::lse2(a, b);
+        let ba = ppdp::genomic::lse2(b, a);
+        prop_assert_eq!(ab.to_bits(), ba.to_bits());
+    }
+
+    /// Associativity holds within tolerance (pivot choice differs, so
+    /// bitwise equality is NOT expected — only closeness).
+    #[test]
+    fn lse_is_associative_within_tolerance(
+        a in log_operand(), b in log_operand(), c in log_operand(),
+    ) {
+        let left = ppdp::genomic::lse2(ppdp::genomic::lse2(a, b), c);
+        let right = ppdp::genomic::lse2(a, ppdp::genomic::lse2(b, c));
+        let three = ppdp::genomic::lse3(a, b, c);
+        let scale = left.abs().max(1.0);
+        prop_assert!((left - right).abs() <= 1e-12 * scale, "{left} vs {right}");
+        prop_assert!((left - three).abs() <= 1e-12 * scale, "{left} vs {three}");
+    }
+
+    /// The result is pinned between the max element and max + ln(n):
+    /// LSE is a smooth max, never below its largest operand.
+    #[test]
+    fn lse_is_bracketed_by_max_element(
+        xs in prop::collection::vec(log_operand(), 1..12),
+    ) {
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let z = ppdp::genomic::logsumexp(&xs);
+        let slack = 1e-12 * m.abs().max(1.0);
+        prop_assert!(z >= m - slack, "logsumexp {z} below max {m}");
+        let bound = m + (xs.len() as f64).ln();
+        prop_assert!(z <= bound + slack, "logsumexp {z} above max+ln(n) {bound}");
+    }
+
+    /// Shifting every operand by a constant shifts the result by exactly
+    /// that constant (within rounding): the invariance that makes
+    /// max-subtraction safe in the first place.
+    #[test]
+    fn lse_is_shift_invariant(
+        xs in prop::collection::vec(-50.0f64..50.0, 1..8),
+        shift in -600.0f64..600.0,
+    ) {
+        let base = ppdp::genomic::logsumexp(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let moved = ppdp::genomic::logsumexp(&shifted);
+        let scale = base.abs().max(shift.abs()).max(1.0);
+        prop_assert!(((moved - shift) - base).abs() <= 1e-12 * scale);
+    }
+
+    /// ln → LSE → exp round-trips to the linear-domain sum with relative
+    /// error a few ulps wide, on operands safely inside the exp range.
+    #[test]
+    fn lse_round_trips_linear_sums(
+        xs in prop::collection::vec(1e-30f64..1e30, 1..10),
+    ) {
+        let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let sum: f64 = xs.iter().sum();
+        let round = ppdp::genomic::logsumexp(&logs).exp();
+        prop_assert!(
+            (round - sum).abs() <= 1e-12 * sum,
+            "round-trip {round} vs direct sum {sum}"
+        );
+    }
+}
