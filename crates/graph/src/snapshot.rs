@@ -5,11 +5,11 @@
 use crate::attr::{Category, CategoryId, Schema, Value};
 use crate::graph::{SocialGraph, UserId};
 use ppdp_errors::{PpdpError, Result};
-use serde::{Deserialize, Serialize};
+use ppdp_trace::json::JsonValue;
 use std::collections::HashSet;
 
 /// A self-contained, serializable form of a [`SocialGraph`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphSnapshot {
     /// `(name, arity)` per category, in schema order.
     pub categories: Vec<(String, Value)>,
@@ -123,13 +123,52 @@ impl GraphSnapshot {
         Ok(g)
     }
 
-    /// Serializes to a JSON string.
+    /// Serializes to a JSON string: categories as `["name", arity]`
+    /// pairs, rows as arrays of values (or `null` for unpublished) and
+    /// edges as `[a, b]` pairs. Hand-rolled through `ppdp_trace::json`,
+    /// so publishing works in builds with no external JSON crate.
     ///
     /// # Errors
-    /// [`PpdpError::Numerical`] on a `serde_json` encoding failure
-    /// (effectively unreachable for this data model).
+    /// None in practice (the encoder is infallible); the `Result` is
+    /// kept so callers are ready for streaming/IO-backed encoders.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| PpdpError::numerical(format!("encode: {e}")))
+        let categories = self
+            .categories
+            .iter()
+            .map(|(name, arity)| {
+                JsonValue::Array(vec![
+                    JsonValue::Str(name.clone()),
+                    JsonValue::Num(f64::from(*arity)),
+                ])
+            })
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                JsonValue::Array(
+                    row.iter()
+                        .map(|v| match v {
+                            Some(v) => JsonValue::Num(f64::from(*v)),
+                            None => JsonValue::Null,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                JsonValue::Array(vec![JsonValue::Num(a as f64), JsonValue::Num(b as f64)])
+            })
+            .collect();
+        Ok(JsonValue::Object(vec![
+            ("categories".into(), JsonValue::Array(categories)),
+            ("rows".into(), JsonValue::Array(rows)),
+            ("edges".into(), JsonValue::Array(edges)),
+        ])
+        .to_json())
     }
 
     /// Parses **and validates** a snapshot from JSON: both syntactically
@@ -140,8 +179,69 @@ impl GraphSnapshot {
     /// [`PpdpError::InvalidInput`] on malformed JSON or a snapshot that
     /// fails [`GraphSnapshot::validate`].
     pub fn from_json(s: &str) -> Result<Self> {
-        let snap: Self = serde_json::from_str(s)
-            .map_err(|e| PpdpError::invalid_input(format!("malformed snapshot JSON: {e}")))?;
+        let malformed =
+            |what: &str| PpdpError::invalid_input(format!("malformed snapshot JSON: {what}"));
+        let doc = JsonValue::parse(s).map_err(|e| malformed(&e))?;
+        let array_field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| malformed(&format!("missing {key:?} array")))
+        };
+        let mut categories = Vec::new();
+        for (c, entry) in array_field("categories")?.iter().enumerate() {
+            let pair = entry
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| malformed(&format!("category {c}: expected [name, arity]")))?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| malformed(&format!("category {c}: name is not a string")))?;
+            let arity = pair[1]
+                .as_u64()
+                .and_then(|a| Value::try_from(a).ok())
+                .ok_or_else(|| malformed(&format!("category {c}: arity out of range")))?;
+            categories.push((name.to_owned(), arity));
+        }
+        let mut rows = Vec::new();
+        for (u, row) in array_field("rows")?.iter().enumerate() {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| malformed(&format!("user {u}: row is not an array")))?;
+            let mut parsed = Vec::with_capacity(cells.len());
+            for (c, cell) in cells.iter().enumerate() {
+                parsed.push(match cell {
+                    JsonValue::Null => None,
+                    other => Some(
+                        other
+                            .as_u64()
+                            .and_then(|v| Value::try_from(v).ok())
+                            .ok_or_else(|| {
+                                malformed(&format!("user {u}: value {c} out of range"))
+                            })?,
+                    ),
+                });
+            }
+            rows.push(parsed);
+        }
+        let mut edges = Vec::new();
+        for (i, edge) in array_field("edges")?.iter().enumerate() {
+            let pair = edge
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| malformed(&format!("edge {i}: expected [a, b]")))?;
+            let endpoint = |side: usize| {
+                pair[side]
+                    .as_u64()
+                    .and_then(|e| usize::try_from(e).ok())
+                    .ok_or_else(|| malformed(&format!("edge {i}: endpoint out of range")))
+            };
+            edges.push((endpoint(0)?, endpoint(1)?));
+        }
+        let snap = Self {
+            categories,
+            rows,
+            edges,
+        };
         snap.validate()?;
         Ok(snap)
     }

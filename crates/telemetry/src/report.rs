@@ -3,7 +3,7 @@
 //! ledger, exportable as JSON (machine-readable trajectory files) or as a
 //! pretty text table (human eyes, progress lines).
 
-use serde::{Deserialize, Serialize};
+use ppdp_trace::json::JsonValue;
 use std::collections::BTreeMap;
 
 /// Number of logarithmic buckets kept per [`Histogram`]: half-open decades
@@ -16,7 +16,7 @@ pub const HISTOGRAM_BUCKETS: usize = 24;
 /// Spans are keyed by their slash-joined nesting path (e.g.
 /// `"social.publish/attack_before"`), and repeated executions of the same
 /// path aggregate into one entry, so hot loops stay O(1) in memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpanStats {
     /// Number of times the span was entered and exited.
     pub count: u64,
@@ -61,12 +61,33 @@ impl SpanStats {
         self.min_nanos = self.min_nanos.min(other.min_nanos);
         self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
+
+    fn to_value(self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("count".into(), JsonValue::Num(self.count as f64)),
+            (
+                "total_nanos".into(),
+                JsonValue::Num(self.total_nanos as f64),
+            ),
+            ("min_nanos".into(), JsonValue::Num(self.min_nanos as f64)),
+            ("max_nanos".into(), JsonValue::Num(self.max_nanos as f64)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            count: u64_field(v, "count")?,
+            total_nanos: u64_field(v, "total_nanos")?,
+            min_nanos: u64_field(v, "min_nanos")?,
+            max_nanos: u64_field(v, "max_nanos")?,
+        })
+    }
 }
 
 /// A lightweight value histogram: summary statistics plus logarithmic
 /// (decade) bucket counts. Non-finite samples are ignored; zero or
 /// negative samples land in the lowest bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Number of recorded samples.
     pub count: u64,
@@ -171,6 +192,40 @@ impl Histogram {
             *b += o;
         }
     }
+
+    fn to_value(&self) -> JsonValue {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&b| JsonValue::Num(b as f64))
+            .collect();
+        JsonValue::Object(vec![
+            ("count".into(), JsonValue::Num(self.count as f64)),
+            ("sum".into(), JsonValue::Num(self.sum)),
+            ("min".into(), JsonValue::Num(self.min)),
+            ("max".into(), JsonValue::Num(self.max)),
+            ("last".into(), JsonValue::Num(self.last)),
+            ("buckets".into(), JsonValue::Array(buckets)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, String> {
+        let buckets = v
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or("histogram: missing \"buckets\" array")?
+            .iter()
+            .map(|b| b.as_u64().ok_or("histogram: non-integer bucket count"))
+            .collect::<Result<Vec<u64>, &str>>()?;
+        Ok(Self {
+            count: u64_field(v, "count")?,
+            sum: f64_field(v, "sum")?,
+            min: f64_field(v, "min")?,
+            max: f64_field(v, "max")?,
+            last: f64_field(v, "last")?,
+            buckets,
+        })
+    }
 }
 
 /// Decade bucket for a sample: `10^(i-12) ≤ v < 10^(i-11)`, clamped.
@@ -184,7 +239,7 @@ fn bucket_index(v: f64) -> usize {
 
 /// One draw against a privacy budget: which mechanism consumed how much
 /// `(ε, δ)` at what sensitivity, and what it released.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetDraw {
     /// Mechanism name (`"laplace"`, `"exponential"`, `"geometric"`, …).
     pub mechanism: String,
@@ -198,12 +253,62 @@ pub struct BudgetDraw {
     pub sensitivity: f64,
 }
 
+impl BudgetDraw {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("mechanism".into(), JsonValue::Str(self.mechanism.clone())),
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("epsilon".into(), JsonValue::Num(self.epsilon)),
+            ("delta".into(), JsonValue::Num(self.delta)),
+            ("sensitivity".into(), JsonValue::Num(self.sensitivity)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            mechanism: str_field(v, "mechanism")?,
+            label: str_field(v, "label")?,
+            epsilon: f64_field(v, "epsilon")?,
+            delta: f64_field(v, "delta")?,
+            sensitivity: f64_field(v, "sensitivity")?,
+        })
+    }
+}
+
+// ---- JSON field extraction helpers (shared by the report sections) ----
+
+fn object_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [(String, JsonValue)], String> {
+    v.get(key)
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| format!("missing {key:?} object"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key:?}"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric {key:?}"))
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string {key:?}"))
+}
+
 /// The full structured report of one instrumented run.
 ///
-/// Produced by draining a [`crate::Recorder`]; serializable with
-/// `serde_json` for machine-readable perf/privacy trajectories, and
+/// Produced by draining a [`crate::Recorder`]; serializable as JSON
+/// (via the dependency-free `ppdp_trace::json` writer, so it works in
+/// offline builds) for machine-readable perf/privacy trajectories, and
 /// renderable as a text table via [`RunReport::to_text`].
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// Aggregated span timings keyed by slash-joined nesting path.
     pub spans: BTreeMap<String, SpanStats>,
@@ -217,7 +322,7 @@ pub struct RunReport {
     /// region name (e.g. `"bp.run@4"` → 3.1), populated by benches and
     /// perf harnesses rather than by recorders. Excluded from
     /// [`RunReport::equivalence_view`] like all timing-derived data.
-    #[serde(default)]
+    /// Absent in older serialized reports, so parsing defaults it.
     pub speedup: BTreeMap<String, f64>,
 }
 
@@ -360,24 +465,96 @@ impl RunReport {
         }
     }
 
-    /// Compact single-line JSON.
-    ///
-    /// Serializing a plain owned data struct cannot fail, so the internal
-    /// expect is unreachable (exempt from the no-panic lint gate).
-    #[allow(clippy::expect_used)]
+    /// Compact single-line JSON. Keys appear in sorted (`BTreeMap`
+    /// iteration) order, so equal reports serialize byte-identically.
+    /// Hand-rolled through `ppdp_trace::json`, so it cannot fail and
+    /// works in builds where no external JSON crate is available.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("RunReport serializes")
+        self.to_value().to_json()
     }
 
-    /// Human-diffable pretty JSON.
-    #[allow(clippy::expect_used)]
+    /// Human-diffable pretty JSON (same content as [`RunReport::to_json`]).
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("RunReport serializes")
+        self.to_value().to_json_pretty()
     }
 
-    /// Parses a report back from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parses a report back from JSON (compact or pretty). The
+    /// [`speedup`](RunReport::speedup) section is optional; all other
+    /// sections must be present with the serialized shape.
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed construct.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = JsonValue::parse(s)?;
+        Self::from_value(&v)
+    }
+
+    fn to_value(&self) -> JsonValue {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| (k.clone(), s.to_value()))
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        let budget = self.budget.iter().map(BudgetDraw::to_value).collect();
+        let speedup = self
+            .speedup
+            .iter()
+            .map(|(k, f)| (k.clone(), JsonValue::Num(*f)))
+            .collect();
+        JsonValue::Object(vec![
+            ("spans".into(), JsonValue::Object(spans)),
+            ("counters".into(), JsonValue::Object(counters)),
+            ("histograms".into(), JsonValue::Object(histograms)),
+            ("budget".into(), JsonValue::Array(budget)),
+            ("speedup".into(), JsonValue::Object(speedup)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<Self, String> {
+        let mut report = RunReport::default();
+        for (key, stats) in object_field(v, "spans")? {
+            report
+                .spans
+                .insert(key.clone(), SpanStats::from_value(stats)?);
+        }
+        for (key, count) in object_field(v, "counters")? {
+            let count = count
+                .as_u64()
+                .ok_or_else(|| format!("counter {key:?}: expected an unsigned integer"))?;
+            report.counters.insert(key.clone(), count);
+        }
+        for (key, hist) in object_field(v, "histograms")? {
+            report
+                .histograms
+                .insert(key.clone(), Histogram::from_value(hist)?);
+        }
+        let budget = v
+            .get("budget")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"budget\" array")?;
+        for draw in budget {
+            report.budget.push(BudgetDraw::from_value(draw)?);
+        }
+        // Absent in reports serialized before the speedup section existed.
+        if let Some(speedup) = v.get("speedup") {
+            for (key, factor) in speedup.as_object().ok_or("\"speedup\" is not an object")? {
+                let factor = factor
+                    .as_f64()
+                    .ok_or_else(|| format!("speedup {key:?}: expected a number"))?;
+                report.speedup.insert(key.clone(), factor);
+            }
+        }
+        Ok(report)
     }
 
     /// Renders the report as an aligned text table (the shared renderer
@@ -561,7 +738,7 @@ mod tests {
     }
 
     #[test]
-    fn report_round_trips_through_serde_json() {
+    fn report_round_trips_through_json() {
         let mut r = RunReport::default();
         r.counters.insert("bp.iterations".into(), 42);
         r.spans.entry("run/fit".into()).or_default().record(12_345);
@@ -580,6 +757,25 @@ mod tests {
         assert_eq!(r, back);
         let back_pretty = RunReport::from_json(&r.to_json_pretty()).expect("round trip");
         assert_eq!(r, back_pretty);
+    }
+
+    #[test]
+    fn from_json_defaults_missing_speedup_and_rejects_malformed_input() {
+        // Reports serialized before the speedup section existed.
+        let legacy = r#"{"spans":{},"counters":{"c":1},"histograms":{},"budget":[]}"#;
+        let report = RunReport::from_json(legacy).expect("legacy shape parses");
+        assert_eq!(report.counter("c"), 1);
+        assert!(report.speedup.is_empty());
+        // Malformed documents come back as errors, not panics.
+        for bad in [
+            "{ not json",
+            "[]",
+            r#"{"spans":{}}"#,
+            r#"{"spans":{},"counters":{"c":-1},"histograms":{},"budget":[]}"#,
+            r#"{"spans":{},"counters":{},"histograms":{},"budget":[{"mechanism":"m"}]}"#,
+        ] {
+            assert!(RunReport::from_json(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]
@@ -697,9 +893,7 @@ mod tests {
         assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
     }
 
-    /// Serialized key order matches iteration order (sorted). Requires a
-    /// real `serde_json`; fails under the offline stub like the other
-    /// JSON round-trip tests.
+    /// Serialized key order matches iteration order (sorted).
     #[test]
     fn json_encodes_maps_in_sorted_key_order() {
         let mut r = RunReport::default();

@@ -106,6 +106,48 @@ impl JsonValue {
         out
     }
 
+    /// Serializes with two-space indentation (human-diffable form;
+    /// same escaping and number rules as [`JsonValue::to_json`]).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+            scalar_or_empty => scalar_or_empty.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -135,6 +177,12 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
     }
 }
 
@@ -305,6 +353,12 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                // RFC 8259: control characters must arrive escaped, so a
+                // raw one is corruption (e.g. a torn or bit-flipped file),
+                // not data.
+                Some(b) if b < 0x20 => {
+                    return Err(format!("unescaped control character at byte {}", self.pos));
+                }
                 Some(_) => {
                     // Consume one full UTF-8 code point.
                     let rest = &self.bytes[self.pos..];
@@ -353,6 +407,16 @@ mod tests {
     }
 
     #[test]
+    fn pretty_form_parses_back_to_the_same_value() {
+        let value = JsonValue::parse(r#"{"a":[1,2.5,null,true],"b":{},"c":[],"d":"x"}"#).unwrap();
+        let pretty = value.to_json_pretty();
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), value);
+        assert!(pretty.contains("{\n"), "objects indent:\n{pretty}");
+        assert!(pretty.contains("\"b\": {}"), "empty object stays inline");
+        assert!(pretty.contains("\"c\": []"), "empty array stays inline");
+    }
+
+    #[test]
     fn integral_floats_print_without_fraction() {
         let mut out = String::new();
         write_f64(42.0, &mut out);
@@ -390,6 +454,9 @@ mod tests {
         assert!(JsonValue::parse("[1,]").is_err());
         assert!(JsonValue::parse("{} extra").is_err());
         assert!(JsonValue::parse("\"open").is_err());
+        // Raw control characters inside strings are corruption; the
+        // writer always escapes them (`escapes_round_trip` above).
+        assert!(JsonValue::parse("\"nul\u{0}!!\"").is_err());
     }
 
     #[test]

@@ -207,13 +207,9 @@ fn malformed_snapshot_json_is_a_typed_error() {
     let snap = GraphSnapshot::capture(&data.graph);
     let mut chaos = Chaos::new(3);
     // A syntactically valid JSON document of the right shape...
-    let Ok(json) = snap.to_json() else {
-        // Serialization backend unavailable in this build: from_json on
-        // garbage must still be a typed error, not a panic.
-        let err = GraphSnapshot::from_json("{ not json").unwrap_err();
-        assert_structured(&err, "garbage json");
-        return;
-    };
+    let json = snap.to_json().expect("snapshot encoding is infallible");
+    let err = GraphSnapshot::from_json("{ not json").unwrap_err();
+    assert_structured(&err, "garbage json");
     // ...mangled three different ways must come back as errors.
     for _ in 0..3 {
         let bad = chaos.malform_json(&json);

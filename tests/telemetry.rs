@@ -7,11 +7,11 @@ use ppdp::datagen::social::caltech_like;
 use ppdp::prelude::*;
 use ppdp::telemetry::RunReport;
 
-/// serde_json round trip must be lossless for every section of the report.
+/// JSON round trip must be lossless for every section of the report.
 fn round_trips(report: &RunReport) -> RunReport {
     let json = report.to_json();
     let back = RunReport::from_json(&json).expect("report deserializes");
-    assert_eq!(&back, report, "serde_json round trip must be lossless");
+    assert_eq!(&back, report, "JSON round trip must be lossless");
     back
 }
 
