@@ -148,23 +148,38 @@ rm -f bench_pr4_metrics.om
 # run must complete, self-scrape a valid OpenMetrics payload containing
 # the BP progress gauge and per-span allocation series, and produce
 # RSS/allocation columns; its JSON must then diff clean against itself
-# (exercises the memory metric class end-to-end).
+# with the wall-time class armed at 1.5× (exercises the wall and memory
+# metric classes end-to-end, so a stored-baseline BENCH_SCALE diff
+# regression fails loudly rather than skipping the wall axis).
 echo "==> bench_scale scrape + resource-accounting gate (ci profile)"
 cargo run -q --release -p ppdp-bench --bin bench_scale -- \
   --profile ci --out BENCH_SCALE.ci.json
 cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
-  diff BENCH_SCALE.ci.json BENCH_SCALE.ci.json
+  diff --wall-ratio 1.5 BENCH_SCALE.ci.json BENCH_SCALE.ci.json
 rm -f BENCH_SCALE.ci.json
 
 # Paper-extreme scale gate: the 10⁶-node graph row and the 10⁵-SNP genome
 # row (both message domains) must complete within a 3 GiB peak-RSS budget,
-# the log-domain row must converge with zero underflow repairs, and it
-# must not need more sweeps than the linear row. The checked-in
+# the log-domain row must converge with zero underflow repairs, it must
+# not need more sweeps than the linear row, and the blocked kernels must
+# beat the in-run scalar rows (the pre-blocking kernels) by ≥ 1.5× wall
+# time on the genome_log and 10⁶-node graph rows. The checked-in
 # BENCH_SCALE.json baseline is left untouched.
-echo "==> bench_scale 10⁶-node gate (gate profile, 3 GiB RSS budget)"
+echo "==> bench_scale 10⁶-node gate (gate profile, 3 GiB RSS, ≥1.5× blocked)"
 cargo run -q --release -p ppdp-bench --bin bench_scale -- \
-  --profile gate --out BENCH_SCALE.gate.json --max-peak-rss-bytes 3221225472
+  --profile gate --out BENCH_SCALE.gate.json \
+  --max-peak-rss-bytes 3221225472 --min-speedup 1.5
 rm -f BENCH_SCALE.gate.json
+
+# Kernel hot-loop idiom lint: the blocked BP kernels must stay on
+# iterator/chunks_exact form — indexed `for i in 0..N` inner loops defeat
+# the bounds-check elision LLVM needs to vectorize them.
+echo "==> kernel vectorization lint (no indexed inner loops)"
+if grep -nE 'for [A-Za-z_]+ in 0\.\.[0-9]' crates/genomic/src/kernels.rs; then
+  echo "FAIL: indexed inner loop in crates/genomic/src/kernels.rs —"
+  echo "      use iterators / chunks_exact so the loop vectorizes."
+  exit 1
+fi
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

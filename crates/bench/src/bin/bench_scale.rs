@@ -6,12 +6,17 @@
 //! the baseline every later PR must beat. For each size in the selected
 //! profile it
 //!
-//! 1. generates the synthetic dataset (GWAS catalog + genotype panel, or
-//!    a Table-3.3-shaped social graph scaled up),
+//! 1. generates the synthetic dataset once (GWAS catalog + genotype
+//!    panel, or a Table-3.3-shaped social graph scaled up),
 //! 2. runs the paper's inference kernel on it (sum-product BP for
-//!    genomes; Gibbs-sampling collective classification for graphs),
-//! 3. records wall time, RSS / peak RSS (`/proc/self/status`), and exact
-//!    allocation deltas from the instrumented global allocator,
+//!    genomes; Gibbs-sampling collective classification for graphs)
+//!    across the kernel-variant × threads grid — the `scalar` baseline at
+//!    one thread, the cache-blocked `blocked` kernels at 1/4/8 threads —
+//! 3. records wall time, RSS / peak RSS (`/proc/self/status`), exact
+//!    allocation deltas from the instrumented global allocator, and a
+//!    content digest of the inference artifact (marginals / label
+//!    distributions) so cross-thread bitwise identity is checkable from
+//!    the JSON alone,
 //!
 //! writing the trajectory to `BENCH_SCALE.json` at the workspace root
 //! (`ppdp-report diff` understands the file; see the `memory` metric
@@ -23,23 +28,33 @@
 //! observability layer.
 //!
 //! Usage: `bench_scale [--profile ci|paper|gate] [--out <path>]
-//! [--max-peak-rss-bytes <n>]`. The `ci` profile keeps CI wall time low;
-//! `paper` sweeps to the full sizes (10⁵ SNPs, 10⁶ graph nodes) and is
-//! what generates the checked-in baseline; `gate` runs only the extreme
-//! sizes under an optional peak-RSS budget (the ci.sh scale gate).
+//! [--max-peak-rss-bytes <n>] [--min-speedup <x>]`. The `ci` profile
+//! keeps CI wall time low; `paper` sweeps to the full sizes (10⁵ SNPs,
+//! 10⁶ graph nodes) and is what generates the checked-in baseline;
+//! `gate` runs only the extreme sizes under an optional peak-RSS budget
+//! (the ci.sh scale gate). `--min-speedup` demands that the fastest
+//! blocked row beat the single-thread scalar row by at least the given
+//! ratio on the largest `genome_log` and `graph` sizes — the scalar row
+//! *is* the pre-blocking kernel, so the ratio gates the blocked/
+//! vectorized path against the old baseline on the same machine and
+//! dataset, with no wall-clock portability assumptions.
+//!
 //! Genome sizes run under both message domains (`genome` rows are the
 //! linear kernel, `genome_log` rows the log-sum-exp kernel). The harness
 //! fails if a log row converges slower than its linear sibling, fails to
 //! converge, or reports any `bp.renormalized` underflow repairs — at
-//! paper scale the catalog's degree-2000 hub trait underflows the linear
+//! paper scale the catalog's degree-2000 hub traits underflow the linear
 //! kernel (visible in the `renormalized` column), and the log kernel is
-//! the row that must stay exact. `PPDP_THREADS` selects the execution
-//! policy as usual.
+//! the row that must stay exact. Rows of the same dataset and variant
+//! must agree digest-for-digest across thread counts, and the linear
+//! `blocked` rows must reproduce the `scalar` digest bit-for-bit.
 
-use ppdp::classify::{gibbs_run, GibbsConfig, LabeledGraph};
+use ppdp::classify::{gibbs_run, GibbsConfig, GibbsSweep, LabeledGraph};
 use ppdp::datagen::social::{generate, SocialConfig};
 use ppdp::exec::ExecPolicy;
-use ppdp::genomic::{BpConfig, Evidence, FactorGraph, Genotype, MessageDomain, SnpId, TraitId};
+use ppdp::genomic::{
+    BpConfig, Evidence, FactorGraph, Genotype, KernelVariant, MessageDomain, SnpId, TraitId,
+};
 use ppdp::metrics::alloc::CountingAlloc;
 use ppdp::metrics::{http, LiveMetrics};
 use rand::Rng;
@@ -52,12 +67,44 @@ use std::time::Instant;
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// Catalogued associations per trait are capped here, mirroring real
+/// panels where most of a 10⁵-locus array carries no association for any
+/// given trait; past the cap the *trait list* grows instead
+/// (`scaled_catalog`), so the factor count keeps scaling with the pool.
+/// The cap also bounds the trait-side message product (quadratic in trait
+/// degree). Recorded in every genome row as `assoc_cap`.
+const ASSOC_CAP: usize = 2_000;
+
+/// Unknown users per Jacobi tile in the blocked Gibbs rows: 4 096 users'
+/// labels, cached weights and draws stay L2-resident.
+const GIBBS_TILE: usize = 4_096;
+
+/// The kernel-variant × threads grid every dataset is swept under.
+const GRID: [(&str, usize); 4] = [
+    ("scalar", 1),
+    ("blocked", 1),
+    ("blocked", 4),
+    ("blocked", 8),
+];
+
 /// One measured sweep point.
 struct Row {
     kind: &'static str,
     size: usize,
     /// Factor count (genomes) or edge count (graphs).
     structure: usize,
+    /// Kernel variant: `scalar` (the pre-blocking baseline) or `blocked`.
+    variant: &'static str,
+    /// Worker threads the inference ran under (dataset generation is
+    /// shared across the grid and always sequential).
+    threads: usize,
+    /// Tile size for blocked rows (0 for scalar rows).
+    tile: usize,
+    /// Per-trait association cap behind `structure` (0 for graph rows).
+    assoc_cap: usize,
+    /// FNV-1a over the inference artifact's f64 bits: equal digests mean
+    /// bitwise-identical marginals / label distributions.
+    digest: String,
     gen_wall_ns: u128,
     wall_ns: u128,
     /// BP sweeps or Gibbs sweeps actually performed.
@@ -86,44 +133,65 @@ fn alloc_totals() -> (u64, u64, u64) {
         .unwrap_or((0, 0, 0))
 }
 
-fn genome_row(n_snps: usize, exec: ExecPolicy, domain: MessageDomain) -> Row {
+/// FNV-1a 64 over a stream of f64 bit patterns.
+fn fnv1a(h: &mut u64, x: f64) {
+    for b in x.to_bits().to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn exec_for(threads: usize) -> ExecPolicy {
+    if threads <= 1 {
+        ExecPolicy::Sequential
+    } else {
+        ExecPolicy::parallel(threads)
+    }
+}
+
+/// One BP run over a pre-built factor graph; the dataset is shared by the
+/// whole variant × threads grid, so rows differ only in the kernel path.
+fn genome_row(
+    graph: &FactorGraph,
+    n_snps: usize,
+    structure: usize,
+    gen_wall_ns: u128,
+    domain: MessageDomain,
+    variant: &'static str,
+    threads: usize,
+) -> Row {
     let _span = ppdp::telemetry::span("scale.genome");
     let (bytes0, count0, _) = alloc_totals();
-    let gen_start = Instant::now();
-    // The SNP pool scales; catalogued associations per trait are capped
-    // at 2 000, mirroring real panels where most of a 10⁵-locus array
-    // carries no association for any given trait. The cap also keeps the
-    // trait-side message product (quadratic in trait degree) from
-    // dominating the sweep: the scaled dimensions are the per-SNP
-    // marginal extraction and the O(n) graph state.
-    let assoc_per_trait = (n_snps / 10).min(2_000);
-    let catalog = ppdp::datagen::gwas::synthetic_catalog(n_snps, assoc_per_trait, 2, 7);
-    let evidence = Evidence::none()
-        .with_snp(SnpId(0), Genotype::HomRisk)
-        .with_snp(SnpId(5), Genotype::Het)
-        .with_trait(TraitId(2), true);
-    let graph = match FactorGraph::build(&catalog, &evidence) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("bench_scale: factor graph build failed at {n_snps} SNPs: {e}");
-            std::process::exit(1);
-        }
+    let kernel = match variant {
+        "scalar" => KernelVariant::Scalar,
+        _ => KernelVariant::Blocked,
     };
-    let gen_wall_ns = gen_start.elapsed().as_nanos();
-    let n_factors = 7 * assoc_per_trait;
-
     let recorder = ppdp::telemetry::Recorder::new();
     let scope = recorder.enter();
     let start = Instant::now();
     let bp = BpConfig {
-        exec,
+        exec: exec_for(threads),
         domain,
+        variant: kernel,
         ..Default::default()
     }
-    .run(&graph);
+    .run(graph);
     let wall_ns = start.elapsed().as_nanos();
     drop(scope);
     let renormalized = recorder.take().counter("bp.renormalized");
+    let mut h = FNV_OFFSET;
+    for m in &bp.snp_marginals {
+        for &p in m {
+            fnv1a(&mut h, p);
+        }
+    }
+    for m in &bp.trait_marginals {
+        for &p in m {
+            fnv1a(&mut h, p);
+        }
+    }
     let (bytes1, count1, peak_live) = alloc_totals();
     let (rss, peak_rss) = resource();
     Row {
@@ -132,7 +200,16 @@ fn genome_row(n_snps: usize, exec: ExecPolicy, domain: MessageDomain) -> Row {
             MessageDomain::Log => "genome_log",
         },
         size: n_snps,
-        structure: n_factors,
+        structure,
+        variant,
+        threads,
+        tile: if kernel == KernelVariant::Blocked {
+            4096
+        } else {
+            0
+        },
+        assoc_cap: ASSOC_CAP,
+        digest: format!("{h:016x}"),
         gen_wall_ns,
         wall_ns,
         work_units: bp.iterations,
@@ -146,9 +223,14 @@ fn genome_row(n_snps: usize, exec: ExecPolicy, domain: MessageDomain) -> Row {
     }
 }
 
-fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
-    let _span = ppdp::telemetry::span("scale.graph");
-    let (bytes0, count0, _) = alloc_totals();
+/// Pre-built graph dataset shared by the Gibbs grid at one size.
+struct GraphData {
+    data: ppdp::datagen::social::SocialDataset,
+    known: Vec<bool>,
+    gen_wall_ns: u128,
+}
+
+fn graph_dataset(nodes: usize) -> GraphData {
     let gen_start = Instant::now();
     // Caltech-shaped attributes scaled up; edges ≈ 8·|V| keeps the mean
     // degree in the band of the paper's datasets at any size.
@@ -172,9 +254,27 @@ fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
     let known: Vec<bool> = (0..data.graph.user_count())
         .map(|_| rng.gen_bool(0.7))
         .collect();
-    let lg = LabeledGraph::new(&data.graph, data.privacy_cat, known);
-    let local = ppdp::classify::LocalKind::Bayes.fit(&lg);
     let gen_wall_ns = gen_start.elapsed().as_nanos();
+    GraphData {
+        data,
+        known,
+        gen_wall_ns,
+    }
+}
+
+fn graph_row(gd: &GraphData, nodes: usize, variant: &'static str, threads: usize) -> Row {
+    let _span = ppdp::telemetry::span("scale.graph");
+    let (bytes0, count0, _) = alloc_totals();
+    let lg = LabeledGraph::new(&gd.data.graph, gd.data.privacy_cat, gd.known.clone());
+    let local = ppdp::classify::LocalKind::Bayes.fit(&lg);
+    // The scalar row *is* the pre-blocking kernel: the historical scan
+    // schedule with the historical per-edge `masked_weight` recomputation
+    // (no weight cache), so the speedup ratio charges the blocked rows
+    // for everything this PR's scheduling work bought.
+    let sweep = match variant {
+        "scalar" => GibbsSweep::Scan,
+        _ => GibbsSweep::Tiled { tile: GIBBS_TILE },
+    };
 
     let start = Instant::now();
     // Short chains: the sweep cost (not the estimate quality) is what a
@@ -186,7 +286,9 @@ fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
         GibbsConfig {
             burn_in: 5,
             samples: 20,
-            exec,
+            exec: exec_for(threads),
+            sweep,
+            weight_cache: variant != "scalar",
             ..Default::default()
         },
     ) {
@@ -197,13 +299,27 @@ fn graph_row(nodes: usize, exec: ExecPolicy) -> Row {
         }
     };
     let wall_ns = start.elapsed().as_nanos();
+    let mut h = FNV_OFFSET;
+    for d in &out.dists {
+        for &p in d {
+            fnv1a(&mut h, p);
+        }
+    }
     let (bytes1, count1, peak_live) = alloc_totals();
     let (rss, peak_rss) = resource();
     Row {
         kind: "graph",
         size: nodes,
-        structure: edges,
-        gen_wall_ns,
+        structure: 8 * nodes,
+        variant,
+        threads,
+        tile: match sweep {
+            GibbsSweep::Tiled { tile } => tile,
+            GibbsSweep::Scan => 0,
+        },
+        assoc_cap: 0,
+        digest: format!("{h:016x}"),
+        gen_wall_ns: gd.gen_wall_ns,
         wall_ns,
         work_units: out.sweeps,
         converged: !out.degraded,
@@ -251,7 +367,9 @@ fn self_scrape(addr: &std::net::SocketAddr) -> ScrapeProbe {
 
 fn row_json(r: &Row) -> String {
     format!(
-        "    {{\"kind\": \"{}\", \"size\": {}, \"structure\": {}, \"gen_wall_ns\": {}, \
+        "    {{\"kind\": \"{}\", \"size\": {}, \"structure\": {}, \"variant\": \"{}\", \
+         \"threads\": {}, \"tile\": {}, \"assoc_cap\": {}, \"digest\": \"{}\", \
+         \"gen_wall_ns\": {}, \
          \"wall_ns\": {}, \"work_units\": {}, \"converged\": {}, \"renormalized\": {}, \
          \"rss_bytes\": {}, \
          \"peak_rss_bytes\": {}, \"alloc_bytes\": {}, \"alloc_count\": {}, \
@@ -259,6 +377,11 @@ fn row_json(r: &Row) -> String {
         r.kind,
         r.size,
         r.structure,
+        r.variant,
+        r.threads,
+        r.tile,
+        r.assoc_cap,
+        r.digest,
         r.gen_wall_ns,
         r.wall_ns,
         r.work_units,
@@ -276,6 +399,7 @@ fn main() {
     let mut profile = String::from("ci");
     let mut out_path: Option<String> = None;
     let mut max_peak_rss: Option<u64> = None;
+    let mut min_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -293,6 +417,18 @@ fn main() {
                     usage(&format!("--max-peak-rss-bytes: bad byte count {v}"))
                 }));
             }
+            "--min-speedup" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--min-speedup needs a ratio"));
+                let parsed: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("--min-speedup: bad ratio {v}")));
+                if !(parsed.is_finite() && parsed >= 1.0) {
+                    usage(&format!("--min-speedup: ratio must be ≥ 1, got {v}"));
+                }
+                min_speedup = Some(parsed);
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -304,13 +440,12 @@ fn main() {
         ),
         // CI regression gate at the paper's extreme sizes only: the
         // 10⁵-SNP genome (both message domains) and the 10⁶-node graph,
-        // typically bounded by --max-peak-rss-bytes.
+        // typically bounded by --max-peak-rss-bytes and --min-speedup.
         "gate" => (&[100_000], &[1_000_000]),
         other => usage(&format!("unknown profile {other} (want ci|paper|gate)")),
     };
     let out_path = out_path
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SCALE.json").into());
-    let exec = ExecPolicy::from_env();
 
     // Live observability for the whole run: registry + heartbeat +
     // ephemeral scrape port. Headless consumers can additionally set
@@ -327,28 +462,62 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut probe: Option<ScrapeProbe> = None;
     for &n in genome_sizes {
+        eprintln!("bench_scale: generating {n}-SNP catalog …");
+        let gen_start = Instant::now();
+        let catalog = ppdp::datagen::gwas::scaled_catalog(n, ASSOC_CAP, 2, 7);
+        let evidence = Evidence::none()
+            .with_snp(SnpId(0), Genotype::HomRisk)
+            .with_snp(SnpId(5), Genotype::Het)
+            .with_trait(TraitId(2), true);
+        let graph = match FactorGraph::build(&catalog, &evidence) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("bench_scale: factor graph build failed at {n} SNPs: {e}");
+                std::process::exit(1);
+            }
+        };
+        let structure = catalog.associations().len();
+        let gen_wall_ns = gen_start.elapsed().as_nanos();
         for domain in [MessageDomain::Linear, MessageDomain::Log] {
-            eprintln!("bench_scale: genome sweep at {n} SNPs ({domain:?}) …");
-            rows.push(genome_row(n, exec, domain));
-            if probe.is_none() {
-                // Mid-run on purpose: the registry must already carry the
-                // BP round gauge and span attribution while work continues.
-                probe = Some(self_scrape(&addr));
+            for (variant, threads) in GRID {
+                eprintln!(
+                    "bench_scale: genome sweep at {n} SNPs ({domain:?}, {variant}@{threads}) …"
+                );
+                rows.push(genome_row(
+                    &graph,
+                    n,
+                    structure,
+                    gen_wall_ns,
+                    domain,
+                    variant,
+                    threads,
+                ));
+                if probe.is_none() {
+                    // Mid-run on purpose: the registry must already carry
+                    // the BP round gauge and span attribution while work
+                    // continues.
+                    probe = Some(self_scrape(&addr));
+                }
             }
         }
     }
     for &n in graph_sizes {
-        eprintln!("bench_scale: graph sweep at {n} nodes …");
-        rows.push(graph_row(n, exec));
+        eprintln!("bench_scale: generating {n}-node graph …");
+        let gd = graph_dataset(n);
+        for (variant, threads) in GRID {
+            eprintln!("bench_scale: graph sweep at {n} nodes ({variant}@{threads}) …");
+            rows.push(graph_row(&gd, n, variant, threads));
+        }
     }
     let probe = probe.unwrap_or_else(|| usage("profile has no genome sizes"));
     let snap = live.finish();
 
+    let max_threads = GRID.iter().map(|&(_, t)| t).max().unwrap_or(1);
     let json = format!(
-        "{{\n  \"profile\": \"{profile}\",\n  \"threads\": {},\n  \"scrape\": {{\"series\": {}, \
+        "{{\n  \"profile\": \"{profile}\",\n  \"threads\": {max_threads},\n  \
+         \"scrape\": {{\"series\": {}, \
          \"validated\": {}, \"bp_round_gauge\": {}, \"span_alloc_series\": {}}},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
-        exec.threads(),
         probe.series,
         probe.validated,
         probe.bp_round_gauge,
@@ -391,8 +560,44 @@ fn main() {
             }
         }
     }
+    // Determinism gates, checkable from the digests alone: within one
+    // (dataset, variant) group every thread count must produce the same
+    // artifact bit-for-bit, and the *linear* blocked kernel must
+    // reproduce the scalar kernel exactly (the log kernel's lane
+    // reassociation is ≤ 1e-12 but not bitwise; Gibbs Scan and Tiled are
+    // different samplers by construction).
+    for r in &rows {
+        if let Some(first) = rows
+            .iter()
+            .find(|o| (o.kind, o.size, o.variant) == (r.kind, r.size, r.variant))
+        {
+            if first.digest != r.digest {
+                eprintln!(
+                    "GATE FAIL: {} row at {} ({}@{}) digest {} deviates from {} at {} threads \
+                     — thread count changed the artifact",
+                    r.kind, r.size, r.variant, r.threads, r.digest, first.digest, first.threads
+                );
+                failed = true;
+            }
+        }
+    }
+    for r in rows.iter().filter(|r| r.kind == "genome") {
+        if let Some(scalar) = rows
+            .iter()
+            .find(|o| o.kind == r.kind && o.size == r.size && o.variant == "scalar")
+        {
+            if scalar.digest != r.digest {
+                eprintln!(
+                    "GATE FAIL: linear blocked kernel at {} SNPs drifted from scalar \
+                     ({} vs {})",
+                    r.size, r.digest, scalar.digest
+                );
+                failed = true;
+            }
+        }
+    }
     // Kernel-health gates. Sweep counts are NOT required to match across
-    // domains: paper-scale catalogs carry a degree-2000 hub trait whose
+    // domains: paper-scale catalogs carry degree-2000 hub traits whose
     // cavity product underflows the linear kernel, which then burns extra
     // sweeps on per-message underflow repair (the `renormalized` column
     // counts them). The log kernel must instead be repair-free at every
@@ -413,13 +618,54 @@ fn main() {
             );
             failed = true;
         }
-        if let Some(lin) = rows.iter().find(|l| l.kind == "genome" && l.size == r.size) {
+        if let Some(lin) = rows
+            .iter()
+            .find(|l| l.kind == "genome" && l.size == r.size && l.variant == r.variant)
+        {
             if r.work_units > lin.work_units {
                 eprintln!(
                     "GATE FAIL: log kernel needed {} sweeps vs linear {} at {} SNPs",
                     r.work_units, lin.work_units, r.size
                 );
                 failed = true;
+            }
+        }
+    }
+    // Speedup gate: on the largest genome_log and graph datasets, the
+    // fastest blocked row must beat the single-thread scalar row (the
+    // pre-blocking kernel, measured in the same process on the same
+    // dataset) by the requested ratio.
+    if let Some(ratio) = min_speedup {
+        for kind in ["genome_log", "graph"] {
+            let Some(max_size) = rows.iter().filter(|r| r.kind == kind).map(|r| r.size).max()
+            else {
+                continue;
+            };
+            let at = |variant: &str| {
+                rows.iter()
+                    .filter(|r| r.kind == kind && r.size == max_size && r.variant == variant)
+                    .map(|r| r.wall_ns)
+                    .min()
+            };
+            match (at("scalar"), at("blocked")) {
+                (Some(scalar_ns), Some(blocked_ns)) if blocked_ns > 0 => {
+                    let speedup = scalar_ns as f64 / blocked_ns as f64;
+                    eprintln!(
+                        "bench_scale: {kind} at {max_size}: blocked speedup {speedup:.2}× \
+                         (scalar {scalar_ns} ns, best blocked {blocked_ns} ns)"
+                    );
+                    if speedup < ratio {
+                        eprintln!(
+                            "GATE FAIL: {kind} blocked speedup {speedup:.2}× is below the \
+                             required {ratio:.2}×"
+                        );
+                        failed = true;
+                    }
+                }
+                _ => {
+                    eprintln!("GATE FAIL: {kind} rows missing a scalar/blocked pair at {max_size}");
+                    failed = true;
+                }
             }
         }
     }
@@ -437,7 +683,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "bench_scale: {msg}\nusage: bench_scale [--profile ci|paper|gate] \
-         [--out <path>] [--max-peak-rss-bytes <n>]"
+         [--out <path>] [--max-peak-rss-bytes <n>] [--min-speedup <x>]"
     );
     std::process::exit(2)
 }

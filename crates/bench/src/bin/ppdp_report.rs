@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   ppdp-report explain <run.json | trace.jsonl>
-//!   ppdp-report diff [--ignore-wall] [--memory-ratio <x>] <baseline> <candidate>
+//!   ppdp-report diff [--ignore-wall] [--wall-ratio <x>] [--memory-ratio <x>] <baseline> <candidate>
 //!   ppdp-report chrome <trace.jsonl> [--out <path>]
 //!   ppdp-report flame <trace.jsonl>
 //!
@@ -16,7 +16,8 @@
 //!   memory-footprint (RSS / allocation columns, e.g. from
 //!   `BENCH_SCALE.json`), message-count and ε-spend regressions (see
 //!   `ppdp_trace::diff` for the metric classes and thresholds).
-//!   `--memory-ratio <x>` tightens or loosens the memory class alone.
+//!   `--wall-ratio <x>` / `--memory-ratio <x>` tighten or loosen the
+//!   wall-time and memory classes individually.
 //!   Exit status: 0 clean, 1 regressions found.
 //! * `chrome` converts a JSONL trace to Chrome `trace_event` JSON
 //!   (load via `chrome://tracing` or Perfetto); `flame` emits
@@ -43,8 +44,9 @@ fn fail(msg: &str) -> ! {
 
 fn usage() -> ! {
     fail(
-        "usage: ppdp-report explain <file> | diff [--ignore-wall] [--memory-ratio <x>] \
-         <baseline> <candidate> | chrome <trace.jsonl> [--out <path>] | flame <trace.jsonl>",
+        "usage: ppdp-report explain <file> | diff [--ignore-wall] [--wall-ratio <x>] \
+         [--memory-ratio <x>] <baseline> <candidate> | chrome <trace.jsonl> [--out <path>] | \
+         flame <trace.jsonl>",
     );
 }
 
@@ -429,10 +431,17 @@ fn as_diffable(input: Input) -> JsonValue {
     }
 }
 
-fn run_diff(baseline: &str, candidate: &str, ignore_wall: bool, memory_ratio: Option<f64>) -> ! {
+fn run_diff(
+    baseline: &str,
+    candidate: &str,
+    ignore_wall: bool,
+    wall_ratio: Option<f64>,
+    memory_ratio: Option<f64>,
+) -> ! {
     let defaults = diff::DiffThresholds::default();
     let thresholds = diff::DiffThresholds {
         ignore_wall,
+        wall_ratio: wall_ratio.unwrap_or(defaults.wall_ratio),
         memory_ratio: memory_ratio.unwrap_or(defaults.memory_ratio),
         ..defaults
     };
@@ -468,12 +477,17 @@ fn main() {
         ["explain", path] => explain(path),
         ["diff", rest @ ..] => {
             let mut ignore_wall = false;
+            let mut wall_ratio: Option<f64> = None;
             let mut memory_ratio: Option<f64> = None;
             let mut files: Vec<&str> = Vec::new();
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
                 match *arg {
                     "--ignore-wall" => ignore_wall = true,
+                    "--wall-ratio" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x >= 1.0 => wall_ratio = Some(x),
+                        _ => fail("--wall-ratio needs a ratio >= 1.0"),
+                    },
                     "--memory-ratio" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                         Some(x) if x >= 1.0 => memory_ratio = Some(x),
                         _ => fail("--memory-ratio needs a ratio >= 1.0"),
@@ -483,7 +497,9 @@ fn main() {
                 }
             }
             match files.as_slice() {
-                [baseline, candidate] => run_diff(baseline, candidate, ignore_wall, memory_ratio),
+                [baseline, candidate] => {
+                    run_diff(baseline, candidate, ignore_wall, wall_ratio, memory_ratio)
+                }
                 _ => usage(),
             }
         }

@@ -18,6 +18,34 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Sweep schedule inside one chain.
+///
+/// The schedule is part of the sampler's definition, not an execution
+/// detail: `Scan` and `Tiled` are *different* (equally valid) Gibbs
+/// samplers, each bitwise-reproducible across execution policies for a
+/// fixed config. Changing `tile` changes the walk, exactly like changing
+/// the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GibbsSweep {
+    /// Historical in-place scan: one RNG walks every unknown user in
+    /// order, each resample immediately visible to later users in the
+    /// same sweep. Inherently sequential within a chain (parallelism
+    /// comes from running chains concurrently).
+    #[default]
+    Scan,
+    /// Cache-blocked Jacobi sweep: the unknown users are partitioned into
+    /// fixed `tile`-sized ranges; every tile reads the *previous* sweep's
+    /// labels (double-buffered) and draws from its own RNG seeded
+    /// `split_seed(split_seed(chain_seed, round), tile_index)`, so tiles
+    /// are order-independent and run through [`ExecPolicy::par_map`] with
+    /// bitwise-identical results for Sequential vs Parallel{1,2,8}.
+    Tiled {
+        /// Unknown users per tile (≥ 1); sized so a tile's labels,
+        /// weights and conditionals stay L2-resident.
+        tile: usize,
+    },
+}
+
 /// Gibbs-sampler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GibbsConfig {
@@ -36,8 +64,18 @@ pub struct GibbsConfig {
     /// `chains == 1`), so the pooled estimate depends only on the config —
     /// never on the execution policy or thread count.
     pub chains: usize,
-    /// Execution policy for running the independent chains.
+    /// Execution policy for running the independent chains (and, under
+    /// [`GibbsSweep::Tiled`], the tiles inside each chain).
     pub exec: ExecPolicy,
+    /// Within-chain sweep schedule; see [`GibbsSweep`].
+    pub sweep: GibbsSweep,
+    /// Precompute every unknown user's neighbour [`masked_weight`] row
+    /// once per run (the default) instead of recomputing per edge per
+    /// sweep. A pure optimization: the cached values are bitwise the ones
+    /// the recomputation produces, so outcomes and checkpoint keys are
+    /// identical either way. `false` exists for baseline measurement (the
+    /// scale bench's `scalar` rows reproduce the pre-caching kernel).
+    pub weight_cache: bool,
 }
 
 impl Default for GibbsConfig {
@@ -50,6 +88,8 @@ impl Default for GibbsConfig {
             seed: 7,
             chains: 1,
             exec: ExecPolicy::Sequential,
+            sweep: GibbsSweep::Scan,
+            weight_cache: true,
         }
     }
 }
@@ -111,6 +151,11 @@ pub fn gibbs_run(
         .iter()
         .map(|&u| local.predict_dist(&lg.masked_row(u)))
         .collect();
+    let wc = if cfg.weight_cache {
+        WeightCache::build(lg, &unknown, cfg.exec)
+    } else {
+        WeightCache::Passthrough
+    };
 
     let seeds = chain_seeds(&cfg);
     // Live progress across all chains: each chain bumps the
@@ -120,10 +165,108 @@ pub fn gibbs_run(
         "gibbs.sweeps_done",
         (cfg.chains * (cfg.burn_in + cfg.samples)) as f64,
     );
-    let chain_outs = cfg.exec.par_map(seeds.len(), |c| {
-        run_chain(lg, &cfg, &unknown, &pa, seeds[c])
-    });
+    let chain_outs = run_chains(lg, &cfg, &unknown, &pa, &wc, &seeds, 0, seeds.len());
     Ok(pool_chains(lg, &cfg, &chain_outs))
+}
+
+/// Runs the chain range `[start, end)`. `Scan` chains spread across the
+/// execution policy; `Tiled` chains run in order on the coordinator so the
+/// policy's threads work the tiles *inside* each chain instead (nesting
+/// `par_map` would oversubscribe without changing any result).
+#[allow(clippy::too_many_arguments)]
+fn run_chains(
+    lg: &LabeledGraph<'_>,
+    cfg: &GibbsConfig,
+    unknown: &[ppdp_graph::UserId],
+    pa: &[Vec<f64>],
+    wc: &WeightCache,
+    seeds: &[u64],
+    start: usize,
+    end: usize,
+) -> Vec<ChainOut> {
+    match cfg.sweep {
+        GibbsSweep::Scan => cfg.exec.par_map(end - start, |i| {
+            run_chain(lg, cfg, unknown, pa, wc, seeds[start + i])
+        }),
+        GibbsSweep::Tiled { .. } => (start..end)
+            .map(|c| run_chain(lg, cfg, unknown, pa, wc, seeds[c]))
+            .collect(),
+    }
+}
+
+/// CSR arena of [`masked_weight`] values for every unknown user's
+/// neighbour list, row `i` aligned element-for-element with
+/// `lg.graph.neighbors(unknown[i])`.
+///
+/// `masked_weight` is a pure function of the published attribute table, so
+/// the weights are identical for every sweep of every chain — the sampler
+/// historically recomputed them per edge *per sweep*, an O(degree ×
+/// attributes) inner cost that dominated the 10⁶-node rows. Building the
+/// cache once and streaming `f64` lanes from a flat arena leaves the sweep
+/// loop with a pure gather, and because the cached values are bitwise the
+/// same ones the recomputation produced, every walk is unchanged.
+///
+/// [`WeightCache::Passthrough`] keeps the historical per-edge-per-sweep
+/// recomputation alive as a measurable baseline
+/// ([`GibbsConfig::weight_cache`] = `false`): `row_into` computes the same
+/// weights into the caller's scratch, so the two modes are bitwise
+/// interchangeable and differ only in where the O(degree × attributes)
+/// cost is paid.
+enum WeightCache {
+    Cached { off: Vec<usize>, w: Vec<f64> },
+    Passthrough,
+}
+
+impl WeightCache {
+    fn build(lg: &LabeledGraph<'_>, unknown: &[ppdp_graph::UserId], exec: ExecPolicy) -> Self {
+        let _span = ppdp_telemetry::span("gibbs.weight_cache");
+        // Rows are independent pure computations collected in index order,
+        // so a parallel build is bitwise-identical to a sequential one.
+        let rows: Vec<Vec<f64>> = exec.par_map(unknown.len(), |i| {
+            let u = unknown[i];
+            lg.graph
+                .neighbors(u)
+                .iter()
+                .map(|&j| masked_weight(lg, u, j))
+                .collect()
+        });
+        let mut off = Vec::with_capacity(unknown.len() + 1);
+        off.push(0usize);
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut w = Vec::with_capacity(total);
+        for row in &rows {
+            w.extend_from_slice(row);
+            off.push(w.len());
+        }
+        ppdp_metrics::counter("gibbs.cached_weights", w.len() as u64);
+        Self::Cached { off, w }
+    }
+
+    /// The `masked_weight` row for `unknown[i]` — a gather from the arena
+    /// when cached, a fresh per-edge recomputation into `scratch` when
+    /// passing through. Both return the identical `f64` lanes.
+    #[inline]
+    fn row_into<'a>(
+        &'a self,
+        lg: &LabeledGraph<'_>,
+        u: ppdp_graph::UserId,
+        i: usize,
+        scratch: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        match self {
+            Self::Cached { off, w } => &w[off[i]..off[i + 1]],
+            Self::Passthrough => {
+                scratch.clear();
+                scratch.extend(
+                    lg.graph
+                        .neighbors(u)
+                        .iter()
+                        .map(|&j| masked_weight(lg, u, j)),
+                );
+                scratch
+            }
+        }
+    }
 }
 
 fn validate(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: &GibbsConfig) -> Result<()> {
@@ -140,6 +283,9 @@ fn validate(lg: &LabeledGraph<'_>, local: &dyn LocalClassifier, cfg: &GibbsConfi
             cfg.alpha, cfg.beta
         ),
     )?;
+    if let GibbsSweep::Tiled { tile } = cfg.sweep {
+        ensure(tile > 0, "tiled sweep needs a tile size of at least one")?;
+    }
     ensure(
         local.n_classes() == lg.n_classes(),
         format!(
@@ -315,7 +461,7 @@ pub fn gibbs_checkpoint_key(
     cfg: &GibbsConfig,
 ) -> CheckpointKey {
     let input = format!(
-        "{:?}|{:?}|{:?}|{}|{}|{}|{}|{}",
+        "{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{:?}",
         lg.graph,
         lg.known,
         lg.label_cat,
@@ -324,6 +470,7 @@ pub fn gibbs_checkpoint_key(
         cfg.burn_in,
         cfg.samples,
         cfg.chains,
+        cfg.sweep,
     );
     CheckpointKey::new(
         format!("gibbs/{run_label}"),
@@ -358,6 +505,11 @@ pub fn gibbs_run_resumable(
         .iter()
         .map(|&u| local.predict_dist(&lg.masked_row(u)))
         .collect();
+    let wc = if cfg.weight_cache {
+        WeightCache::build(lg, &unknown, cfg.exec)
+    } else {
+        WeightCache::Passthrough
+    };
     let seeds = chain_seeds(&cfg);
 
     let key = gibbs_checkpoint_key(run_label, lg, &cfg);
@@ -386,9 +538,7 @@ pub fn gibbs_run_resumable(
     while chain_outs.len() < seeds.len() {
         let start = chain_outs.len();
         let end = (start + batch).min(seeds.len());
-        let outs = cfg.exec.par_map(end - start, |i| {
-            run_chain(lg, &cfg, &unknown, &pa, seeds[start + i])
-        });
+        let outs = run_chains(lg, &cfg, &unknown, &pa, &wc, &seeds, start, end);
         for out in &outs {
             ckpt.push(out);
         }
@@ -419,21 +569,91 @@ fn run_chain(
     cfg: &GibbsConfig,
     unknown: &[ppdp_graph::UserId],
     pa: &[Vec<f64>],
+    wc: &WeightCache,
     seed: u64,
 ) -> ChainOut {
-    let n_classes = lg.n_classes();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut repairs = 0usize;
+    match cfg.sweep {
+        GibbsSweep::Scan => run_chain_scan(lg, cfg, unknown, pa, wc, seed),
+        GibbsSweep::Tiled { tile } => run_chain_tiled(lg, cfg, unknown, pa, wc, seed, tile),
+    }
+}
 
-    // Hard label state: known users fixed, unknowns bootstrapped from P_A.
+/// Bootstrap hard labels: known users fixed, unknowns drawn from P_A.
+fn bootstrap_labels<R: Rng>(
+    lg: &LabeledGraph<'_>,
+    unknown: &[ppdp_graph::UserId],
+    pa: &[Vec<f64>],
+    rng: &mut R,
+    repairs: &mut usize,
+) -> Vec<u16> {
     let mut label: Vec<u16> = lg
         .graph
         .users()
         .map(|u| lg.true_label(u).filter(|_| lg.known[u.0]).unwrap_or(0))
         .collect();
     for (&u, d) in unknown.iter().zip(pa) {
-        label[u.0] = sample_from(&mut rng, d, &mut repairs);
+        label[u.0] = sample_from(rng, d, repairs);
     }
+    label
+}
+
+/// Combined conditional `α·P_A + β·P_L` for one user, written into the
+/// caller's scratch. `wrow` holds the cached `masked_weight` values for
+/// `ns` in neighbour order, so the accumulation performs the same
+/// additions in the same order as the historical per-edge recomputation —
+/// bitwise-identical, minus the O(attributes) work per edge.
+#[inline]
+fn conditional_into(
+    cond: &mut [f64],
+    cfg: &GibbsConfig,
+    label: &[u16],
+    ns: &[ppdp_graph::UserId],
+    wrow: &[f64],
+    a_dist: &[f64],
+) {
+    let n_classes = cond.len();
+    if ns.is_empty() {
+        cond.copy_from_slice(a_dist);
+    } else {
+        cond.fill(0.0);
+        let mut total_w = 0.0;
+        for (&j, &w) in ns.iter().zip(wrow) {
+            cond[label[j.0] as usize] += w;
+            total_w += w;
+        }
+        if total_w <= 0.0 {
+            cond.fill(0.0);
+            for &j in ns {
+                cond[label[j.0] as usize] += 1.0;
+            }
+            total_w = ns.len() as f64;
+        }
+        for (c, a) in cond.iter_mut().zip(a_dist) {
+            *c = cfg.alpha * a + cfg.beta * (*c / total_w);
+        }
+    }
+    let z: f64 = cond.iter().sum();
+    if z > 0.0 {
+        for c in cond.iter_mut() {
+            *c /= z;
+        }
+    } else {
+        cond.fill(1.0 / n_classes as f64);
+    }
+}
+
+fn run_chain_scan(
+    lg: &LabeledGraph<'_>,
+    cfg: &GibbsConfig,
+    unknown: &[ppdp_graph::UserId],
+    pa: &[Vec<f64>],
+    wc: &WeightCache,
+    seed: u64,
+) -> ChainOut {
+    let n_classes = lg.n_classes();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut repairs = 0usize;
+    let mut label = bootstrap_labels(lg, unknown, pa, &mut rng, &mut repairs);
 
     let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
     let mut label_flips = 0usize;
@@ -444,41 +664,15 @@ fn run_chain(
     // while the inner loop stops allocating (≈ users × sweeps fewer
     // allocations per chain).
     let mut cond = vec![0.0f64; n_classes];
+    let mut wrow = Vec::new();
     for round in 0..(cfg.burn_in + cfg.samples) {
         let mut flips = 0usize;
-        for (&u, a_dist) in unknown.iter().zip(pa) {
+        for (i, (&u, a_dist)) in unknown.iter().zip(pa).enumerate() {
             // Relational conditional from the *current hard labels* of the
             // neighbours (the Gibbs flavour of Eq. 4.3).
             let ns = lg.graph.neighbors(u);
-            if ns.is_empty() {
-                cond.copy_from_slice(a_dist);
-            } else {
-                cond.fill(0.0);
-                let mut total_w = 0.0;
-                for &j in ns {
-                    let w = masked_weight(lg, u, j);
-                    cond[label[j.0] as usize] += w;
-                    total_w += w;
-                }
-                if total_w <= 0.0 {
-                    cond.fill(0.0);
-                    for &j in ns {
-                        cond[label[j.0] as usize] += 1.0;
-                    }
-                    total_w = ns.len() as f64;
-                }
-                for (c, a) in cond.iter_mut().zip(a_dist) {
-                    *c = cfg.alpha * a + cfg.beta * (*c / total_w);
-                }
-            }
-            let z: f64 = cond.iter().sum();
-            if z > 0.0 {
-                for c in &mut cond {
-                    *c /= z;
-                }
-            } else {
-                cond.fill(1.0 / n_classes as f64);
-            }
+            let w = wc.row_into(lg, u, i, &mut wrow);
+            conditional_into(&mut cond, cfg, &label, ns, w, a_dist);
             let resampled = sample_from(&mut rng, &cond, &mut repairs);
             if resampled != label[u.0] {
                 flips += 1;
@@ -490,6 +684,98 @@ fn run_chain(
         // Live-only (registry counters are additive and the gauge's final
         // write is `burn_in + samples` from every chain, so final
         // snapshots stay identical across execution policies).
+        ppdp_metrics::counter("gibbs.sweeps_done", 1);
+        ppdp_metrics::gauge_set("gibbs.sweep", (round + 1) as f64);
+        if round >= cfg.burn_in {
+            for &u in unknown {
+                counts[u.0][label[u.0] as usize] += 1;
+            }
+        }
+    }
+    ChainOut {
+        counts,
+        label_flips,
+        repairs,
+        sweep_flips,
+    }
+}
+
+/// What one tile of one Jacobi sweep contributes, applied by the
+/// coordinator in tile order.
+struct TileOut {
+    new_labels: Vec<u16>,
+    flips: usize,
+    repairs: usize,
+}
+
+fn run_chain_tiled(
+    lg: &LabeledGraph<'_>,
+    cfg: &GibbsConfig,
+    unknown: &[ppdp_graph::UserId],
+    pa: &[Vec<f64>],
+    wc: &WeightCache,
+    seed: u64,
+    tile: usize,
+) -> ChainOut {
+    let n_classes = lg.n_classes();
+    let tile = tile.max(1);
+    let n_tiles = unknown.len().div_ceil(tile);
+    let mut repairs = 0usize;
+    // The bootstrap RNG is only used for the initial draw; every sweep's
+    // randomness comes from per-(round, tile) split seeds, so the walk is
+    // a pure function of (config, seed) regardless of execution policy.
+    let mut boot_rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut label = bootstrap_labels(lg, unknown, pa, &mut boot_rng, &mut repairs);
+    let mut next = label.clone();
+
+    let mut counts: Vec<Vec<usize>> = vec![vec![0; n_classes]; lg.graph.user_count()];
+    let mut label_flips = 0usize;
+    let mut sweep_flips = Vec::with_capacity(cfg.burn_in + cfg.samples);
+    for round in 0..(cfg.burn_in + cfg.samples) {
+        let label_prev = &label;
+        let tile_outs: Vec<TileOut> = cfg.exec.par_map(n_tiles, |t| {
+            let lo = t * tile;
+            let hi = (lo + tile).min(unknown.len());
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(split_seed(split_seed(seed, round as u64), t as u64));
+            let mut cond = vec![0.0f64; n_classes];
+            let mut wrow = Vec::new();
+            let mut new_labels = Vec::with_capacity(hi - lo);
+            let mut flips = 0usize;
+            let mut tile_repairs = 0usize;
+            for i in lo..hi {
+                let u = unknown[i];
+                let ns = lg.graph.neighbors(u);
+                let w = wc.row_into(lg, u, i, &mut wrow);
+                conditional_into(&mut cond, cfg, label_prev, ns, w, &pa[i]);
+                let resampled = sample_from(&mut rng, &cond, &mut tile_repairs);
+                if resampled != label_prev[u.0] {
+                    flips += 1;
+                }
+                new_labels.push(resampled);
+            }
+            TileOut {
+                new_labels,
+                flips,
+                repairs: tile_repairs,
+            }
+        });
+        // Apply in tile order on the coordinator: `next` keeps the known
+        // users' pinned labels and receives every unknown user's draw, so
+        // the swap below makes it the next round's read buffer.
+        let mut flips = 0usize;
+        for (t, out) in tile_outs.iter().enumerate() {
+            let lo = t * tile;
+            for (k, &l) in out.new_labels.iter().enumerate() {
+                next[unknown[lo + k].0] = l;
+            }
+            flips += out.flips;
+            repairs += out.repairs;
+        }
+        std::mem::swap(&mut label, &mut next);
+        label_flips += flips;
+        sweep_flips.push(flips);
+        ppdp_metrics::counter("gibbs.tiles_swept", n_tiles as u64);
         ppdp_metrics::counter("gibbs.sweeps_done", 1);
         ppdp_metrics::gauge_set("gibbs.sweep", (round + 1) as f64);
         if round >= cfg.burn_in {
@@ -656,6 +942,39 @@ mod tests {
         assert_eq!(flips.count, out.sweeps as u64);
         assert!((flips.sum - out.label_flips as f64).abs() < 1e-9);
         assert!(report.span("gibbs.run").is_some());
+    }
+
+    #[test]
+    fn weight_cache_off_reproduces_cached_run_bitwise() {
+        // The cache is a pure optimization: recomputing masked_weight per
+        // edge per sweep (the pre-caching kernel, weight_cache = false)
+        // must walk the exact same chains under both sweep schedules.
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        for sweep in [GibbsSweep::Scan, GibbsSweep::Tiled { tile: 3 }] {
+            let base = GibbsConfig {
+                chains: 2,
+                burn_in: 10,
+                samples: 40,
+                sweep,
+                ..Default::default()
+            };
+            let cached = gibbs_run(&lg, &nb, base).unwrap();
+            let raw = gibbs_run(
+                &lg,
+                &nb,
+                GibbsConfig {
+                    weight_cache: false,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(cached, raw, "sweep = {sweep:?}");
+        }
     }
 
     #[test]
@@ -897,6 +1216,140 @@ mod tests {
         let out = gibbs_run_resumable(&lg, &nb, cfg_b, &store, "run").unwrap();
         assert_eq!(out, reference);
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn tiled_sweep_recovers_clique_labels() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig {
+            sweep: GibbsSweep::Tiled { tile: 2 },
+            ..Default::default()
+        };
+        let dists = gibbs_predict(&lg, &nb, cfg).unwrap();
+        assert!(dists[3][0] > 0.8, "{:?}", dists[3]);
+        assert!(dists[7][1] > 0.8, "{:?}", dists[7]);
+    }
+
+    #[test]
+    fn tiled_sweep_is_bitwise_invariant_across_policies() {
+        // For any fixed tile size, the Jacobi schedule draws per-tile
+        // split-seeded RNGs and applies tiles in order, so Sequential and
+        // Parallel{1,2,8} must agree bitwise — outcome and telemetry.
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        for tile in [1usize, 3, 16] {
+            let base = GibbsConfig {
+                chains: 2,
+                burn_in: 10,
+                samples: 40,
+                sweep: GibbsSweep::Tiled { tile },
+                ..Default::default()
+            };
+            let run = |exec: ExecPolicy| {
+                let rec = ppdp_telemetry::Recorder::new();
+                let out = {
+                    let _scope = rec.enter();
+                    gibbs_run(&lg, &nb, GibbsConfig { exec, ..base }).unwrap()
+                };
+                (out, rec.take())
+            };
+            let (seq_out, seq_rep) = run(ExecPolicy::Sequential);
+            for threads in [1, 2, 8] {
+                let (par_out, par_rep) = run(ExecPolicy::parallel(threads));
+                assert_eq!(seq_out, par_out, "tile = {tile}, threads = {threads}");
+                assert_eq!(
+                    seq_rep.equivalence_view(),
+                    par_rep.equivalence_view(),
+                    "tile = {tile}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_size_is_part_of_the_sampler_definition() {
+        // Different tile sizes seed different per-tile RNG trees: the
+        // walks are distinct samplers (like distinct seeds), and a
+        // checkpoint written under one schedule must never resume another.
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let with = |sweep| GibbsConfig {
+            sweep,
+            ..Default::default()
+        };
+        let a = gibbs_run(&lg, &nb, with(GibbsSweep::Tiled { tile: 1 })).unwrap();
+        let b = gibbs_run(&lg, &nb, with(GibbsSweep::Tiled { tile: 4 })).unwrap();
+        assert_ne!(a.dists, b.dists, "tile size changes the walk");
+        let k_scan = gibbs_checkpoint_key("t", &lg, &with(GibbsSweep::Scan));
+        let k_t1 = gibbs_checkpoint_key("t", &lg, &with(GibbsSweep::Tiled { tile: 1 }));
+        let k_t4 = gibbs_checkpoint_key("t", &lg, &with(GibbsSweep::Tiled { tile: 4 }));
+        assert_ne!(k_scan, k_t1);
+        assert_ne!(k_t1, k_t4);
+    }
+
+    #[test]
+    fn tiled_resumable_run_matches_plain_run_bitwise() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        known[7] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig {
+            chains: 3,
+            burn_in: 5,
+            samples: 20,
+            sweep: GibbsSweep::Tiled { tile: 2 },
+            exec: ExecPolicy::parallel(2),
+            ..Default::default()
+        };
+        let reference = gibbs_run(&lg, &nb, cfg).unwrap();
+        let store = tmpstore("tiled");
+        let out = gibbs_run_resumable(&lg, &nb, cfg, &store, "tiled").unwrap();
+        assert_eq!(out, reference);
+        let key = gibbs_checkpoint_key("tiled", &lg, &cfg);
+        let full: GibbsCheckpoint = store.load(&key).unwrap();
+        assert_eq!(full.chains_done(), 3);
+        // Kill mid-run: keep only the first chain and resume.
+        let truncated = GibbsCheckpoint {
+            counts: full.counts[..1].to_vec(),
+            label_flips: full.label_flips[..1].to_vec(),
+            repairs: full.repairs[..1].to_vec(),
+            sweep_flips: full.sweep_flips[..1].to_vec(),
+        };
+        store.save(&key, &truncated).unwrap();
+        let resumed = gibbs_run_resumable(&lg, &nb, cfg, &store, "tiled").unwrap();
+        assert_eq!(resumed, reference, "resume after one chain");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn zero_tile_is_a_typed_error() {
+        let g = two_cliques();
+        let mut known = vec![true; 8];
+        known[3] = false;
+        let lg = LabeledGraph::new(&g, CategoryId(2), known);
+        let nb = NaiveBayes::train(&lg.train_set());
+        let cfg = GibbsConfig {
+            sweep: GibbsSweep::Tiled { tile: 0 },
+            ..Default::default()
+        };
+        let err = gibbs_run(&lg, &nb, cfg).unwrap_err();
+        assert_eq!(err.kind(), "invalid_input");
+        assert!(err.to_string().contains("tile"), "{err}");
     }
 
     #[test]

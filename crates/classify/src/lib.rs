@@ -24,7 +24,7 @@ pub use dataset::{LabeledGraph, TrainSet};
 pub use eval::{accuracy, run_attack, run_attack_with, AttackModel, LocalKind};
 pub use gibbs::{
     gibbs_checkpoint_key, gibbs_predict, gibbs_run, gibbs_run_resumable, GibbsCheckpoint,
-    GibbsConfig, GibbsOutcome,
+    GibbsConfig, GibbsOutcome, GibbsSweep,
 };
 pub use ica::{ica_predict, ica_run, IcaConfig, IcaOutcome};
 pub use knn::Knn;

@@ -37,7 +37,27 @@ pub fn synthetic_catalog(
         n_traits * assoc_per_trait
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    associate_chain(
+        &mut catalog,
+        n_traits,
+        assoc_per_trait,
+        shared_per_trait,
+        &mut rng,
+    );
+    catalog
+}
 
+/// Chains every trait to its predecessor through a shared SNP prefix and
+/// draws odds ratio / control RAF per association — the body both catalog
+/// builders share (identical RNG draw order, so [`synthetic_catalog`]'s
+/// output is unchanged by the refactor).
+fn associate_chain(
+    catalog: &mut GwasCatalog,
+    n_traits: usize,
+    assoc_per_trait: usize,
+    shared_per_trait: usize,
+    rng: &mut ChaCha8Rng,
+) {
     let mut next_free = 0usize;
     let mut prev_snps: Vec<SnpId> = Vec::new();
     for t in 0..n_traits {
@@ -56,6 +76,57 @@ pub fn synthetic_catalog(
         }
         prev_snps = snps;
     }
+}
+
+/// A catalog whose structure keeps scaling past the per-trait association
+/// cap. [`synthetic_catalog`] holds the Table 5.3 trait list fixed, so
+/// once `assoc_per_trait` saturates a realistic cap (real panels associate
+/// at most a few thousand loci per trait) the factor count stops growing
+/// with the SNP pool — a 50 000- and a 100 000-locus sweep then exercise
+/// the *same* graph. This builder instead grows the trait list:
+///
+/// * `assoc_per_trait = min(n_snps / 10, cap)` — the historical density,
+///   saturating at `cap`;
+/// * `n_traits = max(7, ⌈0.7·n_snps / cap⌉)` — once the cap binds, extra
+///   synthetic traits keep ≈ 70 % of the pool catalogued, so the factor
+///   count stays proportional to `n_snps` at every size while per-trait
+///   degree (and the quadratic trait-side message product) stays bounded
+///   by `cap`.
+///
+/// Below the cap the parameters coincide with
+/// `synthetic_catalog(n_snps, n_snps / 10, shared, seed)`. The first seven
+/// traits are the Table 5.3 diseases; additional traits get synthetic
+/// names and seeded prevalences in `[0.01, 0.5)`.
+///
+/// # Panics
+/// Panics if the SNP pool is too small for the derived association count
+/// (needs `cap ≤ 0.3·n_snps`, amply true at bench sizes).
+pub fn scaled_catalog(
+    n_snps: usize,
+    cap: usize,
+    shared_per_trait: usize,
+    seed: u64,
+) -> GwasCatalog {
+    let assoc_per_trait = (n_snps / 10).min(cap).max(shared_per_trait + 1);
+    let n_traits = (7 * n_snps).div_ceil(10 * cap).max(7);
+    let mut catalog = GwasCatalog::with_table_5_3_traits(n_snps);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for t in catalog.n_traits()..n_traits {
+        let prevalence = rng.gen_range(0.01..0.5);
+        catalog.add_trait(format!("synthetic_trait_{t}"), prevalence);
+    }
+    assert!(
+        n_traits * assoc_per_trait <= n_snps,
+        "SNP pool too small: {n_snps} loci cannot hold {} associations",
+        n_traits * assoc_per_trait
+    );
+    associate_chain(
+        &mut catalog,
+        n_traits,
+        assoc_per_trait,
+        shared_per_trait,
+        &mut rng,
+    );
     catalog
 }
 
@@ -116,5 +187,44 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn pool_size_checked() {
         synthetic_catalog(10, 5, 1, 1);
+    }
+
+    #[test]
+    fn scaled_catalog_structure_grows_past_the_cap() {
+        // The bench-scale regression this fixes: with the fixed 7-trait
+        // list, 50 000 and 100 000 loci both capped out at 7 × 2 000
+        // factors. The scaled builder must keep structure ∝ pool size.
+        let a = scaled_catalog(50_000, 2_000, 2, 7);
+        let b = scaled_catalog(100_000, 2_000, 2, 7);
+        assert_eq!(a.n_traits(), 18, "⌈0.7·50 000 / 2 000⌉");
+        assert_eq!(b.n_traits(), 35, "⌈0.7·100 000 / 2 000⌉");
+        assert_eq!(a.associations().len(), 18 * 2_000);
+        assert_eq!(b.associations().len(), 35 * 2_000);
+        for t in 0..b.n_traits() {
+            assert_eq!(b.associations_of_trait(TraitId(t)).count(), 2_000);
+        }
+    }
+
+    #[test]
+    fn scaled_catalog_matches_synthetic_below_the_cap() {
+        // Under the cap no extra traits are added and no extra RNG draws
+        // happen, so the scaled builder reproduces the historical catalog
+        // bit-for-bit — earlier bench rows stay comparable.
+        assert_eq!(
+            scaled_catalog(10_000, 2_000, 2, 7),
+            synthetic_catalog(10_000, 1_000, 2, 7)
+        );
+    }
+
+    #[test]
+    fn scaled_catalog_deterministic_per_seed() {
+        assert_eq!(
+            scaled_catalog(60_000, 2_000, 2, 7),
+            scaled_catalog(60_000, 2_000, 2, 7)
+        );
+        assert_ne!(
+            scaled_catalog(60_000, 2_000, 2, 7),
+            scaled_catalog(60_000, 2_000, 2, 8)
+        );
     }
 }

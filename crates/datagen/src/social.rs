@@ -192,9 +192,14 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
         .map(|_| rng.gen_range(0..cfg.utility_arity))
         .collect();
 
-    let mut b = GraphBuilder::new(schema);
+    let mut b = GraphBuilder::with_capacity(schema, cfg.nodes, cfg.edges);
+    // One reused attribute-row scratch: refilled per user, handed to the
+    // builder by slice. Writes exactly the values the historical per-user
+    // `vec![…]` carried, so the dataset is unchanged while generation
+    // drops one allocation per node.
+    let mut row: Vec<Option<u16>> = vec![None; cfg.n_attrs];
     for i in 0..cfg.nodes {
-        let mut row: Vec<Option<u16>> = vec![None; cfg.n_attrs];
+        row.fill(None);
         row[0] = Some(labels[i]);
         row[1] = Some(utilities[i]);
         #[allow(clippy::needless_range_loop)] // `c` is also arithmetic input
@@ -250,7 +255,11 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
     // random edges up to the exact budget.
     let mut order = giant.clone();
     order.shuffle(&mut rng);
-    let mut edge_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    // The dedup set holds every giant-component edge by the end; sizing it
+    // up front avoids the rehash-and-move ladder (~2× the set's final
+    // footprint in transient allocations at 10⁶ nodes).
+    let mut edge_set: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::with_capacity(cfg.edges);
     for (k, &v) in order.iter().enumerate() {
         if k > 0 {
             let u = order[rng.gen_range(0..k)];
@@ -260,8 +269,16 @@ pub fn generate(cfg: &SocialConfig) -> SocialDataset {
         }
     }
 
-    // Bucket giant-component nodes by label for homophilous sampling.
-    let mut by_label: Vec<Vec<usize>> = vec![Vec::new(); cfg.label_arity as usize];
+    // Bucket giant-component nodes by label for homophilous sampling;
+    // counting first sizes each bucket exactly.
+    let mut bucket_sizes = vec![0usize; cfg.label_arity as usize];
+    for &v in &giant {
+        bucket_sizes[labels[v] as usize] += 1;
+    }
+    let mut by_label: Vec<Vec<usize>> = bucket_sizes
+        .iter()
+        .map(|&c| Vec::with_capacity(c))
+        .collect();
     for &v in &giant {
         by_label[labels[v] as usize].push(v);
     }

@@ -266,6 +266,188 @@ impl ExecPolicy {
         }
     }
 
+    /// Two-plane sibling of [`ExecPolicy::par_fill`] for structure-of-
+    /// arrays message arenas: fills `a[i]` and `b[i]` together by
+    /// evaluating `f(i, &mut a[i], &mut b[i])`, scheduling both slices in
+    /// the same cache-sized blocks of `block` elements.
+    ///
+    /// Kernels that split a message record across two planes (e.g. a hot
+    /// SIMD-friendly plane and a cold residual/bookkeeping plane) need to
+    /// write both planes in one pass; zipping the per-block sub-slices
+    /// here keeps that a single round-robin schedule instead of two
+    /// passes with twice the loop and trace overhead. Blocks are dealt
+    /// round-robin exactly as in `par_fill`, item `i` runs inside the
+    /// same `region.item(i)` trace scope under every policy, and a panic
+    /// in `f` is re-raised on the calling thread after all workers join.
+    ///
+    /// # Panics
+    /// Panics if the two slices differ in length.
+    pub fn par_zip_fill<A, B, F>(&self, a: &mut [A], b: &mut [B], block: usize, f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "par_zip_fill plane length mismatch");
+        let n = a.len();
+        let block = block.max(1);
+        let threads = self.threads().min(n.div_ceil(block));
+        let region = ppdp_trace::RegionCtx::capture();
+        if threads <= 1 {
+            for (i, (sa, sb)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                let _item = region.item(i);
+                f(i, sa, sb);
+            }
+            return;
+        }
+        let ctx = ThreadContext::capture();
+        // Same round-robin deal as `par_fill`, with each bucket entry
+        // carrying the zipped pair of disjoint sub-slices.
+        type Bucket2<'s, A, B> = Vec<(usize, &'s mut [A], &'s mut [B])>;
+        let mut buckets: Vec<Bucket2<'_, A, B>> = Vec::with_capacity(threads);
+        buckets.resize_with(threads, Vec::new);
+        for (bi, (ca, cb)) in a.chunks_mut(block).zip(b.chunks_mut(block)).enumerate() {
+            buckets[bi % threads].push((bi * block, ca, cb));
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let mut buckets = buckets.into_iter();
+            let mine = buckets.next().unwrap_or_default();
+            let handles: Vec<_> = buckets
+                .map(|bucket| {
+                    let (ctx, f, region) = (&ctx, &f, &region);
+                    scope.spawn(move || {
+                        ppdp_metrics::register_thread();
+                        ppdp_metrics::counter("exec.workers_spawned", 1);
+                        let _telemetry = ctx.activate();
+                        let _lane = region.worker();
+                        for (start, ca, cb) in bucket {
+                            for (off, (sa, sb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                                let i = start + off;
+                                let _item = region.item(i);
+                                f(i, sa, sb);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (start, ca, cb) in mine {
+                for (off, (sa, sb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    let i = start + off;
+                    let _item = region.item(i);
+                    f(i, sa, sb);
+                }
+            }
+            for handle in handles {
+                if let Err(cause) = handle.join() {
+                    panic = Some(cause);
+                }
+            }
+        });
+        if let Some(cause) = panic {
+            std::panic::resume_unwind(cause);
+        }
+    }
+
+    /// Three-plane sibling of [`ExecPolicy::par_zip_fill`]: fills
+    /// `a[i]`, `b[i]` and `c[i]` together in one blocked schedule. Used
+    /// by kernels whose message record spans three planes (a hot gather
+    /// plane, a cold bookkeeping half, and a probability-space shadow
+    /// that spares the next sweep its `exp` calls).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn par_zip_fill3<A, B, C, F>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        c: &mut [C],
+        block: usize,
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        C: Send,
+        F: Fn(usize, &mut A, &mut B, &mut C) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "par_zip_fill3 plane length mismatch");
+        assert_eq!(a.len(), c.len(), "par_zip_fill3 plane length mismatch");
+        let n = a.len();
+        let block = block.max(1);
+        let threads = self.threads().min(n.div_ceil(block));
+        let region = ppdp_trace::RegionCtx::capture();
+        if threads <= 1 {
+            for (i, ((sa, sb), sc)) in a.iter_mut().zip(b.iter_mut()).zip(c.iter_mut()).enumerate()
+            {
+                let _item = region.item(i);
+                f(i, sa, sb, sc);
+            }
+            return;
+        }
+        let ctx = ThreadContext::capture();
+        // Same round-robin deal as `par_fill`, with each bucket entry
+        // carrying the zipped triple of disjoint sub-slices.
+        type Bucket<'s, A, B, C> = Vec<(usize, &'s mut [A], &'s mut [B], &'s mut [C])>;
+        let mut buckets: Vec<Bucket<'_, A, B, C>> = Vec::with_capacity(threads);
+        buckets.resize_with(threads, Vec::new);
+        for (bi, ((ca, cb), cc)) in a
+            .chunks_mut(block)
+            .zip(b.chunks_mut(block))
+            .zip(c.chunks_mut(block))
+            .enumerate()
+        {
+            buckets[bi % threads].push((bi * block, ca, cb, cc));
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            let mut buckets = buckets.into_iter();
+            let mine = buckets.next().unwrap_or_default();
+            let handles: Vec<_> = buckets
+                .map(|bucket| {
+                    let (ctx, f, region) = (&ctx, &f, &region);
+                    scope.spawn(move || {
+                        ppdp_metrics::register_thread();
+                        ppdp_metrics::counter("exec.workers_spawned", 1);
+                        let _telemetry = ctx.activate();
+                        let _lane = region.worker();
+                        for (start, ca, cb, cc) in bucket {
+                            for (off, ((sa, sb), sc)) in ca
+                                .iter_mut()
+                                .zip(cb.iter_mut())
+                                .zip(cc.iter_mut())
+                                .enumerate()
+                            {
+                                let i = start + off;
+                                let _item = region.item(i);
+                                f(i, sa, sb, sc);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (start, ca, cb, cc) in mine {
+                for (off, ((sa, sb), sc)) in ca
+                    .iter_mut()
+                    .zip(cb.iter_mut())
+                    .zip(cc.iter_mut())
+                    .enumerate()
+                {
+                    let i = start + off;
+                    let _item = region.item(i);
+                    f(i, sa, sb, sc);
+                }
+            }
+            for handle in handles {
+                if let Err(cause) = handle.join() {
+                    panic = Some(cause);
+                }
+            }
+        });
+        if let Some(cause) = panic {
+            std::panic::resume_unwind(cause);
+        }
+    }
+
     /// Records the policy's effective thread count into telemetry under
     /// `exec.threads` (excluded from equivalence comparisons — it is
     /// *supposed* to differ between policies).
@@ -400,6 +582,95 @@ mod tests {
             });
         });
         assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn par_zip_fill_matches_sequential_for_any_thread_and_block_size() {
+        let f = |i: usize, a: &mut u64, b: &mut f64| {
+            *a = (i as u64).wrapping_mul(0x517C_C1B7) ^ 0xA5A5;
+            *b = i as f64 * 1.5 - 3.0;
+        };
+        let (mut sa, mut sb) = (vec![0u64; 257], vec![0.0f64; 257]);
+        ExecPolicy::Sequential.par_zip_fill(&mut sa, &mut sb, 16, f);
+        for threads in [1, 2, 3, 8] {
+            for block in [1, 7, 16, 300] {
+                let (mut pa, mut pb) = (vec![0u64; 257], vec![0.0f64; 257]);
+                ExecPolicy::parallel(threads).par_zip_fill(&mut pa, &mut pb, block, f);
+                assert_eq!(sa, pa, "threads={threads} block={block}");
+                assert_eq!(sb, pb, "threads={threads} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_zip_fill3_matches_sequential_for_any_thread_and_block_size() {
+        let f = |i: usize, a: &mut u64, b: &mut f64, c: &mut i32| {
+            *a = (i as u64).wrapping_mul(0x9E37_79B9) ^ 0x5A5A;
+            *b = i as f64 * -0.25 + 2.0;
+            *c = i as i32 - 128;
+        };
+        let (mut sa, mut sb, mut sc) = (vec![0u64; 257], vec![0.0f64; 257], vec![0i32; 257]);
+        ExecPolicy::Sequential.par_zip_fill3(&mut sa, &mut sb, &mut sc, 16, f);
+        for threads in [1, 2, 3, 8] {
+            for block in [1, 7, 16, 300] {
+                let (mut pa, mut pb, mut pc) =
+                    (vec![0u64; 257], vec![0.0f64; 257], vec![0i32; 257]);
+                ExecPolicy::parallel(threads).par_zip_fill3(&mut pa, &mut pb, &mut pc, block, f);
+                assert_eq!(sa, pa, "threads={threads} block={block}");
+                assert_eq!(sb, pb, "threads={threads} block={block}");
+                assert_eq!(sc, pc, "threads={threads} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plane length mismatch")]
+    fn par_zip_fill3_rejects_mismatched_planes() {
+        let (mut a, mut b, mut c) = (vec![0usize; 3], vec![0usize; 3], vec![0usize; 4]);
+        ExecPolicy::Sequential.par_zip_fill3(&mut a, &mut b, &mut c, 2, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn par_zip_fill_handles_degenerate_sizes() {
+        let p = ExecPolicy::parallel(8);
+        let (mut ea, mut eb): (Vec<usize>, Vec<usize>) = (vec![], vec![]);
+        p.par_zip_fill(&mut ea, &mut eb, 4, |_, _, _| unreachable!());
+        let (mut oa, mut ob) = (vec![0usize], vec![0usize]);
+        p.par_zip_fill(&mut oa, &mut ob, 4, |i, a, b| {
+            *a = i + 9;
+            *b = i + 11;
+        });
+        assert_eq!((oa, ob), (vec![9], vec![11]));
+    }
+
+    #[test]
+    #[should_panic(expected = "plane length mismatch")]
+    fn par_zip_fill_rejects_mismatched_planes() {
+        let (mut a, mut b) = (vec![0usize; 3], vec![0usize; 4]);
+        ExecPolicy::Sequential.par_zip_fill(&mut a, &mut b, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_zip_fill_traces_merge_identically_across_policies() {
+        let run = |policy: ExecPolicy| {
+            let col = ppdp_trace::Collector::new();
+            {
+                let _scope = col.enter();
+                let (mut a, mut b) = (vec![0.0f64; 17], vec![0u64; 17]);
+                policy.par_zip_fill(&mut a, &mut b, 4, |i, sa, sb| {
+                    ppdp_telemetry::counter("trace.zip_fill_item", i as u64);
+                    *sa = i as f64 * 0.5;
+                    *sb = i as u64;
+                });
+            }
+            col.take().equivalence_view()
+        };
+        let seq = run(ExecPolicy::Sequential);
+        for threads in [1, 2, 4, 8] {
+            let par = run(ExecPolicy::parallel(threads));
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        assert!(!seq.records.is_empty());
     }
 
     #[test]

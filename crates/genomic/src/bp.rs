@@ -21,7 +21,7 @@
 //! `degraded.bp.prior_fallback` telemetry event.
 
 use crate::factor_graph::FactorGraph;
-use crate::kernels::{self, BpScratch, MessageDomain};
+use crate::kernels::{self, BpScratch, KernelVariant, MessageDomain};
 use ppdp_exec::ExecPolicy;
 
 /// Minimum factor count (association + kin) before a `Parallel` policy
@@ -57,6 +57,17 @@ pub struct BpConfig {
     /// [`crate::kernels`]). Both iterate the same fixed point and agree
     /// to within the convergence tolerance; both are policy-bitwise.
     pub domain: MessageDomain,
+    /// Inner-loop implementation: [`KernelVariant::Blocked`] (default;
+    /// lane-batched SoA kernels, tiled scheduling) or
+    /// [`KernelVariant::Scalar`] (the historical reference kernels).
+    /// Linear-domain results are bitwise-identical between the two;
+    /// log-domain results agree to ≲1e-12 per lane.
+    pub variant: KernelVariant,
+    /// Cache-tile size (items per scheduling block) for the blocked
+    /// kernels; `None` uses the built-in L2-sized default. Results are
+    /// bitwise-invariant in this knob — it exists for cache tuning and
+    /// for the tile-boundary differential tests.
+    pub tile: Option<usize>,
 }
 
 impl Default for BpConfig {
@@ -68,6 +79,8 @@ impl Default for BpConfig {
             max_restarts: 2,
             exec: ExecPolicy::Sequential,
             domain: MessageDomain::default(),
+            variant: KernelVariant::default(),
+            tile: None,
         }
     }
 }
@@ -133,7 +146,12 @@ impl BpConfig {
         // their own cold scratch and per-policy telemetry must stay
         // equivalent.
         ppdp_metrics::counter(
-            if scratch.is_warm(self.domain, g.factors.len(), g.kin_factors.len()) {
+            if scratch.is_warm(
+                self.domain,
+                self.variant,
+                g.factors.len(),
+                g.kin_factors.len(),
+            ) {
                 "exec.arena.reused"
             } else {
                 "exec.arena.grown"
@@ -183,9 +201,19 @@ impl BpConfig {
         let mut best: Option<Attempt> = None;
         for &damping in &ladder {
             attempts_run += 1;
-            let a = match self.domain {
-                MessageDomain::Linear => self.attempt(g, damping, &snp_pot, &trait_pot, scratch),
-                MessageDomain::Log => kernels::log_attempt(self, g, damping, scratch),
+            let a = match (self.domain, self.variant) {
+                (MessageDomain::Linear, KernelVariant::Scalar) => {
+                    self.attempt(g, damping, &snp_pot, &trait_pot, scratch)
+                }
+                (MessageDomain::Linear, KernelVariant::Blocked) => {
+                    self.attempt_blocked(g, damping, &snp_pot, &trait_pot, scratch)
+                }
+                (MessageDomain::Log, KernelVariant::Scalar) => {
+                    kernels::log_attempt(self, g, damping, scratch)
+                }
+                (MessageDomain::Log, KernelVariant::Blocked) => {
+                    kernels::log_attempt_blocked(self, g, damping, scratch)
+                }
             };
             total_sweeps += a.sweeps;
             last_residual = a.final_residual;
@@ -474,6 +502,259 @@ impl BpConfig {
 
         // Beliefs: potential × product of all incoming factor messages
         // (both association and kin factors).
+        let snp_marginals = fold_flag(
+            exec.par_map(g.n_snps(), |s| {
+                checked3_flag(incoming(s, None, None, f2s, k2s, &snp_pot[s]))
+            }),
+            &mut clean,
+        );
+        let trait_marginals = fold_flag(
+            exec.par_map(g.n_traits(), |t| {
+                let mut b = trait_pot[t];
+                for &f in g.trait_factor_ids(t) {
+                    for (x, l) in b.iter_mut().zip(&f2t[f as usize]) {
+                        *x *= l;
+                    }
+                }
+                checked2_flag(b)
+            }),
+            &mut clean,
+        );
+
+        Attempt {
+            snp_marginals,
+            trait_marginals,
+            sweeps,
+            converged: converged && clean,
+            final_residual,
+            clean,
+        }
+    }
+
+    /// Blocked twin of [`BpConfig::attempt`]: the same per-item
+    /// arithmetic, evaluated in the same item order, but with every
+    /// per-sweep `par_map` `Vec` collection replaced by a cache-tiled
+    /// fill into persistent scratch arenas — zero message-stage
+    /// allocations per sweep on a warm scratch, block-to-worker-lane
+    /// affinity across sweeps, and *bitwise-identical* messages and
+    /// marginals (the checked-in linear goldens run under this variant).
+    fn attempt_blocked(
+        &self,
+        g: &FactorGraph,
+        damping: f64,
+        snp_pot: &[[f64; 3]],
+        trait_pot: &[[f64; 2]],
+        scratch: &mut BpScratch,
+    ) -> Attempt {
+        let nf = g.factors.len();
+        let nk = g.kin_factors.len();
+        let exec = if nf + nk >= PAR_MIN_FACTORS {
+            self.exec
+        } else {
+            ExecPolicy::Sequential
+        };
+        let tile = kernels::tile_size(self);
+        let BpScratch {
+            lin_f2s: f2s,
+            lin_f2t: f2t,
+            lin_k2s: k2s,
+            lin_s2f: s2f,
+            lin_s2k: s2k,
+            lin_t2f: t2f,
+            lin_fupd: fupd,
+            lin_kupd: kupd,
+            ..
+        } = scratch;
+        f2s.clear();
+        f2s.resize(nf, [1.0f64; 3]);
+        f2t.clear();
+        f2t.resize(nf, [1.0f64; 2]);
+        k2s.clear();
+        k2s.resize(nk, [[1.0f64; 3]; 2]);
+        s2f.clear();
+        s2f.resize(nf, ([0.0f64; 3], true));
+        s2k.clear();
+        s2k.resize(nk, ([[0.0f64; 3]; 2], true));
+        t2f.clear();
+        t2f.resize(nf, ([0.0f64; 2], true));
+        fupd.clear();
+        fupd.resize(nf, ([0.0f64; 3], [0.0f64; 2], 0.0, true));
+        kupd.clear();
+        kupd.resize(nk, ([[0.0f64; 3]; 2], 0.0, true));
+        let tiles_per_sweep = (3 * nf.div_ceil(tile) + 2 * nk.div_ceil(tile)) as u64;
+        let mut sweeps = 0;
+        let mut converged = false;
+        let mut final_residual = f64::INFINITY;
+        let mut clean = true;
+        let mut watchdog =
+            ppdp_trace::ConvergenceWatchdog::new(ppdp_trace::WatchdogConfig::with_tol(self.tol));
+
+        let incoming = |s: usize,
+                        skip_f: Option<usize>,
+                        skip_k: Option<usize>,
+                        f2s: &[[f64; 3]],
+                        k2s: &[[[f64; 3]; 2]],
+                        pot: &[f64; 3]|
+         -> [f64; 3] {
+            let mut msg = *pot;
+            for &f2 in g.snp_factor_ids(s) {
+                let f2 = f2 as usize;
+                if Some(f2) != skip_f {
+                    for (m, l) in msg.iter_mut().zip(&f2s[f2]) {
+                        *m *= l;
+                    }
+                }
+            }
+            for &k in g.snp_kin_ids(s) {
+                let k = k as usize;
+                if Some(k) != skip_k {
+                    let side = if g.kin_factors[k].parent == s { 0 } else { 1 };
+                    for (m, l) in msg.iter_mut().zip(&k2s[k][side]) {
+                        *m *= l;
+                    }
+                }
+            }
+            msg
+        };
+
+        ppdp_telemetry::target("bp.rounds", self.max_iters as f64);
+        for iter in 0..self.max_iters {
+            sweeps = iter + 1;
+            ppdp_metrics::counter("bp.tiles_swept", tiles_per_sweep);
+            // Variable → factor stage, filled in place. Clean flags are
+            // AND-folded after each stage fill; the fold order differs
+            // from the scalar kernel's interleaved fold but AND is
+            // commutative, so `clean` is identical at every read point.
+            exec.par_fill(&mut s2f[..], tile, |f, slot| {
+                let s = g.factors[f].snp;
+                *slot = checked3_flag(incoming(s, Some(f), None, f2s, k2s, &snp_pot[s]));
+            });
+            for &(_, ok) in s2f.iter() {
+                clean &= ok;
+            }
+            exec.par_fill(&mut s2k[..], tile, |k, slot| {
+                let kf = &g.kin_factors[k];
+                let (to_parent_side, ok_p) = checked3_flag(incoming(
+                    kf.parent,
+                    None,
+                    Some(k),
+                    f2s,
+                    k2s,
+                    &snp_pot[kf.parent],
+                ));
+                let (to_child_side, ok_c) = checked3_flag(incoming(
+                    kf.child,
+                    None,
+                    Some(k),
+                    f2s,
+                    k2s,
+                    &snp_pot[kf.child],
+                ));
+                *slot = ([to_parent_side, to_child_side], ok_p && ok_c);
+            });
+            for &(_, ok) in s2k.iter() {
+                clean &= ok;
+            }
+            exec.par_fill(&mut t2f[..], tile, |f, slot| {
+                let t = g.factors[f].trait_idx;
+                let mut msg = trait_pot[t];
+                for &f2 in g.trait_factor_ids(t) {
+                    let f2 = f2 as usize;
+                    if f2 != f {
+                        for (m, l) in msg.iter_mut().zip(&f2t[f2]) {
+                            *m *= l;
+                        }
+                    }
+                }
+                *slot = checked2_flag(msg);
+            });
+            for &(_, ok) in t2f.iter() {
+                clean &= ok;
+            }
+
+            // Factor → variable stage into the update arena, then a
+            // sequential index-order writeback — the same fold the
+            // scalar kernel performs on its collected Vec.
+            let mut delta = 0.0f64;
+            exec.par_fill(&mut fupd[..], tile, |f, slot| {
+                let fac = &g.factors[f];
+                let mut to_s = [0.0f64; 3];
+                for (gi, row) in fac.table.iter().enumerate() {
+                    to_s[gi] = row[0] * t2f[f].0[0] + row[1] * t2f[f].0[1];
+                }
+                let (to_s, ok_s) = checked3_flag(to_s);
+                let to_s = damp3(to_s, f2s[f], damping);
+                let mut d = 0.0f64;
+                for (new, old) in to_s.iter().zip(&f2s[f]) {
+                    d = d.max((new - old).abs());
+                }
+
+                let mut to_t = [0.0f64; 2];
+                for (t, slot2) in to_t.iter_mut().enumerate() {
+                    *slot2 = (0..3).map(|gi| fac.table[gi][t] * s2f[f].0[gi]).sum();
+                }
+                let (to_t, ok_t) = checked2_flag(to_t);
+                let to_t = damp2(to_t, f2t[f], damping);
+                for (new, old) in to_t.iter().zip(&f2t[f]) {
+                    d = d.max((new - old).abs());
+                }
+                *slot = (to_s, to_t, d, ok_s && ok_t);
+            });
+            for (f, &(to_s, to_t, d, ok)) in fupd.iter().enumerate() {
+                f2s[f] = to_s;
+                f2t[f] = to_t;
+                delta = delta.max(d);
+                clean &= ok;
+            }
+
+            exec.par_fill(&mut kupd[..], tile, |k, slot| {
+                let kf = &g.kin_factors[k];
+                let mut to_child = [0.0f64; 3];
+                for (c, slot2) in to_child.iter_mut().enumerate() {
+                    *slot2 = (0..3).map(|p| kf.table[p][c] * s2k[k].0[0][p]).sum();
+                }
+                let (to_child, ok_c) = checked3_flag(to_child);
+                let to_child = damp3(to_child, k2s[k][1], damping);
+                let mut d = 0.0f64;
+                for (new, old) in to_child.iter().zip(&k2s[k][1]) {
+                    d = d.max((new - old).abs());
+                }
+
+                let mut to_parent = [0.0f64; 3];
+                for (p, slot2) in to_parent.iter_mut().enumerate() {
+                    *slot2 = (0..3).map(|c| kf.table[p][c] * s2k[k].0[1][c]).sum();
+                }
+                let (to_parent, ok_p) = checked3_flag(to_parent);
+                let to_parent = damp3(to_parent, k2s[k][0], damping);
+                for (new, old) in to_parent.iter().zip(&k2s[k][0]) {
+                    d = d.max((new - old).abs());
+                }
+                *slot = ([to_parent, to_child], d, ok_c && ok_p);
+            });
+            for (k, &(sides, d, ok)) in kupd.iter().enumerate() {
+                k2s[k] = sides;
+                delta = delta.max(d);
+                clean &= ok;
+            }
+
+            final_residual = delta;
+            ppdp_telemetry::counter("bp.messages_updated", 2 * (nf + nk) as u64);
+            ppdp_telemetry::value("bp.sweep_residual", delta);
+            ppdp_telemetry::gauge("bp.round", sweeps as f64);
+            ppdp_trace::bp_round(sweeps as u64, delta, 2 * (nf + nk) as u64, (nf + nk) as u64);
+            if let Some(verdict) = watchdog.observe(delta) {
+                ppdp_telemetry::counter(&format!("watchdog.bp.{}", verdict.as_str()), 1);
+                ppdp_trace::watchdog_event("bp", verdict.as_str(), watchdog.iteration());
+            }
+            if !clean {
+                break;
+            }
+            if delta < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
         let snp_marginals = fold_flag(
             exec.par_map(g.n_snps(), |s| {
                 checked3_flag(incoming(s, None, None, f2s, k2s, &snp_pot[s]))
@@ -868,6 +1149,68 @@ mod tests {
         let seq = run(ppdp_exec::ExecPolicy::Sequential);
         let par = run(ppdp_exec::ExecPolicy::parallel(4));
         assert_eq!(seq.equivalence_view(), par.equivalence_view());
+    }
+
+    #[test]
+    fn blocked_linear_kernel_is_bitwise_identical_to_scalar() {
+        // The tentpole invariant that keeps every checked-in golden
+        // valid: in the linear domain, Blocked (the default) is a pure
+        // scheduling/allocation restructure of Scalar.
+        let g = wide_graph();
+        let scalar = BpConfig {
+            variant: KernelVariant::Scalar,
+            ..Default::default()
+        }
+        .run(&g);
+        for tile in [None, Some(1), Some(3), Some(7), Some(4096)] {
+            for threads in [1, 2, 8] {
+                let blocked = BpConfig {
+                    variant: KernelVariant::Blocked,
+                    tile,
+                    exec: ppdp_exec::ExecPolicy::parallel(threads),
+                    ..Default::default()
+                }
+                .run(&g);
+                assert_eq!(scalar, blocked, "tile={tile:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_log_kernel_matches_scalar_within_1e12_and_is_tile_invariant() {
+        let g = wide_graph();
+        let scalar = BpConfig {
+            domain: MessageDomain::Log,
+            variant: KernelVariant::Scalar,
+            ..Default::default()
+        }
+        .run(&g);
+        let blocked = BpConfig {
+            domain: MessageDomain::Log,
+            variant: KernelVariant::Blocked,
+            ..Default::default()
+        }
+        .run(&g);
+        assert!(!blocked.degraded);
+        for (a, b) in scalar
+            .snp_marginals
+            .iter()
+            .flatten()
+            .zip(blocked.snp_marginals.iter().flatten())
+        {
+            assert!((a - b).abs() < 1e-12, "lane drift {a} vs {b}");
+        }
+        // Tile size is a pure scheduling knob: bitwise-invariant.
+        for tile in [Some(1), Some(5), Some(64)] {
+            let other = BpConfig {
+                domain: MessageDomain::Log,
+                variant: KernelVariant::Blocked,
+                tile,
+                ..Default::default()
+            }
+            .run(&g);
+            assert_eq!(blocked, other, "tile={tile:?}");
+        }
     }
 
     #[test]

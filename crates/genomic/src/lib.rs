@@ -52,7 +52,7 @@ pub use catalog::{Association, GwasCatalog, TraitInfo};
 pub use exhaustive::exhaustive_marginals;
 pub use factor_graph::{Evidence, FactorGraph};
 pub use incremental::{BpArenaSnapshot, IncrementalBp, RefreshOutcome};
-pub use kernels::{logsumexp, lse2, lse3, BpScratch, MessageDomain, LOG_FLOOR};
+pub use kernels::{logsumexp, lse2, lse3, BpScratch, KernelVariant, MessageDomain, LOG_FLOOR};
 pub use kinship::{
     build_family_graph, kin_attack, kin_greedy_sanitize, Family, FamilyIndex, KinTarget,
 };

@@ -23,6 +23,17 @@ impl GraphBuilder {
         }
     }
 
+    /// [`GraphBuilder::new`] with capacity reserved for `users` rows and
+    /// `edges` edge records — the generators know both counts exactly, so
+    /// the builder's own buffers never reallocate during the fill.
+    pub fn with_capacity(schema: Schema, users: usize, edges: usize) -> Self {
+        Self {
+            schema,
+            rows: Vec::with_capacity(users),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
     /// Adds a user with all attributes missing; returns its id.
     pub fn user(&mut self) -> UserId {
         self.rows.push(vec![None; self.schema.len()]);
@@ -64,7 +75,16 @@ impl GraphBuilder {
     /// Panics if any recorded edge references a user that was never added.
     pub fn build(self) -> SocialGraph {
         let n = self.rows.len();
-        let mut g = SocialGraph::new(self.schema, n);
+        // First pass over the recorded edges sizes every adjacency list
+        // exactly (duplicates only overestimate), so the insertion pass
+        // below never grows a neighbour list incrementally.
+        let mut degree = vec![0usize; n];
+        for &(a, b) in &self.edges {
+            assert!(a < n && b < n, "edge references unknown user");
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut g = SocialGraph::with_degree_hints(self.schema, n, &degree);
         for (u, row) in self.rows.into_iter().enumerate() {
             for (c, v) in row.into_iter().enumerate() {
                 if let Some(v) = v {
@@ -73,7 +93,6 @@ impl GraphBuilder {
             }
         }
         for (a, b) in self.edges {
-            assert!(a < n && b < n, "edge references unknown user");
             g.add_edge(UserId(a), UserId(b));
         }
         g.check_invariants();

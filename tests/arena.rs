@@ -12,6 +12,7 @@
 //! as a rising per-publish byte delta.
 
 use ppdp::datagen;
+use ppdp::datagen::social::{generate, SocialConfig};
 use ppdp::genomic::sanitize::Target;
 use ppdp::genomic::TraitId;
 use ppdp::metrics::{self, Registry};
@@ -71,5 +72,44 @@ fn fifty_publishes_reuse_arenas_with_flat_alloc_growth() {
     assert!(
         grown <= 2,
         "arenas kept growing after warm-up: {grown} growth events"
+    );
+}
+
+#[test]
+fn social_generation_allocates_a_bounded_count_per_node() {
+    // The 10⁵-node bench row used to pay ~11 allocator calls per node —
+    // dominated by incremental adjacency growth (log₂(degree) reallocs
+    // per user) plus a fresh attribute-row Vec per node. With degree-
+    // hinted adjacency, a reused row scratch and pre-sized dedup/bucket
+    // containers, generation needs ~3 allocations per node (builder row
+    // copy, attrs row, one exact-size neighbour list); the bound below
+    // holds slack for the edge ledger and hash-set block allocations but
+    // fails loudly if any per-node or per-edge churn creeps back in.
+    let nodes = 20_000usize;
+    let cfg = SocialConfig {
+        name: "arena",
+        nodes,
+        edges: 8 * nodes,
+        n_attrs: 7,
+        label_arity: 4,
+        utility_arity: 2,
+        other_arity: 8,
+        majority_frac: 0.72,
+        components: 4,
+        attr_corr: 0.52,
+        homophily: 0.3,
+        missing_frac: 0.1,
+        seed: 42,
+    };
+    let before = ppdp::metrics::alloc::totals().expect("allocator installed");
+    let data = generate(&cfg);
+    let after = ppdp::metrics::alloc::totals().expect("allocator installed");
+    assert_eq!(data.graph.user_count(), nodes, "dataset fully generated");
+    let count = after.count - before.count;
+    let per_node = count as f64 / nodes as f64;
+    assert!(
+        per_node <= 5.0,
+        "social generation churned {count} allocations for {nodes} nodes \
+         ({per_node:.1}/node; budget 5/node)"
     );
 }

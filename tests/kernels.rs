@@ -20,7 +20,7 @@ use ppdp::genomic::kinship::transmission_table;
 use ppdp::genomic::sanitize::{Predictor, Target};
 use ppdp::genomic::{
     greedy_sanitize_with, BpConfig, BpResult, Evidence, FactorGraph, Genotype, GwasCatalog,
-    MessageDomain, SnpId, TraitId,
+    KernelVariant, MessageDomain, SnpId, TraitId,
 };
 use ppdp::publish::GenomePublisher;
 use ppdp::telemetry::Recorder;
@@ -351,6 +351,162 @@ fn deep_kin_chain_stays_finite_in_both_domains() {
     assert!(gap <= 1e-6, "deep-chain cross-domain gap {gap}");
 }
 
+/// Bitwise equality over every marginal of two results.
+fn assert_bitwise(a: &BpResult, b: &BpResult, ctx: &str) {
+    assert_eq!(a.iterations, b.iterations, "{ctx}: iteration drift");
+    for (x, y) in a.snp_marginals.iter().zip(&b.snp_marginals) {
+        for (u, v) in x.iter().zip(y) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{ctx}: SNP marginal not bitwise");
+        }
+    }
+    for (x, y) in a.trait_marginals.iter().zip(&b.trait_marginals) {
+        for (u, v) in x.iter().zip(y) {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "{ctx}: trait marginal not bitwise"
+            );
+        }
+    }
+}
+
+/// A catalog with one high-degree SNP: `k` traits all share `SnpId(0)`
+/// (plus one exclusive SNP each), so the SNP-side 4-lane gather sees a
+/// neighbour list of length `k` — sweeping `k` walks the remainder
+/// `k mod 4` through every value.
+fn shared_snp_catalog(k: usize) -> GwasCatalog {
+    let mut cat = GwasCatalog::new(k + 1);
+    for t in 0..k {
+        let id = cat.add_trait(format!("t{t}"), 0.2 + 0.01 * (t % 7) as f64);
+        cat.associate(SnpId(0), id, 1.1 + 0.2 * (t % 5) as f64 / 5.0, 0.2);
+        cat.associate(SnpId(t + 1), id, 1.3, 0.15);
+    }
+    cat
+}
+
+#[test]
+fn blocked_linear_kernel_is_bitwise_scalar_across_tiles_and_policies() {
+    // The linear blocked kernel re-schedules the same per-message
+    // arithmetic into pre-sized arenas; tile size and thread count are
+    // pure scheduling and must never reach the bits.
+    let g = bp_golden_fixture();
+    let scalar = BpConfig {
+        variant: KernelVariant::Scalar,
+        ..tight(MessageDomain::Linear)
+    }
+    .run(&g);
+    for tile in [1usize, 3, 64, 4096] {
+        for threads in [1, 4] {
+            let blocked = BpConfig {
+                variant: KernelVariant::Blocked,
+                tile: Some(tile),
+                exec: ExecPolicy::parallel(threads),
+                ..tight(MessageDomain::Linear)
+            }
+            .run(&g);
+            assert_bitwise(
+                &scalar,
+                &blocked,
+                &format!("linear tile {tile} × {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_log_kernel_is_tile_and_policy_invariant_and_near_scalar() {
+    // The log blocked kernel's quad-lane gathers reassociate the
+    // accumulation (≤ 1e-12 vs scalar, not bitwise) — but for a fixed
+    // variant the result must be bitwise across tile sizes and policies,
+    // including on the degree-1500 hub that underflows the linear kernel.
+    for g in [
+        bp_golden_fixture(),
+        FactorGraph::build(
+            &hub_catalog(1500),
+            &Evidence::none().with_snp(SnpId(0), Genotype::HomRisk),
+        )
+        .unwrap(),
+    ] {
+        let scalar = BpConfig {
+            variant: KernelVariant::Scalar,
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        let reference = BpConfig {
+            variant: KernelVariant::Blocked,
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        assert!(!reference.degraded);
+        assert_normalized(&reference);
+        let gap = marginal_gap(&scalar, &reference);
+        assert!(gap <= 1e-12, "blocked-vs-scalar log gap {gap} > 1e-12");
+        for tile in [1usize, 7, 512, 4096] {
+            for threads in [1, 2, 8] {
+                let blocked = BpConfig {
+                    variant: KernelVariant::Blocked,
+                    tile: Some(tile),
+                    exec: ExecPolicy::parallel(threads),
+                    ..tight(MessageDomain::Log)
+                }
+                .run(&g);
+                assert_bitwise(
+                    &reference,
+                    &blocked,
+                    &format!("log tile {tile} × {threads} threads"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_resumable_publish_stays_bitwise_with_warm_arenas() {
+    // Mirror of the log-domain resume test under the blocked kernel with
+    // a deliberately odd tile: journaled runs, replays and the scalar
+    // variant must all make identical picks (linear-domain trial
+    // rollback, where blocked is bitwise).
+    let catalog = datagen::gwas::synthetic_catalog(30, 3, 1, 5);
+    let panel = datagen::genomes::amd_like(&catalog, TraitId(0), 8, 8, 5);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0))];
+    let publisher = |variant, tile| {
+        GenomePublisher::new(&catalog, 0.9999)
+            .max_removals(6)
+            .bp_config(BpConfig {
+                variant,
+                tile,
+                ..Default::default()
+            })
+    };
+
+    // Warm the thread-local arenas (blocked layout) before resuming.
+    let warm = publisher(KernelVariant::Blocked, Some(5))
+        .publish(&evidence, &targets)
+        .unwrap();
+
+    let dir = tempdir("kernels-blocked-resume");
+    let store = ppdp::durable::CheckpointStore::open(&dir).unwrap();
+    let first = publisher(KernelVariant::Blocked, Some(5))
+        .publish_resumable(&evidence, &targets, &store, "blocked")
+        .unwrap();
+    let replayed = publisher(KernelVariant::Blocked, Some(5))
+        .publish_resumable(&evidence, &targets, &store, "blocked")
+        .unwrap();
+    let scalar = publisher(KernelVariant::Scalar, None)
+        .publish(&evidence, &targets)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(warm.outcome.removed, first.outcome.removed);
+    assert_eq!(scalar.outcome.removed, first.outcome.removed);
+    assert_eq!(first.outcome.removed, replayed.outcome.removed);
+    assert_eq!(first.outcome.history.len(), replayed.outcome.history.len());
+    for (a, b) in first.outcome.history.iter().zip(&replayed.outcome.history) {
+        assert_eq!(a.to_bits(), b.to_bits(), "blocked resume not bitwise");
+    }
+}
+
 /// Fresh per-test checkpoint directory under the target tmpdir.
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -473,5 +629,53 @@ proptest! {
             let gap = marginal_gap(&lin, &log);
             prop_assert!(gap <= 1e-9, "marginal gap {gap} under extreme evidence");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lane-remainder sweep: the shared-SNP hub's neighbour list length
+    /// `k` walks `k mod 4` through every remainder, exercising the quad
+    /// gather's tail path. The log blocked kernel must track scalar to
+    /// 1e-12 and the linear blocked kernel must stay bitwise at every
+    /// remainder.
+    #[test]
+    fn blocked_kernels_track_scalar_across_lane_remainders(k in 1usize..18, tile in 1usize..9) {
+        let cat = shared_snp_catalog(k);
+        let ev = Evidence::none().with_snp(SnpId(0), Genotype::Het);
+        let g = FactorGraph::build(&cat, &ev).unwrap();
+
+        let log_scalar = BpConfig {
+            variant: KernelVariant::Scalar,
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        let log_blocked = BpConfig {
+            variant: KernelVariant::Blocked,
+            tile: Some(tile),
+            ..tight(MessageDomain::Log)
+        }
+        .run(&g);
+        assert_normalized(&log_blocked);
+        let gap = marginal_gap(&log_scalar, &log_blocked);
+        prop_assert!(gap <= 1e-12, "k={k} tile={tile}: log gap {gap} > 1e-12");
+
+        let lin_scalar = BpConfig {
+            variant: KernelVariant::Scalar,
+            ..tight(MessageDomain::Linear)
+        }
+        .run(&g);
+        let lin_blocked = BpConfig {
+            variant: KernelVariant::Blocked,
+            tile: Some(tile),
+            ..tight(MessageDomain::Linear)
+        }
+        .run(&g);
+        assert_bitwise(
+            &lin_scalar,
+            &lin_blocked,
+            &format!("lane remainder k={k} tile={tile}"),
+        );
     }
 }
