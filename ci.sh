@@ -32,10 +32,24 @@ if grep -qs '/tmp/stubs' .cargo/config.toml; then
   echo "      property tests are smoke-level (stub proptest, no"
   echo "      shrinking) and criterion bench numbers are not"
   echo "      comparable to real criterion runs."
+  # The checked-in linear golden snapshots were minted with the real
+  # rand crates; the stub RNG draws a different stream, so those four
+  # comparisons can never match here. Skip them loudly (the golden
+  # tests print a SKIPPED notice per snapshot); every other golden —
+  # including the environment-minted bootstrapped log-domain snapshot —
+  # still compares byte-for-byte.
+  export PPDP_SKIP_LINEAR_GOLDEN=1
+  echo "      linear golden snapshots: SKIPPED (PPDP_SKIP_LINEAR_GOLDEN=1)"
 fi
 
 echo "==> cargo build --release"
 cargo build --workspace --release
+
+# Bench harnesses must at least compile against whichever criterion
+# (real or stub) is resolved — a bench-only compile break otherwise
+# hides until someone runs `cargo bench`.
+echo "==> cargo build --benches"
+cargo build --workspace --benches
 
 # The suite must pass — with identical results — whether the execution
 # layer resolves to one thread or many (ExecPolicy::from_env reads
@@ -54,6 +68,27 @@ cargo test -q -p ppdp --test trace
 
 echo "==> golden-value regression suite"
 cargo test -q -p ppdp --test golden
+
+# Privacy-loss observability gates: all four publish pipelines emit
+# lineage records, the composition accountant reconciles **bitwise**
+# against live and WAL-recovered ledgers, the audit snapshot is
+# policy-invariant byte-for-byte across Sequential/Parallel{1,2,8},
+# the release cache answers repeats without re-spending ε, and the
+# unattributed-spend lint holds.
+echo "==> privacy-audit reconciliation suite"
+cargo test -q -p ppdp --test audit
+
+# End-to-end audit trail: a real experiments run must export a parseable
+# audit log, pass its own in-process unattributed-spend lint (exit 5 on
+# a violation), and render clean through `ppdp-report audit` (exit 1 on
+# lint failure), including the lineage DOT export.
+echo "==> experiments --audit-out + ppdp-report audit gate"
+cargo run -q --release -p ppdp-bench --bin experiments -- \
+  ext.dpgenomes --audit-out audit_ci.jsonl >/dev/null
+cargo run -q --release -p ppdp-bench --bin ppdp-report -- \
+  audit audit_ci.jsonl --dot audit_ci.dot >/dev/null
+test -s audit_ci.dot || { echo "FAIL: no lineage DOT written"; exit 1; }
+rm -f audit_ci.jsonl audit_ci.dot
 
 # Kernel-equivalence gate: the log-domain (LSE) BP kernel must agree with
 # the linear kernel to 1e-9 on golden fixtures, make identical greedy
@@ -191,7 +226,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (no unwrap/expect/raw-spawn in lib code)"
 for crate in ppdp-errors ppdp-durable ppdp-graph ppdp-classify ppdp-sanitize \
     ppdp-tradeoff ppdp-genomic ppdp-dp ppdp-opt ppdp-exec ppdp-telemetry \
-    ppdp-metrics ppdp-trace ppdp; do
+    ppdp-metrics ppdp-trace ppdp-audit ppdp; do
   cargo clippy -q -p "$crate" --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used \
     -D clippy::disallowed_methods

@@ -1,0 +1,348 @@
+//! The composition accountant: cumulative `(ε, δ)` across composed
+//! releases, under basic and advanced sequential composition.
+//!
+//! The accountant is deliberately *dumb about floats*: [`Accountant::spent`]
+//! folds ε in draw order with plain `+`, exactly the operation
+//! `PrivacyBudget::commit` performs — so an accountant replaying a
+//! ledger's draws reproduces the ledger's `spent()` **bitwise**, and
+//! reconciliation against a recovered WAL can demand exact equality
+//! instead of a tolerance (a tolerance is a hole: privacy loss that
+//! hides inside it is loss the audit cannot see).
+
+use crate::release::DrawRecord;
+use ppdp_telemetry::BudgetDraw;
+use std::collections::BTreeMap;
+
+/// A composed privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    /// Composed ε.
+    pub epsilon: f64,
+    /// Composed δ.
+    pub delta: f64,
+}
+
+/// Per-tenant composition accountant over an ordered draw sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Accountant {
+    tenant: String,
+    budget: Option<f64>,
+    draws: Vec<DrawRecord>,
+}
+
+impl Accountant {
+    /// An accountant for `tenant` with no declared total budget.
+    pub fn new(tenant: &str) -> Self {
+        Self {
+            tenant: tenant.to_owned(),
+            budget: None,
+            draws: Vec::new(),
+        }
+    }
+
+    /// An accountant for `tenant` tracking remaining budget against
+    /// `total` ε.
+    pub fn with_budget(tenant: &str, total: f64) -> Self {
+        Self {
+            tenant: tenant.to_owned(),
+            budget: Some(total),
+            draws: Vec::new(),
+        }
+    }
+
+    /// The tenant this accountant scopes to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Records one audited draw (tenant mismatches are skipped, so a
+    /// mixed stream can be fanned across per-tenant accountants).
+    pub fn record(&mut self, draw: &DrawRecord) {
+        if draw.tenant == self.tenant {
+            self.draws.push(draw.clone());
+        }
+    }
+
+    /// Records a plain ledger draw (no tenant/call-site context), as
+    /// when replaying a recovered `BudgetLedger`'s draw list.
+    pub fn record_budget_draw(&mut self, draw: &BudgetDraw) {
+        self.draws.push(DrawRecord {
+            tenant: self.tenant.clone(),
+            mechanism: draw.mechanism.clone(),
+            label: draw.label.clone(),
+            epsilon: draw.epsilon,
+            delta: draw.delta,
+            sensitivity: draw.sensitivity,
+            call_site: String::new(),
+            ledgered: true,
+        });
+    }
+
+    /// Records every draw of an iterator in order.
+    pub fn record_all<'a>(&mut self, draws: impl IntoIterator<Item = &'a BudgetDraw>) {
+        for d in draws {
+            self.record_budget_draw(d);
+        }
+    }
+
+    /// Number of recorded draws.
+    pub fn len(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
+
+    /// The recorded draws, in order.
+    pub fn draws(&self) -> &[DrawRecord] {
+        &self.draws
+    }
+
+    /// ε spent so far: the in-order left fold a `PrivacyBudget` performs,
+    /// so this is bitwise-comparable against `ledger.spent()`.
+    pub fn spent(&self) -> f64 {
+        self.draws.iter().fold(0.0, |acc, d| acc + d.epsilon)
+    }
+
+    /// δ spent so far (same in-order fold).
+    pub fn delta_spent(&self) -> f64 {
+        self.draws.iter().fold(0.0, |acc, d| acc + d.delta)
+    }
+
+    /// Remaining ε against the declared budget, if one was declared.
+    pub fn remaining(&self) -> Option<f64> {
+        self.budget.map(|total| total - self.spent())
+    }
+
+    /// Basic sequential composition: ε and δ add.
+    pub fn basic(&self) -> Composition {
+        Composition {
+            epsilon: self.spent(),
+            delta: self.delta_spent(),
+        }
+    }
+
+    /// Advanced sequential composition (heterogeneous Dwork–Roth bound):
+    /// for any slack `δ' > 0`,
+    ///
+    /// ```text
+    /// ε* = Σ εᵢ(e^{εᵢ} − 1)  +  √(2 ln(1/δ') Σ εᵢ²)
+    /// δ* = δ' + Σ δᵢ
+    /// ```
+    ///
+    /// Tighter than [`Accountant::basic`] for many small draws, looser
+    /// for a few large ones — [`Accountant::tight`] takes the minimum.
+    pub fn advanced(&self, delta_slack: f64) -> Composition {
+        if !(delta_slack > 0.0 && delta_slack < 1.0) {
+            return self.basic();
+        }
+        let sum_sq: f64 = self.draws.iter().map(|d| d.epsilon * d.epsilon).sum();
+        let residual: f64 = self
+            .draws
+            .iter()
+            .map(|d| d.epsilon * d.epsilon.exp_m1())
+            .sum();
+        Composition {
+            epsilon: residual + (2.0 * (1.0 / delta_slack).ln() * sum_sq).sqrt(),
+            delta: delta_slack + self.delta_spent(),
+        }
+    }
+
+    /// The tighter of basic and advanced composition at slack `δ'`.
+    pub fn tight(&self, delta_slack: f64) -> Composition {
+        let basic = self.basic();
+        let adv = self.advanced(delta_slack);
+        if adv.epsilon < basic.epsilon {
+            adv
+        } else {
+            basic
+        }
+    }
+
+    /// ε totals grouped by draw label.
+    pub fn by_label(&self) -> BTreeMap<String, f64> {
+        self.group(|d| d.label.clone())
+    }
+
+    /// ε totals grouped by mechanism.
+    pub fn by_mechanism(&self) -> BTreeMap<String, f64> {
+        self.group(|d| d.mechanism.clone())
+    }
+
+    /// ε totals grouped by spend call-site.
+    pub fn by_call_site(&self) -> BTreeMap<String, f64> {
+        self.group(|d| d.call_site.clone())
+    }
+
+    fn group(&self, key: impl Fn(&DrawRecord) -> String) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for d in &self.draws {
+            *out.entry(key(d)).or_insert(0.0) += d.epsilon;
+        }
+        out
+    }
+}
+
+/// The outcome of reconciling an accountant against ledger truth.
+#[derive(Debug, Clone)]
+pub struct Reconciliation {
+    /// Draws that matched index-for-index.
+    pub matched: usize,
+    /// Human-readable mismatch descriptions (empty on success).
+    pub mismatches: Vec<String>,
+    /// The accountant's in-order ε fold, as bits.
+    pub accountant_bits: u64,
+    /// The ledger's `spent()`, as bits.
+    pub ledger_bits: u64,
+}
+
+impl Reconciliation {
+    /// Whether the accountant agrees with the ledger **exactly** —
+    /// same draw sequence, bitwise-equal ε totals.
+    pub fn exact(&self) -> bool {
+        self.mismatches.is_empty() && self.accountant_bits == self.ledger_bits
+    }
+}
+
+/// Reconciles `acct` against the draw list and spent total of a
+/// (possibly WAL-recovered) ledger. Exactness is bitwise: the
+/// accountant and the ledger perform the same in-order fold, so any
+/// difference at all means a draw was lost, duplicated, or altered.
+pub fn reconcile(
+    acct: &Accountant,
+    ledger_draws: &[BudgetDraw],
+    ledger_spent: f64,
+) -> Reconciliation {
+    let mut mismatches = Vec::new();
+    if acct.len() != ledger_draws.len() {
+        mismatches.push(format!(
+            "draw count: accountant {} vs ledger {}",
+            acct.len(),
+            ledger_draws.len()
+        ));
+    }
+    let mut matched = 0usize;
+    for (i, (a, l)) in acct.draws().iter().zip(ledger_draws).enumerate() {
+        if a.mechanism != l.mechanism
+            || a.label != l.label
+            || a.epsilon.to_bits() != l.epsilon.to_bits()
+            || a.delta.to_bits() != l.delta.to_bits()
+        {
+            mismatches.push(format!(
+                "draw[{i}]: accountant {}/{} ε={} vs ledger {}/{} ε={}",
+                a.mechanism, a.label, a.epsilon, l.mechanism, l.label, l.epsilon
+            ));
+        } else {
+            matched += 1;
+        }
+    }
+    Reconciliation {
+        matched,
+        mismatches,
+        accountant_bits: acct.spent().to_bits(),
+        ledger_bits: ledger_spent.to_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bd(label: &str, eps: f64) -> BudgetDraw {
+        BudgetDraw {
+            mechanism: "laplace".into(),
+            label: label.into(),
+            epsilon: eps,
+            delta: 0.0,
+            sensitivity: 1.0,
+        }
+    }
+
+    #[test]
+    fn spent_matches_sequential_fold_bitwise() {
+        // 0.1 ten times is exactly the pathological non-associative case;
+        // the accountant must reproduce the ledger's fold, not a
+        // reassociated one.
+        let draws: Vec<BudgetDraw> = (0..10).map(|i| bd(&format!("d{i}"), 0.1)).collect();
+        let mut acct = Accountant::new("default");
+        acct.record_all(&draws);
+        let ledger_fold = draws.iter().fold(0.0f64, |a, d| a + d.epsilon);
+        assert_eq!(acct.spent().to_bits(), ledger_fold.to_bits());
+        let rec = reconcile(&acct, &draws, ledger_fold);
+        assert!(rec.exact(), "{:?}", rec.mismatches);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_draws() {
+        let mut acct = Accountant::new("default");
+        acct.record_all(
+            &(0..200)
+                .map(|i| bd(&format!("d{i}"), 0.01))
+                .collect::<Vec<_>>(),
+        );
+        let basic = acct.basic();
+        let adv = acct.advanced(1e-6);
+        assert!((basic.epsilon - 2.0).abs() < 1e-9);
+        assert!(
+            adv.epsilon < basic.epsilon,
+            "advanced {} must beat basic {}",
+            adv.epsilon,
+            basic.epsilon
+        );
+        assert_eq!(acct.tight(1e-6).epsilon, adv.epsilon);
+    }
+
+    #[test]
+    fn advanced_falls_back_to_basic_for_few_large_draws() {
+        let mut acct = Accountant::new("default");
+        acct.record_all(&[bd("a", 1.0), bd("b", 1.0)]);
+        let t = acct.tight(1e-6);
+        assert_eq!(t.epsilon, acct.basic().epsilon);
+        assert_eq!(t.delta, 0.0);
+    }
+
+    #[test]
+    fn reconcile_flags_altered_draws() {
+        let draws = vec![bd("a", 0.5), bd("b", 0.25)];
+        let mut acct = Accountant::new("default");
+        acct.record_all(&draws);
+        let mut tampered = draws.clone();
+        tampered[1].epsilon = 0.125;
+        let rec = reconcile(&acct, &tampered, 0.625);
+        assert!(!rec.exact());
+        assert_eq!(rec.matched, 1);
+        assert!(
+            rec.mismatches[0].contains("draw[1]"),
+            "{:?}",
+            rec.mismatches
+        );
+    }
+
+    #[test]
+    fn tenant_filter_and_groupings() {
+        let mut acct = Accountant::with_budget("acme", 1.0);
+        let mine = DrawRecord {
+            tenant: "acme".into(),
+            mechanism: "laplace".into(),
+            label: "x".into(),
+            epsilon: 0.25,
+            delta: 0.0,
+            sensitivity: 1.0,
+            call_site: "a.rs:1".into(),
+            ledgered: true,
+        };
+        let theirs = DrawRecord {
+            tenant: "other".into(),
+            ..mine.clone()
+        };
+        acct.record(&mine);
+        acct.record(&theirs);
+        assert_eq!(acct.len(), 1);
+        assert_eq!(acct.remaining(), Some(0.75));
+        assert_eq!(acct.by_label()["x"], 0.25);
+        assert_eq!(acct.by_call_site()["a.rs:1"], 0.25);
+        assert_eq!(acct.by_mechanism()["laplace"], 0.25);
+    }
+}

@@ -1,0 +1,119 @@
+//! The release cache: answer a repeated release from lineage instead of
+//! re-spending ε.
+//!
+//! Composition charges for every *new* computation over the data; a
+//! release already paid for can be republished verbatim at zero
+//! marginal privacy cost (post-processing). The cache keys on
+//! `(query fingerprint, input digest)` — the same question about the
+//! same data — and stores the sealed [`ReleaseRecord`] alongside the
+//! published payload, so a hit returns both provenance and artifact
+//! without touching any ledger. This is the first concrete brick of the
+//! `ppdp-serve` noisy-release cache (ROADMAP item 2).
+
+use crate::release::ReleaseRecord;
+use std::collections::BTreeMap;
+
+/// An in-memory release cache mapping `(query_fingerprint, input_digest)`
+/// to a sealed release record plus its published payload `T`.
+#[derive(Debug, Clone)]
+pub struct ReleaseCache<T> {
+    entries: BTreeMap<(u64, u64), (ReleaseRecord, T)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> Default for ReleaseCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReleaseCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a prior release of the same query over the same input.
+    /// Counts a hit or miss (also teed to telemetry counters
+    /// `audit.cache.hit` / `audit.cache.miss`).
+    pub fn lookup(
+        &mut self,
+        query_fingerprint: u64,
+        input_digest: u64,
+    ) -> Option<&(ReleaseRecord, T)> {
+        let entry = self.entries.get(&(query_fingerprint, input_digest));
+        if entry.is_some() {
+            self.hits += 1;
+            ppdp_telemetry::counter("audit.cache.hit", 1);
+        } else {
+            self.misses += 1;
+            ppdp_telemetry::counter("audit.cache.miss", 1);
+        }
+        entry
+    }
+
+    /// Stores a freshly published release under its own key.
+    pub fn insert(&mut self, record: ReleaseRecord, payload: T) {
+        self.entries.insert(
+            (record.query_fingerprint, record.input_digest),
+            (record, payload),
+        );
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached releases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release::ReleaseBuilder;
+
+    #[test]
+    fn same_query_same_input_hits() {
+        let mut cache: ReleaseCache<Vec<u8>> = ReleaseCache::new();
+        let rec = ReleaseBuilder::new("dp.synthesis", "laplace")
+            .param("epsilon", 5.0)
+            .input_digest(42)
+            .finish(vec![]);
+        let (qf, id) = (rec.query_fingerprint, rec.input_digest);
+        assert!(cache.lookup(qf, id).is_none());
+        cache.insert(rec, vec![1, 2, 3]);
+        let (cached, payload) = cache.lookup(qf, id).cloned().unwrap();
+        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(cached.input_digest, 42);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn different_input_misses() {
+        let mut cache: ReleaseCache<()> = ReleaseCache::new();
+        let rec = ReleaseBuilder::new("p", "m").input_digest(1).finish(vec![]);
+        let qf = rec.query_fingerprint;
+        cache.insert(rec, ());
+        assert!(cache.lookup(qf, 2).is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Incremental FNV-1a content digests.
+//!
+//! Release identity and cache keys must be *stable*: the same logical
+//! inputs must digest to the same 64-bit value on every machine, under
+//! every execution policy, in every build environment. FNV-1a over a
+//! length-prefixed byte encoding gives that without any dependency;
+//! cryptographic strength is not required (digests gate cache reuse and
+//! lineage identity, not authentication).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher with length-prefixed, type-tagged field
+/// encoding so `("ab","c")` and `("a","bc")` digest differently.
+#[derive(Debug, Clone)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes (no length prefix — compose via the typed writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds one `f64` bit pattern — bitwise, so `-0.0` and `0.0` differ
+    /// and NaN payloads are preserved.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Folds a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Folds a boolean.
+    pub fn write_bool(&mut self, b: bool) -> &mut Self {
+        self.write_bytes(&[u8::from(b)])
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a byte slice (FNV-1a, same constants as
+/// `ppdp_durable::fnv1a` so digests are comparable across layers).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.write_bytes(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_prefix_separates_field_boundaries() {
+        let mut a = Digest::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Digest::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_digest_is_bitwise() {
+        let mut a = Digest::new();
+        a.write_f64(0.0);
+        let mut b = Digest::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn matches_known_fnv_vector() {
+        // FNV-1a("a") is a published test vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,507 @@
+//! # ppdp-audit — privacy-loss observability
+//!
+//! The quantity this workspace is actually about is cumulative privacy
+//! loss across composed releases, and until this crate nothing could
+//! *observe* it: ledgers enforced budgets locally, telemetry recorded
+//! draws, but no layer tied ε leaving a ledger to the artifact it paid
+//! for. `ppdp-audit` closes that loop with four pieces:
+//!
+//! * [`Accountant`] — basic and advanced sequential composition over an
+//!   ordered draw stream, per-tenant and per-label, with **bitwise**
+//!   reconciliation against `BudgetLedger`/WAL truth ([`reconcile`]).
+//! * [`ReleaseRecord`] / [`ReleaseBuilder`] — the release lineage DAG:
+//!   every published artifact records mechanism, parameters, input
+//!   digest, exec fingerprint, parents, and the exact ε/δ draws (with
+//!   `#[track_caller]` call-site provenance) that produced it.
+//! * [`lint::unattributed_spend`] — fails a run when any ledgered draw
+//!   is not claimed by some release record: no ε may leave a ledger
+//!   unobserved.
+//! * [`ReleaseCache`] — `(query fingerprint, input digest)`-keyed reuse
+//!   so a repeated release is answered from lineage instead of
+//!   re-spending ε.
+//!
+//! ## Capture model
+//!
+//! Draws and releases are delivered to *every* active [`AuditSink`] —
+//! each scoped sink on the current thread **and** the installed global
+//! sink (unlike `ppdp-trace` collectors, where the innermost scope
+//! wins). A pipeline can therefore observe its own draws through a
+//! scoped sink to seal its [`ReleaseRecord`] while an application-level
+//! global sink still sees the full stream for the end-of-run lint.
+//!
+//! Call-site provenance reuses the `#[track_caller]` discipline of
+//! `ppdp-trace`: [`record_ledger_draw`] is itself `#[track_caller]` and
+//! is called from the (also `#[track_caller]`) `BudgetLedger::commit`,
+//! so `std::panic::Location::caller()` resolves to the mechanism
+//! call-site that requested the spend, not to ledger internals.
+
+mod accountant;
+mod cache;
+pub mod digest;
+pub mod lint;
+mod release;
+
+pub use accountant::{reconcile, Accountant, Composition, Reconciliation};
+pub use cache::ReleaseCache;
+pub use digest::Digest;
+pub use release::{DrawRecord, ReleaseBuilder, ReleaseRecord};
+
+use ppdp_trace::json::JsonValue;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Recovers the inner value from a possibly poisoned mutex; a panic in
+/// another holder must not wedge audit capture.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// The audit log and sinks
+// ---------------------------------------------------------------------
+
+/// Everything one audited run produced: the ordered draw stream and the
+/// release records, each in capture order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditLog {
+    /// Every audited budget draw, in spend order.
+    pub draws: Vec<DrawRecord>,
+    /// Every sealed release record, in publish order.
+    pub releases: Vec<ReleaseRecord>,
+}
+
+impl AuditLog {
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty() && self.releases.is_empty()
+    }
+
+    /// Runs the unattributed-spend lint over this log.
+    pub fn lint(&self) -> lint::LintReport {
+        lint::unattributed_spend(self)
+    }
+
+    /// Per-tenant accountants over the draw stream, draws in order.
+    pub fn accountants(&self) -> BTreeMap<String, Accountant> {
+        let mut out: BTreeMap<String, Accountant> = BTreeMap::new();
+        for d in &self.draws {
+            out.entry(d.tenant.clone())
+                .or_insert_with(|| Accountant::new(&d.tenant))
+                .record(d);
+        }
+        out
+    }
+
+    /// The policy-invariant projection: every release through
+    /// [`ReleaseRecord::equivalence_view`], draws untouched (their
+    /// order, amounts and call-sites are already deterministic).
+    pub fn equivalence_view(&self) -> AuditLog {
+        AuditLog {
+            draws: self.draws.clone(),
+            releases: self
+                .releases
+                .iter()
+                .map(ReleaseRecord::equivalence_view)
+                .collect(),
+        }
+    }
+
+    /// Serializes as JSONL: one `{"type":"draw",…}` line per draw, then
+    /// one `{"type":"release",…}` line per release. Deterministic bytes
+    /// for deterministic logs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.draws {
+            let mut obj = vec![("type".to_owned(), JsonValue::Str("draw".into()))];
+            if let JsonValue::Object(fields) = d.to_value() {
+                obj.extend(fields);
+            }
+            out.push_str(&JsonValue::Object(obj).to_json());
+            out.push('\n');
+        }
+        for r in &self.releases {
+            let mut obj = vec![("type".to_owned(), JsonValue::Str("release".into()))];
+            if let JsonValue::Object(fields) = r.to_value() {
+                obj.extend(fields);
+            }
+            out.push_str(&JsonValue::Object(obj).to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL document written by [`AuditLog::to_jsonl`].
+    ///
+    /// # Errors
+    /// A description of the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<AuditLog, String> {
+        let mut log = AuditLog::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            match v.get("type").and_then(JsonValue::as_str) {
+                Some("draw") => log
+                    .draws
+                    .push(DrawRecord::from_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?),
+                Some("release") => log.releases.push(
+                    ReleaseRecord::from_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?,
+                ),
+                other => return Err(format!("line {}: unknown type {other:?}", i + 1)),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Renders the release lineage as a Graphviz DOT digraph: box nodes
+    /// per release, ellipse nodes per draw, edges draw→release and
+    /// parent→child.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph lineage {\n  rankdir=LR;\n");
+        for r in &self.releases {
+            out.push_str(&format!(
+                "  \"r{id:016x}\" [shape=box,label=\"{pipeline}\\n{id:016x}\\nε={eps} δ={delta}\"];\n",
+                id = r.id,
+                pipeline = r.pipeline,
+                eps = r.epsilon(),
+                delta = r.delta(),
+            ));
+            for p in &r.parents {
+                out.push_str(&format!("  \"r{p:016x}\" -> \"r{:016x}\";\n", r.id));
+            }
+            for (i, d) in r.draws.iter().enumerate() {
+                out.push_str(&format!(
+                    "  \"d{id:016x}_{i}\" [shape=ellipse,label=\"{mech} {label}\\nε={eps} @ {site}\"];\n  \"d{id:016x}_{i}\" -> \"r{id:016x}\";\n",
+                    id = r.id,
+                    mech = d.mechanism,
+                    label = d.label,
+                    eps = d.epsilon,
+                    site = d.call_site,
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A capture sink for audited draws and releases; the audit analogue of
+/// `ppdp_telemetry::Recorder`. Enter it for scoped capture on the
+/// current thread, or install it globally with [`install_global`].
+#[derive(Debug, Clone, Default)]
+pub struct AuditSink {
+    log: Arc<Mutex<AuditLog>>,
+}
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<Mutex<AuditLog>>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Mutex<Option<Arc<Mutex<AuditLog>>>>> = OnceLock::new();
+
+fn global_cell() -> &'static Mutex<Option<Arc<Mutex<AuditLog>>>> {
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+impl AuditSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes this sink onto the current thread's scope stack; capture
+    /// stops when the guard drops. Unlike trace collectors, *all*
+    /// stacked sinks receive every event.
+    pub fn enter(&self) -> ScopedSink {
+        SCOPED.with(|s| s.borrow_mut().push(Arc::clone(&self.log)));
+        ScopedSink {
+            log: Arc::clone(&self.log),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Drains the captured log, leaving the sink empty.
+    pub fn take(&self) -> AuditLog {
+        std::mem::take(&mut *lock(&self.log))
+    }
+
+    /// Clones the captured log without draining it.
+    pub fn snapshot(&self) -> AuditLog {
+        lock(&self.log).clone()
+    }
+}
+
+/// Guard returned by [`AuditSink::enter`]; pops the sink on drop.
+#[derive(Debug)]
+pub struct ScopedSink {
+    log: Arc<Mutex<AuditLog>>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopedSink {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|l| Arc::ptr_eq(l, &self.log)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Installs `sink` as the process-global audit sink, returning the
+/// previous one.
+pub fn install_global(sink: AuditSink) -> Option<AuditSink> {
+    lock(global_cell())
+        .replace(sink.log)
+        .map(|log| AuditSink { log })
+}
+
+/// Removes and returns the process-global audit sink.
+pub fn uninstall_global() -> Option<AuditSink> {
+    lock(global_cell()).take().map(|log| AuditSink { log })
+}
+
+/// Delivers one event to every distinct active sink (scoped stack plus
+/// global, deduplicated by identity).
+fn for_each_sink(f: impl Fn(&mut AuditLog)) {
+    let mut seen: Vec<Arc<Mutex<AuditLog>>> = Vec::new();
+    SCOPED.with(|s| {
+        for log in s.borrow().iter() {
+            if !seen.iter().any(|l| Arc::ptr_eq(l, log)) {
+                seen.push(Arc::clone(log));
+            }
+        }
+    });
+    if let Some(global) = lock(global_cell()).as_ref() {
+        if !seen.iter().any(|l| Arc::ptr_eq(l, global)) {
+            seen.push(Arc::clone(global));
+        }
+    }
+    for log in seen {
+        f(&mut lock(&log));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tenant scoping
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static TENANT: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`tenant_scope`]; pops the tenant on drop.
+#[derive(Debug)]
+pub struct TenantScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        TENANT.with(|t| {
+            t.borrow_mut().pop();
+        });
+    }
+}
+
+/// Attributes all draws and releases on this thread to `name` until the
+/// guard drops. Nests; the innermost tenant wins.
+pub fn tenant_scope(name: &str) -> TenantScope {
+    TENANT.with(|t| t.borrow_mut().push(name.to_owned()));
+    TenantScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The tenant draws are currently attributed to (`"default"` outside
+/// any [`tenant_scope`]).
+pub fn current_tenant() -> String {
+    TENANT.with(|t| {
+        t.borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "default".to_owned())
+    })
+}
+
+// ---------------------------------------------------------------------
+// Capture entry points
+// ---------------------------------------------------------------------
+
+static RELEASES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+fn call_site_of(loc: &std::panic::Location<'_>) -> String {
+    format!("{}:{}", loc.file(), loc.line())
+}
+
+/// Records one **ledger-backed** draw: called by `BudgetLedger::commit`
+/// after the charge succeeds, with the ledger's post-charge remaining ε
+/// (teed to the `budget.remaining.<tenant>` gauge). `#[track_caller]`
+/// so the recorded call-site is the mechanism caller's.
+#[track_caller]
+pub fn record_ledger_draw(
+    mechanism: &str,
+    label: &str,
+    epsilon: f64,
+    delta: f64,
+    sensitivity: f64,
+    remaining: f64,
+) {
+    let call_site = call_site_of(std::panic::Location::caller());
+    record_draw_impl(
+        mechanism,
+        label,
+        epsilon,
+        delta,
+        sensitivity,
+        call_site,
+        true,
+        Some(remaining),
+    );
+}
+
+/// Records one **off-ledger** draw (ε paid from a reserved budget share
+/// without an individual ledger entry, e.g. PrivBayes structure
+/// selection). Exempt from the unattributed-spend lint but still part
+/// of release records and accountant totals.
+#[track_caller]
+pub fn record_draw(mechanism: &str, label: &str, epsilon: f64, delta: f64, sensitivity: f64) {
+    let call_site = call_site_of(std::panic::Location::caller());
+    record_draw_impl(
+        mechanism,
+        label,
+        epsilon,
+        delta,
+        sensitivity,
+        call_site,
+        false,
+        None,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_draw_impl(
+    mechanism: &str,
+    label: &str,
+    epsilon: f64,
+    delta: f64,
+    sensitivity: f64,
+    call_site: String,
+    ledgered: bool,
+    remaining: Option<f64>,
+) {
+    let tenant = current_tenant();
+    if ppdp_metrics::enabled() {
+        if let Some(rem) = remaining {
+            ppdp_metrics::gauge_set(&format!("budget.remaining.{tenant}"), rem);
+        }
+        ppdp_metrics::counter_f64(&format!("budget.epsilon_spent.{tenant}.{label}"), epsilon);
+    }
+    let record = DrawRecord {
+        tenant,
+        mechanism: mechanism.to_owned(),
+        label: label.to_owned(),
+        epsilon,
+        delta,
+        sensitivity,
+        call_site,
+        ledgered,
+    };
+    for_each_sink(|log| log.draws.push(record.clone()));
+}
+
+/// Records one sealed release into every active sink and bumps the
+/// `releases.total` gauge and `audit.releases` counter.
+pub fn record_release(record: &ReleaseRecord) {
+    let total = RELEASES_TOTAL.fetch_add(1, Ordering::Relaxed) + 1;
+    ppdp_telemetry::counter("audit.releases", 1);
+    if ppdp_metrics::enabled() {
+        ppdp_metrics::gauge_set("releases.total", total as f64);
+    }
+    for_each_sink(|log| log.releases.push(record.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit_one(label: &str, eps: f64) {
+        record_ledger_draw("laplace", label, eps, 0.0, 1.0, 1.0 - eps);
+    }
+
+    #[test]
+    fn scoped_and_outer_sinks_both_capture() {
+        let outer = AuditSink::new();
+        let inner = AuditSink::new();
+        let _og = outer.enter();
+        {
+            let _ig = inner.enter();
+            emit_one("both", 0.25);
+        }
+        emit_one("outer_only", 0.25);
+        assert_eq!(inner.snapshot().draws.len(), 1, "inner sees its scope");
+        let outer_log = outer.take();
+        assert_eq!(outer_log.draws.len(), 2, "outer sees through inner scopes");
+        assert_eq!(outer_log.draws[0].label, "both");
+        assert!(outer_log.draws[0].call_site.contains("lib.rs"));
+        assert!(outer_log.draws[0].ledgered);
+    }
+
+    #[test]
+    fn tenant_scope_attributes_draws() {
+        let sink = AuditSink::new();
+        let _g = sink.enter();
+        emit_one("before", 0.1);
+        {
+            let _t = tenant_scope("acme");
+            emit_one("inside", 0.1);
+        }
+        emit_one("after", 0.1);
+        let log = sink.take();
+        let tenants: Vec<&str> = log.draws.iter().map(|d| d.tenant.as_str()).collect();
+        assert_eq!(tenants, ["default", "acme", "default"]);
+        let accts = log.accountants();
+        assert_eq!(accts.len(), 2);
+        assert_eq!(accts["acme"].len(), 1);
+        assert_eq!(accts["default"].len(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_equivalence_masks_exec() {
+        let sink = AuditSink::new();
+        let _g = sink.enter();
+        emit_one("cpd[0]", 0.5);
+        let draws = sink.snapshot().draws;
+        let rel = ReleaseBuilder::new("dp.synthesis", "laplace")
+            .param("epsilon", 0.5)
+            .input_digest(9)
+            .exec("par8")
+            .finish(draws);
+        record_release(&rel);
+        let log = sink.take();
+        assert_eq!(log.releases.len(), 1);
+        let back = AuditLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(back, log);
+        let view = log.equivalence_view();
+        assert_eq!(view.releases[0].exec_fingerprint, "<exec>");
+        assert!(log.to_dot().contains("dp.synthesis"));
+        assert!(log.lint().clean(), "{}", log.lint().describe());
+    }
+
+    #[test]
+    fn off_ledger_draws_are_marked() {
+        let sink = AuditSink::new();
+        let _g = sink.enter();
+        record_draw("exponential", "structure[0]", 0.2, 0.0, 1.0);
+        let log = sink.take();
+        assert!(!log.draws[0].ledgered);
+        assert!(
+            log.lint().clean(),
+            "off-ledger draws don't need attribution"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The unattributed-spend lint: every ledgered budget draw must be
+//! claimed by some release record.
+//!
+//! The invariant this enforces is the audit layer's reason to exist: ε
+//! that left a ledger without appearing in any release's draw list is
+//! privacy loss with no provenance — nobody can say what was published
+//! for it, so nobody can bound the adversary's view. The lint is a
+//! multiset match on `(tenant, mechanism, label, ε-bits, δ-bits)`:
+//! each ledgered draw consumes one matching claim from the release log.
+
+use crate::release::DrawRecord;
+use crate::AuditLog;
+use std::collections::BTreeMap;
+
+/// The lint's findings over one [`AuditLog`].
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Ledgered draws matched to a release claim.
+    pub attributed: usize,
+    /// Ledgered draws no release claims — the failing finding.
+    pub unattributed: Vec<DrawRecord>,
+    /// Release-claimed *ledgered* draws with no matching ledger draw:
+    /// a release asserting spend the ledger never saw. Informational
+    /// (over-claiming weakens no one's privacy) but worth surfacing.
+    pub unbacked: Vec<(u64, DrawRecord)>,
+}
+
+impl LintReport {
+    /// Whether every ledgered draw is attributed to a release.
+    pub fn clean(&self) -> bool {
+        self.unattributed.is_empty()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "{} draw(s) attributed, {} unattributed, {} unbacked claim(s)",
+            self.attributed,
+            self.unattributed.len(),
+            self.unbacked.len()
+        );
+        for d in &self.unattributed {
+            out.push_str(&format!(
+                "\n  UNATTRIBUTED ε={} {}/{} tenant={} at {}",
+                d.epsilon, d.mechanism, d.label, d.tenant, d.call_site
+            ));
+        }
+        for (id, d) in &self.unbacked {
+            out.push_str(&format!(
+                "\n  unbacked claim in release {id:016x}: ε={} {}/{}",
+                d.epsilon, d.mechanism, d.label
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the lint over `log`: ledgered draws vs release claims.
+pub fn unattributed_spend(log: &AuditLog) -> LintReport {
+    // Multiset of claims from every release, keyed by the claim key.
+    let mut claims: BTreeMap<_, Vec<(u64, DrawRecord)>> = BTreeMap::new();
+    for rel in &log.releases {
+        for d in rel.draws.iter().filter(|d| d.ledgered) {
+            claims
+                .entry(d.claim_key())
+                .or_default()
+                .push((rel.id, d.clone()));
+        }
+    }
+
+    let mut report = LintReport::default();
+    for draw in log.draws.iter().filter(|d| d.ledgered) {
+        match claims.get_mut(&draw.claim_key()).and_then(Vec::pop) {
+            Some(_) => report.attributed += 1,
+            None => report.unattributed.push(draw.clone()),
+        }
+    }
+    for bucket in claims.into_values() {
+        report.unbacked.extend(bucket);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release::ReleaseBuilder;
+
+    fn draw(label: &str, eps: f64, ledgered: bool) -> DrawRecord {
+        DrawRecord {
+            tenant: "default".into(),
+            mechanism: "laplace".into(),
+            label: label.into(),
+            epsilon: eps,
+            delta: 0.0,
+            sensitivity: 1.0,
+            call_site: "x.rs:1".into(),
+            ledgered,
+        }
+    }
+
+    #[test]
+    fn clean_when_every_ledger_draw_is_claimed() {
+        let d = draw("cpd[0]", 0.5, true);
+        let rel = ReleaseBuilder::new("dp.synthesis", "laplace").finish(vec![d.clone()]);
+        let log = AuditLog {
+            draws: vec![d],
+            releases: vec![rel],
+        };
+        let lint = unattributed_spend(&log);
+        assert!(lint.clean(), "{}", lint.describe());
+        assert_eq!(lint.attributed, 1);
+        assert!(lint.unbacked.is_empty());
+    }
+
+    #[test]
+    fn flags_draws_no_release_claims() {
+        let log = AuditLog {
+            draws: vec![draw("orphan", 0.5, true)],
+            releases: vec![],
+        };
+        let lint = unattributed_spend(&log);
+        assert!(!lint.clean());
+        assert_eq!(lint.unattributed.len(), 1);
+        assert!(lint.describe().contains("UNATTRIBUTED"));
+    }
+
+    #[test]
+    fn epsilon_must_match_bitwise() {
+        let spent = draw("x", 0.5, true);
+        let mut claimed = spent.clone();
+        claimed.epsilon = 0.5 + 1e-16; // same to a tolerance, different bits
+        let rel = ReleaseBuilder::new("p", "m").finish(vec![claimed]);
+        let log = AuditLog {
+            draws: vec![spent],
+            releases: vec![rel],
+        };
+        let lint = unattributed_spend(&log);
+        assert!(!lint.clean(), "a near-miss claim must not attribute spend");
+        assert_eq!(lint.unbacked.len(), 1);
+    }
+
+    #[test]
+    fn off_ledger_draws_are_exempt() {
+        let log = AuditLog {
+            draws: vec![draw("structure[0]", 0.5, false)],
+            releases: vec![],
+        };
+        assert!(unattributed_spend(&log).clean());
+    }
+
+    #[test]
+    fn duplicate_spends_need_duplicate_claims() {
+        let d = draw("x", 0.25, true);
+        let rel = ReleaseBuilder::new("p", "m").finish(vec![d.clone()]);
+        let log = AuditLog {
+            draws: vec![d.clone(), d],
+            releases: vec![rel],
+        };
+        let lint = unattributed_spend(&log);
+        assert_eq!(lint.attributed, 1);
+        assert_eq!(lint.unattributed.len(), 1);
+    }
+}

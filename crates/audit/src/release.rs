@@ -1,0 +1,419 @@
+//! Release lineage records: what was published, from which inputs, by
+//! which mechanism, paying exactly which ε/δ draws.
+//!
+//! A [`ReleaseRecord`] is the unit of the lineage DAG: one published
+//! artifact, its content-derived identity, the digests of its inputs,
+//! the exec-policy fingerprint it ran under (masked by
+//! [`ReleaseRecord::equivalence_view`], everything else is
+//! policy-invariant), parent releases it derives from, and the
+//! [`DrawRecord`]s — budget draws with `#[track_caller]` call-site
+//! provenance — that paid for it.
+
+use crate::digest::Digest;
+use ppdp_trace::json::JsonValue;
+
+/// One privacy-budget draw as the audit layer saw it: the telemetry
+/// fields plus tenant, call-site provenance, and whether the draw went
+/// through a `BudgetLedger`-backed ledger
+/// (`ledgered`) or was an off-ledger telemetry-only spend (e.g. the
+/// structure-selection half of PrivBayes, which pays out of a reserved
+/// budget share without individual ledger entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawRecord {
+    /// Tenant the draw was charged to (see [`crate::tenant_scope`]).
+    pub tenant: String,
+    /// Mechanism name (`"laplace"`, `"exponential"`, …).
+    pub mechanism: String,
+    /// What was released (free-form label such as `"cpd[3]"`).
+    pub label: String,
+    /// ε consumed.
+    pub epsilon: f64,
+    /// δ consumed (0 for pure-ε mechanisms).
+    pub delta: f64,
+    /// Query sensitivity the noise was calibrated against.
+    pub sensitivity: f64,
+    /// `file:line` of the spend call-site (propagated through the
+    /// `#[track_caller]` chain from the mechanism caller).
+    pub call_site: String,
+    /// Whether the draw is backed by a `BudgetLedger` entry. Only
+    /// ledgered draws participate in the unattributed-spend lint.
+    pub ledgered: bool,
+}
+
+impl DrawRecord {
+    /// The matching key used by the lint and the lineage digest: a draw
+    /// is the "same spend" when tenant, mechanism, label and the exact
+    /// ε/δ bit patterns agree.
+    pub(crate) fn claim_key(&self) -> (String, String, String, u64, u64) {
+        (
+            self.tenant.clone(),
+            self.mechanism.clone(),
+            self.label.clone(),
+            self.epsilon.to_bits(),
+            self.delta.to_bits(),
+        )
+    }
+
+    pub(crate) fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("tenant".into(), JsonValue::Str(self.tenant.clone())),
+            ("mechanism".into(), JsonValue::Str(self.mechanism.clone())),
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("epsilon".into(), JsonValue::Num(self.epsilon)),
+            ("delta".into(), JsonValue::Num(self.delta)),
+            ("sensitivity".into(), JsonValue::Num(self.sensitivity)),
+            ("call_site".into(), JsonValue::Str(self.call_site.clone())),
+            ("ledgered".into(), JsonValue::Bool(self.ledgered)),
+        ])
+    }
+
+    pub(crate) fn from_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            tenant: str_field(v, "tenant")?,
+            mechanism: str_field(v, "mechanism")?,
+            label: str_field(v, "label")?,
+            epsilon: f64_field(v, "epsilon")?,
+            delta: f64_field(v, "delta")?,
+            sensitivity: f64_field(v, "sensitivity")?,
+            call_site: str_field(v, "call_site")?,
+            ledgered: v
+                .get("ledgered")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing \"ledgered\"")?,
+        })
+    }
+}
+
+/// One published artifact in the release lineage DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseRecord {
+    /// Content-derived identity: digest of pipeline, tenant, params,
+    /// input digest, parents, and the exact draw amounts. Excludes the
+    /// exec fingerprint and call-sites, so the id is policy-invariant
+    /// and survives unrelated code motion.
+    pub id: u64,
+    /// Which publish pipeline produced the artifact
+    /// (`"genome.sanitize"`, `"social.publish"`, `"latent.optimize"`,
+    /// `"dp.synthesis"`).
+    pub pipeline: String,
+    /// Headline mechanism of the release.
+    pub mechanism: String,
+    /// Tenant the release belongs to.
+    pub tenant: String,
+    /// Sorted `(key, value)` mechanism parameters.
+    pub params: Vec<(String, String)>,
+    /// Digest of the published inputs (dataset/evidence/profile).
+    pub input_digest: u64,
+    /// Digest of the *query* alone (pipeline + mechanism + params):
+    /// together with `input_digest` this keys the release cache — the
+    /// same question about the same data is the same release.
+    pub query_fingerprint: u64,
+    /// Execution-policy fingerprint (e.g. `"seq"`, `"par4"`). The only
+    /// field masked by [`ReleaseRecord::equivalence_view`].
+    pub exec_fingerprint: String,
+    /// Ids of parent releases this artifact derives from.
+    pub parents: Vec<u64>,
+    /// The exact budget draws that paid for the release, in spend order.
+    pub draws: Vec<DrawRecord>,
+}
+
+impl ReleaseRecord {
+    /// Total ε across the release's draws (basic composition).
+    pub fn epsilon(&self) -> f64 {
+        self.draws.iter().map(|d| d.epsilon).sum()
+    }
+
+    /// Total δ across the release's draws.
+    pub fn delta(&self) -> f64 {
+        self.draws.iter().map(|d| d.delta).sum()
+    }
+
+    /// The policy-invariant projection: identical bytes across
+    /// `Sequential` and `Parallel{n}` runs of the same workload. Only
+    /// the exec fingerprint is masked — everything else (ids, params,
+    /// digests, draw order, call-sites) is already deterministic.
+    pub fn equivalence_view(&self) -> ReleaseRecord {
+        let mut view = self.clone();
+        view.exec_fingerprint = "<exec>".into();
+        view
+    }
+
+    pub(crate) fn to_value(&self) -> JsonValue {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+            .collect();
+        let parents = self
+            .parents
+            .iter()
+            .map(|p| JsonValue::Str(format!("{p:016x}")))
+            .collect();
+        let draws = self.draws.iter().map(DrawRecord::to_value).collect();
+        JsonValue::Object(vec![
+            ("id".into(), JsonValue::Str(format!("{:016x}", self.id))),
+            ("pipeline".into(), JsonValue::Str(self.pipeline.clone())),
+            ("mechanism".into(), JsonValue::Str(self.mechanism.clone())),
+            ("tenant".into(), JsonValue::Str(self.tenant.clone())),
+            ("params".into(), JsonValue::Object(params)),
+            (
+                "input_digest".into(),
+                JsonValue::Str(format!("{:016x}", self.input_digest)),
+            ),
+            (
+                "query_fingerprint".into(),
+                JsonValue::Str(format!("{:016x}", self.query_fingerprint)),
+            ),
+            (
+                "exec_fingerprint".into(),
+                JsonValue::Str(self.exec_fingerprint.clone()),
+            ),
+            ("parents".into(), JsonValue::Array(parents)),
+            ("draws".into(), JsonValue::Array(draws)),
+        ])
+    }
+
+    pub(crate) fn from_value(v: &JsonValue) -> Result<Self, String> {
+        let params = v
+            .get("params")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing \"params\"")?
+            .iter()
+            .map(|(k, val)| {
+                val.as_str()
+                    .map(|s| (k.clone(), s.to_owned()))
+                    .ok_or_else(|| format!("param {k:?} is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let parents = v
+            .get("parents")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"parents\"")?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or("bad parent id")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let draws = v
+            .get("draws")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"draws\"")?
+            .iter()
+            .map(DrawRecord::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            id: hex_field(v, "id")?,
+            pipeline: str_field(v, "pipeline")?,
+            mechanism: str_field(v, "mechanism")?,
+            tenant: str_field(v, "tenant")?,
+            params,
+            input_digest: hex_field(v, "input_digest")?,
+            query_fingerprint: hex_field(v, "query_fingerprint")?,
+            exec_fingerprint: str_field(v, "exec_fingerprint")?,
+            parents,
+            draws,
+        })
+    }
+}
+
+/// Builder for [`ReleaseRecord`]s; pipelines assemble one per artifact.
+#[derive(Debug, Clone)]
+pub struct ReleaseBuilder {
+    pipeline: String,
+    mechanism: String,
+    params: Vec<(String, String)>,
+    input_digest: u64,
+    exec_fingerprint: String,
+    parents: Vec<u64>,
+}
+
+impl ReleaseBuilder {
+    /// Starts a record for one artifact of `pipeline` released through
+    /// `mechanism`.
+    pub fn new(pipeline: &str, mechanism: &str) -> Self {
+        Self {
+            pipeline: pipeline.to_owned(),
+            mechanism: mechanism.to_owned(),
+            params: Vec::new(),
+            input_digest: 0,
+            exec_fingerprint: String::new(),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Adds one mechanism parameter (sorted by key at [`Self::finish`]).
+    pub fn param(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.params.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Sets the digest of the published inputs.
+    pub fn input_digest(mut self, digest: u64) -> Self {
+        self.input_digest = digest;
+        self
+    }
+
+    /// Sets the execution-policy fingerprint.
+    pub fn exec(mut self, fingerprint: &str) -> Self {
+        self.exec_fingerprint = fingerprint.to_owned();
+        self
+    }
+
+    /// Declares a parent release this artifact derives from.
+    pub fn parent(mut self, id: u64) -> Self {
+        self.parents.push(id);
+        self
+    }
+
+    /// The query fingerprint this builder will seal with: digest of
+    /// pipeline, mechanism, and sorted params only. Available *before*
+    /// [`Self::finish`], so a release cache can be probed before any ε
+    /// is spent answering the query.
+    pub fn query_fingerprint(&self) -> u64 {
+        let mut params = self.params.clone();
+        params.sort();
+        let mut query = Digest::new();
+        query.write_str(&self.pipeline).write_str(&self.mechanism);
+        for (k, v) in &params {
+            query.write_str(k).write_str(v);
+        }
+        query.finish()
+    }
+
+    /// Seals the record: sorts params, stamps the current tenant, and
+    /// computes the query fingerprint and content id.
+    pub fn finish(mut self, draws: Vec<DrawRecord>) -> ReleaseRecord {
+        let query_fingerprint = self.query_fingerprint();
+        self.params.sort();
+        self.parents.sort_unstable();
+        let tenant = crate::current_tenant();
+
+        let mut id = Digest::new();
+        id.write_u64(query_fingerprint)
+            .write_u64(self.input_digest)
+            .write_str(&tenant)
+            .write_u64(self.parents.len() as u64);
+        for p in &self.parents {
+            id.write_u64(*p);
+        }
+        id.write_u64(draws.len() as u64);
+        for d in &draws {
+            id.write_str(&d.mechanism)
+                .write_str(&d.label)
+                .write_f64(d.epsilon)
+                .write_f64(d.delta)
+                .write_bool(d.ledgered);
+        }
+
+        ReleaseRecord {
+            id: id.finish(),
+            pipeline: self.pipeline,
+            mechanism: self.mechanism,
+            tenant,
+            params: self.params,
+            input_digest: self.input_digest,
+            query_fingerprint,
+            exec_fingerprint: self.exec_fingerprint,
+            parents: self.parents,
+            draws,
+        }
+    }
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string {key:?}"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric {key:?}"))
+}
+
+fn hex_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| format!("missing or non-hex {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw(label: &str, eps: f64) -> DrawRecord {
+        DrawRecord {
+            tenant: "default".into(),
+            mechanism: "laplace".into(),
+            label: label.into(),
+            epsilon: eps,
+            delta: 0.0,
+            sensitivity: 1.0,
+            call_site: "crates/dp/src/bayes_net.rs:184".into(),
+            ledgered: true,
+        }
+    }
+
+    #[test]
+    fn id_ignores_exec_fingerprint_but_not_draw_amounts() {
+        let base = |exec: &str, eps: f64| {
+            ReleaseBuilder::new("dp.synthesis", "laplace")
+                .param("epsilon", 5.0)
+                .input_digest(42)
+                .exec(exec)
+                .finish(vec![draw("cpd[0]", eps)])
+        };
+        assert_eq!(base("seq", 1.0).id, base("par4", 1.0).id);
+        assert_ne!(base("seq", 1.0).id, base("seq", 1.0 + 1e-15).id);
+    }
+
+    #[test]
+    fn query_fingerprint_ignores_inputs_and_draws() {
+        let a = ReleaseBuilder::new("dp.synthesis", "laplace")
+            .param("epsilon", 5.0)
+            .input_digest(1)
+            .finish(vec![draw("x", 0.5)]);
+        let b = ReleaseBuilder::new("dp.synthesis", "laplace")
+            .param("epsilon", 5.0)
+            .input_digest(2)
+            .finish(vec![]);
+        assert_eq!(a.query_fingerprint, b.query_fingerprint);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn params_sort_for_order_independence() {
+        let a = ReleaseBuilder::new("p", "m").param("a", 1).param("b", 2);
+        let b = ReleaseBuilder::new("p", "m").param("b", 2).param("a", 1);
+        assert_eq!(a.finish(vec![]).id, b.finish(vec![]).id);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = ReleaseBuilder::new("genome.sanitize", "greedy_bp")
+            .param("delta", 0.6)
+            .param("max_removals", 8)
+            .input_digest(0xdead_beef)
+            .exec("par4")
+            .parent(7)
+            .finish(vec![draw("genome", 0.5)]);
+        let back = ReleaseRecord::from_value(&rec.to_value()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn equivalence_view_masks_only_exec() {
+        let rec = ReleaseBuilder::new("p", "m")
+            .exec("par8")
+            .finish(vec![draw("x", 0.1)]);
+        let view = rec.equivalence_view();
+        assert_eq!(view.exec_fingerprint, "<exec>");
+        assert_eq!(view.id, rec.id);
+        assert_eq!(view.draws, rec.draws);
+    }
+}

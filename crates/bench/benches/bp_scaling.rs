@@ -177,5 +177,4 @@ fn main() {
         dump_telemetry_report(&path);
     }
     benches();
-    Criterion::default().configure_from_args().final_summary();
 }

@@ -184,5 +184,4 @@ fn main() {
         dump_telemetry_report(&path);
     }
     benches();
-    Criterion::default().configure_from_args().final_summary();
 }

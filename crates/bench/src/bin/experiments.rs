@@ -38,6 +38,15 @@
 //! `PPDP_METRICS_OUT`; see README.md for the full `PPDP_METRICS_*`
 //! environment table).
 //!
+//! Every invocation runs under a global audit sink: each published
+//! artifact's lineage record and every ε draw (with call-site
+//! provenance) are captured, and the run ends with the
+//! unattributed-spend lint — a ledgered ε draw not reachable from any
+//! release record fails the run with status **5** (privacy loss without
+//! provenance is an audit bug, not a warning). `--audit-out <path>`
+//! additionally writes the full audit log as JSONL, ready for
+//! `ppdp-report audit`.
+//!
 //! Long sweeps survive interruption: `--checkpoint-dir <dir>` journals
 //! every completed experiment id to a write-ahead log (fsynced append),
 //! and a rerun with the same directory skips the ids already done. On
@@ -201,7 +210,8 @@ const QUICK: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <id>|all|quick [<id> …] [--report <path>] [--json] \
-         [--metrics-out <path>] [--checkpoint-dir <dir>] [--allow-degraded]   (ids: {})",
+         [--metrics-out <path>] [--checkpoint-dir <dir>] [--audit-out <path>] \
+         [--allow-degraded]   (ids: {})",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -245,6 +255,7 @@ fn main() {
 
     let mut report_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut audit_out: Option<String> = None;
     let mut checkpoint_dir: Option<std::path::PathBuf> = None;
     let mut json_stdout = false;
     let mut allow_degraded = false;
@@ -276,6 +287,13 @@ fn main() {
                         "{}",
                         status_line("error", "--checkpoint-dir needs a directory path")
                     );
+                    usage();
+                }
+            },
+            "--audit-out" => match iter.next() {
+                Some(p) => audit_out = Some(p.clone()),
+                None => {
+                    eprintln!("{}", status_line("error", "--audit-out needs a file path"));
                     usage();
                 }
             },
@@ -342,6 +360,11 @@ fn main() {
     // in the workspace reports into it, grouped under a per-experiment span.
     let recorder = Recorder::new();
     telemetry::install_global(recorder.clone());
+    // Global audit sink: captures every ε draw and release record the
+    // invocation produces, feeding the end-of-run unattributed-spend
+    // lint (and `--audit-out`).
+    let audit_sink = ppdp::audit::AuditSink::new();
+    ppdp::audit::install_global(audit_sink.clone());
     // Live metrics tee: `--metrics-out` forces the registry on with a
     // final-snapshot path; otherwise `PPDP_METRICS*` decides. Env knobs
     // (address, heartbeat interval, periodic snapshot) apply either way.
@@ -454,6 +477,28 @@ fn main() {
             }
         }
     }
+    ppdp::audit::uninstall_global();
+    let audit_log = audit_sink.take();
+    if let Some(path) = &audit_out {
+        if let Err(e) = std::fs::write(path, audit_log.to_jsonl()) {
+            eprintln!(
+                "{}",
+                status_line("error", &format!("cannot write {path}: {e}"))
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{}",
+            status_line(
+                "saved",
+                &format!(
+                    "{} draw(s), {} release record(s) → {path}",
+                    audit_log.draws.len(),
+                    audit_log.releases.len()
+                )
+            )
+        );
+    }
     let report = recorder.take();
     let total_nanos = u64::try_from(total.elapsed().as_nanos()).unwrap_or(u64::MAX);
     eprintln!(
@@ -479,6 +524,31 @@ fn main() {
     }
     if json_stdout {
         println!("{}", report.to_json_pretty());
+    }
+    let lint = audit_log.lint();
+    if !audit_log.is_empty() {
+        eprintln!(
+            "{}",
+            status_line(
+                "audit",
+                &format!(
+                    "{} release(s), {}",
+                    audit_log.releases.len(),
+                    lint.describe().lines().next().unwrap_or_default()
+                )
+            )
+        );
+    }
+    if !lint.clean() {
+        eprintln!("{}", status_line("error", &lint.describe()));
+        eprintln!(
+            "{}",
+            status_line(
+                "error",
+                "ledgered ε left a budget without a release record claiming it"
+            )
+        );
+        std::process::exit(5);
     }
     if report_degradations(&report) > 0 && !allow_degraded {
         eprintln!(

@@ -5,6 +5,8 @@
 //!   ppdp-report diff [--ignore-wall] [--wall-ratio <x>] [--memory-ratio <x>] <baseline> <candidate>
 //!   ppdp-report chrome <trace.jsonl> [--out <path>]
 //!   ppdp-report flame <trace.jsonl>
+//!   ppdp-report audit <audit.jsonl> [--epsilon <ε>] [--delta-slack <δ'>]
+//!                     [--dot <path>] [--wal <ledger.wal>]
 //!
 //! * `explain` prints an annotated trajectory of one run: convergence
 //!   curves per inference attempt, greedy picks with marginal gains,
@@ -22,9 +24,22 @@
 //! * `chrome` converts a JSONL trace to Chrome `trace_event` JSON
 //!   (load via `chrome://tracing` or Perfetto); `flame` emits
 //!   collapsed-stack lines for flamegraph tooling.
+//! * `audit` renders a privacy-loss audit log (`experiments
+//!   --audit-out` JSONL): per-tenant remaining-budget timelines with
+//!   sparklines, ε broken down by mechanism / label / call-site,
+//!   composition bounds (basic vs the tighter advanced bound at slack
+//!   `--delta-slack`, default 1e-6), the release lineage, and the
+//!   unattributed-spend lint. `--epsilon <ε>` declares the total budget
+//!   the timeline counts down from; `--dot <path>` exports the lineage
+//!   DAG as Graphviz; `--wal <ledger.wal>` replays a durable ledger's
+//!   write-ahead log and reconciles the audit log's ledgered draws
+//!   against it **bitwise** (requires `--epsilon`).
+//!   Exit status: 0 clean, 1 lint failure or reconciliation mismatch.
 //!
 //! Bad usage, unreadable files and parse errors exit with status 2.
 
+use ppdp::audit::{reconcile, Accountant, AuditLog};
+use ppdp::dp::{DurableLedger, OverdrawPolicy};
 use ppdp::trace::json::JsonValue;
 use ppdp::trace::{diff, Trace, TraceEvent, TrialPhase};
 
@@ -46,7 +61,8 @@ fn usage() -> ! {
     fail(
         "usage: ppdp-report explain <file> | diff [--ignore-wall] [--wall-ratio <x>] \
          [--memory-ratio <x>] <baseline> <candidate> | chrome <trace.jsonl> [--out <path>] | \
-         flame <trace.jsonl>",
+         flame <trace.jsonl> | audit <audit.jsonl> [--epsilon <e>] [--delta-slack <d>] \
+         [--dot <path>] [--wal <ledger.wal>]",
     );
 }
 
@@ -452,6 +468,227 @@ fn run_diff(
     std::process::exit(i32::from(!report.is_clean()));
 }
 
+// ------------------------------------------------------------------ audit
+
+struct AuditOpts {
+    /// Declared total ε budget: timelines count down from it, and WAL
+    /// replay opens the recovered ledger against it.
+    epsilon: Option<f64>,
+    /// δ' slack for the advanced composition bound.
+    delta_slack: f64,
+    /// Write the lineage DAG as Graphviz DOT to this path.
+    dot: Option<String>,
+    /// Reconcile against this durable ledger WAL (needs `epsilon`).
+    wal: Option<String>,
+}
+
+fn load_audit(path: &str) -> AuditLog {
+    match AuditLog::from_jsonl(&read(path)) {
+        Ok(log) => log,
+        Err(e) => fail(&format!("{path} is not an audit JSONL log: {e}")),
+    }
+}
+
+/// A linear-scale sparkline of `values`, sampled down to at most 32
+/// points. Unlike [`residual_curve`] (log-scale, built for residuals
+/// spanning orders of magnitude) budget levels live on one scale.
+fn spark(values: &[f64]) -> String {
+    const GLYPHS: [char; 5] = ['▁', '▂', '▄', '▆', '█'];
+    if values.len() < 2 {
+        return String::new();
+    }
+    let stride = values.len().div_ceil(32);
+    let sampled: Vec<f64> = values.iter().step_by(stride).copied().collect();
+    let (lo, hi) = sampled
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-12);
+    sampled
+        .iter()
+        .map(|&v| GLYPHS[(((v - lo) / span) * 4.0).round().clamp(0.0, 4.0) as usize])
+        .collect()
+}
+
+fn print_breakdown(title: &str, groups: &std::collections::BTreeMap<String, f64>) {
+    if groups.is_empty() {
+        return;
+    }
+    println!("  ε by {title}:");
+    let mut rows: Vec<(&String, &f64)> = groups.iter().collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (key, eps) in rows {
+        println!("    {} {key}", sig(*eps));
+    }
+}
+
+fn print_tenant(tenant: &str, acct: &Accountant, log: &AuditLog, opts: &AuditOpts) {
+    println!("\n## tenant {tenant}: {} draw(s)", acct.len());
+    let basic = acct.basic();
+    let tight = acct.tight(opts.delta_slack);
+    println!(
+        "  composed: ε={} δ={} (basic); ε={} δ={} (tight at δ'={})",
+        sig(basic.epsilon),
+        sig(basic.delta),
+        sig(tight.epsilon),
+        sig(tight.delta),
+        sig(opts.delta_slack),
+    );
+
+    // Remaining-budget timeline over this tenant's ledgered draws, in
+    // spend order: the level after each charge.
+    let ledgered: Vec<f64> = log
+        .draws
+        .iter()
+        .filter(|d| d.tenant == tenant && d.ledgered)
+        .map(|d| d.epsilon)
+        .collect();
+    if !ledgered.is_empty() {
+        let mut level = opts.epsilon.unwrap_or(0.0);
+        let sign = if opts.epsilon.is_some() { -1.0 } else { 1.0 };
+        let timeline: Vec<f64> = ledgered
+            .iter()
+            .map(|eps| {
+                level += sign * eps;
+                level
+            })
+            .collect();
+        let (name, last) = match opts.epsilon {
+            Some(_) => ("remaining", timeline.last().copied().unwrap_or(0.0)),
+            None => ("spent", timeline.last().copied().unwrap_or(0.0)),
+        };
+        println!(
+            "  {name} over {} ledgered draw(s): {}  {}",
+            ledgered.len(),
+            sig(last),
+            spark(&timeline)
+        );
+    }
+
+    print_breakdown("mechanism", &acct.by_mechanism());
+    print_breakdown("label", &acct.by_label());
+    print_breakdown("call-site", &acct.by_call_site());
+}
+
+/// Replays the WAL at `path` and reconciles `log`'s ledgered draws for
+/// `tenant` against the recovered ledger, bitwise. Returns whether the
+/// reconciliation was exact.
+fn reconcile_wal(log: &AuditLog, tenant: &str, path: &str, epsilon: f64) -> bool {
+    let (ledger, recovery) = match DurableLedger::open(
+        std::path::Path::new(path),
+        epsilon,
+        OverdrawPolicy::Permissive,
+    ) {
+        Ok(pair) => pair,
+        Err(e) => fail(&format!("cannot replay WAL {path}: {e}")),
+    };
+    println!(
+        "\n## WAL reconciliation: {path} ({} draw(s) replayed, ε={} recovered{})",
+        recovery.replayed,
+        sig(recovery.recovered_epsilon),
+        if recovery.torn_tail {
+            ", torn tail discarded"
+        } else {
+            ""
+        }
+    );
+    let mut acct = Accountant::with_budget(tenant, epsilon);
+    for d in log
+        .draws
+        .iter()
+        .filter(|d| d.tenant == tenant && d.ledgered)
+    {
+        acct.record(d);
+    }
+    let rec = reconcile(&acct, ledger.ledger().draws(), ledger.spent());
+    if rec.exact() {
+        println!(
+            "  exact: {} draw(s) matched, audited ε bits == ledger ε bits ({:016x})",
+            rec.matched, rec.accountant_bits
+        );
+        true
+    } else {
+        println!(
+            "  MISMATCH: {} matched, audited bits {:016x} vs ledger bits {:016x}",
+            rec.matched, rec.accountant_bits, rec.ledger_bits
+        );
+        for m in &rec.mismatches {
+            println!("    {m}");
+        }
+        false
+    }
+}
+
+fn run_audit(path: &str, opts: &AuditOpts) -> ! {
+    let log = load_audit(path);
+    let mut clean = true;
+
+    let ledgered = log.draws.iter().filter(|d| d.ledgered).count();
+    println!(
+        "# {path}: {} release(s), {} draw(s) ({ledgered} ledgered, {} off-ledger)",
+        log.releases.len(),
+        log.draws.len(),
+        log.draws.len() - ledgered,
+    );
+
+    if !log.releases.is_empty() {
+        println!("\n## release lineage");
+        for r in &log.releases {
+            let parents = if r.parents.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " <- {}",
+                    r.parents
+                        .iter()
+                        .map(|p| format!("{p:016x}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            println!(
+                "  {:016x} {} via {} [{}] tenant={} ε={} δ={} {} draw(s){parents}",
+                r.id,
+                r.pipeline,
+                r.mechanism,
+                r.exec_fingerprint,
+                r.tenant,
+                sig(r.epsilon()),
+                sig(r.delta()),
+                r.draws.len(),
+            );
+        }
+    }
+
+    for (tenant, acct) in &log.accountants() {
+        print_tenant(tenant, acct, &log, opts);
+    }
+
+    let lint = log.lint();
+    println!("\n## unattributed-spend lint\n  {}", lint.describe());
+    clean &= lint.clean();
+
+    if let Some(out) = &opts.dot {
+        if let Err(e) = std::fs::write(out, log.to_dot()) {
+            fail(&format!("cannot write {out}: {e}"));
+        }
+        eprintln!("ppdp-report: lineage DOT → {out}");
+    }
+
+    if let Some(wal) = &opts.wal {
+        let Some(epsilon) = opts.epsilon else {
+            fail("--wal needs --epsilon <total budget> to replay the ledger against");
+        };
+        let tenant = log
+            .draws
+            .iter()
+            .find(|d| d.ledgered)
+            .map_or_else(|| "default".to_owned(), |d| d.tenant.clone());
+        clean &= reconcile_wal(&log, &tenant, wal, epsilon);
+    }
+
+    std::process::exit(i32::from(!clean));
+}
+
 // ------------------------------------------------------------------- misc
 
 fn num_member(v: &JsonValue, key: &str) -> f64 {
@@ -517,6 +754,87 @@ fn main() {
             }
         }
         ["flame", path] => print!("{}", load_trace(path).flame()),
+        ["audit", rest @ ..] => {
+            let mut opts = AuditOpts {
+                epsilon: None,
+                delta_slack: 1e-6,
+                dot: None,
+                wal: None,
+            };
+            let mut files: Vec<&str> = Vec::new();
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                match *arg {
+                    "--epsilon" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x > 0.0 => opts.epsilon = Some(x),
+                        _ => fail("--epsilon needs a total budget > 0"),
+                    },
+                    "--delta-slack" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x > 0.0 && x < 1.0 => opts.delta_slack = x,
+                        _ => fail("--delta-slack needs a slack in (0, 1)"),
+                    },
+                    "--dot" => match iter.next() {
+                        Some(out) => opts.dot = Some((*out).to_owned()),
+                        None => fail("--dot needs an output path"),
+                    },
+                    "--wal" => match iter.next() {
+                        Some(wal) => opts.wal = Some((*wal).to_owned()),
+                        None => fail("--wal needs a ledger WAL path"),
+                    },
+                    flag if flag.starts_with('-') => fail(&format!("unknown audit flag {flag}")),
+                    path => files.push(path),
+                }
+            }
+            match files.as_slice() {
+                [path] => run_audit(path, &opts),
+                _ => usage(),
+            }
+        }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_is_monotone_over_a_countdown() {
+        let levels: Vec<f64> = (0..40).map(|i| 5.0 - 0.1 * i as f64).collect();
+        let curve = spark(&levels);
+        assert_eq!(curve.chars().count(), 20, "40 points stride down to 20");
+        assert!(curve.starts_with('█') && curve.ends_with('▁'));
+    }
+
+    #[test]
+    fn wal_reconciliation_is_bitwise_through_the_report_path() {
+        let dir = std::env::temp_dir().join(format!("ppdp-report-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("ledger.wal");
+
+        let sink = ppdp::audit::AuditSink::new();
+        let log = {
+            let _scope = sink.enter();
+            let (mut ledger, _) = DurableLedger::open(&wal, 1.0, OverdrawPolicy::Strict).unwrap();
+            for i in 0..6 {
+                ledger
+                    .spend(0.1, "laplace", &format!("cpd[{i}]"), 1.0)
+                    .unwrap();
+            }
+            sink.take()
+        };
+        assert!(reconcile_wal(&log, "default", wal.to_str().unwrap(), 1.0));
+
+        // A tampered audit log (one draw dropped) must not reconcile.
+        let mut tampered = log.clone();
+        tampered.draws.pop();
+        assert!(!reconcile_wal(
+            &tampered,
+            "default",
+            wal.to_str().unwrap(),
+            1.0
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

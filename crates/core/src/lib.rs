@@ -34,6 +34,7 @@
 //! assert!(report.privacy_accuracy_after <= report.privacy_accuracy_before + 1e-9);
 //! ```
 
+pub use ppdp_audit as audit;
 pub use ppdp_classify as classify;
 pub use ppdp_datagen as datagen;
 pub use ppdp_dp as dp;
@@ -55,6 +56,7 @@ pub mod publish;
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
     pub use crate::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
+    pub use ppdp_audit::{Accountant, AuditLog, AuditSink, ReleaseCache, ReleaseRecord};
     pub use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
     pub use ppdp_datagen::social::{caltech_like, mit_like, snap_like};
     pub use ppdp_durable::{CheckpointKey, CheckpointStore};

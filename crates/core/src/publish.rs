@@ -1,12 +1,15 @@
 //! High-level publishing pipelines, one per dissertation chapter.
 
+use ppdp_audit::digest::{fnv1a, Digest};
+use ppdp_audit::{AuditSink, ReleaseBuilder, ReleaseCache, ReleaseRecord};
 use ppdp_classify::{AttackModel, LabeledGraph, LocalKind};
 use ppdp_datagen::social::SocialDataset;
 use ppdp_durable::CheckpointStore;
 use ppdp_errors::{ensure, ensure_unit_closed, Result};
 use ppdp_exec::ExecPolicy;
 use ppdp_genomic::sanitize::{
-    greedy_sanitize_checkpointed, greedy_sanitize_with, Predictor, SanitizeOutcome, Target,
+    greedy_sanitize_checkpointed, greedy_sanitize_with, sanitize_checkpoint_key, Predictor,
+    SanitizeOutcome, Target,
 };
 use ppdp_genomic::{BpConfig, Evidence, GwasCatalog};
 use ppdp_graph::SocialGraph;
@@ -32,6 +35,48 @@ fn record_phase_ms(phase: &'static str, started: std::time::Instant) {
         },
         started.elapsed().as_secs_f64() * 1e3,
     );
+}
+
+/// The execution-policy fingerprint stamped on release records; the one
+/// release field [`ReleaseRecord::equivalence_view`] masks.
+fn exec_fp(exec: ExecPolicy) -> String {
+    match exec {
+        ExecPolicy::Sequential => "seq".to_owned(),
+        ExecPolicy::Parallel { threads } => format!("par{threads}"),
+    }
+}
+
+/// Content digest of a social dataset: node/edge structure plus the
+/// privacy- and utility-category labels the pipeline publishes over.
+fn social_input_digest(d: &SocialDataset) -> u64 {
+    let mut dg = Digest::new();
+    dg.write_u64(d.graph.user_count() as u64);
+    for (a, b) in d.graph.edges() {
+        dg.write_u64(a.0 as u64).write_u64(b.0 as u64);
+    }
+    for cat in [d.privacy_cat, d.utility_cat] {
+        dg.write_u64(cat.0 as u64);
+        for u in d.graph.users() {
+            dg.write_u64(d.graph.value(u, cat).map_or(u64::MAX, u64::from));
+        }
+    }
+    dg.finish()
+}
+
+/// Content digest of a categorical microdata table (schema + every cell).
+fn table_input_digest(t: &ppdp_dp::Table) -> u64 {
+    let mut dg = Digest::new();
+    dg.write_u64(t.n_cols() as u64);
+    for a in t.arities() {
+        dg.write_u64(u64::from(*a));
+    }
+    dg.write_u64(t.n_rows() as u64);
+    for row in t.rows() {
+        for v in row {
+            dg.write_u64(u64::from(*v));
+        }
+    }
+    dg.finish()
 }
 
 /// Chapter 3 pipeline: collective sanitization of a social dataset plus a
@@ -63,6 +108,9 @@ pub struct SocialReport {
     /// Everything the instrumented sub-crates recorded during the run:
     /// phase timings, ICA sweep counts, link-removal counters.
     pub telemetry: RunReport,
+    /// Lineage record of the published artifact (also delivered to any
+    /// active [`AuditSink`]).
+    pub release: ReleaseRecord,
 }
 
 impl<'d> SocialPublisher<'d> {
@@ -144,6 +192,8 @@ impl<'d> SocialPublisher<'d> {
         )?;
         let rec = Recorder::new();
         let scope = rec.enter();
+        let audit = AuditSink::new();
+        let audit_scope = audit.enter();
         let span = ppdp_telemetry::span("social.publish");
         self.exec.record_threads();
 
@@ -212,7 +262,20 @@ impl<'d> SocialPublisher<'d> {
         };
 
         drop(span);
+        drop(audit_scope);
         drop(scope);
+        let release = ReleaseBuilder::new("social.publish", "collective_sanitize")
+            .param("level", self.level)
+            .param("links_removed", self.links_to_remove)
+            .param("known_fraction", self.known_fraction)
+            .param("classifier", format!("{:?}", self.kind))
+            .param("alpha", self.mix.0)
+            .param("beta", self.mix.1)
+            .param("seed", seed)
+            .input_digest(social_input_digest(d))
+            .exec(&exec_fp(self.exec))
+            .finish(audit.take().draws);
+        ppdp_audit::record_release(&release);
         Ok(SocialReport {
             sanitized,
             plan,
@@ -220,6 +283,7 @@ impl<'d> SocialPublisher<'d> {
             privacy_accuracy_after: after,
             utility_accuracy_after: utility,
             telemetry: rec.take(),
+            release,
         })
     }
 }
@@ -242,6 +306,8 @@ pub struct LatentReport {
     pub privacy: f64,
     /// Telemetry recorded during the optimization (greedy solver counters).
     pub telemetry: RunReport,
+    /// Lineage record of the published strategy.
+    pub release: ReleaseRecord,
 }
 
 impl LatentPublisher {
@@ -275,6 +341,8 @@ impl LatentPublisher {
     ) -> Result<LatentReport> {
         let rec = Recorder::new();
         let scope = rec.enter();
+        let audit = AuditSink::new();
+        let audit_scope = audit.enter();
         let span = ppdp_telemetry::span("latent.optimize");
         exec.record_threads();
         let started = std::time::Instant::now();
@@ -291,11 +359,22 @@ impl LatentPublisher {
         )?;
         record_phase_ms("optimize", started);
         drop(span);
+        drop(audit_scope);
         drop(scope);
+        // Debug-formatted f64s print their shortest round-trip form, so
+        // the digest is bit-faithful to the inputs.
+        let input = format!("{profile:?}|{initial:?}|{predictions:?}");
+        let release = ReleaseBuilder::new("latent.optimize", "coordinate_ascent")
+            .param("delta", delta)
+            .input_digest(fnv1a(input.as_bytes()))
+            .exec(&exec_fp(exec))
+            .finish(audit.take().draws);
+        ppdp_audit::record_release(&release);
         Ok(LatentReport {
             strategy,
             privacy,
             telemetry: rec.take(),
+            release,
         })
     }
 }
@@ -353,6 +432,36 @@ impl<'c> GenomePublisher<'c> {
         self
     }
 
+    /// Seals the lineage record for one sanitize run; the input digest
+    /// reuses the checkpoint key's canonical encoding of (catalog,
+    /// evidence, targets, δ, cap), so the release identity and the
+    /// durable resume identity can never disagree about the inputs.
+    fn seal_release(
+        &self,
+        evidence: &Evidence,
+        targets: &[Target],
+        draws: Vec<ppdp_audit::DrawRecord>,
+    ) -> ReleaseRecord {
+        let input = sanitize_checkpoint_key(
+            "audit",
+            self.catalog,
+            evidence,
+            targets,
+            self.delta,
+            self.max_removals,
+        )
+        .input_digest;
+        let release = ReleaseBuilder::new("genome.publish", "greedy_sanitize")
+            .param("delta", self.delta)
+            .param("max_removals", self.max_removals)
+            .param("predictor", format!("{:?}", self.predictor))
+            .input_digest(input)
+            .exec(&exec_fp(self.exec))
+            .finish(draws);
+        ppdp_audit::record_release(&release);
+        release
+    }
+
     /// Sanitizes `evidence` so that every `target` reaches `δ`-privacy;
     /// returns the evidence actually safe to release, the greedy outcome,
     /// and the telemetry of the run (BP sweeps, removals, timings).
@@ -374,6 +483,8 @@ impl<'c> GenomePublisher<'c> {
         )?;
         let rec = Recorder::new();
         let scope = rec.enter();
+        let audit = AuditSink::new();
+        let audit_scope = audit.enter();
         let span = ppdp_telemetry::span("genome.publish");
         self.exec.record_threads();
         let started = std::time::Instant::now();
@@ -392,11 +503,14 @@ impl<'c> GenomePublisher<'c> {
             released.snps.remove(s);
         }
         drop(span);
+        drop(audit_scope);
         drop(scope);
+        let release = self.seal_release(evidence, targets, audit.take().draws);
         Ok(GenomeReport {
             released,
             outcome,
             telemetry: rec.take(),
+            release,
         })
     }
 
@@ -439,6 +553,8 @@ impl<'c> GenomePublisher<'c> {
         };
         let rec = Recorder::new();
         let scope = rec.enter();
+        let audit = AuditSink::new();
+        let audit_scope = audit.enter();
         let span = ppdp_telemetry::span("genome.publish");
         self.exec.record_threads();
         let started = std::time::Instant::now();
@@ -459,11 +575,14 @@ impl<'c> GenomePublisher<'c> {
             released.snps.remove(s);
         }
         drop(span);
+        drop(audit_scope);
         drop(scope);
+        let release = self.seal_release(evidence, targets, audit.take().draws);
         Ok(GenomeReport {
             released,
             outcome,
             telemetry: rec.take(),
+            release,
         })
     }
 }
@@ -478,6 +597,9 @@ pub struct GenomeReport {
     /// Telemetry recorded during the run (BP iterations, residuals,
     /// per-candidate evaluation spans).
     pub telemetry: RunReport,
+    /// Lineage record of the released evidence. A resumed run seals the
+    /// same record as an uninterrupted one (same inputs, same id).
+    pub release: ReleaseRecord,
 }
 
 /// Differential-privacy pipeline: synthetic publishing of categorical
@@ -489,6 +611,7 @@ pub struct DpPublisher {
     /// Bayesian-network degree (marginal dimensionality − 1).
     pub degree: usize,
     exec: ExecPolicy,
+    private_structure: bool,
 }
 
 impl DpPublisher {
@@ -497,6 +620,7 @@ impl DpPublisher {
         Self {
             epsilon,
             degree,
+            private_structure: false,
             exec: ExecPolicy::Sequential,
         }
     }
@@ -506,6 +630,17 @@ impl DpPublisher {
     /// identical for every policy and thread count.
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Selects network structure with the exponential mechanism
+    /// ([`ppdp_dp::BayesNet::fit_private_structure`]): half the budget
+    /// goes to structure picks, half to the conditionals. The structure
+    /// draws pay out of a reserved share without individual ledger
+    /// entries, so they surface in the release record as off-ledger
+    /// draws (lint-exempt, but part of the composed ε).
+    pub fn private_structure(mut self) -> Self {
+        self.private_structure = true;
         self
     }
 
@@ -523,20 +658,24 @@ impl DpPublisher {
     pub fn publish(&self, table: &ppdp_dp::Table, n: usize, seed: u64) -> Result<DpReport> {
         let rec = Recorder::new();
         let scope = rec.enter();
+        let audit = AuditSink::new();
+        let audit_scope = audit.enter();
         let span = ppdp_telemetry::span("dp.publish");
         self.exec.record_threads();
+        let input_digest = table_input_digest(table);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = {
             let _phase = ppdp_telemetry::span("fit");
             let started = std::time::Instant::now();
-            let net = ppdp_dp::BayesNet::fit(
-                &mut rng,
-                table,
-                ppdp_dp::SynthesisConfig {
-                    degree: self.degree,
-                    epsilon: self.epsilon,
-                },
-            )?;
+            let cfg = ppdp_dp::SynthesisConfig {
+                degree: self.degree,
+                epsilon: self.epsilon,
+            };
+            let net = if self.private_structure {
+                ppdp_dp::BayesNet::fit_private_structure(&mut rng, table, cfg)
+            } else {
+                ppdp_dp::BayesNet::fit(&mut rng, table, cfg)
+            }?;
             record_phase_ms("fit", started);
             net
         };
@@ -552,11 +691,69 @@ impl DpPublisher {
             table
         };
         drop(span);
+        drop(audit_scope);
         drop(scope);
+        let release = self
+            .release_builder(n, seed)
+            .input_digest(input_digest)
+            .exec(&exec_fp(self.exec))
+            .finish(audit.take().draws);
+        ppdp_audit::record_release(&release);
         Ok(DpReport {
             table,
             telemetry: rec.take(),
+            release,
         })
+    }
+
+    /// The release query this publisher answers: PrivBayes synthesis at
+    /// `(ε, degree)` of `n` records under `seed`. Shared by
+    /// [`DpPublisher::publish`] and the cache probe so their query
+    /// fingerprints can never drift apart.
+    fn release_builder(&self, n: usize, seed: u64) -> ReleaseBuilder {
+        ReleaseBuilder::new("dp.publish", "privbayes")
+            .param("epsilon", self.epsilon)
+            .param("degree", self.degree)
+            .param(
+                "structure",
+                if self.private_structure {
+                    "exponential"
+                } else {
+                    "greedy_mi"
+                },
+            )
+            .param("n", n)
+            .param("seed", seed)
+    }
+
+    /// [`DpPublisher::publish`] through a [`ReleaseCache`]: if the same
+    /// query (ε, degree, n, seed) was already answered over the same
+    /// input table, the cached synthetic table and its lineage record
+    /// are returned **without spending any ε** — republishing is
+    /// post-processing. A miss publishes normally and populates the
+    /// cache.
+    ///
+    /// # Errors
+    /// As [`DpPublisher::publish`] (misses only; a hit cannot fail).
+    pub fn publish_cached(
+        &self,
+        table: &ppdp_dp::Table,
+        n: usize,
+        seed: u64,
+        cache: &mut ReleaseCache<ppdp_dp::Table>,
+    ) -> Result<DpReport> {
+        let qf = self.release_builder(n, seed).query_fingerprint();
+        let input_digest = table_input_digest(table);
+        if let Some((record, synthetic)) = cache.lookup(qf, input_digest) {
+            return Ok(DpReport {
+                table: synthetic.clone(),
+                telemetry: RunReport::default(),
+                release: record.clone(),
+            });
+        }
+        let report = self.publish(table, n, seed)?;
+        cache.insert(report.release.clone(), report.table.clone());
+        Ok(report)
     }
 }
 
@@ -567,8 +764,13 @@ pub struct DpReport {
     pub table: ppdp_dp::Table,
     /// Telemetry recorded during the run; `telemetry.budget` holds one
     /// entry per ε draw and `telemetry.total_epsilon()` equals the
-    /// configured budget.
+    /// configured budget. Empty on a [`DpPublisher::publish_cached`] hit
+    /// (nothing ran, nothing was spent).
     pub telemetry: RunReport,
+    /// Lineage record of the release: every CPD ledger draw (with
+    /// call-site provenance) plus the off-ledger structure-selection
+    /// draws.
+    pub release: ReleaseRecord,
 }
 
 #[cfg(test)]

@@ -388,7 +388,7 @@ mod tests {
 
         std::fs::write(&path, &payload).unwrap();
         let cut_a = Chaos::new(9).torn_write(&path).unwrap().unwrap();
-        assert!(cut_a >= 1 && cut_a < 256);
+        assert!((1..256).contains(&cut_a));
         assert_eq!(std::fs::metadata(&path).unwrap().len(), cut_a);
         std::fs::write(&path, &payload).unwrap();
         let cut_b = Chaos::new(9).torn_write(&path).unwrap().unwrap();

@@ -107,13 +107,12 @@ impl BayesNet {
                 let scores: Vec<f64> = remaining.iter().map(|&i| mis[i]).collect();
                 let choice = crate::mechanism::exponential_mechanism(rng, &scores, eps_each, 1.0);
                 picked.push(remaining.remove(choice));
-                ppdp_telemetry::budget_draw(
-                    "exponential",
-                    &format!("structure[{pick_no}]"),
-                    eps_each,
-                    0.0,
-                    1.0,
-                );
+                let label = format!("structure[{pick_no}]");
+                ppdp_telemetry::budget_draw("exponential", &label, eps_each, 0.0, 1.0);
+                // Off-ledger: structure selection pays out of the reserved
+                // ε/2 share without individual ledger entries, so the audit
+                // record is marked unledgered (lint-exempt).
+                ppdp_audit::record_draw("exponential", &label, eps_each, 0.0, 1.0);
                 pick_no += 1;
             }
             picked

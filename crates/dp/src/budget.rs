@@ -286,6 +286,18 @@ impl BudgetLedger {
             sensitivity,
         });
         ppdp_telemetry::budget_draw(mechanism, label, charged, 0.0, sensitivity);
+        // The audit layer sees the same draw (plus call-site/tenant
+        // context) so accountants can reconcile bitwise against
+        // `spent()`. `#[track_caller]` all the way down: the recorded
+        // call-site is the mechanism caller's, not this frame.
+        ppdp_audit::record_ledger_draw(
+            mechanism,
+            label,
+            charged,
+            0.0,
+            sensitivity,
+            self.budget.remaining(),
+        );
         charged
     }
 

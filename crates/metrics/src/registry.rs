@@ -538,7 +538,7 @@ mod tests {
         a.hist_cell("h").observe(0.5);
         b.hist_cell("h").observe(50.0);
         let snap = r.snapshot_shards_only();
-        let h = snap.histograms.get("h").map(Clone::clone);
+        let h = snap.histograms.get("h").cloned();
         let h = match h {
             Some(h) => h,
             None => panic!("histogram missing"),

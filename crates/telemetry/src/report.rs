@@ -447,6 +447,26 @@ impl RunReport {
         self.budget.iter().map(|d| d.delta).sum()
     }
 
+    /// ε totals grouped by mechanism name, for quick per-mechanism
+    /// attribution of a run's privacy spend (the audit layer's
+    /// accountant offers the same cut over its richer draw records).
+    pub fn epsilon_by_mechanism(&self) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for d in &self.budget {
+            *out.entry(d.mechanism.clone()).or_insert(0.0) += d.epsilon;
+        }
+        out
+    }
+
+    /// ε totals grouped by release label.
+    pub fn epsilon_by_label(&self) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for d in &self.budget {
+            *out.entry(d.label.clone()).or_insert(0.0) += d.epsilon;
+        }
+        out
+    }
+
     /// Folds another report into this one (spans/counters/histograms merge
     /// by key, budget draws append).
     pub fn merge(&mut self, other: &RunReport) {

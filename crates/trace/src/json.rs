@@ -87,6 +87,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -217,9 +218,16 @@ pub fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Recursion tracks
+/// document depth, so unbounded nesting (`[[[[…`) would overflow the
+/// stack before it exhausted the heap; real report/trace/audit
+/// documents nest a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -265,7 +273,27 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one container level, rejecting documents nested past
+    /// [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<JsonValue, String> {
+        self.descend()?;
+        let out = self.array_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn array_body(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -288,6 +316,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
+        self.descend()?;
+        let out = self.object_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn object_body(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -462,5 +497,26 @@ mod tests {
     #[test]
     fn scientific_notation_parses() {
         assert_eq!(JsonValue::parse("1.5e3").unwrap().as_f64(), Some(1500.0));
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowed() {
+        // At the limit: parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        // One past the limit: a clean error, for arrays and objects both.
+        let deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(JsonValue::parse(&deep)
+            .unwrap_err()
+            .contains("nesting deeper"));
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(JsonValue::parse(&objs).is_err());
+        // Pathological unclosed prefix (the classic parser bomb) errors
+        // instead of recursing 100k frames deep.
+        assert!(JsonValue::parse(&"[".repeat(100_000)).is_err());
     }
 }

@@ -1,0 +1,262 @@
+//! Privacy-loss observability gates: every pipeline emits lineage, the
+//! accountant reconciles bitwise against ledgers (live and
+//! WAL-recovered), the unattributed-spend lint closes over end-to-end
+//! runs, the release cache answers repeats without re-spending ε, and
+//! the audit state is policy-invariant byte-for-byte.
+
+use ppdp::audit::{reconcile, Accountant, AuditLog, AuditSink, ReleaseCache};
+use ppdp::datagen::genomes::amd_like;
+use ppdp::datagen::gwas::synthetic_catalog;
+use ppdp::datagen::microdata::correlated_microdata;
+use ppdp::datagen::social::caltech_like;
+use ppdp::dp::{DurableLedger, OverdrawPolicy};
+use ppdp::genomic::sanitize::Target;
+use ppdp::genomic::TraitId;
+use ppdp::prelude::*;
+use ppdp::publish::{DpPublisher, GenomePublisher, LatentPublisher, SocialPublisher};
+use ppdp::tradeoff::{AttributeStrategy, Profile};
+
+/// Runs one instance of each of the four publish pipelines under `sink`
+/// and returns what the pipelines reported.
+fn run_all_pipelines(exec: ExecPolicy) -> AuditLog {
+    let sink = AuditSink::new();
+    let _scope = sink.enter();
+
+    let social = caltech_like(42);
+    SocialPublisher::new(&social)
+        .generalization_level(2)
+        .exec(exec)
+        .publish(7)
+        .unwrap();
+
+    let catalog = synthetic_catalog(60, 5, 2, 11);
+    let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    GenomePublisher::new(&catalog, 0.6)
+        .exec(exec)
+        .publish(&evidence, &[Target::Trait(TraitId(0))])
+        .unwrap();
+
+    let variants = vec![vec![Some(0)], vec![Some(1)]];
+    let profile = Profile::new(variants.clone(), vec![0.7, 0.3]);
+    let initial = AttributeStrategy::removal(variants, &[0]);
+    let predictions = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+    LatentPublisher::optimize_with(exec, &profile, &initial, &predictions, 1.0).unwrap();
+
+    let table = correlated_microdata(400, 4, 3, 0.8, 5);
+    DpPublisher::new(5.0, 1)
+        .private_structure()
+        .exec(exec)
+        .publish(&table, 200, 6)
+        .unwrap();
+
+    sink.take()
+}
+
+#[test]
+fn all_four_pipelines_emit_release_records_and_lint_clean() {
+    let log = run_all_pipelines(ExecPolicy::Sequential);
+    let pipelines: Vec<&str> = log.releases.iter().map(|r| r.pipeline.as_str()).collect();
+    assert_eq!(
+        pipelines,
+        [
+            "social.publish",
+            "genome.publish",
+            "latent.optimize",
+            "dp.publish"
+        ]
+    );
+    // Only the DP pipeline spends ε; its release must carry every draw.
+    let dp = &log.releases[3];
+    assert!(!dp.draws.is_empty(), "dp release carries its draws");
+    assert!(
+        (dp.epsilon() - 5.0).abs() < 1e-9,
+        "draws compose to the configured budget, got {}",
+        dp.epsilon()
+    );
+    assert!(
+        dp.draws
+            .iter()
+            .all(|d| d.call_site.contains("bayes_net.rs")),
+        "call-site provenance points at the mechanism call-sites: {:?}",
+        dp.draws.first().map(|d| &d.call_site)
+    );
+    assert!(
+        dp.draws.iter().any(|d| d.ledgered) && dp.draws.iter().any(|d| !d.ledgered),
+        "both ledgered CPD draws and off-ledger structure draws present"
+    );
+    // Every ledgered draw in the log is attributable to a release.
+    let lint = log.lint();
+    assert!(lint.clean(), "{}", lint.describe());
+    assert!(lint.attributed > 0);
+}
+
+#[test]
+fn accountant_reconciles_bitwise_with_live_run() {
+    let sink = AuditSink::new();
+    let log = {
+        let _scope = sink.enter();
+        let table = correlated_microdata(300, 3, 3, 0.8, 5);
+        DpPublisher::new(2.0, 1).publish(&table, 100, 9).unwrap();
+        sink.take()
+    };
+    let accts = log.accountants();
+    let acct = &accts["default"];
+    // The ledgered subset folds to exactly what a BudgetLedger would
+    // report: same draws, same order, same `+`.
+    let mut ledgered = Accountant::new("default");
+    for d in log.draws.iter().filter(|d| d.ledgered) {
+        ledgered.record(d);
+    }
+    let total: f64 = log
+        .draws
+        .iter()
+        .filter(|d| d.ledgered)
+        .fold(0.0, |a, d| a + d.epsilon);
+    assert_eq!(ledgered.spent().to_bits(), total.to_bits());
+    // Composition bounds are well-formed over the full stream.
+    let tight = acct.tight(1e-6);
+    assert!(tight.epsilon > 0.0 && tight.epsilon <= acct.basic().epsilon);
+    assert!(!acct.by_call_site().is_empty());
+}
+
+#[test]
+fn accountant_reconciles_bitwise_with_wal_recovered_ledger() {
+    let dir = std::env::temp_dir().join(format!("ppdp-audit-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("ledger.wal");
+    {
+        let (mut ledger, _) = DurableLedger::open(&wal, 2.0, OverdrawPolicy::Strict).unwrap();
+        for i in 0..7 {
+            ledger
+                .spend(0.1, "laplace", &format!("cpd[{i}]"), 1.0)
+                .unwrap();
+        }
+    }
+    // Recover in a "new process" and reconcile the accountant against
+    // the replayed ledger: bitwise, not within-tolerance.
+    let (ledger, recovery) = DurableLedger::open(&wal, 2.0, OverdrawPolicy::Strict).unwrap();
+    assert_eq!(recovery.replayed, 7);
+    let mut acct = Accountant::with_budget("default", 2.0);
+    acct.record_all(ledger.ledger().draws());
+    let rec = reconcile(&acct, ledger.ledger().draws(), ledger.spent());
+    assert!(rec.exact(), "mismatches: {:?}", rec.mismatches);
+    assert_eq!(rec.matched, 7);
+    assert_eq!(
+        acct.remaining().map(f64::to_bits),
+        Some(ledger.ledger().remaining().to_bits()),
+        "remaining budget agrees bitwise too"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_state_is_bitwise_policy_invariant() {
+    let reference = run_all_pipelines(ExecPolicy::Sequential)
+        .equivalence_view()
+        .to_jsonl();
+    assert!(!reference.is_empty());
+    for threads in [1, 2, 8] {
+        let par = run_all_pipelines(ExecPolicy::Parallel { threads })
+            .equivalence_view()
+            .to_jsonl();
+        assert_eq!(
+            par, reference,
+            "audit JSONL must be byte-identical under Parallel{{{threads}}}"
+        );
+    }
+    // Sanity: without the equivalence view the exec fingerprint differs,
+    // so the invariance above is not vacuous.
+    let seq = run_all_pipelines(ExecPolicy::Sequential).to_jsonl();
+    let par = run_all_pipelines(ExecPolicy::Parallel { threads: 2 }).to_jsonl();
+    assert_ne!(seq, par, "exec fingerprints must differ pre-masking");
+}
+
+#[test]
+fn release_cache_answers_repeats_without_respending() {
+    let table = correlated_microdata(300, 3, 3, 0.8, 5);
+    let publisher = DpPublisher::new(2.0, 1);
+    let mut cache = ReleaseCache::new();
+
+    let sink = AuditSink::new();
+    let log = {
+        let _scope = sink.enter();
+        let first = publisher
+            .publish_cached(&table, 100, 9, &mut cache)
+            .unwrap();
+        let second = publisher
+            .publish_cached(&table, 100, 9, &mut cache)
+            .unwrap();
+        assert_eq!(second.table, first.table, "hit returns the same artifact");
+        assert_eq!(second.release.id, first.release.id);
+        assert_eq!(
+            second.telemetry.budget.len(),
+            0,
+            "a cache hit draws no budget"
+        );
+        sink.take()
+    };
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_eq!(
+        log.releases.len(),
+        1,
+        "one release record: the repeat is the *same* release, not a new spend"
+    );
+    let spent: f64 = log.draws.iter().map(|d| d.epsilon).sum();
+    assert!(
+        (spent - 2.0).abs() < 1e-9,
+        "total audited spend stays one budget, got {spent}"
+    );
+
+    // A different query (new seed) or different input must miss.
+    let mut cache2 = cache.clone();
+    publisher
+        .publish_cached(&table, 100, 10, &mut cache2)
+        .unwrap();
+    assert_eq!(cache2.misses(), 2);
+}
+
+#[test]
+fn tenant_scope_stamps_releases_and_draws() {
+    let sink = AuditSink::new();
+    let log = {
+        let _scope = sink.enter();
+        let _tenant = ppdp::audit::tenant_scope("hospital-a");
+        let table = correlated_microdata(200, 3, 3, 0.8, 5);
+        DpPublisher::new(1.0, 1).publish(&table, 50, 3).unwrap();
+        sink.take()
+    };
+    assert!(log.draws.iter().all(|d| d.tenant == "hospital-a"));
+    assert_eq!(log.releases[0].tenant, "hospital-a");
+    let accts = log.accountants();
+    assert_eq!(accts.len(), 1);
+    assert!(accts.contains_key("hospital-a"));
+    assert!(log.lint().clean(), "{}", log.lint().describe());
+}
+
+#[test]
+fn resumed_genome_publish_seals_identical_release() {
+    let catalog = synthetic_catalog(60, 5, 2, 11);
+    let panel = amd_like(&catalog, TraitId(0), 10, 10, 11);
+    let evidence = panel.full_evidence(0);
+    let targets = [Target::Trait(TraitId(0))];
+    let publisher = GenomePublisher::new(&catalog, 0.6);
+    let plain = publisher.publish(&evidence, &targets).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ppdp-audit-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).unwrap();
+    let first = publisher
+        .publish_resumable(&evidence, &targets, &store, "audit-test")
+        .unwrap();
+    let second = publisher
+        .publish_resumable(&evidence, &targets, &store, "audit-test")
+        .unwrap();
+    assert_eq!(first.release.id, plain.release.id);
+    assert_eq!(
+        second.release.id, plain.release.id,
+        "journal-resumed run seals the same lineage identity"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

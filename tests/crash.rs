@@ -17,6 +17,7 @@
 //!   stages — between per-pick journal saves, mid-WAL-append, mid-rename —
 //!   where no deterministic point exists.
 
+use ppdp::audit::{reconcile, Accountant};
 use ppdp::dp::{DurableLedger, OverdrawPolicy};
 use rand::Rng;
 use rand::SeedableRng;
@@ -90,6 +91,18 @@ fn assert_ledger_monotone(dir: &Path, ctx: &str) {
         ledger.spent() + 1e-9 >= truth,
         "{ctx}: ledger under-counts: spent={} < truth={truth}",
         ledger.spent()
+    );
+    // At every kill point, an accountant replaying the recovered draws
+    // reconciles against the ledger's own total *bitwise* — the audit
+    // view and the WAL truth can never drift, even mid-crash.
+    let mut acct = Accountant::with_budget("default", 2.0);
+    acct.record_all(ledger.ledger().draws());
+    let rec = reconcile(&acct, ledger.ledger().draws(), ledger.spent());
+    assert!(
+        rec.exact(),
+        "{ctx}: accountant diverges from recovered WAL ({} matched): {:?}",
+        rec.matched,
+        rec.mismatches
     );
 }
 

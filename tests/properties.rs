@@ -547,3 +547,76 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// ppdp_trace::json — the hand-rolled JSON layer every durable artifact
+// (reports, traces, audit logs) round-trips through.
+
+/// Arbitrary unicode text, surrogate code points folded to U+FFFD —
+/// biased to include plenty of ASCII controls, quotes and backslashes.
+fn unicode_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x2_0000, 0..48).prop_map(|codes| {
+        codes
+            .iter()
+            .map(|&c| char::from_u32(c).unwrap_or('\u{fffd}'))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every string — control characters, quotes, backslashes, astral
+    /// plane — escapes to JSON that parses back to the same value, both
+    /// as a value and as an object key.
+    #[test]
+    fn json_strings_escape_and_round_trip(s in unicode_text()) {
+        use ppdp::trace::json::JsonValue;
+        let value = JsonValue::Str(s.clone());
+        let parsed = JsonValue::parse(&value.to_json());
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&value));
+
+        let obj = JsonValue::Object(vec![(s, JsonValue::Bool(true))]);
+        let parsed = JsonValue::parse(&obj.to_json());
+        prop_assert_eq!(parsed.ok(), Some(obj));
+    }
+
+    /// Raw (unescaped) control characters inside a string are rejected
+    /// as corruption at any position.
+    #[test]
+    fn json_rejects_raw_control_characters(
+        ctrl in 0u32..0x20,
+        prefix in prop::collection::vec(97u8..123, 0..8),
+        suffix in prop::collection::vec(97u8..123, 0..8),
+    ) {
+        use ppdp::trace::json::JsonValue;
+        let ctrl = char::from_u32(ctrl).expect("controls are valid chars");
+        let text = format!(
+            "\"{}{ctrl}{}\"",
+            String::from_utf8(prefix).expect("ascii"),
+            String::from_utf8(suffix).expect("ascii"),
+        );
+        prop_assert!(JsonValue::parse(&text).is_err());
+    }
+
+    /// Container nesting parses up to the documented bound and fails
+    /// cleanly — never by stack overflow — past it, for arrays, objects
+    /// and mixed towers alike.
+    #[test]
+    fn json_nesting_depth_is_bounded(depth in 1usize..400, mix in any::<bool>()) {
+        use ppdp::trace::json::JsonValue;
+        const MAX_DEPTH: usize = 128;
+        let (open, close) = if mix { ("[{\"k\":", "}]") } else { ("[", "]") };
+        let levels_per_rep = open.matches(['[', '{']).count();
+        let text = format!("{}0{}", open.repeat(depth), close.repeat(depth));
+        let parsed = JsonValue::parse(&text);
+        if depth * levels_per_rep <= MAX_DEPTH {
+            prop_assert!(parsed.is_ok(), "depth {depth} within bound must parse");
+        } else {
+            prop_assert!(
+                parsed.map_or_else(|e| e.contains("nesting deeper"), |_| false),
+                "depth {depth} past bound must fail with the depth error"
+            );
+        }
+    }
+}

@@ -64,6 +64,11 @@ fn dp_pipeline_report_accounts_for_the_whole_budget() {
     );
     assert!((t.total_epsilon() - epsilon).abs() < 1e-9);
     assert!(t.budget.iter().all(|d| d.mechanism == "laplace"));
+    // The grouped cuts partition the same total.
+    let by_mech = t.epsilon_by_mechanism();
+    assert!((by_mech["laplace"] - epsilon).abs() < 1e-9);
+    let by_label: f64 = t.epsilon_by_label().values().sum();
+    assert!((by_label - epsilon).abs() < 1e-9);
 
     round_trips(t);
 }
